@@ -1,0 +1,83 @@
+// E10 — downstream payoff: sketched least-squares residual quality vs m for
+// each family, on incoherent and coherent (high-leverage) designs. This is
+// the application-level rendering of the m*(d) landscape from E8.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "apps/regression.h"
+#include "core/flags.h"
+#include "core/random.h"
+#include "core/stats.h"
+#include "core/table.h"
+#include "sketch/registry.h"
+#include "workload/generators.h"
+
+int main(int argc, char** argv) {
+  sose::FlagParser flags(argc, argv);
+  const int64_t n = flags.GetInt("n", 4096);
+  const int64_t d = flags.GetInt("d", 10);
+  const int64_t repeats = flags.GetInt("repeats", 12);
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 17));
+
+  sose::bench::PrintHeader(
+      "E10: sketch-and-solve regression quality vs m",
+      "an (eps, delta)-OSE for span([A b]) makes the sketched solution's "
+      "residual a (1+eps)/(1-eps) approximation; families reach a given "
+      "quality at very different m",
+      "ratio -> 1 as m grows; countsketch needs larger m than osnap than "
+      "gaussian at equal quality, and coherent designs do not break any of "
+      "them (obliviousness)");
+
+  for (sose::DesignKind kind :
+       {sose::DesignKind::kIncoherent, sose::DesignKind::kCoherent}) {
+    std::printf("--- design: %s ---\n",
+                kind == sose::DesignKind::kIncoherent ? "incoherent gaussian"
+                                                      : "coherent (spiky)");
+    sose::AsciiTable table(
+        {"sketch", "m", "mean residual ratio", "p95 ratio", "failures>2x"});
+    for (const std::string family : {"countsketch", "osnap", "gaussian"}) {
+      for (int64_t m : {2 * d, 8 * d, 32 * d, 128 * d}) {
+        sose::RunningStats ratios;
+        std::vector<double> all_ratios;
+        int bad = 0;
+        for (int64_t r = 0; r < repeats; ++r) {
+          sose::Rng rng(sose::DeriveSeed(seed, static_cast<uint64_t>(r)));
+          auto instance = sose::MakeRegressionInstance(n, d, 1.0, kind, &rng);
+          instance.status().CheckOK();
+          sose::SketchConfig config;
+          config.rows = m;
+          config.cols = n;
+          config.sparsity = 4;
+          config.seed = sose::DeriveSeed(
+              seed + 1, static_cast<uint64_t>(m * repeats + r));
+          auto sketch = sose::CreateSketch(family, config);
+          sketch.status().CheckOK();
+          auto solution = sose::SketchAndSolve(
+              *sketch.value(), instance.value().a, instance.value().b);
+          if (!solution.ok()) {
+            // Rank-deficient sketched system (possible at tiny m): count as
+            // a failure.
+            ++bad;
+            all_ratios.push_back(10.0);
+            ratios.Add(10.0);
+            continue;
+          }
+          auto ratio = sose::ResidualRatio(
+              instance.value().a, instance.value().b, solution.value().x);
+          ratio.status().CheckOK();
+          ratios.Add(ratio.value());
+          all_ratios.push_back(ratio.value());
+          if (ratio.value() > 2.0) ++bad;
+        }
+        table.NewRow();
+        table.AddCell(family);
+        table.AddInt(m);
+        table.AddDouble(ratios.Mean(), 5);
+        table.AddDouble(sose::Quantile(all_ratios, 0.95), 5);
+        table.AddInt(bad);
+      }
+    }
+    std::printf("%s\n", table.ToString().c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,103 @@
+// E13 — the m–s trade-off (Theorem 20 direction): the *d-exponent* of the
+// measured threshold m*(d) on the Section 5 mixture D̃ decays from ~2 at
+// s = 1 toward ~1 as the column sparsity grows.
+//
+// Note on regime (documented in DESIGN.md): the paper's absolute
+// ε-dependence lives at d >= 1/ε², beyond laptop scale; what is measurable
+// — and what Theorem 20's s^{-Θ(δ)}d² lower bound predicts — is that the
+// quadratic-in-d wall softens as s increases. At small d an additional
+// Rademacher-noise floor Θ(d/ε²) affects every s >= 2 sketch equally; the
+// d-exponent isolates the collision phenomenon from that floor.
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/flags.h"
+#include "core/stats.h"
+#include "core/table.h"
+#include "hardinstance/mixtures.h"
+#include "ose/threshold_search.h"
+
+namespace {
+
+sose::Result<int64_t> Threshold(int64_t s, int64_t d, double epsilon,
+                                double delta, int64_t n, uint64_t seed) {
+  SOSE_ASSIGN_OR_RETURN(sose::SectionFiveMixture mixture,
+                        sose::SectionFiveMixture::Create(n, d, epsilon));
+  auto failure_at = [&](int64_t m) -> sose::Result<sose::FailureEstimate> {
+    sose::EstimatorOptions options;
+    options.trials = 250;
+    options.epsilon = epsilon;
+    options.seed = sose::DeriveSeed(seed, static_cast<uint64_t>(m * 64 + s));
+    return sose::EstimateFailureProbability(
+        sose::bench::MakeFactory("osnap", m, n, std::min(s, m)),
+        [&mixture](sose::Rng* rng) { return mixture.Sample(rng); }, options);
+  };
+  sose::ThresholdSearchOptions options;
+  options.m_lo = std::max<int64_t>(4, s);
+  options.m_hi = int64_t{1} << 21;
+  options.delta = delta;
+  options.relative_tolerance = 0.1;
+  SOSE_ASSIGN_OR_RETURN(sose::ThresholdResult result,
+                        sose::FindMinimalRows(failure_at, options));
+  return result.m_star;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  sose::FlagParser flags(argc, argv);
+  const double epsilon = flags.GetDouble("eps", 1.0 / 32.0);
+  const double delta = flags.GetDouble("delta", 0.2);
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 37));
+  const int64_t n = int64_t{1} << 21;
+
+  sose::bench::PrintHeader(
+      "E13: d-exponent of m*(d) vs column sparsity on D-tilde (Theorem 20)",
+      "m = Omega((log^-4 s) s^{-K delta} d^2) for s <= 1/(9 eps): the "
+      "quadratic-in-d wall is specific to extreme sparsity and softens as "
+      "s grows; OSNAP at s = Theta(log d/eps) reaches slope ~1",
+      "slope ~2 for every s below ~1/eps (the OSNAP trade-off "
+      "s = Theta(1/(gamma eps)) <=> m = Theta(d^{1+gamma}) keeps gamma >= 1 "
+      "there), collapsing toward ~1 once s clears ~1/eps");
+
+  const std::vector<int64_t> dims = {4, 6, 8, 12, 16};
+  const std::vector<int64_t> sparsities = {1, 2, 4, 16, 64};
+
+  std::vector<std::string> header = {"d"};
+  for (int64_t s : sparsities) header.push_back("m*: s=" + std::to_string(s));
+  sose::AsciiTable table(header);
+  std::vector<std::vector<double>> thresholds(sparsities.size());
+  for (int64_t d : dims) {
+    table.NewRow();
+    table.AddInt(d);
+    for (size_t i = 0; i < sparsities.size(); ++i) {
+      auto m_star = Threshold(sparsities[i], d, epsilon, delta, n,
+                              seed + static_cast<uint64_t>(i));
+      m_star.status().CheckOK();
+      thresholds[i].push_back(static_cast<double>(m_star.value()));
+      table.AddInt(m_star.value());
+    }
+  }
+  std::printf("%s\n", table.ToString().c_str());
+
+  std::vector<double> xs;
+  for (int64_t d : dims) xs.push_back(static_cast<double>(d));
+  sose::AsciiTable slopes({"s", "slope of log m*(d)", "R^2"});
+  for (size_t i = 0; i < sparsities.size(); ++i) {
+    const sose::LinearFit fit = sose::FitPowerLaw(xs, thresholds[i]);
+    slopes.NewRow();
+    slopes.AddInt(sparsities[i]);
+    slopes.AddDouble(fit.slope, 3);
+    slopes.AddDouble(fit.r_squared, 3);
+  }
+  std::printf("%s\n", slopes.ToString().c_str());
+  std::printf(
+      "The s = 1 column is the Theorem 8 quadratic wall. The persistence of\n"
+      "slope ~2 through s = 1/(9 eps) and beyond (up to s ~ 1/eps) is the\n"
+      "super-linear regime Theorem 20 bounds from below and the OSNAP\n"
+      "d^{1+gamma} upper bound sandwiches from above; the collapse to ~1 at\n"
+      "s >> 1/eps is where sparsity stops being binding.\n");
+  return 0;
+}

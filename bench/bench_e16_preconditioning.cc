@@ -1,0 +1,99 @@
+// E16 (extension) — sketch-based preconditioning (Blendenpik/LSRN): CGLS
+// iteration counts on ill-conditioned least squares, unpreconditioned vs
+// preconditioned by each sketch family at several m. The OSE property is
+// what makes κ(A R⁻¹) = (1+ε)/(1−ε); the paper's lower bounds price the
+// minimal m per family.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "apps/iterative.h"
+#include "core/flags.h"
+#include "core/random.h"
+#include "core/table.h"
+#include "sketch/registry.h"
+#include "workload/generators.h"
+
+namespace {
+
+sose::RegressionInstance IllConditioned(int64_t n, int64_t d, double decay,
+                                        sose::Rng* rng) {
+  sose::RegressionInstance instance =
+      sose::MakeRegressionInstance(n, d, 0.5, sose::DesignKind::kIncoherent,
+                                   rng)
+          .ValueOrDie();
+  double scale = 1.0;
+  for (int64_t j = 0; j < d; ++j) {
+    for (int64_t i = 0; i < n; ++i) instance.a.At(i, j) *= scale;
+    scale *= decay;
+  }
+  instance.b = sose::MatVec(instance.a, instance.x_true);
+  for (double& v : instance.b) v += 0.5 * rng->Gaussian();
+  return instance;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  sose::FlagParser flags(argc, argv);
+  const int64_t n = flags.GetInt("n", 2048);
+  const int64_t d = flags.GetInt("d", 12);
+  const double decay = flags.GetDouble("decay", 0.25);
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 47));
+
+  sose::bench::PrintHeader(
+      "E16: sketch-preconditioned CGLS (the indirect payoff of OSEs)",
+      "QR of Pi*A yields a right preconditioner R with kappa(A R^-1) = "
+      "(1+eps)/(1-eps) whenever Pi is an eps-OSE for range(A); iterations "
+      "collapse from O(kappa log 1/tol) to O(log 1/tol)",
+      "unpreconditioned CGLS needs hundreds of iterations at decay^d "
+      "conditioning; every adequately sized sketch gets to ~10");
+
+  sose::Rng rng(seed);
+  sose::RegressionInstance instance = IllConditioned(n, d, decay, &rng);
+
+  sose::CglsOptions options;
+  options.tolerance = 1e-8;
+  options.max_iterations = 5000;
+  auto plain = sose::SolveCgls(instance.a, instance.b, options);
+  plain.status().CheckOK();
+  std::printf("unpreconditioned CGLS: %lld iterations (converged: %s, "
+              "rel. normal residual %.2e)\n\n",
+              static_cast<long long>(plain.value().iterations),
+              plain.value().converged ? "yes" : "no",
+              plain.value().relative_residual);
+
+  sose::AsciiTable table({"sketch", "m", "iterations", "converged",
+                          "rel normal residual"});
+  for (const std::string family : {"countsketch", "osnap", "gaussian",
+                                    "srht"}) {
+    for (int64_t m : {2 * d, 4 * d, 16 * d, 64 * d}) {
+      sose::SketchConfig config;
+      config.rows = m;
+      config.cols = n;
+      config.sparsity = 4;
+      config.seed = seed + static_cast<uint64_t>(m);
+      auto sketch = sose::CreateSketch(family, config);
+      sketch.status().CheckOK();
+      auto solution = sose::SolveSketchPreconditionedCgls(
+          *sketch.value(), instance.a, instance.b, options);
+      table.NewRow();
+      table.AddCell(family);
+      table.AddInt(m);
+      if (!solution.ok()) {
+        table.AddCell("-");
+        table.AddCell("rank-deficient sketch");
+        table.AddCell("-");
+        continue;
+      }
+      table.AddInt(solution.value().iterations);
+      table.AddCell(solution.value().converged ? "yes" : "no");
+      table.AddDouble(solution.value().relative_residual, 3);
+    }
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf(
+      "Even a coarse (eps ~ 1/2) embedding flattens the iteration count —\n"
+      "which is why the minimal-m question the paper answers matters even\n"
+      "for solvers that never trust the sketch's answer directly.\n");
+  return 0;
+}

@@ -1,0 +1,87 @@
+// E17 (ablation) — hash independence: the paper's lower bounds hold against
+// every distribution of Π, including limited-independence ones; the classic
+// upper-bound analyses need only small constant independence. The ablation
+// measures the failure threshold of Count-Sketch as the polynomial hash
+// independence k varies, against the fully random baseline.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/flags.h"
+#include "core/table.h"
+#include "hardinstance/mixtures.h"
+#include "ose/threshold_search.h"
+
+namespace {
+
+sose::Result<int64_t> Threshold(const std::string& family, int64_t k,
+                                int64_t d, double epsilon, double delta,
+                                int64_t n, uint64_t seed) {
+  SOSE_ASSIGN_OR_RETURN(sose::SectionThreeMixture mixture,
+                        sose::SectionThreeMixture::Create(n, d, epsilon));
+  auto failure_at = [&](int64_t m) -> sose::Result<sose::FailureEstimate> {
+    sose::EstimatorOptions options;
+    options.trials = 400;
+    options.epsilon = epsilon;
+    options.seed = sose::DeriveSeed(seed, static_cast<uint64_t>(m));
+    return sose::EstimateFailureProbability(
+        [family, m, n, k](uint64_t draw_seed)
+            -> sose::Result<std::unique_ptr<sose::SketchingMatrix>> {
+          sose::SketchConfig config;
+          config.rows = m;
+          config.cols = n;
+          config.sparsity = 1;
+          config.independence = k;
+          config.seed = draw_seed;
+          return sose::CreateSketch(family, config);
+        },
+        [&mixture](sose::Rng* rng) { return mixture.Sample(rng); }, options);
+  };
+  sose::ThresholdSearchOptions options;
+  options.m_lo = 4;
+  options.m_hi = int64_t{1} << 20;
+  options.delta = delta;
+  options.relative_tolerance = 0.05;
+  SOSE_ASSIGN_OR_RETURN(sose::ThresholdResult result,
+                        sose::FindMinimalRows(failure_at, options));
+  return result.m_star;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  sose::FlagParser flags(argc, argv);
+  const int64_t d = flags.GetInt("d", 6);
+  const double epsilon = flags.GetDouble("eps", 1.0 / 16.0);
+  const double delta = flags.GetDouble("delta", 0.2);
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 53));
+  const int64_t n = int64_t{1} << 20;
+
+  sose::bench::PrintHeader(
+      "E17 (ablation): hash independence vs the Count-Sketch threshold",
+      "the Omega(d^2/(eps^2 delta)) lower bound binds EVERY distribution of "
+      "Pi; pairwise-independent buckets/signs already meet the classical "
+      "upper-bound analysis, so the measured threshold should be flat in k",
+      "m*(k) ~ constant across k in {2,3,4,8} and equal to the fully "
+      "random baseline");
+
+  sose::AsciiTable table({"hash", "m*", "m*/baseline"});
+  auto baseline = Threshold("countsketch", 0, d, epsilon, delta, n, seed);
+  baseline.status().CheckOK();
+  table.NewRow();
+  table.AddCell("fully random");
+  table.AddInt(baseline.value());
+  table.AddDouble(1.0, 3);
+  for (int64_t k : {2, 3, 4, 8}) {
+    auto m_star = Threshold("countsketch-kwise", k, d, epsilon, delta, n,
+                            seed + static_cast<uint64_t>(k));
+    m_star.status().CheckOK();
+    table.NewRow();
+    table.AddCell(std::to_string(k) + "-wise polynomial");
+    table.AddInt(m_star.value());
+    table.AddDouble(static_cast<double>(m_star.value()) /
+                        static_cast<double>(baseline.value()),
+                    3);
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  return 0;
+}

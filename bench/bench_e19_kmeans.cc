@@ -1,0 +1,68 @@
+// E19 (extension) — k-means after feature sketching (the [BZMD15]/[CEM+15]
+// application the paper's introduction cites): cluster in the reduced space,
+// evaluate the induced partition's cost in the original space, sweep the
+// projection dimension m.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "apps/kmeans.h"
+#include "core/flags.h"
+#include "core/random.h"
+#include "core/stats.h"
+#include "core/table.h"
+#include "sketch/registry.h"
+#include "workload/generators.h"
+
+int main(int argc, char** argv) {
+  sose::FlagParser flags(argc, argv);
+  const int64_t n = flags.GetInt("n", 300);
+  const int64_t dim = flags.GetInt("dim", 256);
+  const int64_t k = flags.GetInt("k", 5);
+  const double separation = flags.GetDouble("sep", 12.0);
+  const int64_t repeats = flags.GetInt("repeats", 8);
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 61));
+
+  sose::bench::PrintHeader(
+      "E19: k-means cost after feature sketching",
+      "projecting the feature space through an OSE-style sketch preserves "
+      "cluster structure: the induced partition's cost in the ORIGINAL "
+      "space is (1 + O(eps)) of the full-dimensional run's cost",
+      "cost ratio -> 1 as m grows; already ~1 at m = O(k/eps^2) << dim, "
+      "independent of the ambient feature dimension");
+
+  sose::AsciiTable table({"sketch", "m", "mean cost ratio", "worst ratio"});
+  for (const std::string family : {"gaussian", "countsketch", "sparsejl"}) {
+    for (int64_t m : {4, 8, 16, 64}) {
+      sose::RunningStats ratios;
+      for (int64_t r = 0; r < repeats; ++r) {
+        sose::Rng rng(sose::DeriveSeed(seed, static_cast<uint64_t>(r)));
+        auto points = sose::ClusteredPoints(n, dim, k, separation, &rng);
+        points.status().CheckOK();
+        sose::KMeansOptions options;
+        options.k = k;
+        options.seed = sose::DeriveSeed(seed + 1, static_cast<uint64_t>(r));
+        auto full = sose::LloydKMeans(points.value(), options);
+        full.status().CheckOK();
+        sose::SketchConfig config;
+        config.rows = m;
+        config.cols = dim;
+        config.sparsity = 2;
+        config.seed =
+            sose::DeriveSeed(seed + 2, static_cast<uint64_t>(m * repeats + r));
+        auto sketch = sose::CreateSketch(family, config);
+        sketch.status().CheckOK();
+        auto sketched =
+            sose::SketchedKMeans(*sketch.value(), points.value(), options);
+        sketched.status().CheckOK();
+        ratios.Add(sketched.value().cost / full.value().cost);
+      }
+      table.NewRow();
+      table.AddCell(family);
+      table.AddInt(m);
+      table.AddDouble(ratios.Mean(), 5);
+      table.AddDouble(ratios.Max(), 5);
+    }
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  return 0;
+}

@@ -1,0 +1,142 @@
+// E1 — Theorem 8: the minimal target dimension of Count-Sketch on the
+// Section 3 hard mixture scales as m* = Θ(d²/(ε²δ)).
+//
+// For each swept parameter the bench bisects for the smallest m whose
+// Monte-Carlo failure probability is <= δ, then fits log m* against
+// log d, log(1/ε) and log(1/δ). The paper predicts slopes ≈ 2, 2 and 1.
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/csv.h"
+#include "core/flags.h"
+#include "core/stats.h"
+#include "core/table.h"
+#include "hardinstance/mixtures.h"
+#include "ose/threshold_search.h"
+
+namespace {
+
+struct SweepPoint {
+  int64_t d;
+  double epsilon;
+  double delta;
+};
+
+sose::Result<int64_t> MeasureThreshold(const SweepPoint& point,
+                                       uint64_t seed) {
+  const int64_t n_needed = static_cast<int64_t>(
+      32.0 * static_cast<double>(point.d * point.d) /
+      (point.epsilon * point.epsilon * point.delta));
+  const int64_t n = std::max<int64_t>(int64_t{1} << 18, n_needed);
+  SOSE_ASSIGN_OR_RETURN(
+      sose::SectionThreeMixture mixture,
+      sose::SectionThreeMixture::Create(n, point.d, point.epsilon));
+  const int64_t trials =
+      std::min<int64_t>(800, std::max<int64_t>(200, static_cast<int64_t>(
+                                                        30.0 / point.delta)));
+  auto failure_at = [&](int64_t m) -> sose::Result<sose::FailureEstimate> {
+    sose::EstimatorOptions options;
+    options.trials = trials;
+    options.epsilon = point.epsilon;
+    options.seed = sose::DeriveSeed(seed, static_cast<uint64_t>(m));
+    return sose::EstimateFailureProbability(
+        sose::bench::MakeFactory("countsketch", m, n, 1),
+        [&mixture](sose::Rng* rng) { return mixture.Sample(rng); }, options);
+  };
+  sose::ThresholdSearchOptions options;
+  options.m_lo = 4;
+  options.m_hi = int64_t{1} << 22;
+  options.delta = point.delta;
+  options.relative_tolerance = 0.05;
+  SOSE_ASSIGN_OR_RETURN(sose::ThresholdResult result,
+                        sose::FindMinimalRows(failure_at, options));
+  return result.m_star;
+}
+
+void RunSweep(const char* label, const std::vector<SweepPoint>& points,
+              const std::vector<double>& xs, uint64_t seed,
+              double predicted_slope, sose::CsvWriter* csv) {
+  sose::AsciiTable table({"d", "eps", "delta", "m*", "d^2/(eps^2 delta)",
+                          "ratio"});
+  std::vector<double> measured;
+  for (const SweepPoint& point : points) {
+    auto m_star = MeasureThreshold(point, seed);
+    m_star.status().CheckOK();
+    measured.push_back(static_cast<double>(m_star.value()));
+    const double predicted = static_cast<double>(point.d * point.d) /
+                             (point.epsilon * point.epsilon * point.delta);
+    table.NewRow();
+    table.AddInt(point.d);
+    table.AddDouble(point.epsilon);
+    table.AddDouble(point.delta);
+    table.AddInt(m_star.value());
+    table.AddDouble(predicted);
+    table.AddDouble(static_cast<double>(m_star.value()) / predicted, 3);
+    if (csv != nullptr) {
+      csv->NewRow();
+      csv->AddCell(label);
+      csv->AddInt(point.d);
+      csv->AddDouble(point.epsilon);
+      csv->AddDouble(point.delta);
+      csv->AddInt(m_star.value());
+      csv->AddDouble(predicted);
+    }
+  }
+  std::printf("--- sweep over %s ---\n%s", label, table.ToString().c_str());
+  const sose::LinearFit fit = sose::FitPowerLaw(xs, measured);
+  std::printf("log-log slope of m* vs %s: %.3f  (paper predicts %.1f), "
+              "R^2 = %.3f\n\n",
+              label, fit.slope, predicted_slope, fit.r_squared);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  sose::FlagParser flags(argc, argv);
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 11));
+  const std::string csv_path = flags.GetString("csv", "");
+  sose::CsvWriter csv({"sweep", "d", "eps", "delta", "m_star", "predicted"});
+  sose::CsvWriter* csv_ptr = csv_path.empty() ? nullptr : &csv;
+  sose::bench::PrintHeader(
+      "E1: Count-Sketch threshold (Theorem 8)",
+      "any s = 1 OSE needs m = Omega(d^2/(eps^2 delta)); Count-Sketch "
+      "achieves it, so its measured threshold must scale with all three "
+      "exponents",
+      "slope(m*, d) ~ 2, slope(m*, 1/eps) ~ 2, slope(m*, 1/delta) ~ 1");
+
+  {
+    std::vector<SweepPoint> points;
+    std::vector<double> xs;
+    for (int64_t d : {4, 6, 8, 12, 16, 24}) {
+      points.push_back({d, 1.0 / 16.0, 0.2});
+      xs.push_back(static_cast<double>(d));
+    }
+    RunSweep("d", points, xs, seed, 2.0, csv_ptr);
+  }
+  {
+    std::vector<SweepPoint> points;
+    std::vector<double> xs;
+    for (double inv_eps : {16.0, 32.0, 64.0, 128.0}) {
+      points.push_back({4, 1.0 / inv_eps, 0.2});
+      xs.push_back(inv_eps);
+    }
+    RunSweep("1/eps", points, xs, seed + 1, 2.0, csv_ptr);
+  }
+  {
+    std::vector<SweepPoint> points;
+    std::vector<double> xs;
+    for (double delta : {0.4, 0.2, 0.1, 0.05}) {
+      points.push_back({4, 1.0 / 16.0, delta});
+      xs.push_back(1.0 / delta);
+    }
+    RunSweep("1/delta", points, xs, seed + 2, 1.0, csv_ptr);
+  }
+  if (csv_ptr != nullptr) {
+    csv.WriteToFile(csv_path).CheckOK();
+    std::printf("wrote %s\n", csv_path.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,65 @@
+// E21 (extension) — the full (ε, δ) trade-off curve per family from one
+// sample set: distortion quantiles of ΠU over (Π, U) draws at a fixed
+// budget m, on the hard distribution D₁. A single failure-probability
+// point (the other benches) is one slice of this table.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/flags.h"
+#include "core/table.h"
+#include "hardinstance/d_beta.h"
+#include "ose/profile.h"
+
+int main(int argc, char** argv) {
+  sose::FlagParser flags(argc, argv);
+  const int64_t d = flags.GetInt("d", 8);
+  const int64_t m = flags.GetInt("m", 96);
+  const int64_t trials = flags.GetInt("trials", 600);
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 71));
+  const int64_t n = int64_t{1} << 18;
+
+  sose::bench::PrintHeader(
+      "E21: distortion profile (the whole eps-delta curve) per family",
+      "Definition 1 is a two-parameter statement; the quantiles of "
+      "eps(Pi, U) over draws give every (eps, delta) point at once",
+      "countsketch: bimodal — tiny distortion conditioned on no collision, "
+      "~1 on collision, so p50 << p99; osnap/gaussian: unimodal "
+      "concentration tightening with m; rowsample: all mass at 1");
+
+  auto sampler = sose::DBetaSampler::Create(n, d, 1);
+  sampler.status().CheckOK();
+  const sose::InstanceSampler instance_sampler = [&sampler](sose::Rng* rng) {
+    return sampler.value().Sample(rng);
+  };
+
+  sose::AsciiTable table({"sketch", "mean eps", "p50", "p90", "p99", "max",
+                          "Pr[eps>0.1]", "Pr[eps>0.25]", "Pr[eps>0.5]"});
+  for (const std::string family :
+       {"countsketch", "osnap", "gaussian", "sparsejl", "rowsample"}) {
+    sose::ProfileOptions options;
+    options.trials = trials;
+    options.epsilons = {0.1, 0.25, 0.5};
+    options.seed = sose::DeriveSeed(seed, 1);
+    auto profile = sose::ProfileDistortion(
+        sose::bench::MakeFactory(family, m, n, 4), instance_sampler, options);
+    profile.status().CheckOK();
+    table.NewRow();
+    table.AddCell(family);
+    table.AddDouble(profile.value().mean, 4);
+    table.AddDouble(profile.value().p50, 4);
+    table.AddDouble(profile.value().p90, 4);
+    table.AddDouble(profile.value().p99, 4);
+    table.AddDouble(profile.value().max, 4);
+    for (double rate : profile.value().failure_rates) {
+      table.AddDouble(rate, 4);
+    }
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf(
+      "Count-Sketch's gap between p50 and p99 is the paper's delta-"
+      "dependence in\nminiature: failures are collision events, not "
+      "gradual distortion drift, so\nthe only way to push the p99 down is "
+      "more rows — at the Theta(d^2/(eps^2 delta))\nrate Theorem 8 proves "
+      "unavoidable.\n");
+  return 0;
+}

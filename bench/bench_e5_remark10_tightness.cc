@@ -1,0 +1,74 @@
+// E5 — Remark 10 (the matching upper bound): the deterministic
+// block-Hadamard sketch with block order b = 1/(8ε) is a (≈0, δ)-subspace
+// embedding for U ~ D₁ once m = O(d²), certifying that Theorem 9's d²
+// lower bound is tight.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/flags.h"
+#include "core/random.h"
+#include "core/stats.h"
+#include "core/table.h"
+#include "hardinstance/d_beta.h"
+#include "ose/distortion.h"
+#include "sketch/block_hadamard.h"
+
+int main(int argc, char** argv) {
+  sose::FlagParser flags(argc, argv);
+  const int64_t d = flags.GetInt("d", 16);
+  const int64_t b = flags.GetInt("b", 8);
+  const int64_t trials = flags.GetInt("trials", 1000);
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 3));
+  const int64_t n = int64_t{1} << 22;
+
+  sose::bench::PrintHeader(
+      "E5: Remark 10 tightness witness (block-Hadamard upper bound)",
+      "horizontally concatenated sqrt(8 eps) * Hadamard blocks give a "
+      "deterministic s = 1/(8 eps) sketch that embeds D_1 with distortion 0 "
+      "whenever no two chosen columns share a block index AND a Hadamard "
+      "column; collisions into the same block are harmless (orthogonality)",
+      "failure rate falls like the birthday curve of d balls into m/b "
+      "blocks *conditioned on same within-block column*, i.e. ~ d^2 b / "
+      "(2 m) * (1/b) = d^2/(2m); near-zero once m >> d^2/2");
+
+  auto sampler = sose::DBetaSampler::Create(n, d, 1);
+  sampler.status().CheckOK();
+
+  sose::AsciiTable table({"m", "m/d^2", "fail rate (exact collision)",
+                          "predicted d^2/(2m)", "mean eps", "max eps"});
+  for (double ratio : {0.125, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0}) {
+    int64_t m = static_cast<int64_t>(ratio * static_cast<double>(d * d));
+    m = std::max<int64_t>(b, (m / b) * b);
+    auto sketch = sose::BlockHadamard::Create(m, n, b);
+    sketch.status().CheckOK();
+    sose::Rng rng(seed + static_cast<uint64_t>(m));
+    int failures = 0;
+    sose::RunningStats eps_stats;
+    for (int64_t t = 0; t < trials; ++t) {
+      sose::HardInstance instance = sampler.value().Sample(&rng);
+      while (instance.HasRowCollision()) {
+        instance = sampler.value().Sample(&rng);
+      }
+      auto report =
+          sose::SketchDistortionOnInstance(sketch.value(), instance);
+      report.status().CheckOK();
+      eps_stats.Add(report.value().Epsilon());
+      if (report.value().Epsilon() > 1e-9) ++failures;
+    }
+    table.NewRow();
+    table.AddInt(m);
+    table.AddDouble(static_cast<double>(m) / static_cast<double>(d * d), 3);
+    table.AddDouble(static_cast<double>(failures) / trials, 4);
+    table.AddDouble(static_cast<double>(d * d) / (2.0 * static_cast<double>(m)),
+                    4);
+    table.AddDouble(eps_stats.Mean(), 4);
+    table.AddDouble(eps_stats.Max(), 4);
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf(
+      "Note the distortion is EXACTLY zero unless two chosen columns are\n"
+      "identical columns of the same Hadamard block — the construction is a\n"
+      "(0, delta)-embedding, strictly stronger than the (eps, delta) the\n"
+      "lower bound requires.\n");
+  return 0;
+}

@@ -1,0 +1,59 @@
+// E6 — Theorem 9's phenomenon: a uniformly random sparse sketch at the
+// paper's critical sparsity s = 1/(9ε) degrades on U ~ D₁ as m drops
+// through ~d², while at the same budget the aligned Remark 10 construction
+// stays exact (see E5). The pincer around m = Θ(d²) is the headline result.
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/flags.h"
+#include "core/random.h"
+#include "core/stats.h"
+#include "core/table.h"
+#include "hardinstance/d_beta.h"
+#include "ose/failure_estimator.h"
+
+int main(int argc, char** argv) {
+  sose::FlagParser flags(argc, argv);
+  const int64_t d = flags.GetInt("d", 24);
+  const int64_t s = flags.GetInt("s", 4);
+  const int64_t trials = flags.GetInt("trials", 500);
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 13));
+  const int64_t n = int64_t{1} << 22;
+  const double epsilon = 1.0 / (9.0 * static_cast<double>(s));
+
+  sose::bench::PrintHeader(
+      "E6: random sparse sketches on D_1 at critical sparsity (Theorem 9)",
+      "any s <= 1/(9 eps) sketch needs m = Omega~(d^2) on D_1; random OSNAP "
+      "placement exhibits the failure as m drops below ~d^2",
+      "failure rate rises toward 1 as m/d^2 decreases; mean distortion "
+      "crosses eps near m ~ d^2");
+
+  auto sampler = sose::DBetaSampler::Create(n, d, 1);
+  sampler.status().CheckOK();
+
+  sose::AsciiTable table({"m", "m/d^2", "fail rate [95% CI]", "mean eps",
+                          "eps target"});
+  for (double ratio : {0.0625, 0.125, 0.25, 0.5, 1.0, 2.0, 4.0}) {
+    const int64_t m = std::max<int64_t>(
+        s, static_cast<int64_t>(ratio * static_cast<double>(d * d)));
+    sose::EstimatorOptions options;
+    options.trials = trials;
+    options.epsilon = epsilon;
+    options.seed = sose::DeriveSeed(seed, static_cast<uint64_t>(m));
+    auto estimate = sose::EstimateFailureProbability(
+        sose::bench::MakeFactory("osnap", m, n, s),
+        [&sampler](sose::Rng* rng) { return sampler.value().Sample(rng); },
+        options);
+    estimate.status().CheckOK();
+    table.NewRow();
+    table.AddInt(m);
+    table.AddDouble(ratio, 4);
+    table.AddProbability(estimate.value().rate, estimate.value().interval.lo,
+                         estimate.value().interval.hi);
+    table.AddDouble(estimate.value().mean_epsilon, 4);
+    table.AddDouble(epsilon, 4);
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  return 0;
+}

@@ -1,0 +1,81 @@
+// E7 — Section 5's heavy-entry census (Lemma 19): for every level ℓ, a
+// working embedding cannot have many entries of absolute value >= √(2^{-ℓ});
+// working constructions concentrate all their mass exactly at their design
+// level and carry ~nothing above it.
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/flags.h"
+#include "core/random.h"
+#include "core/table.h"
+#include "lowerbound/heavy_entries.h"
+#include "sketch/registry.h"
+
+int main(int argc, char** argv) {
+  sose::FlagParser flags(argc, argv);
+  const int64_t m = flags.GetInt("m", 1024);
+  const int64_t n = flags.GetInt("n", 1 << 16);
+  const int64_t sample_columns = flags.GetInt("samples", 4000);
+  const double epsilon = flags.GetDouble("eps", 1.0 / 256.0);
+  const int64_t num_levels = flags.GetInt("levels", 6);
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 21));
+
+  sose::bench::PrintHeader(
+      "E7: heavy-entry census across dyadic levels (Lemma 19)",
+      "the Section 5 mixture forces: avg #entries with |Pi_{l,c}| >= "
+      "sqrt(2^-l) is at most ~eps^{delta'} 2^l for every level l, else the "
+      "average column norm budget 1 +/- eps is violated",
+      "each sketch family shows a step profile: zero above its design "
+      "level, then a plateau at its sparsity; everything stays far below "
+      "the cumulative norm budget");
+
+  std::printf("delta'(eps) = %.4f, eps^{delta'} = %.4f\n\n",
+              sose::SectionFiveDeltaPrime(epsilon),
+              std::pow(epsilon, sose::SectionFiveDeltaPrime(epsilon)));
+
+  std::vector<std::string> header = {"level l", "theta = sqrt(2^-l)",
+                                     "Lemma 19 cap eps^{d'} 2^l"};
+  const std::vector<std::string> families = {"countsketch", "osnap",
+                                             "gaussian", "sparsejl",
+                                             "blockhadamard"};
+  for (const std::string& family : families) header.push_back(family);
+  sose::AsciiTable table(header);
+
+  std::vector<sose::HeavyCensus> censuses;
+  for (const std::string& family : families) {
+    sose::SketchConfig config;
+    config.rows = m;
+    config.cols = n;
+    config.sparsity = 8;
+    config.seed = seed;
+    auto sketch = sose::CreateSketch(family, config);
+    sketch.status().CheckOK();
+    sose::Rng rng(seed + 1);
+    auto census = sose::ComputeHeavyCensus(*sketch.value(), num_levels,
+                                           epsilon, sample_columns, &rng);
+    census.status().CheckOK();
+    censuses.push_back(std::move(census).value());
+  }
+
+  for (int64_t level = 0; level <= num_levels; ++level) {
+    table.NewRow();
+    table.AddInt(level);
+    table.AddDouble(censuses.front().thresholds[static_cast<size_t>(level)],
+                    4);
+    table.AddDouble(
+        censuses.front().lemma19_bounds[static_cast<size_t>(level)], 4);
+    for (const sose::HeavyCensus& census : censuses) {
+      table.AddDouble(census.average_counts[static_cast<size_t>(level)], 4);
+    }
+  }
+  std::printf("%s\n", table.ToString().c_str());
+
+  std::printf("average squared column norms (must be ~1 for any working "
+              "embedding):\n");
+  for (size_t i = 0; i < families.size(); ++i) {
+    std::printf("  %-14s %.4f\n", families[i].c_str(),
+                censuses[i].average_norm_squared);
+  }
+  return 0;
+}

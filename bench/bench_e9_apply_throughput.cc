@@ -1,0 +1,90 @@
+// E9 — the O(nnz(A) · s) apply-cost claim that motivates the whole paper:
+// Count-Sketch applies in O(nnz(A)), OSNAP in O(nnz(A) · s), Gaussian in
+// O(nnz(A) · m). google-benchmark kernels over sparse inputs.
+#include <benchmark/benchmark.h>
+
+#include "core/random.h"
+#include "sketch/registry.h"
+#include "workload/generators.h"
+
+namespace {
+
+using sose::CreateSketch;
+using sose::CscMatrix;
+using sose::SketchConfig;
+
+CscMatrix MakeInput(int64_t n, int64_t cols, int64_t nnz_per_col) {
+  sose::Rng rng(42);
+  return sose::RandomSparseMatrix(n, cols, nnz_per_col, &rng).ValueOrDie();
+}
+
+void ApplySparseBench(benchmark::State& state, const std::string& family,
+                      int64_t sparsity) {
+  const int64_t n = state.range(0);
+  const int64_t nnz_per_col = state.range(1);
+  const int64_t m = 1024;
+  const int64_t cols = 8;
+  SketchConfig config;
+  config.rows = m;
+  config.cols = n;
+  config.sparsity = sparsity;
+  config.seed = 7;
+  auto sketch = CreateSketch(family, config);
+  sketch.status().CheckOK();
+  const CscMatrix input = MakeInput(n, cols, nnz_per_col);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sketch.value()->ApplySparse(input));
+  }
+  state.SetItemsProcessed(state.iterations() * input.nnz());
+  state.counters["nnz"] = static_cast<double>(input.nnz());
+  state.counters["s"] = static_cast<double>(sketch.value()->column_sparsity());
+}
+
+void BM_CountSketchApply(benchmark::State& state) {
+  ApplySparseBench(state, "countsketch", 1);
+}
+void BM_OsnapApply_s4(benchmark::State& state) {
+  ApplySparseBench(state, "osnap", 4);
+}
+void BM_OsnapApply_s16(benchmark::State& state) {
+  ApplySparseBench(state, "osnap", 16);
+}
+void BM_GaussianApply(benchmark::State& state) {
+  ApplySparseBench(state, "gaussian", 1);
+}
+
+// nnz scaling at fixed n: items/sec should be ~flat per family (linear in
+// nnz), with per-item cost ratios ~ 1 : s : m across families.
+BENCHMARK(BM_CountSketchApply)
+    ->Args({1 << 16, 8})
+    ->Args({1 << 16, 32})
+    ->Args({1 << 16, 128})
+    ->Args({1 << 18, 32});
+BENCHMARK(BM_OsnapApply_s4)
+    ->Args({1 << 16, 8})
+    ->Args({1 << 16, 32})
+    ->Args({1 << 16, 128})
+    ->Args({1 << 18, 32});
+BENCHMARK(BM_OsnapApply_s16)->Args({1 << 16, 32});
+BENCHMARK(BM_GaussianApply)->Args({1 << 16, 8})->Args({1 << 16, 32});
+
+// Dense apply for the structured fast transform (SRHT) vs explicit loops.
+void BM_SrhtApplyVector(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  SketchConfig config;
+  config.rows = 1024;
+  config.cols = n;
+  config.seed = 9;
+  auto sketch = CreateSketch("srht", config);
+  sketch.status().CheckOK();
+  sose::Rng rng(1);
+  std::vector<double> x(static_cast<size_t>(n));
+  for (double& v : x) v = rng.Gaussian();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sketch.value()->ApplyVector(x));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_SrhtApplyVector)->Arg(1 << 12)->Arg(1 << 14)->Arg(1 << 16);
+
+}  // namespace

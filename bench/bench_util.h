@@ -1,0 +1,39 @@
+#ifndef SOSE_BENCH_BENCH_UTIL_H_
+#define SOSE_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "ose/failure_estimator.h"
+#include "sketch/registry.h"
+
+namespace sose::bench {
+
+/// Prints the standard experiment banner: id, claim, and the shape the paper
+/// predicts, so every bench's output is self-describing.
+inline void PrintHeader(const char* id, const char* claim,
+                        const char* predicted_shape) {
+  std::printf("=== %s ===\n", id);
+  std::printf("claim: %s\n", claim);
+  std::printf("paper-predicted shape: %s\n\n", predicted_shape);
+}
+
+/// A SketchFactory for a registry family with fixed shape; the per-trial
+/// seed becomes the draw's master seed.
+inline SketchFactory MakeFactory(std::string family, int64_t m, int64_t n,
+                                 int64_t sparsity) {
+  return [family = std::move(family), m, n, sparsity](
+             uint64_t seed) -> Result<std::unique_ptr<SketchingMatrix>> {
+    SketchConfig config;
+    config.rows = m;
+    config.cols = n;
+    config.sparsity = sparsity;
+    config.seed = seed;
+    return CreateSketch(family, config);
+  };
+}
+
+}  // namespace sose::bench
+
+#endif  // SOSE_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,119 @@
+// Composed sketch pipelines: combine a sparse first stage (input-sparsity
+// apply time) with a dense second stage (optimal final dimension), the
+// standard way practice navigates the trade-off the paper proves is
+// unavoidable for any single sparse stage.
+//
+//   ./pipeline_demo [--n=65536] [--d=8] [--seed=6]
+#include <cstdio>
+#include <memory>
+
+#include "core/flags.h"
+#include "core/random.h"
+#include "core/stopwatch.h"
+#include "core/table.h"
+#include "hardinstance/d_beta.h"
+#include "ose/distortion.h"
+#include "ose/isometry.h"
+#include "sketch/composed.h"
+#include "sketch/count_sketch.h"
+#include "sketch/gaussian.h"
+#include "workload/generators.h"
+
+int main(int argc, char** argv) {
+  sose::FlagParser flags(argc, argv);
+  const int64_t n = flags.GetInt("n", 1 << 17);
+  const int64_t d = flags.GetInt("d", 16);
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 6));
+  const int64_t mid = 32 * d;   // Count-Sketch stage: cheap but large.
+  const int64_t final_m = 8 * d;  // Gaussian stage: expensive but tight.
+
+  std::printf("pipeline: countsketch %lld->%lld, then gaussian %lld->%lld\n\n",
+              static_cast<long long>(n), static_cast<long long>(mid),
+              static_cast<long long>(mid), static_cast<long long>(final_m));
+
+  auto inner = std::make_shared<sose::CountSketch>(
+      sose::CountSketch::Create(mid, n, seed).ValueOrDie());
+  auto outer = std::make_shared<sose::GaussianSketch>(
+      sose::GaussianSketch::Create(final_m, mid, seed + 1).ValueOrDie());
+  auto pipeline = sose::ComposedSketch::Create(outer, inner).ValueOrDie();
+
+  // Single-stage baselines at the same FINAL dimension.
+  auto direct_gaussian = sose::GaussianSketch::Create(final_m, n, seed + 2)
+                             .ValueOrDie();
+  auto direct_countsketch =
+      sose::CountSketch::Create(final_m, n, seed + 3).ValueOrDie();
+
+  // A tall input with plenty of nonzeros: the regime where the dense
+  // stage's per-nonzero cost m dominates a direct apply.
+  sose::Rng rng(seed + 4);
+  const sose::CscMatrix input =
+      sose::RandomSparseMatrix(n, d, 4096, &rng).ValueOrDie();
+  sose::Matrix basis = sose::RandomIsometry(4096, d, &rng).ValueOrDie();
+
+  sose::AsciiTable table({"sketch", "final m", "apply ms (sparse A)",
+                          "eps: random subspace", "fail rate: hard D_1"});
+  struct Row {
+    const char* label;
+    const sose::SketchingMatrix* sketch;
+  };
+  const Row rows[] = {
+      {"countsketch*gaussian (pipeline)", &pipeline},
+      {"gaussian direct", &direct_gaussian},
+      {"countsketch direct", &direct_countsketch},
+  };
+  auto hard_sampler = sose::DBetaSampler::Create(n, d, 1);
+  hard_sampler.status().CheckOK();
+  for (const Row& row : rows) {
+    sose::Stopwatch watch;
+    const sose::Matrix sketched = row.sketch->ApplySparse(input);
+    const double apply_ms = watch.ElapsedMillis();
+    (void)sketched;
+    // Distortion on a moderate-n random subspace with a same-family draw
+    // (the pipeline's structure, not this exact draw, is what matters).
+    sose::DistortionReport report{};
+    if (row.sketch == &pipeline) {
+      auto small_inner = std::make_shared<sose::CountSketch>(
+          sose::CountSketch::Create(mid, 4096, seed + 5).ValueOrDie());
+      auto small =
+          sose::ComposedSketch::Create(outer, small_inner).ValueOrDie();
+      report = sose::SketchDistortionOnIsometry(small, basis).ValueOrDie();
+    } else if (row.sketch == &direct_gaussian) {
+      auto small =
+          sose::GaussianSketch::Create(final_m, 4096, seed + 6).ValueOrDie();
+      report = sose::SketchDistortionOnIsometry(small, basis).ValueOrDie();
+    } else {
+      auto small =
+          sose::CountSketch::Create(final_m, 4096, seed + 7).ValueOrDie();
+      report = sose::SketchDistortionOnIsometry(small, basis).ValueOrDie();
+    }
+    // Failure rate on the sparse hard instance D_1 (the paper's regime):
+    // this is where the single sparse stage at m = 8d < d^2 breaks.
+    int failures = 0;
+    constexpr int kHardTrials = 40;
+    for (int t = 0; t < kHardTrials; ++t) {
+      sose::HardInstance instance = hard_sampler.value().Sample(&rng);
+      while (instance.HasRowCollision()) {
+        instance = hard_sampler.value().Sample(&rng);
+      }
+      auto hard_report =
+          sose::SketchDistortionOnInstance(*row.sketch, instance);
+      hard_report.status().CheckOK();
+      if (!hard_report.value().WithinEpsilon(0.5)) ++failures;
+    }
+    table.NewRow();
+    table.AddCell(row.label);
+    table.AddInt(row.sketch->rows());
+    table.AddDouble(apply_ms, 4);
+    table.AddDouble(report.Epsilon(), 4);
+    table.AddDouble(static_cast<double>(failures) / kHardTrials, 4);
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf(
+      "The pipeline applies ~nnz-time (its first stage is s = 1) yet\n"
+      "reaches the dense stage's small final dimension AND survives the\n"
+      "hard instances (its countsketch stage runs at mid = 32d >= d^2,\n"
+      "which Theorem 8 permits). The direct Count-Sketch at the same final\n"
+      "m = 8d < d^2 is exactly what Theorem 8 forbids - and the hard-D_1\n"
+      "column shows it failing.\n");
+  return 0;
+}

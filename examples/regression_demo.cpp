@@ -1,0 +1,70 @@
+// Sketch-and-solve least squares: the workload that motivates sparse OSEs.
+//
+//   ./regression_demo [--n=2048] [--d=12] [--noise=1.0] [--seed=3]
+//
+// Solves min_x ‖Ax − b‖ exactly, then via Π(A, b) for each sketch family at
+// several target dimensions, reporting wall time and residual suboptimality.
+#include <cstdio>
+
+#include "apps/regression.h"
+#include "core/flags.h"
+#include "core/random.h"
+#include "core/stopwatch.h"
+#include "core/table.h"
+#include "sketch/registry.h"
+#include "workload/generators.h"
+
+int main(int argc, char** argv) {
+  sose::FlagParser flags(argc, argv);
+  const int64_t n = flags.GetInt("n", 2048);
+  const int64_t d = flags.GetInt("d", 12);
+  const double noise = flags.GetDouble("noise", 1.0);
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 3));
+
+  sose::Rng rng(seed);
+  auto instance = sose::MakeRegressionInstance(
+      n, d, noise, sose::DesignKind::kIncoherent, &rng);
+  instance.status().CheckOK();
+  const sose::Matrix& a = instance.value().a;
+  const std::vector<double>& b = instance.value().b;
+
+  sose::Stopwatch watch;
+  auto exact = sose::SolveLeastSquares(a, b);
+  exact.status().CheckOK();
+  const double exact_ms = watch.ElapsedMillis();
+  std::printf("exact QR solve: residual %.6g (%.2f ms)\n\n",
+              exact.value().residual_norm, exact_ms);
+
+  sose::AsciiTable table(
+      {"sketch", "m", "residual ratio", "solve ms", "speedup"});
+  for (const std::string family : {"countsketch", "osnap", "gaussian"}) {
+    for (int64_t m : {4 * d, 16 * d, 64 * d}) {
+      sose::SketchConfig config;
+      config.rows = m;
+      config.cols = n;
+      config.sparsity = 4;
+      config.seed = seed + static_cast<uint64_t>(m);
+      auto sketch = sose::CreateSketch(family, config);
+      sketch.status().CheckOK();
+      watch.Restart();
+      auto sketched = sose::SketchAndSolve(*sketch.value(), a, b);
+      const double sketched_ms = watch.ElapsedMillis();
+      sketched.status().CheckOK();
+      auto ratio = sose::ResidualRatio(a, b, sketched.value().x);
+      ratio.status().CheckOK();
+      table.NewRow();
+      table.AddCell(family);
+      table.AddInt(m);
+      table.AddDouble(ratio.value(), 6);
+      table.AddDouble(sketched_ms, 3);
+      table.AddDouble(exact_ms / sketched_ms, 3);
+    }
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf(
+      "A residual ratio of 1 + O(ε) certifies the sketch acted as an\n"
+      "ε-subspace-embedding for span([A b]). Count-Sketch gets there with a\n"
+      "single nonzero per column — the regime whose optimality the paper\n"
+      "settles — while Gaussian pays dense apply cost for a smaller m.\n");
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Remark 10's tightness witness: a deterministic block-Hadamard sketch with
+// m = O(d²) rows and column sparsity 1/(8ε) embeds D₁ essentially perfectly,
+// matching the paper's Theorem 9 lower bound from above.
+//
+//   ./tightness_demo [--d=16] [--b=8] [--trials=200] [--seed=4]
+#include <cstdio>
+
+#include "core/flags.h"
+#include "core/random.h"
+#include "core/table.h"
+#include "hardinstance/d_beta.h"
+#include "ose/distortion.h"
+#include "sketch/block_hadamard.h"
+#include "sketch/osnap.h"
+
+int main(int argc, char** argv) {
+  sose::FlagParser flags(argc, argv);
+  const int64_t d = flags.GetInt("d", 16);
+  const int64_t b = flags.GetInt("b", 8);  // Block order = 1/(8ε).
+  const int64_t trials = flags.GetInt("trials", 200);
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 4));
+  const int64_t n = 1 << 20;
+  const double epsilon = 1.0 / (8.0 * static_cast<double>(b));
+
+  std::printf("Remark 10: block-Hadamard Pi with block order b = %lld "
+              "(so s = %lld, eps = %g)\nagainst random OSNAP at the same "
+              "(m, s) budget, on U ~ D_1 with d = %lld.\n\n",
+              static_cast<long long>(b), static_cast<long long>(b), epsilon,
+              static_cast<long long>(d));
+
+  auto sampler = sose::DBetaSampler::Create(n, d, 1);
+  sampler.status().CheckOK();
+
+  sose::AsciiTable table({"m / d^2", "m", "hadamard: fail rate",
+                          "hadamard: mean eps", "osnap: fail rate",
+                          "osnap: mean eps"});
+  for (double ratio : {0.25, 0.5, 1.0, 2.0, 4.0}) {
+    int64_t m = static_cast<int64_t>(ratio * static_cast<double>(d * d));
+    m = std::max<int64_t>(b, (m / b) * b);  // Block order must divide m.
+    auto hadamard = sose::BlockHadamard::Create(m, n, b);
+    hadamard.status().CheckOK();
+    int hadamard_failures = 0;
+    double hadamard_eps = 0.0;
+    int osnap_failures = 0;
+    double osnap_eps = 0.0;
+    sose::Rng rng(seed + static_cast<uint64_t>(m));
+    for (int64_t t = 0; t < trials; ++t) {
+      sose::HardInstance instance = sampler.value().Sample(&rng);
+      while (instance.HasRowCollision()) {
+        instance = sampler.value().Sample(&rng);
+      }
+      auto h_report =
+          sose::SketchDistortionOnInstance(hadamard.value(), instance);
+      h_report.status().CheckOK();
+      hadamard_eps += h_report.value().Epsilon();
+      if (!h_report.value().WithinEpsilon(epsilon)) ++hadamard_failures;
+
+      auto osnap = sose::Osnap::Create(m, n, b,
+                                       seed + static_cast<uint64_t>(1000 + t));
+      osnap.status().CheckOK();
+      auto o_report =
+          sose::SketchDistortionOnInstance(osnap.value(), instance);
+      o_report.status().CheckOK();
+      osnap_eps += o_report.value().Epsilon();
+      if (!o_report.value().WithinEpsilon(epsilon)) ++osnap_failures;
+    }
+    table.NewRow();
+    table.AddDouble(ratio);
+    table.AddInt(m);
+    table.AddDouble(static_cast<double>(hadamard_failures) /
+                    static_cast<double>(trials));
+    table.AddDouble(hadamard_eps / static_cast<double>(trials));
+    table.AddDouble(static_cast<double>(osnap_failures) /
+                    static_cast<double>(trials));
+    table.AddDouble(osnap_eps / static_cast<double>(trials));
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf(
+      "The aligned Hadamard blocks make colliding columns exactly\n"
+      "orthogonal, so the deterministic construction is a (0, delta)-"
+      "embedding\nonce m = O(d^2) — the upper bound that pins the paper's "
+      "d^2 lower bound.\n");
+  return 0;
+}

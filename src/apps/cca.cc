@@ -1,0 +1,51 @@
+#include "apps/cca.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/linalg_qr.h"
+#include "core/linalg_svd.h"
+
+namespace sose {
+
+namespace {
+
+Result<std::vector<double>> CcaFromViews(const Matrix& x, const Matrix& y) {
+  if (x.rows() != y.rows()) {
+    return Status::InvalidArgument("CCA: views must share their row count");
+  }
+  SOSE_ASSIGN_OR_RETURN(Matrix qx, Orthonormalize(x));
+  SOSE_ASSIGN_OR_RETURN(Matrix qy, Orthonormalize(y));
+  const Matrix cross = MatMulTransposeA(qx, qy);  // p x q.
+  SOSE_ASSIGN_OR_RETURN(std::vector<double> sigma, SingularValues(cross));
+  // Clamp the tiny numerical overshoots above 1.
+  for (double& value : sigma) value = std::clamp(value, 0.0, 1.0);
+  return sigma;
+}
+
+}  // namespace
+
+Result<std::vector<double>> ExactCca(const Matrix& x, const Matrix& y) {
+  return CcaFromViews(x, y);
+}
+
+Result<std::vector<double>> SketchedCca(const SketchingMatrix& sketch,
+                                        const Matrix& x, const Matrix& y) {
+  if (sketch.cols() != x.rows() || sketch.cols() != y.rows()) {
+    return Status::InvalidArgument(
+        "SketchedCca: sketch ambient dimension != rows of the views");
+  }
+  return CcaFromViews(sketch.ApplyDense(x), sketch.ApplyDense(y));
+}
+
+double MaxCorrelationError(const std::vector<double>& a,
+                           const std::vector<double>& b) {
+  SOSE_CHECK(a.size() == b.size());
+  double worst = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    worst = std::max(worst, std::fabs(a[i] - b[i]));
+  }
+  return worst;
+}
+
+}  // namespace sose

@@ -1,0 +1,35 @@
+#ifndef SOSE_APPS_CCA_H_
+#define SOSE_APPS_CCA_H_
+
+#include <vector>
+
+#include "core/matrix.h"
+#include "core/status.h"
+#include "sketch/sketch.h"
+
+namespace sose {
+
+/// Canonical correlation analysis between two views X (n x p) and
+/// Y (n x q): the canonical correlations are the singular values of
+/// Q_xᵀ Q_y where X = Q_x R_x and Y = Q_y R_y are thin QR factorizations.
+/// Returns min(p, q) values in [0, 1], descending. Requires both views to
+/// have full column rank.
+///
+/// CCA is one of the applications the paper's introduction cites for
+/// subspace embeddings ([ABTZ14]): the correlations depend only on the
+/// geometry between the two column spaces, which an OSE preserves.
+Result<std::vector<double>> ExactCca(const Matrix& x, const Matrix& y);
+
+/// Sketched CCA (Avron–Boutsidis–Toledo–Zouzias): apply the SAME sketch to
+/// both views and run CCA on (ΠX, ΠY). With Π an ε-OSE for span([X Y]),
+/// every canonical correlation is preserved to additive O(ε).
+Result<std::vector<double>> SketchedCca(const SketchingMatrix& sketch,
+                                        const Matrix& x, const Matrix& y);
+
+/// max_i |a_i − b_i| between two correlation vectors of equal length.
+double MaxCorrelationError(const std::vector<double>& a,
+                           const std::vector<double>& b);
+
+}  // namespace sose
+
+#endif  // SOSE_APPS_CCA_H_

@@ -1,0 +1,136 @@
+#include "apps/iterative.h"
+
+#include <cmath>
+
+#include "core/linalg_qr.h"
+#include "core/vector_ops.h"
+
+namespace sose {
+
+namespace {
+
+// CGLS on min ‖A M⁻¹ y − b‖ where applying M⁻¹ is `apply_minv` (identity
+// when unpreconditioned); returns x = M⁻¹ y.
+struct Preconditioner {
+  // Applies M⁻¹ to a length-d vector in place; nullptr = identity.
+  const Matrix* r_factor = nullptr;  // Upper-triangular R; M = R.
+
+  std::vector<double> ApplyInverse(std::vector<double> v) const {
+    if (r_factor == nullptr) return v;
+    const Matrix& r = *r_factor;
+    const int64_t d = r.rows();
+    // Solve R x = v.
+    for (int64_t i = d - 1; i >= 0; --i) {
+      double sum = v[static_cast<size_t>(i)];
+      for (int64_t j = i + 1; j < d; ++j) {
+        sum -= r.At(i, j) * v[static_cast<size_t>(j)];
+      }
+      v[static_cast<size_t>(i)] = sum / r.At(i, i);
+    }
+    return v;
+  }
+
+  std::vector<double> ApplyInverseTransposed(std::vector<double> v) const {
+    if (r_factor == nullptr) return v;
+    const Matrix& r = *r_factor;
+    const int64_t d = r.rows();
+    // Solve Rᵀ x = v (forward substitution).
+    for (int64_t i = 0; i < d; ++i) {
+      double sum = v[static_cast<size_t>(i)];
+      for (int64_t j = 0; j < i; ++j) {
+        sum -= r.At(j, i) * v[static_cast<size_t>(j)];
+      }
+      v[static_cast<size_t>(i)] = sum / r.At(i, i);
+    }
+    return v;
+  }
+};
+
+Result<IterativeSolution> CglsImpl(const Matrix& a,
+                                   const std::vector<double>& b,
+                                   const CglsOptions& options,
+                                   const Preconditioner& precond) {
+  if (static_cast<int64_t>(b.size()) != a.rows()) {
+    return Status::InvalidArgument("CGLS: b has wrong length");
+  }
+  if (options.max_iterations <= 0 || options.tolerance <= 0.0) {
+    return Status::InvalidArgument("CGLS: bad options");
+  }
+  const int64_t d = a.cols();
+  // Working problem: min ‖Ã y − b‖ with Ã = A R⁻¹; x = R⁻¹ y.
+  std::vector<double> y(static_cast<size_t>(d), 0.0);
+  std::vector<double> residual = b;                         // b − Ã y.
+  // s = Ãᵀ residual = R⁻ᵀ Aᵀ residual.
+  std::vector<double> s =
+      precond.ApplyInverseTransposed(MatVecTransposed(a, residual));
+  std::vector<double> direction = s;
+  double gamma = Norm2Squared(s);
+  const double gamma0 = gamma;
+
+  IterativeSolution solution;
+  if (gamma0 == 0.0) {
+    solution.x = y;
+    solution.converged = true;
+    return solution;
+  }
+  for (int64_t iter = 0; iter < options.max_iterations; ++iter) {
+    // q = Ã direction = A (R⁻¹ direction).
+    const std::vector<double> q = MatVec(a, precond.ApplyInverse(direction));
+    const double q_norm_sq = Norm2Squared(q);
+    if (q_norm_sq == 0.0) break;
+    const double alpha = gamma / q_norm_sq;
+    Axpy(alpha, direction, &y);
+    Axpy(-alpha, q, &residual);
+    s = precond.ApplyInverseTransposed(MatVecTransposed(a, residual));
+    const double gamma_next = Norm2Squared(s);
+    solution.iterations = iter + 1;
+    if (std::sqrt(gamma_next / gamma0) < options.tolerance) {
+      solution.converged = true;
+      gamma = gamma_next;
+      break;
+    }
+    const double beta = gamma_next / gamma;
+    gamma = gamma_next;
+    for (size_t i = 0; i < direction.size(); ++i) {
+      direction[i] = s[i] + beta * direction[i];
+    }
+  }
+  solution.x = precond.ApplyInverse(y);
+  // Report the unpreconditioned normal residual for comparability.
+  const std::vector<double> final_residual =
+      Subtract(b, MatVec(a, solution.x));
+  const double atb = Norm2(MatVecTransposed(a, b));
+  solution.relative_residual =
+      atb > 0.0 ? Norm2(MatVecTransposed(a, final_residual)) / atb : 0.0;
+  return solution;
+}
+
+}  // namespace
+
+Result<IterativeSolution> SolveCgls(const Matrix& a,
+                                    const std::vector<double>& b,
+                                    const CglsOptions& options) {
+  return CglsImpl(a, b, options, Preconditioner{});
+}
+
+Result<IterativeSolution> SolveSketchPreconditionedCgls(
+    const SketchingMatrix& sketch, const Matrix& a,
+    const std::vector<double>& b, const CglsOptions& options) {
+  if (sketch.cols() != a.rows()) {
+    return Status::InvalidArgument(
+        "SolveSketchPreconditionedCgls: sketch ambient dimension != rows(A)");
+  }
+  const Matrix sketched = sketch.ApplyDense(a);
+  SOSE_ASSIGN_OR_RETURN(HouseholderQr qr, HouseholderQr::Factor(sketched));
+  if (qr.RankEstimate() < a.cols()) {
+    return Status::NumericalError(
+        "SolveSketchPreconditionedCgls: sketched matrix is rank-deficient; "
+        "increase m");
+  }
+  const Matrix r = qr.R();
+  Preconditioner precond;
+  precond.r_factor = &r;
+  return CglsImpl(a, b, options, precond);
+}
+
+}  // namespace sose

@@ -1,0 +1,49 @@
+#ifndef SOSE_APPS_ITERATIVE_H_
+#define SOSE_APPS_ITERATIVE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/matrix.h"
+#include "core/status.h"
+#include "sketch/sketch.h"
+
+namespace sose {
+
+/// Outcome of an iterative least-squares solve.
+struct IterativeSolution {
+  std::vector<double> x;
+  int64_t iterations = 0;
+  bool converged = false;
+  /// Final relative normal-equation residual ‖Aᵀ(Ax − b)‖ / ‖Aᵀb‖.
+  double relative_residual = 0.0;
+};
+
+/// Options for the CGLS solver.
+struct CglsOptions {
+  int64_t max_iterations = 1000;
+  /// Convergence test on the preconditioned normal residual.
+  double tolerance = 1e-10;
+};
+
+/// CGLS (conjugate gradients on the normal equations, in factored form):
+/// solves min_x ‖Ax − b‖₂ without forming AᵀA. Iteration count scales with
+/// the condition number κ(A).
+Result<IterativeSolution> SolveCgls(const Matrix& a,
+                                    const std::vector<double>& b,
+                                    const CglsOptions& options);
+
+/// Sketch-preconditioned CGLS (the Blendenpik/LSRN scheme): factor
+/// Π A = Q R, substitute y = R x, and run CGLS on A R⁻¹ — whose condition
+/// number is (1+ε)/(1−ε) when Π is an ε-subspace-embedding for range(A).
+/// Iterations become O(log(1/tol)), independent of κ(A). This is the
+/// flagship *indirect* use of OSEs: the sketch only preconditions, so even
+/// a crude ε (say 1/2) suffices — but the paper's lower bounds still govern
+/// how small m can be.
+Result<IterativeSolution> SolveSketchPreconditionedCgls(
+    const SketchingMatrix& sketch, const Matrix& a,
+    const std::vector<double>& b, const CglsOptions& options);
+
+}  // namespace sose
+
+#endif  // SOSE_APPS_ITERATIVE_H_

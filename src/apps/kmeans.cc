@@ -1,0 +1,182 @@
+#include "apps/kmeans.h"
+
+#include <cmath>
+#include <limits>
+
+#include "core/random.h"
+
+namespace sose {
+
+namespace {
+
+double SquaredDistanceToRow(const Matrix& points, int64_t point,
+                            const Matrix& centers, int64_t center) {
+  double sum = 0.0;
+  const double* p = points.Row(point);
+  const double* c = centers.Row(center);
+  for (int64_t j = 0; j < points.cols(); ++j) {
+    const double diff = p[j] - c[j];
+    sum += diff * diff;
+  }
+  return sum;
+}
+
+// k-means++ seeding: first center uniform, then D² sampling.
+Matrix PlusPlusInit(const Matrix& points, int64_t k, Rng* rng) {
+  const int64_t n = points.rows();
+  Matrix centers(k, points.cols());
+  std::vector<double> min_dist(static_cast<size_t>(n),
+                               std::numeric_limits<double>::infinity());
+  int64_t first = static_cast<int64_t>(rng->UniformInt(static_cast<uint64_t>(n)));
+  for (int64_t j = 0; j < points.cols(); ++j) {
+    centers.At(0, j) = points.At(first, j);
+  }
+  for (int64_t c = 1; c < k; ++c) {
+    double total = 0.0;
+    for (int64_t i = 0; i < n; ++i) {
+      const double dist = SquaredDistanceToRow(points, i, centers, c - 1);
+      min_dist[static_cast<size_t>(i)] =
+          std::min(min_dist[static_cast<size_t>(i)], dist);
+      total += min_dist[static_cast<size_t>(i)];
+    }
+    int64_t chosen = n - 1;
+    if (total > 0.0) {
+      double target = rng->UniformDouble() * total;
+      for (int64_t i = 0; i < n; ++i) {
+        target -= min_dist[static_cast<size_t>(i)];
+        if (target <= 0.0) {
+          chosen = i;
+          break;
+        }
+      }
+    } else {
+      chosen = static_cast<int64_t>(rng->UniformInt(static_cast<uint64_t>(n)));
+    }
+    for (int64_t j = 0; j < points.cols(); ++j) {
+      centers.At(c, j) = points.At(chosen, j);
+    }
+  }
+  return centers;
+}
+
+// One assignment pass; returns the cost and whether anything changed.
+std::pair<double, bool> Assign(const Matrix& points, const Matrix& centers,
+                               std::vector<int64_t>* assignment) {
+  double cost = 0.0;
+  bool changed = false;
+  for (int64_t i = 0; i < points.rows(); ++i) {
+    double best = std::numeric_limits<double>::infinity();
+    int64_t best_center = 0;
+    for (int64_t c = 0; c < centers.rows(); ++c) {
+      const double dist = SquaredDistanceToRow(points, i, centers, c);
+      if (dist < best) {
+        best = dist;
+        best_center = c;
+      }
+    }
+    if ((*assignment)[static_cast<size_t>(i)] != best_center) {
+      (*assignment)[static_cast<size_t>(i)] = best_center;
+      changed = true;
+    }
+    cost += best;
+  }
+  return {cost, changed};
+}
+
+// Recomputes centroids; empty clusters keep their previous centers.
+void UpdateCenters(const Matrix& points,
+                   const std::vector<int64_t>& assignment, Matrix* centers) {
+  const int64_t k = centers->rows();
+  std::vector<int64_t> counts(static_cast<size_t>(k), 0);
+  Matrix sums(k, points.cols());
+  for (int64_t i = 0; i < points.rows(); ++i) {
+    const int64_t c = assignment[static_cast<size_t>(i)];
+    ++counts[static_cast<size_t>(c)];
+    for (int64_t j = 0; j < points.cols(); ++j) {
+      sums.At(c, j) += points.At(i, j);
+    }
+  }
+  for (int64_t c = 0; c < k; ++c) {
+    if (counts[static_cast<size_t>(c)] == 0) continue;
+    const double inv = 1.0 / static_cast<double>(counts[static_cast<size_t>(c)]);
+    for (int64_t j = 0; j < points.cols(); ++j) {
+      centers->At(c, j) = sums.At(c, j) * inv;
+    }
+  }
+}
+
+}  // namespace
+
+Result<KMeansResult> LloydKMeans(const Matrix& points,
+                                 const KMeansOptions& options) {
+  if (options.k < 1 || options.k > points.rows()) {
+    return Status::InvalidArgument("LloydKMeans: need 1 <= k <= #points");
+  }
+  if (options.max_iterations < 1) {
+    return Status::InvalidArgument("LloydKMeans: max_iterations < 1");
+  }
+  Rng rng(DeriveSeed(options.seed, 0));
+  KMeansResult result;
+  result.centers = PlusPlusInit(points, options.k, &rng);
+  result.assignment.assign(static_cast<size_t>(points.rows()), -1);
+  for (int64_t iter = 0; iter < options.max_iterations; ++iter) {
+    const auto [cost, changed] =
+        Assign(points, result.centers, &result.assignment);
+    result.cost = cost;
+    result.iterations = iter + 1;
+    if (!changed && iter > 0) break;
+    UpdateCenters(points, result.assignment, &result.centers);
+  }
+  // Final cost against the last centers.
+  const auto [cost, changed] =
+      Assign(points, result.centers, &result.assignment);
+  (void)changed;
+  result.cost = cost;
+  return result;
+}
+
+Result<double> KMeansCostForAssignment(const Matrix& points,
+                                       const std::vector<int64_t>& assignment,
+                                       int64_t k) {
+  if (static_cast<int64_t>(assignment.size()) != points.rows()) {
+    return Status::InvalidArgument(
+        "KMeansCostForAssignment: assignment length mismatch");
+  }
+  for (int64_t c : assignment) {
+    if (c < 0 || c >= k) {
+      return Status::OutOfRange("KMeansCostForAssignment: cluster id");
+    }
+  }
+  Matrix centers(k, points.cols());
+  UpdateCenters(points, assignment, &centers);
+  double cost = 0.0;
+  for (int64_t i = 0; i < points.rows(); ++i) {
+    cost += SquaredDistanceToRow(points, i, centers,
+                                 assignment[static_cast<size_t>(i)]);
+  }
+  return cost;
+}
+
+Result<KMeansResult> SketchedKMeans(const SketchingMatrix& sketch,
+                                    const Matrix& points,
+                                    const KMeansOptions& options) {
+  if (sketch.cols() != points.cols()) {
+    return Status::InvalidArgument(
+        "SketchedKMeans: sketch ambient dimension != feature dimension");
+  }
+  // B = (Π Aᵀ)ᵀ: project the features of every point.
+  const Matrix projected = sketch.ApplyDense(points.Transposed()).Transposed();
+  SOSE_ASSIGN_OR_RETURN(KMeansResult reduced, LloydKMeans(projected, options));
+  // Evaluate the induced partition on the ORIGINAL points.
+  KMeansResult result;
+  result.assignment = reduced.assignment;
+  result.iterations = reduced.iterations;
+  result.centers = Matrix(options.k, points.cols());
+  UpdateCenters(points, result.assignment, &result.centers);
+  SOSE_ASSIGN_OR_RETURN(
+      result.cost,
+      KMeansCostForAssignment(points, result.assignment, options.k));
+  return result;
+}
+
+}  // namespace sose

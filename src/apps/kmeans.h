@@ -1,0 +1,56 @@
+#ifndef SOSE_APPS_KMEANS_H_
+#define SOSE_APPS_KMEANS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/matrix.h"
+#include "core/status.h"
+#include "sketch/sketch.h"
+
+namespace sose {
+
+/// Options for Lloyd's algorithm.
+struct KMeansOptions {
+  int64_t k = 2;               ///< Number of clusters.
+  int64_t max_iterations = 64; ///< Lloyd iteration cap.
+  uint64_t seed = 0;           ///< Seed for the k-means++ initialization.
+};
+
+/// Result of a k-means run.
+struct KMeansResult {
+  /// Cluster id in [0, k) per point (row of the input).
+  std::vector<int64_t> assignment;
+  /// k x dim matrix of centroids.
+  Matrix centers;
+  /// Sum of squared distances to assigned centroids.
+  double cost = 0.0;
+  /// Lloyd iterations executed.
+  int64_t iterations = 0;
+};
+
+/// Lloyd's algorithm with k-means++ initialization on the rows of `points`
+/// (n x dim). Requires 1 <= k <= n.
+Result<KMeansResult> LloydKMeans(const Matrix& points,
+                                 const KMeansOptions& options);
+
+/// The k-means cost of an assignment in the ORIGINAL space: centroids are
+/// recomputed from `points` per cluster; empty clusters contribute nothing.
+Result<double> KMeansCostForAssignment(const Matrix& points,
+                                       const std::vector<int64_t>& assignment,
+                                       int64_t k);
+
+/// Dimension-reduced k-means (Boutsidis et al. / Cohen et al., the paper's
+/// cited k-means application): project the FEATURES of the points through
+/// the sketch — B = (Π Aᵀ)ᵀ, n x m — cluster B, then evaluate the induced
+/// partition's cost on the original points. With Π an OSE-style projection
+/// of the feature space, the returned cost is within (1 + O(ε)) of what the
+/// same algorithm achieves on the full data. Requires
+/// sketch.cols() == points.cols().
+Result<KMeansResult> SketchedKMeans(const SketchingMatrix& sketch,
+                                    const Matrix& points,
+                                    const KMeansOptions& options);
+
+}  // namespace sose
+
+#endif  // SOSE_APPS_KMEANS_H_

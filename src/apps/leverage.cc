@@ -1,0 +1,97 @@
+#include "apps/leverage.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/linalg_qr.h"
+#include "core/random.h"
+
+namespace sose {
+
+Result<std::vector<double>> ExactLeverageScores(const Matrix& a) {
+  SOSE_ASSIGN_OR_RETURN(Matrix q, Orthonormalize(a));
+  std::vector<double> scores(static_cast<size_t>(a.rows()), 0.0);
+  for (int64_t i = 0; i < q.rows(); ++i) {
+    double sum = 0.0;
+    for (int64_t j = 0; j < q.cols(); ++j) sum += q.At(i, j) * q.At(i, j);
+    scores[static_cast<size_t>(i)] = sum;
+  }
+  return scores;
+}
+
+Result<std::vector<double>> ApproximateLeverageScores(
+    const SketchingMatrix& sketch, const Matrix& a, int64_t jl_cols,
+    uint64_t seed) {
+  if (jl_cols <= 0) {
+    return Status::InvalidArgument(
+        "ApproximateLeverageScores: jl_cols must be positive");
+  }
+  if (sketch.cols() != a.rows()) {
+    return Status::InvalidArgument(
+        "ApproximateLeverageScores: sketch ambient dimension != rows of A");
+  }
+  const Matrix sketched = sketch.ApplyDense(a);
+  SOSE_ASSIGN_OR_RETURN(HouseholderQr qr, HouseholderQr::Factor(sketched));
+  if (qr.RankEstimate() < a.cols()) {
+    return Status::NumericalError(
+        "ApproximateLeverageScores: sketched matrix is rank-deficient");
+  }
+  const Matrix r = qr.R();
+  // Solve Rᵀ X = (G / √jl_cols)ᵀ? We need A R⁻¹ G: first form R⁻¹ G by
+  // back-substitution on each Gaussian column, then one pass A · (R⁻¹ G).
+  const int64_t d = a.cols();
+  Rng rng(DeriveSeed(seed, 0));
+  Matrix r_inv_g(d, jl_cols);
+  const double scale = 1.0 / std::sqrt(static_cast<double>(jl_cols));
+  for (int64_t col = 0; col < jl_cols; ++col) {
+    std::vector<double> g(static_cast<size_t>(d));
+    for (double& v : g) v = scale * rng.Gaussian();
+    // Back-substitute R x = g.
+    std::vector<double> x(static_cast<size_t>(d), 0.0);
+    for (int64_t i = d - 1; i >= 0; --i) {
+      double sum = g[static_cast<size_t>(i)];
+      for (int64_t j = i + 1; j < d; ++j) {
+        sum -= r.At(i, j) * x[static_cast<size_t>(j)];
+      }
+      const double diag = r.At(i, i);
+      if (diag == 0.0) {
+        return Status::NumericalError(
+            "ApproximateLeverageScores: singular R factor");
+      }
+      x[static_cast<size_t>(i)] = sum / diag;
+    }
+    for (int64_t i = 0; i < d; ++i) {
+      r_inv_g.At(i, col) = x[static_cast<size_t>(i)];
+    }
+  }
+  const Matrix projected = MatMul(a, r_inv_g);  // n x jl_cols.
+  std::vector<double> scores(static_cast<size_t>(a.rows()), 0.0);
+  for (int64_t i = 0; i < projected.rows(); ++i) {
+    double sum = 0.0;
+    for (int64_t j = 0; j < projected.cols(); ++j) {
+      sum += projected.At(i, j) * projected.At(i, j);
+    }
+    scores[static_cast<size_t>(i)] = sum;
+  }
+  return scores;
+}
+
+Result<WeightedSamplingSketch> MakeLeverageSamplingSketch(const Matrix& a,
+                                                          int64_t m,
+                                                          uint64_t seed) {
+  SOSE_ASSIGN_OR_RETURN(std::vector<double> scores, ExactLeverageScores(a));
+  return WeightedSamplingSketch::Create(scores, m, seed);
+}
+
+double LeverageScoreError(const std::vector<double>& exact,
+                          const std::vector<double>& approx, double floor) {
+  SOSE_CHECK(exact.size() == approx.size());
+  double worst = 0.0;
+  for (size_t i = 0; i < exact.size(); ++i) {
+    const double denom = std::max(exact[i], floor);
+    worst = std::max(worst, std::fabs(approx[i] - exact[i]) / denom);
+  }
+  return worst;
+}
+
+}  // namespace sose

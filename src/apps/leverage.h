@@ -1,0 +1,46 @@
+#ifndef SOSE_APPS_LEVERAGE_H_
+#define SOSE_APPS_LEVERAGE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/matrix.h"
+#include "core/status.h"
+#include "sketch/sketch.h"
+#include "sketch/weighted_sampling.h"
+
+namespace sose {
+
+/// Exact statistical leverage scores of a tall matrix A (n x d, n >= d):
+/// ℓ_i = ‖e_iᵀ Q‖² for any orthonormal basis Q of range(A). Computed via
+/// Householder QR. The scores sum to rank(A).
+Result<std::vector<double>> ExactLeverageScores(const Matrix& a);
+
+/// Sketched leverage-score approximation (Drineas et al. style): factor
+/// Π A = Q̃ R̃, then ℓ̃_i = ‖e_iᵀ A R̃⁻¹ G‖² with G a d x jl_cols Gaussian
+/// matrix scaled by 1/√jl_cols. With an ε-OSE and jl_cols = O(log n / γ²),
+/// ℓ̃_i = (1 ± O(ε + γ)) ℓ_i for all i, at o(n d²) cost.
+///
+/// Fails if the sketched matrix is rank-deficient.
+Result<std::vector<double>> ApproximateLeverageScores(
+    const SketchingMatrix& sketch, const Matrix& a, int64_t jl_cols,
+    uint64_t seed);
+
+/// max_i |approx_i − exact_i| / max(exact_i, floor): the relative error
+/// measure used by the leverage experiments.
+double LeverageScoreError(const std::vector<double>& exact,
+                          const std::vector<double>& approx,
+                          double floor = 1e-12);
+
+/// Leverage-score sampling embedding for range(A): m rows sampled with
+/// probability proportional to A's exact leverage scores. NON-oblivious —
+/// it reads A before drawing — which is precisely how it escapes the
+/// paper's Ω(d²) wall at m = O(d log d/ε²): the lower bounds bind only
+/// data-independent sketches.
+Result<WeightedSamplingSketch> MakeLeverageSamplingSketch(const Matrix& a,
+                                                          int64_t m,
+                                                          uint64_t seed);
+
+}  // namespace sose
+
+#endif  // SOSE_APPS_LEVERAGE_H_

@@ -1,0 +1,75 @@
+#include "apps/lowrank.h"
+
+#include "core/linalg_svd.h"
+
+namespace sose {
+
+namespace {
+
+// Ã = (A V_k) V_kᵀ given the n x k direction block V_k.
+Matrix ProjectOntoDirections(const Matrix& a, const Matrix& v_k) {
+  const Matrix coefficients = MatMul(a, v_k);            // rows x k
+  return MatMulTransposeB(coefficients, v_k);            // rows x cols
+}
+
+Matrix TopKColumns(const Matrix& v, int64_t k) {
+  Matrix out(v.rows(), k);
+  for (int64_t i = 0; i < v.rows(); ++i) {
+    for (int64_t j = 0; j < k; ++j) out.At(i, j) = v.At(i, j);
+  }
+  return out;
+}
+
+double FrobeniusError(const Matrix& a, const Matrix& approx) {
+  Matrix diff = a;
+  diff.AddScaled(approx, -1.0);
+  return diff.FrobeniusNorm();
+}
+
+}  // namespace
+
+Result<LowRankApproximation> BestRankK(const Matrix& a, int64_t k) {
+  if (k <= 0 || k > std::min(a.rows(), a.cols())) {
+    return Status::InvalidArgument("BestRankK: k out of range");
+  }
+  // Work on the tall orientation for the thin SVD.
+  const bool transpose = a.rows() < a.cols();
+  SOSE_ASSIGN_OR_RETURN(Svd svd, JacobiSvd(transpose ? a.Transposed() : a));
+  // Right singular directions of A: V of the SVD in the tall orientation,
+  // or U when we factored Aᵀ.
+  const Matrix& directions = transpose ? svd.u : svd.v;
+  const Matrix v_k = TopKColumns(directions, k);
+  LowRankApproximation result;
+  result.approximant = ProjectOntoDirections(a, v_k);
+  result.error_frobenius = FrobeniusError(a, result.approximant);
+  return result;
+}
+
+Result<LowRankApproximation> SketchedRankK(const SketchingMatrix& sketch,
+                                           const Matrix& a, int64_t k) {
+  if (k <= 0 || k > std::min(a.rows(), a.cols())) {
+    return Status::InvalidArgument("SketchedRankK: k out of range");
+  }
+  if (sketch.cols() != a.rows()) {
+    return Status::InvalidArgument(
+        "SketchedRankK: sketch ambient dimension != rows of A");
+  }
+  const Matrix sketched = sketch.ApplyDense(a);  // m x cols
+  if (sketched.rows() < sketched.cols()) {
+    // Wide sketch output: factor the transpose; right directions are U.
+    SOSE_ASSIGN_OR_RETURN(Svd svd, JacobiSvd(sketched.Transposed()));
+    const Matrix v_k = TopKColumns(svd.u, k);
+    LowRankApproximation result;
+    result.approximant = ProjectOntoDirections(a, v_k);
+    result.error_frobenius = FrobeniusError(a, result.approximant);
+    return result;
+  }
+  SOSE_ASSIGN_OR_RETURN(Svd svd, JacobiSvd(sketched));
+  const Matrix v_k = TopKColumns(svd.v, k);
+  LowRankApproximation result;
+  result.approximant = ProjectOntoDirections(a, v_k);
+  result.error_frobenius = FrobeniusError(a, result.approximant);
+  return result;
+}
+
+}  // namespace sose

@@ -1,0 +1,32 @@
+#ifndef SOSE_APPS_LOWRANK_H_
+#define SOSE_APPS_LOWRANK_H_
+
+#include <cstdint>
+
+#include "core/matrix.h"
+#include "core/status.h"
+#include "sketch/sketch.h"
+
+namespace sose {
+
+/// Result of a rank-k approximation.
+struct LowRankApproximation {
+  /// The rank-k approximant (rows x cols, same shape as the input).
+  Matrix approximant;
+  /// ‖A − approximant‖_F.
+  double error_frobenius = 0.0;
+};
+
+/// Best rank-k approximation by truncated SVD (the baseline).
+Result<LowRankApproximation> BestRankK(const Matrix& a, int64_t k);
+
+/// Sketched rank-k approximation in the Clarkson–Woodruff style: sketch the
+/// columns (B = Π A, m x cols), take the top-k right singular directions
+/// V_k of B, and project: Ã = (A V_k) V_kᵀ. With an OSE of distortion ε,
+/// ‖A − Ã‖_F <= (1 + O(ε)) ‖A − A_k‖_F.
+Result<LowRankApproximation> SketchedRankK(const SketchingMatrix& sketch,
+                                           const Matrix& a, int64_t k);
+
+}  // namespace sose
+
+#endif  // SOSE_APPS_LOWRANK_H_

@@ -1,0 +1,29 @@
+#include "apps/matprod.h"
+
+namespace sose {
+
+Result<ApproxProduct> ApproximateMatrixProduct(const SketchingMatrix& sketch,
+                                               const Matrix& a,
+                                               const Matrix& b) {
+  if (a.rows() != b.rows()) {
+    return Status::InvalidArgument(
+        "ApproximateMatrixProduct: A and B must share their row count");
+  }
+  if (sketch.cols() != a.rows()) {
+    return Status::InvalidArgument(
+        "ApproximateMatrixProduct: sketch ambient dimension != rows of A");
+  }
+  const Matrix sketched_a = sketch.ApplyDense(a);
+  const Matrix sketched_b = sketch.ApplyDense(b);
+  ApproxProduct result;
+  result.product = MatMulTransposeA(sketched_a, sketched_b);
+  Matrix diff = MatMulTransposeA(a, b);
+  diff.AddScaled(result.product, -1.0);
+  result.error_frobenius = diff.FrobeniusNorm();
+  const double scale = a.FrobeniusNorm() * b.FrobeniusNorm();
+  result.relative_error =
+      scale > 0.0 ? result.error_frobenius / scale : 0.0;
+  return result;
+}
+
+}  // namespace sose

@@ -1,0 +1,26 @@
+#ifndef SOSE_APPS_MATPROD_H_
+#define SOSE_APPS_MATPROD_H_
+
+#include "core/matrix.h"
+#include "core/status.h"
+#include "sketch/sketch.h"
+
+namespace sose {
+
+/// Result of an approximate matrix product AᵀB ≈ (ΠA)ᵀ(ΠB).
+struct ApproxProduct {
+  Matrix product;               ///< (ΠA)ᵀ(ΠB).
+  double error_frobenius = 0.0; ///< ‖(ΠA)ᵀ(ΠB) − AᵀB‖_F.
+  double relative_error = 0.0;  ///< error / (‖A‖_F ‖B‖_F), the AMM guarantee
+                                ///< scale for JL-type sketches.
+};
+
+/// Computes the sketched product and its exact error. A and B must share
+/// their row count, which must equal the sketch's ambient dimension.
+Result<ApproxProduct> ApproximateMatrixProduct(const SketchingMatrix& sketch,
+                                               const Matrix& a,
+                                               const Matrix& b);
+
+}  // namespace sose
+
+#endif  // SOSE_APPS_MATPROD_H_

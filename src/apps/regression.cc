@@ -1,0 +1,50 @@
+#include "apps/regression.h"
+
+#include "core/linalg_qr.h"
+#include "core/vector_ops.h"
+
+namespace sose {
+
+Result<LeastSquaresSolution> SolveLeastSquares(const Matrix& a,
+                                               const std::vector<double>& b) {
+  SOSE_ASSIGN_OR_RETURN(HouseholderQr qr, HouseholderQr::Factor(a));
+  SOSE_ASSIGN_OR_RETURN(std::vector<double> x, qr.SolveLeastSquares(b));
+  LeastSquaresSolution solution;
+  solution.residual_norm = Norm2(Subtract(MatVec(a, x), b));
+  solution.x = std::move(x);
+  return solution;
+}
+
+Result<LeastSquaresSolution> SketchAndSolve(const SketchingMatrix& sketch,
+                                            const Matrix& a,
+                                            const std::vector<double>& b) {
+  if (sketch.cols() != a.rows()) {
+    return Status::InvalidArgument(
+        "SketchAndSolve: sketch ambient dimension != rows of A");
+  }
+  if (static_cast<int64_t>(b.size()) != a.rows()) {
+    return Status::InvalidArgument("SketchAndSolve: b has wrong length");
+  }
+  const Matrix sketched_a = sketch.ApplyDense(a);
+  const std::vector<double> sketched_b = sketch.ApplyVector(b);
+  SOSE_ASSIGN_OR_RETURN(HouseholderQr qr, HouseholderQr::Factor(sketched_a));
+  SOSE_ASSIGN_OR_RETURN(std::vector<double> x,
+                        qr.SolveLeastSquares(sketched_b));
+  LeastSquaresSolution solution;
+  solution.residual_norm = Norm2(Subtract(MatVec(a, x), b));
+  solution.x = std::move(x);
+  return solution;
+}
+
+Result<double> ResidualRatio(const Matrix& a, const std::vector<double>& b,
+                             const std::vector<double>& x_hat) {
+  SOSE_ASSIGN_OR_RETURN(LeastSquaresSolution exact, SolveLeastSquares(a, b));
+  if (exact.residual_norm <= 1e-14) {
+    return Status::NumericalError(
+        "ResidualRatio: exact residual is zero; the ratio is undefined");
+  }
+  const double hat_residual = Norm2(Subtract(MatVec(a, x_hat), b));
+  return hat_residual / exact.residual_norm;
+}
+
+}  // namespace sose

@@ -1,0 +1,66 @@
+#include "apps/ridge.h"
+
+#include <cmath>
+
+#include "core/linalg_qr.h"
+#include "core/vector_ops.h"
+
+namespace sose {
+
+namespace {
+
+// Solves min ‖Mx − c‖² + λ‖x‖² via QR of the augmented [M; √λ I].
+Result<std::vector<double>> AugmentedSolve(const Matrix& m,
+                                           const std::vector<double>& c,
+                                           double lambda) {
+  if (lambda < 0.0) {
+    return Status::InvalidArgument("ridge: lambda must be non-negative");
+  }
+  if (static_cast<int64_t>(c.size()) != m.rows()) {
+    return Status::InvalidArgument("ridge: rhs has wrong length");
+  }
+  const int64_t rows = m.rows();
+  const int64_t cols = m.cols();
+  Matrix augmented(rows + cols, cols);
+  for (int64_t i = 0; i < rows; ++i) {
+    for (int64_t j = 0; j < cols; ++j) augmented.At(i, j) = m.At(i, j);
+  }
+  const double root = std::sqrt(lambda);
+  for (int64_t j = 0; j < cols; ++j) augmented.At(rows + j, j) = root;
+  std::vector<double> rhs = c;
+  rhs.resize(static_cast<size_t>(rows + cols), 0.0);
+  SOSE_ASSIGN_OR_RETURN(HouseholderQr qr, HouseholderQr::Factor(augmented));
+  return qr.SolveLeastSquares(rhs);
+}
+
+}  // namespace
+
+Result<std::vector<double>> SolveRidge(const Matrix& a,
+                                       const std::vector<double>& b,
+                                       double lambda) {
+  return AugmentedSolve(a, b, lambda);
+}
+
+Result<std::vector<double>> SketchAndSolveRidge(const SketchingMatrix& sketch,
+                                                const Matrix& a,
+                                                const std::vector<double>& b,
+                                                double lambda) {
+  if (sketch.cols() != a.rows()) {
+    return Status::InvalidArgument(
+        "SketchAndSolveRidge: sketch ambient dimension != rows of A");
+  }
+  if (static_cast<int64_t>(b.size()) != a.rows()) {
+    return Status::InvalidArgument("SketchAndSolveRidge: b has wrong length");
+  }
+  const Matrix sketched_a = sketch.ApplyDense(a);
+  const std::vector<double> sketched_b = sketch.ApplyVector(b);
+  return AugmentedSolve(sketched_a, sketched_b, lambda);
+}
+
+double RidgeObjective(const Matrix& a, const std::vector<double>& b,
+                      double lambda, const std::vector<double>& x) {
+  const std::vector<double> residual = Subtract(MatVec(a, x), b);
+  return Norm2Squared(residual) + lambda * Norm2Squared(x);
+}
+
+}  // namespace sose

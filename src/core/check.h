@@ -1,0 +1,40 @@
+#ifndef SOSE_CORE_CHECK_H_
+#define SOSE_CORE_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace sose::internal_check {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr) {
+  std::fprintf(stderr, "%s:%d: SOSE_CHECK failed: %s\n", file, line, expr);
+  std::abort();
+}
+
+}  // namespace sose::internal_check
+
+/// Aborts with a diagnostic if `cond` is false. For programming-error
+/// invariants only (index bounds, shape agreement inside kernels); anything a
+/// caller could plausibly get wrong at runtime is reported via Status instead.
+/// Active in all build types: the cost is negligible next to the numerical
+/// kernels it guards, and silent corruption in a numerics library is far
+/// worse than an abort.
+#define SOSE_CHECK(cond)                                                \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      ::sose::internal_check::CheckFailed(__FILE__, __LINE__, #cond);   \
+    }                                                                   \
+  } while (false)
+
+/// Bounds/shape checks that are hot enough to matter; compiled out in
+/// release builds (NDEBUG).
+#ifdef NDEBUG
+#define SOSE_DCHECK(cond) \
+  do {                    \
+  } while (false)
+#else
+#define SOSE_DCHECK(cond) SOSE_CHECK(cond)
+#endif
+
+#endif  // SOSE_CORE_CHECK_H_

@@ -1,0 +1,71 @@
+#include "core/csv.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include "core/check.h"
+#include "core/table.h"
+
+namespace sose {
+
+namespace {
+
+std::string Escape(const std::string& value) {
+  const bool needs_quotes = value.find_first_of(",\"\n") != std::string::npos;
+  if (!needs_quotes) return value;
+  std::string out = "\"";
+  for (char c : value) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+CsvWriter::CsvWriter(std::vector<std::string> columns)
+    : columns_(std::move(columns)) {
+  SOSE_CHECK(!columns_.empty());
+}
+
+void CsvWriter::NewRow() { rows_.emplace_back(); }
+
+void CsvWriter::AddCell(const std::string& value) {
+  SOSE_CHECK(!rows_.empty());
+  SOSE_CHECK(rows_.back().size() < columns_.size());
+  rows_.back().push_back(value);
+}
+
+void CsvWriter::AddDouble(double value) { AddCell(FormatDouble(value, 10)); }
+
+void CsvWriter::AddInt(int64_t value) { AddCell(std::to_string(value)); }
+
+std::string CsvWriter::ToString() const {
+  std::string out;
+  for (size_t j = 0; j < columns_.size(); ++j) {
+    out += Escape(columns_[j]);
+    out += (j + 1 < columns_.size()) ? "," : "\n";
+  }
+  for (const auto& row : rows_) {
+    for (size_t j = 0; j < columns_.size(); ++j) {
+      if (j < row.size()) out += Escape(row[j]);
+      out += (j + 1 < columns_.size()) ? "," : "\n";
+    }
+  }
+  return out;
+}
+
+Status CsvWriter::WriteToFile(const std::string& path) const {
+  std::ofstream file(path);
+  if (!file.is_open()) {
+    return Status::InvalidArgument("CsvWriter: cannot open " + path);
+  }
+  file << ToString();
+  if (!file.good()) {
+    return Status::Internal("CsvWriter: write to " + path + " failed");
+  }
+  return Status::OK();
+}
+
+}  // namespace sose

@@ -1,0 +1,40 @@
+#ifndef SOSE_CORE_CSV_H_
+#define SOSE_CORE_CSV_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+
+namespace sose {
+
+/// Incremental CSV writer for exporting experiment series (for external
+/// plotting). Values are quoted only when necessary per RFC 4180.
+class CsvWriter {
+ public:
+  /// Creates a writer with the given column names.
+  explicit CsvWriter(std::vector<std::string> columns);
+
+  /// Starts a new row.
+  void NewRow();
+
+  /// Appends a cell to the current row.
+  void AddCell(const std::string& value);
+  void AddDouble(double value);
+  void AddInt(int64_t value);
+
+  /// Serializes header + rows.
+  std::string ToString() const;
+
+  /// Writes the document to `path`. Fails on I/O errors.
+  Status WriteToFile(const std::string& path) const;
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace sose
+
+#endif  // SOSE_CORE_CSV_H_

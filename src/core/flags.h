@@ -1,0 +1,38 @@
+#ifndef SOSE_CORE_FLAGS_H_
+#define SOSE_CORE_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace sose {
+
+/// Minimal `--key=value` command-line parser for the experiment and example
+/// binaries. Not a general flags library: every experiment declares its
+/// parameters with defaults and the user overrides them positionally-free.
+///
+/// Accepted syntaxes: `--name=value`, `--name value`, and bare `--name`
+/// (boolean true).
+class FlagParser {
+ public:
+  /// Parses argv. Unrecognized non-flag arguments abort with a usage message
+  /// (experiments take no positional arguments).
+  FlagParser(int argc, char** argv);
+
+  /// Returns the flag value or `default_value` when absent.
+  std::string GetString(const std::string& name,
+                        const std::string& default_value) const;
+  int64_t GetInt(const std::string& name, int64_t default_value) const;
+  double GetDouble(const std::string& name, double default_value) const;
+  bool GetBool(const std::string& name, bool default_value) const;
+
+  /// True if the flag was supplied.
+  bool Has(const std::string& name) const;
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace sose
+
+#endif  // SOSE_CORE_FLAGS_H_

@@ -1,0 +1,84 @@
+#include "core/linalg_cholesky.h"
+
+#include <cmath>
+
+namespace sose {
+
+Result<Cholesky> Cholesky::Factor(const Matrix& a) {
+  if (a.rows() != a.cols()) {
+    return Status::InvalidArgument("Cholesky: matrix must be square");
+  }
+  const int64_t n = a.rows();
+  Matrix l(n, n);
+  for (int64_t j = 0; j < n; ++j) {
+    double diag = a.At(j, j);
+    for (int64_t k = 0; k < j; ++k) diag -= l.At(j, k) * l.At(j, k);
+    if (diag <= 0.0 || !std::isfinite(diag)) {
+      return Status::NumericalError("Cholesky: matrix is not positive definite");
+    }
+    const double l_jj = std::sqrt(diag);
+    l.At(j, j) = l_jj;
+    for (int64_t i = j + 1; i < n; ++i) {
+      double sum = a.At(i, j);
+      for (int64_t k = 0; k < j; ++k) sum -= l.At(i, k) * l.At(j, k);
+      l.At(i, j) = sum / l_jj;
+    }
+  }
+  return Cholesky(std::move(l));
+}
+
+std::vector<double> Cholesky::SolveLower(const std::vector<double>& b) const {
+  const int64_t n = l_.rows();
+  SOSE_CHECK(static_cast<int64_t>(b.size()) == n);
+  std::vector<double> y(static_cast<size_t>(n), 0.0);
+  for (int64_t i = 0; i < n; ++i) {
+    double sum = b[static_cast<size_t>(i)];
+    for (int64_t k = 0; k < i; ++k) sum -= l_.At(i, k) * y[static_cast<size_t>(k)];
+    y[static_cast<size_t>(i)] = sum / l_.At(i, i);
+  }
+  return y;
+}
+
+std::vector<double> Cholesky::SolveLowerTransposed(
+    const std::vector<double>& b) const {
+  const int64_t n = l_.rows();
+  SOSE_CHECK(static_cast<int64_t>(b.size()) == n);
+  std::vector<double> x(static_cast<size_t>(n), 0.0);
+  for (int64_t i = n - 1; i >= 0; --i) {
+    double sum = b[static_cast<size_t>(i)];
+    for (int64_t k = i + 1; k < n; ++k) sum -= l_.At(k, i) * x[static_cast<size_t>(k)];
+    x[static_cast<size_t>(i)] = sum / l_.At(i, i);
+  }
+  return x;
+}
+
+std::vector<double> Cholesky::Solve(const std::vector<double>& b) const {
+  return SolveLowerTransposed(SolveLower(b));
+}
+
+Matrix Cholesky::SolveLowerMatrix(const Matrix& b) const {
+  const int64_t n = l_.rows();
+  SOSE_CHECK(b.rows() == n);
+  Matrix x = b;
+  // Forward substitution on all columns simultaneously (row-major friendly).
+  for (int64_t i = 0; i < n; ++i) {
+    double* xi = x.Row(i);
+    for (int64_t k = 0; k < i; ++k) {
+      const double l_ik = l_.At(i, k);
+      if (l_ik == 0.0) continue;
+      const double* xk = x.Row(k);
+      for (int64_t j = 0; j < b.cols(); ++j) xi[j] -= l_ik * xk[j];
+    }
+    const double inv = 1.0 / l_.At(i, i);
+    for (int64_t j = 0; j < b.cols(); ++j) xi[j] *= inv;
+  }
+  return x;
+}
+
+double Cholesky::LogDeterminant() const {
+  double sum = 0.0;
+  for (int64_t i = 0; i < l_.rows(); ++i) sum += std::log(l_.At(i, i));
+  return 2.0 * sum;
+}
+
+}  // namespace sose

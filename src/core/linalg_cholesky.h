@@ -1,0 +1,46 @@
+#ifndef SOSE_CORE_LINALG_CHOLESKY_H_
+#define SOSE_CORE_LINALG_CHOLESKY_H_
+
+#include <vector>
+
+#include "core/matrix.h"
+#include "core/status.h"
+
+namespace sose {
+
+/// Cholesky factorization A = L Lᵀ of a symmetric positive-definite matrix.
+///
+/// Used by the generalized symmetric eigenproblem that measures subspace
+/// distortion relative to a non-orthonormal basis (‖ΠUx‖²/‖Ux‖² extremes).
+class Cholesky {
+ public:
+  /// Factors the symmetric matrix `a` (only the lower triangle is read).
+  /// Fails with NumericalError if `a` is not positive definite.
+  static Result<Cholesky> Factor(const Matrix& a);
+
+  /// The lower-triangular factor L.
+  const Matrix& L() const { return l_; }
+
+  /// Solves A x = b via the two triangular solves.
+  std::vector<double> Solve(const std::vector<double>& b) const;
+
+  /// Solves L y = b (forward substitution).
+  std::vector<double> SolveLower(const std::vector<double>& b) const;
+
+  /// Solves Lᵀ x = b (back substitution).
+  std::vector<double> SolveLowerTransposed(const std::vector<double>& b) const;
+
+  /// Returns L⁻¹ B, i.e. solves L X = B column-wise.
+  Matrix SolveLowerMatrix(const Matrix& b) const;
+
+  /// log(det A) = 2 Σ log L_ii.
+  double LogDeterminant() const;
+
+ private:
+  explicit Cholesky(Matrix l) : l_(std::move(l)) {}
+  Matrix l_;
+};
+
+}  // namespace sose
+
+#endif  // SOSE_CORE_LINALG_CHOLESKY_H_

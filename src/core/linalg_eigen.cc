@@ -1,0 +1,143 @@
+#include "core/linalg_eigen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "core/linalg_cholesky.h"
+#include "core/linalg_tridiag.h"
+
+namespace sose {
+
+namespace {
+
+// Sum of squares of strictly-off-diagonal entries.
+double OffDiagonalMass(const Matrix& a) {
+  double sum = 0.0;
+  for (int64_t i = 0; i < a.rows(); ++i) {
+    for (int64_t j = 0; j < a.cols(); ++j) {
+      if (i != j) sum += a.At(i, j) * a.At(i, j);
+    }
+  }
+  return sum;
+}
+
+Result<SymmetricEigen> JacobiImpl(const Matrix& input, int max_sweeps,
+                                  double tol, bool want_vectors) {
+  if (input.rows() != input.cols()) {
+    return Status::InvalidArgument("JacobiEigenSymmetric: matrix must be square");
+  }
+  const int64_t n = input.rows();
+  // Symmetrize from the lower triangle.
+  Matrix a(n, n);
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j <= i; ++j) {
+      a.At(i, j) = input.At(i, j);
+      a.At(j, i) = input.At(i, j);
+    }
+  }
+  Matrix v = want_vectors ? Matrix::Identity(n) : Matrix();
+  const double frob = a.FrobeniusNorm();
+  const double threshold = tol * std::max(frob, 1e-300);
+
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    if (std::sqrt(OffDiagonalMass(a)) <= threshold) {
+      SymmetricEigen out;
+      out.values.resize(static_cast<size_t>(n));
+      for (int64_t i = 0; i < n; ++i) out.values[static_cast<size_t>(i)] = a.At(i, i);
+      // Sort ascending, permuting vectors to match.
+      std::vector<int64_t> order(static_cast<size_t>(n));
+      std::iota(order.begin(), order.end(), 0);
+      std::sort(order.begin(), order.end(), [&out](int64_t x, int64_t y) {
+        return out.values[static_cast<size_t>(x)] < out.values[static_cast<size_t>(y)];
+      });
+      std::vector<double> sorted(static_cast<size_t>(n));
+      Matrix sorted_vectors = want_vectors ? Matrix(n, n) : Matrix();
+      for (int64_t k = 0; k < n; ++k) {
+        sorted[static_cast<size_t>(k)] = out.values[static_cast<size_t>(order[static_cast<size_t>(k)])];
+        if (want_vectors) {
+          for (int64_t i = 0; i < n; ++i) {
+            sorted_vectors.At(i, k) = v.At(i, order[static_cast<size_t>(k)]);
+          }
+        }
+      }
+      out.values = std::move(sorted);
+      out.vectors = std::move(sorted_vectors);
+      return out;
+    }
+    for (int64_t p = 0; p < n - 1; ++p) {
+      for (int64_t q = p + 1; q < n; ++q) {
+        const double apq = a.At(p, q);
+        if (std::fabs(apq) <= threshold / static_cast<double>(n)) continue;
+        const double app = a.At(p, p);
+        const double aqq = a.At(q, q);
+        // Classic Jacobi rotation angle selection.
+        const double theta = (aqq - app) / (2.0 * apq);
+        const double t = (theta >= 0.0 ? 1.0 : -1.0) /
+                         (std::fabs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+        // Update A = Jᵀ A J on rows/cols p, q.
+        for (int64_t k = 0; k < n; ++k) {
+          const double akp = a.At(k, p);
+          const double akq = a.At(k, q);
+          a.At(k, p) = c * akp - s * akq;
+          a.At(k, q) = s * akp + c * akq;
+        }
+        for (int64_t k = 0; k < n; ++k) {
+          const double apk = a.At(p, k);
+          const double aqk = a.At(q, k);
+          a.At(p, k) = c * apk - s * aqk;
+          a.At(q, k) = s * apk + c * aqk;
+        }
+        if (want_vectors) {
+          for (int64_t k = 0; k < n; ++k) {
+            const double vkp = v.At(k, p);
+            const double vkq = v.At(k, q);
+            v.At(k, p) = c * vkp - s * vkq;
+            v.At(k, q) = s * vkp + c * vkq;
+          }
+        }
+      }
+    }
+  }
+  return Status::NumericalError(
+      "JacobiEigenSymmetric: sweep limit exceeded without convergence");
+}
+
+}  // namespace
+
+Result<SymmetricEigen> JacobiEigenSymmetric(const Matrix& a, int max_sweeps,
+                                            double tol) {
+  return JacobiImpl(a, max_sweeps, tol, /*want_vectors=*/true);
+}
+
+Result<std::vector<double>> SymmetricEigenvalues(const Matrix& a,
+                                                 int max_sweeps, double tol) {
+  // Values-only requests on larger matrices dispatch to the
+  // tridiagonalization + QL pipeline, which is O(n³) with a far smaller
+  // constant than Jacobi sweeps; small matrices stay on Jacobi, whose
+  // rotations are branch-free and slightly more accurate there.
+  constexpr int64_t kQlThreshold = 32;
+  if (a.rows() == a.cols() && a.rows() > kQlThreshold) {
+    return SymmetricEigenvaluesQl(a);
+  }
+  SOSE_ASSIGN_OR_RETURN(SymmetricEigen eigen,
+                        JacobiImpl(a, max_sweeps, tol, /*want_vectors=*/false));
+  return std::move(eigen.values);
+}
+
+Result<std::vector<double>> GeneralizedSymmetricEigenvalues(const Matrix& a,
+                                                            const Matrix& b) {
+  if (a.rows() != a.cols() || b.rows() != b.cols() || a.rows() != b.rows()) {
+    return Status::InvalidArgument(
+        "GeneralizedSymmetricEigenvalues: shape mismatch");
+  }
+  SOSE_ASSIGN_OR_RETURN(Cholesky chol, Cholesky::Factor(b));
+  // M = L⁻¹ A L⁻ᵀ, computed as L⁻¹ (L⁻¹ Aᵀ)ᵀ; A is symmetric so Aᵀ = A.
+  Matrix half = chol.SolveLowerMatrix(a);          // L⁻¹ A
+  Matrix m = chol.SolveLowerMatrix(half.Transposed());  // L⁻¹ (L⁻¹ A)ᵀ
+  return SymmetricEigenvalues(m);
+}
+
+}  // namespace sose

@@ -1,0 +1,47 @@
+#ifndef SOSE_CORE_LINALG_EIGEN_H_
+#define SOSE_CORE_LINALG_EIGEN_H_
+
+#include <vector>
+
+#include "core/matrix.h"
+#include "core/status.h"
+
+namespace sose {
+
+/// Result of a symmetric eigendecomposition A = V diag(λ) Vᵀ.
+struct SymmetricEigen {
+  /// Eigenvalues in ascending order.
+  std::vector<double> values;
+  /// Orthonormal eigenvectors as columns, ordered to match `values`.
+  Matrix vectors;
+};
+
+/// Computes the full eigendecomposition of a symmetric matrix using the
+/// cyclic Jacobi rotation method. Robust and accurate for the small/medium
+/// (d x d) Gram matrices this library produces. Only the lower triangle of
+/// `a` is trusted; the matrix is symmetrized internally.
+///
+/// Fails with NumericalError if the sweep limit is exceeded before
+/// off-diagonal mass drops below tolerance.
+Result<SymmetricEigen> JacobiEigenSymmetric(const Matrix& a,
+                                            int max_sweeps = 64,
+                                            double tol = 1e-13);
+
+/// Eigenvalues only (ascending); same algorithm without accumulating vectors.
+Result<std::vector<double>> SymmetricEigenvalues(const Matrix& a,
+                                                 int max_sweeps = 64,
+                                                 double tol = 1e-13);
+
+/// Solves the symmetric-definite generalized eigenproblem A x = λ B x with
+/// B positive definite, by the standard reduction M = L⁻¹ A L⁻ᵀ where
+/// B = L Lᵀ. Returns eigenvalues in ascending order.
+///
+/// This is exactly the computation behind "distortion of Π on span(U)":
+/// with A = (ΠU)ᵀ(ΠU) and B = UᵀU, the extreme generalized eigenvalues are
+/// the extremes of ‖ΠUx‖²/‖Ux‖².
+Result<std::vector<double>> GeneralizedSymmetricEigenvalues(const Matrix& a,
+                                                            const Matrix& b);
+
+}  // namespace sose
+
+#endif  // SOSE_CORE_LINALG_EIGEN_H_

@@ -1,0 +1,91 @@
+#include "core/linalg_lu.h"
+
+#include <cmath>
+#include <numeric>
+
+namespace sose {
+
+Result<PartialPivLu> PartialPivLu::Factor(const Matrix& a) {
+  if (a.rows() != a.cols()) {
+    return Status::InvalidArgument("PartialPivLu: matrix must be square");
+  }
+  const int64_t n = a.rows();
+  Matrix lu = a;
+  std::vector<int64_t> perm(static_cast<size_t>(n));
+  std::iota(perm.begin(), perm.end(), 0);
+  int sign = 1;
+  for (int64_t k = 0; k < n; ++k) {
+    // Partial pivot: largest |entry| in column k at or below the diagonal.
+    int64_t pivot_row = k;
+    double pivot_val = std::fabs(lu.At(k, k));
+    for (int64_t i = k + 1; i < n; ++i) {
+      const double v = std::fabs(lu.At(i, k));
+      if (v > pivot_val) {
+        pivot_val = v;
+        pivot_row = i;
+      }
+    }
+    if (pivot_val == 0.0) {
+      return Status::NumericalError("PartialPivLu: matrix is singular");
+    }
+    if (pivot_row != k) {
+      for (int64_t j = 0; j < n; ++j) {
+        std::swap(lu.At(k, j), lu.At(pivot_row, j));
+      }
+      std::swap(perm[static_cast<size_t>(k)], perm[static_cast<size_t>(pivot_row)]);
+      sign = -sign;
+    }
+    const double inv_pivot = 1.0 / lu.At(k, k);
+    for (int64_t i = k + 1; i < n; ++i) {
+      const double factor = lu.At(i, k) * inv_pivot;
+      lu.At(i, k) = factor;
+      if (factor == 0.0) continue;
+      for (int64_t j = k + 1; j < n; ++j) {
+        lu.At(i, j) -= factor * lu.At(k, j);
+      }
+    }
+  }
+  return PartialPivLu(std::move(lu), std::move(perm), sign);
+}
+
+std::vector<double> PartialPivLu::Solve(const std::vector<double>& b) const {
+  const int64_t n = lu_.rows();
+  SOSE_CHECK(static_cast<int64_t>(b.size()) == n);
+  std::vector<double> x(static_cast<size_t>(n));
+  // Apply permutation, then forward substitution with unit-lower L.
+  for (int64_t i = 0; i < n; ++i) {
+    double sum = b[static_cast<size_t>(perm_[static_cast<size_t>(i)])];
+    for (int64_t j = 0; j < i; ++j) sum -= lu_.At(i, j) * x[static_cast<size_t>(j)];
+    x[static_cast<size_t>(i)] = sum;
+  }
+  // Back substitution with U.
+  for (int64_t i = n - 1; i >= 0; --i) {
+    double sum = x[static_cast<size_t>(i)];
+    for (int64_t j = i + 1; j < n; ++j) sum -= lu_.At(i, j) * x[static_cast<size_t>(j)];
+    x[static_cast<size_t>(i)] = sum / lu_.At(i, i);
+  }
+  return x;
+}
+
+Matrix PartialPivLu::SolveMatrix(const Matrix& b) const {
+  SOSE_CHECK(b.rows() == lu_.rows());
+  Matrix x(b.rows(), b.cols());
+  for (int64_t j = 0; j < b.cols(); ++j) {
+    std::vector<double> col = b.Col(j);
+    std::vector<double> sol = Solve(col);
+    for (int64_t i = 0; i < b.rows(); ++i) x.At(i, j) = sol[static_cast<size_t>(i)];
+  }
+  return x;
+}
+
+Matrix PartialPivLu::Inverse() const {
+  return SolveMatrix(Matrix::Identity(lu_.rows()));
+}
+
+double PartialPivLu::Determinant() const {
+  double det = static_cast<double>(sign_);
+  for (int64_t i = 0; i < lu_.rows(); ++i) det *= lu_.At(i, i);
+  return det;
+}
+
+}  // namespace sose

@@ -1,0 +1,44 @@
+#ifndef SOSE_CORE_LINALG_LU_H_
+#define SOSE_CORE_LINALG_LU_H_
+
+#include <vector>
+
+#include "core/matrix.h"
+#include "core/status.h"
+
+namespace sose {
+
+/// LU factorization with partial pivoting: P A = L U.
+///
+/// General-purpose square solver used by the downstream applications
+/// (normal-equation solves in tests, matrix inversion for verification).
+class PartialPivLu {
+ public:
+  /// Factors the square matrix `a`. Fails with NumericalError if a zero
+  /// pivot is encountered (singular to working precision).
+  static Result<PartialPivLu> Factor(const Matrix& a);
+
+  /// Solves A x = b.
+  std::vector<double> Solve(const std::vector<double>& b) const;
+
+  /// Solves A X = B column-wise.
+  Matrix SolveMatrix(const Matrix& b) const;
+
+  /// Returns A⁻¹.
+  Matrix Inverse() const;
+
+  /// det(A), including the pivot sign.
+  double Determinant() const;
+
+ private:
+  PartialPivLu(Matrix lu, std::vector<int64_t> perm, int sign)
+      : lu_(std::move(lu)), perm_(std::move(perm)), sign_(sign) {}
+
+  Matrix lu_;                 // L below diagonal (unit), U on/above.
+  std::vector<int64_t> perm_; // Row permutation: solve uses b[perm_[i]].
+  int sign_;                  // Permutation parity for the determinant.
+};
+
+}  // namespace sose
+
+#endif  // SOSE_CORE_LINALG_LU_H_

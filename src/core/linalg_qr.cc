@@ -1,0 +1,148 @@
+#include "core/linalg_qr.h"
+
+#include <cmath>
+
+namespace sose {
+
+Result<HouseholderQr> HouseholderQr::Factor(const Matrix& a) {
+  const int64_t m = a.rows();
+  const int64_t n = a.cols();
+  if (m < n) {
+    return Status::InvalidArgument(
+        "HouseholderQr requires rows >= cols (tall matrix)");
+  }
+  Matrix qr = a;
+  std::vector<double> taus(static_cast<size_t>(n), 0.0);
+  for (int64_t k = 0; k < n; ++k) {
+    // Build the Householder reflector annihilating qr(k+1..m-1, k).
+    double norm_sq = 0.0;
+    for (int64_t i = k; i < m; ++i) norm_sq += qr.At(i, k) * qr.At(i, k);
+    const double norm = std::sqrt(norm_sq);
+    if (norm == 0.0) {
+      taus[static_cast<size_t>(k)] = 0.0;
+      continue;
+    }
+    const double alpha = qr.At(k, k) >= 0.0 ? -norm : norm;
+    // v = x - alpha e1, normalized so v[k] = 1.
+    const double v_k = qr.At(k, k) - alpha;
+    // tau = 2 / (vᵀv) with v unnormalized = (x_k - alpha, x_{k+1}, ...).
+    // With the v[k]=1 normalization, tau = v_kᵀ v_k * 2 / ||v||² simplifies:
+    const double v_norm_sq = norm_sq - 2.0 * alpha * qr.At(k, k) + alpha * alpha;
+    const double tau = 2.0 * (v_k * v_k) / v_norm_sq;
+    for (int64_t i = k + 1; i < m; ++i) qr.At(i, k) /= v_k;
+    taus[static_cast<size_t>(k)] = tau;
+    // Apply reflector to the trailing columns: A := (I - tau v vᵀ) A.
+    for (int64_t j = k + 1; j < n; ++j) {
+      double dot = qr.At(k, j);
+      for (int64_t i = k + 1; i < m; ++i) dot += qr.At(i, k) * qr.At(i, j);
+      const double scale = tau * dot;
+      qr.At(k, j) -= scale;
+      for (int64_t i = k + 1; i < m; ++i) qr.At(i, j) -= scale * qr.At(i, k);
+    }
+    qr.At(k, k) = alpha;
+  }
+  return HouseholderQr(std::move(qr), std::move(taus));
+}
+
+Matrix HouseholderQr::ThinQ() const {
+  const int64_t m = qr_.rows();
+  const int64_t n = qr_.cols();
+  Matrix q(m, n);
+  // Accumulate Q = H_0 H_1 ... H_{n-1} applied to the first n columns of I,
+  // working backwards so each reflector touches a growing suffix.
+  for (int64_t j = 0; j < n; ++j) q.At(j, j) = 1.0;
+  for (int64_t k = n - 1; k >= 0; --k) {
+    const double tau = taus_[static_cast<size_t>(k)];
+    if (tau == 0.0) continue;
+    for (int64_t j = 0; j < n; ++j) {
+      double dot = q.At(k, j);
+      for (int64_t i = k + 1; i < m; ++i) dot += qr_.At(i, k) * q.At(i, j);
+      const double scale = tau * dot;
+      q.At(k, j) -= scale;
+      for (int64_t i = k + 1; i < m; ++i) q.At(i, j) -= scale * qr_.At(i, k);
+    }
+  }
+  return q;
+}
+
+Matrix HouseholderQr::R() const {
+  const int64_t n = qr_.cols();
+  Matrix r(n, n);
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = i; j < n; ++j) r.At(i, j) = qr_.At(i, j);
+  }
+  return r;
+}
+
+void HouseholderQr::ApplyQTranspose(std::vector<double>* x) const {
+  const int64_t m = qr_.rows();
+  const int64_t n = qr_.cols();
+  SOSE_CHECK(static_cast<int64_t>(x->size()) == m);
+  for (int64_t k = 0; k < n; ++k) {
+    const double tau = taus_[static_cast<size_t>(k)];
+    if (tau == 0.0) continue;
+    double dot = (*x)[static_cast<size_t>(k)];
+    for (int64_t i = k + 1; i < m; ++i) {
+      dot += qr_.At(i, k) * (*x)[static_cast<size_t>(i)];
+    }
+    const double scale = tau * dot;
+    (*x)[static_cast<size_t>(k)] -= scale;
+    for (int64_t i = k + 1; i < m; ++i) {
+      (*x)[static_cast<size_t>(i)] -= scale * qr_.At(i, k);
+    }
+  }
+}
+
+Result<std::vector<double>> HouseholderQr::SolveLeastSquares(
+    const std::vector<double>& b) const {
+  const int64_t m = qr_.rows();
+  const int64_t n = qr_.cols();
+  if (static_cast<int64_t>(b.size()) != m) {
+    return Status::InvalidArgument("SolveLeastSquares: b has wrong length");
+  }
+  std::vector<double> y = b;
+  ApplyQTranspose(&y);
+  // Back-substitute R x = y[0..n-1].
+  double max_diag = 0.0;
+  for (int64_t k = 0; k < n; ++k) {
+    max_diag = std::max(max_diag, std::fabs(qr_.At(k, k)));
+  }
+  std::vector<double> x(static_cast<size_t>(n), 0.0);
+  for (int64_t i = n - 1; i >= 0; --i) {
+    const double diag = qr_.At(i, i);
+    if (std::fabs(diag) <= 1e-13 * max_diag || diag == 0.0) {
+      return Status::NumericalError("SolveLeastSquares: R is singular");
+    }
+    double sum = y[static_cast<size_t>(i)];
+    for (int64_t j = i + 1; j < n; ++j) {
+      sum -= qr_.At(i, j) * x[static_cast<size_t>(j)];
+    }
+    x[static_cast<size_t>(i)] = sum / diag;
+  }
+  return x;
+}
+
+int64_t HouseholderQr::RankEstimate(double tol) const {
+  const int64_t n = qr_.cols();
+  double max_diag = 0.0;
+  for (int64_t k = 0; k < n; ++k) {
+    max_diag = std::max(max_diag, std::fabs(qr_.At(k, k)));
+  }
+  if (max_diag == 0.0) return 0;
+  int64_t rank = 0;
+  for (int64_t k = 0; k < n; ++k) {
+    if (std::fabs(qr_.At(k, k)) > tol * max_diag) ++rank;
+  }
+  return rank;
+}
+
+Result<Matrix> Orthonormalize(const Matrix& a, double tol) {
+  SOSE_ASSIGN_OR_RETURN(HouseholderQr qr, HouseholderQr::Factor(a));
+  if (qr.RankEstimate(tol) < a.cols()) {
+    return Status::NumericalError(
+        "Orthonormalize: input is numerically column-rank-deficient");
+  }
+  return qr.ThinQ();
+}
+
+}  // namespace sose

@@ -1,0 +1,56 @@
+#ifndef SOSE_CORE_LINALG_QR_H_
+#define SOSE_CORE_LINALG_QR_H_
+
+#include <vector>
+
+#include "core/matrix.h"
+#include "core/status.h"
+
+namespace sose {
+
+/// Householder QR factorization of an m x n matrix with m >= n.
+///
+/// Produces the thin factorization A = Q R with Q (m x n) having orthonormal
+/// columns and R (n x n) upper triangular. Used to orthonormalize random
+/// subspace bases and as the solver behind sketch-and-solve least squares.
+class HouseholderQr {
+ public:
+  /// Factors `a`. Fails with InvalidArgument if a.rows() < a.cols().
+  static Result<HouseholderQr> Factor(const Matrix& a);
+
+  /// The thin orthonormal factor Q (m x n).
+  Matrix ThinQ() const;
+
+  /// The upper-triangular factor R (n x n).
+  Matrix R() const;
+
+  /// Solves the least-squares problem min_x ||A x - b||_2. `b` must have
+  /// length m. Fails with NumericalError if R is (numerically) singular.
+  Result<std::vector<double>> SolveLeastSquares(
+      const std::vector<double>& b) const;
+
+  /// Rank estimate: the number of diagonal entries of R exceeding
+  /// `tol * max_diag`.
+  int64_t RankEstimate(double tol = 1e-12) const;
+
+ private:
+  HouseholderQr(Matrix qr, std::vector<double> taus)
+      : qr_(std::move(qr)), taus_(std::move(taus)) {}
+
+  // Applies Qᵀ to a length-m vector in place.
+  void ApplyQTranspose(std::vector<double>* x) const;
+
+  // Packed factorization: R in the upper triangle, Householder vectors below
+  // the diagonal (v_k has implicit 1 at position k).
+  Matrix qr_;
+  std::vector<double> taus_;
+};
+
+/// Orthonormalizes the columns of `a` (m x n, m >= n): returns a matrix with
+/// the same column span and orthonormal columns. Fails if `a` is
+/// column-rank-deficient beyond `tol`.
+Result<Matrix> Orthonormalize(const Matrix& a, double tol = 1e-10);
+
+}  // namespace sose
+
+#endif  // SOSE_CORE_LINALG_QR_H_

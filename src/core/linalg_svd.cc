@@ -1,0 +1,113 @@
+#include "core/linalg_svd.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace sose {
+
+Result<Svd> JacobiSvd(const Matrix& a, int max_sweeps, double tol) {
+  const int64_t m = a.rows();
+  const int64_t n = a.cols();
+  if (m < n) {
+    return Status::InvalidArgument("JacobiSvd requires rows >= cols");
+  }
+  Matrix work = a;          // Columns converge to U diag(σ).
+  Matrix v = Matrix::Identity(n);
+  const double frob = a.FrobeniusNorm();
+  const double threshold = tol * std::max(frob * frob, 1e-300);
+
+  bool converged = false;
+  for (int sweep = 0; sweep < max_sweeps && !converged; ++sweep) {
+    converged = true;
+    for (int64_t p = 0; p < n - 1; ++p) {
+      for (int64_t q = p + 1; q < n; ++q) {
+        // Gram entries for columns p, q.
+        double app = 0.0, aqq = 0.0, apq = 0.0;
+        for (int64_t i = 0; i < m; ++i) {
+          const double wip = work.At(i, p);
+          const double wiq = work.At(i, q);
+          app += wip * wip;
+          aqq += wiq * wiq;
+          apq += wip * wiq;
+        }
+        if (std::fabs(apq) <= threshold ||
+            std::fabs(apq) <= tol * std::sqrt(app * aqq)) {
+          continue;
+        }
+        converged = false;
+        // Rotation zeroing the Gram off-diagonal (same angle as two-sided
+        // Jacobi on the 2x2 Gram block).
+        const double theta = (aqq - app) / (2.0 * apq);
+        const double t = (theta >= 0.0 ? 1.0 : -1.0) /
+                         (std::fabs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+        for (int64_t i = 0; i < m; ++i) {
+          const double wip = work.At(i, p);
+          const double wiq = work.At(i, q);
+          work.At(i, p) = c * wip - s * wiq;
+          work.At(i, q) = s * wip + c * wiq;
+        }
+        for (int64_t i = 0; i < n; ++i) {
+          const double vip = v.At(i, p);
+          const double viq = v.At(i, q);
+          v.At(i, p) = c * vip - s * viq;
+          v.At(i, q) = s * vip + c * viq;
+        }
+      }
+    }
+  }
+  if (!converged) {
+    return Status::NumericalError("JacobiSvd: sweep limit exceeded");
+  }
+
+  // Extract singular values (column norms) and normalize U's columns.
+  std::vector<double> sigma(static_cast<size_t>(n), 0.0);
+  for (int64_t j = 0; j < n; ++j) {
+    sigma[static_cast<size_t>(j)] = std::sqrt(work.ColNormSquared(j));
+  }
+  // Sort descending with a permutation applied to U and V columns.
+  std::vector<int64_t> order(static_cast<size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&sigma](int64_t x, int64_t y) {
+    return sigma[static_cast<size_t>(x)] > sigma[static_cast<size_t>(y)];
+  });
+  Svd out;
+  out.u = Matrix(m, n);
+  out.v = Matrix(n, n);
+  out.singular_values.resize(static_cast<size_t>(n));
+  for (int64_t k = 0; k < n; ++k) {
+    const int64_t src = order[static_cast<size_t>(k)];
+    const double s_val = sigma[static_cast<size_t>(src)];
+    out.singular_values[static_cast<size_t>(k)] = s_val;
+    const double inv = s_val > 0.0 ? 1.0 / s_val : 0.0;
+    for (int64_t i = 0; i < m; ++i) out.u.At(i, k) = work.At(i, src) * inv;
+    for (int64_t i = 0; i < n; ++i) out.v.At(i, k) = v.At(i, src);
+  }
+  return out;
+}
+
+Result<std::vector<double>> SingularValues(const Matrix& a) {
+  // For wide matrices, operate on the transpose (identical spectrum).
+  if (a.rows() < a.cols()) {
+    SOSE_ASSIGN_OR_RETURN(Svd svd, JacobiSvd(a.Transposed()));
+    return std::move(svd.singular_values);
+  }
+  SOSE_ASSIGN_OR_RETURN(Svd svd, JacobiSvd(a));
+  return std::move(svd.singular_values);
+}
+
+Result<double> ConditionNumber(const Matrix& a) {
+  SOSE_ASSIGN_OR_RETURN(std::vector<double> sigma, SingularValues(a));
+  if (sigma.empty()) {
+    return Status::InvalidArgument("ConditionNumber: empty matrix");
+  }
+  const double smallest = sigma.back();
+  if (smallest <= 0.0) {
+    return Status::NumericalError("ConditionNumber: matrix is singular");
+  }
+  return sigma.front() / smallest;
+}
+
+}  // namespace sose

@@ -1,0 +1,38 @@
+#ifndef SOSE_CORE_LINALG_SVD_H_
+#define SOSE_CORE_LINALG_SVD_H_
+
+#include <vector>
+
+#include "core/matrix.h"
+#include "core/status.h"
+
+namespace sose {
+
+/// Thin singular value decomposition A = U diag(σ) Vᵀ of an m x n matrix
+/// with m >= n: U is m x n with orthonormal columns, V is n x n orthogonal.
+struct Svd {
+  Matrix u;
+  /// Singular values in descending order (non-negative).
+  std::vector<double> singular_values;
+  Matrix v;
+};
+
+/// Computes the thin SVD via the one-sided Jacobi method (Hestenes):
+/// orthogonalize column pairs of a working copy of A by plane rotations;
+/// at convergence column norms are the singular values. Accurate for the
+/// small d-column matrices this library analyzes (σ_min/σ_max of ΠU is the
+/// subspace distortion).
+///
+/// Requires a.rows() >= a.cols(); fails with NumericalError if the sweep
+/// limit is exceeded.
+Result<Svd> JacobiSvd(const Matrix& a, int max_sweeps = 64, double tol = 1e-13);
+
+/// Singular values only, descending.
+Result<std::vector<double>> SingularValues(const Matrix& a);
+
+/// Condition number σ_max / σ_min; fails if σ_min is (numerically) zero.
+Result<double> ConditionNumber(const Matrix& a);
+
+}  // namespace sose
+
+#endif  // SOSE_CORE_LINALG_SVD_H_

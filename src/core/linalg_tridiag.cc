@@ -1,0 +1,157 @@
+#include "core/linalg_tridiag.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sose {
+
+Result<Tridiagonal> HouseholderTridiagonalize(const Matrix& a) {
+  if (a.rows() != a.cols()) {
+    return Status::InvalidArgument(
+        "HouseholderTridiagonalize: matrix must be square");
+  }
+  const int64_t n = a.rows();
+  if (n == 0) {
+    return Status::InvalidArgument("HouseholderTridiagonalize: empty matrix");
+  }
+  // Work on a symmetrized copy; classic tred1 (eigenvalues-only variant).
+  Matrix w(n, n);
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j <= i; ++j) {
+      w.At(i, j) = a.At(i, j);
+      w.At(j, i) = a.At(i, j);
+    }
+  }
+  std::vector<double> d(static_cast<size_t>(n), 0.0);
+  std::vector<double> e(static_cast<size_t>(n), 0.0);
+
+  for (int64_t i = n - 1; i >= 1; --i) {
+    const int64_t l = i - 1;
+    double h = 0.0;
+    if (l > 0) {
+      double scale = 0.0;
+      for (int64_t k = 0; k <= l; ++k) scale += std::fabs(w.At(i, k));
+      if (scale == 0.0) {
+        e[static_cast<size_t>(i)] = w.At(i, l);
+      } else {
+        for (int64_t k = 0; k <= l; ++k) {
+          w.At(i, k) /= scale;
+          h += w.At(i, k) * w.At(i, k);
+        }
+        double f = w.At(i, l);
+        double g = f >= 0.0 ? -std::sqrt(h) : std::sqrt(h);
+        e[static_cast<size_t>(i)] = scale * g;
+        h -= f * g;
+        w.At(i, l) = f - g;
+        f = 0.0;
+        for (int64_t j = 0; j <= l; ++j) {
+          // g = (A u)_j.
+          g = 0.0;
+          for (int64_t k = 0; k <= j; ++k) g += w.At(j, k) * w.At(i, k);
+          for (int64_t k = j + 1; k <= l; ++k) g += w.At(k, j) * w.At(i, k);
+          e[static_cast<size_t>(j)] = g / h;
+          f += e[static_cast<size_t>(j)] * w.At(i, j);
+        }
+        const double hh = f / (h + h);
+        for (int64_t j = 0; j <= l; ++j) {
+          f = w.At(i, j);
+          g = e[static_cast<size_t>(j)] - hh * f;
+          e[static_cast<size_t>(j)] = g;
+          for (int64_t k = 0; k <= j; ++k) {
+            w.At(j, k) -=
+                f * e[static_cast<size_t>(k)] + g * w.At(i, k);
+          }
+        }
+      }
+    } else {
+      e[static_cast<size_t>(i)] = w.At(i, l);
+    }
+  }
+  for (int64_t i = 0; i < n; ++i) d[static_cast<size_t>(i)] = w.At(i, i);
+
+  Tridiagonal out;
+  out.diagonal = std::move(d);
+  out.off_diagonal.resize(static_cast<size_t>(n - 1));
+  for (int64_t i = 1; i < n; ++i) {
+    out.off_diagonal[static_cast<size_t>(i - 1)] = e[static_cast<size_t>(i)];
+  }
+  return out;
+}
+
+Result<std::vector<double>> TridiagonalEigenvalues(const Tridiagonal& t,
+                                                   int max_iterations) {
+  const int64_t n = static_cast<int64_t>(t.diagonal.size());
+  if (n == 0) {
+    return Status::InvalidArgument("TridiagonalEigenvalues: empty input");
+  }
+  if (static_cast<int64_t>(t.off_diagonal.size()) != n - 1) {
+    return Status::InvalidArgument(
+        "TridiagonalEigenvalues: off-diagonal must have n-1 entries");
+  }
+  std::vector<double> d = t.diagonal;
+  // e[i] is the coupling between i and i+1; e[n-1] is a zero sentinel.
+  std::vector<double> e(static_cast<size_t>(n), 0.0);
+  std::copy(t.off_diagonal.begin(), t.off_diagonal.end(), e.begin());
+
+  // Implicit QL with Wilkinson shifts (classic tqli, eigenvalues only).
+  for (int64_t l = 0; l < n; ++l) {
+    int iterations = 0;
+    int64_t m = l;
+    do {
+      for (m = l; m < n - 1; ++m) {
+        const double dd = std::fabs(d[static_cast<size_t>(m)]) +
+                          std::fabs(d[static_cast<size_t>(m) + 1]);
+        if (std::fabs(e[static_cast<size_t>(m)]) <= 1e-15 * dd) break;
+      }
+      if (m != l) {
+        if (++iterations > max_iterations) {
+          return Status::NumericalError(
+              "TridiagonalEigenvalues: QL iteration failed to converge");
+        }
+        double g = (d[static_cast<size_t>(l) + 1] - d[static_cast<size_t>(l)]) /
+                   (2.0 * e[static_cast<size_t>(l)]);
+        double r = std::hypot(g, 1.0);
+        g = d[static_cast<size_t>(m)] - d[static_cast<size_t>(l)] +
+            e[static_cast<size_t>(l)] /
+                (g + (g >= 0.0 ? std::fabs(r) : -std::fabs(r)));
+        double s = 1.0;
+        double c = 1.0;
+        double p = 0.0;
+        for (int64_t i = m - 1; i >= l; --i) {
+          double f = s * e[static_cast<size_t>(i)];
+          const double b = c * e[static_cast<size_t>(i)];
+          r = std::hypot(f, g);
+          e[static_cast<size_t>(i) + 1] = r;
+          if (r == 0.0) {
+            // Deflate: split the problem.
+            d[static_cast<size_t>(i) + 1] -= p;
+            e[static_cast<size_t>(m)] = 0.0;
+            break;
+          }
+          s = f / r;
+          c = g / r;
+          g = d[static_cast<size_t>(i) + 1] - p;
+          r = (d[static_cast<size_t>(i)] - g) * s + 2.0 * c * b;
+          p = s * r;
+          d[static_cast<size_t>(i) + 1] = g + p;
+          g = c * r - b;
+          if (i == l) {
+            d[static_cast<size_t>(l)] -= p;
+            e[static_cast<size_t>(l)] = g;
+            e[static_cast<size_t>(m)] = 0.0;
+            p = 0.0;
+          }
+        }
+      }
+    } while (m != l);
+  }
+  std::sort(d.begin(), d.end());
+  return d;
+}
+
+Result<std::vector<double>> SymmetricEigenvaluesQl(const Matrix& a) {
+  SOSE_ASSIGN_OR_RETURN(Tridiagonal t, HouseholderTridiagonalize(a));
+  return TridiagonalEigenvalues(t);
+}
+
+}  // namespace sose

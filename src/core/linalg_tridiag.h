@@ -1,0 +1,38 @@
+#ifndef SOSE_CORE_LINALG_TRIDIAG_H_
+#define SOSE_CORE_LINALG_TRIDIAG_H_
+
+#include <vector>
+
+#include "core/matrix.h"
+#include "core/status.h"
+
+namespace sose {
+
+/// A symmetric tridiagonal matrix: `diagonal` (n entries) and `off_diagonal`
+/// (n−1 entries, the sub/super-diagonal).
+struct Tridiagonal {
+  std::vector<double> diagonal;
+  std::vector<double> off_diagonal;
+};
+
+/// Householder reduction of a symmetric matrix to tridiagonal form
+/// T = Qᵀ A Q. Only the lower triangle of `a` is read. O(n³) with a much
+/// smaller constant than a Jacobi sweep, which makes the QL pipeline the
+/// right eigensolver once d grows past a few dozen.
+Result<Tridiagonal> HouseholderTridiagonalize(const Matrix& a);
+
+/// Eigenvalues of a symmetric tridiagonal matrix by the implicit QL
+/// algorithm with Wilkinson shifts, ascending. Fails with NumericalError if
+/// an eigenvalue fails to converge within the iteration cap.
+Result<std::vector<double>> TridiagonalEigenvalues(const Tridiagonal& t,
+                                                   int max_iterations = 60);
+
+/// Eigenvalues of a symmetric matrix via tridiagonalization + QL,
+/// ascending. Produces the same spectrum as `SymmetricEigenvalues`
+/// (Jacobi) at a fraction of the cost for larger matrices; the library's
+/// distortion pipeline uses whichever the caller picks.
+Result<std::vector<double>> SymmetricEigenvaluesQl(const Matrix& a);
+
+}  // namespace sose
+
+#endif  // SOSE_CORE_LINALG_TRIDIAG_H_

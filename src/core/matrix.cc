@@ -1,0 +1,192 @@
+#include "core/matrix.h"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace sose {
+
+Matrix::Matrix(int64_t rows, int64_t cols)
+    : rows_(rows), cols_(cols),
+      data_(static_cast<size_t>(rows * cols), 0.0) {
+  SOSE_CHECK(rows >= 0 && cols >= 0);
+}
+
+Matrix::Matrix(int64_t rows, int64_t cols, std::vector<double> values)
+    : rows_(rows), cols_(cols), data_(std::move(values)) {
+  SOSE_CHECK(rows >= 0 && cols >= 0);
+  SOSE_CHECK(static_cast<int64_t>(data_.size()) == rows * cols);
+}
+
+Matrix Matrix::Identity(int64_t n) {
+  Matrix eye(n, n);
+  for (int64_t i = 0; i < n; ++i) eye.At(i, i) = 1.0;
+  return eye;
+}
+
+std::vector<double> Matrix::Col(int64_t j) const {
+  SOSE_CHECK(j >= 0 && j < cols_);
+  std::vector<double> col(static_cast<size_t>(rows_));
+  for (int64_t i = 0; i < rows_; ++i) col[static_cast<size_t>(i)] = At(i, j);
+  return col;
+}
+
+void Matrix::Fill(double value) {
+  for (double& entry : data_) entry = value;
+}
+
+void Matrix::Scale(double factor) {
+  for (double& entry : data_) entry *= factor;
+}
+
+void Matrix::AddScaled(const Matrix& other, double factor) {
+  SOSE_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += factor * other.data_[i];
+}
+
+Matrix Matrix::Transposed() const {
+  Matrix out(cols_, rows_);
+  for (int64_t i = 0; i < rows_; ++i) {
+    const double* row = Row(i);
+    for (int64_t j = 0; j < cols_; ++j) out.At(j, i) = row[j];
+  }
+  return out;
+}
+
+double Matrix::FrobeniusNorm() const {
+  double sum = 0.0;
+  for (double entry : data_) sum += entry * entry;
+  return std::sqrt(sum);
+}
+
+double Matrix::MaxAbs() const {
+  double best = 0.0;
+  for (double entry : data_) best = std::max(best, std::fabs(entry));
+  return best;
+}
+
+double Matrix::ColNormSquared(int64_t j) const {
+  SOSE_CHECK(j >= 0 && j < cols_);
+  double sum = 0.0;
+  for (int64_t i = 0; i < rows_; ++i) {
+    const double v = At(i, j);
+    sum += v * v;
+  }
+  return sum;
+}
+
+double Matrix::ColDot(int64_t j, int64_t k) const {
+  SOSE_CHECK(j >= 0 && j < cols_);
+  SOSE_CHECK(k >= 0 && k < cols_);
+  double sum = 0.0;
+  for (int64_t i = 0; i < rows_; ++i) sum += At(i, j) * At(i, k);
+  return sum;
+}
+
+std::string Matrix::ToString(int max_rows, int max_cols) const {
+  std::ostringstream out;
+  out << rows_ << "x" << cols_ << " matrix\n";
+  const int64_t show_rows = std::min<int64_t>(rows_, max_rows);
+  const int64_t show_cols = std::min<int64_t>(cols_, max_cols);
+  char buffer[32];
+  for (int64_t i = 0; i < show_rows; ++i) {
+    out << "  [";
+    for (int64_t j = 0; j < show_cols; ++j) {
+      std::snprintf(buffer, sizeof(buffer), "% .4g", At(i, j));
+      out << buffer << (j + 1 < show_cols ? ", " : "");
+    }
+    if (show_cols < cols_) out << ", ...";
+    out << "]\n";
+  }
+  if (show_rows < rows_) out << "  ...\n";
+  return out.str();
+}
+
+Matrix MatMul(const Matrix& a, const Matrix& b) {
+  SOSE_CHECK(a.cols() == b.rows());
+  Matrix out(a.rows(), b.cols());
+  // i-k-j loop order: streams over rows of `b` and `out`, which is the
+  // cache-friendly order for row-major storage.
+  for (int64_t i = 0; i < a.rows(); ++i) {
+    double* out_row = out.Row(i);
+    const double* a_row = a.Row(i);
+    for (int64_t k = 0; k < a.cols(); ++k) {
+      const double a_ik = a_row[k];
+      if (a_ik == 0.0) continue;
+      const double* b_row = b.Row(k);
+      for (int64_t j = 0; j < b.cols(); ++j) out_row[j] += a_ik * b_row[j];
+    }
+  }
+  return out;
+}
+
+Matrix MatMulTransposeA(const Matrix& a, const Matrix& b) {
+  SOSE_CHECK(a.rows() == b.rows());
+  Matrix out(a.cols(), b.cols());
+  for (int64_t k = 0; k < a.rows(); ++k) {
+    const double* a_row = a.Row(k);
+    const double* b_row = b.Row(k);
+    for (int64_t i = 0; i < a.cols(); ++i) {
+      const double a_ki = a_row[i];
+      if (a_ki == 0.0) continue;
+      double* out_row = out.Row(i);
+      for (int64_t j = 0; j < b.cols(); ++j) out_row[j] += a_ki * b_row[j];
+    }
+  }
+  return out;
+}
+
+Matrix MatMulTransposeB(const Matrix& a, const Matrix& b) {
+  SOSE_CHECK(a.cols() == b.cols());
+  Matrix out(a.rows(), b.rows());
+  for (int64_t i = 0; i < a.rows(); ++i) {
+    const double* a_row = a.Row(i);
+    double* out_row = out.Row(i);
+    for (int64_t j = 0; j < b.rows(); ++j) {
+      const double* b_row = b.Row(j);
+      double sum = 0.0;
+      for (int64_t k = 0; k < a.cols(); ++k) sum += a_row[k] * b_row[k];
+      out_row[j] = sum;
+    }
+  }
+  return out;
+}
+
+Matrix Gram(const Matrix& a) { return MatMulTransposeA(a, a); }
+
+std::vector<double> MatVec(const Matrix& a, const std::vector<double>& x) {
+  SOSE_CHECK(static_cast<int64_t>(x.size()) == a.cols());
+  std::vector<double> out(static_cast<size_t>(a.rows()), 0.0);
+  for (int64_t i = 0; i < a.rows(); ++i) {
+    const double* row = a.Row(i);
+    double sum = 0.0;
+    for (int64_t j = 0; j < a.cols(); ++j) sum += row[j] * x[static_cast<size_t>(j)];
+    out[static_cast<size_t>(i)] = sum;
+  }
+  return out;
+}
+
+std::vector<double> MatVecTransposed(const Matrix& a,
+                                     const std::vector<double>& x) {
+  SOSE_CHECK(static_cast<int64_t>(x.size()) == a.rows());
+  std::vector<double> out(static_cast<size_t>(a.cols()), 0.0);
+  for (int64_t i = 0; i < a.rows(); ++i) {
+    const double xi = x[static_cast<size_t>(i)];
+    if (xi == 0.0) continue;
+    const double* row = a.Row(i);
+    for (int64_t j = 0; j < a.cols(); ++j) out[static_cast<size_t>(j)] += xi * row[j];
+  }
+  return out;
+}
+
+bool AlmostEqual(const Matrix& a, const Matrix& b, double tol) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) return false;
+  for (int64_t i = 0; i < a.rows(); ++i) {
+    for (int64_t j = 0; j < a.cols(); ++j) {
+      if (std::fabs(a.At(i, j) - b.At(i, j)) > tol) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace sose

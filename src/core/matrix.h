@@ -1,0 +1,116 @@
+#ifndef SOSE_CORE_MATRIX_H_
+#define SOSE_CORE_MATRIX_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/check.h"
+
+namespace sose {
+
+/// Dense row-major matrix of doubles.
+///
+/// This is the workhorse value type of the library: sketched matrices
+/// (`ΠU`), Gram matrices, and eigen/QR factors are all `Matrix`. It is a
+/// plain container plus a small set of cache-friendly kernels; anything
+/// factorization-shaped lives in `core/linalg_*`.
+class Matrix {
+ public:
+  /// An empty 0x0 matrix.
+  Matrix() = default;
+
+  /// A `rows` x `cols` matrix of zeros. Dimensions must be non-negative.
+  Matrix(int64_t rows, int64_t cols);
+
+  /// A matrix with the given entries; `values` is row-major and must have
+  /// exactly `rows * cols` elements.
+  Matrix(int64_t rows, int64_t cols, std::vector<double> values);
+
+  /// The n x n identity.
+  static Matrix Identity(int64_t n);
+
+  int64_t rows() const { return rows_; }
+  int64_t cols() const { return cols_; }
+  int64_t size() const { return rows_ * cols_; }
+
+  /// Mutable/const element access with debug bounds checks.
+  double& At(int64_t i, int64_t j) {
+    SOSE_DCHECK(i >= 0 && i < rows_ && j >= 0 && j < cols_);
+    return data_[static_cast<size_t>(i * cols_ + j)];
+  }
+  double At(int64_t i, int64_t j) const {
+    SOSE_DCHECK(i >= 0 && i < rows_ && j >= 0 && j < cols_);
+    return data_[static_cast<size_t>(i * cols_ + j)];
+  }
+
+  /// Raw row-major storage.
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+
+  /// Pointer to the start of row `i`.
+  double* Row(int64_t i) { return data() + i * cols_; }
+  const double* Row(int64_t i) const { return data() + i * cols_; }
+
+  /// Copies column `j` into a vector.
+  std::vector<double> Col(int64_t j) const;
+
+  /// Sets every entry to `value`.
+  void Fill(double value);
+
+  /// Multiplies every entry by `factor` in place.
+  void Scale(double factor);
+
+  /// Adds `factor * other` entrywise; shapes must match.
+  void AddScaled(const Matrix& other, double factor);
+
+  /// Returns the transpose.
+  Matrix Transposed() const;
+
+  /// Frobenius norm.
+  double FrobeniusNorm() const;
+
+  /// Largest absolute entry (0 for an empty matrix).
+  double MaxAbs() const;
+
+  /// Squared Euclidean norm of column `j`.
+  double ColNormSquared(int64_t j) const;
+
+  /// Inner product of columns `j` and `k`.
+  double ColDot(int64_t j, int64_t k) const;
+
+  /// Human-readable rendering (small matrices only; intended for debugging
+  /// and test failure messages).
+  std::string ToString(int max_rows = 8, int max_cols = 8) const;
+
+ private:
+  int64_t rows_ = 0;
+  int64_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Returns `a * b`. Inner dimensions must agree.
+Matrix MatMul(const Matrix& a, const Matrix& b);
+
+/// Returns `aᵀ * b`. Row counts must agree.
+Matrix MatMulTransposeA(const Matrix& a, const Matrix& b);
+
+/// Returns `a * bᵀ`. Column counts must agree.
+Matrix MatMulTransposeB(const Matrix& a, const Matrix& b);
+
+/// Returns the Gram matrix `aᵀ a` (symmetric `cols x cols`).
+Matrix Gram(const Matrix& a);
+
+/// Returns `a * x` for a vector `x` of length `a.cols()`.
+std::vector<double> MatVec(const Matrix& a, const std::vector<double>& x);
+
+/// Returns `aᵀ * x` for a vector `x` of length `a.rows()`.
+std::vector<double> MatVecTransposed(const Matrix& a,
+                                     const std::vector<double>& x);
+
+/// True if shapes match and entries agree within `tol` (absolute).
+bool AlmostEqual(const Matrix& a, const Matrix& b, double tol);
+
+}  // namespace sose
+
+#endif  // SOSE_CORE_MATRIX_H_

@@ -1,0 +1,35 @@
+#include "core/poly_hash.h"
+
+namespace sose {
+
+Result<PolyHash> PolyHash::Create(int64_t k, uint64_t range, Rng* rng) {
+  if (k < 1) {
+    return Status::InvalidArgument("PolyHash: independence k must be >= 1");
+  }
+  if (range < 1) {
+    return Status::InvalidArgument("PolyHash: range must be >= 1");
+  }
+  SOSE_CHECK(rng != nullptr);
+  std::vector<uint64_t> coefficients(static_cast<size_t>(k));
+  for (uint64_t& coefficient : coefficients) {
+    coefficient = rng->UniformInt(MersenneField::kPrime);
+  }
+  // A zero leading coefficient only lowers the polynomial degree for that
+  // draw, which the k-wise independence guarantee tolerates.
+  return PolyHash(std::move(coefficients), range);
+}
+
+uint64_t PolyHash::Eval(uint64_t x) const {
+  const uint64_t point = MersenneField::Reduce(x);
+  // Horner evaluation from the highest coefficient.
+  uint64_t acc = 0;
+  for (size_t i = coefficients_.size(); i > 0; --i) {
+    acc = MersenneField::AddMod(MersenneField::MulMod(acc, point),
+                                coefficients_[i - 1]);
+  }
+  // Range reduction by multiply-shift keeps the bias at range/p.
+  const __uint128_t scaled = static_cast<__uint128_t>(acc) * range_;
+  return static_cast<uint64_t>(scaled / MersenneField::kPrime);
+}
+
+}  // namespace sose

@@ -1,0 +1,77 @@
+#ifndef SOSE_CORE_POLY_HASH_H_
+#define SOSE_CORE_POLY_HASH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/random.h"
+#include "core/status.h"
+
+namespace sose {
+
+/// Arithmetic over the Mersenne prime p = 2^61 − 1, the standard field for
+/// k-independent polynomial hashing (reduction is two shifts and an add).
+class MersenneField {
+ public:
+  static constexpr uint64_t kPrime = (uint64_t{1} << 61) - 1;
+
+  /// x mod p for x < 2^62 + p (one folding step); inputs from MulMod/AddMod
+  /// always satisfy this.
+  static uint64_t Reduce(uint64_t x) {
+    uint64_t folded = (x & kPrime) + (x >> 61);
+    if (folded >= kPrime) folded -= kPrime;
+    return folded;
+  }
+
+  /// (a + b) mod p for a, b < p.
+  static uint64_t AddMod(uint64_t a, uint64_t b) {
+    uint64_t sum = a + b;
+    if (sum >= kPrime) sum -= kPrime;
+    return sum;
+  }
+
+  /// (a * b) mod p for a, b < p, via 128-bit product folding.
+  static uint64_t MulMod(uint64_t a, uint64_t b) {
+    const __uint128_t product = static_cast<__uint128_t>(a) * b;
+    const uint64_t lo = static_cast<uint64_t>(product) & kPrime;
+    const uint64_t hi = static_cast<uint64_t>(product >> 61);
+    return Reduce(lo + hi);
+  }
+};
+
+/// A k-wise independent hash function h : [2^61 − 1] → [range), implemented
+/// as a degree-(k−1) polynomial with uniform coefficients over the Mersenne
+/// field (Wegman–Carter). Exactly k-wise independent over the field; the
+/// final range reduction introduces O(range/p) bias, negligible here.
+///
+/// Used by the limited-independence Count-Sketch ablation: the paper's
+/// constructions assume fully random hashing, and this class lets the
+/// experiment suite measure how little independence the hard instances
+/// actually need.
+class PolyHash {
+ public:
+  /// Draws a k-wise independent function with outputs in [0, range).
+  /// Fails unless k >= 1 and range >= 1.
+  static Result<PolyHash> Create(int64_t k, uint64_t range, Rng* rng);
+
+  /// Evaluates the hash at `x` (any 64-bit value; reduced into the field).
+  uint64_t Eval(uint64_t x) const;
+
+  /// The independence parameter k.
+  int64_t independence() const {
+    return static_cast<int64_t>(coefficients_.size());
+  }
+
+  uint64_t range() const { return range_; }
+
+ private:
+  PolyHash(std::vector<uint64_t> coefficients, uint64_t range)
+      : coefficients_(std::move(coefficients)), range_(range) {}
+
+  std::vector<uint64_t> coefficients_;  // Degree k-1 polynomial, low first.
+  uint64_t range_;
+};
+
+}  // namespace sose
+
+#endif  // SOSE_CORE_POLY_HASH_H_

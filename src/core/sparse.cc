@@ -1,0 +1,255 @@
+#include "core/sparse.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sose {
+
+namespace {
+
+// Sorts entries, sums duplicates, drops zeros. `primary` selects row-major
+// (CSR) or column-major (CSC) ordering.
+std::vector<SparseEntry> Compact(std::vector<SparseEntry> entries,
+                                 bool row_major) {
+  auto key_less = [row_major](const SparseEntry& a, const SparseEntry& b) {
+    if (row_major) {
+      return a.row != b.row ? a.row < b.row : a.col < b.col;
+    }
+    return a.col != b.col ? a.col < b.col : a.row < b.row;
+  };
+  std::sort(entries.begin(), entries.end(), key_less);
+  std::vector<SparseEntry> out;
+  out.reserve(entries.size());
+  for (const SparseEntry& entry : entries) {
+    if (!out.empty() && out.back().row == entry.row &&
+        out.back().col == entry.col) {
+      out.back().value += entry.value;
+    } else {
+      out.push_back(entry);
+    }
+  }
+  std::erase_if(out, [](const SparseEntry& e) { return e.value == 0.0; });
+  return out;
+}
+
+}  // namespace
+
+CooBuilder::CooBuilder(int64_t rows, int64_t cols) : rows_(rows), cols_(cols) {
+  SOSE_CHECK(rows >= 0 && cols >= 0);
+}
+
+void CooBuilder::Add(int64_t row, int64_t col, double value) {
+  SOSE_CHECK(row >= 0 && row < rows_);
+  SOSE_CHECK(col >= 0 && col < cols_);
+  entries_.push_back(SparseEntry{row, col, value});
+}
+
+CsrMatrix CooBuilder::ToCsr() const {
+  std::vector<SparseEntry> compact = Compact(entries_, /*row_major=*/true);
+  std::vector<int64_t> row_ptr(static_cast<size_t>(rows_) + 1, 0);
+  std::vector<int64_t> col_idx;
+  std::vector<double> values;
+  col_idx.reserve(compact.size());
+  values.reserve(compact.size());
+  for (const SparseEntry& entry : compact) {
+    ++row_ptr[static_cast<size_t>(entry.row) + 1];
+    col_idx.push_back(entry.col);
+    values.push_back(entry.value);
+  }
+  for (size_t i = 1; i < row_ptr.size(); ++i) row_ptr[i] += row_ptr[i - 1];
+  return CsrMatrix(rows_, cols_, std::move(row_ptr), std::move(col_idx),
+                   std::move(values));
+}
+
+CscMatrix CooBuilder::ToCsc() const {
+  std::vector<SparseEntry> compact = Compact(entries_, /*row_major=*/false);
+  std::vector<int64_t> col_ptr(static_cast<size_t>(cols_) + 1, 0);
+  std::vector<int64_t> row_idx;
+  std::vector<double> values;
+  row_idx.reserve(compact.size());
+  values.reserve(compact.size());
+  for (const SparseEntry& entry : compact) {
+    ++col_ptr[static_cast<size_t>(entry.col) + 1];
+    row_idx.push_back(entry.row);
+    values.push_back(entry.value);
+  }
+  for (size_t i = 1; i < col_ptr.size(); ++i) col_ptr[i] += col_ptr[i - 1];
+  return CscMatrix(rows_, cols_, std::move(col_ptr), std::move(row_idx),
+                   std::move(values));
+}
+
+CsrMatrix::CsrMatrix(int64_t rows, int64_t cols, std::vector<int64_t> row_ptr,
+                     std::vector<int64_t> col_idx, std::vector<double> values)
+    : rows_(rows),
+      cols_(cols),
+      row_ptr_(std::move(row_ptr)),
+      col_idx_(std::move(col_idx)),
+      values_(std::move(values)) {
+  SOSE_CHECK(rows >= 0 && cols >= 0);
+  SOSE_CHECK(static_cast<int64_t>(row_ptr_.size()) == rows_ + 1);
+  SOSE_CHECK(col_idx_.size() == values_.size());
+  SOSE_CHECK(row_ptr_.front() == 0);
+  SOSE_CHECK(row_ptr_.back() == static_cast<int64_t>(values_.size()));
+}
+
+Matrix CsrMatrix::Multiply(const Matrix& dense) const {
+  SOSE_CHECK(dense.rows() == cols_);
+  Matrix out(rows_, dense.cols());
+  for (int64_t i = 0; i < rows_; ++i) {
+    double* out_row = out.Row(i);
+    for (int64_t p = row_ptr_[static_cast<size_t>(i)];
+         p < row_ptr_[static_cast<size_t>(i) + 1]; ++p) {
+      const double v = values_[static_cast<size_t>(p)];
+      const double* dense_row = dense.Row(col_idx_[static_cast<size_t>(p)]);
+      for (int64_t j = 0; j < dense.cols(); ++j) out_row[j] += v * dense_row[j];
+    }
+  }
+  return out;
+}
+
+std::vector<double> CsrMatrix::MatVec(const std::vector<double>& x) const {
+  SOSE_CHECK(static_cast<int64_t>(x.size()) == cols_);
+  std::vector<double> out(static_cast<size_t>(rows_), 0.0);
+  for (int64_t i = 0; i < rows_; ++i) {
+    double sum = 0.0;
+    for (int64_t p = row_ptr_[static_cast<size_t>(i)];
+         p < row_ptr_[static_cast<size_t>(i) + 1]; ++p) {
+      sum += values_[static_cast<size_t>(p)] *
+             x[static_cast<size_t>(col_idx_[static_cast<size_t>(p)])];
+    }
+    out[static_cast<size_t>(i)] = sum;
+  }
+  return out;
+}
+
+std::vector<double> CsrMatrix::MatVecTransposed(
+    const std::vector<double>& x) const {
+  SOSE_CHECK(static_cast<int64_t>(x.size()) == rows_);
+  std::vector<double> out(static_cast<size_t>(cols_), 0.0);
+  for (int64_t i = 0; i < rows_; ++i) {
+    const double xi = x[static_cast<size_t>(i)];
+    if (xi == 0.0) continue;
+    for (int64_t p = row_ptr_[static_cast<size_t>(i)];
+         p < row_ptr_[static_cast<size_t>(i) + 1]; ++p) {
+      out[static_cast<size_t>(col_idx_[static_cast<size_t>(p)])] +=
+          xi * values_[static_cast<size_t>(p)];
+    }
+  }
+  return out;
+}
+
+Matrix CsrMatrix::ToDense() const {
+  Matrix out(rows_, cols_);
+  for (int64_t i = 0; i < rows_; ++i) {
+    for (int64_t p = row_ptr_[static_cast<size_t>(i)];
+         p < row_ptr_[static_cast<size_t>(i) + 1]; ++p) {
+      out.At(i, col_idx_[static_cast<size_t>(p)]) =
+          values_[static_cast<size_t>(p)];
+    }
+  }
+  return out;
+}
+
+double CsrMatrix::FrobeniusNorm() const {
+  double sum = 0.0;
+  for (double v : values_) sum += v * v;
+  return std::sqrt(sum);
+}
+
+CscMatrix::CscMatrix(int64_t rows, int64_t cols, std::vector<int64_t> col_ptr,
+                     std::vector<int64_t> row_idx, std::vector<double> values)
+    : rows_(rows),
+      cols_(cols),
+      col_ptr_(std::move(col_ptr)),
+      row_idx_(std::move(row_idx)),
+      values_(std::move(values)) {
+  SOSE_CHECK(rows >= 0 && cols >= 0);
+  SOSE_CHECK(static_cast<int64_t>(col_ptr_.size()) == cols_ + 1);
+  SOSE_CHECK(row_idx_.size() == values_.size());
+  SOSE_CHECK(col_ptr_.front() == 0);
+  SOSE_CHECK(col_ptr_.back() == static_cast<int64_t>(values_.size()));
+}
+
+double CscMatrix::ColNormSquared(int64_t j) const {
+  SOSE_CHECK(j >= 0 && j < cols_);
+  double sum = 0.0;
+  for (int64_t p = col_ptr_[static_cast<size_t>(j)];
+       p < col_ptr_[static_cast<size_t>(j) + 1]; ++p) {
+    const double v = values_[static_cast<size_t>(p)];
+    sum += v * v;
+  }
+  return sum;
+}
+
+double CscMatrix::ColDot(int64_t j, int64_t k) const {
+  SOSE_CHECK(j >= 0 && j < cols_);
+  SOSE_CHECK(k >= 0 && k < cols_);
+  int64_t p = col_ptr_[static_cast<size_t>(j)];
+  int64_t q = col_ptr_[static_cast<size_t>(k)];
+  const int64_t p_end = col_ptr_[static_cast<size_t>(j) + 1];
+  const int64_t q_end = col_ptr_[static_cast<size_t>(k) + 1];
+  double sum = 0.0;
+  while (p < p_end && q < q_end) {
+    const int64_t rp = row_idx_[static_cast<size_t>(p)];
+    const int64_t rq = row_idx_[static_cast<size_t>(q)];
+    if (rp == rq) {
+      sum += values_[static_cast<size_t>(p)] * values_[static_cast<size_t>(q)];
+      ++p;
+      ++q;
+    } else if (rp < rq) {
+      ++p;
+    } else {
+      ++q;
+    }
+  }
+  return sum;
+}
+
+Matrix CscMatrix::Multiply(const Matrix& dense) const {
+  SOSE_CHECK(dense.rows() == cols_);
+  Matrix out(rows_, dense.cols());
+  for (int64_t j = 0; j < cols_; ++j) {
+    const double* dense_row = dense.Row(j);
+    for (int64_t p = col_ptr_[static_cast<size_t>(j)];
+         p < col_ptr_[static_cast<size_t>(j) + 1]; ++p) {
+      double* out_row = out.Row(row_idx_[static_cast<size_t>(p)]);
+      const double v = values_[static_cast<size_t>(p)];
+      for (int64_t k = 0; k < dense.cols(); ++k) out_row[k] += v * dense_row[k];
+    }
+  }
+  return out;
+}
+
+std::vector<double> CscMatrix::MatVec(const std::vector<double>& x) const {
+  SOSE_CHECK(static_cast<int64_t>(x.size()) == cols_);
+  std::vector<double> out(static_cast<size_t>(rows_), 0.0);
+  for (int64_t j = 0; j < cols_; ++j) {
+    const double xj = x[static_cast<size_t>(j)];
+    if (xj == 0.0) continue;
+    for (int64_t p = col_ptr_[static_cast<size_t>(j)];
+         p < col_ptr_[static_cast<size_t>(j) + 1]; ++p) {
+      out[static_cast<size_t>(row_idx_[static_cast<size_t>(p)])] +=
+          xj * values_[static_cast<size_t>(p)];
+    }
+  }
+  return out;
+}
+
+Matrix CscMatrix::ToDense() const {
+  Matrix out(rows_, cols_);
+  for (int64_t j = 0; j < cols_; ++j) {
+    for (int64_t p = col_ptr_[static_cast<size_t>(j)];
+         p < col_ptr_[static_cast<size_t>(j) + 1]; ++p) {
+      out.At(row_idx_[static_cast<size_t>(p)], j) = values_[static_cast<size_t>(p)];
+    }
+  }
+  return out;
+}
+
+double CscMatrix::FrobeniusNorm() const {
+  double sum = 0.0;
+  for (double v : values_) sum += v * v;
+  return std::sqrt(sum);
+}
+
+}  // namespace sose

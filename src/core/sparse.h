@@ -1,0 +1,146 @@
+#ifndef SOSE_CORE_SPARSE_H_
+#define SOSE_CORE_SPARSE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/matrix.h"
+
+namespace sose {
+
+/// One nonzero entry of a sparse matrix.
+struct SparseEntry {
+  int64_t row = 0;
+  int64_t col = 0;
+  double value = 0.0;
+};
+
+class CsrMatrix;
+class CscMatrix;
+
+/// Coordinate-format accumulator for building sparse matrices. Duplicate
+/// coordinates are summed on conversion, which is exactly the semantics the
+/// hard-instance distribution `D_β` needs when two canonical-basis columns of
+/// `V` land on the same row.
+class CooBuilder {
+ public:
+  /// Creates a builder for a `rows` x `cols` matrix.
+  CooBuilder(int64_t rows, int64_t cols);
+
+  /// Records `value` at (row, col). Bounds are checked.
+  void Add(int64_t row, int64_t col, double value);
+
+  int64_t rows() const { return rows_; }
+  int64_t cols() const { return cols_; }
+  int64_t num_entries() const { return static_cast<int64_t>(entries_.size()); }
+
+  /// Converts to compressed sparse row format (duplicates summed, explicit
+  /// zeros dropped).
+  CsrMatrix ToCsr() const;
+
+  /// Converts to compressed sparse column format (duplicates summed, explicit
+  /// zeros dropped).
+  CscMatrix ToCsc() const;
+
+ private:
+  int64_t rows_;
+  int64_t cols_;
+  std::vector<SparseEntry> entries_;
+};
+
+/// Compressed sparse row matrix. Immutable after construction.
+class CsrMatrix {
+ public:
+  CsrMatrix() = default;
+
+  /// Direct constructor from CSR arrays; `row_ptr` has rows+1 entries,
+  /// column indices within each row must be strictly increasing.
+  CsrMatrix(int64_t rows, int64_t cols, std::vector<int64_t> row_ptr,
+            std::vector<int64_t> col_idx, std::vector<double> values);
+
+  int64_t rows() const { return rows_; }
+  int64_t cols() const { return cols_; }
+  int64_t nnz() const { return static_cast<int64_t>(values_.size()); }
+
+  const std::vector<int64_t>& row_ptr() const { return row_ptr_; }
+  const std::vector<int64_t>& col_idx() const { return col_idx_; }
+  const std::vector<double>& values() const { return values_; }
+
+  /// Returns `this * dense`; `dense.rows()` must equal `cols()`.
+  Matrix Multiply(const Matrix& dense) const;
+
+  /// Returns `this * x`.
+  std::vector<double> MatVec(const std::vector<double>& x) const;
+
+  /// Returns `thisᵀ * x`.
+  std::vector<double> MatVecTransposed(const std::vector<double>& x) const;
+
+  /// Materialises as a dense matrix (small instances / tests).
+  Matrix ToDense() const;
+
+  /// Frobenius norm.
+  double FrobeniusNorm() const;
+
+ private:
+  int64_t rows_ = 0;
+  int64_t cols_ = 0;
+  std::vector<int64_t> row_ptr_{0};
+  std::vector<int64_t> col_idx_;
+  std::vector<double> values_;
+};
+
+/// Compressed sparse column matrix. Immutable after construction. The
+/// column-oriented layout serves the lower-bound machinery, which constantly
+/// asks for per-column heavy entries and column inner products.
+class CscMatrix {
+ public:
+  CscMatrix() = default;
+
+  /// Direct constructor from CSC arrays; `col_ptr` has cols+1 entries, row
+  /// indices within each column must be strictly increasing.
+  CscMatrix(int64_t rows, int64_t cols, std::vector<int64_t> col_ptr,
+            std::vector<int64_t> row_idx, std::vector<double> values);
+
+  int64_t rows() const { return rows_; }
+  int64_t cols() const { return cols_; }
+  int64_t nnz() const { return static_cast<int64_t>(values_.size()); }
+
+  const std::vector<int64_t>& col_ptr() const { return col_ptr_; }
+  const std::vector<int64_t>& row_idx() const { return row_idx_; }
+  const std::vector<double>& values() const { return values_; }
+
+  /// Number of stored entries in column `j`.
+  int64_t ColNnz(int64_t j) const {
+    SOSE_DCHECK(j >= 0 && j < cols_);
+    return col_ptr_[static_cast<size_t>(j) + 1] - col_ptr_[static_cast<size_t>(j)];
+  }
+
+  /// Squared l2 norm of column `j`.
+  double ColNormSquared(int64_t j) const;
+
+  /// Inner product of columns `j` and `k` (merge over sorted row indices).
+  double ColDot(int64_t j, int64_t k) const;
+
+  /// Returns `this * dense`; `dense.rows()` must equal `cols()`.
+  Matrix Multiply(const Matrix& dense) const;
+
+  /// Returns `this * x`.
+  std::vector<double> MatVec(const std::vector<double>& x) const;
+
+  /// Materialises as a dense matrix (small instances / tests).
+  Matrix ToDense() const;
+
+  /// Frobenius norm.
+  double FrobeniusNorm() const;
+
+ private:
+  int64_t rows_ = 0;
+  int64_t cols_ = 0;
+  std::vector<int64_t> col_ptr_{0};
+  std::vector<int64_t> row_idx_;
+  std::vector<double> values_;
+};
+
+}  // namespace sose
+
+#endif  // SOSE_CORE_SPARSE_H_

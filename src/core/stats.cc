@@ -1,0 +1,129 @@
+#include "core/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/check.h"
+
+namespace sose {
+
+void RunningStats::Add(double x) {
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::Variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::StdDev() const { return std::sqrt(Variance()); }
+
+double RunningStats::StdError() const {
+  if (count_ == 0) return 0.0;
+  return StdDev() / std::sqrt(static_cast<double>(count_));
+}
+
+ConfidenceInterval WilsonInterval(int64_t successes, int64_t trials, double z) {
+  SOSE_CHECK(trials >= 0);
+  SOSE_CHECK(successes >= 0 && successes <= trials);
+  if (trials == 0) return ConfidenceInterval{0.0, 1.0};
+  const double n = static_cast<double>(trials);
+  const double p_hat = static_cast<double>(successes) / n;
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / n;
+  const double center = (p_hat + z2 / (2.0 * n)) / denom;
+  const double half =
+      z * std::sqrt(p_hat * (1.0 - p_hat) / n + z2 / (4.0 * n * n)) / denom;
+  return ConfidenceInterval{std::max(0.0, center - half),
+                            std::min(1.0, center + half)};
+}
+
+double Quantile(std::vector<double> data, double q) {
+  SOSE_CHECK(!data.empty());
+  SOSE_CHECK(q >= 0.0 && q <= 1.0);
+  std::sort(data.begin(), data.end());
+  const double pos = q * static_cast<double>(data.size() - 1);
+  const size_t lower = static_cast<size_t>(pos);
+  const double frac = pos - static_cast<double>(lower);
+  if (lower + 1 >= data.size()) return data.back();
+  return data[lower] * (1.0 - frac) + data[lower + 1] * frac;
+}
+
+LinearFit FitLine(const std::vector<double>& x, const std::vector<double>& y) {
+  SOSE_CHECK(x.size() == y.size());
+  SOSE_CHECK(x.size() >= 2);
+  const double n = static_cast<double>(x.size());
+  double sum_x = 0.0, sum_y = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    sum_x += x[i];
+    sum_y += y[i];
+  }
+  const double mean_x = sum_x / n;
+  const double mean_y = sum_y / n;
+  double sxx = 0.0, sxy = 0.0, syy = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    const double dx = x[i] - mean_x;
+    const double dy = y[i] - mean_y;
+    sxx += dx * dx;
+    sxy += dx * dy;
+    syy += dy * dy;
+  }
+  SOSE_CHECK(sxx > 0.0);
+  LinearFit fit;
+  fit.slope = sxy / sxx;
+  fit.intercept = mean_y - fit.slope * mean_x;
+  fit.r_squared = syy > 0.0 ? (sxy * sxy) / (sxx * syy) : 1.0;
+  return fit;
+}
+
+LinearFit FitPowerLaw(const std::vector<double>& x,
+                      const std::vector<double>& y) {
+  SOSE_CHECK(x.size() == y.size());
+  std::vector<double> log_x(x.size());
+  std::vector<double> log_y(y.size());
+  for (size_t i = 0; i < x.size(); ++i) {
+    SOSE_CHECK(x[i] > 0.0 && y[i] > 0.0);
+    log_x[i] = std::log(x[i]);
+    log_y[i] = std::log(y[i]);
+  }
+  return FitLine(log_x, log_y);
+}
+
+double BinomialUpperTail(int64_t n, double p, int64_t k) {
+  SOSE_CHECK(n >= 0);
+  SOSE_CHECK(p >= 0.0 && p <= 1.0);
+  if (k <= 0) return 1.0;
+  if (k > n) return 0.0;
+  // Sum Pr[X = i] for i in [k, n] in log space for stability.
+  double tail = 0.0;
+  double log_p = std::log(std::max(p, 1e-300));
+  double log_q = std::log(std::max(1.0 - p, 1e-300));
+  // log C(n, i) built incrementally.
+  double log_choose = 0.0;
+  for (int64_t i = 1; i <= k - 1; ++i) {
+    log_choose += std::log(static_cast<double>(n - i + 1)) -
+                  std::log(static_cast<double>(i));
+  }
+  for (int64_t i = k; i <= n; ++i) {
+    if (i >= 1) {
+      log_choose += std::log(static_cast<double>(n - i + 1)) -
+                    std::log(static_cast<double>(i));
+    }
+    const double log_term = log_choose + static_cast<double>(i) * log_p +
+                            static_cast<double>(n - i) * log_q;
+    tail += std::exp(log_term);
+  }
+  return std::min(tail, 1.0);
+}
+
+}  // namespace sose

@@ -1,0 +1,81 @@
+#ifndef SOSE_CORE_STATS_H_
+#define SOSE_CORE_STATS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace sose {
+
+/// Single-pass accumulator for mean/variance/min/max (Welford's algorithm).
+/// Numerically stable for the long Monte-Carlo streams the experiment
+/// harness produces.
+class RunningStats {
+ public:
+  /// Incorporates one observation.
+  void Add(double x);
+
+  /// Number of observations.
+  int64_t count() const { return count_; }
+  /// Sample mean (0 if empty).
+  double Mean() const { return mean_; }
+  /// Unbiased sample variance (0 if fewer than 2 observations).
+  double Variance() const;
+  /// Square root of Variance().
+  double StdDev() const;
+  /// StdDev() / sqrt(count): the standard error of the mean.
+  double StdError() const;
+  double Min() const { return min_; }
+  double Max() const { return max_; }
+
+ private:
+  int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// A two-sided confidence interval [lo, hi].
+struct ConfidenceInterval {
+  double lo = 0.0;
+  double hi = 1.0;
+};
+
+/// Wilson score interval for a binomial proportion with `successes` out of
+/// `trials` at confidence level `z` standard deviations (z = 1.96 for 95%).
+/// Well-behaved at the extremes (0 or all successes), unlike the normal
+/// approximation — important because the experiments estimate failure
+/// probabilities that are sometimes exactly 0 in the sample.
+ConfidenceInterval WilsonInterval(int64_t successes, int64_t trials,
+                                  double z = 1.96);
+
+/// The q-th quantile (0 <= q <= 1) of the data by linear interpolation of
+/// the order statistics. The input is copied and sorted.
+double Quantile(std::vector<double> data, double q);
+
+/// Ordinary least squares fit y = slope * x + intercept.
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  /// Coefficient of determination.
+  double r_squared = 0.0;
+};
+
+/// Fits a line through (x[i], y[i]). Requires at least two points and
+/// non-constant x.
+LinearFit FitLine(const std::vector<double>& x, const std::vector<double>& y);
+
+/// Fits log(y) = slope * log(x) + c, i.e. the power-law exponent in
+/// y ≈ C x^slope. All inputs must be positive. This is how the experiment
+/// suite turns measured thresholds m*(d, ε, δ) into empirical exponents to
+/// compare against the paper's Ω(d²/(ε²δ)).
+LinearFit FitPowerLaw(const std::vector<double>& x,
+                      const std::vector<double>& y);
+
+/// Exact binomial tail Pr[Bin(n, p) >= k], computed by summation (n small
+/// enough for the experiment harness). Used for significance reporting.
+double BinomialUpperTail(int64_t n, double p, int64_t k);
+
+}  // namespace sose
+
+#endif  // SOSE_CORE_STATS_H_

@@ -1,0 +1,103 @@
+#include "core/status.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace sose {
+
+namespace {
+const std::string& EmptyString() {
+  static const std::string* const kEmpty = new std::string;
+  return *kEmpty;
+}
+}  // namespace
+
+const char* StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "ok";
+    case StatusCode::kInvalidArgument:
+      return "invalid-argument";
+    case StatusCode::kOutOfRange:
+      return "out-of-range";
+    case StatusCode::kFailedPrecondition:
+      return "failed-precondition";
+    case StatusCode::kNotFound:
+      return "not-found";
+    case StatusCode::kAlreadyExists:
+      return "already-exists";
+    case StatusCode::kNumericalError:
+      return "numerical-error";
+    case StatusCode::kUnimplemented:
+      return "unimplemented";
+    case StatusCode::kInternal:
+      return "internal";
+  }
+  return "unknown";
+}
+
+Status::Status(StatusCode code, std::string message) {
+  if (code != StatusCode::kOk) {
+    rep_ = std::make_unique<Rep>(Rep{code, std::move(message)});
+  }
+}
+
+Status::Status(const Status& other) {
+  if (other.rep_ != nullptr) rep_ = std::make_unique<Rep>(*other.rep_);
+}
+
+Status& Status::operator=(const Status& other) {
+  if (this != &other) {
+    rep_ = other.rep_ == nullptr ? nullptr : std::make_unique<Rep>(*other.rep_);
+  }
+  return *this;
+}
+
+Status Status::InvalidArgument(std::string message) {
+  return Status(StatusCode::kInvalidArgument, std::move(message));
+}
+Status Status::OutOfRange(std::string message) {
+  return Status(StatusCode::kOutOfRange, std::move(message));
+}
+Status Status::FailedPrecondition(std::string message) {
+  return Status(StatusCode::kFailedPrecondition, std::move(message));
+}
+Status Status::NotFound(std::string message) {
+  return Status(StatusCode::kNotFound, std::move(message));
+}
+Status Status::AlreadyExists(std::string message) {
+  return Status(StatusCode::kAlreadyExists, std::move(message));
+}
+Status Status::NumericalError(std::string message) {
+  return Status(StatusCode::kNumericalError, std::move(message));
+}
+Status Status::Unimplemented(std::string message) {
+  return Status(StatusCode::kUnimplemented, std::move(message));
+}
+Status Status::Internal(std::string message) {
+  return Status(StatusCode::kInternal, std::move(message));
+}
+
+const std::string& Status::message() const {
+  return rep_ == nullptr ? EmptyString() : rep_->message;
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = StatusCodeToString(code());
+  out += ": ";
+  out += message();
+  return out;
+}
+
+void Status::CheckOK() const {
+  if (ok()) return;
+  std::fprintf(stderr, "fatal status: %s\n", ToString().c_str());
+  std::abort();
+}
+
+std::ostream& operator<<(std::ostream& os, const Status& status) {
+  return os << status.ToString();
+}
+
+}  // namespace sose

@@ -1,0 +1,167 @@
+#ifndef SOSE_CORE_STATUS_H_
+#define SOSE_CORE_STATUS_H_
+
+#include <memory>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace sose {
+
+/// Machine-readable category of a failure. Mirrors the Arrow/Abseil set,
+/// restricted to the categories this library can actually produce.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,   ///< Caller passed a malformed or out-of-range value.
+  kOutOfRange = 2,        ///< An index or parameter exceeded a valid bound.
+  kFailedPrecondition = 3,///< Object state does not permit the operation.
+  kNotFound = 4,          ///< A lookup (e.g. sketch registry) had no match.
+  kAlreadyExists = 5,     ///< A registration collided with an existing entry.
+  kNumericalError = 6,    ///< An iterative solver failed to converge, a
+                          ///< matrix was singular/not SPD, etc.
+  kUnimplemented = 7,     ///< Feature intentionally not provided.
+  kInternal = 8,          ///< Invariant violation inside the library.
+};
+
+/// Returns the canonical lowercase name of a status code, e.g.
+/// "invalid-argument".
+const char* StatusCodeToString(StatusCode code);
+
+/// A cheap, movable success/error value. Functions in this library that can
+/// fail for reasons other than programming errors return `Status` (or
+/// `Result<T>`) instead of throwing: the database-style guides this project
+/// follows ban exceptions across API boundaries.
+///
+/// The OK status carries no allocation; error statuses own a message.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  /// Constructs a status with the given code and message. `code` must not be
+  /// `kOk` (use the default constructor for success).
+  Status(StatusCode code, std::string message);
+
+  Status(const Status& other);
+  Status& operator=(const Status& other);
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  /// Returns an OK status.
+  static Status OK() { return Status(); }
+  /// Convenience constructors for each error category.
+  static Status InvalidArgument(std::string message);
+  static Status OutOfRange(std::string message);
+  static Status FailedPrecondition(std::string message);
+  static Status NotFound(std::string message);
+  static Status AlreadyExists(std::string message);
+  static Status NumericalError(std::string message);
+  static Status Unimplemented(std::string message);
+  static Status Internal(std::string message);
+
+  /// True iff this status represents success.
+  bool ok() const { return rep_ == nullptr; }
+
+  /// The status code; `kOk` for success.
+  StatusCode code() const { return rep_ == nullptr ? StatusCode::kOk : rep_->code; }
+
+  /// The error message; empty for success.
+  const std::string& message() const;
+
+  /// "OK" or "<code>: <message>".
+  std::string ToString() const;
+
+  /// Aborts the process with the error message if not OK. Intended for
+  /// examples and benches where an error is unrecoverable.
+  void CheckOK() const;
+
+ private:
+  struct Rep {
+    StatusCode code;
+    std::string message;
+  };
+  // Null for OK: keeps the success path allocation-free.
+  std::unique_ptr<Rep> rep_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+/// The value-or-error return type used throughout the library.
+///
+/// A `Result<T>` holds either a `T` or an error `Status`. Accessing the value
+/// of an errored result aborts, so callers must test `ok()` first (or use the
+/// SOSE_ASSIGN_OR_RETURN macro).
+template <typename T>
+class Result {
+ public:
+  /// Constructs a successful result (implicit by design, mirroring Arrow).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Constructs an errored result. `status` must not be OK.
+  Result(Status status) : value_(std::move(status)) {  // NOLINT(runtime/explicit)
+    if (std::get<Status>(value_).ok()) {
+      value_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  /// True iff a value is present.
+  bool ok() const { return std::holds_alternative<T>(value_); }
+
+  /// The error status; OK when a value is present.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(value_);
+  }
+
+  /// The contained value. Aborts if this result holds an error.
+  const T& value() const& {
+    AbortIfError();
+    return std::get<T>(value_);
+  }
+  T& value() & {
+    AbortIfError();
+    return std::get<T>(value_);
+  }
+  T&& value() && {
+    AbortIfError();
+    return std::move(std::get<T>(value_));
+  }
+
+  /// Returns the value, aborting with the error message on failure. For
+  /// examples/benches where errors are unrecoverable.
+  T ValueOrDie() && {
+    AbortIfError();
+    return std::move(std::get<T>(value_));
+  }
+
+ private:
+  void AbortIfError() const {
+    if (!ok()) std::get<Status>(value_).CheckOK();
+  }
+  std::variant<T, Status> value_;
+};
+
+/// Propagates an error status from an expression returning `Status`.
+#define SOSE_RETURN_IF_ERROR(expr)                   \
+  do {                                               \
+    ::sose::Status sose_status_ = (expr);            \
+    if (!sose_status_.ok()) return sose_status_;     \
+  } while (false)
+
+#define SOSE_CONCAT_IMPL_(x, y) x##y
+#define SOSE_CONCAT_(x, y) SOSE_CONCAT_IMPL_(x, y)
+
+/// Evaluates an expression returning `Result<T>`; on success binds the value
+/// to `lhs`, on failure returns the error status from the enclosing function.
+#define SOSE_ASSIGN_OR_RETURN(lhs, rexpr)                             \
+  SOSE_ASSIGN_OR_RETURN_IMPL_(SOSE_CONCAT_(sose_result_, __LINE__),   \
+                              lhs, rexpr)
+
+#define SOSE_ASSIGN_OR_RETURN_IMPL_(result, lhs, rexpr) \
+  auto result = (rexpr);                                \
+  if (!result.ok()) return result.status();             \
+  lhs = std::move(result).value()
+
+}  // namespace sose
+
+#endif  // SOSE_CORE_STATUS_H_

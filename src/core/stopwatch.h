@@ -1,0 +1,32 @@
+#ifndef SOSE_CORE_STOPWATCH_H_
+#define SOSE_CORE_STOPWATCH_H_
+
+#include <chrono>
+
+namespace sose {
+
+/// Wall-clock stopwatch for coarse experiment timing (fine-grained kernel
+/// timing goes through google-benchmark instead).
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Resets the start time to now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed.
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace sose
+
+#endif  // SOSE_CORE_STOPWATCH_H_

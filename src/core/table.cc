@@ -1,0 +1,71 @@
+#include "core/table.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "core/check.h"
+
+namespace sose {
+
+std::string FormatDouble(double value, int precision) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*g", precision, value);
+  return buffer;
+}
+
+AsciiTable::AsciiTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  SOSE_CHECK(!headers_.empty());
+}
+
+void AsciiTable::NewRow() { rows_.emplace_back(); }
+
+void AsciiTable::AddCell(std::string value) {
+  SOSE_CHECK(!rows_.empty());
+  SOSE_CHECK(rows_.back().size() < headers_.size());
+  rows_.back().push_back(std::move(value));
+}
+
+void AsciiTable::AddDouble(double value, int precision) {
+  AddCell(FormatDouble(value, precision));
+}
+
+void AsciiTable::AddInt(int64_t value) { AddCell(std::to_string(value)); }
+
+void AsciiTable::AddProbability(double p, double lo, double hi) {
+  char buffer[96];
+  std::snprintf(buffer, sizeof(buffer), "%.4f [%.4f, %.4f]", p, lo, hi);
+  AddCell(buffer);
+}
+
+std::string AsciiTable::ToString() const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t j = 0; j < headers_.size(); ++j) widths[j] = headers_[j].size();
+  for (const auto& row : rows_) {
+    for (size_t j = 0; j < row.size(); ++j) {
+      widths[j] = std::max(widths[j], row[j].size());
+    }
+  }
+  auto render_row = [&widths](const std::vector<std::string>& cells) {
+    std::string line = "| ";
+    for (size_t j = 0; j < widths.size(); ++j) {
+      const std::string& cell = j < cells.size() ? cells[j] : std::string();
+      line += cell;
+      line.append(widths[j] - cell.size(), ' ');
+      line += " | ";
+    }
+    line.pop_back();  // Trailing space.
+    line += "\n";
+    return line;
+  };
+  std::string out = render_row(headers_);
+  std::string rule = "|";
+  for (size_t width : widths) rule += std::string(width + 2, '-') + "|";
+  out += rule + "\n";
+  for (const auto& row : rows_) out += render_row(row);
+  return out;
+}
+
+void AsciiTable::Print(std::ostream& os) const { os << ToString(); }
+
+}  // namespace sose

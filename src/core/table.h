@@ -1,0 +1,53 @@
+#ifndef SOSE_CORE_TABLE_H_
+#define SOSE_CORE_TABLE_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace sose {
+
+/// Fixed-column ASCII table used by every experiment binary to print
+/// paper-style result tables. Cells are strings; numeric helpers format with
+/// a consistent precision so tables across experiments look alike.
+class AsciiTable {
+ public:
+  /// Creates a table with the given column headers.
+  explicit AsciiTable(std::vector<std::string> headers);
+
+  /// Starts a new row; subsequent Add* calls fill it left to right.
+  void NewRow();
+
+  /// Appends a string cell to the current row.
+  void AddCell(std::string value);
+
+  /// Appends a formatted double (`%.*g`).
+  void AddDouble(double value, int precision = 4);
+
+  /// Appends an integer.
+  void AddInt(int64_t value);
+
+  /// Appends a probability with a Wilson-style "p [lo, hi]" rendering.
+  void AddProbability(double p, double lo, double hi);
+
+  /// Number of data rows so far.
+  int64_t num_rows() const { return static_cast<int64_t>(rows_.size()); }
+
+  /// Renders with aligned columns, a header rule, and outer padding.
+  std::string ToString() const;
+
+  /// Convenience: streams ToString().
+  void Print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `%.*g`.
+std::string FormatDouble(double value, int precision = 4);
+
+}  // namespace sose
+
+#endif  // SOSE_CORE_TABLE_H_

@@ -1,0 +1,54 @@
+#include "core/vector_ops.h"
+
+#include <cmath>
+
+#include "core/check.h"
+
+namespace sose {
+
+double Dot(const std::vector<double>& x, const std::vector<double>& y) {
+  SOSE_CHECK(x.size() == y.size());
+  double sum = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) sum += x[i] * y[i];
+  return sum;
+}
+
+double Norm2(const std::vector<double>& x) { return std::sqrt(Norm2Squared(x)); }
+
+double Norm2Squared(const std::vector<double>& x) {
+  double sum = 0.0;
+  for (double v : x) sum += v * v;
+  return sum;
+}
+
+double NormInf(const std::vector<double>& x) {
+  double best = 0.0;
+  for (double v : x) best = std::max(best, std::fabs(v));
+  return best;
+}
+
+void Axpy(double alpha, const std::vector<double>& x, std::vector<double>* y) {
+  SOSE_CHECK(y != nullptr && x.size() == y->size());
+  for (size_t i = 0; i < x.size(); ++i) (*y)[i] += alpha * x[i];
+}
+
+void ScaleVec(double alpha, std::vector<double>* x) {
+  SOSE_CHECK(x != nullptr);
+  for (double& v : *x) v *= alpha;
+}
+
+void Normalize(std::vector<double>* x) {
+  SOSE_CHECK(x != nullptr);
+  const double norm = Norm2(*x);
+  if (norm > 0.0) ScaleVec(1.0 / norm, x);
+}
+
+std::vector<double> Subtract(const std::vector<double>& x,
+                             const std::vector<double>& y) {
+  SOSE_CHECK(x.size() == y.size());
+  std::vector<double> out(x.size());
+  for (size_t i = 0; i < x.size(); ++i) out[i] = x[i] - y[i];
+  return out;
+}
+
+}  // namespace sose

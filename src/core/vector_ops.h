@@ -1,0 +1,35 @@
+#ifndef SOSE_CORE_VECTOR_OPS_H_
+#define SOSE_CORE_VECTOR_OPS_H_
+
+#include <vector>
+
+namespace sose {
+
+/// Euclidean inner product; sizes must agree.
+double Dot(const std::vector<double>& x, const std::vector<double>& y);
+
+/// Euclidean (l2) norm.
+double Norm2(const std::vector<double>& x);
+
+/// Squared Euclidean norm.
+double Norm2Squared(const std::vector<double>& x);
+
+/// l-infinity norm.
+double NormInf(const std::vector<double>& x);
+
+/// y += alpha * x; sizes must agree.
+void Axpy(double alpha, const std::vector<double>& x, std::vector<double>* y);
+
+/// x *= alpha.
+void ScaleVec(double alpha, std::vector<double>* x);
+
+/// Scales x to unit l2 norm. A zero vector is left unchanged.
+void Normalize(std::vector<double>* x);
+
+/// Entrywise difference x - y.
+std::vector<double> Subtract(const std::vector<double>& x,
+                             const std::vector<double>& y);
+
+}  // namespace sose
+
+#endif  // SOSE_CORE_VECTOR_OPS_H_

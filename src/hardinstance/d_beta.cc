@@ -1,0 +1,41 @@
+#include "hardinstance/d_beta.h"
+
+namespace sose {
+
+Result<DBetaSampler> DBetaSampler::Create(int64_t n, int64_t d,
+                                          int64_t entries_per_col) {
+  if (d <= 0 || entries_per_col <= 0) {
+    return Status::InvalidArgument(
+        "DBetaSampler: d and entries_per_col must be positive");
+  }
+  if (n < d * entries_per_col) {
+    return Status::InvalidArgument(
+        "DBetaSampler: need n >= d * entries_per_col (= d/beta)");
+  }
+  return DBetaSampler(n, d, entries_per_col);
+}
+
+HardInstance DBetaSampler::Sample(Rng* rng) const {
+  SOSE_CHECK(rng != nullptr);
+  HardInstance instance;
+  instance.n = n_;
+  instance.d = d_;
+  instance.entries_per_col = entries_per_col_;
+  instance.beta = beta();
+  const int64_t k = d_ * entries_per_col_;
+  instance.rows.resize(static_cast<size_t>(k));
+  instance.signs.resize(static_cast<size_t>(k));
+  for (int64_t j = 0; j < k; ++j) {
+    instance.rows[static_cast<size_t>(j)] =
+        static_cast<int64_t>(rng->UniformInt(static_cast<uint64_t>(n_)));
+    instance.signs[static_cast<size_t>(j)] = rng->Rademacher();
+  }
+  return instance;
+}
+
+double DBetaSampler::CollisionProbabilityUpperBound() const {
+  const double k = static_cast<double>(d_ * entries_per_col_);
+  return k * (k - 1.0) / (2.0 * static_cast<double>(n_));
+}
+
+}  // namespace sose

@@ -1,0 +1,99 @@
+#include "hardinstance/hard_instance.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "core/check.h"
+
+namespace sose {
+
+bool HardInstance::HasRowCollision() const {
+  std::unordered_set<int64_t> seen;
+  seen.reserve(rows.size() * 2);
+  for (int64_t row : rows) {
+    if (!seen.insert(row).second) return true;
+  }
+  return false;
+}
+
+CscMatrix HardInstance::ToCsc() const {
+  SOSE_CHECK(static_cast<int64_t>(rows.size()) == d * entries_per_col);
+  SOSE_CHECK(rows.size() == signs.size());
+  const double magnitude = std::sqrt(beta);
+  std::vector<int64_t> col_ptr(static_cast<size_t>(d) + 1, 0);
+  std::vector<int64_t> row_idx;
+  std::vector<double> values;
+  row_idx.reserve(rows.size());
+  values.reserve(rows.size());
+  std::vector<std::pair<int64_t, double>> column;
+  for (int64_t i = 0; i < d; ++i) {
+    column.clear();
+    for (int64_t j = i * entries_per_col; j < (i + 1) * entries_per_col; ++j) {
+      column.emplace_back(rows[static_cast<size_t>(j)],
+                          magnitude * signs[static_cast<size_t>(j)]);
+    }
+    std::sort(column.begin(), column.end());
+    // Sum duplicates (two generators of the same column on the same row).
+    for (size_t p = 0; p < column.size(); ++p) {
+      if (!row_idx.empty() &&
+          static_cast<int64_t>(values.size()) > col_ptr[static_cast<size_t>(i)] &&
+          row_idx.back() == column[p].first) {
+        values.back() += column[p].second;
+      } else {
+        row_idx.push_back(column[p].first);
+        values.push_back(column[p].second);
+      }
+    }
+    // Drop entries that cancelled to zero within this column.
+    size_t write = static_cast<size_t>(col_ptr[static_cast<size_t>(i)]);
+    for (size_t p = write; p < values.size(); ++p) {
+      if (values[p] != 0.0) {
+        values[write] = values[p];
+        row_idx[write] = row_idx[p];
+        ++write;
+      }
+    }
+    values.resize(write);
+    row_idx.resize(write);
+    col_ptr[static_cast<size_t>(i) + 1] = static_cast<int64_t>(write);
+  }
+  return CscMatrix(n, d, std::move(col_ptr), std::move(row_idx),
+                   std::move(values));
+}
+
+Matrix HardInstance::GramU() const {
+  // Group generators by row; two columns overlap only through shared rows.
+  Matrix gram(d, d);
+  std::unordered_map<int64_t, std::vector<std::pair<int64_t, double>>> by_row;
+  by_row.reserve(rows.size() * 2);
+  for (int64_t j = 0; j < NumGenerators(); ++j) {
+    const int64_t column = j / entries_per_col;
+    by_row[rows[static_cast<size_t>(j)]].emplace_back(
+        column, std::sqrt(beta) * signs[static_cast<size_t>(j)]);
+  }
+  for (const auto& [row, contributions] : by_row) {
+    (void)row;
+    // Sum contributions per column first (duplicates within a column).
+    std::unordered_map<int64_t, double> per_column;
+    for (const auto& [column, value] : contributions) {
+      per_column[column] += value;
+    }
+    for (const auto& [ci, vi] : per_column) {
+      for (const auto& [cj, vj] : per_column) {
+        gram.At(ci, cj) += vi * vj;
+      }
+    }
+  }
+  return gram;
+}
+
+std::vector<int64_t> HardInstance::TouchedRows() const {
+  std::vector<int64_t> out = rows;
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace sose

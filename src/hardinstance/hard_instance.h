@@ -1,0 +1,53 @@
+#ifndef SOSE_HARDINSTANCE_HARD_INSTANCE_H_
+#define SOSE_HARDINSTANCE_HARD_INSTANCE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/matrix.h"
+#include "core/sparse.h"
+
+namespace sose {
+
+/// A sample U = VW from the paper's Definition 2 distribution D_β,
+/// represented exactly but sparsely.
+///
+/// U ∈ R^{n x d} has d columns; column i is √β · Σ_{j ∈ block i} σ_j e_{C_j}
+/// where block i holds the 1/β consecutive indices j ∈ ((i-1)/β, i/β],
+/// C_j ∈ [n] is the row chosen by the j-th column of V, and σ_j ∈ {±1}.
+/// Only the k = d/β pairs (C_j, σ_j) are stored, so n can be as large as the
+/// paper's n = Ω(d²/(β²δ)) regime demands without any n-sized allocation.
+struct HardInstance {
+  int64_t n = 0;           ///< Ambient dimension (rows of U).
+  int64_t d = 0;           ///< Subspace dimension (columns of U).
+  int64_t entries_per_col = 1;  ///< 1/β, the number of V-columns per block.
+  double beta = 1.0;       ///< The distribution parameter β ∈ (0, 1].
+
+  /// Row indices C_1..C_k (k = d · entries_per_col), grouped by column:
+  /// entries j ∈ [i·epc, (i+1)·epc) belong to U's column i.
+  std::vector<int64_t> rows;
+  /// Rademacher signs σ_1..σ_k, aligned with `rows`.
+  std::vector<double> signs;
+
+  /// Number of stored generators k = d / β.
+  int64_t NumGenerators() const { return static_cast<int64_t>(rows.size()); }
+
+  /// True iff two generators landed on the same row of [n] — the paper's
+  /// event B (under which U may fail to be an isometry).
+  bool HasRowCollision() const;
+
+  /// The exact sparse form of U (duplicated rows within a column are
+  /// summed). No n-sized allocation: CSC stores only the nonzeros.
+  CscMatrix ToCsc() const;
+
+  /// The d x d Gram matrix UᵀU, computed from the sparse representation.
+  /// Equals the identity whenever there is no row collision.
+  Matrix GramU() const;
+
+  /// The distinct rows of [n] touched by U, sorted.
+  std::vector<int64_t> TouchedRows() const;
+};
+
+}  // namespace sose
+
+#endif  // SOSE_HARDINSTANCE_HARD_INSTANCE_H_

@@ -1,0 +1,68 @@
+#include "hardinstance/mixtures.h"
+
+#include <cmath>
+
+namespace sose {
+
+Result<SectionThreeMixture> SectionThreeMixture::Create(int64_t n, int64_t d,
+                                                        double epsilon) {
+  if (epsilon <= 0.0 || epsilon >= 0.125) {
+    return Status::InvalidArgument(
+        "SectionThreeMixture: epsilon must lie in (0, 1/8)");
+  }
+  const int64_t entries_per_col =
+      std::max<int64_t>(1, static_cast<int64_t>(std::llround(1.0 / (8.0 * epsilon))));
+  SOSE_ASSIGN_OR_RETURN(DBetaSampler d1, DBetaSampler::Create(n, d, 1));
+  SOSE_ASSIGN_OR_RETURN(DBetaSampler d8eps,
+                        DBetaSampler::Create(n, d, entries_per_col));
+  return SectionThreeMixture(d1, d8eps);
+}
+
+HardInstance SectionThreeMixture::Sample(Rng* rng, bool* picked_dense) const {
+  SOSE_CHECK(rng != nullptr);
+  const bool dense = rng->Bernoulli(0.5);
+  if (picked_dense != nullptr) *picked_dense = dense;
+  return dense ? d8eps_.Sample(rng) : d1_.Sample(rng);
+}
+
+Result<SectionFiveMixture> SectionFiveMixture::Create(int64_t n, int64_t d,
+                                                      double epsilon) {
+  if (epsilon <= 0.0 || epsilon >= 1.0) {
+    return Status::InvalidArgument(
+        "SectionFiveMixture: epsilon must lie in (0, 1)");
+  }
+  const int64_t num_levels =
+      static_cast<int64_t>(std::floor(std::log2(1.0 / epsilon))) - 3;
+  if (num_levels < 1) {
+    return Status::InvalidArgument(
+        "SectionFiveMixture: epsilon too large; need log2(1/eps) - 3 >= 1");
+  }
+  SOSE_ASSIGN_OR_RETURN(DBetaSampler d1, DBetaSampler::Create(n, d, 1));
+  std::vector<DBetaSampler> levels;
+  levels.reserve(static_cast<size_t>(num_levels));
+  for (int64_t level = 1; level <= num_levels; ++level) {
+    SOSE_ASSIGN_OR_RETURN(DBetaSampler sampler,
+                          DBetaSampler::Create(n, d, int64_t{1} << level));
+    levels.push_back(sampler);
+  }
+  return SectionFiveMixture(d1, std::move(levels));
+}
+
+HardInstance SectionFiveMixture::Sample(Rng* rng, int64_t* picked_level) const {
+  SOSE_CHECK(rng != nullptr);
+  if (rng->Bernoulli(0.5)) {
+    if (picked_level != nullptr) *picked_level = 0;
+    return d1_.Sample(rng);
+  }
+  const int64_t level =
+      1 + static_cast<int64_t>(rng->UniformInt(static_cast<uint64_t>(levels_.size())));
+  if (picked_level != nullptr) *picked_level = level;
+  return levels_[static_cast<size_t>(level - 1)].Sample(rng);
+}
+
+const DBetaSampler& SectionFiveMixture::LevelSampler(int64_t level) const {
+  SOSE_CHECK(level >= 0 && level <= num_levels());
+  return level == 0 ? d1_ : levels_[static_cast<size_t>(level - 1)];
+}
+
+}  // namespace sose

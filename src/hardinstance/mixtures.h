@@ -1,0 +1,79 @@
+#ifndef SOSE_HARDINSTANCE_MIXTURES_H_
+#define SOSE_HARDINSTANCE_MIXTURES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/random.h"
+#include "core/status.h"
+#include "hardinstance/d_beta.h"
+#include "hardinstance/hard_instance.h"
+
+namespace sose {
+
+/// The Section 3 hard distribution D for the s = 1 lower bound:
+/// with probability 1/2 draw U ~ D₁, otherwise U ~ D_{8ε}
+/// (entries_per_col = round(1/(8ε))).
+///
+/// An (ε, δ)-OSE must succeed on the mixture, which forces it to both
+/// preserve the norms of D₁'s isolated coordinates (Lemma 6) and keep
+/// D_{8ε}'s d/(16ε) heavy coordinates collision-free (Lemma 7) — the
+/// birthday paradox then yields m = Ω(d²/(ε²δ)).
+class SectionThreeMixture {
+ public:
+  /// Creates the mixture for the given shape and ε ∈ (0, 1/8).
+  static Result<SectionThreeMixture> Create(int64_t n, int64_t d,
+                                            double epsilon);
+
+  /// Draws one instance; `*picked_dense` (optional) reports whether the
+  /// D_{8ε} component was chosen.
+  HardInstance Sample(Rng* rng, bool* picked_dense = nullptr) const;
+
+  const DBetaSampler& d1() const { return d1_; }
+  const DBetaSampler& d8eps() const { return d8eps_; }
+
+ private:
+  SectionThreeMixture(DBetaSampler d1, DBetaSampler d8eps)
+      : d1_(d1), d8eps_(d8eps) {}
+
+  DBetaSampler d1_;
+  DBetaSampler d8eps_;
+};
+
+/// The Section 5 hard distribution D̃ for the s ≤ 1/(9ε) lower bound:
+/// with probability 1/2 draw U ~ D₁, otherwise draw ℓ ~ Unif{1..L} with
+/// L = log₂(1/ε) − 3 and U ~ D_{2^{-ℓ}}.
+///
+/// The level structure is what removes the "abundance assumption": a sketch
+/// must embed every heaviness level simultaneously, so at every scale
+/// √(2^{-ℓ}) it cannot carry too many heavy entries (Lemma 19).
+class SectionFiveMixture {
+ public:
+  /// Creates the mixture for the given shape and ε small enough that
+  /// L = floor(log₂(1/ε)) − 3 >= 1.
+  static Result<SectionFiveMixture> Create(int64_t n, int64_t d,
+                                           double epsilon);
+
+  /// Draws one instance; `*picked_level` (optional) reports the level:
+  /// 0 for the D₁ component, otherwise the drawn ℓ ∈ [1, L].
+  HardInstance Sample(Rng* rng, int64_t* picked_level = nullptr) const;
+
+  /// The number of levels L.
+  int64_t num_levels() const {
+    return static_cast<int64_t>(levels_.size());
+  }
+
+  /// The sampler for level ℓ ∈ [0, L] (level 0 is D₁).
+  const DBetaSampler& LevelSampler(int64_t level) const;
+
+ private:
+  SectionFiveMixture(DBetaSampler d1, std::vector<DBetaSampler> levels)
+      : d1_(d1), levels_(std::move(levels)) {}
+
+  DBetaSampler d1_;
+  std::vector<DBetaSampler> levels_;  // levels_[l-1] samples D_{2^{-l}}.
+};
+
+}  // namespace sose
+
+#endif  // SOSE_HARDINSTANCE_MIXTURES_H_

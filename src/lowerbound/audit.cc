@@ -1,0 +1,111 @@
+#include "lowerbound/audit.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "core/random.h"
+#include "hardinstance/d_beta.h"
+#include "ose/distortion.h"
+
+namespace sose {
+
+const char* AuditVerdictToString(AuditVerdict verdict) {
+  switch (verdict) {
+    case AuditVerdict::kViolationCertified:
+      return "violation-certified";
+    case AuditVerdict::kSuspect:
+      return "suspect";
+    case AuditVerdict::kPassed:
+      return "passed";
+  }
+  return "unknown";
+}
+
+Result<AuditReport> AuditSketch(const SketchingMatrix& sketch,
+                                const AuditParams& params) {
+  if (params.d <= 0 || params.num_instances <= 0 || params.anti_trials <= 0) {
+    return Status::InvalidArgument("AuditSketch: non-positive parameter");
+  }
+  if (params.epsilon <= 0.0 || params.epsilon >= 1.0 || params.delta <= 0.0 ||
+      params.delta >= 1.0) {
+    return Status::InvalidArgument(
+        "AuditSketch: epsilon and delta must be in (0, 1)");
+  }
+  if (sketch.cols() < params.d) {
+    return Status::InvalidArgument(
+        "AuditSketch: sketch has fewer columns than the attacked dimension");
+  }
+  SOSE_ASSIGN_OR_RETURN(DBetaSampler sampler,
+                        DBetaSampler::Create(sketch.cols(), params.d, 1));
+
+  AuditReport report;
+  Rng rng(DeriveSeed(params.seed, 0));
+  double worst_witness_abs = 0.0;
+  RunningStats epsilons;
+  for (int64_t t = 0; t < params.num_instances; ++t) {
+    HardInstance instance = sampler.Sample(&rng);
+    int64_t redraws = 0;
+    while (instance.HasRowCollision() && redraws < 64) {
+      instance = sampler.Sample(&rng);
+      ++redraws;
+    }
+    if (instance.HasRowCollision()) {
+      return Status::FailedPrecondition(
+          "AuditSketch: persistent row collisions; sketch.cols() too small "
+          "relative to d");
+    }
+    SOSE_ASSIGN_OR_RETURN(DistortionReport distortion,
+                          SketchDistortionOnInstance(sketch, instance));
+    epsilons.Add(distortion.Epsilon());
+    ++report.instances_tested;
+    if (distortion.WithinEpsilon(params.epsilon)) continue;
+    ++report.violations_observed;
+    // Look for the strongest Lemma 4 witness on this failing draw.
+    SOSE_ASSIGN_OR_RETURN(
+        std::optional<ViolationWitness> witness,
+        FindLargeInnerProductPair(sketch, instance,
+                                  /*threshold=*/2.5 * params.epsilon));
+    if (witness.has_value() &&
+        std::fabs(witness->inner_product) > worst_witness_abs) {
+      worst_witness_abs = std::fabs(witness->inner_product);
+      report.witness = witness;
+      SOSE_ASSIGN_OR_RETURN(
+          report.anti_concentration,
+          VerifyAntiConcentration(sketch, instance, *witness, params.epsilon,
+                                  params.anti_trials,
+                                  DeriveSeed(params.seed, 1 + static_cast<uint64_t>(t))));
+    }
+  }
+  report.failure_rate = static_cast<double>(report.violations_observed) /
+                        static_cast<double>(report.instances_tested);
+  report.failure_interval =
+      WilsonInterval(report.violations_observed, report.instances_tested);
+  report.mean_epsilon = epsilons.Mean();
+  report.worst_epsilon = epsilons.Max();
+
+  if (report.failure_interval.lo > params.delta) {
+    report.verdict = AuditVerdict::kViolationCertified;
+  } else if (report.failure_rate > params.delta) {
+    report.verdict = AuditVerdict::kSuspect;
+  } else {
+    report.verdict = AuditVerdict::kPassed;
+  }
+
+  char buffer[512];
+  std::snprintf(
+      buffer, sizeof(buffer),
+      "%s: failure rate %.3f [%.3f, %.3f] vs delta %.3f over %lld "
+      "D_1 instances (d=%lld, eps=%.3g); mean/worst distortion %.3g/%.3g%s",
+      AuditVerdictToString(report.verdict), report.failure_rate,
+      report.failure_interval.lo, report.failure_interval.hi, params.delta,
+      static_cast<long long>(report.instances_tested),
+      static_cast<long long>(params.d), params.epsilon, report.mean_epsilon,
+      report.worst_epsilon,
+      report.witness.has_value()
+          ? "; Lemma 4 witness attached with measured anti-concentration"
+          : "");
+  report.summary = buffer;
+  return report;
+}
+
+}  // namespace sose

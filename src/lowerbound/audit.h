@@ -1,0 +1,72 @@
+#ifndef SOSE_LOWERBOUND_AUDIT_H_
+#define SOSE_LOWERBOUND_AUDIT_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "core/stats.h"
+#include "core/status.h"
+#include "lowerbound/witness.h"
+#include "sketch/sketch.h"
+
+namespace sose {
+
+/// Parameters of a lower-bound audit: "would this sketch survive the
+/// paper's attack as an (ε, δ)-OSE for d-dimensional subspaces?"
+struct AuditParams {
+  int64_t d = 8;             ///< Subspace dimension attacked.
+  double epsilon = 0.1;      ///< Target distortion.
+  double delta = 0.1;        ///< Target failure probability.
+  int64_t num_instances = 100;  ///< Hard-instance draws for the estimate.
+  int64_t anti_trials = 4000;   ///< Sign resamplings for Lemma 4 evidence.
+  uint64_t seed = 0;
+};
+
+/// The audit's decision.
+enum class AuditVerdict {
+  /// Measured failure rate's Wilson lower bound exceeds δ: the sketch is
+  /// certifiably NOT an (ε, δ)-embedding for the hard distribution, and a
+  /// concrete Lemma 4 witness is attached when one exists.
+  kViolationCertified,
+  /// Point estimate exceeds δ but the confidence interval straddles it.
+  kSuspect,
+  /// No statistical evidence against the sketch at these parameters.
+  kPassed,
+};
+
+/// Returns a short lowercase label for a verdict ("violation-certified",
+/// "suspect", "passed").
+const char* AuditVerdictToString(AuditVerdict verdict);
+
+/// Everything the audit learned.
+struct AuditReport {
+  AuditVerdict verdict = AuditVerdict::kPassed;
+  /// Failure statistics over the D₁ hard instances.
+  int64_t instances_tested = 0;
+  int64_t violations_observed = 0;
+  double failure_rate = 0.0;
+  ConfidenceInterval failure_interval;
+  /// Distortion diagnostics across instances.
+  double mean_epsilon = 0.0;
+  double worst_epsilon = 0.0;
+  /// The strongest Lemma 4 witness found on a failing instance, if any,
+  /// with its measured anti-concentration.
+  std::optional<ViolationWitness> witness;
+  AntiConcentrationReport anti_concentration;
+  /// Human-readable one-paragraph summary.
+  std::string summary;
+};
+
+/// Runs the paper's attack against an arbitrary sketch: draws hard
+/// instances U ~ D₁, measures the subspace distortion of ΠU, locates
+/// large-inner-product column pairs (the Lemma 4 precondition) on failing
+/// draws, and verifies the induced anti-concentration. The sketch's own
+/// column sparsity determines nothing here — the attack applies to any
+/// oblivious Π, exactly as the lower bounds do.
+Result<AuditReport> AuditSketch(const SketchingMatrix& sketch,
+                                const AuditParams& params);
+
+}  // namespace sose
+
+#endif  // SOSE_LOWERBOUND_AUDIT_H_

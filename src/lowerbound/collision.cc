@@ -1,0 +1,98 @@
+#include "lowerbound/collision.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <unordered_map>
+
+namespace sose {
+
+BirthdayStats CountSketchBirthday(const CountSketch& sketch,
+                                  const HardInstance& instance) {
+  BirthdayStats stats;
+  stats.bins = sketch.rows();
+  std::unordered_map<int64_t, int64_t> load;
+  const std::vector<int64_t> touched = instance.TouchedRows();
+  stats.balls = static_cast<int64_t>(touched.size());
+  for (int64_t coordinate : touched) {
+    ++load[sketch.Bucket(coordinate)];
+  }
+  for (const auto& [bucket, count] : load) {
+    (void)bucket;
+    stats.max_load = std::max(stats.max_load, count);
+    stats.collisions += count * (count - 1) / 2;
+  }
+  stats.any_collision = stats.collisions > 0;
+  return stats;
+}
+
+double BirthdayCollisionProbability(int64_t balls, int64_t bins) {
+  SOSE_CHECK(balls >= 0 && bins >= 1);
+  if (balls > bins) return 1.0;
+  double no_collision = 1.0;
+  for (int64_t i = 1; i < balls; ++i) {
+    no_collision *= 1.0 - static_cast<double>(i) / static_cast<double>(bins);
+  }
+  return 1.0 - no_collision;
+}
+
+Result<CollidingPairStats> ComputeCollidingPairStats(
+    const SketchColumnIndex& index, const std::vector<int64_t>& columns,
+    double inner_threshold) {
+  // Restrict to good columns among the provided set (deduplicated).
+  std::set<int64_t> good_set;
+  for (int64_t c : columns) {
+    if (c < 0 || c >= index.num_columns()) {
+      return Status::OutOfRange("ComputeCollidingPairStats: column index");
+    }
+    if (index.IsGood(c)) good_set.insert(c);
+  }
+  // Find unordered colliding pairs via the shared-heavy-row structure:
+  // two columns collide iff some heavy row contains both.
+  std::map<std::pair<int64_t, int64_t>, int64_t> shared_counts;
+  {
+    // row -> columns of our set heavy at that row.
+    std::unordered_map<int64_t, std::vector<int64_t>> row_members;
+    for (int64_t c : good_set) {
+      for (int64_t l : index.HeavyRows(c)) row_members[l].push_back(c);
+    }
+    for (const auto& [row, members] : row_members) {
+      (void)row;
+      for (size_t i = 0; i < members.size(); ++i) {
+        for (size_t j = i + 1; j < members.size(); ++j) {
+          ++shared_counts[{members[i], members[j]}];
+        }
+      }
+    }
+  }
+  CollidingPairStats stats;
+  stats.num_colliding_pairs = static_cast<int64_t>(shared_counts.size());
+  if (shared_counts.empty()) {
+    return stats;
+  }
+  int64_t max_shared = 0;
+  for (const auto& [pair, shared] : shared_counts) {
+    (void)pair;
+    max_shared = std::max(max_shared, shared);
+  }
+  stats.q_by_shared.assign(static_cast<size_t>(max_shared) + 1, 0.0);
+  stats.p_by_shared.assign(static_cast<size_t>(max_shared) + 1, 0.0);
+  double total_shared = 0.0;
+  for (const auto& [pair, shared] : shared_counts) {
+    total_shared += static_cast<double>(shared);
+    stats.q_by_shared[static_cast<size_t>(shared)] += 1.0;
+    const double dot = index.ColumnDot(pair.first, pair.second);
+    if (dot >= inner_threshold) {
+      stats.p_by_shared[static_cast<size_t>(shared)] += 1.0;
+      stats.p_hat += 1.0;
+    }
+  }
+  const double denom = static_cast<double>(shared_counts.size());
+  for (double& q : stats.q_by_shared) q /= denom;
+  for (double& p : stats.p_by_shared) p /= denom;
+  stats.p_hat /= denom;
+  stats.delta = total_shared / denom;
+  return stats;
+}
+
+}  // namespace sose

@@ -1,0 +1,68 @@
+#ifndef SOSE_LOWERBOUND_COLLISION_H_
+#define SOSE_LOWERBOUND_COLLISION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/random.h"
+#include "core/status.h"
+#include "hardinstance/hard_instance.h"
+#include "lowerbound/column_index.h"
+#include "sketch/count_sketch.h"
+
+namespace sose {
+
+/// Statistics of the balls-into-bins process behind Lemma 7 / Theorem 8:
+/// the hard instance's k = d/(8ε) active coordinates are hashed by a
+/// Count-Sketch into m buckets; a bucket receiving two coordinates is the
+/// "collision" that breaks the embedding.
+struct BirthdayStats {
+  int64_t balls = 0;    ///< Active coordinates hashed.
+  int64_t bins = 0;     ///< Sketch rows m.
+  int64_t collisions = 0;  ///< Pairs sharing a bucket.
+  bool any_collision = false;
+  int64_t max_load = 0;
+};
+
+/// Hashes the instance's touched rows through the Count-Sketch's bucket
+/// function and reports the collision pattern (the B_i > 1 event of
+/// Lemma 7).
+BirthdayStats CountSketchBirthday(const CountSketch& sketch,
+                                  const HardInstance& instance);
+
+/// Analytic birthday collision probability 1 − Π_{i<k}(1 − i/m):
+/// Pr[some bucket receives >= 2 of k uniform balls in m bins].
+double BirthdayCollisionProbability(int64_t balls, int64_t bins);
+
+/// Aggregate statistics of colliding good-column pairs of a sketch under a
+/// heaviness index — the quantities T, Δ, q_x, p_x, p̂ that drive
+/// Lemmas 13–16 and Corollary 17.
+struct CollidingPairStats {
+  /// Number of ordered colliding pairs (i, j), i != j, both good
+  /// (the paper's T without the diagonal).
+  int64_t num_colliding_pairs = 0;
+  /// Expected shared heavy rows of a uniformly random colliding pair
+  /// (the paper's Δ).
+  double delta = 0.0;
+  /// q_x: fraction of colliding pairs sharing exactly x heavy rows
+  /// (index 0 unused; x ranges 1..s).
+  std::vector<double> q_by_shared;
+  /// p_x: fraction of colliding pairs sharing exactly x heavy rows AND
+  /// having inner product >= inner_threshold.
+  std::vector<double> p_by_shared;
+  /// p̂ = Σ_x p_x: probability a uniform colliding pair has a large inner
+  /// product.
+  double p_hat = 0.0;
+};
+
+/// Enumerates colliding good-column pairs restricted to `columns` (typically
+/// the columns chosen by V) and computes the statistics above.
+/// `inner_threshold` is the paper's (8 − κ)ε. Pairs are unordered and
+/// counted once. Cost O(Σ_l |G^l|²) over the heavy rows touched.
+Result<CollidingPairStats> ComputeCollidingPairStats(
+    const SketchColumnIndex& index, const std::vector<int64_t>& columns,
+    double inner_threshold);
+
+}  // namespace sose
+
+#endif  // SOSE_LOWERBOUND_COLLISION_H_

@@ -1,0 +1,109 @@
+#include "lowerbound/column_index.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sose {
+
+Result<SketchColumnIndex> SketchColumnIndex::Build(
+    const SketchingMatrix& sketch, int64_t num_columns,
+    const HeavinessParams& params) {
+  if (num_columns <= 0 || num_columns > sketch.cols()) {
+    return Status::InvalidArgument(
+        "SketchColumnIndex: num_columns out of range");
+  }
+  if (params.theta <= 0.0) {
+    return Status::InvalidArgument("SketchColumnIndex: theta must be positive");
+  }
+  SketchColumnIndex index;
+  index.num_rows_ = sketch.rows();
+  index.num_columns_ = num_columns;
+  index.params_ = params;
+  index.heavy_rows_.resize(static_cast<size_t>(num_columns));
+  index.norm_squared_.resize(static_cast<size_t>(num_columns), 0.0);
+  index.is_good_.resize(static_cast<size_t>(num_columns), false);
+  index.columns_.resize(static_cast<size_t>(num_columns));
+  index.good_cols_of_row_.resize(static_cast<size_t>(index.num_rows_));
+
+  const double norm_lo = 1.0 - params.norm_tolerance;
+  const double norm_hi = 1.0 + params.norm_tolerance;
+  for (int64_t c = 0; c < num_columns; ++c) {
+    std::vector<ColumnEntry> entries = sketch.Column(c);
+    double norm_sq = 0.0;
+    std::vector<int64_t>& heavy = index.heavy_rows_[static_cast<size_t>(c)];
+    for (const ColumnEntry& entry : entries) {
+      norm_sq += entry.value * entry.value;
+      if (std::fabs(entry.value) >= params.theta) heavy.push_back(entry.row);
+    }
+    index.norm_squared_[static_cast<size_t>(c)] = norm_sq;
+    const double norm = std::sqrt(norm_sq);
+    const bool good =
+        static_cast<int64_t>(heavy.size()) >= params.min_heavy_entries &&
+        norm >= norm_lo && norm <= norm_hi;
+    index.is_good_[static_cast<size_t>(c)] = good;
+    if (good) index.good_columns_.push_back(c);
+    index.columns_[static_cast<size_t>(c)] = std::move(entries);
+  }
+  for (int64_t c : index.good_columns_) {
+    for (int64_t l : index.heavy_rows_[static_cast<size_t>(c)]) {
+      index.good_cols_of_row_[static_cast<size_t>(l)].push_back(c);
+    }
+  }
+  return index;
+}
+
+bool SketchColumnIndex::Collides(int64_t a, int64_t b) const {
+  return SharedHeavyRows(a, b) > 0;
+}
+
+int64_t SketchColumnIndex::SharedHeavyRows(int64_t a, int64_t b) const {
+  SOSE_DCHECK(a >= 0 && a < num_columns_);
+  SOSE_DCHECK(b >= 0 && b < num_columns_);
+  const std::vector<int64_t>& ha = heavy_rows_[static_cast<size_t>(a)];
+  const std::vector<int64_t>& hb = heavy_rows_[static_cast<size_t>(b)];
+  size_t i = 0, j = 0;
+  int64_t shared = 0;
+  while (i < ha.size() && j < hb.size()) {
+    if (ha[i] == hb[j]) {
+      ++shared;
+      ++i;
+      ++j;
+    } else if (ha[i] < hb[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return shared;
+}
+
+double SketchColumnIndex::ColumnDot(int64_t a, int64_t b) const {
+  SOSE_DCHECK(a >= 0 && a < num_columns_);
+  SOSE_DCHECK(b >= 0 && b < num_columns_);
+  const std::vector<ColumnEntry>& ca = columns_[static_cast<size_t>(a)];
+  const std::vector<ColumnEntry>& cb = columns_[static_cast<size_t>(b)];
+  size_t i = 0, j = 0;
+  double sum = 0.0;
+  while (i < ca.size() && j < cb.size()) {
+    if (ca[i].row == cb[j].row) {
+      sum += ca[i].value * cb[j].value;
+      ++i;
+      ++j;
+    } else if (ca[i].row < cb[j].row) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return sum;
+}
+
+double SketchColumnIndex::AverageHeavyEntries() const {
+  double total = 0.0;
+  for (const auto& heavy : heavy_rows_) {
+    total += static_cast<double>(heavy.size());
+  }
+  return total / static_cast<double>(num_columns_);
+}
+
+}  // namespace sose

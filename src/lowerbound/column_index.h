@@ -1,0 +1,105 @@
+#ifndef SOSE_LOWERBOUND_COLUMN_INDEX_H_
+#define SOSE_LOWERBOUND_COLUMN_INDEX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/status.h"
+#include "sketch/sketch.h"
+
+namespace sose {
+
+/// Heaviness parameters defining "good" columns, following Section 4 of the
+/// paper: an entry is θ-heavy if |Π_{l,c}| >= θ; a column is *good* if it
+/// has at least `min_heavy_entries` θ-heavy entries and its l2-norm lies in
+/// [1 − norm_tolerance, 1 + norm_tolerance].
+struct HeavinessParams {
+  double theta = 0.0;              ///< Heaviness threshold (√(8ε) in Sec. 4).
+  int64_t min_heavy_entries = 1;   ///< 1/(16ε) in Sec. 4; ε^{δ'}2^ℓ/3 in Sec. 5.
+  double norm_tolerance = 0.1;     ///< ε of the embedding property.
+};
+
+/// Materialized, heaviness-annotated view of a contiguous column range of a
+/// sketching matrix. This is the data structure every piece of the
+/// lower-bound machinery (collision counting, Algorithm 1/2, witnesses)
+/// walks: per-column heavy rows, per-column norms, the good-column set G,
+/// and the inverted index row -> good columns heavy there.
+///
+/// Memory is O(nnz of the materialized range); build cost is one pass over
+/// the columns. `num_columns` caps the range so the paper's astronomically
+/// wide sketches can be indexed over exactly the columns an experiment
+/// touches.
+class SketchColumnIndex {
+ public:
+  /// Indexes columns [0, num_columns) of `sketch` under `params`.
+  /// Fails if num_columns is out of range or θ <= 0.
+  static Result<SketchColumnIndex> Build(const SketchingMatrix& sketch,
+                                         int64_t num_columns,
+                                         const HeavinessParams& params);
+
+  int64_t num_rows() const { return num_rows_; }
+  int64_t num_columns() const { return num_columns_; }
+  const HeavinessParams& params() const { return params_; }
+
+  /// Heavy rows of column `c`, sorted ascending.
+  const std::vector<int64_t>& HeavyRows(int64_t c) const {
+    SOSE_DCHECK(c >= 0 && c < num_columns_);
+    return heavy_rows_[static_cast<size_t>(c)];
+  }
+
+  /// Squared l2 norm of column `c`.
+  double ColumnNormSquared(int64_t c) const {
+    SOSE_DCHECK(c >= 0 && c < num_columns_);
+    return norm_squared_[static_cast<size_t>(c)];
+  }
+
+  /// True iff column `c` is good.
+  bool IsGood(int64_t c) const {
+    SOSE_DCHECK(c >= 0 && c < num_columns_);
+    return is_good_[static_cast<size_t>(c)];
+  }
+
+  /// Indices of all good columns, ascending.
+  const std::vector<int64_t>& GoodColumns() const { return good_columns_; }
+
+  /// Good columns whose entry at row `l` is θ-heavy (the paper's G^l),
+  /// ascending. Empty for rows with no heavy good entries.
+  const std::vector<int64_t>& GoodColumnsHeavyAtRow(int64_t l) const {
+    SOSE_DCHECK(l >= 0 && l < num_rows_);
+    return good_cols_of_row_[static_cast<size_t>(l)];
+  }
+
+  /// True iff columns `a` and `b` collide: they share at least one θ-heavy
+  /// row (the paper's a ↔ b). A column collides with itself iff it has a
+  /// heavy entry.
+  bool Collides(int64_t a, int64_t b) const;
+
+  /// Number of θ-heavy rows shared by columns `a` and `b`.
+  int64_t SharedHeavyRows(int64_t a, int64_t b) const;
+
+  /// Inner product of the full columns `a` and `b` of the sketch.
+  double ColumnDot(int64_t a, int64_t b) const;
+
+  /// Average number of θ-heavy entries per column over the indexed range
+  /// (all columns, not just good ones) — the paper's "average number of
+  /// θ-heavy entries of Π".
+  double AverageHeavyEntries() const;
+
+ private:
+  SketchColumnIndex() = default;
+
+  int64_t num_rows_ = 0;
+  int64_t num_columns_ = 0;
+  HeavinessParams params_;
+  std::vector<std::vector<int64_t>> heavy_rows_;
+  std::vector<double> norm_squared_;
+  std::vector<bool> is_good_;
+  std::vector<int64_t> good_columns_;
+  std::vector<std::vector<int64_t>> good_cols_of_row_;
+  // Full columns, needed for exact inner products.
+  std::vector<std::vector<ColumnEntry>> columns_;
+};
+
+}  // namespace sose
+
+#endif  // SOSE_LOWERBOUND_COLUMN_INDEX_H_

@@ -1,0 +1,105 @@
+#include "lowerbound/heavy_entries.h"
+
+#include <cmath>
+
+namespace sose {
+
+int64_t CountHeavyEntries(const std::vector<ColumnEntry>& column,
+                          double theta) {
+  int64_t count = 0;
+  for (const ColumnEntry& entry : column) {
+    if (std::fabs(entry.value) >= theta) ++count;
+  }
+  return count;
+}
+
+double SectionFiveDeltaPrime(double epsilon) {
+  SOSE_CHECK(epsilon > 0.0 && epsilon < 1.0);
+  const double log_inv_eps = std::log(1.0 / epsilon);
+  return std::log(std::log(1.0 / std::pow(epsilon, 72.0))) / log_inv_eps;
+}
+
+namespace {
+
+// Yields `count` column indices: all of them when count >= n, otherwise a
+// uniform sample without replacement.
+std::vector<int64_t> PickColumns(int64_t n, int64_t count, Rng* rng) {
+  if (count >= n) {
+    std::vector<int64_t> all(static_cast<size_t>(n));
+    for (int64_t i = 0; i < n; ++i) all[static_cast<size_t>(i)] = i;
+    return all;
+  }
+  SOSE_CHECK(rng != nullptr);
+  return rng->SampleWithoutReplacement(n, count);
+}
+
+}  // namespace
+
+Result<HeavyCensus> ComputeHeavyCensus(const SketchingMatrix& sketch,
+                                       int64_t num_levels, double epsilon,
+                                       int64_t sample_columns, Rng* rng) {
+  if (num_levels < 0) {
+    return Status::InvalidArgument("ComputeHeavyCensus: num_levels < 0");
+  }
+  if (epsilon <= 0.0 || epsilon >= 1.0) {
+    return Status::InvalidArgument(
+        "ComputeHeavyCensus: epsilon must be in (0, 1)");
+  }
+  if (sample_columns <= 0) {
+    return Status::InvalidArgument("ComputeHeavyCensus: sample_columns <= 0");
+  }
+  const std::vector<int64_t> picked =
+      PickColumns(sketch.cols(), sample_columns, rng);
+  HeavyCensus census;
+  const double delta_prime = SectionFiveDeltaPrime(epsilon);
+  for (int64_t level = 0; level <= num_levels; ++level) {
+    census.levels.push_back(level);
+    census.thresholds.push_back(std::sqrt(std::pow(2.0, -static_cast<double>(level))));
+    census.average_counts.push_back(0.0);
+    census.lemma19_bounds.push_back(std::pow(epsilon, delta_prime) *
+                                    std::pow(2.0, static_cast<double>(level)));
+  }
+  double norm_sq_sum = 0.0;
+  for (int64_t c : picked) {
+    const std::vector<ColumnEntry> column = sketch.Column(c);
+    for (const ColumnEntry& entry : column) {
+      norm_sq_sum += entry.value * entry.value;
+    }
+    for (size_t level = 0; level < census.thresholds.size(); ++level) {
+      // Dyadic sketches (OSNAP with s = 2^ℓ, block-Hadamard) have entries of
+      // magnitude exactly √(2^{-ℓ}); a one-ulp rounding difference between
+      // 1/√(2^ℓ) and √(2^{-ℓ}) must not flip at-threshold entries to
+      // "light", so the comparison threshold is relaxed by 1e-9 relative.
+      const double threshold = census.thresholds[level] * (1.0 - 1e-9);
+      census.average_counts[level] +=
+          static_cast<double>(CountHeavyEntries(column, threshold));
+    }
+  }
+  const double denom = static_cast<double>(picked.size());
+  for (double& count : census.average_counts) count /= denom;
+  census.average_norm_squared = norm_sq_sum / denom;
+  return census;
+}
+
+Result<double> FractionColumnsOutsideNorm(const SketchingMatrix& sketch,
+                                          double epsilon,
+                                          int64_t sample_columns, Rng* rng) {
+  if (sample_columns <= 0) {
+    return Status::InvalidArgument(
+        "FractionColumnsOutsideNorm: sample_columns <= 0");
+  }
+  const std::vector<int64_t> picked =
+      PickColumns(sketch.cols(), sample_columns, rng);
+  int64_t outside = 0;
+  for (int64_t c : picked) {
+    double norm_sq = 0.0;
+    for (const ColumnEntry& entry : sketch.Column(c)) {
+      norm_sq += entry.value * entry.value;
+    }
+    const double norm = std::sqrt(norm_sq);
+    if (norm < 1.0 - epsilon || norm > 1.0 + epsilon) ++outside;
+  }
+  return static_cast<double>(outside) / static_cast<double>(picked.size());
+}
+
+}  // namespace sose

@@ -1,0 +1,53 @@
+#ifndef SOSE_LOWERBOUND_HEAVY_ENTRIES_H_
+#define SOSE_LOWERBOUND_HEAVY_ENTRIES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/random.h"
+#include "core/status.h"
+#include "sketch/sketch.h"
+
+namespace sose {
+
+/// Per-level census of heavy entries, the quantity driving Section 5 of the
+/// paper: for each level ℓ, the average (over sampled columns) number of
+/// entries of absolute value at least √(2^{-ℓ}).
+struct HeavyCensus {
+  /// Levels 0..L (level ℓ means threshold √(2^{-ℓ})).
+  std::vector<int64_t> levels;
+  /// Thresholds √(2^{-ℓ}), aligned with `levels`.
+  std::vector<double> thresholds;
+  /// Average number of threshold-heavy entries per column.
+  std::vector<double> average_counts;
+  /// Lemma 19's ceiling ε^{δ'}·2^ℓ evaluated per level (what a valid
+  /// embedding must stay below, up to constants).
+  std::vector<double> lemma19_bounds;
+  /// Average squared column norm of the sampled columns.
+  double average_norm_squared = 0.0;
+};
+
+/// Number of θ-heavy entries in one sketch column.
+int64_t CountHeavyEntries(const std::vector<ColumnEntry>& column, double theta);
+
+/// Computes the heavy-entry census of `sketch` at levels 0..num_levels by
+/// sampling `sample_columns` columns uniformly (or scanning all columns when
+/// sample_columns >= cols()). `epsilon` parameterizes the Lemma 19 bound
+/// column (δ' is computed from ε exactly as in Section 5).
+Result<HeavyCensus> ComputeHeavyCensus(const SketchingMatrix& sketch,
+                                       int64_t num_levels, double epsilon,
+                                       int64_t sample_columns, Rng* rng);
+
+/// The paper's δ'(ε) = log log(1/ε^72) / log(1/ε) from Section 5, chosen so
+/// that 4 ε^{δ'} log(1/ε) <= 1/18.
+double SectionFiveDeltaPrime(double epsilon);
+
+/// Fraction of sampled columns whose l2 norm falls outside [1-ε, 1+ε]
+/// (Lemma 6 says this must be at most ~2δ/d for a working s = 1 embedding).
+Result<double> FractionColumnsOutsideNorm(const SketchingMatrix& sketch,
+                                          double epsilon,
+                                          int64_t sample_columns, Rng* rng);
+
+}  // namespace sose
+
+#endif  // SOSE_LOWERBOUND_HEAVY_ENTRIES_H_

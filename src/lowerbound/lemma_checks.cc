@@ -1,0 +1,102 @@
+#include "lowerbound/lemma_checks.h"
+
+#include <cmath>
+
+#include "core/vector_ops.h"
+
+namespace sose {
+
+Fact5Result CheckFact5(double x1, double x2, double x3, double a) {
+  Fact5Result result;
+  int at_least = 0;
+  int at_most = 0;
+  for (double s1 : {-1.0, 1.0}) {
+    for (double s2 : {-1.0, 1.0}) {
+      const double value = s1 * x1 + s2 * x2 + s1 * s2 * x3;
+      if (value >= a) ++at_least;
+      if (value <= -a) ++at_most;
+    }
+  }
+  result.prob_at_least_a = at_least / 4.0;
+  result.prob_at_most_neg_a = at_most / 4.0;
+  result.holds =
+      result.prob_at_least_a >= 0.25 && result.prob_at_most_neg_a >= 0.25;
+  return result;
+}
+
+Result<Lemma3Result> CheckLemma3(const std::vector<std::vector<double>>& s,
+                                 double epsilon, double kappa) {
+  if (s.empty()) {
+    return Status::InvalidArgument("CheckLemma3: empty vector family");
+  }
+  for (const std::vector<double>& u : s) {
+    if (u.size() != s.front().size()) {
+      return Status::InvalidArgument("CheckLemma3: inconsistent dimensions");
+    }
+    if (Norm2(u) > 1.0 + 1e-9) {
+      return Status::InvalidArgument(
+          "CheckLemma3: vector outside the unit ball");
+    }
+  }
+  Lemma3Result result;
+  result.bound = 2.0 * epsilon;
+  const double threshold = -kappa * epsilon;
+  int64_t favorable = 0;
+  double sum_inner = 0.0;
+  const int64_t k = static_cast<int64_t>(s.size());
+  for (int64_t i = 0; i < k; ++i) {
+    for (int64_t j = 0; j < k; ++j) {
+      const double inner =
+          Dot(s[static_cast<size_t>(i)], s[static_cast<size_t>(j)]);
+      sum_inner += inner;
+      if (inner >= threshold) ++favorable;
+    }
+  }
+  const double total = static_cast<double>(k) * static_cast<double>(k);
+  result.probability = static_cast<double>(favorable) / total;
+  result.mean_inner_product = sum_inner / total;
+  result.holds = result.probability > result.bound;
+  return result;
+}
+
+Result<Lemma14Result> CheckLemma14(const Matrix& a, int64_t row, double theta,
+                                   double epsilon, double kappa) {
+  if (row < 0 || row >= a.rows()) {
+    return Status::OutOfRange("CheckLemma14: row out of range");
+  }
+  if (theta <= 0.0) {
+    return Status::InvalidArgument("CheckLemma14: theta must be positive");
+  }
+  Lemma14Result result;
+  result.bound = epsilon / 2.0;
+  std::vector<int64_t> heavy_cols;
+  for (int64_t c = 0; c < a.cols(); ++c) {
+    if (std::fabs(a.At(row, c)) >= theta) heavy_cols.push_back(c);
+  }
+  result.heavy_set_size = static_cast<int64_t>(heavy_cols.size());
+  if (heavy_cols.empty()) {
+    return Status::FailedPrecondition("CheckLemma14: no θ-heavy column");
+  }
+  result.precondition_met = true;
+  for (int64_t c : heavy_cols) {
+    if (a.ColNormSquared(c) > 1.0 + theta * theta + 1e-9) {
+      result.precondition_met = false;
+    }
+  }
+  const double threshold = theta * theta - kappa * epsilon;
+  int64_t favorable = 0;
+  const int64_t k = static_cast<int64_t>(heavy_cols.size());
+  for (int64_t i = 0; i < k; ++i) {
+    for (int64_t j = 0; j < k; ++j) {
+      const double inner = a.ColDot(heavy_cols[static_cast<size_t>(i)],
+                                    heavy_cols[static_cast<size_t>(j)]);
+      if (inner >= threshold) ++favorable;
+    }
+  }
+  result.probability = static_cast<double>(favorable) /
+                       (static_cast<double>(k) * static_cast<double>(k));
+  result.holds = result.probability >= result.bound;
+  return result;
+}
+
+}  // namespace sose

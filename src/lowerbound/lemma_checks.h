@@ -1,0 +1,55 @@
+#ifndef SOSE_LOWERBOUND_LEMMA_CHECKS_H_
+#define SOSE_LOWERBOUND_LEMMA_CHECKS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/matrix.h"
+#include "core/status.h"
+
+namespace sose {
+
+/// Exact evaluation of Fact 5: for reals |x1| >= |x2| >= |x3| with
+/// |x1| >= a and independent Rademacher σ1, σ2,
+///   Pr[σ1·x1 + σ2·x2 + σ1σ2·x3 >= a] >= 1/4   and
+///   Pr[σ1·x1 + σ2·x2 + σ1σ2·x3 <= −a] >= 1/4.
+/// The probabilities are computed exactly by enumerating the four sign
+/// combinations.
+struct Fact5Result {
+  double prob_at_least_a = 0.0;
+  double prob_at_most_neg_a = 0.0;
+  /// True iff both probabilities are >= 1/4.
+  bool holds = false;
+};
+Fact5Result CheckFact5(double x1, double x2, double x3, double a);
+
+/// Exact evaluation of Lemma 3 on a concrete finite set S of vectors inside
+/// the unit l2 ball: Pr_{u,v ~ Unif(S) independent}[⟨u,v⟩ >= −κε] computed
+/// over all |S|² ordered pairs. The lemma guarantees > 2ε for κ = 3,
+/// ε ∈ (0, 1/9).
+struct Lemma3Result {
+  double probability = 0.0;
+  double bound = 0.0;  ///< 2ε.
+  bool holds = false;
+  double mean_inner_product = 0.0;  ///< E⟨u,v⟩, which the proof shows >= 0.
+};
+Result<Lemma3Result> CheckLemma3(const std::vector<std::vector<double>>& s,
+                                 double epsilon, double kappa = 3.0);
+
+/// Exact evaluation of Lemma 14 for a concrete matrix A and row l: with
+/// S = {i : |A_{l,i}| >= θ} (requiring ‖A_{*,i}‖² <= 1 + θ² on S) and
+/// independent u, v ~ Unif(S),
+///   Pr[⟨A_{*,u}, A_{*,v}⟩ >= θ² − κε] >= ε/2.
+struct Lemma14Result {
+  int64_t heavy_set_size = 0;
+  double probability = 0.0;
+  double bound = 0.0;  ///< ε/2.
+  bool holds = false;
+  bool precondition_met = false;  ///< Norm condition on S held.
+};
+Result<Lemma14Result> CheckLemma14(const Matrix& a, int64_t row, double theta,
+                                   double epsilon, double kappa = 3.0);
+
+}  // namespace sose
+
+#endif  // SOSE_LOWERBOUND_LEMMA_CHECKS_H_

@@ -1,0 +1,364 @@
+#include "lowerbound/pair_finder.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <utility>
+
+#include "core/random.h"
+
+namespace sose {
+
+namespace {
+
+// Mutable state of the good-column set G_k with the incremental structures
+// needed to evaluate the algorithm's conditions quickly:
+//  - row_size[l]   = |G_k^l| (alive good columns heavy at row l)
+//  - ub[c]         = Σ_{l ∈ H(c)} row_size[l]  (an upper bound on |N(c)|,
+//                    the number of alive columns colliding with c, counted
+//                    with multiplicity across shared rows)
+// Exact |N(c)| is computed lazily, only for columns whose upper bound
+// crosses the φ threshold.
+class GoodSetState {
+ public:
+  explicit GoodSetState(const SketchColumnIndex& index) : index_(index) {
+    alive_.assign(static_cast<size_t>(index.num_columns()), false);
+    ub_.assign(static_cast<size_t>(index.num_columns()), 0);
+    stamp_.assign(static_cast<size_t>(index.num_columns()), 0);
+    row_size_.assign(static_cast<size_t>(index.num_rows()), 0);
+    for (int64_t c : index.GoodColumns()) {
+      alive_[static_cast<size_t>(c)] = true;
+      ++alive_count_;
+    }
+    for (int64_t l = 0; l < index.num_rows(); ++l) {
+      row_size_[static_cast<size_t>(l)] =
+          static_cast<int64_t>(index.GoodColumnsHeavyAtRow(l).size());
+    }
+    for (int64_t c : index.GoodColumns()) {
+      int64_t sum = 0;
+      for (int64_t l : index.HeavyRows(c)) {
+        sum += row_size_[static_cast<size_t>(l)];
+      }
+      ub_[static_cast<size_t>(c)] = sum;
+    }
+  }
+
+  bool IsAlive(int64_t c) const { return alive_[static_cast<size_t>(c)]; }
+  int64_t alive_count() const { return alive_count_; }
+  int64_t RowSize(int64_t l) const { return row_size_[static_cast<size_t>(l)]; }
+
+  // The row ℓ maximizing |G_k^l|.
+  int64_t ArgmaxRow() const {
+    int64_t best_row = 0;
+    int64_t best = -1;
+    for (int64_t l = 0; l < index_.num_rows(); ++l) {
+      if (row_size_[static_cast<size_t>(l)] > best) {
+        best = row_size_[static_cast<size_t>(l)];
+        best_row = l;
+      }
+    }
+    return best_row;
+  }
+
+  // Removes column c from G (no-op if already removed).
+  void Remove(int64_t c) {
+    if (!alive_[static_cast<size_t>(c)]) return;
+    alive_[static_cast<size_t>(c)] = false;
+    --alive_count_;
+    for (int64_t l : index_.HeavyRows(c)) {
+      --row_size_[static_cast<size_t>(l)];
+      for (int64_t other : index_.GoodColumnsHeavyAtRow(l)) {
+        --ub_[static_cast<size_t>(other)];
+      }
+    }
+  }
+
+  // Removes every alive column heavy at row l (the update G ← G \ G^ℓ).
+  void RemoveRow(int64_t l) {
+    // Copy: Remove() mutates row structures while we iterate.
+    std::vector<int64_t> to_remove;
+    for (int64_t c : index_.GoodColumnsHeavyAtRow(l)) {
+      if (alive_[static_cast<size_t>(c)]) to_remove.push_back(c);
+    }
+    for (int64_t c : to_remove) Remove(c);
+  }
+
+  // Removes every alive column colliding with `pivot`
+  // (the update G ← G \ {c ∈ G : c ↔ C_j}).
+  void RemoveColliders(int64_t pivot) {
+    std::vector<int64_t> to_remove;
+    ++current_stamp_;
+    for (int64_t l : index_.HeavyRows(pivot)) {
+      for (int64_t c : index_.GoodColumnsHeavyAtRow(l)) {
+        if (alive_[static_cast<size_t>(c)] &&
+            stamp_[static_cast<size_t>(c)] != current_stamp_) {
+          stamp_[static_cast<size_t>(c)] = current_stamp_;
+          to_remove.push_back(c);
+        }
+      }
+    }
+    for (int64_t c : to_remove) Remove(c);
+  }
+
+  // The Lemma 13 quantities over the alive set: the number of unordered
+  // colliding pairs T_k and Δ_k = E[shared heavy rows] over them.
+  // O(Σ_l |G_k^l|²); for optional diagnostics only.
+  std::pair<int64_t, double> CollidingPairStats() const {
+    std::map<std::pair<int64_t, int64_t>, int64_t> shared;
+    for (int64_t l = 0; l < index_.num_rows(); ++l) {
+      const std::vector<int64_t>& members = index_.GoodColumnsHeavyAtRow(l);
+      std::vector<int64_t> alive_members;
+      for (int64_t c : members) {
+        if (alive_[static_cast<size_t>(c)]) alive_members.push_back(c);
+      }
+      for (size_t i = 0; i < alive_members.size(); ++i) {
+        for (size_t j = i + 1; j < alive_members.size(); ++j) {
+          ++shared[{alive_members[i], alive_members[j]}];
+        }
+      }
+    }
+    if (shared.empty()) return {0, 0.0};
+    double total = 0.0;
+    for (const auto& [pair, count] : shared) {
+      (void)pair;
+      total += static_cast<double>(count);
+    }
+    return {static_cast<int64_t>(shared.size()),
+            total / static_cast<double>(shared.size())};
+  }
+
+  // Exact |N(c)| = |{c' ∈ G_k : c' ↔ c}| for an alive column c.
+  int64_t ExactColliderCount(int64_t c) {
+    ++current_stamp_;
+    int64_t count = 0;
+    for (int64_t l : index_.HeavyRows(c)) {
+      for (int64_t other : index_.GoodColumnsHeavyAtRow(l)) {
+        if (alive_[static_cast<size_t>(other)] &&
+            stamp_[static_cast<size_t>(other)] != current_stamp_) {
+          stamp_[static_cast<size_t>(other)] = current_stamp_;
+          ++count;
+        }
+      }
+    }
+    return count;
+  }
+
+  // True iff φ_{k,c} <= threshold for every alive c, i.e.
+  // |N(c)| <= threshold · |G_k|. Uses ub as a cheap filter; exact counts
+  // only where the filter is inconclusive.
+  bool AllPhiBelow(double threshold) {
+    const double cap = threshold * static_cast<double>(alive_count_);
+    for (int64_t c : index_.GoodColumns()) {
+      if (!alive_[static_cast<size_t>(c)]) continue;
+      if (static_cast<double>(ub_[static_cast<size_t>(c)]) <= cap) continue;
+      if (static_cast<double>(ExactColliderCount(c)) > cap) return false;
+    }
+    return true;
+  }
+
+ private:
+  const SketchColumnIndex& index_;
+  std::vector<bool> alive_;
+  std::vector<int64_t> ub_;
+  std::vector<int64_t> row_size_;
+  std::vector<int64_t> stamp_;
+  int64_t current_stamp_ = 0;
+  int64_t alive_count_ = 0;
+};
+
+PairFinderEvent MakePairEvent(const SketchColumnIndex& index,
+                              PairFinderBranch branch, int64_t step,
+                              int64_t col_a, int64_t col_b) {
+  PairFinderEvent event;
+  event.branch = branch;
+  event.step = step;
+  event.col_a = col_a;
+  event.col_b = col_b;
+  event.inner_product = index.ColumnDot(col_a, col_b);
+  event.shared_heavy_rows = index.SharedHeavyRows(col_a, col_b);
+  return event;
+}
+
+}  // namespace
+
+Result<PairFinderResult> RunPairFinder(
+    const SketchColumnIndex& index, const std::vector<int64_t>& chosen_columns,
+    const PairFinderOptions& options) {
+  if (options.num_iterations <= 0) {
+    return Status::InvalidArgument("RunPairFinder: num_iterations <= 0");
+  }
+  if (options.phi_threshold <= 0.0) {
+    return Status::InvalidArgument("RunPairFinder: phi_threshold <= 0");
+  }
+  for (int64_t c : chosen_columns) {
+    if (c < 0 || c >= index.num_columns()) {
+      return Status::OutOfRange("RunPairFinder: chosen column out of range");
+    }
+  }
+
+  // Preamble (Lines 1–4): the good chosen columns in sample order.
+  std::vector<int64_t> chosen_good;  // The C array (0-based).
+  for (int64_t c : chosen_columns) {
+    if (index.IsGood(c)) chosen_good.push_back(c);
+  }
+  const int64_t g = static_cast<int64_t>(chosen_good.size());
+  std::vector<bool> in_s(static_cast<size_t>(g), true);  // S_k membership.
+
+  GoodSetState state(index);
+  Rng rng(options.seed);
+  PairFinderResult result;
+  result.num_good_chosen = g;
+  int64_t step = 1;
+
+  auto push_event = [&result, &state, &options](PairFinderEvent event) {
+    if (options.collect_set_stats) {
+      event.alive_good_columns = state.alive_count();
+      const auto [t_k, delta_k] = state.CollidingPairStats();
+      event.colliding_pairs_tk = t_k;
+      event.delta_k = delta_k;
+    }
+    result.events.push_back(std::move(event));
+  };
+
+  auto heavy_at = [&index](int64_t column, int64_t row) {
+    const std::vector<int64_t>& rows = index.HeavyRows(column);
+    return std::binary_search(rows.begin(), rows.end(), row);
+  };
+
+  for (int64_t j = 0; j < options.num_iterations; ++j) {
+    // While-loop (Lines 6–19).
+    std::vector<int64_t> s_prime;  // Indices i (into chosen_good) heavy at ℓ.
+    int64_t ell = -1;
+    while (true) {
+      ell = state.ArgmaxRow();
+      s_prime.clear();
+      for (int64_t i = 0; i < g; ++i) {
+        if (in_s[static_cast<size_t>(i)] &&
+            heavy_at(chosen_good[static_cast<size_t>(i)], ell)) {
+          s_prime.push_back(i);
+        }
+      }
+      if (state.alive_count() == 0 ||
+          state.AllPhiBelow(options.phi_threshold)) {
+        s_prime.clear();  // Line 12.
+        break;            // Line 13.
+      }
+      if (!s_prime.empty()) break;  // Line 14.
+      // Line 15–18: purge the dominating row and keep looping.
+      PairFinderEvent event;
+      event.branch = PairFinderBranch::kRowPurge;
+      event.step = step;
+      event.row = ell;
+      push_event(event);
+      state.RemoveRow(ell);
+      ++step;
+    }
+
+    if (!s_prime.empty()) {
+      // High-φ branch (Lines 20–30).
+      if (static_cast<int64_t>(s_prime.size()) >= 2) {
+        // Sample two distinct members of S'_k (Lines 21–25).
+        const int64_t a_pos =
+            static_cast<int64_t>(rng.UniformInt(s_prime.size()));
+        int64_t b_pos =
+            static_cast<int64_t>(rng.UniformInt(s_prime.size() - 1));
+        if (b_pos >= a_pos) ++b_pos;
+        const int64_t i_a = s_prime[static_cast<size_t>(a_pos)];
+        const int64_t i_b = s_prime[static_cast<size_t>(b_pos)];
+        PairFinderEvent event = MakePairEvent(
+            index, PairFinderBranch::kHighPhiPair, step,
+            chosen_good[static_cast<size_t>(i_a)],
+            chosen_good[static_cast<size_t>(i_b)]);
+        event.row = ell;
+        push_event(event);
+        ++result.num_pairs;
+        in_s[static_cast<size_t>(i_a)] = false;
+        in_s[static_cast<size_t>(i_b)] = false;
+      } else {
+        // Lines 26–29.
+        PairFinderEvent event;
+        event.branch = PairFinderBranch::kHighPhiSingleton;
+        event.step = step;
+        event.row = ell;
+        push_event(event);
+        in_s[static_cast<size_t>(s_prime.front())] = false;
+        state.RemoveRow(ell);
+      }
+    } else if (j >= g || !in_s[static_cast<size_t>(j)]) {
+      // Lines 31–34: the pivot index j is no longer available.
+      PairFinderEvent event;
+      event.branch = PairFinderBranch::kSkippedIndex;
+      event.step = step;
+      push_event(event);
+    } else {
+      // Greedy branch (Lines 36–46) with pivot C_j.
+      const int64_t pivot = chosen_good[static_cast<size_t>(j)];
+      std::vector<int64_t> partners;
+      for (int64_t i = 0; i < g; ++i) {
+        if (i != j && in_s[static_cast<size_t>(i)] &&
+            index.Collides(chosen_good[static_cast<size_t>(i)], pivot)) {
+          partners.push_back(i);
+        }
+      }
+      if (!partners.empty()) {
+        const int64_t i_partner = partners[static_cast<size_t>(
+            rng.UniformInt(partners.size()))];
+        PairFinderEvent event = MakePairEvent(
+            index, PairFinderBranch::kGreedyPair, step,
+            chosen_good[static_cast<size_t>(i_partner)], pivot);
+        push_event(event);
+        ++result.num_pairs;
+        in_s[static_cast<size_t>(j)] = false;
+        in_s[static_cast<size_t>(i_partner)] = false;
+      } else {
+        PairFinderEvent event;
+        event.branch = PairFinderBranch::kNoPartner;
+        event.step = step;
+        event.col_b = pivot;
+        push_event(event);
+        in_s[static_cast<size_t>(j)] = false;
+        state.RemoveColliders(pivot);
+      }
+    }
+    ++step;
+  }
+  result.final_good_set_size = state.alive_count();
+  return result;
+}
+
+Result<PairFinderResult> RunAlgorithm1(
+    const SketchColumnIndex& index, const std::vector<int64_t>& chosen_columns,
+    uint64_t seed) {
+  const int64_t d = static_cast<int64_t>(chosen_columns.size());
+  if (d <= 0) {
+    return Status::InvalidArgument("RunAlgorithm1: no chosen columns");
+  }
+  PairFinderOptions options;
+  options.eta = 3.0;
+  options.phi_threshold = options.eta / static_cast<double>(d);
+  options.num_iterations = std::max<int64_t>(1, d / 16);
+  options.seed = seed;
+  return RunPairFinder(index, chosen_columns, options);
+}
+
+Result<PairFinderResult> RunAlgorithm2(
+    const SketchColumnIndex& index, const std::vector<int64_t>& chosen_columns,
+    double scale, uint64_t seed) {
+  const int64_t d_prime = static_cast<int64_t>(chosen_columns.size());
+  if (d_prime <= 0) {
+    return Status::InvalidArgument("RunAlgorithm2: no chosen columns");
+  }
+  if (scale <= 0.0 || scale > 1.0) {
+    return Status::InvalidArgument("RunAlgorithm2: scale must be in (0, 1]");
+  }
+  PairFinderOptions options;
+  options.eta = 3.0;
+  const double effective = scale * static_cast<double>(d_prime);
+  options.phi_threshold = options.eta / std::max(effective, 1.0);
+  options.num_iterations =
+      std::max<int64_t>(1, static_cast<int64_t>(effective / 16.0));
+  options.seed = seed;
+  return RunPairFinder(index, chosen_columns, options);
+}
+
+}  // namespace sose

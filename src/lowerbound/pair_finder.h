@@ -1,0 +1,107 @@
+#ifndef SOSE_LOWERBOUND_PAIR_FINDER_H_
+#define SOSE_LOWERBOUND_PAIR_FINDER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/status.h"
+#include "lowerbound/column_index.h"
+
+namespace sose {
+
+/// Which branch of the paper's Algorithm 1 produced an output record.
+enum class PairFinderBranch {
+  /// Line 15: φ too concentrated but no chosen column is heavy in the
+  /// dominating row; the row's good columns were purged from G. Output
+  /// (ℓ, ⊥).
+  kRowPurge,
+  /// Line 23: two chosen columns heavy in the dominating row ℓ.
+  /// Output (C_{j'}, C_{j''}).
+  kHighPhiPair,
+  /// Line 27: exactly one chosen column heavy in ℓ. Output (ℓ, ⊥).
+  kHighPhiSingleton,
+  /// Line 34: the iteration's pivot index j already left S. Output (⊥, ⊥).
+  kSkippedIndex,
+  /// Line 39: pivot C_j collides with a surviving chosen column C_{j'}.
+  /// Output (C_{j'}, C_j).
+  kGreedyPair,
+  /// Line 43: pivot C_j collides with nothing; its colliders leave G.
+  /// Output (⊥, C_j).
+  kNoPartner,
+};
+
+/// One output record of the pair finder (the paper's Y values, annotated).
+struct PairFinderEvent {
+  PairFinderBranch branch = PairFinderBranch::kSkippedIndex;
+  /// The algorithm's step counter k at emission time.
+  int64_t step = 0;
+  /// Sketch column indices of the emitted pair; -1 encodes ⊥.
+  int64_t col_a = -1;
+  int64_t col_b = -1;
+  /// Dominating row ℓ for the row-flavored branches; -1 otherwise.
+  int64_t row = -1;
+  /// For pair branches: ⟨Π_{*,a}, Π_{*,b}⟩ and the number of shared
+  /// θ-heavy rows.
+  double inner_product = 0.0;
+  int64_t shared_heavy_rows = 0;
+  /// Lemma 13 state at emission time, filled only when
+  /// PairFinderOptions::collect_set_stats is set: |G_k|, the number of
+  /// unordered colliding pairs T_k within the alive good set, and
+  /// Δ_k = E[shared heavy rows] over those pairs (0 when T_k is empty).
+  int64_t alive_good_columns = 0;
+  int64_t colliding_pairs_tk = 0;
+  double delta_k = 0.0;
+};
+
+/// Aggregate result of one run.
+struct PairFinderResult {
+  std::vector<PairFinderEvent> events;
+  /// Number of emitted colliding pairs (high-φ + greedy).
+  int64_t num_pairs = 0;
+  /// Number of good columns among the chosen sequence (the paper's g).
+  int64_t num_good_chosen = 0;
+  /// |G_k| at termination.
+  int64_t final_good_set_size = 0;
+};
+
+/// Tuning of the process. Algorithm 1 uses phi_threshold = η/d and
+/// num_iterations = d/16; Algorithm 2 rescales both by ε^{δ'}·2^{ℓ'}.
+struct PairFinderOptions {
+  double eta = 3.0;           ///< The paper's η.
+  double phi_threshold = 0.0; ///< Break the while-loop when all φ_{k,c} <= this.
+  int64_t num_iterations = 0; ///< Number of for-loop iterations.
+  uint64_t seed = 0;          ///< Seed for the algorithm's internal sampling.
+  /// When true, every emitted event also records |G_k|, |T_k| and Δ_k
+  /// (the Lemma 13 quantities). Costs O(Σ_l |G_k^l|²) per event — enable
+  /// for analysis runs, not inner loops.
+  bool collect_set_stats = false;
+};
+
+/// Runs the greedy disjoint-colliding-pair process (the paper's
+/// Algorithm 1) over the good columns of `index` chosen by V.
+///
+/// `chosen_columns` is the sequence C_1..C_d of sketch columns selected by
+/// the hard instance, in sample order; non-good entries are filtered exactly
+/// as the paper's preamble prescribes. Fails on out-of-range columns or
+/// non-positive options.
+Result<PairFinderResult> RunPairFinder(const SketchColumnIndex& index,
+                                       const std::vector<int64_t>& chosen_columns,
+                                       const PairFinderOptions& options);
+
+/// Algorithm 1 exactly: η = 3, φ-threshold η/d, d/16 iterations, where
+/// d = chosen_columns.size().
+Result<PairFinderResult> RunAlgorithm1(const SketchColumnIndex& index,
+                                       const std::vector<int64_t>& chosen_columns,
+                                       uint64_t seed);
+
+/// Algorithm 2's parameterization for level ℓ' and the Section 5 heaviness
+/// scale: φ-threshold η/(scale·d') and scale·d'/16 iterations with
+/// d' = chosen_columns.size() and scale = ε^{δ'} (the caller passes the
+/// combined ε^{δ'} factor).
+Result<PairFinderResult> RunAlgorithm2(const SketchColumnIndex& index,
+                                       const std::vector<int64_t>& chosen_columns,
+                                       double scale, uint64_t seed);
+
+}  // namespace sose
+
+#endif  // SOSE_LOWERBOUND_PAIR_FINDER_H_

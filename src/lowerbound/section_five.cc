@@ -1,0 +1,117 @@
+#include "lowerbound/section_five.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/random.h"
+#include "hardinstance/d_beta.h"
+#include "lowerbound/column_index.h"
+#include "lowerbound/heavy_entries.h"
+#include "lowerbound/pair_finder.h"
+
+namespace sose {
+
+Result<SectionFiveReport> RunSectionFiveAnalysis(const SketchingMatrix& sketch,
+                                                 int64_t num_columns,
+                                                 int64_t d, double epsilon,
+                                                 uint64_t seed) {
+  if (epsilon <= 0.0 || epsilon >= 1.0) {
+    return Status::InvalidArgument(
+        "RunSectionFiveAnalysis: epsilon must be in (0, 1)");
+  }
+  const int64_t num_levels =
+      static_cast<int64_t>(std::floor(std::log2(1.0 / epsilon))) - 3;
+  if (num_levels < 1) {
+    return Status::InvalidArgument(
+        "RunSectionFiveAnalysis: epsilon too large; need log2(1/eps) >= 4");
+  }
+  if (num_columns <= 0 || num_columns > sketch.cols()) {
+    return Status::InvalidArgument(
+        "RunSectionFiveAnalysis: num_columns out of range");
+  }
+  const double delta_prime = SectionFiveDeltaPrime(epsilon);
+  const double eps_pow = std::pow(epsilon, delta_prime);
+  const double scale = eps_pow;  // Algorithm 2's ε^{δ'} factor.
+
+  SectionFiveReport report;
+  double norm_sq_total = 0.0;
+  Rng rng(DeriveSeed(seed, 0));
+
+  for (int64_t level = 0; level <= num_levels; ++level) {
+    SectionFiveLevel out;
+    out.level = level;
+    out.theta = std::sqrt(std::pow(2.0, -static_cast<double>(level)));
+    out.lemma19_cap = eps_pow * std::pow(2.0, static_cast<double>(level));
+    const int64_t min_heavy = std::max<int64_t>(
+        1, static_cast<int64_t>(std::ceil(out.lemma19_cap / 3.0)));
+    // The one-ulp relaxation mirrors ComputeHeavyCensus: dyadic sketches
+    // carry entries exactly at the threshold.
+    HeavinessParams params;
+    params.theta = out.theta * (1.0 - 1e-9);
+    params.min_heavy_entries = min_heavy;
+    params.norm_tolerance = epsilon;
+    SOSE_ASSIGN_OR_RETURN(SketchColumnIndex index,
+                          SketchColumnIndex::Build(sketch, num_columns, params));
+    if (level == 0) {
+      for (int64_t c = 0; c < num_columns; ++c) {
+        norm_sq_total += index.ColumnNormSquared(c);
+      }
+      report.average_norm_squared =
+          norm_sq_total / static_cast<double>(num_columns);
+    }
+    double heavy_total = 0.0;
+    for (int64_t c = 0; c < num_columns; ++c) {
+      heavy_total += static_cast<double>(index.HeavyRows(c).size());
+    }
+    out.average_heavy = heavy_total / static_cast<double>(num_columns);
+    out.abundant = out.average_heavy > out.lemma19_cap;
+    out.good_columns = static_cast<int64_t>(index.GoodColumns().size());
+    report.has_abundant_level |= out.abundant;
+
+    // The paired level ℓ' with 2^{-ℓ-ℓ'} ≈ 2^{-L}: the instance whose
+    // per-entry magnitude √β matches the level's heaviness.
+    if (out.good_columns >= 2) {
+      const int64_t paired = std::max<int64_t>(0, num_levels - level);
+      const int64_t epc = int64_t{1} << paired;
+      const int64_t d_prime = d * epc;
+      if (d_prime <= num_columns) {
+        SOSE_ASSIGN_OR_RETURN(
+            DBetaSampler sampler,
+            DBetaSampler::Create(num_columns, d, epc));
+        HardInstance instance = sampler.Sample(&rng);
+        int64_t redraws = 0;
+        while (instance.HasRowCollision() && redraws < 64) {
+          instance = sampler.Sample(&rng);
+          ++redraws;
+        }
+        SOSE_ASSIGN_OR_RETURN(
+            PairFinderResult finder,
+            RunAlgorithm2(index, instance.rows, scale,
+                          DeriveSeed(seed, 100 + static_cast<uint64_t>(level))));
+        out.pairs_found = finder.num_pairs;
+        // Lemma 4 trigger for this level: inner product ≥ 2^{-ℓ} − 3ε.
+        const double trigger =
+            std::pow(2.0, -static_cast<double>(level)) - 3.0 * epsilon;
+        int64_t large = 0;
+        for (const PairFinderEvent& event : finder.events) {
+          if ((event.branch == PairFinderBranch::kHighPhiPair ||
+               event.branch == PairFinderBranch::kGreedyPair) &&
+              std::fabs(event.inner_product) >= trigger) {
+            ++large;
+          }
+        }
+        out.large_pair_fraction =
+            finder.num_pairs > 0
+                ? static_cast<double>(large) /
+                      static_cast<double>(finder.num_pairs)
+                : 0.0;
+      }
+    }
+    report.levels.push_back(out);
+  }
+  report.heavy_mass_bound =
+      static_cast<double>(num_levels + 1) * eps_pow;
+  return report;
+}
+
+}  // namespace sose

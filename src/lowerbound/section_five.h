@@ -1,0 +1,61 @@
+#ifndef SOSE_LOWERBOUND_SECTION_FIVE_H_
+#define SOSE_LOWERBOUND_SECTION_FIVE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/status.h"
+#include "sketch/sketch.h"
+
+namespace sose {
+
+/// Per-level outcome of the Section 5 analysis.
+struct SectionFiveLevel {
+  int64_t level = 0;          ///< ℓ: heaviness threshold √(2^{-ℓ}).
+  double theta = 0.0;
+  /// Average number of θ-heavy entries per indexed column.
+  double average_heavy = 0.0;
+  /// Lemma 19's ceiling ε^{δ'}·2^ℓ.
+  double lemma19_cap = 0.0;
+  /// Whether the census exceeds the cap — the "abundant level" the
+  /// argument pairs with a D_{2^{-ℓ'}} instance.
+  bool abundant = false;
+  /// Good columns at this level (≥ cap/3 heavy entries, norm 1 ± ε).
+  int64_t good_columns = 0;
+  /// Colliding pairs emitted by Algorithm 2 on a matched-level instance.
+  int64_t pairs_found = 0;
+  /// Fraction of emitted pairs with |inner product| ≥ 2^{-ℓ} − 3ε — the
+  /// Lemma 4 trigger for the paired level.
+  double large_pair_fraction = 0.0;
+};
+
+/// Aggregate outcome of the Section 5 pipeline.
+struct SectionFiveReport {
+  std::vector<SectionFiveLevel> levels;
+  /// Average squared column norm of the indexed columns; a working
+  /// embedding must keep this ≈ 1, which is what the per-level caps sum to.
+  double average_norm_squared = 0.0;
+  /// Cumulative norm mass explained by entries at or above each level's
+  /// threshold, bounded by Σ_ℓ cap_ℓ · 2^{-ℓ} = (L+1)·ε^{δ'} for a
+  /// compliant sketch.
+  double heavy_mass_bound = 0.0;
+  /// True if some level is abundant — i.e. the removal argument has a
+  /// level to attack.
+  bool has_abundant_level = false;
+};
+
+/// Runs the Section 5 level-by-level analysis of a sketch: for each dyadic
+/// level ℓ ∈ [0, L] (L = log₂(1/ε) − 3) it computes the heavy census over
+/// columns [0, num_columns), classifies good columns exactly as the proof
+/// of Lemma 19 does (ε^{δ'}2^ℓ/3 heavy entries, norm 1 ± ε), and — when the
+/// level is populated — runs Algorithm 2 against a freshly sampled
+/// D_{2^{-ℓ'}} instance at the paired level ℓ' ≈ L − ℓ, recording the
+/// colliding pairs and their inner-product exceedances.
+Result<SectionFiveReport> RunSectionFiveAnalysis(const SketchingMatrix& sketch,
+                                                 int64_t num_columns,
+                                                 int64_t d, double epsilon,
+                                                 uint64_t seed);
+
+}  // namespace sose
+
+#endif  // SOSE_LOWERBOUND_SECTION_FIVE_H_

@@ -1,0 +1,116 @@
+#include "lowerbound/section_three.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/random.h"
+#include "hardinstance/d_beta.h"
+#include "lowerbound/collision.h"
+#include "lowerbound/heavy_entries.h"
+
+namespace sose {
+
+namespace {
+
+// Generic collision test for any sketch: two touched coordinates "collide"
+// when their sketch columns share a support row. For Count-Sketch this is
+// exactly Lemma 7's B_i > 1 event.
+bool InstanceHasColumnCollision(const SketchingMatrix& sketch,
+                                const HardInstance& instance) {
+  std::vector<int64_t> support;
+  for (int64_t row : instance.TouchedRows()) {
+    for (const ColumnEntry& entry : sketch.Column(row)) {
+      support.push_back(entry.row);
+    }
+  }
+  std::sort(support.begin(), support.end());
+  for (size_t i = 1; i < support.size(); ++i) {
+    if (support[i] == support[i - 1]) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<SectionThreeReport> RunSectionThreeAnalysis(
+    const SketchingMatrix& sketch, const SectionThreeParams& params) {
+  if (params.d <= 0 || params.num_instances <= 0 || params.norm_samples <= 0) {
+    return Status::InvalidArgument(
+        "RunSectionThreeAnalysis: non-positive parameter");
+  }
+  if (params.epsilon <= 0.0 || params.epsilon >= 0.125) {
+    return Status::InvalidArgument(
+        "RunSectionThreeAnalysis: Theorem 8 requires epsilon in (0, 1/8)");
+  }
+  if (params.delta <= 0.0 || params.delta >= 0.125) {
+    return Status::InvalidArgument(
+        "RunSectionThreeAnalysis: Theorem 8 requires delta in (0, 1/8)");
+  }
+  SectionThreeReport report;
+
+  // Lemma 6 side: fraction of columns with norm outside 1 ± ε.
+  Rng census_rng(DeriveSeed(params.seed, 0));
+  SOSE_ASSIGN_OR_RETURN(
+      report.norm_violation_fraction,
+      FractionColumnsOutsideNorm(sketch, params.epsilon, params.norm_samples,
+                                 &census_rng));
+  report.norm_violation_budget =
+      2.0 * params.delta / static_cast<double>(params.d);
+  report.norm_discipline_holds =
+      report.norm_violation_fraction <= report.norm_violation_budget;
+
+  // Lemma 7 side: collision probability of the D_{8ε} instance's active
+  // coordinates under the sketch.
+  const int64_t entries_per_col = std::max<int64_t>(
+      1, static_cast<int64_t>(std::llround(1.0 / (8.0 * params.epsilon))));
+  SOSE_ASSIGN_OR_RETURN(
+      DBetaSampler sampler,
+      DBetaSampler::Create(sketch.cols(), params.d, entries_per_col));
+  report.balls = params.d * entries_per_col;
+  Rng rng(DeriveSeed(params.seed, 1));
+  int64_t collided = 0;
+  for (int64_t t = 0; t < params.num_instances; ++t) {
+    HardInstance instance = sampler.Sample(&rng);
+    int64_t redraws = 0;
+    while (instance.HasRowCollision() && redraws < 64) {
+      instance = sampler.Sample(&rng);
+      ++redraws;
+    }
+    if (InstanceHasColumnCollision(sketch, instance)) ++collided;
+  }
+  report.collision_rate =
+      static_cast<double>(collided) / static_cast<double>(params.num_instances);
+  report.collision_interval = WilsonInterval(collided, params.num_instances);
+  report.birthday_prediction =
+      BirthdayCollisionProbability(report.balls, sketch.rows());
+  report.collision_budget =
+      2.0 * params.delta / (1.0 - 4.0 * params.delta);
+  report.collision_freedom_holds =
+      report.collision_rate <= report.collision_budget;
+
+  report.passes =
+      report.norm_discipline_holds && report.collision_freedom_holds;
+
+  // Smallest m meeting the birthday budget (doubling + bisection on the
+  // analytic curve).
+  int64_t lo = 1, hi = 1;
+  while (BirthdayCollisionProbability(report.balls, hi) >
+         report.collision_budget) {
+    hi *= 2;
+    if (hi > (int64_t{1} << 50)) break;
+  }
+  lo = hi / 2;
+  while (lo + 1 < hi) {
+    const int64_t mid = lo + (hi - lo) / 2;
+    if (BirthdayCollisionProbability(report.balls, mid) <=
+        report.collision_budget) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  report.required_rows_birthday = hi;
+  return report;
+}
+
+}  // namespace sose

@@ -1,0 +1,62 @@
+#ifndef SOSE_LOWERBOUND_SECTION_THREE_H_
+#define SOSE_LOWERBOUND_SECTION_THREE_H_
+
+#include <cstdint>
+
+#include "core/stats.h"
+#include "core/status.h"
+#include "sketch/sketch.h"
+
+namespace sose {
+
+/// The two obligations Theorem 8's proof places on an s = 1 sketch, each
+/// measured directly. A sketch failing either cannot be an
+/// (ε, δ)-embedding for the Section 3 mixture.
+struct SectionThreeReport {
+  // --- Lemma 6 side (D₁ component): column-norm discipline ---
+  /// Fraction of sampled columns with l2 norm outside 1 ± ε (the lemma
+  /// requires <= ~2δ/d).
+  double norm_violation_fraction = 0.0;
+  /// The bound 2δ/d the lemma imposes.
+  double norm_violation_budget = 0.0;
+  bool norm_discipline_holds = false;
+
+  // --- Lemma 7 side (D_{8ε} component): collision freedom ---
+  /// Number of active coordinates hashed per instance, k = d/(8ε).
+  int64_t balls = 0;
+  /// Empirical Pr[some bucket receives >= 2 active coordinates], with CI.
+  double collision_rate = 0.0;
+  ConfidenceInterval collision_interval;
+  /// The analytic birthday probability at (balls, m).
+  double birthday_prediction = 0.0;
+  /// The paper's tolerance 2δ/(1 − 4δ) for the collision event.
+  double collision_budget = 0.0;
+  bool collision_freedom_holds = false;
+
+  /// Overall: both obligations met (necessary conditions — the paper shows
+  /// together they force m = Ω(d²/(ε²δ))).
+  bool passes = false;
+  /// The m this sketch would need for the birthday side alone to meet the
+  /// budget: smallest m with BirthdayCollisionProbability(k, m) <= budget.
+  int64_t required_rows_birthday = 0;
+};
+
+/// Parameters of the Section 3 analysis.
+struct SectionThreeParams {
+  int64_t d = 8;
+  double epsilon = 1.0 / 16.0;  ///< Must be < 1/8 (Theorem 8's range).
+  double delta = 0.1;           ///< Must be < 1/8.
+  int64_t num_instances = 200;  ///< D_{8ε} draws for the collision estimate.
+  int64_t norm_samples = 2000;  ///< Columns sampled for the Lemma 6 census.
+  uint64_t seed = 0;
+};
+
+/// Measures both obligations of Theorem 8 against a sketch with column
+/// sparsity 1 (the analysis is meaningful for any sketch, but the paper's
+/// statement concerns s = 1; callers may check sketch.column_sparsity()).
+Result<SectionThreeReport> RunSectionThreeAnalysis(
+    const SketchingMatrix& sketch, const SectionThreeParams& params);
+
+}  // namespace sose
+
+#endif  // SOSE_LOWERBOUND_SECTION_THREE_H_

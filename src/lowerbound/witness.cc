@@ -1,0 +1,156 @@
+#include "lowerbound/witness.h"
+
+#include <cmath>
+#include <vector>
+
+#include "core/linalg_eigen.h"
+#include "core/random.h"
+#include "ose/distortion.h"
+
+namespace sose {
+
+namespace {
+
+double SortedDot(const std::vector<ColumnEntry>& a,
+                 const std::vector<ColumnEntry>& b) {
+  size_t i = 0, j = 0;
+  double sum = 0.0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i].row == b[j].row) {
+      sum += a[i].value * b[j].value;
+      ++i;
+      ++j;
+    } else if (a[i].row < b[j].row) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return sum;
+}
+
+}  // namespace
+
+Result<std::optional<ViolationWitness>> FindLargeInnerProductPair(
+    const SketchingMatrix& sketch, const HardInstance& instance,
+    double threshold) {
+  if (sketch.cols() != instance.n) {
+    return Status::InvalidArgument(
+        "FindLargeInnerProductPair: ambient dimension mismatch");
+  }
+  const int64_t k = instance.NumGenerators();
+  // Materialize the k touched sketch columns once.
+  std::vector<std::vector<ColumnEntry>> cols(static_cast<size_t>(k));
+  for (int64_t j = 0; j < k; ++j) {
+    cols[static_cast<size_t>(j)] =
+        sketch.Column(instance.rows[static_cast<size_t>(j)]);
+  }
+  std::optional<ViolationWitness> best;
+  double best_abs = threshold;
+  for (int64_t p = 0; p < k; ++p) {
+    for (int64_t q = p + 1; q < k; ++q) {
+      // Identical generators (event B) would trivially have inner product
+      // ~1; the paper conditions them away.
+      if (instance.rows[static_cast<size_t>(p)] ==
+          instance.rows[static_cast<size_t>(q)]) {
+        continue;
+      }
+      const double dot =
+          SortedDot(cols[static_cast<size_t>(p)], cols[static_cast<size_t>(q)]);
+      if (std::fabs(dot) >= best_abs) {
+        best_abs = std::fabs(dot);
+        ViolationWitness witness;
+        witness.gen_p = p;
+        witness.gen_q = q;
+        witness.col_p = p / instance.entries_per_col;
+        witness.col_q = q / instance.entries_per_col;
+        witness.inner_product = dot;
+        best = witness;
+      }
+    }
+  }
+  return best;
+}
+
+Result<AntiConcentrationReport> VerifyAntiConcentration(
+    const SketchingMatrix& sketch, const HardInstance& instance,
+    const ViolationWitness& witness, double epsilon, int64_t trials,
+    uint64_t seed) {
+  if (trials <= 0) {
+    return Status::InvalidArgument("VerifyAntiConcentration: trials <= 0");
+  }
+  if (epsilon <= 0.0 || epsilon >= 1.0) {
+    return Status::InvalidArgument(
+        "VerifyAntiConcentration: epsilon must be in (0, 1)");
+  }
+  const int64_t epc = instance.entries_per_col;
+  // The generators feeding u: the block(s) of the two owning columns.
+  std::vector<int64_t> generators;
+  for (int64_t j = witness.col_p * epc; j < (witness.col_p + 1) * epc; ++j) {
+    generators.push_back(j);
+  }
+  if (witness.col_q != witness.col_p) {
+    for (int64_t j = witness.col_q * epc; j < (witness.col_q + 1) * epc; ++j) {
+      generators.push_back(j);
+    }
+  }
+  // Scale of each generator's contribution to ΠUu: √β for u = e_{p'};
+  // √(β/2) for u = (e_{p'} + e_{q'})/√2.
+  const double scale = witness.col_p == witness.col_q
+                           ? std::sqrt(instance.beta)
+                           : std::sqrt(instance.beta / 2.0);
+  // Materialize the touched sketch columns once.
+  std::vector<std::vector<ColumnEntry>> cols(generators.size());
+  for (size_t i = 0; i < generators.size(); ++i) {
+    cols[i] = sketch.Column(
+        instance.rows[static_cast<size_t>(generators[i])]);
+  }
+  const double lo = (1.0 - epsilon) * (1.0 - epsilon);
+  const double hi = (1.0 + epsilon) * (1.0 + epsilon);
+  Rng rng(seed);
+  std::vector<double> accum(static_cast<size_t>(sketch.rows()), 0.0);
+  AntiConcentrationReport report;
+  report.trials = trials;
+  int64_t above = 0, below = 0;
+  for (int64_t t = 0; t < trials; ++t) {
+    std::fill(accum.begin(), accum.end(), 0.0);
+    for (const std::vector<ColumnEntry>& column : cols) {
+      const double sigma = rng.Rademacher() * scale;
+      for (const ColumnEntry& entry : column) {
+        accum[static_cast<size_t>(entry.row)] += sigma * entry.value;
+      }
+    }
+    double norm_sq = 0.0;
+    for (double v : accum) norm_sq += v * v;
+    if (norm_sq > hi) {
+      ++above;
+    } else if (norm_sq < lo) {
+      ++below;
+    }
+  }
+  report.fraction_above = static_cast<double>(above) / static_cast<double>(trials);
+  report.fraction_below = static_cast<double>(below) / static_cast<double>(trials);
+  report.fraction_outside = report.fraction_above + report.fraction_below;
+  return report;
+}
+
+Result<int64_t> SketchedInstanceRank(const SketchingMatrix& sketch,
+                                     const HardInstance& instance,
+                                     double tol) {
+  if (sketch.cols() != instance.n) {
+    return Status::InvalidArgument(
+        "SketchedInstanceRank: ambient dimension mismatch");
+  }
+  const Matrix sketched = sketch.ApplySparse(instance.ToCsc());
+  SOSE_ASSIGN_OR_RETURN(std::vector<double> eigenvalues,
+                        SymmetricEigenvalues(Gram(sketched)));
+  const double cap = eigenvalues.back();
+  if (cap <= 0.0) return int64_t{0};
+  int64_t rank = 0;
+  for (double value : eigenvalues) {
+    if (value > tol * cap) ++rank;
+  }
+  return rank;
+}
+
+}  // namespace sose

@@ -1,0 +1,69 @@
+#ifndef SOSE_LOWERBOUND_WITNESS_H_
+#define SOSE_LOWERBOUND_WITNESS_H_
+
+#include <cstdint>
+#include <optional>
+
+#include "core/status.h"
+#include "hardinstance/hard_instance.h"
+#include "sketch/sketch.h"
+
+namespace sose {
+
+/// A pair of hard-instance generators whose sketch columns have a large
+/// inner product — the precondition of the paper's Lemma 4, from which an
+/// embedding-violating unit vector is constructed.
+struct ViolationWitness {
+  /// Generator indices into instance.rows (columns of A = ΠV).
+  int64_t gen_p = 0;
+  int64_t gen_q = 0;
+  /// The U-columns owning the generators (the paper's p', q'); equal when
+  /// both generators live in the same block.
+  int64_t col_p = 0;
+  int64_t col_q = 0;
+  /// ⟨Π_{*,C_p}, Π_{*,C_q}⟩.
+  double inner_product = 0.0;
+};
+
+/// Scans all generator pairs of the instance for the pair maximizing
+/// |⟨Π_{*,C_p}, Π_{*,C_q}⟩| and returns it if the maximum reaches
+/// `threshold` (the paper uses λε/β with λ > 2). Returns nullopt when no
+/// pair qualifies. Cost O(k² s) for k = d/β generators.
+Result<std::optional<ViolationWitness>> FindLargeInnerProductPair(
+    const SketchingMatrix& sketch, const HardInstance& instance,
+    double threshold);
+
+/// Empirical verdict on Lemma 4's anti-concentration: over resampled
+/// Rademacher signs W, how often ‖ΠUu‖² leaves [(1−ε)², (1+ε)²] for the
+/// witness-derived unit vector u = (e_{p'} + e_{q'})/√2 (or e_{p'} when
+/// p' = q').
+struct AntiConcentrationReport {
+  int64_t trials = 0;
+  /// Fraction of sign draws with ‖ΠUu‖² > (1+ε)².
+  double fraction_above = 0.0;
+  /// Fraction with ‖ΠUu‖² < (1−ε)².
+  double fraction_below = 0.0;
+  /// fraction_above + fraction_below; Lemma 4 guarantees >= 1/4 when the
+  /// witness inner product is at least λε/β with λ > 2.
+  double fraction_outside = 0.0;
+};
+
+/// Estimates the report by `trials` independent resamplings of the signs in
+/// the witness's block(s), keeping V (the row choices) fixed.
+Result<AntiConcentrationReport> VerifyAntiConcentration(
+    const SketchingMatrix& sketch, const HardInstance& instance,
+    const ViolationWitness& witness, double epsilon, int64_t trials,
+    uint64_t seed);
+
+/// The numerical rank of ΠU (eigenvalues of its Gram above
+/// tol · λ_max): Nelson–Nguyễn's original s = 1 argument (the paper's
+/// footnote 1) observes that a collision collapses this below d. The
+/// paper's anti-concentration argument supersedes it, but the collapse
+/// remains the most visible symptom of a broken embedding.
+Result<int64_t> SketchedInstanceRank(const SketchingMatrix& sketch,
+                                     const HardInstance& instance,
+                                     double tol = 1e-10);
+
+}  // namespace sose
+
+#endif  // SOSE_LOWERBOUND_WITNESS_H_

@@ -1,0 +1,126 @@
+#include "ose/distortion.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <vector>
+
+#include "core/linalg_eigen.h"
+
+namespace sose {
+
+double DistortionReport::Epsilon() const {
+  return std::max(1.0 - min_factor, max_factor - 1.0);
+}
+
+bool DistortionReport::WithinEpsilon(double epsilon) const {
+  return min_factor >= 1.0 - epsilon && max_factor <= 1.0 + epsilon;
+}
+
+namespace {
+
+DistortionReport FromEigenvalues(const std::vector<double>& ascending) {
+  DistortionReport report;
+  const double lo = std::max(ascending.front(), 0.0);
+  const double hi = std::max(ascending.back(), 0.0);
+  report.min_factor = std::sqrt(lo);
+  report.max_factor = std::sqrt(hi);
+  return report;
+}
+
+}  // namespace
+
+Result<DistortionReport> DistortionOfSketchedIsometry(const Matrix& sketched) {
+  if (sketched.cols() == 0) {
+    return Status::InvalidArgument("DistortionOfSketchedIsometry: empty basis");
+  }
+  SOSE_ASSIGN_OR_RETURN(std::vector<double> eigenvalues,
+                        SymmetricEigenvalues(Gram(sketched)));
+  return FromEigenvalues(eigenvalues);
+}
+
+Result<DistortionReport> DistortionOfSketchedBasis(const Matrix& sketched,
+                                                   const Matrix& gram_u) {
+  if (sketched.cols() != gram_u.rows()) {
+    return Status::InvalidArgument("DistortionOfSketchedBasis: shape mismatch");
+  }
+  SOSE_ASSIGN_OR_RETURN(
+      std::vector<double> eigenvalues,
+      GeneralizedSymmetricEigenvalues(Gram(sketched), gram_u));
+  return FromEigenvalues(eigenvalues);
+}
+
+namespace {
+
+// (ΠU)ᵀ(ΠU) without materializing the m x d product: ΠU has at most
+// nnz(U) · s nonzero rows, so the Gram is accumulated row-by-row over a
+// map keyed by sketch row. This keeps the paper's regime m = Θ(d²/(ε²δ))
+// affordable — the cost is independent of m for sparse sketches.
+Result<Matrix> SketchedGramOnInstance(const SketchingMatrix& sketch,
+                                      const HardInstance& instance) {
+  const CscMatrix u = instance.ToCsc();
+  const int64_t d = u.cols();
+  std::unordered_map<int64_t, std::vector<double>> sketched_rows;
+  for (int64_t j = 0; j < d; ++j) {
+    for (int64_t p = u.col_ptr()[static_cast<size_t>(j)];
+         p < u.col_ptr()[static_cast<size_t>(j) + 1]; ++p) {
+      const int64_t ambient_row = u.row_idx()[static_cast<size_t>(p)];
+      const double value = u.values()[static_cast<size_t>(p)];
+      for (const ColumnEntry& entry : sketch.Column(ambient_row)) {
+        auto [it, inserted] = sketched_rows.try_emplace(entry.row);
+        if (inserted) it->second.assign(static_cast<size_t>(d), 0.0);
+        it->second[static_cast<size_t>(j)] += value * entry.value;
+      }
+    }
+  }
+  Matrix gram(d, d);
+  for (const auto& [row, values] : sketched_rows) {
+    (void)row;
+    for (int64_t i = 0; i < d; ++i) {
+      const double vi = values[static_cast<size_t>(i)];
+      if (vi == 0.0) continue;
+      for (int64_t j = 0; j < d; ++j) {
+        gram.At(i, j) += vi * values[static_cast<size_t>(j)];
+      }
+    }
+  }
+  return gram;
+}
+
+Result<DistortionReport> DistortionFromGramPair(const Matrix& gram_sketched,
+                                                const Matrix& gram_u) {
+  SOSE_ASSIGN_OR_RETURN(
+      std::vector<double> eigenvalues,
+      GeneralizedSymmetricEigenvalues(gram_sketched, gram_u));
+  return FromEigenvalues(eigenvalues);
+}
+
+}  // namespace
+
+Result<DistortionReport> SketchDistortionOnInstance(
+    const SketchingMatrix& sketch, const HardInstance& instance) {
+  if (sketch.cols() != instance.n) {
+    return Status::InvalidArgument(
+        "SketchDistortionOnInstance: sketch ambient dimension != instance n");
+  }
+  SOSE_ASSIGN_OR_RETURN(Matrix gram_sketched,
+                        SketchedGramOnInstance(sketch, instance));
+  if (!instance.HasRowCollision()) {
+    // U is an exact isometry; the ordinary eigenproblem suffices.
+    SOSE_ASSIGN_OR_RETURN(std::vector<double> eigenvalues,
+                          SymmetricEigenvalues(gram_sketched));
+    return FromEigenvalues(eigenvalues);
+  }
+  return DistortionFromGramPair(gram_sketched, instance.GramU());
+}
+
+Result<DistortionReport> SketchDistortionOnIsometry(
+    const SketchingMatrix& sketch, const Matrix& isometry) {
+  if (sketch.cols() != isometry.rows()) {
+    return Status::InvalidArgument(
+        "SketchDistortionOnIsometry: sketch ambient dimension != basis rows");
+  }
+  return DistortionOfSketchedIsometry(sketch.ApplyDense(isometry));
+}
+
+}  // namespace sose

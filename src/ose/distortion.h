@@ -1,0 +1,49 @@
+#ifndef SOSE_OSE_DISTORTION_H_
+#define SOSE_OSE_DISTORTION_H_
+
+#include "core/matrix.h"
+#include "core/status.h"
+#include "hardinstance/hard_instance.h"
+#include "sketch/sketch.h"
+
+namespace sose {
+
+/// Exact distortion of a sketch on a subspace: the extremes of
+/// ‖ΠUx‖₂ / ‖Ux‖₂ over x ≠ 0.
+struct DistortionReport {
+  /// min and max of ‖ΠUx‖/‖Ux‖ (the square roots of the extreme
+  /// generalized eigenvalues).
+  double min_factor = 0.0;
+  double max_factor = 0.0;
+
+  /// The smallest ε for which Π is an ε-embedding of this subspace:
+  /// max(1 − min_factor, max_factor − 1).
+  double Epsilon() const;
+
+  /// True iff every direction is preserved within 1 ± epsilon.
+  bool WithinEpsilon(double epsilon) const;
+};
+
+/// Distortion from the sketched basis ΠU (m x d) when U is an exact
+/// isometry: singular-value extremes of ΠU via the eigenvalues of its d x d
+/// Gram matrix.
+Result<DistortionReport> DistortionOfSketchedIsometry(const Matrix& sketched);
+
+/// Distortion for a general (full-column-rank) basis U: solves the
+/// generalized symmetric eigenproblem (ΠU)ᵀ(ΠU) x = λ (UᵀU) x. Fails with
+/// NumericalError if UᵀU is singular (U rank-deficient).
+Result<DistortionReport> DistortionOfSketchedBasis(const Matrix& sketched,
+                                                   const Matrix& gram_u);
+
+/// End-to-end: applies `sketch` to the hard instance and reports distortion
+/// relative to U's true geometry (collision-robust: uses GramU).
+Result<DistortionReport> SketchDistortionOnInstance(
+    const SketchingMatrix& sketch, const HardInstance& instance);
+
+/// End-to-end for a dense isometry basis.
+Result<DistortionReport> SketchDistortionOnIsometry(
+    const SketchingMatrix& sketch, const Matrix& isometry);
+
+}  // namespace sose
+
+#endif  // SOSE_OSE_DISTORTION_H_

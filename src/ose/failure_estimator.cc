@@ -1,0 +1,80 @@
+#include "ose/failure_estimator.h"
+
+namespace sose {
+
+namespace {
+
+FailureEstimate Summarize(int64_t trials, int64_t failures,
+                          double epsilon_sum) {
+  FailureEstimate estimate;
+  estimate.trials = trials;
+  estimate.failures = failures;
+  estimate.rate =
+      trials > 0 ? static_cast<double>(failures) / static_cast<double>(trials)
+                 : 0.0;
+  estimate.interval = WilsonInterval(failures, trials);
+  estimate.mean_epsilon =
+      trials > 0 ? epsilon_sum / static_cast<double>(trials) : 0.0;
+  return estimate;
+}
+
+}  // namespace
+
+Result<FailureEstimate> EstimateFailureProbability(
+    const SketchFactory& sketch_factory, const InstanceSampler& sampler,
+    const EstimatorOptions& options) {
+  if (options.trials <= 0) {
+    return Status::InvalidArgument("EstimateFailureProbability: trials <= 0");
+  }
+  int64_t failures = 0;
+  double epsilon_sum = 0.0;
+  for (int64_t t = 0; t < options.trials; ++t) {
+    const uint64_t trial_seed = DeriveSeed(options.seed, static_cast<uint64_t>(t));
+    SOSE_ASSIGN_OR_RETURN(std::unique_ptr<SketchingMatrix> sketch,
+                          sketch_factory(DeriveSeed(trial_seed, 0)));
+    Rng rng(DeriveSeed(trial_seed, 1));
+    HardInstance instance = sampler(&rng);
+    if (options.condition_on_no_collision) {
+      int64_t redraws = 0;
+      while (instance.HasRowCollision() && redraws < options.max_redraws) {
+        instance = sampler(&rng);
+        ++redraws;
+      }
+      if (instance.HasRowCollision()) {
+        return Status::FailedPrecondition(
+            "EstimateFailureProbability: persistent row collisions; "
+            "n is too small relative to d/beta");
+      }
+    }
+    SOSE_ASSIGN_OR_RETURN(DistortionReport report,
+                          SketchDistortionOnInstance(*sketch, instance));
+    epsilon_sum += report.Epsilon();
+    if (!report.WithinEpsilon(options.epsilon)) ++failures;
+  }
+  return Summarize(options.trials, failures, epsilon_sum);
+}
+
+Result<FailureEstimate> EstimateFailureProbabilityDense(
+    const SketchFactory& sketch_factory, const BasisSampler& sampler,
+    const EstimatorOptions& options) {
+  if (options.trials <= 0) {
+    return Status::InvalidArgument(
+        "EstimateFailureProbabilityDense: trials <= 0");
+  }
+  int64_t failures = 0;
+  double epsilon_sum = 0.0;
+  for (int64_t t = 0; t < options.trials; ++t) {
+    const uint64_t trial_seed = DeriveSeed(options.seed, static_cast<uint64_t>(t));
+    SOSE_ASSIGN_OR_RETURN(std::unique_ptr<SketchingMatrix> sketch,
+                          sketch_factory(DeriveSeed(trial_seed, 0)));
+    Rng rng(DeriveSeed(trial_seed, 1));
+    SOSE_ASSIGN_OR_RETURN(Matrix basis, sampler(&rng));
+    SOSE_ASSIGN_OR_RETURN(DistortionReport report,
+                          SketchDistortionOnIsometry(*sketch, basis));
+    epsilon_sum += report.Epsilon();
+    if (!report.WithinEpsilon(options.epsilon)) ++failures;
+  }
+  return Summarize(options.trials, failures, epsilon_sum);
+}
+
+}  // namespace sose

@@ -1,0 +1,68 @@
+#ifndef SOSE_OSE_FAILURE_ESTIMATOR_H_
+#define SOSE_OSE_FAILURE_ESTIMATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "core/random.h"
+#include "core/stats.h"
+#include "core/status.h"
+#include "hardinstance/hard_instance.h"
+#include "ose/distortion.h"
+#include "sketch/sketch.h"
+
+namespace sose {
+
+/// Builds a fresh sketch draw from a seed (one draw per Monte-Carlo trial).
+using SketchFactory =
+    std::function<Result<std::unique_ptr<SketchingMatrix>>(uint64_t seed)>;
+
+/// Samples a hard instance U using the provided generator.
+using InstanceSampler = std::function<HardInstance(Rng*)>;
+
+/// Samples a dense isometry basis using the provided generator.
+using BasisSampler = std::function<Result<Matrix>(Rng*)>;
+
+/// Outcome of a Monte-Carlo estimate of Pr[Π fails to ε-embed U].
+struct FailureEstimate {
+  int64_t trials = 0;
+  int64_t failures = 0;
+  /// Point estimate failures/trials.
+  double rate = 0.0;
+  /// Wilson 95% interval for the rate.
+  ConfidenceInterval interval;
+  /// Mean observed distortion ε(Π, U) across trials (diagnostic).
+  double mean_epsilon = 0.0;
+};
+
+/// Options controlling the estimator.
+struct EstimatorOptions {
+  int64_t trials = 200;
+  /// Target distortion ε of the embedding property being tested.
+  double epsilon = 0.1;
+  /// Master seed; trial t uses independent derived streams.
+  uint64_t seed = 1;
+  /// If true, re-draw instances whose V has a row collision (the paper
+  /// conditions on the complement of event B).
+  bool condition_on_no_collision = true;
+  /// Safety bound on collision re-draws per trial.
+  int64_t max_redraws = 64;
+};
+
+/// Estimates Pr over (Π, U) of "Π is not an ε-subspace-embedding for U",
+/// with U from the sparse hard-instance sampler. Each trial draws a fresh
+/// sketch and a fresh instance.
+Result<FailureEstimate> EstimateFailureProbability(
+    const SketchFactory& sketch_factory, const InstanceSampler& sampler,
+    const EstimatorOptions& options);
+
+/// Same, for dense isometry bases (used by the upper-bound experiments with
+/// moderate ambient dimension).
+Result<FailureEstimate> EstimateFailureProbabilityDense(
+    const SketchFactory& sketch_factory, const BasisSampler& sampler,
+    const EstimatorOptions& options);
+
+}  // namespace sose
+
+#endif  // SOSE_OSE_FAILURE_ESTIMATOR_H_

@@ -1,0 +1,58 @@
+#include "ose/isometry.h"
+
+#include <cmath>
+
+#include "core/linalg_qr.h"
+
+namespace sose {
+
+Result<Matrix> RandomIsometry(int64_t n, int64_t d, Rng* rng) {
+  if (n < d || d <= 0) {
+    return Status::InvalidArgument("RandomIsometry: need n >= d >= 1");
+  }
+  SOSE_CHECK(rng != nullptr);
+  Matrix gaussian(n, d);
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < d; ++j) gaussian.At(i, j) = rng->Gaussian();
+  }
+  return Orthonormalize(gaussian);
+}
+
+Result<Matrix> IdentityStackIsometry(int64_t n, int64_t d, int64_t copies) {
+  if (copies <= 0 || d <= 0) {
+    return Status::InvalidArgument(
+        "IdentityStackIsometry: d and copies must be positive");
+  }
+  if (n < copies * d) {
+    return Status::InvalidArgument("IdentityStackIsometry: need n >= copies*d");
+  }
+  Matrix u(n, d);
+  const double scale = 1.0 / std::sqrt(static_cast<double>(copies));
+  for (int64_t c = 0; c < copies; ++c) {
+    for (int64_t j = 0; j < d; ++j) u.At(c * d + j, j) = scale;
+  }
+  return u;
+}
+
+Result<Matrix> SpikyIsometry(int64_t n, int64_t d, Rng* rng) {
+  if (n <= d || d <= 0) {
+    return Status::InvalidArgument("SpikyIsometry: need n > d >= 1");
+  }
+  SOSE_CHECK(rng != nullptr);
+  // Random isometry on rows 1..n-1 for columns 1..d-1, plus e1 in column 0.
+  SOSE_ASSIGN_OR_RETURN(Matrix tail, RandomIsometry(n - 1, d - 1, rng));
+  Matrix u(n, d);
+  u.At(0, 0) = 1.0;
+  for (int64_t i = 1; i < n; ++i) {
+    for (int64_t j = 1; j < d; ++j) u.At(i, j) = tail.At(i - 1, j - 1);
+  }
+  return u;
+}
+
+bool IsIsometry(const Matrix& u, double tol) {
+  Matrix gram = Gram(u);
+  for (int64_t i = 0; i < gram.rows(); ++i) gram.At(i, i) -= 1.0;
+  return gram.MaxAbs() <= tol;
+}
+
+}  // namespace sose

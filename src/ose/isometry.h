@@ -1,0 +1,33 @@
+#ifndef SOSE_OSE_ISOMETRY_H_
+#define SOSE_OSE_ISOMETRY_H_
+
+#include <cstdint>
+
+#include "core/matrix.h"
+#include "core/random.h"
+#include "core/status.h"
+
+namespace sose {
+
+/// A Haar-ish random n x d isometry: QR orthonormalization of an i.i.d.
+/// Gaussian matrix. Dense — intended for the moderate-n upper-bound
+/// experiments, not the n = Ω(d²/ε²δ) hard-instance regime (those use the
+/// sparse `HardInstance` machinery instead).
+Result<Matrix> RandomIsometry(int64_t n, int64_t d, Rng* rng);
+
+/// The normalized identity-stack isometry (I_d I_d ... I_d 0)ᵀ/√copies:
+/// the deterministic skeleton of the paper's hard instances. Requires
+/// n >= copies * d.
+Result<Matrix> IdentityStackIsometry(int64_t n, int64_t d, int64_t copies);
+
+/// A "spiky" isometry whose first column is e₁ (a maximally coherent
+/// direction) and whose remaining columns are a random isometry of the
+/// complement; stresses row-sampling sketches. Requires n > d.
+Result<Matrix> SpikyIsometry(int64_t n, int64_t d, Rng* rng);
+
+/// Verifies ‖UᵀU − I‖_max <= tol.
+bool IsIsometry(const Matrix& u, double tol = 1e-9);
+
+}  // namespace sose
+
+#endif  // SOSE_OSE_ISOMETRY_H_

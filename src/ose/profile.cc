@@ -1,0 +1,81 @@
+#include "ose/profile.h"
+
+#include <algorithm>
+
+#include "ose/distortion.h"
+
+namespace sose {
+
+double DistortionProfile::FailureRateAt(double epsilon) const {
+  if (sorted_distortions.empty()) return 0.0;
+  const auto it = std::upper_bound(sorted_distortions.begin(),
+                                   sorted_distortions.end(), epsilon);
+  return static_cast<double>(sorted_distortions.end() - it) /
+         static_cast<double>(sorted_distortions.size());
+}
+
+Result<DistortionProfile> ProfileDistortion(const SketchFactory& factory,
+                                            const InstanceSampler& sampler,
+                                            const ProfileOptions& options) {
+  if (options.trials <= 0) {
+    return Status::InvalidArgument("ProfileDistortion: trials <= 0");
+  }
+  for (size_t i = 1; i < options.epsilons.size(); ++i) {
+    if (options.epsilons[i] <= options.epsilons[i - 1]) {
+      return Status::InvalidArgument(
+          "ProfileDistortion: epsilons must be strictly ascending");
+    }
+  }
+  DistortionProfile profile;
+  profile.trials = options.trials;
+  profile.epsilons = options.epsilons;
+  profile.sorted_distortions.reserve(static_cast<size_t>(options.trials));
+  double sum = 0.0;
+  for (int64_t t = 0; t < options.trials; ++t) {
+    const uint64_t trial_seed =
+        DeriveSeed(options.seed, static_cast<uint64_t>(t));
+    SOSE_ASSIGN_OR_RETURN(std::unique_ptr<SketchingMatrix> sketch,
+                          factory(DeriveSeed(trial_seed, 0)));
+    Rng rng(DeriveSeed(trial_seed, 1));
+    HardInstance instance = sampler(&rng);
+    if (options.condition_on_no_collision) {
+      int64_t redraws = 0;
+      while (instance.HasRowCollision() && redraws < 64) {
+        instance = sampler(&rng);
+        ++redraws;
+      }
+      if (instance.HasRowCollision()) {
+        return Status::FailedPrecondition(
+            "ProfileDistortion: persistent row collisions");
+      }
+    }
+    SOSE_ASSIGN_OR_RETURN(DistortionReport report,
+                          SketchDistortionOnInstance(*sketch, instance));
+    profile.sorted_distortions.push_back(report.Epsilon());
+    sum += report.Epsilon();
+  }
+  std::sort(profile.sorted_distortions.begin(),
+            profile.sorted_distortions.end());
+  const auto quantile = [&profile](double q) {
+    const double pos =
+        q * static_cast<double>(profile.sorted_distortions.size() - 1);
+    const size_t lower = static_cast<size_t>(pos);
+    const double frac = pos - static_cast<double>(lower);
+    if (lower + 1 >= profile.sorted_distortions.size()) {
+      return profile.sorted_distortions.back();
+    }
+    return profile.sorted_distortions[lower] * (1.0 - frac) +
+           profile.sorted_distortions[lower + 1] * frac;
+  };
+  profile.mean = sum / static_cast<double>(options.trials);
+  profile.p50 = quantile(0.5);
+  profile.p90 = quantile(0.9);
+  profile.p99 = quantile(0.99);
+  profile.max = profile.sorted_distortions.back();
+  for (double epsilon : options.epsilons) {
+    profile.failure_rates.push_back(profile.FailureRateAt(epsilon));
+  }
+  return profile;
+}
+
+}  // namespace sose

@@ -1,0 +1,55 @@
+#ifndef SOSE_OSE_PROFILE_H_
+#define SOSE_OSE_PROFILE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/status.h"
+#include "ose/failure_estimator.h"
+
+namespace sose {
+
+/// A full Monte-Carlo characterization of a sketch's distortion on a
+/// distribution of subspaces: quantiles of ε(Π, U) over independent
+/// (sketch, instance) draws, plus the failure probability at several ε
+/// thresholds at once — the whole (ε, δ) trade-off curve of Definition 1
+/// from one set of samples, rather than one point per estimator call.
+struct DistortionProfile {
+  int64_t trials = 0;
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+  double max = 0.0;
+  /// The ε thresholds requested, ascending.
+  std::vector<double> epsilons;
+  /// failure_rates[i] = Pr[ε(Π, U) > epsilons[i]], aligned with `epsilons`.
+  std::vector<double> failure_rates;
+  /// The raw sorted distortions (size == trials), for custom post-hoc use.
+  std::vector<double> sorted_distortions;
+
+  /// Interpolated failure probability at an arbitrary ε: the fraction of
+  /// sampled distortions exceeding it.
+  double FailureRateAt(double epsilon) const;
+};
+
+/// Options for ProfileDistortion.
+struct ProfileOptions {
+  int64_t trials = 300;
+  /// Thresholds at which failure rates are reported; must be ascending.
+  std::vector<double> epsilons = {0.05, 0.1, 0.25, 0.5};
+  uint64_t seed = 1;
+  bool condition_on_no_collision = true;
+};
+
+/// Samples ε(Π, U) over `trials` fresh (sketch, instance) draws and
+/// summarizes. This is the "one figure per sketch" view used by the
+/// profile experiment; the failure estimator remains the cheaper choice
+/// when only a single (ε, δ) point is needed.
+Result<DistortionProfile> ProfileDistortion(const SketchFactory& factory,
+                                            const InstanceSampler& sampler,
+                                            const ProfileOptions& options);
+
+}  // namespace sose
+
+#endif  // SOSE_OSE_PROFILE_H_

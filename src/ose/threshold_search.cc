@@ -1,0 +1,64 @@
+#include "ose/threshold_search.h"
+
+namespace sose {
+
+Result<ThresholdResult> FindMinimalRows(const FailureAtRows& failure_at,
+                                        const ThresholdSearchOptions& options) {
+  if (options.m_lo < 1 || options.m_hi < options.m_lo) {
+    return Status::InvalidArgument("FindMinimalRows: bad search range");
+  }
+  if (options.delta <= 0.0 || options.delta >= 1.0) {
+    return Status::InvalidArgument("FindMinimalRows: delta must be in (0,1)");
+  }
+  ThresholdResult result;
+  auto probe = [&](int64_t m) -> Result<bool> {
+    SOSE_ASSIGN_OR_RETURN(FailureEstimate estimate, failure_at(m));
+    result.probes.push_back(ThresholdProbe{m, estimate});
+    return estimate.rate <= options.delta;
+  };
+
+  // Phase 1: doubling until success (or the upper end of the range).
+  int64_t lo_fail = 0;  // Largest known-failing m (0 = none known).
+  int64_t hi_pass = -1; // Smallest known-passing m (-1 = none known).
+  int64_t m = options.m_lo;
+  while (true) {
+    SOSE_ASSIGN_OR_RETURN(bool pass, probe(m));
+    if (pass) {
+      hi_pass = m;
+      break;
+    }
+    lo_fail = m;
+    if (m >= options.m_hi) break;
+    m = std::min(options.m_hi, m * 2);
+  }
+  if (hi_pass < 0) {
+    // Even m_hi fails: report the boundary, unbracketed.
+    result.m_star = options.m_hi;
+    result.bracketed = false;
+    return result;
+  }
+  if (lo_fail == 0) {
+    // Even m_lo passes: the threshold is at or below the boundary.
+    result.m_star = options.m_lo;
+    result.bracketed = false;
+    return result;
+  }
+
+  // Phase 2: bisection on [lo_fail, hi_pass].
+  while (static_cast<double>(hi_pass - lo_fail) >
+         options.relative_tolerance * static_cast<double>(hi_pass)) {
+    const int64_t mid = lo_fail + (hi_pass - lo_fail) / 2;
+    if (mid == lo_fail || mid == hi_pass) break;
+    SOSE_ASSIGN_OR_RETURN(bool pass, probe(mid));
+    if (pass) {
+      hi_pass = mid;
+    } else {
+      lo_fail = mid;
+    }
+  }
+  result.m_star = hi_pass;
+  result.bracketed = true;
+  return result;
+}
+
+}  // namespace sose

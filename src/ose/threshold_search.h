@@ -1,0 +1,54 @@
+#ifndef SOSE_OSE_THRESHOLD_SEARCH_H_
+#define SOSE_OSE_THRESHOLD_SEARCH_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/status.h"
+#include "ose/failure_estimator.h"
+
+namespace sose {
+
+/// Evaluates Pr[failure] at a candidate target dimension m.
+using FailureAtRows = std::function<Result<FailureEstimate>(int64_t m)>;
+
+/// One probed point of a threshold search.
+struct ThresholdProbe {
+  int64_t m = 0;
+  FailureEstimate estimate;
+};
+
+/// Result of searching for the minimal target dimension m* with
+/// Pr[failure] <= delta.
+struct ThresholdResult {
+  /// Minimal m found with failure rate <= delta (point estimate).
+  int64_t m_star = 0;
+  /// Whether the search bracketed the threshold inside [m_lo, m_hi]
+  /// (false means m_star is clamped at a search boundary).
+  bool bracketed = false;
+  /// Every (m, estimate) probed, in probe order.
+  std::vector<ThresholdProbe> probes;
+};
+
+/// Options for FindMinimalRows.
+struct ThresholdSearchOptions {
+  int64_t m_lo = 1;        ///< Inclusive lower end of the search range.
+  int64_t m_hi = 1 << 20;  ///< Inclusive upper end of the search range.
+  double delta = 0.1;      ///< Target failure probability.
+  /// Bisection stops when the bracket ratio drops below this (the quantity
+  /// of interest is the exponent of m*, so relative precision is the right
+  /// stopping rule).
+  double relative_tolerance = 0.05;
+};
+
+/// Finds the (statistically) minimal m with failure(m) <= delta by doubling
+/// up from m_lo to bracket the threshold and then bisecting. Assumes
+/// failure(m) is non-increasing in m in expectation; Monte-Carlo noise is
+/// tolerated, the returned m_star is the bisection's final success point.
+Result<ThresholdResult> FindMinimalRows(const FailureAtRows& failure_at,
+                                        const ThresholdSearchOptions& options);
+
+}  // namespace sose
+
+#endif  // SOSE_OSE_THRESHOLD_SEARCH_H_

@@ -1,0 +1,59 @@
+#include "sketch/accumulator.h"
+
+namespace sose {
+
+Result<SketchAccumulator> SketchAccumulator::Create(
+    std::shared_ptr<const SketchingMatrix> sketch, int64_t num_columns) {
+  if (sketch == nullptr) {
+    return Status::InvalidArgument("SketchAccumulator: null sketch");
+  }
+  if (num_columns <= 0) {
+    return Status::InvalidArgument(
+        "SketchAccumulator: num_columns must be positive");
+  }
+  Matrix state(sketch->rows(), num_columns);
+  return SketchAccumulator(std::move(sketch), std::move(state));
+}
+
+Status SketchAccumulator::AddRow(int64_t row,
+                                 const std::vector<double>& values) {
+  if (row < 0 || row >= sketch_->cols()) {
+    return Status::OutOfRange("SketchAccumulator::AddRow: row out of range");
+  }
+  if (static_cast<int64_t>(values.size()) != state_.cols()) {
+    return Status::InvalidArgument(
+        "SketchAccumulator::AddRow: wrong number of values");
+  }
+  for (const ColumnEntry& entry : sketch_->Column(row)) {
+    double* state_row = state_.Row(entry.row);
+    for (int64_t j = 0; j < state_.cols(); ++j) {
+      state_row[j] += entry.value * values[static_cast<size_t>(j)];
+    }
+  }
+  return Status::OK();
+}
+
+Status SketchAccumulator::AddEntry(int64_t row, int64_t col, double value) {
+  if (row < 0 || row >= sketch_->cols()) {
+    return Status::OutOfRange("SketchAccumulator::AddEntry: row out of range");
+  }
+  if (col < 0 || col >= state_.cols()) {
+    return Status::OutOfRange("SketchAccumulator::AddEntry: col out of range");
+  }
+  for (const ColumnEntry& entry : sketch_->Column(row)) {
+    state_.At(entry.row, col) += entry.value * value;
+  }
+  return Status::OK();
+}
+
+Status SketchAccumulator::Merge(const SketchAccumulator& other) {
+  if (other.state_.rows() != state_.rows() ||
+      other.state_.cols() != state_.cols()) {
+    return Status::InvalidArgument(
+        "SketchAccumulator::Merge: shape mismatch");
+  }
+  state_.AddScaled(other.state_, 1.0);
+  return Status::OK();
+}
+
+}  // namespace sose

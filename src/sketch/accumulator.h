@@ -1,0 +1,53 @@
+#ifndef SOSE_SKETCH_ACCUMULATOR_H_
+#define SOSE_SKETCH_ACCUMULATOR_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "core/matrix.h"
+#include "core/status.h"
+#include "sketch/sketch.h"
+
+namespace sose {
+
+/// Streaming maintenance of Π A for a row-arrival / turnstile stream: rows
+/// of A ∈ R^{n x k} arrive (or are updated) one at a time and the m x k
+/// sketch state is updated in O(s · k) per row — the classic streaming use
+/// of Count-Sketch-style transforms. Because updates are linear, deletions
+/// are just negative updates, and two accumulators over the same sketch
+/// merge by addition.
+class SketchAccumulator {
+ public:
+  /// Creates an accumulator maintaining Π A for A with `num_columns`
+  /// columns. The sketch is borrowed and must outlive the accumulator.
+  static Result<SketchAccumulator> Create(
+      std::shared_ptr<const SketchingMatrix> sketch, int64_t num_columns);
+
+  /// Applies the update A[row, :] += values. `row` indexes the ambient
+  /// dimension [0, sketch.cols()); `values` must have num_columns entries.
+  Status AddRow(int64_t row, const std::vector<double>& values);
+
+  /// Rank-one convenience: A[row, col] += value.
+  Status AddEntry(int64_t row, int64_t col, double value);
+
+  /// Merges another accumulator over the SAME sketch draw (checked by
+  /// shape; the caller is responsible for using the same seed).
+  Status Merge(const SketchAccumulator& other);
+
+  /// The current sketch state Π A.
+  const Matrix& state() const { return state_; }
+
+  int64_t num_columns() const { return state_.cols(); }
+
+ private:
+  SketchAccumulator(std::shared_ptr<const SketchingMatrix> sketch,
+                    Matrix state)
+      : sketch_(std::move(sketch)), state_(std::move(state)) {}
+
+  std::shared_ptr<const SketchingMatrix> sketch_;
+  Matrix state_;
+};
+
+}  // namespace sose
+
+#endif  // SOSE_SKETCH_ACCUMULATOR_H_

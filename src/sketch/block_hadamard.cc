@@ -1,0 +1,44 @@
+#include "sketch/block_hadamard.h"
+
+#include <cmath>
+
+#include "sketch/hadamard.h"
+
+namespace sose {
+
+Result<BlockHadamard> BlockHadamard::Create(int64_t m, int64_t n, int64_t b) {
+  if (n <= 0) {
+    return Status::InvalidArgument("BlockHadamard: n must be positive");
+  }
+  if (!IsPowerOfTwo(b)) {
+    return Status::InvalidArgument(
+        "BlockHadamard: block order must be a power of two");
+  }
+  if (m <= 0 || m % b != 0) {
+    return Status::InvalidArgument(
+        "BlockHadamard: block order must divide m");
+  }
+  return BlockHadamard(m, n, b);
+}
+
+int64_t BlockHadamard::BlockId(int64_t c) const {
+  SOSE_CHECK(c >= 0 && c < n_);
+  return (c % m_) / b_;
+}
+
+std::vector<ColumnEntry> BlockHadamard::Column(int64_t c) const {
+  SOSE_CHECK(c >= 0 && c < n_);
+  const int64_t within_copy = c % m_;
+  const int64_t block = within_copy / b_;
+  const int64_t hadamard_col = within_copy % b_;
+  const double scale = 1.0 / std::sqrt(static_cast<double>(b_));
+  std::vector<ColumnEntry> entries;
+  entries.reserve(static_cast<size_t>(b_));
+  for (int64_t i = 0; i < b_; ++i) {
+    entries.push_back(ColumnEntry{block * b_ + i,
+                                  scale * HadamardEntry(i, hadamard_col)});
+  }
+  return entries;
+}
+
+}  // namespace sose

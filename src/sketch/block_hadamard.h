@@ -1,0 +1,53 @@
+#ifndef SOSE_SKETCH_BLOCK_HADAMARD_H_
+#define SOSE_SKETCH_BLOCK_HADAMARD_H_
+
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+#include "sketch/sketch.h"
+
+namespace sose {
+
+/// The tightness witness of the paper's Remark 10: a *deterministic* sketch
+/// formed by horizontally concatenating copies of an m x m block-diagonal
+/// matrix whose diagonal blocks are (1/√b)·H_b, with H_b the order-b
+/// Sylvester Hadamard matrix (entries ±1, so the sketch's entries are
+/// ±1/√b = ±√(8ε) when b = 1/(8ε)).
+///
+/// Every column has exactly b nonzeros and unit norm; two columns either
+/// share their entire heavy block (and are orthogonal, by Hadamard
+/// orthogonality) or have disjoint supports. This makes Π a (0, δ)-subspace
+/// embedding for U ~ D₁ whenever m = Ω(d²) — matching the paper's Theorem 9
+/// lower bound up to a constant.
+class BlockHadamard final : public SketchingMatrix {
+ public:
+  /// Creates the sketch with `m` rows, `n` columns and block order `b`.
+  /// Requires b a positive power of two, b | m, and positive n.
+  static Result<BlockHadamard> Create(int64_t m, int64_t n, int64_t b);
+
+  int64_t rows() const override { return m_; }
+  int64_t cols() const override { return n_; }
+  int64_t column_sparsity() const override { return b_; }
+  std::string name() const override { return "blockhadamard"; }
+
+  std::vector<ColumnEntry> Column(int64_t c) const override;
+
+  /// The Hadamard block order b (= 1/(8ε) in the paper's parameterization).
+  int64_t block_order() const { return b_; }
+
+  /// Index of the block-diagonal block that carries column `c`'s support;
+  /// two columns collide (share heavy rows) iff their block ids are equal.
+  int64_t BlockId(int64_t c) const;
+
+ private:
+  BlockHadamard(int64_t m, int64_t n, int64_t b) : m_(m), n_(n), b_(b) {}
+
+  int64_t m_;
+  int64_t n_;
+  int64_t b_;
+};
+
+}  // namespace sose
+
+#endif  // SOSE_SKETCH_BLOCK_HADAMARD_H_

@@ -1,0 +1,56 @@
+#include "sketch/composed.h"
+
+#include <algorithm>
+#include <map>
+
+namespace sose {
+
+Result<ComposedSketch> ComposedSketch::Create(
+    std::shared_ptr<const SketchingMatrix> outer,
+    std::shared_ptr<const SketchingMatrix> inner) {
+  if (outer == nullptr || inner == nullptr) {
+    return Status::InvalidArgument("ComposedSketch: null stage");
+  }
+  if (outer->cols() != inner->rows()) {
+    return Status::InvalidArgument(
+        "ComposedSketch: outer.cols() must equal inner.rows()");
+  }
+  return ComposedSketch(std::move(outer), std::move(inner));
+}
+
+int64_t ComposedSketch::column_sparsity() const {
+  // Each inner nonzero scatters into at most s_outer rows; capped by m.
+  const int64_t product = inner_->column_sparsity() * outer_->column_sparsity();
+  return std::min(product, outer_->rows());
+}
+
+std::vector<ColumnEntry> ComposedSketch::Column(int64_t c) const {
+  SOSE_CHECK(c >= 0 && c < cols());
+  std::map<int64_t, double> accumulated;
+  for (const ColumnEntry& inner_entry : inner_->Column(c)) {
+    for (const ColumnEntry& outer_entry : outer_->Column(inner_entry.row)) {
+      accumulated[outer_entry.row] += inner_entry.value * outer_entry.value;
+    }
+  }
+  std::vector<ColumnEntry> column;
+  column.reserve(accumulated.size());
+  for (const auto& [row, value] : accumulated) {
+    if (value != 0.0) column.push_back(ColumnEntry{row, value});
+  }
+  return column;
+}
+
+Matrix ComposedSketch::ApplyDense(const Matrix& a) const {
+  return outer_->ApplyDense(inner_->ApplyDense(a));
+}
+
+std::vector<double> ComposedSketch::ApplyVector(
+    const std::vector<double>& x) const {
+  return outer_->ApplyVector(inner_->ApplyVector(x));
+}
+
+Matrix ComposedSketch::ApplySparse(const CscMatrix& a) const {
+  return outer_->ApplyDense(inner_->ApplySparse(a));
+}
+
+}  // namespace sose

@@ -1,0 +1,56 @@
+#ifndef SOSE_SKETCH_COMPOSED_H_
+#define SOSE_SKETCH_COMPOSED_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+#include "sketch/sketch.h"
+
+namespace sose {
+
+/// The product Π = Π_outer · Π_inner of two sketches: a standard pipeline
+/// (e.g. Count-Sketch to m₁ = O(d²/ε²) rows, then a dense or SRHT stage down
+/// to m₂ = O(d/ε²)) that combines input-sparsity apply time with the
+/// optimal final dimension. The composition of an (ε₁, δ₁)- and an
+/// (ε₂, δ₂)-OSE is an ((1+ε₁)(1+ε₂) − 1, δ₁ + δ₂)-OSE.
+///
+/// Column c of the product is Π_outer applied to Π_inner's column c, so the
+/// composed object is itself a lazy, oblivious SketchingMatrix and works
+/// with every analysis in this library (distortion, heavy census,
+/// Algorithm 1, audits).
+class ComposedSketch final : public SketchingMatrix {
+ public:
+  /// Composes outer ∘ inner. Fails unless outer.cols() == inner.rows().
+  static Result<ComposedSketch> Create(
+      std::shared_ptr<const SketchingMatrix> outer,
+      std::shared_ptr<const SketchingMatrix> inner);
+
+  int64_t rows() const override { return outer_->rows(); }
+  int64_t cols() const override { return inner_->cols(); }
+  int64_t column_sparsity() const override;
+  std::string name() const override {
+    return outer_->name() + "*" + inner_->name();
+  }
+
+  std::vector<ColumnEntry> Column(int64_t c) const override;
+
+  /// Applies the stages in sequence (never materializes the product),
+  /// preserving each stage's fast path.
+  Matrix ApplyDense(const Matrix& a) const override;
+  std::vector<double> ApplyVector(const std::vector<double>& x) const override;
+  Matrix ApplySparse(const CscMatrix& a) const override;
+
+ private:
+  ComposedSketch(std::shared_ptr<const SketchingMatrix> outer,
+                 std::shared_ptr<const SketchingMatrix> inner)
+      : outer_(std::move(outer)), inner_(std::move(inner)) {}
+
+  std::shared_ptr<const SketchingMatrix> outer_;
+  std::shared_ptr<const SketchingMatrix> inner_;
+};
+
+}  // namespace sose
+
+#endif  // SOSE_SKETCH_COMPOSED_H_

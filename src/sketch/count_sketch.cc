@@ -1,0 +1,32 @@
+#include "sketch/count_sketch.h"
+
+#include "core/random.h"
+
+namespace sose {
+
+Result<CountSketch> CountSketch::Create(int64_t m, int64_t n, uint64_t seed) {
+  if (m <= 0 || n <= 0) {
+    return Status::InvalidArgument("CountSketch: dimensions must be positive");
+  }
+  return CountSketch(m, n, seed);
+}
+
+std::vector<ColumnEntry> CountSketch::Column(int64_t c) const {
+  return {ColumnEntry{Bucket(c), Sign(c)}};
+}
+
+int64_t CountSketch::Bucket(int64_t c) const {
+  SOSE_CHECK(c >= 0 && c < n_);
+  // Separate derived streams for bucket and sign keep them independent
+  // regardless of how many words UniformInt's rejection step consumes.
+  Rng rng(DeriveSeed(seed_, 2 * static_cast<uint64_t>(c)));
+  return static_cast<int64_t>(rng.UniformInt(static_cast<uint64_t>(m_)));
+}
+
+double CountSketch::Sign(int64_t c) const {
+  SOSE_CHECK(c >= 0 && c < n_);
+  Rng rng(DeriveSeed(seed_, 2 * static_cast<uint64_t>(c) + 1));
+  return rng.Rademacher();
+}
+
+}  // namespace sose

@@ -1,0 +1,48 @@
+#ifndef SOSE_SKETCH_COUNT_SKETCH_H_
+#define SOSE_SKETCH_COUNT_SKETCH_H_
+
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+#include "sketch/sketch.h"
+
+namespace sose {
+
+/// Count-Sketch (Clarkson–Woodruff): the extreme sparse OSE with exactly one
+/// nonzero per column. Column `c` has a single ±1 at a uniformly random row.
+///
+/// The classical upper bound is m = Θ(d²/(ε²δ)); the reproduced paper's
+/// Theorem 8 shows this is optimal up to a constant among all s = 1 sketches.
+/// Applying Π to A costs O(nnz(A)).
+class CountSketch final : public SketchingMatrix {
+ public:
+  /// Creates an m x n Count-Sketch draw. Fails if m or n is non-positive.
+  static Result<CountSketch> Create(int64_t m, int64_t n, uint64_t seed);
+
+  int64_t rows() const override { return m_; }
+  int64_t cols() const override { return n_; }
+  int64_t column_sparsity() const override { return 1; }
+  std::string name() const override { return "countsketch"; }
+
+  std::vector<ColumnEntry> Column(int64_t c) const override;
+
+  /// The hash bucket of column `c` (exposed for the birthday-paradox
+  /// experiments, which study the induced balls-into-bins process).
+  int64_t Bucket(int64_t c) const;
+
+  /// The sign of column `c`.
+  double Sign(int64_t c) const;
+
+ private:
+  CountSketch(int64_t m, int64_t n, uint64_t seed)
+      : m_(m), n_(n), seed_(seed) {}
+
+  int64_t m_;
+  int64_t n_;
+  uint64_t seed_;
+};
+
+}  // namespace sose
+
+#endif  // SOSE_SKETCH_COUNT_SKETCH_H_

@@ -1,0 +1,30 @@
+#include "sketch/gaussian.h"
+
+#include <cmath>
+
+#include "core/random.h"
+
+namespace sose {
+
+Result<GaussianSketch> GaussianSketch::Create(int64_t m, int64_t n,
+                                              uint64_t seed) {
+  if (m <= 0 || n <= 0) {
+    return Status::InvalidArgument(
+        "GaussianSketch: dimensions must be positive");
+  }
+  return GaussianSketch(m, n, seed);
+}
+
+std::vector<ColumnEntry> GaussianSketch::Column(int64_t c) const {
+  SOSE_CHECK(c >= 0 && c < n_);
+  Rng rng(DeriveSeed(seed_, static_cast<uint64_t>(c)));
+  const double stddev = 1.0 / std::sqrt(static_cast<double>(m_));
+  std::vector<ColumnEntry> entries;
+  entries.reserve(static_cast<size_t>(m_));
+  for (int64_t i = 0; i < m_; ++i) {
+    entries.push_back(ColumnEntry{i, rng.Gaussian(0.0, stddev)});
+  }
+  return entries;
+}
+
+}  // namespace sose

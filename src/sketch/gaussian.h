@@ -1,0 +1,39 @@
+#ifndef SOSE_SKETCH_GAUSSIAN_H_
+#define SOSE_SKETCH_GAUSSIAN_H_
+
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+#include "sketch/sketch.h"
+
+namespace sose {
+
+/// Dense Gaussian sketch: i.i.d. N(0, 1/m) entries. The information-
+/// theoretically optimal OSE with m = Θ((d + log(1/δ))/ε²) — the dense
+/// baseline every sparse construction is compared against. Apply cost is
+/// O(m · nnz(A)), which is what motivates the sparse alternatives.
+class GaussianSketch final : public SketchingMatrix {
+ public:
+  /// Creates an m x n Gaussian draw.
+  static Result<GaussianSketch> Create(int64_t m, int64_t n, uint64_t seed);
+
+  int64_t rows() const override { return m_; }
+  int64_t cols() const override { return n_; }
+  int64_t column_sparsity() const override { return m_; }
+  std::string name() const override { return "gaussian"; }
+
+  std::vector<ColumnEntry> Column(int64_t c) const override;
+
+ private:
+  GaussianSketch(int64_t m, int64_t n, uint64_t seed)
+      : m_(m), n_(n), seed_(seed) {}
+
+  int64_t m_;
+  int64_t n_;
+  uint64_t seed_;
+};
+
+}  // namespace sose
+
+#endif  // SOSE_SKETCH_GAUSSIAN_H_

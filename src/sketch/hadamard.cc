@@ -1,0 +1,54 @@
+#include "sketch/hadamard.h"
+
+#include <bit>
+
+namespace sose {
+
+bool IsPowerOfTwo(int64_t x) {
+  return x > 0 && (x & (x - 1)) == 0;
+}
+
+int64_t NextPowerOfTwo(int64_t x) {
+  SOSE_CHECK(x >= 1);
+  int64_t p = 1;
+  while (p < x) p <<= 1;
+  return p;
+}
+
+double HadamardEntry(int64_t i, int64_t j) {
+  const uint64_t overlap = static_cast<uint64_t>(i) & static_cast<uint64_t>(j);
+  return (std::popcount(overlap) & 1) != 0 ? -1.0 : 1.0;
+}
+
+Result<Matrix> SylvesterHadamard(int64_t n) {
+  if (!IsPowerOfTwo(n)) {
+    return Status::InvalidArgument(
+        "SylvesterHadamard: order must be a power of two");
+  }
+  Matrix h(n, n);
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < n; ++j) h.At(i, j) = HadamardEntry(i, j);
+  }
+  return h;
+}
+
+Status Fwht(std::vector<double>* x) {
+  SOSE_CHECK(x != nullptr);
+  const size_t n = x->size();
+  if (!IsPowerOfTwo(static_cast<int64_t>(n))) {
+    return Status::InvalidArgument("Fwht: size must be a power of two");
+  }
+  for (size_t half = 1; half < n; half <<= 1) {
+    for (size_t block = 0; block < n; block += 2 * half) {
+      for (size_t i = block; i < block + half; ++i) {
+        const double a = (*x)[i];
+        const double b = (*x)[i + half];
+        (*x)[i] = a + b;
+        (*x)[i + half] = a - b;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace sose

@@ -1,0 +1,34 @@
+#ifndef SOSE_SKETCH_HADAMARD_H_
+#define SOSE_SKETCH_HADAMARD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/matrix.h"
+#include "core/status.h"
+
+namespace sose {
+
+/// True iff `x` is a positive power of two.
+bool IsPowerOfTwo(int64_t x);
+
+/// Smallest power of two >= x (x >= 1).
+int64_t NextPowerOfTwo(int64_t x);
+
+/// Entry (i, j) of the unnormalized Sylvester Hadamard matrix of any
+/// power-of-two order containing (i, j): (-1)^{popcount(i & j)} ∈ {-1, +1}.
+/// O(1), which is what lets SRHT columns be generated lazily.
+double HadamardEntry(int64_t i, int64_t j);
+
+/// The unnormalized order-n Sylvester Hadamard matrix (entries ±1).
+/// Fails unless n is a positive power of two.
+Result<Matrix> SylvesterHadamard(int64_t n);
+
+/// In-place fast Walsh–Hadamard transform of a length-2^k vector
+/// (unnormalized butterflies: applying twice multiplies by the length).
+/// Fails unless the size is a positive power of two.
+Status Fwht(std::vector<double>* x);
+
+}  // namespace sose
+
+#endif  // SOSE_SKETCH_HADAMARD_H_

@@ -1,0 +1,33 @@
+#include "sketch/kwise_count_sketch.h"
+
+namespace sose {
+
+Result<KwiseCountSketch> KwiseCountSketch::Create(int64_t m, int64_t n,
+                                                  int64_t k, uint64_t seed) {
+  if (m <= 0 || n <= 0) {
+    return Status::InvalidArgument(
+        "KwiseCountSketch: dimensions must be positive");
+  }
+  Rng rng(DeriveSeed(seed, 0));
+  SOSE_ASSIGN_OR_RETURN(PolyHash bucket_hash,
+                        PolyHash::Create(k, static_cast<uint64_t>(m), &rng));
+  SOSE_ASSIGN_OR_RETURN(PolyHash sign_hash, PolyHash::Create(k, 2, &rng));
+  return KwiseCountSketch(m, n, k, std::move(bucket_hash),
+                          std::move(sign_hash));
+}
+
+std::vector<ColumnEntry> KwiseCountSketch::Column(int64_t c) const {
+  return {ColumnEntry{Bucket(c), Sign(c)}};
+}
+
+int64_t KwiseCountSketch::Bucket(int64_t c) const {
+  SOSE_CHECK(c >= 0 && c < n_);
+  return static_cast<int64_t>(bucket_hash_.Eval(static_cast<uint64_t>(c)));
+}
+
+double KwiseCountSketch::Sign(int64_t c) const {
+  SOSE_CHECK(c >= 0 && c < n_);
+  return sign_hash_.Eval(static_cast<uint64_t>(c)) == 0 ? -1.0 : 1.0;
+}
+
+}  // namespace sose

@@ -1,0 +1,51 @@
+#include "sketch/osnap.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/random.h"
+
+namespace sose {
+
+Result<Osnap> Osnap::Create(int64_t m, int64_t n, int64_t s, uint64_t seed,
+                            OsnapVariant variant) {
+  if (m <= 0 || n <= 0) {
+    return Status::InvalidArgument("Osnap: dimensions must be positive");
+  }
+  if (s <= 0 || s > m) {
+    return Status::InvalidArgument("Osnap: need 0 < s <= m");
+  }
+  if (variant == OsnapVariant::kBlock && m % s != 0) {
+    return Status::InvalidArgument("Osnap: block variant needs s | m");
+  }
+  return Osnap(m, n, s, seed, variant);
+}
+
+std::vector<ColumnEntry> Osnap::Column(int64_t c) const {
+  SOSE_CHECK(c >= 0 && c < n_);
+  Rng rng(DeriveSeed(seed_, static_cast<uint64_t>(c)));
+  const double magnitude = 1.0 / std::sqrt(static_cast<double>(s_));
+  std::vector<ColumnEntry> entries;
+  entries.reserve(static_cast<size_t>(s_));
+  if (variant_ == OsnapVariant::kUniform) {
+    const std::vector<int64_t> sampled_rows =
+        rng.SampleWithoutReplacement(m_, s_);
+    for (int64_t row : sampled_rows) {
+      entries.push_back(ColumnEntry{row, magnitude * rng.Rademacher()});
+    }
+  } else {
+    const int64_t block = m_ / s_;
+    for (int64_t k = 0; k < s_; ++k) {
+      const int64_t row =
+          k * block + static_cast<int64_t>(rng.UniformInt(static_cast<uint64_t>(block)));
+      entries.push_back(ColumnEntry{row, magnitude * rng.Rademacher()});
+    }
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const ColumnEntry& a, const ColumnEntry& b) {
+              return a.row < b.row;
+            });
+  return entries;
+}
+
+}  // namespace sose

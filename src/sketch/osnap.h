@@ -1,0 +1,58 @@
+#ifndef SOSE_SKETCH_OSNAP_H_
+#define SOSE_SKETCH_OSNAP_H_
+
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+#include "sketch/sketch.h"
+
+namespace sose {
+
+/// How an OSNAP column places its `s` nonzero rows.
+enum class OsnapVariant {
+  /// `s` distinct rows sampled uniformly without replacement from [m]
+  /// (the "uniform" construction of Nelson–Nguyễn).
+  kUniform,
+  /// [m] is split into `s` contiguous blocks of m/s rows and one row is
+  /// sampled per block (the Count-Sketch-stacked construction). Requires
+  /// s to divide m.
+  kBlock,
+};
+
+/// OSNAP (Nelson–Nguyễn): each column has exactly `s` nonzeros of value
+/// ±1/√s. With m = Θ(d log(d/δ)/ε²) and s = Θ(log(d/δ)/ε) it is an
+/// (ε, δ)-OSE; the reproduced paper shows that pushing s below ~1/(9ε)
+/// forces m = Ω̃(d²). s = 1 recovers Count-Sketch exactly.
+class Osnap final : public SketchingMatrix {
+ public:
+  /// Creates an m x n OSNAP draw with column sparsity `s`. Fails if shapes
+  /// are non-positive, s > m, or (block variant) s does not divide m.
+  static Result<Osnap> Create(int64_t m, int64_t n, int64_t s, uint64_t seed,
+                              OsnapVariant variant = OsnapVariant::kUniform);
+
+  int64_t rows() const override { return m_; }
+  int64_t cols() const override { return n_; }
+  int64_t column_sparsity() const override { return s_; }
+  std::string name() const override {
+    return variant_ == OsnapVariant::kUniform ? "osnap" : "osnap-block";
+  }
+
+  std::vector<ColumnEntry> Column(int64_t c) const override;
+
+  OsnapVariant variant() const { return variant_; }
+
+ private:
+  Osnap(int64_t m, int64_t n, int64_t s, uint64_t seed, OsnapVariant variant)
+      : m_(m), n_(n), s_(s), seed_(seed), variant_(variant) {}
+
+  int64_t m_;
+  int64_t n_;
+  int64_t s_;
+  uint64_t seed_;
+  OsnapVariant variant_;
+};
+
+}  // namespace sose
+
+#endif  // SOSE_SKETCH_OSNAP_H_

@@ -1,0 +1,69 @@
+#include "sketch/registry.h"
+
+#include "sketch/block_hadamard.h"
+#include "sketch/count_sketch.h"
+#include "sketch/gaussian.h"
+#include "sketch/kwise_count_sketch.h"
+#include "sketch/osnap.h"
+#include "sketch/row_sampling.h"
+#include "sketch/sparse_jl.h"
+#include "sketch/srht.h"
+
+namespace sose {
+
+namespace {
+
+template <typename T>
+Result<std::unique_ptr<SketchingMatrix>> Wrap(Result<T> result) {
+  if (!result.ok()) return result.status();
+  return std::unique_ptr<SketchingMatrix>(
+      std::make_unique<T>(std::move(result).value()));
+}
+
+}  // namespace
+
+Result<std::unique_ptr<SketchingMatrix>> CreateSketch(
+    const std::string& family, const SketchConfig& config) {
+  if (family == "countsketch") {
+    return Wrap(CountSketch::Create(config.rows, config.cols, config.seed));
+  }
+  if (family == "osnap") {
+    return Wrap(Osnap::Create(config.rows, config.cols, config.sparsity,
+                              config.seed, OsnapVariant::kUniform));
+  }
+  if (family == "osnap-block") {
+    return Wrap(Osnap::Create(config.rows, config.cols, config.sparsity,
+                              config.seed, OsnapVariant::kBlock));
+  }
+  if (family == "gaussian") {
+    return Wrap(GaussianSketch::Create(config.rows, config.cols, config.seed));
+  }
+  if (family == "sparsejl") {
+    return Wrap(
+        SparseJl::Create(config.rows, config.cols, config.jl_q, config.seed));
+  }
+  if (family == "srht") {
+    return Wrap(Srht::Create(config.rows, config.cols, config.seed));
+  }
+  if (family == "countsketch-kwise") {
+    return Wrap(KwiseCountSketch::Create(config.rows, config.cols,
+                                         config.independence, config.seed));
+  }
+  if (family == "rowsample") {
+    return Wrap(
+        RowSamplingSketch::Create(config.rows, config.cols, config.seed));
+  }
+  if (family == "blockhadamard") {
+    return Wrap(
+        BlockHadamard::Create(config.rows, config.cols, config.sparsity));
+  }
+  return Status::NotFound("unknown sketch family: " + family);
+}
+
+std::vector<std::string> KnownSketchFamilies() {
+  return {"countsketch",   "osnap",             "osnap-block",
+          "gaussian",      "sparsejl",          "srht",
+          "blockhadamard", "countsketch-kwise", "rowsample"};
+}
+
+}  // namespace sose

@@ -1,0 +1,38 @@
+#ifndef SOSE_SKETCH_REGISTRY_H_
+#define SOSE_SKETCH_REGISTRY_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+#include "sketch/sketch.h"
+
+namespace sose {
+
+/// Parameters shared by every sketch family. Families ignore the fields they
+/// do not use (e.g. Count-Sketch ignores `sparsity`).
+struct SketchConfig {
+  int64_t rows = 0;       ///< Target dimension m.
+  int64_t cols = 0;       ///< Ambient dimension n.
+  int64_t sparsity = 1;   ///< Column sparsity s (OSNAP, BlockHadamard order).
+  double jl_q = 3.0;      ///< SparseJl density parameter q.
+  int64_t independence = 4;  ///< Hash independence k (KwiseCountSketch).
+  uint64_t seed = 0;      ///< Master seed of the draw.
+};
+
+/// Constructs a sketch by family name. Recognized names:
+///   "countsketch", "osnap", "osnap-block", "gaussian", "sparsejl",
+///   "srht", "blockhadamard", "countsketch-kwise", "rowsample".
+/// Fails with NotFound for unknown names and propagates family-specific
+/// validation errors (e.g. SRHT's power-of-two requirement).
+Result<std::unique_ptr<SketchingMatrix>> CreateSketch(
+    const std::string& family, const SketchConfig& config);
+
+/// The list of recognized family names (for `--sketch=` flag help).
+std::vector<std::string> KnownSketchFamilies();
+
+}  // namespace sose
+
+#endif  // SOSE_SKETCH_REGISTRY_H_

@@ -1,0 +1,37 @@
+#include "sketch/row_sampling.h"
+
+#include <cmath>
+
+#include "core/random.h"
+
+namespace sose {
+
+Result<RowSamplingSketch> RowSamplingSketch::Create(int64_t m, int64_t n,
+                                                    uint64_t seed) {
+  if (m <= 0 || n <= 0) {
+    return Status::InvalidArgument(
+        "RowSamplingSketch: dimensions must be positive");
+  }
+  Rng rng(DeriveSeed(seed, 0));
+  std::vector<int64_t> sampled(static_cast<size_t>(m));
+  for (int64_t i = 0; i < m; ++i) {
+    sampled[static_cast<size_t>(i)] =
+        static_cast<int64_t>(rng.UniformInt(static_cast<uint64_t>(n)));
+  }
+  const double scale =
+      std::sqrt(static_cast<double>(n) / static_cast<double>(m));
+  return RowSamplingSketch(m, n, std::move(sampled), scale);
+}
+
+std::vector<ColumnEntry> RowSamplingSketch::Column(int64_t c) const {
+  SOSE_CHECK(c >= 0 && c < n_);
+  std::vector<ColumnEntry> entries;
+  for (int64_t i = 0; i < m_; ++i) {
+    if (sampled_[static_cast<size_t>(i)] == c) {
+      entries.push_back(ColumnEntry{i, scale_});
+    }
+  }
+  return entries;
+}
+
+}  // namespace sose

@@ -1,0 +1,53 @@
+#ifndef SOSE_SKETCH_ROW_SAMPLING_H_
+#define SOSE_SKETCH_ROW_SAMPLING_H_
+
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+#include "sketch/sketch.h"
+
+namespace sose {
+
+/// Uniform row sampling: Π = √(n/m) · S with S selecting m uniformly random
+/// coordinates (with replacement). Oblivious and extremely cheap — and NOT
+/// a subspace embedding for any reasonable m: a subspace concentrated on a
+/// few coordinates (exactly the paper's hard instances!) is missed entirely
+/// with probability ≈ (1 − k/n)^m ≈ 1.
+///
+/// Included as the negative control: it shows that obliviousness plus
+/// E‖Πx‖² = ‖x‖² is NOT enough, i.e. why the hashing/sign structure of
+/// Count-Sketch/OSNAP — whose cost the paper lower-bounds — is necessary.
+class RowSamplingSketch final : public SketchingMatrix {
+ public:
+  /// Creates an m x n uniform row-sampling draw.
+  static Result<RowSamplingSketch> Create(int64_t m, int64_t n, uint64_t seed);
+
+  int64_t rows() const override { return m_; }
+  int64_t cols() const override { return n_; }
+  /// Worst case a coordinate is sampled every time.
+  int64_t column_sparsity() const override { return m_; }
+  std::string name() const override { return "rowsample"; }
+
+  std::vector<ColumnEntry> Column(int64_t c) const override;
+
+  /// The sampled coordinate for sketch row i.
+  int64_t SampledCoordinate(int64_t i) const {
+    SOSE_DCHECK(i >= 0 && i < m_);
+    return sampled_[static_cast<size_t>(i)];
+  }
+
+ private:
+  RowSamplingSketch(int64_t m, int64_t n, std::vector<int64_t> sampled,
+                    double scale)
+      : m_(m), n_(n), sampled_(std::move(sampled)), scale_(scale) {}
+
+  int64_t m_;
+  int64_t n_;
+  std::vector<int64_t> sampled_;  // m sampled coordinates, ascending per row.
+  double scale_;                  // √(n/m).
+};
+
+}  // namespace sose
+
+#endif  // SOSE_SKETCH_ROW_SAMPLING_H_

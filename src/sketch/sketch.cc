@@ -1,0 +1,85 @@
+#include "sketch/sketch.h"
+
+#include "core/check.h"
+
+namespace sose {
+
+Matrix SketchingMatrix::ApplySparse(const CscMatrix& a) const {
+  SOSE_CHECK(a.rows() == cols());
+  Matrix out(rows(), a.cols());
+  // For each column j of A, scatter each nonzero A_{r,j} through sketch
+  // column r: out[:, j] += A_{r,j} * Π[:, r].
+  for (int64_t j = 0; j < a.cols(); ++j) {
+    for (int64_t p = a.col_ptr()[static_cast<size_t>(j)];
+         p < a.col_ptr()[static_cast<size_t>(j) + 1]; ++p) {
+      const int64_t r = a.row_idx()[static_cast<size_t>(p)];
+      const double v = a.values()[static_cast<size_t>(p)];
+      for (const ColumnEntry& entry : Column(r)) {
+        out.At(entry.row, j) += v * entry.value;
+      }
+    }
+  }
+  return out;
+}
+
+Matrix SketchingMatrix::ApplyDense(const Matrix& a) const {
+  SOSE_CHECK(a.rows() == cols());
+  Matrix out(rows(), a.cols());
+  for (int64_t r = 0; r < cols(); ++r) {
+    const double* a_row = a.Row(r);
+    for (const ColumnEntry& entry : Column(r)) {
+      double* out_row = out.Row(entry.row);
+      for (int64_t j = 0; j < a.cols(); ++j) {
+        out_row[j] += entry.value * a_row[j];
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<double> SketchingMatrix::ApplyVector(
+    const std::vector<double>& x) const {
+  SOSE_CHECK(static_cast<int64_t>(x.size()) == cols());
+  std::vector<double> out(static_cast<size_t>(rows()), 0.0);
+  for (int64_t r = 0; r < cols(); ++r) {
+    const double xr = x[static_cast<size_t>(r)];
+    if (xr == 0.0) continue;
+    for (const ColumnEntry& entry : Column(r)) {
+      out[static_cast<size_t>(entry.row)] += xr * entry.value;
+    }
+  }
+  return out;
+}
+
+CscMatrix SketchingMatrix::MaterializeColumns(int64_t col_begin,
+                                              int64_t col_end) const {
+  SOSE_CHECK(0 <= col_begin && col_begin <= col_end && col_end <= cols());
+  const int64_t num_cols = col_end - col_begin;
+  std::vector<int64_t> col_ptr(static_cast<size_t>(num_cols) + 1, 0);
+  std::vector<int64_t> row_idx;
+  std::vector<double> values;
+  for (int64_t c = col_begin; c < col_end; ++c) {
+    const std::vector<ColumnEntry> entries = Column(c);
+    for (const ColumnEntry& entry : entries) {
+      row_idx.push_back(entry.row);
+      values.push_back(entry.value);
+    }
+    col_ptr[static_cast<size_t>(c - col_begin) + 1] =
+        col_ptr[static_cast<size_t>(c - col_begin)] +
+        static_cast<int64_t>(entries.size());
+  }
+  return CscMatrix(rows(), num_cols, std::move(col_ptr), std::move(row_idx),
+                   std::move(values));
+}
+
+Matrix SketchingMatrix::MaterializeDense() const {
+  Matrix out(rows(), cols());
+  for (int64_t c = 0; c < cols(); ++c) {
+    for (const ColumnEntry& entry : Column(c)) {
+      out.At(entry.row, c) = entry.value;
+    }
+  }
+  return out;
+}
+
+}  // namespace sose

@@ -1,0 +1,76 @@
+#ifndef SOSE_SKETCH_SKETCH_H_
+#define SOSE_SKETCH_SKETCH_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/matrix.h"
+#include "core/sparse.h"
+
+namespace sose {
+
+/// One nonzero of a sketch column: (row index, value).
+struct ColumnEntry {
+  int64_t row = 0;
+  double value = 0.0;
+};
+
+/// A draw of an oblivious sketching matrix Π ∈ R^{m x n}.
+///
+/// Obliviousness is structural: column `c` of Π is a pure function of the
+/// sketch's seed and `c`, generated lazily by `Column(c)`. This lets the
+/// library work at the paper's regime `n = Ω(d²/(ε²δ))` — often billions of
+/// columns — without materialising anything: a hard instance `U = VW`
+/// touches at most `d/β` rows of `[n]`, so applying Π to it only ever reads
+/// that many columns.
+///
+/// Implementations must be deterministic given (seed, shape) and must
+/// return `Column(c)` entries sorted by row index with no duplicates.
+class SketchingMatrix {
+ public:
+  virtual ~SketchingMatrix() = default;
+
+  /// Target dimension m (number of rows).
+  virtual int64_t rows() const = 0;
+
+  /// Ambient dimension n (number of columns).
+  virtual int64_t cols() const = 0;
+
+  /// Maximum number of nonzero entries per column (the paper's `s`).
+  /// Dense sketches report `rows()`.
+  virtual int64_t column_sparsity() const = 0;
+
+  /// Short human-readable identifier, e.g. "countsketch".
+  virtual std::string name() const = 0;
+
+  /// The nonzero entries of column `c`, sorted by row. `c` must be in
+  /// [0, cols()).
+  virtual std::vector<ColumnEntry> Column(int64_t c) const = 0;
+
+  /// Returns Π A for a column-sparse A (CSC) with A.rows() == cols().
+  /// Default implementation streams the nonzero rows of A through
+  /// `Column()`; O(nnz(A) · s) like the paper's headline bound.
+  virtual Matrix ApplySparse(const CscMatrix& a) const;
+
+  /// Returns Π A for dense A with A.rows() == cols(). Default implementation
+  /// iterates columns of Π; subclasses with structure (e.g. SRHT) override
+  /// with a fast transform.
+  virtual Matrix ApplyDense(const Matrix& a) const;
+
+  /// Returns Π x for a dense vector x of length cols().
+  virtual std::vector<double> ApplyVector(const std::vector<double>& x) const;
+
+  /// Materialises columns [col_begin, col_end) of Π as an explicit sparse
+  /// matrix (the lower-bound machinery inspects sketch columns directly).
+  /// The resulting matrix has `col_end - col_begin` columns.
+  CscMatrix MaterializeColumns(int64_t col_begin, int64_t col_end) const;
+
+  /// Materialises all of Π densely; for tests and small instances only.
+  Matrix MaterializeDense() const;
+};
+
+}  // namespace sose
+
+#endif  // SOSE_SKETCH_SKETCH_H_

@@ -1,0 +1,34 @@
+#include "sketch/sparse_jl.h"
+
+#include <cmath>
+
+#include "core/random.h"
+
+namespace sose {
+
+Result<SparseJl> SparseJl::Create(int64_t m, int64_t n, double q,
+                                  uint64_t seed) {
+  if (m <= 0 || n <= 0) {
+    return Status::InvalidArgument("SparseJl: dimensions must be positive");
+  }
+  if (q < 1.0) {
+    return Status::InvalidArgument("SparseJl: q must be >= 1");
+  }
+  return SparseJl(m, n, q, seed);
+}
+
+std::vector<ColumnEntry> SparseJl::Column(int64_t c) const {
+  SOSE_CHECK(c >= 0 && c < n_);
+  Rng rng(DeriveSeed(seed_, static_cast<uint64_t>(c)));
+  const double magnitude = std::sqrt(q_ / static_cast<double>(m_));
+  const double p_nonzero = 1.0 / q_;
+  std::vector<ColumnEntry> entries;
+  for (int64_t i = 0; i < m_; ++i) {
+    if (rng.UniformDouble() < p_nonzero) {
+      entries.push_back(ColumnEntry{i, magnitude * rng.Rademacher()});
+    }
+  }
+  return entries;
+}
+
+}  // namespace sose

@@ -1,0 +1,47 @@
+#ifndef SOSE_SKETCH_SPARSE_JL_H_
+#define SOSE_SKETCH_SPARSE_JL_H_
+
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+#include "sketch/sketch.h"
+
+namespace sose {
+
+/// Achlioptas-style sparse Johnson–Lindenstrauss sketch: each entry is
+/// independently 0 with probability 1 - 1/q and ±√(q/m) with probability
+/// 1/(2q) each (q = 3 recovers the classical "database-friendly" map).
+///
+/// Unlike Count-Sketch/OSNAP the column sparsity is only s ≈ m/q in
+/// expectation, not exact — included as the i.i.d. point of comparison in
+/// the sparsity/dimension trade-off experiments.
+class SparseJl final : public SketchingMatrix {
+ public:
+  /// Creates an m x n draw with sparsity parameter q >= 1 (expected
+  /// fraction of nonzeros per column is 1/q).
+  static Result<SparseJl> Create(int64_t m, int64_t n, double q, uint64_t seed);
+
+  int64_t rows() const override { return m_; }
+  int64_t cols() const override { return n_; }
+  /// Worst case every entry is nonzero; the *expected* sparsity is m/q.
+  int64_t column_sparsity() const override { return m_; }
+  std::string name() const override { return "sparsejl"; }
+
+  std::vector<ColumnEntry> Column(int64_t c) const override;
+
+  double q() const { return q_; }
+
+ private:
+  SparseJl(int64_t m, int64_t n, double q, uint64_t seed)
+      : m_(m), n_(n), q_(q), seed_(seed) {}
+
+  int64_t m_;
+  int64_t n_;
+  double q_;
+  uint64_t seed_;
+};
+
+}  // namespace sose
+
+#endif  // SOSE_SKETCH_SPARSE_JL_H_

@@ -1,0 +1,72 @@
+#include "sketch/srht.h"
+
+#include <cmath>
+
+#include "core/random.h"
+#include "sketch/hadamard.h"
+
+namespace sose {
+
+Result<Srht> Srht::Create(int64_t m, int64_t n, uint64_t seed) {
+  if (m <= 0) {
+    return Status::InvalidArgument("Srht: m must be positive");
+  }
+  if (!IsPowerOfTwo(n)) {
+    return Status::InvalidArgument("Srht: n must be a power of two");
+  }
+  Rng rng(DeriveSeed(seed, 0));
+  std::vector<int64_t> sampled_rows(static_cast<size_t>(m));
+  for (int64_t i = 0; i < m; ++i) {
+    sampled_rows[static_cast<size_t>(i)] =
+        static_cast<int64_t>(rng.UniformInt(static_cast<uint64_t>(n)));
+  }
+  std::vector<double> signs(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) signs[static_cast<size_t>(i)] = rng.Rademacher();
+  return Srht(m, n, seed, std::move(sampled_rows), std::move(signs));
+}
+
+std::vector<ColumnEntry> Srht::Column(int64_t c) const {
+  SOSE_CHECK(c >= 0 && c < n_);
+  // Π_{i,c} = sign_c · H(sampled_rows_[i], c) / √m  (the 1/√n Hadamard
+  // normalization and the √(n/m) subsampling factor combine into 1/√m).
+  const double scale =
+      signs_[static_cast<size_t>(c)] / std::sqrt(static_cast<double>(m_));
+  std::vector<ColumnEntry> entries;
+  entries.reserve(static_cast<size_t>(m_));
+  for (int64_t i = 0; i < m_; ++i) {
+    entries.push_back(
+        ColumnEntry{i, scale * HadamardEntry(sampled_rows_[static_cast<size_t>(i)], c)});
+  }
+  return entries;
+}
+
+std::vector<double> Srht::ApplyVector(const std::vector<double>& x) const {
+  SOSE_CHECK(static_cast<int64_t>(x.size()) == n_);
+  std::vector<double> work(x);
+  for (int64_t i = 0; i < n_; ++i) {
+    work[static_cast<size_t>(i)] *= signs_[static_cast<size_t>(i)];
+  }
+  Fwht(&work).CheckOK();  // Size verified at construction.
+  const double scale = 1.0 / std::sqrt(static_cast<double>(m_));
+  std::vector<double> out(static_cast<size_t>(m_));
+  for (int64_t i = 0; i < m_; ++i) {
+    out[static_cast<size_t>(i)] =
+        scale * work[static_cast<size_t>(sampled_rows_[static_cast<size_t>(i)])];
+  }
+  return out;
+}
+
+Matrix Srht::ApplyDense(const Matrix& a) const {
+  SOSE_CHECK(a.rows() == n_);
+  Matrix out(m_, a.cols());
+  for (int64_t j = 0; j < a.cols(); ++j) {
+    std::vector<double> column = a.Col(j);
+    std::vector<double> sketched = ApplyVector(column);
+    for (int64_t i = 0; i < m_; ++i) {
+      out.At(i, j) = sketched[static_cast<size_t>(i)];
+    }
+  }
+  return out;
+}
+
+}  // namespace sose

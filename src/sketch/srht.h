@@ -1,0 +1,57 @@
+#ifndef SOSE_SKETCH_SRHT_H_
+#define SOSE_SKETCH_SRHT_H_
+
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+#include "sketch/sketch.h"
+
+namespace sose {
+
+/// Subsampled Randomized Hadamard Transform: Π = √(n/m) · R H_n D / √n,
+/// where D is a diagonal of Rademacher signs, H_n the order-n Sylvester
+/// Hadamard matrix and R samples m rows uniformly with replacement.
+///
+/// Π is dense but structured: ApplyVector runs in O(n log n) via FWHT, and
+/// any single entry is O(1) (Hadamard entries are sign-of-popcount). Included
+/// as the "fast dense" point between Gaussian and the sparse sketches.
+/// Requires n to be a power of two.
+class Srht final : public SketchingMatrix {
+ public:
+  /// Creates an m x n SRHT draw. Fails unless n is a positive power of two
+  /// and m is positive.
+  static Result<Srht> Create(int64_t m, int64_t n, uint64_t seed);
+
+  int64_t rows() const override { return m_; }
+  int64_t cols() const override { return n_; }
+  int64_t column_sparsity() const override { return m_; }
+  std::string name() const override { return "srht"; }
+
+  std::vector<ColumnEntry> Column(int64_t c) const override;
+
+  /// O(n log n) structured apply: sign-flip, FWHT, then row subsampling.
+  std::vector<double> ApplyVector(const std::vector<double>& x) const override;
+
+  /// Column-by-column structured apply of the dense input.
+  Matrix ApplyDense(const Matrix& a) const override;
+
+ private:
+  Srht(int64_t m, int64_t n, uint64_t seed, std::vector<int64_t> sampled_rows,
+       std::vector<double> signs)
+      : m_(m),
+        n_(n),
+        seed_(seed),
+        sampled_rows_(std::move(sampled_rows)),
+        signs_(std::move(signs)) {}
+
+  int64_t m_;
+  int64_t n_;
+  uint64_t seed_;
+  std::vector<int64_t> sampled_rows_;  // m sampled indices into [n].
+  std::vector<double> signs_;          // n Rademacher signs (the D diagonal).
+};
+
+}  // namespace sose
+
+#endif  // SOSE_SKETCH_SRHT_H_

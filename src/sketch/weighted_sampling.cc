@@ -1,0 +1,77 @@
+#include "sketch/weighted_sampling.h"
+
+#include <cmath>
+
+#include "core/random.h"
+
+namespace sose {
+
+Result<WeightedSamplingSketch> WeightedSamplingSketch::Create(
+    const std::vector<double>& probabilities, int64_t m, uint64_t seed) {
+  if (m <= 0) {
+    return Status::InvalidArgument(
+        "WeightedSamplingSketch: m must be positive");
+  }
+  if (probabilities.empty()) {
+    return Status::InvalidArgument(
+        "WeightedSamplingSketch: empty distribution");
+  }
+  double total = 0.0;
+  for (double p : probabilities) {
+    if (p < 0.0 || !std::isfinite(p)) {
+      return Status::InvalidArgument(
+          "WeightedSamplingSketch: probabilities must be finite and >= 0");
+    }
+    total += p;
+  }
+  if (total <= 0.0) {
+    return Status::InvalidArgument(
+        "WeightedSamplingSketch: distribution sums to zero");
+  }
+  // Cumulative distribution for inverse-CDF sampling.
+  std::vector<double> cumulative(probabilities.size());
+  double acc = 0.0;
+  for (size_t i = 0; i < probabilities.size(); ++i) {
+    acc += probabilities[i] / total;
+    cumulative[i] = acc;
+  }
+  cumulative.back() = 1.0;
+
+  Rng rng(DeriveSeed(seed, 0));
+  std::vector<int64_t> sampled(static_cast<size_t>(m));
+  for (int64_t i = 0; i < m; ++i) {
+    const double u = rng.UniformDouble();
+    // Binary search for the first cumulative >= u.
+    size_t lo = 0, hi = cumulative.size() - 1;
+    while (lo < hi) {
+      const size_t mid = (lo + hi) / 2;
+      if (cumulative[mid] >= u) {
+        hi = mid;
+      } else {
+        lo = mid + 1;
+      }
+    }
+    sampled[static_cast<size_t>(i)] = static_cast<int64_t>(lo);
+  }
+  std::vector<double> weights(probabilities.size(), 0.0);
+  for (size_t i = 0; i < probabilities.size(); ++i) {
+    const double p = probabilities[i] / total;
+    if (p > 0.0) {
+      weights[i] = 1.0 / std::sqrt(static_cast<double>(m) * p);
+    }
+  }
+  return WeightedSamplingSketch(m, std::move(sampled), std::move(weights));
+}
+
+std::vector<ColumnEntry> WeightedSamplingSketch::Column(int64_t c) const {
+  SOSE_CHECK(c >= 0 && c < cols());
+  std::vector<ColumnEntry> entries;
+  for (int64_t i = 0; i < m_; ++i) {
+    if (sampled_[static_cast<size_t>(i)] == c) {
+      entries.push_back(ColumnEntry{i, weights_[static_cast<size_t>(c)]});
+    }
+  }
+  return entries;
+}
+
+}  // namespace sose

@@ -1,0 +1,59 @@
+#ifndef SOSE_SKETCH_WEIGHTED_SAMPLING_H_
+#define SOSE_SKETCH_WEIGHTED_SAMPLING_H_
+
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+#include "sketch/sketch.h"
+
+namespace sose {
+
+/// Importance-weighted row sampling: m rows drawn i.i.d. from a given
+/// distribution p over [n], with the sampled coordinate i scaled by
+/// 1/√(m·p_i) so that E[ΠᵀΠ] = I.
+///
+/// With p proportional to the leverage scores of a matrix A this is
+/// leverage-score sampling — a *non-oblivious* embedding that needs only
+/// m = O(d log d/ε²) rows on ANY input, including the paper's hard
+/// instances. Its existence is why the paper's lower bounds are stated for
+/// oblivious sketches: seeing the data first sidesteps the Ω(d²) wall that
+/// binds every data-independent s = 1 construction. (The sampler itself is
+/// a fixed matrix once drawn; "non-oblivious" refers to p being computed
+/// from the data.)
+class WeightedSamplingSketch final : public SketchingMatrix {
+ public:
+  /// Draws m rows from the distribution `probabilities` (length n, summing
+  /// to ~1; entries must be non-negative, renormalized internally).
+  static Result<WeightedSamplingSketch> Create(
+      const std::vector<double>& probabilities, int64_t m, uint64_t seed);
+
+  int64_t rows() const override { return m_; }
+  int64_t cols() const override {
+    return static_cast<int64_t>(weights_.size());
+  }
+  int64_t column_sparsity() const override { return m_; }
+  std::string name() const override { return "weighted-sample"; }
+
+  std::vector<ColumnEntry> Column(int64_t c) const override;
+
+  /// The coordinate sampled for sketch row i.
+  int64_t SampledCoordinate(int64_t i) const {
+    SOSE_DCHECK(i >= 0 && i < m_);
+    return sampled_[static_cast<size_t>(i)];
+  }
+
+ private:
+  WeightedSamplingSketch(int64_t m, std::vector<int64_t> sampled,
+                         std::vector<double> weights)
+      : m_(m), sampled_(std::move(sampled)), weights_(std::move(weights)) {}
+
+  int64_t m_;
+  std::vector<int64_t> sampled_;  // m sampled coordinates.
+  std::vector<double> weights_;   // Per-coordinate value 1/√(m p_c); 0 if
+                                  // p_c = 0 (never sampled).
+};
+
+}  // namespace sose
+
+#endif  // SOSE_SKETCH_WEIGHTED_SAMPLING_H_

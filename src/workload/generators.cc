@@ -1,0 +1,126 @@
+#include "workload/generators.h"
+
+#include <cmath>
+
+namespace sose {
+
+Matrix RandomDenseMatrix(int64_t rows, int64_t cols, Rng* rng) {
+  SOSE_CHECK(rng != nullptr);
+  Matrix out(rows, cols);
+  for (int64_t i = 0; i < rows; ++i) {
+    for (int64_t j = 0; j < cols; ++j) out.At(i, j) = rng->Gaussian();
+  }
+  return out;
+}
+
+Result<CscMatrix> RandomSparseMatrix(int64_t rows, int64_t cols,
+                                     int64_t nnz_per_col, Rng* rng) {
+  if (nnz_per_col <= 0 || nnz_per_col > rows) {
+    return Status::InvalidArgument(
+        "RandomSparseMatrix: need 0 < nnz_per_col <= rows");
+  }
+  SOSE_CHECK(rng != nullptr);
+  CooBuilder builder(rows, cols);
+  for (int64_t j = 0; j < cols; ++j) {
+    for (int64_t row : rng->SampleWithoutReplacement(rows, nnz_per_col)) {
+      builder.Add(row, j, rng->Gaussian());
+    }
+  }
+  return builder.ToCsc();
+}
+
+Matrix CoherentMatrix(int64_t rows, int64_t cols, int64_t spikes,
+                      double spike_magnitude, Rng* rng) {
+  SOSE_CHECK(rng != nullptr);
+  SOSE_CHECK(spikes <= rows);
+  Matrix out(rows, cols);
+  const double noise = 1.0 / std::sqrt(static_cast<double>(rows));
+  for (int64_t i = 0; i < rows; ++i) {
+    for (int64_t j = 0; j < cols; ++j) {
+      out.At(i, j) = noise * rng->Gaussian();
+    }
+  }
+  // Spike rows: one huge entry each, cycling through the columns.
+  for (int64_t k = 0; k < spikes; ++k) {
+    const int64_t row =
+        static_cast<int64_t>(rng->UniformInt(static_cast<uint64_t>(rows)));
+    out.At(row, k % cols) += spike_magnitude * rng->Rademacher();
+  }
+  return out;
+}
+
+Result<RegressionInstance> MakeRegressionInstance(int64_t n, int64_t d,
+                                                  double noise_level,
+                                                  DesignKind kind, Rng* rng) {
+  if (n < d || d <= 0) {
+    return Status::InvalidArgument("MakeRegressionInstance: need n >= d >= 1");
+  }
+  SOSE_CHECK(rng != nullptr);
+  RegressionInstance instance;
+  instance.noise_level = noise_level;
+  instance.a = kind == DesignKind::kIncoherent
+                   ? RandomDenseMatrix(n, d, rng)
+                   : CoherentMatrix(n, d, /*spikes=*/d,
+                                    /*spike_magnitude=*/8.0, rng);
+  instance.x_true.resize(static_cast<size_t>(d));
+  for (double& coefficient : instance.x_true) {
+    coefficient = rng->Gaussian();
+  }
+  instance.b = MatVec(instance.a, instance.x_true);
+  for (double& entry : instance.b) {
+    entry += noise_level * rng->Gaussian();
+  }
+  return instance;
+}
+
+Result<Matrix> ClusteredPoints(int64_t n, int64_t dim, int64_t k,
+                               double separation, Rng* rng,
+                               std::vector<int64_t>* true_assignment) {
+  if (k < 1 || k > n || dim < 1) {
+    return Status::InvalidArgument("ClusteredPoints: need 1 <= k <= n, dim >= 1");
+  }
+  SOSE_CHECK(rng != nullptr);
+  // Random unit directions scaled by `separation` as centers.
+  Matrix centers(k, dim);
+  for (int64_t c = 0; c < k; ++c) {
+    double norm_sq = 0.0;
+    for (int64_t j = 0; j < dim; ++j) {
+      centers.At(c, j) = rng->Gaussian();
+      norm_sq += centers.At(c, j) * centers.At(c, j);
+    }
+    const double scale = separation / std::sqrt(std::max(norm_sq, 1e-300));
+    for (int64_t j = 0; j < dim; ++j) centers.At(c, j) *= scale;
+  }
+  Matrix points(n, dim);
+  if (true_assignment != nullptr) {
+    true_assignment->assign(static_cast<size_t>(n), 0);
+  }
+  for (int64_t i = 0; i < n; ++i) {
+    const int64_t c = i % k;  // Balanced clusters.
+    if (true_assignment != nullptr) {
+      (*true_assignment)[static_cast<size_t>(i)] = c;
+    }
+    for (int64_t j = 0; j < dim; ++j) {
+      points.At(i, j) = centers.At(c, j) + rng->Gaussian();
+    }
+  }
+  return points;
+}
+
+Matrix PlantedLowRankMatrix(int64_t rows, int64_t cols, int64_t rank,
+                            double noise_level, Rng* rng) {
+  SOSE_CHECK(rng != nullptr);
+  SOSE_CHECK(rank > 0 && rank <= std::min(rows, cols));
+  const Matrix left = RandomDenseMatrix(rows, rank, rng);
+  const Matrix right = RandomDenseMatrix(cols, rank, rng);
+  Matrix out = MatMulTransposeB(left, right);
+  out.Scale(1.0 / std::sqrt(static_cast<double>(rank)));
+  for (int64_t i = 0; i < rows; ++i) {
+    for (int64_t j = 0; j < cols; ++j) {
+      out.At(i, j) += noise_level * rng->Gaussian();
+    }
+  }
+  return out;
+}
+
+}  // namespace sose

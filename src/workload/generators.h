@@ -1,0 +1,65 @@
+#ifndef SOSE_WORKLOAD_GENERATORS_H_
+#define SOSE_WORKLOAD_GENERATORS_H_
+
+#include <cstdint>
+
+#include "core/matrix.h"
+#include "core/random.h"
+#include "core/sparse.h"
+#include "core/status.h"
+
+namespace sose {
+
+/// Dense matrix of i.i.d. standard Gaussians.
+Matrix RandomDenseMatrix(int64_t rows, int64_t cols, Rng* rng);
+
+/// Column-sparse random matrix: each column holds `nnz_per_col` Gaussian
+/// entries at distinct random rows. Requires nnz_per_col <= rows.
+Result<CscMatrix> RandomSparseMatrix(int64_t rows, int64_t cols,
+                                     int64_t nnz_per_col, Rng* rng);
+
+/// A "coherent" tall matrix: mostly tiny Gaussian noise plus `spikes` rows
+/// of large magnitude concentrated on single coordinates, giving the column
+/// space high leverage scores. Row-sampling-style sketches degrade on these;
+/// hash-based sketches do not — the workload contrast the paper's
+/// introduction motivates.
+Matrix CoherentMatrix(int64_t rows, int64_t cols, int64_t spikes,
+                      double spike_magnitude, Rng* rng);
+
+/// A planted least-squares instance b = A x* + noise.
+struct RegressionInstance {
+  Matrix a;                     ///< n x d design matrix.
+  std::vector<double> b;        ///< Right-hand side.
+  std::vector<double> x_true;   ///< The planted coefficient vector.
+  double noise_level = 0.0;     ///< Stddev of the added Gaussian noise.
+};
+
+/// Kinds of design matrix for regression workloads.
+enum class DesignKind {
+  kIncoherent,  ///< i.i.d. Gaussian design.
+  kCoherent,    ///< Spiky high-leverage design (CoherentMatrix).
+};
+
+/// Generates a planted regression instance with n rows and d columns.
+/// Requires n >= d.
+Result<RegressionInstance> MakeRegressionInstance(int64_t n, int64_t d,
+                                                  double noise_level,
+                                                  DesignKind kind, Rng* rng);
+
+/// Well-separated Gaussian clusters: n points in `dim` dimensions around k
+/// centers at pairwise distance ~`separation`, unit within-cluster noise.
+/// `true_assignment` (optional) receives the planted cluster of each point.
+/// Requires 1 <= k <= n.
+Result<Matrix> ClusteredPoints(int64_t n, int64_t dim, int64_t k,
+                               double separation, Rng* rng,
+                               std::vector<int64_t>* true_assignment = nullptr);
+
+/// A matrix with a planted low-rank structure: A = L Rᵀ + noise, with
+/// L (rows x rank), R (cols x rank). The spectrum has a sharp knee at
+/// `rank`, so the quality of sketched rank-k approximation is measurable.
+Matrix PlantedLowRankMatrix(int64_t rows, int64_t cols, int64_t rank,
+                            double noise_level, Rng* rng);
+
+}  // namespace sose
+
+#endif  // SOSE_WORKLOAD_GENERATORS_H_

@@ -1,0 +1,142 @@
+#include "apps/cca.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/random.h"
+#include "sketch/count_sketch.h"
+#include "sketch/gaussian.h"
+#include "workload/generators.h"
+
+namespace sose {
+namespace {
+
+TEST(ExactCcaTest, Validation) {
+  Rng rng(1);
+  const Matrix x = RandomDenseMatrix(10, 2, &rng);
+  const Matrix y = RandomDenseMatrix(12, 2, &rng);
+  EXPECT_FALSE(ExactCca(x, y).ok());  // Row mismatch.
+}
+
+TEST(ExactCcaTest, IdenticalViewsHaveUnitCorrelations) {
+  Rng rng(2);
+  const Matrix x = RandomDenseMatrix(30, 3, &rng);
+  auto correlations = ExactCca(x, x);
+  ASSERT_TRUE(correlations.ok());
+  ASSERT_EQ(correlations.value().size(), 3u);
+  for (double rho : correlations.value()) {
+    EXPECT_NEAR(rho, 1.0, 1e-10);
+  }
+}
+
+TEST(ExactCcaTest, OrthogonalViewsHaveZeroCorrelations) {
+  // X lives on coordinates 0..2, Y on coordinates 3..5.
+  Matrix x(12, 2);
+  Matrix y(12, 2);
+  Rng rng(3);
+  for (int64_t i = 0; i < 3; ++i) {
+    for (int64_t j = 0; j < 2; ++j) x.At(i, j) = rng.Gaussian();
+  }
+  for (int64_t i = 3; i < 6; ++i) {
+    for (int64_t j = 0; j < 2; ++j) y.At(i, j) = rng.Gaussian();
+  }
+  auto correlations = ExactCca(x, y);
+  ASSERT_TRUE(correlations.ok());
+  for (double rho : correlations.value()) {
+    EXPECT_NEAR(rho, 0.0, 1e-10);
+  }
+}
+
+TEST(ExactCcaTest, SharedDirectionGivesOneLargeCorrelation) {
+  Rng rng(4);
+  const Matrix base = RandomDenseMatrix(40, 1, &rng);
+  Matrix x(40, 2);
+  Matrix y(40, 2);
+  for (int64_t i = 0; i < 40; ++i) {
+    x.At(i, 0) = base.At(i, 0);
+    y.At(i, 0) = base.At(i, 0);
+    x.At(i, 1) = rng.Gaussian();
+    y.At(i, 1) = rng.Gaussian();
+  }
+  auto correlations = ExactCca(x, y);
+  ASSERT_TRUE(correlations.ok());
+  EXPECT_NEAR(correlations.value()[0], 1.0, 1e-9);
+  EXPECT_LT(correlations.value()[1], 0.7);
+}
+
+TEST(ExactCcaTest, ValuesSortedDescendingInUnitInterval) {
+  Rng rng(5);
+  const Matrix x = RandomDenseMatrix(50, 4, &rng);
+  const Matrix y = RandomDenseMatrix(50, 3, &rng);
+  auto correlations = ExactCca(x, y);
+  ASSERT_TRUE(correlations.ok());
+  ASSERT_EQ(correlations.value().size(), 3u);
+  for (size_t i = 0; i < correlations.value().size(); ++i) {
+    EXPECT_GE(correlations.value()[i], 0.0);
+    EXPECT_LE(correlations.value()[i], 1.0);
+    if (i > 0) {
+      EXPECT_LE(correlations.value()[i], correlations.value()[i - 1] + 1e-12);
+    }
+  }
+}
+
+TEST(SketchedCcaTest, Validation) {
+  Rng rng(6);
+  const Matrix x = RandomDenseMatrix(40, 2, &rng);
+  const Matrix y = RandomDenseMatrix(40, 2, &rng);
+  auto sketch = GaussianSketch::Create(20, 64, 1);
+  ASSERT_TRUE(sketch.ok());
+  EXPECT_FALSE(SketchedCca(sketch.value(), x, y).ok());
+}
+
+TEST(SketchedCcaTest, PreservesCorrelationsWithGoodSketch) {
+  Rng rng(7);
+  const int64_t n = 512;
+  // Two views sharing a planted common signal.
+  const Matrix common = RandomDenseMatrix(n, 2, &rng);
+  Matrix x(n, 3);
+  Matrix y(n, 3);
+  for (int64_t i = 0; i < n; ++i) {
+    x.At(i, 0) = common.At(i, 0);
+    y.At(i, 0) = common.At(i, 0) + 0.3 * rng.Gaussian();
+    x.At(i, 1) = common.At(i, 1);
+    y.At(i, 1) = rng.Gaussian();
+    x.At(i, 2) = rng.Gaussian();
+    y.At(i, 2) = rng.Gaussian();
+  }
+  auto exact = ExactCca(x, y);
+  ASSERT_TRUE(exact.ok());
+  auto sketch = GaussianSketch::Create(256, n, 9);
+  ASSERT_TRUE(sketch.ok());
+  auto sketched = SketchedCca(sketch.value(), x, y);
+  ASSERT_TRUE(sketched.ok());
+  EXPECT_LT(MaxCorrelationError(exact.value(), sketched.value()), 0.15);
+}
+
+TEST(SketchedCcaTest, CountSketchPreservesTopCorrelation) {
+  Rng rng(8);
+  const int64_t n = 1024;
+  const Matrix common = RandomDenseMatrix(n, 1, &rng);
+  Matrix x(n, 2);
+  Matrix y(n, 2);
+  for (int64_t i = 0; i < n; ++i) {
+    x.At(i, 0) = common.At(i, 0);
+    y.At(i, 0) = common.At(i, 0);
+    x.At(i, 1) = rng.Gaussian();
+    y.At(i, 1) = rng.Gaussian();
+  }
+  auto sketch = CountSketch::Create(512, n, 11);
+  ASSERT_TRUE(sketch.ok());
+  auto sketched = SketchedCca(sketch.value(), x, y);
+  ASSERT_TRUE(sketched.ok());
+  EXPECT_GT(sketched.value()[0], 0.9);
+}
+
+TEST(MaxCorrelationErrorTest, Basics) {
+  EXPECT_EQ(MaxCorrelationError({0.5, 0.2}, {0.5, 0.2}), 0.0);
+  EXPECT_NEAR(MaxCorrelationError({0.9, 0.1}, {0.8, 0.3}), 0.2, 1e-12);
+}
+
+}  // namespace
+}  // namespace sose

@@ -1,0 +1,162 @@
+#include "apps/iterative.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "apps/regression.h"
+#include "core/random.h"
+#include "core/vector_ops.h"
+#include "sketch/count_sketch.h"
+#include "sketch/gaussian.h"
+#include "workload/generators.h"
+
+namespace sose {
+namespace {
+
+// An ill-conditioned regression instance: columns with geometrically
+// decaying scales.
+RegressionInstance IllConditionedInstance(int64_t n, int64_t d,
+                                          double decay, Rng* rng) {
+  RegressionInstance instance =
+      MakeRegressionInstance(n, d, 0.5, DesignKind::kIncoherent, rng)
+          .ValueOrDie();
+  double scale = 1.0;
+  for (int64_t j = 0; j < d; ++j) {
+    for (int64_t i = 0; i < n; ++i) instance.a.At(i, j) *= scale;
+    scale *= decay;
+  }
+  instance.b = MatVec(instance.a, instance.x_true);
+  Rng noise(99);
+  for (double& v : instance.b) v += 0.5 * noise.Gaussian();
+  return instance;
+}
+
+TEST(CglsTest, Validation) {
+  Matrix a(4, 2);
+  CglsOptions options;
+  EXPECT_FALSE(SolveCgls(a, {1, 2, 3}, options).ok());  // Wrong b length.
+  options.max_iterations = 0;
+  EXPECT_FALSE(SolveCgls(a, {1, 2, 3, 4}, options).ok());
+}
+
+TEST(CglsTest, SolvesWellConditionedSystem) {
+  Rng rng(1);
+  auto instance =
+      MakeRegressionInstance(100, 5, 0.3, DesignKind::kIncoherent, &rng);
+  ASSERT_TRUE(instance.ok());
+  CglsOptions options;
+  auto solution = SolveCgls(instance.value().a, instance.value().b, options);
+  ASSERT_TRUE(solution.ok());
+  EXPECT_TRUE(solution.value().converged);
+  auto exact = SolveLeastSquares(instance.value().a, instance.value().b);
+  ASSERT_TRUE(exact.ok());
+  for (size_t j = 0; j < 5; ++j) {
+    EXPECT_NEAR(solution.value().x[j], exact.value().x[j], 1e-6);
+  }
+}
+
+TEST(CglsTest, ZeroRhsGivesZeroSolution) {
+  Rng rng(2);
+  const Matrix a = RandomDenseMatrix(20, 3, &rng);
+  CglsOptions options;
+  auto solution = SolveCgls(a, std::vector<double>(20, 0.0), options);
+  ASSERT_TRUE(solution.ok());
+  EXPECT_TRUE(solution.value().converged);
+  EXPECT_EQ(solution.value().iterations, 0);
+  for (double v : solution.value().x) EXPECT_EQ(v, 0.0);
+}
+
+TEST(CglsTest, IterationsGrowWithConditionNumber) {
+  Rng rng(3);
+  RegressionInstance mild = IllConditionedInstance(200, 8, 0.8, &rng);
+  RegressionInstance severe = IllConditionedInstance(200, 8, 0.2, &rng);
+  CglsOptions options;
+  options.tolerance = 1e-8;
+  auto mild_solution = SolveCgls(mild.a, mild.b, options);
+  auto severe_solution = SolveCgls(severe.a, severe.b, options);
+  ASSERT_TRUE(mild_solution.ok());
+  ASSERT_TRUE(severe_solution.ok());
+  EXPECT_GT(severe_solution.value().iterations,
+            mild_solution.value().iterations);
+}
+
+TEST(PreconditionedCglsTest, Validation) {
+  Rng rng(4);
+  const Matrix a = RandomDenseMatrix(50, 4, &rng);
+  auto sketch = GaussianSketch::Create(20, 80, 1);  // Ambient mismatch.
+  ASSERT_TRUE(sketch.ok());
+  CglsOptions options;
+  EXPECT_FALSE(SolveSketchPreconditionedCgls(sketch.value(), a,
+                                             std::vector<double>(50, 1.0),
+                                             options)
+                   .ok());
+}
+
+TEST(PreconditionedCglsTest, RankDeficientSketchReported) {
+  Rng rng(5);
+  const Matrix a = RandomDenseMatrix(50, 4, &rng);
+  auto sketch = GaussianSketch::Create(2, 50, 3);  // m < d.
+  ASSERT_TRUE(sketch.ok());
+  CglsOptions options;
+  EXPECT_FALSE(SolveSketchPreconditionedCgls(sketch.value(), a,
+                                             std::vector<double>(50, 1.0),
+                                             options)
+                   .ok());
+}
+
+TEST(PreconditionedCglsTest, MatchesExactSolution) {
+  Rng rng(6);
+  RegressionInstance instance = IllConditionedInstance(300, 6, 0.3, &rng);
+  auto sketch = GaussianSketch::Create(60, 300, 7);
+  ASSERT_TRUE(sketch.ok());
+  CglsOptions options;
+  options.tolerance = 1e-10;
+  auto solution =
+      SolveSketchPreconditionedCgls(sketch.value(), instance.a, instance.b,
+                                    options);
+  ASSERT_TRUE(solution.ok());
+  EXPECT_TRUE(solution.value().converged);
+  auto exact = SolveLeastSquares(instance.a, instance.b);
+  ASSERT_TRUE(exact.ok());
+  for (size_t j = 0; j < 6; ++j) {
+    EXPECT_NEAR(solution.value().x[j], exact.value().x[j],
+                1e-5 * (1.0 + std::fabs(exact.value().x[j])));
+  }
+}
+
+TEST(PreconditionedCglsTest, SlashesIterationsOnIllConditionedProblems) {
+  Rng rng(7);
+  RegressionInstance instance = IllConditionedInstance(400, 8, 0.15, &rng);
+  CglsOptions options;
+  options.tolerance = 1e-8;
+  auto plain = SolveCgls(instance.a, instance.b, options);
+  ASSERT_TRUE(plain.ok());
+  auto sketch = GaussianSketch::Create(80, 400, 9);
+  ASSERT_TRUE(sketch.ok());
+  auto preconditioned = SolveSketchPreconditionedCgls(
+      sketch.value(), instance.a, instance.b, options);
+  ASSERT_TRUE(preconditioned.ok());
+  EXPECT_TRUE(preconditioned.value().converged);
+  EXPECT_LT(preconditioned.value().iterations,
+            plain.value().iterations / 2 + 2);
+  EXPECT_LE(preconditioned.value().iterations, 30);
+}
+
+TEST(PreconditionedCglsTest, CountSketchPreconditionerWorks) {
+  Rng rng(8);
+  RegressionInstance instance = IllConditionedInstance(500, 5, 0.2, &rng);
+  auto sketch = CountSketch::Create(250, 500, 11);
+  ASSERT_TRUE(sketch.ok());
+  CglsOptions options;
+  options.tolerance = 1e-8;
+  auto solution = SolveSketchPreconditionedCgls(sketch.value(), instance.a,
+                                                instance.b, options);
+  ASSERT_TRUE(solution.ok());
+  EXPECT_TRUE(solution.value().converged);
+  EXPECT_LE(solution.value().iterations, 40);
+  EXPECT_LT(solution.value().relative_residual, 1e-6);
+}
+
+}  // namespace
+}  // namespace sose

@@ -1,0 +1,166 @@
+#include "apps/kmeans.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "core/random.h"
+#include "sketch/gaussian.h"
+#include "sketch/srht.h"
+#include "workload/generators.h"
+
+namespace sose {
+namespace {
+
+TEST(LloydKMeansTest, Validation) {
+  Matrix points(5, 2);
+  KMeansOptions options;
+  options.k = 0;
+  EXPECT_FALSE(LloydKMeans(points, options).ok());
+  options.k = 6;
+  EXPECT_FALSE(LloydKMeans(points, options).ok());
+  options.k = 2;
+  options.max_iterations = 0;
+  EXPECT_FALSE(LloydKMeans(points, options).ok());
+}
+
+TEST(LloydKMeansTest, SingleClusterIsCentroid) {
+  Matrix points(4, 2, {0, 0, 2, 0, 0, 2, 2, 2});
+  KMeansOptions options;
+  options.k = 1;
+  options.seed = 1;
+  auto result = LloydKMeans(points, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result.value().centers.At(0, 0), 1.0, 1e-12);
+  EXPECT_NEAR(result.value().centers.At(0, 1), 1.0, 1e-12);
+  // Cost = Σ‖p − mean‖² = 4 · 2 = 8.
+  EXPECT_NEAR(result.value().cost, 8.0, 1e-12);
+}
+
+TEST(LloydKMeansTest, KEqualsNGivesZeroCost) {
+  Rng rng(2);
+  const Matrix points = RandomDenseMatrix(6, 3, &rng);
+  KMeansOptions options;
+  options.k = 6;
+  options.seed = 3;
+  auto result = LloydKMeans(points, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result.value().cost, 0.0, 1e-9);
+}
+
+TEST(LloydKMeansTest, RecoversWellSeparatedClusters) {
+  Rng rng(4);
+  std::vector<int64_t> truth;
+  auto points = ClusteredPoints(120, 8, 3, 40.0, &rng, &truth);
+  ASSERT_TRUE(points.ok());
+  KMeansOptions options;
+  options.k = 3;
+  options.seed = 5;
+  auto result = LloydKMeans(points.value(), options);
+  ASSERT_TRUE(result.ok());
+  // Perfect recovery up to label permutation: every planted cluster maps to
+  // exactly one found cluster.
+  std::map<int64_t, int64_t> label_map;
+  bool consistent = true;
+  for (size_t i = 0; i < truth.size(); ++i) {
+    auto [it, inserted] = label_map.try_emplace(
+        truth[i], result.value().assignment[i]);
+    if (!inserted && it->second != result.value().assignment[i]) {
+      consistent = false;
+    }
+  }
+  EXPECT_TRUE(consistent);
+  EXPECT_EQ(label_map.size(), 3u);
+  // Cost ≈ n · dim (unit noise): 120 · 8 = 960, very loosely.
+  EXPECT_LT(result.value().cost, 2000.0);
+}
+
+TEST(LloydKMeansTest, CostDecreasesWithK) {
+  Rng rng(6);
+  const Matrix points = RandomDenseMatrix(60, 4, &rng);
+  double previous = 1e300;
+  for (int64_t k : {1, 2, 4, 8, 16}) {
+    KMeansOptions options;
+    options.k = k;
+    options.seed = 7;
+    auto result = LloydKMeans(points, options);
+    ASSERT_TRUE(result.ok());
+    EXPECT_LE(result.value().cost, previous * 1.05);  // Allow local-opt noise.
+    previous = result.value().cost;
+  }
+}
+
+TEST(KMeansCostForAssignmentTest, Validation) {
+  Matrix points(4, 2);
+  EXPECT_FALSE(KMeansCostForAssignment(points, {0, 1}, 2).ok());
+  EXPECT_FALSE(KMeansCostForAssignment(points, {0, 1, 2, 5}, 3).ok());
+}
+
+TEST(KMeansCostForAssignmentTest, MatchesLloydCost) {
+  Rng rng(8);
+  const Matrix points = RandomDenseMatrix(40, 3, &rng);
+  KMeansOptions options;
+  options.k = 4;
+  options.seed = 9;
+  auto result = LloydKMeans(points, options);
+  ASSERT_TRUE(result.ok());
+  auto cost =
+      KMeansCostForAssignment(points, result.value().assignment, 4);
+  ASSERT_TRUE(cost.ok());
+  // Lloyd's final cost uses the final centers which equal the centroids of
+  // the final assignment up to the last update; allow small slack.
+  EXPECT_NEAR(cost.value(), result.value().cost,
+              0.05 * result.value().cost + 1e-9);
+}
+
+TEST(SketchedKMeansTest, Validation) {
+  Rng rng(10);
+  const Matrix points = RandomDenseMatrix(20, 8, &rng);
+  auto sketch = GaussianSketch::Create(4, 16, 1);  // 16 != 8 features.
+  ASSERT_TRUE(sketch.ok());
+  KMeansOptions options;
+  options.k = 2;
+  EXPECT_FALSE(SketchedKMeans(sketch.value(), points, options).ok());
+}
+
+TEST(SketchedKMeansTest, NearOptimalCostOnSeparatedClusters) {
+  Rng rng(11);
+  const int64_t dim = 64;
+  auto points = ClusteredPoints(150, dim, 3, 30.0, &rng);
+  ASSERT_TRUE(points.ok());
+  KMeansOptions options;
+  options.k = 3;
+  options.seed = 13;
+  auto full = LloydKMeans(points.value(), options);
+  ASSERT_TRUE(full.ok());
+  auto sketch = GaussianSketch::Create(16, dim, 15);
+  ASSERT_TRUE(sketch.ok());
+  auto sketched = SketchedKMeans(sketch.value(), points.value(), options);
+  ASSERT_TRUE(sketched.ok());
+  // The induced partition's cost in the original space is near the full
+  // run's cost.
+  EXPECT_LE(sketched.value().cost, 1.3 * full.value().cost);
+  EXPECT_EQ(sketched.value().assignment.size(), 150u);
+  EXPECT_EQ(sketched.value().centers.cols(), dim);
+}
+
+TEST(SketchedKMeansTest, SrhtProjectionWorks) {
+  Rng rng(12);
+  const int64_t dim = 32;  // Power of two for SRHT.
+  auto points = ClusteredPoints(90, dim, 3, 25.0, &rng);
+  ASSERT_TRUE(points.ok());
+  auto sketch = Srht::Create(8, dim, 17);
+  ASSERT_TRUE(sketch.ok());
+  KMeansOptions options;
+  options.k = 3;
+  options.seed = 19;
+  auto full = LloydKMeans(points.value(), options);
+  auto sketched = SketchedKMeans(sketch.value(), points.value(), options);
+  ASSERT_TRUE(full.ok());
+  ASSERT_TRUE(sketched.ok());
+  EXPECT_LE(sketched.value().cost, 1.5 * full.value().cost);
+}
+
+}  // namespace
+}  // namespace sose

@@ -1,0 +1,128 @@
+#include "apps/leverage.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "core/random.h"
+#include "sketch/count_sketch.h"
+#include "sketch/gaussian.h"
+#include "workload/generators.h"
+
+namespace sose {
+namespace {
+
+TEST(ExactLeverageScoresTest, SumToRank) {
+  Rng rng(1);
+  const Matrix a = RandomDenseMatrix(30, 5, &rng);
+  auto scores = ExactLeverageScores(a);
+  ASSERT_TRUE(scores.ok());
+  const double total =
+      std::accumulate(scores.value().begin(), scores.value().end(), 0.0);
+  EXPECT_NEAR(total, 5.0, 1e-9);
+  for (double score : scores.value()) {
+    EXPECT_GE(score, -1e-12);
+    EXPECT_LE(score, 1.0 + 1e-12);
+  }
+}
+
+TEST(ExactLeverageScoresTest, OrthonormalInputHasUniformRowNorms) {
+  // For U itself an isometry, ℓ_i = ‖U_i‖² exactly.
+  Matrix u(4, 2);
+  u.At(0, 0) = 1.0;
+  u.At(1, 1) = 1.0;
+  auto scores = ExactLeverageScores(u);
+  ASSERT_TRUE(scores.ok());
+  EXPECT_NEAR(scores.value()[0], 1.0, 1e-12);
+  EXPECT_NEAR(scores.value()[1], 1.0, 1e-12);
+  EXPECT_NEAR(scores.value()[2], 0.0, 1e-12);
+  EXPECT_NEAR(scores.value()[3], 0.0, 1e-12);
+}
+
+TEST(ExactLeverageScoresTest, SpikeHasMaximalLeverage) {
+  Rng rng(2);
+  Matrix a = RandomDenseMatrix(50, 3, &rng);
+  // Make row 7 the only row touching a fresh direction: leverage 1.
+  for (int64_t j = 0; j < 3; ++j) a.At(7, j) = 0.0;
+  a.At(7, 0) = 100.0;
+  for (int64_t i = 0; i < 50; ++i) {
+    if (i != 7) a.At(i, 0) = 0.0;
+  }
+  auto scores = ExactLeverageScores(a);
+  ASSERT_TRUE(scores.ok());
+  EXPECT_NEAR(scores.value()[7], 1.0, 1e-9);
+}
+
+TEST(ApproximateLeverageScoresTest, Validation) {
+  Rng rng(3);
+  const Matrix a = RandomDenseMatrix(40, 4, &rng);
+  auto sketch = GaussianSketch::Create(20, 40, 1);
+  ASSERT_TRUE(sketch.ok());
+  EXPECT_FALSE(
+      ApproximateLeverageScores(sketch.value(), a, 0, 1).ok());
+  auto mismatched = GaussianSketch::Create(20, 80, 1);
+  ASSERT_TRUE(mismatched.ok());
+  EXPECT_FALSE(
+      ApproximateLeverageScores(mismatched.value(), a, 8, 1).ok());
+}
+
+TEST(ApproximateLeverageScoresTest, TracksExactScores) {
+  Rng rng(4);
+  const Matrix a = CoherentMatrix(300, 4, 6, 8.0, &rng);
+  auto exact = ExactLeverageScores(a);
+  ASSERT_TRUE(exact.ok());
+  auto sketch = GaussianSketch::Create(120, 300, 5);
+  ASSERT_TRUE(sketch.ok());
+  auto approx = ApproximateLeverageScores(sketch.value(), a, 64, 7);
+  ASSERT_TRUE(approx.ok());
+  // High leverage rows must be identified as such.
+  for (size_t i = 0; i < exact.value().size(); ++i) {
+    if (exact.value()[i] > 0.5) {
+      EXPECT_GT(approx.value()[i], 0.2) << "row " << i;
+    }
+  }
+  // Sum is preserved within JL fluctuation.
+  const double exact_sum =
+      std::accumulate(exact.value().begin(), exact.value().end(), 0.0);
+  const double approx_sum =
+      std::accumulate(approx.value().begin(), approx.value().end(), 0.0);
+  EXPECT_NEAR(approx_sum, exact_sum, 0.5 * exact_sum);
+}
+
+TEST(ApproximateLeverageScoresTest, CountSketchPipelineWorks) {
+  Rng rng(6);
+  const Matrix a = RandomDenseMatrix(400, 5, &rng);
+  auto exact = ExactLeverageScores(a);
+  ASSERT_TRUE(exact.ok());
+  auto sketch = CountSketch::Create(200, 400, 9);
+  ASSERT_TRUE(sketch.ok());
+  auto approx = ApproximateLeverageScores(sketch.value(), a, 128, 11);
+  ASSERT_TRUE(approx.ok());
+  // Incoherent matrix: all scores ~ d/n; relative error should be modest.
+  EXPECT_LT(LeverageScoreError(exact.value(), approx.value(), 0.005), 1.5);
+}
+
+TEST(ApproximateLeverageScoresTest, RankDeficientSketchIsReported) {
+  Rng rng(7);
+  const Matrix a = RandomDenseMatrix(64, 4, &rng);
+  // m = 2 < d: ΠA cannot have full column rank.
+  auto sketch = GaussianSketch::Create(2, 64, 13);
+  ASSERT_TRUE(sketch.ok());
+  auto approx = ApproximateLeverageScores(sketch.value(), a, 8, 15);
+  EXPECT_FALSE(approx.ok());
+}
+
+TEST(LeverageScoreErrorTest, ZeroForIdenticalVectors) {
+  std::vector<double> scores = {0.5, 0.25, 0.25};
+  EXPECT_EQ(LeverageScoreError(scores, scores), 0.0);
+}
+
+TEST(LeverageScoreErrorTest, RelativeSemantics) {
+  std::vector<double> exact = {0.5, 0.1};
+  std::vector<double> approx = {0.55, 0.1};
+  EXPECT_NEAR(LeverageScoreError(exact, approx), 0.1, 1e-12);
+}
+
+}  // namespace
+}  // namespace sose

@@ -1,0 +1,105 @@
+#include "apps/lowrank.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/linalg_svd.h"
+#include "core/random.h"
+#include "sketch/gaussian.h"
+#include "workload/generators.h"
+
+namespace sose {
+namespace {
+
+TEST(BestRankKTest, Validation) {
+  Matrix a(4, 3);
+  EXPECT_FALSE(BestRankK(a, 0).ok());
+  EXPECT_FALSE(BestRankK(a, 4).ok());
+}
+
+TEST(BestRankKTest, FullRankIsExact) {
+  Rng rng(1);
+  const Matrix a = RandomDenseMatrix(6, 4, &rng);
+  auto approx = BestRankK(a, 4);
+  ASSERT_TRUE(approx.ok());
+  EXPECT_NEAR(approx.value().error_frobenius, 0.0, 1e-8);
+  EXPECT_TRUE(AlmostEqual(approx.value().approximant, a, 1e-8));
+}
+
+TEST(BestRankKTest, ErrorMatchesTailSingularValues) {
+  Rng rng(2);
+  const Matrix a = RandomDenseMatrix(10, 6, &rng);
+  auto sigma = SingularValues(a);
+  ASSERT_TRUE(sigma.ok());
+  for (int64_t k = 1; k < 6; ++k) {
+    auto approx = BestRankK(a, k);
+    ASSERT_TRUE(approx.ok());
+    double tail = 0.0;
+    for (size_t i = static_cast<size_t>(k); i < 6; ++i) {
+      tail += sigma.value()[i] * sigma.value()[i];
+    }
+    EXPECT_NEAR(approx.value().error_frobenius, std::sqrt(tail), 1e-8)
+        << "k=" << k;
+  }
+}
+
+TEST(BestRankKTest, WideMatrixSupported) {
+  Rng rng(3);
+  const Matrix a = RandomDenseMatrix(4, 9, &rng);
+  auto approx = BestRankK(a, 2);
+  ASSERT_TRUE(approx.ok());
+  EXPECT_EQ(approx.value().approximant.rows(), 4);
+  EXPECT_EQ(approx.value().approximant.cols(), 9);
+  // Error is between σ_{3..} tail and the full norm.
+  EXPECT_GT(approx.value().error_frobenius, 0.0);
+  EXPECT_LT(approx.value().error_frobenius, a.FrobeniusNorm());
+}
+
+TEST(SketchedRankKTest, Validation) {
+  Rng rng(4);
+  const Matrix a = RandomDenseMatrix(20, 5, &rng);
+  auto sketch = GaussianSketch::Create(10, 30, 1);  // Ambient mismatch.
+  ASSERT_TRUE(sketch.ok());
+  EXPECT_FALSE(SketchedRankK(sketch.value(), a, 2).ok());
+}
+
+TEST(SketchedRankKTest, RecoverNearlyLowRankMatrix) {
+  Rng rng(5);
+  const Matrix a = PlantedLowRankMatrix(60, 20, 3, 0.01, &rng);
+  auto best = BestRankK(a, 3);
+  ASSERT_TRUE(best.ok());
+  auto sketch = GaussianSketch::Create(30, 60, 7);
+  ASSERT_TRUE(sketch.ok());
+  auto sketched = SketchedRankK(sketch.value(), a, 3);
+  ASSERT_TRUE(sketched.ok());
+  // Within a modest factor of optimal.
+  EXPECT_LE(sketched.value().error_frobenius,
+            3.0 * best.value().error_frobenius + 1e-9);
+  // And a small fraction of the total energy.
+  EXPECT_LT(sketched.value().error_frobenius, 0.1 * a.FrobeniusNorm());
+}
+
+TEST(SketchedRankKTest, ExactlyLowRankIsRecoveredExactly) {
+  Rng rng(6);
+  const Matrix a = PlantedLowRankMatrix(40, 12, 2, 0.0, &rng);
+  auto sketch = GaussianSketch::Create(16, 40, 9);
+  ASSERT_TRUE(sketch.ok());
+  auto sketched = SketchedRankK(sketch.value(), a, 2);
+  ASSERT_TRUE(sketched.ok());
+  EXPECT_NEAR(sketched.value().error_frobenius, 0.0, 1e-7);
+}
+
+TEST(SketchedRankKTest, WideSketchOutputPath) {
+  // m < cols(A) exercises the transpose branch.
+  Rng rng(7);
+  const Matrix a = PlantedLowRankMatrix(64, 24, 2, 0.0, &rng);
+  auto sketch = GaussianSketch::Create(10, 64, 11);
+  ASSERT_TRUE(sketch.ok());
+  auto sketched = SketchedRankK(sketch.value(), a, 2);
+  ASSERT_TRUE(sketched.ok());
+  EXPECT_NEAR(sketched.value().error_frobenius, 0.0, 1e-7);
+}
+
+}  // namespace
+}  // namespace sose

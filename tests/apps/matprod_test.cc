@@ -1,0 +1,94 @@
+#include "apps/matprod.h"
+
+#include <gtest/gtest.h>
+
+#include "core/random.h"
+#include "core/stats.h"
+#include "sketch/count_sketch.h"
+#include "sketch/gaussian.h"
+#include "workload/generators.h"
+
+namespace sose {
+namespace {
+
+TEST(ApproxMatrixProductTest, Validation) {
+  Rng rng(1);
+  const Matrix a = RandomDenseMatrix(10, 3, &rng);
+  const Matrix b = RandomDenseMatrix(12, 3, &rng);
+  auto sketch = GaussianSketch::Create(8, 10, 1);
+  ASSERT_TRUE(sketch.ok());
+  EXPECT_FALSE(ApproximateMatrixProduct(sketch.value(), a, b).ok());
+  auto wrong_dim = GaussianSketch::Create(8, 20, 1);
+  ASSERT_TRUE(wrong_dim.ok());
+  const Matrix b2 = RandomDenseMatrix(10, 3, &rng);
+  EXPECT_FALSE(ApproximateMatrixProduct(wrong_dim.value(), a, b2).ok());
+}
+
+TEST(ApproxMatrixProductTest, ShapesAndExactError) {
+  Rng rng(2);
+  const Matrix a = RandomDenseMatrix(30, 4, &rng);
+  const Matrix b = RandomDenseMatrix(30, 5, &rng);
+  auto sketch = GaussianSketch::Create(20, 30, 3);
+  ASSERT_TRUE(sketch.ok());
+  auto result = ApproximateMatrixProduct(sketch.value(), a, b);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().product.rows(), 4);
+  EXPECT_EQ(result.value().product.cols(), 5);
+  // Error field is consistent with the returned product.
+  Matrix diff = MatMulTransposeA(a, b);
+  diff.AddScaled(result.value().product, -1.0);
+  EXPECT_NEAR(result.value().error_frobenius, diff.FrobeniusNorm(), 1e-10);
+}
+
+TEST(ApproxMatrixProductTest, ErrorShrinksWithM) {
+  Rng rng(3);
+  const Matrix a = RandomDenseMatrix(200, 3, &rng);
+  const Matrix b = RandomDenseMatrix(200, 3, &rng);
+  RunningStats small_m, large_m;
+  for (uint64_t seed = 0; seed < 20; ++seed) {
+    auto small = GaussianSketch::Create(10, 200, seed);
+    auto large = GaussianSketch::Create(160, 200, seed);
+    ASSERT_TRUE(small.ok());
+    ASSERT_TRUE(large.ok());
+    auto rs = ApproximateMatrixProduct(small.value(), a, b);
+    auto rl = ApproximateMatrixProduct(large.value(), a, b);
+    ASSERT_TRUE(rs.ok());
+    ASSERT_TRUE(rl.ok());
+    small_m.Add(rs.value().relative_error);
+    large_m.Add(rl.value().relative_error);
+  }
+  EXPECT_LT(large_m.Mean(), small_m.Mean());
+  // Roughly 1/√m scaling → factor ~4 between m=10 and m=160.
+  EXPECT_LT(large_m.Mean(), 0.6 * small_m.Mean());
+}
+
+TEST(ApproxMatrixProductTest, CountSketchIsUnbiased) {
+  Rng rng(4);
+  const Matrix a = RandomDenseMatrix(100, 2, &rng);
+  const Matrix b = RandomDenseMatrix(100, 2, &rng);
+  const Matrix exact = MatMulTransposeA(a, b);
+  Matrix mean(2, 2);
+  constexpr int kDraws = 400;
+  for (uint64_t seed = 0; seed < kDraws; ++seed) {
+    auto sketch = CountSketch::Create(16, 100, seed);
+    ASSERT_TRUE(sketch.ok());
+    auto result = ApproximateMatrixProduct(sketch.value(), a, b);
+    ASSERT_TRUE(result.ok());
+    mean.AddScaled(result.value().product, 1.0 / kDraws);
+  }
+  EXPECT_TRUE(AlmostEqual(mean, exact, 0.35 * exact.FrobeniusNorm() + 0.5));
+}
+
+TEST(ApproxMatrixProductTest, ZeroInputGivesZeroError) {
+  auto sketch = GaussianSketch::Create(8, 20, 5);
+  ASSERT_TRUE(sketch.ok());
+  const Matrix zero_a(20, 2);
+  const Matrix zero_b(20, 3);
+  auto result = ApproximateMatrixProduct(sketch.value(), zero_a, zero_b);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().error_frobenius, 0.0);
+  EXPECT_EQ(result.value().relative_error, 0.0);
+}
+
+}  // namespace
+}  // namespace sose

@@ -1,0 +1,137 @@
+#include "apps/regression.h"
+
+#include <gtest/gtest.h>
+
+#include "core/random.h"
+#include "core/vector_ops.h"
+#include "sketch/count_sketch.h"
+#include "sketch/gaussian.h"
+#include "sketch/osnap.h"
+#include "workload/generators.h"
+
+namespace sose {
+namespace {
+
+TEST(SolveLeastSquaresTest, ExactOnConsistentSystem) {
+  Rng rng(1);
+  auto instance =
+      MakeRegressionInstance(50, 4, 0.0, DesignKind::kIncoherent, &rng);
+  ASSERT_TRUE(instance.ok());
+  auto solution = SolveLeastSquares(instance.value().a, instance.value().b);
+  ASSERT_TRUE(solution.ok());
+  EXPECT_NEAR(solution.value().residual_norm, 0.0, 1e-8);
+  for (size_t j = 0; j < 4; ++j) {
+    EXPECT_NEAR(solution.value().x[j], instance.value().x_true[j], 1e-8);
+  }
+}
+
+TEST(SolveLeastSquaresTest, NoisyResidualIsPositive) {
+  Rng rng(2);
+  auto instance =
+      MakeRegressionInstance(80, 5, 0.5, DesignKind::kIncoherent, &rng);
+  ASSERT_TRUE(instance.ok());
+  auto solution = SolveLeastSquares(instance.value().a, instance.value().b);
+  ASSERT_TRUE(solution.ok());
+  EXPECT_GT(solution.value().residual_norm, 0.1);
+}
+
+TEST(SketchAndSolveTest, ShapeValidation) {
+  Rng rng(3);
+  auto instance =
+      MakeRegressionInstance(64, 3, 0.1, DesignKind::kIncoherent, &rng);
+  ASSERT_TRUE(instance.ok());
+  auto sketch = GaussianSketch::Create(32, 100, 1);  // Wrong ambient dim.
+  ASSERT_TRUE(sketch.ok());
+  EXPECT_FALSE(
+      SketchAndSolve(sketch.value(), instance.value().a, instance.value().b)
+          .ok());
+}
+
+TEST(SketchAndSolveTest, GaussianSketchNearOptimal) {
+  Rng rng(4);
+  auto instance =
+      MakeRegressionInstance(400, 5, 1.0, DesignKind::kIncoherent, &rng);
+  ASSERT_TRUE(instance.ok());
+  auto sketch = GaussianSketch::Create(120, 400, 7);
+  ASSERT_TRUE(sketch.ok());
+  auto sketched =
+      SketchAndSolve(sketch.value(), instance.value().a, instance.value().b);
+  ASSERT_TRUE(sketched.ok());
+  auto ratio = ResidualRatio(instance.value().a, instance.value().b,
+                             sketched.value().x);
+  ASSERT_TRUE(ratio.ok());
+  EXPECT_GE(ratio.value(), 1.0 - 1e-12);
+  EXPECT_LT(ratio.value(), 1.35);
+}
+
+TEST(SketchAndSolveTest, CountSketchNearOptimalWithLargeM) {
+  Rng rng(5);
+  auto instance =
+      MakeRegressionInstance(500, 4, 1.0, DesignKind::kIncoherent, &rng);
+  ASSERT_TRUE(instance.ok());
+  // Count-Sketch needs m ~ d²/ε²-ish; take a generous 300.
+  auto sketch = CountSketch::Create(300, 500, 11);
+  ASSERT_TRUE(sketch.ok());
+  auto sketched =
+      SketchAndSolve(sketch.value(), instance.value().a, instance.value().b);
+  ASSERT_TRUE(sketched.ok());
+  auto ratio = ResidualRatio(instance.value().a, instance.value().b,
+                             sketched.value().x);
+  ASSERT_TRUE(ratio.ok());
+  EXPECT_LT(ratio.value(), 1.6);
+}
+
+TEST(SketchAndSolveTest, OsnapOnCoherentDesign) {
+  Rng rng(6);
+  auto instance =
+      MakeRegressionInstance(512, 4, 1.0, DesignKind::kCoherent, &rng);
+  ASSERT_TRUE(instance.ok());
+  auto sketch = Osnap::Create(256, 512, 4, 13);
+  ASSERT_TRUE(sketch.ok());
+  auto sketched =
+      SketchAndSolve(sketch.value(), instance.value().a, instance.value().b);
+  ASSERT_TRUE(sketched.ok());
+  auto ratio = ResidualRatio(instance.value().a, instance.value().b,
+                             sketched.value().x);
+  ASSERT_TRUE(ratio.ok());
+  EXPECT_LT(ratio.value(), 2.0);
+}
+
+TEST(ResidualRatioTest, ExactSolutionGivesOne) {
+  Rng rng(7);
+  auto instance =
+      MakeRegressionInstance(60, 3, 0.4, DesignKind::kIncoherent, &rng);
+  ASSERT_TRUE(instance.ok());
+  auto exact = SolveLeastSquares(instance.value().a, instance.value().b);
+  ASSERT_TRUE(exact.ok());
+  auto ratio =
+      ResidualRatio(instance.value().a, instance.value().b, exact.value().x);
+  ASSERT_TRUE(ratio.ok());
+  EXPECT_NEAR(ratio.value(), 1.0, 1e-9);
+}
+
+TEST(ResidualRatioTest, RejectsZeroResidualInstances) {
+  Rng rng(8);
+  auto instance =
+      MakeRegressionInstance(30, 3, 0.0, DesignKind::kIncoherent, &rng);
+  ASSERT_TRUE(instance.ok());
+  auto exact = SolveLeastSquares(instance.value().a, instance.value().b);
+  ASSERT_TRUE(exact.ok());
+  EXPECT_FALSE(ResidualRatio(instance.value().a, instance.value().b,
+                             exact.value().x)
+                   .ok());
+}
+
+TEST(ResidualRatioTest, WorseVectorGivesLargerRatio) {
+  Rng rng(9);
+  auto instance =
+      MakeRegressionInstance(60, 3, 0.3, DesignKind::kIncoherent, &rng);
+  ASSERT_TRUE(instance.ok());
+  std::vector<double> bad(3, 100.0);
+  auto ratio = ResidualRatio(instance.value().a, instance.value().b, bad);
+  ASSERT_TRUE(ratio.ok());
+  EXPECT_GT(ratio.value(), 10.0);
+}
+
+}  // namespace
+}  // namespace sose

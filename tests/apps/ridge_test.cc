@@ -1,0 +1,123 @@
+#include "apps/ridge.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "apps/regression.h"
+#include "core/random.h"
+#include "core/vector_ops.h"
+#include "sketch/count_sketch.h"
+#include "sketch/gaussian.h"
+#include "workload/generators.h"
+
+namespace sose {
+namespace {
+
+TEST(RidgeTest, Validation) {
+  Matrix a(4, 2);
+  EXPECT_FALSE(SolveRidge(a, {1, 2, 3}, 0.1).ok());       // Wrong b length.
+  EXPECT_FALSE(SolveRidge(a, {1, 2, 3, 4}, -1.0).ok());   // Negative lambda.
+}
+
+TEST(RidgeTest, ZeroLambdaMatchesLeastSquares) {
+  Rng rng(1);
+  auto instance =
+      MakeRegressionInstance(60, 4, 0.3, DesignKind::kIncoherent, &rng);
+  ASSERT_TRUE(instance.ok());
+  auto ridge = SolveRidge(instance.value().a, instance.value().b, 0.0);
+  auto ls = SolveLeastSquares(instance.value().a, instance.value().b);
+  ASSERT_TRUE(ridge.ok());
+  ASSERT_TRUE(ls.ok());
+  for (size_t j = 0; j < 4; ++j) {
+    EXPECT_NEAR(ridge.value()[j], ls.value().x[j], 1e-9);
+  }
+}
+
+TEST(RidgeTest, SolutionSatisfiesNormalEquations) {
+  Rng rng(2);
+  auto instance =
+      MakeRegressionInstance(80, 5, 0.5, DesignKind::kIncoherent, &rng);
+  ASSERT_TRUE(instance.ok());
+  const double lambda = 2.5;
+  auto x = SolveRidge(instance.value().a, instance.value().b, lambda);
+  ASSERT_TRUE(x.ok());
+  // (AᵀA + λI) x = Aᵀ b.
+  const Matrix& a = instance.value().a;
+  std::vector<double> lhs =
+      MatVecTransposed(a, MatVec(a, x.value()));
+  Axpy(lambda, x.value(), &lhs);
+  const std::vector<double> rhs = MatVecTransposed(a, instance.value().b);
+  for (size_t j = 0; j < 5; ++j) {
+    EXPECT_NEAR(lhs[j], rhs[j], 1e-8 * (1.0 + std::fabs(rhs[j])));
+  }
+}
+
+TEST(RidgeTest, ShrinksSolutionAsLambdaGrows) {
+  Rng rng(3);
+  auto instance =
+      MakeRegressionInstance(100, 4, 0.2, DesignKind::kIncoherent, &rng);
+  ASSERT_TRUE(instance.ok());
+  double previous_norm = 1e300;
+  for (double lambda : {0.0, 1.0, 10.0, 100.0, 1000.0}) {
+    auto x = SolveRidge(instance.value().a, instance.value().b, lambda);
+    ASSERT_TRUE(x.ok());
+    const double norm = Norm2(x.value());
+    EXPECT_LE(norm, previous_norm + 1e-9);
+    previous_norm = norm;
+  }
+}
+
+TEST(RidgeTest, LambdaRegularizesRankDeficientDesign) {
+  // Rank-1 design: plain least squares fails, ridge succeeds.
+  Matrix a(4, 2, {1, 2, 2, 4, 3, 6, 4, 8});
+  std::vector<double> b = {1, 2, 3, 4};
+  EXPECT_FALSE(SolveLeastSquares(a, b).ok());
+  auto ridge = SolveRidge(a, b, 0.5);
+  ASSERT_TRUE(ridge.ok());
+  EXPECT_TRUE(std::isfinite(ridge.value()[0]));
+}
+
+TEST(SketchedRidgeTest, Validation) {
+  Rng rng(4);
+  auto instance =
+      MakeRegressionInstance(64, 3, 0.3, DesignKind::kIncoherent, &rng);
+  ASSERT_TRUE(instance.ok());
+  auto sketch = GaussianSketch::Create(32, 100, 1);
+  ASSERT_TRUE(sketch.ok());
+  EXPECT_FALSE(SketchAndSolveRidge(sketch.value(), instance.value().a,
+                                   instance.value().b, 1.0)
+                   .ok());
+}
+
+TEST(SketchedRidgeTest, NearOptimalObjective) {
+  Rng rng(5);
+  auto instance =
+      MakeRegressionInstance(512, 5, 1.0, DesignKind::kIncoherent, &rng);
+  ASSERT_TRUE(instance.ok());
+  const double lambda = 4.0;
+  auto exact = SolveRidge(instance.value().a, instance.value().b, lambda);
+  ASSERT_TRUE(exact.ok());
+  const double exact_objective = RidgeObjective(
+      instance.value().a, instance.value().b, lambda, exact.value());
+  for (uint64_t seed = 0; seed < 5; ++seed) {
+    auto sketch = CountSketch::Create(256, 512, seed);
+    ASSERT_TRUE(sketch.ok());
+    auto sketched = SketchAndSolveRidge(sketch.value(), instance.value().a,
+                                        instance.value().b, lambda);
+    ASSERT_TRUE(sketched.ok());
+    const double objective = RidgeObjective(
+        instance.value().a, instance.value().b, lambda, sketched.value());
+    EXPECT_GE(objective, exact_objective - 1e-9);
+    EXPECT_LE(objective, 1.5 * exact_objective);
+  }
+}
+
+TEST(RidgeObjectiveTest, KnownValue) {
+  Matrix a = Matrix::Identity(2);
+  // x = (1, 0): ‖x − b‖² + λ‖x‖² with b = (0, 0), λ = 3 → 1 + 3 = 4.
+  EXPECT_DOUBLE_EQ(RidgeObjective(a, {0, 0}, 3.0, {1, 0}), 4.0);
+}
+
+}  // namespace
+}  // namespace sose

@@ -1,0 +1,399 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/linalg_cholesky.h"
+#include "core/linalg_eigen.h"
+#include "core/linalg_lu.h"
+#include "core/linalg_qr.h"
+#include "core/linalg_svd.h"
+#include "core/random.h"
+#include "core/vector_ops.h"
+
+namespace sose {
+namespace {
+
+Matrix RandomMatrix(int64_t rows, int64_t cols, Rng* rng) {
+  Matrix m(rows, cols);
+  for (int64_t i = 0; i < rows; ++i) {
+    for (int64_t j = 0; j < cols; ++j) m.At(i, j) = rng->Gaussian();
+  }
+  return m;
+}
+
+Matrix RandomSpd(int64_t n, Rng* rng) {
+  Matrix a = RandomMatrix(n + 3, n, rng);
+  Matrix spd = Gram(a);
+  for (int64_t i = 0; i < n; ++i) spd.At(i, i) += 0.5;
+  return spd;
+}
+
+// ---------- QR ----------
+
+TEST(QrTest, RejectsWideMatrix) {
+  EXPECT_FALSE(HouseholderQr::Factor(Matrix(2, 3)).ok());
+}
+
+TEST(QrTest, ReconstructsInput) {
+  Rng rng(1);
+  const Matrix a = RandomMatrix(8, 5, &rng);
+  auto qr = HouseholderQr::Factor(a);
+  ASSERT_TRUE(qr.ok());
+  const Matrix reconstructed = MatMul(qr.value().ThinQ(), qr.value().R());
+  EXPECT_TRUE(AlmostEqual(reconstructed, a, 1e-10));
+}
+
+TEST(QrTest, ThinQHasOrthonormalColumns) {
+  Rng rng(2);
+  const Matrix a = RandomMatrix(10, 4, &rng);
+  auto qr = HouseholderQr::Factor(a);
+  ASSERT_TRUE(qr.ok());
+  Matrix gram = Gram(qr.value().ThinQ());
+  for (int64_t i = 0; i < 4; ++i) gram.At(i, i) -= 1.0;
+  EXPECT_LT(gram.MaxAbs(), 1e-10);
+}
+
+TEST(QrTest, RIsUpperTriangular) {
+  Rng rng(3);
+  auto qr = HouseholderQr::Factor(RandomMatrix(6, 6, &rng));
+  ASSERT_TRUE(qr.ok());
+  const Matrix r = qr.value().R();
+  for (int64_t i = 1; i < 6; ++i) {
+    for (int64_t j = 0; j < i; ++j) EXPECT_EQ(r.At(i, j), 0.0);
+  }
+}
+
+TEST(QrTest, SolveLeastSquaresExactOnConsistentSystem) {
+  Rng rng(4);
+  const Matrix a = RandomMatrix(9, 3, &rng);
+  const std::vector<double> x_true = {1.0, -2.0, 0.5};
+  const std::vector<double> b = MatVec(a, x_true);
+  auto qr = HouseholderQr::Factor(a);
+  ASSERT_TRUE(qr.ok());
+  auto x = qr.value().SolveLeastSquares(b);
+  ASSERT_TRUE(x.ok());
+  for (size_t i = 0; i < 3; ++i) EXPECT_NEAR(x.value()[i], x_true[i], 1e-10);
+}
+
+TEST(QrTest, LeastSquaresResidualIsOrthogonalToRange) {
+  Rng rng(5);
+  const Matrix a = RandomMatrix(12, 4, &rng);
+  std::vector<double> b(12);
+  for (double& v : b) v = rng.Gaussian();
+  auto qr = HouseholderQr::Factor(a);
+  ASSERT_TRUE(qr.ok());
+  auto x = qr.value().SolveLeastSquares(b);
+  ASSERT_TRUE(x.ok());
+  const std::vector<double> residual = Subtract(MatVec(a, x.value()), b);
+  const std::vector<double> back = MatVecTransposed(a, residual);
+  EXPECT_LT(NormInf(back), 1e-9);
+}
+
+TEST(QrTest, SingularRIsReported) {
+  Matrix a(3, 2, {1, 2, 2, 4, 3, 6});  // Rank 1.
+  auto qr = HouseholderQr::Factor(a);
+  ASSERT_TRUE(qr.ok());
+  EXPECT_EQ(qr.value().RankEstimate(), 1);
+  auto x = qr.value().SolveLeastSquares({1, 1, 1});
+  EXPECT_FALSE(x.ok());
+  EXPECT_EQ(x.status().code(), StatusCode::kNumericalError);
+}
+
+TEST(QrTest, WrongRhsLength) {
+  Rng rng(6);
+  auto qr = HouseholderQr::Factor(RandomMatrix(4, 2, &rng));
+  ASSERT_TRUE(qr.ok());
+  EXPECT_FALSE(qr.value().SolveLeastSquares({1, 2}).ok());
+}
+
+TEST(OrthonormalizeTest, ProducesSameSpan) {
+  Rng rng(7);
+  const Matrix a = RandomMatrix(10, 3, &rng);
+  auto q = Orthonormalize(a);
+  ASSERT_TRUE(q.ok());
+  // Columns of a are in span(q): a = q (qᵀ a).
+  const Matrix coeff = MatMulTransposeA(q.value(), a);
+  EXPECT_TRUE(AlmostEqual(MatMul(q.value(), coeff), a, 1e-9));
+}
+
+TEST(OrthonormalizeTest, RejectsRankDeficient) {
+  Matrix a(4, 2, {1, 1, 2, 2, 3, 3, 4, 4});
+  EXPECT_FALSE(Orthonormalize(a).ok());
+}
+
+// ---------- Cholesky ----------
+
+TEST(CholeskyTest, FactorsSpdAndReconstructs) {
+  Rng rng(8);
+  const Matrix spd = RandomSpd(5, &rng);
+  auto chol = Cholesky::Factor(spd);
+  ASSERT_TRUE(chol.ok());
+  const Matrix l = chol.value().L();
+  EXPECT_TRUE(AlmostEqual(MatMulTransposeB(l, l), spd, 1e-9));
+}
+
+TEST(CholeskyTest, RejectsNonSquare) {
+  EXPECT_FALSE(Cholesky::Factor(Matrix(2, 3)).ok());
+}
+
+TEST(CholeskyTest, RejectsIndefinite) {
+  Matrix indefinite(2, 2, {1, 2, 2, 1});  // Eigenvalues 3 and -1.
+  auto chol = Cholesky::Factor(indefinite);
+  EXPECT_FALSE(chol.ok());
+  EXPECT_EQ(chol.status().code(), StatusCode::kNumericalError);
+}
+
+TEST(CholeskyTest, SolveMatchesDirectSubstitution) {
+  Rng rng(9);
+  const Matrix spd = RandomSpd(6, &rng);
+  auto chol = Cholesky::Factor(spd);
+  ASSERT_TRUE(chol.ok());
+  std::vector<double> b(6);
+  for (double& v : b) v = rng.Gaussian();
+  const std::vector<double> x = chol.value().Solve(b);
+  const std::vector<double> back = MatVec(spd, x);
+  for (size_t i = 0; i < 6; ++i) EXPECT_NEAR(back[i], b[i], 1e-9);
+}
+
+TEST(CholeskyTest, SolveLowerMatrixColumnwise) {
+  Rng rng(10);
+  const Matrix spd = RandomSpd(4, &rng);
+  auto chol = Cholesky::Factor(spd);
+  ASSERT_TRUE(chol.ok());
+  const Matrix b = RandomMatrix(4, 3, &rng);
+  const Matrix x = chol.value().SolveLowerMatrix(b);
+  EXPECT_TRUE(AlmostEqual(MatMul(chol.value().L(), x), b, 1e-9));
+}
+
+TEST(CholeskyTest, LogDeterminantMatchesLu) {
+  Rng rng(11);
+  const Matrix spd = RandomSpd(5, &rng);
+  auto chol = Cholesky::Factor(spd);
+  auto lu = PartialPivLu::Factor(spd);
+  ASSERT_TRUE(chol.ok());
+  ASSERT_TRUE(lu.ok());
+  EXPECT_NEAR(chol.value().LogDeterminant(),
+              std::log(lu.value().Determinant()), 1e-8);
+}
+
+// ---------- LU ----------
+
+TEST(LuTest, SolvesKnownSystem) {
+  Matrix a(2, 2, {2, 1, 1, 3});
+  auto lu = PartialPivLu::Factor(a);
+  ASSERT_TRUE(lu.ok());
+  const std::vector<double> x = lu.value().Solve({3, 5});
+  EXPECT_NEAR(x[0], 0.8, 1e-12);
+  EXPECT_NEAR(x[1], 1.4, 1e-12);
+}
+
+TEST(LuTest, RejectsSingular) {
+  Matrix a(2, 2, {1, 2, 2, 4});
+  EXPECT_FALSE(PartialPivLu::Factor(a).ok());
+}
+
+TEST(LuTest, RejectsNonSquare) {
+  EXPECT_FALSE(PartialPivLu::Factor(Matrix(2, 3)).ok());
+}
+
+TEST(LuTest, InverseTimesOriginalIsIdentity) {
+  Rng rng(12);
+  const Matrix a = RandomMatrix(6, 6, &rng);
+  auto lu = PartialPivLu::Factor(a);
+  ASSERT_TRUE(lu.ok());
+  EXPECT_TRUE(AlmostEqual(MatMul(a, lu.value().Inverse()),
+                          Matrix::Identity(6), 1e-9));
+}
+
+TEST(LuTest, DeterminantOfKnownMatrix) {
+  Matrix a(3, 3, {6, 1, 1, 4, -2, 5, 2, 8, 7});
+  auto lu = PartialPivLu::Factor(a);
+  ASSERT_TRUE(lu.ok());
+  EXPECT_NEAR(lu.value().Determinant(), -306.0, 1e-9);
+}
+
+TEST(LuTest, DeterminantSignUnderPermutation) {
+  Matrix a(2, 2, {0, 1, 1, 0});  // det = -1, requires pivoting.
+  auto lu = PartialPivLu::Factor(a);
+  ASSERT_TRUE(lu.ok());
+  EXPECT_NEAR(lu.value().Determinant(), -1.0, 1e-12);
+}
+
+// ---------- Symmetric eigensolver ----------
+
+TEST(EigenTest, DiagonalMatrix) {
+  Matrix a(3, 3, {3, 0, 0, 0, 1, 0, 0, 0, 2});
+  auto eigen = JacobiEigenSymmetric(a);
+  ASSERT_TRUE(eigen.ok());
+  EXPECT_NEAR(eigen.value().values[0], 1.0, 1e-12);
+  EXPECT_NEAR(eigen.value().values[1], 2.0, 1e-12);
+  EXPECT_NEAR(eigen.value().values[2], 3.0, 1e-12);
+}
+
+TEST(EigenTest, KnownTwoByTwo) {
+  Matrix a(2, 2, {2, 1, 1, 2});  // Eigenvalues 1 and 3.
+  auto values = SymmetricEigenvalues(a);
+  ASSERT_TRUE(values.ok());
+  EXPECT_NEAR(values.value()[0], 1.0, 1e-12);
+  EXPECT_NEAR(values.value()[1], 3.0, 1e-12);
+}
+
+TEST(EigenTest, RejectsNonSquare) {
+  EXPECT_FALSE(JacobiEigenSymmetric(Matrix(2, 3)).ok());
+}
+
+TEST(EigenTest, EigenpairsSatisfyDefinition) {
+  Rng rng(13);
+  Matrix a = RandomSpd(6, &rng);
+  auto eigen = JacobiEigenSymmetric(a);
+  ASSERT_TRUE(eigen.ok());
+  const Matrix& v = eigen.value().vectors;
+  for (int64_t k = 0; k < 6; ++k) {
+    const std::vector<double> vec = v.Col(k);
+    const std::vector<double> av = MatVec(a, vec);
+    for (int64_t i = 0; i < 6; ++i) {
+      EXPECT_NEAR(av[static_cast<size_t>(i)],
+                  eigen.value().values[static_cast<size_t>(k)] *
+                      vec[static_cast<size_t>(i)],
+                  1e-8);
+    }
+  }
+}
+
+TEST(EigenTest, VectorsAreOrthonormal) {
+  Rng rng(14);
+  auto eigen = JacobiEigenSymmetric(RandomSpd(7, &rng));
+  ASSERT_TRUE(eigen.ok());
+  Matrix gram = Gram(eigen.value().vectors);
+  for (int64_t i = 0; i < 7; ++i) gram.At(i, i) -= 1.0;
+  EXPECT_LT(gram.MaxAbs(), 1e-9);
+}
+
+TEST(EigenTest, TraceAndSumOfEigenvaluesAgree) {
+  Rng rng(15);
+  const Matrix a = RandomSpd(8, &rng);
+  auto values = SymmetricEigenvalues(a);
+  ASSERT_TRUE(values.ok());
+  double trace = 0.0, sum = 0.0;
+  for (int64_t i = 0; i < 8; ++i) trace += a.At(i, i);
+  for (double v : values.value()) sum += v;
+  EXPECT_NEAR(trace, sum, 1e-8);
+}
+
+TEST(GeneralizedEigenTest, ReducesToOrdinaryWithIdentityB) {
+  Rng rng(16);
+  const Matrix a = RandomSpd(5, &rng);
+  auto ordinary = SymmetricEigenvalues(a);
+  auto generalized = GeneralizedSymmetricEigenvalues(a, Matrix::Identity(5));
+  ASSERT_TRUE(ordinary.ok());
+  ASSERT_TRUE(generalized.ok());
+  for (size_t i = 0; i < 5; ++i) {
+    EXPECT_NEAR(ordinary.value()[i], generalized.value()[i], 1e-8);
+  }
+}
+
+TEST(GeneralizedEigenTest, ScalingBScalesEigenvaluesInversely) {
+  Rng rng(17);
+  const Matrix a = RandomSpd(4, &rng);
+  Matrix b = Matrix::Identity(4);
+  b.Scale(2.0);
+  auto generalized = GeneralizedSymmetricEigenvalues(a, b);
+  auto ordinary = SymmetricEigenvalues(a);
+  ASSERT_TRUE(generalized.ok());
+  ASSERT_TRUE(ordinary.ok());
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(generalized.value()[i], ordinary.value()[i] / 2.0, 1e-8);
+  }
+}
+
+TEST(GeneralizedEigenTest, RejectsIndefiniteB) {
+  Matrix a = Matrix::Identity(2);
+  Matrix b(2, 2, {1, 2, 2, 1});
+  EXPECT_FALSE(GeneralizedSymmetricEigenvalues(a, b).ok());
+}
+
+// ---------- SVD ----------
+
+TEST(SvdTest, KnownSingularValues) {
+  // diag(3, 2) embedded in 3x2.
+  Matrix a(3, 2, {3, 0, 0, 2, 0, 0});
+  auto svd = JacobiSvd(a);
+  ASSERT_TRUE(svd.ok());
+  EXPECT_NEAR(svd.value().singular_values[0], 3.0, 1e-12);
+  EXPECT_NEAR(svd.value().singular_values[1], 2.0, 1e-12);
+}
+
+TEST(SvdTest, ReconstructsInput) {
+  Rng rng(18);
+  const Matrix a = RandomMatrix(7, 4, &rng);
+  auto svd = JacobiSvd(a);
+  ASSERT_TRUE(svd.ok());
+  // A = U diag(σ) Vᵀ.
+  Matrix us = svd.value().u;
+  for (int64_t j = 0; j < 4; ++j) {
+    for (int64_t i = 0; i < 7; ++i) {
+      us.At(i, j) *= svd.value().singular_values[static_cast<size_t>(j)];
+    }
+  }
+  EXPECT_TRUE(AlmostEqual(MatMulTransposeB(us, svd.value().v), a, 1e-9));
+}
+
+TEST(SvdTest, FactorsAreOrthonormal) {
+  Rng rng(19);
+  auto svd = JacobiSvd(RandomMatrix(9, 5, &rng));
+  ASSERT_TRUE(svd.ok());
+  Matrix gu = Gram(svd.value().u);
+  Matrix gv = Gram(svd.value().v);
+  for (int64_t i = 0; i < 5; ++i) {
+    gu.At(i, i) -= 1.0;
+    gv.At(i, i) -= 1.0;
+  }
+  EXPECT_LT(gu.MaxAbs(), 1e-9);
+  EXPECT_LT(gv.MaxAbs(), 1e-9);
+}
+
+TEST(SvdTest, ValuesSortedDescendingAndNonNegative) {
+  Rng rng(20);
+  auto svd = JacobiSvd(RandomMatrix(8, 6, &rng));
+  ASSERT_TRUE(svd.ok());
+  const auto& sigma = svd.value().singular_values;
+  for (size_t i = 0; i + 1 < sigma.size(); ++i) {
+    EXPECT_GE(sigma[i], sigma[i + 1]);
+  }
+  EXPECT_GE(sigma.back(), 0.0);
+}
+
+TEST(SvdTest, SingularValuesOfWideMatrixViaTranspose) {
+  Matrix a(2, 3, {1, 0, 0, 0, 5, 0});
+  auto sigma = SingularValues(a);
+  ASSERT_TRUE(sigma.ok());
+  EXPECT_NEAR(sigma.value()[0], 5.0, 1e-12);
+  EXPECT_NEAR(sigma.value()[1], 1.0, 1e-12);
+}
+
+TEST(SvdTest, SingularValuesMatchEigenOfGram) {
+  Rng rng(21);
+  const Matrix a = RandomMatrix(10, 4, &rng);
+  auto sigma = SingularValues(a);
+  auto eigenvalues = SymmetricEigenvalues(Gram(a));
+  ASSERT_TRUE(sigma.ok());
+  ASSERT_TRUE(eigenvalues.ok());
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(sigma.value()[i] * sigma.value()[i],
+                eigenvalues.value()[3 - i], 1e-8);
+  }
+}
+
+TEST(ConditionNumberTest, IdentityIsOne) {
+  auto cond = ConditionNumber(Matrix::Identity(4));
+  ASSERT_TRUE(cond.ok());
+  EXPECT_NEAR(cond.value(), 1.0, 1e-12);
+}
+
+TEST(ConditionNumberTest, SingularIsRejected) {
+  Matrix a(2, 2, {1, 1, 1, 1});
+  EXPECT_FALSE(ConditionNumber(a).ok());
+}
+
+}  // namespace
+}  // namespace sose

@@ -1,0 +1,180 @@
+#include "core/linalg_tridiag.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "core/linalg_cholesky.h"
+#include "core/linalg_eigen.h"
+#include "core/random.h"
+
+namespace sose {
+namespace {
+
+Matrix RandomSymmetric(int64_t n, Rng* rng) {
+  Matrix a(n, n);
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j <= i; ++j) {
+      const double v = rng->Gaussian();
+      a.At(i, j) = v;
+      a.At(j, i) = v;
+    }
+  }
+  return a;
+}
+
+TEST(TridiagonalizeTest, Validation) {
+  EXPECT_FALSE(HouseholderTridiagonalize(Matrix(2, 3)).ok());
+  EXPECT_FALSE(HouseholderTridiagonalize(Matrix()).ok());
+}
+
+TEST(TridiagonalizeTest, AlreadyTridiagonalIsFixedPoint) {
+  Matrix a(4, 4);
+  const double diag[] = {1, 2, 3, 4};
+  const double off[] = {0.5, -0.25, 0.125};
+  for (int64_t i = 0; i < 4; ++i) a.At(i, i) = diag[i];
+  for (int64_t i = 0; i < 3; ++i) {
+    a.At(i + 1, i) = off[i];
+    a.At(i, i + 1) = off[i];
+  }
+  auto t = HouseholderTridiagonalize(a);
+  ASSERT_TRUE(t.ok());
+  for (int64_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(t.value().diagonal[static_cast<size_t>(i)], diag[i], 1e-12);
+  }
+  for (int64_t i = 0; i < 3; ++i) {
+    EXPECT_NEAR(std::fabs(t.value().off_diagonal[static_cast<size_t>(i)]),
+                std::fabs(off[i]), 1e-12);
+  }
+}
+
+TEST(TridiagonalizeTest, PreservesTraceAndFrobenius) {
+  Rng rng(1);
+  const Matrix a = RandomSymmetric(12, &rng);
+  auto t = HouseholderTridiagonalize(a);
+  ASSERT_TRUE(t.ok());
+  double trace_a = 0.0;
+  for (int64_t i = 0; i < 12; ++i) trace_a += a.At(i, i);
+  double trace_t = 0.0;
+  for (double v : t.value().diagonal) trace_t += v;
+  EXPECT_NEAR(trace_a, trace_t, 1e-9);
+  // ‖T‖_F² = ‖A‖_F² (orthogonal similarity).
+  double frob_t = 0.0;
+  for (double v : t.value().diagonal) frob_t += v * v;
+  for (double v : t.value().off_diagonal) frob_t += 2.0 * v * v;
+  EXPECT_NEAR(frob_t, a.FrobeniusNorm() * a.FrobeniusNorm(), 1e-8);
+}
+
+TEST(TridiagonalEigenvaluesTest, Validation) {
+  Tridiagonal t;
+  EXPECT_FALSE(TridiagonalEigenvalues(t).ok());
+  t.diagonal = {1.0, 2.0};
+  t.off_diagonal = {0.5, 0.5};  // Wrong length.
+  EXPECT_FALSE(TridiagonalEigenvalues(t).ok());
+}
+
+TEST(TridiagonalEigenvaluesTest, DiagonalInput) {
+  Tridiagonal t;
+  t.diagonal = {3.0, 1.0, 2.0};
+  t.off_diagonal = {0.0, 0.0};
+  auto values = TridiagonalEigenvalues(t);
+  ASSERT_TRUE(values.ok());
+  EXPECT_NEAR(values.value()[0], 1.0, 1e-12);
+  EXPECT_NEAR(values.value()[1], 2.0, 1e-12);
+  EXPECT_NEAR(values.value()[2], 3.0, 1e-12);
+}
+
+TEST(TridiagonalEigenvaluesTest, DiscreteLaplacianSpectrum) {
+  // diag 2, offdiag −1: eigenvalues 2 − 2cos(kπ/(n+1)), k = 1..n.
+  const int64_t n = 24;
+  Tridiagonal t;
+  t.diagonal.assign(static_cast<size_t>(n), 2.0);
+  t.off_diagonal.assign(static_cast<size_t>(n - 1), -1.0);
+  auto values = TridiagonalEigenvalues(t);
+  ASSERT_TRUE(values.ok());
+  for (int64_t k = 1; k <= n; ++k) {
+    const double expected =
+        2.0 - 2.0 * std::cos(std::numbers::pi * static_cast<double>(k) /
+                             static_cast<double>(n + 1));
+    EXPECT_NEAR(values.value()[static_cast<size_t>(k - 1)], expected, 1e-10);
+  }
+}
+
+TEST(SymmetricEigenvaluesQlTest, AgreesWithJacobiOnRandomMatrices) {
+  Rng rng(2);
+  for (int64_t n : {2, 3, 5, 8, 16, 33}) {
+    const Matrix a = RandomSymmetric(n, &rng);
+    auto ql = SymmetricEigenvaluesQl(a);
+    auto jacobi = SymmetricEigenvalues(a);
+    ASSERT_TRUE(ql.ok());
+    ASSERT_TRUE(jacobi.ok());
+    for (int64_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(ql.value()[static_cast<size_t>(i)],
+                  jacobi.value()[static_cast<size_t>(i)],
+                  1e-8 * (1.0 + std::fabs(jacobi.value()[static_cast<size_t>(i)])))
+          << "n=" << n << " i=" << i;
+    }
+  }
+}
+
+TEST(SymmetricEigenvaluesQlTest, OneByOne) {
+  Matrix a(1, 1, {7.0});
+  auto values = SymmetricEigenvaluesQl(a);
+  ASSERT_TRUE(values.ok());
+  EXPECT_DOUBLE_EQ(values.value()[0], 7.0);
+}
+
+TEST(SymmetricEigenvaluesQlTest, LargeMatrixSpectralIdentities) {
+  Rng rng(3);
+  const int64_t n = 100;
+  const Matrix a = RandomSymmetric(n, &rng);
+  auto values = SymmetricEigenvaluesQl(a);
+  ASSERT_TRUE(values.ok());
+  double trace = 0.0, frob_sq = 0.0;
+  for (int64_t i = 0; i < n; ++i) trace += a.At(i, i);
+  frob_sq = a.FrobeniusNorm() * a.FrobeniusNorm();
+  double sum = 0.0, sum_sq = 0.0;
+  for (double v : values.value()) {
+    sum += v;
+    sum_sq += v * v;
+  }
+  EXPECT_NEAR(sum, trace, 1e-7 * n);
+  EXPECT_NEAR(sum_sq, frob_sq, 1e-7 * frob_sq);
+}
+
+TEST(SymmetricEigenvaluesQlTest, HilbertMatrixIsNumericallyNasty) {
+  // The 8x8 Hilbert matrix: condition number ~1.5e10; smallest eigenvalue
+  // ~1.1e-10. The solver must stay positive and ordered.
+  const int64_t n = 8;
+  Matrix hilbert(n, n);
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      hilbert.At(i, j) = 1.0 / static_cast<double>(i + j + 1);
+    }
+  }
+  auto values = SymmetricEigenvaluesQl(hilbert);
+  ASSERT_TRUE(values.ok());
+  EXPECT_GT(values.value().front(), 0.0);
+  EXPECT_LT(values.value().front(), 1e-8);
+  EXPECT_NEAR(values.value().back(), 1.6959389, 1e-6);  // Known λ_max.
+  // Cholesky should also succeed on this SPD matrix.
+  EXPECT_TRUE(Cholesky::Factor(hilbert).ok());
+}
+
+TEST(SymmetricEigenvaluesQlTest, ClusteredEigenvalues) {
+  // diag(1, 1, 1+1e-12, 5): near-degenerate cluster.
+  Matrix a(4, 4);
+  a.At(0, 0) = 1.0;
+  a.At(1, 1) = 1.0;
+  a.At(2, 2) = 1.0 + 1e-12;
+  a.At(3, 3) = 5.0;
+  auto values = SymmetricEigenvaluesQl(a);
+  ASSERT_TRUE(values.ok());
+  EXPECT_NEAR(values.value()[0], 1.0, 1e-11);
+  EXPECT_NEAR(values.value()[2], 1.0, 1e-11);
+  EXPECT_NEAR(values.value()[3], 5.0, 1e-11);
+}
+
+}  // namespace
+}  // namespace sose

@@ -1,0 +1,190 @@
+#include "core/matrix.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace sose {
+namespace {
+
+TEST(MatrixTest, DefaultIsEmpty) {
+  Matrix m;
+  EXPECT_EQ(m.rows(), 0);
+  EXPECT_EQ(m.cols(), 0);
+  EXPECT_EQ(m.size(), 0);
+}
+
+TEST(MatrixTest, ZeroInitialized) {
+  Matrix m(3, 4);
+  EXPECT_EQ(m.rows(), 3);
+  EXPECT_EQ(m.cols(), 4);
+  for (int64_t i = 0; i < 3; ++i) {
+    for (int64_t j = 0; j < 4; ++j) EXPECT_EQ(m.At(i, j), 0.0);
+  }
+}
+
+TEST(MatrixTest, ConstructFromValuesRowMajor) {
+  Matrix m(2, 3, {1, 2, 3, 4, 5, 6});
+  EXPECT_EQ(m.At(0, 0), 1.0);
+  EXPECT_EQ(m.At(0, 2), 3.0);
+  EXPECT_EQ(m.At(1, 0), 4.0);
+  EXPECT_EQ(m.At(1, 2), 6.0);
+}
+
+TEST(MatrixTest, Identity) {
+  Matrix eye = Matrix::Identity(4);
+  for (int64_t i = 0; i < 4; ++i) {
+    for (int64_t j = 0; j < 4; ++j) {
+      EXPECT_EQ(eye.At(i, j), i == j ? 1.0 : 0.0);
+    }
+  }
+}
+
+TEST(MatrixTest, AtIsWritable) {
+  Matrix m(2, 2);
+  m.At(1, 0) = 7.5;
+  EXPECT_EQ(m.At(1, 0), 7.5);
+}
+
+TEST(MatrixTest, RowPointerMatchesAt) {
+  Matrix m(2, 3, {1, 2, 3, 4, 5, 6});
+  const double* row1 = m.Row(1);
+  EXPECT_EQ(row1[0], 4.0);
+  EXPECT_EQ(row1[2], 6.0);
+}
+
+TEST(MatrixTest, ColExtraction) {
+  Matrix m(3, 2, {1, 2, 3, 4, 5, 6});
+  std::vector<double> col = m.Col(1);
+  EXPECT_EQ(col, (std::vector<double>{2, 4, 6}));
+}
+
+TEST(MatrixTest, FillAndScale) {
+  Matrix m(2, 2);
+  m.Fill(3.0);
+  m.Scale(0.5);
+  EXPECT_EQ(m.At(0, 0), 1.5);
+  EXPECT_EQ(m.At(1, 1), 1.5);
+}
+
+TEST(MatrixTest, AddScaled) {
+  Matrix a(2, 2, {1, 2, 3, 4});
+  Matrix b(2, 2, {10, 20, 30, 40});
+  a.AddScaled(b, 0.1);
+  EXPECT_DOUBLE_EQ(a.At(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(a.At(1, 1), 8.0);
+}
+
+TEST(MatrixTest, Transposed) {
+  Matrix m(2, 3, {1, 2, 3, 4, 5, 6});
+  Matrix t = m.Transposed();
+  EXPECT_EQ(t.rows(), 3);
+  EXPECT_EQ(t.cols(), 2);
+  EXPECT_EQ(t.At(2, 0), 3.0);
+  EXPECT_EQ(t.At(0, 1), 4.0);
+}
+
+TEST(MatrixTest, DoubleTransposeIsIdentityOp) {
+  Matrix m(3, 2, {1, 2, 3, 4, 5, 6});
+  EXPECT_TRUE(AlmostEqual(m.Transposed().Transposed(), m, 0.0));
+}
+
+TEST(MatrixTest, FrobeniusNorm) {
+  Matrix m(2, 2, {3, 0, 0, 4});
+  EXPECT_DOUBLE_EQ(m.FrobeniusNorm(), 5.0);
+}
+
+TEST(MatrixTest, MaxAbs) {
+  Matrix m(2, 2, {-7, 2, 3, 4});
+  EXPECT_EQ(m.MaxAbs(), 7.0);
+  EXPECT_EQ(Matrix().MaxAbs(), 0.0);
+}
+
+TEST(MatrixTest, ColNormSquaredAndColDot) {
+  Matrix m(3, 2, {1, 2, 0, 3, 2, 0});
+  EXPECT_DOUBLE_EQ(m.ColNormSquared(0), 5.0);
+  EXPECT_DOUBLE_EQ(m.ColNormSquared(1), 13.0);
+  EXPECT_DOUBLE_EQ(m.ColDot(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(m.ColDot(1, 0), 2.0);
+}
+
+TEST(MatMulTest, KnownProduct) {
+  Matrix a(2, 3, {1, 2, 3, 4, 5, 6});
+  Matrix b(3, 2, {7, 8, 9, 10, 11, 12});
+  Matrix c = MatMul(a, b);
+  EXPECT_EQ(c.rows(), 2);
+  EXPECT_EQ(c.cols(), 2);
+  EXPECT_DOUBLE_EQ(c.At(0, 0), 58.0);
+  EXPECT_DOUBLE_EQ(c.At(0, 1), 64.0);
+  EXPECT_DOUBLE_EQ(c.At(1, 0), 139.0);
+  EXPECT_DOUBLE_EQ(c.At(1, 1), 154.0);
+}
+
+TEST(MatMulTest, IdentityIsNeutral) {
+  Matrix a(3, 3, {1, 2, 3, 4, 5, 6, 7, 8, 9});
+  EXPECT_TRUE(AlmostEqual(MatMul(Matrix::Identity(3), a), a, 1e-15));
+  EXPECT_TRUE(AlmostEqual(MatMul(a, Matrix::Identity(3)), a, 1e-15));
+}
+
+TEST(MatMulTest, TransposeVariantsAgree) {
+  Matrix a(4, 3, {1, 2, 0, -1, 3, 2, 0, 1, 1, 2, -2, 4});
+  Matrix b(4, 2, {1, 0, 2, 1, -1, 3, 0, 2});
+  // aᵀ b via the dedicated kernel vs explicit transpose.
+  EXPECT_TRUE(AlmostEqual(MatMulTransposeA(a, b),
+                          MatMul(a.Transposed(), b), 1e-12));
+  Matrix c(2, 3, {1, 2, 3, 4, 5, 6});
+  EXPECT_TRUE(AlmostEqual(MatMulTransposeB(a, c),
+                          MatMul(a, c.Transposed()), 1e-12));
+}
+
+TEST(MatMulTest, GramIsSymmetricPsd) {
+  Matrix a(4, 2, {1, 2, -1, 0, 3, 1, 0, -2});
+  Matrix g = Gram(a);
+  EXPECT_EQ(g.rows(), 2);
+  EXPECT_EQ(g.cols(), 2);
+  EXPECT_DOUBLE_EQ(g.At(0, 1), g.At(1, 0));
+  EXPECT_GE(g.At(0, 0), 0.0);
+  EXPECT_GE(g.At(1, 1), 0.0);
+  // Diagonal entries are column norms.
+  EXPECT_DOUBLE_EQ(g.At(0, 0), a.ColNormSquared(0));
+}
+
+TEST(MatVecTest, KnownProduct) {
+  Matrix a(2, 3, {1, 2, 3, 4, 5, 6});
+  std::vector<double> y = MatVec(a, {1, 0, -1});
+  EXPECT_EQ(y.size(), 2u);
+  EXPECT_DOUBLE_EQ(y[0], -2.0);
+  EXPECT_DOUBLE_EQ(y[1], -2.0);
+}
+
+TEST(MatVecTest, TransposedMatchesExplicit) {
+  Matrix a(3, 2, {1, 2, 3, 4, 5, 6});
+  std::vector<double> x = {1, -1, 2};
+  std::vector<double> via_kernel = MatVecTransposed(a, x);
+  std::vector<double> via_transpose = MatVec(a.Transposed(), x);
+  ASSERT_EQ(via_kernel.size(), via_transpose.size());
+  for (size_t i = 0; i < via_kernel.size(); ++i) {
+    EXPECT_DOUBLE_EQ(via_kernel[i], via_transpose[i]);
+  }
+}
+
+TEST(AlmostEqualTest, DetectsShapeMismatch) {
+  EXPECT_FALSE(AlmostEqual(Matrix(2, 2), Matrix(2, 3), 1.0));
+}
+
+TEST(AlmostEqualTest, RespectsTolerance) {
+  Matrix a(1, 1, {1.0});
+  Matrix b(1, 1, {1.05});
+  EXPECT_TRUE(AlmostEqual(a, b, 0.1));
+  EXPECT_FALSE(AlmostEqual(a, b, 0.01));
+}
+
+TEST(MatrixToStringTest, MentionsShapeAndTruncates) {
+  Matrix m(20, 20);
+  const std::string repr = m.ToString(4, 4);
+  EXPECT_NE(repr.find("20x20"), std::string::npos);
+  EXPECT_NE(repr.find("..."), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sose

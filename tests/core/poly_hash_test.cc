@@ -1,0 +1,132 @@
+#include "core/poly_hash.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <vector>
+
+namespace sose {
+namespace {
+
+TEST(MersenneFieldTest, ReduceIdentities) {
+  EXPECT_EQ(MersenneField::Reduce(0), 0u);
+  EXPECT_EQ(MersenneField::Reduce(MersenneField::kPrime), 0u);
+  EXPECT_EQ(MersenneField::Reduce(MersenneField::kPrime + 5), 5u);
+  EXPECT_EQ(MersenneField::Reduce(MersenneField::kPrime - 1),
+            MersenneField::kPrime - 1);
+}
+
+TEST(MersenneFieldTest, AddMod) {
+  EXPECT_EQ(MersenneField::AddMod(MersenneField::kPrime - 1, 1), 0u);
+  EXPECT_EQ(MersenneField::AddMod(3, 4), 7u);
+}
+
+TEST(MersenneFieldTest, MulModAgainstSmallCases) {
+  EXPECT_EQ(MersenneField::MulMod(3, 4), 12u);
+  EXPECT_EQ(MersenneField::MulMod(MersenneField::kPrime - 1, 2),
+            MersenneField::kPrime - 2);
+  // Fermat: a^(p-1) = 1 via repeated squaring for a = 2.
+  uint64_t acc = 1;
+  uint64_t base = 2;
+  uint64_t exponent = MersenneField::kPrime - 1;
+  while (exponent > 0) {
+    if (exponent & 1) acc = MersenneField::MulMod(acc, base);
+    base = MersenneField::MulMod(base, base);
+    exponent >>= 1;
+  }
+  EXPECT_EQ(acc, 1u);
+}
+
+TEST(PolyHashTest, Validation) {
+  Rng rng(1);
+  EXPECT_FALSE(PolyHash::Create(0, 10, &rng).ok());
+  EXPECT_FALSE(PolyHash::Create(2, 0, &rng).ok());
+  EXPECT_TRUE(PolyHash::Create(2, 10, &rng).ok());
+}
+
+TEST(PolyHashTest, OutputsInRange) {
+  Rng rng(2);
+  auto hash = PolyHash::Create(4, 17, &rng);
+  ASSERT_TRUE(hash.ok());
+  for (uint64_t x = 0; x < 10000; ++x) {
+    EXPECT_LT(hash.value().Eval(x), 17u);
+  }
+}
+
+TEST(PolyHashTest, DeterministicGivenDraw) {
+  Rng rng(3);
+  auto hash = PolyHash::Create(3, 100, &rng);
+  ASSERT_TRUE(hash.ok());
+  EXPECT_EQ(hash.value().Eval(42), hash.value().Eval(42));
+}
+
+TEST(PolyHashTest, IndependenceParameterStored) {
+  Rng rng(4);
+  auto hash = PolyHash::Create(5, 10, &rng);
+  ASSERT_TRUE(hash.ok());
+  EXPECT_EQ(hash.value().independence(), 5);
+  EXPECT_EQ(hash.value().range(), 10u);
+}
+
+TEST(PolyHashTest, MarginalIsApproximatelyUniform) {
+  // Over random draws of the function, each point's value is uniform.
+  constexpr uint64_t kRange = 8;
+  constexpr int kDraws = 8000;
+  std::vector<int> counts(kRange, 0);
+  Rng rng(5);
+  for (int i = 0; i < kDraws; ++i) {
+    auto hash = PolyHash::Create(2, kRange, &rng);
+    ASSERT_TRUE(hash.ok());
+    ++counts[hash.value().Eval(12345)];
+  }
+  for (int count : counts) {
+    EXPECT_NEAR(count, kDraws / static_cast<int>(kRange), 150);
+  }
+}
+
+TEST(PolyHashTest, PairwiseIndependence) {
+  // For k = 2, the joint distribution of (h(x), h(y)) over function draws
+  // is uniform on pairs.
+  constexpr uint64_t kRange = 4;
+  constexpr int kDraws = 16000;
+  std::map<std::pair<uint64_t, uint64_t>, int> counts;
+  Rng rng(6);
+  for (int i = 0; i < kDraws; ++i) {
+    auto hash = PolyHash::Create(2, kRange, &rng);
+    ASSERT_TRUE(hash.ok());
+    ++counts[{hash.value().Eval(7), hash.value().Eval(12345678)}];
+  }
+  EXPECT_EQ(counts.size(), kRange * kRange);
+  for (const auto& [pair, count] : counts) {
+    EXPECT_NEAR(count, kDraws / static_cast<int>(kRange * kRange), 250)
+        << pair.first << "," << pair.second;
+  }
+}
+
+TEST(PolyHashTest, DegreeOnePolynomialIsConstant) {
+  // k = 1: h(x) = c0 for all x — the degenerate but valid base case.
+  Rng rng(7);
+  auto hash = PolyHash::Create(1, 1000, &rng);
+  ASSERT_TRUE(hash.ok());
+  const uint64_t value = hash.value().Eval(0);
+  for (uint64_t x = 1; x < 100; ++x) {
+    EXPECT_EQ(hash.value().Eval(x), value);
+  }
+}
+
+TEST(PolyHashTest, HighIndependenceStillUniform) {
+  Rng rng(8);
+  auto hash = PolyHash::Create(8, 1000, &rng);
+  ASSERT_TRUE(hash.ok());
+  double mean = 0.0;
+  constexpr int kPoints = 20000;
+  for (int x = 0; x < kPoints; ++x) {
+    mean += static_cast<double>(hash.value().Eval(static_cast<uint64_t>(x)));
+  }
+  mean /= kPoints;
+  EXPECT_NEAR(mean, 499.5, 15.0);
+}
+
+}  // namespace
+}  // namespace sose

@@ -1,0 +1,229 @@
+#include "core/random.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <numeric>
+#include <set>
+
+namespace sose {
+namespace {
+
+TEST(SplitMix64Test, KnownSequenceFromZeroSeed) {
+  // Reference values from the public-domain splitmix64.c with seed 0.
+  SplitMix64 gen(0);
+  EXPECT_EQ(gen.Next(), 0xe220a8397b1dcdafULL);
+  EXPECT_EQ(gen.Next(), 0x6e789e6aa1b965f4ULL);
+  EXPECT_EQ(gen.Next(), 0x06c45d188009454fULL);
+}
+
+TEST(SplitMix64Test, DifferentSeedsDiverge) {
+  SplitMix64 a(1), b(2);
+  EXPECT_NE(a.Next(), b.Next());
+}
+
+TEST(DeriveSeedTest, Deterministic) {
+  EXPECT_EQ(DeriveSeed(7, 3), DeriveSeed(7, 3));
+}
+
+TEST(DeriveSeedTest, StreamsDiffer) {
+  std::set<uint64_t> seeds;
+  for (uint64_t stream = 0; stream < 1000; ++stream) {
+    seeds.insert(DeriveSeed(42, stream));
+  }
+  EXPECT_EQ(seeds.size(), 1000u);
+}
+
+TEST(DeriveSeedTest, MasterSeedsDiffer) {
+  EXPECT_NE(DeriveSeed(1, 0), DeriveSeed(2, 0));
+}
+
+TEST(Xoshiro256Test, ReproducibleAcrossInstances) {
+  Xoshiro256 a(99), b(99);
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(Xoshiro256Test, JumpChangesStream) {
+  Xoshiro256 a(5), b(5);
+  b.Jump();
+  bool any_diff = false;
+  for (int i = 0; i < 8; ++i) any_diff |= (a.Next() != b.Next());
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(RngTest, UniformIntRespectsBound) {
+  Rng rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.UniformInt(uint64_t{17}), 17u);
+  }
+}
+
+TEST(RngTest, UniformIntIsApproximatelyUniform) {
+  Rng rng(2);
+  constexpr int kBuckets = 10;
+  constexpr int kSamples = 100000;
+  std::vector<int> counts(kBuckets, 0);
+  for (int i = 0; i < kSamples; ++i) {
+    ++counts[rng.UniformInt(uint64_t{kBuckets})];
+  }
+  // Each bucket expects 10000; allow 5 sigma (~475).
+  for (int count : counts) {
+    EXPECT_NEAR(count, kSamples / kBuckets, 500);
+  }
+}
+
+TEST(RngTest, UniformIntRangeInclusive) {
+  Rng rng(3);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const int64_t v = rng.UniformInt(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    saw_lo |= (v == -2);
+    saw_hi |= (v == 2);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, UniformIntSingletonRange) {
+  Rng rng(4);
+  EXPECT_EQ(rng.UniformInt(7, 7), 7);
+}
+
+TEST(RngTest, UniformDoubleInUnitInterval) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.UniformDouble();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformDoubleMeanIsHalf) {
+  Rng rng(6);
+  double sum = 0.0;
+  constexpr int kSamples = 100000;
+  for (int i = 0; i < kSamples; ++i) sum += rng.UniformDouble();
+  EXPECT_NEAR(sum / kSamples, 0.5, 0.005);
+}
+
+TEST(RngTest, GaussianMomentsMatchStandardNormal) {
+  Rng rng(7);
+  constexpr int kSamples = 200000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < kSamples; ++i) {
+    const double g = rng.Gaussian();
+    sum += g;
+    sum_sq += g * g;
+  }
+  EXPECT_NEAR(sum / kSamples, 0.0, 0.01);
+  EXPECT_NEAR(sum_sq / kSamples, 1.0, 0.02);
+}
+
+TEST(RngTest, GaussianWithParameters) {
+  Rng rng(8);
+  constexpr int kSamples = 100000;
+  double sum = 0.0;
+  for (int i = 0; i < kSamples; ++i) sum += rng.Gaussian(3.0, 0.5);
+  EXPECT_NEAR(sum / kSamples, 3.0, 0.01);
+}
+
+TEST(RngTest, RademacherIsPlusMinusOneAndBalanced) {
+  Rng rng(9);
+  constexpr int kSamples = 100000;
+  int64_t total = 0;
+  for (int i = 0; i < kSamples; ++i) {
+    const double r = rng.Rademacher();
+    ASSERT_TRUE(r == 1.0 || r == -1.0);
+    total += static_cast<int64_t>(r);
+  }
+  EXPECT_LT(std::abs(total), 5 * static_cast<int64_t>(std::sqrt(kSamples)));
+}
+
+TEST(RngTest, BernoulliRate) {
+  Rng rng(10);
+  constexpr int kSamples = 100000;
+  int hits = 0;
+  for (int i = 0; i < kSamples; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / kSamples, 0.3, 0.01);
+}
+
+TEST(RngTest, PermutationIsAPermutation) {
+  Rng rng(11);
+  std::vector<int> perm = rng.Permutation(100);
+  std::vector<int> sorted = perm;
+  std::sort(sorted.begin(), sorted.end());
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(sorted[static_cast<size_t>(i)], i);
+}
+
+TEST(RngTest, PermutationOfZeroAndOne) {
+  Rng rng(12);
+  EXPECT_TRUE(rng.Permutation(0).empty());
+  EXPECT_EQ(rng.Permutation(1), std::vector<int>{0});
+}
+
+TEST(RngTest, PermutationIsUniformOnThreeElements) {
+  Rng rng(13);
+  std::map<std::vector<int>, int> counts;
+  constexpr int kSamples = 60000;
+  for (int i = 0; i < kSamples; ++i) ++counts[rng.Permutation(3)];
+  ASSERT_EQ(counts.size(), 6u);
+  for (const auto& [perm, count] : counts) {
+    EXPECT_NEAR(count, kSamples / 6, 600) << "permutation bias";
+  }
+}
+
+TEST(RngTest, SampleWithoutReplacementProperties) {
+  Rng rng(14);
+  std::vector<int64_t> sample = rng.SampleWithoutReplacement(1000, 50);
+  EXPECT_EQ(sample.size(), 50u);
+  std::set<int64_t> distinct(sample.begin(), sample.end());
+  EXPECT_EQ(distinct.size(), 50u);
+  for (int64_t v : sample) {
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, 1000);
+  }
+}
+
+TEST(RngTest, SampleWithoutReplacementFullSet) {
+  Rng rng(15);
+  std::vector<int64_t> sample = rng.SampleWithoutReplacement(10, 10);
+  std::sort(sample.begin(), sample.end());
+  for (int64_t i = 0; i < 10; ++i) EXPECT_EQ(sample[static_cast<size_t>(i)], i);
+}
+
+TEST(RngTest, SampleWithoutReplacementEmpty) {
+  Rng rng(16);
+  EXPECT_TRUE(rng.SampleWithoutReplacement(10, 0).empty());
+}
+
+TEST(RngTest, SampleWithoutReplacementIsUniform) {
+  // Each element of [5] should appear in a 2-subset with probability 2/5.
+  Rng rng(17);
+  constexpr int kSamples = 50000;
+  std::vector<int> counts(5, 0);
+  for (int i = 0; i < kSamples; ++i) {
+    for (int64_t v : rng.SampleWithoutReplacement(5, 2)) {
+      ++counts[static_cast<size_t>(v)];
+    }
+  }
+  for (int count : counts) {
+    EXPECT_NEAR(static_cast<double>(count) / kSamples, 0.4, 0.015);
+  }
+}
+
+TEST(RngTest, ShuffleKeepsMultiset) {
+  Rng rng(18);
+  std::vector<int> values = {1, 1, 2, 3, 5, 8, 13};
+  std::vector<int> original = values;
+  rng.Shuffle(&values);
+  std::sort(values.begin(), values.end());
+  std::sort(original.begin(), original.end());
+  EXPECT_EQ(values, original);
+}
+
+}  // namespace
+}  // namespace sose

@@ -1,0 +1,165 @@
+#include "core/sparse.h"
+
+#include <gtest/gtest.h>
+
+#include "core/random.h"
+
+namespace sose {
+namespace {
+
+CooBuilder SmallBuilder() {
+  // [ 1 0 2 ]
+  // [ 0 3 0 ]
+  // [ 4 0 5 ]
+  CooBuilder builder(3, 3);
+  builder.Add(0, 0, 1.0);
+  builder.Add(0, 2, 2.0);
+  builder.Add(1, 1, 3.0);
+  builder.Add(2, 0, 4.0);
+  builder.Add(2, 2, 5.0);
+  return builder;
+}
+
+TEST(CooBuilderTest, TracksEntryCount) {
+  CooBuilder builder = SmallBuilder();
+  EXPECT_EQ(builder.num_entries(), 5);
+  EXPECT_EQ(builder.rows(), 3);
+  EXPECT_EQ(builder.cols(), 3);
+}
+
+TEST(CooBuilderTest, DuplicatesAreSummed) {
+  CooBuilder builder(2, 2);
+  builder.Add(0, 0, 1.0);
+  builder.Add(0, 0, 2.5);
+  CsrMatrix csr = builder.ToCsr();
+  EXPECT_EQ(csr.nnz(), 1);
+  EXPECT_DOUBLE_EQ(csr.ToDense().At(0, 0), 3.5);
+}
+
+TEST(CooBuilderTest, CancellingDuplicatesAreDropped) {
+  CooBuilder builder(2, 2);
+  builder.Add(1, 1, 2.0);
+  builder.Add(1, 1, -2.0);
+  EXPECT_EQ(builder.ToCsr().nnz(), 0);
+  EXPECT_EQ(builder.ToCsc().nnz(), 0);
+}
+
+TEST(CsrMatrixTest, DenseRoundTrip) {
+  Matrix dense = SmallBuilder().ToCsr().ToDense();
+  Matrix expected(3, 3, {1, 0, 2, 0, 3, 0, 4, 0, 5});
+  EXPECT_TRUE(AlmostEqual(dense, expected, 0.0));
+}
+
+TEST(CscMatrixTest, DenseRoundTrip) {
+  Matrix dense = SmallBuilder().ToCsc().ToDense();
+  Matrix expected(3, 3, {1, 0, 2, 0, 3, 0, 4, 0, 5});
+  EXPECT_TRUE(AlmostEqual(dense, expected, 0.0));
+}
+
+TEST(CsrMatrixTest, EmptyMatrix) {
+  CooBuilder builder(4, 5);
+  CsrMatrix csr = builder.ToCsr();
+  EXPECT_EQ(csr.nnz(), 0);
+  EXPECT_EQ(csr.rows(), 4);
+  EXPECT_EQ(csr.cols(), 5);
+  std::vector<double> y = csr.MatVec({1, 1, 1, 1, 1});
+  for (double v : y) EXPECT_EQ(v, 0.0);
+}
+
+TEST(CsrMatrixTest, MatVecMatchesDense) {
+  CsrMatrix csr = SmallBuilder().ToCsr();
+  const std::vector<double> x = {1, -2, 3};
+  const std::vector<double> sparse_y = csr.MatVec(x);
+  const std::vector<double> dense_y = MatVec(csr.ToDense(), x);
+  ASSERT_EQ(sparse_y.size(), dense_y.size());
+  for (size_t i = 0; i < sparse_y.size(); ++i) {
+    EXPECT_DOUBLE_EQ(sparse_y[i], dense_y[i]);
+  }
+}
+
+TEST(CsrMatrixTest, MatVecTransposedMatchesDense) {
+  CsrMatrix csr = SmallBuilder().ToCsr();
+  const std::vector<double> x = {2, 0, -1};
+  const std::vector<double> sparse_y = csr.MatVecTransposed(x);
+  const std::vector<double> dense_y =
+      MatVecTransposed(csr.ToDense(), x);
+  for (size_t i = 0; i < sparse_y.size(); ++i) {
+    EXPECT_DOUBLE_EQ(sparse_y[i], dense_y[i]);
+  }
+}
+
+TEST(CsrMatrixTest, MultiplyMatchesDense) {
+  CsrMatrix csr = SmallBuilder().ToCsr();
+  Matrix dense_rhs(3, 2, {1, 2, 3, 4, 5, 6});
+  EXPECT_TRUE(AlmostEqual(csr.Multiply(dense_rhs),
+                          MatMul(csr.ToDense(), dense_rhs), 1e-12));
+}
+
+TEST(CscMatrixTest, MultiplyMatchesDense) {
+  CscMatrix csc = SmallBuilder().ToCsc();
+  Matrix dense_rhs(3, 2, {1, 2, 3, 4, 5, 6});
+  EXPECT_TRUE(AlmostEqual(csc.Multiply(dense_rhs),
+                          MatMul(csc.ToDense(), dense_rhs), 1e-12));
+}
+
+TEST(CscMatrixTest, MatVecMatchesDense) {
+  CscMatrix csc = SmallBuilder().ToCsc();
+  const std::vector<double> x = {1, -2, 3};
+  const std::vector<double> sparse_y = csc.MatVec(x);
+  const std::vector<double> dense_y = MatVec(csc.ToDense(), x);
+  for (size_t i = 0; i < sparse_y.size(); ++i) {
+    EXPECT_DOUBLE_EQ(sparse_y[i], dense_y[i]);
+  }
+}
+
+TEST(CscMatrixTest, ColumnQueries) {
+  CscMatrix csc = SmallBuilder().ToCsc();
+  EXPECT_EQ(csc.ColNnz(0), 2);
+  EXPECT_EQ(csc.ColNnz(1), 1);
+  EXPECT_EQ(csc.ColNnz(2), 2);
+  EXPECT_DOUBLE_EQ(csc.ColNormSquared(0), 17.0);  // 1 + 16
+  EXPECT_DOUBLE_EQ(csc.ColNormSquared(2), 29.0);  // 4 + 25
+  EXPECT_DOUBLE_EQ(csc.ColDot(0, 2), 22.0);       // 1*2 + 4*5
+  EXPECT_DOUBLE_EQ(csc.ColDot(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(csc.ColDot(1, 1), 9.0);
+}
+
+TEST(CscMatrixTest, FrobeniusNormMatchesDense) {
+  CscMatrix csc = SmallBuilder().ToCsc();
+  EXPECT_NEAR(csc.FrobeniusNorm(), csc.ToDense().FrobeniusNorm(), 1e-12);
+  EXPECT_NEAR(SmallBuilder().ToCsr().FrobeniusNorm(),
+              csc.FrobeniusNorm(), 1e-12);
+}
+
+TEST(SparseRandomizedTest, CsrCscAgreeOnRandomMatrices) {
+  Rng rng(71);
+  for (int round = 0; round < 10; ++round) {
+    const int64_t rows = 1 + static_cast<int64_t>(rng.UniformInt(uint64_t{20}));
+    const int64_t cols = 1 + static_cast<int64_t>(rng.UniformInt(uint64_t{20}));
+    CooBuilder builder(rows, cols);
+    const int64_t entries = static_cast<int64_t>(rng.UniformInt(uint64_t{40}));
+    for (int64_t e = 0; e < entries; ++e) {
+      builder.Add(static_cast<int64_t>(rng.UniformInt(static_cast<uint64_t>(rows))),
+                  static_cast<int64_t>(rng.UniformInt(static_cast<uint64_t>(cols))),
+                  rng.Gaussian());
+    }
+    EXPECT_TRUE(AlmostEqual(builder.ToCsr().ToDense(),
+                            builder.ToCsc().ToDense(), 1e-13));
+  }
+}
+
+TEST(SparseRandomizedTest, HugeRowSpaceNoAllocation) {
+  // CSC over an astronomically large row space: only nonzeros stored.
+  const int64_t n = int64_t{1} << 40;
+  CooBuilder builder(n, 2);
+  builder.Add(n - 1, 0, 1.0);
+  builder.Add(12345678901LL, 1, -2.0);
+  CscMatrix csc = builder.ToCsc();
+  EXPECT_EQ(csc.rows(), n);
+  EXPECT_EQ(csc.nnz(), 2);
+  EXPECT_DOUBLE_EQ(csc.ColNormSquared(1), 4.0);
+  EXPECT_DOUBLE_EQ(csc.ColDot(0, 1), 0.0);
+}
+
+}  // namespace
+}  // namespace sose

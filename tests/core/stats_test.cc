@@ -1,0 +1,190 @@
+#include "core/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/random.h"
+
+namespace sose {
+namespace {
+
+TEST(RunningStatsTest, EmptyIsZero) {
+  RunningStats stats;
+  EXPECT_EQ(stats.count(), 0);
+  EXPECT_EQ(stats.Mean(), 0.0);
+  EXPECT_EQ(stats.Variance(), 0.0);
+  EXPECT_EQ(stats.StdError(), 0.0);
+}
+
+TEST(RunningStatsTest, SingleObservation) {
+  RunningStats stats;
+  stats.Add(5.0);
+  EXPECT_EQ(stats.count(), 1);
+  EXPECT_EQ(stats.Mean(), 5.0);
+  EXPECT_EQ(stats.Variance(), 0.0);
+  EXPECT_EQ(stats.Min(), 5.0);
+  EXPECT_EQ(stats.Max(), 5.0);
+}
+
+TEST(RunningStatsTest, KnownSample) {
+  RunningStats stats;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) stats.Add(x);
+  EXPECT_DOUBLE_EQ(stats.Mean(), 5.0);
+  EXPECT_NEAR(stats.Variance(), 32.0 / 7.0, 1e-12);  // Unbiased.
+  EXPECT_EQ(stats.Min(), 2.0);
+  EXPECT_EQ(stats.Max(), 9.0);
+}
+
+TEST(RunningStatsTest, NegativeValuesTrackMinMax) {
+  RunningStats stats;
+  stats.Add(-3.0);
+  stats.Add(1.0);
+  stats.Add(-7.0);
+  EXPECT_EQ(stats.Min(), -7.0);
+  EXPECT_EQ(stats.Max(), 1.0);
+}
+
+TEST(RunningStatsTest, StableUnderLargeOffset) {
+  // Welford should not lose the variance under a big common offset.
+  RunningStats stats;
+  const double offset = 1e12;
+  for (double x : {1.0, 2.0, 3.0}) stats.Add(offset + x);
+  EXPECT_NEAR(stats.Variance(), 1.0, 1e-3);
+}
+
+TEST(WilsonIntervalTest, ZeroTrials) {
+  ConfidenceInterval ci = WilsonInterval(0, 0);
+  EXPECT_EQ(ci.lo, 0.0);
+  EXPECT_EQ(ci.hi, 1.0);
+}
+
+TEST(WilsonIntervalTest, ContainsPointEstimate) {
+  ConfidenceInterval ci = WilsonInterval(30, 100);
+  EXPECT_LE(ci.lo, 0.3);
+  EXPECT_GE(ci.hi, 0.3);
+  EXPECT_GE(ci.lo, 0.0);
+  EXPECT_LE(ci.hi, 1.0);
+}
+
+TEST(WilsonIntervalTest, ZeroSuccessesHasPositiveUpperBound) {
+  ConfidenceInterval ci = WilsonInterval(0, 100);
+  EXPECT_EQ(ci.lo, 0.0);
+  EXPECT_GT(ci.hi, 0.0);
+  EXPECT_LT(ci.hi, 0.1);
+}
+
+TEST(WilsonIntervalTest, AllSuccesses) {
+  ConfidenceInterval ci = WilsonInterval(100, 100);
+  EXPECT_GT(ci.lo, 0.9);
+  // The Wilson upper bound at p̂ = 1 is fractionally below 1.
+  EXPECT_GT(ci.hi, 0.999);
+  EXPECT_LE(ci.hi, 1.0);
+}
+
+TEST(WilsonIntervalTest, ShrinksWithMoreTrials) {
+  ConfidenceInterval small = WilsonInterval(5, 10);
+  ConfidenceInterval large = WilsonInterval(500, 1000);
+  EXPECT_LT(large.hi - large.lo, small.hi - small.lo);
+}
+
+TEST(WilsonIntervalTest, CoversTrueRate) {
+  // Frequentist sanity: the 95% interval should cover p = 0.2 nearly always
+  // over repeated simulations.
+  Rng rng(31);
+  int covered = 0;
+  constexpr int kRounds = 300;
+  for (int round = 0; round < kRounds; ++round) {
+    int successes = 0;
+    constexpr int kTrials = 150;
+    for (int t = 0; t < kTrials; ++t) successes += rng.Bernoulli(0.2) ? 1 : 0;
+    ConfidenceInterval ci = WilsonInterval(successes, kTrials);
+    if (ci.lo <= 0.2 && 0.2 <= ci.hi) ++covered;
+  }
+  EXPECT_GE(covered, kRounds * 90 / 100);
+}
+
+TEST(QuantileTest, MedianOfOddSample) {
+  EXPECT_DOUBLE_EQ(Quantile({3, 1, 2}, 0.5), 2.0);
+}
+
+TEST(QuantileTest, Extremes) {
+  std::vector<double> data = {5, 1, 9, 3};
+  EXPECT_DOUBLE_EQ(Quantile(data, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Quantile(data, 1.0), 9.0);
+}
+
+TEST(QuantileTest, LinearInterpolation) {
+  // Sorted: 0, 10. q=0.25 -> 2.5.
+  EXPECT_DOUBLE_EQ(Quantile({10, 0}, 0.25), 2.5);
+}
+
+TEST(QuantileTest, SingleElement) {
+  EXPECT_DOUBLE_EQ(Quantile({7.0}, 0.3), 7.0);
+}
+
+TEST(FitLineTest, ExactLine) {
+  LinearFit fit = FitLine({1, 2, 3, 4}, {3, 5, 7, 9});  // y = 2x + 1.
+  EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, 1.0, 1e-12);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+}
+
+TEST(FitLineTest, NoisyLineHasHighR2) {
+  Rng rng(32);
+  std::vector<double> x, y;
+  for (int i = 0; i < 100; ++i) {
+    x.push_back(i);
+    y.push_back(3.0 * i - 2.0 + 0.1 * rng.Gaussian());
+  }
+  LinearFit fit = FitLine(x, y);
+  EXPECT_NEAR(fit.slope, 3.0, 0.01);
+  EXPECT_GT(fit.r_squared, 0.999);
+}
+
+TEST(FitLineTest, FlatData) {
+  LinearFit fit = FitLine({1, 2, 3}, {5, 5, 5});
+  EXPECT_NEAR(fit.slope, 0.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, 5.0, 1e-12);
+}
+
+TEST(FitPowerLawTest, RecoversExponent) {
+  // y = 4 x^2.
+  std::vector<double> x = {1, 2, 4, 8, 16};
+  std::vector<double> y;
+  for (double v : x) y.push_back(4.0 * v * v);
+  LinearFit fit = FitPowerLaw(x, y);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-10);
+  EXPECT_NEAR(std::exp(fit.intercept), 4.0, 1e-8);
+}
+
+TEST(FitPowerLawTest, InverseLaw) {
+  std::vector<double> x = {1, 2, 4, 8};
+  std::vector<double> y;
+  for (double v : x) y.push_back(10.0 / v);
+  EXPECT_NEAR(FitPowerLaw(x, y).slope, -1.0, 1e-10);
+}
+
+TEST(BinomialUpperTailTest, DegenerateCases) {
+  EXPECT_DOUBLE_EQ(BinomialUpperTail(10, 0.5, 0), 1.0);
+  EXPECT_DOUBLE_EQ(BinomialUpperTail(10, 0.5, 11), 0.0);
+}
+
+TEST(BinomialUpperTailTest, SymmetricAtHalf) {
+  // Pr[Bin(9, 1/2) >= 5] = 1/2 by symmetry (odd n).
+  EXPECT_NEAR(BinomialUpperTail(9, 0.5, 5), 0.5, 1e-10);
+}
+
+TEST(BinomialUpperTailTest, MatchesDirectComputation) {
+  // Pr[Bin(4, 0.3) >= 3] = C(4,3)(.3)^3(.7) + (.3)^4.
+  const double expected = 4 * 0.027 * 0.7 + 0.0081;
+  EXPECT_NEAR(BinomialUpperTail(4, 0.3, 3), expected, 1e-12);
+}
+
+TEST(BinomialUpperTailTest, ExtremeProbabilities) {
+  EXPECT_NEAR(BinomialUpperTail(5, 0.0, 1), 0.0, 1e-12);
+  EXPECT_NEAR(BinomialUpperTail(5, 1.0, 5), 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace sose

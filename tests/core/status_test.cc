@@ -1,0 +1,155 @@
+#include "core/status.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace sose {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kOk);
+  EXPECT_EQ(status.message(), "");
+  EXPECT_EQ(status.ToString(), "OK");
+}
+
+TEST(StatusTest, OkFactory) {
+  EXPECT_TRUE(Status::OK().ok());
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status status = Status::InvalidArgument("bad shape");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(status.message(), "bad shape");
+  EXPECT_EQ(status.ToString(), "invalid-argument: bad shape");
+}
+
+TEST(StatusTest, AllErrorFactories) {
+  EXPECT_EQ(Status::InvalidArgument("x").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::AlreadyExists("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::NumericalError("x").code(), StatusCode::kNumericalError);
+  EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+}
+
+TEST(StatusTest, CopyPreservesState) {
+  Status original = Status::NotFound("missing");
+  Status copy = original;
+  EXPECT_EQ(copy.code(), StatusCode::kNotFound);
+  EXPECT_EQ(copy.message(), "missing");
+  // The original is unaffected.
+  EXPECT_EQ(original.message(), "missing");
+}
+
+TEST(StatusTest, CopyAssignOverwrites) {
+  Status status = Status::NotFound("missing");
+  status = Status::OK();
+  EXPECT_TRUE(status.ok());
+  status = Status::Internal("oops");
+  EXPECT_EQ(status.code(), StatusCode::kInternal);
+}
+
+TEST(StatusTest, MovePreservesState) {
+  Status original = Status::NumericalError("singular");
+  Status moved = std::move(original);
+  EXPECT_EQ(moved.code(), StatusCode::kNumericalError);
+  EXPECT_EQ(moved.message(), "singular");
+}
+
+TEST(StatusTest, SelfAssignmentIsSafe) {
+  Status status = Status::Internal("x");
+  Status& alias = status;
+  status = alias;
+  EXPECT_EQ(status.code(), StatusCode::kInternal);
+  EXPECT_EQ(status.message(), "x");
+}
+
+TEST(StatusTest, StreamOperator) {
+  std::ostringstream out;
+  out << Status::OutOfRange("idx");
+  EXPECT_EQ(out.str(), "out-of-range: idx");
+}
+
+TEST(StatusCodeToStringTest, CoversAllCodes) {
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kOk), "ok");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kInvalidArgument),
+               "invalid-argument");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kNumericalError),
+               "numerical-error");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kInternal), "internal");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> result(42);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value(), 42);
+  EXPECT_TRUE(result.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> result(Status::InvalidArgument("nope"));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> result(std::string("payload"));
+  std::string value = std::move(result).value();
+  EXPECT_EQ(value, "payload");
+}
+
+TEST(ResultTest, MutableValueAccess) {
+  Result<std::vector<int>> result(std::vector<int>{1, 2});
+  result.value().push_back(3);
+  EXPECT_EQ(result.value().size(), 3u);
+}
+
+namespace helpers {
+
+Result<int> ParsePositive(int x) {
+  if (x <= 0) return Status::InvalidArgument("not positive");
+  return x;
+}
+
+Status UsePositive(int x, int* out) {
+  SOSE_ASSIGN_OR_RETURN(int value, ParsePositive(x));
+  *out = value * 2;
+  return Status::OK();
+}
+
+Status Chained(int x) {
+  int unused = 0;
+  SOSE_RETURN_IF_ERROR(UsePositive(x, &unused));
+  return Status::OK();
+}
+
+}  // namespace helpers
+
+TEST(ResultMacrosTest, AssignOrReturnSuccess) {
+  int out = 0;
+  ASSERT_TRUE(helpers::UsePositive(21, &out).ok());
+  EXPECT_EQ(out, 42);
+}
+
+TEST(ResultMacrosTest, AssignOrReturnPropagatesError) {
+  int out = 0;
+  Status status = helpers::UsePositive(-1, &out);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(out, 0);
+}
+
+TEST(ResultMacrosTest, ReturnIfErrorPropagates) {
+  EXPECT_TRUE(helpers::Chained(5).ok());
+  EXPECT_FALSE(helpers::Chained(0).ok());
+}
+
+}  // namespace
+}  // namespace sose

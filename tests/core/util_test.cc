@@ -1,0 +1,195 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "core/csv.h"
+#include "core/flags.h"
+#include "core/stopwatch.h"
+#include "core/table.h"
+#include "core/vector_ops.h"
+
+namespace sose {
+namespace {
+
+// ---------- AsciiTable ----------
+
+TEST(AsciiTableTest, RendersHeaderAndRows) {
+  AsciiTable table({"name", "value"});
+  table.NewRow();
+  table.AddCell("alpha");
+  table.AddInt(42);
+  table.NewRow();
+  table.AddCell("beta");
+  table.AddDouble(3.14159, 3);
+  const std::string out = table.ToString();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("42"), std::string::npos);
+  EXPECT_NE(out.find("3.14"), std::string::npos);
+  EXPECT_EQ(table.num_rows(), 2);
+}
+
+TEST(AsciiTableTest, ColumnsAreAligned) {
+  AsciiTable table({"x", "longheader"});
+  table.NewRow();
+  table.AddCell("verylongcell");
+  table.AddCell("y");
+  const std::string out = table.ToString();
+  // All lines between pipes have equal length.
+  size_t first_len = out.find('\n');
+  size_t pos = first_len + 1;
+  while (pos < out.size()) {
+    size_t next = out.find('\n', pos);
+    if (next == std::string::npos) break;
+    EXPECT_EQ(next - pos, first_len);
+    pos = next + 1;
+  }
+}
+
+TEST(AsciiTableTest, ProbabilityCell) {
+  AsciiTable table({"p"});
+  table.NewRow();
+  table.AddProbability(0.5, 0.4, 0.6);
+  EXPECT_NE(table.ToString().find("0.5000 [0.4000, 0.6000]"),
+            std::string::npos);
+}
+
+TEST(FormatDoubleTest, Precision) {
+  EXPECT_EQ(FormatDouble(3.14159, 3), "3.14");
+  EXPECT_EQ(FormatDouble(1e6, 4), "1e+06");
+}
+
+// ---------- CsvWriter ----------
+
+TEST(CsvWriterTest, BasicDocument) {
+  CsvWriter csv({"a", "b"});
+  csv.NewRow();
+  csv.AddInt(1);
+  csv.AddCell("x");
+  csv.NewRow();
+  csv.AddDouble(2.5);
+  csv.AddCell("y");
+  EXPECT_EQ(csv.ToString(), "a,b\n1,x\n2.5,y\n");
+}
+
+TEST(CsvWriterTest, EscapesSpecialCharacters) {
+  CsvWriter csv({"c"});
+  csv.NewRow();
+  csv.AddCell("has,comma");
+  csv.NewRow();
+  csv.AddCell("has\"quote");
+  EXPECT_EQ(csv.ToString(), "c\n\"has,comma\"\n\"has\"\"quote\"\n");
+}
+
+TEST(CsvWriterTest, WritesToFile) {
+  CsvWriter csv({"v"});
+  csv.NewRow();
+  csv.AddInt(7);
+  const std::string path = testing::TempDir() + "/sose_csv_test.csv";
+  ASSERT_TRUE(csv.WriteToFile(path).ok());
+  std::ifstream file(path);
+  std::string line;
+  std::getline(file, line);
+  EXPECT_EQ(line, "v");
+  std::getline(file, line);
+  EXPECT_EQ(line, "7");
+  std::remove(path.c_str());
+}
+
+TEST(CsvWriterTest, RejectsBadPath) {
+  CsvWriter csv({"v"});
+  EXPECT_FALSE(csv.WriteToFile("/nonexistent-dir-xyz/file.csv").ok());
+}
+
+// ---------- FlagParser ----------
+
+TEST(FlagParserTest, EqualsSyntax) {
+  const char* argv[] = {"prog", "--d=16", "--eps=0.125", "--name=test"};
+  FlagParser flags(4, const_cast<char**>(argv));
+  EXPECT_EQ(flags.GetInt("d", 0), 16);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("eps", 0.0), 0.125);
+  EXPECT_EQ(flags.GetString("name", ""), "test");
+}
+
+TEST(FlagParserTest, SpaceSyntax) {
+  const char* argv[] = {"prog", "--trials", "100"};
+  FlagParser flags(3, const_cast<char**>(argv));
+  EXPECT_EQ(flags.GetInt("trials", 0), 100);
+}
+
+TEST(FlagParserTest, BareFlagIsTrue) {
+  const char* argv[] = {"prog", "--verbose"};
+  FlagParser flags(2, const_cast<char**>(argv));
+  EXPECT_TRUE(flags.GetBool("verbose", false));
+}
+
+TEST(FlagParserTest, DefaultsWhenAbsent) {
+  const char* argv[] = {"prog"};
+  FlagParser flags(1, const_cast<char**>(argv));
+  EXPECT_EQ(flags.GetInt("missing", 7), 7);
+  EXPECT_FALSE(flags.Has("missing"));
+}
+
+TEST(FlagParserTest, BoolSpellings) {
+  const char* argv[] = {"prog", "--a=true", "--b=1", "--c=yes", "--d=false"};
+  FlagParser flags(5, const_cast<char**>(argv));
+  EXPECT_TRUE(flags.GetBool("a", false));
+  EXPECT_TRUE(flags.GetBool("b", false));
+  EXPECT_TRUE(flags.GetBool("c", false));
+  EXPECT_FALSE(flags.GetBool("d", true));
+}
+
+// ---------- Stopwatch ----------
+
+TEST(StopwatchTest, ElapsedIsNonNegativeAndMonotone) {
+  Stopwatch watch;
+  const double t1 = watch.ElapsedSeconds();
+  const double t2 = watch.ElapsedSeconds();
+  EXPECT_GE(t1, 0.0);
+  EXPECT_GE(t2, t1);
+  EXPECT_NEAR(watch.ElapsedMillis(), watch.ElapsedSeconds() * 1e3, 1.0);
+}
+
+TEST(StopwatchTest, RestartResets) {
+  Stopwatch watch;
+  volatile int sink = 0;
+  for (int i = 0; i < 100000; ++i) sink = i;
+  (void)sink;
+  watch.Restart();
+  EXPECT_LT(watch.ElapsedSeconds(), 0.1);
+}
+
+// ---------- vector_ops ----------
+
+TEST(VectorOpsTest, DotAndNorms) {
+  EXPECT_DOUBLE_EQ(Dot({1, 2, 3}, {4, 5, 6}), 32.0);
+  EXPECT_DOUBLE_EQ(Norm2({3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(Norm2Squared({3, 4}), 25.0);
+  EXPECT_DOUBLE_EQ(NormInf({-7, 2}), 7.0);
+}
+
+TEST(VectorOpsTest, AxpyAndScale) {
+  std::vector<double> y = {1, 1};
+  Axpy(2.0, {3, 4}, &y);
+  EXPECT_EQ(y, (std::vector<double>{7, 9}));
+  ScaleVec(0.5, &y);
+  EXPECT_EQ(y, (std::vector<double>{3.5, 4.5}));
+}
+
+TEST(VectorOpsTest, NormalizeUnitAndZero) {
+  std::vector<double> v = {0, 3, 4};
+  Normalize(&v);
+  EXPECT_NEAR(Norm2(v), 1.0, 1e-12);
+  std::vector<double> zero = {0, 0};
+  Normalize(&zero);  // Must not divide by zero.
+  EXPECT_EQ(zero, (std::vector<double>{0, 0}));
+}
+
+TEST(VectorOpsTest, Subtract) {
+  EXPECT_EQ(Subtract({5, 3}, {2, 4}), (std::vector<double>{3, -1}));
+}
+
+}  // namespace
+}  // namespace sose

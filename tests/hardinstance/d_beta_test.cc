@@ -1,0 +1,168 @@
+#include "hardinstance/d_beta.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "core/stats.h"
+
+namespace sose {
+namespace {
+
+TEST(DBetaSamplerTest, Validation) {
+  EXPECT_FALSE(DBetaSampler::Create(10, 0, 1).ok());
+  EXPECT_FALSE(DBetaSampler::Create(10, 4, 0).ok());
+  EXPECT_FALSE(DBetaSampler::Create(3, 4, 1).ok());  // n < d/beta.
+  EXPECT_TRUE(DBetaSampler::Create(4, 4, 1).ok());
+}
+
+TEST(DBetaSamplerTest, BetaAccessor) {
+  auto sampler = DBetaSampler::Create(100, 4, 8);
+  ASSERT_TRUE(sampler.ok());
+  EXPECT_DOUBLE_EQ(sampler.value().beta(), 0.125);
+}
+
+TEST(DBetaSamplerTest, SampleShape) {
+  auto sampler = DBetaSampler::Create(1000, 6, 4);
+  ASSERT_TRUE(sampler.ok());
+  Rng rng(1);
+  const HardInstance instance = sampler.value().Sample(&rng);
+  EXPECT_EQ(instance.n, 1000);
+  EXPECT_EQ(instance.d, 6);
+  EXPECT_EQ(instance.entries_per_col, 4);
+  EXPECT_EQ(instance.NumGenerators(), 24);
+  EXPECT_EQ(instance.rows.size(), 24u);
+  EXPECT_EQ(instance.signs.size(), 24u);
+  for (int64_t row : instance.rows) {
+    EXPECT_GE(row, 0);
+    EXPECT_LT(row, 1000);
+  }
+  for (double sign : instance.signs) {
+    EXPECT_TRUE(sign == 1.0 || sign == -1.0);
+  }
+}
+
+TEST(DBetaSamplerTest, CscHasUnitColumnsWithoutCollision) {
+  auto sampler = DBetaSampler::Create(100000, 8, 4);
+  ASSERT_TRUE(sampler.ok());
+  Rng rng(2);
+  HardInstance instance = sampler.value().Sample(&rng);
+  while (instance.HasRowCollision()) instance = sampler.value().Sample(&rng);
+  const CscMatrix u = instance.ToCsc();
+  EXPECT_EQ(u.rows(), 100000);
+  EXPECT_EQ(u.cols(), 8);
+  for (int64_t j = 0; j < 8; ++j) {
+    EXPECT_EQ(u.ColNnz(j), 4);
+    EXPECT_NEAR(u.ColNormSquared(j), 1.0, 1e-12);
+  }
+}
+
+TEST(DBetaSamplerTest, GramIsIdentityWithoutCollision) {
+  auto sampler = DBetaSampler::Create(50000, 5, 3);
+  ASSERT_TRUE(sampler.ok());
+  Rng rng(3);
+  HardInstance instance = sampler.value().Sample(&rng);
+  while (instance.HasRowCollision()) instance = sampler.value().Sample(&rng);
+  EXPECT_TRUE(AlmostEqual(instance.GramU(), Matrix::Identity(5), 1e-12));
+}
+
+TEST(DBetaSamplerTest, GramMatchesCscOnCollision) {
+  // Force collisions with a tiny n and check Gram against the explicit CSC.
+  auto sampler = DBetaSampler::Create(6, 3, 2);
+  ASSERT_TRUE(sampler.ok());
+  Rng rng(4);
+  for (int round = 0; round < 50; ++round) {
+    const HardInstance instance = sampler.value().Sample(&rng);
+    const Matrix dense_u = instance.ToCsc().ToDense();
+    EXPECT_TRUE(AlmostEqual(instance.GramU(), Gram(dense_u), 1e-12));
+  }
+}
+
+TEST(DBetaSamplerTest, CollisionDetection) {
+  HardInstance instance;
+  instance.n = 10;
+  instance.d = 2;
+  instance.entries_per_col = 1;
+  instance.beta = 1.0;
+  instance.rows = {3, 7};
+  instance.signs = {1.0, -1.0};
+  EXPECT_FALSE(instance.HasRowCollision());
+  instance.rows = {3, 3};
+  EXPECT_TRUE(instance.HasRowCollision());
+}
+
+TEST(DBetaSamplerTest, WithinColumnCollisionSumsEntries) {
+  // Two generators of the same column on the same row: entries add, so the
+  // column has a single entry of magnitude 2√β or 0.
+  HardInstance instance;
+  instance.n = 10;
+  instance.d = 1;
+  instance.entries_per_col = 2;
+  instance.beta = 0.5;
+  instance.rows = {4, 4};
+  instance.signs = {1.0, 1.0};
+  const CscMatrix u = instance.ToCsc();
+  EXPECT_EQ(u.ColNnz(0), 1);
+  EXPECT_NEAR(u.ColNormSquared(0), 4.0 * 0.5, 1e-12);
+  // Opposite signs cancel to an empty column.
+  instance.signs = {1.0, -1.0};
+  EXPECT_EQ(instance.ToCsc().ColNnz(0), 0);
+}
+
+TEST(DBetaSamplerTest, TouchedRowsSortedDistinct) {
+  HardInstance instance;
+  instance.n = 100;
+  instance.d = 2;
+  instance.entries_per_col = 2;
+  instance.beta = 0.5;
+  instance.rows = {42, 7, 42, 99};
+  instance.signs = {1, 1, 1, 1};
+  EXPECT_EQ(instance.TouchedRows(), (std::vector<int64_t>{7, 42, 99}));
+}
+
+TEST(DBetaSamplerTest, CollisionRateMatchesBirthdayBound) {
+  auto sampler = DBetaSampler::Create(2000, 4, 2);  // k = 8 generators.
+  ASSERT_TRUE(sampler.ok());
+  const double bound = sampler.value().CollisionProbabilityUpperBound();
+  EXPECT_NEAR(bound, 8.0 * 7.0 / (2.0 * 2000.0), 1e-12);
+  Rng rng(5);
+  int collisions = 0;
+  constexpr int kTrials = 20000;
+  for (int t = 0; t < kTrials; ++t) {
+    if (sampler.value().Sample(&rng).HasRowCollision()) ++collisions;
+  }
+  const double rate = static_cast<double>(collisions) / kTrials;
+  EXPECT_LE(rate, bound);
+  EXPECT_GE(rate, 0.5 * bound);  // The bound is tight for small k²/n.
+}
+
+TEST(DBetaSamplerTest, RowMarginalIsUniform) {
+  auto sampler = DBetaSampler::Create(10, 2, 1);
+  ASSERT_TRUE(sampler.ok());
+  Rng rng(6);
+  std::vector<int64_t> counts(10, 0);
+  constexpr int kTrials = 50000;
+  for (int t = 0; t < kTrials; ++t) {
+    const HardInstance instance = sampler.value().Sample(&rng);
+    for (int64_t row : instance.rows) ++counts[static_cast<size_t>(row)];
+  }
+  for (int64_t count : counts) {
+    EXPECT_NEAR(count, 2 * kTrials / 10, 800);
+  }
+}
+
+TEST(DBetaSamplerTest, SignsAreBalanced) {
+  auto sampler = DBetaSampler::Create(1000, 4, 2);
+  ASSERT_TRUE(sampler.ok());
+  Rng rng(7);
+  double sum = 0.0;
+  constexpr int kTrials = 10000;
+  for (int t = 0; t < kTrials; ++t) {
+    for (double sign : sampler.value().Sample(&rng).signs) sum += sign;
+  }
+  EXPECT_LT(std::fabs(sum), 5.0 * std::sqrt(8.0 * kTrials));
+}
+
+}  // namespace
+}  // namespace sose

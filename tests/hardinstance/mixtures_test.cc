@@ -1,0 +1,110 @@
+#include "hardinstance/mixtures.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace sose {
+namespace {
+
+TEST(SectionThreeMixtureTest, Validation) {
+  EXPECT_FALSE(SectionThreeMixture::Create(1000, 4, 0.0).ok());
+  EXPECT_FALSE(SectionThreeMixture::Create(1000, 4, 0.2).ok());  // >= 1/8.
+  EXPECT_TRUE(SectionThreeMixture::Create(1000, 4, 0.05).ok());
+}
+
+TEST(SectionThreeMixtureTest, DenseComponentHasOneOver8EpsEntries) {
+  auto mixture = SectionThreeMixture::Create(100000, 4, 1.0 / 64.0);
+  ASSERT_TRUE(mixture.ok());
+  EXPECT_EQ(mixture.value().d1().entries_per_col(), 1);
+  EXPECT_EQ(mixture.value().d8eps().entries_per_col(), 8);  // 1/(8ε) = 8.
+}
+
+TEST(SectionThreeMixtureTest, ComponentsAreEquallyLikely) {
+  auto mixture = SectionThreeMixture::Create(100000, 4, 1.0 / 32.0);
+  ASSERT_TRUE(mixture.ok());
+  Rng rng(1);
+  int dense_count = 0;
+  constexpr int kTrials = 20000;
+  for (int t = 0; t < kTrials; ++t) {
+    bool dense = false;
+    const HardInstance instance = mixture.value().Sample(&rng, &dense);
+    if (dense) {
+      ++dense_count;
+      EXPECT_EQ(instance.entries_per_col, 4);
+    } else {
+      EXPECT_EQ(instance.entries_per_col, 1);
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(dense_count) / kTrials, 0.5, 0.02);
+}
+
+TEST(SectionThreeMixtureTest, SampleWithoutPickedFlag) {
+  auto mixture = SectionThreeMixture::Create(10000, 4, 0.05);
+  ASSERT_TRUE(mixture.ok());
+  Rng rng(2);
+  const HardInstance instance = mixture.value().Sample(&rng);
+  EXPECT_EQ(instance.d, 4);
+}
+
+TEST(SectionFiveMixtureTest, Validation) {
+  // ε = 1/4: L = floor(log2 4) - 3 = -1 < 1.
+  EXPECT_FALSE(SectionFiveMixture::Create(100000, 4, 0.25).ok());
+  // ε = 1/32: L = 5 - 3 = 2.
+  EXPECT_TRUE(SectionFiveMixture::Create(100000, 4, 1.0 / 32.0).ok());
+}
+
+TEST(SectionFiveMixtureTest, NumberOfLevels) {
+  auto mixture = SectionFiveMixture::Create(1000000, 4, 1.0 / 128.0);
+  ASSERT_TRUE(mixture.ok());
+  EXPECT_EQ(mixture.value().num_levels(), 4);  // log2(128) - 3.
+}
+
+TEST(SectionFiveMixtureTest, LevelSamplersHaveDyadicDensity) {
+  auto mixture = SectionFiveMixture::Create(1000000, 4, 1.0 / 64.0);
+  ASSERT_TRUE(mixture.ok());
+  ASSERT_EQ(mixture.value().num_levels(), 3);
+  EXPECT_EQ(mixture.value().LevelSampler(0).entries_per_col(), 1);
+  EXPECT_EQ(mixture.value().LevelSampler(1).entries_per_col(), 2);
+  EXPECT_EQ(mixture.value().LevelSampler(2).entries_per_col(), 4);
+  EXPECT_EQ(mixture.value().LevelSampler(3).entries_per_col(), 8);
+}
+
+TEST(SectionFiveMixtureTest, LevelDistribution) {
+  auto mixture = SectionFiveMixture::Create(1000000, 4, 1.0 / 64.0);
+  ASSERT_TRUE(mixture.ok());
+  Rng rng(3);
+  std::vector<int> counts(4, 0);
+  constexpr int kTrials = 30000;
+  for (int t = 0; t < kTrials; ++t) {
+    int64_t level = -1;
+    const HardInstance instance = mixture.value().Sample(&rng, &level);
+    ASSERT_GE(level, 0);
+    ASSERT_LE(level, 3);
+    ++counts[static_cast<size_t>(level)];
+    EXPECT_EQ(instance.entries_per_col, int64_t{1} << level);
+  }
+  // Level 0 w.p. 1/2; levels 1..3 w.p. 1/6 each.
+  EXPECT_NEAR(static_cast<double>(counts[0]) / kTrials, 0.5, 0.02);
+  for (int level = 1; level <= 3; ++level) {
+    EXPECT_NEAR(static_cast<double>(counts[static_cast<size_t>(level)]) / kTrials,
+                1.0 / 6.0, 0.02);
+  }
+}
+
+TEST(SectionFiveMixtureTest, InstancesHaveUnitColumnsConditionally) {
+  auto mixture = SectionFiveMixture::Create(1000000, 6, 1.0 / 32.0);
+  ASSERT_TRUE(mixture.ok());
+  Rng rng(4);
+  for (int round = 0; round < 20; ++round) {
+    HardInstance instance = mixture.value().Sample(&rng);
+    if (instance.HasRowCollision()) continue;
+    const CscMatrix u = instance.ToCsc();
+    for (int64_t j = 0; j < u.cols(); ++j) {
+      EXPECT_NEAR(u.ColNormSquared(j), 1.0, 1e-12);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sose

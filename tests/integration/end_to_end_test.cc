@@ -1,0 +1,176 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "apps/regression.h"
+#include "core/random.h"
+#include "hardinstance/mixtures.h"
+#include "lowerbound/pair_finder.h"
+#include "lowerbound/witness.h"
+#include "ose/failure_estimator.h"
+#include "ose/isometry.h"
+#include "ose/threshold_search.h"
+#include "sketch/registry.h"
+#include "workload/generators.h"
+
+namespace sose {
+namespace {
+
+// Full pipeline: registry-created sketch → hard instance → failure
+// estimation → threshold search, for the sketches the paper discusses.
+TEST(EndToEndTest, ThresholdSearchOnCountSketchHardInstance) {
+  const int64_t d = 6;
+  const double epsilon = 1.0 / 16.0;
+  const double delta = 0.2;
+  const int64_t n = 200000;
+  auto mixture = SectionThreeMixture::Create(n, d, epsilon);
+  ASSERT_TRUE(mixture.ok());
+
+  auto failure_at = [&](int64_t m) -> Result<FailureEstimate> {
+    EstimatorOptions options;
+    options.trials = 60;
+    options.epsilon = epsilon;
+    options.seed = 12345 + static_cast<uint64_t>(m);
+    return EstimateFailureProbability(
+        [m, n](uint64_t seed) -> Result<std::unique_ptr<SketchingMatrix>> {
+          return CreateSketch("countsketch",
+                              SketchConfig{.rows = m,
+                                           .cols = n,
+                                           .sparsity = 1,
+                                           .jl_q = 3.0,
+                                           .seed = seed});
+        },
+        [&mixture](Rng* rng) { return mixture.value().Sample(rng); }, options);
+  };
+
+  ThresholdSearchOptions options;
+  options.m_lo = 8;
+  options.m_hi = 1 << 15;
+  options.delta = delta;
+  options.relative_tolerance = 0.25;
+  auto result = FindMinimalRows(failure_at, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.value().bracketed);
+  // Theory: m* ≈ c · d²/(ε²δ)-ish; at the very least it must exceed the
+  // count of heavy coordinates d/(16ε) = 24 and be far below the search cap.
+  EXPECT_GT(result.value().m_star, 24);
+  EXPECT_LT(result.value().m_star, 1 << 15);
+}
+
+TEST(EndToEndTest, WitnessPipelineExplainsCountSketchFailures) {
+  // Whenever the estimator says "failed", the Lemma 4 witness machinery
+  // should find a large inner product pair on most failing draws.
+  const int64_t n = 100000;
+  const int64_t d = 8;
+  const double epsilon = 0.1;
+  auto sampler = DBetaSampler::Create(n, d, 1);
+  ASSERT_TRUE(sampler.ok());
+  Rng rng(5);
+  int failures = 0;
+  int explained = 0;
+  for (uint64_t seed = 0; seed < 60; ++seed) {
+    auto sketch = CreateSketch(
+        "countsketch", SketchConfig{.rows = 24, .cols = n, .sparsity = 1,
+                                    .jl_q = 3.0, .seed = seed});
+    ASSERT_TRUE(sketch.ok());
+    HardInstance instance = sampler.value().Sample(&rng);
+    while (instance.HasRowCollision()) instance = sampler.value().Sample(&rng);
+    auto report = SketchDistortionOnInstance(*sketch.value(), instance);
+    ASSERT_TRUE(report.ok());
+    if (report.value().WithinEpsilon(epsilon)) continue;
+    ++failures;
+    auto witness =
+        FindLargeInnerProductPair(*sketch.value(), instance, 5.0 * epsilon);
+    ASSERT_TRUE(witness.ok());
+    if (witness.value().has_value()) ++explained;
+  }
+  ASSERT_GT(failures, 10);  // d=8 into 24 buckets collides often.
+  // Count-Sketch failures on D₁ are exactly bucket collisions, which the
+  // witness search finds as inner products of ±1 >= 0.5.
+  EXPECT_EQ(explained, failures);
+}
+
+TEST(EndToEndTest, Algorithm1FindsPairsOnFailingSketches) {
+  const int64_t n = 4096;
+  const int64_t d = 64;
+  auto sketch = CreateSketch(
+      "countsketch", SketchConfig{.rows = d * d / 4, .cols = n, .sparsity = 1,
+                                  .jl_q = 3.0, .seed = 3});
+  ASSERT_TRUE(sketch.ok());
+  auto index = SketchColumnIndex::Build(
+      *sketch.value(), n,
+      HeavinessParams{.theta = 0.5, .min_heavy_entries = 1,
+                      .norm_tolerance = 0.1});
+  ASSERT_TRUE(index.ok());
+  auto sampler = DBetaSampler::Create(n, d, 1);
+  ASSERT_TRUE(sampler.ok());
+  Rng rng(9);
+  HardInstance instance = sampler.value().Sample(&rng);
+  while (instance.HasRowCollision()) instance = sampler.value().Sample(&rng);
+  auto result = RunAlgorithm1(index.value(), instance.rows, 77);
+  ASSERT_TRUE(result.ok());
+  // 64 balls into 1024 buckets: expected ~2 colliding pairs among chosen
+  // columns; Algorithm 1 finds collisions against the whole good set too,
+  // so events must be present.
+  EXPECT_EQ(static_cast<int64_t>(result.value().events.size()), d / 16);
+  EXPECT_EQ(result.value().num_good_chosen, d);
+}
+
+TEST(EndToEndTest, SketchAndSolveAcrossRegistry) {
+  Rng rng(11);
+  auto instance =
+      MakeRegressionInstance(256, 4, 1.0, DesignKind::kIncoherent, &rng);
+  ASSERT_TRUE(instance.ok());
+  for (const std::string family :
+       {"countsketch", "osnap", "gaussian", "srht"}) {
+    auto sketch = CreateSketch(
+        family, SketchConfig{.rows = 128, .cols = 256, .sparsity = 4,
+                             .jl_q = 3.0, .seed = 17});
+    ASSERT_TRUE(sketch.ok()) << family;
+    auto solution = SketchAndSolve(*sketch.value(), instance.value().a,
+                                   instance.value().b);
+    ASSERT_TRUE(solution.ok()) << family;
+    auto ratio = ResidualRatio(instance.value().a, instance.value().b,
+                               solution.value().x);
+    ASSERT_TRUE(ratio.ok());
+    EXPECT_LT(ratio.value(), 2.0) << family;
+  }
+}
+
+TEST(EndToEndTest, DenseEstimatorAgreesWithSparseOnD1) {
+  // The sparse hard-instance path and an equivalent dense-basis path must
+  // estimate similar failure rates for the same (sketch, distribution).
+  const int64_t n = 2048;
+  const int64_t d = 4;
+  const double epsilon = 0.25;
+  auto sampler = DBetaSampler::Create(n, d, 1);
+  ASSERT_TRUE(sampler.ok());
+  SketchFactory factory =
+      [n](uint64_t seed) -> Result<std::unique_ptr<SketchingMatrix>> {
+    return CreateSketch("countsketch",
+                        SketchConfig{.rows = 20, .cols = n, .sparsity = 1,
+                                     .jl_q = 3.0, .seed = seed});
+  };
+  EstimatorOptions options;
+  options.trials = 150;
+  options.epsilon = epsilon;
+  options.seed = 21;
+  auto sparse_est = EstimateFailureProbability(
+      factory, [&sampler](Rng* rng) { return sampler.value().Sample(rng); },
+      options);
+  ASSERT_TRUE(sparse_est.ok());
+  auto dense_est = EstimateFailureProbabilityDense(
+      factory,
+      [n, d, &sampler](Rng* rng) -> Result<Matrix> {
+        HardInstance instance = sampler.value().Sample(rng);
+        while (instance.HasRowCollision()) instance = sampler.value().Sample(rng);
+        return instance.ToCsc().ToDense();
+      },
+      options);
+  ASSERT_TRUE(dense_est.ok());
+  EXPECT_NEAR(sparse_est.value().rate, dense_est.value().rate, 0.15);
+}
+
+}  // namespace
+}  // namespace sose

@@ -1,0 +1,190 @@
+// Cross-module invariants: relationships between subsystems that must hold
+// by the underlying mathematics, regardless of parameters — checked over
+// parameterized sweeps.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "core/random.h"
+#include "hardinstance/d_beta.h"
+#include "lowerbound/audit.h"
+#include "ose/distortion.h"
+#include "ose/failure_estimator.h"
+#include "ose/isometry.h"
+#include "sketch/registry.h"
+
+namespace sose {
+namespace {
+
+// OSE on a 1-dimensional subspace == JL on a vector: the distortion report
+// for span{x} must equal |‖Πx‖/‖x‖ − 1|.
+TEST(CrossModuleInvariants, OneDimensionalSubspaceMatchesVectorEmbedding) {
+  Rng rng(1);
+  for (const std::string family : {"countsketch", "osnap", "gaussian"}) {
+    SketchConfig config;
+    config.rows = 64;
+    config.cols = 256;
+    config.sparsity = 4;
+    config.seed = 7;
+    auto sketch = CreateSketch(family, config);
+    ASSERT_TRUE(sketch.ok());
+    Matrix basis(256, 1);
+    double norm_sq = 0.0;
+    for (int64_t i = 0; i < 256; ++i) {
+      basis.At(i, 0) = rng.Gaussian();
+      norm_sq += basis.At(i, 0) * basis.At(i, 0);
+    }
+    const double norm = std::sqrt(norm_sq);
+    for (int64_t i = 0; i < 256; ++i) basis.At(i, 0) /= norm;
+    auto report = SketchDistortionOnIsometry(*sketch.value(), basis);
+    ASSERT_TRUE(report.ok());
+    const std::vector<double> sketched =
+        sketch.value()->ApplyVector(basis.Col(0));
+    double sketched_norm_sq = 0.0;
+    for (double v : sketched) sketched_norm_sq += v * v;
+    const double factor = std::sqrt(sketched_norm_sq);
+    EXPECT_NEAR(report.value().min_factor, factor, 1e-10) << family;
+    EXPECT_NEAR(report.value().max_factor, factor, 1e-10) << family;
+  }
+}
+
+// Distortion is invariant under a change of basis of the same subspace.
+TEST(CrossModuleInvariants, DistortionIsBasisIndependent) {
+  Rng rng(2);
+  auto basis = RandomIsometry(128, 4, &rng);
+  ASSERT_TRUE(basis.ok());
+  // A second (non-orthonormal) basis of the same span: B = U * M.
+  Matrix mixer(4, 4);
+  for (int64_t i = 0; i < 4; ++i) {
+    for (int64_t j = 0; j < 4; ++j) mixer.At(i, j) = rng.Gaussian();
+  }
+  mixer.At(0, 0) += 3.0;  // Keep it comfortably nonsingular.
+  mixer.At(1, 1) += 3.0;
+  mixer.At(2, 2) += 3.0;
+  mixer.At(3, 3) += 3.0;
+  const Matrix skewed = MatMul(basis.value(), mixer);
+  SketchConfig config;
+  config.rows = 96;
+  config.cols = 128;
+  config.sparsity = 2;
+  config.seed = 11;
+  auto sketch = CreateSketch("osnap", config);
+  ASSERT_TRUE(sketch.ok());
+  auto via_isometry =
+      SketchDistortionOnIsometry(*sketch.value(), basis.value());
+  ASSERT_TRUE(via_isometry.ok());
+  auto via_generalized = DistortionOfSketchedBasis(
+      sketch.value()->ApplyDense(skewed), Gram(skewed));
+  ASSERT_TRUE(via_generalized.ok());
+  EXPECT_NEAR(via_isometry.value().min_factor,
+              via_generalized.value().min_factor, 1e-7);
+  EXPECT_NEAR(via_isometry.value().max_factor,
+              via_generalized.value().max_factor, 1e-7);
+}
+
+// The audit's failure rate must agree with the failure estimator run at the
+// same parameters — they are two views of the same probability.
+TEST(CrossModuleInvariants, AuditAgreesWithEstimator) {
+  const int64_t n = 1 << 16;
+  const int64_t d = 6;
+  const double epsilon = 0.15;
+  SketchConfig config;
+  config.rows = 48;
+  config.cols = n;
+  config.sparsity = 1;
+  config.seed = 21;
+  auto sketch = CreateSketch("countsketch", config);
+  ASSERT_TRUE(sketch.ok());
+
+  AuditParams params;
+  params.d = d;
+  params.epsilon = epsilon;
+  params.delta = 0.1;
+  params.num_instances = 400;
+  params.anti_trials = 100;
+  params.seed = 31;
+  auto audit = AuditSketch(*sketch.value(), params);
+  ASSERT_TRUE(audit.ok());
+
+  auto sampler = DBetaSampler::Create(n, d, 1);
+  ASSERT_TRUE(sampler.ok());
+  EstimatorOptions options;
+  options.trials = 400;
+  options.epsilon = epsilon;
+  options.seed = 41;  // Different seed: same distribution.
+  auto estimate = EstimateFailureProbability(
+      [&](uint64_t) -> Result<std::unique_ptr<SketchingMatrix>> {
+        // The audit fixes one sketch draw; mirror that here.
+        return CreateSketch("countsketch", config);
+      },
+      [&sampler](Rng* rng) { return sampler.value().Sample(rng); }, options);
+  ASSERT_TRUE(estimate.ok());
+  EXPECT_NEAR(audit.value().failure_rate, estimate.value().rate, 0.08);
+}
+
+// Monotonicity: enlarging m (with nested seeds irrelevant — fresh draws)
+// cannot increase the failure rate beyond noise, for every family.
+TEST(CrossModuleInvariants, FailureRateDecreasesInM) {
+  const int64_t n = 1 << 16;
+  auto sampler = DBetaSampler::Create(n, 6, 1);
+  ASSERT_TRUE(sampler.ok());
+  for (const std::string family : {"countsketch", "osnap"}) {
+    double previous = 1.1;
+    for (int64_t m : {16, 64, 256, 1024}) {
+      EstimatorOptions options;
+      options.trials = 200;
+      options.epsilon = 0.25;
+      options.seed = 51 + static_cast<uint64_t>(m);
+      auto estimate = EstimateFailureProbability(
+          [&, m](uint64_t seed) -> Result<std::unique_ptr<SketchingMatrix>> {
+            SketchConfig config;
+            config.rows = m;
+            config.cols = n;
+            config.sparsity = 2;
+            config.seed = seed;
+            return CreateSketch(family, config);
+          },
+          [&sampler](Rng* rng) { return sampler.value().Sample(rng); },
+          options);
+      ASSERT_TRUE(estimate.ok());
+      EXPECT_LE(estimate.value().rate, previous + 0.07)
+          << family << " m=" << m;
+      previous = estimate.value().rate;
+    }
+  }
+}
+
+// The sparse-Gram distortion path must agree with fully materialized dense
+// computation on moderate sizes, for every family in the registry.
+TEST(CrossModuleInvariants, SparseGramPathMatchesDenseForAllFamilies) {
+  const int64_t n = 512;
+  auto sampler = DBetaSampler::Create(n, 5, 2);
+  ASSERT_TRUE(sampler.ok());
+  Rng rng(61);
+  HardInstance instance = sampler.value().Sample(&rng);
+  while (instance.HasRowCollision()) instance = sampler.value().Sample(&rng);
+  for (const std::string& family : KnownSketchFamilies()) {
+    SketchConfig config;
+    config.rows = 64;
+    config.cols = n;
+    config.sparsity = 4;
+    config.seed = 71;
+    if (family == "blockhadamard") config.sparsity = 4;
+    auto sketch = CreateSketch(family, config);
+    ASSERT_TRUE(sketch.ok()) << family;
+    auto fast = SketchDistortionOnInstance(*sketch.value(), instance);
+    ASSERT_TRUE(fast.ok()) << family;
+    const Matrix dense_u = instance.ToCsc().ToDense();
+    auto slow = DistortionOfSketchedIsometry(
+        sketch.value()->ApplyDense(dense_u));
+    ASSERT_TRUE(slow.ok()) << family;
+    EXPECT_NEAR(fast.value().min_factor, slow.value().min_factor, 1e-8)
+        << family;
+    EXPECT_NEAR(fast.value().max_factor, slow.value().max_factor, 1e-8)
+        << family;
+  }
+}
+
+}  // namespace
+}  // namespace sose

@@ -1,0 +1,236 @@
+// Direct numerical checks of the paper's quantitative claims, at test-sized
+// parameters. The bench binaries sweep these at larger scales; these tests
+// pin the *direction* of every claim so regressions are caught in CI.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "core/random.h"
+#include "hardinstance/d_beta.h"
+#include "lowerbound/collision.h"
+#include "lowerbound/witness.h"
+#include "lowerbound/heavy_entries.h"
+#include "ose/failure_estimator.h"
+#include "sketch/block_hadamard.h"
+#include "sketch/count_sketch.h"
+#include "sketch/osnap.h"
+#include "sketch/registry.h"
+
+namespace sose {
+namespace {
+
+SketchFactory Factory(const std::string& family, int64_t m, int64_t n,
+                      int64_t s) {
+  return [family, m, n,
+          s](uint64_t seed) -> Result<std::unique_ptr<SketchingMatrix>> {
+    return CreateSketch(family, SketchConfig{.rows = m, .cols = n,
+                                             .sparsity = s, .jl_q = 3.0,
+                                             .seed = seed});
+  };
+}
+
+// Theorem 8's mechanism (Lemma 7): below the birthday threshold the heavy
+// coordinates of D_{8ε} collide and Count-Sketch fails; far above they
+// don't and it succeeds.
+TEST(PaperClaims, CountSketchFailsBelowAndSucceedsAboveBirthdayThreshold) {
+  const int64_t d = 4;
+  const double epsilon = 1.0 / 16.0;
+  const int64_t n = 1 << 20;
+  const int64_t k = d * 8;  // d/(8ε) heavy coordinates with epc = 1/(8ε)=2...
+  auto sampler = DBetaSampler::Create(n, d, /*entries_per_col=*/2);
+  ASSERT_TRUE(sampler.ok());
+  (void)k;
+  EstimatorOptions options;
+  options.trials = 80;
+  options.epsilon = epsilon;
+  options.seed = 7;
+  const InstanceSampler instance_sampler = [&sampler](Rng* rng) {
+    return sampler.value().Sample(rng);
+  };
+  auto low = EstimateFailureProbability(Factory("countsketch", 16, n, 1),
+                                        instance_sampler, options);
+  auto high = EstimateFailureProbability(Factory("countsketch", 8192, n, 1),
+                                         instance_sampler, options);
+  ASSERT_TRUE(low.ok());
+  ASSERT_TRUE(high.ok());
+  EXPECT_GT(low.value().rate, 0.5);
+  EXPECT_LT(high.value().rate, 0.1);
+}
+
+// The δ-dependence of Theorem 8: failure probability at fixed m matches the
+// analytic birthday probability of the heavy coordinates, so halving m
+// roughly doubles (small) failure rates — i.e., m* scales like 1/δ.
+TEST(PaperClaims, FailureRateTracksBirthdayProbability) {
+  const int64_t d = 4;
+  const int64_t epc = 2;  // 1/(8ε) = 2 → ε = 1/16.
+  const int64_t n = 1 << 20;
+  auto sampler = DBetaSampler::Create(n, d, epc);
+  ASSERT_TRUE(sampler.ok());
+  Rng rng(3);
+  for (int64_t m : {256, 512, 1024}) {
+    int collided = 0;
+    constexpr int kTrials = 600;
+    for (int t = 0; t < kTrials; ++t) {
+      HardInstance instance = sampler.value().Sample(&rng);
+      while (instance.HasRowCollision()) {
+        instance = sampler.value().Sample(&rng);
+      }
+      auto sketch = CountSketch::Create(
+          m, n, static_cast<uint64_t>(m * 10000 + t));
+      ASSERT_TRUE(sketch.ok());
+      if (CountSketchBirthday(sketch.value(), instance).any_collision) {
+        ++collided;
+      }
+    }
+    const double analytic = BirthdayCollisionProbability(d * epc, m);
+    EXPECT_NEAR(static_cast<double>(collided) / kTrials, analytic,
+                0.05 + 0.3 * analytic)
+        << "m=" << m;
+  }
+}
+
+// Remark 10 (upper bound): the block-Hadamard sketch with m ≈ (cd)² rows
+// embeds D₁ perfectly on most draws, at column sparsity 1/(8ε).
+TEST(PaperClaims, Remark10HadamardEmbedsD1) {
+  const int64_t d = 8;
+  const int64_t b = 8;      // 1/(8ε) → ε = 1/64.
+  const int64_t m = 1024;   // ≥ d² blocks-worth of rows.
+  const int64_t n = 1 << 18;
+  EstimatorOptions options;
+  options.trials = 60;
+  options.epsilon = 1.0 / 64.0;
+  options.seed = 9;
+  auto sampler = DBetaSampler::Create(n, d, 1);
+  ASSERT_TRUE(sampler.ok());
+  auto estimate = EstimateFailureProbability(
+      Factory("blockhadamard", m, n, b),
+      [&sampler](Rng* rng) { return sampler.value().Sample(rng); }, options);
+  ASSERT_TRUE(estimate.ok());
+  // Collision of two chosen columns into one block has probability
+  // ~ d²/(2·#blocks) = 64/256 = 0.25; colliding same-block columns are
+  // *orthogonal* Hadamard columns, so even those embed exactly. Failure
+  // requires two chosen columns with the SAME within-block index — much
+  // rarer. The measured failure rate must be small.
+  EXPECT_LT(estimate.value().rate, 0.15);
+}
+
+// Theorem 9's contrast: at m slightly below d² and matched sparsity, the
+// random OSNAP construction on D₁ fails far more often than Remark 10's
+// aligned Hadamard construction — random placement wastes the budget.
+TEST(PaperClaims, AlignedHadamardBeatsRandomOsnapAtSameBudget) {
+  const int64_t d = 16;
+  const int64_t s = 4;
+  const int64_t m = 64;  // m = d²/4 < d².
+  const int64_t n = 1 << 18;
+  auto sampler = DBetaSampler::Create(n, d, 1);
+  ASSERT_TRUE(sampler.ok());
+  EstimatorOptions options;
+  options.trials = 60;
+  options.epsilon = 1.0 / (9.0 * s);  // s = 1/(9ε).
+  options.seed = 13;
+  const InstanceSampler instance_sampler = [&sampler](Rng* rng) {
+    return sampler.value().Sample(rng);
+  };
+  auto osnap = EstimateFailureProbability(Factory("osnap", m, n, s),
+                                          instance_sampler, options);
+  auto hadamard = EstimateFailureProbability(Factory("blockhadamard", m, n, s),
+                                             instance_sampler, options);
+  ASSERT_TRUE(osnap.ok());
+  ASSERT_TRUE(hadamard.ok());
+  EXPECT_GT(osnap.value().rate, hadamard.value().rate);
+}
+
+// Lemma 6's contrapositive: a *working* s = 1 embedding must have nearly
+// all entries of absolute value 1 ± ε; Count-Sketch does by construction.
+TEST(PaperClaims, Lemma6CountSketchColumnsHaveUnitNorm) {
+  auto sketch = CountSketch::Create(1024, 1 << 16, 5);
+  ASSERT_TRUE(sketch.ok());
+  Rng rng(1);
+  auto fraction = FractionColumnsOutsideNorm(sketch.value(), 0.05, 2000, &rng);
+  ASSERT_TRUE(fraction.ok());
+  EXPECT_EQ(fraction.value(), 0.0);
+}
+
+// Section 5's census: OSNAP at sparsity s concentrates all its heavy mass
+// at level log₂(s) and carries nothing at lower levels — the dyadic
+// structure D̃ is designed to probe.
+TEST(PaperClaims, HeavyCensusLocalizesOsnapLevel) {
+  const int64_t s = 8;
+  auto sketch = Osnap::Create(512, 4096, s, 21);
+  ASSERT_TRUE(sketch.ok());
+  Rng rng(2);
+  auto census = ComputeHeavyCensus(sketch.value(), 5, 1.0 / 128.0, 512, &rng);
+  ASSERT_TRUE(census.ok());
+  for (int64_t level = 0; level <= 5; ++level) {
+    const double expected = level >= 3 ? static_cast<double>(s) : 0.0;
+    EXPECT_DOUBLE_EQ(census.value().average_counts[static_cast<size_t>(level)],
+                     expected)
+        << "level " << level;
+  }
+}
+
+// The sparsity/dimension trade-off (Theorem 20 direction): at a fixed
+// budget m between the dense threshold Θ(d/ε²) and the s = 1 threshold
+// Θ(d²/(ε²δ)), a denser sketch succeeds where s = 1 collides and fails.
+TEST(PaperClaims, DenserSketchRescuesFixedM) {
+  const int64_t d = 16;
+  const int64_t n = 1 << 18;
+  const int64_t m = 192;
+  const double epsilon = 0.4;
+  auto sampler = DBetaSampler::Create(n, d, 1);
+  ASSERT_TRUE(sampler.ok());
+  EstimatorOptions options;
+  options.trials = 80;
+  options.epsilon = epsilon;
+  options.seed = 17;
+  const InstanceSampler instance_sampler = [&sampler](Rng* rng) {
+    return sampler.value().Sample(rng);
+  };
+  auto sparse = EstimateFailureProbability(Factory("countsketch", m, n, 1),
+                                           instance_sampler, options);
+  auto dense = EstimateFailureProbability(Factory("gaussian", m, n, 1),
+                                          instance_sampler, options);
+  ASSERT_TRUE(sparse.ok());
+  ASSERT_TRUE(dense.ok());
+  // s = 1 collides with probability ≈ Birthday(16, 192) ≈ 0.47 and every
+  // collision kills the embedding; the dense Gaussian at m = 12·d ≫ d/ε²
+  // is solid.
+  EXPECT_GT(sparse.value().rate, 0.25);
+  EXPECT_LT(dense.value().rate, 0.1);
+}
+
+// Footnote 1: for s = 1 on D_1 the three symptoms coincide exactly —
+// a bucket collision (Lemma 7's event), the rank collapse of PiU (the
+// NN13b argument), and the embedding failure (this paper's framing).
+TEST(PaperClaims, CollisionRankAndDistortionCoincideForCountSketch) {
+  const int64_t n = 1 << 16;
+  const int64_t d = 8;
+  auto sampler = DBetaSampler::Create(n, d, 1);
+  ASSERT_TRUE(sampler.ok());
+  Rng rng(29);
+  int collisions_seen = 0;
+  for (uint64_t seed = 0; seed < 60; ++seed) {
+    auto sketch = CountSketch::Create(24, n, seed);
+    ASSERT_TRUE(sketch.ok());
+    HardInstance instance = sampler.value().Sample(&rng);
+    while (instance.HasRowCollision()) instance = sampler.value().Sample(&rng);
+    const bool collided =
+        CountSketchBirthday(sketch.value(), instance).any_collision;
+    auto rank = SketchedInstanceRank(sketch.value(), instance);
+    ASSERT_TRUE(rank.ok());
+    auto report = SketchDistortionOnInstance(sketch.value(), instance);
+    ASSERT_TRUE(report.ok());
+    const bool rank_dropped = rank.value() < d;
+    const bool failed = !report.value().WithinEpsilon(0.5);
+    EXPECT_EQ(collided, rank_dropped) << "seed " << seed;
+    EXPECT_EQ(collided, failed) << "seed " << seed;
+    if (collided) ++collisions_seen;
+  }
+  // The regime is chosen so both outcomes occur.
+  EXPECT_GT(collisions_seen, 10);
+  EXPECT_LT(collisions_seen, 55);
+}
+
+}  // namespace
+}  // namespace sose

@@ -1,0 +1,118 @@
+#include "lowerbound/audit.h"
+
+#include <gtest/gtest.h>
+
+#include "sketch/block_hadamard.h"
+#include "sketch/count_sketch.h"
+#include "sketch/gaussian.h"
+
+namespace sose {
+namespace {
+
+TEST(AuditTest, Validation) {
+  auto sketch = CountSketch::Create(16, 1 << 16, 1);
+  ASSERT_TRUE(sketch.ok());
+  AuditParams params;
+  params.d = 0;
+  EXPECT_FALSE(AuditSketch(sketch.value(), params).ok());
+  params.d = 4;
+  params.epsilon = 0.0;
+  EXPECT_FALSE(AuditSketch(sketch.value(), params).ok());
+  params.epsilon = 0.1;
+  params.delta = 1.5;
+  EXPECT_FALSE(AuditSketch(sketch.value(), params).ok());
+  params.delta = 0.1;
+  params.num_instances = 0;
+  EXPECT_FALSE(AuditSketch(sketch.value(), params).ok());
+}
+
+TEST(AuditTest, RejectsTooFewColumns) {
+  auto sketch = CountSketch::Create(16, 4, 1);
+  ASSERT_TRUE(sketch.ok());
+  AuditParams params;
+  params.d = 8;
+  EXPECT_FALSE(AuditSketch(sketch.value(), params).ok());
+}
+
+TEST(AuditTest, CertifiesUndersizedCountSketch) {
+  // m = 16 against d = 8 at delta = 0.1: the birthday collision rate is
+  // ~0.86, far above delta — the audit must certify the violation and
+  // attach a witness.
+  auto sketch = CountSketch::Create(16, 1 << 18, 5);
+  ASSERT_TRUE(sketch.ok());
+  AuditParams params;
+  params.d = 8;
+  params.epsilon = 0.1;
+  params.delta = 0.1;
+  params.num_instances = 80;
+  params.anti_trials = 800;
+  params.seed = 3;
+  auto report = AuditSketch(sketch.value(), params);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report.value().verdict, AuditVerdict::kViolationCertified);
+  EXPECT_GT(report.value().failure_rate, 0.5);
+  ASSERT_TRUE(report.value().witness.has_value());
+  EXPECT_GE(std::abs(report.value().witness->inner_product), 0.25);
+  EXPECT_GE(report.value().anti_concentration.fraction_outside, 0.2);
+  EXPECT_NE(report.value().summary.find("violation-certified"),
+            std::string::npos);
+}
+
+TEST(AuditTest, PassesGenerousGaussian) {
+  auto sketch = GaussianSketch::Create(512, 1 << 14, 7);
+  ASSERT_TRUE(sketch.ok());
+  AuditParams params;
+  params.d = 4;
+  params.epsilon = 0.4;
+  params.delta = 0.1;
+  params.num_instances = 40;
+  params.seed = 9;
+  auto report = AuditSketch(sketch.value(), params);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report.value().verdict, AuditVerdict::kPassed);
+  EXPECT_EQ(report.value().violations_observed, 0);
+  EXPECT_FALSE(report.value().witness.has_value());
+}
+
+TEST(AuditTest, PassesBlockHadamardAtQuadraticSize) {
+  auto sketch = BlockHadamard::Create(2048, 1 << 20, 8);
+  ASSERT_TRUE(sketch.ok());
+  AuditParams params;
+  params.d = 8;
+  params.epsilon = 1.0 / 64.0;
+  params.delta = 0.2;
+  params.num_instances = 60;
+  params.seed = 11;
+  auto report = AuditSketch(sketch.value(), params);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report.value().verdict, AuditVerdict::kPassed);
+}
+
+TEST(AuditTest, DeterministicGivenSeed) {
+  auto sketch = CountSketch::Create(32, 1 << 16, 13);
+  ASSERT_TRUE(sketch.ok());
+  AuditParams params;
+  params.d = 6;
+  params.epsilon = 0.2;
+  params.delta = 0.2;
+  params.num_instances = 50;
+  params.anti_trials = 200;
+  params.seed = 21;
+  auto a = AuditSketch(sketch.value(), params);
+  auto b = AuditSketch(sketch.value(), params);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a.value().violations_observed, b.value().violations_observed);
+  EXPECT_DOUBLE_EQ(a.value().mean_epsilon, b.value().mean_epsilon);
+  EXPECT_EQ(a.value().summary, b.value().summary);
+}
+
+TEST(AuditVerdictToStringTest, Labels) {
+  EXPECT_STREQ(AuditVerdictToString(AuditVerdict::kViolationCertified),
+               "violation-certified");
+  EXPECT_STREQ(AuditVerdictToString(AuditVerdict::kSuspect), "suspect");
+  EXPECT_STREQ(AuditVerdictToString(AuditVerdict::kPassed), "passed");
+}
+
+}  // namespace
+}  // namespace sose

@@ -1,0 +1,187 @@
+#include "lowerbound/collision.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/random.h"
+#include "hardinstance/d_beta.h"
+#include "testing/fixed_sketch.h"
+
+namespace sose {
+namespace {
+
+using testing_support::FixedSketch;
+
+TEST(BirthdayCollisionProbabilityTest, Extremes) {
+  EXPECT_DOUBLE_EQ(BirthdayCollisionProbability(0, 10), 0.0);
+  EXPECT_DOUBLE_EQ(BirthdayCollisionProbability(1, 10), 0.0);
+  EXPECT_DOUBLE_EQ(BirthdayCollisionProbability(11, 10), 1.0);
+}
+
+TEST(BirthdayCollisionProbabilityTest, ClassicBirthdayNumbers) {
+  // 23 people in 365 days: ~50.7%.
+  EXPECT_NEAR(BirthdayCollisionProbability(23, 365), 0.5073, 1e-4);
+}
+
+TEST(BirthdayCollisionProbabilityTest, MonotoneInBalls) {
+  double prev = 0.0;
+  for (int64_t balls = 1; balls <= 20; ++balls) {
+    const double p = BirthdayCollisionProbability(balls, 50);
+    EXPECT_GE(p, prev);
+    prev = p;
+  }
+}
+
+TEST(CountSketchBirthdayTest, MatchesAnalyticProbability) {
+  // Empirical collision rate over independent sketches should match the
+  // analytic birthday probability.
+  auto sampler = DBetaSampler::Create(1 << 20, 4, 4);  // 16 generators.
+  ASSERT_TRUE(sampler.ok());
+  Rng rng(1);
+  constexpr int kTrials = 1500;
+  constexpr int64_t kBins = 256;
+  int collided = 0;
+  for (int t = 0; t < kTrials; ++t) {
+    HardInstance instance = sampler.value().Sample(&rng);
+    while (instance.HasRowCollision()) instance = sampler.value().Sample(&rng);
+    auto sketch =
+        CountSketch::Create(kBins, 1 << 20, static_cast<uint64_t>(t) + 100);
+    ASSERT_TRUE(sketch.ok());
+    const BirthdayStats stats = CountSketchBirthday(sketch.value(), instance);
+    EXPECT_EQ(stats.balls, 16);
+    EXPECT_EQ(stats.bins, kBins);
+    if (stats.any_collision) ++collided;
+  }
+  const double analytic = BirthdayCollisionProbability(16, kBins);
+  EXPECT_NEAR(static_cast<double>(collided) / kTrials, analytic, 0.05);
+}
+
+TEST(CountSketchBirthdayTest, CollisionCountsAndMaxLoad) {
+  // Deterministic check on a tiny instance via the sketch's own buckets.
+  auto sketch = CountSketch::Create(4, 100, 7);
+  ASSERT_TRUE(sketch.ok());
+  HardInstance instance;
+  instance.n = 100;
+  instance.d = 5;
+  instance.entries_per_col = 1;
+  instance.beta = 1.0;
+  instance.rows = {10, 20, 30, 40, 50};
+  instance.signs = {1, 1, 1, 1, 1};
+  const BirthdayStats stats = CountSketchBirthday(sketch.value(), instance);
+  // Recompute by hand.
+  std::vector<int64_t> load(4, 0);
+  for (int64_t row : instance.rows) ++load[static_cast<size_t>(
+      sketch.value().Bucket(row))];
+  int64_t expected_collisions = 0;
+  int64_t expected_max = 0;
+  for (int64_t l : load) {
+    expected_collisions += l * (l - 1) / 2;
+    expected_max = std::max(expected_max, l);
+  }
+  EXPECT_EQ(stats.collisions, expected_collisions);
+  EXPECT_EQ(stats.max_load, expected_max);
+  EXPECT_EQ(stats.any_collision, expected_collisions > 0);
+}
+
+// Sketch with two colliding heavy pairs for pair-stat tests:
+//   cols 0,1 collide at row 0 (dot 1.0); cols 2,3 collide at rows 2 and 3
+//   (dot 2 * 0.7² = 0.98 over heavy rows, minus light contributions).
+FixedSketch PairFixture() {
+  Matrix pi(4, 4);
+  pi.At(0, 0) = 1.0;
+  pi.At(0, 1) = 1.0;
+  pi.At(2, 2) = 0.7;
+  pi.At(3, 2) = 0.7;
+  pi.At(2, 3) = 0.7;
+  pi.At(3, 3) = -0.7;
+  return FixedSketch(std::move(pi));
+}
+
+TEST(CollidingPairStatsTest, CountsAndDelta) {
+  FixedSketch sketch = PairFixture();
+  auto index = SketchColumnIndex::Build(
+      sketch, 4,
+      HeavinessParams{.theta = 0.5, .min_heavy_entries = 1,
+                      .norm_tolerance = 0.1});
+  ASSERT_TRUE(index.ok());
+  auto stats =
+      ComputeCollidingPairStats(index.value(), {0, 1, 2, 3}, 0.5);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats.value().num_colliding_pairs, 2);
+  // Pair (0,1) shares 1 heavy row; pair (2,3) shares 2 → Δ = 1.5.
+  EXPECT_DOUBLE_EQ(stats.value().delta, 1.5);
+  EXPECT_DOUBLE_EQ(stats.value().q_by_shared[1], 0.5);
+  EXPECT_DOUBLE_EQ(stats.value().q_by_shared[2], 0.5);
+}
+
+TEST(CollidingPairStatsTest, InnerProductThresholdSplitsPairs) {
+  FixedSketch sketch = PairFixture();
+  auto index = SketchColumnIndex::Build(
+      sketch, 4,
+      HeavinessParams{.theta = 0.5, .min_heavy_entries = 1,
+                      .norm_tolerance = 0.1});
+  ASSERT_TRUE(index.ok());
+  // Pair (0,1) has dot 1.0; pair (2,3) has dot 0.49 - 0.49 = 0.
+  auto stats =
+      ComputeCollidingPairStats(index.value(), {0, 1, 2, 3}, 0.5);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_DOUBLE_EQ(stats.value().p_hat, 0.5);
+  EXPECT_DOUBLE_EQ(stats.value().p_by_shared[1], 0.5);
+  EXPECT_DOUBLE_EQ(stats.value().p_by_shared[2], 0.0);
+}
+
+TEST(CollidingPairStatsTest, RestrictsToProvidedColumns) {
+  FixedSketch sketch = PairFixture();
+  auto index = SketchColumnIndex::Build(
+      sketch, 4,
+      HeavinessParams{.theta = 0.5, .min_heavy_entries = 1,
+                      .norm_tolerance = 0.1});
+  ASSERT_TRUE(index.ok());
+  // Only columns {0, 2, 3} provided: pair (0,1) is gone.
+  auto stats = ComputeCollidingPairStats(index.value(), {0, 2, 3}, 0.5);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats.value().num_colliding_pairs, 1);
+  EXPECT_DOUBLE_EQ(stats.value().delta, 2.0);
+}
+
+TEST(CollidingPairStatsTest, EmptyWhenNoCollisions) {
+  Matrix pi = Matrix::Identity(4);
+  FixedSketch sketch(std::move(pi));
+  auto index = SketchColumnIndex::Build(
+      sketch, 4,
+      HeavinessParams{.theta = 0.5, .min_heavy_entries = 1,
+                      .norm_tolerance = 0.1});
+  ASSERT_TRUE(index.ok());
+  auto stats = ComputeCollidingPairStats(index.value(), {0, 1, 2, 3}, 0.1);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats.value().num_colliding_pairs, 0);
+  EXPECT_EQ(stats.value().delta, 0.0);
+  EXPECT_TRUE(stats.value().q_by_shared.empty());
+}
+
+TEST(CollidingPairStatsTest, RejectsOutOfRangeColumns) {
+  FixedSketch sketch = PairFixture();
+  auto index = SketchColumnIndex::Build(
+      sketch, 4,
+      HeavinessParams{.theta = 0.5, .min_heavy_entries = 1,
+                      .norm_tolerance = 0.1});
+  ASSERT_TRUE(index.ok());
+  EXPECT_FALSE(ComputeCollidingPairStats(index.value(), {0, 99}, 0.1).ok());
+}
+
+TEST(CollidingPairStatsTest, DuplicateColumnsCountOnce) {
+  FixedSketch sketch = PairFixture();
+  auto index = SketchColumnIndex::Build(
+      sketch, 4,
+      HeavinessParams{.theta = 0.5, .min_heavy_entries = 1,
+                      .norm_tolerance = 0.1});
+  ASSERT_TRUE(index.ok());
+  auto stats =
+      ComputeCollidingPairStats(index.value(), {0, 0, 1, 1}, 0.5);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats.value().num_colliding_pairs, 1);
+}
+
+}  // namespace
+}  // namespace sose

@@ -1,0 +1,176 @@
+#include "lowerbound/column_index.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sketch/count_sketch.h"
+#include "sketch/osnap.h"
+#include "testing/fixed_sketch.h"
+
+namespace sose {
+namespace {
+
+using testing_support::FixedSketch;
+
+// 4x4 sketch:
+//   col 0: entries 0.9 at row 0, 0.44 at row 1  (norm ~1.0)
+//   col 1: entry 1.0 at row 0                   (collides with col 0 at row 0)
+//   col 2: entry 1.0 at row 3                   (isolated)
+//   col 3: entries 0.6,0.6,0.53 at rows 1,2,3   (norm ~1.0)
+FixedSketch MakeFixture() {
+  Matrix pi(4, 4);
+  pi.At(0, 0) = 0.9;
+  pi.At(1, 0) = 0.44;
+  pi.At(0, 1) = 1.0;
+  pi.At(3, 2) = 1.0;
+  pi.At(1, 3) = 0.6;
+  pi.At(2, 3) = 0.6;
+  pi.At(3, 3) = 0.53;
+  return FixedSketch(std::move(pi));
+}
+
+TEST(SketchColumnIndexTest, Validation) {
+  FixedSketch sketch = MakeFixture();
+  HeavinessParams params{.theta = 0.5, .min_heavy_entries = 1,
+                         .norm_tolerance = 0.2};
+  EXPECT_FALSE(SketchColumnIndex::Build(sketch, 0, params).ok());
+  EXPECT_FALSE(SketchColumnIndex::Build(sketch, 5, params).ok());
+  params.theta = 0.0;
+  EXPECT_FALSE(SketchColumnIndex::Build(sketch, 4, params).ok());
+}
+
+TEST(SketchColumnIndexTest, HeavyRowsPerColumn) {
+  FixedSketch sketch = MakeFixture();
+  auto index = SketchColumnIndex::Build(
+      sketch, 4,
+      HeavinessParams{.theta = 0.5, .min_heavy_entries = 1,
+                      .norm_tolerance = 0.2});
+  ASSERT_TRUE(index.ok());
+  EXPECT_EQ(index.value().HeavyRows(0), (std::vector<int64_t>{0}));
+  EXPECT_EQ(index.value().HeavyRows(1), (std::vector<int64_t>{0}));
+  EXPECT_EQ(index.value().HeavyRows(2), (std::vector<int64_t>{3}));
+  EXPECT_EQ(index.value().HeavyRows(3), (std::vector<int64_t>{1, 2, 3}));
+}
+
+TEST(SketchColumnIndexTest, NormsAndGoodness) {
+  FixedSketch sketch = MakeFixture();
+  auto index = SketchColumnIndex::Build(
+      sketch, 4,
+      HeavinessParams{.theta = 0.5, .min_heavy_entries = 2,
+                      .norm_tolerance = 0.2});
+  ASSERT_TRUE(index.ok());
+  EXPECT_NEAR(index.value().ColumnNormSquared(0), 0.9 * 0.9 + 0.44 * 0.44,
+              1e-12);
+  // min_heavy_entries = 2: only column 3 qualifies.
+  EXPECT_FALSE(index.value().IsGood(0));
+  EXPECT_FALSE(index.value().IsGood(1));
+  EXPECT_FALSE(index.value().IsGood(2));
+  EXPECT_TRUE(index.value().IsGood(3));
+  EXPECT_EQ(index.value().GoodColumns(), (std::vector<int64_t>{3}));
+}
+
+TEST(SketchColumnIndexTest, NormToleranceExcludesColumns) {
+  Matrix pi(2, 2);
+  pi.At(0, 0) = 1.0;   // Norm 1: good.
+  pi.At(0, 1) = 0.6;   // Norm 0.6: outside 1 ± 0.2.
+  FixedSketch sketch(std::move(pi));
+  auto index = SketchColumnIndex::Build(
+      sketch, 2,
+      HeavinessParams{.theta = 0.5, .min_heavy_entries = 1,
+                      .norm_tolerance = 0.2});
+  ASSERT_TRUE(index.ok());
+  EXPECT_TRUE(index.value().IsGood(0));
+  EXPECT_FALSE(index.value().IsGood(1));
+}
+
+TEST(SketchColumnIndexTest, InvertedIndexListsGoodColumns) {
+  FixedSketch sketch = MakeFixture();
+  auto index = SketchColumnIndex::Build(
+      sketch, 4,
+      HeavinessParams{.theta = 0.5, .min_heavy_entries = 1,
+                      .norm_tolerance = 0.2});
+  ASSERT_TRUE(index.ok());
+  // Good columns: 0 (norm ~1.002), 1, 2, 3 (norm ~1.0).
+  EXPECT_EQ(index.value().GoodColumnsHeavyAtRow(0),
+            (std::vector<int64_t>{0, 1}));
+  EXPECT_EQ(index.value().GoodColumnsHeavyAtRow(1), (std::vector<int64_t>{3}));
+  EXPECT_EQ(index.value().GoodColumnsHeavyAtRow(3),
+            (std::vector<int64_t>{2, 3}));
+}
+
+TEST(SketchColumnIndexTest, CollisionQueries) {
+  FixedSketch sketch = MakeFixture();
+  auto index = SketchColumnIndex::Build(
+      sketch, 4,
+      HeavinessParams{.theta = 0.5, .min_heavy_entries = 1,
+                      .norm_tolerance = 0.2});
+  ASSERT_TRUE(index.ok());
+  EXPECT_TRUE(index.value().Collides(0, 1));   // Share row 0.
+  EXPECT_FALSE(index.value().Collides(0, 2));
+  EXPECT_TRUE(index.value().Collides(2, 3));   // Share row 3.
+  EXPECT_TRUE(index.value().Collides(0, 0));   // Self-collision.
+  EXPECT_EQ(index.value().SharedHeavyRows(0, 1), 1);
+  EXPECT_EQ(index.value().SharedHeavyRows(3, 3), 3);
+  EXPECT_EQ(index.value().SharedHeavyRows(0, 3), 0);
+}
+
+TEST(SketchColumnIndexTest, ColumnDotMatchesDense) {
+  FixedSketch sketch = MakeFixture();
+  auto index = SketchColumnIndex::Build(
+      sketch, 4,
+      HeavinessParams{.theta = 0.5, .min_heavy_entries = 1,
+                      .norm_tolerance = 0.2});
+  ASSERT_TRUE(index.ok());
+  const Matrix dense = sketch.MaterializeDense();
+  for (int64_t a = 0; a < 4; ++a) {
+    for (int64_t b = 0; b < 4; ++b) {
+      EXPECT_NEAR(index.value().ColumnDot(a, b), dense.ColDot(a, b), 1e-12);
+    }
+  }
+}
+
+TEST(SketchColumnIndexTest, AverageHeavyEntries) {
+  FixedSketch sketch = MakeFixture();
+  auto index = SketchColumnIndex::Build(
+      sketch, 4,
+      HeavinessParams{.theta = 0.5, .min_heavy_entries = 1,
+                      .norm_tolerance = 0.2});
+  ASSERT_TRUE(index.ok());
+  // Heavy counts: 1, 1, 1, 3 → average 1.5.
+  EXPECT_DOUBLE_EQ(index.value().AverageHeavyEntries(), 1.5);
+}
+
+TEST(SketchColumnIndexTest, CountSketchColumnsAllHeavyAndGood) {
+  auto sketch = CountSketch::Create(32, 200, 3);
+  ASSERT_TRUE(sketch.ok());
+  auto index = SketchColumnIndex::Build(
+      sketch.value(), 200,
+      HeavinessParams{.theta = 0.5, .min_heavy_entries = 1,
+                      .norm_tolerance = 0.1});
+  ASSERT_TRUE(index.ok());
+  EXPECT_EQ(index.value().GoodColumns().size(), 200u);
+  EXPECT_DOUBLE_EQ(index.value().AverageHeavyEntries(), 1.0);
+}
+
+TEST(SketchColumnIndexTest, OsnapHeavinessDependsOnTheta) {
+  // OSNAP s=4 entries have magnitude 1/2; theta 0.4 sees all, 0.6 sees none.
+  auto sketch = Osnap::Create(64, 100, 4, 5);
+  ASSERT_TRUE(sketch.ok());
+  auto low = SketchColumnIndex::Build(
+      sketch.value(), 100,
+      HeavinessParams{.theta = 0.4, .min_heavy_entries = 1,
+                      .norm_tolerance = 0.1});
+  auto high = SketchColumnIndex::Build(
+      sketch.value(), 100,
+      HeavinessParams{.theta = 0.6, .min_heavy_entries = 1,
+                      .norm_tolerance = 0.1});
+  ASSERT_TRUE(low.ok());
+  ASSERT_TRUE(high.ok());
+  EXPECT_DOUBLE_EQ(low.value().AverageHeavyEntries(), 4.0);
+  EXPECT_DOUBLE_EQ(high.value().AverageHeavyEntries(), 0.0);
+  EXPECT_TRUE(high.value().GoodColumns().empty());
+}
+
+}  // namespace
+}  // namespace sose

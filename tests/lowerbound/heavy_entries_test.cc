@@ -1,0 +1,163 @@
+#include "lowerbound/heavy_entries.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sketch/block_hadamard.h"
+#include "sketch/count_sketch.h"
+#include "sketch/gaussian.h"
+#include "sketch/osnap.h"
+
+namespace sose {
+namespace {
+
+TEST(CountHeavyEntriesTest, CountsByAbsoluteValue) {
+  std::vector<ColumnEntry> column = {
+      {0, 0.9}, {1, -0.5}, {2, 0.1}, {3, -0.6}};
+  EXPECT_EQ(CountHeavyEntries(column, 0.5), 3);
+  EXPECT_EQ(CountHeavyEntries(column, 0.95), 0);
+  EXPECT_EQ(CountHeavyEntries(column, 0.05), 4);
+}
+
+TEST(SectionFiveDeltaPrimeTest, MatchesFormulaAndBound) {
+  const double epsilon = 1.0 / 256.0;
+  const double delta_prime = SectionFiveDeltaPrime(epsilon);
+  const double expected =
+      std::log(std::log(std::pow(1.0 / epsilon, 72.0))) /
+      std::log(1.0 / epsilon);
+  EXPECT_NEAR(delta_prime, expected, 1e-12);
+  // The paper chooses δ' so that 4 ε^{δ'} log(1/ε) <= 1/18... for small
+  // enough ε. Verify the defining quantity is modest at this ε.
+  const double value =
+      4.0 * std::pow(epsilon, delta_prime) * std::log2(1.0 / epsilon);
+  EXPECT_LT(value, 6.0);
+}
+
+TEST(HeavyCensusTest, Validation) {
+  auto sketch = CountSketch::Create(8, 64, 1);
+  ASSERT_TRUE(sketch.ok());
+  Rng rng(1);
+  EXPECT_FALSE(
+      ComputeHeavyCensus(sketch.value(), -1, 0.05, 10, &rng).ok());
+  EXPECT_FALSE(ComputeHeavyCensus(sketch.value(), 2, 0.0, 10, &rng).ok());
+  EXPECT_FALSE(ComputeHeavyCensus(sketch.value(), 2, 0.05, 0, &rng).ok());
+}
+
+TEST(HeavyCensusTest, CountSketchHasOneHeavyEntryAtEveryLevel) {
+  // Count-Sketch entries are ±1 ≥ √(2^{-ℓ}) for every ℓ >= 0.
+  auto sketch = CountSketch::Create(16, 500, 2);
+  ASSERT_TRUE(sketch.ok());
+  Rng rng(2);
+  auto census = ComputeHeavyCensus(sketch.value(), 4, 1.0 / 64.0, 500, &rng);
+  ASSERT_TRUE(census.ok());
+  ASSERT_EQ(census.value().levels.size(), 5u);
+  for (double count : census.value().average_counts) {
+    EXPECT_DOUBLE_EQ(count, 1.0);
+  }
+  EXPECT_NEAR(census.value().average_norm_squared, 1.0, 1e-12);
+}
+
+TEST(HeavyCensusTest, OsnapCountsJumpAtItsMagnitudeLevel) {
+  // OSNAP s=4: entries ±1/2 = √(2^{-2}); heavy for ℓ >= 2, absent below.
+  auto sketch = Osnap::Create(64, 300, 4, 3);
+  ASSERT_TRUE(sketch.ok());
+  Rng rng(3);
+  auto census = ComputeHeavyCensus(sketch.value(), 4, 1.0 / 64.0, 300, &rng);
+  ASSERT_TRUE(census.ok());
+  EXPECT_DOUBLE_EQ(census.value().average_counts[0], 0.0);  // θ = 1.
+  EXPECT_DOUBLE_EQ(census.value().average_counts[1], 0.0);  // θ = 1/√2.
+  EXPECT_DOUBLE_EQ(census.value().average_counts[2], 4.0);  // θ = 1/2.
+  EXPECT_DOUBLE_EQ(census.value().average_counts[3], 4.0);
+  EXPECT_DOUBLE_EQ(census.value().average_counts[4], 4.0);
+}
+
+TEST(HeavyCensusTest, ThresholdsAreDyadic) {
+  auto sketch = CountSketch::Create(8, 64, 4);
+  ASSERT_TRUE(sketch.ok());
+  Rng rng(4);
+  auto census = ComputeHeavyCensus(sketch.value(), 3, 0.01, 64, &rng);
+  ASSERT_TRUE(census.ok());
+  EXPECT_DOUBLE_EQ(census.value().thresholds[0], 1.0);
+  EXPECT_NEAR(census.value().thresholds[1], 1.0 / std::sqrt(2.0), 1e-15);
+  EXPECT_NEAR(census.value().thresholds[2], 0.5, 1e-15);
+}
+
+TEST(HeavyCensusTest, Lemma19BoundsGrowDyadically) {
+  auto sketch = CountSketch::Create(8, 64, 5);
+  ASSERT_TRUE(sketch.ok());
+  Rng rng(5);
+  const double epsilon = 1.0 / 64.0;
+  auto census = ComputeHeavyCensus(sketch.value(), 3, epsilon, 64, &rng);
+  ASSERT_TRUE(census.ok());
+  const double delta_prime = SectionFiveDeltaPrime(epsilon);
+  for (size_t level = 0; level < 4; ++level) {
+    EXPECT_NEAR(census.value().lemma19_bounds[level],
+                std::pow(epsilon, delta_prime) *
+                    std::pow(2.0, static_cast<double>(level)),
+                1e-12);
+  }
+  EXPECT_LT(census.value().lemma19_bounds[0], 1.0);
+}
+
+TEST(HeavyCensusTest, GaussianHasFewHeavyEntries) {
+  // N(0, 1/m) entries: |entry| >= 1 has probability ~erfc(√(m/2)) ≈ 0.
+  auto sketch = GaussianSketch::Create(64, 100, 6);
+  ASSERT_TRUE(sketch.ok());
+  Rng rng(6);
+  auto census = ComputeHeavyCensus(sketch.value(), 0, 0.01, 100, &rng);
+  ASSERT_TRUE(census.ok());
+  EXPECT_LT(census.value().average_counts[0], 0.05);
+  EXPECT_NEAR(census.value().average_norm_squared, 1.0, 0.2);
+}
+
+TEST(HeavyCensusTest, BlockHadamardSaturatesAtBlockOrder) {
+  // Entries ±1/√8 = √(2^{-3}): 8 heavy entries at levels >= 3.
+  auto sketch = BlockHadamard::Create(64, 256, 8);
+  ASSERT_TRUE(sketch.ok());
+  Rng rng(7);
+  auto census = ComputeHeavyCensus(sketch.value(), 4, 1.0 / 64.0, 256, &rng);
+  ASSERT_TRUE(census.ok());
+  EXPECT_DOUBLE_EQ(census.value().average_counts[2], 0.0);
+  EXPECT_DOUBLE_EQ(census.value().average_counts[3], 8.0);
+  EXPECT_DOUBLE_EQ(census.value().average_counts[4], 8.0);
+}
+
+TEST(HeavyCensusTest, SamplingSubsetIsCloseToFull) {
+  auto sketch = Osnap::Create(32, 5000, 2, 8);
+  ASSERT_TRUE(sketch.ok());
+  Rng rng(8);
+  auto sampled = ComputeHeavyCensus(sketch.value(), 2, 0.05, 500, &rng);
+  auto full = ComputeHeavyCensus(sketch.value(), 2, 0.05, 5000, &rng);
+  ASSERT_TRUE(sampled.ok());
+  ASSERT_TRUE(full.ok());
+  for (size_t level = 0; level < 3; ++level) {
+    EXPECT_NEAR(sampled.value().average_counts[level],
+                full.value().average_counts[level], 0.2);
+  }
+}
+
+TEST(FractionColumnsOutsideNormTest, ExactColumnsAreInside) {
+  auto sketch = CountSketch::Create(16, 400, 9);
+  ASSERT_TRUE(sketch.ok());
+  Rng rng(9);
+  auto fraction =
+      FractionColumnsOutsideNorm(sketch.value(), 0.1, 400, &rng);
+  ASSERT_TRUE(fraction.ok());
+  EXPECT_DOUBLE_EQ(fraction.value(), 0.0);
+}
+
+TEST(FractionColumnsOutsideNormTest, GaussianColumnsFluctuate) {
+  // Gaussian column norms concentrate at 1 but with ~1/√m fluctuations; with
+  // m = 16 and ε = 0.05 a substantial fraction falls outside.
+  auto sketch = GaussianSketch::Create(16, 500, 10);
+  ASSERT_TRUE(sketch.ok());
+  Rng rng(10);
+  auto fraction =
+      FractionColumnsOutsideNorm(sketch.value(), 0.05, 500, &rng);
+  ASSERT_TRUE(fraction.ok());
+  EXPECT_GT(fraction.value(), 0.3);
+}
+
+}  // namespace
+}  // namespace sose

@@ -1,0 +1,230 @@
+#include "lowerbound/lemma_checks.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/random.h"
+#include "core/vector_ops.h"
+
+namespace sose {
+namespace {
+
+// ---------- Fact 5 ----------
+
+TEST(Fact5Test, HoldsOnOrderedTriples) {
+  // |x1| >= |x2| >= |x3|, |x1| >= a: the fact guarantees both sides >= 1/4.
+  EXPECT_TRUE(CheckFact5(5.0, 3.0, 1.0, 5.0).holds);
+  EXPECT_TRUE(CheckFact5(-5.0, 3.0, -1.0, 5.0).holds);
+  EXPECT_TRUE(CheckFact5(2.0, 2.0, 2.0, 2.0).holds);
+  EXPECT_TRUE(CheckFact5(1.0, 0.0, 0.0, 1.0).holds);
+  EXPECT_TRUE(CheckFact5(3.0, -2.5, 0.5, 1.0).holds);
+}
+
+TEST(Fact5Test, ExhaustiveOverGrid) {
+  // Property sweep: every ordered triple on a sign-and-magnitude grid.
+  const double magnitudes[] = {0.0, 0.5, 1.0, 2.0, 3.5};
+  for (double m1 : magnitudes) {
+    for (double m2 : magnitudes) {
+      for (double m3 : magnitudes) {
+        if (!(m1 >= m2 && m2 >= m3)) continue;
+        if (m1 == 0.0) continue;
+        for (double s1 : {-1.0, 1.0}) {
+          for (double s2 : {-1.0, 1.0}) {
+            for (double s3 : {-1.0, 1.0}) {
+              const Fact5Result result =
+                  CheckFact5(s1 * m1, s2 * m2, s3 * m3, m1);
+              EXPECT_TRUE(result.holds)
+                  << s1 * m1 << " " << s2 * m2 << " " << s3 * m3;
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(Fact5Test, ProbabilitiesAreQuarterMultiples) {
+  const Fact5Result result = CheckFact5(4.0, 1.0, 0.5, 4.0);
+  const double quarters = result.prob_at_least_a * 4.0;
+  EXPECT_DOUBLE_EQ(quarters, std::round(quarters));
+}
+
+TEST(Fact5Test, CanFailWhenPreconditionViolated) {
+  // |x1| < a: no guarantee — with x1 = 0.1 and a = 10, no combination
+  // reaches the bound.
+  const Fact5Result result = CheckFact5(0.1, 0.05, 0.01, 10.0);
+  EXPECT_FALSE(result.holds);
+  EXPECT_EQ(result.prob_at_least_a, 0.0);
+}
+
+// ---------- Lemma 3 ----------
+
+std::vector<std::vector<double>> CanonicalBasis(int dim) {
+  std::vector<std::vector<double>> out;
+  for (int i = 0; i < dim; ++i) {
+    std::vector<double> e(static_cast<size_t>(dim), 0.0);
+    e[static_cast<size_t>(i)] = 1.0;
+    out.push_back(e);
+  }
+  return out;
+}
+
+TEST(Lemma3Test, Validation) {
+  EXPECT_FALSE(CheckLemma3({}, 0.05).ok());
+  EXPECT_FALSE(CheckLemma3({{1.0}, {1.0, 0.0}}, 0.05).ok());  // Dim mismatch.
+  EXPECT_FALSE(CheckLemma3({{2.0}}, 0.05).ok());              // Outside ball.
+}
+
+TEST(Lemma3Test, HoldsOnOrthonormalFamily) {
+  auto result = CheckLemma3(CanonicalBasis(20), 0.05);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.value().holds);
+  // Orthonormal: all off-diagonal inner products are 0 > -3ε, so the
+  // probability is 1.
+  EXPECT_DOUBLE_EQ(result.value().probability, 1.0);
+  EXPECT_GE(result.value().mean_inner_product, 0.0);
+}
+
+TEST(Lemma3Test, HoldsOnAdversarialSimplex) {
+  // The regular simplex family: k unit vectors with pairwise inner product
+  // -1/(k-1) — the worst case for the lemma.
+  const int k = 24;
+  std::vector<std::vector<double>> family;
+  // Construct from the canonical basis in R^k projected off the all-ones
+  // direction, then normalized.
+  for (int i = 0; i < k; ++i) {
+    std::vector<double> v(static_cast<size_t>(k), -1.0 / k);
+    v[static_cast<size_t>(i)] += 1.0;
+    Normalize(&v);
+    family.push_back(v);
+  }
+  const double epsilon = 1.0 / 10.0;
+  auto result = CheckLemma3(family, epsilon);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.value().holds) << result.value().probability;
+}
+
+TEST(Lemma3Test, HoldsOnRandomFamilies) {
+  Rng rng(5);
+  for (int round = 0; round < 10; ++round) {
+    const int k = 5 + static_cast<int>(rng.UniformInt(uint64_t{20}));
+    const int dim = 3 + static_cast<int>(rng.UniformInt(uint64_t{10}));
+    std::vector<std::vector<double>> family;
+    for (int i = 0; i < k; ++i) {
+      std::vector<double> v(static_cast<size_t>(dim));
+      for (double& x : v) x = rng.Gaussian();
+      Normalize(&v);
+      // Random shrink keeps vectors inside the ball (lemma allows norms <= 1).
+      const double shrink = 0.5 + 0.5 * rng.UniformDouble();
+      ScaleVec(shrink, &v);
+      family.push_back(v);
+    }
+    auto result = CheckLemma3(family, 0.08);
+    ASSERT_TRUE(result.ok());
+    EXPECT_TRUE(result.value().holds);
+    EXPECT_GE(result.value().mean_inner_product, -1e-12);
+  }
+}
+
+TEST(Lemma3Test, MeanInnerProductNonNegativeAlways) {
+  // The proof's key step: E⟨u,v⟩ = ‖Σu‖²/k² >= 0 for ANY family.
+  std::vector<std::vector<double>> antipodal = {{1.0, 0.0}, {-1.0, 0.0}};
+  auto result = CheckLemma3(antipodal, 0.05);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result.value().mean_inner_product, 0.0, 1e-12);
+  // Pairs: (a,a)=1, (a,b)=-1, (b,a)=-1, (b,b)=1 → Pr[⟨u,v⟩ >= -0.15] = 1/2.
+  EXPECT_DOUBLE_EQ(result.value().probability, 0.5);
+  EXPECT_TRUE(result.value().holds);  // 1/2 > 2ε = 0.1.
+}
+
+TEST(Lemma3Test, BoundFieldIsTwoEpsilon) {
+  auto result = CheckLemma3(CanonicalBasis(3), 0.07);
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result.value().bound, 0.14);
+}
+
+// ---------- Lemma 14 ----------
+
+TEST(Lemma14Test, Validation) {
+  Matrix a(2, 2);
+  EXPECT_FALSE(CheckLemma14(a, 5, 0.5, 0.05).ok());   // Row out of range.
+  EXPECT_FALSE(CheckLemma14(a, 0, 0.0, 0.05).ok());   // theta <= 0.
+  EXPECT_FALSE(CheckLemma14(a, 0, 0.5, 0.05).ok());   // No heavy column.
+}
+
+TEST(Lemma14Test, HoldsWithAlignedHeavyColumns) {
+  // All heavy entries positive at row 0: every pair has ⟨⟩ >= θ².
+  Matrix a(3, 4);
+  for (int64_t c = 0; c < 4; ++c) {
+    a.At(0, c) = 0.6;
+    a.At(1, c) = 0.1 * static_cast<double>(c % 2);
+  }
+  auto result = CheckLemma14(a, 0, 0.5, 0.05);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().heavy_set_size, 4);
+  EXPECT_TRUE(result.value().precondition_met);
+  EXPECT_TRUE(result.value().holds);
+  EXPECT_DOUBLE_EQ(result.value().probability, 1.0);
+}
+
+TEST(Lemma14Test, HoldsWithMixedSigns) {
+  // Half the heavy entries are negative; the lemma still guarantees ε/2.
+  const double theta = std::sqrt(8.0 * 0.05);
+  Matrix a(4, 8);
+  Rng rng(6);
+  for (int64_t c = 0; c < 8; ++c) {
+    a.At(0, c) = (c < 4 ? theta : -theta);
+    // Light noise below the heaviness threshold in other rows, keeping
+    // column norms <= 1 + θ².
+    for (int64_t r = 1; r < 4; ++r) {
+      a.At(r, c) = 0.2 * rng.UniformDouble(-1.0, 1.0);
+    }
+  }
+  auto result = CheckLemma14(a, 0, theta, 0.05);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.value().precondition_met);
+  EXPECT_TRUE(result.value().holds);
+  EXPECT_GE(result.value().probability, 0.025);
+}
+
+TEST(Lemma14Test, RandomizedSweep) {
+  Rng rng(7);
+  const double epsilon = 0.1;
+  const double theta = std::sqrt(8.0 * epsilon);
+  for (int round = 0; round < 20; ++round) {
+    const int64_t cols = 6 + static_cast<int64_t>(rng.UniformInt(uint64_t{10}));
+    Matrix a(5, cols);
+    for (int64_t c = 0; c < cols; ++c) {
+      a.At(0, c) = theta * rng.Rademacher();
+      for (int64_t r = 1; r < 5; ++r) {
+        a.At(r, c) = 0.15 * rng.Gaussian();
+      }
+      // Rescale column tails to respect ‖col‖² <= 1 + θ².
+      double tail = 0.0;
+      for (int64_t r = 1; r < 5; ++r) tail += a.At(r, c) * a.At(r, c);
+      const double cap = 1.0;
+      if (tail > cap) {
+        const double shrink = std::sqrt(cap / tail);
+        for (int64_t r = 1; r < 5; ++r) a.At(r, c) *= shrink;
+      }
+    }
+    auto result = CheckLemma14(a, 0, theta, epsilon);
+    ASSERT_TRUE(result.ok());
+    EXPECT_TRUE(result.value().precondition_met);
+    EXPECT_TRUE(result.value().holds) << "round " << round;
+  }
+}
+
+TEST(Lemma14Test, PreconditionFlagDetectsFatColumns) {
+  Matrix a(2, 2);
+  a.At(0, 0) = 0.6;
+  a.At(0, 1) = 0.6;
+  a.At(1, 1) = 2.0;  // Column norm² = 4.36 > 1 + θ².
+  auto result = CheckLemma14(a, 0, 0.5, 0.05);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result.value().precondition_met);
+}
+
+}  // namespace
+}  // namespace sose

@@ -1,0 +1,160 @@
+// Property/fuzz suite for the Algorithm 1/2 implementation: run the pair
+// finder on many random (sketch, instance, seed) triples and assert the
+// structural invariants that the paper's Lemma 11 and the algorithm's
+// definition guarantee, independent of any statistics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "core/random.h"
+#include "hardinstance/d_beta.h"
+#include "lowerbound/pair_finder.h"
+#include "sketch/registry.h"
+
+namespace sose {
+namespace {
+
+struct FuzzCase {
+  std::string family;
+  int64_t m;
+  int64_t n;
+  int64_t s;
+  int64_t d;
+  uint64_t seed;
+};
+
+std::vector<FuzzCase> FuzzCases() {
+  std::vector<FuzzCase> cases;
+  Rng rng(0xfa22);
+  const std::vector<std::string> families = {"countsketch", "osnap",
+                                             "blockhadamard"};
+  for (uint64_t i = 0; i < 24; ++i) {
+    FuzzCase c;
+    c.family = families[i % families.size()];
+    c.s = 1 + static_cast<int64_t>(rng.UniformInt(uint64_t{3}));
+    if (c.family == "blockhadamard") {
+      c.s = int64_t{1} << rng.UniformInt(1, 3);  // Power of two.
+      c.m = c.s * (8 + static_cast<int64_t>(rng.UniformInt(uint64_t{16})));
+    } else {
+      c.m = 16 + static_cast<int64_t>(rng.UniformInt(uint64_t{256}));
+    }
+    c.n = 512 + static_cast<int64_t>(rng.UniformInt(uint64_t{2048}));
+    c.d = 16 + static_cast<int64_t>(rng.UniformInt(uint64_t{64}));
+    c.seed = i * 1001 + 7;
+    cases.push_back(c);
+  }
+  return cases;
+}
+
+class PairFinderFuzzTest : public testing::TestWithParam<FuzzCase> {};
+
+TEST_P(PairFinderFuzzTest, StructuralInvariants) {
+  const FuzzCase& fuzz = GetParam();
+  SketchConfig config;
+  config.rows = fuzz.m;
+  config.cols = fuzz.n;
+  config.sparsity = fuzz.s;
+  config.seed = fuzz.seed;
+  auto sketch = CreateSketch(fuzz.family, config);
+  ASSERT_TRUE(sketch.ok()) << sketch.status();
+
+  const double theta = 1.0 / std::sqrt(static_cast<double>(fuzz.s));
+  auto index = SketchColumnIndex::Build(
+      *sketch.value(), fuzz.n,
+      HeavinessParams{.theta = theta * (1.0 - 1e-9), .min_heavy_entries = 1,
+                      .norm_tolerance = 0.25});
+  ASSERT_TRUE(index.ok());
+
+  auto sampler = DBetaSampler::Create(fuzz.n, fuzz.d, 1);
+  ASSERT_TRUE(sampler.ok());
+  Rng rng(fuzz.seed + 1);
+  const HardInstance instance = sampler.value().Sample(&rng);
+
+  PairFinderOptions options;
+  options.phi_threshold = 3.0 / static_cast<double>(fuzz.d);
+  options.num_iterations = std::max<int64_t>(1, fuzz.d / 16);
+  options.seed = fuzz.seed + 2;
+  options.collect_set_stats = true;
+  auto result = RunPairFinder(index.value(), instance.rows, options);
+  ASSERT_TRUE(result.ok()) << result.status();
+
+  // Invariant 1: good chosen count is the number of good columns among the
+  // chosen sequence (with multiplicity).
+  int64_t expected_good = 0;
+  for (int64_t c : instance.rows) {
+    if (index.value().IsGood(c)) ++expected_good;
+  }
+  EXPECT_EQ(result.value().num_good_chosen, expected_good);
+
+  // Invariant 2: every emitted pair actually collides, lies in the chosen
+  // set, and the recorded inner product / shared rows are correct.
+  std::set<int64_t> chosen(instance.rows.begin(), instance.rows.end());
+  int64_t pair_events = 0;
+  for (const PairFinderEvent& event : result.value().events) {
+    if (event.branch == PairFinderBranch::kHighPhiPair ||
+        event.branch == PairFinderBranch::kGreedyPair) {
+      ++pair_events;
+      ASSERT_GE(event.col_a, 0);
+      ASSERT_GE(event.col_b, 0);
+      EXPECT_TRUE(chosen.contains(event.col_a));
+      EXPECT_TRUE(chosen.contains(event.col_b));
+      EXPECT_TRUE(index.value().IsGood(event.col_a));
+      EXPECT_TRUE(index.value().IsGood(event.col_b));
+      EXPECT_GE(event.shared_heavy_rows, 1);
+      EXPECT_EQ(event.shared_heavy_rows,
+                index.value().SharedHeavyRows(event.col_a, event.col_b));
+      EXPECT_NEAR(event.inner_product,
+                  index.value().ColumnDot(event.col_a, event.col_b), 1e-12);
+    }
+  }
+  EXPECT_EQ(result.value().num_pairs, pair_events);
+
+  // Invariant 3: steps are strictly increasing and G never grows.
+  int64_t last_step = 0;
+  int64_t last_alive = static_cast<int64_t>(
+      index.value().GoodColumns().size());
+  for (const PairFinderEvent& event : result.value().events) {
+    EXPECT_GT(event.step, last_step);
+    last_step = event.step;
+    EXPECT_LE(event.alive_good_columns, last_alive);
+    last_alive = event.alive_good_columns;
+    // Δ_k is an average of per-pair shared-row counts: within [1, s] when
+    // pairs exist, exactly 0 otherwise.
+    if (event.colliding_pairs_tk > 0) {
+      EXPECT_GE(event.delta_k, 1.0);
+      EXPECT_LE(event.delta_k, static_cast<double>(fuzz.s) + 1e-12);
+    } else {
+      EXPECT_EQ(event.delta_k, 0.0);
+    }
+  }
+  EXPECT_LE(result.value().final_good_set_size, last_alive);
+
+  // Invariant 4: at most 2 chosen indices are consumed per iteration, so
+  // the number of pairs is at most num_iterations.
+  EXPECT_LE(result.value().num_pairs, options.num_iterations);
+
+  // Invariant 5: determinism.
+  auto replay = RunPairFinder(index.value(), instance.rows, options);
+  ASSERT_TRUE(replay.ok());
+  ASSERT_EQ(replay.value().events.size(), result.value().events.size());
+  for (size_t i = 0; i < replay.value().events.size(); ++i) {
+    EXPECT_EQ(replay.value().events[i].branch,
+              result.value().events[i].branch);
+    EXPECT_EQ(replay.value().events[i].col_a, result.value().events[i].col_a);
+    EXPECT_EQ(replay.value().events[i].col_b, result.value().events[i].col_b);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomConfigurations, PairFinderFuzzTest, testing::ValuesIn(FuzzCases()),
+    [](const testing::TestParamInfo<FuzzCase>& info) {
+      std::string name = info.param.family + "_" + std::to_string(info.index);
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace sose

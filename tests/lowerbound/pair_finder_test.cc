@@ -1,0 +1,240 @@
+#include "lowerbound/pair_finder.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "core/random.h"
+#include "hardinstance/d_beta.h"
+#include "sketch/count_sketch.h"
+#include "testing/fixed_sketch.h"
+
+namespace sose {
+namespace {
+
+using testing_support::FixedSketch;
+
+SketchColumnIndex BuildIndex(const SketchingMatrix& sketch, int64_t cols,
+                             double theta, int64_t min_heavy = 1,
+                             double tolerance = 0.2) {
+  auto index = SketchColumnIndex::Build(
+      sketch, cols,
+      HeavinessParams{.theta = theta, .min_heavy_entries = min_heavy,
+                      .norm_tolerance = tolerance});
+  EXPECT_TRUE(index.ok());
+  return std::move(index).value();
+}
+
+TEST(PairFinderTest, Validation) {
+  FixedSketch sketch{Matrix::Identity(4)};
+  SketchColumnIndex index = BuildIndex(sketch, 4, 0.5);
+  PairFinderOptions options;
+  options.num_iterations = 0;
+  options.phi_threshold = 0.1;
+  EXPECT_FALSE(RunPairFinder(index, {0, 1}, options).ok());
+  options.num_iterations = 1;
+  options.phi_threshold = 0.0;
+  EXPECT_FALSE(RunPairFinder(index, {0, 1}, options).ok());
+  options.phi_threshold = 0.1;
+  EXPECT_FALSE(RunPairFinder(index, {0, 99}, options).ok());
+  EXPECT_FALSE(RunAlgorithm1(index, {}, 1).ok());
+  EXPECT_FALSE(RunAlgorithm2(index, {0}, 0.0, 1).ok());
+  EXPECT_FALSE(RunAlgorithm2(index, {0}, 2.0, 1).ok());
+}
+
+TEST(PairFinderTest, NoCollisionsYieldsNoPairs) {
+  // Identity sketch: every column is isolated in its own row.
+  FixedSketch sketch{Matrix::Identity(32)};
+  SketchColumnIndex index = BuildIndex(sketch, 32, 0.5);
+  std::vector<int64_t> chosen;
+  for (int64_t c = 0; c < 32; ++c) chosen.push_back(c);
+  auto result = RunAlgorithm1(index, chosen, 1);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().num_pairs, 0);
+  EXPECT_EQ(result.value().num_good_chosen, 32);
+  // Each iteration hits the greedy branch with no partner.
+  for (const PairFinderEvent& event : result.value().events) {
+    EXPECT_TRUE(event.branch == PairFinderBranch::kNoPartner ||
+                event.branch == PairFinderBranch::kSkippedIndex);
+  }
+}
+
+TEST(PairFinderTest, AllColumnsCollidingProducesHighPhiPairs) {
+  // Every column is e_0: one gigantic colliding cluster. φ = 1 > η/d, and
+  // every chosen column is heavy at the dominating row, so the high-φ
+  // branch emits a pair each iteration.
+  Matrix pi(4, 64);
+  for (int64_t c = 0; c < 64; ++c) pi.At(0, c) = 1.0;
+  FixedSketch sketch(std::move(pi));
+  SketchColumnIndex index = BuildIndex(sketch, 64, 0.5);
+  std::vector<int64_t> chosen;
+  for (int64_t c = 0; c < 64; ++c) chosen.push_back(c);
+  auto result = RunAlgorithm1(index, chosen, 7);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().num_pairs, 4);  // d/16 = 4 iterations.
+  for (const PairFinderEvent& event : result.value().events) {
+    ASSERT_EQ(event.branch, PairFinderBranch::kHighPhiPair);
+    EXPECT_DOUBLE_EQ(event.inner_product, 1.0);
+    EXPECT_EQ(event.shared_heavy_rows, 1);
+    EXPECT_EQ(event.row, 0);
+  }
+}
+
+TEST(PairFinderTest, EmittedPairsAreDisjoint) {
+  Matrix pi(4, 64);
+  for (int64_t c = 0; c < 64; ++c) pi.At(0, c) = 1.0;
+  FixedSketch sketch(std::move(pi));
+  SketchColumnIndex index = BuildIndex(sketch, 64, 0.5);
+  std::vector<int64_t> chosen;
+  for (int64_t c = 0; c < 64; ++c) chosen.push_back(c);
+  auto result = RunAlgorithm1(index, chosen, 11);
+  ASSERT_TRUE(result.ok());
+  std::set<int64_t> used;
+  for (const PairFinderEvent& event : result.value().events) {
+    if (event.col_a >= 0) {
+      EXPECT_TRUE(used.insert(event.col_a).second);
+    }
+    if (event.col_b >= 0) {
+      EXPECT_TRUE(used.insert(event.col_b).second);
+    }
+  }
+}
+
+TEST(PairFinderTest, GreedyBranchFindsPlantedPair) {
+  // Two colliding chosen columns in a sea of isolated ones; φ is tiny so
+  // the while-loop breaks into the greedy branch.
+  Matrix pi(64, 64);
+  for (int64_t c = 0; c < 64; ++c) pi.At(c, c) = 1.0;
+  // Columns 0 and 1 also share heavy row 60.
+  pi.At(60, 0) = 0.8;
+  pi.At(60, 1) = 0.8;
+  pi.At(0, 0) = 0.6;
+  pi.At(1, 1) = 0.6;
+  FixedSketch sketch(std::move(pi));
+  SketchColumnIndex index = BuildIndex(sketch, 64, 0.5);
+  PairFinderOptions options;
+  options.phi_threshold = 0.5;  // |N(c)|/|G| = 2/64 < 0.5 for all c.
+  options.num_iterations = 1;
+  options.seed = 3;
+  auto result = RunPairFinder(index, {0, 1, 5, 9}, options);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result.value().events.size(), 1u);
+  const PairFinderEvent& event = result.value().events.front();
+  EXPECT_EQ(event.branch, PairFinderBranch::kGreedyPair);
+  EXPECT_EQ(event.col_b, 0);  // Pivot C_0.
+  EXPECT_EQ(event.col_a, 1);  // Its only partner.
+  EXPECT_NEAR(event.inner_product, 0.64, 1e-12);
+  EXPECT_EQ(event.shared_heavy_rows, 1);
+}
+
+TEST(PairFinderTest, NoPartnerRemovesColliders) {
+  // Pivot C_0 collides with non-chosen good columns only: the branch must
+  // purge those from G.
+  Matrix pi(8, 8);
+  for (int64_t c = 0; c < 8; ++c) pi.At(c % 4, c) = 1.0;  // Pairs share rows.
+  FixedSketch sketch(std::move(pi));
+  SketchColumnIndex index = BuildIndex(sketch, 8, 0.5);
+  PairFinderOptions options;
+  options.phi_threshold = 0.9;  // Collider fraction 2/8 < 0.9.
+  options.num_iterations = 1;
+  options.seed = 1;
+  // Chosen columns 0 and 5 do not collide with each other (rows 0 and 1).
+  auto result = RunPairFinder(index, {0, 5}, options);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result.value().events.size(), 1u);
+  EXPECT_EQ(result.value().events.front().branch,
+            PairFinderBranch::kNoPartner);
+  // Columns 0 and 4 (the colliders of pivot 0) removed: 8 - 2 = 6 alive.
+  EXPECT_EQ(result.value().final_good_set_size, 6);
+}
+
+TEST(PairFinderTest, SkippedIndexWhenPivotConsumed) {
+  // Iteration 0 consumes indices 0 and 1 as a pair; iteration 1's pivot
+  // (index 1) is gone → kSkippedIndex.
+  Matrix pi(4, 8);
+  pi.At(0, 0) = 1.0;
+  pi.At(0, 1) = 1.0;  // Chosen 0, 1 collide.
+  for (int64_t c = 2; c < 8; ++c) pi.At(1 + (c % 3), c) = 1.0;
+  FixedSketch sketch(std::move(pi));
+  SketchColumnIndex index = BuildIndex(sketch, 8, 0.5);
+  PairFinderOptions options;
+  options.phi_threshold = 0.95;
+  options.num_iterations = 2;
+  options.seed = 5;
+  auto result = RunPairFinder(index, {0, 1}, options);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result.value().events.size(), 2u);
+  EXPECT_EQ(result.value().events[0].branch, PairFinderBranch::kGreedyPair);
+  EXPECT_EQ(result.value().events[1].branch, PairFinderBranch::kSkippedIndex);
+}
+
+TEST(PairFinderTest, DeterministicGivenSeed) {
+  auto sketch = CountSketch::Create(32, 512, 9);
+  ASSERT_TRUE(sketch.ok());
+  SketchColumnIndex index = BuildIndex(sketch.value(), 512, 0.5);
+  std::vector<int64_t> chosen;
+  for (int64_t c = 0; c < 64; ++c) chosen.push_back(c * 7);
+  auto a = RunAlgorithm1(index, chosen, 123);
+  auto b = RunAlgorithm1(index, chosen, 123);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a.value().events.size(), b.value().events.size());
+  for (size_t i = 0; i < a.value().events.size(); ++i) {
+    EXPECT_EQ(a.value().events[i].branch, b.value().events[i].branch);
+    EXPECT_EQ(a.value().events[i].col_a, b.value().events[i].col_a);
+    EXPECT_EQ(a.value().events[i].col_b, b.value().events[i].col_b);
+  }
+}
+
+TEST(PairFinderTest, RealCountSketchPairsHaveUnitInnerProducts) {
+  // Count-Sketch columns are ±e_k: any emitted colliding pair has
+  // |⟨Π_a, Π_b⟩| = 1.
+  auto sketch = CountSketch::Create(64, 4096, 13);
+  ASSERT_TRUE(sketch.ok());
+  SketchColumnIndex index = BuildIndex(sketch.value(), 4096, 0.5);
+  Rng rng(7);
+  std::vector<int64_t> chosen;
+  for (int64_t i = 0; i < 128; ++i) {
+    chosen.push_back(static_cast<int64_t>(rng.UniformInt(uint64_t{4096})));
+  }
+  auto result = RunAlgorithm1(index, chosen, 17);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result.value().num_pairs, 0);
+  for (const PairFinderEvent& event : result.value().events) {
+    if (event.branch == PairFinderBranch::kHighPhiPair ||
+        event.branch == PairFinderBranch::kGreedyPair) {
+      EXPECT_DOUBLE_EQ(std::fabs(event.inner_product), 1.0);
+      EXPECT_EQ(event.shared_heavy_rows, 1);
+    }
+  }
+}
+
+TEST(PairFinderTest, FinalGoodSetNeverGrows) {
+  auto sketch = CountSketch::Create(16, 1024, 21);
+  ASSERT_TRUE(sketch.ok());
+  SketchColumnIndex index = BuildIndex(sketch.value(), 1024, 0.5);
+  std::vector<int64_t> chosen;
+  for (int64_t c = 0; c < 64; ++c) chosen.push_back(c * 16);
+  auto result = RunAlgorithm1(index, chosen, 31);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LE(result.value().final_good_set_size,
+            static_cast<int64_t>(index.GoodColumns().size()));
+  EXPECT_GE(result.value().final_good_set_size, 0);
+}
+
+TEST(PairFinderTest, Algorithm2ScalesIterationCount) {
+  Matrix pi(4, 64);
+  for (int64_t c = 0; c < 64; ++c) pi.At(0, c) = 1.0;
+  FixedSketch sketch(std::move(pi));
+  SketchColumnIndex index = BuildIndex(sketch, 64, 0.5);
+  std::vector<int64_t> chosen;
+  for (int64_t c = 0; c < 64; ++c) chosen.push_back(c);
+  // scale 0.5: effective = 32 → 2 iterations.
+  auto result = RunAlgorithm2(index, chosen, 0.5, 3);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().events.size(), 2u);
+}
+
+}  // namespace
+}  // namespace sose

@@ -1,0 +1,114 @@
+#include "lowerbound/section_five.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "lowerbound/heavy_entries.h"
+#include "sketch/count_sketch.h"
+#include "sketch/gaussian.h"
+#include "sketch/osnap.h"
+
+namespace sose {
+namespace {
+
+TEST(SectionFiveTest, Validation) {
+  auto sketch = CountSketch::Create(64, 4096, 1);
+  ASSERT_TRUE(sketch.ok());
+  // eps too large: log2(1/eps) - 3 < 1.
+  EXPECT_FALSE(
+      RunSectionFiveAnalysis(sketch.value(), 4096, 8, 0.25, 1).ok());
+  EXPECT_FALSE(
+      RunSectionFiveAnalysis(sketch.value(), 0, 8, 1.0 / 64.0, 1).ok());
+  EXPECT_FALSE(
+      RunSectionFiveAnalysis(sketch.value(), 1 << 20, 8, 1.0 / 64.0, 1).ok());
+}
+
+TEST(SectionFiveTest, LevelCountAndThresholds) {
+  auto sketch = CountSketch::Create(64, 4096, 3);
+  ASSERT_TRUE(sketch.ok());
+  const double epsilon = 1.0 / 64.0;  // L = 3.
+  auto report = RunSectionFiveAnalysis(sketch.value(), 4096, 8, epsilon, 5);
+  ASSERT_TRUE(report.ok());
+  ASSERT_EQ(report.value().levels.size(), 4u);  // Levels 0..3.
+  for (int64_t level = 0; level <= 3; ++level) {
+    const SectionFiveLevel& out =
+        report.value().levels[static_cast<size_t>(level)];
+    EXPECT_EQ(out.level, level);
+    EXPECT_NEAR(out.theta,
+                std::sqrt(std::pow(2.0, -static_cast<double>(level))), 1e-12);
+    EXPECT_NEAR(out.lemma19_cap,
+                std::pow(epsilon, SectionFiveDeltaPrime(epsilon)) *
+                    std::pow(2.0, static_cast<double>(level)),
+                1e-12);
+  }
+}
+
+TEST(SectionFiveTest, CountSketchIsAbundantAtLevelZero) {
+  // Count-Sketch has one entry of magnitude 1 per column: one θ-heavy entry
+  // at EVERY level, exceeding the tiny ε^{δ'}·2⁰ cap at level 0 — exactly
+  // the "abundance" Section 5's argument exploits against s = 1.
+  auto sketch = CountSketch::Create(256, 8192, 7);
+  ASSERT_TRUE(sketch.ok());
+  auto report =
+      RunSectionFiveAnalysis(sketch.value(), 8192, 8, 1.0 / 64.0, 9);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report.value().has_abundant_level);
+  EXPECT_TRUE(report.value().levels[0].abundant);
+  EXPECT_DOUBLE_EQ(report.value().levels[0].average_heavy, 1.0);
+  EXPECT_NEAR(report.value().average_norm_squared, 1.0, 1e-9);
+}
+
+TEST(SectionFiveTest, GaussianHasNoAbundantLowLevels) {
+  // Gaussian entries are O(1/√m): no heavy entries at small ℓ at all.
+  auto sketch = GaussianSketch::Create(256, 2048, 11);
+  ASSERT_TRUE(sketch.ok());
+  auto report =
+      RunSectionFiveAnalysis(sketch.value(), 2048, 8, 1.0 / 64.0, 13);
+  ASSERT_TRUE(report.ok());
+  EXPECT_DOUBLE_EQ(report.value().levels[0].average_heavy, 0.0);
+  EXPECT_DOUBLE_EQ(report.value().levels[1].average_heavy, 0.0);
+  EXPECT_NEAR(report.value().average_norm_squared, 1.0, 0.25);
+}
+
+TEST(SectionFiveTest, OsnapAbundantExactlyAtItsLevel) {
+  // OSNAP s = 4: entries ±1/2, heavy from level 2 up; the census is 4 there
+  // and 0 below.
+  auto sketch = Osnap::Create(256, 4096, 4, 13);
+  ASSERT_TRUE(sketch.ok());
+  auto report =
+      RunSectionFiveAnalysis(sketch.value(), 4096, 8, 1.0 / 64.0, 15);
+  ASSERT_TRUE(report.ok());
+  EXPECT_DOUBLE_EQ(report.value().levels[0].average_heavy, 0.0);
+  EXPECT_DOUBLE_EQ(report.value().levels[1].average_heavy, 0.0);
+  EXPECT_DOUBLE_EQ(report.value().levels[2].average_heavy, 4.0);
+  EXPECT_TRUE(report.value().levels[2].abundant);
+}
+
+TEST(SectionFiveTest, PairsFoundOnUndersizedSketch) {
+  // Small m: the level-0 attack on Count-Sketch should find colliding
+  // pairs with unit inner products.
+  auto sketch = CountSketch::Create(64, 4096, 17);
+  ASSERT_TRUE(sketch.ok());
+  auto report =
+      RunSectionFiveAnalysis(sketch.value(), 4096, 32, 1.0 / 64.0, 19);
+  ASSERT_TRUE(report.ok());
+  const SectionFiveLevel& level0 = report.value().levels[0];
+  EXPECT_GT(level0.good_columns, 0);
+  // d' = 32 * 2^3 = 256 chosen columns into 64 buckets: plenty of pairs.
+  EXPECT_GT(level0.pairs_found, 0);
+  EXPECT_GT(level0.large_pair_fraction, 0.9);
+}
+
+TEST(SectionFiveTest, HeavyMassBoundIsReported) {
+  auto sketch = CountSketch::Create(64, 1024, 19);
+  ASSERT_TRUE(sketch.ok());
+  const double epsilon = 1.0 / 128.0;  // L = 4.
+  auto report = RunSectionFiveAnalysis(sketch.value(), 1024, 4, epsilon, 21);
+  ASSERT_TRUE(report.ok());
+  EXPECT_NEAR(report.value().heavy_mass_bound,
+              5.0 * std::pow(epsilon, SectionFiveDeltaPrime(epsilon)), 1e-12);
+}
+
+}  // namespace
+}  // namespace sose

@@ -1,0 +1,131 @@
+#include "lowerbound/section_three.h"
+
+#include <gtest/gtest.h>
+
+#include "lowerbound/collision.h"
+#include "sketch/count_sketch.h"
+#include "sketch/gaussian.h"
+
+namespace sose {
+namespace {
+
+TEST(SectionThreeTest, Validation) {
+  auto sketch = CountSketch::Create(64, 1 << 16, 1);
+  ASSERT_TRUE(sketch.ok());
+  SectionThreeParams params;
+  params.epsilon = 0.2;  // >= 1/8.
+  EXPECT_FALSE(RunSectionThreeAnalysis(sketch.value(), params).ok());
+  params.epsilon = 0.05;
+  params.delta = 0.2;    // >= 1/8.
+  EXPECT_FALSE(RunSectionThreeAnalysis(sketch.value(), params).ok());
+  params.delta = 0.05;
+  params.d = 0;
+  EXPECT_FALSE(RunSectionThreeAnalysis(sketch.value(), params).ok());
+}
+
+TEST(SectionThreeTest, UndersizedCountSketchFailsCollisionSide) {
+  // m = 64 against k = d/(8ε) = 16 balls: birthday ≈ 0.86 >> budget.
+  auto sketch = CountSketch::Create(64, 1 << 18, 3);
+  ASSERT_TRUE(sketch.ok());
+  SectionThreeParams params;
+  params.d = 8;
+  params.epsilon = 1.0 / 16.0;
+  params.delta = 0.05;
+  params.num_instances = 150;
+  params.seed = 5;
+  auto report = RunSectionThreeAnalysis(sketch.value(), params);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report.value().balls, 16);
+  // Norm side holds (Count-Sketch columns are exactly unit).
+  EXPECT_TRUE(report.value().norm_discipline_holds);
+  EXPECT_EQ(report.value().norm_violation_fraction, 0.0);
+  // Collision side fails, near the analytic prediction.
+  EXPECT_FALSE(report.value().collision_freedom_holds);
+  EXPECT_NEAR(report.value().collision_rate,
+              report.value().birthday_prediction, 0.12);
+  EXPECT_FALSE(report.value().passes);
+  // Required m for the birthday side is ~k²/(2·budget), far above 64.
+  EXPECT_GT(report.value().required_rows_birthday, 500);
+}
+
+TEST(SectionThreeTest, AdequateCountSketchPasses) {
+  SectionThreeParams params;
+  params.d = 4;
+  params.epsilon = 1.0 / 16.0;
+  params.delta = 0.1;
+  params.num_instances = 150;
+  params.seed = 7;
+  // k = 8 balls; budget = 0.2/0.6 = 0.333; need birthday(8, m) <= 1/3:
+  // m ≈ 8·7/(2·0.4) ≈ 70. Use m = 512 for a clear pass.
+  auto sketch = CountSketch::Create(512, 1 << 18, 9);
+  ASSERT_TRUE(sketch.ok());
+  auto report = RunSectionThreeAnalysis(sketch.value(), params);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report.value().norm_discipline_holds);
+  EXPECT_TRUE(report.value().collision_freedom_holds);
+  EXPECT_TRUE(report.value().passes);
+  EXPECT_LE(report.value().required_rows_birthday, 512);
+}
+
+TEST(SectionThreeTest, GaussianFailsNormDisciplineAtSmallM) {
+  // Gaussian column norms fluctuate by ~1/√m: at m = 32 and ε = 1/16 a
+  // large fraction of columns violate 1 ± ε, so the Lemma 6 obligation —
+  // which binds any s = 1 OSE — is how the analysis flags that this dense
+  // sketch is playing a different game.
+  auto sketch = GaussianSketch::Create(32, 1 << 14, 11);
+  ASSERT_TRUE(sketch.ok());
+  SectionThreeParams params;
+  params.d = 8;
+  params.epsilon = 1.0 / 16.0;
+  params.delta = 0.05;
+  params.num_instances = 50;
+  params.seed = 13;
+  auto report = RunSectionThreeAnalysis(sketch.value(), params);
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report.value().norm_discipline_holds);
+  EXPECT_GT(report.value().norm_violation_fraction, 0.3);
+}
+
+TEST(SectionThreeTest, DeterministicGivenSeed) {
+  auto sketch = CountSketch::Create(128, 1 << 16, 15);
+  ASSERT_TRUE(sketch.ok());
+  SectionThreeParams params;
+  params.d = 6;
+  params.epsilon = 0.1;
+  params.delta = 0.1;
+  params.num_instances = 80;
+  params.seed = 17;
+  auto a = RunSectionThreeAnalysis(sketch.value(), params);
+  auto b = RunSectionThreeAnalysis(sketch.value(), params);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_DOUBLE_EQ(a.value().collision_rate, b.value().collision_rate);
+  EXPECT_DOUBLE_EQ(a.value().norm_violation_fraction,
+                   b.value().norm_violation_fraction);
+}
+
+TEST(SectionThreeTest, RequiredRowsScaleQuadraticallyInBalls) {
+  // The computed birthday requirement must scale ~k² at fixed budget.
+  SectionThreeParams params;
+  params.epsilon = 1.0 / 16.0;  // epc = 2.
+  params.delta = 0.05;
+  params.num_instances = 10;
+  int64_t previous = 0;
+  for (int64_t d : {4, 8, 16}) {
+    params.d = d;
+    auto sketch = CountSketch::Create(64, 1 << 18, 19);
+    ASSERT_TRUE(sketch.ok());
+    auto report = RunSectionThreeAnalysis(sketch.value(), params);
+    ASSERT_TRUE(report.ok());
+    if (previous > 0) {
+      const double ratio =
+          static_cast<double>(report.value().required_rows_birthday) /
+          static_cast<double>(previous);
+      EXPECT_NEAR(ratio, 4.0, 1.2);  // Doubling d quadruples the need.
+    }
+    previous = report.value().required_rows_birthday;
+  }
+}
+
+}  // namespace
+}  // namespace sose

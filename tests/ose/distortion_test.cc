@@ -1,0 +1,161 @@
+#include "ose/distortion.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/random.h"
+#include "hardinstance/d_beta.h"
+#include "ose/isometry.h"
+#include "sketch/block_hadamard.h"
+#include "sketch/count_sketch.h"
+#include "sketch/gaussian.h"
+
+namespace sose {
+namespace {
+
+TEST(DistortionReportTest, EpsilonAndWithin) {
+  DistortionReport report;
+  report.min_factor = 0.9;
+  report.max_factor = 1.05;
+  EXPECT_NEAR(report.Epsilon(), 0.1, 1e-15);
+  EXPECT_TRUE(report.WithinEpsilon(0.1));
+  EXPECT_FALSE(report.WithinEpsilon(0.05));
+}
+
+TEST(DistortionTest, IdentitySketchHasZeroDistortion) {
+  // ΠU = U with U orthonormal → all factors are exactly 1.
+  Rng rng(1);
+  auto u = RandomIsometry(12, 4, &rng);
+  ASSERT_TRUE(u.ok());
+  auto report = DistortionOfSketchedIsometry(u.value());
+  ASSERT_TRUE(report.ok());
+  EXPECT_NEAR(report.value().min_factor, 1.0, 1e-9);
+  EXPECT_NEAR(report.value().max_factor, 1.0, 1e-9);
+  EXPECT_LT(report.value().Epsilon(), 1e-9);
+}
+
+TEST(DistortionTest, ScaledBasisHasKnownDistortion) {
+  Matrix u(4, 2);
+  u.At(0, 0) = 1.2;  // Direction stretched by 1.2.
+  u.At(1, 1) = 0.7;  // Direction shrunk to 0.7.
+  auto report = DistortionOfSketchedIsometry(u);
+  ASSERT_TRUE(report.ok());
+  EXPECT_NEAR(report.value().min_factor, 0.7, 1e-10);
+  EXPECT_NEAR(report.value().max_factor, 1.2, 1e-10);
+}
+
+TEST(DistortionTest, RankDeficientSketchGivesZeroMinFactor) {
+  Matrix u(4, 2);
+  u.At(0, 0) = 1.0;  // Second column entirely zero.
+  auto report = DistortionOfSketchedIsometry(u);
+  ASSERT_TRUE(report.ok());
+  EXPECT_NEAR(report.value().min_factor, 0.0, 1e-10);
+}
+
+TEST(DistortionTest, GeneralizedMatchesPlainOnIsometry) {
+  Rng rng(2);
+  auto u = RandomIsometry(16, 3, &rng);
+  ASSERT_TRUE(u.ok());
+  auto sketch = GaussianSketch::Create(24, 16, 5);
+  ASSERT_TRUE(sketch.ok());
+  const Matrix sketched = sketch.value().ApplyDense(u.value());
+  auto plain = DistortionOfSketchedIsometry(sketched);
+  auto generalized = DistortionOfSketchedBasis(sketched, Gram(u.value()));
+  ASSERT_TRUE(plain.ok());
+  ASSERT_TRUE(generalized.ok());
+  EXPECT_NEAR(plain.value().min_factor, generalized.value().min_factor, 1e-7);
+  EXPECT_NEAR(plain.value().max_factor, generalized.value().max_factor, 1e-7);
+}
+
+TEST(DistortionTest, GeneralizedCorrectsForNonOrthonormalBasis) {
+  // U = 2I: Π = I gives ‖ΠUx‖/‖Ux‖ = 1 despite ‖ΠUx‖/‖x‖ = 2.
+  Matrix u = Matrix::Identity(3);
+  u.Scale(2.0);
+  auto report = DistortionOfSketchedBasis(u, Gram(u));
+  ASSERT_TRUE(report.ok());
+  EXPECT_NEAR(report.value().min_factor, 1.0, 1e-10);
+  EXPECT_NEAR(report.value().max_factor, 1.0, 1e-10);
+}
+
+TEST(DistortionTest, GeneralizedRejectsSingularGram) {
+  Matrix sketched(3, 2);
+  Matrix singular_gram(2, 2, {1, 1, 1, 1});
+  EXPECT_FALSE(DistortionOfSketchedBasis(sketched, singular_gram).ok());
+}
+
+TEST(SketchDistortionOnInstanceTest, GaussianEmbedsD1Well) {
+  auto sampler = DBetaSampler::Create(4096, 4, 1);
+  ASSERT_TRUE(sampler.ok());
+  Rng rng(3);
+  HardInstance instance = sampler.value().Sample(&rng);
+  while (instance.HasRowCollision()) instance = sampler.value().Sample(&rng);
+  // Generous m: distortion should be comfortably below 1/2.
+  auto sketch = GaussianSketch::Create(256, 4096, 7);
+  ASSERT_TRUE(sketch.ok());
+  auto report = SketchDistortionOnInstance(sketch.value(), instance);
+  ASSERT_TRUE(report.ok());
+  EXPECT_LT(report.value().Epsilon(), 0.5);
+}
+
+TEST(SketchDistortionOnInstanceTest, BlockHadamardIsExactOnD1) {
+  // Remark 10: the block-Hadamard sketch embeds D₁ with zero distortion
+  // whenever the d chosen columns occupy distinct blocks; with m ≫ d² this
+  // is the typical draw.
+  auto sketch = BlockHadamard::Create(1024, 65536, 8);
+  ASSERT_TRUE(sketch.ok());
+  auto sampler = DBetaSampler::Create(65536, 4, 1);
+  ASSERT_TRUE(sampler.ok());
+  Rng rng(4);
+  int perfect = 0;
+  for (int round = 0; round < 20; ++round) {
+    HardInstance instance = sampler.value().Sample(&rng);
+    if (instance.HasRowCollision()) continue;
+    auto report = SketchDistortionOnInstance(sketch.value(), instance);
+    ASSERT_TRUE(report.ok());
+    if (report.value().Epsilon() < 1e-9) ++perfect;
+  }
+  EXPECT_GE(perfect, 15);
+}
+
+TEST(SketchDistortionOnInstanceTest, CountSketchCollisionIsVisible) {
+  // Force a tiny m so the d coordinates collide and distortion is large.
+  auto sketch = CountSketch::Create(2, 100000, 11);
+  ASSERT_TRUE(sketch.ok());
+  auto sampler = DBetaSampler::Create(100000, 6, 1);
+  ASSERT_TRUE(sampler.ok());
+  Rng rng(5);
+  HardInstance instance = sampler.value().Sample(&rng);
+  while (instance.HasRowCollision()) instance = sampler.value().Sample(&rng);
+  auto report = SketchDistortionOnInstance(sketch.value(), instance);
+  ASSERT_TRUE(report.ok());
+  // 6 coordinates into 2 buckets: guaranteed collisions → rank(ΠU) <= 2 < 6.
+  EXPECT_NEAR(report.value().min_factor, 0.0, 1e-9);
+}
+
+TEST(SketchDistortionOnInstanceTest, ShapeMismatchRejected) {
+  auto sketch = CountSketch::Create(4, 50, 1);
+  ASSERT_TRUE(sketch.ok());
+  auto sampler = DBetaSampler::Create(100, 2, 1);
+  ASSERT_TRUE(sampler.ok());
+  Rng rng(6);
+  const HardInstance instance = sampler.value().Sample(&rng);
+  EXPECT_FALSE(SketchDistortionOnInstance(sketch.value(), instance).ok());
+}
+
+TEST(SketchDistortionOnIsometryTest, MatchesManualComputation) {
+  Rng rng(7);
+  auto u = RandomIsometry(64, 3, &rng);
+  ASSERT_TRUE(u.ok());
+  auto sketch = CountSketch::Create(128, 64, 13);
+  ASSERT_TRUE(sketch.ok());
+  auto via_helper = SketchDistortionOnIsometry(sketch.value(), u.value());
+  auto via_direct = DistortionOfSketchedIsometry(
+      MatMul(sketch.value().MaterializeDense(), u.value()));
+  ASSERT_TRUE(via_helper.ok());
+  ASSERT_TRUE(via_direct.ok());
+  EXPECT_NEAR(via_helper.value().Epsilon(), via_direct.value().Epsilon(), 1e-9);
+}
+
+}  // namespace
+}  // namespace sose

@@ -1,0 +1,92 @@
+#include "ose/isometry.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace sose {
+namespace {
+
+TEST(RandomIsometryTest, Validation) {
+  Rng rng(1);
+  EXPECT_FALSE(RandomIsometry(3, 4, &rng).ok());
+  EXPECT_FALSE(RandomIsometry(3, 0, &rng).ok());
+}
+
+TEST(RandomIsometryTest, ColumnsAreOrthonormal) {
+  Rng rng(2);
+  auto u = RandomIsometry(20, 5, &rng);
+  ASSERT_TRUE(u.ok());
+  EXPECT_EQ(u.value().rows(), 20);
+  EXPECT_EQ(u.value().cols(), 5);
+  EXPECT_TRUE(IsIsometry(u.value()));
+}
+
+TEST(RandomIsometryTest, SquareCaseIsOrthogonal) {
+  Rng rng(3);
+  auto u = RandomIsometry(6, 6, &rng);
+  ASSERT_TRUE(u.ok());
+  EXPECT_TRUE(IsIsometry(u.value()));
+}
+
+TEST(RandomIsometryTest, DifferentDrawsDiffer) {
+  Rng rng(4);
+  auto a = RandomIsometry(10, 3, &rng);
+  auto b = RandomIsometry(10, 3, &rng);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_FALSE(AlmostEqual(a.value(), b.value(), 1e-6));
+}
+
+TEST(IdentityStackIsometryTest, Validation) {
+  EXPECT_FALSE(IdentityStackIsometry(5, 3, 2).ok());   // n < copies*d.
+  EXPECT_FALSE(IdentityStackIsometry(10, 0, 2).ok());
+  EXPECT_FALSE(IdentityStackIsometry(10, 3, 0).ok());
+}
+
+TEST(IdentityStackIsometryTest, StructureAndIsometry) {
+  auto u = IdentityStackIsometry(10, 3, 2);
+  ASSERT_TRUE(u.ok());
+  EXPECT_TRUE(IsIsometry(u.value()));
+  const double scale = 1.0 / std::sqrt(2.0);
+  EXPECT_NEAR(u.value().At(0, 0), scale, 1e-15);
+  EXPECT_NEAR(u.value().At(4, 1), scale, 1e-15);  // Second copy, column 1.
+  EXPECT_EQ(u.value().At(7, 0), 0.0);             // Zero padding.
+}
+
+TEST(IdentityStackIsometryTest, SingleCopyIsIdentityBlock) {
+  auto u = IdentityStackIsometry(5, 3, 1);
+  ASSERT_TRUE(u.ok());
+  for (int64_t j = 0; j < 3; ++j) EXPECT_EQ(u.value().At(j, j), 1.0);
+  EXPECT_TRUE(IsIsometry(u.value()));
+}
+
+TEST(SpikyIsometryTest, Validation) {
+  Rng rng(5);
+  EXPECT_FALSE(SpikyIsometry(3, 3, &rng).ok());  // Needs n > d.
+}
+
+TEST(SpikyIsometryTest, FirstColumnIsCanonical) {
+  Rng rng(6);
+  auto u = SpikyIsometry(12, 4, &rng);
+  ASSERT_TRUE(u.ok());
+  EXPECT_EQ(u.value().At(0, 0), 1.0);
+  for (int64_t i = 1; i < 12; ++i) EXPECT_EQ(u.value().At(i, 0), 0.0);
+  EXPECT_TRUE(IsIsometry(u.value()));
+}
+
+TEST(IsIsometryTest, DetectsNonIsometry) {
+  Matrix m(3, 2, {1, 0, 0, 2, 0, 0});  // Second column has norm 2.
+  EXPECT_FALSE(IsIsometry(m));
+  EXPECT_TRUE(IsIsometry(Matrix::Identity(4)));
+}
+
+TEST(IsIsometryTest, ToleranceIsRespected) {
+  Matrix m = Matrix::Identity(3);
+  m.At(0, 0) = 1.0 + 1e-6;
+  EXPECT_FALSE(IsIsometry(m, 1e-9));
+  EXPECT_TRUE(IsIsometry(m, 1e-2));
+}
+
+}  // namespace
+}  // namespace sose

@@ -1,0 +1,116 @@
+#include "ose/profile.h"
+
+#include <gtest/gtest.h>
+
+#include "hardinstance/d_beta.h"
+#include "sketch/registry.h"
+
+namespace sose {
+namespace {
+
+SketchFactory Factory(const std::string& family, int64_t m, int64_t n) {
+  return [family, m, n](uint64_t seed)
+             -> Result<std::unique_ptr<SketchingMatrix>> {
+    SketchConfig config;
+    config.rows = m;
+    config.cols = n;
+    config.sparsity = 2;
+    config.seed = seed;
+    return CreateSketch(family, config);
+  };
+}
+
+TEST(ProfileTest, Validation) {
+  auto sampler = DBetaSampler::Create(1024, 4, 1);
+  ASSERT_TRUE(sampler.ok());
+  const InstanceSampler instance_sampler = [&sampler](Rng* rng) {
+    return sampler.value().Sample(rng);
+  };
+  ProfileOptions options;
+  options.trials = 0;
+  EXPECT_FALSE(
+      ProfileDistortion(Factory("countsketch", 64, 1024), instance_sampler,
+                        options)
+          .ok());
+  options.trials = 10;
+  options.epsilons = {0.2, 0.1};  // Not ascending.
+  EXPECT_FALSE(
+      ProfileDistortion(Factory("countsketch", 64, 1024), instance_sampler,
+                        options)
+          .ok());
+}
+
+TEST(ProfileTest, QuantilesAreOrderedAndConsistent) {
+  auto sampler = DBetaSampler::Create(1 << 14, 6, 1);
+  ASSERT_TRUE(sampler.ok());
+  ProfileOptions options;
+  options.trials = 200;
+  options.seed = 3;
+  auto profile = ProfileDistortion(
+      Factory("countsketch", 64, 1 << 14),
+      [&sampler](Rng* rng) { return sampler.value().Sample(rng); }, options);
+  ASSERT_TRUE(profile.ok());
+  EXPECT_EQ(profile.value().trials, 200);
+  EXPECT_EQ(profile.value().sorted_distortions.size(), 200u);
+  EXPECT_LE(profile.value().p50, profile.value().p90);
+  EXPECT_LE(profile.value().p90, profile.value().p99);
+  EXPECT_LE(profile.value().p99, profile.value().max + 1e-15);
+  EXPECT_GE(profile.value().mean, 0.0);
+  // Failure rates decrease in epsilon.
+  for (size_t i = 1; i < profile.value().failure_rates.size(); ++i) {
+    EXPECT_LE(profile.value().failure_rates[i],
+              profile.value().failure_rates[i - 1]);
+  }
+}
+
+TEST(ProfileTest, MatchesFailureEstimatorAtSharedThreshold) {
+  auto sampler = DBetaSampler::Create(1 << 14, 6, 1);
+  ASSERT_TRUE(sampler.ok());
+  const InstanceSampler instance_sampler = [&sampler](Rng* rng) {
+    return sampler.value().Sample(rng);
+  };
+  ProfileOptions profile_options;
+  profile_options.trials = 300;
+  profile_options.epsilons = {0.25};
+  profile_options.seed = 7;
+  auto profile = ProfileDistortion(Factory("countsketch", 48, 1 << 14),
+                                   instance_sampler, profile_options);
+  ASSERT_TRUE(profile.ok());
+  EstimatorOptions estimator_options;
+  estimator_options.trials = 300;
+  estimator_options.epsilon = 0.25;
+  estimator_options.seed = 7;  // Same seed → identical draws.
+  auto estimate =
+      EstimateFailureProbability(Factory("countsketch", 48, 1 << 14),
+                                 instance_sampler, estimator_options);
+  ASSERT_TRUE(estimate.ok());
+  EXPECT_NEAR(profile.value().failure_rates[0], estimate.value().rate, 1e-12);
+}
+
+TEST(ProfileTest, PerfectSketchHasZeroProfile) {
+  // Generous Gaussian: distortions concentrate well below 0.5.
+  auto sampler = DBetaSampler::Create(4096, 3, 1);
+  ASSERT_TRUE(sampler.ok());
+  ProfileOptions options;
+  options.trials = 50;
+  options.epsilons = {0.5};
+  options.seed = 9;
+  auto profile = ProfileDistortion(
+      Factory("gaussian", 512, 4096),
+      [&sampler](Rng* rng) { return sampler.value().Sample(rng); }, options);
+  ASSERT_TRUE(profile.ok());
+  EXPECT_EQ(profile.value().failure_rates[0], 0.0);
+  EXPECT_LT(profile.value().max, 0.5);
+}
+
+TEST(ProfileTest, FailureRateAtInterpolates) {
+  DistortionProfile profile;
+  profile.sorted_distortions = {0.1, 0.2, 0.3, 0.4};
+  EXPECT_DOUBLE_EQ(profile.FailureRateAt(0.05), 1.0);
+  EXPECT_DOUBLE_EQ(profile.FailureRateAt(0.2), 0.5);
+  EXPECT_DOUBLE_EQ(profile.FailureRateAt(0.25), 0.5);
+  EXPECT_DOUBLE_EQ(profile.FailureRateAt(1.0), 0.0);
+}
+
+}  // namespace
+}  // namespace sose

@@ -1,0 +1,133 @@
+#include "ose/threshold_search.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace sose {
+namespace {
+
+// Deterministic failure model: fails iff m < threshold.
+FailureAtRows StepModel(int64_t threshold, int* evaluations = nullptr) {
+  return [threshold, evaluations](int64_t m) -> Result<FailureEstimate> {
+    if (evaluations != nullptr) ++*evaluations;
+    FailureEstimate estimate;
+    estimate.trials = 100;
+    estimate.failures = m < threshold ? 100 : 0;
+    estimate.rate = m < threshold ? 1.0 : 0.0;
+    estimate.interval = WilsonInterval(estimate.failures, estimate.trials);
+    return estimate;
+  };
+}
+
+TEST(ThresholdSearchTest, Validation) {
+  ThresholdSearchOptions options;
+  options.m_lo = 0;
+  EXPECT_FALSE(FindMinimalRows(StepModel(10), options).ok());
+  options.m_lo = 10;
+  options.m_hi = 5;
+  EXPECT_FALSE(FindMinimalRows(StepModel(10), options).ok());
+  options.m_hi = 20;
+  options.delta = 0.0;
+  EXPECT_FALSE(FindMinimalRows(StepModel(10), options).ok());
+}
+
+TEST(ThresholdSearchTest, FindsExactStep) {
+  ThresholdSearchOptions options;
+  options.m_lo = 1;
+  options.m_hi = 1 << 16;
+  options.delta = 0.1;
+  options.relative_tolerance = 0.0;  // Bisect to adjacency.
+  auto result = FindMinimalRows(StepModel(537), options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.value().bracketed);
+  EXPECT_EQ(result.value().m_star, 537);
+}
+
+TEST(ThresholdSearchTest, RespectsRelativeTolerance) {
+  ThresholdSearchOptions options;
+  options.m_lo = 1;
+  options.m_hi = 1 << 16;
+  options.delta = 0.1;
+  options.relative_tolerance = 0.05;
+  auto result = FindMinimalRows(StepModel(1000), options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GE(result.value().m_star, 1000);
+  EXPECT_LE(result.value().m_star, 1100);  // Within 5% above the step.
+}
+
+TEST(ThresholdSearchTest, ThresholdBelowRange) {
+  ThresholdSearchOptions options;
+  options.m_lo = 64;
+  options.m_hi = 1024;
+  auto result = FindMinimalRows(StepModel(10), options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result.value().bracketed);
+  EXPECT_EQ(result.value().m_star, 64);
+}
+
+TEST(ThresholdSearchTest, ThresholdAboveRange) {
+  ThresholdSearchOptions options;
+  options.m_lo = 1;
+  options.m_hi = 32;
+  auto result = FindMinimalRows(StepModel(1000), options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result.value().bracketed);
+  EXPECT_EQ(result.value().m_star, 32);
+}
+
+TEST(ThresholdSearchTest, ProbeCountIsLogarithmic) {
+  int evaluations = 0;
+  ThresholdSearchOptions options;
+  options.m_lo = 1;
+  options.m_hi = 1 << 20;
+  options.relative_tolerance = 0.0;
+  auto result = FindMinimalRows(StepModel(123457, &evaluations), options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().m_star, 123457);
+  // Doubling (≤21) + bisection (≤18) ≈ 39; generous cap.
+  EXPECT_LE(evaluations, 45);
+}
+
+TEST(ThresholdSearchTest, TraceRecordsAllProbes) {
+  ThresholdSearchOptions options;
+  options.m_lo = 1;
+  options.m_hi = 256;
+  auto result = FindMinimalRows(StepModel(100), options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result.value().probes.empty());
+  // Probes at or above the step must report rate 0, below rate 1.
+  for (const ThresholdProbe& probe : result.value().probes) {
+    EXPECT_EQ(probe.estimate.rate, probe.m < 100 ? 1.0 : 0.0);
+  }
+}
+
+TEST(ThresholdSearchTest, PropagatesEvaluationErrors) {
+  ThresholdSearchOptions options;
+  auto failing = [](int64_t) -> Result<FailureEstimate> {
+    return Status::Internal("evaluation failed");
+  };
+  EXPECT_FALSE(FindMinimalRows(failing, options).ok());
+}
+
+TEST(ThresholdSearchTest, DeltaBoundaryBehavior) {
+  // Model returning exactly delta should count as success (<= delta).
+  ThresholdSearchOptions options;
+  options.m_lo = 1;
+  options.m_hi = 64;
+  options.delta = 0.25;
+  auto at_delta = [](int64_t) -> Result<FailureEstimate> {
+    FailureEstimate estimate;
+    estimate.trials = 100;
+    estimate.failures = 25;
+    estimate.rate = 0.25;
+    estimate.interval = WilsonInterval(25, 100);
+    return estimate;
+  };
+  auto result = FindMinimalRows(at_delta, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().m_star, 1);  // Immediately passes at m_lo.
+}
+
+}  // namespace
+}  // namespace sose

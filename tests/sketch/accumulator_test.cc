@@ -1,0 +1,123 @@
+#include "sketch/accumulator.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/random.h"
+#include "sketch/count_sketch.h"
+#include "sketch/osnap.h"
+#include "workload/generators.h"
+
+namespace sose {
+namespace {
+
+std::shared_ptr<const SketchingMatrix> MakeSketch(uint64_t seed) {
+  auto sketch = CountSketch::Create(16, 128, seed);
+  EXPECT_TRUE(sketch.ok());
+  return std::make_shared<CountSketch>(std::move(sketch).value());
+}
+
+TEST(SketchAccumulatorTest, Validation) {
+  EXPECT_FALSE(SketchAccumulator::Create(nullptr, 2).ok());
+  EXPECT_FALSE(SketchAccumulator::Create(MakeSketch(1), 0).ok());
+}
+
+TEST(SketchAccumulatorTest, StartsAtZero) {
+  auto acc = SketchAccumulator::Create(MakeSketch(2), 3);
+  ASSERT_TRUE(acc.ok());
+  EXPECT_EQ(acc.value().state().rows(), 16);
+  EXPECT_EQ(acc.value().state().cols(), 3);
+  EXPECT_EQ(acc.value().state().MaxAbs(), 0.0);
+}
+
+TEST(SketchAccumulatorTest, RowStreamMatchesBatchApply) {
+  auto sketch = MakeSketch(3);
+  Rng rng(5);
+  Matrix a(128, 4);
+  for (int64_t i = 0; i < 128; ++i) {
+    for (int64_t j = 0; j < 4; ++j) a.At(i, j) = rng.Gaussian();
+  }
+  auto acc = SketchAccumulator::Create(sketch, 4);
+  ASSERT_TRUE(acc.ok());
+  for (int64_t i = 0; i < 128; ++i) {
+    std::vector<double> row(4);
+    for (int64_t j = 0; j < 4; ++j) row[static_cast<size_t>(j)] = a.At(i, j);
+    ASSERT_TRUE(acc.value().AddRow(i, row).ok());
+  }
+  EXPECT_TRUE(AlmostEqual(acc.value().state(), sketch->ApplyDense(a), 1e-10));
+}
+
+TEST(SketchAccumulatorTest, OutOfRangeUpdatesRejected) {
+  auto acc = SketchAccumulator::Create(MakeSketch(4), 2);
+  ASSERT_TRUE(acc.ok());
+  EXPECT_FALSE(acc.value().AddRow(128, {1.0, 2.0}).ok());
+  EXPECT_FALSE(acc.value().AddRow(0, {1.0}).ok());  // Wrong width.
+  EXPECT_FALSE(acc.value().AddEntry(-1, 0, 1.0).ok());
+  EXPECT_FALSE(acc.value().AddEntry(0, 2, 1.0).ok());
+}
+
+TEST(SketchAccumulatorTest, TurnstileDeletionsCancel) {
+  auto acc = SketchAccumulator::Create(MakeSketch(6), 2);
+  ASSERT_TRUE(acc.ok());
+  ASSERT_TRUE(acc.value().AddEntry(7, 0, 3.5).ok());
+  ASSERT_TRUE(acc.value().AddEntry(40, 1, -1.0).ok());
+  ASSERT_TRUE(acc.value().AddEntry(7, 0, -3.5).ok());
+  ASSERT_TRUE(acc.value().AddEntry(40, 1, 1.0).ok());
+  EXPECT_LT(acc.value().state().MaxAbs(), 1e-12);
+}
+
+TEST(SketchAccumulatorTest, MergeEqualsUnionStream) {
+  auto sketch = MakeSketch(7);
+  auto left = SketchAccumulator::Create(sketch, 2);
+  auto right = SketchAccumulator::Create(sketch, 2);
+  auto combined = SketchAccumulator::Create(sketch, 2);
+  ASSERT_TRUE(left.ok());
+  ASSERT_TRUE(right.ok());
+  ASSERT_TRUE(combined.ok());
+  Rng rng(9);
+  for (int update = 0; update < 200; ++update) {
+    const int64_t row = static_cast<int64_t>(rng.UniformInt(uint64_t{128}));
+    const int64_t col = static_cast<int64_t>(rng.UniformInt(uint64_t{2}));
+    const double value = rng.Gaussian();
+    ASSERT_TRUE(combined.value().AddEntry(row, col, value).ok());
+    if (update % 2 == 0) {
+      ASSERT_TRUE(left.value().AddEntry(row, col, value).ok());
+    } else {
+      ASSERT_TRUE(right.value().AddEntry(row, col, value).ok());
+    }
+  }
+  ASSERT_TRUE(left.value().Merge(right.value()).ok());
+  EXPECT_TRUE(
+      AlmostEqual(left.value().state(), combined.value().state(), 1e-12));
+}
+
+TEST(SketchAccumulatorTest, MergeShapeMismatchRejected) {
+  auto a = SketchAccumulator::Create(MakeSketch(10), 2);
+  auto b = SketchAccumulator::Create(MakeSketch(10), 3);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_FALSE(a.value().Merge(b.value()).ok());
+}
+
+TEST(SketchAccumulatorTest, WorksWithOsnap) {
+  auto osnap = Osnap::Create(32, 64, 4, 11);
+  ASSERT_TRUE(osnap.ok());
+  auto shared = std::make_shared<Osnap>(std::move(osnap).value());
+  auto acc = SketchAccumulator::Create(shared, 1);
+  ASSERT_TRUE(acc.ok());
+  Rng rng(13);
+  std::vector<double> x(64, 0.0);
+  for (int64_t i = 0; i < 64; ++i) {
+    x[static_cast<size_t>(i)] = rng.Gaussian();
+    ASSERT_TRUE(acc.value().AddEntry(i, 0, x[static_cast<size_t>(i)]).ok());
+  }
+  const std::vector<double> batch = shared->ApplyVector(x);
+  for (int64_t i = 0; i < 32; ++i) {
+    EXPECT_NEAR(acc.value().state().At(i, 0), batch[static_cast<size_t>(i)],
+                1e-10);
+  }
+}
+
+}  // namespace
+}  // namespace sose

@@ -1,0 +1,101 @@
+#include "sketch/block_hadamard.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace sose {
+namespace {
+
+TEST(BlockHadamardTest, Validation) {
+  EXPECT_FALSE(BlockHadamard::Create(16, 0, 4).ok());
+  EXPECT_FALSE(BlockHadamard::Create(16, 8, 3).ok());   // b not a power of 2.
+  EXPECT_FALSE(BlockHadamard::Create(18, 8, 4).ok());   // b does not divide m.
+  EXPECT_TRUE(BlockHadamard::Create(16, 8, 4).ok());
+}
+
+TEST(BlockHadamardTest, ColumnStructure) {
+  auto sketch = BlockHadamard::Create(16, 40, 4);
+  ASSERT_TRUE(sketch.ok());
+  const double magnitude = 0.5;  // 1/√4.
+  for (int64_t c = 0; c < 40; ++c) {
+    const auto column = sketch.value().Column(c);
+    ASSERT_EQ(column.size(), 4u);
+    const int64_t block = sketch.value().BlockId(c);
+    for (const ColumnEntry& entry : column) {
+      EXPECT_GE(entry.row, block * 4);
+      EXPECT_LT(entry.row, (block + 1) * 4);
+      EXPECT_NEAR(std::abs(entry.value), magnitude, 1e-15);
+    }
+  }
+}
+
+TEST(BlockHadamardTest, UnitColumns) {
+  auto sketch = BlockHadamard::Create(32, 100, 8);
+  ASSERT_TRUE(sketch.ok());
+  for (int64_t c = 0; c < 100; ++c) {
+    double norm_sq = 0.0;
+    for (const ColumnEntry& entry : sketch.value().Column(c)) {
+      norm_sq += entry.value * entry.value;
+    }
+    EXPECT_NEAR(norm_sq, 1.0, 1e-12);
+  }
+}
+
+TEST(BlockHadamardTest, SameBlockColumnsAreOrthogonal) {
+  // Distinct columns within one Hadamard block have inner product 0.
+  auto sketch = BlockHadamard::Create(16, 16, 4);
+  ASSERT_TRUE(sketch.ok());
+  const Matrix pi = sketch.value().MaterializeDense();
+  for (int64_t a = 0; a < 4; ++a) {
+    for (int64_t b = 0; b < 4; ++b) {
+      const double dot = pi.ColDot(a, b);
+      EXPECT_NEAR(dot, a == b ? 1.0 : 0.0, 1e-12);
+    }
+  }
+}
+
+TEST(BlockHadamardTest, DifferentBlocksHaveDisjointSupport) {
+  auto sketch = BlockHadamard::Create(16, 16, 4);
+  ASSERT_TRUE(sketch.ok());
+  const Matrix pi = sketch.value().MaterializeDense();
+  // Column 0 (block 0) vs column 5 (block 1).
+  EXPECT_EQ(sketch.value().BlockId(0), 0);
+  EXPECT_EQ(sketch.value().BlockId(5), 1);
+  EXPECT_EQ(pi.ColDot(0, 5), 0.0);
+}
+
+TEST(BlockHadamardTest, WholeMatrixHasOrthonormalColumnGroups) {
+  // Within one m-column copy, ΠᵀΠ = I (block-diagonal of Hadamard grams).
+  auto sketch = BlockHadamard::Create(8, 8, 4);
+  ASSERT_TRUE(sketch.ok());
+  const Matrix gram = Gram(sketch.value().MaterializeDense());
+  EXPECT_TRUE(AlmostEqual(gram, Matrix::Identity(8), 1e-12));
+}
+
+TEST(BlockHadamardTest, CopiesWrapAround) {
+  // Column c and column c + m are identical (horizontal concatenation).
+  auto sketch = BlockHadamard::Create(8, 24, 4);
+  ASSERT_TRUE(sketch.ok());
+  for (int64_t c = 0; c < 8; ++c) {
+    const auto first = sketch.value().Column(c);
+    const auto second = sketch.value().Column(c + 8);
+    ASSERT_EQ(first.size(), second.size());
+    for (size_t i = 0; i < first.size(); ++i) {
+      EXPECT_EQ(first[i].row, second[i].row);
+      EXPECT_EQ(first[i].value, second[i].value);
+    }
+  }
+}
+
+TEST(BlockHadamardTest, DeterministicAcrossInstances) {
+  auto a = BlockHadamard::Create(16, 32, 4);
+  auto b = BlockHadamard::Create(16, 32, 4);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_TRUE(AlmostEqual(a.value().MaterializeDense(),
+                          b.value().MaterializeDense(), 0.0));
+}
+
+}  // namespace
+}  // namespace sose

@@ -1,0 +1,131 @@
+#include "sketch/composed.h"
+
+#include <gtest/gtest.h>
+
+#include "core/random.h"
+#include "ose/distortion.h"
+#include "ose/isometry.h"
+#include "sketch/count_sketch.h"
+#include "sketch/gaussian.h"
+
+namespace sose {
+namespace {
+
+std::shared_ptr<const SketchingMatrix> MakeCountSketch(int64_t m, int64_t n,
+                                                       uint64_t seed) {
+  auto sketch = CountSketch::Create(m, n, seed);
+  EXPECT_TRUE(sketch.ok());
+  return std::make_shared<CountSketch>(std::move(sketch).value());
+}
+
+std::shared_ptr<const SketchingMatrix> MakeGaussian(int64_t m, int64_t n,
+                                                    uint64_t seed) {
+  auto sketch = GaussianSketch::Create(m, n, seed);
+  EXPECT_TRUE(sketch.ok());
+  return std::make_shared<GaussianSketch>(std::move(sketch).value());
+}
+
+TEST(ComposedSketchTest, Validation) {
+  EXPECT_FALSE(ComposedSketch::Create(nullptr, MakeCountSketch(8, 64, 1)).ok());
+  EXPECT_FALSE(ComposedSketch::Create(MakeCountSketch(8, 64, 1), nullptr).ok());
+  // Shape mismatch: outer.cols (64) != inner.rows (32).
+  EXPECT_FALSE(ComposedSketch::Create(MakeGaussian(8, 64, 1),
+                                      MakeCountSketch(32, 128, 2))
+                   .ok());
+  EXPECT_TRUE(ComposedSketch::Create(MakeGaussian(8, 32, 1),
+                                     MakeCountSketch(32, 128, 2))
+                  .ok());
+}
+
+TEST(ComposedSketchTest, ShapeAndName) {
+  auto composed = ComposedSketch::Create(MakeGaussian(8, 32, 1),
+                                         MakeCountSketch(32, 128, 2));
+  ASSERT_TRUE(composed.ok());
+  EXPECT_EQ(composed.value().rows(), 8);
+  EXPECT_EQ(composed.value().cols(), 128);
+  EXPECT_EQ(composed.value().name(), "gaussian*countsketch");
+}
+
+TEST(ComposedSketchTest, ColumnsMatchExplicitProduct) {
+  auto outer = MakeGaussian(6, 16, 3);
+  auto inner = MakeCountSketch(16, 40, 4);
+  auto composed = ComposedSketch::Create(outer, inner);
+  ASSERT_TRUE(composed.ok());
+  const Matrix product =
+      MatMul(outer->MaterializeDense(), inner->MaterializeDense());
+  const Matrix materialized = composed.value().MaterializeDense();
+  EXPECT_TRUE(AlmostEqual(materialized, product, 1e-12));
+}
+
+TEST(ComposedSketchTest, ApplyVariantsMatchProduct) {
+  auto outer = MakeGaussian(6, 16, 5);
+  auto inner = MakeCountSketch(16, 40, 6);
+  auto composed = ComposedSketch::Create(outer, inner);
+  ASSERT_TRUE(composed.ok());
+  const Matrix product =
+      MatMul(outer->MaterializeDense(), inner->MaterializeDense());
+  Rng rng(1);
+  Matrix a(40, 3);
+  for (int64_t i = 0; i < 40; ++i) {
+    for (int64_t j = 0; j < 3; ++j) a.At(i, j) = rng.Gaussian();
+  }
+  EXPECT_TRUE(
+      AlmostEqual(composed.value().ApplyDense(a), MatMul(product, a), 1e-10));
+  std::vector<double> x(40);
+  for (double& v : x) v = rng.Gaussian();
+  const std::vector<double> via_composed = composed.value().ApplyVector(x);
+  const std::vector<double> via_product = MatVec(product, x);
+  for (size_t i = 0; i < via_composed.size(); ++i) {
+    EXPECT_NEAR(via_composed[i], via_product[i], 1e-10);
+  }
+}
+
+TEST(ComposedSketchTest, SparsityBound) {
+  auto composed = ComposedSketch::Create(MakeCountSketch(8, 32, 7),
+                                         MakeCountSketch(32, 64, 8));
+  ASSERT_TRUE(composed.ok());
+  // CountSketch ∘ CountSketch: one nonzero per column.
+  EXPECT_EQ(composed.value().column_sparsity(), 1);
+  for (int64_t c = 0; c < 64; ++c) {
+    EXPECT_LE(composed.value().Column(c).size(), 1u);
+  }
+}
+
+TEST(ComposedSketchTest, TwoStagePipelineEmbedsSubspace) {
+  // Count-Sketch 4096 -> 512, then Gaussian 512 -> 96: the classical
+  // input-sparsity-time pipeline. The composition must embed a random
+  // subspace about as well as its weaker stage.
+  const int64_t n = 4096;
+  auto composed = ComposedSketch::Create(MakeGaussian(96, 512, 9),
+                                         MakeCountSketch(512, n, 10));
+  ASSERT_TRUE(composed.ok());
+  Rng rng(2);
+  auto basis = RandomIsometry(n, 4, &rng);
+  ASSERT_TRUE(basis.ok());
+  auto report = SketchDistortionOnIsometry(composed.value(), basis.value());
+  ASSERT_TRUE(report.ok());
+  EXPECT_LT(report.value().Epsilon(), 0.75);
+  EXPECT_GT(report.value().min_factor, 0.25);
+}
+
+TEST(ComposedSketchTest, WorksWithHardInstanceMachinery) {
+  // The composed sketch is a first-class SketchingMatrix: the sparse-Gram
+  // distortion path must accept it.
+  const int64_t n = 1 << 14;
+  auto composed = ComposedSketch::Create(MakeGaussian(64, 256, 11),
+                                         MakeCountSketch(256, n, 12));
+  ASSERT_TRUE(composed.ok());
+  HardInstance instance;
+  instance.n = n;
+  instance.d = 3;
+  instance.entries_per_col = 1;
+  instance.beta = 1.0;
+  instance.rows = {5, 1000, 16000};
+  instance.signs = {1.0, -1.0, 1.0};
+  auto report = SketchDistortionOnInstance(composed.value(), instance);
+  ASSERT_TRUE(report.ok());
+  EXPECT_GT(report.value().max_factor, 0.0);
+}
+
+}  // namespace
+}  // namespace sose

@@ -1,0 +1,112 @@
+#include "sketch/count_sketch.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/random.h"
+#include "core/stats.h"
+
+namespace sose {
+namespace {
+
+TEST(CountSketchTest, RejectsBadShapes) {
+  EXPECT_FALSE(CountSketch::Create(0, 4, 1).ok());
+  EXPECT_FALSE(CountSketch::Create(4, 0, 1).ok());
+  EXPECT_FALSE(CountSketch::Create(-1, 4, 1).ok());
+}
+
+TEST(CountSketchTest, ExactlyOneNonzeroPerColumn) {
+  auto sketch = CountSketch::Create(16, 100, 3);
+  ASSERT_TRUE(sketch.ok());
+  for (int64_t c = 0; c < 100; ++c) {
+    const auto column = sketch.value().Column(c);
+    ASSERT_EQ(column.size(), 1u);
+    EXPECT_EQ(std::abs(column[0].value), 1.0);
+    EXPECT_EQ(column[0].row, sketch.value().Bucket(c));
+    EXPECT_EQ(column[0].value, sketch.value().Sign(c));
+  }
+}
+
+TEST(CountSketchTest, BucketsAreApproximatelyUniform) {
+  auto sketch = CountSketch::Create(10, 100000, 11);
+  ASSERT_TRUE(sketch.ok());
+  std::vector<int64_t> counts(10, 0);
+  for (int64_t c = 0; c < 100000; ++c) {
+    ++counts[static_cast<size_t>(sketch.value().Bucket(c))];
+  }
+  for (int64_t count : counts) EXPECT_NEAR(count, 10000, 500);
+}
+
+TEST(CountSketchTest, SignsAreBalanced) {
+  auto sketch = CountSketch::Create(8, 100000, 13);
+  ASSERT_TRUE(sketch.ok());
+  int64_t sum = 0;
+  for (int64_t c = 0; c < 100000; ++c) {
+    sum += static_cast<int64_t>(sketch.value().Sign(c));
+  }
+  EXPECT_LT(std::abs(sum), 2000);
+}
+
+TEST(CountSketchTest, SignIndependentOfBucket) {
+  // Correlation between sign and bucket parity should vanish.
+  auto sketch = CountSketch::Create(2, 100000, 17);
+  ASSERT_TRUE(sketch.ok());
+  int64_t agree = 0;
+  for (int64_t c = 0; c < 100000; ++c) {
+    const bool bucket_bit = sketch.value().Bucket(c) == 1;
+    const bool sign_bit = sketch.value().Sign(c) > 0;
+    agree += (bucket_bit == sign_bit) ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(agree) / 100000.0, 0.5, 0.01);
+}
+
+TEST(CountSketchTest, DifferentSeedsGiveDifferentHashes) {
+  auto a = CountSketch::Create(64, 256, 1);
+  auto b = CountSketch::Create(64, 256, 2);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  int64_t same = 0;
+  for (int64_t c = 0; c < 256; ++c) {
+    if (a.value().Bucket(c) == b.value().Bucket(c)) ++same;
+  }
+  EXPECT_LT(same, 32);  // ~4 expected under independence.
+}
+
+TEST(CountSketchTest, SecondMomentIsUnbiasedForVectors) {
+  // E‖Πx‖² = ‖x‖² over sketch draws.
+  std::vector<double> x = {1.0, -2.0, 0.5, 3.0, 0.0, 1.5};
+  double x_norm_sq = 0.0;
+  for (double v : x) x_norm_sq += v * v;
+  RunningStats stats;
+  for (uint64_t seed = 0; seed < 2000; ++seed) {
+    auto sketch = CountSketch::Create(4, 6, seed);
+    ASSERT_TRUE(sketch.ok());
+    const std::vector<double> y = sketch.value().ApplyVector(x);
+    double y_norm_sq = 0.0;
+    for (double v : y) y_norm_sq += v * v;
+    stats.Add(y_norm_sq);
+  }
+  EXPECT_NEAR(stats.Mean(), x_norm_sq, 0.15 * x_norm_sq);
+}
+
+TEST(CountSketchTest, ApplyPreservesSparsityCost) {
+  // ΠA has column j equal to a signed scatter of A's column j; verify
+  // against dense multiply on a small case.
+  auto sketch = CountSketch::Create(8, 20, 5);
+  ASSERT_TRUE(sketch.ok());
+  CooBuilder builder(20, 2);
+  builder.Add(3, 0, 2.0);
+  builder.Add(17, 1, -1.0);
+  const Matrix out = sketch.value().ApplySparse(builder.ToCsc());
+  EXPECT_EQ(out.rows(), 8);
+  // Column 0: single entry of magnitude 2 at Bucket(3).
+  EXPECT_EQ(out.At(sketch.value().Bucket(3), 0),
+            2.0 * sketch.value().Sign(3));
+  EXPECT_EQ(out.At(sketch.value().Bucket(17), 1),
+            -1.0 * sketch.value().Sign(17));
+}
+
+}  // namespace
+}  // namespace sose

@@ -1,0 +1,162 @@
+// Degenerate-shape and extreme-parameter sweeps across every sketch family:
+// the configurations that break naive implementations (single row, single
+// column, m = n, s = m, huge seeds) must all behave.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "core/random.h"
+#include "ose/distortion.h"
+#include "ose/isometry.h"
+#include "sketch/registry.h"
+
+namespace sose {
+namespace {
+
+SketchConfig Config(int64_t m, int64_t n, int64_t s, uint64_t seed) {
+  SketchConfig config;
+  config.rows = m;
+  config.cols = n;
+  config.sparsity = s;
+  config.seed = seed;
+  return config;
+}
+
+TEST(SketchEdgeCases, SingleRowSketches) {
+  for (const std::string family :
+       {"countsketch", "osnap", "gaussian", "sparsejl", "rowsample"}) {
+    auto sketch = CreateSketch(family, Config(1, 16, 1, 3));
+    ASSERT_TRUE(sketch.ok()) << family;
+    for (int64_t c = 0; c < 16; ++c) {
+      for (const ColumnEntry& entry : sketch.value()->Column(c)) {
+        EXPECT_EQ(entry.row, 0) << family;
+      }
+    }
+    // Apply still works and has the right shape.
+    std::vector<double> x(16, 1.0);
+    EXPECT_EQ(sketch.value()->ApplyVector(x).size(), 1u) << family;
+  }
+}
+
+TEST(SketchEdgeCases, SingleColumnAmbient) {
+  for (const std::string family :
+       {"countsketch", "osnap", "gaussian", "sparsejl"}) {
+    auto sketch = CreateSketch(family, Config(4, 1, 1, 5));
+    ASSERT_TRUE(sketch.ok()) << family;
+    const auto column = sketch.value()->Column(0);
+    double norm_sq = 0.0;
+    for (const ColumnEntry& entry : column) norm_sq += entry.value * entry.value;
+    EXPECT_GT(norm_sq, 0.0) << family;
+  }
+}
+
+TEST(SketchEdgeCases, SparsityEqualsRows) {
+  // OSNAP with s = m: every row used, values ±1/√m — a dense Rademacher.
+  auto sketch = CreateSketch("osnap", Config(8, 10, 8, 7));
+  ASSERT_TRUE(sketch.ok());
+  for (int64_t c = 0; c < 10; ++c) {
+    EXPECT_EQ(sketch.value()->Column(c).size(), 8u);
+  }
+}
+
+TEST(SketchEdgeCases, ExtremeSeedsAreValid) {
+  for (uint64_t seed : {uint64_t{0}, std::numeric_limits<uint64_t>::max(),
+                        uint64_t{0x8000000000000000ULL}}) {
+    auto sketch = CreateSketch("countsketch", Config(8, 64, 1, seed));
+    ASSERT_TRUE(sketch.ok());
+    for (int64_t c = 0; c < 64; ++c) {
+      const auto column = sketch.value()->Column(c);
+      ASSERT_EQ(column.size(), 1u);
+      EXPECT_GE(column[0].row, 0);
+      EXPECT_LT(column[0].row, 8);
+    }
+  }
+}
+
+TEST(SketchEdgeCases, FullDimensionalSubspace) {
+  // d = n: only an injective (m >= n) sketch can embed; check both sides.
+  Rng rng(9);
+  auto basis = RandomIsometry(8, 8, &rng);
+  ASSERT_TRUE(basis.ok());
+  auto big = CreateSketch("gaussian", Config(64, 8, 1, 11));
+  ASSERT_TRUE(big.ok());
+  auto report = SketchDistortionOnIsometry(*big.value(), basis.value());
+  ASSERT_TRUE(report.ok());
+  EXPECT_GT(report.value().min_factor, 0.3);
+  auto small = CreateSketch("gaussian", Config(4, 8, 1, 13));
+  ASSERT_TRUE(small.ok());
+  auto collapsed = SketchDistortionOnIsometry(*small.value(), basis.value());
+  ASSERT_TRUE(collapsed.ok());
+  // Rank(ΠU) <= 4 < 8: some direction is annihilated.
+  EXPECT_NEAR(collapsed.value().min_factor, 0.0, 1e-9);
+}
+
+TEST(SketchEdgeCases, MEqualsNCountSketchStillHashes) {
+  // m = n does not make Count-Sketch the identity — it is still a random
+  // hash, with collisions at the birthday rate.
+  auto sketch = CreateSketch("countsketch", Config(64, 64, 1, 15));
+  ASSERT_TRUE(sketch.ok());
+  std::vector<int> bucket_used(64, 0);
+  for (int64_t c = 0; c < 64; ++c) {
+    ++bucket_used[static_cast<size_t>(sketch.value()->Column(c)[0].row)];
+  }
+  int empty = 0;
+  for (int used : bucket_used) empty += (used == 0) ? 1 : 0;
+  // ~64/e ≈ 23 empty buckets expected.
+  EXPECT_GT(empty, 8);
+  EXPECT_LT(empty, 40);
+}
+
+TEST(SketchEdgeCases, SrhtMinimalPowerOfTwo) {
+  auto sketch = CreateSketch("srht", Config(1, 1, 1, 17));
+  ASSERT_TRUE(sketch.ok());
+  const auto column = sketch.value()->Column(0);
+  ASSERT_EQ(column.size(), 1u);
+  EXPECT_NEAR(std::fabs(column[0].value), 1.0, 1e-12);
+}
+
+TEST(SketchEdgeCases, BlockHadamardSingleBlockIsWholeMatrix) {
+  auto sketch = CreateSketch("blockhadamard", Config(4, 4, 4, 19));
+  ASSERT_TRUE(sketch.ok());
+  const Matrix gram = Gram(sketch.value()->MaterializeDense());
+  EXPECT_TRUE(AlmostEqual(gram, Matrix::Identity(4), 1e-12));
+}
+
+TEST(SketchEdgeCases, ZeroVectorMapsToZero) {
+  for (const std::string& family : KnownSketchFamilies()) {
+    SketchConfig config = Config(8, 32, 2, 21);
+    if (family == "blockhadamard") config.sparsity = 4;
+    auto sketch = CreateSketch(family, config);
+    ASSERT_TRUE(sketch.ok()) << family;
+    const std::vector<double> zero(32, 0.0);
+    for (double v : sketch.value()->ApplyVector(zero)) {
+      EXPECT_EQ(v, 0.0) << family;
+    }
+  }
+}
+
+TEST(SketchEdgeCases, LinearityHoldsForAllFamilies) {
+  Rng rng(23);
+  for (const std::string& family : KnownSketchFamilies()) {
+    SketchConfig config = Config(8, 32, 2, 25);
+    if (family == "blockhadamard") config.sparsity = 4;
+    auto sketch = CreateSketch(family, config);
+    ASSERT_TRUE(sketch.ok()) << family;
+    std::vector<double> x(32), y(32), combined(32);
+    for (size_t i = 0; i < 32; ++i) {
+      x[i] = rng.Gaussian();
+      y[i] = rng.Gaussian();
+      combined[i] = 2.0 * x[i] - 3.0 * y[i];
+    }
+    const auto px = sketch.value()->ApplyVector(x);
+    const auto py = sketch.value()->ApplyVector(y);
+    const auto pc = sketch.value()->ApplyVector(combined);
+    for (size_t i = 0; i < 8; ++i) {
+      EXPECT_NEAR(pc[i], 2.0 * px[i] - 3.0 * py[i], 1e-10) << family;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sose

@@ -1,0 +1,250 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <string>
+
+#include "core/random.h"
+#include "core/stats.h"
+#include "sketch/registry.h"
+
+namespace sose {
+namespace {
+
+struct FamilyCase {
+  std::string family;
+  SketchConfig config;
+  /// Column norms are exactly 1 for the structured families.
+  bool exact_unit_columns = false;
+};
+
+std::vector<FamilyCase> AllFamilies() {
+  std::vector<FamilyCase> cases;
+  {
+    FamilyCase c;
+    c.family = "countsketch";
+    c.config = {.rows = 32, .cols = 64, .sparsity = 1, .jl_q = 3.0, .seed = 7};
+    c.exact_unit_columns = true;
+    cases.push_back(c);
+  }
+  {
+    FamilyCase c;
+    c.family = "osnap";
+    c.config = {.rows = 32, .cols = 64, .sparsity = 4, .jl_q = 3.0, .seed = 7};
+    c.exact_unit_columns = true;
+    cases.push_back(c);
+  }
+  {
+    FamilyCase c;
+    c.family = "osnap-block";
+    c.config = {.rows = 32, .cols = 64, .sparsity = 4, .jl_q = 3.0, .seed = 7};
+    c.exact_unit_columns = true;
+    cases.push_back(c);
+  }
+  {
+    FamilyCase c;
+    c.family = "gaussian";
+    c.config = {.rows = 32, .cols = 64, .sparsity = 1, .jl_q = 3.0, .seed = 7};
+    cases.push_back(c);
+  }
+  {
+    FamilyCase c;
+    c.family = "sparsejl";
+    c.config = {.rows = 32, .cols = 64, .sparsity = 1, .jl_q = 3.0, .seed = 7};
+    cases.push_back(c);
+  }
+  {
+    FamilyCase c;
+    c.family = "srht";
+    c.config = {.rows = 32, .cols = 64, .sparsity = 1, .jl_q = 3.0, .seed = 7};
+    c.exact_unit_columns = true;
+    cases.push_back(c);
+  }
+  {
+    FamilyCase c;
+    c.family = "blockhadamard";
+    c.config = {.rows = 32, .cols = 64, .sparsity = 8, .jl_q = 3.0, .seed = 7};
+    c.exact_unit_columns = true;
+    cases.push_back(c);
+  }
+  return cases;
+}
+
+class SketchFamilyTest : public testing::TestWithParam<FamilyCase> {
+ protected:
+  std::unique_ptr<SketchingMatrix> Make() const {
+    auto sketch = CreateSketch(GetParam().family, GetParam().config);
+    EXPECT_TRUE(sketch.ok()) << sketch.status();
+    return std::move(sketch).value();
+  }
+};
+
+TEST_P(SketchFamilyTest, ReportsConfiguredShape) {
+  auto sketch = Make();
+  EXPECT_EQ(sketch->rows(), GetParam().config.rows);
+  EXPECT_EQ(sketch->cols(), GetParam().config.cols);
+  EXPECT_EQ(sketch->name(), GetParam().family);
+}
+
+TEST_P(SketchFamilyTest, ColumnsAreDeterministic) {
+  auto a = Make();
+  auto b = Make();
+  for (int64_t c = 0; c < a->cols(); ++c) {
+    const auto col_a = a->Column(c);
+    const auto col_b = b->Column(c);
+    ASSERT_EQ(col_a.size(), col_b.size());
+    for (size_t i = 0; i < col_a.size(); ++i) {
+      EXPECT_EQ(col_a[i].row, col_b[i].row);
+      EXPECT_EQ(col_a[i].value, col_b[i].value);
+    }
+  }
+}
+
+TEST_P(SketchFamilyTest, ColumnsSortedNoDuplicatesInRange) {
+  auto sketch = Make();
+  for (int64_t c = 0; c < sketch->cols(); ++c) {
+    const auto column = sketch->Column(c);
+    for (size_t i = 0; i < column.size(); ++i) {
+      EXPECT_GE(column[i].row, 0);
+      EXPECT_LT(column[i].row, sketch->rows());
+      if (i > 0) {
+        EXPECT_LT(column[i - 1].row, column[i].row);
+      }
+    }
+  }
+}
+
+TEST_P(SketchFamilyTest, RespectsDeclaredColumnSparsity) {
+  auto sketch = Make();
+  for (int64_t c = 0; c < sketch->cols(); ++c) {
+    EXPECT_LE(static_cast<int64_t>(sketch->Column(c).size()),
+              sketch->column_sparsity());
+  }
+}
+
+TEST_P(SketchFamilyTest, ColumnNormsAreNearOne) {
+  auto sketch = Make();
+  RunningStats norms;
+  for (int64_t c = 0; c < sketch->cols(); ++c) {
+    double norm_sq = 0.0;
+    for (const ColumnEntry& entry : sketch->Column(c)) {
+      norm_sq += entry.value * entry.value;
+    }
+    norms.Add(norm_sq);
+    if (GetParam().exact_unit_columns) {
+      EXPECT_NEAR(norm_sq, 1.0, 1e-12) << "column " << c;
+    }
+  }
+  // All families have unit columns in expectation.
+  EXPECT_NEAR(norms.Mean(), 1.0, 0.35);
+}
+
+TEST_P(SketchFamilyTest, ApplyVariantsAgreeWithMaterializedMatrix) {
+  auto sketch = Make();
+  Rng rng(99);
+  const Matrix pi = sketch->MaterializeDense();
+  // Dense input.
+  Matrix a(sketch->cols(), 3);
+  for (int64_t i = 0; i < a.rows(); ++i) {
+    for (int64_t j = 0; j < 3; ++j) a.At(i, j) = rng.Gaussian();
+  }
+  EXPECT_TRUE(AlmostEqual(sketch->ApplyDense(a), MatMul(pi, a), 1e-10));
+  // Vector input.
+  std::vector<double> x(static_cast<size_t>(sketch->cols()));
+  for (double& v : x) v = rng.Gaussian();
+  const std::vector<double> via_sketch = sketch->ApplyVector(x);
+  const std::vector<double> via_dense = MatVec(pi, x);
+  for (size_t i = 0; i < via_sketch.size(); ++i) {
+    EXPECT_NEAR(via_sketch[i], via_dense[i], 1e-10);
+  }
+  // Sparse input.
+  CooBuilder builder(sketch->cols(), 2);
+  builder.Add(0, 0, 1.5);
+  builder.Add(sketch->cols() - 1, 0, -2.0);
+  builder.Add(sketch->cols() / 2, 1, 3.0);
+  const CscMatrix sparse = builder.ToCsc();
+  EXPECT_TRUE(AlmostEqual(sketch->ApplySparse(sparse),
+                          MatMul(pi, sparse.ToDense()), 1e-10));
+}
+
+TEST_P(SketchFamilyTest, MaterializeColumnsMatchesColumn) {
+  auto sketch = Make();
+  const CscMatrix slice = sketch->MaterializeColumns(3, 9);
+  EXPECT_EQ(slice.cols(), 6);
+  EXPECT_EQ(slice.rows(), sketch->rows());
+  const Matrix dense_slice = slice.ToDense();
+  for (int64_t c = 0; c < 6; ++c) {
+    for (const ColumnEntry& entry : sketch->Column(c + 3)) {
+      EXPECT_EQ(dense_slice.At(entry.row, c), entry.value);
+    }
+  }
+}
+
+TEST_P(SketchFamilyTest, NormPreservationInExpectation) {
+  // E‖Πx‖² = ‖x‖² for a fixed unit x, averaging over independent draws.
+  RunningStats stats;
+  Rng xrng(123);
+  std::vector<double> x(static_cast<size_t>(GetParam().config.cols));
+  for (double& v : x) v = xrng.Gaussian();
+  double x_norm_sq = 0.0;
+  for (double v : x) x_norm_sq += v * v;
+  // The deterministic Hadamard construction is not isotropic for a fixed x,
+  // so sample x instead of the sketch in that case.
+  const bool deterministic = GetParam().family == "blockhadamard";
+  for (int draw = 0; draw < 300; ++draw) {
+    SketchConfig config = GetParam().config;
+    config.seed = static_cast<uint64_t>(draw) + 1000;
+    auto sketch = CreateSketch(GetParam().family, config);
+    ASSERT_TRUE(sketch.ok());
+    std::vector<double> input = x;
+    double input_norm_sq = x_norm_sq;
+    if (deterministic) {
+      for (double& v : input) v = xrng.Gaussian();
+      input_norm_sq = 0.0;
+      for (double v : input) input_norm_sq += v * v;
+    }
+    const std::vector<double> y = sketch.value()->ApplyVector(input);
+    double y_norm_sq = 0.0;
+    for (double v : y) y_norm_sq += v * v;
+    stats.Add(y_norm_sq / input_norm_sq);
+  }
+  EXPECT_NEAR(stats.Mean(), 1.0, 0.15) << GetParam().family;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFamilies, SketchFamilyTest, testing::ValuesIn(AllFamilies()),
+    [](const testing::TestParamInfo<FamilyCase>& info) {
+      std::string name = info.param.family;
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+TEST(RegistryTest, UnknownFamilyIsNotFound) {
+  SketchConfig config{.rows = 4, .cols = 4, .sparsity = 1, .jl_q = 3.0, .seed = 0};
+  auto sketch = CreateSketch("nope", config);
+  EXPECT_FALSE(sketch.ok());
+  EXPECT_EQ(sketch.status().code(), StatusCode::kNotFound);
+}
+
+TEST(RegistryTest, PropagatesValidationErrors) {
+  SketchConfig config{.rows = 4, .cols = 5, .sparsity = 1, .jl_q = 3.0, .seed = 0};
+  EXPECT_FALSE(CreateSketch("srht", config).ok());  // n not a power of 2.
+  config.sparsity = 3;
+  EXPECT_FALSE(CreateSketch("osnap-block", config).ok());  // 3 does not divide 4.
+  EXPECT_FALSE(CreateSketch("blockhadamard", config).ok());
+}
+
+TEST(RegistryTest, ListsAllFamilies) {
+  const std::vector<std::string> families = KnownSketchFamilies();
+  EXPECT_EQ(families.size(), 9u);
+  for (const std::string& family : families) {
+    SketchConfig config{
+        .rows = 32, .cols = 64, .sparsity = 4, .jl_q = 3.0, .seed = 1};
+    EXPECT_TRUE(CreateSketch(family, config).ok()) << family;
+  }
+}
+
+}  // namespace
+}  // namespace sose

@@ -1,0 +1,117 @@
+#include "sketch/hadamard.h"
+
+#include <gtest/gtest.h>
+
+#include "core/random.h"
+
+namespace sose {
+namespace {
+
+TEST(IsPowerOfTwoTest, Classification) {
+  EXPECT_TRUE(IsPowerOfTwo(1));
+  EXPECT_TRUE(IsPowerOfTwo(2));
+  EXPECT_TRUE(IsPowerOfTwo(1024));
+  EXPECT_FALSE(IsPowerOfTwo(0));
+  EXPECT_FALSE(IsPowerOfTwo(-4));
+  EXPECT_FALSE(IsPowerOfTwo(3));
+  EXPECT_FALSE(IsPowerOfTwo(1023));
+}
+
+TEST(NextPowerOfTwoTest, RoundsUp) {
+  EXPECT_EQ(NextPowerOfTwo(1), 1);
+  EXPECT_EQ(NextPowerOfTwo(2), 2);
+  EXPECT_EQ(NextPowerOfTwo(3), 4);
+  EXPECT_EQ(NextPowerOfTwo(17), 32);
+}
+
+TEST(HadamardEntryTest, OrderTwo) {
+  EXPECT_EQ(HadamardEntry(0, 0), 1.0);
+  EXPECT_EQ(HadamardEntry(0, 1), 1.0);
+  EXPECT_EQ(HadamardEntry(1, 0), 1.0);
+  EXPECT_EQ(HadamardEntry(1, 1), -1.0);
+}
+
+TEST(HadamardEntryTest, Symmetric) {
+  for (int64_t i = 0; i < 16; ++i) {
+    for (int64_t j = 0; j < 16; ++j) {
+      EXPECT_EQ(HadamardEntry(i, j), HadamardEntry(j, i));
+    }
+  }
+}
+
+TEST(SylvesterHadamardTest, RejectsNonPowerOfTwo) {
+  EXPECT_FALSE(SylvesterHadamard(3).ok());
+  EXPECT_FALSE(SylvesterHadamard(0).ok());
+}
+
+TEST(SylvesterHadamardTest, RowsAreOrthogonal) {
+  auto h = SylvesterHadamard(8);
+  ASSERT_TRUE(h.ok());
+  // H Hᵀ = n I.
+  const Matrix product = MatMulTransposeB(h.value(), h.value());
+  Matrix expected = Matrix::Identity(8);
+  expected.Scale(8.0);
+  EXPECT_TRUE(AlmostEqual(product, expected, 1e-12));
+}
+
+TEST(SylvesterHadamardTest, EntriesArePlusMinusOne) {
+  auto h = SylvesterHadamard(16);
+  ASSERT_TRUE(h.ok());
+  for (int64_t i = 0; i < 16; ++i) {
+    for (int64_t j = 0; j < 16; ++j) {
+      EXPECT_EQ(std::abs(h.value().At(i, j)), 1.0);
+    }
+  }
+}
+
+TEST(FwhtTest, RejectsNonPowerOfTwoSize) {
+  std::vector<double> x(3, 1.0);
+  EXPECT_FALSE(Fwht(&x).ok());
+}
+
+TEST(FwhtTest, MatchesExplicitHadamardMultiply) {
+  Rng rng(5);
+  std::vector<double> x(16);
+  for (double& v : x) v = rng.Gaussian();
+  std::vector<double> transformed = x;
+  ASSERT_TRUE(Fwht(&transformed).ok());
+  auto h = SylvesterHadamard(16);
+  ASSERT_TRUE(h.ok());
+  const std::vector<double> expected = MatVec(h.value(), x);
+  for (size_t i = 0; i < 16; ++i) {
+    EXPECT_NEAR(transformed[i], expected[i], 1e-10);
+  }
+}
+
+TEST(FwhtTest, InvolutionUpToScale) {
+  Rng rng(6);
+  std::vector<double> x(32);
+  for (double& v : x) v = rng.Gaussian();
+  std::vector<double> twice = x;
+  ASSERT_TRUE(Fwht(&twice).ok());
+  ASSERT_TRUE(Fwht(&twice).ok());
+  for (size_t i = 0; i < 32; ++i) {
+    EXPECT_NEAR(twice[i], 32.0 * x[i], 1e-9);
+  }
+}
+
+TEST(FwhtTest, PreservesEnergyUpToScale) {
+  Rng rng(7);
+  std::vector<double> x(64);
+  for (double& v : x) v = rng.Gaussian();
+  double before = 0.0;
+  for (double v : x) before += v * v;
+  ASSERT_TRUE(Fwht(&x).ok());
+  double after = 0.0;
+  for (double v : x) after += v * v;
+  EXPECT_NEAR(after, 64.0 * before, 1e-7);
+}
+
+TEST(FwhtTest, SizeOneIsIdentity) {
+  std::vector<double> x = {3.5};
+  ASSERT_TRUE(Fwht(&x).ok());
+  EXPECT_EQ(x[0], 3.5);
+}
+
+}  // namespace
+}  // namespace sose

@@ -1,0 +1,100 @@
+#include "sketch/kwise_count_sketch.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/stats.h"
+#include "sketch/registry.h"
+
+namespace sose {
+namespace {
+
+TEST(KwiseCountSketchTest, Validation) {
+  EXPECT_FALSE(KwiseCountSketch::Create(0, 4, 2, 1).ok());
+  EXPECT_FALSE(KwiseCountSketch::Create(4, 0, 2, 1).ok());
+  EXPECT_FALSE(KwiseCountSketch::Create(4, 4, 0, 1).ok());
+  EXPECT_TRUE(KwiseCountSketch::Create(4, 4, 2, 1).ok());
+}
+
+TEST(KwiseCountSketchTest, StructureMatchesCountSketch) {
+  auto sketch = KwiseCountSketch::Create(16, 200, 4, 3);
+  ASSERT_TRUE(sketch.ok());
+  EXPECT_EQ(sketch.value().column_sparsity(), 1);
+  EXPECT_EQ(sketch.value().independence(), 4);
+  EXPECT_EQ(sketch.value().name(), "countsketch-4wise");
+  for (int64_t c = 0; c < 200; ++c) {
+    const auto column = sketch.value().Column(c);
+    ASSERT_EQ(column.size(), 1u);
+    EXPECT_EQ(std::abs(column[0].value), 1.0);
+    EXPECT_GE(column[0].row, 0);
+    EXPECT_LT(column[0].row, 16);
+    EXPECT_EQ(column[0].row, sketch.value().Bucket(c));
+  }
+}
+
+TEST(KwiseCountSketchTest, BucketsApproximatelyUniform) {
+  auto sketch = KwiseCountSketch::Create(8, 80000, 2, 5);
+  ASSERT_TRUE(sketch.ok());
+  std::vector<int64_t> counts(8, 0);
+  for (int64_t c = 0; c < 80000; ++c) {
+    ++counts[static_cast<size_t>(sketch.value().Bucket(c))];
+  }
+  for (int64_t count : counts) EXPECT_NEAR(count, 10000, 700);
+}
+
+TEST(KwiseCountSketchTest, SignsBalanced) {
+  auto sketch = KwiseCountSketch::Create(8, 50000, 4, 7);
+  ASSERT_TRUE(sketch.ok());
+  int64_t sum = 0;
+  for (int64_t c = 0; c < 50000; ++c) {
+    sum += static_cast<int64_t>(sketch.value().Sign(c));
+  }
+  EXPECT_LT(std::abs(sum), 1500);
+}
+
+TEST(KwiseCountSketchTest, SecondMomentUnbiased) {
+  // Pairwise buckets + pairwise signs already give E‖Πx‖² = ‖x‖².
+  std::vector<double> x = {1.0, -2.0, 0.5, 3.0};
+  double x_norm_sq = 0.0;
+  for (double v : x) x_norm_sq += v * v;
+  for (int64_t k : {2, 4, 8}) {
+    RunningStats stats;
+    for (uint64_t seed = 0; seed < 2500; ++seed) {
+      auto sketch = KwiseCountSketch::Create(4, 4, k, seed);
+      ASSERT_TRUE(sketch.ok());
+      const std::vector<double> y = sketch.value().ApplyVector(x);
+      double y_norm_sq = 0.0;
+      for (double v : y) y_norm_sq += v * v;
+      stats.Add(y_norm_sq);
+    }
+    EXPECT_NEAR(stats.Mean(), x_norm_sq, 0.12 * x_norm_sq) << "k=" << k;
+  }
+}
+
+TEST(KwiseCountSketchTest, RegistryConstruction) {
+  SketchConfig config;
+  config.rows = 16;
+  config.cols = 64;
+  config.independence = 6;
+  config.seed = 11;
+  auto sketch = CreateSketch("countsketch-kwise", config);
+  ASSERT_TRUE(sketch.ok());
+  EXPECT_EQ(sketch.value()->name(), "countsketch-6wise");
+  EXPECT_EQ(sketch.value()->rows(), 16);
+}
+
+TEST(KwiseCountSketchTest, DifferentIndependenceDifferentHashes) {
+  auto low = KwiseCountSketch::Create(64, 256, 2, 13);
+  auto high = KwiseCountSketch::Create(64, 256, 8, 13);
+  ASSERT_TRUE(low.ok());
+  ASSERT_TRUE(high.ok());
+  int64_t same = 0;
+  for (int64_t c = 0; c < 256; ++c) {
+    if (low.value().Bucket(c) == high.value().Bucket(c)) ++same;
+  }
+  EXPECT_LT(same, 32);
+}
+
+}  // namespace
+}  // namespace sose

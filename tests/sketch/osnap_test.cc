@@ -1,0 +1,115 @@
+#include "sketch/osnap.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "core/stats.h"
+
+namespace sose {
+namespace {
+
+TEST(OsnapTest, Validation) {
+  EXPECT_FALSE(Osnap::Create(8, 10, 0, 1).ok());
+  EXPECT_FALSE(Osnap::Create(8, 10, 9, 1).ok());   // s > m.
+  EXPECT_FALSE(Osnap::Create(8, 0, 2, 1).ok());
+  EXPECT_FALSE(Osnap::Create(8, 10, 3, 1, OsnapVariant::kBlock).ok());  // 3∤8.
+  EXPECT_TRUE(Osnap::Create(8, 10, 4, 1, OsnapVariant::kBlock).ok());
+}
+
+TEST(OsnapTest, ExactlySNonzerosDistinctRows) {
+  auto sketch = Osnap::Create(32, 50, 5, 3);
+  ASSERT_TRUE(sketch.ok());
+  for (int64_t c = 0; c < 50; ++c) {
+    const auto column = sketch.value().Column(c);
+    ASSERT_EQ(column.size(), 5u);
+    std::set<int64_t> rows;
+    for (const ColumnEntry& entry : column) {
+      rows.insert(entry.row);
+      EXPECT_NEAR(std::abs(entry.value), 1.0 / std::sqrt(5.0), 1e-12);
+    }
+    EXPECT_EQ(rows.size(), 5u);
+  }
+}
+
+TEST(OsnapTest, BlockVariantPlacesOnePerBlock) {
+  auto sketch = Osnap::Create(24, 40, 4, 9, OsnapVariant::kBlock);
+  ASSERT_TRUE(sketch.ok());
+  const int64_t block = 24 / 4;
+  for (int64_t c = 0; c < 40; ++c) {
+    const auto column = sketch.value().Column(c);
+    ASSERT_EQ(column.size(), 4u);
+    for (int64_t k = 0; k < 4; ++k) {
+      EXPECT_GE(column[static_cast<size_t>(k)].row, k * block);
+      EXPECT_LT(column[static_cast<size_t>(k)].row, (k + 1) * block);
+    }
+  }
+}
+
+TEST(OsnapTest, UnitColumnNorm) {
+  auto sketch = Osnap::Create(64, 30, 7, 11);
+  ASSERT_TRUE(sketch.ok());
+  for (int64_t c = 0; c < 30; ++c) {
+    double norm_sq = 0.0;
+    for (const ColumnEntry& entry : sketch.value().Column(c)) {
+      norm_sq += entry.value * entry.value;
+    }
+    EXPECT_NEAR(norm_sq, 1.0, 1e-12);
+  }
+}
+
+TEST(OsnapTest, SparsityOneBehavesLikeCountSketch) {
+  auto sketch = Osnap::Create(16, 100, 1, 13);
+  ASSERT_TRUE(sketch.ok());
+  EXPECT_EQ(sketch.value().column_sparsity(), 1);
+  for (int64_t c = 0; c < 100; ++c) {
+    const auto column = sketch.value().Column(c);
+    ASSERT_EQ(column.size(), 1u);
+    EXPECT_EQ(std::abs(column[0].value), 1.0);
+  }
+}
+
+TEST(OsnapTest, RowPositionsApproximatelyUniform) {
+  auto sketch = Osnap::Create(8, 40000, 2, 17);
+  ASSERT_TRUE(sketch.ok());
+  std::vector<int64_t> counts(8, 0);
+  for (int64_t c = 0; c < 40000; ++c) {
+    for (const ColumnEntry& entry : sketch.value().Column(c)) {
+      ++counts[static_cast<size_t>(entry.row)];
+    }
+  }
+  for (int64_t count : counts) EXPECT_NEAR(count, 10000, 600);
+}
+
+TEST(OsnapTest, NamesDistinguishVariants) {
+  auto uniform = Osnap::Create(8, 8, 2, 1, OsnapVariant::kUniform);
+  auto block = Osnap::Create(8, 8, 2, 1, OsnapVariant::kBlock);
+  ASSERT_TRUE(uniform.ok());
+  ASSERT_TRUE(block.ok());
+  EXPECT_EQ(uniform.value().name(), "osnap");
+  EXPECT_EQ(block.value().name(), "osnap-block");
+  EXPECT_EQ(uniform.value().variant(), OsnapVariant::kUniform);
+  EXPECT_EQ(block.value().variant(), OsnapVariant::kBlock);
+}
+
+TEST(OsnapTest, SecondMomentUnbiased) {
+  std::vector<double> x = {2.0, -1.0, 0.0, 3.0};
+  double x_norm_sq = 0.0;
+  for (double v : x) x_norm_sq += v * v;
+  for (OsnapVariant variant : {OsnapVariant::kUniform, OsnapVariant::kBlock}) {
+    RunningStats stats;
+    for (uint64_t seed = 0; seed < 1500; ++seed) {
+      auto sketch = Osnap::Create(8, 4, 2, seed, variant);
+      ASSERT_TRUE(sketch.ok());
+      const std::vector<double> y = sketch.value().ApplyVector(x);
+      double y_norm_sq = 0.0;
+      for (double v : y) y_norm_sq += v * v;
+      stats.Add(y_norm_sq);
+    }
+    EXPECT_NEAR(stats.Mean(), x_norm_sq, 0.1 * x_norm_sq);
+  }
+}
+
+}  // namespace
+}  // namespace sose

@@ -1,0 +1,103 @@
+#include "sketch/row_sampling.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/stats.h"
+#include "hardinstance/d_beta.h"
+#include "ose/distortion.h"
+#include "ose/isometry.h"
+#include "sketch/registry.h"
+
+namespace sose {
+namespace {
+
+TEST(RowSamplingTest, Validation) {
+  EXPECT_FALSE(RowSamplingSketch::Create(0, 4, 1).ok());
+  EXPECT_FALSE(RowSamplingSketch::Create(4, 0, 1).ok());
+}
+
+TEST(RowSamplingTest, ColumnsAreScaledIndicators) {
+  auto sketch = RowSamplingSketch::Create(16, 64, 3);
+  ASSERT_TRUE(sketch.ok());
+  const double scale = std::sqrt(64.0 / 16.0);
+  int64_t total_entries = 0;
+  for (int64_t c = 0; c < 64; ++c) {
+    for (const ColumnEntry& entry : sketch.value().Column(c)) {
+      EXPECT_DOUBLE_EQ(entry.value, scale);
+      EXPECT_EQ(sketch.value().SampledCoordinate(entry.row), c);
+      ++total_entries;
+    }
+  }
+  EXPECT_EQ(total_entries, 16);  // One entry per sketch row.
+}
+
+TEST(RowSamplingTest, NormPreservedInExpectation) {
+  std::vector<double> x(128);
+  Rng xrng(5);
+  for (double& v : x) v = xrng.Gaussian();
+  double x_norm_sq = 0.0;
+  for (double v : x) x_norm_sq += v * v;
+  RunningStats stats;
+  for (uint64_t seed = 0; seed < 600; ++seed) {
+    auto sketch = RowSamplingSketch::Create(32, 128, seed);
+    ASSERT_TRUE(sketch.ok());
+    const std::vector<double> y = sketch.value().ApplyVector(x);
+    double y_norm_sq = 0.0;
+    for (double v : y) y_norm_sq += v * v;
+    stats.Add(y_norm_sq);
+  }
+  EXPECT_NEAR(stats.Mean(), x_norm_sq, 0.15 * x_norm_sq);
+}
+
+TEST(RowSamplingTest, RegistryConstruction) {
+  SketchConfig config;
+  config.rows = 8;
+  config.cols = 32;
+  config.seed = 7;
+  auto sketch = CreateSketch("rowsample", config);
+  ASSERT_TRUE(sketch.ok());
+  EXPECT_EQ(sketch.value()->name(), "rowsample");
+}
+
+TEST(RowSamplingTest, MissesSparseHardInstancesAlmostSurely) {
+  // The negative control: on D₁ (d isolated coordinates out of a huge n),
+  // uniform sampling sees none of the support and annihilates the whole
+  // subspace — failure probability ~1 at any sane m.
+  const int64_t n = 1 << 20;
+  auto sampler = DBetaSampler::Create(n, 4, 1);
+  ASSERT_TRUE(sampler.ok());
+  Rng rng(9);
+  int64_t annihilated = 0;
+  constexpr int kTrials = 30;
+  for (int t = 0; t < kTrials; ++t) {
+    auto sketch =
+        RowSamplingSketch::Create(1024, n, static_cast<uint64_t>(t));
+    ASSERT_TRUE(sketch.ok());
+    HardInstance instance = sampler.value().Sample(&rng);
+    while (instance.HasRowCollision()) instance = sampler.value().Sample(&rng);
+    auto report = SketchDistortionOnInstance(sketch.value(), instance);
+    ASSERT_TRUE(report.ok());
+    if (report.value().min_factor < 1e-9) ++annihilated;
+  }
+  // Pr[hit any of the 4 coordinates] ≈ 4·1024/2^20 ≈ 0.004 per trial.
+  EXPECT_GE(annihilated, kTrials - 2);
+}
+
+TEST(RowSamplingTest, WorksOnIncoherentSubspaces) {
+  // On a dense random subspace (flat leverage), sampling is fine — the
+  // contrast that makes the hard instances "hard".
+  Rng rng(11);
+  auto basis = RandomIsometry(256, 3, &rng);
+  ASSERT_TRUE(basis.ok());
+  auto sketch = RowSamplingSketch::Create(192, 256, 13);
+  ASSERT_TRUE(sketch.ok());
+  auto report = SketchDistortionOnIsometry(sketch.value(), basis.value());
+  ASSERT_TRUE(report.ok());
+  EXPECT_GT(report.value().min_factor, 0.3);
+  EXPECT_LT(report.value().max_factor, 1.7);
+}
+
+}  // namespace
+}  // namespace sose

@@ -1,0 +1,125 @@
+#include "sketch/srht.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/random.h"
+#include "core/stats.h"
+#include "sketch/sparse_jl.h"
+
+namespace sose {
+namespace {
+
+TEST(SrhtTest, Validation) {
+  EXPECT_FALSE(Srht::Create(0, 16, 1).ok());
+  EXPECT_FALSE(Srht::Create(4, 12, 1).ok());  // n not a power of two.
+  EXPECT_TRUE(Srht::Create(4, 16, 1).ok());
+}
+
+TEST(SrhtTest, FastApplyMatchesColumnApply) {
+  auto sketch = Srht::Create(8, 32, 5);
+  ASSERT_TRUE(sketch.ok());
+  Rng rng(1);
+  std::vector<double> x(32);
+  for (double& v : x) v = rng.Gaussian();
+  const std::vector<double> fast = sketch.value().ApplyVector(x);
+  // Reference: sum over columns of x_c * Column(c).
+  std::vector<double> slow(8, 0.0);
+  for (int64_t c = 0; c < 32; ++c) {
+    for (const ColumnEntry& entry : sketch.value().Column(c)) {
+      slow[static_cast<size_t>(entry.row)] += x[static_cast<size_t>(c)] * entry.value;
+    }
+  }
+  for (size_t i = 0; i < 8; ++i) EXPECT_NEAR(fast[i], slow[i], 1e-9);
+}
+
+TEST(SrhtTest, ApplyDenseMatchesMaterialized) {
+  auto sketch = Srht::Create(6, 16, 7);
+  ASSERT_TRUE(sketch.ok());
+  Rng rng(2);
+  Matrix a(16, 3);
+  for (int64_t i = 0; i < 16; ++i) {
+    for (int64_t j = 0; j < 3; ++j) a.At(i, j) = rng.Gaussian();
+  }
+  EXPECT_TRUE(AlmostEqual(sketch.value().ApplyDense(a),
+                          MatMul(sketch.value().MaterializeDense(), a), 1e-9));
+}
+
+TEST(SrhtTest, EntriesHaveUniformMagnitude) {
+  auto sketch = Srht::Create(5, 64, 11);
+  ASSERT_TRUE(sketch.ok());
+  const double expected = 1.0 / std::sqrt(5.0);
+  for (int64_t c = 0; c < 64; ++c) {
+    for (const ColumnEntry& entry : sketch.value().Column(c)) {
+      EXPECT_NEAR(std::abs(entry.value), expected, 1e-12);
+    }
+  }
+}
+
+TEST(SrhtTest, NormPreservationInExpectation) {
+  Rng rng(3);
+  std::vector<double> x(64);
+  for (double& v : x) v = rng.Gaussian();
+  double x_norm_sq = 0.0;
+  for (double v : x) x_norm_sq += v * v;
+  RunningStats stats;
+  for (uint64_t seed = 0; seed < 500; ++seed) {
+    auto sketch = Srht::Create(16, 64, seed);
+    ASSERT_TRUE(sketch.ok());
+    const std::vector<double> y = sketch.value().ApplyVector(x);
+    double y_norm_sq = 0.0;
+    for (double v : y) y_norm_sq += v * v;
+    stats.Add(y_norm_sq);
+  }
+  EXPECT_NEAR(stats.Mean(), x_norm_sq, 0.1 * x_norm_sq);
+}
+
+TEST(SparseJlTest, Validation) {
+  EXPECT_FALSE(SparseJl::Create(0, 4, 3.0, 1).ok());
+  EXPECT_FALSE(SparseJl::Create(4, 4, 0.5, 1).ok());  // q < 1.
+  EXPECT_TRUE(SparseJl::Create(4, 4, 1.0, 1).ok());
+}
+
+TEST(SparseJlTest, DensityMatchesQ) {
+  auto sketch = SparseJl::Create(100, 2000, 4.0, 5);
+  ASSERT_TRUE(sketch.ok());
+  int64_t total_nnz = 0;
+  for (int64_t c = 0; c < 2000; ++c) {
+    total_nnz += static_cast<int64_t>(sketch.value().Column(c).size());
+  }
+  // Expected density 1/q = 0.25 → 100*2000*0.25 = 50000 nonzeros.
+  EXPECT_NEAR(static_cast<double>(total_nnz), 50000.0, 2500.0);
+}
+
+TEST(SparseJlTest, QOneIsDenseRademacher) {
+  auto sketch = SparseJl::Create(10, 50, 1.0, 7);
+  ASSERT_TRUE(sketch.ok());
+  const double magnitude = 1.0 / std::sqrt(10.0);
+  for (int64_t c = 0; c < 50; ++c) {
+    const auto column = sketch.value().Column(c);
+    ASSERT_EQ(column.size(), 10u);
+    for (const ColumnEntry& entry : column) {
+      EXPECT_NEAR(std::abs(entry.value), magnitude, 1e-12);
+    }
+  }
+}
+
+TEST(SparseJlTest, SecondMomentUnbiased) {
+  std::vector<double> x = {1.0, 2.0, -1.5};
+  double x_norm_sq = 0.0;
+  for (double v : x) x_norm_sq += v * v;
+  RunningStats stats;
+  for (uint64_t seed = 0; seed < 2000; ++seed) {
+    auto sketch = SparseJl::Create(6, 3, 3.0, seed);
+    ASSERT_TRUE(sketch.ok());
+    const std::vector<double> y = sketch.value().ApplyVector(x);
+    double y_norm_sq = 0.0;
+    for (double v : y) y_norm_sq += v * v;
+    stats.Add(y_norm_sq);
+  }
+  EXPECT_NEAR(stats.Mean(), x_norm_sq, 0.12 * x_norm_sq);
+}
+
+}  // namespace
+}  // namespace sose

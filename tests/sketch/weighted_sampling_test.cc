@@ -1,0 +1,136 @@
+#include "sketch/weighted_sampling.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "apps/leverage.h"
+#include "core/linalg_qr.h"
+#include "core/random.h"
+#include "core/stats.h"
+#include "ose/distortion.h"
+#include "ose/isometry.h"
+#include "workload/generators.h"
+
+namespace sose {
+namespace {
+
+TEST(WeightedSamplingTest, Validation) {
+  EXPECT_FALSE(WeightedSamplingSketch::Create({0.5, 0.5}, 0, 1).ok());
+  EXPECT_FALSE(WeightedSamplingSketch::Create({}, 4, 1).ok());
+  EXPECT_FALSE(WeightedSamplingSketch::Create({0.5, -0.1}, 4, 1).ok());
+  EXPECT_FALSE(WeightedSamplingSketch::Create({0.0, 0.0}, 4, 1).ok());
+  EXPECT_TRUE(WeightedSamplingSketch::Create({2.0, 1.0}, 4, 1).ok());
+}
+
+TEST(WeightedSamplingTest, ZeroProbabilityCoordinateNeverSampled) {
+  auto sketch = WeightedSamplingSketch::Create({1.0, 0.0, 1.0}, 64, 3);
+  ASSERT_TRUE(sketch.ok());
+  EXPECT_TRUE(sketch.value().Column(1).empty());
+  for (int64_t i = 0; i < 64; ++i) {
+    EXPECT_NE(sketch.value().SampledCoordinate(i), 1);
+  }
+}
+
+TEST(WeightedSamplingTest, SamplingFrequenciesMatchDistribution) {
+  auto sketch =
+      WeightedSamplingSketch::Create({0.5, 0.25, 0.25}, 40000, 5);
+  ASSERT_TRUE(sketch.ok());
+  std::vector<int64_t> counts(3, 0);
+  for (int64_t i = 0; i < 40000; ++i) {
+    ++counts[static_cast<size_t>(sketch.value().SampledCoordinate(i))];
+  }
+  EXPECT_NEAR(static_cast<double>(counts[0]) / 40000.0, 0.5, 0.02);
+  EXPECT_NEAR(static_cast<double>(counts[1]) / 40000.0, 0.25, 0.02);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / 40000.0, 0.25, 0.02);
+}
+
+TEST(WeightedSamplingTest, SecondMomentUnbiased) {
+  // E‖Πx‖² = ‖x‖² for any fixed x, by the 1/√(mp) scaling.
+  const std::vector<double> p = {0.6, 0.1, 0.1, 0.2};
+  const std::vector<double> x = {1.0, -2.0, 0.5, 1.5};
+  double x_norm_sq = 0.0;
+  for (double v : x) x_norm_sq += v * v;
+  RunningStats stats;
+  for (uint64_t seed = 0; seed < 1500; ++seed) {
+    auto sketch = WeightedSamplingSketch::Create(p, 8, seed);
+    ASSERT_TRUE(sketch.ok());
+    const std::vector<double> y = sketch.value().ApplyVector(x);
+    double y_norm_sq = 0.0;
+    for (double v : y) y_norm_sq += v * v;
+    stats.Add(y_norm_sq);
+  }
+  EXPECT_NEAR(stats.Mean(), x_norm_sq, 0.12 * x_norm_sq);
+}
+
+TEST(LeverageSamplingTest, EmbedsCoherentSubspaceWhereUniformFails) {
+  // A spiky basis: one direction lives on a single row. Uniform sampling
+  // misses it; leverage sampling pins it with probability ~1 per draw.
+  Rng rng(7);
+  auto basis = SpikyIsometry(4096, 4, &rng);
+  ASSERT_TRUE(basis.ok());
+  int leverage_ok = 0;
+  int uniform_ok = 0;
+  for (uint64_t seed = 0; seed < 20; ++seed) {
+    auto leverage = MakeLeverageSamplingSketch(basis.value(), 256, seed);
+    ASSERT_TRUE(leverage.ok());
+    auto report =
+        SketchDistortionOnIsometry(leverage.value(), basis.value());
+    ASSERT_TRUE(report.ok());
+    if (report.value().min_factor > 0.3) ++leverage_ok;
+
+    const std::vector<double> uniform_p(4096, 1.0 / 4096.0);
+    auto uniform = WeightedSamplingSketch::Create(uniform_p, 256, seed + 100);
+    ASSERT_TRUE(uniform.ok());
+    auto uniform_report =
+        SketchDistortionOnIsometry(uniform.value(), basis.value());
+    ASSERT_TRUE(uniform_report.ok());
+    if (uniform_report.value().min_factor > 0.3) ++uniform_ok;
+  }
+  // Uniform misses the spike with prob (1 - 1/4096)^256 ≈ 0.94 per draw.
+  EXPECT_GE(leverage_ok, 18);
+  EXPECT_LE(uniform_ok, 5);
+}
+
+TEST(LeverageSamplingTest, EscapesThePaperHardInstance) {
+  // The punchline: on D₁'s support (d isolated coordinates), leverage
+  // sampling puts ALL its mass on the active coordinates and embeds with
+  // m = O(d log d) — the Ω(d²/(ε²δ)) bound does not apply because the
+  // sampler saw the data. (Π here is built from U itself.)
+  Rng rng(9);
+  const int64_t n = 1 << 16;
+  const int64_t d = 8;
+  Matrix u(n, d);
+  std::vector<int64_t> active = rng.SampleWithoutReplacement(n, d);
+  for (int64_t j = 0; j < d; ++j) {
+    u.At(active[static_cast<size_t>(j)], j) = 1.0;
+  }
+  int ok = 0;
+  for (uint64_t seed = 0; seed < 10; ++seed) {
+    auto sketch = MakeLeverageSamplingSketch(u, 8 * d, seed);
+    ASSERT_TRUE(sketch.ok());
+    auto report = SketchDistortionOnIsometry(sketch.value(), u);
+    ASSERT_TRUE(report.ok());
+    if (report.value().Epsilon() < 0.5) ++ok;
+  }
+  EXPECT_GE(ok, 8);
+}
+
+TEST(LeverageSamplingTest, RegressionQualityOnCoherentDesign) {
+  Rng rng(11);
+  auto instance =
+      MakeRegressionInstance(1024, 4, 1.0, DesignKind::kCoherent, &rng);
+  ASSERT_TRUE(instance.ok());
+  auto sketch = MakeLeverageSamplingSketch(instance.value().a, 128, 13);
+  ASSERT_TRUE(sketch.ok());
+  // Distortion of the design's column space under the sampler.
+  auto basis = Orthonormalize(instance.value().a);
+  ASSERT_TRUE(basis.ok());
+  auto report = SketchDistortionOnIsometry(sketch.value(), basis.value());
+  ASSERT_TRUE(report.ok());
+  EXPECT_LT(report.value().Epsilon(), 0.8);
+  EXPECT_GT(report.value().min_factor, 0.2);
+}
+
+}  // namespace
+}  // namespace sose

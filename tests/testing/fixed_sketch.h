@@ -1,0 +1,39 @@
+#ifndef SOSE_TESTS_TESTING_FIXED_SKETCH_H_
+#define SOSE_TESTS_TESTING_FIXED_SKETCH_H_
+
+#include <string>
+#include <vector>
+
+#include "core/matrix.h"
+#include "sketch/sketch.h"
+
+namespace sose::testing_support {
+
+/// A SketchingMatrix wrapping an explicit dense matrix, for tests that need
+/// full control over Π's entries.
+class FixedSketch final : public SketchingMatrix {
+ public:
+  explicit FixedSketch(Matrix matrix) : matrix_(std::move(matrix)) {}
+
+  int64_t rows() const override { return matrix_.rows(); }
+  int64_t cols() const override { return matrix_.cols(); }
+  int64_t column_sparsity() const override { return matrix_.rows(); }
+  std::string name() const override { return "fixed"; }
+
+  std::vector<ColumnEntry> Column(int64_t c) const override {
+    std::vector<ColumnEntry> entries;
+    for (int64_t i = 0; i < matrix_.rows(); ++i) {
+      if (matrix_.At(i, c) != 0.0) {
+        entries.push_back(ColumnEntry{i, matrix_.At(i, c)});
+      }
+    }
+    return entries;
+  }
+
+ private:
+  Matrix matrix_;
+};
+
+}  // namespace sose::testing_support
+
+#endif  // SOSE_TESTS_TESTING_FIXED_SKETCH_H_

@@ -1,0 +1,115 @@
+#include "workload/generators.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/stats.h"
+#include "core/linalg_svd.h"
+#include "core/vector_ops.h"
+
+namespace sose {
+namespace {
+
+TEST(RandomDenseMatrixTest, ShapeAndMoments) {
+  Rng rng(1);
+  const Matrix a = RandomDenseMatrix(40, 25, &rng);
+  EXPECT_EQ(a.rows(), 40);
+  EXPECT_EQ(a.cols(), 25);
+  RunningStats stats;
+  for (int64_t i = 0; i < 40; ++i) {
+    for (int64_t j = 0; j < 25; ++j) stats.Add(a.At(i, j));
+  }
+  EXPECT_NEAR(stats.Mean(), 0.0, 0.1);
+  EXPECT_NEAR(stats.Variance(), 1.0, 0.15);
+}
+
+TEST(RandomSparseMatrixTest, Validation) {
+  Rng rng(2);
+  EXPECT_FALSE(RandomSparseMatrix(5, 3, 0, &rng).ok());
+  EXPECT_FALSE(RandomSparseMatrix(5, 3, 6, &rng).ok());
+}
+
+TEST(RandomSparseMatrixTest, ExactColumnSparsity) {
+  Rng rng(3);
+  auto a = RandomSparseMatrix(100, 20, 5, &rng);
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(a.value().rows(), 100);
+  EXPECT_EQ(a.value().cols(), 20);
+  for (int64_t j = 0; j < 20; ++j) {
+    EXPECT_EQ(a.value().ColNnz(j), 5);
+  }
+}
+
+TEST(CoherentMatrixTest, HasSpikes) {
+  Rng rng(4);
+  const Matrix a = CoherentMatrix(200, 4, 8, 10.0, &rng);
+  EXPECT_GE(a.MaxAbs(), 5.0);
+}
+
+TEST(MakeRegressionInstanceTest, Validation) {
+  Rng rng(5);
+  EXPECT_FALSE(
+      MakeRegressionInstance(3, 4, 0.1, DesignKind::kIncoherent, &rng).ok());
+  EXPECT_FALSE(
+      MakeRegressionInstance(3, 0, 0.1, DesignKind::kIncoherent, &rng).ok());
+}
+
+TEST(MakeRegressionInstanceTest, NoiselessIsConsistent) {
+  Rng rng(6);
+  auto instance =
+      MakeRegressionInstance(40, 4, 0.0, DesignKind::kIncoherent, &rng);
+  ASSERT_TRUE(instance.ok());
+  const std::vector<double> residual = Subtract(
+      MatVec(instance.value().a, instance.value().x_true), instance.value().b);
+  EXPECT_NEAR(Norm2(residual), 0.0, 1e-10);
+}
+
+TEST(MakeRegressionInstanceTest, NoiseLevelControlsResidual) {
+  Rng rng(7);
+  auto instance =
+      MakeRegressionInstance(300, 4, 2.0, DesignKind::kIncoherent, &rng);
+  ASSERT_TRUE(instance.ok());
+  const std::vector<double> residual = Subtract(
+      MatVec(instance.value().a, instance.value().x_true), instance.value().b);
+  // ‖noise‖ ≈ 2√300 ≈ 34.6.
+  EXPECT_NEAR(Norm2(residual), 2.0 * std::sqrt(300.0), 10.0);
+}
+
+TEST(MakeRegressionInstanceTest, CoherentKindUsesSpikyDesign) {
+  Rng rng(8);
+  auto instance =
+      MakeRegressionInstance(200, 4, 0.1, DesignKind::kCoherent, &rng);
+  ASSERT_TRUE(instance.ok());
+  EXPECT_GE(instance.value().a.MaxAbs(), 4.0);
+}
+
+TEST(PlantedLowRankMatrixTest, RankIsPlanted) {
+  Rng rng(9);
+  const Matrix a = PlantedLowRankMatrix(30, 20, 3, 0.0, &rng);
+  EXPECT_EQ(a.rows(), 30);
+  EXPECT_EQ(a.cols(), 20);
+  auto sigma = SingularValues(a);
+  ASSERT_TRUE(sigma.ok());
+  EXPECT_GT(sigma.value()[2], 1e-6);   // Third singular value is real.
+  EXPECT_LT(sigma.value()[3], 1e-8);   // Fourth vanishes: rank exactly 3.
+}
+
+TEST(PlantedLowRankMatrixTest, NoiseIncreasesEnergy) {
+  Rng rng_a(10);
+  Rng rng_b(10);
+  const Matrix clean = PlantedLowRankMatrix(20, 15, 2, 0.0, &rng_a);
+  const Matrix noisy = PlantedLowRankMatrix(20, 15, 2, 1.0, &rng_b);
+  // Same generator stream => same planted factors; noise adds energy.
+  EXPECT_GT(noisy.FrobeniusNorm(), clean.FrobeniusNorm());
+}
+
+TEST(GeneratorsTest, DeterministicGivenSeed) {
+  Rng rng_a(11);
+  Rng rng_b(11);
+  EXPECT_TRUE(AlmostEqual(RandomDenseMatrix(10, 10, &rng_a),
+                          RandomDenseMatrix(10, 10, &rng_b), 0.0));
+}
+
+}  // namespace
+}  // namespace sose
