@@ -25,8 +25,16 @@ struct SweepPoint {
   double delta;
 };
 
-sose::Result<int64_t> MeasureThreshold(const SweepPoint& point,
-                                       uint64_t seed) {
+// Resilience policy shared by every probe of the bench; read once from the
+// command line in main().
+struct ResilienceConfig {
+  sose::EstimatorOptions base;
+  std::string checkpoint_prefix;
+};
+
+sose::Result<sose::ThresholdResult> MeasureThreshold(
+    const SweepPoint& point, uint64_t seed, const std::string& point_tag,
+    const ResilienceConfig& resilience) {
   const int64_t n_needed = static_cast<int64_t>(
       32.0 * static_cast<double>(point.d * point.d) /
       (point.epsilon * point.epsilon * point.delta));
@@ -38,10 +46,17 @@ sose::Result<int64_t> MeasureThreshold(const SweepPoint& point,
       std::min<int64_t>(800, std::max<int64_t>(200, static_cast<int64_t>(
                                                         30.0 / point.delta)));
   auto failure_at = [&](int64_t m) -> sose::Result<sose::FailureEstimate> {
-    sose::EstimatorOptions options;
+    sose::EstimatorOptions options = resilience.base;
     options.trials = trials;
     options.epsilon = point.epsilon;
     options.seed = sose::DeriveSeed(seed, static_cast<uint64_t>(m));
+    if (!resilience.checkpoint_prefix.empty()) {
+      // One file per probe: the bisection visits distinct m values and the
+      // sweeps share the prefix, so every (sweep point, m) needs its own path.
+      options.checkpoint_path = resilience.checkpoint_prefix + "." + point_tag +
+                                ".m" + std::to_string(m);
+      options.checkpoint_every = std::max<int64_t>(1, trials / 8);
+    }
     return sose::EstimateFailureProbability(
         sose::bench::MakeFactory("countsketch", m, n, 1),
         [&mixture](sose::Rng* rng) { return mixture.Sample(rng); }, options);
@@ -51,38 +66,50 @@ sose::Result<int64_t> MeasureThreshold(const SweepPoint& point,
   options.m_hi = int64_t{1} << 22;
   options.delta = point.delta;
   options.relative_tolerance = 0.05;
-  SOSE_ASSIGN_OR_RETURN(sose::ThresholdResult result,
-                        sose::FindMinimalRows(failure_at, options));
-  return result.m_star;
+  return sose::FindMinimalRows(failure_at, options);
 }
 
-void RunSweep(const char* label, const std::vector<SweepPoint>& points,
+void RunSweep(const char* label, const char* sweep_tag,
+              const std::vector<SweepPoint>& points,
               const std::vector<double>& xs, uint64_t seed,
-              double predicted_slope, sose::CsvWriter* csv) {
+              double predicted_slope, const ResilienceConfig& resilience,
+              sose::CsvWriter* csv) {
   sose::AsciiTable table({"d", "eps", "delta", "m*", "d^2/(eps^2 delta)",
-                          "ratio"});
+                          "ratio", "faults"});
   std::vector<double> measured;
-  for (const SweepPoint& point : points) {
-    auto m_star = MeasureThreshold(point, seed);
-    m_star.status().CheckOK();
-    measured.push_back(static_cast<double>(m_star.value()));
+  for (size_t i = 0; i < points.size(); ++i) {
+    const SweepPoint& point = points[i];
+    auto search = MeasureThreshold(
+        point, seed, std::string(sweep_tag) + std::to_string(i), resilience);
+    search.status().CheckOK();
+    const sose::ThresholdResult& result = search.value();
+    measured.push_back(static_cast<double>(result.m_star));
     const double predicted = static_cast<double>(point.d * point.d) /
                              (point.epsilon * point.epsilon * point.delta);
+    sose::TrialErrorTaxonomy merged;
+    for (const sose::ThresholdProbe& probe : result.probes) {
+      for (const auto& [code, entry] : probe.estimate.taxonomy.by_code) {
+        merged.by_code[code].count += entry.count;
+      }
+    }
     table.NewRow();
     table.AddInt(point.d);
     table.AddDouble(point.epsilon);
     table.AddDouble(point.delta);
-    table.AddInt(m_star.value());
+    table.AddInt(result.m_star);
     table.AddDouble(predicted);
-    table.AddDouble(static_cast<double>(m_star.value()) / predicted, 3);
+    table.AddDouble(static_cast<double>(result.m_star) / predicted, 3);
+    table.AddCell(sose::bench::FaultCell(result.total_faulted,
+                                         result.any_partial, merged));
     if (csv != nullptr) {
       csv->NewRow();
       csv->AddCell(label);
       csv->AddInt(point.d);
       csv->AddDouble(point.epsilon);
       csv->AddDouble(point.delta);
-      csv->AddInt(m_star.value());
+      csv->AddInt(result.m_star);
       csv->AddDouble(predicted);
+      csv->AddInt(result.total_faulted);
     }
   }
   std::printf("--- sweep over %s ---\n%s", label, table.ToString().c_str());
@@ -98,7 +125,11 @@ int main(int argc, char** argv) {
   sose::FlagParser flags(argc, argv);
   const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 11));
   const std::string csv_path = flags.GetString("csv", "");
-  sose::CsvWriter csv({"sweep", "d", "eps", "delta", "m_star", "predicted"});
+  ResilienceConfig resilience;
+  sose::bench::ReadResilienceFlags(flags, &resilience.base);
+  resilience.checkpoint_prefix = flags.GetString("checkpoint", "");
+  sose::CsvWriter csv(
+      {"sweep", "d", "eps", "delta", "m_star", "predicted", "faulted"});
   sose::CsvWriter* csv_ptr = csv_path.empty() ? nullptr : &csv;
   sose::bench::PrintHeader(
       "E1: Count-Sketch threshold (Theorem 8)",
@@ -114,7 +145,7 @@ int main(int argc, char** argv) {
       points.push_back({d, 1.0 / 16.0, 0.2});
       xs.push_back(static_cast<double>(d));
     }
-    RunSweep("d", points, xs, seed, 2.0, csv_ptr);
+    RunSweep("d", "d", points, xs, seed, 2.0, resilience, csv_ptr);
   }
   {
     std::vector<SweepPoint> points;
@@ -123,7 +154,8 @@ int main(int argc, char** argv) {
       points.push_back({4, 1.0 / inv_eps, 0.2});
       xs.push_back(inv_eps);
     }
-    RunSweep("1/eps", points, xs, seed + 1, 2.0, csv_ptr);
+    RunSweep("1/eps", "inv_eps", points, xs, seed + 1, 2.0, resilience,
+             csv_ptr);
   }
   {
     std::vector<SweepPoint> points;
@@ -132,7 +164,8 @@ int main(int argc, char** argv) {
       points.push_back({4, 1.0 / 16.0, delta});
       xs.push_back(1.0 / delta);
     }
-    RunSweep("1/delta", points, xs, seed + 2, 1.0, csv_ptr);
+    RunSweep("1/delta", "inv_delta", points, xs, seed + 2, 1.0, resilience,
+             csv_ptr);
   }
   if (csv_ptr != nullptr) {
     csv.WriteToFile(csv_path).CheckOK();

@@ -2,15 +2,17 @@
 // block-Hadamard sketch with block order b = 1/(8ε) is a (≈0, δ)-subspace
 // embedding for U ~ D₁ once m = O(d²), certifying that Theorem 9's d²
 // lower bound is tight.
+#include <cmath>
 #include <cstdio>
+#include <string>
 
 #include "bench_util.h"
 #include "core/flags.h"
 #include "core/random.h"
-#include "core/stats.h"
 #include "core/table.h"
 #include "hardinstance/d_beta.h"
 #include "ose/distortion.h"
+#include "ose/trial_runner.h"
 #include "sketch/block_hadamard.h"
 
 int main(int argc, char** argv) {
@@ -19,6 +21,7 @@ int main(int argc, char** argv) {
   const int64_t b = flags.GetInt("b", 8);
   const int64_t trials = flags.GetInt("trials", 1000);
   const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 3));
+  const std::string checkpoint_prefix = flags.GetString("checkpoint", "");
   const int64_t n = int64_t{1} << 22;
 
   sose::bench::PrintHeader(
@@ -35,34 +38,60 @@ int main(int argc, char** argv) {
   sampler.status().CheckOK();
 
   sose::AsciiTable table({"m", "m/d^2", "fail rate (exact collision)",
-                          "predicted d^2/(2m)", "mean eps", "max eps"});
+                          "predicted d^2/(2m)", "mean eps", "max eps",
+                          "faults"});
   for (double ratio : {0.125, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0}) {
     int64_t m = static_cast<int64_t>(ratio * static_cast<double>(d * d));
     m = std::max<int64_t>(b, (m / b) * b);
     auto sketch = sose::BlockHadamard::Create(m, n, b);
     sketch.status().CheckOK();
-    sose::Rng rng(seed + static_cast<uint64_t>(m));
-    int failures = 0;
-    sose::RunningStats eps_stats;
-    for (int64_t t = 0; t < trials; ++t) {
+    auto trial = [&](uint64_t trial_seed) -> sose::Result<sose::TrialOutcome> {
+      sose::Rng rng(trial_seed);
       sose::HardInstance instance = sampler.value().Sample(&rng);
-      while (instance.HasRowCollision()) {
+      int64_t redraws = 0;
+      while (instance.HasRowCollision() && redraws < 64) {
         instance = sampler.value().Sample(&rng);
+        ++redraws;
       }
-      auto report =
-          sose::SketchDistortionOnInstance(sketch.value(), instance);
-      report.status().CheckOK();
-      eps_stats.Add(report.value().Epsilon());
-      if (report.value().Epsilon() > 1e-9) ++failures;
+      if (instance.HasRowCollision()) {
+        return sose::Status::FailedPrecondition(
+            "E5: persistent row collisions while sampling D_1");
+      }
+      SOSE_ASSIGN_OR_RETURN(
+          sose::DistortionReport report,
+          sose::SketchDistortionOnInstance(sketch.value(), instance));
+      const double epsilon = report.Epsilon();
+      if (!std::isfinite(epsilon)) {
+        return sose::Status::NumericalError("E5: non-finite distortion");
+      }
+      return sose::TrialOutcome{epsilon, epsilon > 1e-9};
+    };
+    sose::TrialRunnerOptions runner;
+    runner.trials = trials;
+    runner.seed = seed + static_cast<uint64_t>(m);
+    runner.max_retries = flags.GetInt("max-retries", runner.max_retries);
+    runner.error_budget = flags.GetDouble("error-budget", runner.error_budget);
+    runner.deadline_seconds =
+        flags.GetDouble("deadline", runner.deadline_seconds);
+    if (!checkpoint_prefix.empty()) {
+      runner.checkpoint_path = checkpoint_prefix + ".m" + std::to_string(m);
+      runner.checkpoint_every = std::max<int64_t>(1, trials / 8);
     }
+    auto run = sose::RunTrials(trial, runner);
+    run.status().CheckOK();
+    const sose::TrialRunReport& report = run.value();
+    const double completed =
+        report.completed > 0 ? static_cast<double>(report.completed) : 1.0;
     table.NewRow();
     table.AddInt(m);
     table.AddDouble(static_cast<double>(m) / static_cast<double>(d * d), 3);
-    table.AddDouble(static_cast<double>(failures) / trials, 4);
+    table.AddDouble(static_cast<double>(report.failures) / completed, 4);
     table.AddDouble(static_cast<double>(d * d) / (2.0 * static_cast<double>(m)),
                     4);
-    table.AddDouble(eps_stats.Mean(), 4);
-    table.AddDouble(eps_stats.Max(), 4);
+    table.AddDouble(report.epsilon_sum / completed, 4);
+    table.AddDouble(report.epsilon_max, 4);
+    table.AddCell(sose::bench::FaultCell(report.faulted, report.partial,
+                                         report.taxonomy));
   }
   std::printf("%s\n", table.ToString().c_str());
   std::printf(

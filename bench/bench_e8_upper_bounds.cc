@@ -5,6 +5,7 @@
 // m ~ d — but their apply costs rank in the opposite order (E9).
 #include <cmath>
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "bench_util.h"
@@ -21,9 +22,10 @@ struct FamilySpec {
   int64_t sparsity;  // 0 means "log2(d)/eps-ish", computed per d.
 };
 
-sose::Result<int64_t> Threshold(const FamilySpec& spec, int64_t d,
-                                double epsilon, double delta, int64_t n,
-                                uint64_t seed) {
+sose::Result<sose::ThresholdResult> Threshold(
+    const FamilySpec& spec, int64_t d, double epsilon, double delta, int64_t n,
+    uint64_t seed, const sose::EstimatorOptions& base_options,
+    const std::string& checkpoint_prefix) {
   SOSE_ASSIGN_OR_RETURN(sose::SectionThreeMixture mixture,
                         sose::SectionThreeMixture::Create(n, d, epsilon));
   int64_t s = spec.sparsity;
@@ -37,10 +39,15 @@ sose::Result<int64_t> Threshold(const FamilySpec& spec, int64_t d,
                             (2.0 * epsilon))));
   }
   auto failure_at = [&](int64_t m) -> sose::Result<sose::FailureEstimate> {
-    sose::EstimatorOptions options;
+    sose::EstimatorOptions options = base_options;
     options.trials = 200;
     options.epsilon = epsilon;
     options.seed = sose::DeriveSeed(seed, static_cast<uint64_t>(m));
+    if (!checkpoint_prefix.empty()) {
+      options.checkpoint_path = checkpoint_prefix + "." + spec.family + ".d" +
+                                std::to_string(d) + ".m" + std::to_string(m);
+      options.checkpoint_every = 25;
+    }
     return sose::EstimateFailureProbability(
         sose::bench::MakeFactory(spec.family, m, n, std::min(s, m)),
         [&mixture](sose::Rng* rng) { return mixture.Sample(rng); }, options);
@@ -50,9 +57,7 @@ sose::Result<int64_t> Threshold(const FamilySpec& spec, int64_t d,
   options.m_hi = int64_t{1} << 21;
   options.delta = delta;
   options.relative_tolerance = 0.06;
-  SOSE_ASSIGN_OR_RETURN(sose::ThresholdResult result,
-                        sose::FindMinimalRows(failure_at, options));
-  return result.m_star;
+  return sose::FindMinimalRows(failure_at, options);
 }
 
 }  // namespace
@@ -63,6 +68,9 @@ int main(int argc, char** argv) {
   const double delta = flags.GetDouble("delta", 0.2);
   const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 31));
   const int64_t n = int64_t{1} << 21;
+  sose::EstimatorOptions base_options;
+  sose::bench::ReadResilienceFlags(flags, &base_options);
+  const std::string checkpoint_prefix = flags.GetString("checkpoint", "");
 
   sose::bench::PrintHeader(
       "E8: upper-bound landscape m*(d) per family (the paper's Table 0)",
@@ -82,18 +90,35 @@ int main(int argc, char** argv) {
   sose::AsciiTable table(header);
 
   std::vector<std::vector<double>> thresholds(specs.size());
+  std::vector<int64_t> family_faulted(specs.size(), 0);
+  bool any_partial = false;
   for (int64_t d : dims) {
     table.NewRow();
     table.AddInt(d);
     for (size_t i = 0; i < specs.size(); ++i) {
-      auto m_star = Threshold(specs[i], d, epsilon, delta, n,
-                              seed + static_cast<uint64_t>(i));
-      m_star.status().CheckOK();
-      thresholds[i].push_back(static_cast<double>(m_star.value()));
-      table.AddInt(m_star.value());
+      auto search = Threshold(specs[i], d, epsilon, delta, n,
+                              seed + static_cast<uint64_t>(i), base_options,
+                              checkpoint_prefix);
+      search.status().CheckOK();
+      const sose::ThresholdResult& result = search.value();
+      thresholds[i].push_back(static_cast<double>(result.m_star));
+      family_faulted[i] += result.total_faulted;
+      any_partial = any_partial || result.any_partial;
+      table.AddInt(result.m_star);
     }
   }
   std::printf("%s\n", table.ToString().c_str());
+  for (size_t i = 0; i < specs.size(); ++i) {
+    if (family_faulted[i] > 0) {
+      std::printf("quarantined trials for %-12s: %lld\n",
+                  specs[i].family.c_str(),
+                  static_cast<long long>(family_faulted[i]));
+    }
+  }
+  if (any_partial) {
+    std::printf("WARNING: at least one probe hit its deadline; thresholds "
+                "rest on partial estimates.\n");
+  }
 
   std::vector<double> xs;
   for (int64_t d : dims) xs.push_back(static_cast<double>(d));

@@ -33,7 +33,7 @@ void ApplySparseBench(benchmark::State& state, const std::string& family,
   sketch.status().CheckOK();
   const CscMatrix input = MakeInput(n, cols, nnz_per_col);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(sketch.value()->ApplySparse(input));
+    benchmark::DoNotOptimize(sketch.value()->ApplySparse(input).value());
   }
   state.SetItemsProcessed(state.iterations() * input.nnz());
   state.counters["nnz"] = static_cast<double>(input.nnz());
@@ -81,7 +81,7 @@ void BM_SrhtApplyVector(benchmark::State& state) {
   std::vector<double> x(static_cast<size_t>(n));
   for (double& v : x) v = rng.Gaussian();
   for (auto _ : state) {
-    benchmark::DoNotOptimize(sketch.value()->ApplyVector(x));
+    benchmark::DoNotOptimize(sketch.value()->ApplyVector(x).value());
   }
   state.SetItemsProcessed(state.iterations() * n);
 }

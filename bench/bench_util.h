@@ -5,6 +5,7 @@
 #include <memory>
 #include <string>
 
+#include "core/flags.h"
 #include "ose/failure_estimator.h"
 #include "sketch/registry.h"
 
@@ -32,6 +33,30 @@ inline SketchFactory MakeFactory(std::string family, int64_t m, int64_t n,
     config.seed = seed;
     return CreateSketch(family, config);
   };
+}
+
+/// Reads the resilience flags shared by the Monte-Carlo benches
+/// (`--max-retries`, `--error-budget`, `--deadline` seconds) into estimator
+/// options. Checkpoint paths are wired per bench: each probe needs its own
+/// suffix so concurrent probes never share a file.
+inline void ReadResilienceFlags(const FlagParser& flags,
+                                EstimatorOptions* options) {
+  options->max_retries = flags.GetInt("max-retries", options->max_retries);
+  options->error_budget =
+      flags.GetDouble("error-budget", options->error_budget);
+  options->deadline_seconds =
+      flags.GetDouble("deadline", options->deadline_seconds);
+}
+
+/// Formats the fault column of a bench table: "-" for a clean run, else
+/// "<faulted> (<taxonomy>)", with "+partial" when a deadline truncated it.
+inline std::string FaultCell(int64_t faulted, bool partial,
+                             const TrialErrorTaxonomy& taxonomy) {
+  if (faulted == 0 && !partial) return "-";
+  std::string cell = std::to_string(faulted);
+  if (faulted > 0) cell += " (" + taxonomy.ToString() + ")";
+  if (partial) cell += " +partial";
+  return cell;
 }
 
 }  // namespace sose::bench

@@ -65,7 +65,7 @@ int main(int argc, char** argv) {
   hard_sampler.status().CheckOK();
   for (const Row& row : rows) {
     sose::Stopwatch watch;
-    const sose::Matrix sketched = row.sketch->ApplySparse(input);
+    const sose::Matrix sketched = row.sketch->ApplySparse(input).ValueOrDie();
     const double apply_ms = watch.ElapsedMillis();
     (void)sketched;
     // Distortion on a moderate-n random subspace with a same-family draw

@@ -35,7 +35,9 @@ Result<std::vector<double>> SketchedCca(const SketchingMatrix& sketch,
     return Status::InvalidArgument(
         "SketchedCca: sketch ambient dimension != rows of the views");
   }
-  return CcaFromViews(sketch.ApplyDense(x), sketch.ApplyDense(y));
+  SOSE_ASSIGN_OR_RETURN(Matrix sketched_x, sketch.ApplyDense(x));
+  SOSE_ASSIGN_OR_RETURN(Matrix sketched_y, sketch.ApplyDense(y));
+  return CcaFromViews(sketched_x, sketched_y);
 }
 
 double MaxCorrelationError(const std::vector<double>& a,

@@ -120,7 +120,7 @@ Result<IterativeSolution> SolveSketchPreconditionedCgls(
     return Status::InvalidArgument(
         "SolveSketchPreconditionedCgls: sketch ambient dimension != rows(A)");
   }
-  const Matrix sketched = sketch.ApplyDense(a);
+  SOSE_ASSIGN_OR_RETURN(Matrix sketched, sketch.ApplyDense(a));
   SOSE_ASSIGN_OR_RETURN(HouseholderQr qr, HouseholderQr::Factor(sketched));
   if (qr.RankEstimate() < a.cols()) {
     return Status::NumericalError(

@@ -165,7 +165,9 @@ Result<KMeansResult> SketchedKMeans(const SketchingMatrix& sketch,
         "SketchedKMeans: sketch ambient dimension != feature dimension");
   }
   // B = (Π Aᵀ)ᵀ: project the features of every point.
-  const Matrix projected = sketch.ApplyDense(points.Transposed()).Transposed();
+  SOSE_ASSIGN_OR_RETURN(Matrix sketched_features,
+                        sketch.ApplyDense(points.Transposed()));
+  const Matrix projected = sketched_features.Transposed();
   SOSE_ASSIGN_OR_RETURN(KMeansResult reduced, LloydKMeans(projected, options));
   // Evaluate the induced partition on the ORIGINAL points.
   KMeansResult result;

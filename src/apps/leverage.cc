@@ -30,7 +30,7 @@ Result<std::vector<double>> ApproximateLeverageScores(
     return Status::InvalidArgument(
         "ApproximateLeverageScores: sketch ambient dimension != rows of A");
   }
-  const Matrix sketched = sketch.ApplyDense(a);
+  SOSE_ASSIGN_OR_RETURN(Matrix sketched, sketch.ApplyDense(a));
   SOSE_ASSIGN_OR_RETURN(HouseholderQr qr, HouseholderQr::Factor(sketched));
   if (qr.RankEstimate() < a.cols()) {
     return Status::NumericalError(

@@ -54,7 +54,7 @@ Result<LowRankApproximation> SketchedRankK(const SketchingMatrix& sketch,
     return Status::InvalidArgument(
         "SketchedRankK: sketch ambient dimension != rows of A");
   }
-  const Matrix sketched = sketch.ApplyDense(a);  // m x cols
+  SOSE_ASSIGN_OR_RETURN(Matrix sketched, sketch.ApplyDense(a));  // m x cols
   if (sketched.rows() < sketched.cols()) {
     // Wide sketch output: factor the transpose; right directions are U.
     SOSE_ASSIGN_OR_RETURN(Svd svd, JacobiSvd(sketched.Transposed()));

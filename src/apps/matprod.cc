@@ -13,8 +13,8 @@ Result<ApproxProduct> ApproximateMatrixProduct(const SketchingMatrix& sketch,
     return Status::InvalidArgument(
         "ApproximateMatrixProduct: sketch ambient dimension != rows of A");
   }
-  const Matrix sketched_a = sketch.ApplyDense(a);
-  const Matrix sketched_b = sketch.ApplyDense(b);
+  SOSE_ASSIGN_OR_RETURN(Matrix sketched_a, sketch.ApplyDense(a));
+  SOSE_ASSIGN_OR_RETURN(Matrix sketched_b, sketch.ApplyDense(b));
   ApproxProduct result;
   result.product = MatMulTransposeA(sketched_a, sketched_b);
   Matrix diff = MatMulTransposeA(a, b);

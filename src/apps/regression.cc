@@ -25,8 +25,8 @@ Result<LeastSquaresSolution> SketchAndSolve(const SketchingMatrix& sketch,
   if (static_cast<int64_t>(b.size()) != a.rows()) {
     return Status::InvalidArgument("SketchAndSolve: b has wrong length");
   }
-  const Matrix sketched_a = sketch.ApplyDense(a);
-  const std::vector<double> sketched_b = sketch.ApplyVector(b);
+  SOSE_ASSIGN_OR_RETURN(Matrix sketched_a, sketch.ApplyDense(a));
+  SOSE_ASSIGN_OR_RETURN(std::vector<double> sketched_b, sketch.ApplyVector(b));
   SOSE_ASSIGN_OR_RETURN(HouseholderQr qr, HouseholderQr::Factor(sketched_a));
   SOSE_ASSIGN_OR_RETURN(std::vector<double> x,
                         qr.SolveLeastSquares(sketched_b));

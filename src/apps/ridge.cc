@@ -52,8 +52,8 @@ Result<std::vector<double>> SketchAndSolveRidge(const SketchingMatrix& sketch,
   if (static_cast<int64_t>(b.size()) != a.rows()) {
     return Status::InvalidArgument("SketchAndSolveRidge: b has wrong length");
   }
-  const Matrix sketched_a = sketch.ApplyDense(a);
-  const std::vector<double> sketched_b = sketch.ApplyVector(b);
+  SOSE_ASSIGN_OR_RETURN(Matrix sketched_a, sketch.ApplyDense(a));
+  SOSE_ASSIGN_OR_RETURN(std::vector<double> sketched_b, sketch.ApplyVector(b));
   return AugmentedSolve(sketched_a, sketched_b, lambda);
 }
 

@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <fstream>
+#include <iterator>
 
 #include "core/check.h"
 #include "core/table.h"
@@ -66,6 +67,77 @@ Status CsvWriter::WriteToFile(const std::string& path) const {
     return Status::Internal("CsvWriter: write to " + path + " failed");
   }
   return Status::OK();
+}
+
+Result<CsvDocument> ParseCsv(const std::string& text) {
+  std::vector<std::vector<std::string>> records;
+  std::vector<std::string> row;
+  std::string cell;
+  bool in_quotes = false;
+  bool cell_started = false;  // Distinguishes a trailing empty line from data.
+  for (size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          cell += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cell += c;
+      }
+      continue;
+    }
+    if (c == '"') {
+      in_quotes = true;
+      cell_started = true;
+    } else if (c == ',') {
+      row.push_back(std::move(cell));
+      cell.clear();
+      cell_started = true;
+    } else if (c == '\n') {
+      if (cell_started || !cell.empty() || !row.empty()) {
+        row.push_back(std::move(cell));
+        cell.clear();
+        records.push_back(std::move(row));
+        row.clear();
+        cell_started = false;
+      }
+    } else if (c != '\r') {
+      cell += c;
+      cell_started = true;
+    }
+  }
+  if (in_quotes) {
+    return Status::InvalidArgument("ParseCsv: unterminated quoted cell");
+  }
+  if (cell_started || !cell.empty() || !row.empty()) {
+    row.push_back(std::move(cell));
+    records.push_back(std::move(row));
+  }
+  if (records.empty()) {
+    return Status::InvalidArgument("ParseCsv: empty document");
+  }
+  CsvDocument doc;
+  doc.header = std::move(records.front());
+  doc.rows.assign(std::make_move_iterator(records.begin() + 1),
+                  std::make_move_iterator(records.end()));
+  return doc;
+}
+
+Result<CsvDocument> ReadCsvFile(const std::string& path) {
+  std::ifstream file(path);
+  if (!file.is_open()) {
+    return Status::NotFound("ReadCsvFile: cannot open " + path);
+  }
+  std::string text((std::istreambuf_iterator<char>(file)),
+                   std::istreambuf_iterator<char>());
+  if (file.bad()) {
+    return Status::Internal("ReadCsvFile: read from " + path + " failed");
+  }
+  return ParseCsv(text);
 }
 
 }  // namespace sose

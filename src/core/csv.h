@@ -35,6 +35,21 @@ class CsvWriter {
   std::vector<std::vector<std::string>> rows_;
 };
 
+/// A parsed CSV document: the header row plus data rows of unescaped cells.
+struct CsvDocument {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+};
+
+/// Parses RFC 4180 CSV text (quoted cells, "" escapes, embedded newlines and
+/// commas) as produced by CsvWriter. Fails on unterminated quotes. Rows may
+/// be ragged; callers validate widths. Used to read checkpoint files back.
+Result<CsvDocument> ParseCsv(const std::string& text);
+
+/// Reads and parses a CSV file. Fails with kNotFound when the file cannot be
+/// opened.
+Result<CsvDocument> ReadCsvFile(const std::string& path);
+
 }  // namespace sose
 
 #endif  // SOSE_CORE_CSV_H_

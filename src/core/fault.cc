@@ -1,0 +1,110 @@
+#include "core/fault.h"
+
+#include <limits>
+
+namespace sose {
+
+namespace {
+
+// The innermost alive scope; faults consult only this one.
+ScopedFaultInjection* g_active = nullptr;
+
+}  // namespace
+
+namespace internal_fault {
+bool g_enabled = false;
+}  // namespace internal_fault
+
+FaultPlan& FaultPlan::FailCall(std::string site, int64_t nth, StatusCode code,
+                               std::string message) {
+  FaultRule rule;
+  rule.site = std::move(site);
+  rule.trigger_call = nth;
+  rule.action = FaultAction::kReturnStatus;
+  rule.code = code;
+  rule.message = std::move(message);
+  if (rule.message.empty()) {
+    rule.message = "injected fault at " + rule.site;
+  }
+  rules_.push_back(std::move(rule));
+  return *this;
+}
+
+FaultPlan& FaultPlan::CorruptCallNaN(std::string site, int64_t nth) {
+  FaultRule rule;
+  rule.site = std::move(site);
+  rule.trigger_call = nth;
+  rule.action = FaultAction::kCorruptNaN;
+  rules_.push_back(std::move(rule));
+  return *this;
+}
+
+FaultPlan& FaultPlan::CorruptCallInf(std::string site, int64_t nth) {
+  FaultRule rule;
+  rule.site = std::move(site);
+  rule.trigger_call = nth;
+  rule.action = FaultAction::kCorruptInf;
+  rules_.push_back(std::move(rule));
+  return *this;
+}
+
+ScopedFaultInjection::ScopedFaultInjection(FaultPlan plan)
+    : plan_(std::move(plan)),
+      fired_(plan_.rules().size(), false),
+      previous_(g_active) {
+  g_active = this;
+  internal_fault::g_enabled = true;
+}
+
+ScopedFaultInjection::~ScopedFaultInjection() {
+  g_active = previous_;
+  internal_fault::g_enabled = g_active != nullptr;
+}
+
+int64_t ScopedFaultInjection::CallCount(const std::string& site) const {
+  auto it = call_counts_.find(site);
+  return it == call_counts_.end() ? 0 : it->second;
+}
+
+int64_t ScopedFaultInjection::FiredCount() const {
+  int64_t fired = 0;
+  for (bool f : fired_) fired += f ? 1 : 0;
+  return fired;
+}
+
+const FaultRule* ScopedFaultInjection::Match(const char* site,
+                                             bool value_site) {
+  const int64_t call = ++call_counts_[site];
+  const std::vector<FaultRule>& rules = plan_.rules();
+  for (size_t i = 0; i < rules.size(); ++i) {
+    const FaultRule& rule = rules[i];
+    const bool is_value_rule = rule.action != FaultAction::kReturnStatus;
+    if (is_value_rule != value_site) continue;
+    if (fired_[i]) continue;
+    if (rule.site != site || rule.trigger_call != call) continue;
+    fired_[i] = true;
+    return &rule;
+  }
+  return nullptr;
+}
+
+namespace internal_fault {
+
+Status OnFaultPoint(const char* site) {
+  if (g_active == nullptr) return Status::OK();
+  const FaultRule* rule = g_active->Match(site, /*value_site=*/false);
+  if (rule == nullptr) return Status::OK();
+  return Status(rule->code, rule->message);
+}
+
+double OnValueFaultPoint(const char* site, double value) {
+  if (g_active == nullptr) return value;
+  const FaultRule* rule = g_active->Match(site, /*value_site=*/true);
+  if (rule == nullptr) return value;
+  return rule->action == FaultAction::kCorruptNaN
+             ? std::numeric_limits<double>::quiet_NaN()
+             : std::numeric_limits<double>::infinity();
+}
+
+}  // namespace internal_fault
+}  // namespace sose

@@ -1,0 +1,132 @@
+#ifndef SOSE_CORE_FAULT_H_
+#define SOSE_CORE_FAULT_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+
+namespace sose {
+
+/// Deterministic fault injection for robustness tests.
+///
+/// Numerical kernels declare named fault sites with `SOSE_FAULT_POINT(site)`
+/// (error injection) or `SOSE_FAULT_VALUE(site, expr)` (NaN/Inf corruption).
+/// A test installs a `FaultPlan` through `ScopedFaultInjection`; the plan
+/// fires on exact call counts at each site, so a fault lands on a chosen
+/// Monte-Carlo trial reproducibly. With no scope alive the hooks cost one
+/// branch on a global flag and inject nothing.
+///
+/// Site names follow `<translation-unit>/<routine>` (e.g.
+/// "linalg_svd/jacobi", "distortion/max_factor"); see docs/robustness.md.
+/// The registry is not thread-safe: install plans only in single-threaded
+/// test and bench code.
+
+/// What a matching rule does when it fires.
+enum class FaultAction {
+  kReturnStatus,  ///< `SOSE_FAULT_POINT` returns an error Status.
+  kCorruptNaN,    ///< `SOSE_FAULT_VALUE` yields a quiet NaN.
+  kCorruptInf,    ///< `SOSE_FAULT_VALUE` yields +infinity.
+};
+
+/// One planned fault: fire `action` on the `trigger_call`-th call (1-based)
+/// at `site`. Each rule fires at most once.
+struct FaultRule {
+  std::string site;
+  int64_t trigger_call = 1;
+  FaultAction action = FaultAction::kReturnStatus;
+  StatusCode code = StatusCode::kNumericalError;
+  std::string message;
+};
+
+/// An ordered collection of fault rules, built fluently:
+///
+///   FaultPlan plan;
+///   plan.FailCall("linalg_svd/jacobi", 3).CorruptCallNaN("distortion/max_factor", 1);
+class FaultPlan {
+ public:
+  /// The `nth` call at `site` returns an error of `code` (default
+  /// kNumericalError, the category real solver failures produce).
+  FaultPlan& FailCall(std::string site, int64_t nth,
+                      StatusCode code = StatusCode::kNumericalError,
+                      std::string message = {});
+
+  /// The `nth` call at a value site yields NaN / +Inf instead of its value.
+  FaultPlan& CorruptCallNaN(std::string site, int64_t nth);
+  FaultPlan& CorruptCallInf(std::string site, int64_t nth);
+
+  const std::vector<FaultRule>& rules() const { return rules_; }
+
+ private:
+  std::vector<FaultRule> rules_;
+};
+
+namespace internal_fault {
+
+/// True while any ScopedFaultInjection is alive. The only cost paid by
+/// instrumented kernels when injection is off.
+extern bool g_enabled;
+
+/// Counts the call and returns the injected error if a status rule matches.
+Status OnFaultPoint(const char* site);
+
+/// Counts the call and returns `value`, NaN, or Inf per the matching rule.
+double OnValueFaultPoint(const char* site, double value);
+
+}  // namespace internal_fault
+
+/// Activates a FaultPlan for the enclosing scope. Scopes nest: constructing
+/// an inner scope shadows the outer plan, and destruction restores it along
+/// with its call counts.
+class ScopedFaultInjection {
+ public:
+  explicit ScopedFaultInjection(FaultPlan plan);
+  ~ScopedFaultInjection();
+
+  ScopedFaultInjection(const ScopedFaultInjection&) = delete;
+  ScopedFaultInjection& operator=(const ScopedFaultInjection&) = delete;
+
+  /// Times `site` was reached while this scope was the active one.
+  int64_t CallCount(const std::string& site) const;
+
+  /// Total rules of this scope's plan that have fired.
+  int64_t FiredCount() const;
+
+ private:
+  friend Status internal_fault::OnFaultPoint(const char* site);
+  friend double internal_fault::OnValueFaultPoint(const char* site,
+                                                  double value);
+
+  /// Advances `site`'s call count and returns the matching un-fired rule of
+  /// the requested kind (status vs. value), if any.
+  const FaultRule* Match(const char* site, bool value_site);
+
+  FaultPlan plan_;
+  std::map<std::string, int64_t> call_counts_;
+  std::vector<bool> fired_;
+  ScopedFaultInjection* previous_;
+};
+
+}  // namespace sose
+
+/// Error fault site: usable in any function returning Status or Result<T>.
+/// No-op (one predictable branch) unless a ScopedFaultInjection is alive.
+#define SOSE_FAULT_POINT(site)                                     \
+  do {                                                             \
+    if (::sose::internal_fault::g_enabled) {                       \
+      ::sose::Status sose_fault_status_ =                          \
+          ::sose::internal_fault::OnFaultPoint(site);              \
+      if (!sose_fault_status_.ok()) return sose_fault_status_;     \
+    }                                                              \
+  } while (false)
+
+/// Value fault site: evaluates to `value`, or to NaN/Inf when a corruption
+/// rule fires. `value` is evaluated exactly once.
+#define SOSE_FAULT_VALUE(site, value)                               \
+  (::sose::internal_fault::g_enabled                                \
+       ? ::sose::internal_fault::OnValueFaultPoint(site, (value))   \
+       : (value))
+
+#endif  // SOSE_CORE_FAULT_H_

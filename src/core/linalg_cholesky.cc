@@ -2,12 +2,15 @@
 
 #include <cmath>
 
+#include "core/fault.h"
+
 namespace sose {
 
 Result<Cholesky> Cholesky::Factor(const Matrix& a) {
   if (a.rows() != a.cols()) {
     return Status::InvalidArgument("Cholesky: matrix must be square");
   }
+  SOSE_FAULT_POINT("linalg_cholesky/factor");
   const int64_t n = a.rows();
   Matrix l(n, n);
   for (int64_t j = 0; j < n; ++j) {

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <numeric>
 
+#include "core/fault.h"
 #include "core/linalg_cholesky.h"
 #include "core/linalg_tridiag.h"
 
@@ -114,6 +115,7 @@ Result<SymmetricEigen> JacobiEigenSymmetric(const Matrix& a, int max_sweeps,
 
 Result<std::vector<double>> SymmetricEigenvalues(const Matrix& a,
                                                  int max_sweeps, double tol) {
+  SOSE_FAULT_POINT("linalg_eigen/symmetric_eigenvalues");
   // Values-only requests on larger matrices dispatch to the
   // tridiagonalization + QL pipeline, which is O(n³) with a far smaller
   // constant than Jacobi sweeps; small matrices stay on Jacobi, whose

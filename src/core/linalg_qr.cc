@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "core/fault.h"
+
 namespace sose {
 
 Result<HouseholderQr> HouseholderQr::Factor(const Matrix& a) {
@@ -11,6 +13,7 @@ Result<HouseholderQr> HouseholderQr::Factor(const Matrix& a) {
     return Status::InvalidArgument(
         "HouseholderQr requires rows >= cols (tall matrix)");
   }
+  SOSE_FAULT_POINT("linalg_qr/factor");
   Matrix qr = a;
   std::vector<double> taus(static_cast<size_t>(n), 0.0);
   for (int64_t k = 0; k < n; ++k) {

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <numeric>
 
+#include "core/fault.h"
+
 namespace sose {
 
 Result<Svd> JacobiSvd(const Matrix& a, int max_sweeps, double tol) {
@@ -12,6 +14,7 @@ Result<Svd> JacobiSvd(const Matrix& a, int max_sweeps, double tol) {
   if (m < n) {
     return Status::InvalidArgument("JacobiSvd requires rows >= cols");
   }
+  SOSE_FAULT_POINT("linalg_svd/jacobi");
   Matrix work = a;          // Columns converge to U diag(σ).
   Matrix v = Matrix::Identity(n);
   const double frob = a.FrobeniusNorm();

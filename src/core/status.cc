@@ -36,6 +36,22 @@ const char* StatusCodeToString(StatusCode code) {
   return "unknown";
 }
 
+bool StatusCodeFromString(const std::string& name, StatusCode* code) {
+  static constexpr StatusCode kAll[] = {
+      StatusCode::kOk,           StatusCode::kInvalidArgument,
+      StatusCode::kOutOfRange,   StatusCode::kFailedPrecondition,
+      StatusCode::kNotFound,     StatusCode::kAlreadyExists,
+      StatusCode::kNumericalError, StatusCode::kUnimplemented,
+      StatusCode::kInternal};
+  for (StatusCode candidate : kAll) {
+    if (name == StatusCodeToString(candidate)) {
+      *code = candidate;
+      return true;
+    }
+  }
+  return false;
+}
+
 Status::Status(StatusCode code, std::string message) {
   if (code != StatusCode::kOk) {
     rep_ = std::make_unique<Rep>(Rep{code, std::move(message)});

@@ -28,6 +28,11 @@ enum class StatusCode : int {
 /// "invalid-argument".
 const char* StatusCodeToString(StatusCode code);
 
+/// Parses a canonical code name back into a StatusCode (the inverse of
+/// StatusCodeToString; used by checkpoint files). Returns false on an
+/// unrecognized name.
+bool StatusCodeFromString(const std::string& name, StatusCode* code);
+
 /// A cheap, movable success/error value. Functions in this library that can
 /// fail for reasons other than programming errors return `Status` (or
 /// `Result<T>`) instead of throwing: the database-style guides this project

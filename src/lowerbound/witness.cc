@@ -141,7 +141,7 @@ Result<int64_t> SketchedInstanceRank(const SketchingMatrix& sketch,
     return Status::InvalidArgument(
         "SketchedInstanceRank: ambient dimension mismatch");
   }
-  const Matrix sketched = sketch.ApplySparse(instance.ToCsc());
+  SOSE_ASSIGN_OR_RETURN(Matrix sketched, sketch.ApplySparse(instance.ToCsc()));
   SOSE_ASSIGN_OR_RETURN(std::vector<double> eigenvalues,
                         SymmetricEigenvalues(Gram(sketched)));
   const double cap = eigenvalues.back();

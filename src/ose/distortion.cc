@@ -5,6 +5,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/fault.h"
 #include "core/linalg_eigen.h"
 
 namespace sose {
@@ -24,7 +25,7 @@ DistortionReport FromEigenvalues(const std::vector<double>& ascending) {
   const double lo = std::max(ascending.front(), 0.0);
   const double hi = std::max(ascending.back(), 0.0);
   report.min_factor = std::sqrt(lo);
-  report.max_factor = std::sqrt(hi);
+  report.max_factor = std::sqrt(SOSE_FAULT_VALUE("distortion/max_factor", hi));
   return report;
 }
 
@@ -103,6 +104,7 @@ Result<DistortionReport> SketchDistortionOnInstance(
     return Status::InvalidArgument(
         "SketchDistortionOnInstance: sketch ambient dimension != instance n");
   }
+  SOSE_FAULT_POINT("distortion/instance");
   SOSE_ASSIGN_OR_RETURN(Matrix gram_sketched,
                         SketchedGramOnInstance(sketch, instance));
   if (!instance.HasRowCollision()) {
@@ -120,7 +122,9 @@ Result<DistortionReport> SketchDistortionOnIsometry(
     return Status::InvalidArgument(
         "SketchDistortionOnIsometry: sketch ambient dimension != basis rows");
   }
-  return DistortionOfSketchedIsometry(sketch.ApplyDense(isometry));
+  SOSE_FAULT_POINT("distortion/isometry");
+  SOSE_ASSIGN_OR_RETURN(Matrix sketched, sketch.ApplyDense(isometry));
+  return DistortionOfSketchedIsometry(sketched);
 }
 
 }  // namespace sose

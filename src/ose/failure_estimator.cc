@@ -1,35 +1,95 @@
 #include "ose/failure_estimator.h"
 
+#include <cmath>
+
 namespace sose {
 
 namespace {
 
-FailureEstimate Summarize(int64_t trials, int64_t failures,
-                          double epsilon_sum) {
+// Wilson z for full vs. deadline-truncated runs: partial estimates rest on
+// fewer trials than requested, so they carry a wider (99%) interval.
+constexpr double kFullRunZ = 1.96;
+constexpr double kPartialRunZ = 2.576;
+
+FailureEstimate Summarize(const TrialRunReport& report) {
   FailureEstimate estimate;
-  estimate.trials = trials;
-  estimate.failures = failures;
-  estimate.rate =
-      trials > 0 ? static_cast<double>(failures) / static_cast<double>(trials)
-                 : 0.0;
-  estimate.interval = WilsonInterval(failures, trials);
+  estimate.trials = report.requested;
+  estimate.completed = report.completed;
+  estimate.faulted = report.faulted;
+  estimate.failures = report.failures;
+  // All statistics are over *completed* trials: dividing by requested trials
+  // would bias both the rate and mean_epsilon downward whenever trials were
+  // quarantined or the deadline truncated the run.
+  estimate.rate = report.completed > 0
+                      ? static_cast<double>(report.failures) /
+                            static_cast<double>(report.completed)
+                      : 0.0;
+  estimate.interval = WilsonInterval(report.failures, report.completed,
+                                     report.partial ? kPartialRunZ : kFullRunZ);
   estimate.mean_epsilon =
-      trials > 0 ? epsilon_sum / static_cast<double>(trials) : 0.0;
+      report.completed > 0
+          ? report.epsilon_sum / static_cast<double>(report.completed)
+          : 0.0;
+  estimate.partial = report.partial;
+  estimate.taxonomy = report.taxonomy;
   return estimate;
+}
+
+TrialRunnerOptions RunnerOptions(const EstimatorOptions& options) {
+  TrialRunnerOptions runner;
+  runner.trials = options.trials;
+  runner.seed = options.seed;
+  runner.max_retries = options.max_retries;
+  runner.error_budget = options.error_budget;
+  runner.deadline_seconds = options.deadline_seconds;
+  runner.checkpoint_every = options.checkpoint_every;
+  runner.checkpoint_path = options.checkpoint_path;
+  return runner;
 }
 
 }  // namespace
 
+Status ValidateEstimatorOptions(const EstimatorOptions& options) {
+  if (options.trials <= 0) {
+    return Status::InvalidArgument("EstimatorOptions: trials must be positive");
+  }
+  if (options.epsilon <= 0.0 || !std::isfinite(options.epsilon)) {
+    return Status::InvalidArgument(
+        "EstimatorOptions: epsilon must be finite and positive");
+  }
+  if (options.max_redraws <= 0) {
+    return Status::InvalidArgument(
+        "EstimatorOptions: max_redraws must be positive");
+  }
+  if (options.max_retries < 0) {
+    return Status::InvalidArgument(
+        "EstimatorOptions: max_retries must be >= 0");
+  }
+  if (options.error_budget < 0.0 || !std::isfinite(options.error_budget)) {
+    return Status::InvalidArgument(
+        "EstimatorOptions: error_budget must be finite and >= 0");
+  }
+  if (options.deadline_seconds < 0.0 ||
+      !std::isfinite(options.deadline_seconds)) {
+    return Status::InvalidArgument(
+        "EstimatorOptions: deadline_seconds must be finite and >= 0");
+  }
+  if (options.checkpoint_every < 0) {
+    return Status::InvalidArgument(
+        "EstimatorOptions: checkpoint_every must be >= 0");
+  }
+  if (options.checkpoint_every > 0 && options.checkpoint_path.empty()) {
+    return Status::InvalidArgument(
+        "EstimatorOptions: checkpoint_every requires checkpoint_path");
+  }
+  return Status::OK();
+}
+
 Result<FailureEstimate> EstimateFailureProbability(
     const SketchFactory& sketch_factory, const InstanceSampler& sampler,
     const EstimatorOptions& options) {
-  if (options.trials <= 0) {
-    return Status::InvalidArgument("EstimateFailureProbability: trials <= 0");
-  }
-  int64_t failures = 0;
-  double epsilon_sum = 0.0;
-  for (int64_t t = 0; t < options.trials; ++t) {
-    const uint64_t trial_seed = DeriveSeed(options.seed, static_cast<uint64_t>(t));
+  SOSE_RETURN_IF_ERROR(ValidateEstimatorOptions(options));
+  auto trial = [&](uint64_t trial_seed) -> Result<TrialOutcome> {
     SOSE_ASSIGN_OR_RETURN(std::unique_ptr<SketchingMatrix> sketch,
                           sketch_factory(DeriveSeed(trial_seed, 0)));
     Rng rng(DeriveSeed(trial_seed, 1));
@@ -48,33 +108,44 @@ Result<FailureEstimate> EstimateFailureProbability(
     }
     SOSE_ASSIGN_OR_RETURN(DistortionReport report,
                           SketchDistortionOnInstance(*sketch, instance));
-    epsilon_sum += report.Epsilon();
-    if (!report.WithinEpsilon(options.epsilon)) ++failures;
-  }
-  return Summarize(options.trials, failures, epsilon_sum);
+    // Check the factors, not just Epsilon(): std::max(x, NaN) is x, so a
+    // NaN factor can hide behind a finite epsilon and masquerade as an
+    // embedding failure instead of a solver fault.
+    if (!std::isfinite(report.min_factor) ||
+        !std::isfinite(report.max_factor)) {
+      return Status::NumericalError(
+          "EstimateFailureProbability: non-finite distortion");
+    }
+    const double epsilon = report.Epsilon();
+    return TrialOutcome{epsilon, !report.WithinEpsilon(options.epsilon)};
+  };
+  SOSE_ASSIGN_OR_RETURN(TrialRunReport report,
+                        RunTrials(trial, RunnerOptions(options)));
+  return Summarize(report);
 }
 
 Result<FailureEstimate> EstimateFailureProbabilityDense(
     const SketchFactory& sketch_factory, const BasisSampler& sampler,
     const EstimatorOptions& options) {
-  if (options.trials <= 0) {
-    return Status::InvalidArgument(
-        "EstimateFailureProbabilityDense: trials <= 0");
-  }
-  int64_t failures = 0;
-  double epsilon_sum = 0.0;
-  for (int64_t t = 0; t < options.trials; ++t) {
-    const uint64_t trial_seed = DeriveSeed(options.seed, static_cast<uint64_t>(t));
+  SOSE_RETURN_IF_ERROR(ValidateEstimatorOptions(options));
+  auto trial = [&](uint64_t trial_seed) -> Result<TrialOutcome> {
     SOSE_ASSIGN_OR_RETURN(std::unique_ptr<SketchingMatrix> sketch,
                           sketch_factory(DeriveSeed(trial_seed, 0)));
     Rng rng(DeriveSeed(trial_seed, 1));
     SOSE_ASSIGN_OR_RETURN(Matrix basis, sampler(&rng));
     SOSE_ASSIGN_OR_RETURN(DistortionReport report,
                           SketchDistortionOnIsometry(*sketch, basis));
-    epsilon_sum += report.Epsilon();
-    if (!report.WithinEpsilon(options.epsilon)) ++failures;
-  }
-  return Summarize(options.trials, failures, epsilon_sum);
+    if (!std::isfinite(report.min_factor) ||
+        !std::isfinite(report.max_factor)) {
+      return Status::NumericalError(
+          "EstimateFailureProbabilityDense: non-finite distortion");
+    }
+    const double epsilon = report.Epsilon();
+    return TrialOutcome{epsilon, !report.WithinEpsilon(options.epsilon)};
+  };
+  SOSE_ASSIGN_OR_RETURN(TrialRunReport report,
+                        RunTrials(trial, RunnerOptions(options)));
+  return Summarize(report);
 }
 
 }  // namespace sose

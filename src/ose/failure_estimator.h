@@ -4,12 +4,14 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <string>
 
 #include "core/random.h"
 #include "core/stats.h"
 #include "core/status.h"
 #include "hardinstance/hard_instance.h"
 #include "ose/distortion.h"
+#include "ose/trial_runner.h"
 #include "sketch/sketch.h"
 
 namespace sose {
@@ -25,18 +27,37 @@ using InstanceSampler = std::function<HardInstance(Rng*)>;
 using BasisSampler = std::function<Result<Matrix>(Rng*)>;
 
 /// Outcome of a Monte-Carlo estimate of Pr[Π fails to ε-embed U].
+///
+/// A trial whose linear-algebra kernel faults is *quarantined*, not counted
+/// as an embedding failure: "the solver broke" and "Π failed to embed U" are
+/// different events, and conflating them would bias exactly the probability
+/// the paper's Theorem 8 lower bound is about. All statistics are over
+/// completed trials only.
 struct FailureEstimate {
+  /// Trials requested.
   int64_t trials = 0;
+  /// Trials that produced a distortion measurement.
+  int64_t completed = 0;
+  /// Trials quarantined after retries were exhausted.
+  int64_t faulted = 0;
+  /// Embedding failures among completed trials.
   int64_t failures = 0;
-  /// Point estimate failures/trials.
+  /// Point estimate failures/completed.
   double rate = 0.0;
-  /// Wilson 95% interval for the rate.
+  /// Wilson interval for the rate over completed trials: 95% normally,
+  /// widened to 99% when the estimate is partial.
   ConfidenceInterval interval;
-  /// Mean observed distortion ε(Π, U) across trials (diagnostic).
+  /// Mean observed distortion ε(Π, U) across completed trials (diagnostic).
   double mean_epsilon = 0.0;
+  /// True iff a deadline cut the run short; statistics cover the completed
+  /// prefix only.
+  bool partial = false;
+  /// Per-StatusCode tally of the quarantined errors.
+  TrialErrorTaxonomy taxonomy;
 };
 
-/// Options controlling the estimator.
+/// Options controlling the estimator. Validated on entry; see
+/// ValidateEstimatorOptions for the rules.
 struct EstimatorOptions {
   int64_t trials = 200;
   /// Target distortion ε of the embedding property being tested.
@@ -48,11 +69,26 @@ struct EstimatorOptions {
   bool condition_on_no_collision = true;
   /// Safety bound on collision re-draws per trial.
   int64_t max_redraws = 64;
+  /// Resilience policy, forwarded to the trial runner (see trial_runner.h):
+  /// per-trial retries with fresh seeds, the tolerated faulted/completed
+  /// ratio, an optional wall-clock deadline, and optional checkpointing.
+  int64_t max_retries = 2;
+  double error_budget = 0.1;
+  double deadline_seconds = 0.0;
+  int64_t checkpoint_every = 0;
+  std::string checkpoint_path;
 };
+
+/// Checks an EstimatorOptions for malformed values (non-positive trials or
+/// epsilon, max_redraws <= 0, negative retry/budget/deadline fields, a
+/// checkpoint cadence without a path). Returns kInvalidArgument with a
+/// description of the first violation.
+Status ValidateEstimatorOptions(const EstimatorOptions& options);
 
 /// Estimates Pr over (Π, U) of "Π is not an ε-subspace-embedding for U",
 /// with U from the sparse hard-instance sampler. Each trial draws a fresh
-/// sketch and a fresh instance.
+/// sketch and a fresh instance. Per-trial errors are quarantined by the
+/// trial runner rather than aborting the estimate.
 Result<FailureEstimate> EstimateFailureProbability(
     const SketchFactory& sketch_factory, const InstanceSampler& sampler,
     const EstimatorOptions& options);

@@ -13,8 +13,12 @@ Result<ThresholdResult> FindMinimalRows(const FailureAtRows& failure_at,
   ThresholdResult result;
   auto probe = [&](int64_t m) -> Result<bool> {
     SOSE_ASSIGN_OR_RETURN(FailureEstimate estimate, failure_at(m));
-    result.probes.push_back(ThresholdProbe{m, estimate});
-    return estimate.rate <= options.delta;
+    // The rate is over completed trials, so quarantined trials shrink the
+    // sample without biasing the bisection; surface their count to callers.
+    result.total_faulted += estimate.faulted;
+    result.any_partial = result.any_partial || estimate.partial;
+    result.probes.push_back(ThresholdProbe{m, std::move(estimate)});
+    return result.probes.back().estimate.rate <= options.delta;
   };
 
   // Phase 1: doubling until success (or the upper end of the range).

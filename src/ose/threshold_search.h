@@ -29,6 +29,10 @@ struct ThresholdResult {
   bool bracketed = false;
   /// Every (m, estimate) probed, in probe order.
   std::vector<ThresholdProbe> probes;
+  /// Trials quarantined by the trial runner, summed across probes.
+  int64_t total_faulted = 0;
+  /// True iff any probe's estimate was deadline-truncated.
+  bool any_partial = false;
 };
 
 /// Options for FindMinimalRows.

@@ -1,0 +1,318 @@
+#include "ose/trial_runner.h"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+
+#include "core/csv.h"
+#include "core/random.h"
+#include "core/stopwatch.h"
+
+namespace sose {
+
+namespace {
+
+// Retry attempt r of a trial draws from a stream disjoint from every
+// attempt-0 stream (which use DeriveSeed(master, t) directly): re-deriving
+// from the trial's base seed with a salted index cannot collide with another
+// trial's base seed except by 64-bit accident.
+constexpr uint64_t kRetryStream = 0x5e7121e5ULL;
+
+// Checkpoint schema version; bumped on incompatible format changes.
+constexpr const char* kCheckpointFormat = "sose-trial-checkpoint-v1";
+
+std::string FormatHexDouble(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%a", value);
+  return buffer;
+}
+
+bool ParseHexDouble(const std::string& text, double* value) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  errno = 0;
+  *value = std::strtod(text.c_str(), &end);
+  return errno == 0 && end == text.c_str() + text.size();
+}
+
+bool ParseInt(const std::string& text, int64_t* value) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  errno = 0;
+  *value = std::strtoll(text.c_str(), &end, 10);
+  return errno == 0 && end == text.c_str() + text.size();
+}
+
+bool ParseUInt(const std::string& text, uint64_t* value) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  errno = 0;
+  *value = std::strtoull(text.c_str(), &end, 10);
+  return errno == 0 && end == text.c_str() + text.size();
+}
+
+Status ValidateRunnerOptions(const TrialRunnerOptions& options) {
+  if (options.trials <= 0) {
+    return Status::InvalidArgument("RunTrials: trials must be positive");
+  }
+  if (options.max_retries < 0) {
+    return Status::InvalidArgument("RunTrials: max_retries must be >= 0");
+  }
+  if (options.error_budget < 0.0 || !std::isfinite(options.error_budget)) {
+    return Status::InvalidArgument(
+        "RunTrials: error_budget must be finite and >= 0");
+  }
+  if (options.deadline_seconds < 0.0 ||
+      !std::isfinite(options.deadline_seconds)) {
+    return Status::InvalidArgument(
+        "RunTrials: deadline_seconds must be finite and >= 0");
+  }
+  if (options.checkpoint_every < 0) {
+    return Status::InvalidArgument("RunTrials: checkpoint_every must be >= 0");
+  }
+  if (options.checkpoint_every > 0 && options.checkpoint_path.empty()) {
+    return Status::InvalidArgument(
+        "RunTrials: checkpoint_every requires checkpoint_path");
+  }
+  return Status::OK();
+}
+
+bool FileExists(const std::string& path) {
+  std::ifstream file(path);
+  return file.good();
+}
+
+std::string BudgetMessage(const TrialRunReport& report, double budget) {
+  return "error budget exceeded: " + std::to_string(report.faulted) +
+         " faulted vs " + std::to_string(report.completed) +
+         " completed trials (budget " + std::to_string(budget) +
+         "); taxonomy: " + report.taxonomy.ToString();
+}
+
+}  // namespace
+
+void TrialErrorTaxonomy::Record(const Status& status) {
+  Entry& entry = by_code[status.code()];
+  if (entry.count == 0) entry.first_message = status.message();
+  ++entry.count;
+}
+
+int64_t TrialErrorTaxonomy::Total() const {
+  int64_t total = 0;
+  for (const auto& [code, entry] : by_code) {
+    (void)code;
+    total += entry.count;
+  }
+  return total;
+}
+
+std::string TrialErrorTaxonomy::ToString() const {
+  if (by_code.empty()) return "none";
+  std::string out;
+  for (const auto& [code, entry] : by_code) {
+    if (!out.empty()) out += "; ";
+    out += StatusCodeToString(code);
+    out += " x";
+    out += std::to_string(entry.count);
+  }
+  return out;
+}
+
+Status WriteTrialCheckpoint(const std::string& path,
+                            const TrialCheckpoint& checkpoint) {
+  CsvWriter csv({"key", "value", "count", "message"});
+  auto add = [&csv](const std::string& key, const std::string& value) {
+    csv.NewRow();
+    csv.AddCell(key);
+    csv.AddCell(value);
+  };
+  add("format", kCheckpointFormat);
+  add("master_seed", std::to_string(checkpoint.master_seed));
+  add("next_trial", std::to_string(checkpoint.next_trial));
+  add("requested", std::to_string(checkpoint.report.requested));
+  add("completed", std::to_string(checkpoint.report.completed));
+  add("faulted", std::to_string(checkpoint.report.faulted));
+  add("retries_used", std::to_string(checkpoint.report.retries_used));
+  add("failures", std::to_string(checkpoint.report.failures));
+  // Hexfloat: the sums must round-trip bit-for-bit for resumed runs to match
+  // uninterrupted ones exactly.
+  add("epsilon_sum", FormatHexDouble(checkpoint.report.epsilon_sum));
+  add("epsilon_max", FormatHexDouble(checkpoint.report.epsilon_max));
+  for (const auto& [code, entry] : checkpoint.report.taxonomy.by_code) {
+    csv.NewRow();
+    csv.AddCell("fault");
+    csv.AddCell(StatusCodeToString(code));
+    csv.AddInt(entry.count);
+    csv.AddCell(entry.first_message);
+  }
+  const std::string tmp = path + ".tmp";
+  SOSE_RETURN_IF_ERROR(csv.WriteToFile(tmp));
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    return Status::Internal("WriteTrialCheckpoint: rename to " + path +
+                            " failed: " + std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+Result<TrialCheckpoint> ReadTrialCheckpoint(const std::string& path) {
+  SOSE_ASSIGN_OR_RETURN(CsvDocument doc, ReadCsvFile(path));
+  TrialCheckpoint checkpoint;
+  bool saw_format = false;
+  for (const std::vector<std::string>& row : doc.rows) {
+    if (row.empty()) continue;
+    const std::string& key = row[0];
+    const std::string value = row.size() > 1 ? row[1] : "";
+    bool ok = true;
+    if (key == "format") {
+      saw_format = true;
+      if (value != kCheckpointFormat) {
+        return Status::FailedPrecondition(
+            "ReadTrialCheckpoint: unknown format '" + value + "' in " + path);
+      }
+    } else if (key == "master_seed") {
+      ok = ParseUInt(value, &checkpoint.master_seed);
+    } else if (key == "next_trial") {
+      ok = ParseInt(value, &checkpoint.next_trial);
+    } else if (key == "requested") {
+      ok = ParseInt(value, &checkpoint.report.requested);
+    } else if (key == "completed") {
+      ok = ParseInt(value, &checkpoint.report.completed);
+    } else if (key == "faulted") {
+      ok = ParseInt(value, &checkpoint.report.faulted);
+    } else if (key == "retries_used") {
+      ok = ParseInt(value, &checkpoint.report.retries_used);
+    } else if (key == "failures") {
+      ok = ParseInt(value, &checkpoint.report.failures);
+    } else if (key == "epsilon_sum") {
+      ok = ParseHexDouble(value, &checkpoint.report.epsilon_sum);
+    } else if (key == "epsilon_max") {
+      ok = ParseHexDouble(value, &checkpoint.report.epsilon_max);
+    } else if (key == "fault") {
+      StatusCode code = StatusCode::kInternal;
+      int64_t count = 0;
+      if (row.size() < 3 || !StatusCodeFromString(value, &code) ||
+          !ParseInt(row[2], &count) || count <= 0) {
+        ok = false;
+      } else {
+        TrialErrorTaxonomy::Entry& entry =
+            checkpoint.report.taxonomy.by_code[code];
+        entry.count = count;
+        entry.first_message = row.size() > 3 ? row[3] : "";
+      }
+    }
+    // Unknown keys are ignored for forward compatibility.
+    if (!ok) {
+      return Status::FailedPrecondition(
+          "ReadTrialCheckpoint: malformed field '" + key + "' in " + path);
+    }
+  }
+  if (!saw_format) {
+    return Status::FailedPrecondition(
+        "ReadTrialCheckpoint: missing format line in " + path);
+  }
+  return checkpoint;
+}
+
+Result<TrialRunReport> RunTrials(const TrialFn& trial,
+                                 const TrialRunnerOptions& options) {
+  SOSE_RETURN_IF_ERROR(ValidateRunnerOptions(options));
+
+  TrialRunReport report;
+  report.requested = options.trials;
+  int64_t start = 0;
+  const bool checkpointing = !options.checkpoint_path.empty();
+  if (checkpointing && FileExists(options.checkpoint_path)) {
+    SOSE_ASSIGN_OR_RETURN(TrialCheckpoint checkpoint,
+                          ReadTrialCheckpoint(options.checkpoint_path));
+    if (checkpoint.master_seed != options.seed) {
+      return Status::FailedPrecondition(
+          "RunTrials: checkpoint " + options.checkpoint_path +
+          " was written with a different master seed; delete it to restart");
+    }
+    if (checkpoint.report.requested != options.trials ||
+        checkpoint.next_trial > options.trials) {
+      return Status::FailedPrecondition(
+          "RunTrials: checkpoint " + options.checkpoint_path +
+          " does not match the requested trial count; delete it to restart");
+    }
+    report = checkpoint.report;
+    report.partial = false;
+    start = checkpoint.next_trial;
+  }
+
+  Stopwatch watch;
+  int64_t next_trial = start;
+  for (int64_t t = start; t < options.trials; ++t) {
+    // The deadline is checked between trials (a trial in flight always
+    // finishes) and never before the first, so every run makes progress.
+    if (options.deadline_seconds > 0.0 && t > start &&
+        watch.ElapsedSeconds() > options.deadline_seconds) {
+      report.partial = true;
+      next_trial = t;
+      break;
+    }
+    const uint64_t base_seed =
+        DeriveSeed(options.seed, static_cast<uint64_t>(t));
+    Result<TrialOutcome> outcome = trial(base_seed);
+    for (int64_t attempt = 1; !outcome.ok() && attempt <= options.max_retries;
+         ++attempt) {
+      ++report.retries_used;
+      outcome = trial(
+          DeriveSeed(base_seed, kRetryStream + static_cast<uint64_t>(attempt)));
+    }
+    if (outcome.ok()) {
+      ++report.completed;
+      const TrialOutcome& result = outcome.value();
+      report.epsilon_sum += result.epsilon;
+      if (result.epsilon > report.epsilon_max) {
+        report.epsilon_max = result.epsilon;
+      }
+      if (result.failure) ++report.failures;
+    } else {
+      ++report.faulted;
+      report.taxonomy.Record(outcome.status());
+      // Fail fast once the budget is unreachable even if every remaining
+      // trial completes — a systematically broken run should not grind
+      // through all its trials first.
+      const int64_t remaining = options.trials - t - 1;
+      if (static_cast<double>(report.faulted) >
+          options.error_budget *
+              static_cast<double>(report.completed + remaining)) {
+        return Status::FailedPrecondition(
+            BudgetMessage(report, options.error_budget));
+      }
+    }
+    next_trial = t + 1;
+    if (options.checkpoint_every > 0 &&
+        (t + 1 - start) % options.checkpoint_every == 0) {
+      SOSE_RETURN_IF_ERROR(WriteTrialCheckpoint(
+          options.checkpoint_path,
+          TrialCheckpoint{options.seed, next_trial, report}));
+    }
+  }
+
+  if (report.partial) {
+    // Persist progress so a follow-up run resumes instead of restarting.
+    if (checkpointing) {
+      SOSE_RETURN_IF_ERROR(WriteTrialCheckpoint(
+          options.checkpoint_path,
+          TrialCheckpoint{options.seed, next_trial, report}));
+    }
+    return report;
+  }
+  if (static_cast<double>(report.faulted) >
+      options.error_budget * static_cast<double>(report.completed)) {
+    return Status::FailedPrecondition(
+        BudgetMessage(report, options.error_budget));
+  }
+  if (checkpointing) {
+    // A finished run's checkpoint would otherwise short-circuit the next one.
+    std::remove(options.checkpoint_path.c_str());
+  }
+  return report;
+}
+
+}  // namespace sose

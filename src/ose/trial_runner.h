@@ -1,0 +1,125 @@
+#ifndef SOSE_OSE_TRIAL_RUNNER_H_
+#define SOSE_OSE_TRIAL_RUNNER_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "core/status.h"
+
+namespace sose {
+
+/// Per-StatusCode tally of quarantined trial errors. Keyed by code so long
+/// runs can report *what kind* of faults they survived ("numerical-error x3")
+/// without storing one message per trial.
+struct TrialErrorTaxonomy {
+  struct Entry {
+    int64_t count = 0;
+    /// The first message seen for this code (later ones are dropped).
+    std::string first_message;
+  };
+
+  /// std::map: deterministic iteration for tables and checkpoints.
+  std::map<StatusCode, Entry> by_code;
+
+  /// Folds one quarantined error in.
+  void Record(const Status& status);
+
+  /// Sum of counts across codes.
+  int64_t Total() const;
+
+  bool empty() const { return by_code.empty(); }
+
+  /// "numerical-error x3; internal x1", or "none".
+  std::string ToString() const;
+};
+
+/// What one Monte-Carlo trial observed.
+struct TrialOutcome {
+  /// The trial's measured distortion ε (diagnostic).
+  double epsilon = 0.0;
+  /// True iff the trial counts as an embedding failure.
+  bool failure = false;
+};
+
+/// Runs one trial from a derived seed. Attempt 0 of trial t receives
+/// DeriveSeed(options.seed, t) — identical to the pre-runner estimators, so
+/// fault-free runs are bit-for-bit reproducible across versions. Retries
+/// receive fresh seeds derived from the trial's base seed.
+using TrialFn = std::function<Result<TrialOutcome>(uint64_t trial_seed)>;
+
+/// Supervisor policy. All fields are validated by RunTrials.
+struct TrialRunnerOptions {
+  int64_t trials = 200;
+  /// Master seed; trial t uses the derived stream DeriveSeed(seed, t).
+  uint64_t seed = 1;
+  /// Faulted trials are re-run up to this many times with freshly derived
+  /// seeds before being quarantined. 0 disables retries.
+  int64_t max_retries = 2;
+  /// The run fails (kFailedPrecondition) if quarantined trials exceed
+  /// error_budget * completed trials. 0 tolerates no faults at all.
+  double error_budget = 0.1;
+  /// Wall-clock limit in seconds; when exceeded the runner stops and returns
+  /// a partial report over the trials completed so far. At least one trial
+  /// always runs. 0 disables the deadline.
+  double deadline_seconds = 0.0;
+  /// Serialize a checkpoint to `checkpoint_path` every this many trials
+  /// (and on deadline exit). 0 disables checkpointing.
+  int64_t checkpoint_every = 0;
+  /// Where checkpoints live. If the file exists when the run starts, the
+  /// runner resumes from it (the master seed and trial count must match);
+  /// the file is removed once the run completes in full.
+  std::string checkpoint_path;
+};
+
+/// Aggregated result of a supervised run.
+struct TrialRunReport {
+  /// Trials requested (== options.trials).
+  int64_t requested = 0;
+  /// Trials that produced an outcome.
+  int64_t completed = 0;
+  /// Trials quarantined after exhausting retries.
+  int64_t faulted = 0;
+  /// Total retry attempts spent (diagnostic).
+  int64_t retries_used = 0;
+  /// Embedding failures among completed trials.
+  int64_t failures = 0;
+  /// Sum and max of ε over completed trials.
+  double epsilon_sum = 0.0;
+  double epsilon_max = 0.0;
+  /// True iff the deadline cut the run short; statistics cover only the
+  /// completed prefix and downstream intervals should be widened.
+  bool partial = false;
+  TrialErrorTaxonomy taxonomy;
+};
+
+/// Runs `options.trials` seeded trials through `trial`, quarantining
+/// per-trial errors instead of aborting: each faulted trial is retried with
+/// fresh seeds, then tallied into the taxonomy. Fails only when options are
+/// invalid, the error budget is exceeded (or provably unreachable), or a
+/// checkpoint cannot be written/resumed.
+Result<TrialRunReport> RunTrials(const TrialFn& trial,
+                                 const TrialRunnerOptions& options);
+
+/// A serialized runner state: everything needed to resume a run such that
+/// the final report is bitwise identical to an uninterrupted one.
+struct TrialCheckpoint {
+  uint64_t master_seed = 0;
+  /// First trial index not yet reflected in `report`.
+  int64_t next_trial = 0;
+  TrialRunReport report;
+};
+
+/// Writes `checkpoint` to `path` as a small CSV document (see
+/// docs/robustness.md for the format). The write goes through a temporary
+/// file and rename, so a crash never leaves a torn checkpoint.
+Status WriteTrialCheckpoint(const std::string& path,
+                            const TrialCheckpoint& checkpoint);
+
+/// Reads a checkpoint previously written by WriteTrialCheckpoint.
+Result<TrialCheckpoint> ReadTrialCheckpoint(const std::string& path);
+
+}  // namespace sose
+
+#endif  // SOSE_OSE_TRIAL_RUNNER_H_

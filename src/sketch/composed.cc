@@ -40,17 +40,21 @@ std::vector<ColumnEntry> ComposedSketch::Column(int64_t c) const {
   return column;
 }
 
-Matrix ComposedSketch::ApplyDense(const Matrix& a) const {
-  return outer_->ApplyDense(inner_->ApplyDense(a));
+Result<Matrix> ComposedSketch::ApplyDense(const Matrix& a) const {
+  SOSE_ASSIGN_OR_RETURN(Matrix inner_applied, inner_->ApplyDense(a));
+  return outer_->ApplyDense(inner_applied);
 }
 
-std::vector<double> ComposedSketch::ApplyVector(
+Result<std::vector<double>> ComposedSketch::ApplyVector(
     const std::vector<double>& x) const {
-  return outer_->ApplyVector(inner_->ApplyVector(x));
+  SOSE_ASSIGN_OR_RETURN(std::vector<double> inner_applied,
+                        inner_->ApplyVector(x));
+  return outer_->ApplyVector(inner_applied);
 }
 
-Matrix ComposedSketch::ApplySparse(const CscMatrix& a) const {
-  return outer_->ApplyDense(inner_->ApplySparse(a));
+Result<Matrix> ComposedSketch::ApplySparse(const CscMatrix& a) const {
+  SOSE_ASSIGN_OR_RETURN(Matrix inner_applied, inner_->ApplySparse(a));
+  return outer_->ApplyDense(inner_applied);
 }
 
 }  // namespace sose

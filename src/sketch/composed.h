@@ -38,9 +38,10 @@ class ComposedSketch final : public SketchingMatrix {
 
   /// Applies the stages in sequence (never materializes the product),
   /// preserving each stage's fast path.
-  Matrix ApplyDense(const Matrix& a) const override;
-  std::vector<double> ApplyVector(const std::vector<double>& x) const override;
-  Matrix ApplySparse(const CscMatrix& a) const override;
+  Result<Matrix> ApplyDense(const Matrix& a) const override;
+  Result<std::vector<double>> ApplyVector(
+      const std::vector<double>& x) const override;
+  Result<Matrix> ApplySparse(const CscMatrix& a) const override;
 
  private:
   ComposedSketch(std::shared_ptr<const SketchingMatrix> outer,

@@ -4,8 +4,11 @@
 
 namespace sose {
 
-Matrix SketchingMatrix::ApplySparse(const CscMatrix& a) const {
-  SOSE_CHECK(a.rows() == cols());
+Result<Matrix> SketchingMatrix::ApplySparse(const CscMatrix& a) const {
+  if (a.rows() != cols()) {
+    return Status::InvalidArgument(
+        "ApplySparse: input rows != sketch ambient dimension");
+  }
   Matrix out(rows(), a.cols());
   // For each column j of A, scatter each nonzero A_{r,j} through sketch
   // column r: out[:, j] += A_{r,j} * Π[:, r].
@@ -22,8 +25,11 @@ Matrix SketchingMatrix::ApplySparse(const CscMatrix& a) const {
   return out;
 }
 
-Matrix SketchingMatrix::ApplyDense(const Matrix& a) const {
-  SOSE_CHECK(a.rows() == cols());
+Result<Matrix> SketchingMatrix::ApplyDense(const Matrix& a) const {
+  if (a.rows() != cols()) {
+    return Status::InvalidArgument(
+        "ApplyDense: input rows != sketch ambient dimension");
+  }
   Matrix out(rows(), a.cols());
   for (int64_t r = 0; r < cols(); ++r) {
     const double* a_row = a.Row(r);
@@ -37,9 +43,12 @@ Matrix SketchingMatrix::ApplyDense(const Matrix& a) const {
   return out;
 }
 
-std::vector<double> SketchingMatrix::ApplyVector(
+Result<std::vector<double>> SketchingMatrix::ApplyVector(
     const std::vector<double>& x) const {
-  SOSE_CHECK(static_cast<int64_t>(x.size()) == cols());
+  if (static_cast<int64_t>(x.size()) != cols()) {
+    return Status::InvalidArgument(
+        "ApplyVector: input length != sketch ambient dimension");
+  }
   std::vector<double> out(static_cast<size_t>(rows()), 0.0);
   for (int64_t r = 0; r < cols(); ++r) {
     const double xr = x[static_cast<size_t>(r)];

@@ -8,6 +8,7 @@
 
 #include "core/matrix.h"
 #include "core/sparse.h"
+#include "core/status.h"
 
 namespace sose {
 
@@ -52,15 +53,18 @@ class SketchingMatrix {
   /// Returns Π A for a column-sparse A (CSC) with A.rows() == cols().
   /// Default implementation streams the nonzero rows of A through
   /// `Column()`; O(nnz(A) · s) like the paper's headline bound.
-  virtual Matrix ApplySparse(const CscMatrix& a) const;
+  /// Shape mismatches and internal transform failures are reported via the
+  /// Result — no apply path aborts the process.
+  virtual Result<Matrix> ApplySparse(const CscMatrix& a) const;
 
   /// Returns Π A for dense A with A.rows() == cols(). Default implementation
   /// iterates columns of Π; subclasses with structure (e.g. SRHT) override
   /// with a fast transform.
-  virtual Matrix ApplyDense(const Matrix& a) const;
+  virtual Result<Matrix> ApplyDense(const Matrix& a) const;
 
   /// Returns Π x for a dense vector x of length cols().
-  virtual std::vector<double> ApplyVector(const std::vector<double>& x) const;
+  virtual Result<std::vector<double>> ApplyVector(
+      const std::vector<double>& x) const;
 
   /// Materialises columns [col_begin, col_end) of Π as an explicit sparse
   /// matrix (the lower-bound machinery inspects sketch columns directly).

@@ -40,13 +40,17 @@ std::vector<ColumnEntry> Srht::Column(int64_t c) const {
   return entries;
 }
 
-std::vector<double> Srht::ApplyVector(const std::vector<double>& x) const {
-  SOSE_CHECK(static_cast<int64_t>(x.size()) == n_);
+Result<std::vector<double>> Srht::ApplyVector(
+    const std::vector<double>& x) const {
+  if (static_cast<int64_t>(x.size()) != n_) {
+    return Status::InvalidArgument(
+        "Srht::ApplyVector: input length != sketch ambient dimension");
+  }
   std::vector<double> work(x);
   for (int64_t i = 0; i < n_; ++i) {
     work[static_cast<size_t>(i)] *= signs_[static_cast<size_t>(i)];
   }
-  Fwht(&work).CheckOK();  // Size verified at construction.
+  SOSE_RETURN_IF_ERROR(Fwht(&work));
   const double scale = 1.0 / std::sqrt(static_cast<double>(m_));
   std::vector<double> out(static_cast<size_t>(m_));
   for (int64_t i = 0; i < m_; ++i) {
@@ -56,12 +60,14 @@ std::vector<double> Srht::ApplyVector(const std::vector<double>& x) const {
   return out;
 }
 
-Matrix Srht::ApplyDense(const Matrix& a) const {
-  SOSE_CHECK(a.rows() == n_);
+Result<Matrix> Srht::ApplyDense(const Matrix& a) const {
+  if (a.rows() != n_) {
+    return Status::InvalidArgument(
+        "Srht::ApplyDense: input rows != sketch ambient dimension");
+  }
   Matrix out(m_, a.cols());
   for (int64_t j = 0; j < a.cols(); ++j) {
-    std::vector<double> column = a.Col(j);
-    std::vector<double> sketched = ApplyVector(column);
+    SOSE_ASSIGN_OR_RETURN(std::vector<double> sketched, ApplyVector(a.Col(j)));
     for (int64_t i = 0; i < m_; ++i) {
       out.At(i, j) = sketched[static_cast<size_t>(i)];
     }

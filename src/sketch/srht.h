@@ -31,10 +31,12 @@ class Srht final : public SketchingMatrix {
   std::vector<ColumnEntry> Column(int64_t c) const override;
 
   /// O(n log n) structured apply: sign-flip, FWHT, then row subsampling.
-  std::vector<double> ApplyVector(const std::vector<double>& x) const override;
+  /// The internal transform's Status propagates instead of aborting.
+  Result<std::vector<double>> ApplyVector(
+      const std::vector<double>& x) const override;
 
   /// Column-by-column structured apply of the dense input.
-  Matrix ApplyDense(const Matrix& a) const override;
+  Result<Matrix> ApplyDense(const Matrix& a) const override;
 
  private:
   Srht(int64_t m, int64_t n, uint64_t seed, std::vector<int64_t> sampled_rows,

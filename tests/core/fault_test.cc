@@ -1,0 +1,132 @@
+#include "core/fault.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/linalg_cholesky.h"
+#include "core/linalg_qr.h"
+#include "core/linalg_svd.h"
+#include "core/matrix.h"
+
+namespace sose {
+namespace {
+
+// A minimal instrumented routine, standing in for a numerical kernel.
+Status Probe() {
+  SOSE_FAULT_POINT("fault_test/probe");
+  return Status::OK();
+}
+
+double Value() { return SOSE_FAULT_VALUE("fault_test/value", 1.5); }
+
+TEST(FaultTest, DisabledIsNoop) {
+  EXPECT_FALSE(internal_fault::g_enabled);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(Probe().ok());
+    EXPECT_EQ(Value(), 1.5);
+  }
+}
+
+TEST(FaultTest, FiresOnExactNthCallAndOnlyOnce) {
+  FaultPlan plan;
+  plan.FailCall("fault_test/probe", 3);
+  ScopedFaultInjection injection(std::move(plan));
+  EXPECT_TRUE(internal_fault::g_enabled);
+  EXPECT_TRUE(Probe().ok());
+  EXPECT_TRUE(Probe().ok());
+  const Status third = Probe();
+  EXPECT_EQ(third.code(), StatusCode::kNumericalError);
+  // A rule fires at most once; later calls pass.
+  EXPECT_TRUE(Probe().ok());
+  EXPECT_EQ(injection.CallCount("fault_test/probe"), 4);
+  EXPECT_EQ(injection.FiredCount(), 1);
+}
+
+TEST(FaultTest, CustomCodeAndMessage) {
+  FaultPlan plan;
+  plan.FailCall("fault_test/probe", 1, StatusCode::kInternal, "planned");
+  ScopedFaultInjection injection(std::move(plan));
+  const Status status = Probe();
+  EXPECT_EQ(status.code(), StatusCode::kInternal);
+  EXPECT_EQ(status.message(), "planned");
+}
+
+TEST(FaultTest, ValueCorruption) {
+  FaultPlan plan;
+  plan.CorruptCallNaN("fault_test/value", 2).CorruptCallInf("fault_test/value", 3);
+  ScopedFaultInjection injection(std::move(plan));
+  EXPECT_EQ(Value(), 1.5);
+  EXPECT_TRUE(std::isnan(Value()));
+  EXPECT_TRUE(std::isinf(Value()));
+  EXPECT_EQ(Value(), 1.5);
+  EXPECT_EQ(injection.FiredCount(), 2);
+}
+
+TEST(FaultTest, StatusRulesDoNotFireAtValueSitesAndViceVersa) {
+  FaultPlan plan;
+  plan.FailCall("fault_test/value", 1).CorruptCallNaN("fault_test/probe", 1);
+  ScopedFaultInjection injection(std::move(plan));
+  EXPECT_EQ(Value(), 1.5);
+  EXPECT_TRUE(Probe().ok());
+  EXPECT_EQ(injection.FiredCount(), 0);
+}
+
+TEST(FaultTest, ScopesNestAndRestore) {
+  FaultPlan outer_plan;
+  outer_plan.FailCall("fault_test/probe", 2);
+  ScopedFaultInjection outer(std::move(outer_plan));
+  EXPECT_TRUE(Probe().ok());  // Outer count: 1.
+  {
+    // The inner scope shadows the outer one: its (empty) plan sees the
+    // calls, the outer's counts freeze.
+    ScopedFaultInjection inner(FaultPlan{});
+    EXPECT_TRUE(Probe().ok());
+    EXPECT_TRUE(Probe().ok());
+    EXPECT_EQ(inner.CallCount("fault_test/probe"), 2);
+  }
+  EXPECT_TRUE(internal_fault::g_enabled);
+  EXPECT_EQ(outer.CallCount("fault_test/probe"), 1);
+  // Outer scope resumes exactly where it left off: this is its 2nd call.
+  EXPECT_EQ(Probe().code(), StatusCode::kNumericalError);
+}
+
+TEST(FaultTest, FlagClearsWhenLastScopeDies) {
+  {
+    ScopedFaultInjection injection(FaultPlan{});
+    EXPECT_TRUE(internal_fault::g_enabled);
+  }
+  EXPECT_FALSE(internal_fault::g_enabled);
+  EXPECT_TRUE(Probe().ok());
+}
+
+// The shipped kernels expose real fault sites: a plan targeting them makes
+// the factorization fail deterministically on a healthy input.
+TEST(FaultTest, KernelSitesAreInstrumented) {
+  Matrix spd = Matrix::Identity(3);
+  spd.At(0, 1) = spd.At(1, 0) = 0.25;
+  {
+    ScopedFaultInjection injection(
+        FaultPlan().FailCall("linalg_svd/jacobi", 1));
+    EXPECT_EQ(JacobiSvd(spd).status().code(), StatusCode::kNumericalError);
+  }
+  {
+    ScopedFaultInjection injection(
+        FaultPlan().FailCall("linalg_qr/factor", 1));
+    EXPECT_EQ(HouseholderQr::Factor(spd).status().code(),
+              StatusCode::kNumericalError);
+  }
+  {
+    ScopedFaultInjection injection(
+        FaultPlan().FailCall("linalg_cholesky/factor", 1));
+    EXPECT_EQ(Cholesky::Factor(spd).status().code(),
+              StatusCode::kNumericalError);
+  }
+  // And with no scope alive they all succeed.
+  EXPECT_TRUE(JacobiSvd(spd).ok());
+  EXPECT_TRUE(HouseholderQr::Factor(spd).ok());
+  EXPECT_TRUE(Cholesky::Factor(spd).ok());
+}
+
+}  // namespace
+}  // namespace sose

@@ -40,7 +40,7 @@ TEST(CrossModuleInvariants, OneDimensionalSubspaceMatchesVectorEmbedding) {
     auto report = SketchDistortionOnIsometry(*sketch.value(), basis);
     ASSERT_TRUE(report.ok());
     const std::vector<double> sketched =
-        sketch.value()->ApplyVector(basis.Col(0));
+        sketch.value()->ApplyVector(basis.Col(0)).value();
     double sketched_norm_sq = 0.0;
     for (double v : sketched) sketched_norm_sq += v * v;
     const double factor = std::sqrt(sketched_norm_sq);
@@ -75,7 +75,7 @@ TEST(CrossModuleInvariants, DistortionIsBasisIndependent) {
       SketchDistortionOnIsometry(*sketch.value(), basis.value());
   ASSERT_TRUE(via_isometry.ok());
   auto via_generalized = DistortionOfSketchedBasis(
-      sketch.value()->ApplyDense(skewed), Gram(skewed));
+      sketch.value()->ApplyDense(skewed).value(), Gram(skewed));
   ASSERT_TRUE(via_generalized.ok());
   EXPECT_NEAR(via_isometry.value().min_factor,
               via_generalized.value().min_factor, 1e-7);
@@ -177,7 +177,7 @@ TEST(CrossModuleInvariants, SparseGramPathMatchesDenseForAllFamilies) {
     ASSERT_TRUE(fast.ok()) << family;
     const Matrix dense_u = instance.ToCsc().ToDense();
     auto slow = DistortionOfSketchedIsometry(
-        sketch.value()->ApplyDense(dense_u));
+        sketch.value()->ApplyDense(dense_u).value());
     ASSERT_TRUE(slow.ok()) << family;
     EXPECT_NEAR(fast.value().min_factor, slow.value().min_factor, 1e-8)
         << family;

@@ -59,7 +59,7 @@ TEST(DistortionTest, GeneralizedMatchesPlainOnIsometry) {
   ASSERT_TRUE(u.ok());
   auto sketch = GaussianSketch::Create(24, 16, 5);
   ASSERT_TRUE(sketch.ok());
-  const Matrix sketched = sketch.value().ApplyDense(u.value());
+  const Matrix sketched = sketch.value().ApplyDense(u.value()).value();
   auto plain = DistortionOfSketchedIsometry(sketched);
   auto generalized = DistortionOfSketchedBasis(sketched, Gram(u.value()));
   ASSERT_TRUE(plain.ok());

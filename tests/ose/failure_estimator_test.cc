@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
+#include "core/fault.h"
 #include "hardinstance/d_beta.h"
 #include "ose/isometry.h"
 #include "sketch/count_sketch.h"
@@ -124,6 +127,142 @@ TEST(FailureEstimatorTest, WilsonIntervalBracketsRate) {
   EXPECT_GE(estimate.value().interval.hi, estimate.value().rate);
 }
 
+TEST(FailureEstimatorTest, ValidateEstimatorOptionsCatchesEachField) {
+  EstimatorOptions options;
+  EXPECT_TRUE(ValidateEstimatorOptions(options).ok());
+  auto expect_invalid = [](EstimatorOptions bad) {
+    EXPECT_EQ(ValidateEstimatorOptions(bad).code(),
+              StatusCode::kInvalidArgument);
+  };
+  options.trials = -1;
+  expect_invalid(options);
+  options = {};
+  options.epsilon = -0.1;
+  expect_invalid(options);
+  options = {};
+  options.epsilon = std::numeric_limits<double>::quiet_NaN();
+  expect_invalid(options);
+  options = {};
+  options.max_redraws = 0;
+  expect_invalid(options);
+  options = {};
+  options.max_retries = -2;
+  expect_invalid(options);
+  options = {};
+  options.error_budget = -1.0;
+  expect_invalid(options);
+  options = {};
+  options.deadline_seconds = -3.0;
+  expect_invalid(options);
+  options = {};
+  options.checkpoint_every = -1;
+  expect_invalid(options);
+  options = {};
+  options.checkpoint_every = 10;  // Cadence without a path.
+  expect_invalid(options);
+}
+
+// The eigenvalue kernel runs exactly once per collision-free trial, so a
+// call-indexed FaultPlan lands faults on chosen Monte-Carlo trials.
+constexpr char kEigenSite[] = "linalg_eigen/symmetric_eigenvalues";
+
+EstimatorOptions FaultTestOptions(int64_t trials) {
+  EstimatorOptions options;
+  options.trials = trials;
+  options.epsilon = 0.3;
+  options.seed = 17;
+  return options;
+}
+
+Result<FailureEstimate> RunCountSketchEstimate(const EstimatorOptions& options,
+                                               const DBetaSampler& sampler) {
+  return EstimateFailureProbability(
+      CountSketchFactory(64, 10000),
+      [&sampler](Rng* rng) { return sampler.Sample(rng); }, options);
+}
+
+TEST(FailureEstimatorTest, QuarantinesKernelFaultsWithoutRetries) {
+  auto sampler = DBetaSampler::Create(10000, 3, 1);
+  ASSERT_TRUE(sampler.ok());
+  EstimatorOptions options = FaultTestOptions(20);
+  options.max_retries = 0;
+  options.error_budget = 0.5;
+  FaultPlan plan;
+  plan.FailCall(kEigenSite, 3).FailCall(kEigenSite, 7).FailCall(kEigenSite, 11);
+  ScopedFaultInjection injection(std::move(plan));
+  auto estimate = RunCountSketchEstimate(options, sampler.value());
+  ASSERT_TRUE(estimate.ok()) << estimate.status();
+  EXPECT_EQ(estimate.value().trials, 20);
+  EXPECT_EQ(estimate.value().completed, 17);
+  EXPECT_EQ(estimate.value().faulted, 3);
+  EXPECT_EQ(
+      estimate.value().taxonomy.by_code.at(StatusCode::kNumericalError).count,
+      3);
+  // Rate semantics: over completed trials, not requested ones.
+  EXPECT_EQ(estimate.value().rate,
+            static_cast<double>(estimate.value().failures) / 17.0);
+}
+
+TEST(FailureEstimatorTest, RetriesAbsorbTransientKernelFaults) {
+  auto sampler = DBetaSampler::Create(10000, 3, 1);
+  ASSERT_TRUE(sampler.ok());
+  EstimatorOptions options = FaultTestOptions(20);
+  options.max_retries = 2;
+  FaultPlan plan;
+  plan.FailCall(kEigenSite, 3).FailCall(kEigenSite, 7).FailCall(kEigenSite, 11);
+  ScopedFaultInjection injection(std::move(plan));
+  auto estimate = RunCountSketchEstimate(options, sampler.value());
+  ASSERT_TRUE(estimate.ok()) << estimate.status();
+  EXPECT_EQ(estimate.value().completed, 20);
+  EXPECT_EQ(estimate.value().faulted, 0);
+  EXPECT_TRUE(estimate.value().taxonomy.empty());
+}
+
+TEST(FailureEstimatorTest, MeanEpsilonIsOverCompletedTrials) {
+  // Regression: mean_epsilon used to divide by requested trials, biasing it
+  // toward zero whenever trials were quarantined. Fault every trial except
+  // the first and compare against a clean single-trial run: the means (and
+  // rates) must agree exactly.
+  auto sampler = DBetaSampler::Create(10000, 3, 1);
+  ASSERT_TRUE(sampler.ok());
+  EstimatorOptions options = FaultTestOptions(6);
+  options.max_retries = 0;
+  options.error_budget = 10.0;
+  auto faulted = [&]() {
+    FaultPlan plan;
+    for (int64_t call = 2; call <= 6; ++call) plan.FailCall(kEigenSite, call);
+    ScopedFaultInjection injection(std::move(plan));
+    return RunCountSketchEstimate(options, sampler.value());
+  }();
+  ASSERT_TRUE(faulted.ok()) << faulted.status();
+  ASSERT_EQ(faulted.value().completed, 1);
+  ASSERT_EQ(faulted.value().faulted, 5);
+  auto clean = RunCountSketchEstimate(FaultTestOptions(1), sampler.value());
+  ASSERT_TRUE(clean.ok()) << clean.status();
+  // Trial 0 of both runs drew identical seeds, so the statistics over
+  // completed trials are identical doubles.
+  EXPECT_EQ(faulted.value().mean_epsilon, clean.value().mean_epsilon);
+  EXPECT_EQ(faulted.value().rate, clean.value().rate);
+}
+
+TEST(FailureEstimatorTest, NaNCorruptionIsQuarantinedAsNumericalError) {
+  auto sampler = DBetaSampler::Create(10000, 3, 1);
+  ASSERT_TRUE(sampler.ok());
+  EstimatorOptions options = FaultTestOptions(5);
+  options.max_retries = 0;
+  options.error_budget = 1.0;
+  FaultPlan plan;
+  plan.CorruptCallNaN("distortion/max_factor", 2);
+  ScopedFaultInjection injection(std::move(plan));
+  auto estimate = RunCountSketchEstimate(options, sampler.value());
+  ASSERT_TRUE(estimate.ok()) << estimate.status();
+  EXPECT_EQ(estimate.value().faulted, 1);
+  EXPECT_EQ(estimate.value().completed, 4);
+  EXPECT_EQ(
+      estimate.value().taxonomy.by_code.at(StatusCode::kNumericalError).count,
+      1);
+}
+
 TEST(FailureEstimatorDenseTest, GaussianOnRandomSubspaces) {
   EstimatorOptions options;
   options.trials = 20;
@@ -135,7 +274,10 @@ TEST(FailureEstimatorDenseTest, GaussianOnRandomSubspaces) {
   EXPECT_EQ(estimate.value().failures, 0);
 }
 
-TEST(FailureEstimatorDenseTest, PropagatesBasisSamplerErrors) {
+TEST(FailureEstimatorDenseTest, QuarantinesBasisSamplerErrors) {
+  // A sampler that always explodes no longer aborts the estimate with its
+  // raw status: every trial is quarantined, the error budget trips, and the
+  // taxonomy names the underlying code in the failure message.
   EstimatorOptions options;
   options.trials = 5;
   auto estimate = EstimateFailureProbabilityDense(
@@ -145,7 +287,9 @@ TEST(FailureEstimatorDenseTest, PropagatesBasisSamplerErrors) {
       },
       options);
   EXPECT_FALSE(estimate.ok());
-  EXPECT_EQ(estimate.status().code(), StatusCode::kInternal);
+  EXPECT_EQ(estimate.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(estimate.status().message().find("internal"), std::string::npos)
+      << estimate.status();
 }
 
 }  // namespace

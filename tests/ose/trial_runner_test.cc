@@ -1,0 +1,319 @@
+#include "ose/trial_runner.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/random.h"
+
+namespace sose {
+namespace {
+
+// A deterministic trial: epsilon and failure depend only on the seed the
+// runner hands out, so reruns and resumed runs must reproduce them exactly.
+TrialOutcome OutcomeFor(uint64_t trial_seed) {
+  const double epsilon =
+      static_cast<double>(trial_seed % 1000) / 1000.0;
+  return TrialOutcome{epsilon, trial_seed % 5 == 0};
+}
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "sose_trial_runner_" + name;
+}
+
+TEST(TrialRunnerTest, ValidatesOptions) {
+  auto trial = [](uint64_t) -> Result<TrialOutcome> {
+    return TrialOutcome{};
+  };
+  TrialRunnerOptions options;
+  options.trials = 0;
+  EXPECT_EQ(RunTrials(trial, options).status().code(),
+            StatusCode::kInvalidArgument);
+  options = {};
+  options.max_retries = -1;
+  EXPECT_EQ(RunTrials(trial, options).status().code(),
+            StatusCode::kInvalidArgument);
+  options = {};
+  options.error_budget = -0.5;
+  EXPECT_EQ(RunTrials(trial, options).status().code(),
+            StatusCode::kInvalidArgument);
+  options = {};
+  options.deadline_seconds = -1.0;
+  EXPECT_EQ(RunTrials(trial, options).status().code(),
+            StatusCode::kInvalidArgument);
+  options = {};
+  options.checkpoint_every = 5;  // Cadence without a path.
+  EXPECT_EQ(RunTrials(trial, options).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(TrialRunnerTest, CleanRunAggregatesAndDerivesPerTrialSeeds) {
+  std::vector<uint64_t> seen;
+  auto trial = [&seen](uint64_t trial_seed) -> Result<TrialOutcome> {
+    seen.push_back(trial_seed);
+    return OutcomeFor(trial_seed);
+  };
+  TrialRunnerOptions options;
+  options.trials = 16;
+  options.seed = 7;
+  auto run = RunTrials(trial, options);
+  ASSERT_TRUE(run.ok()) << run.status();
+  const TrialRunReport& report = run.value();
+  EXPECT_EQ(report.requested, 16);
+  EXPECT_EQ(report.completed, 16);
+  EXPECT_EQ(report.faulted, 0);
+  EXPECT_EQ(report.retries_used, 0);
+  EXPECT_FALSE(report.partial);
+  EXPECT_TRUE(report.taxonomy.empty());
+  ASSERT_EQ(seen.size(), 16u);
+  double expected_sum = 0.0;
+  int64_t expected_failures = 0;
+  for (int64_t t = 0; t < 16; ++t) {
+    // Attempt 0 of trial t must use DeriveSeed(master, t) — the same stream
+    // the estimators used before the runner existed.
+    EXPECT_EQ(seen[static_cast<size_t>(t)],
+              DeriveSeed(7, static_cast<uint64_t>(t)));
+    const TrialOutcome outcome = OutcomeFor(seen[static_cast<size_t>(t)]);
+    expected_sum += outcome.epsilon;
+    expected_failures += outcome.failure ? 1 : 0;
+  }
+  EXPECT_EQ(report.epsilon_sum, expected_sum);
+  EXPECT_EQ(report.failures, expected_failures);
+}
+
+TEST(TrialRunnerTest, RetryRecoversTransientFaultsWithFreshSeeds) {
+  int64_t calls = 0;
+  std::vector<uint64_t> seeds;
+  auto trial = [&](uint64_t trial_seed) -> Result<TrialOutcome> {
+    ++calls;
+    seeds.push_back(trial_seed);
+    if (calls == 3 || calls == 7) {
+      return Status::NumericalError("transient");
+    }
+    return OutcomeFor(trial_seed);
+  };
+  TrialRunnerOptions options;
+  options.trials = 10;
+  options.seed = 3;
+  options.max_retries = 2;
+  auto run = RunTrials(trial, options);
+  ASSERT_TRUE(run.ok()) << run.status();
+  EXPECT_EQ(run.value().completed, 10);
+  EXPECT_EQ(run.value().faulted, 0);
+  EXPECT_EQ(run.value().retries_used, 2);
+  // Each retry drew a seed distinct from the attempt it replaced.
+  EXPECT_NE(seeds[2], seeds[3]);
+  EXPECT_NE(seeds[6], seeds[7]);
+}
+
+TEST(TrialRunnerTest, RetryExhaustionQuarantinesTheTrial) {
+  // max_retries = 1: trial 2 occupies calls 3 and 4; failing both exhausts
+  // its retries and quarantines it.
+  int64_t calls = 0;
+  auto trial = [&calls](uint64_t trial_seed) -> Result<TrialOutcome> {
+    ++calls;
+    if (calls == 3 || calls == 4) {
+      return Status::NumericalError("persistent");
+    }
+    return OutcomeFor(trial_seed);
+  };
+  TrialRunnerOptions options;
+  options.trials = 10;
+  options.seed = 3;
+  options.max_retries = 1;
+  options.error_budget = 1.0;
+  auto run = RunTrials(trial, options);
+  ASSERT_TRUE(run.ok()) << run.status();
+  EXPECT_EQ(run.value().completed, 9);
+  EXPECT_EQ(run.value().faulted, 1);
+  EXPECT_EQ(run.value().retries_used, 1);
+  EXPECT_EQ(run.value().taxonomy.Total(), 1);
+  EXPECT_EQ(
+      run.value().taxonomy.by_code.at(StatusCode::kNumericalError).count, 1);
+}
+
+TEST(TrialRunnerTest, ZeroBudgetFailsFastOnFirstQuarantine) {
+  int64_t calls = 0;
+  auto trial = [&calls](uint64_t trial_seed) -> Result<TrialOutcome> {
+    ++calls;
+    if (calls == 2) return Status::Internal("broken");
+    return OutcomeFor(trial_seed);
+  };
+  TrialRunnerOptions options;
+  options.trials = 1000;
+  options.max_retries = 0;
+  options.error_budget = 0.0;
+  auto run = RunTrials(trial, options);
+  EXPECT_EQ(run.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(run.status().message().find("error budget"), std::string::npos);
+  // Fail-fast: the run stopped at the fault instead of grinding on.
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(TrialRunnerTest, BudgetToleratesBoundedFaultRate) {
+  int64_t calls = 0;
+  auto trial = [&calls](uint64_t trial_seed) -> Result<TrialOutcome> {
+    ++calls;
+    if (calls == 5) return Status::NumericalError("one-off");
+    return OutcomeFor(trial_seed);
+  };
+  TrialRunnerOptions options;
+  options.trials = 20;
+  options.max_retries = 0;
+  options.error_budget = 0.25;
+  auto run = RunTrials(trial, options);
+  ASSERT_TRUE(run.ok()) << run.status();
+  EXPECT_EQ(run.value().faulted, 1);
+  EXPECT_EQ(run.value().completed, 19);
+}
+
+TEST(TrialRunnerTest, DeadlineReturnsPartialReportWithProgress) {
+  auto trial = [](uint64_t trial_seed) -> Result<TrialOutcome> {
+    return OutcomeFor(trial_seed);
+  };
+  TrialRunnerOptions options;
+  options.trials = 1 << 20;
+  options.deadline_seconds = 1e-9;
+  auto run = RunTrials(trial, options);
+  ASSERT_TRUE(run.ok()) << run.status();
+  EXPECT_TRUE(run.value().partial);
+  // The deadline is only checked after the first trial: progress is
+  // guaranteed even under an absurd deadline.
+  EXPECT_GE(run.value().completed, 1);
+  EXPECT_LT(run.value().completed, options.trials);
+}
+
+TEST(TrialRunnerTest, CheckpointRoundTripsExactly) {
+  TrialCheckpoint checkpoint;
+  checkpoint.master_seed = 0xdeadbeefcafef00dULL;
+  checkpoint.next_trial = 37;
+  checkpoint.report.requested = 100;
+  checkpoint.report.completed = 35;
+  checkpoint.report.faulted = 2;
+  checkpoint.report.retries_used = 4;
+  checkpoint.report.failures = 11;
+  checkpoint.report.epsilon_sum = 0.1 + 0.2 + 1e-17;  // Not representable.
+  checkpoint.report.epsilon_max = 0.30000000000000004;
+  checkpoint.report.taxonomy.by_code[StatusCode::kNumericalError] = {
+      2, "svd diverged, sweep 64; \"ill\"-conditioned\ninput"};
+  const std::string path = TempPath("roundtrip.csv");
+  ASSERT_TRUE(WriteTrialCheckpoint(path, checkpoint).ok());
+  auto restored = ReadTrialCheckpoint(path);
+  ASSERT_TRUE(restored.ok()) << restored.status();
+  EXPECT_EQ(restored.value().master_seed, checkpoint.master_seed);
+  EXPECT_EQ(restored.value().next_trial, checkpoint.next_trial);
+  EXPECT_EQ(restored.value().report.requested, 100);
+  EXPECT_EQ(restored.value().report.completed, 35);
+  EXPECT_EQ(restored.value().report.faulted, 2);
+  EXPECT_EQ(restored.value().report.retries_used, 4);
+  EXPECT_EQ(restored.value().report.failures, 11);
+  // Hexfloat serialization: bitwise equality, not approximate.
+  EXPECT_EQ(restored.value().report.epsilon_sum,
+            checkpoint.report.epsilon_sum);
+  EXPECT_EQ(restored.value().report.epsilon_max,
+            checkpoint.report.epsilon_max);
+  const auto& entry = restored.value().report.taxonomy.by_code.at(
+      StatusCode::kNumericalError);
+  EXPECT_EQ(entry.count, 2);
+  EXPECT_EQ(entry.first_message,
+            checkpoint.report.taxonomy.by_code
+                .at(StatusCode::kNumericalError)
+                .first_message);
+  std::remove(path.c_str());
+}
+
+TEST(TrialRunnerTest, ReadRejectsMissingOrAlienFiles) {
+  EXPECT_EQ(ReadTrialCheckpoint(TempPath("does_not_exist.csv"))
+                .status()
+                .code(),
+            StatusCode::kNotFound);
+  const std::string path = TempPath("alien.csv");
+  {
+    std::ofstream file(path);
+    file << "key,value,count,message\nformat,some-other-tool-v9\n";
+  }
+  EXPECT_EQ(ReadTrialCheckpoint(path).status().code(),
+            StatusCode::kFailedPrecondition);
+  std::remove(path.c_str());
+}
+
+TEST(TrialRunnerTest, ResumeRejectsMismatchedSeedOrTrials) {
+  const std::string path = TempPath("mismatch.csv");
+  TrialCheckpoint checkpoint;
+  checkpoint.master_seed = 1;
+  checkpoint.next_trial = 2;
+  checkpoint.report.requested = 8;
+  checkpoint.report.completed = 2;
+  ASSERT_TRUE(WriteTrialCheckpoint(path, checkpoint).ok());
+  auto trial = [](uint64_t trial_seed) -> Result<TrialOutcome> {
+    return OutcomeFor(trial_seed);
+  };
+  TrialRunnerOptions options;
+  options.trials = 8;
+  options.seed = 99;  // Not the checkpoint's seed.
+  options.checkpoint_every = 1;
+  options.checkpoint_path = path;
+  EXPECT_EQ(RunTrials(trial, options).status().code(),
+            StatusCode::kFailedPrecondition);
+  options.seed = 1;
+  options.trials = 16;  // Not the checkpoint's trial count.
+  EXPECT_EQ(RunTrials(trial, options).status().code(),
+            StatusCode::kFailedPrecondition);
+  std::remove(path.c_str());
+}
+
+TEST(TrialRunnerTest, InterruptedRunResumesBitwiseIdentically) {
+  const std::string path = TempPath("resume.csv");
+  std::remove(path.c_str());
+  TrialRunnerOptions options;
+  options.trials = 12;
+  options.seed = 21;
+  options.max_retries = 0;
+  options.checkpoint_every = 1;
+  options.checkpoint_path = path;
+
+  // Uninterrupted reference run (no checkpointing).
+  auto clean = [](uint64_t trial_seed) -> Result<TrialOutcome> {
+    return OutcomeFor(trial_seed);
+  };
+  TrialRunnerOptions reference_options = options;
+  reference_options.checkpoint_every = 0;
+  reference_options.checkpoint_path.clear();
+  auto reference = RunTrials(clean, reference_options);
+  ASSERT_TRUE(reference.ok());
+
+  // "Kill" the run after 5 trials: the wrapper starts erroring and the zero
+  // budget aborts RunTrials, leaving the last good checkpoint on disk.
+  int64_t calls = 0;
+  auto dying = [&calls](uint64_t trial_seed) -> Result<TrialOutcome> {
+    if (++calls > 5) return Status::Internal("simulated crash");
+    return OutcomeFor(trial_seed);
+  };
+  TrialRunnerOptions dying_options = options;
+  dying_options.error_budget = 0.0;
+  EXPECT_EQ(RunTrials(dying, dying_options).status().code(),
+            StatusCode::kFailedPrecondition);
+  {
+    std::ifstream file(path);
+    ASSERT_TRUE(file.good()) << "checkpoint should survive the crash";
+  }
+
+  // Resume with the healthy trial function and identical options.
+  auto resumed = RunTrials(clean, options);
+  ASSERT_TRUE(resumed.ok()) << resumed.status();
+  EXPECT_EQ(resumed.value().completed, reference.value().completed);
+  EXPECT_EQ(resumed.value().failures, reference.value().failures);
+  EXPECT_EQ(resumed.value().faulted, 0);
+  // Bitwise: hexfloat round-tripping plus identical accumulation order.
+  EXPECT_EQ(resumed.value().epsilon_sum, reference.value().epsilon_sum);
+  EXPECT_EQ(resumed.value().epsilon_max, reference.value().epsilon_max);
+  // A completed run cleans up its checkpoint.
+  std::ifstream leftover(path);
+  EXPECT_FALSE(leftover.good());
+}
+
+}  // namespace
+}  // namespace sose

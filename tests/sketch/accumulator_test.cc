@@ -45,7 +45,8 @@ TEST(SketchAccumulatorTest, RowStreamMatchesBatchApply) {
     for (int64_t j = 0; j < 4; ++j) row[static_cast<size_t>(j)] = a.At(i, j);
     ASSERT_TRUE(acc.value().AddRow(i, row).ok());
   }
-  EXPECT_TRUE(AlmostEqual(acc.value().state(), sketch->ApplyDense(a), 1e-10));
+  EXPECT_TRUE(
+      AlmostEqual(acc.value().state(), sketch->ApplyDense(a).value(), 1e-10));
 }
 
 TEST(SketchAccumulatorTest, OutOfRangeUpdatesRejected) {
@@ -112,7 +113,7 @@ TEST(SketchAccumulatorTest, WorksWithOsnap) {
     x[static_cast<size_t>(i)] = rng.Gaussian();
     ASSERT_TRUE(acc.value().AddEntry(i, 0, x[static_cast<size_t>(i)]).ok());
   }
-  const std::vector<double> batch = shared->ApplyVector(x);
+  const std::vector<double> batch = shared->ApplyVector(x).value();
   for (int64_t i = 0; i < 32; ++i) {
     EXPECT_NEAR(acc.value().state().At(i, 0), batch[static_cast<size_t>(i)],
                 1e-10);

@@ -69,11 +69,12 @@ TEST(ComposedSketchTest, ApplyVariantsMatchProduct) {
   for (int64_t i = 0; i < 40; ++i) {
     for (int64_t j = 0; j < 3; ++j) a.At(i, j) = rng.Gaussian();
   }
-  EXPECT_TRUE(
-      AlmostEqual(composed.value().ApplyDense(a), MatMul(product, a), 1e-10));
+  EXPECT_TRUE(AlmostEqual(composed.value().ApplyDense(a).value(),
+                          MatMul(product, a), 1e-10));
   std::vector<double> x(40);
   for (double& v : x) v = rng.Gaussian();
-  const std::vector<double> via_composed = composed.value().ApplyVector(x);
+  const std::vector<double> via_composed =
+      composed.value().ApplyVector(x).value();
   const std::vector<double> via_product = MatVec(product, x);
   for (size_t i = 0; i < via_composed.size(); ++i) {
     EXPECT_NEAR(via_composed[i], via_product[i], 1e-10);

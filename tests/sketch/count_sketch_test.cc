@@ -83,7 +83,7 @@ TEST(CountSketchTest, SecondMomentIsUnbiasedForVectors) {
   for (uint64_t seed = 0; seed < 2000; ++seed) {
     auto sketch = CountSketch::Create(4, 6, seed);
     ASSERT_TRUE(sketch.ok());
-    const std::vector<double> y = sketch.value().ApplyVector(x);
+    const std::vector<double> y = sketch.value().ApplyVector(x).value();
     double y_norm_sq = 0.0;
     for (double v : y) y_norm_sq += v * v;
     stats.Add(y_norm_sq);
@@ -99,7 +99,7 @@ TEST(CountSketchTest, ApplyPreservesSparsityCost) {
   CooBuilder builder(20, 2);
   builder.Add(3, 0, 2.0);
   builder.Add(17, 1, -1.0);
-  const Matrix out = sketch.value().ApplySparse(builder.ToCsc());
+  const Matrix out = sketch.value().ApplySparse(builder.ToCsc()).value();
   EXPECT_EQ(out.rows(), 8);
   // Column 0: single entry of magnitude 2 at Bucket(3).
   EXPECT_EQ(out.At(sketch.value().Bucket(3), 0),

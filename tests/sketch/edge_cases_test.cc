@@ -35,7 +35,7 @@ TEST(SketchEdgeCases, SingleRowSketches) {
     }
     // Apply still works and has the right shape.
     std::vector<double> x(16, 1.0);
-    EXPECT_EQ(sketch.value()->ApplyVector(x).size(), 1u) << family;
+    EXPECT_EQ(sketch.value()->ApplyVector(x).value().size(), 1u) << family;
   }
 }
 
@@ -130,7 +130,8 @@ TEST(SketchEdgeCases, ZeroVectorMapsToZero) {
     auto sketch = CreateSketch(family, config);
     ASSERT_TRUE(sketch.ok()) << family;
     const std::vector<double> zero(32, 0.0);
-    for (double v : sketch.value()->ApplyVector(zero)) {
+    const std::vector<double> mapped = sketch.value()->ApplyVector(zero).value();
+    for (double v : mapped) {
       EXPECT_EQ(v, 0.0) << family;
     }
   }
@@ -149,9 +150,9 @@ TEST(SketchEdgeCases, LinearityHoldsForAllFamilies) {
       y[i] = rng.Gaussian();
       combined[i] = 2.0 * x[i] - 3.0 * y[i];
     }
-    const auto px = sketch.value()->ApplyVector(x);
-    const auto py = sketch.value()->ApplyVector(y);
-    const auto pc = sketch.value()->ApplyVector(combined);
+    const auto px = sketch.value()->ApplyVector(x).value();
+    const auto py = sketch.value()->ApplyVector(y).value();
+    const auto pc = sketch.value()->ApplyVector(combined).value();
     for (size_t i = 0; i < 8; ++i) {
       EXPECT_NEAR(pc[i], 2.0 * px[i] - 3.0 * py[i], 1e-10) << family;
     }

@@ -148,11 +148,11 @@ TEST_P(SketchFamilyTest, ApplyVariantsAgreeWithMaterializedMatrix) {
   for (int64_t i = 0; i < a.rows(); ++i) {
     for (int64_t j = 0; j < 3; ++j) a.At(i, j) = rng.Gaussian();
   }
-  EXPECT_TRUE(AlmostEqual(sketch->ApplyDense(a), MatMul(pi, a), 1e-10));
+  EXPECT_TRUE(AlmostEqual(sketch->ApplyDense(a).value(), MatMul(pi, a), 1e-10));
   // Vector input.
   std::vector<double> x(static_cast<size_t>(sketch->cols()));
   for (double& v : x) v = rng.Gaussian();
-  const std::vector<double> via_sketch = sketch->ApplyVector(x);
+  const std::vector<double> via_sketch = sketch->ApplyVector(x).value();
   const std::vector<double> via_dense = MatVec(pi, x);
   for (size_t i = 0; i < via_sketch.size(); ++i) {
     EXPECT_NEAR(via_sketch[i], via_dense[i], 1e-10);
@@ -163,7 +163,7 @@ TEST_P(SketchFamilyTest, ApplyVariantsAgreeWithMaterializedMatrix) {
   builder.Add(sketch->cols() - 1, 0, -2.0);
   builder.Add(sketch->cols() / 2, 1, 3.0);
   const CscMatrix sparse = builder.ToCsc();
-  EXPECT_TRUE(AlmostEqual(sketch->ApplySparse(sparse),
+  EXPECT_TRUE(AlmostEqual(sketch->ApplySparse(sparse).value(),
                           MatMul(pi, sparse.ToDense()), 1e-10));
 }
 
@@ -203,7 +203,7 @@ TEST_P(SketchFamilyTest, NormPreservationInExpectation) {
       input_norm_sq = 0.0;
       for (double v : input) input_norm_sq += v * v;
     }
-    const std::vector<double> y = sketch.value()->ApplyVector(input);
+    const std::vector<double> y = sketch.value()->ApplyVector(input).value();
     double y_norm_sq = 0.0;
     for (double v : y) y_norm_sq += v * v;
     stats.Add(y_norm_sq / input_norm_sq);

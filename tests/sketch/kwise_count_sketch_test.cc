@@ -63,7 +63,7 @@ TEST(KwiseCountSketchTest, SecondMomentUnbiased) {
     for (uint64_t seed = 0; seed < 2500; ++seed) {
       auto sketch = KwiseCountSketch::Create(4, 4, k, seed);
       ASSERT_TRUE(sketch.ok());
-      const std::vector<double> y = sketch.value().ApplyVector(x);
+      const std::vector<double> y = sketch.value().ApplyVector(x).value();
       double y_norm_sq = 0.0;
       for (double v : y) y_norm_sq += v * v;
       stats.Add(y_norm_sq);

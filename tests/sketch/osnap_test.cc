@@ -102,7 +102,7 @@ TEST(OsnapTest, SecondMomentUnbiased) {
     for (uint64_t seed = 0; seed < 1500; ++seed) {
       auto sketch = Osnap::Create(8, 4, 2, seed, variant);
       ASSERT_TRUE(sketch.ok());
-      const std::vector<double> y = sketch.value().ApplyVector(x);
+      const std::vector<double> y = sketch.value().ApplyVector(x).value();
       double y_norm_sq = 0.0;
       for (double v : y) y_norm_sq += v * v;
       stats.Add(y_norm_sq);

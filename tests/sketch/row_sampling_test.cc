@@ -43,7 +43,7 @@ TEST(RowSamplingTest, NormPreservedInExpectation) {
   for (uint64_t seed = 0; seed < 600; ++seed) {
     auto sketch = RowSamplingSketch::Create(32, 128, seed);
     ASSERT_TRUE(sketch.ok());
-    const std::vector<double> y = sketch.value().ApplyVector(x);
+    const std::vector<double> y = sketch.value().ApplyVector(x).value();
     double y_norm_sq = 0.0;
     for (double v : y) y_norm_sq += v * v;
     stats.Add(y_norm_sq);

@@ -23,7 +23,7 @@ TEST(SrhtTest, FastApplyMatchesColumnApply) {
   Rng rng(1);
   std::vector<double> x(32);
   for (double& v : x) v = rng.Gaussian();
-  const std::vector<double> fast = sketch.value().ApplyVector(x);
+  const std::vector<double> fast = sketch.value().ApplyVector(x).value();
   // Reference: sum over columns of x_c * Column(c).
   std::vector<double> slow(8, 0.0);
   for (int64_t c = 0; c < 32; ++c) {
@@ -42,8 +42,21 @@ TEST(SrhtTest, ApplyDenseMatchesMaterialized) {
   for (int64_t i = 0; i < 16; ++i) {
     for (int64_t j = 0; j < 3; ++j) a.At(i, j) = rng.Gaussian();
   }
-  EXPECT_TRUE(AlmostEqual(sketch.value().ApplyDense(a),
+  EXPECT_TRUE(AlmostEqual(sketch.value().ApplyDense(a).value(),
                           MatMul(sketch.value().MaterializeDense(), a), 1e-9));
+}
+
+TEST(SrhtTest, ApplyRejectsWrongShapeWithStatus) {
+  // Regression: shape errors (and any Fwht failure) must surface as a
+  // Status through Apply's Result, never abort the process.
+  auto sketch = Srht::Create(4, 16, 3);
+  ASSERT_TRUE(sketch.ok());
+  const std::vector<double> wrong(15, 0.0);
+  EXPECT_EQ(sketch.value().ApplyVector(wrong).status().code(),
+            StatusCode::kInvalidArgument);
+  const Matrix wrong_rows(15, 2);
+  EXPECT_EQ(sketch.value().ApplyDense(wrong_rows).status().code(),
+            StatusCode::kInvalidArgument);
 }
 
 TEST(SrhtTest, EntriesHaveUniformMagnitude) {
@@ -67,7 +80,7 @@ TEST(SrhtTest, NormPreservationInExpectation) {
   for (uint64_t seed = 0; seed < 500; ++seed) {
     auto sketch = Srht::Create(16, 64, seed);
     ASSERT_TRUE(sketch.ok());
-    const std::vector<double> y = sketch.value().ApplyVector(x);
+    const std::vector<double> y = sketch.value().ApplyVector(x).value();
     double y_norm_sq = 0.0;
     for (double v : y) y_norm_sq += v * v;
     stats.Add(y_norm_sq);
@@ -113,7 +126,7 @@ TEST(SparseJlTest, SecondMomentUnbiased) {
   for (uint64_t seed = 0; seed < 2000; ++seed) {
     auto sketch = SparseJl::Create(6, 3, 3.0, seed);
     ASSERT_TRUE(sketch.ok());
-    const std::vector<double> y = sketch.value().ApplyVector(x);
+    const std::vector<double> y = sketch.value().ApplyVector(x).value();
     double y_norm_sq = 0.0;
     for (double v : y) y_norm_sq += v * v;
     stats.Add(y_norm_sq);
