@@ -13,6 +13,7 @@
 #include "core/csv.h"
 #include "core/flags.h"
 #include "core/stats.h"
+#include "core/stopwatch.h"
 #include "core/table.h"
 #include "hardinstance/mixtures.h"
 #include "ose/threshold_search.h"
@@ -73,7 +74,7 @@ void RunSweep(const char* label, const char* sweep_tag,
               const std::vector<SweepPoint>& points,
               const std::vector<double>& xs, uint64_t seed,
               double predicted_slope, const ResilienceConfig& resilience,
-              sose::CsvWriter* csv) {
+              sose::CsvWriter* csv, int64_t* total_trials) {
   sose::AsciiTable table({"d", "eps", "delta", "m*", "d^2/(eps^2 delta)",
                           "ratio", "faults"});
   std::vector<double> measured;
@@ -88,6 +89,7 @@ void RunSweep(const char* label, const char* sweep_tag,
                              (point.epsilon * point.epsilon * point.delta);
     sose::TrialErrorTaxonomy merged;
     for (const sose::ThresholdProbe& probe : result.probes) {
+      *total_trials += probe.estimate.completed;
       for (const auto& [code, entry] : probe.estimate.taxonomy.by_code) {
         merged.by_code[code].count += entry.count;
       }
@@ -138,6 +140,8 @@ int main(int argc, char** argv) {
       "exponents",
       "slope(m*, d) ~ 2, slope(m*, 1/eps) ~ 2, slope(m*, 1/delta) ~ 1");
 
+  sose::Stopwatch watch;
+  int64_t total_trials = 0;
   {
     std::vector<SweepPoint> points;
     std::vector<double> xs;
@@ -145,7 +149,8 @@ int main(int argc, char** argv) {
       points.push_back({d, 1.0 / 16.0, 0.2});
       xs.push_back(static_cast<double>(d));
     }
-    RunSweep("d", "d", points, xs, seed, 2.0, resilience, csv_ptr);
+    RunSweep("d", "d", points, xs, seed, 2.0, resilience, csv_ptr,
+             &total_trials);
   }
   {
     std::vector<SweepPoint> points;
@@ -155,7 +160,7 @@ int main(int argc, char** argv) {
       xs.push_back(inv_eps);
     }
     RunSweep("1/eps", "inv_eps", points, xs, seed + 1, 2.0, resilience,
-             csv_ptr);
+             csv_ptr, &total_trials);
   }
   {
     std::vector<SweepPoint> points;
@@ -165,11 +170,14 @@ int main(int argc, char** argv) {
       xs.push_back(1.0 / delta);
     }
     RunSweep("1/delta", "inv_delta", points, xs, seed + 2, 1.0, resilience,
-             csv_ptr);
+             csv_ptr, &total_trials);
   }
   if (csv_ptr != nullptr) {
     csv.WriteToFile(csv_path).CheckOK();
     std::printf("wrote %s\n", csv_path.c_str());
   }
+  sose::bench::WriteBenchJson("e1", resilience.base.threads,
+                              watch.ElapsedSeconds(), total_trials)
+      .CheckOK();
   return 0;
 }

@@ -9,6 +9,7 @@
 #include "bench_util.h"
 #include "core/flags.h"
 #include "core/random.h"
+#include "core/stopwatch.h"
 #include "core/table.h"
 #include "hardinstance/d_beta.h"
 #include "ose/distortion.h"
@@ -37,6 +38,9 @@ int main(int argc, char** argv) {
   auto sampler = sose::DBetaSampler::Create(n, d, 1);
   sampler.status().CheckOK();
 
+  sose::Stopwatch watch;
+  int64_t total_trials = 0;
+  const int threads = static_cast<int>(flags.GetInt("threads", 0));
   sose::AsciiTable table({"m", "m/d^2", "fail rate (exact collision)",
                           "predicted d^2/(2m)", "mean eps", "max eps",
                           "faults"});
@@ -73,6 +77,7 @@ int main(int argc, char** argv) {
     runner.error_budget = flags.GetDouble("error-budget", runner.error_budget);
     runner.deadline_seconds =
         flags.GetDouble("deadline", runner.deadline_seconds);
+    runner.threads = threads;
     if (!checkpoint_prefix.empty()) {
       runner.checkpoint_path = checkpoint_prefix + ".m" + std::to_string(m);
       runner.checkpoint_every = std::max<int64_t>(1, trials / 8);
@@ -80,6 +85,7 @@ int main(int argc, char** argv) {
     auto run = sose::RunTrials(trial, runner);
     run.status().CheckOK();
     const sose::TrialRunReport& report = run.value();
+    total_trials += report.completed;
     const double completed =
         report.completed > 0 ? static_cast<double>(report.completed) : 1.0;
     table.NewRow();
@@ -99,5 +105,8 @@ int main(int argc, char** argv) {
       "identical columns of the same Hadamard block — the construction is a\n"
       "(0, delta)-embedding, strictly stronger than the (eps, delta) the\n"
       "lower bound requires.\n");
+  sose::bench::WriteBenchJson("e5", threads, watch.ElapsedSeconds(),
+                              total_trials)
+      .CheckOK();
   return 0;
 }

@@ -4,11 +4,13 @@
 // stays exact (see E5). The pincer around m = Θ(d²) is the headline result.
 #include <cmath>
 #include <cstdio>
+#include <string>
 
 #include "bench_util.h"
 #include "core/flags.h"
 #include "core/random.h"
 #include "core/stats.h"
+#include "core/stopwatch.h"
 #include "core/table.h"
 #include "hardinstance/d_beta.h"
 #include "ose/failure_estimator.h"
@@ -32,20 +34,31 @@ int main(int argc, char** argv) {
   auto sampler = sose::DBetaSampler::Create(n, d, 1);
   sampler.status().CheckOK();
 
+  sose::EstimatorOptions base_options;
+  sose::bench::ReadResilienceFlags(flags, &base_options);
+  const std::string checkpoint_prefix = flags.GetString("checkpoint", "");
+
+  sose::Stopwatch watch;
+  int64_t total_trials = 0;
   sose::AsciiTable table({"m", "m/d^2", "fail rate [95% CI]", "mean eps",
-                          "eps target"});
+                          "eps target", "faults"});
   for (double ratio : {0.0625, 0.125, 0.25, 0.5, 1.0, 2.0, 4.0}) {
     const int64_t m = std::max<int64_t>(
         s, static_cast<int64_t>(ratio * static_cast<double>(d * d)));
-    sose::EstimatorOptions options;
+    sose::EstimatorOptions options = base_options;
     options.trials = trials;
     options.epsilon = epsilon;
     options.seed = sose::DeriveSeed(seed, static_cast<uint64_t>(m));
+    if (!checkpoint_prefix.empty()) {
+      options.checkpoint_path = checkpoint_prefix + ".m" + std::to_string(m);
+      options.checkpoint_every = std::max<int64_t>(1, trials / 8);
+    }
     auto estimate = sose::EstimateFailureProbability(
         sose::bench::MakeFactory("osnap", m, n, s),
         [&sampler](sose::Rng* rng) { return sampler.value().Sample(rng); },
         options);
     estimate.status().CheckOK();
+    total_trials += estimate.value().completed;
     table.NewRow();
     table.AddInt(m);
     table.AddDouble(ratio, 4);
@@ -53,7 +66,13 @@ int main(int argc, char** argv) {
                          estimate.value().interval.hi);
     table.AddDouble(estimate.value().mean_epsilon, 4);
     table.AddDouble(epsilon, 4);
+    table.AddCell(sose::bench::FaultCell(estimate.value().faulted,
+                                         estimate.value().partial,
+                                         estimate.value().taxonomy));
   }
   std::printf("%s\n", table.ToString().c_str());
+  sose::bench::WriteBenchJson("e6", base_options.threads,
+                              watch.ElapsedSeconds(), total_trials)
+      .CheckOK();
   return 0;
 }

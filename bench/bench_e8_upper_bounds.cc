@@ -11,6 +11,7 @@
 #include "bench_util.h"
 #include "core/flags.h"
 #include "core/stats.h"
+#include "core/stopwatch.h"
 #include "core/table.h"
 #include "hardinstance/mixtures.h"
 #include "ose/threshold_search.h"
@@ -89,6 +90,8 @@ int main(int argc, char** argv) {
   for (const FamilySpec& spec : specs) header.push_back("m*: " + spec.family);
   sose::AsciiTable table(header);
 
+  sose::Stopwatch watch;
+  int64_t total_trials = 0;
   std::vector<std::vector<double>> thresholds(specs.size());
   std::vector<int64_t> family_faulted(specs.size(), 0);
   bool any_partial = false;
@@ -104,6 +107,9 @@ int main(int argc, char** argv) {
       thresholds[i].push_back(static_cast<double>(result.m_star));
       family_faulted[i] += result.total_faulted;
       any_partial = any_partial || result.any_partial;
+      for (const sose::ThresholdProbe& probe : result.probes) {
+        total_trials += probe.estimate.completed;
+      }
       table.AddInt(result.m_star);
     }
   }
@@ -144,5 +150,8 @@ int main(int argc, char** argv) {
                 "quadratic wall forces the trade-off.\n",
                 crossover);
   }
+  sose::bench::WriteBenchJson("e8", base_options.threads,
+                              watch.ElapsedSeconds(), total_trials)
+      .CheckOK();
   return 0;
 }

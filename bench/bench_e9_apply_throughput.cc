@@ -1,9 +1,19 @@
 // E9 — the O(nnz(A) · s) apply-cost claim that motivates the whole paper:
 // Count-Sketch applies in O(nnz(A)), OSNAP in O(nnz(A) · s), Gaussian in
-// O(nnz(A) · m). google-benchmark kernels over sparse inputs.
+// O(nnz(A) · m). google-benchmark kernels over sparse inputs, plus a
+// dense-vs-CSC comparison pass: the same sketch applied to the densified
+// input costs O(n · cols · s) instead, and the measured ratio is the
+// machine-readable argument for the CSC fast paths (BENCH_e9.json).
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+#include "bench_util.h"
+#include "core/matrix.h"
 #include "core/random.h"
+#include "core/stopwatch.h"
 #include "sketch/registry.h"
 #include "workload/generators.h"
 
@@ -40,6 +50,33 @@ void ApplySparseBench(benchmark::State& state, const std::string& family,
   state.counters["s"] = static_cast<double>(sketch.value()->column_sparsity());
 }
 
+// Dense comparison: the same product through ApplyDense on the densified
+// input. Items processed is still nnz of the sparse original, so the
+// items/sec column is directly comparable with the CSC benches above and
+// the gap is the price of ignoring sparsity.
+void ApplyDenseBench(benchmark::State& state, const std::string& family,
+                     int64_t sparsity) {
+  const int64_t n = state.range(0);
+  const int64_t nnz_per_col = state.range(1);
+  const int64_t m = 1024;
+  const int64_t cols = 8;
+  SketchConfig config;
+  config.rows = m;
+  config.cols = n;
+  config.sparsity = sparsity;
+  config.seed = 7;
+  auto sketch = CreateSketch(family, config);
+  sketch.status().CheckOK();
+  const CscMatrix input = MakeInput(n, cols, nnz_per_col);
+  const sose::Matrix dense = input.ToDense();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sketch.value()->ApplyDense(dense).value());
+  }
+  state.SetItemsProcessed(state.iterations() * input.nnz());
+  state.counters["nnz"] = static_cast<double>(input.nnz());
+  state.counters["dense_entries"] = static_cast<double>(n * cols);
+}
+
 void BM_CountSketchApply(benchmark::State& state) {
   ApplySparseBench(state, "countsketch", 1);
 }
@@ -51,6 +88,12 @@ void BM_OsnapApply_s16(benchmark::State& state) {
 }
 void BM_GaussianApply(benchmark::State& state) {
   ApplySparseBench(state, "gaussian", 1);
+}
+void BM_CountSketchApplyDense(benchmark::State& state) {
+  ApplyDenseBench(state, "countsketch", 1);
+}
+void BM_OsnapApplyDense_s4(benchmark::State& state) {
+  ApplyDenseBench(state, "osnap", 4);
 }
 
 // nnz scaling at fixed n: items/sec should be ~flat per family (linear in
@@ -67,6 +110,9 @@ BENCHMARK(BM_OsnapApply_s4)
     ->Args({1 << 18, 32});
 BENCHMARK(BM_OsnapApply_s16)->Args({1 << 16, 32});
 BENCHMARK(BM_GaussianApply)->Args({1 << 16, 8})->Args({1 << 16, 32});
+// The dense column: one point per family is enough to expose the ratio.
+BENCHMARK(BM_CountSketchApplyDense)->Args({1 << 14, 32});
+BENCHMARK(BM_OsnapApplyDense_s4)->Args({1 << 14, 32});
 
 // Dense apply for the structured fast transform (SRHT) vs explicit loops.
 void BM_SrhtApplyVector(benchmark::State& state) {
@@ -87,4 +133,79 @@ void BM_SrhtApplyVector(benchmark::State& state) {
 }
 BENCHMARK(BM_SrhtApplyVector)->Arg(1 << 12)->Arg(1 << 14)->Arg(1 << 16);
 
+// Manual dense-vs-CSC pass for BENCH_e9.json: times each path until it has
+// accumulated ~100ms of work and reports ns per input nonzero plus the
+// dense/CSC cost ratio, in flat keys FindJsonNumber can read back.
+struct PathCost {
+  double csc_ns_per_nnz = 0.0;
+  double dense_ns_per_nnz = 0.0;
+};
+
+PathCost MeasurePaths(const std::string& family, int64_t sparsity) {
+  const int64_t n = 1 << 14;
+  const int64_t cols = 8;
+  SketchConfig config;
+  config.rows = 1024;
+  config.cols = n;
+  config.sparsity = sparsity;
+  config.seed = 7;
+  auto sketch = CreateSketch(family, config);
+  sketch.status().CheckOK();
+  const CscMatrix input = MakeInput(n, cols, 32);
+  const sose::Matrix dense = input.ToDense();
+
+  auto time_ns = [&](auto&& apply) -> double {
+    // Warm-up, then repeat until ~100ms has elapsed.
+    apply();
+    sose::Stopwatch watch;
+    int64_t reps = 0;
+    do {
+      apply();
+      ++reps;
+    } while (watch.ElapsedSeconds() < 0.1 && reps < 10000);
+    return watch.ElapsedSeconds() * 1e9 / static_cast<double>(reps);
+  };
+  PathCost cost;
+  cost.csc_ns_per_nnz =
+      time_ns([&] {
+        benchmark::DoNotOptimize(sketch.value()->ApplySparse(input).value());
+      }) /
+      static_cast<double>(input.nnz());
+  cost.dense_ns_per_nnz =
+      time_ns([&] {
+        benchmark::DoNotOptimize(sketch.value()->ApplyDense(dense).value());
+      }) /
+      static_cast<double>(input.nnz());
+  return cost;
+}
+
 }  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  sose::Stopwatch watch;
+  const PathCost count_sketch = MeasurePaths("countsketch", 1);
+  const PathCost osnap = MeasurePaths("osnap", 4);
+  sose::JsonObjectWriter writer;
+  writer.AddString("experiment", "e9")
+      .AddDouble("countsketch_csc_ns_per_nnz", count_sketch.csc_ns_per_nnz)
+      .AddDouble("countsketch_dense_ns_per_nnz",
+                 count_sketch.dense_ns_per_nnz)
+      .AddDouble("countsketch_dense_over_csc",
+                 count_sketch.dense_ns_per_nnz / count_sketch.csc_ns_per_nnz)
+      .AddDouble("osnap_s4_csc_ns_per_nnz", osnap.csc_ns_per_nnz)
+      .AddDouble("osnap_s4_dense_ns_per_nnz", osnap.dense_ns_per_nnz)
+      .AddDouble("osnap_s4_dense_over_csc",
+                 osnap.dense_ns_per_nnz / osnap.csc_ns_per_nnz)
+      .AddDouble("comparison_wall_seconds", watch.ElapsedSeconds());
+  writer.WriteToFile("BENCH_e9.json").CheckOK();
+  std::printf("wrote BENCH_e9.json (dense/CSC ratio: countsketch %.1fx, "
+              "osnap-s4 %.1fx)\n",
+              count_sketch.dense_ns_per_nnz / count_sketch.csc_ns_per_nnz,
+              osnap.dense_ns_per_nnz / osnap.csc_ns_per_nnz);
+  return 0;
+}

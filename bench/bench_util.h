@@ -1,11 +1,14 @@
 #ifndef SOSE_BENCH_BENCH_UTIL_H_
 #define SOSE_BENCH_BENCH_UTIL_H_
 
+#include <cmath>
 #include <cstdio>
 #include <memory>
 #include <string>
 
 #include "core/flags.h"
+#include "core/json_io.h"
+#include "core/parallel/thread_pool.h"
 #include "ose/failure_estimator.h"
 #include "sketch/registry.h"
 
@@ -36,9 +39,9 @@ inline SketchFactory MakeFactory(std::string family, int64_t m, int64_t n,
 }
 
 /// Reads the resilience flags shared by the Monte-Carlo benches
-/// (`--max-retries`, `--error-budget`, `--deadline` seconds) into estimator
-/// options. Checkpoint paths are wired per bench: each probe needs its own
-/// suffix so concurrent probes never share a file.
+/// (`--max-retries`, `--error-budget`, `--deadline` seconds, `--threads`)
+/// into estimator options. Checkpoint paths are wired per bench: each probe
+/// needs its own suffix so concurrent probes never share a file.
 inline void ReadResilienceFlags(const FlagParser& flags,
                                 EstimatorOptions* options) {
   options->max_retries = flags.GetInt("max-retries", options->max_retries);
@@ -46,6 +49,50 @@ inline void ReadResilienceFlags(const FlagParser& flags,
       flags.GetDouble("error-budget", options->error_budget);
   options->deadline_seconds =
       flags.GetDouble("deadline", options->deadline_seconds);
+  options->threads = static_cast<int>(flags.GetInt("threads", 0));
+}
+
+/// Writes BENCH_<experiment>.json next to the working directory: wall time,
+/// resolved thread count, trial throughput, and — once a `--threads=1` run
+/// has recorded its wall time as the serial baseline — the speedup of the
+/// current run against that baseline. Multi-threaded runs carry the recorded
+/// baseline forward so the file stays self-contained; a missing baseline
+/// serialises as null.
+inline Status WriteBenchJson(const std::string& experiment, int threads,
+                             double wall_seconds, int64_t trials) {
+  const int resolved = ResolveThreadCount(threads);
+  const std::string path = "BENCH_" + experiment + ".json";
+  double baseline = std::nan("");
+  if (resolved == 1) {
+    baseline = wall_seconds;
+  } else {
+    auto previous = ReadFileToString(path);
+    if (previous.ok()) {
+      double recorded = 0.0;
+      if (FindJsonNumber(previous.value(), "serial_baseline_seconds",
+                         &recorded)) {
+        baseline = recorded;
+      }
+    }
+  }
+  const bool have_rate = trials > 0 && wall_seconds > 0.0;
+  const bool have_speedup = std::isfinite(baseline) && wall_seconds > 0.0;
+  JsonObjectWriter writer;
+  writer.AddString("experiment", experiment)
+      .AddInt("threads", resolved)
+      .AddDouble("wall_seconds", wall_seconds)
+      .AddInt("trials", trials)
+      .AddDouble("trials_per_sec", have_rate
+                                       ? static_cast<double>(trials) /
+                                             wall_seconds
+                                       : std::nan(""))
+      .AddDouble("serial_baseline_seconds", baseline)
+      .AddDouble("speedup_vs_serial",
+                 have_speedup ? baseline / wall_seconds : std::nan(""));
+  SOSE_RETURN_IF_ERROR(writer.WriteToFile(path));
+  std::printf("wrote %s (threads=%d, wall=%.3fs)\n", path.c_str(), resolved,
+              wall_seconds);
+  return Status::OK();
 }
 
 /// Formats the fault column of a bench table: "-" for a clean run, else

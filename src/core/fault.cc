@@ -1,18 +1,28 @@
 #include "core/fault.h"
 
 #include <limits>
+#include <mutex>
 
 namespace sose {
 
 namespace {
 
-// The innermost alive scope; faults consult only this one.
+// Serialises scope installation and fault matching: worker threads may hit
+// fault sites concurrently while a test's scope is alive. Contended only
+// when injection is on (test/bench code); the fast path never takes it.
+std::mutex& RegistryMutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+// The innermost alive scope; faults consult only this one. Guarded by
+// RegistryMutex().
 ScopedFaultInjection* g_active = nullptr;
 
 }  // namespace
 
 namespace internal_fault {
-bool g_enabled = false;
+std::atomic<bool> g_enabled{false};
 }  // namespace internal_fault
 
 FaultPlan& FaultPlan::FailCall(std::string site, int64_t nth, StatusCode code,
@@ -20,6 +30,21 @@ FaultPlan& FaultPlan::FailCall(std::string site, int64_t nth, StatusCode code,
   FaultRule rule;
   rule.site = std::move(site);
   rule.trigger_call = nth;
+  rule.action = FaultAction::kReturnStatus;
+  rule.code = code;
+  rule.message = std::move(message);
+  if (rule.message.empty()) {
+    rule.message = "injected fault at " + rule.site;
+  }
+  rules_.push_back(std::move(rule));
+  return *this;
+}
+
+FaultPlan& FaultPlan::FailEveryCall(std::string site, StatusCode code,
+                                    std::string message) {
+  FaultRule rule;
+  rule.site = std::move(site);
+  rule.trigger_call = 0;  // Sentinel: matches every call.
   rule.action = FaultAction::kReturnStatus;
   rule.code = code;
   rule.message = std::move(message);
@@ -49,24 +74,28 @@ FaultPlan& FaultPlan::CorruptCallInf(std::string site, int64_t nth) {
 }
 
 ScopedFaultInjection::ScopedFaultInjection(FaultPlan plan)
-    : plan_(std::move(plan)),
-      fired_(plan_.rules().size(), false),
-      previous_(g_active) {
+    : plan_(std::move(plan)), fired_(plan_.rules().size(), false) {
+  std::lock_guard<std::mutex> lock(RegistryMutex());
+  previous_ = g_active;
   g_active = this;
-  internal_fault::g_enabled = true;
+  internal_fault::g_enabled.store(true, std::memory_order_relaxed);
 }
 
 ScopedFaultInjection::~ScopedFaultInjection() {
+  std::lock_guard<std::mutex> lock(RegistryMutex());
   g_active = previous_;
-  internal_fault::g_enabled = g_active != nullptr;
+  internal_fault::g_enabled.store(g_active != nullptr,
+                                  std::memory_order_relaxed);
 }
 
 int64_t ScopedFaultInjection::CallCount(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(RegistryMutex());
   auto it = call_counts_.find(site);
   return it == call_counts_.end() ? 0 : it->second;
 }
 
 int64_t ScopedFaultInjection::FiredCount() const {
+  std::lock_guard<std::mutex> lock(RegistryMutex());
   int64_t fired = 0;
   for (bool f : fired_) fired += f ? 1 : 0;
   return fired;
@@ -74,14 +103,20 @@ int64_t ScopedFaultInjection::FiredCount() const {
 
 const FaultRule* ScopedFaultInjection::Match(const char* site,
                                              bool value_site) {
+  // Caller holds RegistryMutex().
   const int64_t call = ++call_counts_[site];
   const std::vector<FaultRule>& rules = plan_.rules();
   for (size_t i = 0; i < rules.size(); ++i) {
     const FaultRule& rule = rules[i];
     const bool is_value_rule = rule.action != FaultAction::kReturnStatus;
     if (is_value_rule != value_site) continue;
+    if (rule.site != site) continue;
+    if (rule.trigger_call == 0) {  // Every-call rule: never suppressed.
+      fired_[i] = true;
+      return &rule;
+    }
     if (fired_[i]) continue;
-    if (rule.site != site || rule.trigger_call != call) continue;
+    if (rule.trigger_call != call) continue;
     fired_[i] = true;
     return &rule;
   }
@@ -91,6 +126,7 @@ const FaultRule* ScopedFaultInjection::Match(const char* site,
 namespace internal_fault {
 
 Status OnFaultPoint(const char* site) {
+  std::lock_guard<std::mutex> lock(RegistryMutex());
   if (g_active == nullptr) return Status::OK();
   const FaultRule* rule = g_active->Match(site, /*value_site=*/false);
   if (rule == nullptr) return Status::OK();
@@ -98,6 +134,7 @@ Status OnFaultPoint(const char* site) {
 }
 
 double OnValueFaultPoint(const char* site, double value) {
+  std::lock_guard<std::mutex> lock(RegistryMutex());
   if (g_active == nullptr) return value;
   const FaultRule* rule = g_active->Match(site, /*value_site=*/true);
   if (rule == nullptr) return value;

@@ -1,6 +1,7 @@
 #ifndef SOSE_CORE_FAULT_H_
 #define SOSE_CORE_FAULT_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <string>
@@ -21,8 +22,13 @@ namespace sose {
 ///
 /// Site names follow `<translation-unit>/<routine>` (e.g.
 /// "linalg_svd/jacobi", "distortion/max_factor"); see docs/robustness.md.
-/// The registry is not thread-safe: install plans only in single-threaded
-/// test and bench code.
+/// The registry is thread-safe: instrumented kernels may hit fault sites from
+/// worker threads while a scope is alive (a mutex serialises matching).
+/// Install and destroy scopes themselves from one thread — typically the test
+/// body — before and after any parallel region that hits the sites.
+/// Call-count triggers (`FailCall`) are scheduling-dependent under
+/// parallelism; use `FailEveryCall` plus a seed-gated site in the kernel when
+/// the set of faulted trials must be deterministic across thread counts.
 
 /// What a matching rule does when it fires.
 enum class FaultAction {
@@ -32,7 +38,8 @@ enum class FaultAction {
 };
 
 /// One planned fault: fire `action` on the `trigger_call`-th call (1-based)
-/// at `site`. Each rule fires at most once.
+/// at `site`. Each rule fires at most once, except `trigger_call == 0`
+/// (installed by `FailEveryCall`), which fires on every call at the site.
 struct FaultRule {
   std::string site;
   int64_t trigger_call = 1;
@@ -53,6 +60,14 @@ class FaultPlan {
                       StatusCode code = StatusCode::kNumericalError,
                       std::string message = {});
 
+  /// Every call at `site` returns an error of `code`. Unlike FailCall this
+  /// trigger is independent of call ordering, so it stays deterministic when
+  /// the site is reached from multiple worker threads — pair it with a
+  /// seed-gated fault site in the kernel to fault a fixed set of trials.
+  FaultPlan& FailEveryCall(std::string site,
+                           StatusCode code = StatusCode::kNumericalError,
+                           std::string message = {});
+
   /// The `nth` call at a value site yields NaN / +Inf instead of its value.
   FaultPlan& CorruptCallNaN(std::string site, int64_t nth);
   FaultPlan& CorruptCallInf(std::string site, int64_t nth);
@@ -66,8 +81,8 @@ class FaultPlan {
 namespace internal_fault {
 
 /// True while any ScopedFaultInjection is alive. The only cost paid by
-/// instrumented kernels when injection is off.
-extern bool g_enabled;
+/// instrumented kernels when injection is off: one relaxed atomic load.
+extern std::atomic<bool> g_enabled;
 
 /// Counts the call and returns the injected error if a status rule matches.
 Status OnFaultPoint(const char* site);
@@ -115,7 +130,8 @@ class ScopedFaultInjection {
 /// No-op (one predictable branch) unless a ScopedFaultInjection is alive.
 #define SOSE_FAULT_POINT(site)                                     \
   do {                                                             \
-    if (::sose::internal_fault::g_enabled) {                       \
+    if (::sose::internal_fault::g_enabled.load(                    \
+            std::memory_order_relaxed)) {                          \
       ::sose::Status sose_fault_status_ =                          \
           ::sose::internal_fault::OnFaultPoint(site);              \
       if (!sose_fault_status_.ok()) return sose_fault_status_;     \
@@ -124,9 +140,9 @@ class ScopedFaultInjection {
 
 /// Value fault site: evaluates to `value`, or to NaN/Inf when a corruption
 /// rule fires. `value` is evaluated exactly once.
-#define SOSE_FAULT_VALUE(site, value)                               \
-  (::sose::internal_fault::g_enabled                                \
-       ? ::sose::internal_fault::OnValueFaultPoint(site, (value))   \
+#define SOSE_FAULT_VALUE(site, value)                                        \
+  (::sose::internal_fault::g_enabled.load(std::memory_order_relaxed)         \
+       ? ::sose::internal_fault::OnValueFaultPoint(site, (value))            \
        : (value))
 
 #endif  // SOSE_CORE_FAULT_H_

@@ -1,0 +1,144 @@
+#include "core/json_io.h"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+namespace sose {
+
+namespace {
+
+std::string EscapeJsonString(const std::string& value) {
+  std::string out;
+  out.reserve(value.size() + 2);
+  out += '"';
+  for (char c : value) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+JsonObjectWriter& JsonObjectWriter::AddString(const std::string& key,
+                                              const std::string& value) {
+  fields_.emplace_back(key, EscapeJsonString(value));
+  return *this;
+}
+
+JsonObjectWriter& JsonObjectWriter::AddInt(const std::string& key,
+                                           int64_t value) {
+  fields_.emplace_back(key, std::to_string(value));
+  return *this;
+}
+
+JsonObjectWriter& JsonObjectWriter::AddDouble(const std::string& key,
+                                              double value) {
+  if (!std::isfinite(value)) {
+    fields_.emplace_back(key, "null");
+    return *this;
+  }
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  fields_.emplace_back(key, buffer);
+  return *this;
+}
+
+JsonObjectWriter& JsonObjectWriter::AddBool(const std::string& key,
+                                            bool value) {
+  fields_.emplace_back(key, value ? "true" : "false");
+  return *this;
+}
+
+std::string JsonObjectWriter::ToString() const {
+  std::ostringstream out;
+  out << "{\n";
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    out << "  " << EscapeJsonString(fields_[i].first) << ": "
+        << fields_[i].second;
+    if (i + 1 < fields_.size()) out << ",";
+    out << "\n";
+  }
+  out << "}\n";
+  return out.str();
+}
+
+Status JsonObjectWriter::WriteToFile(const std::string& path) const {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream file(tmp, std::ios::trunc);
+    if (!file.good()) {
+      return Status::Internal("JsonObjectWriter: cannot open " + tmp);
+    }
+    file << ToString();
+    if (!file.good()) {
+      return Status::Internal("JsonObjectWriter: write to " + tmp + " failed");
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    return Status::Internal("JsonObjectWriter: rename to " + path +
+                            " failed: " + std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+bool FindJsonNumber(const std::string& text, const std::string& key,
+                    double* value) {
+  const std::string needle = EscapeJsonString(key);
+  size_t pos = 0;
+  while ((pos = text.find(needle, pos)) != std::string::npos) {
+    size_t cursor = pos + needle.size();
+    while (cursor < text.size() &&
+           (text[cursor] == ' ' || text[cursor] == '\t')) {
+      ++cursor;
+    }
+    if (cursor >= text.size() || text[cursor] != ':') {
+      pos += needle.size();
+      continue;
+    }
+    ++cursor;
+    while (cursor < text.size() &&
+           (text[cursor] == ' ' || text[cursor] == '\t')) {
+      ++cursor;
+    }
+    char* end = nullptr;
+    errno = 0;
+    const double parsed = std::strtod(text.c_str() + cursor, &end);
+    if (end == text.c_str() + cursor || errno != 0) return false;
+    *value = parsed;
+    return true;
+  }
+  return false;
+}
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  std::ifstream file(path);
+  if (!file.good()) {
+    return Status::NotFound("ReadFileToString: cannot open " + path);
+  }
+  std::ostringstream out;
+  out << file.rdbuf();
+  return out.str();
+}
+
+}  // namespace sose

@@ -1,0 +1,49 @@
+#ifndef SOSE_CORE_JSON_IO_H_
+#define SOSE_CORE_JSON_IO_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/status.h"
+
+namespace sose {
+
+/// Writer for the flat JSON objects the bench suite emits as machine-readable
+/// perf baselines (`BENCH_<exp>.json`). Deliberately minimal: one object,
+/// scalar fields only, insertion order preserved. Doubles are printed with 17
+/// significant digits so they round-trip; non-finite doubles become `null`
+/// (JSON has no NaN/Inf).
+class JsonObjectWriter {
+ public:
+  JsonObjectWriter& AddString(const std::string& key, const std::string& value);
+  JsonObjectWriter& AddInt(const std::string& key, int64_t value);
+  JsonObjectWriter& AddDouble(const std::string& key, double value);
+  JsonObjectWriter& AddBool(const std::string& key, bool value);
+
+  /// `{"key": value, ...}` plus a trailing newline.
+  std::string ToString() const;
+
+  /// Writes the object to `path` through a temp file + rename, so readers
+  /// never observe a torn document.
+  Status WriteToFile(const std::string& path) const;
+
+ private:
+  std::vector<std::pair<std::string, std::string>> fields_;  // key → raw JSON
+};
+
+/// Scans flat JSON `text` for `"key": <number>` and parses the number.
+/// Returns false when the key is absent or its value is not numeric. This is
+/// the reader half of the BENCH_*.json handshake (a threaded bench run looks
+/// up the recorded serial baseline); it is not a general JSON parser.
+bool FindJsonNumber(const std::string& text, const std::string& key,
+                    double* value);
+
+/// Reads a whole file into a string. Fails with kNotFound when the file
+/// cannot be opened.
+Result<std::string> ReadFileToString(const std::string& path);
+
+}  // namespace sose
+
+#endif  // SOSE_CORE_JSON_IO_H_

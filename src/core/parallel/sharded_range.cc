@@ -1,0 +1,60 @@
+#include "core/parallel/sharded_range.h"
+
+#include <algorithm>
+
+#include "core/check.h"
+
+namespace sose {
+
+ShardedRange::ShardedRange(int64_t begin, int64_t end, int num_shards)
+    : num_shards_(std::max(1, num_shards)),
+      shards_(new Shard[static_cast<size_t>(num_shards_)]) {
+  SOSE_CHECK(begin <= end);
+  const int64_t length = end - begin;
+  const int64_t base = length / num_shards_;
+  const int64_t remainder = length % num_shards_;
+  int64_t cursor = begin;
+  for (int s = 0; s < num_shards_; ++s) {
+    const int64_t size = base + (s < remainder ? 1 : 0);
+    shards_[static_cast<size_t>(s)].next.store(cursor,
+                                               std::memory_order_relaxed);
+    shards_[static_cast<size_t>(s)].end = cursor + size;
+    cursor += size;
+  }
+  SOSE_CHECK(cursor == end);
+}
+
+bool ShardedRange::ClaimFrom(Shard* shard, int64_t* index) {
+  // fetch_add may overshoot `end` on an exhausted shard; the overshoot is
+  // bounded by one per claim attempt and never hands out an index twice.
+  const int64_t claimed = shard->next.fetch_add(1, std::memory_order_relaxed);
+  if (claimed < shard->end) {
+    *index = claimed;
+    return true;
+  }
+  return false;
+}
+
+bool ShardedRange::Claim(int shard, int64_t* index) {
+  SOSE_CHECK(shard >= 0 && shard < num_shards_);
+  if (ClaimFrom(&shards_[static_cast<size_t>(shard)], index)) return true;
+  // Own shard drained: steal from the others, scanning ringwise so idle
+  // workers spread over distinct victims instead of stampeding one.
+  for (int offset = 1; offset < num_shards_; ++offset) {
+    const int victim = (shard + offset) % num_shards_;
+    if (ClaimFrom(&shards_[static_cast<size_t>(victim)], index)) return true;
+  }
+  return false;
+}
+
+int64_t ShardedRange::Remaining() const {
+  int64_t remaining = 0;
+  for (int s = 0; s < num_shards_; ++s) {
+    const Shard& shard = shards_[static_cast<size_t>(s)];
+    remaining += std::max<int64_t>(
+        0, shard.end - shard.next.load(std::memory_order_relaxed));
+  }
+  return remaining;
+}
+
+}  // namespace sose

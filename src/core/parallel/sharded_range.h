@@ -1,0 +1,53 @@
+#ifndef SOSE_CORE_PARALLEL_SHARDED_RANGE_H_
+#define SOSE_CORE_PARALLEL_SHARDED_RANGE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+namespace sose {
+
+/// An index range [begin, end) split into per-worker static shards, each
+/// drained through an atomic ticket, with work stealing for tail balance.
+///
+/// Worker `w` owns the `w`-th contiguous shard and claims its indices in
+/// ascending order. Once its own shard is exhausted the worker steals from
+/// the other shards' remaining tickets, so a shard whose trials retry (or
+/// are simply slower) never leaves the rest of the pool idle. Every index in
+/// the range is claimed exactly once, by exactly one worker; *which* worker
+/// claims an index is scheduling-dependent, which is why callers that need
+/// determinism must key results by index, never by worker.
+class ShardedRange {
+ public:
+  /// Splits [begin, end) into `num_shards` near-equal contiguous shards.
+  /// Requires begin <= end and num_shards >= 1.
+  ShardedRange(int64_t begin, int64_t end, int num_shards);
+
+  int num_shards() const { return num_shards_; }
+
+  /// Claims the next index for worker `shard`, preferring its own shard and
+  /// stealing from the others once it is empty. Returns false when the whole
+  /// range is exhausted.
+  bool Claim(int shard, int64_t* index);
+
+  /// Indices not yet claimed (approximate under concurrency; exact once all
+  /// workers have stopped claiming).
+  int64_t Remaining() const;
+
+ private:
+  // Cache-line aligned so two workers hammering adjacent shards' tickets do
+  // not false-share.
+  struct alignas(64) Shard {
+    std::atomic<int64_t> next{0};
+    int64_t end = 0;
+  };
+
+  bool ClaimFrom(Shard* shard, int64_t* index);
+
+  int num_shards_;
+  std::unique_ptr<Shard[]> shards_;
+};
+
+}  // namespace sose
+
+#endif  // SOSE_CORE_PARALLEL_SHARDED_RANGE_H_

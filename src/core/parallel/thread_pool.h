@@ -1,0 +1,62 @@
+#ifndef SOSE_CORE_PARALLEL_THREAD_POOL_H_
+#define SOSE_CORE_PARALLEL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace sose {
+
+/// Number of hardware threads, never less than 1 (std::thread reports 0 when
+/// it cannot tell).
+int HardwareConcurrency();
+
+/// Resolves a user-facing thread-count knob: 0 means "all hardware threads",
+/// any positive value is taken literally. Negative values are clamped to 1.
+int ResolveThreadCount(int requested);
+
+/// A fixed-size pool of worker threads draining a shared task queue.
+///
+/// The pool exists so Monte-Carlo supervisors (ose/trial_runner) can fan
+/// trials out across cores without spawning a thread per trial: the worker
+/// set is fixed at construction and reused for every submitted task. Tasks
+/// must not throw — the library is exception-free by policy — and anything a
+/// task touches must outlive the pool or be synchronized by the caller.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (clamped to at least 1).
+  explicit ThreadPool(int num_threads);
+
+  /// Drains the queue: blocks until every submitted task has finished, then
+  /// joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues a task for execution by some worker.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until the queue is empty and no task is running.
+  void WaitIdle();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // Signals queued work / shutdown.
+  std::condition_variable idle_cv_;   // Signals the pool going idle.
+  std::deque<std::function<void()>> queue_;
+  int active_ = 0;
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace sose
+
+#endif  // SOSE_CORE_PARALLEL_THREAD_POOL_H_

@@ -7,8 +7,9 @@ namespace sose {
 
 namespace {
 
-// Sorts entries, sums duplicates, drops zeros. `primary` selects row-major
-// (CSR) or column-major (CSC) ordering.
+// Sorts entries, sums duplicates, drops zeros — all in place, so conversion
+// allocates exactly one working vector (the caller's copy of the entry
+// list). `row_major` selects row-major (CSR) or column-major (CSC) ordering.
 std::vector<SparseEntry> Compact(std::vector<SparseEntry> entries,
                                  bool row_major) {
   auto key_less = [row_major](const SparseEntry& a, const SparseEntry& b) {
@@ -18,18 +19,21 @@ std::vector<SparseEntry> Compact(std::vector<SparseEntry> entries,
     return a.col != b.col ? a.col < b.col : a.row < b.row;
   };
   std::sort(entries.begin(), entries.end(), key_less);
-  std::vector<SparseEntry> out;
-  out.reserve(entries.size());
-  for (const SparseEntry& entry : entries) {
-    if (!out.empty() && out.back().row == entry.row &&
-        out.back().col == entry.col) {
-      out.back().value += entry.value;
+  // Two-finger duplicate merge: `w` trails `r`, folding runs of equal
+  // coordinates into the last written entry.
+  size_t w = 0;
+  for (size_t r = 0; r < entries.size(); ++r) {
+    if (w > 0 && entries[w - 1].row == entries[r].row &&
+        entries[w - 1].col == entries[r].col) {
+      entries[w - 1].value += entries[r].value;
     } else {
-      out.push_back(entry);
+      if (w != r) entries[w] = entries[r];
+      ++w;
     }
   }
-  std::erase_if(out, [](const SparseEntry& e) { return e.value == 0.0; });
-  return out;
+  entries.resize(w);
+  std::erase_if(entries, [](const SparseEntry& e) { return e.value == 0.0; });
+  return entries;
 }
 
 }  // namespace
@@ -42,6 +46,11 @@ void CooBuilder::Add(int64_t row, int64_t col, double value) {
   SOSE_CHECK(row >= 0 && row < rows_);
   SOSE_CHECK(col >= 0 && col < cols_);
   entries_.push_back(SparseEntry{row, col, value});
+}
+
+void CooBuilder::Reserve(int64_t entries) {
+  SOSE_CHECK(entries >= 0);
+  entries_.reserve(static_cast<size_t>(entries));
 }
 
 CsrMatrix CooBuilder::ToCsr() const {

@@ -30,6 +30,10 @@ class CooBuilder {
   /// Records `value` at (row, col). Bounds are checked.
   void Add(int64_t row, int64_t col, double value);
 
+  /// Pre-allocates capacity for `entries` future Add() calls, so tight draw
+  /// loops do not pay geometric regrowth.
+  void Reserve(int64_t entries);
+
   int64_t rows() const { return rows_; }
   int64_t cols() const { return cols_; }
   int64_t num_entries() const { return static_cast<int64_t>(entries_.size()); }

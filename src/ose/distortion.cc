@@ -62,28 +62,38 @@ Result<Matrix> SketchedGramOnInstance(const SketchingMatrix& sketch,
   const CscMatrix u = instance.ToCsc();
   const int64_t d = u.cols();
   std::unordered_map<int64_t, std::vector<double>> sketched_rows;
+  std::vector<ColumnEntry> entries;
+  entries.reserve(static_cast<size_t>(sketch.column_sparsity()));
   for (int64_t j = 0; j < d; ++j) {
     for (int64_t p = u.col_ptr()[static_cast<size_t>(j)];
          p < u.col_ptr()[static_cast<size_t>(j) + 1]; ++p) {
       const int64_t ambient_row = u.row_idx()[static_cast<size_t>(p)];
       const double value = u.values()[static_cast<size_t>(p)];
-      for (const ColumnEntry& entry : sketch.Column(ambient_row)) {
+      sketch.ColumnInto(ambient_row, &entries);
+      for (const ColumnEntry& entry : entries) {
         auto [it, inserted] = sketched_rows.try_emplace(entry.row);
         if (inserted) it->second.assign(static_cast<size_t>(d), 0.0);
         it->second[static_cast<size_t>(j)] += value * entry.value;
       }
     }
   }
+  // Rank-1 updates touching only the upper triangle, mirrored once at the
+  // end: halves the accumulation work. Bitwise identical to the full d x d
+  // loop — each upper entry accumulates the same products in the same row
+  // order, and the lower triangle's v_j*v_i products equal v_i*v_j exactly.
   Matrix gram(d, d);
   for (const auto& [row, values] : sketched_rows) {
     (void)row;
     for (int64_t i = 0; i < d; ++i) {
       const double vi = values[static_cast<size_t>(i)];
       if (vi == 0.0) continue;
-      for (int64_t j = 0; j < d; ++j) {
+      for (int64_t j = i; j < d; ++j) {
         gram.At(i, j) += vi * values[static_cast<size_t>(j)];
       }
     }
+  }
+  for (int64_t i = 0; i < d; ++i) {
+    for (int64_t j = i + 1; j < d; ++j) gram.At(j, i) = gram.At(i, j);
   }
   return gram;
 }

@@ -44,6 +44,7 @@ TrialRunnerOptions RunnerOptions(const EstimatorOptions& options) {
   runner.deadline_seconds = options.deadline_seconds;
   runner.checkpoint_every = options.checkpoint_every;
   runner.checkpoint_path = options.checkpoint_path;
+  runner.threads = options.threads;
   return runner;
 }
 
@@ -81,6 +82,10 @@ Status ValidateEstimatorOptions(const EstimatorOptions& options) {
   if (options.checkpoint_every > 0 && options.checkpoint_path.empty()) {
     return Status::InvalidArgument(
         "EstimatorOptions: checkpoint_every requires checkpoint_path");
+  }
+  if (options.threads < 0) {
+    return Status::InvalidArgument(
+        "EstimatorOptions: threads must be >= 0 (0 = hardware concurrency)");
   }
   return Status::OK();
 }

@@ -77,6 +77,10 @@ struct EstimatorOptions {
   double deadline_seconds = 0.0;
   int64_t checkpoint_every = 0;
   std::string checkpoint_path;
+  /// Worker threads for trial execution (see TrialRunnerOptions::threads).
+  /// 1 = serial, 0 = hardware concurrency. The estimate is bit-identical
+  /// for every value.
+  int threads = 1;
 };
 
 /// Checks an EstimatorOptions for malformed values (non-positive trials or

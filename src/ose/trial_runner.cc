@@ -1,13 +1,21 @@
 #include "ose/trial_runner.h"
 
+#include <atomic>
 #include <cerrno>
+#include <chrono>
 #include <cmath>
+#include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
+#include <mutex>
+#include <vector>
 
 #include "core/csv.h"
+#include "core/parallel/sharded_range.h"
+#include "core/parallel/thread_pool.h"
 #include "core/random.h"
 #include "core/stopwatch.h"
 
@@ -77,6 +85,10 @@ Status ValidateRunnerOptions(const TrialRunnerOptions& options) {
     return Status::InvalidArgument(
         "RunTrials: checkpoint_every requires checkpoint_path");
   }
+  if (options.threads < 0) {
+    return Status::InvalidArgument(
+        "RunTrials: threads must be >= 0 (0 = hardware concurrency)");
+  }
   return Status::OK();
 }
 
@@ -90,6 +102,66 @@ std::string BudgetMessage(const TrialRunReport& report, double budget) {
          " faulted vs " + std::to_string(report.completed) +
          " completed trials (budget " + std::to_string(budget) +
          "); taxonomy: " + report.taxonomy.ToString();
+}
+
+/// What one trial produced after its retries: the execution half of the
+/// serial loop, shared verbatim by the serial and parallel paths so both
+/// derive identical seed streams.
+struct TrialAttemptResult {
+  Status status = Status::OK();  ///< Final status once retries are exhausted.
+  TrialOutcome outcome;          ///< Valid iff status.ok().
+  int64_t retries_used = 0;
+};
+
+TrialAttemptResult ExecuteTrial(const TrialFn& trial, uint64_t master_seed,
+                                int64_t max_retries, int64_t t) {
+  TrialAttemptResult record;
+  const uint64_t base_seed = DeriveSeed(master_seed, static_cast<uint64_t>(t));
+  Result<TrialOutcome> outcome = trial(base_seed);
+  for (int64_t attempt = 1; !outcome.ok() && attempt <= max_retries;
+       ++attempt) {
+    ++record.retries_used;
+    outcome = trial(
+        DeriveSeed(base_seed, kRetryStream + static_cast<uint64_t>(attempt)));
+  }
+  if (outcome.ok()) {
+    record.outcome = outcome.value();
+  } else {
+    record.status = outcome.status();
+  }
+  return record;
+}
+
+/// The aggregation half of the serial loop: folds trial `t`'s record into
+/// `report` and applies the pessimistic budget fast-fail. Both execution
+/// paths fold in ascending `t`, so every report field — including the
+/// floating-point epsilon_sum — accumulates in the same order and the
+/// results are bitwise identical.
+Status FoldOutcome(const TrialAttemptResult& record, int64_t t,
+                   const TrialRunnerOptions& options, TrialRunReport* report) {
+  report->retries_used += record.retries_used;
+  if (record.status.ok()) {
+    ++report->completed;
+    report->epsilon_sum += record.outcome.epsilon;
+    if (record.outcome.epsilon > report->epsilon_max) {
+      report->epsilon_max = record.outcome.epsilon;
+    }
+    if (record.outcome.failure) ++report->failures;
+  } else {
+    ++report->faulted;
+    report->taxonomy.Record(record.status);
+    // Fail fast once the budget is unreachable even if every remaining
+    // trial completes — a systematically broken run should not grind
+    // through all its trials first.
+    const int64_t remaining = options.trials - t - 1;
+    if (static_cast<double>(report->faulted) >
+        options.error_budget *
+            static_cast<double>(report->completed + remaining)) {
+      return Status::FailedPrecondition(
+          BudgetMessage(*report, options.error_budget));
+    }
+  }
+  return Status::OK();
 }
 
 }  // namespace
@@ -245,53 +317,124 @@ Result<TrialRunReport> RunTrials(const TrialFn& trial,
 
   Stopwatch watch;
   int64_t next_trial = start;
-  for (int64_t t = start; t < options.trials; ++t) {
-    // The deadline is checked between trials (a trial in flight always
-    // finishes) and never before the first, so every run makes progress.
-    if (options.deadline_seconds > 0.0 && t > start &&
-        watch.ElapsedSeconds() > options.deadline_seconds) {
-      report.partial = true;
-      next_trial = t;
-      break;
-    }
-    const uint64_t base_seed =
-        DeriveSeed(options.seed, static_cast<uint64_t>(t));
-    Result<TrialOutcome> outcome = trial(base_seed);
-    for (int64_t attempt = 1; !outcome.ok() && attempt <= options.max_retries;
-         ++attempt) {
-      ++report.retries_used;
-      outcome = trial(
-          DeriveSeed(base_seed, kRetryStream + static_cast<uint64_t>(attempt)));
-    }
-    if (outcome.ok()) {
-      ++report.completed;
-      const TrialOutcome& result = outcome.value();
-      report.epsilon_sum += result.epsilon;
-      if (result.epsilon > report.epsilon_max) {
-        report.epsilon_max = result.epsilon;
+  const int num_threads = ResolveThreadCount(options.threads);
+
+  if (num_threads <= 1 || options.trials - start <= 1) {
+    // Serial path: execute and fold trial by trial.
+    for (int64_t t = start; t < options.trials; ++t) {
+      // The deadline is checked between trials (a trial in flight always
+      // finishes) and never before the first, so every run makes progress.
+      if (options.deadline_seconds > 0.0 && t > start &&
+          watch.ElapsedSeconds() > options.deadline_seconds) {
+        report.partial = true;
+        next_trial = t;
+        break;
       }
-      if (result.failure) ++report.failures;
-    } else {
-      ++report.faulted;
-      report.taxonomy.Record(outcome.status());
-      // Fail fast once the budget is unreachable even if every remaining
-      // trial completes — a systematically broken run should not grind
-      // through all its trials first.
-      const int64_t remaining = options.trials - t - 1;
-      if (static_cast<double>(report.faulted) >
-          options.error_budget *
-              static_cast<double>(report.completed + remaining)) {
-        return Status::FailedPrecondition(
-            BudgetMessage(report, options.error_budget));
+      const TrialAttemptResult record =
+          ExecuteTrial(trial, options.seed, options.max_retries, t);
+      SOSE_RETURN_IF_ERROR(FoldOutcome(record, t, options, &report));
+      next_trial = t + 1;
+      if (options.checkpoint_every > 0 &&
+          (t + 1 - start) % options.checkpoint_every == 0) {
+        SOSE_RETURN_IF_ERROR(WriteTrialCheckpoint(
+            options.checkpoint_path,
+            TrialCheckpoint{options.seed, next_trial, report}));
       }
     }
-    next_trial = t + 1;
-    if (options.checkpoint_every > 0 &&
-        (t + 1 - start) % options.checkpoint_every == 0) {
-      SOSE_RETURN_IF_ERROR(WriteTrialCheckpoint(
-          options.checkpoint_path,
-          TrialCheckpoint{options.seed, next_trial, report}));
+  } else {
+    // Parallel path. Workers claim trial indices from a sharded range (own
+    // shard first, stealing for tail balance), execute them with the exact
+    // per-trial seed streams of the serial path, and deposit results into
+    // per-trial slots. The supervisor — this thread — folds the slots in
+    // ascending trial order with the same FoldOutcome arithmetic, so the
+    // report, taxonomy, and checkpoint bytes are bit-identical to a serial
+    // run regardless of thread count or scheduling.
+    const int64_t total = options.trials;
+    std::vector<TrialAttemptResult> records(static_cast<size_t>(total));
+    std::unique_ptr<std::atomic<uint8_t>[]> ready(
+        new std::atomic<uint8_t>[static_cast<size_t>(total)]);
+    for (int64_t i = 0; i < total; ++i) {
+      ready[static_cast<size_t>(i)].store(0, std::memory_order_relaxed);
     }
+    // Deadline and budget aborts propagate to workers through this flag:
+    // a worker finishes its in-flight trial, then stops claiming.
+    std::atomic<bool> stop{false};
+    std::mutex mu;
+    std::condition_variable cv;
+    ShardedRange range(start, total, num_threads);
+    Status run_error = Status::OK();
+
+    {
+      ThreadPool pool(num_threads);
+      for (int w = 0; w < num_threads; ++w) {
+        pool.Submit([&, w] {
+          int64_t t = 0;
+          while (!stop.load(std::memory_order_acquire) &&
+                 range.Claim(w, &t)) {
+            records[static_cast<size_t>(t)] =
+                ExecuteTrial(trial, options.seed, options.max_retries, t);
+            ready[static_cast<size_t>(t)].store(1, std::memory_order_release);
+            // Lock/unlock before notifying: the supervisor re-checks the
+            // ready flag under `mu`, so this handshake cannot lose a wakeup.
+            { std::lock_guard<std::mutex> lock(mu); }
+            cv.notify_one();
+          }
+        });
+      }
+
+      bool deadline_hit = false;
+      for (int64_t t = start; t < total; ++t) {
+        if (!ready[static_cast<size_t>(t)].load(std::memory_order_acquire)) {
+          std::unique_lock<std::mutex> lock(mu);
+          while (!ready[static_cast<size_t>(t)].load(
+              std::memory_order_acquire)) {
+            // The first trial is always waited out (every run makes
+            // progress); later ones respect the deadline.
+            if (options.deadline_seconds > 0.0 && t > start &&
+                watch.ElapsedSeconds() > options.deadline_seconds) {
+              deadline_hit = true;
+              break;
+            }
+            if (options.deadline_seconds > 0.0) {
+              cv.wait_for(lock, std::chrono::milliseconds(1));
+            } else {
+              cv.wait(lock);
+            }
+          }
+        }
+        if (deadline_hit &&
+            !ready[static_cast<size_t>(t)].load(std::memory_order_acquire)) {
+          // Fold stops at the first unready trial: the report covers the
+          // contiguous prefix [start, t). Trials beyond it that happened to
+          // finish are discarded — a resume re-runs them from the same
+          // derived seeds, keeping resumed runs bitwise identical.
+          report.partial = true;
+          next_trial = t;
+          break;
+        }
+        const Status fold =
+            FoldOutcome(records[static_cast<size_t>(t)], t, options, &report);
+        if (!fold.ok()) {
+          run_error = fold;
+          break;
+        }
+        next_trial = t + 1;
+        if (options.checkpoint_every > 0 &&
+            (t + 1 - start) % options.checkpoint_every == 0) {
+          const Status written = WriteTrialCheckpoint(
+              options.checkpoint_path,
+              TrialCheckpoint{options.seed, next_trial, report});
+          if (!written.ok()) {
+            run_error = written;
+            break;
+          }
+        }
+      }
+      stop.store(true, std::memory_order_release);
+      // ThreadPool's destructor joins the workers before the records,
+      // flags, and range above go out of scope.
+    }
+    if (!run_error.ok()) return run_error;
   }
 
   if (report.partial) {

@@ -67,6 +67,14 @@ struct TrialRunnerOptions {
   /// Serialize a checkpoint to `checkpoint_path` every this many trials
   /// (and on deadline exit). 0 disables checkpointing.
   int64_t checkpoint_every = 0;
+  /// Worker threads executing trials. 1 = serial (default), 0 = hardware
+  /// concurrency, N > 1 = fixed pool of N workers. Every value produces
+  /// bit-identical statistics, taxonomy, and checkpoint bytes: workers only
+  /// *execute* trials (each from its own derived seed stream), while a
+  /// supervisor folds outcomes in ascending trial order with the same
+  /// arithmetic as the serial loop. With threads > 1 the TrialFn must be
+  /// safe to call concurrently from multiple threads.
+  int threads = 1;
   /// Where checkpoints live. If the file exists when the run starts, the
   /// runner resumes from it (the master seed and trial count must match);
   /// the file is removed once the run completes in full.
@@ -99,6 +107,11 @@ struct TrialRunReport {
 /// fresh seeds, then tallied into the taxonomy. Fails only when options are
 /// invalid, the error budget is exceeded (or provably unreachable), or a
 /// checkpoint cannot be written/resumed.
+///
+/// With `options.threads != 1` trials run on a worker pool (static shards
+/// plus work stealing for tail balance), but the report is guaranteed to
+/// match the serial run bit for bit — see docs/performance.md for the
+/// determinism argument.
 Result<TrialRunReport> RunTrials(const TrialFn& trial,
                                  const TrialRunnerOptions& options);
 

@@ -27,8 +27,17 @@ int64_t ComposedSketch::column_sparsity() const {
 std::vector<ColumnEntry> ComposedSketch::Column(int64_t c) const {
   SOSE_CHECK(c >= 0 && c < cols());
   std::map<int64_t, double> accumulated;
-  for (const ColumnEntry& inner_entry : inner_->Column(c)) {
-    for (const ColumnEntry& outer_entry : outer_->Column(inner_entry.row)) {
+  // One outer-column buffer is reused across the inner entries; lower-bound
+  // audits call this for millions of columns, so the per-entry allocation
+  // of Column() was measurable.
+  std::vector<ColumnEntry> inner_entries;
+  inner_entries.reserve(static_cast<size_t>(inner_->column_sparsity()));
+  std::vector<ColumnEntry> outer_entries;
+  outer_entries.reserve(static_cast<size_t>(outer_->column_sparsity()));
+  inner_->ColumnInto(c, &inner_entries);
+  for (const ColumnEntry& inner_entry : inner_entries) {
+    outer_->ColumnInto(inner_entry.row, &outer_entries);
+    for (const ColumnEntry& outer_entry : outer_entries) {
       accumulated[outer_entry.row] += inner_entry.value * outer_entry.value;
     }
   }

@@ -15,6 +15,28 @@ std::vector<ColumnEntry> CountSketch::Column(int64_t c) const {
   return {ColumnEntry{Bucket(c), Sign(c)}};
 }
 
+void CountSketch::ColumnInto(int64_t c, std::vector<ColumnEntry>* out) const {
+  out->clear();
+  out->push_back(ColumnEntry{Bucket(c), Sign(c)});
+}
+
+Result<Matrix> CountSketch::ApplySparse(const CscMatrix& a) const {
+  if (a.rows() != cols()) {
+    return Status::InvalidArgument(
+        "ApplySparse: input rows != sketch ambient dimension");
+  }
+  Matrix out(m_, a.cols());
+  for (int64_t j = 0; j < a.cols(); ++j) {
+    for (int64_t p = a.col_ptr()[static_cast<size_t>(j)];
+         p < a.col_ptr()[static_cast<size_t>(j) + 1]; ++p) {
+      const int64_t r = a.row_idx()[static_cast<size_t>(p)];
+      out.At(Bucket(r), j) +=
+          Sign(r) * a.values()[static_cast<size_t>(p)];
+    }
+  }
+  return out;
+}
+
 int64_t CountSketch::Bucket(int64_t c) const {
   SOSE_CHECK(c >= 0 && c < n_);
   // Separate derived streams for bucket and sign keep them independent

@@ -26,6 +26,12 @@ class CountSketch final : public SketchingMatrix {
   std::string name() const override { return "countsketch"; }
 
   std::vector<ColumnEntry> Column(int64_t c) const override;
+  void ColumnInto(int64_t c, std::vector<ColumnEntry>* out) const override;
+
+  /// Fast path: with exactly one nonzero per column, Π A scatters each
+  /// nonzero A_{r,j} directly to out(Bucket(r), j) — no column buffer at
+  /// all. Bitwise identical to the generic scatter.
+  Result<Matrix> ApplySparse(const CscMatrix& a) const override;
 
   /// The hash bucket of column `c` (exposed for the birthday-paradox
   /// experiments, which study the induced balls-into-bins process).

@@ -21,31 +21,63 @@ Result<Osnap> Osnap::Create(int64_t m, int64_t n, int64_t s, uint64_t seed,
   return Osnap(m, n, s, seed, variant);
 }
 
-std::vector<ColumnEntry> Osnap::Column(int64_t c) const {
+void Osnap::FillColumnUnsorted(int64_t c,
+                               std::vector<ColumnEntry>* out) const {
   SOSE_CHECK(c >= 0 && c < n_);
   Rng rng(DeriveSeed(seed_, static_cast<uint64_t>(c)));
   const double magnitude = 1.0 / std::sqrt(static_cast<double>(s_));
-  std::vector<ColumnEntry> entries;
-  entries.reserve(static_cast<size_t>(s_));
+  out->clear();
+  out->reserve(static_cast<size_t>(s_));
   if (variant_ == OsnapVariant::kUniform) {
     const std::vector<int64_t> sampled_rows =
         rng.SampleWithoutReplacement(m_, s_);
     for (int64_t row : sampled_rows) {
-      entries.push_back(ColumnEntry{row, magnitude * rng.Rademacher()});
+      out->push_back(ColumnEntry{row, magnitude * rng.Rademacher()});
     }
   } else {
     const int64_t block = m_ / s_;
     for (int64_t k = 0; k < s_; ++k) {
       const int64_t row =
           k * block + static_cast<int64_t>(rng.UniformInt(static_cast<uint64_t>(block)));
-      entries.push_back(ColumnEntry{row, magnitude * rng.Rademacher()});
+      out->push_back(ColumnEntry{row, magnitude * rng.Rademacher()});
     }
   }
-  std::sort(entries.begin(), entries.end(),
+}
+
+void Osnap::ColumnInto(int64_t c, std::vector<ColumnEntry>* out) const {
+  FillColumnUnsorted(c, out);
+  std::sort(out->begin(), out->end(),
             [](const ColumnEntry& a, const ColumnEntry& b) {
               return a.row < b.row;
             });
+}
+
+std::vector<ColumnEntry> Osnap::Column(int64_t c) const {
+  std::vector<ColumnEntry> entries;
+  ColumnInto(c, &entries);
   return entries;
+}
+
+Result<Matrix> Osnap::ApplySparse(const CscMatrix& a) const {
+  if (a.rows() != cols()) {
+    return Status::InvalidArgument(
+        "ApplySparse: input rows != sketch ambient dimension");
+  }
+  Matrix out(m_, a.cols());
+  std::vector<ColumnEntry> entries;
+  entries.reserve(static_cast<size_t>(s_));
+  for (int64_t j = 0; j < a.cols(); ++j) {
+    for (int64_t p = a.col_ptr()[static_cast<size_t>(j)];
+         p < a.col_ptr()[static_cast<size_t>(j) + 1]; ++p) {
+      const int64_t r = a.row_idx()[static_cast<size_t>(p)];
+      const double v = a.values()[static_cast<size_t>(p)];
+      FillColumnUnsorted(r, &entries);
+      for (const ColumnEntry& entry : entries) {
+        out.At(entry.row, j) += v * entry.value;
+      }
+    }
+  }
+  return out;
 }
 
 }  // namespace sose

@@ -39,12 +39,22 @@ class Osnap final : public SketchingMatrix {
   }
 
   std::vector<ColumnEntry> Column(int64_t c) const override;
+  void ColumnInto(int64_t c, std::vector<ColumnEntry>* out) const override;
+
+  /// Fast path: scatters each nonzero of A through one reused column
+  /// buffer, skipping the by-row sort Column() guarantees — a column's `s`
+  /// rows are distinct, so each output cell still receives at most one
+  /// contribution per input nonzero and the result is bitwise identical.
+  Result<Matrix> ApplySparse(const CscMatrix& a) const override;
 
   OsnapVariant variant() const { return variant_; }
 
  private:
   Osnap(int64_t m, int64_t n, int64_t s, uint64_t seed, OsnapVariant variant)
       : m_(m), n_(n), s_(s), seed_(seed), variant_(variant) {}
+
+  /// Draws column `c` into `*out` without the final sort.
+  void FillColumnUnsorted(int64_t c, std::vector<ColumnEntry>* out) const;
 
   int64_t m_;
   int64_t n_;

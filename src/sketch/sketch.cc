@@ -4,6 +4,11 @@
 
 namespace sose {
 
+void SketchingMatrix::ColumnInto(int64_t c,
+                                 std::vector<ColumnEntry>* out) const {
+  *out = Column(c);
+}
+
 Result<Matrix> SketchingMatrix::ApplySparse(const CscMatrix& a) const {
   if (a.rows() != cols()) {
     return Status::InvalidArgument(
@@ -11,13 +16,17 @@ Result<Matrix> SketchingMatrix::ApplySparse(const CscMatrix& a) const {
   }
   Matrix out(rows(), a.cols());
   // For each column j of A, scatter each nonzero A_{r,j} through sketch
-  // column r: out[:, j] += A_{r,j} * Π[:, r].
+  // column r: out[:, j] += A_{r,j} * Π[:, r]. One column buffer is reused
+  // across all nnz(A) sketch-column reads.
+  std::vector<ColumnEntry> entries;
+  entries.reserve(static_cast<size_t>(column_sparsity()));
   for (int64_t j = 0; j < a.cols(); ++j) {
     for (int64_t p = a.col_ptr()[static_cast<size_t>(j)];
          p < a.col_ptr()[static_cast<size_t>(j) + 1]; ++p) {
       const int64_t r = a.row_idx()[static_cast<size_t>(p)];
       const double v = a.values()[static_cast<size_t>(p)];
-      for (const ColumnEntry& entry : Column(r)) {
+      ColumnInto(r, &entries);
+      for (const ColumnEntry& entry : entries) {
         out.At(entry.row, j) += v * entry.value;
       }
     }
@@ -31,9 +40,12 @@ Result<Matrix> SketchingMatrix::ApplyDense(const Matrix& a) const {
         "ApplyDense: input rows != sketch ambient dimension");
   }
   Matrix out(rows(), a.cols());
+  std::vector<ColumnEntry> entries;
+  entries.reserve(static_cast<size_t>(column_sparsity()));
   for (int64_t r = 0; r < cols(); ++r) {
     const double* a_row = a.Row(r);
-    for (const ColumnEntry& entry : Column(r)) {
+    ColumnInto(r, &entries);
+    for (const ColumnEntry& entry : entries) {
       double* out_row = out.Row(entry.row);
       for (int64_t j = 0; j < a.cols(); ++j) {
         out_row[j] += entry.value * a_row[j];
@@ -50,10 +62,13 @@ Result<std::vector<double>> SketchingMatrix::ApplyVector(
         "ApplyVector: input length != sketch ambient dimension");
   }
   std::vector<double> out(static_cast<size_t>(rows()), 0.0);
+  std::vector<ColumnEntry> entries;
+  entries.reserve(static_cast<size_t>(column_sparsity()));
   for (int64_t r = 0; r < cols(); ++r) {
     const double xr = x[static_cast<size_t>(r)];
     if (xr == 0.0) continue;
-    for (const ColumnEntry& entry : Column(r)) {
+    ColumnInto(r, &entries);
+    for (const ColumnEntry& entry : entries) {
       out[static_cast<size_t>(entry.row)] += xr * entry.value;
     }
   }
@@ -67,8 +82,16 @@ CscMatrix SketchingMatrix::MaterializeColumns(int64_t col_begin,
   std::vector<int64_t> col_ptr(static_cast<size_t>(num_cols) + 1, 0);
   std::vector<int64_t> row_idx;
   std::vector<double> values;
+  // column_sparsity() bounds nonzeros per column, so this reserve is exact
+  // for fixed-sparsity sketches and an upper bound otherwise.
+  const size_t cap =
+      static_cast<size_t>(num_cols) * static_cast<size_t>(column_sparsity());
+  row_idx.reserve(cap);
+  values.reserve(cap);
+  std::vector<ColumnEntry> entries;
+  entries.reserve(static_cast<size_t>(column_sparsity()));
   for (int64_t c = col_begin; c < col_end; ++c) {
-    const std::vector<ColumnEntry> entries = Column(c);
+    ColumnInto(c, &entries);
     for (const ColumnEntry& entry : entries) {
       row_idx.push_back(entry.row);
       values.push_back(entry.value);
@@ -83,8 +106,11 @@ CscMatrix SketchingMatrix::MaterializeColumns(int64_t col_begin,
 
 Matrix SketchingMatrix::MaterializeDense() const {
   Matrix out(rows(), cols());
+  std::vector<ColumnEntry> entries;
+  entries.reserve(static_cast<size_t>(column_sparsity()));
   for (int64_t c = 0; c < cols(); ++c) {
-    for (const ColumnEntry& entry : Column(c)) {
+    ColumnInto(c, &entries);
+    for (const ColumnEntry& entry : entries) {
       out.At(entry.row, c) = entry.value;
     }
   }

@@ -50,6 +50,13 @@ class SketchingMatrix {
   /// [0, cols()).
   virtual std::vector<ColumnEntry> Column(int64_t c) const = 0;
 
+  /// Writes column `c`'s entries into `*out` (replacing its contents),
+  /// sorted by row — equivalent to `*out = Column(c)` but lets hot loops
+  /// reuse one buffer instead of allocating a vector per nonzero. The
+  /// default delegates to Column(); sparse sketches override it to fill the
+  /// buffer directly.
+  virtual void ColumnInto(int64_t c, std::vector<ColumnEntry>* out) const;
+
   /// Returns Π A for a column-sparse A (CSC) with A.rows() == cols().
   /// Default implementation streams the nonzero rows of A through
   /// `Column()`; O(nnz(A) · s) like the paper's headline bound.

@@ -23,6 +23,11 @@ std::vector<ColumnEntry> SparseJl::Column(int64_t c) const {
   const double magnitude = std::sqrt(q_ / static_cast<double>(m_));
   const double p_nonzero = 1.0 / q_;
   std::vector<ColumnEntry> entries;
+  // Expected m/q nonzeros; pad by a couple of standard deviations so the
+  // typical draw never regrows.
+  const double expected = static_cast<double>(m_) * p_nonzero;
+  entries.reserve(static_cast<size_t>(expected + 2.0 * std::sqrt(expected)) +
+                  1);
   for (int64_t i = 0; i < m_; ++i) {
     if (rng.UniformDouble() < p_nonzero) {
       entries.push_back(ColumnEntry{i, magnitude * rng.Rademacher()});

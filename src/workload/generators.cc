@@ -21,6 +21,7 @@ Result<CscMatrix> RandomSparseMatrix(int64_t rows, int64_t cols,
   }
   SOSE_CHECK(rng != nullptr);
   CooBuilder builder(rows, cols);
+  builder.Reserve(cols * nnz_per_col);
   for (int64_t j = 0; j < cols; ++j) {
     for (int64_t row : rng->SampleWithoutReplacement(rows, nnz_per_col)) {
       builder.Add(row, j, rng->Gaussian());

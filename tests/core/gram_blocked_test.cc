@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "core/matrix.h"
+#include "core/random.h"
+
+namespace sose {
+namespace {
+
+Matrix RandomMatrix(int64_t rows, int64_t cols, uint64_t seed) {
+  Rng rng(seed);
+  Matrix out(rows, cols);
+  for (int64_t i = 0; i < rows; ++i) {
+    for (int64_t j = 0; j < cols; ++j) out.At(i, j) = rng.Gaussian();
+  }
+  return out;
+}
+
+// The blocked syrk Gram claims bitwise identity with the naive product,
+// which is exactly MatMulTransposeA(a, a) — the previous implementation.
+void ExpectBitwiseGram(const Matrix& a) {
+  const Matrix blocked = Gram(a);
+  const Matrix naive = MatMulTransposeA(a, a);
+  ASSERT_EQ(blocked.rows(), naive.rows());
+  ASSERT_EQ(blocked.cols(), naive.cols());
+  for (int64_t i = 0; i < blocked.rows(); ++i) {
+    for (int64_t j = 0; j < blocked.cols(); ++j) {
+      EXPECT_EQ(blocked.At(i, j), naive.At(i, j))
+          << "mismatch at (" << i << ", " << j << ")";
+    }
+  }
+}
+
+TEST(GramBlockedTest, MatchesNaiveOnRandomMatrices) {
+  ExpectBitwiseGram(RandomMatrix(17, 5, 1));
+  ExpectBitwiseGram(RandomMatrix(64, 64, 2));
+  ExpectBitwiseGram(RandomMatrix(1, 1, 3));
+}
+
+TEST(GramBlockedTest, MatchesNaiveAcrossBlockBoundaries) {
+  // 257 rows crosses the 128-row k panel twice; 130 columns crosses the
+  // 64-column tile twice — both with remainder tiles.
+  ExpectBitwiseGram(RandomMatrix(257, 7, 4));
+  ExpectBitwiseGram(RandomMatrix(10, 130, 5));
+  ExpectBitwiseGram(RandomMatrix(129, 65, 6));
+  ExpectBitwiseGram(RandomMatrix(128, 64, 7));
+}
+
+TEST(GramBlockedTest, MatchesNaiveOnRankDeficientMatrices) {
+  // Duplicate columns: the Gram is singular but must still match bitwise.
+  Matrix a = RandomMatrix(40, 3, 8);
+  Matrix wide(40, 6);
+  for (int64_t i = 0; i < 40; ++i) {
+    for (int64_t j = 0; j < 3; ++j) {
+      wide.At(i, j) = a.At(i, j);
+      wide.At(i, j + 3) = a.At(i, j);
+    }
+  }
+  ExpectBitwiseGram(wide);
+  // All-zero matrix.
+  ExpectBitwiseGram(Matrix(12, 9));
+}
+
+TEST(GramBlockedTest, HandlesDegenerateShapes) {
+  ExpectBitwiseGram(Matrix(0, 0));
+  ExpectBitwiseGram(Matrix(5, 0));   // n x 0 → 0 x 0 Gram.
+  ExpectBitwiseGram(Matrix(0, 7));   // 0 x d → all-zero d x d Gram.
+  const Matrix zero_rows = Gram(Matrix(0, 7));
+  for (int64_t i = 0; i < 7; ++i) {
+    for (int64_t j = 0; j < 7; ++j) EXPECT_EQ(zero_rows.At(i, j), 0.0);
+  }
+}
+
+TEST(GramBlockedTest, ResultIsBitwiseSymmetric) {
+  const Matrix gram = Gram(RandomMatrix(100, 70, 9));
+  for (int64_t i = 0; i < gram.rows(); ++i) {
+    for (int64_t j = 0; j < gram.cols(); ++j) {
+      EXPECT_EQ(gram.At(i, j), gram.At(j, i));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sose

@@ -1,0 +1,93 @@
+#include "core/json_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+namespace sose {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "sose_json_io_" + name;
+}
+
+TEST(JsonObjectWriterTest, EmitsFieldsInInsertionOrder) {
+  JsonObjectWriter writer;
+  writer.AddString("experiment", "e1")
+      .AddInt("threads", 8)
+      .AddDouble("wall_seconds", 1.5)
+      .AddBool("partial", false);
+  const std::string text = writer.ToString();
+  EXPECT_NE(text.find("\"experiment\": \"e1\""), std::string::npos);
+  EXPECT_NE(text.find("\"threads\": 8"), std::string::npos);
+  EXPECT_NE(text.find("\"wall_seconds\": 1.5"), std::string::npos);
+  EXPECT_NE(text.find("\"partial\": false"), std::string::npos);
+  EXPECT_LT(text.find("experiment"), text.find("threads"));
+  EXPECT_LT(text.find("threads"), text.find("wall_seconds"));
+}
+
+TEST(JsonObjectWriterTest, EscapesStringsAndHandlesNonFinite) {
+  JsonObjectWriter writer;
+  writer.AddString("msg", "a \"quoted\"\nline\tand \\ slash");
+  writer.AddDouble("nan_field", std::nan(""));
+  writer.AddDouble("inf_field", HUGE_VAL);
+  const std::string text = writer.ToString();
+  EXPECT_NE(text.find("\\\"quoted\\\""), std::string::npos);
+  EXPECT_NE(text.find("\\n"), std::string::npos);
+  EXPECT_NE(text.find("\\t"), std::string::npos);
+  EXPECT_NE(text.find("\\\\ slash"), std::string::npos);
+  EXPECT_NE(text.find("\"nan_field\": null"), std::string::npos);
+  EXPECT_NE(text.find("\"inf_field\": null"), std::string::npos);
+}
+
+TEST(JsonObjectWriterTest, DoublesRoundTripThroughFindJsonNumber) {
+  const double value = 0.1 + 0.2;  // 0.30000000000000004
+  JsonObjectWriter writer;
+  writer.AddDouble("x", value);
+  double parsed = 0.0;
+  ASSERT_TRUE(FindJsonNumber(writer.ToString(), "x", &parsed));
+  EXPECT_EQ(parsed, value);  // %.17g preserves the exact double.
+}
+
+TEST(FindJsonNumberTest, FindsKeysAndRejectsMissingOrNonNumeric) {
+  const std::string text =
+      "{\n  \"name\": \"e5\",\n  \"threads\": 4,\n  \"rate\": 0.25\n}\n";
+  double value = 0.0;
+  ASSERT_TRUE(FindJsonNumber(text, "threads", &value));
+  EXPECT_EQ(value, 4.0);
+  ASSERT_TRUE(FindJsonNumber(text, "rate", &value));
+  EXPECT_EQ(value, 0.25);
+  EXPECT_FALSE(FindJsonNumber(text, "absent", &value));
+  EXPECT_FALSE(FindJsonNumber(text, "name", &value));  // String, not number.
+}
+
+TEST(FindJsonNumberTest, KeyPrefixDoesNotFalseMatch) {
+  // "thread" must not match the "threads" field's value.
+  const std::string text = "{\"threads\": 9, \"thread\": 3}";
+  double value = 0.0;
+  ASSERT_TRUE(FindJsonNumber(text, "thread", &value));
+  EXPECT_EQ(value, 3.0);
+}
+
+TEST(JsonObjectWriterTest, WriteToFileRoundTrips) {
+  const std::string path = TempPath("bench.json");
+  JsonObjectWriter writer;
+  writer.AddString("experiment", "e9").AddDouble("wall_seconds", 2.75);
+  ASSERT_TRUE(writer.WriteToFile(path).ok());
+  auto text = ReadFileToString(path);
+  ASSERT_TRUE(text.ok()) << text.status();
+  double value = 0.0;
+  ASSERT_TRUE(FindJsonNumber(text.value(), "wall_seconds", &value));
+  EXPECT_EQ(value, 2.75);
+  std::remove(path.c_str());
+}
+
+TEST(ReadFileToStringTest, MissingFileIsNotFound) {
+  EXPECT_EQ(ReadFileToString(TempPath("absent.json")).status().code(),
+            StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace sose

@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <set>
+#include <vector>
+
+#include "core/parallel/sharded_range.h"
+#include "core/parallel/thread_pool.h"
+
+namespace sose {
+namespace {
+
+TEST(ThreadPoolTest, ResolveThreadCount) {
+  EXPECT_GE(HardwareConcurrency(), 1);
+  EXPECT_EQ(ResolveThreadCount(0), HardwareConcurrency());
+  EXPECT_EQ(ResolveThreadCount(1), 1);
+  EXPECT_EQ(ResolveThreadCount(7), 7);
+  // Negative requests clamp to a single worker rather than misbehaving.
+  EXPECT_EQ(ResolveThreadCount(-3), 1);
+}
+
+TEST(ThreadPoolTest, RunsEverySubmittedTask) {
+  std::atomic<int64_t> counter{0};
+  {
+    ThreadPool pool(4);
+    for (int i = 0; i < 100; ++i) {
+      pool.Submit([&counter] { counter.fetch_add(1); });
+    }
+    pool.WaitIdle();
+    EXPECT_EQ(counter.load(), 100);
+  }
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueuedTasks) {
+  std::atomic<int64_t> counter{0};
+  {
+    // One worker and many tasks: most are still queued when the pool is
+    // destroyed, and the drain-on-shutdown contract must run them all.
+    ThreadPool pool(1);
+    for (int i = 0; i < 50; ++i) {
+      pool.Submit([&counter] { counter.fetch_add(1); });
+    }
+  }
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPoolTest, WaitIdleReturnsOnEmptyPool) {
+  ThreadPool pool(2);
+  pool.WaitIdle();  // No tasks submitted: must not hang.
+}
+
+TEST(ShardedRangeTest, SingleShardClaimsAscending) {
+  ShardedRange range(3, 9, 1);
+  int64_t index = 0;
+  for (int64_t expected = 3; expected < 9; ++expected) {
+    ASSERT_TRUE(range.Claim(0, &index));
+    EXPECT_EQ(index, expected);
+  }
+  EXPECT_FALSE(range.Claim(0, &index));
+  EXPECT_EQ(range.Remaining(), 0);
+}
+
+TEST(ShardedRangeTest, EveryIndexClaimedExactlyOnce) {
+  constexpr int kShards = 4;
+  ShardedRange range(0, 103, kShards);  // Not divisible by kShards.
+  std::set<int64_t> claimed;
+  int64_t index = 0;
+  // Drain through a single shard: stealing must reach every other shard.
+  while (range.Claim(2, &index)) {
+    EXPECT_TRUE(claimed.insert(index).second) << "index claimed twice";
+  }
+  EXPECT_EQ(claimed.size(), 103u);
+  EXPECT_EQ(*claimed.begin(), 0);
+  EXPECT_EQ(*claimed.rbegin(), 102);
+}
+
+TEST(ShardedRangeTest, EmptyRangeClaimsNothing) {
+  ShardedRange range(5, 5, 3);
+  int64_t index = 0;
+  for (int s = 0; s < 3; ++s) EXPECT_FALSE(range.Claim(s, &index));
+  EXPECT_EQ(range.Remaining(), 0);
+}
+
+TEST(ShardedRangeTest, MoreShardsThanIndices) {
+  ShardedRange range(0, 2, 8);
+  std::set<int64_t> claimed;
+  int64_t index = 0;
+  for (int s = 0; s < 8; ++s) {
+    while (range.Claim(s, &index)) claimed.insert(index);
+  }
+  EXPECT_EQ(claimed, (std::set<int64_t>{0, 1}));
+}
+
+TEST(ShardedRangeTest, ConcurrentClaimsArePartition) {
+  // Workers hammer the range concurrently; the union of their claims must be
+  // exactly [0, kTotal) with no duplicates.
+  constexpr int kWorkers = 8;
+  constexpr int64_t kTotal = 5000;
+  ShardedRange range(0, kTotal, kWorkers);
+  std::mutex mu;
+  std::vector<int64_t> all;
+  {
+    ThreadPool pool(kWorkers);
+    for (int w = 0; w < kWorkers; ++w) {
+      pool.Submit([&, w] {
+        std::vector<int64_t> mine;
+        int64_t index = 0;
+        while (range.Claim(w, &index)) mine.push_back(index);
+        std::lock_guard<std::mutex> lock(mu);
+        all.insert(all.end(), mine.begin(), mine.end());
+      });
+    }
+  }
+  ASSERT_EQ(all.size(), static_cast<size_t>(kTotal));
+  std::set<int64_t> unique(all.begin(), all.end());
+  EXPECT_EQ(unique.size(), static_cast<size_t>(kTotal));
+}
+
+}  // namespace
+}  // namespace sose

@@ -1,0 +1,278 @@
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include "core/fault.h"
+#include "core/random.h"
+#include "ose/trial_runner.h"
+
+namespace sose {
+namespace {
+
+// A deterministic trial keyed purely on the seed the runner hands out: the
+// parallel runner derives the same per-trial seeds as the serial one, so
+// every statistic must match bitwise regardless of thread count.
+TrialOutcome OutcomeFor(uint64_t trial_seed) {
+  const double epsilon = static_cast<double>(trial_seed % 1000) / 1000.0;
+  return TrialOutcome{epsilon, trial_seed % 5 == 0};
+}
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "sose_trial_runner_parallel_" + name;
+}
+
+std::string ReadBytes(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  EXPECT_TRUE(file.good()) << "missing file " << path;
+  std::ostringstream out;
+  out << file.rdbuf();
+  return out.str();
+}
+
+void ExpectReportsBitwiseEqual(const TrialRunReport& a,
+                               const TrialRunReport& b) {
+  EXPECT_EQ(a.requested, b.requested);
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.faulted, b.faulted);
+  EXPECT_EQ(a.retries_used, b.retries_used);
+  EXPECT_EQ(a.failures, b.failures);
+  EXPECT_EQ(a.epsilon_sum, b.epsilon_sum);  // Bitwise, not approximate.
+  EXPECT_EQ(a.epsilon_max, b.epsilon_max);
+  EXPECT_EQ(a.partial, b.partial);
+  ASSERT_EQ(a.taxonomy.by_code.size(), b.taxonomy.by_code.size());
+  for (const auto& [code, entry] : a.taxonomy.by_code) {
+    const auto it = b.taxonomy.by_code.find(code);
+    ASSERT_NE(it, b.taxonomy.by_code.end());
+    EXPECT_EQ(entry.count, it->second.count);
+    EXPECT_EQ(entry.first_message, it->second.first_message);
+  }
+}
+
+TEST(TrialRunnerParallelTest, CleanRunParityAcrossThreadCounts) {
+  auto trial = [](uint64_t trial_seed) -> Result<TrialOutcome> {
+    return OutcomeFor(trial_seed);
+  };
+  TrialRunnerOptions options;
+  options.trials = 97;  // Not divisible by any tested thread count.
+  options.seed = 41;
+  options.threads = 1;
+  auto serial = RunTrials(trial, options);
+  ASSERT_TRUE(serial.ok()) << serial.status();
+  for (int threads : {2, 8}) {
+    options.threads = threads;
+    auto parallel = RunTrials(trial, options);
+    ASSERT_TRUE(parallel.ok()) << parallel.status();
+    ExpectReportsBitwiseEqual(serial.value(), parallel.value());
+  }
+}
+
+TEST(TrialRunnerParallelTest, FaultedRunParityIncludingRetries) {
+  // Faults are a pure function of the seed handed to the trial — attempt 0
+  // of a trial fails iff its derived seed lands in the gated residue class,
+  // and retry seeds usually escape it, exercising the retry path. Which
+  // trials fault is therefore identical for every thread count.
+  auto trial = [](uint64_t trial_seed) -> Result<TrialOutcome> {
+    if (trial_seed % 7 == 0) {
+      return Status::NumericalError("seed-gated fault");
+    }
+    return OutcomeFor(trial_seed);
+  };
+  TrialRunnerOptions options;
+  options.trials = 120;
+  options.seed = 5;
+  options.max_retries = 2;
+  options.error_budget = 0.5;
+  options.threads = 1;
+  auto serial = RunTrials(trial, options);
+  ASSERT_TRUE(serial.ok()) << serial.status();
+  for (int threads : {2, 8}) {
+    options.threads = threads;
+    auto parallel = RunTrials(trial, options);
+    ASSERT_TRUE(parallel.ok()) << parallel.status();
+    ExpectReportsBitwiseEqual(serial.value(), parallel.value());
+  }
+}
+
+TEST(TrialRunnerParallelTest, InjectedFaultParityViaFaultRegistry) {
+  // The registry is hit from worker threads; FailEveryCall makes the rule
+  // independent of call ordering, and the seed gate makes the *set* of
+  // faulted trials deterministic.
+  auto trial = [](uint64_t trial_seed) -> Result<TrialOutcome> {
+    if (trial_seed % 3 == 0) {
+      SOSE_FAULT_POINT("trial_runner_parallel_test/trial");
+    }
+    return OutcomeFor(trial_seed);
+  };
+  FaultPlan plan;
+  plan.FailEveryCall("trial_runner_parallel_test/trial",
+                     StatusCode::kNumericalError, "injected");
+  TrialRunnerOptions options;
+  options.trials = 90;
+  options.seed = 13;
+  options.max_retries = 0;
+  options.error_budget = 1.0;
+
+  TrialRunReport serial_report;
+  {
+    ScopedFaultInjection scope(std::move(plan));
+    options.threads = 1;
+    auto serial = RunTrials(trial, options);
+    ASSERT_TRUE(serial.ok()) << serial.status();
+    serial_report = serial.value();
+    EXPECT_GT(serial_report.faulted, 0);
+    for (int threads : {2, 8}) {
+      FaultPlan again;
+      again.FailEveryCall("trial_runner_parallel_test/trial",
+                          StatusCode::kNumericalError, "injected");
+      ScopedFaultInjection inner(std::move(again));
+      options.threads = threads;
+      auto parallel = RunTrials(trial, options);
+      ASSERT_TRUE(parallel.ok()) << parallel.status();
+      ExpectReportsBitwiseEqual(serial_report, parallel.value());
+    }
+  }
+}
+
+TEST(TrialRunnerParallelTest, CheckpointBytesIdenticalAcrossThreadCounts) {
+  // A zero budget plus a seed-gated persistent fault aborts the run at a
+  // deterministic trial, leaving the last cadence checkpoint on disk. The
+  // parallel supervisor writes checkpoints at the same fold boundaries, so
+  // the surviving file must match byte for byte.
+  auto trial = [](uint64_t trial_seed) -> Result<TrialOutcome> {
+    if (trial_seed % 11 == 0) {
+      return Status::Internal("persistent");
+    }
+    return OutcomeFor(trial_seed);
+  };
+  TrialRunnerOptions options;
+  options.trials = 200;
+  // With this master seed the first trial whose derived seed is 0 mod 11 is
+  // trial 21, so several checkpoints land on disk before the budget abort.
+  options.seed = 37;
+  options.max_retries = 0;
+  options.error_budget = 0.0;
+  options.checkpoint_every = 3;
+
+  std::string serial_bytes;
+  std::string serial_message;
+  {
+    const std::string path = TempPath("budget_serial.csv");
+    std::remove(path.c_str());
+    options.checkpoint_path = path;
+    options.threads = 1;
+    auto run = RunTrials(trial, options);
+    ASSERT_EQ(run.status().code(), StatusCode::kFailedPrecondition);
+    serial_message = run.status().message();
+    serial_bytes = ReadBytes(path);
+    std::remove(path.c_str());
+  }
+  ASSERT_FALSE(serial_bytes.empty());
+  for (int threads : {2, 8}) {
+    const std::string path =
+        TempPath("budget_t" + std::to_string(threads) + ".csv");
+    std::remove(path.c_str());
+    options.checkpoint_path = path;
+    options.threads = threads;
+    auto run = RunTrials(trial, options);
+    ASSERT_EQ(run.status().code(), StatusCode::kFailedPrecondition);
+    // Same budget error text (it embeds the fold-time counters) and the
+    // same checkpoint bytes.
+    EXPECT_EQ(run.status().message(), serial_message);
+    EXPECT_EQ(ReadBytes(path), serial_bytes);
+    std::remove(path.c_str());
+  }
+}
+
+TEST(TrialRunnerParallelTest, MidRunResumeMatchesSerialBitwise) {
+  // Phase 1 (parallel): a seed-gated fault plus zero budget kills the run,
+  // leaving a checkpoint. Phase 2 (parallel): resuming with a healthy trial
+  // function must land bitwise on the uninterrupted serial reference.
+  auto healthy = [](uint64_t trial_seed) -> Result<TrialOutcome> {
+    return OutcomeFor(trial_seed);
+  };
+  TrialRunnerOptions reference_options;
+  reference_options.trials = 60;
+  reference_options.seed = 29;
+  reference_options.max_retries = 0;
+  reference_options.threads = 1;
+  auto reference = RunTrials(healthy, reference_options);
+  ASSERT_TRUE(reference.ok()) << reference.status();
+
+  const std::string path = TempPath("resume.csv");
+  std::remove(path.c_str());
+  auto dying = [](uint64_t trial_seed) -> Result<TrialOutcome> {
+    if (trial_seed % 9 == 0) {
+      return Status::Internal("simulated crash");
+    }
+    return OutcomeFor(trial_seed);
+  };
+  TrialRunnerOptions options = reference_options;
+  options.checkpoint_every = 2;
+  options.checkpoint_path = path;
+  options.threads = 8;
+  TrialRunnerOptions dying_options = options;
+  dying_options.error_budget = 0.0;
+  ASSERT_EQ(RunTrials(dying, dying_options).status().code(),
+            StatusCode::kFailedPrecondition);
+  {
+    std::ifstream file(path);
+    ASSERT_TRUE(file.good()) << "checkpoint should survive the abort";
+  }
+  auto resumed = RunTrials(healthy, options);
+  ASSERT_TRUE(resumed.ok()) << resumed.status();
+  ExpectReportsBitwiseEqual(reference.value(), resumed.value());
+  // A completed run removes its checkpoint.
+  std::ifstream leftover(path);
+  EXPECT_FALSE(leftover.good());
+}
+
+TEST(TrialRunnerParallelTest, DeadlineStillGuaranteesProgress) {
+  auto trial = [](uint64_t trial_seed) -> Result<TrialOutcome> {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    return OutcomeFor(trial_seed);
+  };
+  TrialRunnerOptions options;
+  options.trials = 64;
+  options.deadline_seconds = 1e-9;
+  options.threads = 4;
+  auto run = RunTrials(trial, options);
+  ASSERT_TRUE(run.ok()) << run.status();
+  EXPECT_TRUE(run.value().partial);
+  EXPECT_GE(run.value().completed, 1);
+  EXPECT_LT(run.value().completed, options.trials);
+}
+
+TEST(TrialRunnerParallelTest, ThreadsZeroResolvesToHardwareConcurrency) {
+  auto trial = [](uint64_t trial_seed) -> Result<TrialOutcome> {
+    return OutcomeFor(trial_seed);
+  };
+  TrialRunnerOptions options;
+  options.trials = 33;
+  options.seed = 3;
+  options.threads = 1;
+  auto serial = RunTrials(trial, options);
+  ASSERT_TRUE(serial.ok());
+  options.threads = 0;  // Auto.
+  auto automatic = RunTrials(trial, options);
+  ASSERT_TRUE(automatic.ok()) << automatic.status();
+  ExpectReportsBitwiseEqual(serial.value(), automatic.value());
+}
+
+TEST(TrialRunnerParallelTest, NegativeThreadsIsInvalid) {
+  auto trial = [](uint64_t) -> Result<TrialOutcome> {
+    return TrialOutcome{};
+  };
+  TrialRunnerOptions options;
+  options.threads = -2;
+  EXPECT_EQ(RunTrials(trial, options).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace sose

@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/random.h"
+#include "core/sparse.h"
+#include "hardinstance/d_beta.h"
+#include "sketch/count_sketch.h"
+#include "sketch/osnap.h"
+#include "sketch/sketch.h"
+
+namespace sose {
+namespace {
+
+// Exposes the base-class generic ApplySparse/ColumnInto for any sketch, so
+// the specialized fast paths can be compared against the path they replaced.
+class GenericView final : public SketchingMatrix {
+ public:
+  explicit GenericView(const SketchingMatrix& inner) : inner_(inner) {}
+
+  int64_t rows() const override { return inner_.rows(); }
+  int64_t cols() const override { return inner_.cols(); }
+  int64_t column_sparsity() const override {
+    return inner_.column_sparsity();
+  }
+  std::string name() const override { return "generic:" + inner_.name(); }
+  std::vector<ColumnEntry> Column(int64_t c) const override {
+    return inner_.Column(c);
+  }
+
+ private:
+  const SketchingMatrix& inner_;
+};
+
+CscMatrix SampleDBetaCsc(int64_t n, int64_t d, int64_t entries_per_col,
+                         uint64_t seed) {
+  auto sampler = DBetaSampler::Create(n, d, entries_per_col);
+  EXPECT_TRUE(sampler.ok()) << sampler.status();
+  Rng rng(seed);
+  return sampler.value().Sample(&rng).ToCsc();
+}
+
+void ExpectBitwiseEqual(const Matrix& a, const Matrix& b) {
+  ASSERT_EQ(a.rows(), b.rows());
+  ASSERT_EQ(a.cols(), b.cols());
+  for (int64_t i = 0; i < a.rows(); ++i) {
+    for (int64_t j = 0; j < a.cols(); ++j) {
+      EXPECT_EQ(a.At(i, j), b.At(i, j))
+          << "mismatch at (" << i << ", " << j << ")";
+    }
+  }
+}
+
+// The fast ApplySparse paths claim bitwise identity with the generic
+// scatter; each output cell receives at most one contribution per input
+// nonzero (a sketch column's rows are distinct), so reordering within a
+// column cannot change any sum.
+void CheckApplyPaths(const SketchingMatrix& sketch, const CscMatrix& a) {
+  auto fast = sketch.ApplySparse(a);
+  ASSERT_TRUE(fast.ok()) << fast.status();
+
+  const GenericView generic(sketch);
+  auto reference = generic.ApplySparse(a);
+  ASSERT_TRUE(reference.ok()) << reference.status();
+  ExpectBitwiseEqual(fast.value(), reference.value());
+
+  // Dense apply of the densified input must agree bitwise too: per output
+  // cell it accumulates the same products in the same ambient-row order.
+  auto dense = sketch.ApplyDense(a.ToDense());
+  ASSERT_TRUE(dense.ok()) << dense.status();
+  ExpectBitwiseEqual(fast.value(), dense.value());
+}
+
+TEST(ApplySparseTest, CountSketchMatchesGenericAndDenseOnDBeta) {
+  const CscMatrix u = SampleDBetaCsc(400, 8, 4, 11);
+  auto sketch = CountSketch::Create(64, 400, 21);
+  ASSERT_TRUE(sketch.ok());
+  CheckApplyPaths(sketch.value(), u);
+}
+
+TEST(ApplySparseTest, OsnapUniformMatchesGenericAndDenseOnDBeta) {
+  const CscMatrix u = SampleDBetaCsc(300, 6, 3, 12);
+  auto sketch = Osnap::Create(48, 300, 4, 22, OsnapVariant::kUniform);
+  ASSERT_TRUE(sketch.ok());
+  CheckApplyPaths(sketch.value(), u);
+}
+
+TEST(ApplySparseTest, OsnapBlockMatchesGenericAndDenseOnDBeta) {
+  const CscMatrix u = SampleDBetaCsc(300, 6, 3, 13);
+  auto sketch = Osnap::Create(48, 300, 4, 23, OsnapVariant::kBlock);
+  ASSERT_TRUE(sketch.ok());
+  CheckApplyPaths(sketch.value(), u);
+}
+
+TEST(ApplySparseTest, FastPathsRejectShapeMismatch) {
+  auto count_sketch = CountSketch::Create(16, 100, 1);
+  auto osnap = Osnap::Create(16, 100, 2, 1);
+  ASSERT_TRUE(count_sketch.ok());
+  ASSERT_TRUE(osnap.ok());
+  const CscMatrix wrong(50, 2, {0, 0, 0}, {}, {});
+  EXPECT_EQ(count_sketch.value().ApplySparse(wrong).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(osnap.value().ApplySparse(wrong).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ApplySparseTest, ColumnIntoMatchesColumn) {
+  auto count_sketch = CountSketch::Create(32, 200, 5);
+  auto osnap = Osnap::Create(32, 200, 4, 6);
+  ASSERT_TRUE(count_sketch.ok());
+  ASSERT_TRUE(osnap.ok());
+  std::vector<ColumnEntry> buffer;
+  for (const SketchingMatrix* sketch :
+       {static_cast<const SketchingMatrix*>(&count_sketch.value()),
+        static_cast<const SketchingMatrix*>(&osnap.value())}) {
+    // A dirty buffer must be fully replaced, not appended to.
+    buffer.assign(7, ColumnEntry{int64_t{-1}, -1.0});
+    for (int64_t c = 0; c < 200; c += 17) {
+      sketch->ColumnInto(c, &buffer);
+      const std::vector<ColumnEntry> expected = sketch->Column(c);
+      ASSERT_EQ(buffer.size(), expected.size());
+      for (size_t i = 0; i < expected.size(); ++i) {
+        EXPECT_EQ(buffer[i].row, expected[i].row);
+        EXPECT_EQ(buffer[i].value, expected[i].value);
+      }
+    }
+  }
+}
+
+TEST(ApplySparseTest, MaterializeColumnsAgreesWithColumn) {
+  auto osnap = Osnap::Create(24, 150, 3, 7);
+  ASSERT_TRUE(osnap.ok());
+  const CscMatrix materialized = osnap.value().MaterializeColumns(10, 40);
+  ASSERT_EQ(materialized.cols(), 30);
+  for (int64_t c = 0; c < 30; ++c) {
+    const std::vector<ColumnEntry> expected = osnap.value().Column(c + 10);
+    ASSERT_EQ(materialized.ColNnz(c), static_cast<int64_t>(expected.size()));
+    for (int64_t p = materialized.col_ptr()[static_cast<size_t>(c)];
+         p < materialized.col_ptr()[static_cast<size_t>(c) + 1]; ++p) {
+      const size_t k =
+          static_cast<size_t>(p - materialized.col_ptr()[static_cast<size_t>(c)]);
+      EXPECT_EQ(materialized.row_idx()[static_cast<size_t>(p)],
+                expected[k].row);
+      EXPECT_EQ(materialized.values()[static_cast<size_t>(p)],
+                expected[k].value);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sose
