@@ -18,13 +18,13 @@ namespace sose {
 /// CCA is one of the applications the paper's introduction cites for
 /// subspace embeddings ([ABTZ14]): the correlations depend only on the
 /// geometry between the two column spaces, which an OSE preserves.
-Result<std::vector<double>> ExactCca(const Matrix& x, const Matrix& y);
+[[nodiscard]] Result<std::vector<double>> ExactCca(const Matrix& x, const Matrix& y);
 
 /// Sketched CCA (Avron–Boutsidis–Toledo–Zouzias): apply the SAME sketch to
 /// both views and run CCA on (ΠX, ΠY). With Π an ε-OSE for span([X Y]),
 /// every canonical correlation is preserved to additive O(ε).
-Result<std::vector<double>> SketchedCca(const SketchingMatrix& sketch,
-                                        const Matrix& x, const Matrix& y);
+[[nodiscard]] Result<std::vector<double>> SketchedCca(const SketchingMatrix& sketch,
+                                                      const Matrix& x, const Matrix& y);
 
 /// max_i |a_i − b_i| between two correlation vectors of equal length.
 double MaxCorrelationError(const std::vector<double>& a,

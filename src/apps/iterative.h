@@ -29,9 +29,9 @@ struct CglsOptions {
 /// CGLS (conjugate gradients on the normal equations, in factored form):
 /// solves min_x ‖Ax − b‖₂ without forming AᵀA. Iteration count scales with
 /// the condition number κ(A).
-Result<IterativeSolution> SolveCgls(const Matrix& a,
-                                    const std::vector<double>& b,
-                                    const CglsOptions& options);
+[[nodiscard]] Result<IterativeSolution> SolveCgls(const Matrix& a,
+                                                  const std::vector<double>& b,
+                                                  const CglsOptions& options);
 
 /// Sketch-preconditioned CGLS (the Blendenpik/LSRN scheme): factor
 /// Π A = Q R, substitute y = R x, and run CGLS on A R⁻¹ — whose condition
@@ -40,7 +40,7 @@ Result<IterativeSolution> SolveCgls(const Matrix& a,
 /// flagship *indirect* use of OSEs: the sketch only preconditions, so even
 /// a crude ε (say 1/2) suffices — but the paper's lower bounds still govern
 /// how small m can be.
-Result<IterativeSolution> SolveSketchPreconditionedCgls(
+[[nodiscard]] Result<IterativeSolution> SolveSketchPreconditionedCgls(
     const SketchingMatrix& sketch, const Matrix& a,
     const std::vector<double>& b, const CglsOptions& options);
 

@@ -31,14 +31,14 @@ struct KMeansResult {
 
 /// Lloyd's algorithm with k-means++ initialization on the rows of `points`
 /// (n x dim). Requires 1 <= k <= n.
-Result<KMeansResult> LloydKMeans(const Matrix& points,
-                                 const KMeansOptions& options);
+[[nodiscard]] Result<KMeansResult> LloydKMeans(const Matrix& points,
+                                               const KMeansOptions& options);
 
 /// The k-means cost of an assignment in the ORIGINAL space: centroids are
 /// recomputed from `points` per cluster; empty clusters contribute nothing.
-Result<double> KMeansCostForAssignment(const Matrix& points,
-                                       const std::vector<int64_t>& assignment,
-                                       int64_t k);
+[[nodiscard]] Result<double> KMeansCostForAssignment(const Matrix& points,
+                                                     const std::vector<int64_t>& assignment,
+                                                     int64_t k);
 
 /// Dimension-reduced k-means (Boutsidis et al. / Cohen et al., the paper's
 /// cited k-means application): project the FEATURES of the points through
@@ -47,9 +47,9 @@ Result<double> KMeansCostForAssignment(const Matrix& points,
 /// of the feature space, the returned cost is within (1 + O(ε)) of what the
 /// same algorithm achieves on the full data. Requires
 /// sketch.cols() == points.cols().
-Result<KMeansResult> SketchedKMeans(const SketchingMatrix& sketch,
-                                    const Matrix& points,
-                                    const KMeansOptions& options);
+[[nodiscard]] Result<KMeansResult> SketchedKMeans(const SketchingMatrix& sketch,
+                                                  const Matrix& points,
+                                                  const KMeansOptions& options);
 
 }  // namespace sose
 

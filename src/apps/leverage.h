@@ -14,7 +14,7 @@ namespace sose {
 /// Exact statistical leverage scores of a tall matrix A (n x d, n >= d):
 /// ℓ_i = ‖e_iᵀ Q‖² for any orthonormal basis Q of range(A). Computed via
 /// Householder QR. The scores sum to rank(A).
-Result<std::vector<double>> ExactLeverageScores(const Matrix& a);
+[[nodiscard]] Result<std::vector<double>> ExactLeverageScores(const Matrix& a);
 
 /// Sketched leverage-score approximation (Drineas et al. style): factor
 /// Π A = Q̃ R̃, then ℓ̃_i = ‖e_iᵀ A R̃⁻¹ G‖² with G a d x jl_cols Gaussian
@@ -22,7 +22,7 @@ Result<std::vector<double>> ExactLeverageScores(const Matrix& a);
 /// ℓ̃_i = (1 ± O(ε + γ)) ℓ_i for all i, at o(n d²) cost.
 ///
 /// Fails if the sketched matrix is rank-deficient.
-Result<std::vector<double>> ApproximateLeverageScores(
+[[nodiscard]] Result<std::vector<double>> ApproximateLeverageScores(
     const SketchingMatrix& sketch, const Matrix& a, int64_t jl_cols,
     uint64_t seed);
 
@@ -37,9 +37,9 @@ double LeverageScoreError(const std::vector<double>& exact,
 /// it reads A before drawing — which is precisely how it escapes the
 /// paper's Ω(d²) wall at m = O(d log d/ε²): the lower bounds bind only
 /// data-independent sketches.
-Result<WeightedSamplingSketch> MakeLeverageSamplingSketch(const Matrix& a,
-                                                          int64_t m,
-                                                          uint64_t seed);
+[[nodiscard]] Result<WeightedSamplingSketch> MakeLeverageSamplingSketch(const Matrix& a,
+                                                                        int64_t m,
+                                                                        uint64_t seed);
 
 }  // namespace sose
 

@@ -18,14 +18,14 @@ struct LowRankApproximation {
 };
 
 /// Best rank-k approximation by truncated SVD (the baseline).
-Result<LowRankApproximation> BestRankK(const Matrix& a, int64_t k);
+[[nodiscard]] Result<LowRankApproximation> BestRankK(const Matrix& a, int64_t k);
 
 /// Sketched rank-k approximation in the Clarkson–Woodruff style: sketch the
 /// columns (B = Π A, m x cols), take the top-k right singular directions
 /// V_k of B, and project: Ã = (A V_k) V_kᵀ. With an OSE of distortion ε,
 /// ‖A − Ã‖_F <= (1 + O(ε)) ‖A − A_k‖_F.
-Result<LowRankApproximation> SketchedRankK(const SketchingMatrix& sketch,
-                                           const Matrix& a, int64_t k);
+[[nodiscard]] Result<LowRankApproximation> SketchedRankK(const SketchingMatrix& sketch,
+                                                         const Matrix& a, int64_t k);
 
 }  // namespace sose
 

@@ -17,9 +17,9 @@ struct ApproxProduct {
 
 /// Computes the sketched product and its exact error. A and B must share
 /// their row count, which must equal the sketch's ambient dimension.
-Result<ApproxProduct> ApproximateMatrixProduct(const SketchingMatrix& sketch,
-                                               const Matrix& a,
-                                               const Matrix& b);
+[[nodiscard]] Result<ApproxProduct> ApproximateMatrixProduct(const SketchingMatrix& sketch,
+                                                             const Matrix& a,
+                                                             const Matrix& b);
 
 }  // namespace sose
 

@@ -17,21 +17,21 @@ struct LeastSquaresSolution {
 };
 
 /// Exact least squares min_x ‖Ax − b‖₂ via Householder QR.
-Result<LeastSquaresSolution> SolveLeastSquares(const Matrix& a,
-                                               const std::vector<double>& b);
+[[nodiscard]] Result<LeastSquaresSolution> SolveLeastSquares(const Matrix& a,
+                                                             const std::vector<double>& b);
 
 /// Sketch-and-solve: solves min_x ‖Π A x − Π b‖₂ and evaluates the residual
 /// on the original problem. If Π is an ε-subspace-embedding for the span of
 /// [A b], the returned residual is within (1+ε)/(1−ε) of optimal — the
 /// classical application motivating the paper's study of sparse OSEs.
-Result<LeastSquaresSolution> SketchAndSolve(const SketchingMatrix& sketch,
-                                            const Matrix& a,
-                                            const std::vector<double>& b);
+[[nodiscard]] Result<LeastSquaresSolution> SketchAndSolve(const SketchingMatrix& sketch,
+                                                          const Matrix& a,
+                                                          const std::vector<double>& b);
 
 /// Residual suboptimality ratio ‖A x̂ − b‖ / ‖A x* − b‖ (>= 1; 1 is exact).
 /// Fails if the exact residual is numerically zero.
-Result<double> ResidualRatio(const Matrix& a, const std::vector<double>& b,
-                             const std::vector<double>& x_hat);
+[[nodiscard]] Result<double> ResidualRatio(const Matrix& a, const std::vector<double>& b,
+                                           const std::vector<double>& x_hat);
 
 }  // namespace sose
 

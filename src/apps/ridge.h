@@ -11,18 +11,18 @@ namespace sose {
 
 /// Exact ridge regression min_x ‖Ax − b‖² + λ‖x‖², solved via QR of the
 /// augmented system [A; √λ I]. Requires λ > 0 or A of full column rank.
-Result<std::vector<double>> SolveRidge(const Matrix& a,
-                                       const std::vector<double>& b,
-                                       double lambda);
+[[nodiscard]] Result<std::vector<double>> SolveRidge(const Matrix& a,
+                                                     const std::vector<double>& b,
+                                                     double lambda);
 
 /// Sketched ridge: solves min_x ‖Π A x − Π b‖² + λ‖x‖², i.e. the ridge
 /// problem on the compressed data. With Π an ε-OSE for span([A b]) the
 /// solution's excess regularized risk is O(ε). The regularizer is NOT
 /// sketched — only the data-fit term is, matching the standard analysis.
-Result<std::vector<double>> SketchAndSolveRidge(const SketchingMatrix& sketch,
-                                                const Matrix& a,
-                                                const std::vector<double>& b,
-                                                double lambda);
+[[nodiscard]] Result<std::vector<double>> SketchAndSolveRidge(const SketchingMatrix& sketch,
+                                                              const Matrix& a,
+                                                              const std::vector<double>& b,
+                                                              double lambda);
 
 /// The ridge objective ‖Ax − b‖² + λ‖x‖² at a candidate x.
 double RidgeObjective(const Matrix& a, const std::vector<double>& b,

@@ -9,7 +9,9 @@ namespace sose::internal_check {
 [[noreturn]] inline void CheckFailed(const char* file, int line,
                                      const char* expr) {
   std::fprintf(stderr, "%s:%d: SOSE_CHECK failed: %s\n", file, line, expr);
-  std::abort();
+  // SOSE_CHECK guards programming-error invariants; aborting on a violated
+  // invariant is its contract (see the macro comment below).
+  std::abort();  // sose-lint: allow(header-hygiene)
 }
 
 }  // namespace sose::internal_check

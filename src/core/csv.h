@@ -28,7 +28,7 @@ class CsvWriter {
   std::string ToString() const;
 
   /// Writes the document to `path`. Fails on I/O errors.
-  Status WriteToFile(const std::string& path) const;
+  [[nodiscard]] Status WriteToFile(const std::string& path) const;
 
  private:
   std::vector<std::string> columns_;
@@ -44,11 +44,11 @@ struct CsvDocument {
 /// Parses RFC 4180 CSV text (quoted cells, "" escapes, embedded newlines and
 /// commas) as produced by CsvWriter. Fails on unterminated quotes. Rows may
 /// be ragged; callers validate widths. Used to read checkpoint files back.
-Result<CsvDocument> ParseCsv(const std::string& text);
+[[nodiscard]] Result<CsvDocument> ParseCsv(const std::string& text);
 
 /// Reads and parses a CSV file. Fails with kNotFound when the file cannot be
 /// opened.
-Result<CsvDocument> ReadCsvFile(const std::string& path);
+[[nodiscard]] Result<CsvDocument> ReadCsvFile(const std::string& path);
 
 }  // namespace sose
 

@@ -85,7 +85,7 @@ namespace internal_fault {
 extern std::atomic<bool> g_enabled;
 
 /// Counts the call and returns the injected error if a status rule matches.
-Status OnFaultPoint(const char* site);
+[[nodiscard]] Status OnFaultPoint(const char* site);
 
 /// Counts the call and returns `value`, NaN, or Inf per the matching rule.
 double OnValueFaultPoint(const char* site, double value);

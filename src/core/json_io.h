@@ -27,7 +27,7 @@ class JsonObjectWriter {
 
   /// Writes the object to `path` through a temp file + rename, so readers
   /// never observe a torn document.
-  Status WriteToFile(const std::string& path) const;
+  [[nodiscard]] Status WriteToFile(const std::string& path) const;
 
  private:
   std::vector<std::pair<std::string, std::string>> fields_;  // key → raw JSON
@@ -42,7 +42,7 @@ bool FindJsonNumber(const std::string& text, const std::string& key,
 
 /// Reads a whole file into a string. Fails with kNotFound when the file
 /// cannot be opened.
-Result<std::string> ReadFileToString(const std::string& path);
+[[nodiscard]] Result<std::string> ReadFileToString(const std::string& path);
 
 }  // namespace sose
 

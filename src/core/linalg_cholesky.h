@@ -16,7 +16,7 @@ class Cholesky {
  public:
   /// Factors the symmetric matrix `a` (only the lower triangle is read).
   /// Fails with NumericalError if `a` is not positive definite.
-  static Result<Cholesky> Factor(const Matrix& a);
+  [[nodiscard]] static Result<Cholesky> Factor(const Matrix& a);
 
   /// The lower-triangular factor L.
   const Matrix& L() const { return l_; }

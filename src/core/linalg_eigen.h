@@ -23,14 +23,14 @@ struct SymmetricEigen {
 ///
 /// Fails with NumericalError if the sweep limit is exceeded before
 /// off-diagonal mass drops below tolerance.
-Result<SymmetricEigen> JacobiEigenSymmetric(const Matrix& a,
-                                            int max_sweeps = 64,
-                                            double tol = 1e-13);
+[[nodiscard]] Result<SymmetricEigen> JacobiEigenSymmetric(const Matrix& a,
+                                                          int max_sweeps = 64,
+                                                          double tol = 1e-13);
 
 /// Eigenvalues only (ascending); same algorithm without accumulating vectors.
-Result<std::vector<double>> SymmetricEigenvalues(const Matrix& a,
-                                                 int max_sweeps = 64,
-                                                 double tol = 1e-13);
+[[nodiscard]] Result<std::vector<double>> SymmetricEigenvalues(const Matrix& a,
+                                                               int max_sweeps = 64,
+                                                               double tol = 1e-13);
 
 /// Solves the symmetric-definite generalized eigenproblem A x = λ B x with
 /// B positive definite, by the standard reduction M = L⁻¹ A L⁻ᵀ where
@@ -39,8 +39,8 @@ Result<std::vector<double>> SymmetricEigenvalues(const Matrix& a,
 /// This is exactly the computation behind "distortion of Π on span(U)":
 /// with A = (ΠU)ᵀ(ΠU) and B = UᵀU, the extreme generalized eigenvalues are
 /// the extremes of ‖ΠUx‖²/‖Ux‖².
-Result<std::vector<double>> GeneralizedSymmetricEigenvalues(const Matrix& a,
-                                                            const Matrix& b);
+[[nodiscard]] Result<std::vector<double>> GeneralizedSymmetricEigenvalues(const Matrix& a,
+                                                                          const Matrix& b);
 
 }  // namespace sose
 

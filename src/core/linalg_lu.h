@@ -16,7 +16,7 @@ class PartialPivLu {
  public:
   /// Factors the square matrix `a`. Fails with NumericalError if a zero
   /// pivot is encountered (singular to working precision).
-  static Result<PartialPivLu> Factor(const Matrix& a);
+  [[nodiscard]] static Result<PartialPivLu> Factor(const Matrix& a);
 
   /// Solves A x = b.
   std::vector<double> Solve(const std::vector<double>& b) const;

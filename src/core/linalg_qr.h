@@ -16,7 +16,7 @@ namespace sose {
 class HouseholderQr {
  public:
   /// Factors `a`. Fails with InvalidArgument if a.rows() < a.cols().
-  static Result<HouseholderQr> Factor(const Matrix& a);
+  [[nodiscard]] static Result<HouseholderQr> Factor(const Matrix& a);
 
   /// The thin orthonormal factor Q (m x n).
   Matrix ThinQ() const;
@@ -26,7 +26,7 @@ class HouseholderQr {
 
   /// Solves the least-squares problem min_x ||A x - b||_2. `b` must have
   /// length m. Fails with NumericalError if R is (numerically) singular.
-  Result<std::vector<double>> SolveLeastSquares(
+  [[nodiscard]] Result<std::vector<double>> SolveLeastSquares(
       const std::vector<double>& b) const;
 
   /// Rank estimate: the number of diagonal entries of R exceeding
@@ -49,7 +49,7 @@ class HouseholderQr {
 /// Orthonormalizes the columns of `a` (m x n, m >= n): returns a matrix with
 /// the same column span and orthonormal columns. Fails if `a` is
 /// column-rank-deficient beyond `tol`.
-Result<Matrix> Orthonormalize(const Matrix& a, double tol = 1e-10);
+[[nodiscard]] Result<Matrix> Orthonormalize(const Matrix& a, double tol = 1e-10);
 
 }  // namespace sose
 

@@ -25,13 +25,13 @@ struct Svd {
 ///
 /// Requires a.rows() >= a.cols(); fails with NumericalError if the sweep
 /// limit is exceeded.
-Result<Svd> JacobiSvd(const Matrix& a, int max_sweeps = 64, double tol = 1e-13);
+[[nodiscard]] Result<Svd> JacobiSvd(const Matrix& a, int max_sweeps = 64, double tol = 1e-13);
 
 /// Singular values only, descending.
-Result<std::vector<double>> SingularValues(const Matrix& a);
+[[nodiscard]] Result<std::vector<double>> SingularValues(const Matrix& a);
 
 /// Condition number σ_max / σ_min; fails if σ_min is (numerically) zero.
-Result<double> ConditionNumber(const Matrix& a);
+[[nodiscard]] Result<double> ConditionNumber(const Matrix& a);
 
 }  // namespace sose
 

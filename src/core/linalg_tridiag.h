@@ -19,19 +19,19 @@ struct Tridiagonal {
 /// T = Qᵀ A Q. Only the lower triangle of `a` is read. O(n³) with a much
 /// smaller constant than a Jacobi sweep, which makes the QL pipeline the
 /// right eigensolver once d grows past a few dozen.
-Result<Tridiagonal> HouseholderTridiagonalize(const Matrix& a);
+[[nodiscard]] Result<Tridiagonal> HouseholderTridiagonalize(const Matrix& a);
 
 /// Eigenvalues of a symmetric tridiagonal matrix by the implicit QL
 /// algorithm with Wilkinson shifts, ascending. Fails with NumericalError if
 /// an eigenvalue fails to converge within the iteration cap.
-Result<std::vector<double>> TridiagonalEigenvalues(const Tridiagonal& t,
-                                                   int max_iterations = 60);
+[[nodiscard]] Result<std::vector<double>> TridiagonalEigenvalues(const Tridiagonal& t,
+                                                                 int max_iterations = 60);
 
 /// Eigenvalues of a symmetric matrix via tridiagonalization + QL,
 /// ascending. Produces the same spectrum as `SymmetricEigenvalues`
 /// (Jacobi) at a fraction of the cost for larger matrices; the library's
 /// distortion pipeline uses whichever the caller picks.
-Result<std::vector<double>> SymmetricEigenvaluesQl(const Matrix& a);
+[[nodiscard]] Result<std::vector<double>> SymmetricEigenvaluesQl(const Matrix& a);
 
 }  // namespace sose
 

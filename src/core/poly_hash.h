@@ -52,7 +52,7 @@ class PolyHash {
  public:
   /// Draws a k-wise independent function with outputs in [0, range).
   /// Fails unless k >= 1 and range >= 1.
-  static Result<PolyHash> Create(int64_t k, uint64_t range, Rng* rng);
+  [[nodiscard]] static Result<PolyHash> Create(int64_t k, uint64_t range, Rng* rng);
 
   /// Evaluates the hash at `x` (any 64-bit value; reduced into the field).
   uint64_t Eval(uint64_t x) const;

@@ -109,7 +109,9 @@ std::string Status::ToString() const {
 void Status::CheckOK() const {
   if (ok()) return;
   std::fprintf(stderr, "fatal status: %s\n", ToString().c_str());
-  std::abort();
+  // CheckOK is the documented abort-on-error escape hatch for examples and
+  // benches; this is the one place the library itself may terminate.
+  std::abort();  // sose-lint: allow(header-hygiene)
 }
 
 std::ostream& operator<<(std::ostream& os, const Status& status) {

@@ -39,7 +39,13 @@ bool StatusCodeFromString(const std::string& name, StatusCode* code);
 /// follows ban exceptions across API boundaries.
 ///
 /// The OK status carries no allocation; error statuses own a message.
-class Status {
+///
+/// The class carries `[[nodiscard]]`: a dropped Status is a silently
+/// swallowed error, which would bias exactly the failure probabilities this
+/// repository estimates. Discarding one is a compile error under -Werror and
+/// a `discarded-status` finding from sose_lint; the sanctioned escape hatch
+/// is an explicit `(void)` cast with a comment justifying it.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() = default;
@@ -54,22 +60,24 @@ class Status {
   Status& operator=(Status&&) noexcept = default;
 
   /// Returns an OK status.
-  static Status OK() { return Status(); }
+  [[nodiscard]] static Status OK() { return Status(); }
   /// Convenience constructors for each error category.
-  static Status InvalidArgument(std::string message);
-  static Status OutOfRange(std::string message);
-  static Status FailedPrecondition(std::string message);
-  static Status NotFound(std::string message);
-  static Status AlreadyExists(std::string message);
-  static Status NumericalError(std::string message);
-  static Status Unimplemented(std::string message);
-  static Status Internal(std::string message);
+  [[nodiscard]] static Status InvalidArgument(std::string message);
+  [[nodiscard]] static Status OutOfRange(std::string message);
+  [[nodiscard]] static Status FailedPrecondition(std::string message);
+  [[nodiscard]] static Status NotFound(std::string message);
+  [[nodiscard]] static Status AlreadyExists(std::string message);
+  [[nodiscard]] static Status NumericalError(std::string message);
+  [[nodiscard]] static Status Unimplemented(std::string message);
+  [[nodiscard]] static Status Internal(std::string message);
 
   /// True iff this status represents success.
-  bool ok() const { return rep_ == nullptr; }
+  [[nodiscard]] bool ok() const { return rep_ == nullptr; }
 
   /// The status code; `kOk` for success.
-  StatusCode code() const { return rep_ == nullptr ? StatusCode::kOk : rep_->code; }
+  [[nodiscard]] StatusCode code() const {
+    return rep_ == nullptr ? StatusCode::kOk : rep_->code;
+  }
 
   /// The error message; empty for success.
   const std::string& message() const;
@@ -97,8 +105,11 @@ std::ostream& operator<<(std::ostream& os, const Status& status);
 /// A `Result<T>` holds either a `T` or an error `Status`. Accessing the value
 /// of an errored result aborts, so callers must test `ok()` first (or use the
 /// SOSE_ASSIGN_OR_RETURN macro).
+///
+/// Like `Status`, `Result` is `[[nodiscard]]`: a dropped Result throws away
+/// both the value and the error.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Constructs a successful result (implicit by design, mirroring Arrow).
   Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
@@ -110,10 +121,10 @@ class Result {
   }
 
   /// True iff a value is present.
-  bool ok() const { return std::holds_alternative<T>(value_); }
+  [[nodiscard]] bool ok() const { return std::holds_alternative<T>(value_); }
 
   /// The error status; OK when a value is present.
-  Status status() const {
+  [[nodiscard]] Status status() const {
     if (ok()) return Status::OK();
     return std::get<Status>(value_);
   }

@@ -21,8 +21,8 @@ namespace sose {
 class DBetaSampler {
  public:
   /// Creates a sampler. Fails unless n >= d * entries_per_col >= 1.
-  static Result<DBetaSampler> Create(int64_t n, int64_t d,
-                                     int64_t entries_per_col);
+  [[nodiscard]] static Result<DBetaSampler> Create(int64_t n, int64_t d,
+                                                   int64_t entries_per_col);
 
   /// Draws one U ~ D_β using the caller's generator.
   HardInstance Sample(Rng* rng) const;

@@ -22,8 +22,8 @@ namespace sose {
 class SectionThreeMixture {
  public:
   /// Creates the mixture for the given shape and ε ∈ (0, 1/8).
-  static Result<SectionThreeMixture> Create(int64_t n, int64_t d,
-                                            double epsilon);
+  [[nodiscard]] static Result<SectionThreeMixture> Create(int64_t n, int64_t d,
+                                                          double epsilon);
 
   /// Draws one instance; `*picked_dense` (optional) reports whether the
   /// D_{8ε} component was chosen.
@@ -51,8 +51,8 @@ class SectionFiveMixture {
  public:
   /// Creates the mixture for the given shape and ε small enough that
   /// L = floor(log₂(1/ε)) − 3 >= 1.
-  static Result<SectionFiveMixture> Create(int64_t n, int64_t d,
-                                           double epsilon);
+  [[nodiscard]] static Result<SectionFiveMixture> Create(int64_t n, int64_t d,
+                                                         double epsilon);
 
   /// Draws one instance; `*picked_level` (optional) reports the level:
   /// 0 for the D₁ component, otherwise the drawn ℓ ∈ [1, L].

@@ -64,8 +64,8 @@ struct AuditReport {
 /// draws, and verifies the induced anti-concentration. The sketch's own
 /// column sparsity determines nothing here — the attack applies to any
 /// oblivious Π, exactly as the lower bounds do.
-Result<AuditReport> AuditSketch(const SketchingMatrix& sketch,
-                                const AuditParams& params);
+[[nodiscard]] Result<AuditReport> AuditSketch(const SketchingMatrix& sketch,
+                                              const AuditParams& params);
 
 }  // namespace sose
 

@@ -59,7 +59,7 @@ struct CollidingPairStats {
 /// the columns chosen by V) and computes the statistics above.
 /// `inner_threshold` is the paper's (8 − κ)ε. Pairs are unordered and
 /// counted once. Cost O(Σ_l |G^l|²) over the heavy rows touched.
-Result<CollidingPairStats> ComputeCollidingPairStats(
+[[nodiscard]] Result<CollidingPairStats> ComputeCollidingPairStats(
     const SketchColumnIndex& index, const std::vector<int64_t>& columns,
     double inner_threshold);
 

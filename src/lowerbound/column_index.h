@@ -33,9 +33,9 @@ class SketchColumnIndex {
  public:
   /// Indexes columns [0, num_columns) of `sketch` under `params`.
   /// Fails if num_columns is out of range or θ <= 0.
-  static Result<SketchColumnIndex> Build(const SketchingMatrix& sketch,
-                                         int64_t num_columns,
-                                         const HeavinessParams& params);
+  [[nodiscard]] static Result<SketchColumnIndex> Build(const SketchingMatrix& sketch,
+                                                       int64_t num_columns,
+                                                       const HeavinessParams& params);
 
   int64_t num_rows() const { return num_rows_; }
   int64_t num_columns() const { return num_columns_; }

@@ -34,9 +34,9 @@ int64_t CountHeavyEntries(const std::vector<ColumnEntry>& column, double theta);
 /// sampling `sample_columns` columns uniformly (or scanning all columns when
 /// sample_columns >= cols()). `epsilon` parameterizes the Lemma 19 bound
 /// column (δ' is computed from ε exactly as in Section 5).
-Result<HeavyCensus> ComputeHeavyCensus(const SketchingMatrix& sketch,
-                                       int64_t num_levels, double epsilon,
-                                       int64_t sample_columns, Rng* rng);
+[[nodiscard]] Result<HeavyCensus> ComputeHeavyCensus(const SketchingMatrix& sketch,
+                                                     int64_t num_levels, double epsilon,
+                                                     int64_t sample_columns, Rng* rng);
 
 /// The paper's δ'(ε) = log log(1/ε^72) / log(1/ε) from Section 5, chosen so
 /// that 4 ε^{δ'} log(1/ε) <= 1/18.
@@ -44,9 +44,9 @@ double SectionFiveDeltaPrime(double epsilon);
 
 /// Fraction of sampled columns whose l2 norm falls outside [1-ε, 1+ε]
 /// (Lemma 6 says this must be at most ~2δ/d for a working s = 1 embedding).
-Result<double> FractionColumnsOutsideNorm(const SketchingMatrix& sketch,
-                                          double epsilon,
-                                          int64_t sample_columns, Rng* rng);
+[[nodiscard]] Result<double> FractionColumnsOutsideNorm(const SketchingMatrix& sketch,
+                                                        double epsilon,
+                                                        int64_t sample_columns, Rng* rng);
 
 }  // namespace sose
 

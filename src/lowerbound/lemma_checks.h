@@ -33,8 +33,8 @@ struct Lemma3Result {
   bool holds = false;
   double mean_inner_product = 0.0;  ///< E⟨u,v⟩, which the proof shows >= 0.
 };
-Result<Lemma3Result> CheckLemma3(const std::vector<std::vector<double>>& s,
-                                 double epsilon, double kappa = 3.0);
+[[nodiscard]] Result<Lemma3Result> CheckLemma3(const std::vector<std::vector<double>>& s,
+                                               double epsilon, double kappa = 3.0);
 
 /// Exact evaluation of Lemma 14 for a concrete matrix A and row l: with
 /// S = {i : |A_{l,i}| >= θ} (requiring ‖A_{*,i}‖² <= 1 + θ² on S) and
@@ -47,8 +47,8 @@ struct Lemma14Result {
   bool holds = false;
   bool precondition_met = false;  ///< Norm condition on S held.
 };
-Result<Lemma14Result> CheckLemma14(const Matrix& a, int64_t row, double theta,
-                                   double epsilon, double kappa = 3.0);
+[[nodiscard]] Result<Lemma14Result> CheckLemma14(const Matrix& a, int64_t row, double theta,
+                                                 double epsilon, double kappa = 3.0);
 
 }  // namespace sose
 

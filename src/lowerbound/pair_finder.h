@@ -84,23 +84,23 @@ struct PairFinderOptions {
 /// the hard instance, in sample order; non-good entries are filtered exactly
 /// as the paper's preamble prescribes. Fails on out-of-range columns or
 /// non-positive options.
-Result<PairFinderResult> RunPairFinder(const SketchColumnIndex& index,
-                                       const std::vector<int64_t>& chosen_columns,
-                                       const PairFinderOptions& options);
+[[nodiscard]] Result<PairFinderResult> RunPairFinder(const SketchColumnIndex& index,
+                                                     const std::vector<int64_t>& chosen_columns,
+                                                     const PairFinderOptions& options);
 
 /// Algorithm 1 exactly: η = 3, φ-threshold η/d, d/16 iterations, where
 /// d = chosen_columns.size().
-Result<PairFinderResult> RunAlgorithm1(const SketchColumnIndex& index,
-                                       const std::vector<int64_t>& chosen_columns,
-                                       uint64_t seed);
+[[nodiscard]] Result<PairFinderResult> RunAlgorithm1(const SketchColumnIndex& index,
+                                                     const std::vector<int64_t>& chosen_columns,
+                                                     uint64_t seed);
 
 /// Algorithm 2's parameterization for level ℓ' and the Section 5 heaviness
 /// scale: φ-threshold η/(scale·d') and scale·d'/16 iterations with
 /// d' = chosen_columns.size() and scale = ε^{δ'} (the caller passes the
 /// combined ε^{δ'} factor).
-Result<PairFinderResult> RunAlgorithm2(const SketchColumnIndex& index,
-                                       const std::vector<int64_t>& chosen_columns,
-                                       double scale, uint64_t seed);
+[[nodiscard]] Result<PairFinderResult> RunAlgorithm2(const SketchColumnIndex& index,
+                                                     const std::vector<int64_t>& chosen_columns,
+                                                     double scale, uint64_t seed);
 
 }  // namespace sose
 

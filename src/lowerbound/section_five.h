@@ -51,10 +51,10 @@ struct SectionFiveReport {
 /// level is populated — runs Algorithm 2 against a freshly sampled
 /// D_{2^{-ℓ'}} instance at the paired level ℓ' ≈ L − ℓ, recording the
 /// colliding pairs and their inner-product exceedances.
-Result<SectionFiveReport> RunSectionFiveAnalysis(const SketchingMatrix& sketch,
-                                                 int64_t num_columns,
-                                                 int64_t d, double epsilon,
-                                                 uint64_t seed);
+[[nodiscard]] Result<SectionFiveReport> RunSectionFiveAnalysis(const SketchingMatrix& sketch,
+                                                               int64_t num_columns,
+                                                               int64_t d, double epsilon,
+                                                               uint64_t seed);
 
 }  // namespace sose
 

@@ -54,7 +54,7 @@ struct SectionThreeParams {
 /// Measures both obligations of Theorem 8 against a sketch with column
 /// sparsity 1 (the analysis is meaningful for any sketch, but the paper's
 /// statement concerns s = 1; callers may check sketch.column_sparsity()).
-Result<SectionThreeReport> RunSectionThreeAnalysis(
+[[nodiscard]] Result<SectionThreeReport> RunSectionThreeAnalysis(
     const SketchingMatrix& sketch, const SectionThreeParams& params);
 
 }  // namespace sose

@@ -29,7 +29,7 @@ struct ViolationWitness {
 /// |⟨Π_{*,C_p}, Π_{*,C_q}⟩| and returns it if the maximum reaches
 /// `threshold` (the paper uses λε/β with λ > 2). Returns nullopt when no
 /// pair qualifies. Cost O(k² s) for k = d/β generators.
-Result<std::optional<ViolationWitness>> FindLargeInnerProductPair(
+[[nodiscard]] Result<std::optional<ViolationWitness>> FindLargeInnerProductPair(
     const SketchingMatrix& sketch, const HardInstance& instance,
     double threshold);
 
@@ -50,7 +50,7 @@ struct AntiConcentrationReport {
 
 /// Estimates the report by `trials` independent resamplings of the signs in
 /// the witness's block(s), keeping V (the row choices) fixed.
-Result<AntiConcentrationReport> VerifyAntiConcentration(
+[[nodiscard]] Result<AntiConcentrationReport> VerifyAntiConcentration(
     const SketchingMatrix& sketch, const HardInstance& instance,
     const ViolationWitness& witness, double epsilon, int64_t trials,
     uint64_t seed);
@@ -60,9 +60,9 @@ Result<AntiConcentrationReport> VerifyAntiConcentration(
 /// footnote 1) observes that a collision collapses this below d. The
 /// paper's anti-concentration argument supersedes it, but the collapse
 /// remains the most visible symptom of a broken embedding.
-Result<int64_t> SketchedInstanceRank(const SketchingMatrix& sketch,
-                                     const HardInstance& instance,
-                                     double tol = 1e-10);
+[[nodiscard]] Result<int64_t> SketchedInstanceRank(const SketchingMatrix& sketch,
+                                                   const HardInstance& instance,
+                                                   double tol = 1e-10);
 
 }  // namespace sose
 

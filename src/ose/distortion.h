@@ -27,21 +27,21 @@ struct DistortionReport {
 /// Distortion from the sketched basis ΠU (m x d) when U is an exact
 /// isometry: singular-value extremes of ΠU via the eigenvalues of its d x d
 /// Gram matrix.
-Result<DistortionReport> DistortionOfSketchedIsometry(const Matrix& sketched);
+[[nodiscard]] Result<DistortionReport> DistortionOfSketchedIsometry(const Matrix& sketched);
 
 /// Distortion for a general (full-column-rank) basis U: solves the
 /// generalized symmetric eigenproblem (ΠU)ᵀ(ΠU) x = λ (UᵀU) x. Fails with
 /// NumericalError if UᵀU is singular (U rank-deficient).
-Result<DistortionReport> DistortionOfSketchedBasis(const Matrix& sketched,
-                                                   const Matrix& gram_u);
+[[nodiscard]] Result<DistortionReport> DistortionOfSketchedBasis(const Matrix& sketched,
+                                                                 const Matrix& gram_u);
 
 /// End-to-end: applies `sketch` to the hard instance and reports distortion
 /// relative to U's true geometry (collision-robust: uses GramU).
-Result<DistortionReport> SketchDistortionOnInstance(
+[[nodiscard]] Result<DistortionReport> SketchDistortionOnInstance(
     const SketchingMatrix& sketch, const HardInstance& instance);
 
 /// End-to-end for a dense isometry basis.
-Result<DistortionReport> SketchDistortionOnIsometry(
+[[nodiscard]] Result<DistortionReport> SketchDistortionOnIsometry(
     const SketchingMatrix& sketch, const Matrix& isometry);
 
 }  // namespace sose

@@ -87,19 +87,19 @@ struct EstimatorOptions {
 /// epsilon, max_redraws <= 0, negative retry/budget/deadline fields, a
 /// checkpoint cadence without a path). Returns kInvalidArgument with a
 /// description of the first violation.
-Status ValidateEstimatorOptions(const EstimatorOptions& options);
+[[nodiscard]] Status ValidateEstimatorOptions(const EstimatorOptions& options);
 
 /// Estimates Pr over (Π, U) of "Π is not an ε-subspace-embedding for U",
 /// with U from the sparse hard-instance sampler. Each trial draws a fresh
 /// sketch and a fresh instance. Per-trial errors are quarantined by the
 /// trial runner rather than aborting the estimate.
-Result<FailureEstimate> EstimateFailureProbability(
+[[nodiscard]] Result<FailureEstimate> EstimateFailureProbability(
     const SketchFactory& sketch_factory, const InstanceSampler& sampler,
     const EstimatorOptions& options);
 
 /// Same, for dense isometry bases (used by the upper-bound experiments with
 /// moderate ambient dimension).
-Result<FailureEstimate> EstimateFailureProbabilityDense(
+[[nodiscard]] Result<FailureEstimate> EstimateFailureProbabilityDense(
     const SketchFactory& sketch_factory, const BasisSampler& sampler,
     const EstimatorOptions& options);
 

@@ -13,17 +13,17 @@ namespace sose {
 /// Gaussian matrix. Dense — intended for the moderate-n upper-bound
 /// experiments, not the n = Ω(d²/ε²δ) hard-instance regime (those use the
 /// sparse `HardInstance` machinery instead).
-Result<Matrix> RandomIsometry(int64_t n, int64_t d, Rng* rng);
+[[nodiscard]] Result<Matrix> RandomIsometry(int64_t n, int64_t d, Rng* rng);
 
 /// The normalized identity-stack isometry (I_d I_d ... I_d 0)ᵀ/√copies:
 /// the deterministic skeleton of the paper's hard instances. Requires
 /// n >= copies * d.
-Result<Matrix> IdentityStackIsometry(int64_t n, int64_t d, int64_t copies);
+[[nodiscard]] Result<Matrix> IdentityStackIsometry(int64_t n, int64_t d, int64_t copies);
 
 /// A "spiky" isometry whose first column is e₁ (a maximally coherent
 /// direction) and whose remaining columns are a random isometry of the
 /// complement; stresses row-sampling sketches. Requires n > d.
-Result<Matrix> SpikyIsometry(int64_t n, int64_t d, Rng* rng);
+[[nodiscard]] Result<Matrix> SpikyIsometry(int64_t n, int64_t d, Rng* rng);
 
 /// Verifies ‖UᵀU − I‖_max <= tol.
 bool IsIsometry(const Matrix& u, double tol = 1e-9);

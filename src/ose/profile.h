@@ -46,9 +46,9 @@ struct ProfileOptions {
 /// summarizes. This is the "one figure per sketch" view used by the
 /// profile experiment; the failure estimator remains the cheaper choice
 /// when only a single (ε, δ) point is needed.
-Result<DistortionProfile> ProfileDistortion(const SketchFactory& factory,
-                                            const InstanceSampler& sampler,
-                                            const ProfileOptions& options);
+[[nodiscard]] Result<DistortionProfile> ProfileDistortion(const SketchFactory& factory,
+                                                          const InstanceSampler& sampler,
+                                                          const ProfileOptions& options);
 
 }  // namespace sose
 

@@ -50,8 +50,8 @@ struct ThresholdSearchOptions {
 /// up from m_lo to bracket the threshold and then bisecting. Assumes
 /// failure(m) is non-increasing in m in expectation; Monte-Carlo noise is
 /// tolerated, the returned m_star is the bisection's final success point.
-Result<ThresholdResult> FindMinimalRows(const FailureAtRows& failure_at,
-                                        const ThresholdSearchOptions& options);
+[[nodiscard]] Result<ThresholdResult> FindMinimalRows(const FailureAtRows& failure_at,
+                                                      const ThresholdSearchOptions& options);
 
 }  // namespace sose
 

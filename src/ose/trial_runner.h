@@ -112,8 +112,8 @@ struct TrialRunReport {
 /// plus work stealing for tail balance), but the report is guaranteed to
 /// match the serial run bit for bit — see docs/performance.md for the
 /// determinism argument.
-Result<TrialRunReport> RunTrials(const TrialFn& trial,
-                                 const TrialRunnerOptions& options);
+[[nodiscard]] Result<TrialRunReport> RunTrials(const TrialFn& trial,
+                                               const TrialRunnerOptions& options);
 
 /// A serialized runner state: everything needed to resume a run such that
 /// the final report is bitwise identical to an uninterrupted one.
@@ -127,11 +127,11 @@ struct TrialCheckpoint {
 /// Writes `checkpoint` to `path` as a small CSV document (see
 /// docs/robustness.md for the format). The write goes through a temporary
 /// file and rename, so a crash never leaves a torn checkpoint.
-Status WriteTrialCheckpoint(const std::string& path,
-                            const TrialCheckpoint& checkpoint);
+[[nodiscard]] Status WriteTrialCheckpoint(const std::string& path,
+                                          const TrialCheckpoint& checkpoint);
 
 /// Reads a checkpoint previously written by WriteTrialCheckpoint.
-Result<TrialCheckpoint> ReadTrialCheckpoint(const std::string& path);
+[[nodiscard]] Result<TrialCheckpoint> ReadTrialCheckpoint(const std::string& path);
 
 }  // namespace sose
 

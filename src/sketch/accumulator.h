@@ -20,19 +20,19 @@ class SketchAccumulator {
  public:
   /// Creates an accumulator maintaining Π A for A with `num_columns`
   /// columns. The sketch is borrowed and must outlive the accumulator.
-  static Result<SketchAccumulator> Create(
+  [[nodiscard]] static Result<SketchAccumulator> Create(
       std::shared_ptr<const SketchingMatrix> sketch, int64_t num_columns);
 
   /// Applies the update A[row, :] += values. `row` indexes the ambient
   /// dimension [0, sketch.cols()); `values` must have num_columns entries.
-  Status AddRow(int64_t row, const std::vector<double>& values);
+  [[nodiscard]] Status AddRow(int64_t row, const std::vector<double>& values);
 
   /// Rank-one convenience: A[row, col] += value.
-  Status AddEntry(int64_t row, int64_t col, double value);
+  [[nodiscard]] Status AddEntry(int64_t row, int64_t col, double value);
 
   /// Merges another accumulator over the SAME sketch draw (checked by
   /// shape; the caller is responsible for using the same seed).
-  Status Merge(const SketchAccumulator& other);
+  [[nodiscard]] Status Merge(const SketchAccumulator& other);
 
   /// The current sketch state Π A.
   const Matrix& state() const { return state_; }

@@ -24,7 +24,7 @@ class BlockHadamard final : public SketchingMatrix {
  public:
   /// Creates the sketch with `m` rows, `n` columns and block order `b`.
   /// Requires b a positive power of two, b | m, and positive n.
-  static Result<BlockHadamard> Create(int64_t m, int64_t n, int64_t b);
+  [[nodiscard]] static Result<BlockHadamard> Create(int64_t m, int64_t n, int64_t b);
 
   int64_t rows() const override { return m_; }
   int64_t cols() const override { return n_; }

@@ -23,7 +23,7 @@ namespace sose {
 class ComposedSketch final : public SketchingMatrix {
  public:
   /// Composes outer ∘ inner. Fails unless outer.cols() == inner.rows().
-  static Result<ComposedSketch> Create(
+  [[nodiscard]] static Result<ComposedSketch> Create(
       std::shared_ptr<const SketchingMatrix> outer,
       std::shared_ptr<const SketchingMatrix> inner);
 
@@ -38,10 +38,10 @@ class ComposedSketch final : public SketchingMatrix {
 
   /// Applies the stages in sequence (never materializes the product),
   /// preserving each stage's fast path.
-  Result<Matrix> ApplyDense(const Matrix& a) const override;
-  Result<std::vector<double>> ApplyVector(
+  [[nodiscard]] Result<Matrix> ApplyDense(const Matrix& a) const override;
+  [[nodiscard]] Result<std::vector<double>> ApplyVector(
       const std::vector<double>& x) const override;
-  Result<Matrix> ApplySparse(const CscMatrix& a) const override;
+  [[nodiscard]] Result<Matrix> ApplySparse(const CscMatrix& a) const override;
 
  private:
   ComposedSketch(std::shared_ptr<const SketchingMatrix> outer,

@@ -18,7 +18,7 @@ namespace sose {
 class CountSketch final : public SketchingMatrix {
  public:
   /// Creates an m x n Count-Sketch draw. Fails if m or n is non-positive.
-  static Result<CountSketch> Create(int64_t m, int64_t n, uint64_t seed);
+  [[nodiscard]] static Result<CountSketch> Create(int64_t m, int64_t n, uint64_t seed);
 
   int64_t rows() const override { return m_; }
   int64_t cols() const override { return n_; }
@@ -31,7 +31,7 @@ class CountSketch final : public SketchingMatrix {
   /// Fast path: with exactly one nonzero per column, Π A scatters each
   /// nonzero A_{r,j} directly to out(Bucket(r), j) — no column buffer at
   /// all. Bitwise identical to the generic scatter.
-  Result<Matrix> ApplySparse(const CscMatrix& a) const override;
+  [[nodiscard]] Result<Matrix> ApplySparse(const CscMatrix& a) const override;
 
   /// The hash bucket of column `c` (exposed for the birthday-paradox
   /// experiments, which study the induced balls-into-bins process).

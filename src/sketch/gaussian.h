@@ -16,7 +16,7 @@ namespace sose {
 class GaussianSketch final : public SketchingMatrix {
  public:
   /// Creates an m x n Gaussian draw.
-  static Result<GaussianSketch> Create(int64_t m, int64_t n, uint64_t seed);
+  [[nodiscard]] static Result<GaussianSketch> Create(int64_t m, int64_t n, uint64_t seed);
 
   int64_t rows() const override { return m_; }
   int64_t cols() const override { return n_; }

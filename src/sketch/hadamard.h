@@ -22,12 +22,12 @@ double HadamardEntry(int64_t i, int64_t j);
 
 /// The unnormalized order-n Sylvester Hadamard matrix (entries ±1).
 /// Fails unless n is a positive power of two.
-Result<Matrix> SylvesterHadamard(int64_t n);
+[[nodiscard]] Result<Matrix> SylvesterHadamard(int64_t n);
 
 /// In-place fast Walsh–Hadamard transform of a length-2^k vector
 /// (unnormalized butterflies: applying twice multiplies by the length).
 /// Fails unless the size is a positive power of two.
-Status Fwht(std::vector<double>* x);
+[[nodiscard]] Status Fwht(std::vector<double>* x);
 
 }  // namespace sose
 

@@ -22,8 +22,8 @@ namespace sose {
 class KwiseCountSketch final : public SketchingMatrix {
  public:
   /// Creates an m x n draw with independence parameter k >= 1.
-  static Result<KwiseCountSketch> Create(int64_t m, int64_t n, int64_t k,
-                                         uint64_t seed);
+  [[nodiscard]] static Result<KwiseCountSketch> Create(int64_t m, int64_t n, int64_t k,
+                                                       uint64_t seed);
 
   int64_t rows() const override { return m_; }
   int64_t cols() const override { return n_; }

@@ -28,8 +28,8 @@ class Osnap final : public SketchingMatrix {
  public:
   /// Creates an m x n OSNAP draw with column sparsity `s`. Fails if shapes
   /// are non-positive, s > m, or (block variant) s does not divide m.
-  static Result<Osnap> Create(int64_t m, int64_t n, int64_t s, uint64_t seed,
-                              OsnapVariant variant = OsnapVariant::kUniform);
+  [[nodiscard]] static Result<Osnap> Create(int64_t m, int64_t n, int64_t s, uint64_t seed,
+                                            OsnapVariant variant = OsnapVariant::kUniform);
 
   int64_t rows() const override { return m_; }
   int64_t cols() const override { return n_; }
@@ -45,7 +45,7 @@ class Osnap final : public SketchingMatrix {
   /// buffer, skipping the by-row sort Column() guarantees — a column's `s`
   /// rows are distinct, so each output cell still receives at most one
   /// contribution per input nonzero and the result is bitwise identical.
-  Result<Matrix> ApplySparse(const CscMatrix& a) const override;
+  [[nodiscard]] Result<Matrix> ApplySparse(const CscMatrix& a) const override;
 
   OsnapVariant variant() const { return variant_; }
 

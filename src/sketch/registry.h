@@ -27,7 +27,7 @@ struct SketchConfig {
 ///   "srht", "blockhadamard", "countsketch-kwise", "rowsample".
 /// Fails with NotFound for unknown names and propagates family-specific
 /// validation errors (e.g. SRHT's power-of-two requirement).
-Result<std::unique_ptr<SketchingMatrix>> CreateSketch(
+[[nodiscard]] Result<std::unique_ptr<SketchingMatrix>> CreateSketch(
     const std::string& family, const SketchConfig& config);
 
 /// The list of recognized family names (for `--sketch=` flag help).

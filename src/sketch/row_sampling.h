@@ -21,7 +21,7 @@ namespace sose {
 class RowSamplingSketch final : public SketchingMatrix {
  public:
   /// Creates an m x n uniform row-sampling draw.
-  static Result<RowSamplingSketch> Create(int64_t m, int64_t n, uint64_t seed);
+  [[nodiscard]] static Result<RowSamplingSketch> Create(int64_t m, int64_t n, uint64_t seed);
 
   int64_t rows() const override { return m_; }
   int64_t cols() const override { return n_; }

@@ -62,15 +62,15 @@ class SketchingMatrix {
   /// `Column()`; O(nnz(A) · s) like the paper's headline bound.
   /// Shape mismatches and internal transform failures are reported via the
   /// Result — no apply path aborts the process.
-  virtual Result<Matrix> ApplySparse(const CscMatrix& a) const;
+  [[nodiscard]] virtual Result<Matrix> ApplySparse(const CscMatrix& a) const;
 
   /// Returns Π A for dense A with A.rows() == cols(). Default implementation
   /// iterates columns of Π; subclasses with structure (e.g. SRHT) override
   /// with a fast transform.
-  virtual Result<Matrix> ApplyDense(const Matrix& a) const;
+  [[nodiscard]] virtual Result<Matrix> ApplyDense(const Matrix& a) const;
 
   /// Returns Π x for a dense vector x of length cols().
-  virtual Result<std::vector<double>> ApplyVector(
+  [[nodiscard]] virtual Result<std::vector<double>> ApplyVector(
       const std::vector<double>& x) const;
 
   /// Materialises columns [col_begin, col_end) of Π as an explicit sparse

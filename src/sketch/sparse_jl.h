@@ -20,7 +20,7 @@ class SparseJl final : public SketchingMatrix {
  public:
   /// Creates an m x n draw with sparsity parameter q >= 1 (expected
   /// fraction of nonzeros per column is 1/q).
-  static Result<SparseJl> Create(int64_t m, int64_t n, double q, uint64_t seed);
+  [[nodiscard]] static Result<SparseJl> Create(int64_t m, int64_t n, double q, uint64_t seed);
 
   int64_t rows() const override { return m_; }
   int64_t cols() const override { return n_; }

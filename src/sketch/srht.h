@@ -21,7 +21,7 @@ class Srht final : public SketchingMatrix {
  public:
   /// Creates an m x n SRHT draw. Fails unless n is a positive power of two
   /// and m is positive.
-  static Result<Srht> Create(int64_t m, int64_t n, uint64_t seed);
+  [[nodiscard]] static Result<Srht> Create(int64_t m, int64_t n, uint64_t seed);
 
   int64_t rows() const override { return m_; }
   int64_t cols() const override { return n_; }
@@ -32,11 +32,11 @@ class Srht final : public SketchingMatrix {
 
   /// O(n log n) structured apply: sign-flip, FWHT, then row subsampling.
   /// The internal transform's Status propagates instead of aborting.
-  Result<std::vector<double>> ApplyVector(
+  [[nodiscard]] Result<std::vector<double>> ApplyVector(
       const std::vector<double>& x) const override;
 
   /// Column-by-column structured apply of the dense input.
-  Result<Matrix> ApplyDense(const Matrix& a) const override;
+  [[nodiscard]] Result<Matrix> ApplyDense(const Matrix& a) const override;
 
  private:
   Srht(int64_t m, int64_t n, uint64_t seed, std::vector<int64_t> sampled_rows,

@@ -25,7 +25,7 @@ class WeightedSamplingSketch final : public SketchingMatrix {
  public:
   /// Draws m rows from the distribution `probabilities` (length n, summing
   /// to ~1; entries must be non-negative, renormalized internally).
-  static Result<WeightedSamplingSketch> Create(
+  [[nodiscard]] static Result<WeightedSamplingSketch> Create(
       const std::vector<double>& probabilities, int64_t m, uint64_t seed);
 
   int64_t rows() const override { return m_; }

@@ -15,8 +15,8 @@ Matrix RandomDenseMatrix(int64_t rows, int64_t cols, Rng* rng);
 
 /// Column-sparse random matrix: each column holds `nnz_per_col` Gaussian
 /// entries at distinct random rows. Requires nnz_per_col <= rows.
-Result<CscMatrix> RandomSparseMatrix(int64_t rows, int64_t cols,
-                                     int64_t nnz_per_col, Rng* rng);
+[[nodiscard]] Result<CscMatrix> RandomSparseMatrix(int64_t rows, int64_t cols,
+                                                   int64_t nnz_per_col, Rng* rng);
 
 /// A "coherent" tall matrix: mostly tiny Gaussian noise plus `spikes` rows
 /// of large magnitude concentrated on single coordinates, giving the column
@@ -42,17 +42,17 @@ enum class DesignKind {
 
 /// Generates a planted regression instance with n rows and d columns.
 /// Requires n >= d.
-Result<RegressionInstance> MakeRegressionInstance(int64_t n, int64_t d,
-                                                  double noise_level,
-                                                  DesignKind kind, Rng* rng);
+[[nodiscard]] Result<RegressionInstance> MakeRegressionInstance(int64_t n, int64_t d,
+                                                                double noise_level,
+                                                                DesignKind kind, Rng* rng);
 
 /// Well-separated Gaussian clusters: n points in `dim` dimensions around k
 /// centers at pairwise distance ~`separation`, unit within-cluster noise.
 /// `true_assignment` (optional) receives the planted cluster of each point.
 /// Requires 1 <= k <= n.
-Result<Matrix> ClusteredPoints(int64_t n, int64_t dim, int64_t k,
-                               double separation, Rng* rng,
-                               std::vector<int64_t>* true_assignment = nullptr);
+[[nodiscard]] Result<Matrix> ClusteredPoints(int64_t n, int64_t dim, int64_t k,
+                                             double separation, Rng* rng,
+                                             std::vector<int64_t>* true_assignment = nullptr);
 
 /// A matrix with a planted low-rank structure: A = L Rᵀ + noise, with
 /// L (rows x rank), R (cols x rank). The spectrum has a sharp knee at

@@ -99,7 +99,9 @@ TEST(ShardedRangeTest, ConcurrentClaimsArePartition) {
   constexpr int kWorkers = 8;
   constexpr int64_t kTotal = 5000;
   ShardedRange range(0, kTotal, kWorkers);
-  std::mutex mu;
+  // Tests of the parallel primitives themselves may hold a raw mutex to
+  // collect results from workers.
+  std::mutex mu;  // sose-lint: allow(concurrency)
   std::vector<int64_t> all;
   {
     ThreadPool pool(kWorkers);
@@ -108,7 +110,7 @@ TEST(ShardedRangeTest, ConcurrentClaimsArePartition) {
         std::vector<int64_t> mine;
         int64_t index = 0;
         while (range.Claim(w, &index)) mine.push_back(index);
-        std::lock_guard<std::mutex> lock(mu);
+        std::lock_guard<std::mutex> lock(mu);  // sose-lint: allow(concurrency)
         all.insert(all.end(), mine.begin(), mine.end());
       });
     }

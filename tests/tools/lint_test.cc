@@ -1,0 +1,445 @@
+// Unit tests for sose_lint: each rule R1-R5 is proven to fire on a synthetic
+// violation (positive case), to stay quiet on conforming code (negative
+// case), and to honour the `// sose-lint: allow(<rule>)` suppression.
+
+#include "tools/lint/lint.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace sose::lint {
+namespace {
+
+LintConfig TestConfig() {
+  LintConfig config;
+  config.status_functions = {"Fwht", "WriteToFile", "Create", "AddRow"};
+  config.robustness_doc =
+      "| `linalg_svd/jacobi` | JacobiSvd |\n"
+      "| `distortion/instance` | SketchDistortionOnInstance |\n";
+  return config;
+}
+
+std::vector<Finding> FindingsFor(const std::string& rel_path,
+                                 const std::string& content) {
+  return LintFile(rel_path, content, TestConfig());
+}
+
+int CountRule(const std::vector<Finding>& findings, Rule rule) {
+  return static_cast<int>(
+      std::count_if(findings.begin(), findings.end(),
+                    [rule](const Finding& f) { return f.rule == rule; }));
+}
+
+// ---------------------------------------------------------------------------
+// Rule names
+// ---------------------------------------------------------------------------
+
+TEST(RuleNameTest, RoundTrips) {
+  for (Rule rule : {Rule::kDiscardedStatus, Rule::kDeterminism,
+                    Rule::kConcurrency, Rule::kFaultRegistry,
+                    Rule::kHeaderHygiene}) {
+    Rule parsed = Rule::kDiscardedStatus;
+    EXPECT_TRUE(RuleFromName(RuleName(rule), &parsed)) << RuleName(rule);
+    EXPECT_EQ(parsed, rule);
+  }
+  Rule ignored;
+  EXPECT_FALSE(RuleFromName("no-such-rule", &ignored));
+}
+
+// ---------------------------------------------------------------------------
+// R1: discarded Status/Result
+// ---------------------------------------------------------------------------
+
+TEST(DiscardedStatusTest, FiresOnBareCallStatement) {
+  auto findings = FindingsFor("src/foo/bar.cc",
+                              "void F(std::vector<double>* x) {\n"
+                              "  Fwht(x);\n"
+                              "}\n");
+  ASSERT_EQ(CountRule(findings, Rule::kDiscardedStatus), 1);
+  EXPECT_EQ(findings[0].line, 2);
+  EXPECT_TRUE(findings[0].fixable);
+}
+
+TEST(DiscardedStatusTest, FiresOnDiscardedMemberCall) {
+  auto findings = FindingsFor("bench/b.cc",
+                              "void F(CsvWriter& csv) {\n"
+                              "  csv.WriteToFile(\"out.csv\");\n"
+                              "}\n");
+  EXPECT_EQ(CountRule(findings, Rule::kDiscardedStatus), 1);
+}
+
+TEST(DiscardedStatusTest, FiresInsideIfBody) {
+  auto findings = FindingsFor(
+      "src/foo/bar.cc", "void F(bool c, Doc& d) { if (c) d.WriteToFile(p); }\n");
+  EXPECT_EQ(CountRule(findings, Rule::kDiscardedStatus), 1);
+}
+
+TEST(DiscardedStatusTest, QuietWhenValueConsumed) {
+  auto findings = FindingsFor(
+      "src/foo/bar.cc",
+      "Status F(std::vector<double>* x) {\n"
+      "  SOSE_RETURN_IF_ERROR(Fwht(x));\n"       // macro argument
+      "  Status s = Fwht(x);\n"                  // assignment
+      "  if (!Fwht(x).ok()) return s;\n"         // chained consumption
+      "  csv.WriteToFile(path).CheckOK();\n"     // chained consumption
+      "  return Fwht(x);\n"                      // returned
+      "}\n");
+  EXPECT_EQ(CountRule(findings, Rule::kDiscardedStatus), 0);
+}
+
+TEST(DiscardedStatusTest, QuietOnExplicitVoidCast) {
+  auto findings = FindingsFor("src/foo/bar.cc",
+                              "void F(std::vector<double>* x) {\n"
+                              "  (void)Fwht(x);\n"
+                              "}\n");
+  EXPECT_EQ(CountRule(findings, Rule::kDiscardedStatus), 0);
+}
+
+TEST(DiscardedStatusTest, QuietOnDeclarationsAndDefinitions) {
+  auto findings = FindingsFor("src/foo/bar.h",
+                              "#ifndef SOSE_FOO_BAR_H_\n"
+                              "#define SOSE_FOO_BAR_H_\n"
+                              "Status Fwht(std::vector<double>* x);\n"
+                              "Status Create(int n);\n"
+                              "#endif  // SOSE_FOO_BAR_H_\n");
+  EXPECT_EQ(CountRule(findings, Rule::kDiscardedStatus), 0);
+}
+
+TEST(DiscardedStatusTest, SuppressionComment) {
+  auto findings = FindingsFor(
+      "src/foo/bar.cc",
+      "void F(std::vector<double>* x) {\n"
+      "  Fwht(x);  // sose-lint: allow(discarded-status)\n"
+      "  // sose-lint: allow(discarded-status) -- next line too\n"
+      "  Fwht(x);\n"
+      "}\n");
+  EXPECT_EQ(CountRule(findings, Rule::kDiscardedStatus), 0);
+}
+
+// ---------------------------------------------------------------------------
+// R2: determinism
+// ---------------------------------------------------------------------------
+
+TEST(DeterminismTest, FiresOnRandomDevice) {
+  auto findings = FindingsFor("src/foo/bar.cc",
+                              "uint64_t Seed() { return std::random_device{}(); }\n");
+  EXPECT_GE(CountRule(findings, Rule::kDeterminism), 1);
+}
+
+TEST(DeterminismTest, FiresOnRandAndSrandAndTime) {
+  auto findings = FindingsFor("bench/b.cc",
+                              "void F() {\n"
+                              "  srand(time(nullptr));\n"
+                              "  int x = rand();\n"
+                              "}\n");
+  EXPECT_GE(CountRule(findings, Rule::kDeterminism), 3);
+}
+
+TEST(DeterminismTest, FiresOnClockNow) {
+  auto findings = FindingsFor(
+      "src/foo/bar.cc",
+      "auto t = std::chrono::steady_clock::now();\n");
+  EXPECT_EQ(CountRule(findings, Rule::kDeterminism), 1);
+}
+
+TEST(DeterminismTest, FiresOnSeedlessStdEngine) {
+  auto findings =
+      FindingsFor("tests/foo_test.cc", "std::mt19937 gen;\n");
+  EXPECT_EQ(CountRule(findings, Rule::kDeterminism), 1);
+}
+
+TEST(DeterminismTest, QuietOnSeededProjectRng) {
+  auto findings = FindingsFor("src/foo/bar.cc",
+                              "double F(uint64_t seed) {\n"
+                              "  Rng rng(DeriveSeed(seed, 7));\n"
+                              "  return rng.Gaussian();\n"
+                              "}\n");
+  EXPECT_EQ(CountRule(findings, Rule::kDeterminism), 0);
+}
+
+TEST(DeterminismTest, ExemptFilesMayReadClocks) {
+  const std::string clock_read =
+      "auto t = std::chrono::steady_clock::now();\n";
+  EXPECT_EQ(CountRule(FindingsFor("bench/bench_util.h", clock_read),
+                      Rule::kDeterminism),
+            0);
+  EXPECT_EQ(CountRule(FindingsFor("src/core/stopwatch.h", clock_read),
+                      Rule::kDeterminism),
+            0);
+}
+
+TEST(DeterminismTest, BannedTokenInsideStringOrCommentIsIgnored) {
+  auto findings = FindingsFor(
+      "src/foo/bar.cc",
+      "// std::random_device would be wrong here\n"
+      "const char* kMsg = \"std::random_device is banned\";\n");
+  EXPECT_EQ(CountRule(findings, Rule::kDeterminism), 0);
+}
+
+TEST(DeterminismTest, SuppressionComment) {
+  auto findings = FindingsFor(
+      "src/foo/bar.cc",
+      "auto t = std::chrono::steady_clock::now();  // sose-lint: allow(determinism)\n");
+  EXPECT_EQ(CountRule(findings, Rule::kDeterminism), 0);
+}
+
+// ---------------------------------------------------------------------------
+// R3: concurrency
+// ---------------------------------------------------------------------------
+
+TEST(ConcurrencyTest, FiresOnRawPrimitivesOutsideCoreParallel) {
+  auto findings = FindingsFor("src/ose/foo.cc",
+                              "std::mutex mu;\n"
+                              "std::thread t;\n"
+                              "auto f = std::async(g);\n");
+  EXPECT_EQ(CountRule(findings, Rule::kConcurrency), 3);
+}
+
+TEST(ConcurrencyTest, AllowedInCoreParallelAndFault) {
+  const std::string code = "std::mutex mu;\nstd::thread t;\n";
+  EXPECT_EQ(CountRule(FindingsFor("src/core/parallel/thread_pool.cc", code),
+                      Rule::kConcurrency),
+            0);
+  EXPECT_EQ(
+      CountRule(FindingsFor("src/core/fault.cc", code), Rule::kConcurrency),
+      0);
+}
+
+TEST(ConcurrencyTest, QuietOnNonStdIdentifiers) {
+  // Only std-qualified primitives are raw; project wrappers are fine.
+  auto findings = FindingsFor("src/ose/foo.cc",
+                              "ThreadPool pool(4);\n"
+                              "int mutex = 0;\n");
+  EXPECT_EQ(CountRule(findings, Rule::kConcurrency), 0);
+}
+
+TEST(ConcurrencyTest, SuppressionComment) {
+  auto findings = FindingsFor(
+      "src/ose/foo.cc", "std::mutex mu;  // sose-lint: allow(concurrency)\n");
+  EXPECT_EQ(CountRule(findings, Rule::kConcurrency), 0);
+}
+
+// ---------------------------------------------------------------------------
+// R4: fault-site registry
+// ---------------------------------------------------------------------------
+
+TEST(FaultRegistryTest, ExtractsPointAndValueSites) {
+  auto sites = ExtractFaultSites(
+      "src/core/linalg_x.cc",
+      "Status F() {\n"
+      "  SOSE_FAULT_POINT(\"linalg_x/factor\");\n"
+      "  double v = SOSE_FAULT_VALUE(\"linalg_x/value\", 1.0);\n"
+      "  return Status::OK();\n"
+      "}\n");
+  ASSERT_EQ(sites.size(), 2u);
+  EXPECT_EQ(sites[0].name, "linalg_x/factor");
+  EXPECT_EQ(sites[0].line, 2);
+  EXPECT_EQ(sites[1].name, "linalg_x/value");
+}
+
+TEST(FaultRegistryTest, FiresOnDuplicateSite) {
+  std::vector<FaultSite> sites = {
+      {"linalg_svd/jacobi", "src/core/a.cc", 10},
+      {"linalg_svd/jacobi", "src/core/b.cc", 20},
+  };
+  auto findings = CheckFaultRegistry(sites, "`linalg_svd/jacobi`");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, Rule::kFaultRegistry);
+  EXPECT_EQ(findings[0].file, "src/core/b.cc");
+  EXPECT_NE(findings[0].message.find("already declared"), std::string::npos);
+}
+
+TEST(FaultRegistryTest, FiresOnUndocumentedSite) {
+  std::vector<FaultSite> sites = {{"linalg_new/factor", "src/core/a.cc", 3}};
+  auto findings = CheckFaultRegistry(sites, "`linalg_svd/jacobi` only");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_NE(findings[0].message.find("not listed"), std::string::npos);
+}
+
+TEST(FaultRegistryTest, QuietOnUniqueDocumentedSites) {
+  std::vector<FaultSite> sites = {
+      {"linalg_svd/jacobi", "src/core/a.cc", 10},
+      {"distortion/instance", "src/ose/d.cc", 4},
+  };
+  auto findings =
+      CheckFaultRegistry(sites, TestConfig().robustness_doc);
+  EXPECT_TRUE(findings.empty());
+}
+
+// ---------------------------------------------------------------------------
+// R5: header hygiene
+// ---------------------------------------------------------------------------
+
+TEST(HeaderHygieneTest, ExpectedGuardDropsSrcPrefixOnly) {
+  EXPECT_EQ(ExpectedIncludeGuard("src/core/status.h"), "SOSE_CORE_STATUS_H_");
+  EXPECT_EQ(ExpectedIncludeGuard("bench/bench_util.h"),
+            "SOSE_BENCH_BENCH_UTIL_H_");
+  EXPECT_EQ(ExpectedIncludeGuard("tests/testing/fixed_sketch.h"),
+            "SOSE_TESTS_TESTING_FIXED_SKETCH_H_");
+  EXPECT_EQ(ExpectedIncludeGuard("tools/lint/lint.h"),
+            "SOSE_TOOLS_LINT_LINT_H_");
+}
+
+TEST(HeaderHygieneTest, FiresOnGuardMismatch) {
+  auto findings = FindingsFor("src/core/foo.h",
+                              "#ifndef WRONG_GUARD_H_\n"
+                              "#define WRONG_GUARD_H_\n"
+                              "#endif  // WRONG_GUARD_H_\n");
+  ASSERT_EQ(CountRule(findings, Rule::kHeaderHygiene), 1);
+  EXPECT_TRUE(findings[0].fixable);
+  EXPECT_NE(findings[0].message.find("SOSE_CORE_FOO_H_"), std::string::npos);
+}
+
+TEST(HeaderHygieneTest, FiresOnMissingGuard) {
+  auto findings =
+      FindingsFor("src/core/foo.h", "#pragma once\nint x;\n");
+  EXPECT_EQ(CountRule(findings, Rule::kHeaderHygiene), 1);
+}
+
+TEST(HeaderHygieneTest, QuietOnMatchingGuardWithLeadingComment) {
+  auto findings = FindingsFor("src/core/foo.h",
+                              "// Copyright note.\n"
+                              "#ifndef SOSE_CORE_FOO_H_\n"
+                              "#define SOSE_CORE_FOO_H_\n"
+                              "#endif  // SOSE_CORE_FOO_H_\n");
+  EXPECT_EQ(CountRule(findings, Rule::kHeaderHygiene), 0);
+}
+
+TEST(HeaderHygieneTest, FiresOnUsingNamespaceInHeader) {
+  auto findings = FindingsFor("src/core/foo.h",
+                              "#ifndef SOSE_CORE_FOO_H_\n"
+                              "#define SOSE_CORE_FOO_H_\n"
+                              "using namespace std;\n"
+                              "#endif  // SOSE_CORE_FOO_H_\n");
+  EXPECT_EQ(CountRule(findings, Rule::kHeaderHygiene), 1);
+}
+
+TEST(HeaderHygieneTest, CoutAndAbortFlaggedInLibraryOnly) {
+  const std::string code =
+      "void F() { std::cout << 1; }\n"
+      "void G() { abort(); }\n";
+  EXPECT_EQ(CountRule(FindingsFor("src/core/foo.cc", code),
+                      Rule::kHeaderHygiene),
+            2);
+  // Apps, benches, and tools may print and die.
+  EXPECT_EQ(CountRule(FindingsFor("src/apps/foo.cc", code),
+                      Rule::kHeaderHygiene),
+            0);
+  EXPECT_EQ(
+      CountRule(FindingsFor("bench/foo.cc", code), Rule::kHeaderHygiene), 0);
+}
+
+TEST(HeaderHygieneTest, SuppressionComment) {
+  auto findings = FindingsFor(
+      "src/core/foo.cc",
+      "void G() { abort(); }  // sose-lint: allow(header-hygiene)\n");
+  EXPECT_EQ(CountRule(findings, Rule::kHeaderHygiene), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Inventory generation
+// ---------------------------------------------------------------------------
+
+TEST(InventoryTest, ExtractsStatusAndResultReturningFunctions) {
+  auto names = ExtractStatusFunctions(
+      "#ifndef SOSE_X_H_\n"
+      "#define SOSE_X_H_\n"
+      "class Foo {\n"
+      " public:\n"
+      "  [[nodiscard]] static Result<Foo> Create(int n);\n"
+      "  [[nodiscard]] Status AddRow(int64_t row);\n"
+      "  Result<std::vector<double>> Solve(const Matrix& a) const;\n"
+      "  int Size() const;\n"
+      "  void Reset();\n"
+      "};\n"
+      "Status Fwht(std::vector<double>* x);\n"
+      "#endif  // SOSE_X_H_\n");
+  EXPECT_EQ(names, (std::vector<std::string>{"AddRow", "Create", "Fwht",
+                                             "Solve"}));
+}
+
+TEST(InventoryTest, IgnoresConstructorsAndVariables) {
+  auto names = ExtractStatusFunctions(
+      "class Status {\n"
+      " public:\n"
+      "  Status(StatusCode code, std::string message);\n"
+      "};\n"
+      "Status s = Status::OK();\n");
+  EXPECT_TRUE(names.empty());
+}
+
+// ---------------------------------------------------------------------------
+// --fix
+// ---------------------------------------------------------------------------
+
+TEST(FixTest, InsertsVoidCastForDiscardedStatus) {
+  auto fixed = ApplyFixes("src/foo/bar.cc",
+                          "void F(std::vector<double>* x) {\n"
+                          "  Fwht(x);\n"
+                          "  csv.WriteToFile(p);\n"
+                          "}\n",
+                          TestConfig());
+  ASSERT_TRUE(fixed.has_value());
+  EXPECT_NE(fixed->find("(void)Fwht(x);"), std::string::npos);
+  EXPECT_NE(fixed->find("(void)csv.WriteToFile(p);"), std::string::npos);
+  // The repaired file is clean under R1.
+  EXPECT_EQ(CountRule(LintFile("src/foo/bar.cc", *fixed, TestConfig()),
+                      Rule::kDiscardedStatus),
+            0);
+}
+
+TEST(FixTest, RenamesIncludeGuard) {
+  auto fixed = ApplyFixes("src/core/foo.h",
+                          "#ifndef WRONG_H_\n"
+                          "#define WRONG_H_\n"
+                          "int x;\n"
+                          "#endif  // WRONG_H_\n",
+                          TestConfig());
+  ASSERT_TRUE(fixed.has_value());
+  EXPECT_EQ(*fixed,
+            "#ifndef SOSE_CORE_FOO_H_\n"
+            "#define SOSE_CORE_FOO_H_\n"
+            "int x;\n"
+            "#endif  // SOSE_CORE_FOO_H_\n");
+  EXPECT_EQ(CountRule(LintFile("src/core/foo.h", *fixed, TestConfig()),
+                      Rule::kHeaderHygiene),
+            0);
+}
+
+TEST(FixTest, NoFixNeededReturnsNullopt) {
+  EXPECT_FALSE(ApplyFixes("src/core/foo.h",
+                          "#ifndef SOSE_CORE_FOO_H_\n"
+                          "#define SOSE_CORE_FOO_H_\n"
+                          "#endif  // SOSE_CORE_FOO_H_\n",
+                          TestConfig())
+                   .has_value());
+}
+
+TEST(FixTest, SuppressedFindingsAreNotFixed) {
+  EXPECT_FALSE(
+      ApplyFixes("src/foo/bar.cc",
+                 "void F(std::vector<double>* x) {\n"
+                 "  Fwht(x);  // sose-lint: allow(discarded-status)\n"
+                 "}\n",
+                 TestConfig())
+          .has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Roles
+// ---------------------------------------------------------------------------
+
+TEST(RoleTest, ClassifiesTreeRoots) {
+  EXPECT_EQ(RoleForPath("src/core/matrix.cc"), FileRole::kLibrary);
+  EXPECT_EQ(RoleForPath("src/apps/ridge.cc"), FileRole::kApps);
+  EXPECT_EQ(RoleForPath("bench/bench_e1.cc"), FileRole::kBench);
+  EXPECT_EQ(RoleForPath("tests/core/status_test.cc"), FileRole::kTests);
+  EXPECT_EQ(RoleForPath("tools/lint/lint.cc"), FileRole::kTools);
+  EXPECT_EQ(RoleForPath("examples/quickstart.cpp"), FileRole::kOther);
+}
+
+}  // namespace
+}  // namespace sose::lint

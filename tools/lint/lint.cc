@@ -1,0 +1,764 @@
+#include "tools/lint/lint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+
+namespace sose::lint {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Tokenizer
+//
+// A deliberately small C++ lexer: identifiers, numbers, string/char literals
+// (including raw strings), and punctuation, with comments and preprocessor
+// directives stripped. Line/column positions are retained so findings are
+// clickable and fixes can be applied textually. This is the "token/regex
+// level, no libclang" tier the project settled on: strong enough to enforce
+// the invariants below, cheap enough to run on every push.
+// ---------------------------------------------------------------------------
+
+enum class TokenKind { kIdentifier, kNumber, kString, kChar, kPunct };
+
+struct Token {
+  TokenKind kind;
+  std::string text;  // For kString/kChar: the literal's content, unquoted.
+  int line = 0;      // 1-based.
+  int col = 0;       // 0-based byte offset within the line.
+};
+
+// Lines suppressed per rule by `// sose-lint: allow(rule1, rule2)`. The
+// suppression covers the comment's own line and the next line, so it works
+// both trailing a statement and on its own line above one.
+using SuppressionMap = std::map<int, std::set<std::string>>;
+
+struct Scan {
+  std::vector<Token> tokens;
+  SuppressionMap suppressions;
+};
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+void RecordSuppression(const std::string& comment, int line,
+                       SuppressionMap* suppressions) {
+  const std::string tag = "sose-lint:";
+  size_t at = comment.find(tag);
+  if (at == std::string::npos) return;
+  size_t open = comment.find("allow(", at + tag.size());
+  if (open == std::string::npos) return;
+  size_t close = comment.find(')', open);
+  if (close == std::string::npos) return;
+  std::string list = comment.substr(open + 6, close - open - 6);
+  size_t pos = 0;
+  while (pos <= list.size()) {
+    size_t comma = list.find(',', pos);
+    if (comma == std::string::npos) comma = list.size();
+    std::string name = list.substr(pos, comma - pos);
+    // Trim.
+    while (!name.empty() && std::isspace(static_cast<unsigned char>(name.front())) != 0)
+      name.erase(name.begin());
+    while (!name.empty() && std::isspace(static_cast<unsigned char>(name.back())) != 0)
+      name.pop_back();
+    if (!name.empty()) {
+      (*suppressions)[line].insert(name);
+      (*suppressions)[line + 1].insert(name);
+    }
+    pos = comma + 1;
+  }
+}
+
+Scan Tokenize(const std::string& src) {
+  Scan scan;
+  size_t i = 0;
+  int line = 1;
+  size_t line_start = 0;
+  bool at_line_start = true;  // Only whitespace seen so far on this line.
+  auto col = [&](size_t pos) { return static_cast<int>(pos - line_start); };
+  auto newline = [&](size_t pos) {
+    ++line;
+    line_start = pos + 1;
+    at_line_start = true;
+  };
+
+  while (i < src.size()) {
+    char c = src[i];
+    if (c == '\n') {
+      newline(i);
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      ++i;
+      continue;
+    }
+    // Preprocessor directive: skip the whole logical line (honouring `\`
+    // continuations) so macro definitions never produce rule matches.
+    if (c == '#' && at_line_start) {
+      while (i < src.size()) {
+        if (src[i] == '\\' && i + 1 < src.size() && src[i + 1] == '\n') {
+          newline(i + 1);
+          i += 2;
+          continue;
+        }
+        if (src[i] == '\n') break;
+        ++i;
+      }
+      continue;
+    }
+    at_line_start = false;
+    // Comments.
+    if (c == '/' && i + 1 < src.size() && src[i + 1] == '/') {
+      size_t end = src.find('\n', i);
+      if (end == std::string::npos) end = src.size();
+      RecordSuppression(src.substr(i, end - i), line, &scan.suppressions);
+      i = end;
+      continue;
+    }
+    if (c == '/' && i + 1 < src.size() && src[i + 1] == '*') {
+      i += 2;
+      while (i + 1 < src.size() && !(src[i] == '*' && src[i + 1] == '/')) {
+        if (src[i] == '\n') newline(i);
+        ++i;
+      }
+      i = std::min(i + 2, src.size());
+      continue;
+    }
+    // Raw string literal R"delim( ... )delim".
+    if (c == 'R' && i + 1 < src.size() && src[i + 1] == '"') {
+      size_t start = i;
+      int start_line = line;
+      size_t open = src.find('(', i + 2);
+      if (open == std::string::npos) {
+        ++i;
+        continue;
+      }
+      std::string delim = src.substr(i + 2, open - (i + 2));
+      std::string closer = ")" + delim + "\"";
+      size_t end = src.find(closer, open + 1);
+      if (end == std::string::npos) end = src.size();
+      for (size_t p = start; p < end && p < src.size(); ++p) {
+        if (src[p] == '\n') newline(p);
+      }
+      scan.tokens.push_back({TokenKind::kString,
+                             src.substr(open + 1, end - open - 1), start_line,
+                             col(start)});
+      i = std::min(end + closer.size(), src.size());
+      continue;
+    }
+    // String / char literals.
+    if (c == '"' || c == '\'') {
+      char quote = c;
+      size_t start = ++i;
+      std::string content;
+      while (i < src.size() && src[i] != quote && src[i] != '\n') {
+        if (src[i] == '\\' && i + 1 < src.size()) {
+          content += src[i];
+          content += src[i + 1];
+          i += 2;
+          continue;
+        }
+        content += src[i];
+        ++i;
+      }
+      scan.tokens.push_back(
+          {quote == '"' ? TokenKind::kString : TokenKind::kChar, content, line,
+           col(start - 1)});
+      if (i < src.size() && src[i] == quote) ++i;
+      continue;
+    }
+    // Identifiers / keywords.
+    if (std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_') {
+      size_t start = i;
+      while (i < src.size() && IsIdentChar(src[i])) ++i;
+      scan.tokens.push_back({TokenKind::kIdentifier,
+                             src.substr(start, i - start), line, col(start)});
+      continue;
+    }
+    // Numbers (coarse: digits and the characters that can extend them).
+    if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+      size_t start = i;
+      while (i < src.size() &&
+             (IsIdentChar(src[i]) || src[i] == '.' ||
+              ((src[i] == '+' || src[i] == '-') && i > start &&
+               (src[i - 1] == 'e' || src[i - 1] == 'E' || src[i - 1] == 'p' ||
+                src[i - 1] == 'P')))) {
+        ++i;
+      }
+      scan.tokens.push_back(
+          {TokenKind::kNumber, src.substr(start, i - start), line, col(start)});
+      continue;
+    }
+    // Punctuation: the two two-char operators the rules care about, then
+    // single characters.
+    if (i + 1 < src.size()) {
+      std::string two = src.substr(i, 2);
+      if (two == "::" || two == "->") {
+        scan.tokens.push_back({TokenKind::kPunct, two, line, col(i)});
+        i += 2;
+        continue;
+      }
+    }
+    scan.tokens.push_back({TokenKind::kPunct, std::string(1, c), line, col(i)});
+    ++i;
+  }
+  return scan;
+}
+
+bool Suppressed(const SuppressionMap& suppressions, int line, Rule rule) {
+  auto it = suppressions.find(line);
+  if (it == suppressions.end()) return false;
+  return it->second.count(RuleName(rule)) > 0 || it->second.count("all") > 0 ||
+         it->second.count("*") > 0;
+}
+
+bool HasExt(const std::string& path, const char* ext) {
+  size_t n = std::string(ext).size();
+  return path.size() >= n && path.compare(path.size() - n, n, ext) == 0;
+}
+
+bool StartsWith(const std::string& s, const std::string& prefix) {
+  return s.compare(0, prefix.size(), prefix) == 0;
+}
+
+// True if tokens[k] is qualified as `std::tokens[k]` (allowing a leading
+// `::std::`).
+bool StdQualified(const std::vector<Token>& toks, size_t k) {
+  return k >= 2 && toks[k - 1].text == "::" &&
+         toks[k - 2].kind == TokenKind::kIdentifier &&
+         toks[k - 2].text == "std";
+}
+
+// True if tokens[k] is preceded by any member/namespace qualifier, i.e. is
+// not a plain unqualified name.
+bool Qualified(const std::vector<Token>& toks, size_t k) {
+  if (k == 0) return false;
+  const std::string& p = toks[k - 1].text;
+  return p == "::" || p == "." || p == "->";
+}
+
+// ---------------------------------------------------------------------------
+// R1: discarded Status/Result
+// ---------------------------------------------------------------------------
+
+struct DiscardSite {
+  int line = 0;
+  int col = 0;  // Column of the statement head (where `(void)` belongs).
+  std::string name;
+};
+
+std::vector<DiscardSite> FindDiscardedCalls(
+    const std::vector<Token>& toks, const std::set<std::string>& inventory) {
+  std::vector<DiscardSite> out;
+  for (size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind != TokenKind::kIdentifier) continue;
+    if (inventory.count(toks[i].text) == 0) continue;
+    if (i + 1 >= toks.size() || toks[i + 1].text != "(") continue;
+    // Walk back over an `obj.` / `ptr->` / `ns::` chain to the head of the
+    // expression.
+    size_t k = i;
+    while (k >= 2 && toks[k - 1].kind == TokenKind::kPunct &&
+           (toks[k - 1].text == "." || toks[k - 1].text == "->" ||
+            toks[k - 1].text == "::") &&
+           toks[k - 2].kind == TokenKind::kIdentifier) {
+      k -= 2;
+    }
+    // The call is an expression statement only if the chain head begins a
+    // statement: after `;`, a brace, `else`, or a closing paren (the body of
+    // an `if`/`for`/`while`). Anything else — assignment, `return`, an
+    // enclosing call, a declaration — consumes the value.
+    bool stmt_head = false;
+    if (k == 0) {
+      stmt_head = true;
+    } else {
+      const std::string& p = toks[k - 1].text;
+      if (p == ";" || p == "{" || p == "}" || p == "else") {
+        stmt_head = true;
+      } else if (p == ")") {
+        // `(void)Call();` is an explicit, deliberate discard.
+        bool void_cast =
+            k >= 3 && toks[k - 3].text == "(" && toks[k - 2].text == "void";
+        stmt_head = !void_cast;
+      }
+    }
+    if (!stmt_head) continue;
+    // Discarded iff the statement ends immediately after the call's closing
+    // parenthesis (`.ok()`, `.CheckOK()` etc. all consume the value).
+    int depth = 0;
+    size_t j = i + 1;
+    for (; j < toks.size(); ++j) {
+      if (toks[j].text == "(") {
+        ++depth;
+      } else if (toks[j].text == ")") {
+        if (--depth == 0) break;
+      }
+    }
+    if (j + 1 >= toks.size() || toks[j + 1].text != ";") continue;
+    out.push_back({toks[k].line, toks[k].col, toks[i].text});
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// R2: determinism
+// ---------------------------------------------------------------------------
+
+// Files sanctioned to read wall clocks: the bench timing helper and the
+// library's one stopwatch (used by the trial runner's deadline logic).
+bool DeterminismExempt(const std::string& rel_path) {
+  return rel_path == "bench/bench_util.h" ||
+         rel_path == "src/core/stopwatch.h";
+}
+
+const char* const kStdEngines[] = {
+    "mt19937",      "mt19937_64",    "default_random_engine",
+    "minstd_rand",  "minstd_rand0",  "ranlux24",
+    "ranlux24_base", "ranlux48",     "ranlux48_base",
+    "knuth_b",
+};
+
+const char* const kClockNames[] = {"steady_clock", "system_clock",
+                                   "high_resolution_clock"};
+
+void CheckDeterminism(const std::string& rel_path, const Scan& scan,
+                      std::vector<Finding>* findings) {
+  if (DeterminismExempt(rel_path)) return;
+  const std::vector<Token>& toks = scan.tokens;
+  for (size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind != TokenKind::kIdentifier) continue;
+    const std::string& t = toks[i].text;
+    std::string message;
+    if (t == "random_device") {
+      message =
+          "std::random_device is nondeterministic; every RNG must be "
+          "constructed from an explicit seed (use sose::Rng / DeriveSeed)";
+    } else if ((t == "rand" || t == "srand") && i + 1 < toks.size() &&
+               toks[i + 1].text == "(" &&
+               (!Qualified(toks, i) || StdQualified(toks, i))) {
+      message = t + "() draws from hidden global state; use sose::Rng with "
+                    "an explicit seed";
+    } else if (t == "time" && i + 2 < toks.size() &&
+               toks[i + 1].text == "(" &&
+               (toks[i + 2].text == "nullptr" || toks[i + 2].text == "NULL" ||
+                toks[i + 2].text == "0") &&
+               (!Qualified(toks, i) || StdQualified(toks, i))) {
+      message = "time(nullptr) seeds are nondeterministic; thread an "
+                "explicit seed through instead";
+    } else if (std::find(std::begin(kClockNames), std::end(kClockNames), t) !=
+                   std::end(kClockNames) &&
+               i + 2 < toks.size() && toks[i + 1].text == "::" &&
+               toks[i + 2].text == "now") {
+      message = "direct " + t + "::now() read; timing belongs in "
+                "bench_util.h or sose::Stopwatch so results stay replayable";
+    } else if (StdQualified(toks, i) &&
+               std::find(std::begin(kStdEngines), std::end(kStdEngines), t) !=
+                   std::end(kStdEngines)) {
+      message = "std::" + t + " bypasses the project's seeded RNG "
+                "discipline; use sose::Rng(seed)";
+    }
+    if (message.empty()) continue;
+    if (Suppressed(scan.suppressions, toks[i].line, Rule::kDeterminism))
+      continue;
+    findings->push_back(
+        {rel_path, toks[i].line, Rule::kDeterminism, message, false});
+  }
+}
+
+// ---------------------------------------------------------------------------
+// R3: concurrency
+// ---------------------------------------------------------------------------
+
+bool ConcurrencyExempt(const std::string& rel_path) {
+  return StartsWith(rel_path, "src/core/parallel/") ||
+         rel_path == "src/core/fault.cc";
+}
+
+const char* const kThreadPrimitives[] = {
+    "thread",       "jthread",         "async",
+    "mutex",        "shared_mutex",    "recursive_mutex",
+    "timed_mutex",  "recursive_timed_mutex",
+    "condition_variable", "condition_variable_any",
+};
+
+void CheckConcurrency(const std::string& rel_path, const Scan& scan,
+                      std::vector<Finding>* findings) {
+  if (ConcurrencyExempt(rel_path)) return;
+  const std::vector<Token>& toks = scan.tokens;
+  for (size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind != TokenKind::kIdentifier) continue;
+    if (!StdQualified(toks, i)) continue;
+    const std::string& t = toks[i].text;
+    if (std::find(std::begin(kThreadPrimitives), std::end(kThreadPrimitives),
+                  t) == std::end(kThreadPrimitives)) {
+      continue;
+    }
+    if (Suppressed(scan.suppressions, toks[i].line, Rule::kConcurrency))
+      continue;
+    findings->push_back(
+        {rel_path, toks[i].line, Rule::kConcurrency,
+         "raw std::" + t + " outside src/core/parallel; route parallelism "
+         "through ThreadPool/ShardedRange so determinism guarantees hold",
+         false});
+  }
+}
+
+// ---------------------------------------------------------------------------
+// R5: header hygiene
+// ---------------------------------------------------------------------------
+
+std::vector<std::string> SplitLines(const std::string& content) {
+  std::vector<std::string> lines;
+  size_t pos = 0;
+  while (pos <= content.size()) {
+    size_t nl = content.find('\n', pos);
+    if (nl == std::string::npos) {
+      lines.push_back(content.substr(pos));
+      break;
+    }
+    lines.push_back(content.substr(pos, nl - pos));
+    pos = nl + 1;
+  }
+  return lines;
+}
+
+std::string Trimmed(const std::string& s) {
+  size_t b = s.find_first_not_of(" \t\r");
+  if (b == std::string::npos) return "";
+  size_t e = s.find_last_not_of(" \t\r");
+  return s.substr(b, e - b + 1);
+}
+
+// Locates the `#ifndef NAME` / `#define NAME` guard pair at the top of a
+// header. Returns false if the first directive is not an #ifndef.
+struct GuardInfo {
+  int ifndef_line = 0;  // 1-based; 0 = not found.
+  int define_line = 0;
+  std::string ifndef_name;
+  std::string define_name;
+};
+
+bool ParseGuard(const std::vector<std::string>& lines, GuardInfo* info) {
+  bool in_block_comment = false;
+  for (size_t i = 0; i < lines.size(); ++i) {
+    std::string t = Trimmed(lines[i]);
+    if (in_block_comment) {
+      if (t.find("*/") != std::string::npos) in_block_comment = false;
+      continue;
+    }
+    if (t.empty() || StartsWith(t, "//")) continue;
+    if (StartsWith(t, "/*")) {
+      if (t.find("*/") == std::string::npos) in_block_comment = true;
+      continue;
+    }
+    if (info->ifndef_line == 0) {
+      if (!StartsWith(t, "#ifndef")) return false;
+      info->ifndef_line = static_cast<int>(i) + 1;
+      info->ifndef_name = Trimmed(t.substr(7));
+      continue;
+    }
+    if (!StartsWith(t, "#define")) return false;
+    info->define_line = static_cast<int>(i) + 1;
+    std::string rest = Trimmed(t.substr(7));
+    size_t sp = rest.find_first_of(" \t");
+    info->define_name = sp == std::string::npos ? rest : rest.substr(0, sp);
+    return true;
+  }
+  return false;
+}
+
+void CheckHeaderHygiene(const std::string& rel_path, const std::string& content,
+                        const Scan& scan, std::vector<Finding>* findings) {
+  FileRole role = RoleForPath(rel_path);
+  if (HasExt(rel_path, ".h")) {
+    std::vector<std::string> lines = SplitLines(content);
+    GuardInfo guard;
+    std::string expected = ExpectedIncludeGuard(rel_path);
+    if (!ParseGuard(lines, &guard)) {
+      findings->push_back({rel_path, 1, Rule::kHeaderHygiene,
+                           "missing include guard; expected '#ifndef " +
+                               expected + "'",
+                           false});
+    } else if (guard.ifndef_name != expected ||
+               guard.define_name != expected) {
+      if (!Suppressed(scan.suppressions, guard.ifndef_line,
+                      Rule::kHeaderHygiene)) {
+        findings->push_back({rel_path, guard.ifndef_line, Rule::kHeaderHygiene,
+                             "include guard '" + guard.ifndef_name +
+                                 "' does not match path (expected '" +
+                                 expected + "')",
+                             true});
+      }
+    }
+    // `using namespace` leaks names into every includer.
+    for (size_t i = 0; i + 1 < scan.tokens.size(); ++i) {
+      if (scan.tokens[i].kind == TokenKind::kIdentifier &&
+          scan.tokens[i].text == "using" &&
+          scan.tokens[i + 1].text == "namespace" &&
+          !Suppressed(scan.suppressions, scan.tokens[i].line,
+                      Rule::kHeaderHygiene)) {
+        findings->push_back({rel_path, scan.tokens[i].line,
+                             Rule::kHeaderHygiene,
+                             "'using namespace' in a header pollutes every "
+                             "includer's scope",
+                             false});
+      }
+    }
+  }
+  // Library code (src/ minus apps/) must not print to stdout or abort:
+  // errors flow through Status so the trial runner can quarantine them.
+  if (role == FileRole::kLibrary) {
+    const std::vector<Token>& toks = scan.tokens;
+    for (size_t i = 0; i < toks.size(); ++i) {
+      if (toks[i].kind != TokenKind::kIdentifier) continue;
+      const std::string& t = toks[i].text;
+      std::string message;
+      if (t == "cout" && (!Qualified(toks, i) || StdQualified(toks, i))) {
+        message = "std::cout in library code; return data via Status/Result "
+                  "or a report struct (printing belongs to apps/benches)";
+      } else if (t == "abort" && i + 1 < toks.size() &&
+                 toks[i + 1].text == "(" &&
+                 (!Qualified(toks, i) || StdQualified(toks, i))) {
+        message = "abort() in library code kills the whole Monte-Carlo run; "
+                  "return an error Status so the trial runner can quarantine "
+                  "the trial";
+      }
+      if (message.empty()) continue;
+      if (Suppressed(scan.suppressions, toks[i].line, Rule::kHeaderHygiene))
+        continue;
+      findings->push_back(
+          {rel_path, toks[i].line, Rule::kHeaderHygiene, message, false});
+    }
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Public interface
+// ---------------------------------------------------------------------------
+
+const char* RuleName(Rule rule) {
+  switch (rule) {
+    case Rule::kDiscardedStatus: return "discarded-status";
+    case Rule::kDeterminism: return "determinism";
+    case Rule::kConcurrency: return "concurrency";
+    case Rule::kFaultRegistry: return "fault-registry";
+    case Rule::kHeaderHygiene: return "header-hygiene";
+  }
+  return "unknown";
+}
+
+bool RuleFromName(const std::string& name, Rule* rule) {
+  for (Rule r : {Rule::kDiscardedStatus, Rule::kDeterminism,
+                 Rule::kConcurrency, Rule::kFaultRegistry,
+                 Rule::kHeaderHygiene}) {
+    if (name == RuleName(r)) {
+      *rule = r;
+      return true;
+    }
+  }
+  return false;
+}
+
+FileRole RoleForPath(const std::string& rel_path) {
+  if (StartsWith(rel_path, "src/apps/")) return FileRole::kApps;
+  if (StartsWith(rel_path, "src/")) return FileRole::kLibrary;
+  if (StartsWith(rel_path, "bench/")) return FileRole::kBench;
+  if (StartsWith(rel_path, "tests/")) return FileRole::kTests;
+  if (StartsWith(rel_path, "tools/")) return FileRole::kTools;
+  return FileRole::kOther;
+}
+
+std::vector<std::string> ExtractStatusFunctions(const std::string& content) {
+  Scan scan = Tokenize(content);
+  const std::vector<Token>& toks = scan.tokens;
+  std::vector<std::string> names;
+  for (size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind != TokenKind::kIdentifier) continue;
+    size_t name_at = 0;
+    if (toks[i].text == "Status") {
+      // `Status Name(` — skip `Status(` (a constructor) and `Status::`.
+      if (i + 2 < toks.size() && toks[i + 1].kind == TokenKind::kIdentifier &&
+          toks[i + 2].text == "(") {
+        name_at = i + 1;
+      }
+    } else if (toks[i].text == "Result" && i + 1 < toks.size() &&
+               toks[i + 1].text == "<") {
+      // `Result<...> Name(` — skip the balanced template argument list.
+      int depth = 0;
+      size_t j = i + 1;
+      for (; j < toks.size(); ++j) {
+        if (toks[j].text == "<") ++depth;
+        else if (toks[j].text == ">") {
+          if (--depth == 0) break;
+        } else if (toks[j].text == ";" || toks[j].text == "{") {
+          break;  // Not a template argument list after all.
+        }
+      }
+      if (j < toks.size() && toks[j].text == ">" && j + 2 < toks.size() &&
+          toks[j + 1].kind == TokenKind::kIdentifier &&
+          toks[j + 2].text == "(") {
+        name_at = j + 1;
+      }
+    }
+    if (name_at == 0) continue;
+    const std::string& name = toks[name_at].text;
+    if (name == "operator") continue;
+    names.push_back(name);
+  }
+  std::sort(names.begin(), names.end());
+  names.erase(std::unique(names.begin(), names.end()), names.end());
+  return names;
+}
+
+std::vector<FaultSite> ExtractFaultSites(const std::string& rel_path,
+                                         const std::string& content) {
+  Scan scan = Tokenize(content);
+  const std::vector<Token>& toks = scan.tokens;
+  std::vector<FaultSite> sites;
+  for (size_t i = 0; i + 2 < toks.size(); ++i) {
+    if (toks[i].kind != TokenKind::kIdentifier) continue;
+    if (toks[i].text != "SOSE_FAULT_POINT" &&
+        toks[i].text != "SOSE_FAULT_VALUE") {
+      continue;
+    }
+    if (toks[i + 1].text != "(" || toks[i + 2].kind != TokenKind::kString)
+      continue;
+    sites.push_back({toks[i + 2].text, rel_path, toks[i].line});
+  }
+  return sites;
+}
+
+std::vector<Finding> CheckFaultRegistry(const std::vector<FaultSite>& sites,
+                                        const std::string& robustness_doc) {
+  std::vector<Finding> findings;
+  std::map<std::string, const FaultSite*> seen;
+  for (const FaultSite& site : sites) {
+    auto [it, inserted] = seen.emplace(site.name, &site);
+    if (!inserted) {
+      findings.push_back(
+          {site.file, site.line, Rule::kFaultRegistry,
+           "fault site '" + site.name + "' already declared at " +
+               it->second->file + ":" + std::to_string(it->second->line) +
+               "; site names must be unique across the tree",
+           false});
+      continue;
+    }
+    if (robustness_doc.find(site.name) == std::string::npos) {
+      findings.push_back(
+          {site.file, site.line, Rule::kFaultRegistry,
+           "fault site '" + site.name + "' is not listed in "
+           "docs/robustness.md; add it to the site table",
+           false});
+    }
+  }
+  return findings;
+}
+
+std::string ExpectedIncludeGuard(const std::string& rel_path) {
+  std::string path = rel_path;
+  if (StartsWith(path, "src/")) path = path.substr(4);
+  std::string guard = "SOSE_";
+  for (char c : path) {
+    guard += std::isalnum(static_cast<unsigned char>(c)) != 0
+                 ? static_cast<char>(
+                       std::toupper(static_cast<unsigned char>(c)))
+                 : '_';
+  }
+  guard += '_';
+  return guard;
+}
+
+std::vector<Finding> LintFile(const std::string& rel_path,
+                              const std::string& content,
+                              const LintConfig& config) {
+  Scan scan = Tokenize(content);
+  std::vector<Finding> findings;
+  // R1.
+  for (const DiscardSite& site :
+       FindDiscardedCalls(scan.tokens, config.status_functions)) {
+    if (Suppressed(scan.suppressions, site.line, Rule::kDiscardedStatus))
+      continue;
+    findings.push_back(
+        {rel_path, site.line, Rule::kDiscardedStatus,
+         "result of '" + site.name + "' (Status/Result) is discarded; "
+         "propagate it, handle it, or cast to (void) with a justifying "
+         "comment",
+         true});
+  }
+  CheckDeterminism(rel_path, scan, &findings);
+  CheckConcurrency(rel_path, scan, &findings);
+  CheckHeaderHygiene(rel_path, content, scan, &findings);
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) { return a.line < b.line; });
+  return findings;
+}
+
+std::optional<std::string> ApplyFixes(const std::string& rel_path,
+                                      const std::string& content,
+                                      const LintConfig& config) {
+  Scan scan = Tokenize(content);
+  std::vector<std::string> lines = SplitLines(content);
+  bool changed = false;
+
+  // `(void)` annotation for discarded Status/Result calls, rightmost first
+  // so earlier insertions don't shift later columns.
+  std::vector<DiscardSite> discards =
+      FindDiscardedCalls(scan.tokens, config.status_functions);
+  std::sort(discards.begin(), discards.end(),
+            [](const DiscardSite& a, const DiscardSite& b) {
+              return a.line != b.line ? a.line > b.line : a.col > b.col;
+            });
+  for (const DiscardSite& site : discards) {
+    if (Suppressed(scan.suppressions, site.line, Rule::kDiscardedStatus))
+      continue;
+    std::string& line = lines[static_cast<size_t>(site.line - 1)];
+    if (static_cast<size_t>(site.col) <= line.size()) {
+      line.insert(static_cast<size_t>(site.col), "(void)");
+      changed = true;
+    }
+  }
+
+  // Include-guard rename.
+  if (HasExt(rel_path, ".h")) {
+    GuardInfo guard;
+    std::string expected = ExpectedIncludeGuard(rel_path);
+    if (ParseGuard(lines, &guard) &&
+        (guard.ifndef_name != expected || guard.define_name != expected) &&
+        !Suppressed(scan.suppressions, guard.ifndef_line,
+                    Rule::kHeaderHygiene)) {
+      auto rename = [&](int line_no, const std::string& old_name) {
+        if (old_name.empty()) return;
+        std::string& line = lines[static_cast<size_t>(line_no - 1)];
+        size_t at = line.find(old_name);
+        if (at != std::string::npos) {
+          line.replace(at, old_name.size(), expected);
+          changed = true;
+        }
+      };
+      rename(guard.ifndef_line, guard.ifndef_name);
+      rename(guard.define_line, guard.define_name);
+      // Rewrite the trailing `#endif  // GUARD` comment if present.
+      for (size_t i = lines.size(); i > 0; --i) {
+        std::string t = Trimmed(lines[i - 1]);
+        if (t.empty()) continue;
+        if (StartsWith(t, "#endif")) {
+          lines[i - 1] = "#endif  // " + expected;
+          changed = true;
+        }
+        break;
+      }
+    }
+  }
+
+  if (!changed) return std::nullopt;
+  std::string out;
+  for (size_t i = 0; i < lines.size(); ++i) {
+    out += lines[i];
+    if (i + 1 < lines.size()) out += '\n';
+  }
+  return out;
+}
+
+}  // namespace sose::lint
