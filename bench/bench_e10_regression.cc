@@ -14,6 +14,7 @@
 
 int main(int argc, char** argv) {
   sose::FlagParser flags(argc, argv);
+  sose::Stopwatch watch;
   const int64_t n = flags.GetInt("n", 4096);
   const int64_t d = flags.GetInt("d", 10);
   const int64_t repeats = flags.GetInt("repeats", 12);
@@ -79,5 +80,8 @@ int main(int argc, char** argv) {
     }
     std::printf("%s\n", table.ToString().c_str());
   }
+  sose::bench::FinishBench(flags, "e10", /*requested_threads=*/1,
+                           watch.ElapsedSeconds(), repeats)
+      .CheckOK();
   return 0;
 }

@@ -17,6 +17,7 @@
 
 int main(int argc, char** argv) {
   sose::FlagParser flags(argc, argv);
+  sose::Stopwatch watch;
   const int64_t d = flags.GetInt("d", 64);
   const int64_t s = flags.GetInt("s", 4);
   const int64_t n = flags.GetInt("n", 1 << 14);
@@ -116,5 +117,8 @@ int main(int argc, char** argv) {
     table.AddDouble(delta_stats.count() > 0 ? delta_stats.Mean() : 0.0, 4);
   }
   std::printf("%s\n", table.ToString().c_str());
+  sose::bench::FinishBench(flags, "e11", /*requested_threads=*/1,
+                           watch.ElapsedSeconds(), repeats)
+      .CheckOK();
   return 0;
 }

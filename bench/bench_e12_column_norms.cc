@@ -49,6 +49,7 @@ class PerturbedCountSketch final : public sose::SketchingMatrix {
 
 int main(int argc, char** argv) {
   sose::FlagParser flags(argc, argv);
+  sose::Stopwatch watch;
   const int64_t d = flags.GetInt("d", 8);
   const double epsilon = flags.GetDouble("eps", 0.1);
   const int64_t m = flags.GetInt("m", 4096);
@@ -108,5 +109,8 @@ int main(int argc, char** argv) {
   std::printf(
       "Reading the table backwards gives Lemma 6: to keep the failure rate\n"
       "at delta, the column-norm violation fraction must be <= ~delta/d.\n");
+  sose::bench::FinishBench(flags, "e12", /*requested_threads=*/1,
+                           watch.ElapsedSeconds(), trials)
+      .CheckOK();
   return 0;
 }

@@ -48,6 +48,7 @@ sose::Result<int64_t> Threshold(int64_t s, int64_t d, double epsilon,
 
 int main(int argc, char** argv) {
   sose::FlagParser flags(argc, argv);
+  sose::Stopwatch watch;
   const double epsilon = flags.GetDouble("eps", 1.0 / 32.0);
   const double delta = flags.GetDouble("delta", 0.2);
   const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 37));
@@ -99,5 +100,8 @@ int main(int argc, char** argv) {
       "super-linear regime Theorem 20 bounds from below and the OSNAP\n"
       "d^{1+gamma} upper bound sandwiches from above; the collapse to ~1 at\n"
       "s >> 1/eps is where sparsity stops being binding.\n");
+  sose::bench::FinishBench(flags, "e13", /*requested_threads=*/1,
+                           watch.ElapsedSeconds(), 0)
+      .CheckOK();
   return 0;
 }

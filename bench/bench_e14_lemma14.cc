@@ -40,6 +40,7 @@ sose::Matrix PlantedHeavyRow(int64_t rows, int64_t cols, double theta,
 
 int main(int argc, char** argv) {
   sose::FlagParser flags(argc, argv);
+  sose::Stopwatch watch;
   const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 41));
   sose::bench::PrintHeader(
       "E14: Lemma 14 — heavy-row pairs have large inner products",
@@ -77,5 +78,8 @@ int main(int argc, char** argv) {
     }
   }
   std::printf("%s\n", table.ToString().c_str());
+  sose::bench::FinishBench(flags, "e14", /*requested_threads=*/1,
+                           watch.ElapsedSeconds(), 0)
+      .CheckOK();
   return 0;
 }

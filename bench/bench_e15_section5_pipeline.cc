@@ -51,6 +51,7 @@ void RunOne(const std::string& family, int64_t m, int64_t n, int64_t s,
 
 int main(int argc, char** argv) {
   sose::FlagParser flags(argc, argv);
+  sose::Stopwatch watch;
   const int64_t d = flags.GetInt("d", 16);
   const double epsilon = flags.GetDouble("eps", 1.0 / 64.0);
   const int64_t n = flags.GetInt("n", 1 << 13);
@@ -75,5 +76,8 @@ int main(int argc, char** argv) {
   RunOne("osnap", d * d / 4, n, 8, d, epsilon, seed + 20);
   // Dense comparison: no abundant level at all.
   RunOne("gaussian", d * d / 4, n, 1, d, epsilon, seed + 30);
+  sose::bench::FinishBench(flags, "e15", /*requested_threads=*/1,
+                           watch.ElapsedSeconds(), 0)
+      .CheckOK();
   return 0;
 }

@@ -35,6 +35,7 @@ sose::RegressionInstance IllConditioned(int64_t n, int64_t d, double decay,
 
 int main(int argc, char** argv) {
   sose::FlagParser flags(argc, argv);
+  sose::Stopwatch watch;
   const int64_t n = flags.GetInt("n", 2048);
   const int64_t d = flags.GetInt("d", 12);
   const double decay = flags.GetDouble("decay", 0.25);
@@ -95,5 +96,8 @@ int main(int argc, char** argv) {
       "Even a coarse (eps ~ 1/2) embedding flattens the iteration count —\n"
       "which is why the minimal-m question the paper answers matters even\n"
       "for solvers that never trust the sketch's answer directly.\n");
+  sose::bench::FinishBench(flags, "e16", /*requested_threads=*/1,
+                           watch.ElapsedSeconds(), 0)
+      .CheckOK();
   return 0;
 }

@@ -50,6 +50,7 @@ sose::Result<int64_t> Threshold(const std::string& family, int64_t k,
 
 int main(int argc, char** argv) {
   sose::FlagParser flags(argc, argv);
+  sose::Stopwatch watch;
   const int64_t d = flags.GetInt("d", 6);
   const double epsilon = flags.GetDouble("eps", 1.0 / 16.0);
   const double delta = flags.GetDouble("delta", 0.2);
@@ -83,5 +84,8 @@ int main(int argc, char** argv) {
                     3);
   }
   std::printf("%s\n", table.ToString().c_str());
+  sose::bench::FinishBench(flags, "e17", /*requested_threads=*/1,
+                           watch.ElapsedSeconds(), 0)
+      .CheckOK();
   return 0;
 }

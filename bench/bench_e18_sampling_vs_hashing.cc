@@ -18,6 +18,7 @@
 
 int main(int argc, char** argv) {
   sose::FlagParser flags(argc, argv);
+  sose::Stopwatch watch;
   const int64_t d = flags.GetInt("d", 6);
   const double epsilon = flags.GetDouble("eps", 0.5);
   const int64_t trials = flags.GetInt("trials", 120);
@@ -109,5 +110,8 @@ int main(int argc, char** argv) {
       "once m clears their (paper-priced) thresholds. The dense column shows\n"
       "the same sampler is perfectly adequate on incoherent subspaces — the\n"
       "hard instances isolate exactly what hashing buys.\n");
+  sose::bench::FinishBench(flags, "e18", /*requested_threads=*/1,
+                           watch.ElapsedSeconds(), trials)
+      .CheckOK();
   return 0;
 }

@@ -15,6 +15,7 @@
 
 int main(int argc, char** argv) {
   sose::FlagParser flags(argc, argv);
+  sose::Stopwatch watch;
   const int64_t n = flags.GetInt("n", 300);
   const int64_t dim = flags.GetInt("dim", 256);
   const int64_t k = flags.GetInt("k", 5);
@@ -64,5 +65,8 @@ int main(int argc, char** argv) {
     }
   }
   std::printf("%s\n", table.ToString().c_str());
+  sose::bench::FinishBench(flags, "e19", /*requested_threads=*/1,
+                           watch.ElapsedSeconds(), repeats)
+      .CheckOK();
   return 0;
 }

@@ -176,8 +176,8 @@ int main(int argc, char** argv) {
     csv.WriteToFile(csv_path).CheckOK();
     std::printf("wrote %s\n", csv_path.c_str());
   }
-  sose::bench::WriteBenchJson("e1", resilience.base.threads,
-                              watch.ElapsedSeconds(), total_trials)
+  sose::bench::FinishBench(flags, "e1", resilience.base.threads,
+                           watch.ElapsedSeconds(), total_trials)
       .CheckOK();
   return 0;
 }

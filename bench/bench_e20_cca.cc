@@ -35,6 +35,7 @@ void MakeViews(int64_t n, int64_t p, sose::Rng* rng, sose::Matrix* x,
 
 int main(int argc, char** argv) {
   sose::FlagParser flags(argc, argv);
+  sose::Stopwatch watch;
   const int64_t n = flags.GetInt("n", 2048);
   const int64_t p = flags.GetInt("p", 5);
   const int64_t repeats = flags.GetInt("repeats", 10);
@@ -86,5 +87,8 @@ int main(int argc, char** argv) {
     }
   }
   std::printf("%s\n", table.ToString().c_str());
+  sose::bench::FinishBench(flags, "e20", /*requested_threads=*/1,
+                           watch.ElapsedSeconds(), repeats)
+      .CheckOK();
   return 0;
 }

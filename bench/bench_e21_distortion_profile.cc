@@ -12,6 +12,7 @@
 
 int main(int argc, char** argv) {
   sose::FlagParser flags(argc, argv);
+  sose::Stopwatch watch;
   const int64_t d = flags.GetInt("d", 8);
   const int64_t m = flags.GetInt("m", 96);
   const int64_t trials = flags.GetInt("trials", 600);
@@ -61,5 +62,8 @@ int main(int argc, char** argv) {
       "gradual distortion drift, so\nthe only way to push the p99 down is "
       "more rows — at the Theta(d^2/(eps^2 delta))\nrate Theorem 8 proves "
       "unavoidable.\n");
+  sose::bench::FinishBench(flags, "e21", /*requested_threads=*/1,
+                           watch.ElapsedSeconds(), trials)
+      .CheckOK();
   return 0;
 }

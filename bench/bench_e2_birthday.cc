@@ -15,6 +15,7 @@
 
 int main(int argc, char** argv) {
   sose::FlagParser flags(argc, argv);
+  sose::Stopwatch watch;
   const int64_t d = flags.GetInt("d", 4);
   const int64_t epc = flags.GetInt("epc", 8);  // 1/(8ε) → ε = 1/64.
   const int64_t trials = flags.GetInt("trials", 5000);
@@ -65,5 +66,8 @@ int main(int argc, char** argv) {
                     4);
   }
   std::printf("%s\n", table.ToString().c_str());
+  sose::bench::FinishBench(flags, "e2", /*requested_threads=*/1,
+                           watch.ElapsedSeconds(), trials)
+      .CheckOK();
   return 0;
 }

@@ -54,6 +54,7 @@ class PlantedPairSketch final : public sose::SketchingMatrix {
 
 int main(int argc, char** argv) {
   sose::FlagParser flags(argc, argv);
+  sose::Stopwatch watch;
   const double epsilon = flags.GetDouble("eps", 0.05);
   const int64_t trials = flags.GetInt("trials", 40000);
   const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 5));
@@ -103,5 +104,8 @@ int main(int argc, char** argv) {
     table.AddCell(lambda > 2.0 ? ">= 0.25" : "(none)");
   }
   std::printf("%s\n", table.ToString().c_str());
+  sose::bench::FinishBench(flags, "e3", /*requested_threads=*/1,
+                           watch.ElapsedSeconds(), trials)
+      .CheckOK();
   return 0;
 }

@@ -81,6 +81,7 @@ void Report(sose::AsciiTable* table, const char* name,
 
 int main(int argc, char** argv) {
   sose::FlagParser flags(argc, argv);
+  sose::Stopwatch watch;
   const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 9));
   sose::bench::PrintHeader(
       "E4: Lemma 3 on adversarial vector families",
@@ -101,5 +102,8 @@ int main(int argc, char** argv) {
     Report(&table, "clustered-40x16", Clustered(40, 16, &rng), epsilon);
   }
   std::printf("%s\n", table.ToString().c_str());
+  sose::bench::FinishBench(flags, "e4", /*requested_threads=*/1,
+                           watch.ElapsedSeconds(), 0)
+      .CheckOK();
   return 0;
 }

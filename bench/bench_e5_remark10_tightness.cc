@@ -105,8 +105,8 @@ int main(int argc, char** argv) {
       "identical columns of the same Hadamard block — the construction is a\n"
       "(0, delta)-embedding, strictly stronger than the (eps, delta) the\n"
       "lower bound requires.\n");
-  sose::bench::WriteBenchJson("e5", threads, watch.ElapsedSeconds(),
-                              total_trials)
+  sose::bench::FinishBench(flags, "e5", threads, watch.ElapsedSeconds(),
+                           total_trials)
       .CheckOK();
   return 0;
 }

@@ -71,8 +71,8 @@ int main(int argc, char** argv) {
                                          estimate.value().taxonomy));
   }
   std::printf("%s\n", table.ToString().c_str());
-  sose::bench::WriteBenchJson("e6", base_options.threads,
-                              watch.ElapsedSeconds(), total_trials)
+  sose::bench::FinishBench(flags, "e6", base_options.threads,
+                           watch.ElapsedSeconds(), total_trials)
       .CheckOK();
   return 0;
 }

@@ -14,6 +14,7 @@
 
 int main(int argc, char** argv) {
   sose::FlagParser flags(argc, argv);
+  sose::Stopwatch watch;
   const int64_t m = flags.GetInt("m", 1024);
   const int64_t n = flags.GetInt("n", 1 << 16);
   const int64_t sample_columns = flags.GetInt("samples", 4000);
@@ -77,5 +78,8 @@ int main(int argc, char** argv) {
     std::printf("  %-14s %.4f\n", families[i].c_str(),
                 censuses[i].average_norm_squared);
   }
+  sose::bench::FinishBench(flags, "e7", /*requested_threads=*/1,
+                           watch.ElapsedSeconds(), 0)
+      .CheckOK();
   return 0;
 }

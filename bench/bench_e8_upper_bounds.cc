@@ -150,8 +150,8 @@ int main(int argc, char** argv) {
                 "quadratic wall forces the trade-off.\n",
                 crossover);
   }
-  sose::bench::WriteBenchJson("e8", base_options.threads,
-                              watch.ElapsedSeconds(), total_trials)
+  sose::bench::FinishBench(flags, "e8", base_options.threads,
+                           watch.ElapsedSeconds(), total_trials)
       .CheckOK();
   return 0;
 }

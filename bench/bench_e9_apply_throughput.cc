@@ -182,6 +182,19 @@ PathCost MeasurePaths(const std::string& family, int64_t sparsity) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // benchmark::Initialize rejects flags it does not know, so the shared
+  // --metrics flag is extracted before the remaining argv is handed over.
+  std::string metrics_path;
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--metrics=", 0) == 0) {
+      metrics_path = arg.substr(std::string("--metrics=").size());
+      continue;
+    }
+    argv[kept++] = argv[i];
+  }
+  argc = kept;
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
@@ -201,8 +214,15 @@ int main(int argc, char** argv) {
       .AddDouble("osnap_s4_dense_ns_per_nnz", osnap.dense_ns_per_nnz)
       .AddDouble("osnap_s4_dense_over_csc",
                  osnap.dense_ns_per_nnz / osnap.csc_ns_per_nnz)
-      .AddDouble("comparison_wall_seconds", watch.ElapsedSeconds());
+      .AddDouble("comparison_wall_seconds", watch.ElapsedSeconds())
+      .AddObject("metrics",
+                 sose::metrics::ToJson(sose::metrics::Snapshot()));
   writer.WriteToFile("BENCH_e9.json").CheckOK();
+  if (!metrics_path.empty()) {
+    sose::metrics::WriteTextFile(metrics_path, sose::metrics::Snapshot())
+        .CheckOK();
+    std::printf("wrote %s\n", metrics_path.c_str());
+  }
   std::printf("wrote BENCH_e9.json (dense/CSC ratio: countsketch %.1fx, "
               "osnap-s4 %.1fx)\n",
               count_sketch.dense_ns_per_nnz / count_sketch.csc_ns_per_nnz,

@@ -8,6 +8,7 @@
 
 #include "core/flags.h"
 #include "core/json_io.h"
+#include "core/metrics/metrics.h"
 #include "core/parallel/thread_pool.h"
 #include "ose/failure_estimator.h"
 #include "sketch/registry.h"
@@ -53,24 +54,40 @@ inline void ReadResilienceFlags(const FlagParser& flags,
 }
 
 /// Writes BENCH_<experiment>.json next to the working directory: wall time,
-/// resolved thread count, trial throughput, and — once a `--threads=1` run
-/// has recorded its wall time as the serial baseline — the speedup of the
-/// current run against that baseline. Multi-threaded runs carry the recorded
-/// baseline forward so the file stays self-contained; a missing baseline
-/// serialises as null.
-inline Status WriteBenchJson(const std::string& experiment, int threads,
-                             double wall_seconds, int64_t trials) {
-  const int resolved = ResolveThreadCount(threads);
+/// resolved thread count, trial throughput, a nested `metrics` block (the
+/// current metrics snapshot; empty objects under SOSE_METRICS=OFF), and —
+/// once an explicit `--threads=1` run has recorded its wall time as the
+/// serial baseline — the speedup of the current run against that baseline.
+///
+/// Baseline discipline: only `requested_threads == 1` may (over)write the
+/// baseline. A `--threads=0` run that *resolves* to one core is still an
+/// auto-threaded run — letting it record a baseline would make it report
+/// speedup 1.0 against itself. A recorded baseline is also only trusted when
+/// it came from the same trial count (`serial_baseline_trials`); a stale
+/// baseline from a different workload is dropped rather than compared.
+/// Multi-threaded runs carry a valid baseline forward so the file stays
+/// self-contained; a missing baseline serialises as null.
+///
+/// `resolved_threads` is split out of `requested_threads` so tests can pin a
+/// host-independent resolution; production callers use the wrapper below.
+inline Status WriteBenchJsonResolved(const std::string& experiment,
+                                     int requested_threads,
+                                     int resolved_threads, double wall_seconds,
+                                     int64_t trials) {
   const std::string path = "BENCH_" + experiment + ".json";
   double baseline = std::nan("");
-  if (resolved == 1) {
+  if (requested_threads == 1) {
     baseline = wall_seconds;
   } else {
     auto previous = ReadFileToString(path);
     if (previous.ok()) {
       double recorded = 0.0;
+      double recorded_trials = 0.0;
       if (FindJsonNumber(previous.value(), "serial_baseline_seconds",
-                         &recorded)) {
+                         &recorded) &&
+          FindJsonNumber(previous.value(), "serial_baseline_trials",
+                         &recorded_trials) &&
+          recorded_trials == static_cast<double>(trials)) {
         baseline = recorded;
       }
     }
@@ -79,7 +96,7 @@ inline Status WriteBenchJson(const std::string& experiment, int threads,
   const bool have_speedup = std::isfinite(baseline) && wall_seconds > 0.0;
   JsonObjectWriter writer;
   writer.AddString("experiment", experiment)
-      .AddInt("threads", resolved)
+      .AddInt("threads", resolved_threads)
       .AddDouble("wall_seconds", wall_seconds)
       .AddInt("trials", trials)
       .AddDouble("trials_per_sec", have_rate
@@ -87,11 +104,38 @@ inline Status WriteBenchJson(const std::string& experiment, int threads,
                                              wall_seconds
                                        : std::nan(""))
       .AddDouble("serial_baseline_seconds", baseline)
+      .AddInt("serial_baseline_trials",
+              std::isfinite(baseline) ? trials : 0)
       .AddDouble("speedup_vs_serial",
-                 have_speedup ? baseline / wall_seconds : std::nan(""));
+                 have_speedup ? baseline / wall_seconds : std::nan(""))
+      .AddObject("metrics", metrics::ToJson(metrics::Snapshot()));
   SOSE_RETURN_IF_ERROR(writer.WriteToFile(path));
-  std::printf("wrote %s (threads=%d, wall=%.3fs)\n", path.c_str(), resolved,
-              wall_seconds);
+  std::printf("wrote %s (threads=%d, wall=%.3fs)\n", path.c_str(),
+              resolved_threads, wall_seconds);
+  return Status::OK();
+}
+
+inline Status WriteBenchJson(const std::string& experiment, int threads,
+                             double wall_seconds, int64_t trials) {
+  return WriteBenchJsonResolved(experiment, threads,
+                                ResolveThreadCount(threads), wall_seconds,
+                                trials);
+}
+
+/// The shared bench epilogue: BENCH_<experiment>.json (with the embedded
+/// `metrics` block) plus, when `--metrics=FILE` was passed, the text dump of
+/// the same snapshot. Every bench main funnels through this.
+inline Status FinishBench(const FlagParser& flags,
+                          const std::string& experiment, int requested_threads,
+                          double wall_seconds, int64_t trials) {
+  SOSE_RETURN_IF_ERROR(
+      WriteBenchJson(experiment, requested_threads, wall_seconds, trials));
+  const std::string metrics_path = flags.GetString("metrics", "");
+  if (!metrics_path.empty()) {
+    SOSE_RETURN_IF_ERROR(
+        metrics::WriteTextFile(metrics_path, metrics::Snapshot()));
+    std::printf("wrote %s\n", metrics_path.c_str());
+  }
   return Status::OK();
 }
 

@@ -1,10 +1,24 @@
 #include "core/flags.h"
 
+#include <charconv>
 #include <cstdio>
 #include <cstdlib>
 #include <string_view>
 
 namespace sose {
+
+namespace {
+
+[[noreturn]] void UsageError(const std::string& name, const std::string& value,
+                             const char* expected) {
+  std::fprintf(stderr,
+               "invalid value for --%s: '%s' (expected %s)\n"
+               "usage: --name=value | --name value | --name (boolean)\n",
+               name.c_str(), value.c_str(), expected);
+  std::exit(2);
+}
+
+}  // namespace
 
 FlagParser::FlagParser(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
@@ -17,7 +31,10 @@ FlagParser::FlagParser(int argc, char** argv) {
     const size_t eq = arg.find('=');
     if (eq != std::string_view::npos) {
       values_[std::string(arg.substr(0, eq))] = std::string(arg.substr(eq + 1));
-    } else if (i + 1 < argc && std::string_view(argv[i + 1]).substr(0, 2) != "--") {
+    } else if (i + 1 < argc &&
+               std::string_view(argv[i + 1]).substr(0, 2) != "--") {
+      // A value that itself looks like a flag never binds here: `--a --b`
+      // parses as two booleans, so `--b` cannot be swallowed as a's value.
       values_[std::string(arg)] = argv[i + 1];
       ++i;
     } else {
@@ -36,14 +53,30 @@ int64_t FlagParser::GetInt(const std::string& name,
                            int64_t default_value) const {
   auto it = values_.find(name);
   if (it == values_.end()) return default_value;
-  return std::strtoll(it->second.c_str(), nullptr, 10);
+  // Strict parse: the whole value must be one integer. strtoll's lenient
+  // behavior turned `--threads=abc` into 0 and ignored trailing garbage.
+  const std::string& text = it->second;
+  int64_t parsed = 0;
+  const auto [end, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), parsed, 10);
+  if (ec != std::errc() || end != text.data() + text.size()) {
+    UsageError(name, text, "an integer");
+  }
+  return parsed;
 }
 
 double FlagParser::GetDouble(const std::string& name,
                              double default_value) const {
   auto it = values_.find(name);
   if (it == values_.end()) return default_value;
-  return std::strtod(it->second.c_str(), nullptr);
+  const std::string& text = it->second;
+  double parsed = 0.0;
+  const auto [end, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), parsed);
+  if (ec != std::errc() || end != text.data() + text.size()) {
+    UsageError(name, text, "a number");
+  }
+  return parsed;
 }
 
 bool FlagParser::GetBool(const std::string& name, bool default_value) const {

@@ -19,7 +19,10 @@ class FlagParser {
   /// (experiments take no positional arguments).
   FlagParser(int argc, char** argv);
 
-  /// Returns the flag value or `default_value` when absent.
+  /// Returns the flag value or `default_value` when absent. The numeric
+  /// getters are strict: a value that is not entirely one number (e.g.
+  /// `--threads=abc` or `--threads=4x`) exits with the usage message rather
+  /// than silently parsing to 0.
   std::string GetString(const std::string& name,
                         const std::string& default_value) const;
   int64_t GetInt(const std::string& name, int64_t default_value) const;

@@ -1,0 +1,49 @@
+#include "core/hexfloat.h"
+
+#include <charconv>
+#include <cmath>
+#include <cstring>
+#include <string_view>
+#include <system_error>
+
+namespace sose {
+
+std::string FormatHexDouble(double value) {
+  char buffer[64];
+  const auto [end, ec] = std::to_chars(buffer, buffer + sizeof(buffer), value,
+                                       std::chars_format::hex);
+  if (ec != std::errc()) return "nan";  // 64 bytes always suffice; defensive.
+  std::string out(buffer, end);
+  if (!std::isfinite(value)) return out;  // "inf" / "-inf" / "nan"
+  // to_chars omits the 0x prefix; reinsert it for the %a-compatible shape.
+  const std::size_t digits = out[0] == '-' ? 1 : 0;
+  out.insert(digits, "0x");
+  return out;
+}
+
+bool ParseHexDouble(const std::string& text, double* value) {
+  if (text.empty()) return false;
+  std::string_view view(text);
+  // from_chars(hex) rejects both a leading '+' and a 0x prefix, so consume
+  // them by hand; the sign is reapplied below (negating 0.0 preserves -0.0
+  // bit-exactly). "inf"/"nan" pass through unprefixed.
+  bool negative = false;
+  if (view[0] == '+' || view[0] == '-') {
+    negative = view[0] == '-';
+    view.remove_prefix(1);
+  }
+  if (view.size() > 1 && view[0] == '0' &&
+      (view[1] == 'x' || view[1] == 'X')) {
+    view.remove_prefix(2);
+  }
+  // A second sign ("--1p+0") must not sneak through to from_chars.
+  if (view.empty() || view[0] == '+' || view[0] == '-') return false;
+  double parsed = 0.0;
+  const auto [end, ec] = std::from_chars(view.data(), view.data() + view.size(),
+                                         parsed, std::chars_format::hex);
+  if (ec != std::errc() || end != view.data() + view.size()) return false;
+  *value = negative ? -parsed : parsed;
+  return true;
+}
+
+}  // namespace sose

@@ -1,0 +1,27 @@
+#ifndef SOSE_CORE_HEXFLOAT_H_
+#define SOSE_CORE_HEXFLOAT_H_
+
+#include <string>
+
+namespace sose {
+
+/// Locale-independent hexfloat text for bit-exact double round-trips (the
+/// trial-runner checkpoint format). printf("%a") / strtod are NOT suitable
+/// here: both honor the locale's radix character, so a checkpoint written
+/// under "C" fails to parse (or parses truncated) under a comma-decimal
+/// locale such as de_DE. These helpers go through std::to_chars /
+/// std::from_chars, which are locale-independent by specification.
+
+/// Formats `value` in the `[-]0x1.<mantissa>p<exp>` shape printf("%a")
+/// produces (non-finite values come out as inf/-inf/nan), so existing
+/// checkpoints remain readable and new ones look the same.
+std::string FormatHexDouble(double value);
+
+/// Parses FormatHexDouble output (with or without the `0x` prefix) back into
+/// a bit-identical double. The whole string must be consumed. Returns false
+/// on empty, trailing garbage, or non-hexfloat input.
+bool ParseHexDouble(const std::string& text, double* value);
+
+}  // namespace sose
+
+#endif  // SOSE_CORE_HEXFLOAT_H_

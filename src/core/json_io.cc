@@ -1,6 +1,7 @@
 #include "core/json_io.h"
 
 #include <cerrno>
+#include <charconv>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -70,6 +71,12 @@ JsonObjectWriter& JsonObjectWriter::AddBool(const std::string& key,
   return *this;
 }
 
+JsonObjectWriter& JsonObjectWriter::AddObject(const std::string& key,
+                                              const JsonObjectWriter& child) {
+  fields_.emplace_back(key, child.ToInlineString());
+  return *this;
+}
+
 std::string JsonObjectWriter::ToString() const {
   std::ostringstream out;
   out << "{\n";
@@ -80,6 +87,17 @@ std::string JsonObjectWriter::ToString() const {
     out << "\n";
   }
   out << "}\n";
+  return out.str();
+}
+
+std::string JsonObjectWriter::ToInlineString() const {
+  std::ostringstream out;
+  out << "{";
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << EscapeJsonString(fields_[i].first) << ": " << fields_[i].second;
+  }
+  out << "}";
   return out.str();
 }
 
@@ -102,33 +120,87 @@ Status JsonObjectWriter::WriteToFile(const std::string& path) const {
   return Status::OK();
 }
 
+namespace {
+
+bool IsJsonSpace(char c) {
+  return c == ' ' || c == '\t' || c == '\n' || c == '\r';
+}
+
+}  // namespace
+
 bool FindJsonNumber(const std::string& text, const std::string& key,
                     double* value) {
+  // A structural walk instead of a substring search: string literals are
+  // skipped as units and nesting depth is tracked, so `key` can only match a
+  // key of the outermost object — never a same-named key inside a nested
+  // `metrics` block, nor text embedded in a string value.
   const std::string needle = EscapeJsonString(key);
-  size_t pos = 0;
-  while ((pos = text.find(needle, pos)) != std::string::npos) {
-    size_t cursor = pos + needle.size();
-    while (cursor < text.size() &&
-           (text[cursor] == ' ' || text[cursor] == '\t')) {
-      ++cursor;
-    }
-    if (cursor >= text.size() || text[cursor] != ':') {
-      pos += needle.size();
+  const size_t n = text.size();
+  int depth = 0;
+  size_t i = 0;
+  while (i < n) {
+    const char c = text[i];
+    if (c == '{' || c == '[') {
+      ++depth;
+      ++i;
       continue;
     }
-    ++cursor;
-    while (cursor < text.size() &&
-           (text[cursor] == ' ' || text[cursor] == '\t')) {
-      ++cursor;
+    if (c == '}' || c == ']') {
+      --depth;
+      ++i;
+      continue;
     }
-    char* end = nullptr;
-    errno = 0;
-    const double parsed = std::strtod(text.c_str() + cursor, &end);
-    if (end == text.c_str() + cursor || errno != 0) return false;
+    if (c != '"') {
+      ++i;
+      continue;
+    }
+    // Scan the whole string literal, honoring backslash escapes.
+    size_t j = i + 1;
+    while (j < n && text[j] != '"') {
+      if (text[j] == '\\') ++j;
+      ++j;
+    }
+    if (j >= n) return false;  // Unterminated string: malformed document.
+    size_t cursor = j + 1;
+    while (cursor < n && IsJsonSpace(text[cursor])) ++cursor;
+    const bool matches = depth == 1 && cursor < n && text[cursor] == ':' &&
+                         j + 1 - i == needle.size() &&
+                         text.compare(i, needle.size(), needle) == 0;
+    if (!matches) {
+      i = j + 1;
+      continue;
+    }
+    ++cursor;  // Consume ':'.
+    while (cursor < n && IsJsonSpace(text[cursor])) ++cursor;
+    // std::from_chars is locale-independent, unlike strtod, which under a
+    // comma-decimal locale would stop parsing "1.5" at the '.'.
+    double parsed = 0.0;
+    const auto [end, ec] =
+        std::from_chars(text.data() + cursor, text.data() + n, parsed);
+    if (ec != std::errc() || end == text.data() + cursor) return false;
     *value = parsed;
     return true;
   }
   return false;
+}
+
+Status WriteStringToFile(const std::string& path, const std::string& content) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream file(tmp, std::ios::trunc);
+    if (!file.good()) {
+      return Status::Internal("WriteStringToFile: cannot open " + tmp);
+    }
+    file << content;
+    if (!file.good()) {
+      return Status::Internal("WriteStringToFile: write to " + tmp + " failed");
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    return Status::Internal("WriteStringToFile: rename to " + path +
+                            " failed: " + std::strerror(errno));
+  }
+  return Status::OK();
 }
 
 Result<std::string> ReadFileToString(const std::string& path) {

@@ -10,20 +10,28 @@
 
 namespace sose {
 
-/// Writer for the flat JSON objects the bench suite emits as machine-readable
+/// Writer for the JSON objects the bench suite emits as machine-readable
 /// perf baselines (`BENCH_<exp>.json`). Deliberately minimal: one object,
-/// scalar fields only, insertion order preserved. Doubles are printed with 17
-/// significant digits so they round-trip; non-finite doubles become `null`
-/// (JSON has no NaN/Inf).
+/// scalar or nested-object fields, insertion order preserved. Doubles are
+/// printed with 17 significant digits so they round-trip; non-finite doubles
+/// become `null` (JSON has no NaN/Inf).
 class JsonObjectWriter {
  public:
   JsonObjectWriter& AddString(const std::string& key, const std::string& value);
   JsonObjectWriter& AddInt(const std::string& key, int64_t value);
   JsonObjectWriter& AddDouble(const std::string& key, double value);
   JsonObjectWriter& AddBool(const std::string& key, bool value);
+  /// Embeds `child` (rendered single-line) as a nested object under `key` —
+  /// how the bench suite attaches the `metrics` block.
+  JsonObjectWriter& AddObject(const std::string& key,
+                              const JsonObjectWriter& child);
 
-  /// `{"key": value, ...}` plus a trailing newline.
+  /// `{"key": value, ...}` pretty-printed, plus a trailing newline.
   std::string ToString() const;
+
+  /// `{"key": value, ...}` on one line, no trailing newline — the form used
+  /// when this object is nested inside another.
+  std::string ToInlineString() const;
 
   /// Writes the object to `path` through a temp file + rename, so readers
   /// never observe a torn document.
@@ -33,12 +41,18 @@ class JsonObjectWriter {
   std::vector<std::pair<std::string, std::string>> fields_;  // key → raw JSON
 };
 
-/// Scans flat JSON `text` for `"key": <number>` and parses the number.
-/// Returns false when the key is absent or its value is not numeric. This is
-/// the reader half of the BENCH_*.json handshake (a threaded bench run looks
-/// up the recorded serial baseline); it is not a general JSON parser.
+/// Scans JSON `text` for a top-level `"key": <number>` and parses the number
+/// with a locale-independent parser. Only keys of the outermost object match:
+/// an identically named key inside a nested object (e.g. inside the `metrics`
+/// block) or inside a string value is skipped. Returns false when the key is
+/// absent at the top level or its value is not numeric. This is the reader
+/// half of the BENCH_*.json handshake; it is not a general JSON parser.
 bool FindJsonNumber(const std::string& text, const std::string& key,
                     double* value);
+
+/// Writes `content` to `path` through a temp file + rename.
+[[nodiscard]] Status WriteStringToFile(const std::string& path,
+                                       const std::string& content);
 
 /// Reads a whole file into a string. Fails with kNotFound when the file
 /// cannot be opened.

@@ -1,0 +1,240 @@
+#include "core/metrics/metrics.h"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <utility>
+
+#include "core/json_io.h"
+
+namespace sose::metrics {
+
+Histogram::Histogram(std::string name, std::vector<double> boundaries)
+    : name_(std::move(name)),
+      boundaries_(std::move(boundaries)),
+      buckets_(boundaries_.size() + 1) {}
+
+void Histogram::Observe(double value) {
+  std::size_t bucket = boundaries_.size();  // Overflow unless an edge holds it.
+  for (std::size_t i = 0; i < boundaries_.size(); ++i) {
+    if (value <= boundaries_[i]) {
+      bucket = i;
+      break;
+    }
+  }
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  // fetch_add(double) needs C++20 library support that libstdc++ lacks for
+  // non-lock-free paths; a CAS loop is portable and equally exact.
+  double observed = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(observed, observed + value,
+                                     std::memory_order_relaxed,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+std::vector<int64_t> Histogram::BucketCounts() const {
+  std::vector<int64_t> counts(buckets_.size());
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return counts;
+}
+
+void Histogram::Reset() {
+  for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+const std::vector<double>& DefaultLatencyBoundaries() {
+  static const std::vector<double> kBoundaries = {
+      1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 1e1, 1e2};
+  return kBoundaries;
+}
+
+// Registration state. std::map keeps iteration sorted (snapshots come out in
+// name order without a second sort) and never invalidates the unique_ptr
+// targets, so handles handed to macro sites stay stable for process life.
+struct MetricsRegistry::Impl {
+  // sose-lint: allow(concurrency) registration lock for the metrics registry
+  mutable std::mutex mutex;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms;
+};
+
+MetricsRegistry::Impl* MetricsRegistry::impl() const {
+  // Allocated on first use and intentionally never freed from Global(): macro
+  // sites hold raw series pointers, and static destruction order must not
+  // invalidate them under exiting worker threads.
+  if (impl_ == nullptr) impl_ = new Impl;
+  return impl_;
+}
+
+MetricsRegistry::~MetricsRegistry() { delete impl_; }
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* const registry = new MetricsRegistry;
+  return *registry;
+}
+
+Counter* MetricsRegistry::GetCounter(std::string_view name) {
+  Impl* state = impl();
+  // sose-lint: allow(concurrency) registration lock for the metrics registry
+  std::lock_guard<std::mutex> lock(state->mutex);
+  auto it = state->counters.find(name);
+  if (it == state->counters.end()) {
+    it = state->counters
+             .emplace(std::string(name),
+                      std::make_unique<Counter>(std::string(name)))
+             .first;
+  }
+  return it->second.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(std::string_view name) {
+  Impl* state = impl();
+  // sose-lint: allow(concurrency) registration lock for the metrics registry
+  std::lock_guard<std::mutex> lock(state->mutex);
+  auto it = state->gauges.find(name);
+  if (it == state->gauges.end()) {
+    it = state->gauges
+             .emplace(std::string(name),
+                      std::make_unique<Gauge>(std::string(name)))
+             .first;
+  }
+  return it->second.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(std::string_view name,
+                                         const std::vector<double>& boundaries) {
+  Impl* state = impl();
+  // sose-lint: allow(concurrency) registration lock for the metrics registry
+  std::lock_guard<std::mutex> lock(state->mutex);
+  auto it = state->histograms.find(name);
+  if (it == state->histograms.end()) {
+    it = state->histograms
+             .emplace(std::string(name),
+                      std::make_unique<Histogram>(std::string(name), boundaries))
+             .first;
+  }
+  return it->second.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  Impl* state = impl();
+  // sose-lint: allow(concurrency) registration lock for the metrics registry
+  std::lock_guard<std::mutex> lock(state->mutex);
+  MetricsSnapshot snapshot;
+  snapshot.counters.reserve(state->counters.size());
+  for (const auto& [name, counter] : state->counters) {
+    snapshot.counters.emplace_back(name, counter->Value());
+  }
+  snapshot.gauges.reserve(state->gauges.size());
+  for (const auto& [name, gauge] : state->gauges) {
+    snapshot.gauges.emplace_back(name, gauge->Value());
+  }
+  snapshot.histograms.reserve(state->histograms.size());
+  for (const auto& [name, histogram] : state->histograms) {
+    HistogramSnapshot h;
+    h.name = name;
+    h.boundaries = histogram->boundaries();
+    h.bucket_counts = histogram->BucketCounts();
+    h.count = histogram->Count();
+    h.sum = histogram->Sum();
+    snapshot.histograms.push_back(std::move(h));
+  }
+  return snapshot;
+}
+
+void MetricsRegistry::Reset() {
+  Impl* state = impl();
+  // sose-lint: allow(concurrency) registration lock for the metrics registry
+  std::lock_guard<std::mutex> lock(state->mutex);
+  for (auto& [name, counter] : state->counters) counter->Reset();
+  for (auto& [name, gauge] : state->gauges) gauge->Reset();
+  for (auto& [name, histogram] : state->histograms) histogram->Reset();
+}
+
+SpanSite::SpanSite(const char* name)
+    : calls(MetricsRegistry::Global().GetCounter(std::string(name) + ".calls")),
+      seconds(MetricsRegistry::Global().GetHistogram(
+          std::string(name) + ".seconds", DefaultLatencyBoundaries())) {}
+
+MetricsSnapshot Snapshot() { return MetricsRegistry::Global().Snapshot(); }
+
+void ResetAll() { MetricsRegistry::Global().Reset(); }
+
+namespace {
+
+// %.17g matches JsonObjectWriter: shortest round-trippable double text.
+std::string FormatDouble(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return buffer;
+}
+
+}  // namespace
+
+std::string FormatText(const MetricsSnapshot& snapshot) {
+  std::ostringstream out;
+  for (const auto& [name, value] : snapshot.counters) {
+    out << "counter " << name << " " << value << "\n";
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    out << "gauge " << name << " " << FormatDouble(value) << "\n";
+  }
+  for (const HistogramSnapshot& h : snapshot.histograms) {
+    out << "histogram " << h.name << " count=" << h.count
+        << " sum=" << FormatDouble(h.sum) << " buckets=";
+    for (std::size_t i = 0; i < h.bucket_counts.size(); ++i) {
+      if (i > 0) out << ",";
+      if (i < h.boundaries.size()) {
+        out << "le" << FormatDouble(h.boundaries[i]);
+      } else {
+        out << "inf";
+      }
+      out << ":" << h.bucket_counts[i];
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+Status WriteTextFile(const std::string& path, const MetricsSnapshot& snapshot) {
+  return WriteStringToFile(path, FormatText(snapshot));
+}
+
+JsonObjectWriter ToJson(const MetricsSnapshot& snapshot) {
+  JsonObjectWriter counters;
+  for (const auto& [name, value] : snapshot.counters) {
+    counters.AddInt(name, value);
+  }
+  JsonObjectWriter gauges;
+  for (const auto& [name, value] : snapshot.gauges) {
+    gauges.AddDouble(name, value);
+  }
+  JsonObjectWriter histograms;
+  for (const HistogramSnapshot& h : snapshot.histograms) {
+    JsonObjectWriter entry;
+    entry.AddInt("count", h.count);
+    entry.AddDouble("sum", h.sum);
+    for (std::size_t i = 0; i < h.bucket_counts.size(); ++i) {
+      std::string key = i < h.boundaries.size()
+                            ? "le_" + FormatDouble(h.boundaries[i])
+                            : std::string("inf");
+      entry.AddInt(key, h.bucket_counts[i]);
+    }
+    histograms.AddObject(h.name, entry);
+  }
+  JsonObjectWriter metrics;
+  metrics.AddObject("counters", counters);
+  metrics.AddObject("gauges", gauges);
+  metrics.AddObject("histograms", histograms);
+  return metrics;
+}
+
+}  // namespace sose::metrics

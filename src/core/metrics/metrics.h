@@ -1,0 +1,260 @@
+#ifndef SOSE_CORE_METRICS_METRICS_H_
+#define SOSE_CORE_METRICS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/json_io.h"
+#include "core/status.h"
+#include "core/stopwatch.h"
+
+namespace sose::metrics {
+
+/// Process-wide observability for the experiment suite: monotonic counters,
+/// gauges, fixed-boundary latency histograms, and RAII trace spans.
+///
+/// Design constraints (see docs/observability.md):
+///  - Hot-path recording never allocates: every macro site caches its
+///    Counter*/SpanSite in a function-local static, so after the first pass a
+///    record is one relaxed atomic RMW (plus one clock read for spans).
+///  - Counters are plain integers, so their totals are independent of the
+///    order threads interleave their increments. The trial runner increments
+///    all `trial.*` counters from the supervisor fold, in ascending trial
+///    order — the same discipline that makes trial statistics bit-identical
+///    across `--threads` values extends to the metrics.
+///  - Histogram boundaries are fixed at registration and bucketing is an
+///    exact comparison scan, so the bucket a value lands in is deterministic.
+///  - Compiling with `-DSOSE_METRICS=OFF` (CMake) defines
+///    `SOSE_METRICS_DISABLED`, turning every macro into a no-op statement
+///    that evaluates none of its arguments; the registry API below still
+///    compiles so exporters work in both modes (they just see no series).
+///
+/// Direct `MetricsRegistry` access outside this directory is a sose_lint R6
+/// (`metrics-discipline`) finding: instrumented code must go through the
+/// `SOSE_SPAN` / `SOSE_COUNTER_*` / `SOSE_GAUGE_SET` macros, and exporters
+/// through the snapshot helpers, so the OFF mode provably strips every
+/// recording site.
+
+/// A monotonic event count. Thread-safe; addition is commutative, so the
+/// total is independent of thread interleaving.
+class Counter {
+ public:
+  explicit Counter(std::string name) : name_(std::move(name)) {}
+
+  void Add(int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+  const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
+  std::atomic<int64_t> value_{0};
+};
+
+/// A last-write-wins scalar (resolved thread count, configured trial count).
+class Gauge {
+ public:
+  explicit Gauge(std::string name) : name_(std::move(name)) {}
+
+  void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0.0, std::memory_order_relaxed); }
+  const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
+  std::atomic<double> value_{0.0};
+};
+
+/// A fixed-boundary histogram: `boundaries()[i]` is the inclusive upper edge
+/// of bucket i, and one overflow bucket catches everything above the last
+/// edge. Bucketing is an exact `value <= edge` scan — no float arithmetic —
+/// so the chosen bucket is deterministic for a given value.
+class Histogram {
+ public:
+  Histogram(std::string name, std::vector<double> boundaries);
+
+  void Observe(double value);
+
+  const std::string& name() const { return name_; }
+  const std::vector<double>& boundaries() const { return boundaries_; }
+  /// Per-bucket counts; size is boundaries().size() + 1 (last = overflow).
+  std::vector<int64_t> BucketCounts() const;
+  int64_t Count() const { return count_.load(std::memory_order_relaxed); }
+  double Sum() const { return sum_.load(std::memory_order_relaxed); }
+  void Reset();
+
+ private:
+  std::string name_;
+  std::vector<double> boundaries_;
+  std::vector<std::atomic<int64_t>> buckets_;
+  std::atomic<int64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// The default latency edges for trace spans: decades from 1µs to 100s.
+const std::vector<double>& DefaultLatencyBoundaries();
+
+/// Point-in-time view of every registered series, each sorted by name so two
+/// snapshots of identical state compare (and serialize) identically.
+struct HistogramSnapshot {
+  std::string name;
+  std::vector<double> boundaries;
+  std::vector<int64_t> bucket_counts;  ///< boundaries.size() + 1 entries.
+  int64_t count = 0;
+  double sum = 0.0;
+};
+
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, int64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<HistogramSnapshot> histograms;
+};
+
+/// The process-wide registry. Series are registered on first use and live
+/// for the life of the process; handles returned by the getters are stable.
+/// Registration takes a mutex; recording through the handles is lock-free.
+class MetricsRegistry {
+ public:
+  /// The singleton every macro records into.
+  static MetricsRegistry& Global();
+
+  /// Returns the series with `name`, registering it on first use.
+  /// GetHistogram ignores `boundaries` when the name is already registered.
+  Counter* GetCounter(std::string_view name);
+  Gauge* GetGauge(std::string_view name);
+  Histogram* GetHistogram(std::string_view name,
+                          const std::vector<double>& boundaries);
+
+  MetricsSnapshot Snapshot() const;
+
+  /// Zeroes every registered series (registrations and handles survive).
+  /// Test/benchmark lifecycle only — not for instrumented code.
+  void Reset();
+
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+  ~MetricsRegistry();
+
+ private:
+  struct Impl;
+  Impl* impl() const;
+  mutable Impl* impl_ = nullptr;
+};
+
+/// One span site: the `<name>.calls` counter and `<name>.seconds` histogram
+/// a SOSE_SPAN records into. Static at each macro site.
+struct SpanSite {
+  explicit SpanSite(const char* name);
+  Counter* calls;
+  Histogram* seconds;
+};
+
+/// RAII phase timer: on destruction adds one call and the elapsed wall time
+/// to its site. Stack-only; never allocates.
+class Span {
+ public:
+  explicit Span(SpanSite* site) : site_(site) {}
+  ~Span() {
+    site_->calls->Add(1);
+    site_->seconds->Observe(watch_.ElapsedSeconds());
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  SpanSite* site_;
+  Stopwatch watch_;
+};
+
+/// Exporter helpers (the sanctioned read-side API; usable from benches).
+MetricsSnapshot Snapshot();
+
+/// Zeroes every series; for tests and per-run bench resets.
+void ResetAll();
+
+/// Deterministically ordered `counter|gauge|histogram <name> ...` lines —
+/// the `--metrics=FILE` dump format (see docs/observability.md).
+std::string FormatText(const MetricsSnapshot& snapshot);
+
+/// Writes FormatText(snapshot) to `path` (truncating).
+[[nodiscard]] Status WriteTextFile(const std::string& path,
+                                   const MetricsSnapshot& snapshot);
+
+/// The nested `metrics` block embedded in every BENCH_<exp>.json:
+/// `{"counters": {...}, "gauges": {...}, "histograms": {...}}`.
+JsonObjectWriter ToJson(const MetricsSnapshot& snapshot);
+
+}  // namespace sose::metrics
+
+#define SOSE_METRICS_CONCAT_INNER_(a, b) a##b
+#define SOSE_METRICS_CONCAT_(a, b) SOSE_METRICS_CONCAT_INNER_(a, b)
+
+#if defined(SOSE_METRICS_DISABLED)
+
+// No-op mode: every macro compiles to an empty statement. `sizeof` keeps
+// the operands "used" for -Wunused without evaluating them, so the OFF
+// build is warning-clean and pays nothing at runtime.
+#define SOSE_SPAN(name) \
+  do {                  \
+  } while (false)
+#define SOSE_COUNTER_INC(name) \
+  do {                         \
+  } while (false)
+#define SOSE_COUNTER_ADD(name, delta) \
+  do {                                \
+    (void)sizeof(delta);              \
+  } while (false)
+#define SOSE_COUNTER_ADD_DYNAMIC(name, delta) \
+  do {                                        \
+    (void)sizeof(name);                       \
+    (void)sizeof(delta);                      \
+  } while (false)
+#define SOSE_GAUGE_SET(name, value) \
+  do {                              \
+    (void)sizeof(value);            \
+  } while (false)
+
+#else  // metrics enabled
+
+/// Times the enclosing scope into `<name>.seconds` / `<name>.calls`.
+/// `name` must be a string literal.
+#define SOSE_SPAN(name)                                                      \
+  static ::sose::metrics::SpanSite SOSE_METRICS_CONCAT_(sose_span_site_,     \
+                                                        __LINE__){name};     \
+  ::sose::metrics::Span SOSE_METRICS_CONCAT_(sose_span_, __LINE__)(          \
+      &SOSE_METRICS_CONCAT_(sose_span_site_, __LINE__))
+
+/// Adds to a counter whose name is a string literal; the registry lookup
+/// happens once per site.
+#define SOSE_COUNTER_ADD(name, delta)                               \
+  do {                                                              \
+    static ::sose::metrics::Counter* const sose_counter_ =          \
+        ::sose::metrics::MetricsRegistry::Global().GetCounter(name); \
+    sose_counter_->Add(delta);                                      \
+  } while (false)
+
+#define SOSE_COUNTER_INC(name) SOSE_COUNTER_ADD(name, 1)
+
+/// Adds to a counter whose name is computed at runtime (e.g. a StatusCode
+/// taxonomy key). Looks the counter up on every call — cold paths only.
+#define SOSE_COUNTER_ADD_DYNAMIC(name, delta)                             \
+  do {                                                                    \
+    ::sose::metrics::MetricsRegistry::Global().GetCounter(name)->Add(     \
+        delta);                                                           \
+  } while (false)
+
+#define SOSE_GAUGE_SET(name, value)                               \
+  do {                                                            \
+    static ::sose::metrics::Gauge* const sose_gauge_ =            \
+        ::sose::metrics::MetricsRegistry::Global().GetGauge(name); \
+    sose_gauge_->Set(value);                                      \
+  } while (false)
+
+#endif  // SOSE_METRICS_DISABLED
+
+#endif  // SOSE_CORE_METRICS_METRICS_H_

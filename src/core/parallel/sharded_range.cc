@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/check.h"
+#include "core/metrics/metrics.h"
 
 namespace sose {
 
@@ -32,17 +33,26 @@ bool ShardedRange::ClaimFrom(Shard* shard, int64_t* index) {
     *index = claimed;
     return true;
   }
+  // Each losing fetch_add is one wasted RMW on a contended ticket; the
+  // counter makes stampedes on drained shards visible.
+  SOSE_COUNTER_INC("range.ticket_overshoots");
   return false;
 }
 
 bool ShardedRange::Claim(int shard, int64_t* index) {
   SOSE_CHECK(shard >= 0 && shard < num_shards_);
-  if (ClaimFrom(&shards_[static_cast<size_t>(shard)], index)) return true;
+  if (ClaimFrom(&shards_[static_cast<size_t>(shard)], index)) {
+    SOSE_COUNTER_INC("range.claims_local");
+    return true;
+  }
   // Own shard drained: steal from the others, scanning ringwise so idle
   // workers spread over distinct victims instead of stampeding one.
   for (int offset = 1; offset < num_shards_; ++offset) {
     const int victim = (shard + offset) % num_shards_;
-    if (ClaimFrom(&shards_[static_cast<size_t>(victim)], index)) return true;
+    if (ClaimFrom(&shards_[static_cast<size_t>(victim)], index)) {
+      SOSE_COUNTER_INC("range.claims_stolen");
+      return true;
+    }
   }
   return false;
 }

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "core/metrics/metrics.h"
+
 namespace sose {
 
 int HardwareConcurrency() {
@@ -33,6 +35,7 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
+  SOSE_COUNTER_INC("pool.tasks_submitted");
   {
     std::lock_guard<std::mutex> lock(mu_);
     queue_.push_back(std::move(task));
@@ -56,6 +59,7 @@ void ThreadPool::WorkerLoop() {
       queue_.pop_front();
       ++active_;
     }
+    SOSE_COUNTER_INC("pool.tasks_executed");
     task();
     {
       std::lock_guard<std::mutex> lock(mu_);

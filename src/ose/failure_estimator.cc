@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "core/metrics/metrics.h"
+
 namespace sose {
 
 namespace {
@@ -11,7 +13,22 @@ namespace {
 constexpr double kFullRunZ = 1.96;
 constexpr double kPartialRunZ = 2.576;
 
-FailureEstimate Summarize(const TrialRunReport& report) {
+TrialRunnerOptions RunnerOptions(const EstimatorOptions& options) {
+  TrialRunnerOptions runner;
+  runner.trials = options.trials;
+  runner.seed = options.seed;
+  runner.max_retries = options.max_retries;
+  runner.error_budget = options.error_budget;
+  runner.deadline_seconds = options.deadline_seconds;
+  runner.checkpoint_every = options.checkpoint_every;
+  runner.checkpoint_path = options.checkpoint_path;
+  runner.threads = options.threads;
+  return runner;
+}
+
+}  // namespace
+
+FailureEstimate SummarizeTrialReport(const TrialRunReport& report) {
   FailureEstimate estimate;
   estimate.trials = report.requested;
   estimate.completed = report.completed;
@@ -30,25 +47,13 @@ FailureEstimate Summarize(const TrialRunReport& report) {
       report.completed > 0
           ? report.epsilon_sum / static_cast<double>(report.completed)
           : 0.0;
-  estimate.partial = report.partial;
+  // An estimate resting on zero completed trials carries no evidence; flag
+  // it partial even when the runner did not truncate (e.g. every trial
+  // quarantined), so callers never mistake the 0.0 placeholders for data.
+  estimate.partial = report.partial || report.completed == 0;
   estimate.taxonomy = report.taxonomy;
   return estimate;
 }
-
-TrialRunnerOptions RunnerOptions(const EstimatorOptions& options) {
-  TrialRunnerOptions runner;
-  runner.trials = options.trials;
-  runner.seed = options.seed;
-  runner.max_retries = options.max_retries;
-  runner.error_budget = options.error_budget;
-  runner.deadline_seconds = options.deadline_seconds;
-  runner.checkpoint_every = options.checkpoint_every;
-  runner.checkpoint_path = options.checkpoint_path;
-  runner.threads = options.threads;
-  return runner;
-}
-
-}  // namespace
 
 Status ValidateEstimatorOptions(const EstimatorOptions& options) {
   if (options.trials <= 0) {
@@ -95,11 +100,18 @@ Result<FailureEstimate> EstimateFailureProbability(
     const EstimatorOptions& options) {
   SOSE_RETURN_IF_ERROR(ValidateEstimatorOptions(options));
   auto trial = [&](uint64_t trial_seed) -> Result<TrialOutcome> {
-    SOSE_ASSIGN_OR_RETURN(std::unique_ptr<SketchingMatrix> sketch,
-                          sketch_factory(DeriveSeed(trial_seed, 0)));
+    std::unique_ptr<SketchingMatrix> sketch;
+    {
+      SOSE_SPAN("trial.sketch_draw");
+      SOSE_ASSIGN_OR_RETURN(sketch, sketch_factory(DeriveSeed(trial_seed, 0)));
+    }
     Rng rng(DeriveSeed(trial_seed, 1));
-    HardInstance instance = sampler(&rng);
+    HardInstance instance = [&] {
+      SOSE_SPAN("trial.instance_draw");
+      return sampler(&rng);
+    }();
     if (options.condition_on_no_collision) {
+      SOSE_SPAN("trial.collision_redraws");
       int64_t redraws = 0;
       while (instance.HasRowCollision() && redraws < options.max_redraws) {
         instance = sampler(&rng);
@@ -111,8 +123,12 @@ Result<FailureEstimate> EstimateFailureProbability(
             "n is too small relative to d/beta");
       }
     }
-    SOSE_ASSIGN_OR_RETURN(DistortionReport report,
-                          SketchDistortionOnInstance(*sketch, instance));
+    DistortionReport report;
+    {
+      SOSE_SPAN("trial.distortion");
+      SOSE_ASSIGN_OR_RETURN(report,
+                            SketchDistortionOnInstance(*sketch, instance));
+    }
     // Check the factors, not just Epsilon(): std::max(x, NaN) is x, so a
     // NaN factor can hide behind a finite epsilon and masquerade as an
     // embedding failure instead of a solver fault.
@@ -126,7 +142,7 @@ Result<FailureEstimate> EstimateFailureProbability(
   };
   SOSE_ASSIGN_OR_RETURN(TrialRunReport report,
                         RunTrials(trial, RunnerOptions(options)));
-  return Summarize(report);
+  return SummarizeTrialReport(report);
 }
 
 Result<FailureEstimate> EstimateFailureProbabilityDense(
@@ -134,12 +150,23 @@ Result<FailureEstimate> EstimateFailureProbabilityDense(
     const EstimatorOptions& options) {
   SOSE_RETURN_IF_ERROR(ValidateEstimatorOptions(options));
   auto trial = [&](uint64_t trial_seed) -> Result<TrialOutcome> {
-    SOSE_ASSIGN_OR_RETURN(std::unique_ptr<SketchingMatrix> sketch,
-                          sketch_factory(DeriveSeed(trial_seed, 0)));
+    std::unique_ptr<SketchingMatrix> sketch;
+    {
+      SOSE_SPAN("trial.sketch_draw");
+      SOSE_ASSIGN_OR_RETURN(sketch, sketch_factory(DeriveSeed(trial_seed, 0)));
+    }
     Rng rng(DeriveSeed(trial_seed, 1));
-    SOSE_ASSIGN_OR_RETURN(Matrix basis, sampler(&rng));
-    SOSE_ASSIGN_OR_RETURN(DistortionReport report,
-                          SketchDistortionOnIsometry(*sketch, basis));
+    Matrix basis;
+    {
+      SOSE_SPAN("trial.instance_draw");
+      SOSE_ASSIGN_OR_RETURN(basis, sampler(&rng));
+    }
+    DistortionReport report;
+    {
+      SOSE_SPAN("trial.distortion");
+      SOSE_ASSIGN_OR_RETURN(report,
+                            SketchDistortionOnIsometry(*sketch, basis));
+    }
     if (!std::isfinite(report.min_factor) ||
         !std::isfinite(report.max_factor)) {
       return Status::NumericalError(
@@ -150,7 +177,7 @@ Result<FailureEstimate> EstimateFailureProbabilityDense(
   };
   SOSE_ASSIGN_OR_RETURN(TrialRunReport report,
                         RunTrials(trial, RunnerOptions(options)));
-  return Summarize(report);
+  return SummarizeTrialReport(report);
 }
 
 }  // namespace sose

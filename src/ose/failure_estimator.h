@@ -89,6 +89,14 @@ struct EstimatorOptions {
 /// description of the first violation.
 [[nodiscard]] Status ValidateEstimatorOptions(const EstimatorOptions& options);
 
+/// Folds a TrialRunReport into the user-facing estimate. Total on every
+/// input: completed == 0 yields 0.0 placeholders with partial == true and
+/// the vacuous Wilson interval [0, 1] — never NaN — and completed == 1
+/// yields the (wide but finite) single-sample interval. Exposed so the
+/// degenerate deadline/quarantine shapes are testable without forcing the
+/// runner into them.
+FailureEstimate SummarizeTrialReport(const TrialRunReport& report);
+
 /// Estimates Pr over (Π, U) of "Π is not an ε-subspace-embedding for U",
 /// with U from the sparse hard-instance sampler. Each trial draws a fresh
 /// sketch and a fresh instance. Per-trial errors are quarantined by the

@@ -11,9 +11,13 @@
 #include <fstream>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <vector>
 
 #include "core/csv.h"
+#include "core/hexfloat.h"
+#include "core/json_io.h"
+#include "core/metrics/metrics.h"
 #include "core/parallel/sharded_range.h"
 #include "core/parallel/thread_pool.h"
 #include "core/random.h"
@@ -31,20 +35,6 @@ constexpr uint64_t kRetryStream = 0x5e7121e5ULL;
 
 // Checkpoint schema version; bumped on incompatible format changes.
 constexpr const char* kCheckpointFormat = "sose-trial-checkpoint-v1";
-
-std::string FormatHexDouble(double value) {
-  char buffer[64];
-  std::snprintf(buffer, sizeof(buffer), "%a", value);
-  return buffer;
-}
-
-bool ParseHexDouble(const std::string& text, double* value) {
-  if (text.empty()) return false;
-  char* end = nullptr;
-  errno = 0;
-  *value = std::strtod(text.c_str(), &end);
-  return errno == 0 && end == text.c_str() + text.size();
-}
 
 bool ParseInt(const std::string& text, int64_t* value) {
   if (text.empty()) return false;
@@ -115,6 +105,7 @@ struct TrialAttemptResult {
 
 TrialAttemptResult ExecuteTrial(const TrialFn& trial, uint64_t master_seed,
                                 int64_t max_retries, int64_t t) {
+  SOSE_SPAN("trial.execute");
   TrialAttemptResult record;
   const uint64_t base_seed = DeriveSeed(master_seed, static_cast<uint64_t>(t));
   Result<TrialOutcome> outcome = trial(base_seed);
@@ -139,17 +130,29 @@ TrialAttemptResult ExecuteTrial(const TrialFn& trial, uint64_t master_seed,
 /// results are bitwise identical.
 Status FoldOutcome(const TrialAttemptResult& record, int64_t t,
                    const TrialRunnerOptions& options, TrialRunReport* report) {
+  // All `trial.*` counters are incremented here, on the supervisor thread, in
+  // ascending trial order — never from workers — so their totals are
+  // bit-identical across `--threads` values just like the report itself.
   report->retries_used += record.retries_used;
+  SOSE_COUNTER_ADD("trial.retries", record.retries_used);
   if (record.status.ok()) {
     ++report->completed;
+    SOSE_COUNTER_INC("trial.completed");
     report->epsilon_sum += record.outcome.epsilon;
     if (record.outcome.epsilon > report->epsilon_max) {
       report->epsilon_max = record.outcome.epsilon;
     }
-    if (record.outcome.failure) ++report->failures;
+    if (record.outcome.failure) {
+      ++report->failures;
+      SOSE_COUNTER_INC("trial.failures");
+    }
   } else {
     ++report->faulted;
     report->taxonomy.Record(record.status);
+    SOSE_COUNTER_INC("trial.quarantined");
+    SOSE_COUNTER_ADD_DYNAMIC(
+        "trial.fault." + std::string(StatusCodeToString(record.status.code())),
+        1);
     // Fail fast once the budget is unreachable even if every remaining
     // trial completes — a systematically broken run should not grind
     // through all its trials first.
@@ -157,6 +160,7 @@ Status FoldOutcome(const TrialAttemptResult& record, int64_t t,
     if (static_cast<double>(report->faulted) >
         options.error_budget *
             static_cast<double>(report->completed + remaining)) {
+      SOSE_COUNTER_INC("trial.budget_aborts");
       return Status::FailedPrecondition(
           BudgetMessage(*report, options.error_budget));
     }
@@ -220,23 +224,39 @@ Status WriteTrialCheckpoint(const std::string& path,
     csv.AddInt(entry.count);
     csv.AddCell(entry.first_message);
   }
-  const std::string tmp = path + ".tmp";
-  SOSE_RETURN_IF_ERROR(csv.WriteToFile(tmp));
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    return Status::Internal("WriteTrialCheckpoint: rename to " + path +
-                            " failed: " + std::strerror(errno));
-  }
-  return Status::OK();
+  const std::string payload = csv.ToString();
+  SOSE_COUNTER_INC("trial.checkpoint.writes");
+  SOSE_COUNTER_ADD("trial.checkpoint.write_bytes",
+                   static_cast<int64_t>(payload.size()));
+  // WriteStringToFile goes through tmp + rename, so a reader (or a resume
+  // after a kill mid-write) never sees a torn document at `path`.
+  return WriteStringToFile(path, payload);
 }
 
 Result<TrialCheckpoint> ReadTrialCheckpoint(const std::string& path) {
-  SOSE_ASSIGN_OR_RETURN(CsvDocument doc, ReadCsvFile(path));
+  SOSE_ASSIGN_OR_RETURN(std::string content, ReadFileToString(path));
+  SOSE_COUNTER_INC("trial.checkpoint.reads");
+  SOSE_COUNTER_ADD("trial.checkpoint.read_bytes",
+                   static_cast<int64_t>(content.size()));
+  // Every complete record ends in a newline. A file cut off mid-record — a
+  // deadline kill landing on a filesystem without atomic rename, or a copy
+  // truncated in flight — leaves a trailing partial line; drop it rather
+  // than failing the whole resume, since checkpoints are cumulative and the
+  // prior fields are intact. The completeness check below still rejects a
+  // file torn so early that required fields are missing.
+  if (!content.empty() && content.back() != '\n') {
+    const size_t last_newline = content.find_last_of('\n');
+    content.erase(last_newline == std::string::npos ? 0 : last_newline + 1);
+  }
+  SOSE_ASSIGN_OR_RETURN(CsvDocument doc, ParseCsv(content));
   TrialCheckpoint checkpoint;
   bool saw_format = false;
+  std::set<std::string> seen_keys;
   for (const std::vector<std::string>& row : doc.rows) {
     if (row.empty()) continue;
     const std::string& key = row[0];
     const std::string value = row.size() > 1 ? row[1] : "";
+    seen_keys.insert(key);
     bool ok = true;
     if (key == "format") {
       saw_format = true;
@@ -285,6 +305,18 @@ Result<TrialCheckpoint> ReadTrialCheckpoint(const std::string& path) {
     return Status::FailedPrecondition(
         "ReadTrialCheckpoint: missing format line in " + path);
   }
+  // Completeness: a resume from a checkpoint missing a scalar field would
+  // silently continue from zeroed state. (The `fault` rows are legitimately
+  // absent in clean runs.)
+  for (const char* required :
+       {"master_seed", "next_trial", "requested", "completed", "faulted",
+        "retries_used", "failures", "epsilon_sum", "epsilon_max"}) {
+    if (!seen_keys.contains(required)) {
+      return Status::FailedPrecondition(
+          std::string("ReadTrialCheckpoint: missing field '") + required +
+          "' in " + path + " (truncated checkpoint?)");
+    }
+  }
   return checkpoint;
 }
 
@@ -313,6 +345,7 @@ Result<TrialRunReport> RunTrials(const TrialFn& trial,
     report = checkpoint.report;
     report.partial = false;
     start = checkpoint.next_trial;
+    SOSE_COUNTER_INC("trial.resumes");
   }
 
   Stopwatch watch;
@@ -328,6 +361,7 @@ Result<TrialRunReport> RunTrials(const TrialFn& trial,
           watch.ElapsedSeconds() > options.deadline_seconds) {
         report.partial = true;
         next_trial = t;
+        SOSE_COUNTER_INC("trial.deadline_hits");
         break;
       }
       const TrialAttemptResult record =
@@ -414,6 +448,7 @@ Result<TrialRunReport> RunTrials(const TrialFn& trial,
           // derived seeds, keeping resumed runs bitwise identical.
           report.partial = true;
           next_trial = t;
+          SOSE_COUNTER_INC("trial.deadline_hits");
           break;
         }
         const Status fold =

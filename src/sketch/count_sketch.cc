@@ -1,5 +1,6 @@
 #include "sketch/count_sketch.h"
 
+#include "core/metrics/metrics.h"
 #include "core/random.h"
 
 namespace sose {
@@ -25,6 +26,8 @@ Result<Matrix> CountSketch::ApplySparse(const CscMatrix& a) const {
     return Status::InvalidArgument(
         "ApplySparse: input rows != sketch ambient dimension");
   }
+  SOSE_SPAN("sketch.count_sketch.apply_sparse");
+  SOSE_COUNTER_ADD("sketch.apply_sparse.nnz", a.nnz());
   Matrix out(m_, a.cols());
   for (int64_t j = 0; j < a.cols(); ++j) {
     for (int64_t p = a.col_ptr()[static_cast<size_t>(j)];

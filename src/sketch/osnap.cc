@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/metrics/metrics.h"
 #include "core/random.h"
 
 namespace sose {
@@ -63,6 +64,8 @@ Result<Matrix> Osnap::ApplySparse(const CscMatrix& a) const {
     return Status::InvalidArgument(
         "ApplySparse: input rows != sketch ambient dimension");
   }
+  SOSE_SPAN("sketch.osnap.apply_sparse");
+  SOSE_COUNTER_ADD("sketch.apply_sparse.nnz", a.nnz());
   Matrix out(m_, a.cols());
   std::vector<ColumnEntry> entries;
   entries.reserve(static_cast<size_t>(s_));

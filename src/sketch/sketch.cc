@@ -1,6 +1,7 @@
 #include "sketch/sketch.h"
 
 #include "core/check.h"
+#include "core/metrics/metrics.h"
 
 namespace sose {
 
@@ -14,6 +15,8 @@ Result<Matrix> SketchingMatrix::ApplySparse(const CscMatrix& a) const {
     return Status::InvalidArgument(
         "ApplySparse: input rows != sketch ambient dimension");
   }
+  SOSE_SPAN("sketch.apply_sparse");
+  SOSE_COUNTER_ADD("sketch.apply_sparse.nnz", a.nnz());
   Matrix out(rows(), a.cols());
   // For each column j of A, scatter each nonzero A_{r,j} through sketch
   // column r: out[:, j] += A_{r,j} * Π[:, r]. One column buffer is reused
@@ -39,6 +42,7 @@ Result<Matrix> SketchingMatrix::ApplyDense(const Matrix& a) const {
     return Status::InvalidArgument(
         "ApplyDense: input rows != sketch ambient dimension");
   }
+  SOSE_SPAN("sketch.apply_dense");
   Matrix out(rows(), a.cols());
   std::vector<ColumnEntry> entries;
   entries.reserve(static_cast<size_t>(column_sparsity()));
@@ -61,6 +65,7 @@ Result<std::vector<double>> SketchingMatrix::ApplyVector(
     return Status::InvalidArgument(
         "ApplyVector: input length != sketch ambient dimension");
   }
+  SOSE_SPAN("sketch.apply_vector");
   std::vector<double> out(static_cast<size_t>(rows()), 0.0);
   std::vector<ColumnEntry> entries;
   entries.reserve(static_cast<size_t>(column_sparsity()));

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "core/metrics/metrics.h"
 #include "core/random.h"
 #include "sketch/hadamard.h"
 
@@ -46,6 +47,7 @@ Result<std::vector<double>> Srht::ApplyVector(
     return Status::InvalidArgument(
         "Srht::ApplyVector: input length != sketch ambient dimension");
   }
+  SOSE_SPAN("sketch.srht.apply_vector");
   std::vector<double> work(x);
   for (int64_t i = 0; i < n_; ++i) {
     work[static_cast<size_t>(i)] *= signs_[static_cast<size_t>(i)];
@@ -65,6 +67,7 @@ Result<Matrix> Srht::ApplyDense(const Matrix& a) const {
     return Status::InvalidArgument(
         "Srht::ApplyDense: input rows != sketch ambient dimension");
   }
+  SOSE_SPAN("sketch.srht.apply_dense");
   Matrix out(m_, a.cols());
   for (int64_t j = 0; j < a.cols(); ++j) {
     SOSE_ASSIGN_OR_RETURN(std::vector<double> sketched, ApplyVector(a.Col(j)));

@@ -1,0 +1,121 @@
+#include "bench_util.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+namespace sose::bench {
+namespace {
+
+// These tests exercise the BENCH_<exp>.json writer against a scratch
+// experiment name in the test's working directory; each test removes its
+// file so reruns start clean.
+class WriteBenchJsonTest : public ::testing::Test {
+ protected:
+  void SetUp() override { std::remove(Path().c_str()); }
+  void TearDown() override { std::remove(Path().c_str()); }
+  static std::string Experiment() { return "benchutiltest"; }
+  static std::string Path() { return "BENCH_" + Experiment() + ".json"; }
+  static std::string Contents() {
+    auto text = ReadFileToString(Path());
+    return text.ok() ? text.value() : std::string();
+  }
+};
+
+// S2 regression: a `--threads=0` run that *resolves* to one core used to
+// record itself as the serial baseline, so the next run reported speedup
+// against an auto-threaded wall time. Only an explicit --threads=1 run may
+// write the baseline.
+TEST_F(WriteBenchJsonTest, AutoThreadedRunNeverWritesBaseline) {
+  ASSERT_TRUE(WriteBenchJsonResolved(Experiment(), /*requested_threads=*/0,
+                                     /*resolved_threads=*/1,
+                                     /*wall_seconds=*/2.0, /*trials=*/100)
+                  .ok());
+  double baseline = 0.0;
+  EXPECT_FALSE(
+      FindJsonNumber(Contents(), "serial_baseline_seconds", &baseline));
+  double speedup = 0.0;
+  EXPECT_FALSE(FindJsonNumber(Contents(), "speedup_vs_serial", &speedup));
+}
+
+TEST_F(WriteBenchJsonTest, ExplicitSerialRunWritesBaselineAndThreadedRunUsesIt) {
+  ASSERT_TRUE(WriteBenchJsonResolved(Experiment(), /*requested_threads=*/1,
+                                     /*resolved_threads=*/1,
+                                     /*wall_seconds=*/4.0, /*trials=*/100)
+                  .ok());
+  double baseline = 0.0;
+  ASSERT_TRUE(
+      FindJsonNumber(Contents(), "serial_baseline_seconds", &baseline));
+  EXPECT_EQ(baseline, 4.0);
+  double baseline_trials = 0.0;
+  ASSERT_TRUE(
+      FindJsonNumber(Contents(), "serial_baseline_trials", &baseline_trials));
+  EXPECT_EQ(baseline_trials, 100.0);
+
+  // A threaded run with the SAME trial count inherits the baseline.
+  ASSERT_TRUE(WriteBenchJsonResolved(Experiment(), /*requested_threads=*/4,
+                                     /*resolved_threads=*/4,
+                                     /*wall_seconds=*/1.0, /*trials=*/100)
+                  .ok());
+  double speedup = 0.0;
+  ASSERT_TRUE(FindJsonNumber(Contents(), "speedup_vs_serial", &speedup));
+  EXPECT_EQ(speedup, 4.0);
+}
+
+// S2 regression, second half: a baseline recorded under a different trial
+// count is a stale artifact of another workload; it must be dropped, not
+// compared against.
+TEST_F(WriteBenchJsonTest, BaselineFromDifferentTrialCountIsInvalidated) {
+  ASSERT_TRUE(WriteBenchJsonResolved(Experiment(), /*requested_threads=*/1,
+                                     /*resolved_threads=*/1,
+                                     /*wall_seconds=*/4.0, /*trials=*/100)
+                  .ok());
+  ASSERT_TRUE(WriteBenchJsonResolved(Experiment(), /*requested_threads=*/4,
+                                     /*resolved_threads=*/4,
+                                     /*wall_seconds=*/1.0, /*trials=*/200)
+                  .ok());
+  double value = 0.0;
+  EXPECT_FALSE(FindJsonNumber(Contents(), "serial_baseline_seconds", &value));
+  EXPECT_FALSE(FindJsonNumber(Contents(), "speedup_vs_serial", &value));
+}
+
+// Legacy baselines written before serial_baseline_trials existed carry no
+// provenance; they are dropped rather than trusted.
+TEST_F(WriteBenchJsonTest, BaselineWithoutTrialProvenanceIsDropped) {
+  JsonObjectWriter legacy;
+  legacy.AddString("experiment", Experiment())
+      .AddDouble("serial_baseline_seconds", 9.0);
+  ASSERT_TRUE(legacy.WriteToFile(Path()).ok());
+  ASSERT_TRUE(WriteBenchJsonResolved(Experiment(), /*requested_threads=*/4,
+                                     /*resolved_threads=*/4,
+                                     /*wall_seconds=*/1.0, /*trials=*/100)
+                  .ok());
+  double value = 0.0;
+  EXPECT_FALSE(FindJsonNumber(Contents(), "serial_baseline_seconds", &value));
+}
+
+TEST_F(WriteBenchJsonTest, EmbedsMetricsBlockAndKeepsTopLevelKeysReadable) {
+  metrics::ResetAll();
+  SOSE_COUNTER_ADD("trial.completed", 7);
+  ASSERT_TRUE(WriteBenchJsonResolved(Experiment(), /*requested_threads=*/1,
+                                     /*resolved_threads=*/1,
+                                     /*wall_seconds=*/2.0, /*trials=*/50)
+                  .ok());
+  const std::string text = Contents();
+  EXPECT_NE(text.find("\"metrics\": {"), std::string::npos);
+#if !defined(SOSE_METRICS_DISABLED)
+  EXPECT_NE(text.find("\"trial.completed\": 7"), std::string::npos);
+#endif
+  // The nested block repeats no top-level semantics: the flat keys still
+  // parse via the top-level-only reader.
+  double value = 0.0;
+  ASSERT_TRUE(FindJsonNumber(text, "wall_seconds", &value));
+  EXPECT_EQ(value, 2.0);
+  ASSERT_TRUE(FindJsonNumber(text, "trials", &value));
+  EXPECT_EQ(value, 50.0);
+  metrics::ResetAll();
+}
+
+}  // namespace
+}  // namespace sose::bench

@@ -1,0 +1,100 @@
+#include "core/hexfloat.h"
+
+#include <gtest/gtest.h>
+
+#include <clocale>
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+namespace sose {
+namespace {
+
+TEST(HexFloatTest, RoundTripsExactly) {
+  const std::vector<double> values = {
+      0.0,
+      1.0,
+      -1.0,
+      0.1,
+      0.1 + 0.2,  // the classic non-representable sum
+      1.0 / 3.0,
+      -123456.789,
+      std::numeric_limits<double>::max(),
+      std::numeric_limits<double>::min(),         // smallest normal
+      std::numeric_limits<double>::denorm_min(),  // smallest subnormal
+      std::numeric_limits<double>::epsilon(),
+  };
+  for (const double v : values) {
+    double parsed = 0.0;
+    ASSERT_TRUE(ParseHexDouble(FormatHexDouble(v), &parsed))
+        << FormatHexDouble(v);
+    EXPECT_EQ(std::memcmp(&parsed, &v, sizeof(double)), 0)
+        << "bit-exact round trip failed for " << v;
+  }
+}
+
+TEST(HexFloatTest, NegativeZeroKeepsItsSign) {
+  const double negative_zero = -0.0;
+  double parsed = 0.0;
+  ASSERT_TRUE(ParseHexDouble(FormatHexDouble(negative_zero), &parsed));
+  EXPECT_TRUE(std::signbit(parsed));
+}
+
+TEST(HexFloatTest, NonFiniteRoundTrips) {
+  double parsed = 0.0;
+  ASSERT_TRUE(ParseHexDouble(FormatHexDouble(INFINITY), &parsed));
+  EXPECT_TRUE(std::isinf(parsed));
+  EXPECT_FALSE(std::signbit(parsed));
+  ASSERT_TRUE(ParseHexDouble(FormatHexDouble(-INFINITY), &parsed));
+  EXPECT_TRUE(std::isinf(parsed));
+  EXPECT_TRUE(std::signbit(parsed));
+  ASSERT_TRUE(ParseHexDouble(FormatHexDouble(std::nan("")), &parsed));
+  EXPECT_TRUE(std::isnan(parsed));
+}
+
+// Checkpoints written by the old printf("%a") path carry an explicit 0x /
+// -0x prefix and sometimes uppercase 0X; both must keep parsing.
+TEST(HexFloatTest, AcceptsLegacyPrefixedForms) {
+  double parsed = 0.0;
+  ASSERT_TRUE(ParseHexDouble("0x1.8p+1", &parsed));
+  EXPECT_DOUBLE_EQ(parsed, 3.0);
+  ASSERT_TRUE(ParseHexDouble("-0x1.8p+1", &parsed));
+  EXPECT_DOUBLE_EQ(parsed, -3.0);
+  ASSERT_TRUE(ParseHexDouble("0X1p+4", &parsed));
+  EXPECT_DOUBLE_EQ(parsed, 16.0);
+  ASSERT_TRUE(ParseHexDouble("+0x1p+0", &parsed));
+  EXPECT_DOUBLE_EQ(parsed, 1.0);
+}
+
+TEST(HexFloatTest, RejectsGarbage) {
+  double parsed = 0.0;
+  EXPECT_FALSE(ParseHexDouble("", &parsed));
+  EXPECT_FALSE(ParseHexDouble("zzz", &parsed));
+  EXPECT_FALSE(ParseHexDouble("0x", &parsed));
+  EXPECT_FALSE(ParseHexDouble("--1p+0", &parsed));
+  EXPECT_FALSE(ParseHexDouble("0x-1p+0", &parsed));
+  EXPECT_FALSE(ParseHexDouble("0x1p+0 trailing", &parsed));
+  EXPECT_FALSE(ParseHexDouble("0x1p+0,5", &parsed));
+}
+
+// The reason this helper exists: printf("%a")/strtod honor LC_NUMERIC, so a
+// comma-radix locale could write checkpoints no C-locale reader (or vice
+// versa) could parse. to_chars/from_chars are locale-independent by
+// specification; prove it under a comma locale when the host has one.
+TEST(HexFloatTest, ImmuneToCommaDecimalLocale) {
+  const char* previous = std::setlocale(LC_NUMERIC, "de_DE.UTF-8");
+  if (previous == nullptr) {
+    GTEST_SKIP() << "de_DE.UTF-8 locale not installed on this host";
+  }
+  const double value = 0.1 + 0.2;
+  const std::string formatted = FormatHexDouble(value);
+  EXPECT_EQ(formatted.find(','), std::string::npos);
+  double parsed = 0.0;
+  ASSERT_TRUE(ParseHexDouble(formatted, &parsed));
+  EXPECT_EQ(std::memcmp(&parsed, &value, sizeof(double)), 0);
+  std::setlocale(LC_NUMERIC, "C");
+}
+
+}  // namespace
+}  // namespace sose

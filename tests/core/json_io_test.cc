@@ -71,6 +71,72 @@ TEST(FindJsonNumberTest, KeyPrefixDoesNotFalseMatch) {
   EXPECT_EQ(value, 3.0);
 }
 
+// Regression: the raw substring scanner matched the FIRST occurrence of the
+// quoted key anywhere in the document, so a key inside a nested object (the
+// `metrics` block) shadowed the identically named top-level key. Only
+// top-level keys may match.
+TEST(FindJsonNumberTest, NestedKeyDoesNotShadowTopLevelKey) {
+  const std::string text =
+      "{\"metrics\": {\"spans\": {\"seconds\": 1.5}}, \"seconds\": 9.25}";
+  double value = 0.0;
+  ASSERT_TRUE(FindJsonNumber(text, "seconds", &value));
+  EXPECT_EQ(value, 9.25);
+  // A key present ONLY inside the nested object is invisible at top level.
+  EXPECT_FALSE(FindJsonNumber(text, "spans", &value));
+}
+
+TEST(FindJsonNumberTest, KeyInsideStringValueIsIgnored) {
+  // The value of "note" contains an escaped "seconds" key-lookalike; the
+  // scanner must treat string contents as opaque.
+  const std::string text =
+      "{\"note\": \"literal \\\"seconds\\\": 4 here\", \"seconds\": 7}";
+  double value = 0.0;
+  ASSERT_TRUE(FindJsonNumber(text, "seconds", &value));
+  EXPECT_EQ(value, 7.0);
+}
+
+TEST(FindJsonNumberTest, RealisticBenchDocumentWithMetricsBlock) {
+  // The exact shape WriteBenchJson emits: flat perf keys followed by the
+  // nested metrics block, which repeats names like "count" and histogram
+  // bucket keys. Top-level reads must be unaffected.
+  JsonObjectWriter inner;
+  inner.AddInt("trials", 999).AddDouble("wall_seconds", 123.0);
+  JsonObjectWriter writer;
+  writer.AddString("experiment", "eX")
+      .AddDouble("wall_seconds", 2.5)
+      .AddInt("trials", 64)
+      .AddObject("metrics", inner);
+  const std::string text = writer.ToString();
+  double value = 0.0;
+  ASSERT_TRUE(FindJsonNumber(text, "wall_seconds", &value));
+  EXPECT_EQ(value, 2.5);
+  ASSERT_TRUE(FindJsonNumber(text, "trials", &value));
+  EXPECT_EQ(value, 64.0);
+}
+
+TEST(JsonObjectWriterTest, AddObjectNestsInline) {
+  JsonObjectWriter child;
+  child.AddInt("a", 1).AddDouble("b", 0.5);
+  JsonObjectWriter writer;
+  writer.AddString("experiment", "e0").AddObject("metrics", child);
+  const std::string inline_child = child.ToInlineString();
+  EXPECT_EQ(inline_child, "{\"a\": 1, \"b\": 0.5}");
+  EXPECT_NE(writer.ToString().find("\"metrics\": {\"a\": 1, \"b\": 0.5}"),
+            std::string::npos);
+  // An empty nested object serializes as {}.
+  JsonObjectWriter empty;
+  EXPECT_EQ(empty.ToInlineString(), "{}");
+}
+
+TEST(JsonObjectWriterTest, WriteStringToFileRoundTrips) {
+  const std::string path = TempPath("raw.txt");
+  ASSERT_TRUE(WriteStringToFile(path, "line one\nline two\n").ok());
+  auto text = ReadFileToString(path);
+  ASSERT_TRUE(text.ok()) << text.status();
+  EXPECT_EQ(text.value(), "line one\nline two\n");
+  std::remove(path.c_str());
+}
+
 TEST(JsonObjectWriterTest, WriteToFileRoundTrips) {
   const std::string path = TempPath("bench.json");
   JsonObjectWriter writer;

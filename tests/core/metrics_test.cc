@@ -1,0 +1,183 @@
+#include "core/metrics/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/json_io.h"
+
+// The registry is process-global, so every test uses names scoped by the
+// test's own prefix and resets the world first; values are asserted as exact
+// deltas from a Reset, never as absolute history.
+namespace sose {
+namespace {
+
+TEST(MetricsCounterTest, AddsAndResets) {
+  metrics::ResetAll();
+  metrics::Counter* c =
+      metrics::MetricsRegistry::Global().GetCounter("test.counter.basic");
+  c->Add(3);
+  c->Add(4);
+  EXPECT_EQ(c->Value(), 7);
+  // Same name returns the same handle: registration is idempotent.
+  EXPECT_EQ(metrics::MetricsRegistry::Global().GetCounter("test.counter.basic"),
+            c);
+  metrics::ResetAll();
+  EXPECT_EQ(c->Value(), 0);
+}
+
+TEST(MetricsGaugeTest, LastWriteWins) {
+  metrics::ResetAll();
+  metrics::Gauge* g =
+      metrics::MetricsRegistry::Global().GetGauge("test.gauge.basic");
+  g->Set(2.5);
+  g->Set(-1.0);
+  EXPECT_DOUBLE_EQ(g->Value(), -1.0);
+}
+
+TEST(MetricsHistogramTest, ExactBoundaryBucketing) {
+  metrics::ResetAll();
+  metrics::Histogram* h = metrics::MetricsRegistry::Global().GetHistogram(
+      "test.hist.buckets", {1.0, 10.0, 100.0});
+  // Bucket edges are inclusive upper bounds and the comparison is exact:
+  // a value equal to an edge lands in that edge's bucket, deterministically.
+  h->Observe(0.5);    // bucket 0 (<= 1)
+  h->Observe(1.0);    // bucket 0 (== edge, inclusive)
+  h->Observe(1.0000001);  // bucket 1
+  h->Observe(100.0);  // bucket 2
+  h->Observe(1e9);    // overflow bucket
+  const std::vector<int64_t> counts = h->BucketCounts();
+  ASSERT_EQ(counts.size(), 4u);
+  EXPECT_EQ(counts[0], 2);
+  EXPECT_EQ(counts[1], 1);
+  EXPECT_EQ(counts[2], 1);
+  EXPECT_EQ(counts[3], 1);
+  EXPECT_EQ(h->Count(), 5);
+  EXPECT_DOUBLE_EQ(h->Sum(), 0.5 + 1.0 + 1.0000001 + 100.0 + 1e9);
+}
+
+TEST(MetricsHistogramTest, BoundariesFixedAtRegistration) {
+  metrics::ResetAll();
+  metrics::Histogram* h = metrics::MetricsRegistry::Global().GetHistogram(
+      "test.hist.fixed", {1.0, 2.0});
+  // A second lookup with different edges returns the original series.
+  metrics::Histogram* again = metrics::MetricsRegistry::Global().GetHistogram(
+      "test.hist.fixed", {5.0});
+  EXPECT_EQ(again, h);
+  EXPECT_EQ(again->boundaries().size(), 2u);
+}
+
+TEST(MetricsSpanTest, SpanRecordsCallsAndSeconds) {
+  metrics::ResetAll();
+  for (int i = 0; i < 3; ++i) {
+    SOSE_SPAN("test.span.unit");
+  }
+#if !defined(SOSE_METRICS_DISABLED)
+  metrics::Counter* calls =
+      metrics::MetricsRegistry::Global().GetCounter("test.span.unit.calls");
+  EXPECT_EQ(calls->Value(), 3);
+  metrics::Histogram* seconds = metrics::MetricsRegistry::Global().GetHistogram(
+      "test.span.unit.seconds", metrics::DefaultLatencyBoundaries());
+  EXPECT_EQ(seconds->Count(), 3);
+  EXPECT_GE(seconds->Sum(), 0.0);
+#endif
+}
+
+TEST(MetricsMacroTest, CounterAndGaugeMacros) {
+  metrics::ResetAll();
+  SOSE_COUNTER_INC("test.macro.inc");
+  SOSE_COUNTER_ADD("test.macro.inc", 4);
+  const std::string dynamic_name = "test.macro.dynamic";
+  SOSE_COUNTER_ADD_DYNAMIC(dynamic_name, 2);
+  SOSE_GAUGE_SET("test.macro.gauge", 8.0);
+#if !defined(SOSE_METRICS_DISABLED)
+  EXPECT_EQ(metrics::MetricsRegistry::Global()
+                .GetCounter("test.macro.inc")
+                ->Value(),
+            5);
+  EXPECT_EQ(metrics::MetricsRegistry::Global()
+                .GetCounter("test.macro.dynamic")
+                ->Value(),
+            2);
+  EXPECT_DOUBLE_EQ(
+      metrics::MetricsRegistry::Global().GetGauge("test.macro.gauge")->Value(),
+      8.0);
+#endif
+}
+
+TEST(MetricsSnapshotTest, SortedByNameAndDeterministic) {
+  metrics::ResetAll();
+  // Register out of order; snapshots must come back sorted so identical
+  // state always serializes identically.
+  metrics::MetricsRegistry::Global().GetCounter("test.snap.zz")->Add(1);
+  metrics::MetricsRegistry::Global().GetCounter("test.snap.aa")->Add(2);
+  const metrics::MetricsSnapshot snapshot = metrics::Snapshot();
+  for (size_t i = 1; i < snapshot.counters.size(); ++i) {
+    EXPECT_LT(snapshot.counters[i - 1].first, snapshot.counters[i].first);
+  }
+  // Two snapshots of unchanged state format to identical text.
+  EXPECT_EQ(metrics::FormatText(snapshot),
+            metrics::FormatText(metrics::Snapshot()));
+}
+
+TEST(MetricsFormatTest, TextLinesAndJsonNesting) {
+  metrics::ResetAll();
+  metrics::MetricsRegistry::Global().GetCounter("test.fmt.events")->Add(12);
+  metrics::MetricsRegistry::Global().GetGauge("test.fmt.level")->Set(1.5);
+  metrics::MetricsRegistry::Global()
+      .GetHistogram("test.fmt.latency", {1.0})
+      ->Observe(0.5);
+  const metrics::MetricsSnapshot snapshot = metrics::Snapshot();
+  const std::string text = metrics::FormatText(snapshot);
+  EXPECT_NE(text.find("counter test.fmt.events 12"), std::string::npos);
+  EXPECT_NE(text.find("gauge test.fmt.level"), std::string::npos);
+  EXPECT_NE(text.find("histogram test.fmt.latency count=1"),
+            std::string::npos);
+
+  const std::string json = metrics::ToJson(snapshot).ToInlineString();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"test.fmt.events\": 12"), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  // The block embeds cleanly as a nested object in a parent document.
+  JsonObjectWriter parent;
+  parent.AddObject("metrics", metrics::ToJson(snapshot));
+  const std::string doc = parent.ToString();
+  EXPECT_NE(doc.find("\"metrics\": {"), std::string::npos);
+}
+
+TEST(MetricsFormatTest, WriteTextFileRoundTrips) {
+  metrics::ResetAll();
+  metrics::MetricsRegistry::Global().GetCounter("test.file.events")->Add(2);
+  const std::string path =
+      ::testing::TempDir() + "sose_metrics_test_dump.txt";
+  const metrics::MetricsSnapshot snapshot = metrics::Snapshot();
+  ASSERT_TRUE(metrics::WriteTextFile(path, snapshot).ok());
+  auto contents = ReadFileToString(path);
+  ASSERT_TRUE(contents.ok());
+  EXPECT_EQ(contents.value(), metrics::FormatText(snapshot));
+  std::remove(path.c_str());
+}
+
+#if defined(SOSE_METRICS_DISABLED)
+// OFF mode: the macros compile (proven by the tests above) and record
+// nothing — the registry stays empty after macro-only traffic.
+TEST(MetricsDisabledTest, MacrosRecordNothing) {
+  metrics::ResetAll();
+  SOSE_COUNTER_INC("test.off.counter");
+  SOSE_SPAN("test.off.span");
+  const metrics::MetricsSnapshot snapshot = metrics::Snapshot();
+  for (const auto& [name, value] : snapshot.counters) {
+    EXPECT_NE(name, "test.off.counter");
+    EXPECT_NE(name, "test.off.span.calls");
+  }
+  for (const auto& histogram : snapshot.histograms) {
+    EXPECT_NE(histogram.name, "test.off.span.seconds");
+  }
+}
+#endif
+
+}  // namespace
+}  // namespace sose

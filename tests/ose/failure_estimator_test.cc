@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <limits>
 
 #include "core/fault.h"
@@ -29,6 +30,61 @@ SketchFactory CountSketchFactory(int64_t m, int64_t n) {
     return std::unique_ptr<SketchingMatrix>(
         std::make_unique<CountSketch>(std::move(sketch).value()));
   };
+}
+
+// S5 regression: the degenerate completed counts must yield flagged-partial
+// estimates with finite placeholders, never NaN. completed == 0 is reachable
+// when every trial quarantines (or a checkpoint resume lands past the end);
+// completed == 1 when the deadline fires right after the first trial.
+TEST(SummarizeTrialReportTest, ZeroCompletedIsFlaggedPartialNotNaN) {
+  TrialRunReport report;
+  report.requested = 50;
+  report.completed = 0;
+  report.faulted = 50;
+  report.partial = false;  // The runner itself did not truncate.
+  const FailureEstimate estimate = SummarizeTrialReport(report);
+  EXPECT_TRUE(estimate.partial);
+  EXPECT_EQ(estimate.completed, 0);
+  EXPECT_EQ(estimate.rate, 0.0);
+  EXPECT_EQ(estimate.mean_epsilon, 0.0);
+  EXPECT_FALSE(std::isnan(estimate.rate));
+  EXPECT_FALSE(std::isnan(estimate.mean_epsilon));
+  // The vacuous Wilson interval: no evidence constrains the rate at all.
+  EXPECT_EQ(estimate.interval.lo, 0.0);
+  EXPECT_EQ(estimate.interval.hi, 1.0);
+}
+
+TEST(SummarizeTrialReportTest, SingleCompletedTrialIsFiniteAndWide) {
+  TrialRunReport report;
+  report.requested = 50;
+  report.completed = 1;
+  report.failures = 1;
+  report.epsilon_sum = 0.75;
+  report.epsilon_max = 0.75;
+  report.partial = true;  // Deadline fired after the first trial.
+  const FailureEstimate estimate = SummarizeTrialReport(report);
+  EXPECT_TRUE(estimate.partial);
+  EXPECT_EQ(estimate.rate, 1.0);
+  EXPECT_DOUBLE_EQ(estimate.mean_epsilon, 0.75);
+  EXPECT_FALSE(std::isnan(estimate.interval.lo));
+  EXPECT_FALSE(std::isnan(estimate.interval.hi));
+  EXPECT_GE(estimate.interval.lo, 0.0);
+  EXPECT_LE(estimate.interval.hi, 1.0);
+  // One sample pins almost nothing: the interval must stay wide.
+  EXPECT_LT(estimate.interval.lo, 0.5);
+  EXPECT_EQ(estimate.interval.hi, 1.0);
+}
+
+TEST(SummarizeTrialReportTest, FullRunIsNotFlaggedPartial) {
+  TrialRunReport report;
+  report.requested = 10;
+  report.completed = 10;
+  report.failures = 2;
+  report.epsilon_sum = 1.0;
+  const FailureEstimate estimate = SummarizeTrialReport(report);
+  EXPECT_FALSE(estimate.partial);
+  EXPECT_DOUBLE_EQ(estimate.rate, 0.2);
+  EXPECT_DOUBLE_EQ(estimate.mean_epsilon, 0.1);
 }
 
 TEST(FailureEstimatorTest, RejectsNonPositiveTrials) {

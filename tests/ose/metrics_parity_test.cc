@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/metrics/metrics.h"
+#include "core/status.h"
+#include "ose/trial_runner.h"
+
+// The determinism contract extended to observability: because every
+// `trial.*` counter is incremented by the supervisor fold in ascending trial
+// order, the metric aggregates — like the report itself — must be
+// bit-identical for every `threads` value. Scheduling counters (`pool.*`,
+// `range.*`) and wall-time histograms are explicitly NOT covered: how work
+// was scheduled is allowed to vary, what was computed is not.
+namespace sose {
+namespace {
+
+// Both tests skip under -DSOSE_METRICS=OFF, which leaves these helpers
+// unreferenced in that configuration.
+#if !defined(SOSE_METRICS_DISABLED)
+
+// Counters whose totals the contract pins. `trial.execute.calls` is excluded:
+// it is recorded worker-side by the span, so a retry executed on a worker
+// counts even if the supervisor later discards the slot past a deadline gap.
+std::vector<std::pair<std::string, int64_t>> TrialCounters() {
+  std::vector<std::pair<std::string, int64_t>> out;
+  for (const auto& [name, value] : metrics::Snapshot().counters) {
+    if (name.rfind("trial.", 0) == 0 && name != "trial.execute.calls") {
+      out.emplace_back(name, value);
+    }
+  }
+  return out;
+}
+
+TrialRunnerOptions BaseOptions(int threads) {
+  TrialRunnerOptions options;
+  options.trials = 64;
+  options.seed = 2024;
+  options.max_retries = 2;
+  options.error_budget = 0.5;
+  options.threads = threads;
+  return options;
+}
+
+#endif  // !defined(SOSE_METRICS_DISABLED)
+
+TEST(MetricsParityTest, CleanRunCountersMatchAcrossThreadCounts) {
+#if defined(SOSE_METRICS_DISABLED)
+  GTEST_SKIP() << "metrics compiled out";
+#else
+  auto trial = [](uint64_t trial_seed) -> Result<TrialOutcome> {
+    const double epsilon = static_cast<double>(trial_seed % 1000) / 1000.0;
+    return TrialOutcome{epsilon, trial_seed % 3 == 0};
+  };
+  std::vector<std::vector<std::pair<std::string, int64_t>>> runs;
+  for (const int threads : {1, 2, 8}) {
+    metrics::ResetAll();
+    auto report = RunTrials(trial, BaseOptions(threads));
+    ASSERT_TRUE(report.ok()) << report.status();
+    runs.push_back(TrialCounters());
+  }
+  ASSERT_FALSE(runs[0].empty());
+  EXPECT_EQ(runs[0], runs[1]);
+  EXPECT_EQ(runs[0], runs[2]);
+#endif
+}
+
+TEST(MetricsParityTest, FaultyRunCountersMatchAcrossThreadCounts) {
+#if defined(SOSE_METRICS_DISABLED)
+  GTEST_SKIP() << "metrics compiled out";
+#else
+  // Seed-gated faults: whether a given attempt faults depends only on its
+  // seed, so retries and quarantines replay identically in any schedule.
+  auto trial = [](uint64_t trial_seed) -> Result<TrialOutcome> {
+    if (trial_seed % 5 == 0) {
+      return Status::NumericalError("injected fault");
+    }
+    const double epsilon = static_cast<double>(trial_seed % 1000) / 1000.0;
+    return TrialOutcome{epsilon, trial_seed % 4 == 0};
+  };
+  std::vector<std::vector<std::pair<std::string, int64_t>>> runs;
+  std::vector<TrialRunReport> reports;
+  for (const int threads : {1, 2, 8}) {
+    metrics::ResetAll();
+    auto report = RunTrials(trial, BaseOptions(threads));
+    ASSERT_TRUE(report.ok()) << report.status();
+    reports.push_back(report.value());
+    runs.push_back(TrialCounters());
+  }
+  EXPECT_EQ(runs[0], runs[1]);
+  EXPECT_EQ(runs[0], runs[2]);
+  // Sanity: the injected faults actually exercised the retry/quarantine
+  // counters, so the parity above is not vacuous.
+  int64_t retries = 0;
+  bool saw_fault_counter = false;
+  for (const auto& [name, value] : runs[0]) {
+    if (name == "trial.retries") retries = value;
+    if (name == "trial.fault.numerical-error") saw_fault_counter = true;
+  }
+  EXPECT_GT(retries, 0);
+  EXPECT_EQ(retries, reports[0].retries_used);
+  if (reports[0].faulted > 0) {
+    EXPECT_TRUE(saw_fault_counter);
+  }
+#endif
+}
+
+}  // namespace
+}  // namespace sose

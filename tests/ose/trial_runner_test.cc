@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "core/json_io.h"
 #include "core/random.h"
 
 namespace sose {
@@ -263,6 +264,117 @@ TEST(TrialRunnerTest, ResumeRejectsMismatchedSeedOrTrials) {
   EXPECT_EQ(RunTrials(trial, options).status().code(),
             StatusCode::kFailedPrecondition);
   std::remove(path.c_str());
+}
+
+// A file cut off mid-record (a kill landing on a filesystem without atomic
+// rename, or a copy truncated in flight) must not fail the resume: the
+// trailing partial line is dropped and the intact prefix is used.
+TEST(TrialRunnerTest, TornTrailingRecordIsDroppedOnRead) {
+  const std::string path = TempPath("torn_tail.csv");
+  TrialCheckpoint checkpoint;
+  checkpoint.master_seed = 77;
+  checkpoint.next_trial = 9;
+  checkpoint.report.requested = 20;
+  checkpoint.report.completed = 8;
+  checkpoint.report.faulted = 1;
+  checkpoint.report.retries_used = 2;
+  checkpoint.report.failures = 3;
+  checkpoint.report.epsilon_sum = 0.625;
+  checkpoint.report.epsilon_max = 0.25;
+  checkpoint.report.taxonomy.by_code[StatusCode::kNumericalError] = {
+      1, "solver blew up"};
+  ASSERT_TRUE(WriteTrialCheckpoint(path, checkpoint).ok());
+  // Tear the file mid-way through the final record (the fault row) and drop
+  // its trailing newline.
+  auto content = ReadFileToString(path);
+  ASSERT_TRUE(content.ok());
+  ASSERT_EQ(content.value().back(), '\n');
+  ASSERT_TRUE(
+      WriteStringToFile(path,
+                        content.value().substr(0, content.value().size() - 6))
+          .ok());
+  auto restored = ReadTrialCheckpoint(path);
+  ASSERT_TRUE(restored.ok()) << restored.status();
+  EXPECT_EQ(restored.value().master_seed, checkpoint.master_seed);
+  EXPECT_EQ(restored.value().next_trial, checkpoint.next_trial);
+  EXPECT_EQ(restored.value().report.completed, checkpoint.report.completed);
+  EXPECT_EQ(restored.value().report.epsilon_sum,
+            checkpoint.report.epsilon_sum);
+  // The torn fault row is gone; only its taxonomy detail is lost.
+  EXPECT_TRUE(restored.value().report.taxonomy.empty());
+  std::remove(path.c_str());
+}
+
+// Tearing that reaches into the required scalar block is a hard error, not a
+// silent resume from zeroed state.
+TEST(TrialRunnerTest, TruncationIntoRequiredFieldsIsRejected) {
+  const std::string path = TempPath("torn_deep.csv");
+  TrialCheckpoint checkpoint;
+  checkpoint.master_seed = 5;
+  checkpoint.next_trial = 3;
+  checkpoint.report.requested = 10;
+  checkpoint.report.completed = 3;
+  ASSERT_TRUE(WriteTrialCheckpoint(path, checkpoint).ok());
+  auto content = ReadFileToString(path);
+  ASSERT_TRUE(content.ok());
+  // No fault rows here, so the final record is epsilon_max; cutting into it
+  // drops a required field.
+  ASSERT_TRUE(
+      WriteStringToFile(path,
+                        content.value().substr(0, content.value().size() - 6))
+          .ok());
+  const Status status = ReadTrialCheckpoint(path).status();
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(status.message().find("epsilon_max"), std::string::npos)
+      << status;
+  std::remove(path.c_str());
+}
+
+// End to end: a resume from a checkpoint with a torn trailing record still
+// reproduces the uninterrupted run bit for bit.
+TEST(TrialRunnerTest, ResumeFromTornCheckpointIsBitwiseIdentical) {
+  const std::string path = TempPath("torn_resume.csv");
+  std::remove(path.c_str());
+  TrialRunnerOptions options;
+  options.trials = 12;
+  options.seed = 33;
+  options.max_retries = 0;
+  options.checkpoint_every = 1;
+  options.checkpoint_path = path;
+
+  auto clean = [](uint64_t trial_seed) -> Result<TrialOutcome> {
+    return OutcomeFor(trial_seed);
+  };
+  TrialRunnerOptions reference_options = options;
+  reference_options.checkpoint_every = 0;
+  reference_options.checkpoint_path.clear();
+  auto reference = RunTrials(clean, reference_options);
+  ASSERT_TRUE(reference.ok());
+
+  // Crash after 5 trials, then tear the surviving checkpoint: a partial
+  // record with no newline lands at the tail, as if the writer died mid-write.
+  int64_t calls = 0;
+  auto dying = [&calls](uint64_t trial_seed) -> Result<TrialOutcome> {
+    if (++calls > 5) return Status::Internal("simulated crash");
+    return OutcomeFor(trial_seed);
+  };
+  TrialRunnerOptions dying_options = options;
+  dying_options.error_budget = 0.0;
+  EXPECT_EQ(RunTrials(dying, dying_options).status().code(),
+            StatusCode::kFailedPrecondition);
+  auto content = ReadFileToString(path);
+  ASSERT_TRUE(content.ok());
+  ASSERT_TRUE(
+      WriteStringToFile(path, content.value() + "fault,numerical-er").ok());
+
+  auto resumed = RunTrials(clean, options);
+  ASSERT_TRUE(resumed.ok()) << resumed.status();
+  EXPECT_EQ(resumed.value().completed, reference.value().completed);
+  EXPECT_EQ(resumed.value().failures, reference.value().failures);
+  EXPECT_EQ(resumed.value().epsilon_sum, reference.value().epsilon_sum);
+  EXPECT_EQ(resumed.value().epsilon_max, reference.value().epsilon_max);
+  std::ifstream leftover(path);
+  EXPECT_FALSE(leftover.good());
 }
 
 TEST(TrialRunnerTest, InterruptedRunResumesBitwiseIdentically) {

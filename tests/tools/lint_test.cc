@@ -1,4 +1,4 @@
-// Unit tests for sose_lint: each rule R1-R5 is proven to fire on a synthetic
+// Unit tests for sose_lint: each rule R1-R6 is proven to fire on a synthetic
 // violation (positive case), to stay quiet on conforming code (negative
 // case), and to honour the `// sose-lint: allow(<rule>)` suppression.
 
@@ -40,7 +40,7 @@ int CountRule(const std::vector<Finding>& findings, Rule rule) {
 TEST(RuleNameTest, RoundTrips) {
   for (Rule rule : {Rule::kDiscardedStatus, Rule::kDeterminism,
                     Rule::kConcurrency, Rule::kFaultRegistry,
-                    Rule::kHeaderHygiene}) {
+                    Rule::kHeaderHygiene, Rule::kMetricsDiscipline}) {
     Rule parsed = Rule::kDiscardedStatus;
     EXPECT_TRUE(RuleFromName(RuleName(rule), &parsed)) << RuleName(rule);
     EXPECT_EQ(parsed, rule);
@@ -220,6 +220,60 @@ TEST(ConcurrencyTest, SuppressionComment) {
   auto findings = FindingsFor(
       "src/ose/foo.cc", "std::mutex mu;  // sose-lint: allow(concurrency)\n");
   EXPECT_EQ(CountRule(findings, Rule::kConcurrency), 0);
+}
+
+// ---------------------------------------------------------------------------
+// R6: metrics discipline
+// ---------------------------------------------------------------------------
+
+TEST(MetricsDisciplineTest, FiresOnDirectRegistryUseInLibraryCode) {
+  auto findings = FindingsFor(
+      "src/ose/foo.cc",
+      "void F() {\n"
+      "  sose::metrics::MetricsRegistry::Global().GetCounter(\"x\")->Add(1);\n"
+      "}\n");
+  EXPECT_EQ(CountRule(findings, Rule::kMetricsDiscipline), 1);
+}
+
+TEST(MetricsDisciplineTest, FiresInBenchAndToolsCode) {
+  const std::string code =
+      "auto* c = metrics::MetricsRegistry::Global().GetCounter(\"x\");\n";
+  EXPECT_EQ(CountRule(FindingsFor("bench/bench_e1.cc", code),
+                      Rule::kMetricsDiscipline),
+            1);
+  EXPECT_EQ(CountRule(FindingsFor("tools/lint/lint.cc", code),
+                      Rule::kMetricsDiscipline),
+            1);
+}
+
+TEST(MetricsDisciplineTest, AllowedInMetricsSubsystemAndTests) {
+  const std::string code =
+      "auto* c = MetricsRegistry::Global().GetCounter(\"x\");\n";
+  EXPECT_EQ(CountRule(FindingsFor("src/core/metrics/metrics.cc", code),
+                      Rule::kMetricsDiscipline),
+            0);
+  EXPECT_EQ(CountRule(FindingsFor("tests/core/metrics_test.cc", code),
+                      Rule::kMetricsDiscipline),
+            0);
+}
+
+TEST(MetricsDisciplineTest, QuietOnMacroAndSnapshotUse) {
+  auto findings = FindingsFor(
+      "src/ose/foo.cc",
+      "void F() {\n"
+      "  SOSE_SPAN(\"trial.execute\");\n"
+      "  SOSE_COUNTER_INC(\"trial.completed\");\n"
+      "  auto snapshot = metrics::Snapshot();\n"
+      "}\n");
+  EXPECT_EQ(CountRule(findings, Rule::kMetricsDiscipline), 0);
+}
+
+TEST(MetricsDisciplineTest, SuppressionComment) {
+  auto findings = FindingsFor(
+      "src/ose/foo.cc",
+      "// sose-lint: allow(metrics-discipline)\n"
+      "auto* c = metrics::MetricsRegistry::Global().GetCounter(\"x\");\n");
+  EXPECT_EQ(CountRule(findings, Rule::kMetricsDiscipline), 0);
 }
 
 // ---------------------------------------------------------------------------

@@ -404,6 +404,38 @@ void CheckConcurrency(const std::string& rel_path, const Scan& scan,
 }
 
 // ---------------------------------------------------------------------------
+// R6: metrics discipline
+// ---------------------------------------------------------------------------
+
+// Instrumented code must record through the SOSE_SPAN / SOSE_COUNTER_* /
+// SOSE_GAUGE_SET macros (which compile out under SOSE_METRICS=OFF) and
+// exporters through the snapshot helpers; naming MetricsRegistry directly
+// anywhere else defeats the provably-zero-cost OFF mode. The subsystem
+// itself and the tests that verify it are the only sanctioned homes.
+bool MetricsExempt(const std::string& rel_path) {
+  return StartsWith(rel_path, "src/core/metrics/") ||
+         RoleForPath(rel_path) == FileRole::kTests;
+}
+
+void CheckMetricsDiscipline(const std::string& rel_path, const Scan& scan,
+                            std::vector<Finding>* findings) {
+  if (MetricsExempt(rel_path)) return;
+  const std::vector<Token>& toks = scan.tokens;
+  for (size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind != TokenKind::kIdentifier) continue;
+    if (toks[i].text != "MetricsRegistry") continue;
+    if (Suppressed(scan.suppressions, toks[i].line, Rule::kMetricsDiscipline))
+      continue;
+    findings->push_back(
+        {rel_path, toks[i].line, Rule::kMetricsDiscipline,
+         "direct MetricsRegistry access outside src/core/metrics; record "
+         "through SOSE_SPAN/SOSE_COUNTER_*/SOSE_GAUGE_SET and export through "
+         "the snapshot helpers so SOSE_METRICS=OFF stays a true no-op",
+         false});
+  }
+}
+
+// ---------------------------------------------------------------------------
 // R5: header hygiene
 // ---------------------------------------------------------------------------
 
@@ -545,6 +577,7 @@ const char* RuleName(Rule rule) {
     case Rule::kConcurrency: return "concurrency";
     case Rule::kFaultRegistry: return "fault-registry";
     case Rule::kHeaderHygiene: return "header-hygiene";
+    case Rule::kMetricsDiscipline: return "metrics-discipline";
   }
   return "unknown";
 }
@@ -552,7 +585,7 @@ const char* RuleName(Rule rule) {
 bool RuleFromName(const std::string& name, Rule* rule) {
   for (Rule r : {Rule::kDiscardedStatus, Rule::kDeterminism,
                  Rule::kConcurrency, Rule::kFaultRegistry,
-                 Rule::kHeaderHygiene}) {
+                 Rule::kHeaderHygiene, Rule::kMetricsDiscipline}) {
     if (name == RuleName(r)) {
       *rule = r;
       return true;
@@ -689,6 +722,7 @@ std::vector<Finding> LintFile(const std::string& rel_path,
   }
   CheckDeterminism(rel_path, scan, &findings);
   CheckConcurrency(rel_path, scan, &findings);
+  CheckMetricsDiscipline(rel_path, scan, &findings);
   CheckHeaderHygiene(rel_path, content, scan, &findings);
   std::sort(findings.begin(), findings.end(),
             [](const Finding& a, const Finding& b) { return a.line < b.line; });
