@@ -6,11 +6,14 @@
 // log d, log(1/ε) and log(1/δ). The paper predicts slopes ≈ 2, 2 and 1.
 #include <cmath>
 #include <cstdio>
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "bench_util.h"
 #include "core/csv.h"
+#include "core/fault.h"
 #include "core/flags.h"
 #include "core/stats.h"
 #include "core/stopwatch.h"
@@ -31,6 +34,11 @@ struct SweepPoint {
 struct ResilienceConfig {
   sose::EstimatorOptions base;
   std::string checkpoint_prefix;
+  // `--quick`: a CI-sized run — fewer sweep points, capped trials, and a
+  // smaller ambient dimension / search ceiling. The slopes it fits are noisy;
+  // its purpose is exercising the full pipeline (including `--workers` and
+  // `--chaos`) in seconds, not reproducing the paper's exponents.
+  bool quick = false;
 };
 
 sose::Result<sose::ThresholdResult> MeasureThreshold(
@@ -39,13 +47,17 @@ sose::Result<sose::ThresholdResult> MeasureThreshold(
   const int64_t n_needed = static_cast<int64_t>(
       32.0 * static_cast<double>(point.d * point.d) /
       (point.epsilon * point.epsilon * point.delta));
-  const int64_t n = std::max<int64_t>(int64_t{1} << 18, n_needed);
+  const int64_t n_floor = resilience.quick ? int64_t{1} << 14 : int64_t{1} << 18;
+  const int64_t n = resilience.quick ? n_floor : std::max(n_floor, n_needed);
   SOSE_ASSIGN_OR_RETURN(
       sose::SectionThreeMixture mixture,
       sose::SectionThreeMixture::Create(n, point.d, point.epsilon));
   const int64_t trials =
-      std::min<int64_t>(800, std::max<int64_t>(200, static_cast<int64_t>(
-                                                        30.0 / point.delta)));
+      resilience.quick
+          ? 60
+          : std::min<int64_t>(
+                800, std::max<int64_t>(200, static_cast<int64_t>(
+                                                30.0 / point.delta)));
   auto failure_at = [&](int64_t m) -> sose::Result<sose::FailureEstimate> {
     sose::EstimatorOptions options = resilience.base;
     options.trials = trials;
@@ -64,7 +76,7 @@ sose::Result<sose::ThresholdResult> MeasureThreshold(
   };
   sose::ThresholdSearchOptions options;
   options.m_lo = 4;
-  options.m_hi = int64_t{1} << 22;
+  options.m_hi = resilience.quick ? int64_t{1} << 14 : int64_t{1} << 22;
   options.delta = point.delta;
   options.relative_tolerance = 0.05;
   return sose::FindMinimalRows(failure_at, options);
@@ -90,9 +102,7 @@ void RunSweep(const char* label, const char* sweep_tag,
     sose::TrialErrorTaxonomy merged;
     for (const sose::ThresholdProbe& probe : result.probes) {
       *total_trials += probe.estimate.completed;
-      for (const auto& [code, entry] : probe.estimate.taxonomy.by_code) {
-        merged.by_code[code].count += entry.count;
-      }
+      merged.MergeFrom(probe.estimate.taxonomy);
     }
     table.NewRow();
     table.AddInt(point.d);
@@ -130,6 +140,20 @@ int main(int argc, char** argv) {
   ResilienceConfig resilience;
   sose::bench::ReadResilienceFlags(flags, &resilience.base);
   resilience.checkpoint_prefix = flags.GetString("checkpoint", "");
+  resilience.quick = flags.GetBool("quick", false);
+  // `--chaos=site@N,site@every` keeps a fault-injection scope alive for the
+  // whole run; forked shard workers inherit it, so worker-side sites
+  // (shard_worker/crash, ...) fire deterministically in every incarnation.
+  // The coordinator must still produce output bit-identical to a clean
+  // serial run — that is the property the CI chaos job pins.
+  std::unique_ptr<sose::ScopedFaultInjection> chaos;
+  const std::string chaos_spec = flags.GetString("chaos", "");
+  if (!chaos_spec.empty()) {
+    auto plan = sose::ParseFaultPlan(chaos_spec);
+    plan.status().CheckOK();
+    chaos = std::make_unique<sose::ScopedFaultInjection>(
+        std::move(plan).value());
+  }
   sose::CsvWriter csv(
       {"sweep", "d", "eps", "delta", "m_star", "predicted", "faulted"});
   sose::CsvWriter* csv_ptr = csv_path.empty() ? nullptr : &csv;
@@ -145,7 +169,10 @@ int main(int argc, char** argv) {
   {
     std::vector<SweepPoint> points;
     std::vector<double> xs;
-    for (int64_t d : {4, 6, 8, 12, 16, 24}) {
+    const std::vector<int64_t> ds =
+        resilience.quick ? std::vector<int64_t>{4, 6, 8}
+                         : std::vector<int64_t>{4, 6, 8, 12, 16, 24};
+    for (int64_t d : ds) {
       points.push_back({d, 1.0 / 16.0, 0.2});
       xs.push_back(static_cast<double>(d));
     }
@@ -155,7 +182,10 @@ int main(int argc, char** argv) {
   {
     std::vector<SweepPoint> points;
     std::vector<double> xs;
-    for (double inv_eps : {16.0, 32.0, 64.0, 128.0}) {
+    const std::vector<double> inv_epses =
+        resilience.quick ? std::vector<double>{16.0, 32.0}
+                         : std::vector<double>{16.0, 32.0, 64.0, 128.0};
+    for (double inv_eps : inv_epses) {
       points.push_back({4, 1.0 / inv_eps, 0.2});
       xs.push_back(inv_eps);
     }
@@ -165,7 +195,10 @@ int main(int argc, char** argv) {
   {
     std::vector<SweepPoint> points;
     std::vector<double> xs;
-    for (double delta : {0.4, 0.2, 0.1, 0.05}) {
+    const std::vector<double> deltas =
+        resilience.quick ? std::vector<double>{0.4, 0.2}
+                         : std::vector<double>{0.4, 0.2, 0.1, 0.05};
+    for (double delta : deltas) {
       points.push_back({4, 1.0 / 16.0, delta});
       xs.push_back(1.0 / delta);
     }
@@ -177,7 +210,8 @@ int main(int argc, char** argv) {
     std::printf("wrote %s\n", csv_path.c_str());
   }
   sose::bench::FinishBench(flags, "e1", resilience.base.threads,
-                           watch.ElapsedSeconds(), total_trials)
+                           watch.ElapsedSeconds(), total_trials,
+                           resilience.base.workers)
       .CheckOK();
   return 0;
 }

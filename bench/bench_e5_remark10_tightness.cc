@@ -40,7 +40,12 @@ int main(int argc, char** argv) {
 
   sose::Stopwatch watch;
   int64_t total_trials = 0;
-  const int threads = static_cast<int>(flags.GetInt("threads", 0));
+  const int workers =
+      static_cast<int>(flags.GetIntInRange("workers", 1, 1, 1024));
+  // The two parallelism axes are mutually exclusive: a --workers run pins
+  // threads to 1 unless --threads was given explicitly.
+  const int threads =
+      static_cast<int>(flags.GetInt("threads", workers > 1 ? 1 : 0));
   sose::AsciiTable table({"m", "m/d^2", "fail rate (exact collision)",
                           "predicted d^2/(2m)", "mean eps", "max eps",
                           "faults"});
@@ -78,6 +83,13 @@ int main(int argc, char** argv) {
     runner.deadline_seconds =
         flags.GetDouble("deadline", runner.deadline_seconds);
     runner.threads = threads;
+    runner.workers = workers;
+    runner.heartbeat_timeout_seconds =
+        flags.GetDouble("heartbeat-timeout", runner.heartbeat_timeout_seconds);
+    runner.max_shard_retries = flags.GetIntInRange(
+        "max-shard-retries", runner.max_shard_retries, 0, 1 << 20);
+    runner.backoff_initial_seconds =
+        flags.GetDouble("shard-backoff", runner.backoff_initial_seconds);
     if (!checkpoint_prefix.empty()) {
       runner.checkpoint_path = checkpoint_prefix + ".m" + std::to_string(m);
       runner.checkpoint_every = std::max<int64_t>(1, trials / 8);
@@ -106,7 +118,7 @@ int main(int argc, char** argv) {
       "(0, delta)-embedding, strictly stronger than the (eps, delta) the\n"
       "lower bound requires.\n");
   sose::bench::FinishBench(flags, "e5", threads, watch.ElapsedSeconds(),
-                           total_trials)
+                           total_trials, workers)
       .CheckOK();
   return 0;
 }

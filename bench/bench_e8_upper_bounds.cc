@@ -151,7 +151,8 @@ int main(int argc, char** argv) {
                 crossover);
   }
   sose::bench::FinishBench(flags, "e8", base_options.threads,
-                           watch.ElapsedSeconds(), total_trials)
+                           watch.ElapsedSeconds(), total_trials,
+                           base_options.workers)
       .CheckOK();
   return 0;
 }

@@ -40,9 +40,16 @@ inline SketchFactory MakeFactory(std::string family, int64_t m, int64_t n,
 }
 
 /// Reads the resilience flags shared by the Monte-Carlo benches
-/// (`--max-retries`, `--error-budget`, `--deadline` seconds, `--threads`)
-/// into estimator options. Checkpoint paths are wired per bench: each probe
-/// needs its own suffix so concurrent probes never share a file.
+/// (`--max-retries`, `--error-budget`, `--deadline` seconds, `--threads`,
+/// and the multi-process axis: `--workers`, `--heartbeat-timeout`,
+/// `--max-shard-retries`, `--shard-backoff`) into estimator options.
+/// Checkpoint paths are wired per bench: each probe needs its own suffix so
+/// concurrent probes never share a file.
+///
+/// `--workers=0` is rejected at the parser (the coordinator has no "auto"
+/// worker count; 1 means in-process). Because the two parallelism axes are
+/// mutually exclusive, `--workers=N` with no explicit `--threads` pins
+/// threads to 1 instead of the usual auto default.
 inline void ReadResilienceFlags(const FlagParser& flags,
                                 EstimatorOptions* options) {
   options->max_retries = flags.GetInt("max-retries", options->max_retries);
@@ -50,33 +57,46 @@ inline void ReadResilienceFlags(const FlagParser& flags,
       flags.GetDouble("error-budget", options->error_budget);
   options->deadline_seconds =
       flags.GetDouble("deadline", options->deadline_seconds);
-  options->threads = static_cast<int>(flags.GetInt("threads", 0));
+  options->workers =
+      static_cast<int>(flags.GetIntInRange("workers", 1, 1, 1024));
+  options->heartbeat_timeout_seconds = flags.GetDouble(
+      "heartbeat-timeout", options->heartbeat_timeout_seconds);
+  options->max_shard_retries = flags.GetIntInRange(
+      "max-shard-retries", options->max_shard_retries, 0, 1 << 20);
+  options->backoff_initial_seconds =
+      flags.GetDouble("shard-backoff", options->backoff_initial_seconds);
+  const int default_threads = options->workers > 1 ? 1 : 0;
+  options->threads =
+      static_cast<int>(flags.GetInt("threads", default_threads));
 }
 
 /// Writes BENCH_<experiment>.json next to the working directory: wall time,
-/// resolved thread count, trial throughput, a nested `metrics` block (the
-/// current metrics snapshot; empty objects under SOSE_METRICS=OFF), and —
-/// once an explicit `--threads=1` run has recorded its wall time as the
-/// serial baseline — the speedup of the current run against that baseline.
+/// resolved thread count, worker-process count, trial throughput, a nested
+/// `metrics` block (the current metrics snapshot; empty objects under
+/// SOSE_METRICS=OFF), and — once an explicit serial run has recorded its
+/// wall time as the serial baseline — the speedup of the current run against
+/// that baseline.
 ///
-/// Baseline discipline: only `requested_threads == 1` may (over)write the
-/// baseline. A `--threads=0` run that *resolves* to one core is still an
-/// auto-threaded run — letting it record a baseline would make it report
-/// speedup 1.0 against itself. A recorded baseline is also only trusted when
-/// it came from the same trial count (`serial_baseline_trials`); a stale
-/// baseline from a different workload is dropped rather than compared.
-/// Multi-threaded runs carry a valid baseline forward so the file stays
-/// self-contained; a missing baseline serialises as null.
+/// Baseline discipline: only `requested_threads == 1 && workers == 1` may
+/// (over)write the baseline. A `--threads=0` run that *resolves* to one core
+/// is still an auto-threaded run — letting it record a baseline would make
+/// it report speedup 1.0 against itself — and a `--workers=N` run is
+/// parallel regardless of its thread count. A recorded baseline is also only
+/// trusted when it came from the same trial count
+/// (`serial_baseline_trials`); a stale baseline from a different workload is
+/// dropped rather than compared. Parallel runs carry a valid baseline
+/// forward so the file stays self-contained; a missing baseline serialises
+/// as null.
 ///
 /// `resolved_threads` is split out of `requested_threads` so tests can pin a
 /// host-independent resolution; production callers use the wrapper below.
 inline Status WriteBenchJsonResolved(const std::string& experiment,
                                      int requested_threads,
                                      int resolved_threads, double wall_seconds,
-                                     int64_t trials) {
+                                     int64_t trials, int workers = 1) {
   const std::string path = "BENCH_" + experiment + ".json";
   double baseline = std::nan("");
-  if (requested_threads == 1) {
+  if (requested_threads == 1 && workers == 1) {
     baseline = wall_seconds;
   } else {
     auto previous = ReadFileToString(path);
@@ -97,6 +117,7 @@ inline Status WriteBenchJsonResolved(const std::string& experiment,
   JsonObjectWriter writer;
   writer.AddString("experiment", experiment)
       .AddInt("threads", resolved_threads)
+      .AddInt("workers", workers)
       .AddDouble("wall_seconds", wall_seconds)
       .AddInt("trials", trials)
       .AddDouble("trials_per_sec", have_rate
@@ -116,10 +137,11 @@ inline Status WriteBenchJsonResolved(const std::string& experiment,
 }
 
 inline Status WriteBenchJson(const std::string& experiment, int threads,
-                             double wall_seconds, int64_t trials) {
+                             double wall_seconds, int64_t trials,
+                             int workers = 1) {
   return WriteBenchJsonResolved(experiment, threads,
                                 ResolveThreadCount(threads), wall_seconds,
-                                trials);
+                                trials, workers);
 }
 
 /// The shared bench epilogue: BENCH_<experiment>.json (with the embedded
@@ -127,9 +149,10 @@ inline Status WriteBenchJson(const std::string& experiment, int threads,
 /// the same snapshot. Every bench main funnels through this.
 inline Status FinishBench(const FlagParser& flags,
                           const std::string& experiment, int requested_threads,
-                          double wall_seconds, int64_t trials) {
-  SOSE_RETURN_IF_ERROR(
-      WriteBenchJson(experiment, requested_threads, wall_seconds, trials));
+                          double wall_seconds, int64_t trials,
+                          int workers = 1) {
+  SOSE_RETURN_IF_ERROR(WriteBenchJson(experiment, requested_threads,
+                                      wall_seconds, trials, workers));
   const std::string metrics_path = flags.GetString("metrics", "");
   if (!metrics_path.empty()) {
     SOSE_RETURN_IF_ERROR(

@@ -127,6 +127,49 @@ Result<CsvDocument> ParseCsv(const std::string& text) {
   return doc;
 }
 
+std::string FormatCsvRow(const std::vector<std::string>& cells) {
+  std::string out;
+  for (size_t j = 0; j < cells.size(); ++j) {
+    out += Escape(cells[j]);
+    out += (j + 1 < cells.size()) ? "," : "\n";
+  }
+  if (cells.empty()) out += '\n';
+  return out;
+}
+
+Result<std::vector<std::string>> ParseCsvRecord(const std::string& line) {
+  // Reuse the document parser on a single line; it already handles quoting,
+  // "" escapes, and \r. Anything that parses to more than one record means
+  // the caller's framing was wrong.
+  SOSE_ASSIGN_OR_RETURN(CsvDocument doc, ParseCsv(line + "\n"));
+  if (!doc.rows.empty()) {
+    return Status::InvalidArgument(
+        "ParseCsvRecord: input spans more than one record");
+  }
+  return doc.header;
+}
+
+std::vector<std::string> ExtractCompleteCsvRecords(std::string* buffer) {
+  std::vector<std::string> records;
+  size_t start = 0;
+  bool in_quotes = false;
+  for (size_t i = 0; i < buffer->size(); ++i) {
+    const char c = (*buffer)[i];
+    if (c == '"') {
+      // A bare toggle is enough for framing: the escape sequence "" toggles
+      // out and straight back in, leaving the state correct either way.
+      in_quotes = !in_quotes;
+    } else if (c == '\n' && !in_quotes) {
+      size_t end = i;
+      if (end > start && (*buffer)[end - 1] == '\r') --end;
+      records.push_back(buffer->substr(start, end - start));
+      start = i + 1;
+    }
+  }
+  buffer->erase(0, start);
+  return records;
+}
+
 Result<CsvDocument> ReadCsvFile(const std::string& path) {
   std::ifstream file(path);
   if (!file.is_open()) {

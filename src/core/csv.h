@@ -50,6 +50,25 @@ struct CsvDocument {
 /// opened.
 [[nodiscard]] Result<CsvDocument> ReadCsvFile(const std::string& path);
 
+/// Formats one record as an RFC 4180 CSV line, terminated by '\n'. Cells are
+/// quoted only when necessary, exactly like CsvWriter. This is the
+/// record-at-a-time counterpart used by streaming producers (the shard wire
+/// protocol) that cannot buffer a whole document.
+std::string FormatCsvRow(const std::vector<std::string>& cells);
+
+/// Parses one complete CSV record (as framed by ExtractCompleteCsvRecords or
+/// produced by FormatCsvRow, without the trailing newline). Fails on
+/// unterminated quotes and on text spanning more than one record.
+[[nodiscard]] Result<std::vector<std::string>> ParseCsvRecord(
+    const std::string& line);
+
+/// Splits the complete CSV records off the front of `buffer`, leaving any
+/// torn tail (bytes after the last record-terminating newline) in place for
+/// the next append+extract round. Record boundaries are quote-aware, so an
+/// embedded newline inside a quoted cell never splits a record. Returned
+/// records exclude their terminating newline.
+std::vector<std::string> ExtractCompleteCsvRecords(std::string* buffer);
+
 }  // namespace sose
 
 #endif  // SOSE_CORE_CSV_H_

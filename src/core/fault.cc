@@ -1,5 +1,6 @@
 #include "core/fault.h"
 
+#include <charconv>
 #include <limits>
 #include <mutex>
 
@@ -71,6 +72,46 @@ FaultPlan& FaultPlan::CorruptCallInf(std::string site, int64_t nth) {
   rule.action = FaultAction::kCorruptInf;
   rules_.push_back(std::move(rule));
   return *this;
+}
+
+Result<FaultPlan> ParseFaultPlan(const std::string& spec) {
+  FaultPlan plan;
+  size_t begin = 0;
+  while (begin <= spec.size()) {
+    size_t end = spec.find(',', begin);
+    if (end == std::string::npos) end = spec.size();
+    const std::string clause = spec.substr(begin, end - begin);
+    begin = end + 1;
+    if (clause.empty()) {
+      return Status::InvalidArgument(
+          "ParseFaultPlan: empty clause in '" + spec + "'");
+    }
+    const size_t at = clause.rfind('@');
+    // rfind, because site names contain '/' but never '@'; an '@'-free
+    // clause has no trigger and is rejected rather than defaulted.
+    if (at == std::string::npos || at == 0 || at + 1 == clause.size()) {
+      return Status::InvalidArgument(
+          "ParseFaultPlan: clause '" + clause +
+          "' is not of the form site@N or site@every");
+    }
+    const std::string site = clause.substr(0, at);
+    const std::string trigger = clause.substr(at + 1);
+    if (trigger == "every") {
+      plan.FailEveryCall(site);
+      continue;
+    }
+    int64_t nth = 0;
+    const auto [parsed_end, ec] = std::from_chars(
+        trigger.data(), trigger.data() + trigger.size(), nth, 10);
+    if (ec != std::errc() || parsed_end != trigger.data() + trigger.size() ||
+        nth < 1) {
+      return Status::InvalidArgument(
+          "ParseFaultPlan: trigger '" + trigger + "' in clause '" + clause +
+          "' must be a positive integer or 'every'");
+    }
+    plan.FailCall(site, nth);
+  }
+  return plan;
 }
 
 ScopedFaultInjection::ScopedFaultInjection(FaultPlan plan)

@@ -78,6 +78,18 @@ class FaultPlan {
   std::vector<FaultRule> rules_;
 };
 
+/// Parses a command-line chaos spec into a FaultPlan. The grammar is a
+/// comma-separated list of `site@N` (fail the N-th call, N >= 1) and
+/// `site@every` (fail every call) clauses, e.g.
+///
+///   --chaos=shard_worker/crash@3,shard_worker/hang@every
+///
+/// Injected faults use StatusCode::kNumericalError with a message naming the
+/// spec clause, matching what FailCall/FailEveryCall install by default.
+/// Returns kInvalidArgument naming the offending clause on malformed input
+/// (empty clause, missing '@', non-positive or non-integer count).
+[[nodiscard]] Result<FaultPlan> ParseFaultPlan(const std::string& spec);
+
 namespace internal_fault {
 
 /// True while any ScopedFaultInjection is alive. The only cost paid by

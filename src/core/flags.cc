@@ -65,6 +65,20 @@ int64_t FlagParser::GetInt(const std::string& name,
   return parsed;
 }
 
+int64_t FlagParser::GetIntInRange(const std::string& name,
+                                  int64_t default_value, int64_t min_value,
+                                  int64_t max_value) const {
+  if (!Has(name)) return default_value;
+  const int64_t parsed = GetInt(name, default_value);
+  if (parsed < min_value || parsed > max_value) {
+    const std::string expected = "an integer in [" +
+                                 std::to_string(min_value) + ", " +
+                                 std::to_string(max_value) + "]";
+    UsageError(name, values_.at(name), expected.c_str());
+  }
+  return parsed;
+}
+
 double FlagParser::GetDouble(const std::string& name,
                              double default_value) const {
   auto it = values_.find(name);

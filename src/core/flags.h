@@ -26,6 +26,15 @@ class FlagParser {
   std::string GetString(const std::string& name,
                         const std::string& default_value) const;
   int64_t GetInt(const std::string& name, int64_t default_value) const;
+
+  /// GetInt plus a range check: a supplied value outside [min_value,
+  /// max_value] exits through the same usage path as a malformed one, naming
+  /// the accepted range (e.g. `--workers=0` → "expected an integer in
+  /// [1, 1024]"). The default is returned as-is and is not range-checked, so
+  /// callers can use sentinel defaults (e.g. 0 = auto) while still rejecting
+  /// explicit out-of-range input.
+  int64_t GetIntInRange(const std::string& name, int64_t default_value,
+                        int64_t min_value, int64_t max_value) const;
   double GetDouble(const std::string& name, double default_value) const;
   bool GetBool(const std::string& name, bool default_value) const;
 

@@ -193,12 +193,18 @@ Status WriteStringToFile(const std::string& path, const std::string& content) {
     }
     file << content;
     if (!file.good()) {
+      // Don't leave the torn temporary behind: a later write would rename
+      // it into place as if it were complete.
+      std::remove(tmp.c_str());
       return Status::Internal("WriteStringToFile: write to " + tmp + " failed");
     }
   }
   if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    return Status::Internal("WriteStringToFile: rename to " + path +
-                            " failed: " + std::strerror(errno));
+    const Status failed =
+        Status::Internal("WriteStringToFile: rename to " + path +
+                         " failed: " + std::strerror(errno));
+    std::remove(tmp.c_str());
+    return failed;
   }
   return Status::OK();
 }

@@ -11,18 +11,29 @@ ShardedRange::ShardedRange(int64_t begin, int64_t end, int num_shards)
     : num_shards_(std::max(1, num_shards)),
       shards_(new Shard[static_cast<size_t>(num_shards_)]) {
   SOSE_CHECK(begin <= end);
-  const int64_t length = end - begin;
-  const int64_t base = length / num_shards_;
-  const int64_t remainder = length % num_shards_;
-  int64_t cursor = begin;
   for (int s = 0; s < num_shards_; ++s) {
-    const int64_t size = base + (s < remainder ? 1 : 0);
-    shards_[static_cast<size_t>(s)].next.store(cursor,
-                                               std::memory_order_relaxed);
-    shards_[static_cast<size_t>(s)].end = cursor + size;
-    cursor += size;
+    const auto [lo, hi] = ShardBounds(begin, end, num_shards_, s);
+    shards_[static_cast<size_t>(s)].next.store(lo, std::memory_order_relaxed);
+    shards_[static_cast<size_t>(s)].end = hi;
   }
-  SOSE_CHECK(cursor == end);
+}
+
+std::pair<int64_t, int64_t> ShardedRange::ShardBounds(int64_t begin,
+                                                      int64_t end,
+                                                      int num_shards,
+                                                      int shard) {
+  SOSE_CHECK(begin <= end);
+  SOSE_CHECK(num_shards >= 1);
+  SOSE_CHECK(shard >= 0 && shard < num_shards);
+  const int64_t length = end - begin;
+  const int64_t base = length / num_shards;
+  const int64_t remainder = length % num_shards;
+  // Shard s starts after s full shards, the first `remainder` of which carry
+  // one extra index.
+  const int64_t lo =
+      begin + base * shard + std::min<int64_t>(shard, remainder);
+  const int64_t size = base + (shard < remainder ? 1 : 0);
+  return {lo, lo + size};
 }
 
 bool ShardedRange::ClaimFrom(Shard* shard, int64_t* index) {

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <utility>
 
 namespace sose {
 
@@ -24,6 +25,13 @@ class ShardedRange {
   ShardedRange(int64_t begin, int64_t end, int num_shards);
 
   int num_shards() const { return num_shards_; }
+
+  /// The static [begin, end) bounds of shard `shard` under the same
+  /// near-equal split the constructor uses (remainder spread over the first
+  /// shards). Shared with the multi-process shard coordinator so process
+  /// shards and thread shards partition a range identically.
+  static std::pair<int64_t, int64_t> ShardBounds(int64_t begin, int64_t end,
+                                                 int num_shards, int shard);
 
   /// Claims the next index for worker `shard`, preferring its own shard and
   /// stealing from the others once it is empty. Returns false when the whole

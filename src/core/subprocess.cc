@@ -1,0 +1,223 @@
+#include "core/subprocess.h"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cmath>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <utility>
+
+namespace sose {
+
+namespace {
+
+Status ErrnoStatus(const char* what) {
+  return Status::Internal(std::string(what) + " failed: " +
+                          std::strerror(errno));
+}
+
+// Decodes a waitpid status word.
+ProcessStatus DecodeWaitStatus(int wstatus) {
+  ProcessStatus status;
+  if (WIFEXITED(wstatus)) {
+    status.state = ProcessState::kExited;
+    status.exit_code = WEXITSTATUS(wstatus);
+  } else if (WIFSIGNALED(wstatus)) {
+    status.state = ProcessState::kSignaled;
+    status.term_signal = WTERMSIG(wstatus);
+  }
+  return status;
+}
+
+}  // namespace
+
+Result<Subprocess> Subprocess::Spawn(const ChildMain& child_main) {
+  int fds[2] = {-1, -1};
+  if (::pipe(fds) != 0) {
+    return ErrnoStatus("Subprocess::Spawn: pipe");
+  }
+  // Flush stdio before forking: the child inherits the parent's buffered
+  // output, and although it terminates via _exit (never flushing), keeping
+  // the buffers empty at the fork point removes the whole class of
+  // duplicated-output surprises.
+  std::fflush(nullptr);
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    const Status status = ErrnoStatus("Subprocess::Spawn: fork");
+    ::close(fds[0]);
+    ::close(fds[1]);
+    return status;
+  }
+  if (pid == 0) {
+    // Child: keep only the write end. _exit skips static destructors and
+    // stream flushing on purpose — this process shares every inherited file
+    // with the parent. SIGPIPE is ignored so a write after the parent died
+    // surfaces as an EPIPE Status the child can act on, not a silent kill.
+    ::close(fds[0]);
+    ::signal(SIGPIPE, SIG_IGN);
+    const int code = child_main(fds[1]);
+    ::_exit(code);
+  }
+  // Parent: keep only the read end, non-blocking so the coordinator's event
+  // loop can drain many children without ever stalling on one.
+  ::close(fds[1]);
+  const int fl = ::fcntl(fds[0], F_GETFL);
+  if (fl < 0 || ::fcntl(fds[0], F_SETFL, fl | O_NONBLOCK) < 0) {
+    const Status status = ErrnoStatus("Subprocess::Spawn: fcntl");
+    ::close(fds[0]);
+    ::kill(pid, SIGKILL);
+    int wstatus = 0;
+    while (::waitpid(pid, &wstatus, 0) < 0 && errno == EINTR) {
+    }
+    return status;
+  }
+  return Subprocess(static_cast<int64_t>(pid), fds[0]);
+}
+
+Subprocess::Subprocess(Subprocess&& other) noexcept
+    : pid_(std::exchange(other.pid_, -1)),
+      read_fd_(std::exchange(other.read_fd_, -1)),
+      reaped_(std::exchange(other.reaped_, true)) {}
+
+Subprocess& Subprocess::operator=(Subprocess&& other) noexcept {
+  if (this != &other) {
+    this->~Subprocess();
+    pid_ = std::exchange(other.pid_, -1);
+    read_fd_ = std::exchange(other.read_fd_, -1);
+    reaped_ = std::exchange(other.reaped_, true);
+  }
+  return *this;
+}
+
+Subprocess::~Subprocess() {
+  if (pid_ > 0 && !reaped_) {
+    // Best effort: no Status to return from a destructor, but a leaked
+    // zombie (or a child outliving the coordinator) is strictly worse than
+    // an ignored kill error.
+    ::kill(static_cast<pid_t>(pid_), SIGKILL);
+    int wstatus = 0;
+    while (::waitpid(static_cast<pid_t>(pid_), &wstatus, 0) < 0 &&
+           errno == EINTR) {
+    }
+    reaped_ = true;
+  }
+  if (read_fd_ >= 0) {
+    ::close(read_fd_);
+    read_fd_ = -1;
+  }
+}
+
+Result<PipeRead> Subprocess::ReadAvailable(std::string* buffer) {
+  if (read_fd_ < 0) {
+    return Status::FailedPrecondition("Subprocess::ReadAvailable: pipe closed");
+  }
+  PipeRead result;
+  char chunk[4096];
+  while (true) {
+    const ssize_t n = ::read(read_fd_, chunk, sizeof(chunk));
+    if (n > 0) {
+      buffer->append(chunk, static_cast<size_t>(n));
+      result.bytes += n;
+      continue;
+    }
+    if (n == 0) {
+      result.eof = true;
+      return result;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return result;
+    return ErrnoStatus("Subprocess::ReadAvailable: read");
+  }
+}
+
+Result<ProcessStatus> Subprocess::Poll() {
+  if (reaped_) {
+    // Termination is observed at most once (waitpid consumes it); callers
+    // that poll again after reaping should not see "running".
+    return Status::FailedPrecondition("Subprocess::Poll: already reaped");
+  }
+  int wstatus = 0;
+  pid_t got = 0;
+  do {
+    got = ::waitpid(static_cast<pid_t>(pid_), &wstatus, WNOHANG);
+  } while (got < 0 && errno == EINTR);
+  if (got < 0) return ErrnoStatus("Subprocess::Poll: waitpid");
+  if (got == 0) return ProcessStatus{};  // Still running.
+  reaped_ = true;
+  return DecodeWaitStatus(wstatus);
+}
+
+Result<ProcessStatus> Subprocess::Wait() {
+  if (reaped_) {
+    return Status::FailedPrecondition("Subprocess::Wait: already reaped");
+  }
+  int wstatus = 0;
+  pid_t got = 0;
+  do {
+    got = ::waitpid(static_cast<pid_t>(pid_), &wstatus, 0);
+  } while (got < 0 && errno == EINTR);
+  if (got < 0) return ErrnoStatus("Subprocess::Wait: waitpid");
+  reaped_ = true;
+  return DecodeWaitStatus(wstatus);
+}
+
+Status Subprocess::Kill() {
+  if (pid_ <= 0 || reaped_) return Status::OK();
+  if (::kill(static_cast<pid_t>(pid_), SIGKILL) != 0 && errno != ESRCH) {
+    return ErrnoStatus("Subprocess::Kill: kill");
+  }
+  return Status::OK();
+}
+
+Result<std::vector<size_t>> PollReadable(const std::vector<int>& fds,
+                                         double timeout_seconds) {
+  const double clamped = timeout_seconds < 0.0 ? 0.0 : timeout_seconds;
+  const int timeout_ms =
+      static_cast<int>(std::ceil(std::min(clamped, 3600.0) * 1e3));
+  std::vector<struct pollfd> entries;
+  entries.reserve(fds.size());
+  for (int fd : fds) {
+    entries.push_back({fd, POLLIN, 0});
+  }
+  int ready = 0;
+  do {
+    // poll with zero descriptors is a plain bounded sleep — used while every
+    // shard sits in retry backoff.
+    ready = ::poll(entries.empty() ? nullptr : entries.data(),
+                   static_cast<nfds_t>(entries.size()), timeout_ms);
+  } while (ready < 0 && errno == EINTR);
+  if (ready < 0) return ErrnoStatus("PollReadable: poll");
+  std::vector<size_t> readable;
+  for (size_t i = 0; i < entries.size(); ++i) {
+    // POLLHUP/POLLERR count as readable: the next ReadAvailable turns them
+    // into a clean EOF or error instead of this call guessing.
+    if ((entries[i].revents & (POLLIN | POLLHUP | POLLERR)) != 0) {
+      readable.push_back(i);
+    }
+  }
+  return readable;
+}
+
+Status WriteAllToFd(int fd, const std::string& data) {
+  size_t written = 0;
+  while (written < data.size()) {
+    const ssize_t n =
+        ::write(fd, data.data() + written, data.size() - written);
+    if (n >= 0) {
+      written += static_cast<size_t>(n);
+      continue;
+    }
+    if (errno == EINTR) continue;
+    return ErrnoStatus("WriteAllToFd: write");
+  }
+  return Status::OK();
+}
+
+}  // namespace sose

@@ -1,0 +1,117 @@
+#ifndef SOSE_CORE_SUBPROCESS_H_
+#define SOSE_CORE_SUBPROCESS_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+
+namespace sose {
+
+/// Status-returning wrapper around the POSIX process primitives (fork, pipe,
+/// waitpid, kill). This header is the *only* sanctioned home for raw process
+/// management in the tree: sose_lint rule R3 (`concurrency`) confines the
+/// underlying syscalls to subprocess.cc the same way it confines raw
+/// std::thread/std::mutex to src/core/parallel, so every spawn/wait/kill in
+/// the library flows through one audited, error-propagating seam.
+///
+/// The model is deliberately narrow — it exists for the shard coordinator
+/// (docs/robustness.md, "Crash-tolerant multi-process execution"):
+///
+///   * one child per Spawn, connected by a single child→parent byte pipe;
+///   * the parent's end is non-blocking, drained with ReadAvailable and
+///     multiplexed with PollReadable;
+///   * children never outlive the wrapper: the destructor SIGKILLs and
+///     reaps anything still running, so no exit path leaks a zombie.
+
+/// How a child process stands at the last Poll()/Wait().
+enum class ProcessState {
+  kRunning,   ///< Not yet exited (or not yet reaped).
+  kExited,    ///< Exited on its own; `exit_code` is valid.
+  kSignaled,  ///< Terminated by a signal; `term_signal` is valid.
+};
+
+struct ProcessStatus {
+  ProcessState state = ProcessState::kRunning;
+  int exit_code = 0;     ///< Valid iff state == kExited.
+  int term_signal = 0;   ///< Valid iff state == kSignaled.
+};
+
+/// What one non-blocking drain of the pipe produced.
+struct PipeRead {
+  int64_t bytes = 0;  ///< Bytes appended to the caller's buffer.
+  bool eof = false;   ///< True once the child's write end is closed for good.
+};
+
+/// A forked child process plus the read end of its output pipe.
+///
+/// Movable, not copyable; the destructor kills and reaps a still-running
+/// child (best effort) and closes the pipe, so RAII alone guarantees no
+/// zombies and no leaked descriptors on any error path.
+class Subprocess {
+ public:
+  /// Runs in the child after fork. Receives the write end of the pipe and
+  /// returns the child's exit code. The child terminates with _exit (no
+  /// static destructors, no stream flushing) so inherited buffered state is
+  /// never replayed into shared files.
+  using ChildMain = std::function<int(int write_fd)>;
+
+  /// Forks a child running `child_main`. In the parent, returns the handle
+  /// with a non-blocking read end of the child's pipe. Fails with kInternal
+  /// when pipe creation or fork itself fails.
+  [[nodiscard]] static Result<Subprocess> Spawn(const ChildMain& child_main);
+
+  Subprocess(Subprocess&& other) noexcept;
+  Subprocess& operator=(Subprocess&& other) noexcept;
+  Subprocess(const Subprocess&) = delete;
+  Subprocess& operator=(const Subprocess&) = delete;
+  ~Subprocess();
+
+  int64_t pid() const { return pid_; }
+  /// The non-blocking read end of the child's pipe; -1 once closed.
+  int read_fd() const { return read_fd_; }
+
+  /// Appends whatever the pipe currently holds to `buffer` without blocking.
+  /// eof becomes true once the child has exited (or closed its write end)
+  /// and the pipe is fully drained.
+  [[nodiscard]] Result<PipeRead> ReadAvailable(std::string* buffer);
+
+  /// Non-blocking status check; reaps the child if it has terminated.
+  [[nodiscard]] Result<ProcessStatus> Poll();
+
+  /// Blocks until the child terminates, then reaps it.
+  [[nodiscard]] Result<ProcessStatus> Wait();
+
+  /// Sends SIGKILL. Idempotent: OK when the child is already dead or
+  /// reaped. The caller still needs Wait()/Poll() to reap.
+  [[nodiscard]] Status Kill();
+
+  /// True once the child has been reaped (Poll/Wait observed termination).
+  bool reaped() const { return reaped_; }
+
+ private:
+  Subprocess(int64_t pid, int read_fd) : pid_(pid), read_fd_(read_fd) {}
+
+  int64_t pid_ = -1;
+  int read_fd_ = -1;
+  bool reaped_ = false;
+};
+
+/// Waits up to `timeout_seconds` for any of `fds` to become readable (data,
+/// EOF, or error all count — the caller's next ReadAvailable disambiguates)
+/// and returns the indices into `fds` that are ready. An empty result means
+/// the timeout elapsed. An empty `fds` vector is a pure bounded sleep —
+/// the coordinator uses it while every shard is in retry backoff.
+[[nodiscard]] Result<std::vector<size_t>> PollReadable(
+    const std::vector<int>& fds, double timeout_seconds);
+
+/// Writes all of `data` to `fd`, looping over partial writes and EINTR.
+/// Fails with kInternal when the descriptor is closed on the far side (the
+/// coordinator died); a shard worker treats that as fatal and exits.
+[[nodiscard]] Status WriteAllToFd(int fd, const std::string& data);
+
+}  // namespace sose
+
+#endif  // SOSE_CORE_SUBPROCESS_H_

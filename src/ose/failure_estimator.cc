@@ -23,6 +23,11 @@ TrialRunnerOptions RunnerOptions(const EstimatorOptions& options) {
   runner.checkpoint_every = options.checkpoint_every;
   runner.checkpoint_path = options.checkpoint_path;
   runner.threads = options.threads;
+  runner.workers = options.workers;
+  runner.heartbeat_timeout_seconds = options.heartbeat_timeout_seconds;
+  runner.max_shard_retries = options.max_shard_retries;
+  runner.backoff_initial_seconds = options.backoff_initial_seconds;
+  runner.backoff_multiplier = options.backoff_multiplier;
   return runner;
 }
 

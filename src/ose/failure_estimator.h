@@ -81,6 +81,14 @@ struct EstimatorOptions {
   /// 1 = serial, 0 = hardware concurrency. The estimate is bit-identical
   /// for every value.
   int threads = 1;
+  /// Worker processes and their coordinator policy (see
+  /// TrialRunnerOptions::workers and docs/robustness.md). Mutually exclusive
+  /// with threads > 1. The estimate is bit-identical for every value.
+  int workers = 1;
+  double heartbeat_timeout_seconds = 30.0;
+  int64_t max_shard_retries = 2;
+  double backoff_initial_seconds = 0.05;
+  double backoff_multiplier = 2.0;
 };
 
 /// Checks an EstimatorOptions for malformed values (non-positive trials or

@@ -1,0 +1,399 @@
+#include "ose/shard_coordinator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/csv.h"
+#include "core/metrics/metrics.h"
+#include "core/parallel/sharded_range.h"
+#include "core/stopwatch.h"
+#include "core/subprocess.h"
+#include "ose/shard_worker.h"
+#include "ose/trial_fold.h"
+
+namespace sose {
+
+namespace {
+
+using internal_trial::FoldOutcome;
+using internal_trial::TrialAttemptResult;
+
+/// Per-shard supervision state. One shard = one contiguous trial range owned
+/// by at most one live worker at a time.
+struct ShardState {
+  enum class Phase {
+    kIdle,         ///< Waiting for its first dispatch.
+    kRunning,      ///< A worker is (presumed) executing it.
+    kBackoff,      ///< Worker failed; re-dispatch after backoff_until.
+    kFinished,     ///< Every trial record received.
+    kQuarantined,  ///< Retry budget exhausted; remaining trials faulted.
+  };
+
+  int index = 0;
+  int64_t begin = 0;
+  int64_t end = 0;  ///< Exclusive.
+  /// First trial whose record has not been received — the durable progress
+  /// mark a re-dispatched worker resumes from.
+  int64_t next_expected = 0;
+  Phase phase = Phase::kIdle;
+  std::optional<Subprocess> worker;
+  std::string buffer;       ///< Torn tail of the wire stream.
+  int64_t dispatches = 0;   ///< Lifetime dispatch count (1 = initial).
+  double backoff_until = 0.0;
+  double last_activity = 0.0;  ///< Stopwatch time of the last received byte.
+  bool saw_format = false;
+  bool saw_preamble = false;
+  bool saw_done = false;
+};
+
+/// The coordinator run: options plus every piece of mutable supervision
+/// state, so the helpers below are methods instead of ten-argument
+/// functions.
+class Coordinator {
+ public:
+  Coordinator(const TrialFn& trial, const TrialRunnerOptions& options)
+      : trial_(trial), options_(options) {}
+
+  Result<TrialRunReport> Run();
+
+ private:
+  void Dispatch(ShardState& shard, double now);
+  void Drain(ShardState& shard, double now);
+  /// Applies one decoded record to `shard`; returns false (after initiating
+  /// failure handling) on a protocol violation.
+  bool Apply(ShardState& shard, const std::string& line, double now);
+  /// Kills + reaps the worker (if any), then schedules a re-dispatch or
+  /// quarantines the shard.
+  void Fail(ShardState& shard, const std::string& reason, double now);
+  void Quarantine(ShardState& shard, const std::string& reason);
+  double PollTimeout(double now) const;
+
+  const TrialFn& trial_;
+  const TrialRunnerOptions& options_;
+  std::vector<ShardState> shards_;
+  std::vector<TrialAttemptResult> records_;
+  std::vector<char> ready_;
+  int64_t start_ = 0;
+  int64_t total_ = 0;
+};
+
+void Coordinator::Dispatch(ShardState& shard, double now) {
+  ShardWorkerConfig config;
+  config.shard_index = shard.index;
+  config.shard_begin = shard.begin;
+  config.shard_end = shard.end;
+  config.resume_from = shard.next_expected;
+  config.generation = shard.dispatches;  // 0-based: pre-increment value.
+  config.master_seed = options_.seed;
+  config.max_retries = options_.max_retries;
+  ++shard.dispatches;
+  shard.buffer.clear();
+  shard.saw_format = shard.saw_preamble = shard.saw_done = false;
+  SOSE_COUNTER_INC("shard.dispatched");
+  if (shard.dispatches > 1) SOSE_COUNTER_INC("shard.redispatched");
+  // The child is forked, not exec'd: `trial_` crosses into the worker as a
+  // live closure. The capture is by value (config) plus the reference to the
+  // TrialFn, both valid for the child's whole life since the child's address
+  // space is a copy.
+  const TrialFn& trial = trial_;
+  auto spawned = Subprocess::Spawn([&trial, config](int write_fd) {
+    return RunShardWorker(trial, config, write_fd);
+  });
+  if (!spawned.ok()) {
+    // Spawn failure consumes a shard retry like any other worker failure, so
+    // a machine that cannot fork quarantines instead of looping forever.
+    Fail(shard, "spawn failed: " + spawned.status().message(), now);
+    return;
+  }
+  shard.worker.emplace(std::move(spawned).value());
+  shard.phase = ShardState::Phase::kRunning;
+  shard.last_activity = now;
+}
+
+bool Coordinator::Apply(ShardState& shard, const std::string& line,
+                        double now) {
+  auto violation = [&](const std::string& why) {
+    SOSE_COUNTER_INC("shard.protocol_errors");
+    Fail(shard, "protocol violation: " + why, now);
+    return false;
+  };
+  Result<ShardWireRecord> decoded = DecodeShardWireRecord(line);
+  if (!decoded.ok()) return violation(decoded.status().message());
+  const ShardWireRecord& record = decoded.value();
+  if (shard.saw_done) return violation("record after done");
+  switch (record.kind) {
+    case ShardWireRecord::Kind::kFormat:
+      if (shard.saw_format) return violation("duplicate format record");
+      shard.saw_format = true;
+      return true;
+    case ShardWireRecord::Kind::kShard:
+      if (!shard.saw_format || shard.saw_preamble) {
+        return violation("misplaced shard preamble");
+      }
+      if (record.shard_index != shard.index ||
+          record.shard_begin != shard.begin ||
+          record.shard_end != shard.end ||
+          record.resume_from != shard.next_expected ||
+          record.generation != shard.dispatches - 1) {
+        return violation("shard preamble does not match dispatch");
+      }
+      shard.saw_preamble = true;
+      return true;
+    case ShardWireRecord::Kind::kHeartbeat:
+      if (!shard.saw_preamble || record.trial != shard.next_expected) {
+        return violation("heartbeat out of sequence");
+      }
+      return true;
+    case ShardWireRecord::Kind::kOk:
+    case ShardWireRecord::Kind::kFault:
+      if (!shard.saw_preamble || record.trial != shard.next_expected) {
+        return violation("trial record out of sequence");
+      }
+      records_[static_cast<size_t>(record.trial)] = record.record;
+      ready_[static_cast<size_t>(record.trial)] = 1;
+      ++shard.next_expected;
+      SOSE_COUNTER_INC("shard.records");
+      return true;
+    case ShardWireRecord::Kind::kDone:
+      if (!shard.saw_preamble || record.trial != shard.end ||
+          shard.next_expected != shard.end) {
+        return violation("premature done record");
+      }
+      shard.saw_done = true;
+      return true;
+  }
+  return violation("unhandled record kind");
+}
+
+void Coordinator::Drain(ShardState& shard, double now) {
+  Result<PipeRead> read = shard.worker->ReadAvailable(&shard.buffer);
+  if (!read.ok()) {
+    Fail(shard, "pipe read failed: " + read.status().message(), now);
+    return;
+  }
+  if (read.value().bytes > 0) shard.last_activity = now;
+  // Only complete newline-framed records are parsed; a tail torn by a dying
+  // worker stays in the buffer and is discarded with it on re-dispatch —
+  // the same rule torn checkpoint files get.
+  for (const std::string& line : ExtractCompleteCsvRecords(&shard.buffer)) {
+    if (!Apply(shard, line, now)) return;  // Failure handling already ran.
+  }
+  if (read.value().eof) {
+    // The stream is over. Either the shard is fully delivered (the `done`
+    // record is corroborating, not load-bearing: a worker killed between its
+    // last trial record and `done` still finished its work), or the worker
+    // died early.
+    Result<ProcessStatus> reaped = shard.worker->Wait();
+    if (shard.next_expected == shard.end) {
+      shard.worker.reset();
+      shard.phase = ShardState::Phase::kFinished;
+      return;
+    }
+    std::string reason = "worker stream ended before shard completion";
+    if (reaped.ok() && reaped.value().state == ProcessState::kSignaled) {
+      reason += " (killed by signal " +
+                std::to_string(reaped.value().term_signal) + ")";
+    } else if (reaped.ok() && reaped.value().state == ProcessState::kExited) {
+      reason += " (exit code " + std::to_string(reaped.value().exit_code) +
+                ")";
+    }
+    Fail(shard, reason, now);
+  }
+}
+
+void Coordinator::Fail(ShardState& shard, const std::string& reason,
+                       double now) {
+  if (shard.worker.has_value()) {
+    // Best effort: Kill tolerates an already-dead child, and the blocking
+    // Wait directly after cannot hang because SIGKILL is not maskable.
+    (void)shard.worker->Kill();
+    if (!shard.worker->reaped()) (void)shard.worker->Wait();
+    shard.worker.reset();
+  }
+  shard.buffer.clear();
+  SOSE_COUNTER_INC("shard.worker_failures");
+  const int64_t redispatches_used = shard.dispatches - 1;
+  if (redispatches_used >= options_.max_shard_retries) {
+    Quarantine(shard, reason);
+    return;
+  }
+  // Exponential backoff before the next dispatch: the r-th re-dispatch waits
+  // initial * multiplier^(r-1).
+  shard.phase = ShardState::Phase::kBackoff;
+  shard.backoff_until =
+      now + options_.backoff_initial_seconds *
+                std::pow(options_.backoff_multiplier,
+                         static_cast<double>(redispatches_used));
+}
+
+void Coordinator::Quarantine(ShardState& shard, const std::string& reason) {
+  shard.phase = ShardState::Phase::kQuarantined;
+  SOSE_COUNTER_INC("shard.quarantined");
+  SOSE_COUNTER_ADD("shard.trials_quarantined",
+                   shard.end - shard.next_expected);
+  // The lost trials become ordinary faulted records, folded in trial order
+  // like any worker-reported fault, so they land in the TrialErrorTaxonomy
+  // and are charged against the error budget.
+  TrialAttemptResult faulted;
+  faulted.status = Status::Internal(
+      "shard " + std::to_string(shard.index) + " quarantined after " +
+      std::to_string(shard.dispatches) + " worker failures: " + reason);
+  for (int64_t t = shard.next_expected; t < shard.end; ++t) {
+    records_[static_cast<size_t>(t)] = faulted;
+    ready_[static_cast<size_t>(t)] = 1;
+  }
+  shard.next_expected = shard.end;
+}
+
+double Coordinator::PollTimeout(double now) const {
+  // Wake for whichever comes first: heartbeat expiry of a running shard,
+  // backoff expiry of a failed one, or the global deadline — capped by a
+  // base tick so supervision stays responsive.
+  double timeout = 0.25;
+  for (const ShardState& shard : shards_) {
+    if (shard.phase == ShardState::Phase::kRunning) {
+      const double slack =
+          options_.heartbeat_timeout_seconds - (now - shard.last_activity);
+      timeout = std::min(timeout, std::max(slack, 0.0));
+    } else if (shard.phase == ShardState::Phase::kBackoff) {
+      timeout = std::min(timeout, std::max(shard.backoff_until - now, 0.0));
+    }
+  }
+  if (options_.deadline_seconds > 0.0) {
+    timeout =
+        std::min(timeout, std::max(options_.deadline_seconds - now, 0.0));
+  }
+  return timeout;
+}
+
+Result<TrialRunReport> Coordinator::Run() {
+  SOSE_RETURN_IF_ERROR(internal_trial::ValidateRunnerOptions(options_));
+  SOSE_SPAN("shard.coordinate");
+
+  TrialRunReport report;
+  report.requested = options_.trials;
+  const bool checkpointing = !options_.checkpoint_path.empty();
+  SOSE_ASSIGN_OR_RETURN(
+      start_, internal_trial::ResumeFromCheckpoint(options_, &report));
+  total_ = options_.trials;
+
+  records_.assign(static_cast<size_t>(total_), TrialAttemptResult{});
+  ready_.assign(static_cast<size_t>(total_), 0);
+  const int workers = options_.workers;
+  shards_.clear();
+  shards_.reserve(static_cast<size_t>(workers));
+  for (int s = 0; s < workers; ++s) {
+    const auto [lo, hi] =
+        ShardedRange::ShardBounds(start_, total_, workers, s);
+    ShardState shard;
+    shard.index = s;
+    shard.begin = lo;
+    shard.end = hi;
+    shard.next_expected = lo;
+    shard.phase =
+        lo == hi ? ShardState::Phase::kFinished : ShardState::Phase::kIdle;
+    shards_.push_back(std::move(shard));
+  }
+
+  Stopwatch watch;
+  int64_t fold_next = start_;
+  int64_t next_trial = start_;
+
+  while (fold_next < total_) {
+    double now = watch.ElapsedSeconds();
+    // The deadline is checked between folded trials (like the in-process
+    // backends) and never before the first, so every run makes progress.
+    if (options_.deadline_seconds > 0.0 && fold_next > start_ &&
+        now > options_.deadline_seconds) {
+      report.partial = true;
+      next_trial = fold_next;
+      SOSE_COUNTER_INC("trial.deadline_hits");
+      break;
+    }
+    // Dispatch idle shards and those whose backoff expired.
+    for (ShardState& shard : shards_) {
+      if (shard.phase == ShardState::Phase::kIdle ||
+          (shard.phase == ShardState::Phase::kBackoff &&
+           now >= shard.backoff_until)) {
+        Dispatch(shard, now);
+      }
+    }
+    // One multiplexed wait over every live worker pipe.
+    std::vector<int> fds;
+    std::vector<size_t> fd_shard;
+    for (size_t s = 0; s < shards_.size(); ++s) {
+      if (shards_[s].phase == ShardState::Phase::kRunning) {
+        fds.push_back(shards_[s].worker->read_fd());
+        fd_shard.push_back(s);
+      }
+    }
+    SOSE_ASSIGN_OR_RETURN(std::vector<size_t> readable,
+                          PollReadable(fds, PollTimeout(now)));
+    now = watch.ElapsedSeconds();
+    for (size_t idx : readable) {
+      Drain(shards_[fd_shard[idx]], now);
+    }
+    // Hung-worker detection: a worker that has written nothing for a full
+    // heartbeat window is presumed wedged. (Workers heartbeat before every
+    // trial, so the timeout must exceed the slowest single trial.)
+    for (ShardState& shard : shards_) {
+      if (shard.phase == ShardState::Phase::kRunning &&
+          now - shard.last_activity > options_.heartbeat_timeout_seconds) {
+        SOSE_COUNTER_INC("shard.heartbeat_misses");
+        Fail(shard, "heartbeat timeout", now);
+      }
+    }
+    // Fold the contiguous ready prefix in global trial order — the exact
+    // FoldOutcome arithmetic and checkpoint cadence of the serial loop.
+    while (fold_next < total_ && ready_[static_cast<size_t>(fold_next)]) {
+      SOSE_RETURN_IF_ERROR(
+          FoldOutcome(records_[static_cast<size_t>(fold_next)], fold_next,
+                      options_, &report));
+      next_trial = fold_next + 1;
+      if (options_.checkpoint_every > 0 &&
+          (fold_next + 1 - start_) % options_.checkpoint_every == 0) {
+        SOSE_RETURN_IF_ERROR(WriteTrialCheckpoint(
+            options_.checkpoint_path,
+            TrialCheckpoint{options_.seed, next_trial, report}));
+      }
+      ++fold_next;
+    }
+  }
+  // Surviving workers are killed and reaped by ShardState's Subprocess
+  // members as shards_ goes out of scope (deadline exit leaves some alive
+  // on purpose: their unfolded trials are discarded, and a resume re-runs
+  // them from the same derived seeds).
+
+  if (report.partial) {
+    if (checkpointing) {
+      SOSE_RETURN_IF_ERROR(WriteTrialCheckpoint(
+          options_.checkpoint_path,
+          TrialCheckpoint{options_.seed, next_trial, report}));
+    }
+    return report;
+  }
+  if (static_cast<double>(report.faulted) >
+      options_.error_budget * static_cast<double>(report.completed)) {
+    return Status::FailedPrecondition(
+        internal_trial::BudgetMessage(report, options_.error_budget));
+  }
+  if (checkpointing) {
+    // A finished run's checkpoint would otherwise short-circuit the next one.
+    std::remove(options_.checkpoint_path.c_str());
+  }
+  return report;
+}
+
+}  // namespace
+
+Result<TrialRunReport> RunTrialsSharded(const TrialFn& trial,
+                                        const TrialRunnerOptions& options) {
+  Coordinator coordinator(trial, options);
+  return coordinator.Run();
+}
+
+}  // namespace sose

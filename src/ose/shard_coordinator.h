@@ -1,0 +1,45 @@
+#ifndef SOSE_OSE_SHARD_COORDINATOR_H_
+#define SOSE_OSE_SHARD_COORDINATOR_H_
+
+#include "core/status.h"
+#include "ose/trial_runner.h"
+
+namespace sose {
+
+/// Crash-tolerant multi-process trial execution (docs/robustness.md).
+///
+/// The coordinator splits [resume, trials) into `options.workers` contiguous
+/// shards with the exact split of ShardedRange::ShardBounds, forks one
+/// sose_worker child per non-empty shard (RunShardWorker in
+/// ose/shard_worker.h), and multiplexes their pipes in one event loop.
+/// Workers only *execute* trials; the coordinator folds the streamed
+/// per-trial records in ascending global trial order with the same
+/// FoldOutcome arithmetic as the serial loop, so the report, taxonomy,
+/// checkpoint bytes, and error-budget failure text are bitwise identical to
+/// `threads = 1` for any worker count.
+///
+/// Robustness ladder, in escalating order:
+///   * torn streams — a record cut mid-line by a dying worker stays
+///     buffered, never parsed (same rule as torn checkpoint tails);
+///   * worker death / hang (no bytes for heartbeat_timeout_seconds) /
+///     protocol violation — SIGKILL, then re-dispatch the shard from the end
+///     of its contiguous received prefix, after exponential backoff;
+///   * shard quarantine — after max_shard_retries re-dispatches the shard's
+///     remaining trials are recorded as kInternal faults and folded into the
+///     TrialErrorTaxonomy and error budget like any other faulted trial;
+///   * global deadline — surviving workers are killed and a partial report
+///     over the folded prefix is returned, exactly like the in-process
+///     backends.
+///
+/// Checkpoints are written at the same trial boundaries as the serial path,
+/// so killing the coordinator itself and re-running resumes losslessly.
+///
+/// Callers normally reach this through RunTrials (options.workers > 1); the
+/// direct entry exists so tests can force coordinator execution even for a
+/// single worker.
+[[nodiscard]] Result<TrialRunReport> RunTrialsSharded(
+    const TrialFn& trial, const TrialRunnerOptions& options);
+
+}  // namespace sose
+
+#endif  // SOSE_OSE_SHARD_COORDINATOR_H_

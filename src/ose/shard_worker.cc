@@ -1,0 +1,183 @@
+#include "ose/shard_worker.h"
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "core/csv.h"
+#include "core/fault.h"
+#include "core/hexfloat.h"
+#include "core/subprocess.h"
+
+namespace sose {
+
+namespace {
+
+using internal_trial::ExecuteTrial;
+using internal_trial::ParseWireInt;
+using internal_trial::TrialAttemptResult;
+
+// Chaos sites, one Status-returning shim per failure mode so
+// SOSE_FAULT_POINT can be used from the int-returning worker loop. All three
+// are registered in docs/robustness.md.
+Status ChaosCrashSite() {
+  SOSE_FAULT_POINT("shard_worker/crash");
+  return Status::OK();
+}
+
+Status ChaosHangSite() {
+  SOSE_FAULT_POINT("shard_worker/hang");
+  return Status::OK();
+}
+
+Status ChaosGarbageSite() {
+  SOSE_FAULT_POINT("shard_worker/garbage-output");
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string EncodeFormatRecord() {
+  return FormatCsvRow({"format", kShardStreamFormat});
+}
+
+std::string EncodeShardRecord(const ShardWorkerConfig& config) {
+  return FormatCsvRow({"shard", std::to_string(config.shard_index),
+                       std::to_string(config.shard_begin),
+                       std::to_string(config.shard_end),
+                       std::to_string(config.resume_from),
+                       std::to_string(config.generation)});
+}
+
+std::string EncodeHeartbeatRecord(int64_t t) {
+  return FormatCsvRow({"heartbeat", std::to_string(t)});
+}
+
+std::string EncodeTrialRecord(int64_t t, const TrialAttemptResult& record) {
+  if (record.status.ok()) {
+    return FormatCsvRow({"ok", std::to_string(t),
+                         std::to_string(record.retries_used),
+                         FormatHexDouble(record.outcome.epsilon),
+                         record.outcome.failure ? "1" : "0"});
+  }
+  return FormatCsvRow(
+      {"fault", std::to_string(t), std::to_string(record.retries_used),
+       std::string(StatusCodeToString(record.status.code())),
+       record.status.message()});
+}
+
+std::string EncodeDoneRecord(int64_t shard_end) {
+  return FormatCsvRow({"done", std::to_string(shard_end)});
+}
+
+Result<ShardWireRecord> DecodeShardWireRecord(const std::string& line) {
+  SOSE_ASSIGN_OR_RETURN(std::vector<std::string> cells, ParseCsvRecord(line));
+  auto malformed = [&line](const char* why) {
+    return Status::InvalidArgument(std::string("DecodeShardWireRecord: ") +
+                                   why + " in record '" + line + "'");
+  };
+  if (cells.empty()) return malformed("empty record");
+  const std::string& tag = cells[0];
+  ShardWireRecord out;
+  if (tag == "format") {
+    if (cells.size() != 2) return malformed("format arity");
+    if (cells[1] != kShardStreamFormat) return malformed("unknown format");
+    out.kind = ShardWireRecord::Kind::kFormat;
+    return out;
+  }
+  if (tag == "shard") {
+    if (cells.size() != 6 || !ParseWireInt(cells[1], &out.shard_index) ||
+        !ParseWireInt(cells[2], &out.shard_begin) ||
+        !ParseWireInt(cells[3], &out.shard_end) ||
+        !ParseWireInt(cells[4], &out.resume_from) ||
+        !ParseWireInt(cells[5], &out.generation)) {
+      return malformed("shard preamble");
+    }
+    out.kind = ShardWireRecord::Kind::kShard;
+    return out;
+  }
+  if (tag == "heartbeat") {
+    if (cells.size() != 2 || !ParseWireInt(cells[1], &out.trial)) {
+      return malformed("heartbeat");
+    }
+    out.kind = ShardWireRecord::Kind::kHeartbeat;
+    return out;
+  }
+  if (tag == "ok") {
+    double epsilon = 0.0;
+    if (cells.size() != 5 || !ParseWireInt(cells[1], &out.trial) ||
+        !ParseWireInt(cells[2], &out.record.retries_used) ||
+        !ParseHexDouble(cells[3], &epsilon) ||
+        (cells[4] != "0" && cells[4] != "1")) {
+      return malformed("ok record");
+    }
+    out.kind = ShardWireRecord::Kind::kOk;
+    out.record.outcome.epsilon = epsilon;
+    out.record.outcome.failure = cells[4] == "1";
+    return out;
+  }
+  if (tag == "fault") {
+    StatusCode code = StatusCode::kInternal;
+    if (cells.size() != 5 || !ParseWireInt(cells[1], &out.trial) ||
+        !ParseWireInt(cells[2], &out.record.retries_used) ||
+        !StatusCodeFromString(cells[3], &code)) {
+      return malformed("fault record");
+    }
+    out.kind = ShardWireRecord::Kind::kFault;
+    out.record.status = Status(code, cells[4]);
+    return out;
+  }
+  if (tag == "done") {
+    if (cells.size() != 2 || !ParseWireInt(cells[1], &out.trial)) {
+      return malformed("done record");
+    }
+    out.kind = ShardWireRecord::Kind::kDone;
+    return out;
+  }
+  return malformed("unknown tag");
+}
+
+int RunShardWorker(const TrialFn& trial, const ShardWorkerConfig& config,
+                   int write_fd) {
+  if (!WriteAllToFd(write_fd, EncodeFormatRecord()).ok() ||
+      !WriteAllToFd(write_fd, EncodeShardRecord(config)).ok()) {
+    return kShardWorkerPipeError;
+  }
+  for (int64_t t = config.resume_from; t < config.shard_end; ++t) {
+    // Chaos sites fire before the trial and before its heartbeat, so an
+    // injected failure leaves the coordinator exactly the records of the
+    // preceding trials — the deterministic torn stream the parity tests pin.
+    if (!ChaosCrashSite().ok()) return kShardWorkerChaosCrash;
+    if (!ChaosHangSite().ok()) {
+      // Simulated wedge: go silent without exiting, long enough for any
+      // realistic heartbeat timeout to fire, bounded so a coordinator bug
+      // cannot wedge a test suite forever.
+      for (int i = 0; i < 600; ++i) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+      }
+      return kShardWorkerChaosHang;
+    }
+    if (!ChaosGarbageSite().ok()) {
+      // A complete-but-undecodable record: framing succeeds, decoding fails,
+      // exercising the protocol-violation path rather than torn-tail
+      // buffering.
+      if (!WriteAllToFd(write_fd, "garbage,#!corrupted-record\n").ok()) {
+        return kShardWorkerPipeError;
+      }
+    }
+    if (!WriteAllToFd(write_fd, EncodeHeartbeatRecord(t)).ok()) {
+      return kShardWorkerPipeError;
+    }
+    const TrialAttemptResult record =
+        ExecuteTrial(trial, config.master_seed, config.max_retries, t);
+    if (!WriteAllToFd(write_fd, EncodeTrialRecord(t, record)).ok()) {
+      return kShardWorkerPipeError;
+    }
+  }
+  if (!WriteAllToFd(write_fd, EncodeDoneRecord(config.shard_end)).ok()) {
+    return kShardWorkerPipeError;
+  }
+  return kShardWorkerOk;
+}
+
+}  // namespace sose

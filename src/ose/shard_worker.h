@@ -1,0 +1,108 @@
+#ifndef SOSE_OSE_SHARD_WORKER_H_
+#define SOSE_OSE_SHARD_WORKER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "core/status.h"
+#include "ose/trial_fold.h"
+#include "ose/trial_runner.h"
+
+/// The worker half of crash-tolerant multi-process trial execution: the
+/// sose_worker entry point run inside each forked child, plus the wire
+/// codec it shares with the shard coordinator.
+///
+/// A worker executes the trials of one contiguous shard [begin, end) —
+/// resumed at `resume_from` after a re-dispatch — and streams one record per
+/// trial to the coordinator over its pipe. Workers never aggregate: folding
+/// happens only on the coordinator, in global trial order, so the final
+/// report is bitwise identical to a serial run (see docs/robustness.md).
+///
+/// The wire protocol is a CSV dialect of the hexfloat checkpoint format:
+/// newline-framed RFC 4180 records, hexfloat doubles, StatusCode names.
+///
+///   format,sose-shard-stream-v1
+///   shard,<index>,<begin>,<end>,<resume_from>,<generation>
+///   heartbeat,<t>           announced before trial t starts executing
+///   ok,<t>,<retries>,<epsilon_hex>,<failure 0|1>
+///   fault,<t>,<retries>,<status-code-name>,<message>
+///   done,<end>
+///
+/// Records for trials are emitted in ascending order starting at
+/// resume_from; the coordinator treats any deviation as a protocol
+/// violation and re-dispatches the shard.
+
+namespace sose {
+
+/// Wire schema version; bumped on incompatible changes.
+inline constexpr const char* kShardStreamFormat = "sose-shard-stream-v1";
+
+/// Worker exit codes (diagnostic only — the coordinator keys off the record
+/// stream, not the exit status).
+inline constexpr int kShardWorkerOk = 0;
+/// The pipe to the coordinator broke (coordinator died or closed early).
+inline constexpr int kShardWorkerPipeError = 10;
+/// An injected `shard_worker/crash` fault fired.
+inline constexpr int kShardWorkerChaosCrash = 11;
+/// An injected `shard_worker/hang` fault fired and its bounded sleep ended
+/// without the expected SIGKILL.
+inline constexpr int kShardWorkerChaosHang = 12;
+
+/// Everything a worker needs to run its shard. Plain data: the struct is
+/// captured across fork(), not serialized.
+struct ShardWorkerConfig {
+  int shard_index = 0;
+  int64_t shard_begin = 0;
+  int64_t shard_end = 0;    ///< Exclusive.
+  int64_t resume_from = 0;  ///< First trial to execute (>= shard_begin).
+  /// 0 for the initial dispatch, incremented per re-dispatch; echoed in the
+  /// shard preamble so the coordinator can discard stale streams.
+  int64_t generation = 0;
+  uint64_t master_seed = 0;
+  int64_t max_retries = 0;  ///< In-process per-trial retries (not shard retries).
+};
+
+/// The sose_worker app mode: executes the configured shard of `trial`,
+/// streaming records to `write_fd`. Designed as a Subprocess::ChildMain body
+/// (the child is forked, not exec'd, so `trial` crosses as a captured
+/// closure); returns the worker exit code. Deterministic chaos sites
+/// `shard_worker/crash|hang|garbage-output` are evaluated before each
+/// trial when fault injection is active — fault-plan call counts restart in
+/// every forked incarnation, so `FailCall(site, n)` fires before the n-th
+/// remaining trial of *every* dispatch of every shard.
+int RunShardWorker(const TrialFn& trial, const ShardWorkerConfig& config,
+                   int write_fd);
+
+/// A decoded wire record (discriminated by `kind`).
+struct ShardWireRecord {
+  enum class Kind { kFormat, kShard, kHeartbeat, kOk, kFault, kDone };
+  Kind kind = Kind::kHeartbeat;
+  // kShard:
+  int64_t shard_index = 0;
+  int64_t shard_begin = 0;
+  int64_t shard_end = 0;
+  int64_t resume_from = 0;
+  int64_t generation = 0;
+  // kHeartbeat / kOk / kFault: the trial index. kDone: the shard end.
+  int64_t trial = 0;
+  // kOk / kFault:
+  internal_trial::TrialAttemptResult record;
+};
+
+/// Encoders (each returns one newline-terminated CSV record).
+std::string EncodeFormatRecord();
+std::string EncodeShardRecord(const ShardWorkerConfig& config);
+std::string EncodeHeartbeatRecord(int64_t t);
+std::string EncodeTrialRecord(int64_t t,
+                              const internal_trial::TrialAttemptResult& record);
+std::string EncodeDoneRecord(int64_t shard_end);
+
+/// Decodes one framed record (no trailing newline). Fails with
+/// kInvalidArgument on malformed input — the coordinator escalates that to a
+/// protocol violation.
+[[nodiscard]] Result<ShardWireRecord> DecodeShardWireRecord(
+    const std::string& line);
+
+}  // namespace sose
+
+#endif  // SOSE_OSE_SHARD_WORKER_H_

@@ -1,0 +1,196 @@
+#include "ose/trial_fold.h"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+
+#include "core/metrics/metrics.h"
+#include "core/random.h"
+
+namespace sose::internal_trial {
+
+namespace {
+
+// Retry attempt r of a trial draws from a stream disjoint from every
+// attempt-0 stream (which use DeriveSeed(master, t) directly): re-deriving
+// from the trial's base seed with a salted index cannot collide with another
+// trial's base seed except by 64-bit accident.
+constexpr uint64_t kRetryStream = 0x5e7121e5ULL;
+
+bool FileExists(const std::string& path) {
+  std::ifstream file(path);
+  return file.good();
+}
+
+}  // namespace
+
+bool ParseWireInt(const std::string& text, int64_t* value) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  errno = 0;
+  *value = std::strtoll(text.c_str(), &end, 10);
+  return errno == 0 && end == text.c_str() + text.size();
+}
+
+bool ParseWireUInt(const std::string& text, uint64_t* value) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  errno = 0;
+  *value = std::strtoull(text.c_str(), &end, 10);
+  return errno == 0 && end == text.c_str() + text.size();
+}
+
+Status ValidateRunnerOptions(const TrialRunnerOptions& options) {
+  if (options.trials <= 0) {
+    return Status::InvalidArgument("RunTrials: trials must be positive");
+  }
+  if (options.max_retries < 0) {
+    return Status::InvalidArgument("RunTrials: max_retries must be >= 0");
+  }
+  if (options.error_budget < 0.0 || !std::isfinite(options.error_budget)) {
+    return Status::InvalidArgument(
+        "RunTrials: error_budget must be finite and >= 0");
+  }
+  if (options.deadline_seconds < 0.0 ||
+      !std::isfinite(options.deadline_seconds)) {
+    return Status::InvalidArgument(
+        "RunTrials: deadline_seconds must be finite and >= 0");
+  }
+  if (options.checkpoint_every < 0) {
+    return Status::InvalidArgument("RunTrials: checkpoint_every must be >= 0");
+  }
+  if (options.checkpoint_every > 0 && options.checkpoint_path.empty()) {
+    return Status::InvalidArgument(
+        "RunTrials: checkpoint_every requires checkpoint_path");
+  }
+  if (options.threads < 0) {
+    return Status::InvalidArgument(
+        "RunTrials: threads must be >= 0 (0 = hardware concurrency)");
+  }
+  if (options.workers < 1) {
+    return Status::InvalidArgument(
+        "RunTrials: workers must be >= 1 (1 = in-process execution)");
+  }
+  if (options.workers > 1 && options.threads > 1) {
+    return Status::InvalidArgument(
+        "RunTrials: workers > 1 is incompatible with threads > 1; pick one "
+        "parallelism axis");
+  }
+  if (options.workers > 1) {
+    if (options.heartbeat_timeout_seconds <= 0.0 ||
+        !std::isfinite(options.heartbeat_timeout_seconds)) {
+      return Status::InvalidArgument(
+          "RunTrials: heartbeat_timeout_seconds must be finite and > 0");
+    }
+    if (options.max_shard_retries < 0) {
+      return Status::InvalidArgument(
+          "RunTrials: max_shard_retries must be >= 0");
+    }
+    if (options.backoff_initial_seconds < 0.0 ||
+        !std::isfinite(options.backoff_initial_seconds)) {
+      return Status::InvalidArgument(
+          "RunTrials: backoff_initial_seconds must be finite and >= 0");
+    }
+    if (options.backoff_multiplier < 1.0 ||
+        !std::isfinite(options.backoff_multiplier)) {
+      return Status::InvalidArgument(
+          "RunTrials: backoff_multiplier must be finite and >= 1");
+    }
+  }
+  return Status::OK();
+}
+
+std::string BudgetMessage(const TrialRunReport& report, double budget) {
+  return "error budget exceeded: " + std::to_string(report.faulted) +
+         " faulted vs " + std::to_string(report.completed) +
+         " completed trials (budget " + std::to_string(budget) +
+         "); taxonomy: " + report.taxonomy.ToString();
+}
+
+TrialAttemptResult ExecuteTrial(const TrialFn& trial, uint64_t master_seed,
+                                int64_t max_retries, int64_t t) {
+  SOSE_SPAN("trial.execute");
+  TrialAttemptResult record;
+  const uint64_t base_seed = DeriveSeed(master_seed, static_cast<uint64_t>(t));
+  Result<TrialOutcome> outcome = trial(base_seed);
+  for (int64_t attempt = 1; !outcome.ok() && attempt <= max_retries;
+       ++attempt) {
+    ++record.retries_used;
+    outcome = trial(
+        DeriveSeed(base_seed, kRetryStream + static_cast<uint64_t>(attempt)));
+  }
+  if (outcome.ok()) {
+    record.outcome = outcome.value();
+  } else {
+    record.status = outcome.status();
+  }
+  return record;
+}
+
+Status FoldOutcome(const TrialAttemptResult& record, int64_t t,
+                   const TrialRunnerOptions& options, TrialRunReport* report) {
+  // All `trial.*` counters are incremented here, on the supervisor, in
+  // ascending trial order — never from workers — so their totals are
+  // bit-identical across `--threads` and `--workers` values just like the
+  // report itself.
+  report->retries_used += record.retries_used;
+  SOSE_COUNTER_ADD("trial.retries", record.retries_used);
+  if (record.status.ok()) {
+    ++report->completed;
+    SOSE_COUNTER_INC("trial.completed");
+    report->epsilon_sum += record.outcome.epsilon;
+    if (record.outcome.epsilon > report->epsilon_max) {
+      report->epsilon_max = record.outcome.epsilon;
+    }
+    if (record.outcome.failure) {
+      ++report->failures;
+      SOSE_COUNTER_INC("trial.failures");
+    }
+  } else {
+    ++report->faulted;
+    report->taxonomy.Record(record.status);
+    SOSE_COUNTER_INC("trial.quarantined");
+    SOSE_COUNTER_ADD_DYNAMIC(
+        "trial.fault." + std::string(StatusCodeToString(record.status.code())),
+        1);
+    // Fail fast once the budget is unreachable even if every remaining
+    // trial completes — a systematically broken run should not grind
+    // through all its trials first.
+    const int64_t remaining = options.trials - t - 1;
+    if (static_cast<double>(report->faulted) >
+        options.error_budget *
+            static_cast<double>(report->completed + remaining)) {
+      SOSE_COUNTER_INC("trial.budget_aborts");
+      return Status::FailedPrecondition(
+          BudgetMessage(*report, options.error_budget));
+    }
+  }
+  return Status::OK();
+}
+
+Result<int64_t> ResumeFromCheckpoint(const TrialRunnerOptions& options,
+                                     TrialRunReport* report) {
+  if (options.checkpoint_path.empty() || !FileExists(options.checkpoint_path)) {
+    return static_cast<int64_t>(0);
+  }
+  SOSE_ASSIGN_OR_RETURN(TrialCheckpoint checkpoint,
+                        ReadTrialCheckpoint(options.checkpoint_path));
+  if (checkpoint.master_seed != options.seed) {
+    return Status::FailedPrecondition(
+        "RunTrials: checkpoint " + options.checkpoint_path +
+        " was written with a different master seed; delete it to restart");
+  }
+  if (checkpoint.report.requested != options.trials ||
+      checkpoint.next_trial > options.trials) {
+    return Status::FailedPrecondition(
+        "RunTrials: checkpoint " + options.checkpoint_path +
+        " does not match the requested trial count; delete it to restart");
+  }
+  *report = checkpoint.report;
+  report->partial = false;
+  SOSE_COUNTER_INC("trial.resumes");
+  return checkpoint.next_trial;
+}
+
+}  // namespace sose::internal_trial

@@ -1,0 +1,65 @@
+#ifndef SOSE_OSE_TRIAL_FOLD_H_
+#define SOSE_OSE_TRIAL_FOLD_H_
+
+#include <cstdint>
+#include <string>
+
+#include "core/status.h"
+#include "ose/trial_runner.h"
+
+/// The execution/aggregation seam of the trial runner, shared by every
+/// execution backend: the serial loop, the in-process thread pool, and the
+/// multi-process shard coordinator (shard_coordinator.h). All three must
+/// derive identical per-trial seed streams and fold outcomes with identical
+/// arithmetic in ascending trial order — that is the whole bitwise-parity
+/// story — so the two halves live here exactly once.
+///
+/// This is an internal header: nothing in it is part of the public estimator
+/// surface, and its contracts may change whenever trial_runner.h does.
+
+namespace sose::internal_trial {
+
+/// What one trial produced after its in-process retries.
+struct TrialAttemptResult {
+  Status status = Status::OK();  ///< Final status once retries are exhausted.
+  TrialOutcome outcome;          ///< Valid iff status.ok().
+  int64_t retries_used = 0;
+};
+
+/// Runs trial `t` from its derived seed stream, retrying up to `max_retries`
+/// times on freshly derived seeds. Attempt 0 of trial t receives
+/// DeriveSeed(master_seed, t) — identical across every backend and to the
+/// pre-runner estimators.
+TrialAttemptResult ExecuteTrial(const TrialFn& trial, uint64_t master_seed,
+                                int64_t max_retries, int64_t t);
+
+/// Folds trial `t`'s record into `report` and applies the pessimistic error
+/// budget fast-fail. Callers must fold in ascending `t` so every field —
+/// including the floating-point epsilon_sum — accumulates in the same order
+/// on every backend. Increments the supervisor-side `trial.*` counters.
+[[nodiscard]] Status FoldOutcome(const TrialAttemptResult& record, int64_t t,
+                                 const TrialRunnerOptions& options,
+                                 TrialRunReport* report);
+
+/// The kFailedPrecondition text shared by the fast-fail and the final budget
+/// check (it embeds the fold-time counters, so parity tests can compare it).
+std::string BudgetMessage(const TrialRunReport& report, double budget);
+
+/// Validates a TrialRunnerOptions (shared by RunTrials and
+/// RunTrialsSharded).
+[[nodiscard]] Status ValidateRunnerOptions(const TrialRunnerOptions& options);
+
+/// If `options.checkpoint_path` names an existing checkpoint, loads it into
+/// `report` (validating master seed and trial count) and returns the first
+/// trial to run; otherwise leaves `report` untouched and returns 0.
+[[nodiscard]] Result<int64_t> ResumeFromCheckpoint(
+    const TrialRunnerOptions& options, TrialRunReport* report);
+
+/// Strict whole-string integer parses used by the checkpoint reader and the
+/// shard wire decoder (empty strings and trailing garbage are rejected).
+bool ParseWireInt(const std::string& text, int64_t* value);
+bool ParseWireUInt(const std::string& text, uint64_t* value);
+
+}  // namespace sose::internal_trial
+
+#endif  // SOSE_OSE_TRIAL_FOLD_H_

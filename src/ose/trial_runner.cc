@@ -1,14 +1,9 @@
 #include "ose/trial_runner.h"
 
 #include <atomic>
-#include <cerrno>
 #include <chrono>
-#include <cmath>
 #include <condition_variable>
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
-#include <fstream>
 #include <memory>
 #include <mutex>
 #include <set>
@@ -22,151 +17,25 @@
 #include "core/parallel/thread_pool.h"
 #include "core/random.h"
 #include "core/stopwatch.h"
+#include "ose/shard_coordinator.h"
+#include "ose/trial_fold.h"
 
 namespace sose {
 
 namespace {
 
-// Retry attempt r of a trial draws from a stream disjoint from every
-// attempt-0 stream (which use DeriveSeed(master, t) directly): re-deriving
-// from the trial's base seed with a salted index cannot collide with another
-// trial's base seed except by 64-bit accident.
-constexpr uint64_t kRetryStream = 0x5e7121e5ULL;
+// The execution/fold seam shared with the shard coordinator lives in
+// ose/trial_fold.h; this file keeps the in-process backends (serial loop and
+// thread pool) plus the checkpoint codec.
+using internal_trial::BudgetMessage;
+using internal_trial::ExecuteTrial;
+using internal_trial::FoldOutcome;
+using internal_trial::ParseWireInt;
+using internal_trial::ParseWireUInt;
+using internal_trial::TrialAttemptResult;
 
 // Checkpoint schema version; bumped on incompatible format changes.
 constexpr const char* kCheckpointFormat = "sose-trial-checkpoint-v1";
-
-bool ParseInt(const std::string& text, int64_t* value) {
-  if (text.empty()) return false;
-  char* end = nullptr;
-  errno = 0;
-  *value = std::strtoll(text.c_str(), &end, 10);
-  return errno == 0 && end == text.c_str() + text.size();
-}
-
-bool ParseUInt(const std::string& text, uint64_t* value) {
-  if (text.empty()) return false;
-  char* end = nullptr;
-  errno = 0;
-  *value = std::strtoull(text.c_str(), &end, 10);
-  return errno == 0 && end == text.c_str() + text.size();
-}
-
-Status ValidateRunnerOptions(const TrialRunnerOptions& options) {
-  if (options.trials <= 0) {
-    return Status::InvalidArgument("RunTrials: trials must be positive");
-  }
-  if (options.max_retries < 0) {
-    return Status::InvalidArgument("RunTrials: max_retries must be >= 0");
-  }
-  if (options.error_budget < 0.0 || !std::isfinite(options.error_budget)) {
-    return Status::InvalidArgument(
-        "RunTrials: error_budget must be finite and >= 0");
-  }
-  if (options.deadline_seconds < 0.0 ||
-      !std::isfinite(options.deadline_seconds)) {
-    return Status::InvalidArgument(
-        "RunTrials: deadline_seconds must be finite and >= 0");
-  }
-  if (options.checkpoint_every < 0) {
-    return Status::InvalidArgument("RunTrials: checkpoint_every must be >= 0");
-  }
-  if (options.checkpoint_every > 0 && options.checkpoint_path.empty()) {
-    return Status::InvalidArgument(
-        "RunTrials: checkpoint_every requires checkpoint_path");
-  }
-  if (options.threads < 0) {
-    return Status::InvalidArgument(
-        "RunTrials: threads must be >= 0 (0 = hardware concurrency)");
-  }
-  return Status::OK();
-}
-
-bool FileExists(const std::string& path) {
-  std::ifstream file(path);
-  return file.good();
-}
-
-std::string BudgetMessage(const TrialRunReport& report, double budget) {
-  return "error budget exceeded: " + std::to_string(report.faulted) +
-         " faulted vs " + std::to_string(report.completed) +
-         " completed trials (budget " + std::to_string(budget) +
-         "); taxonomy: " + report.taxonomy.ToString();
-}
-
-/// What one trial produced after its retries: the execution half of the
-/// serial loop, shared verbatim by the serial and parallel paths so both
-/// derive identical seed streams.
-struct TrialAttemptResult {
-  Status status = Status::OK();  ///< Final status once retries are exhausted.
-  TrialOutcome outcome;          ///< Valid iff status.ok().
-  int64_t retries_used = 0;
-};
-
-TrialAttemptResult ExecuteTrial(const TrialFn& trial, uint64_t master_seed,
-                                int64_t max_retries, int64_t t) {
-  SOSE_SPAN("trial.execute");
-  TrialAttemptResult record;
-  const uint64_t base_seed = DeriveSeed(master_seed, static_cast<uint64_t>(t));
-  Result<TrialOutcome> outcome = trial(base_seed);
-  for (int64_t attempt = 1; !outcome.ok() && attempt <= max_retries;
-       ++attempt) {
-    ++record.retries_used;
-    outcome = trial(
-        DeriveSeed(base_seed, kRetryStream + static_cast<uint64_t>(attempt)));
-  }
-  if (outcome.ok()) {
-    record.outcome = outcome.value();
-  } else {
-    record.status = outcome.status();
-  }
-  return record;
-}
-
-/// The aggregation half of the serial loop: folds trial `t`'s record into
-/// `report` and applies the pessimistic budget fast-fail. Both execution
-/// paths fold in ascending `t`, so every report field — including the
-/// floating-point epsilon_sum — accumulates in the same order and the
-/// results are bitwise identical.
-Status FoldOutcome(const TrialAttemptResult& record, int64_t t,
-                   const TrialRunnerOptions& options, TrialRunReport* report) {
-  // All `trial.*` counters are incremented here, on the supervisor thread, in
-  // ascending trial order — never from workers — so their totals are
-  // bit-identical across `--threads` values just like the report itself.
-  report->retries_used += record.retries_used;
-  SOSE_COUNTER_ADD("trial.retries", record.retries_used);
-  if (record.status.ok()) {
-    ++report->completed;
-    SOSE_COUNTER_INC("trial.completed");
-    report->epsilon_sum += record.outcome.epsilon;
-    if (record.outcome.epsilon > report->epsilon_max) {
-      report->epsilon_max = record.outcome.epsilon;
-    }
-    if (record.outcome.failure) {
-      ++report->failures;
-      SOSE_COUNTER_INC("trial.failures");
-    }
-  } else {
-    ++report->faulted;
-    report->taxonomy.Record(record.status);
-    SOSE_COUNTER_INC("trial.quarantined");
-    SOSE_COUNTER_ADD_DYNAMIC(
-        "trial.fault." + std::string(StatusCodeToString(record.status.code())),
-        1);
-    // Fail fast once the budget is unreachable even if every remaining
-    // trial completes — a systematically broken run should not grind
-    // through all its trials first.
-    const int64_t remaining = options.trials - t - 1;
-    if (static_cast<double>(report->faulted) >
-        options.error_budget *
-            static_cast<double>(report->completed + remaining)) {
-      SOSE_COUNTER_INC("trial.budget_aborts");
-      return Status::FailedPrecondition(
-          BudgetMessage(*report, options.error_budget));
-    }
-  }
-  return Status::OK();
-}
 
 }  // namespace
 
@@ -174,6 +43,14 @@ void TrialErrorTaxonomy::Record(const Status& status) {
   Entry& entry = by_code[status.code()];
   if (entry.count == 0) entry.first_message = status.message();
   ++entry.count;
+}
+
+void TrialErrorTaxonomy::MergeFrom(const TrialErrorTaxonomy& other) {
+  for (const auto& [code, entry] : other.by_code) {
+    Entry& mine = by_code[code];
+    if (mine.count == 0) mine.first_message = entry.first_message;
+    mine.count += entry.count;
+  }
 }
 
 int64_t TrialErrorTaxonomy::Total() const {
@@ -265,19 +142,19 @@ Result<TrialCheckpoint> ReadTrialCheckpoint(const std::string& path) {
             "ReadTrialCheckpoint: unknown format '" + value + "' in " + path);
       }
     } else if (key == "master_seed") {
-      ok = ParseUInt(value, &checkpoint.master_seed);
+      ok = ParseWireUInt(value, &checkpoint.master_seed);
     } else if (key == "next_trial") {
-      ok = ParseInt(value, &checkpoint.next_trial);
+      ok = ParseWireInt(value, &checkpoint.next_trial);
     } else if (key == "requested") {
-      ok = ParseInt(value, &checkpoint.report.requested);
+      ok = ParseWireInt(value, &checkpoint.report.requested);
     } else if (key == "completed") {
-      ok = ParseInt(value, &checkpoint.report.completed);
+      ok = ParseWireInt(value, &checkpoint.report.completed);
     } else if (key == "faulted") {
-      ok = ParseInt(value, &checkpoint.report.faulted);
+      ok = ParseWireInt(value, &checkpoint.report.faulted);
     } else if (key == "retries_used") {
-      ok = ParseInt(value, &checkpoint.report.retries_used);
+      ok = ParseWireInt(value, &checkpoint.report.retries_used);
     } else if (key == "failures") {
-      ok = ParseInt(value, &checkpoint.report.failures);
+      ok = ParseWireInt(value, &checkpoint.report.failures);
     } else if (key == "epsilon_sum") {
       ok = ParseHexDouble(value, &checkpoint.report.epsilon_sum);
     } else if (key == "epsilon_max") {
@@ -286,7 +163,7 @@ Result<TrialCheckpoint> ReadTrialCheckpoint(const std::string& path) {
       StatusCode code = StatusCode::kInternal;
       int64_t count = 0;
       if (row.size() < 3 || !StatusCodeFromString(value, &code) ||
-          !ParseInt(row[2], &count) || count <= 0) {
+          !ParseWireInt(row[2], &count) || count <= 0) {
         ok = false;
       } else {
         TrialErrorTaxonomy::Entry& entry =
@@ -322,31 +199,19 @@ Result<TrialCheckpoint> ReadTrialCheckpoint(const std::string& path) {
 
 Result<TrialRunReport> RunTrials(const TrialFn& trial,
                                  const TrialRunnerOptions& options) {
-  SOSE_RETURN_IF_ERROR(ValidateRunnerOptions(options));
+  SOSE_RETURN_IF_ERROR(internal_trial::ValidateRunnerOptions(options));
+
+  if (options.workers > 1) {
+    // Multi-process backend: forked shard workers, supervised and folded by
+    // the coordinator. Same parity contract as the threaded path.
+    return RunTrialsSharded(trial, options);
+  }
 
   TrialRunReport report;
   report.requested = options.trials;
-  int64_t start = 0;
   const bool checkpointing = !options.checkpoint_path.empty();
-  if (checkpointing && FileExists(options.checkpoint_path)) {
-    SOSE_ASSIGN_OR_RETURN(TrialCheckpoint checkpoint,
-                          ReadTrialCheckpoint(options.checkpoint_path));
-    if (checkpoint.master_seed != options.seed) {
-      return Status::FailedPrecondition(
-          "RunTrials: checkpoint " + options.checkpoint_path +
-          " was written with a different master seed; delete it to restart");
-    }
-    if (checkpoint.report.requested != options.trials ||
-        checkpoint.next_trial > options.trials) {
-      return Status::FailedPrecondition(
-          "RunTrials: checkpoint " + options.checkpoint_path +
-          " does not match the requested trial count; delete it to restart");
-    }
-    report = checkpoint.report;
-    report.partial = false;
-    start = checkpoint.next_trial;
-    SOSE_COUNTER_INC("trial.resumes");
-  }
+  SOSE_ASSIGN_OR_RETURN(
+      int64_t start, internal_trial::ResumeFromCheckpoint(options, &report));
 
   Stopwatch watch;
   int64_t next_trial = start;

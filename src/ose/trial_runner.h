@@ -26,6 +26,12 @@ struct TrialErrorTaxonomy {
   /// Folds one quarantined error in.
   void Record(const Status& status);
 
+  /// Folds another taxonomy in: counts add per code; for codes this taxonomy
+  /// has not seen, `other`'s first_message is adopted. Counts are therefore
+  /// merge-order independent; first_message keeps the message of whichever
+  /// operand is merged first, matching Record's first-seen-wins rule.
+  void MergeFrom(const TrialErrorTaxonomy& other);
+
   /// Sum of counts across codes.
   int64_t Total() const;
 
@@ -75,6 +81,25 @@ struct TrialRunnerOptions {
   /// arithmetic as the serial loop. With threads > 1 the TrialFn must be
   /// safe to call concurrently from multiple threads.
   int threads = 1;
+  /// Worker *processes* executing trials. 1 = in-process execution
+  /// (default); N > 1 forks N shard workers supervised by a crash-tolerant
+  /// coordinator (see docs/robustness.md). Mutually exclusive with
+  /// threads > 1 — pick one parallelism axis. Like threads, every value
+  /// produces bit-identical statistics, taxonomy, and checkpoint bytes.
+  int workers = 1;
+  /// Coordinator-only knobs (ignored unless workers > 1):
+  /// a worker silent for longer than this is presumed hung, killed, and its
+  /// shard re-dispatched from the last received trial.
+  double heartbeat_timeout_seconds = 30.0;
+  /// How many times one shard may be re-dispatched after worker failures
+  /// before the shard is quarantined (its remaining trials are recorded as
+  /// kInternal faults and charged to the error budget).
+  int64_t max_shard_retries = 2;
+  /// Exponential re-dispatch backoff: the r-th re-dispatch of a shard waits
+  /// backoff_initial_seconds * backoff_multiplier^(r-1). Initial 0 disables
+  /// the wait (used by deterministic chaos tests).
+  double backoff_initial_seconds = 0.05;
+  double backoff_multiplier = 2.0;
   /// Where checkpoints live. If the file exists when the run starts, the
   /// runner resumes from it (the master seed and trial count must match);
   /// the file is removed once the run completes in full.

@@ -95,6 +95,36 @@ TEST_F(WriteBenchJsonTest, BaselineWithoutTrialProvenanceIsDropped) {
   EXPECT_FALSE(FindJsonNumber(Contents(), "serial_baseline_seconds", &value));
 }
 
+// A multi-process run is parallel regardless of its thread count: it must
+// never record the serial baseline, and its worker count is part of the
+// provenance the JSON carries.
+TEST_F(WriteBenchJsonTest, MultiWorkerRunNeverWritesBaselineAndRecordsWorkers) {
+  ASSERT_TRUE(WriteBenchJsonResolved(Experiment(), /*requested_threads=*/1,
+                                     /*resolved_threads=*/1,
+                                     /*wall_seconds=*/2.0, /*trials=*/100,
+                                     /*workers=*/4)
+                  .ok());
+  double value = 0.0;
+  ASSERT_TRUE(FindJsonNumber(Contents(), "workers", &value));
+  EXPECT_EQ(value, 4.0);
+  EXPECT_FALSE(FindJsonNumber(Contents(), "serial_baseline_seconds", &value));
+
+  // A true serial run records the baseline, and a later worker run uses it.
+  ASSERT_TRUE(WriteBenchJsonResolved(Experiment(), /*requested_threads=*/1,
+                                     /*resolved_threads=*/1,
+                                     /*wall_seconds=*/4.0, /*trials=*/100)
+                  .ok());
+  ASSERT_TRUE(FindJsonNumber(Contents(), "workers", &value));
+  EXPECT_EQ(value, 1.0);
+  ASSERT_TRUE(WriteBenchJsonResolved(Experiment(), /*requested_threads=*/1,
+                                     /*resolved_threads=*/1,
+                                     /*wall_seconds=*/1.0, /*trials=*/100,
+                                     /*workers=*/4)
+                  .ok());
+  ASSERT_TRUE(FindJsonNumber(Contents(), "speedup_vs_serial", &value));
+  EXPECT_EQ(value, 4.0);
+}
+
 TEST_F(WriteBenchJsonTest, EmbedsMetricsBlockAndKeepsTopLevelKeysReadable) {
   metrics::ResetAll();
   SOSE_COUNTER_ADD("trial.completed", 7);

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <utility>
 
 #include "core/linalg_cholesky.h"
 #include "core/linalg_qr.h"
@@ -126,6 +127,59 @@ TEST(FaultTest, KernelSitesAreInstrumented) {
   EXPECT_TRUE(JacobiSvd(spd).ok());
   EXPECT_TRUE(HouseholderQr::Factor(spd).ok());
   EXPECT_TRUE(Cholesky::Factor(spd).ok());
+}
+
+// ParseFaultPlan is the --chaos CLI surface: specs must round-trip into the
+// same rules the fluent builder installs, and malformed specs must be
+// rejected with the offending clause named.
+TEST(ParseFaultPlanTest, ParsesCallCountAndEveryClauses) {
+  auto parsed = ParseFaultPlan(
+      "shard_worker/crash@3,shard_worker/hang@every,linalg_svd/jacobi@1");
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  const auto& rules = parsed.value().rules();
+  ASSERT_EQ(rules.size(), 3u);
+  EXPECT_EQ(rules[0].site, "shard_worker/crash");
+  EXPECT_EQ(rules[0].trigger_call, 3);
+  EXPECT_EQ(rules[0].action, FaultAction::kReturnStatus);
+  EXPECT_EQ(rules[0].code, StatusCode::kNumericalError);
+  EXPECT_EQ(rules[1].site, "shard_worker/hang");
+  EXPECT_EQ(rules[1].trigger_call, 0);  // FailEveryCall sentinel.
+  EXPECT_EQ(rules[2].site, "linalg_svd/jacobi");
+  EXPECT_EQ(rules[2].trigger_call, 1);
+}
+
+TEST(ParseFaultPlanTest, ParsedPlanActuallyFires) {
+  auto parsed = ParseFaultPlan("parse_fault_plan_test/site@2");
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  ScopedFaultInjection injection(std::move(parsed).value());
+  auto probe = [] {
+    SOSE_FAULT_POINT("parse_fault_plan_test/site");
+    return Status::OK();
+  };
+  EXPECT_TRUE(probe().ok());
+  const Status second = probe();
+  EXPECT_EQ(second.code(), StatusCode::kNumericalError);
+  EXPECT_TRUE(probe().ok());
+}
+
+TEST(ParseFaultPlanTest, RejectsMalformedSpecs) {
+  const char* bad[] = {
+      "",                       // empty spec
+      "site-without-trigger",   // no '@'
+      "@3",                     // empty site
+      "site@",                  // empty trigger
+      "site@0",                 // counts are 1-based
+      "site@-1",                // negative count
+      "site@3x",                // trailing garbage
+      "site@sometimes",         // unknown keyword
+      "a@1,,b@2",               // empty clause mid-list
+      "a@1,",                   // trailing comma
+  };
+  for (const char* spec : bad) {
+    const auto parsed = ParseFaultPlan(spec);
+    EXPECT_FALSE(parsed.ok()) << "accepted '" << spec << "'";
+    EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument) << spec;
+  }
 }
 
 }  // namespace

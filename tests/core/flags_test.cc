@@ -48,6 +48,38 @@ TEST(FlagParserStrictTest, ValidValuesStillParse) {
   EXPECT_EQ(flags.GetInt("absent", 42), 42);
 }
 
+// `--workers=0` must fail loudly at the parser, not surface later as a
+// confusing coordinator validation error (or worse, silently no-op).
+TEST(FlagParserStrictTest, OutOfRangeIntExitsNamingTheRange) {
+  const char* argv[] = {"prog", "--workers=0"};
+  FlagParser flags(2, const_cast<char**>(argv));
+  EXPECT_EXIT((void)flags.GetIntInRange("workers", 1, 1, 1024),
+              ::testing::ExitedWithCode(2),
+              "invalid value for --workers: '0'.*an integer in \\[1, 1024\\]");
+}
+
+TEST(FlagParserStrictTest, RangeCheckAcceptsBoundaryValues) {
+  const char* argv[] = {"prog", "--workers=1", "--retries=16"};
+  FlagParser flags(3, const_cast<char**>(argv));
+  EXPECT_EQ(flags.GetIntInRange("workers", 4, 1, 1024), 1);
+  EXPECT_EQ(flags.GetIntInRange("retries", 0, 0, 16), 16);
+}
+
+TEST(FlagParserStrictTest, RangeCheckSkipsAbsentFlagDefaults) {
+  // Sentinel defaults (0 = hardware concurrency) may lie outside the range
+  // enforced on explicit input.
+  const char* argv[] = {"prog"};
+  FlagParser flags(1, const_cast<char**>(argv));
+  EXPECT_EQ(flags.GetIntInRange("threads", 0, 1, 1024), 0);
+}
+
+TEST(FlagParserStrictTest, RangeCheckStillRejectsMalformedInput) {
+  const char* argv[] = {"prog", "--workers=two"};
+  FlagParser flags(2, const_cast<char**>(argv));
+  EXPECT_EXIT((void)flags.GetIntInRange("workers", 1, 1, 1024),
+              ::testing::ExitedWithCode(2), "expected an integer");
+}
+
 // `--a --b` must parse as two booleans: a token that itself starts with
 // `--` never binds as the preceding flag's value.
 TEST(FlagParserStrictTest, FlagLikeTokenIsNeverSwallowedAsValue) {

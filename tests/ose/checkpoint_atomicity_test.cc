@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+
+#include "core/json_io.h"
+#include "core/subprocess.h"
+#include "ose/trial_runner.h"
+
+// WriteTrialCheckpoint's crash-atomicity contract: because the write goes
+// through tmp + rename, a reader — including a resume after SIGKILL landed
+// mid-write — always sees some complete previously-written document at the
+// checkpoint path, never a torn one.
+namespace sose {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "sose_ckpt_atomicity_" + name;
+}
+
+TrialCheckpoint CheckpointAt(int64_t next_trial) {
+  TrialCheckpoint checkpoint;
+  checkpoint.master_seed = 20260808;
+  checkpoint.next_trial = next_trial;
+  checkpoint.report.requested = 5000;
+  checkpoint.report.completed = next_trial;
+  checkpoint.report.epsilon_sum = 0.125 * static_cast<double>(next_trial);
+  checkpoint.report.epsilon_max = 0.75;
+  checkpoint.report.taxonomy.Record(
+      Status::NumericalError("padding so the document spans several rows"));
+  checkpoint.report.faulted = 1;
+  return checkpoint;
+}
+
+TEST(CheckpointAtomicityTest, KillMidWriteNeverLeavesATornCheckpoint) {
+  // A child rewrites the checkpoint as fast as it can; the parent SIGKILLs
+  // it at several different moments. Whatever instant the kill lands at —
+  // including inside the tmp write or around the rename — the published
+  // file must parse as a complete, internally consistent checkpoint.
+  for (int round = 0; round < 5; ++round) {
+    const std::string path =
+        TempPath("kill_round" + std::to_string(round) + ".csv");
+    std::remove(path.c_str());
+    std::remove((path + ".tmp").c_str());
+    auto spawned = Subprocess::Spawn([&path](int write_fd) {
+      for (int64_t i = 1;; ++i) {
+        if (!WriteTrialCheckpoint(path, CheckpointAt(i)).ok()) return 1;
+        // One progress byte per durable write, so the parent can wait for
+        // a few completed documents before pulling the trigger.
+        if (!WriteAllToFd(write_fd, "w").ok()) return 2;
+      }
+    });
+    ASSERT_TRUE(spawned.ok()) << spawned.status();
+    Subprocess child = std::move(spawned).value();
+    std::string progress;
+    while (progress.size() < 3) {
+      auto read = child.ReadAvailable(&progress);
+      ASSERT_TRUE(read.ok()) << read.status();
+      ASSERT_FALSE(read.value().eof) << "writer died on its own";
+      if (read.value().bytes == 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    }
+    // Vary the kill point a little between rounds.
+    std::this_thread::sleep_for(std::chrono::microseconds(137 * round));
+    ASSERT_TRUE(child.Kill().ok());
+    ASSERT_TRUE(child.Wait().ok());
+
+    auto checkpoint = ReadTrialCheckpoint(path);
+    ASSERT_TRUE(checkpoint.ok())
+        << "torn checkpoint after kill: " << checkpoint.status();
+    EXPECT_EQ(checkpoint.value().master_seed, 20260808u);
+    EXPECT_EQ(checkpoint.value().report.requested, 5000);
+    EXPECT_GE(checkpoint.value().next_trial, 1);
+    // Internal consistency across fields written in one document.
+    EXPECT_EQ(checkpoint.value().report.completed,
+              checkpoint.value().next_trial);
+    EXPECT_EQ(checkpoint.value().report.epsilon_sum,
+              0.125 * static_cast<double>(checkpoint.value().next_trial));
+    std::remove(path.c_str());
+    std::remove((path + ".tmp").c_str());
+  }
+}
+
+TEST(CheckpointAtomicityTest, FailedRenameCleansUpItsTemporary) {
+  // Renaming onto a directory fails; the temporary must not survive to be
+  // mistaken for a complete document by a later write.
+  const std::string dir_path = TempPath("target_dir");
+  std::filesystem::remove_all(dir_path);
+  ASSERT_TRUE(std::filesystem::create_directory(dir_path));
+  const Status written = WriteTrialCheckpoint(dir_path, CheckpointAt(7));
+  EXPECT_FALSE(written.ok());
+  EXPECT_FALSE(std::filesystem::exists(dir_path + ".tmp"))
+      << "orphaned temporary left behind";
+  std::filesystem::remove_all(dir_path);
+}
+
+TEST(CheckpointAtomicityTest, FailedOpenReportsWithoutSideEffects) {
+  const std::string path =
+      TempPath("no_such_dir") + "/nested/checkpoint.csv";
+  const Status written = WriteTrialCheckpoint(path, CheckpointAt(1));
+  EXPECT_FALSE(written.ok());
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+}
+
+}  // namespace
+}  // namespace sose

@@ -1,0 +1,249 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "core/fault.h"
+#include "core/metrics/metrics.h"
+#include "ose/shard_coordinator.h"
+#include "ose/shard_worker.h"
+#include "ose/trial_runner.h"
+
+// Deterministic chaos against the shard coordinator via the SOSE_FAULT_POINT
+// registry. Fault-plan state is copied into each forked worker, and call
+// counts restart per incarnation, so `FailCall(site, n)` makes *every*
+// dispatch of every shard fail before its n-th remaining trial — i.e. each
+// incarnation contributes exactly n-1 trials before dying. Re-dispatch from
+// the coordinator's received prefix must therefore grind every shard to
+// completion with output bitwise identical to a fault-free serial run.
+namespace sose {
+namespace {
+
+TrialOutcome OutcomeFor(uint64_t trial_seed) {
+  const double epsilon = static_cast<double>(trial_seed % 1000) / 1000.0;
+  return TrialOutcome{epsilon, trial_seed % 5 == 0};
+}
+
+Result<TrialOutcome> HealthyTrial(uint64_t trial_seed) {
+  return OutcomeFor(trial_seed);
+}
+
+void ExpectReportsBitwiseEqual(const TrialRunReport& a,
+                               const TrialRunReport& b) {
+  EXPECT_EQ(a.requested, b.requested);
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.faulted, b.faulted);
+  EXPECT_EQ(a.retries_used, b.retries_used);
+  EXPECT_EQ(a.failures, b.failures);
+  EXPECT_EQ(a.epsilon_sum, b.epsilon_sum);
+  EXPECT_EQ(a.epsilon_max, b.epsilon_max);
+  EXPECT_EQ(a.partial, b.partial);
+  ASSERT_EQ(a.taxonomy.by_code.size(), b.taxonomy.by_code.size());
+  for (const auto& [code, entry] : a.taxonomy.by_code) {
+    const auto it = b.taxonomy.by_code.find(code);
+    ASSERT_NE(it, b.taxonomy.by_code.end());
+    EXPECT_EQ(entry.count, it->second.count);
+    EXPECT_EQ(entry.first_message, it->second.first_message);
+  }
+}
+
+/// Chaos-friendly options: no backoff wait, generous shard retry budget so
+/// a crash-every-2-trials worker still finishes its shard.
+TrialRunnerOptions ChaosOptions(int workers) {
+  TrialRunnerOptions options;
+  options.trials = 30;
+  options.seed = 97;
+  options.workers = workers;
+  options.max_shard_retries = 64;
+  options.backoff_initial_seconds = 0.0;
+  return options;
+}
+
+int64_t ShardCounter(const char* name) {
+#if defined(SOSE_METRICS_DISABLED)
+  (void)name;
+  return -1;
+#else
+  for (const auto& [counter, value] : metrics::Snapshot().counters) {
+    if (counter == name) return value;
+  }
+  return 0;
+#endif
+}
+
+TEST(ShardChaosTest, WorkerCrashesAreReDispatchedToBitwiseParity) {
+  TrialRunnerOptions serial_options = ChaosOptions(1);
+  serial_options.workers = 1;
+  auto serial = RunTrials(HealthyTrial, serial_options);
+  ASSERT_TRUE(serial.ok()) << serial.status();
+
+  for (int workers : {1, 2, 4}) {
+#if !defined(SOSE_METRICS_DISABLED)
+    metrics::ResetAll();
+#endif
+    FaultPlan plan;
+    // Every worker incarnation dies before its 3rd remaining trial, so each
+    // dispatch makes exactly 2 trials of progress.
+    plan.FailCall("shard_worker/crash", 3);
+    ScopedFaultInjection scope(std::move(plan));
+    auto chaotic = RunTrialsSharded(HealthyTrial, ChaosOptions(workers));
+    ASSERT_TRUE(chaotic.ok()) << chaotic.status();
+    ExpectReportsBitwiseEqual(serial.value(), chaotic.value());
+#if !defined(SOSE_METRICS_DISABLED)
+    // 30 trials at 2 per dispatch: every shard needed re-dispatches.
+    EXPECT_GT(ShardCounter("shard.redispatched"), 0);
+    EXPECT_GT(ShardCounter("shard.worker_failures"), 0);
+    EXPECT_EQ(ShardCounter("shard.quarantined"), 0);
+    EXPECT_EQ(ShardCounter("shard.records"), 30);
+#endif
+  }
+}
+
+TEST(ShardChaosTest, HungWorkersAreKilledByHeartbeatTimeout) {
+  TrialRunnerOptions serial_options;
+  serial_options.trials = 8;
+  serial_options.seed = 23;
+  auto serial = RunTrials(HealthyTrial, serial_options);
+  ASSERT_TRUE(serial.ok()) << serial.status();
+
+#if !defined(SOSE_METRICS_DISABLED)
+  metrics::ResetAll();
+#endif
+  FaultPlan plan;
+  // Every incarnation wedges (goes silent without exiting) before its 2nd
+  // remaining trial: one trial of progress per heartbeat-timeout window.
+  plan.FailCall("shard_worker/hang", 2);
+  ScopedFaultInjection scope(std::move(plan));
+  TrialRunnerOptions options = ChaosOptions(2);
+  options.trials = 8;
+  options.seed = 23;
+  options.heartbeat_timeout_seconds = 0.15;
+  auto chaotic = RunTrialsSharded(HealthyTrial, options);
+  ASSERT_TRUE(chaotic.ok()) << chaotic.status();
+  ExpectReportsBitwiseEqual(serial.value(), chaotic.value());
+#if !defined(SOSE_METRICS_DISABLED)
+  EXPECT_GT(ShardCounter("shard.heartbeat_misses"), 0);
+  EXPECT_GT(ShardCounter("shard.redispatched"), 0);
+#endif
+}
+
+TEST(ShardChaosTest, GarbageOutputIsAProtocolViolationNotAWrongFold) {
+  TrialRunnerOptions serial_options = ChaosOptions(1);
+  serial_options.workers = 1;
+  auto serial = RunTrials(HealthyTrial, serial_options);
+  ASSERT_TRUE(serial.ok()) << serial.status();
+
+#if !defined(SOSE_METRICS_DISABLED)
+  metrics::ResetAll();
+#endif
+  FaultPlan plan;
+  // Every incarnation emits one complete-but-undecodable record before its
+  // 2nd remaining trial. The coordinator must kill and re-dispatch rather
+  // than fold anything downstream of the corruption.
+  plan.FailCall("shard_worker/garbage-output", 2);
+  ScopedFaultInjection scope(std::move(plan));
+  auto chaotic = RunTrialsSharded(HealthyTrial, ChaosOptions(2));
+  ASSERT_TRUE(chaotic.ok()) << chaotic.status();
+  ExpectReportsBitwiseEqual(serial.value(), chaotic.value());
+#if !defined(SOSE_METRICS_DISABLED)
+  EXPECT_GT(ShardCounter("shard.protocol_errors"), 0);
+  EXPECT_GT(ShardCounter("shard.redispatched"), 0);
+#endif
+}
+
+TEST(ShardChaosTest, ExhaustedShardRetriesQuarantineIntoTaxonomyAndBudget) {
+  // Both shards crash after 2 trials and the retry budget is zero: trials
+  // 2-4 of each shard (6 of 10) are lost, synthesized as kInternal faults,
+  // and folded into the taxonomy — while the budget of 2.0 tolerates them.
+  FaultPlan plan;
+  plan.FailCall("shard_worker/crash", 3);
+  ScopedFaultInjection scope(std::move(plan));
+  TrialRunnerOptions options;
+  options.trials = 10;
+  options.seed = 3;
+  options.workers = 2;
+  options.max_shard_retries = 0;
+  options.backoff_initial_seconds = 0.0;
+  options.error_budget = 2.0;
+  auto run = RunTrialsSharded(HealthyTrial, options);
+  ASSERT_TRUE(run.ok()) << run.status();
+  EXPECT_EQ(run.value().completed, 4);
+  EXPECT_EQ(run.value().faulted, 6);
+  const auto it = run.value().taxonomy.by_code.find(StatusCode::kInternal);
+  ASSERT_NE(it, run.value().taxonomy.by_code.end());
+  EXPECT_EQ(it->second.count, 6);
+  // Fold order pins the first message to shard 0's quarantine.
+  EXPECT_NE(it->second.first_message.find("shard 0 quarantined"),
+            std::string::npos);
+}
+
+TEST(ShardChaosTest, QuarantineBeyondBudgetFailsTheRun) {
+  // Same chaos, but a budget of zero: the synthesized quarantine faults
+  // must trip the same kFailedPrecondition the serial budget check raises.
+  FaultPlan plan;
+  plan.FailCall("shard_worker/crash", 3);
+  ScopedFaultInjection scope(std::move(plan));
+  TrialRunnerOptions options;
+  options.trials = 10;
+  options.seed = 3;
+  options.workers = 2;
+  options.max_shard_retries = 0;
+  options.backoff_initial_seconds = 0.0;
+  options.error_budget = 0.0;
+  auto run = RunTrialsSharded(HealthyTrial, options);
+  ASSERT_EQ(run.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(run.status().message().find("error budget exceeded"),
+            std::string::npos);
+}
+
+// --- Wire codec unit coverage -------------------------------------------
+
+TEST(ShardWireTest, TrialRecordsRoundTrip) {
+  internal_trial::TrialAttemptResult ok_record;
+  ok_record.outcome.epsilon = 0.123456789;
+  ok_record.outcome.failure = true;
+  ok_record.retries_used = 2;
+  std::string ok_line = EncodeTrialRecord(41, ok_record);
+  ok_line.pop_back();  // Strip the framing newline.
+  auto decoded = DecodeShardWireRecord(ok_line);
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(decoded.value().kind, ShardWireRecord::Kind::kOk);
+  EXPECT_EQ(decoded.value().trial, 41);
+  EXPECT_EQ(decoded.value().record.retries_used, 2);
+  // Hexfloat: exact, not approximate.
+  EXPECT_EQ(decoded.value().record.outcome.epsilon, 0.123456789);
+  EXPECT_TRUE(decoded.value().record.outcome.failure);
+
+  internal_trial::TrialAttemptResult fault_record;
+  fault_record.status =
+      Status::NumericalError("solver diverged, with \"quotes\",\nand newline");
+  fault_record.retries_used = 1;
+  std::string line = EncodeTrialRecord(7, fault_record);
+  line.pop_back();  // Strip the framing newline.
+  auto fault = DecodeShardWireRecord(line);
+  ASSERT_TRUE(fault.ok()) << fault.status();
+  EXPECT_EQ(fault.value().kind, ShardWireRecord::Kind::kFault);
+  EXPECT_EQ(fault.value().record.status.code(), StatusCode::kNumericalError);
+  EXPECT_EQ(fault.value().record.status.message(),
+            "solver diverged, with \"quotes\",\nand newline");
+}
+
+TEST(ShardWireTest, MalformedRecordsAreRejected) {
+  for (const char* bad : {
+           "garbage,#!corrupted-record",     // Unknown tag.
+           "ok,12,0,not-a-hexfloat,0",       // Bad epsilon.
+           "ok,12,0,0x1p+0",                 // Arity.
+           "ok,twelve,0,0x1p+0,1",           // Bad trial index.
+           "fault,3,0,no-such-code,msg",     // Unknown status code.
+           "heartbeat",                      // Arity.
+           "format,some-other-version",      // Version mismatch.
+           "",                               // Empty.
+       }) {
+    EXPECT_EQ(DecodeShardWireRecord(bad).status().code(),
+              StatusCode::kInvalidArgument)
+        << "should reject: " << bad;
+  }
+}
+
+}  // namespace
+}  // namespace sose

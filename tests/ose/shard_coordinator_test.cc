@@ -1,0 +1,290 @@
+#include "ose/shard_coordinator.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include "core/parallel/sharded_range.h"
+#include "ose/trial_runner.h"
+
+// The multi-process analogue of trial_runner_parallel_test: the coordinator
+// must reproduce the serial runner bit for bit — reports, taxonomy, budget
+// failure text, and checkpoint bytes — for any worker count, because workers
+// only execute trials while the coordinator folds them in global order.
+namespace sose {
+namespace {
+
+TrialOutcome OutcomeFor(uint64_t trial_seed) {
+  const double epsilon = static_cast<double>(trial_seed % 1000) / 1000.0;
+  return TrialOutcome{epsilon, trial_seed % 5 == 0};
+}
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "sose_shard_coordinator_" + name;
+}
+
+std::string ReadBytes(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  EXPECT_TRUE(file.good()) << "missing file " << path;
+  std::ostringstream out;
+  out << file.rdbuf();
+  return out.str();
+}
+
+void ExpectReportsBitwiseEqual(const TrialRunReport& a,
+                               const TrialRunReport& b) {
+  EXPECT_EQ(a.requested, b.requested);
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.faulted, b.faulted);
+  EXPECT_EQ(a.retries_used, b.retries_used);
+  EXPECT_EQ(a.failures, b.failures);
+  EXPECT_EQ(a.epsilon_sum, b.epsilon_sum);  // Bitwise, not approximate.
+  EXPECT_EQ(a.epsilon_max, b.epsilon_max);
+  EXPECT_EQ(a.partial, b.partial);
+  ASSERT_EQ(a.taxonomy.by_code.size(), b.taxonomy.by_code.size());
+  for (const auto& [code, entry] : a.taxonomy.by_code) {
+    const auto it = b.taxonomy.by_code.find(code);
+    ASSERT_NE(it, b.taxonomy.by_code.end());
+    EXPECT_EQ(entry.count, it->second.count);
+    EXPECT_EQ(entry.first_message, it->second.first_message);
+  }
+}
+
+TEST(ShardBoundsTest, PartitionMatchesShardedRangeSplit) {
+  // The coordinator's static split must tile the range exactly, remainder
+  // spread over the first shards — the constructor's own layout.
+  int64_t cursor = 3;
+  for (int s = 0; s < 4; ++s) {
+    const auto [lo, hi] = ShardedRange::ShardBounds(3, 17, 4, s);
+    EXPECT_EQ(lo, cursor);
+    EXPECT_GE(hi, lo);
+    cursor = hi;
+  }
+  EXPECT_EQ(cursor, 17);
+  // Empty range: every shard is empty.
+  const auto [lo, hi] = ShardedRange::ShardBounds(5, 5, 3, 1);
+  EXPECT_EQ(lo, hi);
+}
+
+TEST(ShardCoordinatorTest, CleanRunParityAcrossWorkerCounts) {
+  auto trial = [](uint64_t trial_seed) -> Result<TrialOutcome> {
+    return OutcomeFor(trial_seed);
+  };
+  TrialRunnerOptions options;
+  options.trials = 97;  // Not divisible by any tested worker count.
+  options.seed = 41;
+  options.threads = 1;
+  auto serial = RunTrials(trial, options);
+  ASSERT_TRUE(serial.ok()) << serial.status();
+  // workers == 1 exercises the coordinator machinery through the direct
+  // entry (RunTrials would route it to the in-process path).
+  for (int workers : {1, 2, 4}) {
+    options.workers = workers;
+    auto sharded = RunTrialsSharded(trial, options);
+    ASSERT_TRUE(sharded.ok()) << sharded.status();
+    ExpectReportsBitwiseEqual(serial.value(), sharded.value());
+  }
+}
+
+TEST(ShardCoordinatorTest, RunTrialsRoutesWorkersToCoordinator) {
+  auto trial = [](uint64_t trial_seed) -> Result<TrialOutcome> {
+    return OutcomeFor(trial_seed);
+  };
+  TrialRunnerOptions options;
+  options.trials = 20;
+  options.seed = 7;
+  options.threads = 1;
+  auto serial = RunTrials(trial, options);
+  ASSERT_TRUE(serial.ok()) << serial.status();
+  options.workers = 3;
+  auto routed = RunTrials(trial, options);
+  ASSERT_TRUE(routed.ok()) << routed.status();
+  ExpectReportsBitwiseEqual(serial.value(), routed.value());
+}
+
+TEST(ShardCoordinatorTest, FaultedRunParityIncludingRetries) {
+  // Seed-gated faults and retry outcomes cross the wire as fault records;
+  // the folded taxonomy must match the serial run exactly, including the
+  // first-message-per-code detail (fold order, not arrival order).
+  auto trial = [](uint64_t trial_seed) -> Result<TrialOutcome> {
+    if (trial_seed % 7 == 0) {
+      return Status::NumericalError("seed-gated fault " +
+                                    std::to_string(trial_seed % 100));
+    }
+    return OutcomeFor(trial_seed);
+  };
+  TrialRunnerOptions options;
+  options.trials = 120;
+  options.seed = 5;
+  options.max_retries = 2;
+  options.error_budget = 0.5;
+  options.threads = 1;
+  auto serial = RunTrials(trial, options);
+  ASSERT_TRUE(serial.ok()) << serial.status();
+  EXPECT_GT(serial.value().retries_used, 0);
+  for (int workers : {1, 2, 4}) {
+    options.workers = workers;
+    auto sharded = RunTrialsSharded(trial, options);
+    ASSERT_TRUE(sharded.ok()) << sharded.status();
+    ExpectReportsBitwiseEqual(serial.value(), sharded.value());
+  }
+}
+
+TEST(ShardCoordinatorTest, CheckpointBytesIdenticalAcrossWorkerCounts) {
+  // A zero budget plus a seed-gated persistent fault aborts the run at a
+  // deterministic trial; the surviving cadence checkpoint and the budget
+  // error text (which embeds fold-time counters) must match the serial run
+  // byte for byte.
+  auto trial = [](uint64_t trial_seed) -> Result<TrialOutcome> {
+    if (trial_seed % 11 == 0) {
+      return Status::Internal("persistent");
+    }
+    return OutcomeFor(trial_seed);
+  };
+  TrialRunnerOptions options;
+  options.trials = 200;
+  options.seed = 37;
+  options.max_retries = 0;
+  options.error_budget = 0.0;
+  options.checkpoint_every = 3;
+
+  std::string serial_bytes;
+  std::string serial_message;
+  {
+    const std::string path = TempPath("budget_serial.csv");
+    std::remove(path.c_str());
+    options.checkpoint_path = path;
+    options.threads = 1;
+    auto run = RunTrials(trial, options);
+    ASSERT_EQ(run.status().code(), StatusCode::kFailedPrecondition);
+    serial_message = run.status().message();
+    serial_bytes = ReadBytes(path);
+    std::remove(path.c_str());
+  }
+  ASSERT_FALSE(serial_bytes.empty());
+  for (int workers : {2, 4}) {
+    const std::string path =
+        TempPath("budget_w" + std::to_string(workers) + ".csv");
+    std::remove(path.c_str());
+    options.checkpoint_path = path;
+    options.workers = workers;
+    auto run = RunTrialsSharded(trial, options);
+    ASSERT_EQ(run.status().code(), StatusCode::kFailedPrecondition);
+    EXPECT_EQ(run.status().message(), serial_message);
+    EXPECT_EQ(ReadBytes(path), serial_bytes);
+    std::remove(path.c_str());
+  }
+}
+
+TEST(ShardCoordinatorTest, CoordinatorResumeMatchesUninterruptedSerial) {
+  // Phase 1: a coordinator run dies on a budget abort, leaving its last
+  // cadence checkpoint. Phase 2: a fresh coordinator resumes from that file
+  // and must land bitwise on the uninterrupted serial reference — the
+  // "coordinator itself was killed and restarted" story.
+  auto healthy = [](uint64_t trial_seed) -> Result<TrialOutcome> {
+    return OutcomeFor(trial_seed);
+  };
+  TrialRunnerOptions reference_options;
+  reference_options.trials = 60;
+  reference_options.seed = 29;
+  reference_options.max_retries = 0;
+  reference_options.threads = 1;
+  auto reference = RunTrials(healthy, reference_options);
+  ASSERT_TRUE(reference.ok()) << reference.status();
+
+  const std::string path = TempPath("resume.csv");
+  std::remove(path.c_str());
+  auto dying = [](uint64_t trial_seed) -> Result<TrialOutcome> {
+    if (trial_seed % 9 == 0) {
+      return Status::Internal("simulated crash");
+    }
+    return OutcomeFor(trial_seed);
+  };
+  TrialRunnerOptions options = reference_options;
+  options.checkpoint_every = 2;
+  options.checkpoint_path = path;
+  options.workers = 2;
+  TrialRunnerOptions dying_options = options;
+  dying_options.error_budget = 0.0;
+  ASSERT_EQ(RunTrialsSharded(dying, dying_options).status().code(),
+            StatusCode::kFailedPrecondition);
+  {
+    std::ifstream file(path);
+    ASSERT_TRUE(file.good()) << "checkpoint should survive the abort";
+  }
+  auto resumed = RunTrialsSharded(healthy, options);
+  ASSERT_TRUE(resumed.ok()) << resumed.status();
+  ExpectReportsBitwiseEqual(reference.value(), resumed.value());
+  // A completed run removes its checkpoint.
+  std::ifstream leftover(path);
+  EXPECT_FALSE(leftover.good());
+}
+
+TEST(ShardCoordinatorTest, DeadlineStillGuaranteesProgress) {
+  auto trial = [](uint64_t trial_seed) -> Result<TrialOutcome> {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    return OutcomeFor(trial_seed);
+  };
+  TrialRunnerOptions options;
+  options.trials = 64;
+  options.deadline_seconds = 1e-9;
+  options.workers = 2;
+  auto run = RunTrialsSharded(trial, options);
+  ASSERT_TRUE(run.ok()) << run.status();
+  EXPECT_TRUE(run.value().partial);
+  EXPECT_GE(run.value().completed, 1);
+  EXPECT_LT(run.value().completed, options.trials);
+}
+
+TEST(ShardCoordinatorTest, MoreWorkersThanTrialsStillExact) {
+  auto trial = [](uint64_t trial_seed) -> Result<TrialOutcome> {
+    return OutcomeFor(trial_seed);
+  };
+  TrialRunnerOptions options;
+  options.trials = 3;
+  options.seed = 11;
+  options.threads = 1;
+  auto serial = RunTrials(trial, options);
+  ASSERT_TRUE(serial.ok()) << serial.status();
+  options.workers = 8;  // Five shards are empty and never forked.
+  auto sharded = RunTrialsSharded(trial, options);
+  ASSERT_TRUE(sharded.ok()) << sharded.status();
+  ExpectReportsBitwiseEqual(serial.value(), sharded.value());
+}
+
+TEST(ShardCoordinatorTest, InvalidWorkerOptionsAreRejected) {
+  auto trial = [](uint64_t) -> Result<TrialOutcome> { return TrialOutcome{}; };
+  TrialRunnerOptions options;
+  options.workers = 0;
+  EXPECT_EQ(RunTrials(trial, options).status().code(),
+            StatusCode::kInvalidArgument);
+  options.workers = -3;
+  EXPECT_EQ(RunTrials(trial, options).status().code(),
+            StatusCode::kInvalidArgument);
+  // Two parallelism axes at once would double-supervise the trials.
+  options.workers = 2;
+  options.threads = 4;
+  EXPECT_EQ(RunTrials(trial, options).status().code(),
+            StatusCode::kInvalidArgument);
+  options.threads = 1;
+  options.heartbeat_timeout_seconds = 0.0;
+  EXPECT_EQ(RunTrials(trial, options).status().code(),
+            StatusCode::kInvalidArgument);
+  options.heartbeat_timeout_seconds = 30.0;
+  options.max_shard_retries = -1;
+  EXPECT_EQ(RunTrials(trial, options).status().code(),
+            StatusCode::kInvalidArgument);
+  options.max_shard_retries = 2;
+  options.backoff_multiplier = 0.5;
+  EXPECT_EQ(RunTrials(trial, options).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace sose

@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/status.h"
+#include "ose/trial_runner.h"
+
+// TrialErrorTaxonomy::Merge is the fold used when per-shard reports are
+// combined (bench aggregation across thread/worker reports). Counts must be
+// merge-order independent; first_message follows Record's first-seen-wins
+// rule, keyed on merge order.
+namespace sose {
+namespace {
+
+TrialErrorTaxonomy TaxonomyOf(const std::vector<Status>& statuses) {
+  TrialErrorTaxonomy taxonomy;
+  for (const Status& status : statuses) taxonomy.Record(status);
+  return taxonomy;
+}
+
+TEST(TaxonomyMergeTest, SameCodeAtDifferentRetryDepthsSumsCounts) {
+  // Shard A quarantined two trials after exhausting retries at depth 2;
+  // shard B quarantined one at depth 0. Same StatusCode, different
+  // messages — the merged tally must not double-key on the message.
+  TrialErrorTaxonomy a = TaxonomyOf({
+      Status::NumericalError("solver diverged after 2 retries"),
+      Status::NumericalError("solver diverged after 2 retries"),
+  });
+  TrialErrorTaxonomy b = TaxonomyOf({
+      Status::NumericalError("solver diverged on first attempt"),
+  });
+  a.MergeFrom(b);
+  ASSERT_EQ(a.by_code.size(), 1u);
+  const auto& entry = a.by_code.at(StatusCode::kNumericalError);
+  EXPECT_EQ(entry.count, 3);
+  // First-seen-wins: the receiving taxonomy already held the code.
+  EXPECT_EQ(entry.first_message, "solver diverged after 2 retries");
+  EXPECT_EQ(a.Total(), 3);
+}
+
+TEST(TaxonomyMergeTest, CountsAreMergeOrderIndependent) {
+  const TrialErrorTaxonomy shard0 = TaxonomyOf({
+      Status::NumericalError("depth 1"),
+      Status::Internal("worker lost"),
+  });
+  const TrialErrorTaxonomy shard1 = TaxonomyOf({
+      Status::NumericalError("depth 3"),
+      Status::NumericalError("depth 0"),
+  });
+  TrialErrorTaxonomy forward;
+  forward.MergeFrom(shard0);
+  forward.MergeFrom(shard1);
+  TrialErrorTaxonomy backward;
+  backward.MergeFrom(shard1);
+  backward.MergeFrom(shard0);
+  ASSERT_EQ(forward.by_code.size(), backward.by_code.size());
+  for (const auto& [code, entry] : forward.by_code) {
+    EXPECT_EQ(entry.count, backward.by_code.at(code).count)
+        << StatusCodeToString(code);
+  }
+  EXPECT_EQ(forward.Total(), backward.Total());
+  // The one field merge order is allowed to affect:
+  EXPECT_EQ(forward.by_code.at(StatusCode::kNumericalError).first_message,
+            "depth 1");
+  EXPECT_EQ(backward.by_code.at(StatusCode::kNumericalError).first_message,
+            "depth 3");
+}
+
+TEST(TaxonomyMergeTest, MergeMatchesRecordingEverythingSerially) {
+  const std::vector<Status> shard0 = {
+      Status::NumericalError("a"),
+      Status::Internal("b"),
+  };
+  const std::vector<Status> shard1 = {
+      Status::NumericalError("c"),
+      Status::FailedPrecondition("d"),
+  };
+  TrialErrorTaxonomy serial;
+  for (const Status& status : shard0) serial.Record(status);
+  for (const Status& status : shard1) serial.Record(status);
+
+  TrialErrorTaxonomy merged = TaxonomyOf(shard0);
+  merged.MergeFrom(TaxonomyOf(shard1));
+  ASSERT_EQ(merged.by_code.size(), serial.by_code.size());
+  for (const auto& [code, entry] : serial.by_code) {
+    EXPECT_EQ(merged.by_code.at(code).count, entry.count);
+    EXPECT_EQ(merged.by_code.at(code).first_message, entry.first_message);
+  }
+  EXPECT_EQ(merged.ToString(), serial.ToString());
+}
+
+TEST(TaxonomyMergeTest, EmptyOperandsAreIdentity) {
+  TrialErrorTaxonomy empty;
+  TrialErrorTaxonomy filled = TaxonomyOf({Status::Internal("x")});
+  filled.MergeFrom(empty);
+  EXPECT_EQ(filled.Total(), 1);
+  empty.MergeFrom(filled);
+  EXPECT_EQ(empty.Total(), 1);
+  EXPECT_EQ(empty.by_code.at(StatusCode::kInternal).first_message, "x");
+  TrialErrorTaxonomy both;
+  both.MergeFrom(TrialErrorTaxonomy{});
+  EXPECT_TRUE(both.empty());
+}
+
+}  // namespace
+}  // namespace sose

@@ -222,6 +222,43 @@ TEST(ConcurrencyTest, SuppressionComment) {
   EXPECT_EQ(CountRule(findings, Rule::kConcurrency), 0);
 }
 
+TEST(ConcurrencyTest, FiresOnRawProcessPrimitivesOutsideSubprocess) {
+  auto findings = FindingsFor("src/ose/foo.cc",
+                              "pid_t pid = fork();\n"
+                              "::kill(pid, SIGKILL);\n"
+                              "waitpid(pid, &status, 0);\n"
+                              "if (pipe(fds) != 0) return;\n"
+                              "_exit(1);\n");
+  EXPECT_EQ(CountRule(findings, Rule::kConcurrency), 5);
+}
+
+TEST(ConcurrencyTest, ProcessPrimitivesAllowedInSubprocessWrapper) {
+  const std::string code = "pid_t pid = ::fork();\n::waitpid(pid, &s, 0);\n";
+  EXPECT_EQ(CountRule(FindingsFor("src/core/subprocess.cc", code),
+                      Rule::kConcurrency),
+            0);
+  // Everywhere else the wrapper is mandatory — even in other core files.
+  EXPECT_EQ(
+      CountRule(FindingsFor("src/core/csv.cc", code), Rule::kConcurrency), 2);
+}
+
+TEST(ConcurrencyTest, QuietOnQualifiedAndNonCallUses) {
+  auto findings = FindingsFor(
+      "src/ose/foo.cc",
+      "child.Kill();\n"                       // member call, not a primitive
+      "auto status = process.kill(sig);\n"    // member named like one
+      "int fork = 3;\n"                       // identifier without a call
+      "myutils::kill(task);\n");              // namespace-qualified wrapper
+  EXPECT_EQ(CountRule(findings, Rule::kConcurrency), 0);
+}
+
+TEST(ConcurrencyTest, ProcessPrimitiveSuppressionComment) {
+  auto findings = FindingsFor(
+      "src/ose/foo.cc",
+      "::kill(pid, SIGTERM);  // sose-lint: allow(concurrency)\n");
+  EXPECT_EQ(CountRule(findings, Rule::kConcurrency), 0);
+}
+
 // ---------------------------------------------------------------------------
 // R6: metrics discipline
 // ---------------------------------------------------------------------------

@@ -381,25 +381,65 @@ const char* const kThreadPrimitives[] = {
     "condition_variable", "condition_variable_any",
 };
 
+// POSIX process/pipe primitives. Everything multi-process (fork, pipes,
+// reaping, signalling) is confined to the Subprocess wrapper: it owns the
+// fork-safety rules (no exit(), SIGPIPE handling, EINTR retries) that ad-hoc
+// call sites invariably get wrong. Bare `wait` and `exit` are deliberately
+// absent — too many benign meanings (condition_variable::wait, exit codes in
+// comments-to-code) for token-level matching.
+const char* const kProcessPrimitives[] = {
+    "fork",   "vfork",       "pipe",         "pipe2",  "execv",
+    "execve", "execvp",      "execl",        "execle", "execlp",
+    "posix_spawn", "posix_spawnp", "waitpid", "wait4", "kill",
+    "killpg", "_exit",
+};
+
+bool ProcessExempt(const std::string& rel_path) {
+  return rel_path == "src/core/subprocess.cc";
+}
+
+// True when tokens[k] is a call to a global-namespace C function: an
+// identifier followed by `(`, either unqualified or reached through a bare
+// leading `::`. Member calls (`child.kill(...)`) and namespace-qualified
+// names (`sose::fork_utils::...`) never match.
+bool GlobalCall(const std::vector<Token>& toks, size_t k) {
+  if (k + 1 >= toks.size() || toks[k + 1].text != "(") return false;
+  if (!Qualified(toks, k)) return true;
+  return toks[k - 1].text == "::" &&
+         (k < 2 || toks[k - 2].kind != TokenKind::kIdentifier);
+}
+
 void CheckConcurrency(const std::string& rel_path, const Scan& scan,
                       std::vector<Finding>* findings) {
   if (ConcurrencyExempt(rel_path)) return;
   const std::vector<Token>& toks = scan.tokens;
   for (size_t i = 0; i < toks.size(); ++i) {
     if (toks[i].kind != TokenKind::kIdentifier) continue;
-    if (!StdQualified(toks, i)) continue;
     const std::string& t = toks[i].text;
-    if (std::find(std::begin(kThreadPrimitives), std::end(kThreadPrimitives),
-                  t) == std::end(kThreadPrimitives)) {
+    if (StdQualified(toks, i) &&
+        std::find(std::begin(kThreadPrimitives), std::end(kThreadPrimitives),
+                  t) != std::end(kThreadPrimitives)) {
+      if (Suppressed(scan.suppressions, toks[i].line, Rule::kConcurrency))
+        continue;
+      findings->push_back(
+          {rel_path, toks[i].line, Rule::kConcurrency,
+           "raw std::" + t + " outside src/core/parallel; route parallelism "
+           "through ThreadPool/ShardedRange so determinism guarantees hold",
+           false});
       continue;
     }
-    if (Suppressed(scan.suppressions, toks[i].line, Rule::kConcurrency))
-      continue;
-    findings->push_back(
-        {rel_path, toks[i].line, Rule::kConcurrency,
-         "raw std::" + t + " outside src/core/parallel; route parallelism "
-         "through ThreadPool/ShardedRange so determinism guarantees hold",
-         false});
+    if (!ProcessExempt(rel_path) && GlobalCall(toks, i) &&
+        std::find(std::begin(kProcessPrimitives), std::end(kProcessPrimitives),
+                  t) != std::end(kProcessPrimitives)) {
+      if (Suppressed(scan.suppressions, toks[i].line, Rule::kConcurrency))
+        continue;
+      findings->push_back(
+          {rel_path, toks[i].line, Rule::kConcurrency,
+           "raw " + t + "() outside src/core/subprocess.cc; process "
+           "management goes through sose::Subprocess so fork-safety and "
+           "reaping rules hold",
+           false});
+    }
   }
 }
 
