@@ -14,6 +14,7 @@
 
 int main(int argc, char** argv) {
   sose::FlagParser flags(argc, argv);
+  sose::bench::ApplyKernelsFlag(flags);
   sose::Stopwatch watch;
   const int64_t n = flags.GetInt("n", 4096);
   const int64_t d = flags.GetInt("d", 10);

@@ -17,6 +17,7 @@
 
 int main(int argc, char** argv) {
   sose::FlagParser flags(argc, argv);
+  sose::bench::ApplyKernelsFlag(flags);
   sose::Stopwatch watch;
   const int64_t d = flags.GetInt("d", 64);
   const int64_t s = flags.GetInt("s", 4);

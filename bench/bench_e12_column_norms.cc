@@ -49,6 +49,7 @@ class PerturbedCountSketch final : public sose::SketchingMatrix {
 
 int main(int argc, char** argv) {
   sose::FlagParser flags(argc, argv);
+  sose::bench::ApplyKernelsFlag(flags);
   sose::Stopwatch watch;
   const int64_t d = flags.GetInt("d", 8);
   const double epsilon = flags.GetDouble("eps", 0.1);

@@ -48,6 +48,7 @@ sose::Result<int64_t> Threshold(int64_t s, int64_t d, double epsilon,
 
 int main(int argc, char** argv) {
   sose::FlagParser flags(argc, argv);
+  sose::bench::ApplyKernelsFlag(flags);
   sose::Stopwatch watch;
   const double epsilon = flags.GetDouble("eps", 1.0 / 32.0);
   const double delta = flags.GetDouble("delta", 0.2);

@@ -40,6 +40,7 @@ sose::Matrix PlantedHeavyRow(int64_t rows, int64_t cols, double theta,
 
 int main(int argc, char** argv) {
   sose::FlagParser flags(argc, argv);
+  sose::bench::ApplyKernelsFlag(flags);
   sose::Stopwatch watch;
   const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 41));
   sose::bench::PrintHeader(

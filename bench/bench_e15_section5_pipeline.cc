@@ -51,6 +51,7 @@ void RunOne(const std::string& family, int64_t m, int64_t n, int64_t s,
 
 int main(int argc, char** argv) {
   sose::FlagParser flags(argc, argv);
+  sose::bench::ApplyKernelsFlag(flags);
   sose::Stopwatch watch;
   const int64_t d = flags.GetInt("d", 16);
   const double epsilon = flags.GetDouble("eps", 1.0 / 64.0);

@@ -35,6 +35,7 @@ sose::RegressionInstance IllConditioned(int64_t n, int64_t d, double decay,
 
 int main(int argc, char** argv) {
   sose::FlagParser flags(argc, argv);
+  sose::bench::ApplyKernelsFlag(flags);
   sose::Stopwatch watch;
   const int64_t n = flags.GetInt("n", 2048);
   const int64_t d = flags.GetInt("d", 12);

@@ -50,6 +50,7 @@ sose::Result<int64_t> Threshold(const std::string& family, int64_t k,
 
 int main(int argc, char** argv) {
   sose::FlagParser flags(argc, argv);
+  sose::bench::ApplyKernelsFlag(flags);
   sose::Stopwatch watch;
   const int64_t d = flags.GetInt("d", 6);
   const double epsilon = flags.GetDouble("eps", 1.0 / 16.0);

@@ -18,6 +18,7 @@
 
 int main(int argc, char** argv) {
   sose::FlagParser flags(argc, argv);
+  sose::bench::ApplyKernelsFlag(flags);
   sose::Stopwatch watch;
   const int64_t d = flags.GetInt("d", 6);
   const double epsilon = flags.GetDouble("eps", 0.5);

@@ -15,6 +15,7 @@
 
 int main(int argc, char** argv) {
   sose::FlagParser flags(argc, argv);
+  sose::bench::ApplyKernelsFlag(flags);
   sose::Stopwatch watch;
   const int64_t n = flags.GetInt("n", 300);
   const int64_t dim = flags.GetInt("dim", 256);

@@ -35,6 +35,7 @@ void MakeViews(int64_t n, int64_t p, sose::Rng* rng, sose::Matrix* x,
 
 int main(int argc, char** argv) {
   sose::FlagParser flags(argc, argv);
+  sose::bench::ApplyKernelsFlag(flags);
   sose::Stopwatch watch;
   const int64_t n = flags.GetInt("n", 2048);
   const int64_t p = flags.GetInt("p", 5);

@@ -12,6 +12,7 @@
 
 int main(int argc, char** argv) {
   sose::FlagParser flags(argc, argv);
+  sose::bench::ApplyKernelsFlag(flags);
   sose::Stopwatch watch;
   const int64_t d = flags.GetInt("d", 8);
   const int64_t m = flags.GetInt("m", 96);

@@ -15,6 +15,7 @@
 
 int main(int argc, char** argv) {
   sose::FlagParser flags(argc, argv);
+  sose::bench::ApplyKernelsFlag(flags);
   sose::Stopwatch watch;
   const int64_t d = flags.GetInt("d", 4);
   const int64_t epc = flags.GetInt("epc", 8);  // 1/(8ε) → ε = 1/64.

@@ -54,6 +54,7 @@ class PlantedPairSketch final : public sose::SketchingMatrix {
 
 int main(int argc, char** argv) {
   sose::FlagParser flags(argc, argv);
+  sose::bench::ApplyKernelsFlag(flags);
   sose::Stopwatch watch;
   const double epsilon = flags.GetDouble("eps", 0.05);
   const int64_t trials = flags.GetInt("trials", 40000);

@@ -81,6 +81,7 @@ void Report(sose::AsciiTable* table, const char* name,
 
 int main(int argc, char** argv) {
   sose::FlagParser flags(argc, argv);
+  sose::bench::ApplyKernelsFlag(flags);
   sose::Stopwatch watch;
   const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 9));
   sose::bench::PrintHeader(

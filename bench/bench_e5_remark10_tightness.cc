@@ -18,6 +18,7 @@
 
 int main(int argc, char** argv) {
   sose::FlagParser flags(argc, argv);
+  sose::bench::ApplyKernelsFlag(flags);
   const int64_t d = flags.GetInt("d", 16);
   const int64_t b = flags.GetInt("b", 8);
   const int64_t trials = flags.GetInt("trials", 1000);

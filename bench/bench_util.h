@@ -10,6 +10,8 @@
 #include "core/json_io.h"
 #include "core/metrics/metrics.h"
 #include "core/parallel/thread_pool.h"
+#include "core/simd/cpu_features.h"
+#include "core/simd/dispatch.h"
 #include "ose/failure_estimator.h"
 #include "sketch/registry.h"
 
@@ -39,10 +41,45 @@ inline SketchFactory MakeFactory(std::string family, int64_t m, int64_t n,
   };
 }
 
+/// Applies the shared `--kernels=scalar|auto|<isa>` override. Precedence is
+/// --kernels > SOSE_KERNELS > auto; an unknown or unavailable spec exits
+/// through CheckOK with the dispatcher's message (same hard-exit contract as
+/// a malformed numeric flag). Prints the live decision so every bench log
+/// states which kernels produced its numbers.
+inline void ApplyKernelsFlag(const FlagParser& flags) {
+  simd::SelectKernelsFromSpec(flags.GetString("kernels", "")).CheckOK();
+  std::printf("kernels: %s (source=%s, cpu=%s)\n", simd::ActiveIsaName(),
+              simd::KernelSelectionSourceName(simd::ActiveSelectionSource()),
+              simd::CpuFeaturesToString(simd::DetectCpuFeatures()).c_str());
+}
+
+/// The `kernels` block embedded in every BENCH_<exp>.json: which kernel ISA
+/// was live when the numbers were taken, who decided (flag/env/auto), what
+/// the host offered, and what the CPU reports. This is the provenance that
+/// makes two BENCH files comparable — a regression that coincides with
+/// `isa` flipping to scalar is a dispatch problem, not a code problem.
+inline JsonObjectWriter KernelsJson() {
+  std::string available;
+  for (const std::string& isa : simd::AvailableKernelIsas()) {
+    if (!available.empty()) available += ",";
+    available += isa;
+  }
+  JsonObjectWriter kernels;
+  kernels.AddString("isa", simd::ActiveIsaName())
+      .AddString("source", simd::KernelSelectionSourceName(
+                               simd::ActiveSelectionSource()))
+      .AddString("available", available)
+      .AddString("cpu", simd::CpuFeaturesToString(simd::DetectCpuFeatures()));
+  return kernels;
+}
+
 /// Reads the resilience flags shared by the Monte-Carlo benches
 /// (`--max-retries`, `--error-budget`, `--deadline` seconds, `--threads`,
 /// and the multi-process axis: `--workers`, `--heartbeat-timeout`,
-/// `--max-shard-retries`, `--shard-backoff`) into estimator options.
+/// `--max-shard-retries`, `--shard-backoff`) into estimator options, and
+/// applies the `--kernels` override so kernel selection happens before any
+/// trial runs. Benches with custom mains (E9) call ApplyKernelsFlag
+/// themselves.
 /// Checkpoint paths are wired per bench: each probe needs its own suffix so
 /// concurrent probes never share a file.
 ///
@@ -52,6 +89,7 @@ inline SketchFactory MakeFactory(std::string family, int64_t m, int64_t n,
 /// threads to 1 instead of the usual auto default.
 inline void ReadResilienceFlags(const FlagParser& flags,
                                 EstimatorOptions* options) {
+  ApplyKernelsFlag(flags);
   options->max_retries = flags.GetInt("max-retries", options->max_retries);
   options->error_budget =
       flags.GetDouble("error-budget", options->error_budget);
@@ -72,7 +110,8 @@ inline void ReadResilienceFlags(const FlagParser& flags,
 
 /// Writes BENCH_<experiment>.json next to the working directory: wall time,
 /// resolved thread count, worker-process count, trial throughput, a nested
-/// `metrics` block (the current metrics snapshot; empty objects under
+/// `kernels` block (the live SIMD dispatch decision, see KernelsJson), a
+/// nested `metrics` block (the current metrics snapshot; empty objects under
 /// SOSE_METRICS=OFF), and — once an explicit serial run has recorded its
 /// wall time as the serial baseline — the speedup of the current run against
 /// that baseline.
@@ -129,6 +168,7 @@ inline Status WriteBenchJsonResolved(const std::string& experiment,
               std::isfinite(baseline) ? trials : 0)
       .AddDouble("speedup_vs_serial",
                  have_speedup ? baseline / wall_seconds : std::nan(""))
+      .AddObject("kernels", KernelsJson())
       .AddObject("metrics", metrics::ToJson(metrics::Snapshot()));
   SOSE_RETURN_IF_ERROR(writer.WriteToFile(path));
   std::printf("wrote %s (threads=%d, wall=%.3fs)\n", path.c_str(),

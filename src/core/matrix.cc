@@ -5,6 +5,8 @@
 #include <cstdio>
 #include <sstream>
 
+#include "core/simd/dispatch.h"
+
 namespace sose {
 
 Matrix::Matrix(int64_t rows, int64_t cols)
@@ -37,12 +39,13 @@ void Matrix::Fill(double value) {
 }
 
 void Matrix::Scale(double factor) {
-  for (double& entry : data_) entry *= factor;
+  simd::Scale(factor, data_.data(), static_cast<int64_t>(data_.size()));
 }
 
 void Matrix::AddScaled(const Matrix& other, double factor) {
   SOSE_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
-  for (size_t i = 0; i < data_.size(); ++i) data_[i] += factor * other.data_[i];
+  simd::Axpy(factor, other.data_.data(), data_.data(),
+             static_cast<int64_t>(data_.size()));
 }
 
 Matrix Matrix::Transposed() const {
@@ -114,8 +117,7 @@ Matrix MatMul(const Matrix& a, const Matrix& b) {
     for (int64_t k = 0; k < a.cols(); ++k) {
       const double a_ik = a_row[k];
       if (a_ik == 0.0) continue;
-      const double* b_row = b.Row(k);
-      for (int64_t j = 0; j < b.cols(); ++j) out_row[j] += a_ik * b_row[j];
+      simd::Axpy(a_ik, b.Row(k), out_row, b.cols());
     }
   }
   return out;
@@ -130,8 +132,7 @@ Matrix MatMulTransposeA(const Matrix& a, const Matrix& b) {
     for (int64_t i = 0; i < a.cols(); ++i) {
       const double a_ki = a_row[i];
       if (a_ki == 0.0) continue;
-      double* out_row = out.Row(i);
-      for (int64_t j = 0; j < b.cols(); ++j) out_row[j] += a_ki * b_row[j];
+      simd::Axpy(a_ki, b_row, out.Row(i), b.cols());
     }
   }
   return out;
@@ -178,10 +179,8 @@ Matrix Gram(const Matrix& a) {
           for (int64_t i = i0; i < i1; ++i) {
             const double v = row[i];
             if (v == 0.0) continue;
-            double* out_row = out.Row(i);
-            for (int64_t j = std::max(j0, i); j < j1; ++j) {
-              out_row[j] += v * row[j];
-            }
+            const int64_t j_lo = std::max(j0, i);
+            simd::Axpy(v, row + j_lo, out.Row(i) + j_lo, j1 - j_lo);
           }
         }
       }
@@ -212,8 +211,7 @@ std::vector<double> MatVecTransposed(const Matrix& a,
   for (int64_t i = 0; i < a.rows(); ++i) {
     const double xi = x[static_cast<size_t>(i)];
     if (xi == 0.0) continue;
-    const double* row = a.Row(i);
-    for (int64_t j = 0; j < a.cols(); ++j) out[static_cast<size_t>(j)] += xi * row[j];
+    simd::Axpy(xi, a.Row(i), out.data(), a.cols());
   }
   return out;
 }

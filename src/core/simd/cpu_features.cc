@@ -1,0 +1,40 @@
+#include "core/simd/cpu_features.h"
+
+namespace sose::simd {
+
+namespace {
+
+CpuFeatures Probe() {
+  CpuFeatures features;
+#if defined(__x86_64__) || defined(__i386__)
+  // __builtin_cpu_supports reads CPUID (and XGETBV for the OS-enabled
+  // state), so it is true only when the instructions are actually usable.
+  features.avx2 = __builtin_cpu_supports("avx2") != 0;
+  features.avx512 = __builtin_cpu_supports("avx512f") != 0;
+#elif defined(__aarch64__)
+  // Advanced SIMD is part of the AArch64 baseline; no probe needed.
+  features.neon = true;
+#endif
+  return features;
+}
+
+}  // namespace
+
+const CpuFeatures& DetectCpuFeatures() {
+  static const CpuFeatures features = Probe();
+  return features;
+}
+
+std::string CpuFeaturesToString(const CpuFeatures& features) {
+  std::string out;
+  auto append = [&out](const char* name) {
+    if (!out.empty()) out += ',';
+    out += name;
+  };
+  if (features.avx2) append("avx2");
+  if (features.avx512) append("avx512");
+  if (features.neon) append("neon");
+  return out.empty() ? "none" : out;
+}
+
+}  // namespace sose::simd

@@ -1,0 +1,29 @@
+#ifndef SOSE_CORE_SIMD_CPU_FEATURES_H_
+#define SOSE_CORE_SIMD_CPU_FEATURES_H_
+
+#include <string>
+
+namespace sose::simd {
+
+/// The vector instruction sets the kernel layer can dispatch to, as probed
+/// at runtime. Detection is confined to this directory (sose_lint R7): the
+/// rest of the tree never names an ISA, it only asks the dispatcher.
+struct CpuFeatures {
+  bool avx2 = false;    ///< x86: AVX2 (256-bit doubles).
+  bool avx512 = false;  ///< x86: AVX-512 Foundation (512-bit doubles).
+  bool neon = false;    ///< ARM: Advanced SIMD (mandatory on AArch64).
+};
+
+/// Probes the executing CPU once per process (CPUID on x86 via the
+/// compiler's cpu_supports builtin, architecture baseline on AArch64) and
+/// caches the answer. Never fails: a CPU with no vector extensions simply
+/// reports all-false and the dispatcher stays on the scalar kernels.
+const CpuFeatures& DetectCpuFeatures();
+
+/// Human-readable feature list, e.g. "avx2,avx512" or "none" — recorded in
+/// bench JSON so a result file names the hardware class it ran on.
+std::string CpuFeaturesToString(const CpuFeatures& features);
+
+}  // namespace sose::simd
+
+#endif  // SOSE_CORE_SIMD_CPU_FEATURES_H_

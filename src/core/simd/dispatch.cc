@@ -1,0 +1,171 @@
+#include "core/simd/dispatch.h"
+
+#include <atomic>
+#include <cstdlib>
+
+#include "core/metrics/metrics.h"
+#include "core/simd/cpu_features.h"
+
+namespace sose::simd {
+
+namespace {
+
+// The candidate variants in auto-preference order, widest first. A variant
+// is usable when it is compiled in (accessor non-null) and the host CPU
+// reports the feature.
+struct Candidate {
+  const char* name;
+  const KernelTable* (*table)();
+  bool (*supported)(const CpuFeatures&);
+};
+
+constexpr Candidate kCandidates[] = {
+    {"avx512", Avx512Kernels,
+     [](const CpuFeatures& f) { return f.avx512; }},
+    {"avx2", Avx2Kernels, [](const CpuFeatures& f) { return f.avx2; }},
+    {"neon", NeonKernels, [](const CpuFeatures& f) { return f.neon; }},
+};
+
+const KernelTable* UsableTable(const Candidate& candidate) {
+  const KernelTable* table = candidate.table();
+  if (table == nullptr) return nullptr;
+  if (!candidate.supported(DetectCpuFeatures())) return nullptr;
+  return table;
+}
+
+const KernelTable* AutoTable() {
+  for (const Candidate& candidate : kCandidates) {
+    if (const KernelTable* table = UsableTable(candidate)) return table;
+  }
+  return ScalarKernels();
+}
+
+// The selection state. `active` is lazily initialized so binaries that never
+// call SelectKernels* (tests, tools) still dispatch to the widest ISA; lazy
+// init is idempotent — concurrent first calls race to install the same
+// deterministic auto table, so the winner is irrelevant.
+std::atomic<const KernelTable*> g_active{nullptr};
+std::atomic<int> g_source{static_cast<int>(KernelSelectionSource::kAuto)};
+
+void Install(const KernelTable* table, KernelSelectionSource source) {
+  g_source.store(static_cast<int>(source), std::memory_order_relaxed);
+  g_active.store(table, std::memory_order_release);
+  // Each dispatch decision is an event worth auditing in bench JSON: one
+  // from lazy init, plus one per explicit SelectKernels* call (benches that
+  // flip scalar <-> auto in-process record several).
+  SOSE_COUNTER_INC("simd.dispatch.selections");
+}
+
+const KernelTable* EnvOrAutoTable(KernelSelectionSource* source) {
+  // SOSE_KERNELS is honored even without a SelectKernels* call so that
+  // `SOSE_KERNELS=scalar ctest` reruns the whole suite on the scalar
+  // kernels (the kernels-scalar CI job). An invalid env value here falls
+  // back to auto — only binaries that call SelectKernelsFromSpec() can
+  // surface the error, and they re-validate it there.
+  if (const char* env = std::getenv("SOSE_KERNELS");
+      env != nullptr && env[0] != '\0') {
+    const std::string spec(env);
+    if (spec == "scalar") {
+      *source = KernelSelectionSource::kEnv;
+      return ScalarKernels();
+    }
+    for (const Candidate& candidate : kCandidates) {
+      if (spec == candidate.name) {
+        if (const KernelTable* table = UsableTable(candidate)) {
+          *source = KernelSelectionSource::kEnv;
+          return table;
+        }
+      }
+    }
+    // "auto", unknown, or unavailable: fall through.
+  }
+  *source = KernelSelectionSource::kAuto;
+  return AutoTable();
+}
+
+}  // namespace
+
+const KernelTable* ActiveKernels() {
+  const KernelTable* table = g_active.load(std::memory_order_acquire);
+  if (table != nullptr) return table;
+  KernelSelectionSource source;
+  table = EnvOrAutoTable(&source);
+  Install(table, source);
+  return table;
+}
+
+const char* ActiveIsaName() { return ActiveKernels()->name; }
+
+KernelSelectionSource ActiveSelectionSource() {
+  (void)ActiveKernels();  // Force lazy init so the source is resolved.
+  return static_cast<KernelSelectionSource>(
+      g_source.load(std::memory_order_relaxed));
+}
+
+const char* KernelSelectionSourceName(KernelSelectionSource source) {
+  switch (source) {
+    case KernelSelectionSource::kAuto:
+      return "auto";
+    case KernelSelectionSource::kEnv:
+      return "env";
+    case KernelSelectionSource::kFlag:
+      return "flag";
+  }
+  return "auto";
+}
+
+std::vector<std::string> AvailableKernelIsas() {
+  std::vector<std::string> isas;
+  for (const Candidate& candidate : kCandidates) {
+    if (UsableTable(candidate) != nullptr) isas.emplace_back(candidate.name);
+  }
+  isas.emplace_back("scalar");
+  return isas;
+}
+
+Status SelectKernels(const std::string& spec, KernelSelectionSource source) {
+  if (spec == "scalar") {
+    Install(ScalarKernels(), source);
+    return Status::OK();
+  }
+  if (spec == "auto") {
+    Install(AutoTable(), KernelSelectionSource::kAuto);
+    return Status::OK();
+  }
+  for (const Candidate& candidate : kCandidates) {
+    if (spec != candidate.name) continue;
+    if (const KernelTable* table = UsableTable(candidate)) {
+      Install(table, source);
+      return Status::OK();
+    }
+    return Status::InvalidArgument(
+        "kernels: ISA '" + spec +
+        "' is not available on this host/build (compiled-in and supported: " +
+        [] {
+          std::string joined;
+          for (const std::string& isa : AvailableKernelIsas()) {
+            if (!joined.empty()) joined += ',';
+            joined += isa;
+          }
+          return joined;
+        }() +
+        ")");
+  }
+  return Status::InvalidArgument(
+      "kernels: unknown spec '" + spec +
+      "' (expected scalar, auto, avx2, avx512, or neon)");
+}
+
+Status SelectKernelsFromSpec(const std::string& flag_spec) {
+  if (!flag_spec.empty()) {
+    return SelectKernels(flag_spec, KernelSelectionSource::kFlag);
+  }
+  if (const char* env = std::getenv("SOSE_KERNELS");
+      env != nullptr && env[0] != '\0') {
+    return SelectKernels(env, KernelSelectionSource::kEnv);
+  }
+  Install(AutoTable(), KernelSelectionSource::kAuto);
+  return Status::OK();
+}
+
+}  // namespace sose::simd

@@ -1,0 +1,91 @@
+#ifndef SOSE_CORE_SIMD_DISPATCH_H_
+#define SOSE_CORE_SIMD_DISPATCH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/simd/kernels.h"
+#include "core/status.h"
+
+namespace sose::simd {
+
+/// Runtime kernel dispatch. One ISA variant is selected per process — by
+/// default the widest one both compiled in and supported by the executing
+/// CPU — and every hot loop in the sketch / linear-algebra layers routes
+/// through the inline wrappers below. Selection is overridable, with
+/// precedence `--kernels=<spec>` flag > `SOSE_KERNELS` env var > auto:
+/// binaries call SelectKernelsFromSpec() with the flag value (empty when
+/// absent), which falls back to the env var and then to auto-detection.
+///
+/// Because every variant is bitwise-identical to the scalar reference (see
+/// kernels.h), the choice affects throughput only — results, CSVs, and
+/// checkpoints are byte-identical across `--kernels` values. The chaos CI
+/// job pins this end to end by diffing scalar-vs-auto E1 CSVs.
+
+/// How the active table was chosen; recorded in bench JSON.
+enum class KernelSelectionSource {
+  kAuto = 0,  ///< Widest supported ISA, nothing overrode it.
+  kEnv = 1,   ///< SOSE_KERNELS environment variable.
+  kFlag = 2,  ///< --kernels command-line flag.
+};
+
+/// The table every wrapper below routes through. Lazily initialized to the
+/// auto selection on first use; stable for the life of the process unless a
+/// SelectKernels* call replaces it. Selection happens in main() before
+/// worker threads spawn, so the swap is not racy in practice; the pointer
+/// is atomic regardless so a concurrent reader sees either table, both of
+/// which produce identical bits.
+const KernelTable* ActiveKernels();
+
+/// Name of the active table ("scalar", "avx2", "avx512", "neon").
+const char* ActiveIsaName();
+
+/// How the active table was selected.
+KernelSelectionSource ActiveSelectionSource();
+
+/// Canonical name for a selection source ("auto", "env", "flag").
+const char* KernelSelectionSourceName(KernelSelectionSource source);
+
+/// The ISA names this process could dispatch to: compiled-in variants whose
+/// instructions the host CPU supports, plus "scalar". Sorted widest-first,
+/// i.e. the auto selection is the first entry.
+std::vector<std::string> AvailableKernelIsas();
+
+/// Selects kernels from an explicit spec: "scalar", "auto", or an ISA name
+/// ("avx2", "avx512", "neon"). Fails with kInvalidArgument for an unknown
+/// spec or an ISA that is not available on this host/build — callers surface
+/// that to the user rather than silently running scalar.
+[[nodiscard]] Status SelectKernels(const std::string& spec,
+                                   KernelSelectionSource source);
+
+/// Applies the full override precedence: a non-empty `flag_spec` wins, else
+/// a set-and-non-empty SOSE_KERNELS env var, else auto. Binaries with a
+/// --kernels flag call this once at startup; binaries without one get the
+/// env var + auto behavior for free via lazy init, so only an explicit env
+/// typo needs a call site to be reported.
+[[nodiscard]] Status SelectKernelsFromSpec(const std::string& flag_spec);
+
+/// y[i] += a * x[i] for i in [0, n).
+inline void Axpy(double a, const double* x, double* y, int64_t n) {
+  ActiveKernels()->axpy(a, x, y, n);
+}
+
+/// y[i] *= a for i in [0, n).
+inline void Scale(double a, double* y, int64_t n) {
+  ActiveKernels()->scale(a, y, n);
+}
+
+/// y[i] *= x[i] for i in [0, n).
+inline void Multiply(const double* x, double* y, int64_t n) {
+  ActiveKernels()->multiply(x, y, n);
+}
+
+/// (lo[i], hi[i]) <- (lo[i] + hi[i], lo[i] - hi[i]) for i in [0, n).
+inline void Butterfly(double* lo, double* hi, int64_t n) {
+  ActiveKernels()->butterfly(lo, hi, n);
+}
+
+}  // namespace sose::simd
+
+#endif  // SOSE_CORE_SIMD_DISPATCH_H_

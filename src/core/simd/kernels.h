@@ -1,0 +1,56 @@
+#ifndef SOSE_CORE_SIMD_KERNELS_H_
+#define SOSE_CORE_SIMD_KERNELS_H_
+
+#include <cstdint>
+
+namespace sose::simd {
+
+/// One ISA's implementation of the element-wise hot loops the sketch and
+/// linear-algebra layers bottom out in. Every variant of every kernel is
+/// **bitwise identical** to the scalar reference: the operations are pure
+/// lane-wise IEEE add/sub/mul with no horizontal reductions, no
+/// reassociation, and no fused multiply-add (the variant translation units
+/// are compiled with contraction off), so vectorizing changes which
+/// registers hold the numbers but not a single rounding. That invariant is
+/// what lets the dispatcher pick an ISA per host while the `--threads` /
+/// `--workers` bitwise-reproducibility guarantees keep holding; it is
+/// pinned per-ISA by tests/core/simd_test.cc.
+///
+/// Kernels tolerate n == 0 and never read past their ranges. `axpy`,
+/// `scale`, and `multiply` require x != y-style aliasing only in the
+/// trivial sense (exact overlap is fine for scale; axpy/multiply require
+/// distinct x and y); `butterfly` requires lo and hi to be disjoint.
+struct KernelTable {
+  /// Display name, e.g. "scalar", "avx2".
+  const char* name;
+
+  /// y[i] += a * x[i] for i in [0, n). The workhorse: batched sketch
+  /// scatter, Gram/syrk tiles, matmul inner loops, accumulator updates.
+  void (*axpy)(double a, const double* x, double* y, int64_t n);
+
+  /// y[i] *= a for i in [0, n).
+  void (*scale)(double a, double* y, int64_t n);
+
+  /// y[i] *= x[i] for i in [0, n) — SRHT's sign flip ahead of the FWHT.
+  void (*multiply)(const double* x, double* y, int64_t n);
+
+  /// The FWHT butterfly: (lo[i], hi[i]) <- (lo[i] + hi[i], lo[i] - hi[i])
+  /// for i in [0, n). One call per block per pass.
+  void (*butterfly)(double* lo, double* hi, int64_t n);
+};
+
+/// The portable reference implementation; always available.
+const KernelTable* ScalarKernels();
+
+/// ISA variants. Each returns nullptr when the build target cannot emit the
+/// instruction set (wrong architecture or missing compiler flags) — the
+/// dispatcher treats nullptr as "not a candidate". Availability of the
+/// *entry point* is a build-time fact; whether the host CPU can execute it
+/// is DetectCpuFeatures()'s runtime call.
+const KernelTable* Avx2Kernels();
+const KernelTable* Avx512Kernels();
+const KernelTable* NeonKernels();
+
+}  // namespace sose::simd
+
+#endif  // SOSE_CORE_SIMD_KERNELS_H_

@@ -1,0 +1,87 @@
+// AVX2 kernel variants: 256-bit lanes, four doubles per op. Compiled with
+// -mavx2 -ffp-contract=off (src/CMakeLists.txt); on non-x86 targets or
+// builds without the flag the entry point degrades to nullptr and the
+// dispatcher skips the variant.
+//
+// Bitwise parity with the scalar reference holds because every operation is
+// lane-wise IEEE arithmetic in ascending index order: _mm256_mul_pd /
+// _mm256_add_pd round each lane exactly as the scalar multiply and add do,
+// the mul and add stay separate instructions (no FMA contraction — the
+// intrinsics name non-fused operations and contraction is off), and the
+// tail elements run the identical scalar sequence.
+#include "core/simd/kernels.h"
+
+#if defined(__AVX2__)
+
+#include <immintrin.h>
+
+namespace sose::simd {
+
+namespace {
+
+constexpr int64_t kLanes = 4;
+
+void AxpyAvx2(double a, const double* x, double* y, int64_t n) {
+  const __m256d va = _mm256_set1_pd(a);
+  int64_t i = 0;
+  for (; i + kLanes <= n; i += kLanes) {
+    const __m256d vx = _mm256_loadu_pd(x + i);
+    const __m256d vy = _mm256_loadu_pd(y + i);
+    _mm256_storeu_pd(y + i, _mm256_add_pd(vy, _mm256_mul_pd(va, vx)));
+  }
+  for (; i < n; ++i) y[i] += a * x[i];
+}
+
+void ScaleAvx2(double a, double* y, int64_t n) {
+  const __m256d va = _mm256_set1_pd(a);
+  int64_t i = 0;
+  for (; i + kLanes <= n; i += kLanes) {
+    _mm256_storeu_pd(y + i, _mm256_mul_pd(_mm256_loadu_pd(y + i), va));
+  }
+  for (; i < n; ++i) y[i] *= a;
+}
+
+void MultiplyAvx2(const double* x, double* y, int64_t n) {
+  int64_t i = 0;
+  for (; i + kLanes <= n; i += kLanes) {
+    _mm256_storeu_pd(
+        y + i, _mm256_mul_pd(_mm256_loadu_pd(y + i), _mm256_loadu_pd(x + i)));
+  }
+  for (; i < n; ++i) y[i] *= x[i];
+}
+
+void ButterflyAvx2(double* lo, double* hi, int64_t n) {
+  int64_t i = 0;
+  for (; i + kLanes <= n; i += kLanes) {
+    const __m256d a = _mm256_loadu_pd(lo + i);
+    const __m256d b = _mm256_loadu_pd(hi + i);
+    _mm256_storeu_pd(lo + i, _mm256_add_pd(a, b));
+    _mm256_storeu_pd(hi + i, _mm256_sub_pd(a, b));
+  }
+  for (; i < n; ++i) {
+    const double a = lo[i];
+    const double b = hi[i];
+    lo[i] = a + b;
+    hi[i] = a - b;
+  }
+}
+
+constexpr KernelTable kAvx2Table = {
+    "avx2", AxpyAvx2, ScaleAvx2, MultiplyAvx2, ButterflyAvx2,
+};
+
+}  // namespace
+
+const KernelTable* Avx2Kernels() { return &kAvx2Table; }
+
+}  // namespace sose::simd
+
+#else  // !__AVX2__
+
+namespace sose::simd {
+
+const KernelTable* Avx2Kernels() { return nullptr; }
+
+}  // namespace sose::simd
+
+#endif  // __AVX2__

@@ -1,0 +1,86 @@
+// AVX-512F kernel variants: 512-bit lanes, eight doubles per op. Compiled
+// with -mavx512f -ffp-contract=off (src/CMakeLists.txt); when the build
+// target cannot emit AVX-512 the entry point degrades to nullptr and the
+// dispatcher skips the variant.
+//
+// Parity argument is the same as kernels_avx2.cc: lane-wise IEEE mul/add in
+// ascending index order, mul and add kept as separate (non-fused)
+// instructions, and a scalar tail identical to the reference loop. The
+// masked-tail forms AVX-512 offers are deliberately not used — a plain
+// scalar tail is trivially bit-identical and the tails are cold.
+#include "core/simd/kernels.h"
+
+#if defined(__AVX512F__)
+
+#include <immintrin.h>
+
+namespace sose::simd {
+
+namespace {
+
+constexpr int64_t kLanes = 8;
+
+void AxpyAvx512(double a, const double* x, double* y, int64_t n) {
+  const __m512d va = _mm512_set1_pd(a);
+  int64_t i = 0;
+  for (; i + kLanes <= n; i += kLanes) {
+    const __m512d vx = _mm512_loadu_pd(x + i);
+    const __m512d vy = _mm512_loadu_pd(y + i);
+    _mm512_storeu_pd(y + i, _mm512_add_pd(vy, _mm512_mul_pd(va, vx)));
+  }
+  for (; i < n; ++i) y[i] += a * x[i];
+}
+
+void ScaleAvx512(double a, double* y, int64_t n) {
+  const __m512d va = _mm512_set1_pd(a);
+  int64_t i = 0;
+  for (; i + kLanes <= n; i += kLanes) {
+    _mm512_storeu_pd(y + i, _mm512_mul_pd(_mm512_loadu_pd(y + i), va));
+  }
+  for (; i < n; ++i) y[i] *= a;
+}
+
+void MultiplyAvx512(const double* x, double* y, int64_t n) {
+  int64_t i = 0;
+  for (; i + kLanes <= n; i += kLanes) {
+    _mm512_storeu_pd(
+        y + i, _mm512_mul_pd(_mm512_loadu_pd(y + i), _mm512_loadu_pd(x + i)));
+  }
+  for (; i < n; ++i) y[i] *= x[i];
+}
+
+void ButterflyAvx512(double* lo, double* hi, int64_t n) {
+  int64_t i = 0;
+  for (; i + kLanes <= n; i += kLanes) {
+    const __m512d a = _mm512_loadu_pd(lo + i);
+    const __m512d b = _mm512_loadu_pd(hi + i);
+    _mm512_storeu_pd(lo + i, _mm512_add_pd(a, b));
+    _mm512_storeu_pd(hi + i, _mm512_sub_pd(a, b));
+  }
+  for (; i < n; ++i) {
+    const double a = lo[i];
+    const double b = hi[i];
+    lo[i] = a + b;
+    hi[i] = a - b;
+  }
+}
+
+constexpr KernelTable kAvx512Table = {
+    "avx512", AxpyAvx512, ScaleAvx512, MultiplyAvx512, ButterflyAvx512,
+};
+
+}  // namespace
+
+const KernelTable* Avx512Kernels() { return &kAvx512Table; }
+
+}  // namespace sose::simd
+
+#else  // !__AVX512F__
+
+namespace sose::simd {
+
+const KernelTable* Avx512Kernels() { return nullptr; }
+
+}  // namespace sose::simd
+
+#endif  // __AVX512F__

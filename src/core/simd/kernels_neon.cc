@@ -1,0 +1,84 @@
+// NEON (AArch64 Advanced SIMD) kernel variants: 128-bit lanes, two doubles
+// per op. Advanced SIMD is part of the AArch64 baseline so no extra compile
+// flag is needed, but the TU is still compiled with -ffp-contract=off (see
+// src/CMakeLists.txt) — AArch64 has baseline FMA and GCC contracts by
+// default, which would break bitwise parity with the scalar reference.
+//
+// vmulq_f64 / vaddq_f64 are the non-fused forms (vfmaq_f64 is the fused one
+// and is deliberately not used), so each lane rounds exactly like the
+// scalar multiply-then-add; tails run the identical scalar sequence.
+#include "core/simd/kernels.h"
+
+#if defined(__aarch64__)
+
+#include <arm_neon.h>
+
+namespace sose::simd {
+
+namespace {
+
+constexpr int64_t kLanes = 2;
+
+void AxpyNeon(double a, const double* x, double* y, int64_t n) {
+  const float64x2_t va = vdupq_n_f64(a);
+  int64_t i = 0;
+  for (; i + kLanes <= n; i += kLanes) {
+    const float64x2_t vx = vld1q_f64(x + i);
+    const float64x2_t vy = vld1q_f64(y + i);
+    vst1q_f64(y + i, vaddq_f64(vy, vmulq_f64(va, vx)));
+  }
+  for (; i < n; ++i) y[i] += a * x[i];
+}
+
+void ScaleNeon(double a, double* y, int64_t n) {
+  const float64x2_t va = vdupq_n_f64(a);
+  int64_t i = 0;
+  for (; i + kLanes <= n; i += kLanes) {
+    vst1q_f64(y + i, vmulq_f64(vld1q_f64(y + i), va));
+  }
+  for (; i < n; ++i) y[i] *= a;
+}
+
+void MultiplyNeon(const double* x, double* y, int64_t n) {
+  int64_t i = 0;
+  for (; i + kLanes <= n; i += kLanes) {
+    vst1q_f64(y + i, vmulq_f64(vld1q_f64(y + i), vld1q_f64(x + i)));
+  }
+  for (; i < n; ++i) y[i] *= x[i];
+}
+
+void ButterflyNeon(double* lo, double* hi, int64_t n) {
+  int64_t i = 0;
+  for (; i + kLanes <= n; i += kLanes) {
+    const float64x2_t a = vld1q_f64(lo + i);
+    const float64x2_t b = vld1q_f64(hi + i);
+    vst1q_f64(lo + i, vaddq_f64(a, b));
+    vst1q_f64(hi + i, vsubq_f64(a, b));
+  }
+  for (; i < n; ++i) {
+    const double a = lo[i];
+    const double b = hi[i];
+    lo[i] = a + b;
+    hi[i] = a - b;
+  }
+}
+
+constexpr KernelTable kNeonTable = {
+    "neon", AxpyNeon, ScaleNeon, MultiplyNeon, ButterflyNeon,
+};
+
+}  // namespace
+
+const KernelTable* NeonKernels() { return &kNeonTable; }
+
+}  // namespace sose::simd
+
+#else  // !__aarch64__
+
+namespace sose::simd {
+
+const KernelTable* NeonKernels() { return nullptr; }
+
+}  // namespace sose::simd
+
+#endif  // __aarch64__

@@ -1,0 +1,42 @@
+// Scalar reference kernels. These loops define the numbers every vector
+// variant must reproduce bit for bit, so they are written as the plainest
+// possible IEEE sequence: one multiply and one add per element, ascending
+// index order, no accumulator splitting. This translation unit is compiled
+// with -ffp-contract=off (see src/CMakeLists.txt) so the compiler cannot
+// fuse the multiply-adds into FMAs on targets that have them.
+#include "core/simd/kernels.h"
+
+namespace sose::simd {
+
+namespace {
+
+void AxpyScalar(double a, const double* x, double* y, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) y[i] += a * x[i];
+}
+
+void ScaleScalar(double a, double* y, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) y[i] *= a;
+}
+
+void MultiplyScalar(const double* x, double* y, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) y[i] *= x[i];
+}
+
+void ButterflyScalar(double* lo, double* hi, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) {
+    const double a = lo[i];
+    const double b = hi[i];
+    lo[i] = a + b;
+    hi[i] = a - b;
+  }
+}
+
+constexpr KernelTable kScalarTable = {
+    "scalar", AxpyScalar, ScaleScalar, MultiplyScalar, ButterflyScalar,
+};
+
+}  // namespace
+
+const KernelTable* ScalarKernels() { return &kScalarTable; }
+
+}  // namespace sose::simd

@@ -244,6 +244,28 @@ std::vector<double> CscMatrix::MatVec(const std::vector<double>& x) const {
   return out;
 }
 
+CsrMatrix CscMatrix::ToCsr() const {
+  std::vector<int64_t> row_ptr(static_cast<size_t>(rows_) + 1, 0);
+  std::vector<int64_t> col_idx(values_.size());
+  std::vector<double> values(values_.size());
+  for (int64_t r : row_idx_) ++row_ptr[static_cast<size_t>(r) + 1];
+  for (size_t i = 1; i < row_ptr.size(); ++i) row_ptr[i] += row_ptr[i - 1];
+  // Column-ascending iteration keeps col indices strictly increasing within
+  // each row, as the CsrMatrix constructor contract requires.
+  std::vector<int64_t> cursor(row_ptr.begin(), row_ptr.end() - 1);
+  for (int64_t j = 0; j < cols_; ++j) {
+    for (int64_t p = col_ptr_[static_cast<size_t>(j)];
+         p < col_ptr_[static_cast<size_t>(j) + 1]; ++p) {
+      const int64_t r = row_idx_[static_cast<size_t>(p)];
+      const int64_t q = cursor[static_cast<size_t>(r)]++;
+      col_idx[static_cast<size_t>(q)] = j;
+      values[static_cast<size_t>(q)] = values_[static_cast<size_t>(p)];
+    }
+  }
+  return CsrMatrix(rows_, cols_, std::move(row_ptr), std::move(col_idx),
+                   std::move(values));
+}
+
 Matrix CscMatrix::ToDense() const {
   Matrix out(rows_, cols_);
   for (int64_t j = 0; j < cols_; ++j) {

@@ -131,6 +131,12 @@ class CscMatrix {
   /// Returns `this * x`.
   std::vector<double> MatVec(const std::vector<double>& x) const;
 
+  /// Re-compresses by row (counting sort over the CSC arrays). O(nnz +
+  /// rows) time and O(rows) scratch, so only for matrices whose row count
+  /// is materializable — the batched sketch paths, whose inputs can have
+  /// ambient row counts in the billions, use RowOrderedEntries() instead.
+  CsrMatrix ToCsr() const;
+
   /// Materialises as a dense matrix (small instances / tests).
   Matrix ToDense() const;
 

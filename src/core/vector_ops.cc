@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "core/check.h"
+#include "core/simd/dispatch.h"
 
 namespace sose {
 
@@ -29,12 +30,12 @@ double NormInf(const std::vector<double>& x) {
 
 void Axpy(double alpha, const std::vector<double>& x, std::vector<double>* y) {
   SOSE_CHECK(y != nullptr && x.size() == y->size());
-  for (size_t i = 0; i < x.size(); ++i) (*y)[i] += alpha * x[i];
+  simd::Axpy(alpha, x.data(), y->data(), static_cast<int64_t>(x.size()));
 }
 
 void ScaleVec(double alpha, std::vector<double>* x) {
   SOSE_CHECK(x != nullptr);
-  for (double& v : *x) v *= alpha;
+  simd::Scale(alpha, x->data(), static_cast<int64_t>(x->size()));
 }
 
 void Normalize(std::vector<double>* x) {

@@ -141,7 +141,9 @@ Result<int64_t> SketchedInstanceRank(const SketchingMatrix& sketch,
     return Status::InvalidArgument(
         "SketchedInstanceRank: ambient dimension mismatch");
   }
-  SOSE_ASSIGN_OR_RETURN(Matrix sketched, sketch.ApplySparse(instance.ToCsc()));
+  // ApplyBatch is bitwise-identical to ApplySparse but derives each touched
+  // ambient row's sketch column once across the whole basis.
+  SOSE_ASSIGN_OR_RETURN(Matrix sketched, sketch.ApplyBatch(instance.ToCsc()));
   SOSE_ASSIGN_OR_RETURN(std::vector<double> eigenvalues,
                         SymmetricEigenvalues(Gram(sketched)));
   const double cap = eigenvalues.back();

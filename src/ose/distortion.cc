@@ -7,6 +7,7 @@
 
 #include "core/fault.h"
 #include "core/linalg_eigen.h"
+#include "core/simd/dispatch.h"
 
 namespace sose {
 
@@ -57,39 +58,55 @@ namespace {
 // nnz(U) · s nonzero rows, so the Gram is accumulated row-by-row over a
 // map keyed by sketch row. This keeps the paper's regime m = Θ(d²/(ε²δ))
 // affordable — the cost is independent of m for sparse sketches.
+//
+// Accumulation is batched by ambient row (the ApplyBatch traversal): the
+// sketch column for each distinct touched row of U is derived once and
+// scattered across all d basis columns, instead of once per (column,
+// nonzero). Per output cell the contributions still arrive in ascending
+// ambient-row order, so the sketched rows are bitwise identical to the
+// column-major walk's.
 Result<Matrix> SketchedGramOnInstance(const SketchingMatrix& sketch,
                                       const HardInstance& instance) {
   const CscMatrix u = instance.ToCsc();
   const int64_t d = u.cols();
   std::unordered_map<int64_t, std::vector<double>> sketched_rows;
+  const std::vector<BatchEntry> batch = RowOrderedEntries(u);
   std::vector<ColumnEntry> entries;
   entries.reserve(static_cast<size_t>(sketch.column_sparsity()));
-  for (int64_t j = 0; j < d; ++j) {
-    for (int64_t p = u.col_ptr()[static_cast<size_t>(j)];
-         p < u.col_ptr()[static_cast<size_t>(j) + 1]; ++p) {
-      const int64_t ambient_row = u.row_idx()[static_cast<size_t>(p)];
-      const double value = u.values()[static_cast<size_t>(p)];
-      sketch.ColumnInto(ambient_row, &entries);
-      for (const ColumnEntry& entry : entries) {
-        auto [it, inserted] = sketched_rows.try_emplace(entry.row);
-        if (inserted) it->second.assign(static_cast<size_t>(d), 0.0);
-        it->second[static_cast<size_t>(j)] += value * entry.value;
+  for (size_t p0 = 0; p0 < batch.size();) {
+    const int64_t ambient_row = batch[p0].row;
+    size_t p1 = p0;
+    while (p1 < batch.size() && batch[p1].row == ambient_row) ++p1;
+    sketch.ColumnInto(ambient_row, &entries);
+    for (const ColumnEntry& entry : entries) {
+      auto [it, inserted] = sketched_rows.try_emplace(entry.row);
+      if (inserted) it->second.assign(static_cast<size_t>(d), 0.0);
+      for (size_t p = p0; p < p1; ++p) {
+        it->second[static_cast<size_t>(batch[p].col)] +=
+            batch[p].value * entry.value;
       }
     }
+    p0 = p1;
   }
   // Rank-1 updates touching only the upper triangle, mirrored once at the
-  // end: halves the accumulation work. Bitwise identical to the full d x d
-  // loop — each upper entry accumulates the same products in the same row
-  // order, and the lower triangle's v_j*v_i products equal v_i*v_j exactly.
-  Matrix gram(d, d);
+  // end: halves the accumulation work. Sketch rows are folded in ascending
+  // row order — sorted keys, not map iteration order — so the result is
+  // deterministic by construction; the contiguous [i, d) tail of each
+  // update runs on the dispatched axpy kernel.
+  std::vector<int64_t> touched;
+  touched.reserve(sketched_rows.size());
   for (const auto& [row, values] : sketched_rows) {
-    (void)row;
+    (void)values;
+    touched.push_back(row);
+  }
+  std::sort(touched.begin(), touched.end());
+  Matrix gram(d, d);
+  for (const int64_t row : touched) {
+    const std::vector<double>& values = sketched_rows.at(row);
     for (int64_t i = 0; i < d; ++i) {
       const double vi = values[static_cast<size_t>(i)];
       if (vi == 0.0) continue;
-      for (int64_t j = i; j < d; ++j) {
-        gram.At(i, j) += vi * values[static_cast<size_t>(j)];
-      }
+      simd::Axpy(vi, values.data() + i, gram.Row(i) + i, d - i);
     }
   }
   for (int64_t i = 0; i < d; ++i) {

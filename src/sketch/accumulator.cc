@@ -1,5 +1,7 @@
 #include "sketch/accumulator.h"
 
+#include "core/simd/dispatch.h"
+
 namespace sose {
 
 Result<SketchAccumulator> SketchAccumulator::Create(
@@ -25,10 +27,8 @@ Status SketchAccumulator::AddRow(int64_t row,
         "SketchAccumulator::AddRow: wrong number of values");
   }
   for (const ColumnEntry& entry : sketch_->Column(row)) {
-    double* state_row = state_.Row(entry.row);
-    for (int64_t j = 0; j < state_.cols(); ++j) {
-      state_row[j] += entry.value * values[static_cast<size_t>(j)];
-    }
+    simd::Axpy(entry.value, values.data(), state_.Row(entry.row),
+               state_.cols());
   }
   return Status::OK();
 }

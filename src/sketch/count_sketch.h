@@ -33,6 +33,12 @@ class CountSketch final : public SketchingMatrix {
   /// all. Bitwise identical to the generic scatter.
   [[nodiscard]] Result<Matrix> ApplySparse(const CscMatrix& a) const override;
 
+  /// Batched fast path: hashes each distinct nonzero row of A exactly once
+  /// (Bucket/Sign derivation is the dominant cost at s = 1) and scatters it
+  /// across the whole batch. Bitwise identical to ApplySparse.
+  [[nodiscard]] Result<Matrix> ApplyBatch(const CscMatrix& a) const override;
+  using SketchingMatrix::ApplyBatch;
+
   /// The hash bucket of column `c` (exposed for the birthday-paradox
   /// experiments, which study the induced balls-into-bins process).
   int64_t Bucket(int64_t c) const;

@@ -2,6 +2,8 @@
 
 #include <bit>
 
+#include "core/simd/dispatch.h"
+
 namespace sose {
 
 bool IsPowerOfTwo(int64_t x) {
@@ -38,14 +40,14 @@ Status Fwht(std::vector<double>* x) {
   if (!IsPowerOfTwo(static_cast<int64_t>(n))) {
     return Status::InvalidArgument("Fwht: size must be a power of two");
   }
+  // One butterfly kernel call per block per pass: the lo half and hi half
+  // of each block are contiguous, so the pass vectorizes once half reaches
+  // the lane width (the half < lane passes run the kernel's scalar tail).
+  double* data = x->data();
   for (size_t half = 1; half < n; half <<= 1) {
     for (size_t block = 0; block < n; block += 2 * half) {
-      for (size_t i = block; i < block + half; ++i) {
-        const double a = (*x)[i];
-        const double b = (*x)[i + half];
-        (*x)[i] = a + b;
-        (*x)[i + half] = a - b;
-      }
+      simd::Butterfly(data + block, data + block + half,
+                      static_cast<int64_t>(half));
     }
   }
   return Status::OK();

@@ -83,4 +83,32 @@ Result<Matrix> Osnap::ApplySparse(const CscMatrix& a) const {
   return out;
 }
 
+Result<Matrix> Osnap::ApplyBatch(const CscMatrix& a) const {
+  if (a.rows() != cols()) {
+    return Status::InvalidArgument(
+        "ApplyBatch: input rows != sketch ambient dimension");
+  }
+  SOSE_SPAN("sketch.osnap.apply_batch");
+  SOSE_COUNTER_ADD("sketch.apply_batch.nnz", a.nnz());
+  Matrix out(m_, a.cols());
+  const std::vector<BatchEntry> batch = RowOrderedEntries(a);
+  std::vector<ColumnEntry> entries;
+  entries.reserve(static_cast<size_t>(s_));
+  for (size_t p0 = 0; p0 < batch.size();) {
+    const int64_t r = batch[p0].row;
+    size_t p1 = p0;
+    while (p1 < batch.size() && batch[p1].row == r) ++p1;
+    // One s-sparse column draw covers every batch column touching row r.
+    FillColumnUnsorted(r, &entries);
+    for (const ColumnEntry& entry : entries) {
+      double* out_row = out.Row(entry.row);
+      for (size_t p = p0; p < p1; ++p) {
+        out_row[batch[p].col] += batch[p].value * entry.value;
+      }
+    }
+    p0 = p1;
+  }
+  return out;
+}
+
 }  // namespace sose

@@ -47,6 +47,13 @@ class Osnap final : public SketchingMatrix {
   /// contribution per input nonzero and the result is bitwise identical.
   [[nodiscard]] Result<Matrix> ApplySparse(const CscMatrix& a) const override;
 
+  /// Batched fast path: draws each distinct nonzero row's column once
+  /// (unsorted — entry rows are distinct, so per-cell accumulation order is
+  /// unaffected) and scatters it across the batch. Bitwise identical to
+  /// ApplySparse.
+  [[nodiscard]] Result<Matrix> ApplyBatch(const CscMatrix& a) const override;
+  using SketchingMatrix::ApplyBatch;
+
   OsnapVariant variant() const { return variant_; }
 
  private:

@@ -1,13 +1,40 @@
 #include "sketch/sketch.h"
 
+#include <algorithm>
+
 #include "core/check.h"
 #include "core/metrics/metrics.h"
+#include "core/simd/dispatch.h"
 
 namespace sose {
 
+std::vector<BatchEntry> RowOrderedEntries(const CscMatrix& a) {
+  std::vector<BatchEntry> entries;
+  entries.reserve(static_cast<size_t>(a.nnz()));
+  for (int64_t j = 0; j < a.cols(); ++j) {
+    for (int64_t p = a.col_ptr()[static_cast<size_t>(j)];
+         p < a.col_ptr()[static_cast<size_t>(j) + 1]; ++p) {
+      entries.push_back(BatchEntry{a.row_idx()[static_cast<size_t>(p)], j,
+                                   a.values()[static_cast<size_t>(p)]});
+    }
+  }
+  // Stable sort on the row alone: the append order above is column-major,
+  // so entries of one row stay column-ascending.
+  std::stable_sort(entries.begin(), entries.end(),
+                   [](const BatchEntry& x, const BatchEntry& y) {
+                     return x.row < y.row;
+                   });
+  return entries;
+}
+
 void SketchingMatrix::ColumnInto(int64_t c,
                                  std::vector<ColumnEntry>* out) const {
-  *out = Column(c);
+  // assign() rather than move-assign: the caller's buffer keeps its
+  // capacity, so a hot loop reusing one buffer stops reallocating once it
+  // has seen the widest column (tests/sketch/column_into_test.cc pins this
+  // across the registry).
+  const std::vector<ColumnEntry> column = Column(c);
+  out->assign(column.begin(), column.end());
 }
 
 Result<Matrix> SketchingMatrix::ApplySparse(const CscMatrix& a) const {
@@ -37,6 +64,36 @@ Result<Matrix> SketchingMatrix::ApplySparse(const CscMatrix& a) const {
   return out;
 }
 
+Result<Matrix> SketchingMatrix::ApplyBatch(const CscMatrix& a) const {
+  if (a.rows() != cols()) {
+    return Status::InvalidArgument(
+        "ApplyBatch: input rows != sketch ambient dimension");
+  }
+  SOSE_SPAN("sketch.apply_batch");
+  SOSE_COUNTER_ADD("sketch.apply_batch.nnz", a.nnz());
+  Matrix out(rows(), a.cols());
+  const std::vector<BatchEntry> batch = RowOrderedEntries(a);
+  std::vector<ColumnEntry> entries;
+  entries.reserve(static_cast<size_t>(column_sparsity()));
+  // Runs of equal ambient row, rows ascending — the same per-cell
+  // contribution order as ApplySparse's column-major walk — with one
+  // ColumnInto per distinct row.
+  for (size_t p0 = 0; p0 < batch.size();) {
+    const int64_t r = batch[p0].row;
+    size_t p1 = p0;
+    while (p1 < batch.size() && batch[p1].row == r) ++p1;
+    ColumnInto(r, &entries);
+    for (const ColumnEntry& entry : entries) {
+      double* out_row = out.Row(entry.row);
+      for (size_t p = p0; p < p1; ++p) {
+        out_row[batch[p].col] += batch[p].value * entry.value;
+      }
+    }
+    p0 = p1;
+  }
+  return out;
+}
+
 Result<Matrix> SketchingMatrix::ApplyDense(const Matrix& a) const {
   if (a.rows() != cols()) {
     return Status::InvalidArgument(
@@ -50,10 +107,7 @@ Result<Matrix> SketchingMatrix::ApplyDense(const Matrix& a) const {
     const double* a_row = a.Row(r);
     ColumnInto(r, &entries);
     for (const ColumnEntry& entry : entries) {
-      double* out_row = out.Row(entry.row);
-      for (int64_t j = 0; j < a.cols(); ++j) {
-        out_row[j] += entry.value * a_row[j];
-      }
+      simd::Axpy(entry.value, a_row, out.Row(entry.row), a.cols());
     }
   }
   return out;

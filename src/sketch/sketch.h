@@ -18,6 +18,20 @@ struct ColumnEntry {
   double value = 0.0;
 };
 
+/// One nonzero of a batched apply input, tagged with both coordinates.
+struct BatchEntry {
+  int64_t row = 0;
+  int64_t col = 0;
+  double value = 0.0;
+};
+
+/// The nonzeros of `a` reordered for row-major traversal: ambient row
+/// ascending, column ascending within a row. O(nnz log nnz) — deliberately
+/// independent of a.rows(), which for hard-instance inputs is the ambient
+/// dimension n and can be in the billions while only d/β rows are touched.
+/// This is the traversal ApplyBatch amortizes over.
+std::vector<BatchEntry> RowOrderedEntries(const CscMatrix& a);
+
 /// A draw of an oblivious sketching matrix Π ∈ R^{m x n}.
 ///
 /// Obliviousness is structural: column `c` of Π is a pure function of the
@@ -50,11 +64,13 @@ class SketchingMatrix {
   /// [0, cols()).
   virtual std::vector<ColumnEntry> Column(int64_t c) const = 0;
 
-  /// Writes column `c`'s entries into `*out` (replacing its contents),
-  /// sorted by row — equivalent to `*out = Column(c)` but lets hot loops
-  /// reuse one buffer instead of allocating a vector per nonzero. The
-  /// default delegates to Column(); sparse sketches override it to fill the
-  /// buffer directly.
+  /// Writes column `c`'s entries into `*out` (replacing its contents, never
+  /// appending), sorted by row — equivalent to `*out = Column(c)` but lets
+  /// hot loops reuse one buffer instead of allocating a vector per nonzero.
+  /// The buffer's capacity is never shrunk, so a loop reusing one buffer
+  /// stops reallocating once it has seen the widest column. The default
+  /// delegates to Column(); sparse sketches override it to fill the buffer
+  /// directly.
   virtual void ColumnInto(int64_t c, std::vector<ColumnEntry>* out) const;
 
   /// Returns Π A for a column-sparse A (CSC) with A.rows() == cols().
@@ -63,6 +79,25 @@ class SketchingMatrix {
   /// Shape mismatches and internal transform failures are reported via the
   /// Result — no apply path aborts the process.
   [[nodiscard]] virtual Result<Matrix> ApplySparse(const CscMatrix& a) const;
+
+  /// Returns Π A for a column-sparse A (CSC), batched by ambient row: the
+  /// sketch column for each distinct nonzero row of A is derived **once**
+  /// and scattered across every column of A that touches it, whereas
+  /// ApplySparse re-derives it per (column, nonzero). Same O(nnz(A) · s)
+  /// arithmetic, but hashing/sampling cost drops from once-per-nonzero to
+  /// once-per-distinct-row — the win grows with the batch width. The result
+  /// is **bitwise identical** to ApplySparse: contributions to any output
+  /// cell arrive in ascending ambient-row order under both traversals (row
+  /// indices are strictly increasing within a CSC column), and entries of
+  /// one sketch column hit distinct output rows, so no accumulation order
+  /// changes. Pinned across the registry by tests/sketch/apply_batch_test.cc.
+  [[nodiscard]] virtual Result<Matrix> ApplyBatch(const CscMatrix& a) const;
+
+  /// Dense-batch convenience: Π A for dense A, routed through ApplyDense
+  /// (which is already row-amortized and kernel-dispatched).
+  [[nodiscard]] Result<Matrix> ApplyBatch(const Matrix& a) const {
+    return ApplyDense(a);
+  }
 
   /// Returns Π A for dense A with A.rows() == cols(). Default implementation
   /// iterates columns of Π; subclasses with structure (e.g. SRHT) override

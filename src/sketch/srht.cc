@@ -4,6 +4,7 @@
 
 #include "core/metrics/metrics.h"
 #include "core/random.h"
+#include "core/simd/dispatch.h"
 #include "sketch/hadamard.h"
 
 namespace sose {
@@ -49,9 +50,7 @@ Result<std::vector<double>> Srht::ApplyVector(
   }
   SOSE_SPAN("sketch.srht.apply_vector");
   std::vector<double> work(x);
-  for (int64_t i = 0; i < n_; ++i) {
-    work[static_cast<size_t>(i)] *= signs_[static_cast<size_t>(i)];
-  }
+  simd::Multiply(signs_.data(), work.data(), n_);
   SOSE_RETURN_IF_ERROR(Fwht(&work));
   const double scale = 1.0 / std::sqrt(static_cast<double>(m_));
   std::vector<double> out(static_cast<size_t>(m_));

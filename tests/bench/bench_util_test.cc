@@ -10,12 +10,17 @@ namespace {
 
 // These tests exercise the BENCH_<exp>.json writer against a scratch
 // experiment name in the test's working directory; each test removes its
-// file so reruns start clean.
+// file so reruns start clean. The name embeds the test case: ctest runs
+// gtest cases as concurrent processes sharing one working directory, so a
+// shared filename would let one test's cleanup race another's assertions.
 class WriteBenchJsonTest : public ::testing::Test {
  protected:
   void SetUp() override { std::remove(Path().c_str()); }
   void TearDown() override { std::remove(Path().c_str()); }
-  static std::string Experiment() { return "benchutiltest"; }
+  static std::string Experiment() {
+    return std::string("benchutiltest_") +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+  }
   static std::string Path() { return "BENCH_" + Experiment() + ".json"; }
   static std::string Contents() {
     auto text = ReadFileToString(Path());
@@ -145,6 +150,24 @@ TEST_F(WriteBenchJsonTest, EmbedsMetricsBlockAndKeepsTopLevelKeysReadable) {
   ASSERT_TRUE(FindJsonNumber(text, "trials", &value));
   EXPECT_EQ(value, 50.0);
   metrics::ResetAll();
+}
+
+// Every BENCH file carries the SIMD dispatch decision that produced its
+// numbers: the live ISA, who selected it, and what the host offered. Two
+// runs are only comparable when these match.
+TEST_F(WriteBenchJsonTest, EmbedsKernelsBlockRecordingDispatchDecision) {
+  ASSERT_TRUE(WriteBenchJsonResolved(Experiment(), /*requested_threads=*/1,
+                                     /*resolved_threads=*/1,
+                                     /*wall_seconds=*/2.0, /*trials=*/50)
+                  .ok());
+  const std::string text = Contents();
+  EXPECT_NE(text.find("\"kernels\": {"), std::string::npos);
+  EXPECT_NE(text.find("\"isa\": \"" + std::string(simd::ActiveIsaName()) +
+                      "\""),
+            std::string::npos);
+  EXPECT_NE(text.find("\"source\": "), std::string::npos);
+  // `available` always ends with the scalar fallback, whatever the host.
+  EXPECT_NE(text.find("scalar\""), std::string::npos);
 }
 
 }  // namespace

@@ -1,0 +1,221 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/random.h"
+#include "core/simd/cpu_features.h"
+#include "core/simd/dispatch.h"
+#include "core/simd/kernels.h"
+#include "core/status.h"
+
+namespace sose::simd {
+namespace {
+
+// Every vector kernel claims bitwise identity with the scalar reference.
+// These tests pin that per ISA actually runnable on the host, across
+// lengths straddling every lane-width boundary (scalar tails included).
+
+const std::vector<int64_t>& TestLengths() {
+  static const std::vector<int64_t> lengths = {0,  1,  2,  3,  7,  8,   9,
+                                               15, 16, 17, 31, 33, 63,  64,
+                                               65, 100, 255, 256, 1000};
+  return lengths;
+}
+
+std::vector<double> RandomVector(int64_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> v(static_cast<size_t>(n));
+  for (double& x : v) x = rng.Gaussian() * 3.0;
+  return v;
+}
+
+// The ISA variants both compiled into this binary and supported by the
+// executing CPU — exactly the tables the dispatcher would consider.
+std::vector<const KernelTable*> RunnableVectorTables() {
+  const CpuFeatures& features = DetectCpuFeatures();
+  std::vector<const KernelTable*> tables;
+  if (features.avx2 && Avx2Kernels() != nullptr) {
+    tables.push_back(Avx2Kernels());
+  }
+  if (features.avx512 && Avx512Kernels() != nullptr) {
+    tables.push_back(Avx512Kernels());
+  }
+  if (features.neon && NeonKernels() != nullptr) {
+    tables.push_back(NeonKernels());
+  }
+  return tables;
+}
+
+TEST(SimdKernelsTest, AxpyBitwiseMatchesScalarOnEveryRunnableIsa) {
+  for (const KernelTable* table : RunnableVectorTables()) {
+    for (int64_t n : TestLengths()) {
+      const std::vector<double> x = RandomVector(n, 101 + static_cast<uint64_t>(n));
+      std::vector<double> expected = RandomVector(n, 202 + static_cast<uint64_t>(n));
+      std::vector<double> actual = expected;
+      ScalarKernels()->axpy(1.7, x.data(), expected.data(), n);
+      table->axpy(1.7, x.data(), actual.data(), n);
+      for (int64_t i = 0; i < n; ++i) {
+        ASSERT_EQ(expected[static_cast<size_t>(i)], actual[static_cast<size_t>(i)])
+            << table->name << " axpy, n=" << n << ", i=" << i;
+      }
+    }
+  }
+}
+
+TEST(SimdKernelsTest, ScaleBitwiseMatchesScalarOnEveryRunnableIsa) {
+  for (const KernelTable* table : RunnableVectorTables()) {
+    for (int64_t n : TestLengths()) {
+      std::vector<double> expected = RandomVector(n, 303 + static_cast<uint64_t>(n));
+      std::vector<double> actual = expected;
+      ScalarKernels()->scale(0.3141, expected.data(), n);
+      table->scale(0.3141, actual.data(), n);
+      for (int64_t i = 0; i < n; ++i) {
+        ASSERT_EQ(expected[static_cast<size_t>(i)], actual[static_cast<size_t>(i)])
+            << table->name << " scale, n=" << n << ", i=" << i;
+      }
+    }
+  }
+}
+
+TEST(SimdKernelsTest, MultiplyBitwiseMatchesScalarOnEveryRunnableIsa) {
+  for (const KernelTable* table : RunnableVectorTables()) {
+    for (int64_t n : TestLengths()) {
+      const std::vector<double> x = RandomVector(n, 404 + static_cast<uint64_t>(n));
+      std::vector<double> expected = RandomVector(n, 505 + static_cast<uint64_t>(n));
+      std::vector<double> actual = expected;
+      ScalarKernels()->multiply(x.data(), expected.data(), n);
+      table->multiply(x.data(), actual.data(), n);
+      for (int64_t i = 0; i < n; ++i) {
+        ASSERT_EQ(expected[static_cast<size_t>(i)], actual[static_cast<size_t>(i)])
+            << table->name << " multiply, n=" << n << ", i=" << i;
+      }
+    }
+  }
+}
+
+TEST(SimdKernelsTest, ButterflyBitwiseMatchesScalarOnEveryRunnableIsa) {
+  for (const KernelTable* table : RunnableVectorTables()) {
+    for (int64_t n : TestLengths()) {
+      std::vector<double> expected_lo = RandomVector(n, 606 + static_cast<uint64_t>(n));
+      std::vector<double> expected_hi = RandomVector(n, 707 + static_cast<uint64_t>(n));
+      std::vector<double> actual_lo = expected_lo;
+      std::vector<double> actual_hi = expected_hi;
+      ScalarKernels()->butterfly(expected_lo.data(), expected_hi.data(), n);
+      table->butterfly(actual_lo.data(), actual_hi.data(), n);
+      for (int64_t i = 0; i < n; ++i) {
+        ASSERT_EQ(expected_lo[static_cast<size_t>(i)],
+                  actual_lo[static_cast<size_t>(i)])
+            << table->name << " butterfly lo, n=" << n << ", i=" << i;
+        ASSERT_EQ(expected_hi[static_cast<size_t>(i)],
+                  actual_hi[static_cast<size_t>(i)])
+            << table->name << " butterfly hi, n=" << n << ", i=" << i;
+      }
+    }
+  }
+}
+
+TEST(SimdKernelsTest, ScalarTableIsAlwaysAvailableAndNamed) {
+  ASSERT_NE(ScalarKernels(), nullptr);
+  EXPECT_STREQ(ScalarKernels()->name, "scalar");
+  EXPECT_NE(ScalarKernels()->axpy, nullptr);
+  EXPECT_NE(ScalarKernels()->scale, nullptr);
+  EXPECT_NE(ScalarKernels()->multiply, nullptr);
+  EXPECT_NE(ScalarKernels()->butterfly, nullptr);
+}
+
+TEST(SimdDispatchTest, AvailableIsasEndWithScalarAndAutoPicksTheFirst) {
+  const std::vector<std::string> isas = AvailableKernelIsas();
+  ASSERT_FALSE(isas.empty());
+  EXPECT_EQ(isas.back(), "scalar");
+  ASSERT_TRUE(SelectKernels("auto", KernelSelectionSource::kAuto).ok());
+  EXPECT_EQ(std::string(ActiveIsaName()), isas.front());
+}
+
+TEST(SimdDispatchTest, SelectScalarAndBackToAuto) {
+  ASSERT_TRUE(SelectKernels("scalar", KernelSelectionSource::kFlag).ok());
+  EXPECT_STREQ(ActiveIsaName(), "scalar");
+  EXPECT_EQ(ActiveSelectionSource(), KernelSelectionSource::kFlag);
+  ASSERT_TRUE(SelectKernels("auto", KernelSelectionSource::kFlag).ok());
+  EXPECT_EQ(ActiveSelectionSource(), KernelSelectionSource::kAuto);
+  EXPECT_EQ(std::string(ActiveIsaName()), AvailableKernelIsas().front());
+}
+
+TEST(SimdDispatchTest, UnknownSpecIsInvalidArgument) {
+  const Status status =
+      SelectKernels("sse9000", KernelSelectionSource::kFlag);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SimdDispatchTest, UnavailableIsaIsInvalidArgumentNotSilentFallback) {
+  // Every host misses at least one of these (no CPU has both AVX-512 and
+  // NEON); asking for a missing one must fail loudly.
+  const std::vector<std::string> available = AvailableKernelIsas();
+  for (const char* isa : {"avx2", "avx512", "neon"}) {
+    bool is_available = false;
+    for (const std::string& name : available) {
+      if (name == isa) is_available = true;
+    }
+    if (is_available) continue;
+    const Status status = SelectKernels(isa, KernelSelectionSource::kFlag);
+    EXPECT_EQ(status.code(), StatusCode::kInvalidArgument) << isa;
+    return;  // One missing ISA suffices.
+  }
+  GTEST_SKIP() << "host exposes every ISA variant";
+}
+
+TEST(SimdDispatchTest, FlagSpecOverridesEnvVar) {
+  ASSERT_EQ(setenv("SOSE_KERNELS", "auto", /*overwrite=*/1), 0);
+  ASSERT_TRUE(SelectKernelsFromSpec("scalar").ok());
+  EXPECT_STREQ(ActiveIsaName(), "scalar");
+  EXPECT_EQ(ActiveSelectionSource(), KernelSelectionSource::kFlag);
+  ASSERT_EQ(unsetenv("SOSE_KERNELS"), 0);
+  ASSERT_TRUE(SelectKernels("auto", KernelSelectionSource::kAuto).ok());
+}
+
+TEST(SimdDispatchTest, EnvVarAppliesWhenFlagIsEmpty) {
+  ASSERT_EQ(setenv("SOSE_KERNELS", "scalar", /*overwrite=*/1), 0);
+  ASSERT_TRUE(SelectKernelsFromSpec("").ok());
+  EXPECT_STREQ(ActiveIsaName(), "scalar");
+  EXPECT_EQ(ActiveSelectionSource(), KernelSelectionSource::kEnv);
+  ASSERT_EQ(unsetenv("SOSE_KERNELS"), 0);
+  ASSERT_TRUE(SelectKernels("auto", KernelSelectionSource::kAuto).ok());
+}
+
+TEST(SimdDispatchTest, InvalidEnvVarIsReportedByFromSpec) {
+  ASSERT_EQ(setenv("SOSE_KERNELS", "vliw", /*overwrite=*/1), 0);
+  EXPECT_EQ(SelectKernelsFromSpec("").code(), StatusCode::kInvalidArgument);
+  ASSERT_EQ(unsetenv("SOSE_KERNELS"), 0);
+  ASSERT_TRUE(SelectKernels("auto", KernelSelectionSource::kAuto).ok());
+}
+
+TEST(SimdDispatchTest, SelectionSourceNamesAreStable) {
+  EXPECT_STREQ(KernelSelectionSourceName(KernelSelectionSource::kAuto),
+               "auto");
+  EXPECT_STREQ(KernelSelectionSourceName(KernelSelectionSource::kEnv), "env");
+  EXPECT_STREQ(KernelSelectionSourceName(KernelSelectionSource::kFlag),
+               "flag");
+}
+
+TEST(SimdCpuFeaturesTest, ToStringListsDetectedFeatures) {
+  CpuFeatures none;
+  EXPECT_EQ(CpuFeaturesToString(none), "none");
+  CpuFeatures x86;
+  x86.avx2 = true;
+  x86.avx512 = true;
+  EXPECT_EQ(CpuFeaturesToString(x86), "avx2,avx512");
+  CpuFeatures arm;
+  arm.neon = true;
+  EXPECT_EQ(CpuFeaturesToString(arm), "neon");
+}
+
+TEST(SimdCpuFeaturesTest, DetectionIsStableAcrossCalls) {
+  const CpuFeatures& first = DetectCpuFeatures();
+  const CpuFeatures& second = DetectCpuFeatures();
+  EXPECT_EQ(&first, &second);
+}
+
+}  // namespace
+}  // namespace sose::simd

@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/random.h"
+#include "core/sparse.h"
+#include "hardinstance/d_beta.h"
+#include "sketch/registry.h"
+#include "sketch/sketch.h"
+
+namespace sose {
+namespace {
+
+// ApplyBatch claims bitwise identity with ApplySparse for every registered
+// family: contributions to any output cell arrive in ascending ambient-row
+// order under both traversals, so batching the hashing cannot move a single
+// rounding. One parameterized test covers the whole registry, including
+// the CountSketch/OSNAP overrides and the generic default.
+
+// n must be a power of two (SRHT/BlockHadamard) and sparsity must divide m
+// (osnap-block); these choices satisfy every family's constraints at once.
+constexpr int64_t kAmbient = 256;
+constexpr int64_t kTarget = 32;
+constexpr int64_t kSparsity = 4;
+constexpr int64_t kBasisCols = 6;
+
+SketchConfig TestConfig(uint64_t seed) {
+  SketchConfig config;
+  config.rows = kTarget;
+  config.cols = kAmbient;
+  config.sparsity = kSparsity;
+  config.seed = seed;
+  return config;
+}
+
+// A basis whose columns share ambient rows, so the batched paths actually
+// amortize (every shared row is the interesting case for ordering).
+CscMatrix SharedRowBasis(uint64_t seed) {
+  auto sampler = DBetaSampler::Create(kAmbient, kBasisCols, 3);
+  EXPECT_TRUE(sampler.ok()) << sampler.status();
+  Rng rng(seed);
+  return sampler.value().Sample(&rng).ToCsc();
+}
+
+void ExpectBitwiseEqual(const Matrix& a, const Matrix& b,
+                        const std::string& label) {
+  ASSERT_EQ(a.rows(), b.rows()) << label;
+  ASSERT_EQ(a.cols(), b.cols()) << label;
+  for (int64_t i = 0; i < a.rows(); ++i) {
+    for (int64_t j = 0; j < a.cols(); ++j) {
+      ASSERT_EQ(a.At(i, j), b.At(i, j))
+          << label << ": mismatch at (" << i << ", " << j << ")";
+    }
+  }
+}
+
+class ApplyBatchRegistryTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ApplyBatchRegistryTest, BatchedApplyIsBitwiseEqualToApplySparse) {
+  const std::string& family = GetParam();
+  auto sketch = CreateSketch(family, TestConfig(29));
+  ASSERT_TRUE(sketch.ok()) << sketch.status();
+  const CscMatrix u = SharedRowBasis(31);
+
+  auto sparse = sketch.value()->ApplySparse(u);
+  ASSERT_TRUE(sparse.ok()) << sparse.status();
+  auto batched = sketch.value()->ApplyBatch(u);
+  ASSERT_TRUE(batched.ok()) << batched.status();
+  ExpectBitwiseEqual(sparse.value(), batched.value(), family);
+}
+
+TEST_P(ApplyBatchRegistryTest, DenseOverloadMatchesApplyDense) {
+  const std::string& family = GetParam();
+  auto sketch = CreateSketch(family, TestConfig(37));
+  ASSERT_TRUE(sketch.ok()) << sketch.status();
+  const Matrix dense = SharedRowBasis(41).ToDense();
+
+  auto via_dense = sketch.value()->ApplyDense(dense);
+  ASSERT_TRUE(via_dense.ok()) << via_dense.status();
+  auto via_batch = sketch.value()->ApplyBatch(dense);
+  ASSERT_TRUE(via_batch.ok()) << via_batch.status();
+  ExpectBitwiseEqual(via_dense.value(), via_batch.value(), family);
+}
+
+TEST_P(ApplyBatchRegistryTest, RejectsAmbientDimensionMismatch) {
+  const std::string& family = GetParam();
+  auto sketch = CreateSketch(family, TestConfig(43));
+  ASSERT_TRUE(sketch.ok()) << sketch.status();
+  const CscMatrix wrong(kAmbient / 2, 2, {0, 0, 0}, {}, {});
+  EXPECT_EQ(sketch.value()->ApplyBatch(wrong).status().code(),
+            StatusCode::kInvalidArgument)
+      << family;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFamilies, ApplyBatchRegistryTest,
+    ::testing::ValuesIn(KnownSketchFamilies()),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      std::string name = info.param;
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+// An empty batch (no nonzeros at all) must produce the zero matrix through
+// both paths without touching a single sketch column.
+TEST(ApplyBatchTest, EmptyBatchYieldsZeroMatrix) {
+  auto sketch = CreateSketch("countsketch", TestConfig(47));
+  ASSERT_TRUE(sketch.ok()) << sketch.status();
+  const CscMatrix empty(kAmbient, 3, {0, 0, 0, 0}, {}, {});
+  auto batched = sketch.value()->ApplyBatch(empty);
+  ASSERT_TRUE(batched.ok()) << batched.status();
+  EXPECT_EQ(batched.value().rows(), kTarget);
+  EXPECT_EQ(batched.value().cols(), 3);
+  EXPECT_EQ(batched.value().MaxAbs(), 0.0);
+}
+
+// RowOrderedEntries is the traversal ApplyBatch's guarantee rests on: rows
+// ascending, columns ascending within a row, nothing lost.
+TEST(ApplyBatchTest, RowOrderedEntriesSortsByRowThenColumn) {
+  CooBuilder builder(10, 3);
+  builder.Add(7, 2, 1.0);
+  builder.Add(2, 1, 2.0);
+  builder.Add(7, 0, 3.0);
+  builder.Add(2, 0, 4.0);
+  const std::vector<BatchEntry> entries =
+      RowOrderedEntries(builder.ToCsc());
+  ASSERT_EQ(entries.size(), 4u);
+  EXPECT_EQ(entries[0].row, 2);
+  EXPECT_EQ(entries[0].col, 0);
+  EXPECT_EQ(entries[0].value, 4.0);
+  EXPECT_EQ(entries[1].row, 2);
+  EXPECT_EQ(entries[1].col, 1);
+  EXPECT_EQ(entries[2].row, 7);
+  EXPECT_EQ(entries[2].col, 0);
+  EXPECT_EQ(entries[3].row, 7);
+  EXPECT_EQ(entries[3].col, 2);
+}
+
+}  // namespace
+}  // namespace sose

@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sketch/registry.h"
+#include "sketch/sketch.h"
+
+namespace sose {
+namespace {
+
+// ColumnInto's buffer-reuse contract, pinned across the whole registry: the
+// buffer is replaced (never appended to), matches Column() exactly, and its
+// capacity is never shrunk — so one buffer reused across a hot loop stops
+// reallocating once it has seen the widest column.
+
+constexpr int64_t kAmbient = 256;  // power of two for SRHT/BlockHadamard
+constexpr int64_t kTarget = 32;
+constexpr int64_t kSparsity = 4;   // divides kTarget for osnap-block
+
+class ColumnIntoRegistryTest : public ::testing::TestWithParam<std::string> {
+ protected:
+  std::unique_ptr<SketchingMatrix> MakeSketch(uint64_t seed) const {
+    SketchConfig config;
+    config.rows = kTarget;
+    config.cols = kAmbient;
+    config.sparsity = kSparsity;
+    config.seed = seed;
+    auto sketch = CreateSketch(GetParam(), config);
+    EXPECT_TRUE(sketch.ok()) << sketch.status();
+    return std::move(sketch).ValueOrDie();
+  }
+};
+
+TEST_P(ColumnIntoRegistryTest, DirtyBufferIsReplacedNotAppended) {
+  const std::unique_ptr<SketchingMatrix> sketch = MakeSketch(53);
+  std::vector<ColumnEntry> buffer;
+  for (int64_t c = 0; c < kAmbient; c += 37) {
+    // Poison the buffer: stale entries must all disappear.
+    buffer.assign(9, ColumnEntry{int64_t{-1}, -123.0});
+    sketch->ColumnInto(c, &buffer);
+    const std::vector<ColumnEntry> expected = sketch->Column(c);
+    ASSERT_EQ(buffer.size(), expected.size()) << "column " << c;
+    for (size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_EQ(buffer[i].row, expected[i].row) << "column " << c;
+      EXPECT_EQ(buffer[i].value, expected[i].value) << "column " << c;
+      EXPECT_NE(buffer[i].row, -1) << "stale entry survived in column " << c;
+    }
+  }
+}
+
+TEST_P(ColumnIntoRegistryTest, CapacityIsPreservedAcrossCalls) {
+  const std::unique_ptr<SketchingMatrix> sketch = MakeSketch(59);
+  std::vector<ColumnEntry> buffer;
+  // Larger than any column this config can produce (dense families cap at
+  // kTarget entries), so no call below has a reason to reallocate — and the
+  // contract says none may shrink what the caller reserved.
+  const size_t reserved = static_cast<size_t>(kTarget) * 4;
+  buffer.reserve(reserved);
+  for (int64_t c = 0; c < kAmbient; c += 19) {
+    sketch->ColumnInto(c, &buffer);
+    EXPECT_GE(buffer.capacity(), reserved)
+        << "column " << c << " shrank the caller's buffer";
+  }
+}
+
+TEST_P(ColumnIntoRegistryTest, RepeatedCallsAreDeterministic) {
+  const std::unique_ptr<SketchingMatrix> sketch = MakeSketch(61);
+  std::vector<ColumnEntry> first;
+  std::vector<ColumnEntry> second;
+  for (int64_t c : {int64_t{0}, int64_t{1}, kAmbient / 2, kAmbient - 1}) {
+    sketch->ColumnInto(c, &first);
+    sketch->ColumnInto(c, &second);
+    ASSERT_EQ(first.size(), second.size()) << "column " << c;
+    for (size_t i = 0; i < first.size(); ++i) {
+      EXPECT_EQ(first[i].row, second[i].row) << "column " << c;
+      EXPECT_EQ(first[i].value, second[i].value) << "column " << c;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFamilies, ColumnIntoRegistryTest,
+    ::testing::ValuesIn(KnownSketchFamilies()),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      std::string name = info.param;
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace sose

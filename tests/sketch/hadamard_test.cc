@@ -69,6 +69,27 @@ TEST(FwhtTest, RejectsNonPowerOfTwoSize) {
   EXPECT_FALSE(Fwht(&x).ok());
 }
 
+// The rejection must flow through the Status path with the right category —
+// not an abort, and not a silent no-op — and must leave the input intact.
+TEST(FwhtTest, NonPowerOfTwoIsInvalidArgumentAndLeavesInputUntouched) {
+  for (size_t n : {size_t{0}, size_t{3}, size_t{6}, size_t{12}, size_t{1000}}) {
+    std::vector<double> x(n, 2.25);
+    const Status status = Fwht(&x);
+    EXPECT_EQ(status.code(), StatusCode::kInvalidArgument) << "n=" << n;
+    ASSERT_EQ(x.size(), n);
+    for (double v : x) {
+      EXPECT_EQ(v, 2.25) << "n=" << n << " mutated before failing";
+    }
+  }
+}
+
+TEST(FwhtTest, SizeTwoIsSingleButterfly) {
+  std::vector<double> x = {1.25, -0.5};
+  ASSERT_TRUE(Fwht(&x).ok());
+  EXPECT_EQ(x[0], 0.75);
+  EXPECT_EQ(x[1], 1.75);
+}
+
 TEST(FwhtTest, MatchesExplicitHadamardMultiply) {
   Rng rng(5);
   std::vector<double> x(16);

@@ -1,4 +1,4 @@
-// Unit tests for sose_lint: each rule R1-R6 is proven to fire on a synthetic
+// Unit tests for sose_lint: each rule R1-R7 is proven to fire on a synthetic
 // violation (positive case), to stay quiet on conforming code (negative
 // case), and to honour the `// sose-lint: allow(<rule>)` suppression.
 
@@ -40,7 +40,8 @@ int CountRule(const std::vector<Finding>& findings, Rule rule) {
 TEST(RuleNameTest, RoundTrips) {
   for (Rule rule : {Rule::kDiscardedStatus, Rule::kDeterminism,
                     Rule::kConcurrency, Rule::kFaultRegistry,
-                    Rule::kHeaderHygiene, Rule::kMetricsDiscipline}) {
+                    Rule::kHeaderHygiene, Rule::kMetricsDiscipline,
+                    Rule::kArchIntrinsics}) {
     Rule parsed = Rule::kDiscardedStatus;
     EXPECT_TRUE(RuleFromName(RuleName(rule), &parsed)) << RuleName(rule);
     EXPECT_EQ(parsed, rule);
@@ -311,6 +312,72 @@ TEST(MetricsDisciplineTest, SuppressionComment) {
       "// sose-lint: allow(metrics-discipline)\n"
       "auto* c = metrics::MetricsRegistry::Global().GetCounter(\"x\");\n");
   EXPECT_EQ(CountRule(findings, Rule::kMetricsDiscipline), 0);
+}
+
+// ---------------------------------------------------------------------------
+// R7: arch-intrinsics confinement
+// ---------------------------------------------------------------------------
+
+TEST(ArchIntrinsicsTest, FiresOnIntrinsicsIncludeOutsideSimd) {
+  auto findings = FindingsFor("src/core/matrix.cc",
+                              "#include <immintrin.h>\n"
+                              "void F() {}\n");
+  EXPECT_EQ(CountRule(findings, Rule::kArchIntrinsics), 1);
+  findings = FindingsFor("src/sketch/hadamard.cc",
+                         "#include <arm_neon.h>\n");
+  EXPECT_EQ(CountRule(findings, Rule::kArchIntrinsics), 1);
+}
+
+TEST(ArchIntrinsicsTest, FiresOnArchGuardOutsideSimd) {
+  auto findings = FindingsFor("src/ose/distortion.cc",
+                              "#if defined(__AVX2__)\n"
+                              "void Fast() {}\n"
+                              "#endif\n");
+  EXPECT_EQ(CountRule(findings, Rule::kArchIntrinsics), 1);
+  findings = FindingsFor("bench/bench_e9_apply_throughput.cc",
+                         "#ifdef __aarch64__\n"
+                         "#endif\n");
+  EXPECT_EQ(CountRule(findings, Rule::kArchIntrinsics), 1);
+}
+
+TEST(ArchIntrinsicsTest, AllowedInsideSimdSubsystem) {
+  const std::string code =
+      "#include <immintrin.h>\n"
+      "#if defined(__AVX512F__)\n"
+      "void Kernel() {}\n"
+      "#endif\n";
+  EXPECT_EQ(CountRule(FindingsFor("src/core/simd/kernels_avx512.cc", code),
+                      Rule::kArchIntrinsics),
+            0);
+  EXPECT_EQ(CountRule(FindingsFor("src/core/simd/cpu_features.cc", code),
+                      Rule::kArchIntrinsics),
+            0);
+}
+
+TEST(ArchIntrinsicsTest, QuietOnOrdinaryPreprocessorLines) {
+  auto findings = FindingsFor("src/core/util.cc",
+                              "#include <vector>\n"
+                              "#if defined(SOSE_METRICS_DISABLED)\n"
+                              "#endif\n"
+                              "// mentions __AVX2__ in prose only\n"
+                              "const char* kName = \"__AVX2__\";\n");
+  EXPECT_EQ(CountRule(findings, Rule::kArchIntrinsics), 0);
+}
+
+TEST(ArchIntrinsicsTest, SuppressionCommentOnSameOrPrecedingLine) {
+  // Preprocessor lines never reach the tokenizer, so the same-line form is
+  // matched on the raw line; the preceding-line form flows through the
+  // ordinary suppression map.
+  auto findings = FindingsFor(
+      "src/core/probe.cc",
+      "#include <immintrin.h>  // sose-lint: allow(arch-intrinsics)\n");
+  EXPECT_EQ(CountRule(findings, Rule::kArchIntrinsics), 0);
+  findings = FindingsFor(
+      "src/core/probe.cc",
+      "// sose-lint: allow(arch-intrinsics)\n"
+      "#if defined(__SSE4_2__)\n"
+      "#endif\n");
+  EXPECT_EQ(CountRule(findings, Rule::kArchIntrinsics), 0);
 }
 
 // ---------------------------------------------------------------------------

@@ -604,6 +604,76 @@ void CheckHeaderHygiene(const std::string& rel_path, const std::string& content,
   }
 }
 
+// ---------------------------------------------------------------------------
+// R7: arch-intrinsics confinement
+// ---------------------------------------------------------------------------
+
+// ISA-specific code lives in src/core/simd/ behind the runtime dispatch
+// table; an intrinsics include or an `#ifdef __AVX2__`-style guard anywhere
+// else forks the scalar/vector parity surface across the tree. Scanned on
+// raw lines because the tokenizer (correctly) skips preprocessor
+// directives — which is also why a same-line suppression comment is
+// honoured here directly instead of through the token-level map.
+bool ArchExempt(const std::string& rel_path) {
+  return StartsWith(rel_path, "src/core/simd/");
+}
+
+const char* const kIntrinsicsHeaders[] = {
+    "immintrin.h", "x86intrin.h", "emmintrin.h",
+    "xmmintrin.h", "arm_neon.h",  "arm_sve.h",
+};
+
+const char* const kArchGuardMacros[] = {
+    "__AVX", "__SSE", "__ARM_NEON", "__ARM_FEATURE",
+    "__aarch64__", "__x86_64__", "__amd64__",
+};
+
+void CheckArchIntrinsics(const std::string& rel_path,
+                         const std::string& content, const Scan& scan,
+                         std::vector<Finding>* findings) {
+  if (ArchExempt(rel_path)) return;
+  const std::vector<std::string> lines = SplitLines(content);
+  SuppressionMap line_suppressions;
+  for (size_t i = 0; i < lines.size(); ++i) {
+    RecordSuppression(lines[i], static_cast<int>(i) + 1, &line_suppressions);
+  }
+  for (size_t i = 0; i < lines.size(); ++i) {
+    const std::string t = Trimmed(lines[i]);
+    if (!StartsWith(t, "#")) continue;
+    const std::string body = Trimmed(t.substr(1));
+    std::string message;
+    if (StartsWith(body, "include")) {
+      for (const char* header : kIntrinsicsHeaders) {
+        if (t.find(header) != std::string::npos) {
+          message = std::string("intrinsics header '") + header +
+                    "' outside src/core/simd/; ISA-specific code belongs in "
+                    "a kernel variant behind the dispatch table, and callers "
+                    "go through the sose::simd wrappers";
+          break;
+        }
+      }
+    } else if (StartsWith(body, "if") || StartsWith(body, "elif")) {
+      for (const char* macro : kArchGuardMacros) {
+        if (t.find(macro) != std::string::npos) {
+          message = std::string("arch guard on ") + macro +
+                    " outside src/core/simd/; compile-time ISA branching "
+                    "belongs in the kernel variants so scalar/vector parity "
+                    "stays a single auditable surface";
+          break;
+        }
+      }
+    }
+    if (message.empty()) continue;
+    const int line_no = static_cast<int>(i) + 1;
+    if (Suppressed(scan.suppressions, line_no, Rule::kArchIntrinsics) ||
+        Suppressed(line_suppressions, line_no, Rule::kArchIntrinsics)) {
+      continue;
+    }
+    findings->push_back(
+        {rel_path, line_no, Rule::kArchIntrinsics, message, false});
+  }
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -618,6 +688,7 @@ const char* RuleName(Rule rule) {
     case Rule::kFaultRegistry: return "fault-registry";
     case Rule::kHeaderHygiene: return "header-hygiene";
     case Rule::kMetricsDiscipline: return "metrics-discipline";
+    case Rule::kArchIntrinsics: return "arch-intrinsics";
   }
   return "unknown";
 }
@@ -625,7 +696,8 @@ const char* RuleName(Rule rule) {
 bool RuleFromName(const std::string& name, Rule* rule) {
   for (Rule r : {Rule::kDiscardedStatus, Rule::kDeterminism,
                  Rule::kConcurrency, Rule::kFaultRegistry,
-                 Rule::kHeaderHygiene, Rule::kMetricsDiscipline}) {
+                 Rule::kHeaderHygiene, Rule::kMetricsDiscipline,
+                 Rule::kArchIntrinsics}) {
     if (name == RuleName(r)) {
       *rule = r;
       return true;
@@ -763,6 +835,7 @@ std::vector<Finding> LintFile(const std::string& rel_path,
   CheckDeterminism(rel_path, scan, &findings);
   CheckConcurrency(rel_path, scan, &findings);
   CheckMetricsDiscipline(rel_path, scan, &findings);
+  CheckArchIntrinsics(rel_path, content, scan, &findings);
   CheckHeaderHygiene(rel_path, content, scan, &findings);
   std::sort(findings.begin(), findings.end(),
             [](const Finding& a, const Finding& b) { return a.line < b.line; });

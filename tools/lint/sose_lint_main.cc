@@ -1,7 +1,7 @@
 // sose_lint: project-invariant static analysis for the sose tree.
 //
 // Walks src/, bench/, tests/, and tools/, builds the Status/Result function
-// inventory from the src/ headers, and enforces rules R1-R6 (see
+// inventory from the src/ headers, and enforces rules R1-R7 (see
 // docs/static-analysis.md). Exits 0 when the tree is clean, 1 when findings
 // remain, 2 on usage or I/O errors.
 //
