@@ -1,0 +1,341 @@
+// End-to-end tests for the sose_lint driver (tools/lint/driver.cc): fixture
+// trees exercising the seeded R8/R9/R10 regressions, the incremental cache,
+// the SARIF + baseline workflow, and the CLI error paths.
+
+#include "tools/lint/driver.h"
+
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace fs = std::filesystem;
+
+namespace sose::lint {
+namespace {
+
+// A disposable repo-shaped tree under the system temp directory. All four
+// scan roots exist even when empty; docs/robustness.md is present so the
+// driver does not warn about it.
+class FixtureTree {
+ public:
+  explicit FixtureTree(const std::string& name)
+      : root_(fs::temp_directory_path() / ("sose_lint_driver_" + name)) {
+    fs::remove_all(root_);
+    for (const char* dir : {"src", "bench", "tests", "tools", "docs"}) {
+      fs::create_directories(root_ / dir);
+    }
+    Write("docs/robustness.md", "# Fault registry\n");
+  }
+  ~FixtureTree() { fs::remove_all(root_); }
+
+  void Write(const std::string& rel, const std::string& content) {
+    fs::path path = root_ / rel;
+    fs::create_directories(path.parent_path());
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << content;
+  }
+
+  std::string Read(const std::string& rel) const {
+    std::ifstream in(root_ / rel, std::ios::binary);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+  }
+
+  std::string Root() const { return root_.string(); }
+  fs::path Path(const std::string& rel) const { return root_ / rel; }
+
+ private:
+  fs::path root_;
+};
+
+// The three seeded whole-program regressions from the ISSUE: a seed leak,
+// a wrapper-level Status discard invisible to the header inventory, and an
+// unsanctioned float reduction.
+void SeedRegressions(FixtureTree* tree) {
+  tree->Write("src/sketch/leak.cc",
+              "namespace sose {\n"
+              "double Noise(int n) {\n"
+              "  Rng rng(42);\n"
+              "  return rng.Gaussian() * n;\n"
+              "}\n"
+              "}  // namespace sose\n");
+  tree->Write("src/sketch/wrapper.cc",
+              "namespace sose {\n"
+              "Status Inner() { return Status(); }\n"
+              "void Outer() {\n"
+              "  Inner();\n"
+              "}\n"
+              "}  // namespace sose\n");
+  tree->Write("src/ose/acc.cc",
+              "namespace sose {\n"
+              "double Sum(const std::vector<double>& xs) {\n"
+              "  double s = 0.0;\n"
+              "  for (double v : xs) {\n"
+              "    s += v;\n"
+              "  }\n"
+              "  return s;\n"
+              "}\n"
+              "}  // namespace sose\n");
+}
+
+struct RunResult {
+  int exit_code = 0;
+  std::string out;
+  std::string err;
+  DriverStats stats;
+};
+
+RunResult RunLint(const DriverOptions& options) {
+  RunResult result;
+  std::ostringstream out;
+  std::ostringstream err;
+  result.exit_code = RunSoseLint(options, out, err, &result.stats);
+  result.out = out.str();
+  result.err = err.str();
+  return result;
+}
+
+TEST(DriverTest, SeededRegressionsAreCaught) {
+  FixtureTree tree("regressions");
+  SeedRegressions(&tree);
+  DriverOptions options;
+  options.root = tree.Root();
+  RunResult result = RunLint(options);
+  EXPECT_EQ(result.exit_code, 1);
+  EXPECT_NE(result.out.find("src/sketch/leak.cc:2: [seed-purity]"),
+            std::string::npos)
+      << result.out;
+  EXPECT_NE(result.out.find("src/sketch/wrapper.cc:4: [status-flow]"),
+            std::string::npos)
+      << result.out;
+  EXPECT_NE(result.out.find("src/ose/acc.cc:5: [float-determinism]"),
+            std::string::npos)
+      << result.out;
+  EXPECT_EQ(result.stats.findings_active, 3);
+}
+
+TEST(DriverTest, CleanTreeExitsZero) {
+  FixtureTree tree("clean");
+  tree.Write("src/core/thing.h",
+             "#ifndef SOSE_CORE_THING_H_\n"
+             "#define SOSE_CORE_THING_H_\n"
+             "namespace sose {\n"
+             "Status Configure(int n);\n"
+             "}  // namespace sose\n"
+             "#endif  // SOSE_CORE_THING_H_\n");
+  DriverOptions options;
+  options.root = tree.Root();
+  RunResult result = RunLint(options);
+  EXPECT_EQ(result.exit_code, 0) << result.out;
+  EXPECT_NE(result.out.find("1 files clean"), std::string::npos);
+  EXPECT_NE(result.out.find("1 Status/Result functions in inventory"),
+            std::string::npos);
+}
+
+TEST(DriverTest, SuppressionsFlowThroughTheDriver) {
+  FixtureTree tree("suppressed");
+  tree.Write("src/sketch/leak.cc",
+             "namespace sose {\n"
+             "// sose-lint: allow(seed-purity)\n"
+             "double Noise(int n) {\n"
+             "  Rng rng(42);\n"
+             "  return rng.Gaussian() * n;\n"
+             "}\n"
+             "}  // namespace sose\n");
+  DriverOptions options;
+  options.root = tree.Root();
+  RunResult result = RunLint(options);
+  EXPECT_EQ(result.exit_code, 0) << result.out;
+}
+
+TEST(DriverTest, MissingScanRootIsAHardError) {
+  FixtureTree tree("missingdir");
+  fs::remove_all(tree.Path("bench"));
+  DriverOptions options;
+  options.root = tree.Root();
+  RunResult result = RunLint(options);
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_NE(result.err.find("missing input directory"), std::string::npos);
+  EXPECT_NE(result.err.find("bench"), std::string::npos);
+}
+
+TEST(DriverTest, NonRepoRootIsAHardError) {
+  DriverOptions options;
+  options.root = (fs::temp_directory_path() / "sose_lint_no_such_root").string();
+  RunResult result = RunLint(options);
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_NE(result.err.find("does not look like the repo root"),
+            std::string::npos);
+}
+
+TEST(DriverTest, UnreadableCompileCommandsIsAHardError) {
+  FixtureTree tree("badccmds");
+  DriverOptions options;
+  options.root = tree.Root();
+  options.compile_commands_path =
+      tree.Path("no_such_compile_commands.json").string();
+  RunResult result = RunLint(options);
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_NE(result.err.find("cannot read compile database"), std::string::npos);
+}
+
+TEST(DriverTest, WarmCacheReindexesNothingAndStdoutIsByteStable) {
+  FixtureTree tree("cache");
+  SeedRegressions(&tree);
+  DriverOptions options;
+  options.root = tree.Root();
+  options.cache_path = tree.Path("lint.cache").string();
+
+  RunResult cold = RunLint(options);
+  EXPECT_EQ(cold.exit_code, 1);
+  EXPECT_EQ(cold.stats.cache_hits, 0);
+  EXPECT_EQ(cold.stats.files_reindexed, cold.stats.files_scanned);
+
+  RunResult warm = RunLint(options);
+  EXPECT_EQ(warm.exit_code, 1);
+  EXPECT_EQ(warm.stats.cache_hits, warm.stats.files_scanned);
+  EXPECT_EQ(warm.stats.files_reindexed, 0);
+  // Findings output must be byte-identical across cache states (the cache
+  // stats line goes to stderr precisely so this holds).
+  EXPECT_EQ(cold.out, warm.out);
+}
+
+TEST(DriverTest, EditedFileIsReindexedAndCacheStaysCorrect) {
+  FixtureTree tree("edit");
+  SeedRegressions(&tree);
+  DriverOptions options;
+  options.root = tree.Root();
+  options.cache_path = tree.Path("lint.cache").string();
+  RunLint(options);  // Cold run to populate the cache.
+
+  // Fix the seed leak; only that file should be retokenized.
+  tree.Write("src/sketch/leak.cc",
+             "namespace sose {\n"
+             "double Noise(int n, uint64_t seed) {\n"
+             "  Rng rng(seed);\n"
+             "  return rng.Gaussian() * n;\n"
+             "}\n"
+             "}  // namespace sose\n");
+  RunResult after = RunLint(options);
+  EXPECT_EQ(after.exit_code, 1);
+  EXPECT_EQ(after.stats.files_reindexed, 1);
+  EXPECT_EQ(after.out.find("seed-purity"), std::string::npos) << after.out;
+  EXPECT_NE(after.out.find("status-flow"), std::string::npos);
+  EXPECT_NE(after.out.find("float-determinism"), std::string::npos);
+}
+
+TEST(DriverTest, ListInventoryIsSortedAndStable) {
+  FixtureTree tree("inventory");
+  tree.Write("src/core/zeta.h",
+             "#ifndef SOSE_CORE_ZETA_H_\n"
+             "#define SOSE_CORE_ZETA_H_\n"
+             "Status Zebra();\n"
+             "Status Apple();\n"
+             "#endif  // SOSE_CORE_ZETA_H_\n");
+  tree.Write("src/core/alpha.h",
+             "#ifndef SOSE_CORE_ALPHA_H_\n"
+             "#define SOSE_CORE_ALPHA_H_\n"
+             "Result<int> Mango();\n"
+             "#endif  // SOSE_CORE_ALPHA_H_\n");
+  DriverOptions options;
+  options.root = tree.Root();
+  options.list_inventory = true;
+  RunResult first = RunLint(options);
+  EXPECT_EQ(first.exit_code, 0);
+  EXPECT_EQ(first.out, "Apple\nMango\nZebra\n");
+  EXPECT_EQ(RunLint(options).out, first.out);
+}
+
+TEST(DriverTest, SarifReportIsWritten) {
+  FixtureTree tree("sarif");
+  SeedRegressions(&tree);
+  DriverOptions options;
+  options.root = tree.Root();
+  options.sarif_path = tree.Path("report.sarif").string();
+  RunResult result = RunLint(options);
+  EXPECT_EQ(result.exit_code, 1);
+  std::string sarif = tree.Read("report.sarif");
+  EXPECT_NE(sarif.find("\"version\": \"2.1.0\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"id\": \"seed-purity\""), std::string::npos);
+  EXPECT_NE(sarif.find("src/sketch/wrapper.cc"), std::string::npos);
+  EXPECT_NE(sarif.find("soseLintFingerprint/v1"), std::string::npos);
+}
+
+TEST(DriverTest, BaselineRoundTripHidesFindingsAndReportsStaleEntries) {
+  FixtureTree tree("baseline");
+  SeedRegressions(&tree);
+
+  // 1. Accept the current findings into a baseline.
+  DriverOptions write_options;
+  write_options.root = tree.Root();
+  write_options.write_baseline_path = tree.Path("baseline.txt").string();
+  RunResult wrote = RunLint(write_options);
+  EXPECT_EQ(wrote.exit_code, 0);
+  EXPECT_NE(wrote.out.find("wrote 3 baseline entries"), std::string::npos)
+      << wrote.out;
+
+  // 2. With the baseline applied the tree is clean, and SARIF marks the
+  //    accepted findings as externally suppressed.
+  DriverOptions options;
+  options.root = tree.Root();
+  options.baseline_path = tree.Path("baseline.txt").string();
+  options.sarif_path = tree.Path("report.sarif").string();
+  RunResult clean = RunLint(options);
+  EXPECT_EQ(clean.exit_code, 0) << clean.out;
+  EXPECT_NE(clean.out.find("3 baselined finding(s) suppressed"),
+            std::string::npos);
+  EXPECT_EQ(clean.stats.findings_baselined, 3);
+  EXPECT_NE(tree.Read("report.sarif")
+                .find("\"suppressions\": [{\"kind\": \"external\"}]"),
+            std::string::npos);
+
+  // 3. Fixing one finding leaves its baseline entry stale: still clean, but
+  //    the driver says so.
+  tree.Write("src/ose/acc.cc",
+             "namespace sose {\n"
+             "double Sum(const std::vector<double>& xs) {\n"
+             "  return KernelSum(xs);\n"
+             "}\n"
+             "}  // namespace sose\n");
+  options.sarif_path.clear();
+  RunResult stale = RunLint(options);
+  EXPECT_EQ(stale.exit_code, 0) << stale.out;
+  EXPECT_EQ(stale.stats.baseline_stale, 1);
+  EXPECT_NE(stale.out.find("1 stale baseline entry"), std::string::npos)
+      << stale.out;
+}
+
+TEST(DriverTest, BaselineDoesNotHideNewFindingsOfTheSameRule) {
+  FixtureTree tree("baselinenew");
+  SeedRegressions(&tree);
+  DriverOptions write_options;
+  write_options.root = tree.Root();
+  write_options.write_baseline_path = tree.Path("baseline.txt").string();
+  RunLint(write_options);
+
+  // A *new* seed leak in a different function is not covered by the old
+  // entries: fingerprints bind (file, rule, message), not just the rule.
+  tree.Write("src/sketch/leak2.cc",
+             "namespace sose {\n"
+             "double Jitter(int n) {\n"
+             "  Rng rng(7);\n"
+             "  return rng.Gaussian() * n;\n"
+             "}\n"
+             "}  // namespace sose\n");
+  DriverOptions options;
+  options.root = tree.Root();
+  options.baseline_path = tree.Path("baseline.txt").string();
+  RunResult result = RunLint(options);
+  EXPECT_EQ(result.exit_code, 1);
+  EXPECT_EQ(result.stats.findings_active, 1);
+  EXPECT_NE(result.out.find("src/sketch/leak2.cc"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sose::lint

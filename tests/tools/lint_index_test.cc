@@ -1,0 +1,405 @@
+// Unit tests for the sose_lint index phase (tools/lint/index.cc), the
+// call-graph/taint machinery behind R8 and R10 (callgraph.cc, taint.cc),
+// the incremental cache round-trip (cache.cc), and the SARIF writer.
+
+#include "tools/lint/index.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "tools/lint/cache.h"
+#include "tools/lint/callgraph.h"
+#include "tools/lint/lint.h"
+#include "tools/lint/sarif.h"
+#include "tools/lint/taint.h"
+#include "tools/lint/tokenizer.h"
+
+namespace sose::lint {
+namespace {
+
+FileIndex IndexOf(const std::string& rel_path, const std::string& content) {
+  return BuildFileIndex(rel_path, content, Tokenize(content));
+}
+
+const FunctionInfo* FindFn(const FileIndex& index, const std::string& name) {
+  for (const FunctionInfo& fn : index.functions) {
+    if (fn.name == name && fn.is_definition) return &fn;
+  }
+  return nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// Index phase: function discovery
+// ---------------------------------------------------------------------------
+
+TEST(IndexTest, FindsDefinitionsDeclarationsAndReturnTypes) {
+  FileIndex index = IndexOf("src/foo.cc",
+                            "namespace sose {\n"
+                            "Status Flush(int fd);\n"
+                            "Result<std::vector<double>> Solve(Matrix m) {\n"
+                            "  return {};\n"
+                            "}\n"
+                            "double Norm(const Vec& v) { return 0.0; }\n"
+                            "}  // namespace sose\n");
+  ASSERT_EQ(index.functions.size(), 3u);
+  EXPECT_EQ(index.functions[0].name, "Flush");
+  EXPECT_FALSE(index.functions[0].is_definition);
+  EXPECT_TRUE(index.functions[0].returns_status);
+  EXPECT_EQ(index.functions[1].name, "Solve");
+  EXPECT_TRUE(index.functions[1].is_definition);
+  EXPECT_TRUE(index.functions[1].returns_status);
+  EXPECT_EQ(index.functions[2].name, "Norm");
+  EXPECT_FALSE(index.functions[2].returns_status);
+}
+
+TEST(IndexTest, MemberDetectionByQualifierAndClassScope) {
+  FileIndex index = IndexOf("src/foo.cc",
+                            "class Sketch {\n"
+                            " public:\n"
+                            "  void Apply(Matrix* m) { Helper(m); }\n"
+                            "};\n"
+                            "void Sketch2::Reset(uint64_t seed) {}\n"
+                            "void FreeFn(int n) {}\n");
+  const FunctionInfo* apply = FindFn(index, "Apply");
+  const FunctionInfo* reset = FindFn(index, "Reset");
+  const FunctionInfo* free_fn = FindFn(index, "FreeFn");
+  ASSERT_NE(apply, nullptr);
+  ASSERT_NE(reset, nullptr);
+  ASSERT_NE(free_fn, nullptr);
+  EXPECT_TRUE(apply->is_member);
+  EXPECT_TRUE(reset->is_member);
+  EXPECT_EQ(reset->qualified, "Sketch2::Reset");
+  EXPECT_FALSE(free_fn->is_member);
+}
+
+TEST(IndexTest, ParsesParameterTypesAndNames) {
+  FileIndex index = IndexOf(
+      "src/foo.cc",
+      "void F(uint64_t seed, const std::vector<double>& xs, Matrix* out) {}\n");
+  const FunctionInfo* fn = FindFn(index, "F");
+  ASSERT_NE(fn, nullptr);
+  ASSERT_EQ(fn->params.size(), 3u);
+  EXPECT_EQ(fn->params[0].type, "uint64_t");
+  EXPECT_EQ(fn->params[0].name, "seed");
+  EXPECT_EQ(fn->params[1].name, "xs");
+  EXPECT_NE(fn->params[1].type.find("vector"), std::string::npos);
+  EXPECT_EQ(fn->params[2].name, "out");
+  EXPECT_NE(fn->params[2].type.find("Matrix"), std::string::npos);
+}
+
+TEST(IndexTest, RecordsCallSites) {
+  FileIndex index = IndexOf("src/foo.cc",
+                            "void F() {\n"
+                            "  Helper(1);\n"
+                            "  obj.Method(2);\n"
+                            "  if (Check()) { Other(); }\n"
+                            "}\n");
+  const FunctionInfo* fn = FindFn(index, "F");
+  ASSERT_NE(fn, nullptr);
+  std::vector<std::string> names;
+  for (const CallSite& c : fn->calls) names.push_back(c.name);
+  EXPECT_NE(std::find(names.begin(), names.end(), "Helper"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "Method"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "Check"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "Other"), names.end());
+}
+
+// ---------------------------------------------------------------------------
+// Index phase: RNG facts, statics, float reductions
+// ---------------------------------------------------------------------------
+
+TEST(IndexTest, DetectsDirectRngUse) {
+  FileIndex index = IndexOf("src/foo.cc",
+                            "void A(uint64_t seed) { Rng rng(seed); }\n"
+                            "void B(Rng& rng) { double g = rng.Gaussian(); }\n"
+                            "void C() { uint64_t s = DeriveSeed(1, 2); }\n"
+                            "void D(int n) { int x = n; }\n");
+  EXPECT_FALSE(FindFn(index, "A")->rng_direct_lines.empty());
+  EXPECT_FALSE(FindFn(index, "B")->rng_direct_lines.empty());
+  EXPECT_FALSE(FindFn(index, "C")->rng_direct_lines.empty());
+  EXPECT_TRUE(FindFn(index, "D")->rng_direct_lines.empty());
+}
+
+TEST(IndexTest, DetectsMutableLocalStaticsButNotConstOnes) {
+  FileIndex index = IndexOf("src/foo.cc",
+                            "void F() {\n"
+                            "  static int counter = 0;\n"
+                            "  static const int kTable = 3;\n"
+                            "  static constexpr double kPi = 3.14;\n"
+                            "}\n");
+  const FunctionInfo* fn = FindFn(index, "F");
+  ASSERT_NE(fn, nullptr);
+  ASSERT_EQ(fn->mutable_static_lines.size(), 1u);
+  EXPECT_EQ(fn->mutable_static_lines[0], 2);
+}
+
+TEST(IndexTest, DetectsFloatReductionsInLoops) {
+  FileIndex index = IndexOf(
+      "src/foo.cc",
+      "double F(const std::vector<double>& xs, double* out) {\n"
+      "  double sum = 0.0;\n"
+      "  for (double v : xs) sum += v;\n"         // Braceless loop body.
+      "  for (size_t i = 0; i < 4; ++i) {\n"
+      "    out[i] += xs[i];\n"                    // Subscripted accumulator.
+      "  }\n"
+      "  sum += 1.0;\n"                           // Outside any loop: quiet.
+      "  int n = 0;\n"
+      "  while (n < 3) { n += 1; }\n"             // Integer target: quiet.
+      "  return sum;\n"
+      "}\n");
+  const FunctionInfo* fn = FindFn(index, "F");
+  ASSERT_NE(fn, nullptr);
+  ASSERT_EQ(fn->float_reductions.size(), 2u);
+  EXPECT_EQ(fn->float_reductions[0].line, 3);
+  EXPECT_EQ(fn->float_reductions[0].target, "sum");
+  EXPECT_EQ(fn->float_reductions[1].line, 5);
+  EXPECT_EQ(fn->float_reductions[1].target, "out");
+}
+
+// ---------------------------------------------------------------------------
+// Call graph and R8 seed-purity
+// ---------------------------------------------------------------------------
+
+TEST(CallGraphTest, TaintPropagatesTransitively) {
+  std::vector<FileIndex> files = {
+      IndexOf("src/a.cc",
+              "double Draw(Rng& rng) { return rng.Gaussian(); }\n"
+              "double Middle(Rng& rng) { return Draw(rng); }\n"
+              "double Top(Rng& rng) { return Middle(rng); }\n"
+              "int Unrelated(int n) { return n + 1; }\n")};
+  CallGraph graph = BuildCallGraph(files);
+  ASSERT_EQ(graph.nodes.size(), 4u);
+  for (const GraphNode& node : graph.nodes) {
+    if (node.fn->name == "Unrelated") {
+      EXPECT_FALSE(node.rng_reaching);
+    } else {
+      EXPECT_TRUE(node.rng_reaching) << node.fn->name;
+    }
+  }
+  // The witness names the chain back to the root.
+  for (size_t i = 0; i < graph.nodes.size(); ++i) {
+    if (graph.nodes[i].fn->name == "Top") {
+      std::string witness = TaintWitness(graph, i);
+      EXPECT_NE(witness.find("Top"), std::string::npos);
+      EXPECT_NE(witness.find("Middle"), std::string::npos);
+      EXPECT_NE(witness.find("rng root"), std::string::npos);
+    }
+  }
+}
+
+TEST(CallGraphTest, CollectsWholeProgramStatusInventory) {
+  std::vector<FileIndex> files = {
+      IndexOf("src/a.h", "Status FromHeader(int x);\n"),
+      IndexOf("src/b.cc", "Status CcLocal() { return Status(); }\n"
+                          "Result<int> AlsoLocal() { return 1; }\n")};
+  CallGraph graph = BuildCallGraph(files);
+  EXPECT_EQ(graph.status_inventory.count("FromHeader"), 1u);
+  EXPECT_EQ(graph.status_inventory.count("CcLocal"), 1u);
+  EXPECT_EQ(graph.status_inventory.count("AlsoLocal"), 1u);
+}
+
+TEST(SeedPurityTest, FiresOnSeedMaterializedFromNothing) {
+  std::vector<FileIndex> files = {
+      IndexOf("src/leak.cc", "double Noise(int n) { Rng rng(42); return 0; }\n")};
+  std::vector<Finding> findings = CheckSeedPurity(BuildCallGraph(files));
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, Rule::kSeedPurity);
+  EXPECT_NE(findings[0].message.find("Noise"), std::string::npos);
+}
+
+TEST(SeedPurityTest, QuietWhenSeedOrStateFlowsThroughParameters) {
+  std::vector<FileIndex> files = {IndexOf(
+      "src/ok.cc",
+      // Seed-named parameter.
+      "double A(uint64_t seed) { Rng rng(seed); return 0; }\n"
+      // Engine passed in.
+      "double B(Rng& rng) { return rng.Gaussian(); }\n"
+      // A project-class parameter may carry engine state.
+      "double C(const Sketch& sk, int n) { return sk.Draw(n); }\n"
+      // Member functions carry state via `this`.
+      "double Sketch::Column(int j) { return rng_.Gaussian(); }\n")};
+  EXPECT_TRUE(CheckSeedPurity(BuildCallGraph(files)).empty());
+}
+
+TEST(SeedPurityTest, SanctionedAndNonLibraryRolesAreExempt) {
+  std::vector<FileIndex> files = {
+      IndexOf("src/core/random.cc", "uint64_t Mix() { SplitMix64 sm(1); return 0; }\n"),
+      IndexOf("tests/foo_test.cc", "double T() { Rng rng(7); return 0; }\n"),
+      IndexOf("bench/b.cc", "double B() { Rng rng(7); return 0; }\n")};
+  EXPECT_TRUE(CheckSeedPurity(BuildCallGraph(files)).empty());
+}
+
+TEST(SeedPurityTest, FiresOnMutableStaticOnRngPath) {
+  std::vector<FileIndex> files = {IndexOf(
+      "src/leak.cc",
+      "double F(uint64_t seed) {\n"
+      "  static int calls = 0;\n"
+      "  Rng rng(seed);\n"
+      "  return 0;\n"
+      "}\n")};
+  std::vector<Finding> findings = CheckSeedPurity(BuildCallGraph(files));
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_NE(findings[0].message.find("mutable local static"),
+            std::string::npos);
+  EXPECT_EQ(findings[0].line, 2);
+}
+
+TEST(SeedPurityTest, SuppressionComment) {
+  std::vector<FileIndex> files = {IndexOf(
+      "src/leak.cc",
+      "// sose-lint: allow(seed-purity)\n"
+      "double Noise(int n) { Rng rng(42); return 0; }\n")};
+  EXPECT_TRUE(CheckSeedPurity(BuildCallGraph(files)).empty());
+}
+
+// ---------------------------------------------------------------------------
+// R10 float-determinism
+// ---------------------------------------------------------------------------
+
+TEST(FloatDeterminismTest, FiresOutsideSanctionedTUsOnly) {
+  const std::string body =
+      "double Sum(const std::vector<double>& xs) {\n"
+      "  double s = 0.0;\n"
+      "  for (double v : xs) s += v;\n"
+      "  return s;\n"
+      "}\n";
+  std::vector<FileIndex> fire = {IndexOf("src/ose/profile.cc", body)};
+  std::vector<FileIndex> quiet = {IndexOf("src/core/simd/kernels_scalar.cc",
+                                          body),
+                                  IndexOf("src/core/linalg_qr.cc", body),
+                                  IndexOf("tests/foo_test.cc", body)};
+  EXPECT_EQ(CheckFloatDeterminism(fire).size(), 1u);
+  EXPECT_TRUE(CheckFloatDeterminism(quiet).empty());
+}
+
+TEST(FloatDeterminismTest, SuppressionComment) {
+  std::vector<FileIndex> files = {IndexOf(
+      "src/ose/profile.cc",
+      "double Sum(const std::vector<double>& xs) {\n"
+      "  double s = 0.0;\n"
+      "  // sose-lint: allow(float-determinism)\n"
+      "  for (double v : xs) { s += v; }\n"
+      "  return s;\n"
+      "}\n")};
+  EXPECT_TRUE(CheckFloatDeterminism(files).empty());
+}
+
+TEST(FloatDeterminismTest, CompileCommandsCrossCheck) {
+  const std::string json =
+      "[\n"
+      "{\"directory\": \"/b\", \"command\": \"g++ -ffp-contract=off -c "
+      "/r/src/core/simd/kernels_scalar.cc\", \"file\": "
+      "\"/r/src/core/simd/kernels_scalar.cc\"},\n"
+      "{\"directory\": \"/b\", \"command\": \"g++ -O2 -c "
+      "/r/src/core/simd/dispatch.cc\", \"file\": "
+      "\"/r/src/core/simd/dispatch.cc\"},\n"
+      "{\"directory\": \"/b\", \"command\": \"g++ -c /r/src/core/matrix.cc\", "
+      "\"file\": \"/r/src/core/matrix.cc\"}\n"
+      "]\n";
+  std::vector<Finding> findings = CheckCompileCommands(json);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].file, "src/core/simd/dispatch.cc");
+  EXPECT_EQ(findings[0].rule, Rule::kFloatDeterminism);
+}
+
+// ---------------------------------------------------------------------------
+// Cache round-trip
+// ---------------------------------------------------------------------------
+
+TEST(CacheTest, SerializeParseRoundTrip) {
+  LintCache cache;
+  cache.config_hash = 0x1111;
+  cache.inventory_hash = 0x2222;
+  cache.graph_inventory_hash = 0x3333;
+  CacheEntry& entry = cache.entries["src/foo.cc"];
+  entry.index = IndexOf("src/foo.cc",
+                        "// sose-lint: allow(determinism)\n"
+                        "Status F(uint64_t seed, const Matrix& m) {\n"
+                        "  Rng rng(seed);\n"
+                        "  static int hits = 0;\n"
+                        "  double s = 0.0;\n"
+                        "  for (int i = 0; i < 3; ++i) s += rng.Gaussian();\n"
+                        "  Helper(s);\n"
+                        "  return Status();\n"
+                        "}\n");
+  entry.token_findings.push_back(
+      {"src/foo.cc", 4, Rule::kDeterminism, "some message with spaces", true});
+  entry.statusflow_findings.push_back(
+      {"src/foo.cc", 7, Rule::kStatusFlow, "another message", false});
+  entry.status_functions = {"F"};
+
+  LintCache parsed = ParseCache(SerializeCache(cache));
+  EXPECT_EQ(parsed.config_hash, cache.config_hash);
+  EXPECT_EQ(parsed.inventory_hash, cache.inventory_hash);
+  EXPECT_EQ(parsed.graph_inventory_hash, cache.graph_inventory_hash);
+  ASSERT_EQ(parsed.entries.size(), 1u);
+  const CacheEntry& back = parsed.entries.at("src/foo.cc");
+  EXPECT_EQ(back.index.content_hash, entry.index.content_hash);
+  ASSERT_EQ(back.index.functions.size(), entry.index.functions.size());
+  const FunctionInfo& fn = back.index.functions[0];
+  const FunctionInfo& orig = entry.index.functions[0];
+  EXPECT_EQ(fn.name, orig.name);
+  EXPECT_EQ(fn.returns_status, orig.returns_status);
+  EXPECT_EQ(fn.is_definition, orig.is_definition);
+  ASSERT_EQ(fn.params.size(), orig.params.size());
+  EXPECT_EQ(fn.params[1].type, orig.params[1].type);
+  EXPECT_EQ(fn.rng_direct_lines, orig.rng_direct_lines);
+  EXPECT_EQ(fn.mutable_static_lines, orig.mutable_static_lines);
+  ASSERT_EQ(fn.float_reductions.size(), orig.float_reductions.size());
+  EXPECT_EQ(fn.float_reductions[0].target, orig.float_reductions[0].target);
+  EXPECT_EQ(back.index.suppressions, entry.index.suppressions);
+  ASSERT_EQ(back.token_findings.size(), 1u);
+  EXPECT_EQ(back.token_findings[0].message, "some message with spaces");
+  EXPECT_TRUE(back.token_findings[0].fixable);
+  ASSERT_EQ(back.statusflow_findings.size(), 1u);
+  EXPECT_EQ(back.statusflow_findings[0].rule, Rule::kStatusFlow);
+  EXPECT_EQ(back.status_functions, entry.status_functions);
+  // Serialization is deterministic.
+  EXPECT_EQ(SerializeCache(cache), SerializeCache(parsed));
+}
+
+TEST(CacheTest, MalformedOrStaleCachesAreDropped) {
+  EXPECT_TRUE(ParseCache("").entries.empty());
+  EXPECT_TRUE(ParseCache("garbage\n").entries.empty());
+  // A cache from a different rule version must not be reused.
+  LintCache cache;
+  cache.config_hash = 7;
+  std::string text = SerializeCache(cache);
+  size_t at = text.find(kLintRuleVersion);
+  ASSERT_NE(at, std::string::npos);
+  text.replace(at, std::string(kLintRuleVersion).size(), "sose-lint-rules-v0");
+  LintCache parsed = ParseCache(text);
+  EXPECT_EQ(parsed.config_hash, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// SARIF
+// ---------------------------------------------------------------------------
+
+TEST(SarifTest, ReportCarriesRulesResultsAndSuppressions) {
+  std::vector<SarifResult> results = {
+      {{"src/a.cc", 3, Rule::kSeedPurity, "msg \"quoted\"", false}, false},
+      {{"src/b.cc", 9, Rule::kFloatDeterminism, "baselined one", false}, true},
+  };
+  std::string sarif = SarifReport(results);
+  EXPECT_NE(sarif.find("\"version\": \"2.1.0\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"name\": \"sose_lint\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"id\": \"seed-purity\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"uri\": \"src/a.cc\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"startLine\": 3"), std::string::npos);
+  EXPECT_NE(sarif.find("msg \\\"quoted\\\""), std::string::npos);
+  EXPECT_NE(sarif.find("soseLintFingerprint/v1"), std::string::npos);
+  // Exactly the baselined result carries the external suppression.
+  EXPECT_EQ(sarif.find("\"suppressions\""), sarif.rfind("\"suppressions\""));
+  EXPECT_NE(sarif.find("\"suppressions\": [{\"kind\": \"external\"}]"),
+            std::string::npos);
+  // Every finding's fingerprint appears verbatim.
+  for (const SarifResult& r : results) {
+    EXPECT_NE(sarif.find(FindingFingerprint(r.finding)), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace sose::lint

@@ -41,13 +41,146 @@ TEST(RuleNameTest, RoundTrips) {
   for (Rule rule : {Rule::kDiscardedStatus, Rule::kDeterminism,
                     Rule::kConcurrency, Rule::kFaultRegistry,
                     Rule::kHeaderHygiene, Rule::kMetricsDiscipline,
-                    Rule::kArchIntrinsics}) {
+                    Rule::kArchIntrinsics, Rule::kSeedPurity,
+                    Rule::kStatusFlow, Rule::kFloatDeterminism,
+                    Rule::kSuppression}) {
     Rule parsed = Rule::kDiscardedStatus;
     EXPECT_TRUE(RuleFromName(RuleName(rule), &parsed)) << RuleName(rule);
     EXPECT_EQ(parsed, rule);
   }
   Rule ignored;
   EXPECT_FALSE(RuleFromName("no-such-rule", &ignored));
+}
+
+// ---------------------------------------------------------------------------
+// Finding identity and ordering
+// ---------------------------------------------------------------------------
+
+TEST(FindingTest, FingerprintIsLineIndependent) {
+  Finding a{"src/x.cc", 10, Rule::kSeedPurity, "message", false};
+  Finding b = a;
+  b.line = 99;  // Unrelated edits shift lines; identity must survive.
+  EXPECT_EQ(FindingFingerprint(a), FindingFingerprint(b));
+  EXPECT_EQ(FindingFingerprint(a).size(), 16u);
+
+  Finding other_file = a;
+  other_file.file = "src/y.cc";
+  EXPECT_NE(FindingFingerprint(a), FindingFingerprint(other_file));
+  Finding other_rule = a;
+  other_rule.rule = Rule::kStatusFlow;
+  EXPECT_NE(FindingFingerprint(a), FindingFingerprint(other_rule));
+  Finding other_message = a;
+  other_message.message = "different";
+  EXPECT_NE(FindingFingerprint(a), FindingFingerprint(other_message));
+}
+
+TEST(FindingTest, OrderIsFileThenLineThenRuleThenMessage) {
+  Finding base{"src/b.cc", 5, Rule::kDeterminism, "m", false};
+  Finding earlier_file = base;
+  earlier_file.file = "src/a.cc";
+  Finding earlier_line = base;
+  earlier_line.line = 4;
+  Finding earlier_rule = base;
+  earlier_rule.rule = Rule::kConcurrency;  // "concurrency" < "determinism".
+  EXPECT_TRUE(FindingLess(earlier_file, base));
+  EXPECT_TRUE(FindingLess(earlier_line, base));
+  EXPECT_TRUE(FindingLess(earlier_rule, base));
+  EXPECT_FALSE(FindingLess(base, base));
+
+  std::vector<Finding> v = {base, earlier_file, earlier_rule, earlier_line};
+  std::sort(v.begin(), v.end(), FindingLess);
+  EXPECT_EQ(v[0].file, "src/a.cc");
+  EXPECT_EQ(v[1].line, 4);
+  EXPECT_EQ(v[2].rule, Rule::kConcurrency);
+}
+
+// ---------------------------------------------------------------------------
+// Suppression hygiene
+// ---------------------------------------------------------------------------
+
+TEST(SuppressionHygieneTest, FiresOnUnknownRuleName) {
+  auto findings = FindingsFor("src/foo.cc",
+                              "void F() {\n"
+                              "  int x = 0;  // sose-lint: allow(determinsim)\n"
+                              "}\n");
+  ASSERT_EQ(CountRule(findings, Rule::kSuppression), 1);
+  EXPECT_NE(findings[0].message.find("determinsim"), std::string::npos);
+}
+
+TEST(SuppressionHygieneTest, QuietOnKnownRulesAndWildcard) {
+  auto findings = FindingsFor(
+      "src/foo.cc",
+      "void F() {\n"
+      "  int x = 0;  // sose-lint: allow(determinism, seed-purity)\n"
+      "  int y = 0;  // sose-lint: allow(all)\n"
+      "}\n");
+  EXPECT_EQ(CountRule(findings, Rule::kSuppression), 0);
+}
+
+TEST(SuppressionHygieneTest, ProseMentioningSyntaxIsNotADirective) {
+  // A comment that merely quotes the directive later in a sentence must not
+  // register (and so cannot produce unknown-rule findings).
+  auto findings = FindingsFor(
+      "src/foo.cc",
+      "// Suppress with `// sose-lint: allow(some-imaginary-rule)`.\n"
+      "void F() {}\n");
+  EXPECT_EQ(CountRule(findings, Rule::kSuppression), 0);
+}
+
+TEST(SuppressionHygieneTest, ValidatedOnPreprocessorLinesToo) {
+  auto findings = FindingsFor(
+      "src/foo.cc",
+      "#if defined(FOO)  // sose-lint: allow(arch-intrinsicz)\n"
+      "#endif\n");
+  EXPECT_EQ(CountRule(findings, Rule::kSuppression), 1);
+}
+
+TEST(SuppressionTest, WrongLineDoesNotSilence) {
+  // The directive covers its own line and the next one only.
+  auto findings = FindingsFor("src/foo/bar.cc",
+                              "// sose-lint: allow(discarded-status)\n"
+                              "void F(std::vector<double>* x) {\n"
+                              "  Fwht(x);\n"
+                              "}\n");
+  EXPECT_EQ(CountRule(findings, Rule::kDiscardedStatus), 1);
+}
+
+// ---------------------------------------------------------------------------
+// R9: status-flow (call-graph-derived discards)
+// ---------------------------------------------------------------------------
+
+TEST(StatusFlowTest, FiresOnlyForGraphOnlyInventory) {
+  const std::string content =
+      "void F() {\n"
+      "  Fwht(x);\n"     // In the header inventory: R1's territory.
+      "  Helper();\n"    // Known only to the call graph: R9.
+      "}\n";
+  Scan scan = Tokenize(content);
+  std::vector<Finding> findings =
+      CheckStatusFlow("src/foo.cc", scan, {"Fwht", "Helper"}, {"Fwht"});
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, Rule::kStatusFlow);
+  EXPECT_EQ(findings[0].line, 3);
+  EXPECT_NE(findings[0].message.find("Helper"), std::string::npos);
+}
+
+TEST(StatusFlowTest, SuppressionComment) {
+  const std::string content =
+      "void F() {\n"
+      "  Helper();  // sose-lint: allow(status-flow)\n"
+      "}\n";
+  Scan scan = Tokenize(content);
+  EXPECT_TRUE(CheckStatusFlow("src/foo.cc", scan, {"Helper"}, {}).empty());
+}
+
+TEST(StatusFlowTest, QuietWhenValueConsumed) {
+  const std::string content =
+      "void F() {\n"
+      "  Status s = Helper();\n"
+      "  return Helper();\n"
+      "}\n";
+  Scan scan = Tokenize(content);
+  EXPECT_TRUE(CheckStatusFlow("src/foo.cc", scan, {"Helper"}, {}).empty());
 }
 
 // ---------------------------------------------------------------------------
@@ -574,6 +707,20 @@ TEST(FixTest, NoFixNeededReturnsNullopt) {
                           "#endif  // SOSE_CORE_FOO_H_\n",
                           TestConfig())
                    .has_value());
+}
+
+TEST(FixTest, FixesAreIdempotent) {
+  const std::string content =
+      "#ifndef WRONG_H_\n"
+      "#define WRONG_H_\n"
+      "void F(std::vector<double>* x) {\n"
+      "  Fwht(x);\n"
+      "}\n"
+      "#endif  // WRONG_H_\n";
+  auto fixed = ApplyFixes("src/core/foo.h", content, TestConfig());
+  ASSERT_TRUE(fixed.has_value());
+  // A second pass over the repaired content finds nothing left to fix.
+  EXPECT_FALSE(ApplyFixes("src/core/foo.h", *fixed, TestConfig()).has_value());
 }
 
 TEST(FixTest, SuppressedFindingsAreNotFixed) {

@@ -1,0 +1,220 @@
+#include "tools/lint/cache.h"
+
+#include <sstream>
+
+namespace sose::lint {
+namespace {
+
+constexpr char kSep = '\t';
+
+std::vector<std::string> SplitTabs(const std::string& line) {
+  std::vector<std::string> fields;
+  size_t pos = 0;
+  while (pos <= line.size()) {
+    size_t tab = line.find(kSep, pos);
+    if (tab == std::string::npos) {
+      fields.push_back(line.substr(pos));
+      break;
+    }
+    fields.push_back(line.substr(pos, tab - pos));
+    pos = tab + 1;
+  }
+  return fields;
+}
+
+bool ParseU64Hex(const std::string& s, uint64_t* out) {
+  if (s.empty() || s.size() > 16) return false;
+  uint64_t value = 0;
+  for (char c : s) {
+    value <<= 4;
+    if (c >= '0' && c <= '9') value |= static_cast<uint64_t>(c - '0');
+    else if (c >= 'a' && c <= 'f') value |= static_cast<uint64_t>(c - 'a' + 10);
+    else return false;
+  }
+  *out = value;
+  return true;
+}
+
+bool ParseInt(const std::string& s, int* out) {
+  if (s.empty()) return false;
+  int value = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + (c - '0');
+  }
+  *out = value;
+  return true;
+}
+
+bool ParseFinding(const std::vector<std::string>& f, Finding* out) {
+  // <tag> <line> <rule> <fixable> <message>
+  if (f.size() != 5) return false;
+  if (!ParseInt(f[1], &out->line)) return false;
+  if (!RuleFromName(f[2], &out->rule)) return false;
+  if (f[3] != "0" && f[3] != "1") return false;
+  out->fixable = f[3] == "1";
+  out->message = f[4];
+  return true;
+}
+
+void AppendFinding(std::ostringstream& out, const char* tag,
+                   const Finding& finding) {
+  out << tag << kSep << finding.line << kSep << RuleName(finding.rule) << kSep
+      << (finding.fixable ? 1 : 0) << kSep << finding.message << "\n";
+}
+
+}  // namespace
+
+LintCache ParseCache(const std::string& text) {
+  LintCache cache;
+  std::istringstream in(text);
+  std::string line;
+  CacheEntry* entry = nullptr;
+  FunctionInfo* fn = nullptr;
+  bool header_seen = false;
+  auto fail = [&]() { return LintCache{}; };
+
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::vector<std::string> f = SplitTabs(line);
+    const std::string& tag = f[0];
+    if (!header_seen) {
+      // sose-lint-cache v1 <config> <inventory> <graphinv> <rule-version>
+      if (tag != "sose-lint-cache" || f.size() != 6 || f[1] != "v1" ||
+          f[5] != kLintRuleVersion ||
+          !ParseU64Hex(f[2], &cache.config_hash) ||
+          !ParseU64Hex(f[3], &cache.inventory_hash) ||
+          !ParseU64Hex(f[4], &cache.graph_inventory_hash)) {
+        return fail();
+      }
+      header_seen = true;
+      continue;
+    }
+    if (tag == "file") {
+      if (f.size() != 3) return fail();
+      uint64_t hash = 0;
+      if (!ParseU64Hex(f[2], &hash)) return fail();
+      entry = &cache.entries[f[1]];
+      entry->index.path = f[1];
+      entry->index.content_hash = hash;
+      fn = nullptr;
+      continue;
+    }
+    if (entry == nullptr) return fail();
+    if (tag == "T" || tag == "G") {
+      Finding finding;
+      if (!ParseFinding(f, &finding)) return fail();
+      finding.file = entry->index.path;
+      (tag == "T" ? entry->token_findings : entry->statusflow_findings)
+          .push_back(std::move(finding));
+      fn = nullptr;
+    } else if (tag == "E") {
+      if (f.size() != 2) return fail();
+      entry->status_functions.push_back(f[1]);
+      fn = nullptr;
+    } else if (tag == "A") {
+      if (f.size() != 3) return fail();
+      FaultSite site;
+      site.name = f[1];
+      site.file = entry->index.path;
+      if (!ParseInt(f[2], &site.line)) return fail();
+      entry->index.fault_sites.push_back(std::move(site));
+      fn = nullptr;
+    } else if (tag == "U") {
+      if (f.size() != 3) return fail();
+      int line_no = 0;
+      if (!ParseInt(f[1], &line_no)) return fail();
+      entry->index.suppressions[line_no].insert(f[2]);
+      fn = nullptr;
+    } else if (tag == "N") {
+      // N <name> <qualified> <line> <flag-bits>
+      if (f.size() != 5) return fail();
+      FunctionInfo info;
+      info.name = f[1];
+      info.qualified = f[2];
+      int bits = 0;
+      if (!ParseInt(f[3], &info.line) || !ParseInt(f[4], &bits)) return fail();
+      info.is_definition = (bits & 1) != 0;
+      info.is_member = (bits & 2) != 0;
+      info.returns_status = (bits & 4) != 0;
+      entry->index.functions.push_back(std::move(info));
+      fn = &entry->index.functions.back();
+    } else if (fn == nullptr) {
+      return fail();
+    } else if (tag == "P") {
+      if (f.size() != 3) return fail();
+      fn->params.push_back({f[1], f[2]});
+    } else if (tag == "C") {
+      if (f.size() != 3) return fail();
+      CallSite call;
+      call.name = f[1];
+      if (!ParseInt(f[2], &call.line)) return fail();
+      fn->calls.push_back(std::move(call));
+    } else if (tag == "R" || tag == "S") {
+      if (f.size() != 2) return fail();
+      int line_no = 0;
+      if (!ParseInt(f[1], &line_no)) return fail();
+      (tag == "R" ? fn->rng_direct_lines : fn->mutable_static_lines)
+          .push_back(line_no);
+    } else if (tag == "X") {
+      if (f.size() != 3) return fail();
+      FloatReduction red;
+      red.target = f[2];
+      if (!ParseInt(f[1], &red.line)) return fail();
+      fn->float_reductions.push_back(std::move(red));
+    } else {
+      return fail();
+    }
+  }
+  if (!header_seen) return fail();
+  return cache;
+}
+
+std::string SerializeCache(const LintCache& cache) {
+  std::ostringstream out;
+  out << "sose-lint-cache" << kSep << "v1" << kSep
+      << HashHex(cache.config_hash) << kSep << HashHex(cache.inventory_hash)
+      << kSep << HashHex(cache.graph_inventory_hash) << kSep
+      << kLintRuleVersion << "\n";
+  for (const auto& [path, entry] : cache.entries) {
+    out << "file" << kSep << path << kSep
+        << HashHex(entry.index.content_hash) << "\n";
+    for (const FunctionInfo& fn : entry.index.functions) {
+      int bits = (fn.is_definition ? 1 : 0) | (fn.is_member ? 2 : 0) |
+                 (fn.returns_status ? 4 : 0);
+      out << "N" << kSep << fn.name << kSep << fn.qualified << kSep << fn.line
+          << kSep << bits << "\n";
+      for (const Param& p : fn.params) {
+        out << "P" << kSep << p.type << kSep << p.name << "\n";
+      }
+      for (const CallSite& c : fn.calls) {
+        out << "C" << kSep << c.name << kSep << c.line << "\n";
+      }
+      for (int l : fn.rng_direct_lines) out << "R" << kSep << l << "\n";
+      for (int l : fn.mutable_static_lines) out << "S" << kSep << l << "\n";
+      for (const FloatReduction& r : fn.float_reductions) {
+        out << "X" << kSep << r.line << kSep << r.target << "\n";
+      }
+    }
+    for (const FaultSite& site : entry.index.fault_sites) {
+      out << "A" << kSep << site.name << kSep << site.line << "\n";
+    }
+    for (const auto& [line_no, rules] : entry.index.suppressions) {
+      for (const std::string& rule : rules) {
+        out << "U" << kSep << line_no << kSep << rule << "\n";
+      }
+    }
+    for (const Finding& finding : entry.token_findings) {
+      AppendFinding(out, "T", finding);
+    }
+    for (const Finding& finding : entry.statusflow_findings) {
+      AppendFinding(out, "G", finding);
+    }
+    for (const std::string& name : entry.status_functions) {
+      out << "E" << kSep << name << "\n";
+    }
+  }
+  return out.str();
+}
+
+}  // namespace sose::lint

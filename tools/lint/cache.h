@@ -1,0 +1,53 @@
+#ifndef SOSE_TOOLS_LINT_CACHE_H_
+#define SOSE_TOOLS_LINT_CACHE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "tools/lint/index.h"
+#include "tools/lint/lint.h"
+
+namespace sose::lint {
+
+/// Bumped whenever a rule's behaviour changes so stale caches from an older
+/// sose_lint never replay findings under the new semantics.
+inline constexpr const char* kLintRuleVersion = "sose-lint-rules-v2";
+
+/// One file's cached state: its parsed index (valid while content_hash
+/// matches), the single-file token findings (additionally keyed by the
+/// whole-tree header-inventory hash in the cache header), the R9
+/// status-flow findings (keyed by the graph-inventory hash), and — for src/
+/// headers — the extracted R1 status-function names.
+struct CacheEntry {
+  FileIndex index;
+  std::vector<Finding> token_findings;
+  std::vector<Finding> statusflow_findings;
+  std::vector<std::string> status_functions;
+};
+
+/// A persisted lint run. The three hashes gate reuse at different
+/// granularities: `config_hash` (rule version + robustness doc) guards the
+/// whole cache, `inventory_hash` (header-derived R1 inventory) guards
+/// token findings, `graph_inventory_hash` (call-graph Status inventory)
+/// guards the R9 findings. Indexes depend only on file content.
+struct LintCache {
+  uint64_t config_hash = 0;
+  uint64_t inventory_hash = 0;
+  uint64_t graph_inventory_hash = 0;
+  std::map<std::string, CacheEntry> entries;  ///< Keyed by repo-relative path.
+};
+
+/// Parses a serialized cache. Any malformed record drops the whole cache
+/// (returns an empty one): a cold run is always correct, a half-parsed
+/// cache may not be.
+LintCache ParseCache(const std::string& text);
+
+/// Serializes a cache to the line-oriented, tab-separated text format
+/// ParseCache reads. Deterministic (entries are emitted in path order).
+std::string SerializeCache(const LintCache& cache);
+
+}  // namespace sose::lint
+
+#endif  // SOSE_TOOLS_LINT_CACHE_H_

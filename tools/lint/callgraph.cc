@@ -1,0 +1,78 @@
+#include "tools/lint/callgraph.h"
+
+#include <deque>
+
+namespace sose::lint {
+
+CallGraph BuildCallGraph(const std::vector<FileIndex>& files) {
+  CallGraph graph;
+  for (const FileIndex& file : files) {
+    for (const FunctionInfo& fn : file.functions) {
+      if (fn.returns_status) graph.status_inventory.insert(fn.name);
+      if (!fn.is_definition) continue;
+      GraphNode node;
+      node.file = &file;
+      node.fn = &fn;
+      if (!fn.rng_direct_lines.empty()) {
+        node.rng_reaching = true;
+        node.taint_via = "direct";
+      }
+      graph.by_name.emplace(fn.name, graph.nodes.size());
+      graph.nodes.push_back(node);
+    }
+  }
+
+  // Reverse edges by callee name: callee -> caller node indices.
+  std::multimap<std::string, size_t> callers_of;
+  for (size_t i = 0; i < graph.nodes.size(); ++i) {
+    std::set<std::string> seen;  // One edge per (caller, callee-name).
+    for (const CallSite& call : graph.nodes[i].fn->calls) {
+      if (seen.insert(call.name).second) callers_of.emplace(call.name, i);
+    }
+  }
+
+  // Backward taint propagation to fixpoint: any caller of a tainted
+  // definition's name becomes tainted.
+  std::deque<size_t> work;
+  for (size_t i = 0; i < graph.nodes.size(); ++i) {
+    if (graph.nodes[i].rng_reaching) work.push_back(i);
+  }
+  while (!work.empty()) {
+    size_t i = work.front();
+    work.pop_front();
+    const std::string& name = graph.nodes[i].fn->name;
+    auto range = callers_of.equal_range(name);
+    for (auto it = range.first; it != range.second; ++it) {
+      GraphNode& caller = graph.nodes[it->second];
+      if (caller.rng_reaching) continue;
+      caller.rng_reaching = true;
+      caller.taint_via = name;
+      work.push_back(it->second);
+    }
+  }
+  return graph;
+}
+
+std::string TaintWitness(const CallGraph& graph, size_t node) {
+  std::string path = graph.nodes[node].fn->name;
+  std::string via = graph.nodes[node].taint_via;
+  std::set<std::string> visited = {graph.nodes[node].fn->name};
+  int hops = 0;
+  while (via != "direct" && !via.empty() && hops++ < 8) {
+    path += " -> " + via;
+    if (!visited.insert(via).second) break;
+    // Follow to any tainted definition of that name.
+    auto range = graph.by_name.equal_range(via);
+    via.clear();
+    for (auto it = range.first; it != range.second; ++it) {
+      if (graph.nodes[it->second].rng_reaching) {
+        via = graph.nodes[it->second].taint_via;
+        break;
+      }
+    }
+  }
+  path += " -> rng root";
+  return path;
+}
+
+}  // namespace sose::lint

@@ -1,0 +1,51 @@
+#ifndef SOSE_TOOLS_LINT_CALLGRAPH_H_
+#define SOSE_TOOLS_LINT_CALLGRAPH_H_
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "tools/lint/index.h"
+
+namespace sose::lint {
+
+/// One function *definition* in the whole-program call graph. Pointers
+/// reference into the FileIndex vector the graph was built from, which must
+/// outlive the graph.
+struct GraphNode {
+  const FileIndex* file = nullptr;
+  const FunctionInfo* fn = nullptr;
+  /// R8 taint: this function constructs/draws from an RNG engine directly,
+  /// or (transitively) calls one that does.
+  bool rng_reaching = false;
+  /// How taint arrived: "" while clean, "direct" for a root, else the
+  /// callee name the taint propagated through (one hop of the witness
+  /// path; follow it via the name map to reconstruct the chain).
+  std::string taint_via;
+};
+
+/// Name-resolved whole-program call graph. Resolution is by unqualified
+/// callee name (the index does not do overload or scope resolution), so
+/// edges over-approximate: good for taint (nothing reachable is missed),
+/// and precise enough in a tree with distinctive function names.
+struct CallGraph {
+  std::vector<GraphNode> nodes;
+  /// Unqualified name -> node indices of definitions with that name.
+  std::multimap<std::string, size_t> by_name;
+  /// Every function name (definition or declaration, any file) whose
+  /// return type is Status or Result<...>: the R9 whole-program inventory.
+  std::set<std::string> status_inventory;
+};
+
+/// Builds the graph over all indexed files and runs RNG taint to fixpoint.
+CallGraph BuildCallGraph(const std::vector<FileIndex>& files);
+
+/// Renders the taint witness chain for a tainted node, e.g.
+/// "RunTrial -> DrawSketch -> rng root". Bounded, cycle-safe.
+std::string TaintWitness(const CallGraph& graph, size_t node);
+
+}  // namespace sose::lint
+
+#endif  // SOSE_TOOLS_LINT_CALLGRAPH_H_

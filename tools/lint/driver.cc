@@ -1,0 +1,418 @@
+#include "tools/lint/driver.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <set>
+#include <sstream>
+#include <vector>
+
+#include "tools/lint/cache.h"
+#include "tools/lint/callgraph.h"
+#include "tools/lint/index.h"
+#include "tools/lint/lint.h"
+#include "tools/lint/sarif.h"
+#include "tools/lint/taint.h"
+#include "tools/lint/tokenizer.h"
+
+namespace fs = std::filesystem;
+
+namespace sose::lint {
+namespace {
+
+bool ReadFile(const fs::path& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  *out = ss.str();
+  return true;
+}
+
+bool WriteFile(const fs::path& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out << content;
+  return static_cast<bool>(out);
+}
+
+std::string RelPath(const fs::path& root, const fs::path& path) {
+  return fs::relative(path, root).generic_string();
+}
+
+bool IsSourceFile(const fs::path& path) {
+  return path.extension() == ".h" || path.extension() == ".cc";
+}
+
+void PrintFinding(std::ostream& out, const Finding& f) {
+  out << f.file << ":" << f.line << ": [" << RuleName(f.rule) << "] "
+      << f.message << "\n";
+}
+
+// Minimal line diff for --dry-run: in-place edits never add or remove lines,
+// so a line-by-line comparison is exact.
+void PrintDiff(std::ostream& out, const std::string& file,
+               const std::string& before, const std::string& after) {
+  std::istringstream old_stream(before);
+  std::istringstream new_stream(after);
+  std::string old_line;
+  std::string new_line;
+  int line_no = 0;
+  while (std::getline(old_stream, old_line)) {
+    ++line_no;
+    if (!std::getline(new_stream, new_line)) new_line.clear();
+    if (old_line == new_line) continue;
+    out << file << ":" << line_no << ":\n"
+        << "  - " << old_line << "\n"
+        << "  + " << new_line << "\n";
+  }
+}
+
+uint64_t HashStrings(const std::set<std::string>& names) {
+  std::string joined;
+  for (const std::string& name : names) {
+    joined += name;
+    joined += '\n';
+  }
+  return Fnv1a64(joined);
+}
+
+// One file being linted, with its lazily-materialized token scan. The scan
+// exists only for files the cache could not cover — tokenizing is the cost
+// the cache exists to avoid, so `files_reindexed` counts exactly the files
+// whose EnsureScan ran.
+struct WorkItem {
+  fs::path abs;
+  std::string rel;
+  std::string content;
+  std::optional<Scan> scan;
+  const CacheEntry* cached = nullptr;  ///< Content-hash-valid cache entry.
+  CacheEntry fresh;                    ///< What this run will persist.
+};
+
+const Scan& EnsureScan(WorkItem* item, DriverStats* stats) {
+  if (!item->scan.has_value()) {
+    item->scan = Tokenize(item->content);
+    ++stats->files_reindexed;
+  }
+  return *item->scan;
+}
+
+// Baseline file: one accepted finding per line, `<rule> <fingerprint>
+// <file>`; `#` comments and blank lines ignored.
+bool ParseBaseline(const std::string& text,
+                   std::multiset<std::string>* fingerprints) {
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    std::string t = Trimmed(line);
+    if (t.empty() || t[0] == '#') continue;
+    std::istringstream fields(t);
+    std::string rule, fingerprint;
+    if (!(fields >> rule >> fingerprint)) return false;
+    fingerprints->insert(fingerprint);
+  }
+  return true;
+}
+
+std::string SerializeBaseline(const std::vector<Finding>& findings) {
+  std::ostringstream out;
+  out << "# sose_lint baseline: accepted findings, one per line.\n"
+      << "# Format: <rule> <fingerprint> <file>  (fingerprint = FNV-1a64 of\n"
+      << "# file\\0rule\\0message, line-independent). Regenerate with\n"
+      << "#   sose_lint --write-baseline=tools/lint/lint-baseline.txt .\n";
+  for (const Finding& f : findings) {
+    out << RuleName(f.rule) << " " << FindingFingerprint(f) << " " << f.file
+        << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace
+
+int RunSoseLint(const DriverOptions& options, std::ostream& out,
+                std::ostream& err, DriverStats* stats) {
+  DriverStats local_stats;
+  if (stats == nullptr) stats = &local_stats;
+  *stats = DriverStats{};
+
+  const fs::path root = fs::path(options.root);
+  if (!fs::exists(root / "src")) {
+    err << "sose_lint: '" << root.string()
+        << "' does not look like the repo root (no src/)\n";
+    return 2;
+  }
+
+  // Gather the files to lint, sorted for deterministic output. A missing
+  // scan root is an error, not a silent skip: a typo'd --root or a partial
+  // checkout must not report "clean" for files it never saw.
+  std::vector<WorkItem> files;
+  for (const char* dir : {"src", "bench", "tests", "tools"}) {
+    fs::path base = root / dir;
+    if (!fs::is_directory(base)) {
+      err << "sose_lint: missing input directory '" << base.string()
+          << "'; refusing to lint a partial tree\n";
+      return 2;
+    }
+    for (const auto& entry : fs::recursive_directory_iterator(base)) {
+      if (entry.is_regular_file() && IsSourceFile(entry.path())) {
+        files.push_back({entry.path(), RelPath(root, entry.path()), "", {},
+                         nullptr, CacheEntry{}});
+      }
+    }
+  }
+  std::sort(files.begin(), files.end(),
+            [](const WorkItem& a, const WorkItem& b) { return a.rel < b.rel; });
+  for (WorkItem& item : files) {
+    if (!ReadFile(item.abs, &item.content)) {
+      err << "sose_lint: cannot read '" << item.abs.string() << "'\n";
+      return 2;
+    }
+  }
+  stats->files_scanned = static_cast<int>(files.size());
+
+  // The cache is bypassed entirely under --fix: fixes rewrite the inputs
+  // mid-run, so every hash would be stale anyway.
+  const bool use_cache = !options.cache_path.empty() && !options.fix;
+  LintCache old_cache;
+  if (use_cache && fs::exists(fs::path(options.cache_path))) {
+    std::string text;
+    if (!ReadFile(fs::path(options.cache_path), &text)) {
+      err << "sose_lint: cannot read cache '" << options.cache_path << "'\n";
+      return 2;
+    }
+    old_cache = ParseCache(text);
+  }
+
+  LintConfig config;
+  if (!ReadFile(root / "docs" / "robustness.md", &config.robustness_doc)) {
+    err << "sose_lint: warning: docs/robustness.md not found; every "
+           "fault site will be reported as undocumented\n";
+  }
+  const uint64_t config_hash =
+      Fnv1a64(std::string(kLintRuleVersion) + '\1' + config.robustness_doc);
+  const bool cache_config_ok =
+      use_cache && old_cache.config_hash == config_hash;
+
+  // Bind content-valid cache entries.
+  for (WorkItem& item : files) {
+    if (!cache_config_ok) break;
+    auto it = old_cache.entries.find(item.rel);
+    if (it != old_cache.entries.end() &&
+        it->second.index.content_hash == Fnv1a64(item.content)) {
+      item.cached = &it->second;
+      ++stats->cache_hits;
+    }
+  }
+
+  // Phase 1: the R1 inventory from the src/ headers.
+  for (WorkItem& item : files) {
+    if (!StartsWith(item.rel, "src/") || !HasExt(item.rel, ".h")) continue;
+    if (item.cached != nullptr) {
+      item.fresh.status_functions = item.cached->status_functions;
+    } else {
+      EnsureScan(&item, stats);  // Counts the tokenize ExtractStatusFunctions
+                                 // repeats internally.
+      item.fresh.status_functions = ExtractStatusFunctions(item.content);
+    }
+    for (const std::string& name : item.fresh.status_functions) {
+      config.status_functions.insert(name);
+    }
+  }
+  if (options.list_inventory) {
+    for (const std::string& name : config.status_functions) {
+      out << name << "\n";
+    }
+    return 0;
+  }
+  const uint64_t inventory_hash = HashStrings(config.status_functions);
+  const bool token_cache_ok =
+      cache_config_ok && old_cache.inventory_hash == inventory_hash;
+
+  // Phase 2: fixes, token rules, and the per-file index.
+  std::vector<Finding> findings;
+  std::vector<FaultSite> sites;
+  int fixed_files = 0;
+  for (WorkItem& item : files) {
+    if (options.fix) {
+      auto fixed = ApplyFixes(item.rel, item.content, config);
+      if (fixed.has_value()) {
+        if (options.dry_run) {
+          PrintDiff(out, item.rel, item.content, *fixed);
+        } else if (!WriteFile(item.abs, *fixed)) {
+          err << "sose_lint: cannot write '" << item.abs.string() << "'\n";
+          return 2;
+        }
+        ++fixed_files;
+        // Lint the repaired content (for --dry-run, the would-be content).
+        item.content = *fixed;
+      }
+    }
+    if (item.cached != nullptr) {
+      item.fresh.index = item.cached->index;
+    } else {
+      item.fresh.index =
+          BuildFileIndex(item.rel, item.content, EnsureScan(&item, stats));
+    }
+    if (item.cached != nullptr && token_cache_ok) {
+      item.fresh.token_findings = item.cached->token_findings;
+    } else {
+      item.fresh.token_findings =
+          LintScannedFile(item.rel, item.content, EnsureScan(&item, stats),
+                          config);
+    }
+    findings.insert(findings.end(), item.fresh.token_findings.begin(),
+                    item.fresh.token_findings.end());
+    if (StartsWith(item.rel, "src/")) {
+      sites.insert(sites.end(), item.fresh.index.fault_sites.begin(),
+                   item.fresh.index.fault_sites.end());
+    }
+  }
+  for (Finding& f : CheckFaultRegistry(sites, config.robustness_doc)) {
+    findings.push_back(std::move(f));
+  }
+
+  // Phase 3: whole-program rules over the collected indexes.
+  std::vector<FileIndex> indexes;
+  indexes.reserve(files.size());
+  for (const WorkItem& item : files) indexes.push_back(item.fresh.index);
+  const CallGraph graph = BuildCallGraph(indexes);
+  for (Finding& f : CheckSeedPurity(graph)) findings.push_back(std::move(f));
+  for (Finding& f : CheckFloatDeterminism(indexes)) {
+    findings.push_back(std::move(f));
+  }
+  const uint64_t graph_inventory_hash = HashStrings(graph.status_inventory);
+  const bool graph_cache_ok =
+      cache_config_ok && old_cache.graph_inventory_hash == graph_inventory_hash;
+  for (WorkItem& item : files) {
+    if (item.cached != nullptr && graph_cache_ok) {
+      item.fresh.statusflow_findings = item.cached->statusflow_findings;
+    } else {
+      item.fresh.statusflow_findings =
+          CheckStatusFlow(item.rel, EnsureScan(&item, stats),
+                          graph.status_inventory, config.status_functions);
+    }
+    findings.insert(findings.end(), item.fresh.statusflow_findings.begin(),
+                    item.fresh.statusflow_findings.end());
+  }
+
+  // R10b: the compile-database cross-check.
+  fs::path ccmds = options.compile_commands_path.empty()
+                       ? root / "build" / "compile_commands.json"
+                       : fs::path(options.compile_commands_path);
+  if (!options.compile_commands_path.empty() || fs::exists(ccmds)) {
+    std::string json;
+    if (!ReadFile(ccmds, &json)) {
+      err << "sose_lint: cannot read compile database '" << ccmds.string()
+          << "'\n";
+      return 2;
+    }
+    for (Finding& f : CheckCompileCommands(json)) {
+      findings.push_back(std::move(f));
+    }
+  }
+
+  std::sort(findings.begin(), findings.end(), FindingLess);
+
+  // Baseline: accepted findings are reported to SARIF as suppressed and do
+  // not affect the exit code.
+  fs::path baseline = options.baseline_path.empty()
+                          ? root / "tools" / "lint" / "lint-baseline.txt"
+                          : fs::path(options.baseline_path);
+  std::multiset<std::string> accepted;
+  if (!options.baseline_path.empty() || fs::exists(baseline)) {
+    std::string text;
+    if (!ReadFile(baseline, &text) || !ParseBaseline(text, &accepted)) {
+      err << "sose_lint: cannot read baseline '" << baseline.string() << "'\n";
+      return 2;
+    }
+  }
+  std::vector<SarifResult> results;
+  std::vector<Finding> active;
+  for (const Finding& f : findings) {
+    auto it = accepted.find(FindingFingerprint(f));
+    const bool baselined = it != accepted.end();
+    if (baselined) {
+      accepted.erase(it);
+      ++stats->findings_baselined;
+    } else {
+      active.push_back(f);
+    }
+    results.push_back({f, baselined});
+  }
+  stats->findings_active = static_cast<int>(active.size());
+  stats->baseline_stale = static_cast<int>(accepted.size());
+
+  if (!options.write_baseline_path.empty()) {
+    if (!WriteFile(fs::path(options.write_baseline_path),
+                   SerializeBaseline(findings))) {
+      err << "sose_lint: cannot write baseline '"
+          << options.write_baseline_path << "'\n";
+      return 2;
+    }
+    out << "sose_lint: wrote " << findings.size() << " baseline entr"
+        << (findings.size() == 1 ? "y" : "ies") << " to "
+        << options.write_baseline_path << "\n";
+    return 0;
+  }
+
+  if (!options.sarif_path.empty()) {
+    if (!WriteFile(fs::path(options.sarif_path), SarifReport(results))) {
+      err << "sose_lint: cannot write SARIF report '" << options.sarif_path
+          << "'\n";
+      return 2;
+    }
+  }
+
+  // Persist the cache for the next run.
+  if (use_cache) {
+    LintCache new_cache;
+    new_cache.config_hash = config_hash;
+    new_cache.inventory_hash = inventory_hash;
+    new_cache.graph_inventory_hash = graph_inventory_hash;
+    for (WorkItem& item : files) {
+      item.fresh.index.content_hash = Fnv1a64(item.content);
+      new_cache.entries.emplace(item.rel, std::move(item.fresh));
+    }
+    if (!WriteFile(fs::path(options.cache_path), SerializeCache(new_cache))) {
+      err << "sose_lint: warning: cannot write cache '" << options.cache_path
+          << "'\n";
+    }
+    err << "sose_lint: cache: " << stats->cache_hits << " hit(s), "
+        << stats->files_reindexed << " file(s) reindexed\n";
+  }
+
+  for (const Finding& f : active) PrintFinding(out, f);
+  if (options.fix && fixed_files > 0) {
+    out << (options.dry_run ? "would fix " : "fixed ") << fixed_files
+        << " file(s)\n";
+  }
+  if (stats->baseline_stale > 0) {
+    out << "sose_lint: note: " << stats->baseline_stale
+        << " stale baseline entr"
+        << (stats->baseline_stale == 1 ? "y" : "ies")
+        << " (fixed findings still listed); regenerate with "
+           "--write-baseline\n";
+  }
+  // A dry run writes nothing, so pending fixes still count as findings for
+  // the exit code (keeps `--dry-run` honest in CI).
+  bool dirty = !active.empty() || (options.dry_run && fixed_files > 0);
+  if (!dirty) {
+    out << "sose_lint: " << files.size() << " files clean ("
+        << config.status_functions.size()
+        << " Status/Result functions in inventory)\n";
+    if (stats->findings_baselined > 0) {
+      out << "sose_lint: " << stats->findings_baselined
+          << " baselined finding(s) suppressed\n";
+    }
+    return 0;
+  }
+  if (!active.empty()) {
+    out << "sose_lint: " << active.size() << " finding(s)\n";
+  }
+  return 1;
+}
+
+}  // namespace sose::lint

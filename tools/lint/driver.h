@@ -1,0 +1,48 @@
+#ifndef SOSE_TOOLS_LINT_DRIVER_H_
+#define SOSE_TOOLS_LINT_DRIVER_H_
+
+#include <ostream>
+#include <string>
+
+namespace sose::lint {
+
+/// Everything the sose_lint CLI can ask for. main() is a thin flag parser
+/// over this; tests drive RunSoseLint directly against fixture trees.
+struct DriverOptions {
+  std::string root = ".";
+  bool fix = false;
+  bool dry_run = false;          ///< With fix: print diffs, write nothing.
+  bool list_inventory = false;   ///< Print the R1 inventory and exit.
+  std::string sarif_path;        ///< Write a SARIF 2.1.0 report here.
+  /// Baseline of accepted findings. Empty = use
+  /// <root>/tools/lint/lint-baseline.txt when it exists.
+  std::string baseline_path;
+  std::string write_baseline_path;  ///< Regenerate the baseline and exit 0.
+  std::string cache_path;           ///< Incremental index/finding cache.
+  /// compile_commands.json for the R10 -ffp-contract cross-check. Empty =
+  /// use <root>/build/compile_commands.json when it exists.
+  std::string compile_commands_path;
+};
+
+/// Observability for tests and CI: how much work the run actually did.
+/// `files_reindexed` counts files that had to be tokenized this run — a
+/// fully warm cache run reports 0.
+struct DriverStats {
+  int files_scanned = 0;
+  int files_reindexed = 0;
+  int cache_hits = 0;
+  int findings_active = 0;
+  int findings_baselined = 0;
+  int baseline_stale = 0;
+};
+
+/// Runs the full two-phase lint (index phase, then token + whole-program
+/// rules) over the tree at `options.root`. Returns the process exit code:
+/// 0 clean, 1 findings remain, 2 usage/I/O error. Human-readable findings
+/// go to `out`, diagnostics to `err`. `stats` may be null.
+int RunSoseLint(const DriverOptions& options, std::ostream& out,
+                std::ostream& err, DriverStats* stats);
+
+}  // namespace sose::lint
+
+#endif  // SOSE_TOOLS_LINT_DRIVER_H_

@@ -1,0 +1,460 @@
+#include "tools/lint/index.h"
+
+#include <algorithm>
+#include <array>
+#include <set>
+#include <string>
+
+namespace sose::lint {
+namespace {
+
+// Keywords that can precede a `(` without being a call or a function name.
+const std::set<std::string>& ControlKeywords() {
+  static const std::set<std::string> kSet = {
+      "if",          "for",        "while",         "switch",
+      "catch",       "return",     "sizeof",        "alignof",
+      "alignas",     "decltype",   "new",           "delete",
+      "throw",       "noexcept",   "typeid",        "static_assert",
+      "static_cast", "const_cast", "dynamic_cast",  "reinterpret_cast",
+      "co_await",    "co_return",  "co_yield",      "operator",
+      "defined",     "requires",   "do",            "else",
+      "case",        "using",      "template",      "typename",
+  };
+  return kSet;
+}
+
+// RNG engine type names: constructing one of these is a direct taint root
+// for R8 (see taint.cc).
+bool IsEngineType(const std::string& t) {
+  return t == "Rng" || t == "Xoshiro256" || t == "SplitMix64";
+}
+
+// Method names of the project RNG API (src/core/random.h). Drawing through
+// one of these — on any object, member or otherwise — marks the enclosing
+// function as directly RNG-reaching. Name-based and deliberately
+// over-approximate; distinctive enough that collisions are rare.
+bool IsDrawMethod(const std::string& t) {
+  static const std::set<std::string> kSet = {
+      "Gaussian",     "UniformDouble", "UniformInt",
+      "NextUInt64",   "Rademacher",    "Bernoulli",
+      "Shuffle",      "Permutation",   "SampleWithoutReplacement",
+  };
+  return kSet.count(t) > 0;
+}
+
+bool TypeMentionsFloat(const std::string& type) {
+  return type.find("double") != std::string::npos ||
+         type.find("float") != std::string::npos;
+}
+
+// Finds the index of the matching close token for the open token at `open`
+// (one of "(", "{", "["). Returns toks.size() when unbalanced.
+size_t MatchingClose(const std::vector<Token>& toks, size_t open,
+                     const char* open_text, const char* close_text) {
+  int depth = 0;
+  for (size_t j = open; j < toks.size(); ++j) {
+    if (toks[j].text == open_text) {
+      ++depth;
+    } else if (toks[j].text == close_text) {
+      if (--depth == 0) return j;
+    }
+  }
+  return toks.size();
+}
+
+// ---------------------------------------------------------------------------
+// Parameter list parsing
+// ---------------------------------------------------------------------------
+
+std::vector<Param> ParseParams(const std::vector<Token>& toks, size_t open,
+                               size_t close) {
+  std::vector<Param> params;
+  std::vector<std::vector<const Token*>> groups(1);
+  int angle = 0, paren = 0, brace = 0, bracket = 0;
+  for (size_t j = open + 1; j < close; ++j) {
+    const std::string& t = toks[j].text;
+    if (t == "<") ++angle;
+    else if (t == ">") angle = std::max(0, angle - 1);
+    else if (t == "(") ++paren;
+    else if (t == ")") --paren;
+    else if (t == "{") ++brace;
+    else if (t == "}") --brace;
+    else if (t == "[") ++bracket;
+    else if (t == "]") --bracket;
+    if (t == "," && angle == 0 && paren == 0 && brace == 0 && bracket == 0) {
+      groups.emplace_back();
+      continue;
+    }
+    groups.back().push_back(&toks[j]);
+  }
+  for (const auto& group : groups) {
+    if (group.empty()) continue;
+    // Strip a default argument.
+    std::vector<const Token*> decl;
+    for (const Token* tok : group) {
+      if (tok->text == "=") break;
+      decl.push_back(tok);
+    }
+    if (decl.empty()) continue;
+    if (decl.size() == 1 && decl[0]->text == "void") continue;
+    Param param;
+    // The declared name is the last identifier, provided it is not the
+    // whole type (a single token, or the tail of a `::` qualification).
+    const Token* name_tok = nullptr;
+    if (decl.size() >= 2 && decl.back()->kind == TokenKind::kIdentifier &&
+        decl[decl.size() - 2]->text != "::") {
+      name_tok = decl.back();
+    }
+    for (const Token* tok : decl) {
+      if (tok == name_tok) continue;
+      if (!param.type.empty()) param.type += ' ';
+      param.type += tok->text;
+    }
+    if (name_tok != nullptr) param.name = name_tok->text;
+    params.push_back(std::move(param));
+  }
+  return params;
+}
+
+// ---------------------------------------------------------------------------
+// Return-type classification
+// ---------------------------------------------------------------------------
+
+// True if the token range [begin, end) — everything between the statement
+// start and the (possibly qualified) function name — spells a Status or
+// Result<...> return type. The *last* meaningful token decides, so leading
+// junk (a macro invocation that was rejected as a candidate) cannot
+// misclassify.
+bool RangeReturnsStatus(const std::vector<Token>& toks, size_t begin,
+                        size_t end) {
+  size_t last = end;
+  while (last > begin) {
+    const std::string& t = toks[last - 1].text;
+    if (t == "&" || t == "*" || t == "const") {
+      --last;
+      continue;
+    }
+    break;
+  }
+  if (last == begin) return false;
+  if (toks[last - 1].text == "Status") return true;
+  if (toks[last - 1].text == ">") {
+    int depth = 0;
+    for (size_t j = last; j-- > begin;) {
+      if (toks[j].text == ">") ++depth;
+      else if (toks[j].text == "<") {
+        if (--depth == 0) {
+          return j > begin && toks[j - 1].text == "Result";
+        }
+      }
+    }
+  }
+  return false;
+}
+
+// True if the range contains a token that rules out a declaration head
+// (an assignment or a `return` — i.e. we are inside an expression).
+bool RangeRejectsCandidate(const std::vector<Token>& toks, size_t begin,
+                           size_t end) {
+  for (size_t j = begin; j < end; ++j) {
+    const std::string& t = toks[j].text;
+    if (t == "=" || t == "return" || t == "." || t == "->") return true;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Function body scan
+// ---------------------------------------------------------------------------
+
+// Scans a body starting at the init-list `:` or opening `{` (index `start`)
+// and fills in the body-derived facts. Returns the index just past the
+// body's closing `}`.
+size_t ScanBody(const std::vector<Token>& toks, size_t start,
+                FunctionInfo* fn) {
+  // Accumulator variables known to be floating-typed: parameters first.
+  std::set<std::string> float_vars;
+  for (const Param& p : fn->params) {
+    if (TypeMentionsFloat(p.type) && !p.name.empty()) float_vars.insert(p.name);
+  }
+
+  // Advance to the opening `{` (consuming a ctor init list, which is
+  // scanned like body code so `rng_(DeriveSeed(seed, 1))` style roots are
+  // seen).
+  size_t i = start;
+  std::vector<bool> brace_is_loop;   // One entry per open brace inside body.
+  bool body_entered = false;
+  // Loop bookkeeping: 0 = none, 2 = saw for/while (awaiting header parens),
+  // 1 = inside header parens, 3 = header done (next statement is the body).
+  int pending_loop = 0;
+  int header_depth = 0;
+  int paren_depth = 0;
+  bool single_stmt_loop = false;
+
+  auto in_loop = [&]() {
+    if (single_stmt_loop) return true;
+    return std::find(brace_is_loop.begin(), brace_is_loop.end(), true) !=
+           brace_is_loop.end();
+  };
+
+  for (; i < toks.size(); ++i) {
+    const Token& tok = toks[i];
+    const std::string& t = tok.text;
+
+    if (t == "{") {
+      brace_is_loop.push_back(pending_loop == 3);
+      pending_loop = 0;
+      body_entered = true;
+      continue;
+    }
+    if (t == "}") {
+      if (!brace_is_loop.empty()) brace_is_loop.pop_back();
+      if (body_entered && brace_is_loop.empty()) return i + 1;
+      continue;
+    }
+    if (t == "(") {
+      ++paren_depth;
+      if (pending_loop == 2) {
+        pending_loop = 1;
+        header_depth = paren_depth;
+      }
+      continue;
+    }
+    if (t == ")") {
+      if (pending_loop == 1 && paren_depth == header_depth) pending_loop = 3;
+      --paren_depth;
+      continue;
+    }
+    if (t == ";") {
+      single_stmt_loop = false;
+      if (pending_loop == 3) pending_loop = 0;
+      continue;
+    }
+
+    if (tok.kind == TokenKind::kIdentifier) {
+      if (t == "for" || t == "while") {
+        pending_loop = 2;
+        continue;
+      }
+      if (t == "do") {
+        pending_loop = 3;
+        continue;
+      }
+      // A braceless loop body: the statement after a completed header.
+      if (pending_loop == 3) {
+        single_stmt_loop = true;
+        pending_loop = 0;
+      }
+      // Mutable function-local static.
+      if (t == "static" && body_entered) {
+        bool is_const = false;
+        for (size_t j = i + 1; j < std::min(i + 3, toks.size()); ++j) {
+          if (toks[j].text == "const" || toks[j].text == "constexpr") {
+            is_const = true;
+            break;
+          }
+        }
+        if (!is_const) fn->mutable_static_lines.push_back(tok.line);
+        continue;
+      }
+      // Floating-typed declarations: `double x`, `std::vector<double> v`,
+      // `double* p`, `for (double v : xs)`.
+      if (t == "double" || t == "float") {
+        size_t j = i + 1;
+        while (j < toks.size() &&
+               (toks[j].text == ">" || toks[j].text == "&" ||
+                toks[j].text == "*" || toks[j].text == "const")) {
+          ++j;
+        }
+        if (j < toks.size() && toks[j].kind == TokenKind::kIdentifier) {
+          float_vars.insert(toks[j].text);
+        }
+        continue;
+      }
+      // Calls (including macro invocations; harmless over-approximation).
+      if (i + 1 < toks.size() && toks[i + 1].text == "(" &&
+          ControlKeywords().count(t) == 0) {
+        fn->calls.push_back({t, tok.line});
+        bool member = Qualified(toks, i) && toks[i - 1].text != "::";
+        if (t == "DeriveSeed" || (member && IsDrawMethod(t))) {
+          fn->rng_direct_lines.push_back(tok.line);
+        }
+      }
+      // RNG engine construction / declaration.
+      if (IsEngineType(t) && i + 1 < toks.size() &&
+          (toks[i + 1].kind == TokenKind::kIdentifier ||
+           toks[i + 1].text == "(" || toks[i + 1].text == "{")) {
+        fn->rng_direct_lines.push_back(tok.line);
+      }
+      continue;
+    }
+
+    // Reassociation-sensitive accumulation: `x += ...` / `x -= ...` on a
+    // floating-typed variable inside a loop.
+    if ((t == "+=" || t == "-=") && in_loop() && i > 0) {
+      size_t k = i;  // Token index just past the LHS.
+      if (toks[k - 1].text == "]") {
+        // Walk back over the subscript to the subscripted name.
+        int depth = 0;
+        size_t j = k - 1;
+        for (;; --j) {
+          if (toks[j].text == "]") ++depth;
+          else if (toks[j].text == "[") {
+            if (--depth == 0) break;
+          }
+          if (j == 0) break;
+        }
+        k = j;
+      }
+      if (k > 0 && toks[k - 1].kind == TokenKind::kIdentifier) {
+        const std::string& target = toks[k - 1].text;
+        if (float_vars.count(target) > 0) {
+          fn->float_reductions.push_back({tok.line, target});
+        }
+      }
+    }
+  }
+  return i;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// BuildFileIndex
+// ---------------------------------------------------------------------------
+
+FileIndex BuildFileIndex(const std::string& rel_path,
+                         const std::string& content, const Scan& scan) {
+  FileIndex index;
+  index.path = rel_path;
+  index.content_hash = Fnv1a64(content);
+  index.suppressions = scan.suppressions;
+  index.fault_sites = ExtractFaultSites(rel_path, content);
+
+  const std::vector<Token>& toks = scan.tokens;
+
+  // Declaration-scope scanner. The scope stack tracks what kind of brace
+  // we are inside so inline class methods get is_member and function
+  // bodies (handled by ScanBody) are never scanned as declarations.
+  enum class ScopeKind { kNamespace, kClass, kOther };
+  std::vector<ScopeKind> scopes;
+  size_t stmt_start = 0;
+
+  auto in_class_scope = [&]() {
+    return std::find(scopes.begin(), scopes.end(), ScopeKind::kClass) !=
+           scopes.end();
+  };
+
+  size_t i = 0;
+  while (i < toks.size()) {
+    const std::string& t = toks[i].text;
+    if (t == ";") {
+      stmt_start = ++i;
+      continue;
+    }
+    if (t == "}") {
+      if (!scopes.empty()) scopes.pop_back();
+      stmt_start = ++i;
+      continue;
+    }
+    if (t == "{") {
+      ScopeKind kind = ScopeKind::kOther;
+      for (size_t j = stmt_start; j < i; ++j) {
+        const std::string& s = toks[j].text;
+        if (s == "namespace") {
+          kind = ScopeKind::kNamespace;
+          break;
+        }
+        if (s == "class" || s == "struct" || s == "union") {
+          kind = ScopeKind::kClass;
+          break;
+        }
+      }
+      scopes.push_back(kind);
+      stmt_start = ++i;
+      continue;
+    }
+
+    // Function candidate: identifier followed by `(`.
+    if (toks[i].kind == TokenKind::kIdentifier && i + 1 < toks.size() &&
+        toks[i + 1].text == "(" && ControlKeywords().count(t) == 0) {
+      // Walk back over the qualified-name chain to its head.
+      size_t head = i;
+      while (head >= 2 && toks[head - 1].text == "::" &&
+             toks[head - 2].kind == TokenKind::kIdentifier) {
+        head -= 2;
+      }
+      const bool qualified_name = head != i;
+      const bool has_return_type =
+          head > stmt_start && !RangeRejectsCandidate(toks, stmt_start, head);
+      const bool rejected_range =
+          head > stmt_start && RangeRejectsCandidate(toks, stmt_start, head);
+      // A candidate with no return type is only a constructor/destructor if
+      // it is qualified (`Foo::Foo`) or written at class scope.
+      bool ctor_like = !rejected_range && head == stmt_start &&
+                       (qualified_name || in_class_scope());
+      // `~Foo()` — the destructor's tilde sits before the chain head.
+      if (head == stmt_start + 1 && toks[stmt_start].text == "~" &&
+          !rejected_range) {
+        ctor_like = qualified_name || in_class_scope();
+      }
+      if (has_return_type || ctor_like) {
+        size_t close = MatchingClose(toks, i + 1, "(", ")");
+        // Consume trailing qualifiers up to the token that decides the
+        // candidate's fate.
+        size_t j = close + 1;
+        while (j < toks.size()) {
+          const std::string& q = toks[j].text;
+          if (q == "const" || q == "noexcept" || q == "override" ||
+              q == "final" || q == "mutable" || q == "&" || q == "[" ||
+              q == "]" || q == "nodiscard" || q == "->" ||
+              (toks[j].kind == TokenKind::kIdentifier && q != "requires")) {
+            ++j;
+            continue;
+          }
+          if (q == "(") {  // noexcept(...) argument list.
+            j = MatchingClose(toks, j, "(", ")") + 1;
+            continue;
+          }
+          break;
+        }
+        const std::string& decide =
+            j < toks.size() ? toks[j].text : std::string(";");
+        bool is_declaration = decide == ";";
+        bool is_definition = decide == "{" || decide == ":";
+        if (decide == "=") {
+          // `= default;` / `= delete;` / `= 0;` — declaration forms.
+          is_declaration =
+              j + 1 < toks.size() &&
+              (toks[j + 1].text == "default" || toks[j + 1].text == "delete" ||
+               toks[j + 1].text == "0");
+        }
+        if (is_declaration || is_definition) {
+          FunctionInfo fn;
+          fn.name = toks[i].text;
+          for (size_t q = head; q <= i; ++q) fn.qualified += toks[q].text;
+          fn.line = toks[i].line;
+          fn.is_definition = is_definition;
+          fn.is_member = qualified_name || in_class_scope();
+          fn.returns_status =
+              has_return_type && RangeReturnsStatus(toks, stmt_start, head);
+          fn.params = ParseParams(toks, i + 1, close);
+          if (is_definition) {
+            size_t after = ScanBody(toks, j, &fn);
+            index.functions.push_back(std::move(fn));
+            i = after;
+            stmt_start = i;
+            continue;
+          }
+          index.functions.push_back(std::move(fn));
+          i = j;
+          continue;
+        }
+      }
+    }
+    ++i;
+  }
+  return index;
+}
+
+}  // namespace sose::lint

@@ -1,0 +1,81 @@
+#ifndef SOSE_TOOLS_LINT_INDEX_H_
+#define SOSE_TOOLS_LINT_INDEX_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tools/lint/lint.h"
+#include "tools/lint/tokenizer.h"
+
+namespace sose::lint {
+
+/// One parameter of a function declaration/definition. `type` is the
+/// joined token spelling (e.g. "const std :: vector < double > &") and
+/// `name` the declared identifier (empty for unnamed parameters).
+struct Param {
+  std::string type;
+  std::string name;
+};
+
+/// One call site inside a function body. `name` is the callee's unqualified
+/// name; member calls (`obj.F()`, `p->F()`) are recorded the same way —
+/// whole-program rules resolve by name, deliberately over-approximating.
+struct CallSite {
+  std::string name;
+  int line = 0;
+};
+
+/// A `+=` / `-=` accumulation into a double/float-typed variable inside a
+/// (braced) loop body — the reassociation-sensitive shape R10 flags.
+struct FloatReduction {
+  int line = 0;
+  std::string target;  ///< The accumulator variable's name.
+};
+
+/// Everything the index phase knows about one function. Declarations carry
+/// name/params/return info; definitions additionally carry body-derived
+/// facts (calls, RNG use, statics, reductions).
+struct FunctionInfo {
+  std::string name;       ///< Unqualified name, e.g. "Apply".
+  std::string qualified;  ///< As written, e.g. "CountSketch::Apply".
+  int line = 0;
+  bool is_definition = false;
+  /// Definition written as `Outer::Name` or found lexically inside a
+  /// class/struct body — i.e. it has an implicit `this` that can carry
+  /// seed state.
+  bool is_member = false;
+  bool returns_status = false;  ///< Return type Status or Result<...>.
+  std::vector<Param> params;
+  std::vector<CallSite> calls;
+  /// Lines where the body directly constructs an RNG engine
+  /// (Rng/Xoshiro256/SplitMix64), calls DeriveSeed, or draws through a
+  /// recognized engine-method name (Gaussian, UniformInt, ...).
+  std::vector<int> rng_direct_lines;
+  /// Mutable (non-const) function-local `static` declarations.
+  std::vector<int> mutable_static_lines;
+  std::vector<FloatReduction> float_reductions;
+};
+
+/// The per-TU symbol table: what one parse of the file produced. This is
+/// the unit the incremental cache persists, keyed by `content_hash`.
+struct FileIndex {
+  std::string path;  ///< Repo-relative, forward slashes.
+  uint64_t content_hash = 0;
+  std::vector<FunctionInfo> functions;
+  std::vector<FaultSite> fault_sites;
+  /// Suppression state captured at index time so whole-program rules can
+  /// honour `// sose-lint: allow(...)` without re-tokenizing on warm runs.
+  SuppressionMap suppressions;
+};
+
+/// Parses one TU's tokens into its FileIndex. Heuristic, single pass, no
+/// preprocessing: good enough for this tree's idiom (see
+/// docs/static-analysis.md, "The index phase" for the accepted
+/// approximations).
+FileIndex BuildFileIndex(const std::string& rel_path,
+                         const std::string& content, const Scan& scan);
+
+}  // namespace sose::lint
+
+#endif  // SOSE_TOOLS_LINT_INDEX_H_

@@ -4,238 +4,13 @@
 #include <cctype>
 #include <map>
 
+#include "tools/lint/tokenizer.h"
+
 namespace sose::lint {
 namespace {
 
-// ---------------------------------------------------------------------------
-// Tokenizer
-//
-// A deliberately small C++ lexer: identifiers, numbers, string/char literals
-// (including raw strings), and punctuation, with comments and preprocessor
-// directives stripped. Line/column positions are retained so findings are
-// clickable and fixes can be applied textually. This is the "token/regex
-// level, no libclang" tier the project settled on: strong enough to enforce
-// the invariants below, cheap enough to run on every push.
-// ---------------------------------------------------------------------------
-
-enum class TokenKind { kIdentifier, kNumber, kString, kChar, kPunct };
-
-struct Token {
-  TokenKind kind;
-  std::string text;  // For kString/kChar: the literal's content, unquoted.
-  int line = 0;      // 1-based.
-  int col = 0;       // 0-based byte offset within the line.
-};
-
-// Lines suppressed per rule by `// sose-lint: allow(rule1, rule2)`. The
-// suppression covers the comment's own line and the next line, so it works
-// both trailing a statement and on its own line above one.
-using SuppressionMap = std::map<int, std::set<std::string>>;
-
-struct Scan {
-  std::vector<Token> tokens;
-  SuppressionMap suppressions;
-};
-
-bool IsIdentChar(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
-}
-
-void RecordSuppression(const std::string& comment, int line,
-                       SuppressionMap* suppressions) {
-  const std::string tag = "sose-lint:";
-  size_t at = comment.find(tag);
-  if (at == std::string::npos) return;
-  size_t open = comment.find("allow(", at + tag.size());
-  if (open == std::string::npos) return;
-  size_t close = comment.find(')', open);
-  if (close == std::string::npos) return;
-  std::string list = comment.substr(open + 6, close - open - 6);
-  size_t pos = 0;
-  while (pos <= list.size()) {
-    size_t comma = list.find(',', pos);
-    if (comma == std::string::npos) comma = list.size();
-    std::string name = list.substr(pos, comma - pos);
-    // Trim.
-    while (!name.empty() && std::isspace(static_cast<unsigned char>(name.front())) != 0)
-      name.erase(name.begin());
-    while (!name.empty() && std::isspace(static_cast<unsigned char>(name.back())) != 0)
-      name.pop_back();
-    if (!name.empty()) {
-      (*suppressions)[line].insert(name);
-      (*suppressions)[line + 1].insert(name);
-    }
-    pos = comma + 1;
-  }
-}
-
-Scan Tokenize(const std::string& src) {
-  Scan scan;
-  size_t i = 0;
-  int line = 1;
-  size_t line_start = 0;
-  bool at_line_start = true;  // Only whitespace seen so far on this line.
-  auto col = [&](size_t pos) { return static_cast<int>(pos - line_start); };
-  auto newline = [&](size_t pos) {
-    ++line;
-    line_start = pos + 1;
-    at_line_start = true;
-  };
-
-  while (i < src.size()) {
-    char c = src[i];
-    if (c == '\n') {
-      newline(i);
-      ++i;
-      continue;
-    }
-    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
-      ++i;
-      continue;
-    }
-    // Preprocessor directive: skip the whole logical line (honouring `\`
-    // continuations) so macro definitions never produce rule matches.
-    if (c == '#' && at_line_start) {
-      while (i < src.size()) {
-        if (src[i] == '\\' && i + 1 < src.size() && src[i + 1] == '\n') {
-          newline(i + 1);
-          i += 2;
-          continue;
-        }
-        if (src[i] == '\n') break;
-        ++i;
-      }
-      continue;
-    }
-    at_line_start = false;
-    // Comments.
-    if (c == '/' && i + 1 < src.size() && src[i + 1] == '/') {
-      size_t end = src.find('\n', i);
-      if (end == std::string::npos) end = src.size();
-      RecordSuppression(src.substr(i, end - i), line, &scan.suppressions);
-      i = end;
-      continue;
-    }
-    if (c == '/' && i + 1 < src.size() && src[i + 1] == '*') {
-      i += 2;
-      while (i + 1 < src.size() && !(src[i] == '*' && src[i + 1] == '/')) {
-        if (src[i] == '\n') newline(i);
-        ++i;
-      }
-      i = std::min(i + 2, src.size());
-      continue;
-    }
-    // Raw string literal R"delim( ... )delim".
-    if (c == 'R' && i + 1 < src.size() && src[i + 1] == '"') {
-      size_t start = i;
-      int start_line = line;
-      size_t open = src.find('(', i + 2);
-      if (open == std::string::npos) {
-        ++i;
-        continue;
-      }
-      std::string delim = src.substr(i + 2, open - (i + 2));
-      std::string closer = ")" + delim + "\"";
-      size_t end = src.find(closer, open + 1);
-      if (end == std::string::npos) end = src.size();
-      for (size_t p = start; p < end && p < src.size(); ++p) {
-        if (src[p] == '\n') newline(p);
-      }
-      scan.tokens.push_back({TokenKind::kString,
-                             src.substr(open + 1, end - open - 1), start_line,
-                             col(start)});
-      i = std::min(end + closer.size(), src.size());
-      continue;
-    }
-    // String / char literals.
-    if (c == '"' || c == '\'') {
-      char quote = c;
-      size_t start = ++i;
-      std::string content;
-      while (i < src.size() && src[i] != quote && src[i] != '\n') {
-        if (src[i] == '\\' && i + 1 < src.size()) {
-          content += src[i];
-          content += src[i + 1];
-          i += 2;
-          continue;
-        }
-        content += src[i];
-        ++i;
-      }
-      scan.tokens.push_back(
-          {quote == '"' ? TokenKind::kString : TokenKind::kChar, content, line,
-           col(start - 1)});
-      if (i < src.size() && src[i] == quote) ++i;
-      continue;
-    }
-    // Identifiers / keywords.
-    if (std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_') {
-      size_t start = i;
-      while (i < src.size() && IsIdentChar(src[i])) ++i;
-      scan.tokens.push_back({TokenKind::kIdentifier,
-                             src.substr(start, i - start), line, col(start)});
-      continue;
-    }
-    // Numbers (coarse: digits and the characters that can extend them).
-    if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
-      size_t start = i;
-      while (i < src.size() &&
-             (IsIdentChar(src[i]) || src[i] == '.' ||
-              ((src[i] == '+' || src[i] == '-') && i > start &&
-               (src[i - 1] == 'e' || src[i - 1] == 'E' || src[i - 1] == 'p' ||
-                src[i - 1] == 'P')))) {
-        ++i;
-      }
-      scan.tokens.push_back(
-          {TokenKind::kNumber, src.substr(start, i - start), line, col(start)});
-      continue;
-    }
-    // Punctuation: the two two-char operators the rules care about, then
-    // single characters.
-    if (i + 1 < src.size()) {
-      std::string two = src.substr(i, 2);
-      if (two == "::" || two == "->") {
-        scan.tokens.push_back({TokenKind::kPunct, two, line, col(i)});
-        i += 2;
-        continue;
-      }
-    }
-    scan.tokens.push_back({TokenKind::kPunct, std::string(1, c), line, col(i)});
-    ++i;
-  }
-  return scan;
-}
-
 bool Suppressed(const SuppressionMap& suppressions, int line, Rule rule) {
-  auto it = suppressions.find(line);
-  if (it == suppressions.end()) return false;
-  return it->second.count(RuleName(rule)) > 0 || it->second.count("all") > 0 ||
-         it->second.count("*") > 0;
-}
-
-bool HasExt(const std::string& path, const char* ext) {
-  size_t n = std::string(ext).size();
-  return path.size() >= n && path.compare(path.size() - n, n, ext) == 0;
-}
-
-bool StartsWith(const std::string& s, const std::string& prefix) {
-  return s.compare(0, prefix.size(), prefix) == 0;
-}
-
-// True if tokens[k] is qualified as `std::tokens[k]` (allowing a leading
-// `::std::`).
-bool StdQualified(const std::vector<Token>& toks, size_t k) {
-  return k >= 2 && toks[k - 1].text == "::" &&
-         toks[k - 2].kind == TokenKind::kIdentifier &&
-         toks[k - 2].text == "std";
-}
-
-// True if tokens[k] is preceded by any member/namespace qualifier, i.e. is
-// not a plain unqualified name.
-bool Qualified(const std::vector<Token>& toks, size_t k) {
-  if (k == 0) return false;
-  const std::string& p = toks[k - 1].text;
-  return p == "::" || p == "." || p == "->";
+  return SuppressedName(suppressions, line, RuleName(rule));
 }
 
 // ---------------------------------------------------------------------------
@@ -479,28 +254,6 @@ void CheckMetricsDiscipline(const std::string& rel_path, const Scan& scan,
 // R5: header hygiene
 // ---------------------------------------------------------------------------
 
-std::vector<std::string> SplitLines(const std::string& content) {
-  std::vector<std::string> lines;
-  size_t pos = 0;
-  while (pos <= content.size()) {
-    size_t nl = content.find('\n', pos);
-    if (nl == std::string::npos) {
-      lines.push_back(content.substr(pos));
-      break;
-    }
-    lines.push_back(content.substr(pos, nl - pos));
-    pos = nl + 1;
-  }
-  return lines;
-}
-
-std::string Trimmed(const std::string& s) {
-  size_t b = s.find_first_not_of(" \t\r");
-  if (b == std::string::npos) return "";
-  size_t e = s.find_last_not_of(" \t\r");
-  return s.substr(b, e - b + 1);
-}
-
 // Locates the `#ifndef NAME` / `#define NAME` guard pair at the top of a
 // header. Returns false if the first directive is not an #ifndef.
 struct GuardInfo {
@@ -635,7 +388,8 @@ void CheckArchIntrinsics(const std::string& rel_path,
   const std::vector<std::string> lines = SplitLines(content);
   SuppressionMap line_suppressions;
   for (size_t i = 0; i < lines.size(); ++i) {
-    RecordSuppression(lines[i], static_cast<int>(i) + 1, &line_suppressions);
+    RecordSuppression(lines[i], static_cast<int>(i) + 1, &line_suppressions,
+                      nullptr);
   }
   for (size_t i = 0; i < lines.size(); ++i) {
     const std::string t = Trimmed(lines[i]);
@@ -674,6 +428,47 @@ void CheckArchIntrinsics(const std::string& rel_path,
   }
 }
 
+// ---------------------------------------------------------------------------
+// Suppression hygiene
+// ---------------------------------------------------------------------------
+
+// A suppression naming a rule that does not exist silences nothing and
+// rots silently — usually a typo ("determinsim") or a rule that was
+// renamed. Reported as a finding so CI catches it immediately. The raw
+// directive lines (R7's surface) record suppressions too, so those decls
+// are validated here as well.
+void CheckSuppressionHygiene(const std::string& rel_path,
+                             const std::string& content, const Scan& scan,
+                             std::vector<Finding>* findings) {
+  std::vector<SuppressionDecl> decls = scan.suppression_decls;
+  // The tokenizer never sees comments on preprocessor lines; re-scan raw
+  // lines and keep only decls on lines the token scan did not already
+  // record (directive lines).
+  {
+    SuppressionMap unused;
+    std::vector<SuppressionDecl> raw_decls;
+    const std::vector<std::string> lines = SplitLines(content);
+    for (size_t i = 0; i < lines.size(); ++i) {
+      if (StartsWith(Trimmed(lines[i]), "#")) {
+        RecordSuppression(lines[i], static_cast<int>(i) + 1, &unused,
+                          &raw_decls);
+      }
+    }
+    decls.insert(decls.end(), raw_decls.begin(), raw_decls.end());
+  }
+  for (const SuppressionDecl& decl : decls) {
+    if (decl.rule == "all" || decl.rule == "*") continue;
+    Rule parsed;
+    if (RuleFromName(decl.rule, &parsed)) continue;
+    findings->push_back(
+        {rel_path, decl.line, Rule::kSuppression,
+         "suppression names unknown rule '" + decl.rule +
+             "'; it silences nothing (see docs/static-analysis.md for the "
+             "rule list)",
+         false});
+  }
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -689,6 +484,10 @@ const char* RuleName(Rule rule) {
     case Rule::kHeaderHygiene: return "header-hygiene";
     case Rule::kMetricsDiscipline: return "metrics-discipline";
     case Rule::kArchIntrinsics: return "arch-intrinsics";
+    case Rule::kSeedPurity: return "seed-purity";
+    case Rule::kStatusFlow: return "status-flow";
+    case Rule::kFloatDeterminism: return "float-determinism";
+    case Rule::kSuppression: return "suppression";
   }
   return "unknown";
 }
@@ -697,13 +496,32 @@ bool RuleFromName(const std::string& name, Rule* rule) {
   for (Rule r : {Rule::kDiscardedStatus, Rule::kDeterminism,
                  Rule::kConcurrency, Rule::kFaultRegistry,
                  Rule::kHeaderHygiene, Rule::kMetricsDiscipline,
-                 Rule::kArchIntrinsics}) {
+                 Rule::kArchIntrinsics, Rule::kSeedPurity, Rule::kStatusFlow,
+                 Rule::kFloatDeterminism, Rule::kSuppression}) {
     if (name == RuleName(r)) {
       *rule = r;
       return true;
     }
   }
   return false;
+}
+
+std::string FindingFingerprint(const Finding& finding) {
+  std::string key = finding.file;
+  key += '\0';
+  key += RuleName(finding.rule);
+  key += '\0';
+  key += finding.message;
+  return HashHex(Fnv1a64(key));
+}
+
+bool FindingLess(const Finding& a, const Finding& b) {
+  if (a.file != b.file) return a.file < b.file;
+  if (a.line != b.line) return a.line < b.line;
+  const std::string ar = RuleName(a.rule);
+  const std::string br = RuleName(b.rule);
+  if (ar != br) return ar < br;
+  return a.message < b.message;
 }
 
 FileRole RoleForPath(const std::string& rel_path) {
@@ -818,7 +636,13 @@ std::string ExpectedIncludeGuard(const std::string& rel_path) {
 std::vector<Finding> LintFile(const std::string& rel_path,
                               const std::string& content,
                               const LintConfig& config) {
-  Scan scan = Tokenize(content);
+  return LintScannedFile(rel_path, content, Tokenize(content), config);
+}
+
+std::vector<Finding> LintScannedFile(const std::string& rel_path,
+                                     const std::string& content,
+                                     const Scan& scan,
+                                     const LintConfig& config) {
   std::vector<Finding> findings;
   // R1.
   for (const DiscardSite& site :
@@ -837,8 +661,28 @@ std::vector<Finding> LintFile(const std::string& rel_path,
   CheckMetricsDiscipline(rel_path, scan, &findings);
   CheckArchIntrinsics(rel_path, content, scan, &findings);
   CheckHeaderHygiene(rel_path, content, scan, &findings);
-  std::sort(findings.begin(), findings.end(),
-            [](const Finding& a, const Finding& b) { return a.line < b.line; });
+  CheckSuppressionHygiene(rel_path, content, scan, &findings);
+  std::sort(findings.begin(), findings.end(), FindingLess);
+  return findings;
+}
+
+std::vector<Finding> CheckStatusFlow(
+    const std::string& rel_path, const Scan& scan,
+    const std::set<std::string>& graph_inventory,
+    const std::set<std::string>& header_inventory) {
+  std::vector<Finding> findings;
+  for (const DiscardSite& site :
+       FindDiscardedCalls(scan.tokens, graph_inventory)) {
+    if (header_inventory.count(site.name) > 0) continue;  // R1's territory.
+    if (Suppressed(scan.suppressions, site.line, Rule::kStatusFlow)) continue;
+    findings.push_back(
+        {rel_path, site.line, Rule::kStatusFlow,
+         "result of '" + site.name + "' (a Status/Result-returning function "
+         "known from the call graph, not the header inventory) is "
+         "discarded; propagate it, handle it, or cast to (void) with a "
+         "justifying comment",
+         false});
+  }
   return findings;
 }
 

@@ -6,11 +6,16 @@
 #include <string>
 #include <vector>
 
+#include "tools/lint/tokenizer.h"
+
 namespace sose::lint {
 
 /// The project invariants sose_lint enforces (see docs/static-analysis.md).
 /// Rule names double as the argument of the suppression comment
-/// `// sose-lint: allow(<rule>)`.
+/// `// sose-lint: allow(<rule>)`. R1-R7 (plus the suppression-hygiene
+/// check) are single-file token rules; R8-R10 are whole-program rules run
+/// over the index/call graph by the driver (see index.h, callgraph.h,
+/// taint.h).
 enum class Rule {
   kDiscardedStatus,  ///< R1: Status/Result return value dropped on the floor.
   kDeterminism,      ///< R2: nondeterministic seed/clock source.
@@ -19,6 +24,11 @@ enum class Rule {
   kHeaderHygiene,    ///< R5: include guard / using-namespace / cout / abort.
   kMetricsDiscipline,  ///< R6: direct MetricsRegistry use outside the macros.
   kArchIntrinsics,   ///< R7: intrinsics header / arch guard outside core/simd.
+  kSeedPurity,       ///< R8: RNG-reaching function without seed/state params.
+  kStatusFlow,       ///< R9: Status/Result discard through a wrapper function.
+  kFloatDeterminism,  ///< R10: reassociation-sensitive FP reduction / missing
+                      ///< -ffp-contract=off on a kernel TU.
+  kSuppression,      ///< Suppression hygiene: allow(<unknown-rule>).
 };
 
 /// Canonical kebab-case rule name, e.g. "discarded-status".
@@ -37,6 +47,17 @@ struct Finding {
   bool fixable = false;  ///< True if `sose_lint --fix` can repair it.
 };
 
+/// Line-independent identity of a finding: FNV-1a over (file, rule,
+/// message), rendered as 16 hex digits. This is what the baseline file and
+/// the SARIF `partialFingerprints` carry, so baselined findings survive
+/// unrelated edits that shift line numbers.
+std::string FindingFingerprint(const Finding& finding);
+
+/// Deterministic finding order: (file, line, rule name, message). The
+/// driver sorts the merged per-file + whole-program findings with this so
+/// lint output is byte-stable across runs and cache states.
+bool FindingLess(const Finding& a, const Finding& b);
+
 /// A SOSE_FAULT_POINT / SOSE_FAULT_VALUE declaration found in a kernel.
 struct FaultSite {
   std::string name;  ///< e.g. "linalg_svd/jacobi"
@@ -53,7 +74,8 @@ FileRole RoleForPath(const std::string& rel_path);
 /// Cross-file inputs to a lint pass.
 struct LintConfig {
   /// R1 inventory: names of functions returning Status or Result<T>,
-  /// generated by running ExtractStatusFunctions over the src/ headers.
+  /// generated from the src/ headers (historically via
+  /// ExtractStatusFunctions; the driver now derives it from the index).
   std::set<std::string> status_functions;
   /// R4: full text of docs/robustness.md; every fault site must be
   /// mentioned in it.
@@ -81,16 +103,35 @@ std::vector<Finding> CheckFaultRegistry(const std::vector<FaultSite>& sites,
 /// kept, non-alphanumerics map to '_').
 std::string ExpectedIncludeGuard(const std::string& rel_path);
 
-/// Runs the single-file rules (R1, R2, R3, R5, R6, R7) over one source
-/// file.
+/// Runs the single-file rules (R1, R2, R3, R5, R6, R7, suppression
+/// hygiene) over one source file.
 /// `rel_path` must be repo-relative with forward slashes.
 std::vector<Finding> LintFile(const std::string& rel_path,
                               const std::string& content,
                               const LintConfig& config);
 
+/// Same, over a pre-built Scan, so the driver can tokenize each file once
+/// and share the tokens with the index phase.
+std::vector<Finding> LintScannedFile(const std::string& rel_path,
+                                     const std::string& content,
+                                     const Scan& scan,
+                                     const LintConfig& config);
+
+/// R9 `status-flow`: discard detection driven by the call-graph-derived
+/// whole-program inventory. Reports only discards of functions *not* in
+/// `header_inventory` (those are R1's), i.e. exactly the wrapper discards
+/// the per-file tokenizer could never see: .cc-local helpers, test/tool
+/// functions, and any Status-returning definition that drifted out of the
+/// headers.
+std::vector<Finding> CheckStatusFlow(
+    const std::string& rel_path, const Scan& scan,
+    const std::set<std::string>& graph_inventory,
+    const std::set<std::string>& header_inventory);
+
 /// Applies the mechanical fixes: include-guard rename and `(void)`
 /// annotation of discarded Status/Result calls. Returns the rewritten
-/// content, or nullopt when the file needs no fix.
+/// content, or nullopt when the file needs no fix. Idempotent: re-running
+/// on its own output returns nullopt.
 std::optional<std::string> ApplyFixes(const std::string& rel_path,
                                       const std::string& content,
                                       const LintConfig& config);

@@ -1,0 +1,125 @@
+#include "tools/lint/sarif.h"
+
+#include <array>
+#include <sstream>
+
+namespace sose::lint {
+namespace {
+
+// The reporting descriptors, in Rule enum order (ruleIndex relies on this).
+struct RuleDesc {
+  Rule rule;
+  const char* text;
+};
+
+constexpr std::array<RuleDesc, 11> kRules = {{
+    {Rule::kDiscardedStatus,
+     "Status/Result return value discarded (header inventory)."},
+    {Rule::kDeterminism,
+     "Nondeterministic seed or clock source outside the sanctioned wrappers."},
+    {Rule::kConcurrency,
+     "Raw threading/process primitive outside core/parallel or Subprocess."},
+    {Rule::kFaultRegistry,
+     "Duplicate or undocumented SOSE_FAULT_POINT site name."},
+    {Rule::kHeaderHygiene,
+     "Include-guard mismatch, using-namespace in a header, or cout/abort in "
+     "library code."},
+    {Rule::kMetricsDiscipline,
+     "Direct MetricsRegistry access outside the SOSE_* macros."},
+    {Rule::kArchIntrinsics,
+     "Intrinsics header or arch guard outside src/core/simd/."},
+    {Rule::kSeedPurity,
+     "RNG-reaching function without seed/stream/engine parameters, or hidden "
+     "mutable static on an RNG path."},
+    {Rule::kStatusFlow,
+     "Status/Result discard through a wrapper known only to the call graph."},
+    {Rule::kFloatDeterminism,
+     "Reassociation-sensitive floating-point reduction outside sanctioned "
+     "kernels, or SIMD TU built without -ffp-contract=off."},
+    {Rule::kSuppression, "Suppression comment naming an unknown rule."},
+}};
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          static const char* kHex = "0123456789abcdef";
+          out += "\\u00";
+          out += kHex[(c >> 4) & 0xF];
+          out += kHex[c & 0xF];
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+int RuleIndex(Rule rule) {
+  for (size_t i = 0; i < kRules.size(); ++i) {
+    if (kRules[i].rule == rule) return static_cast<int>(i);
+  }
+  return 0;
+}
+
+}  // namespace
+
+std::string SarifReport(const std::vector<SarifResult>& results) {
+  std::ostringstream out;
+  out << "{\n"
+      << "  \"$schema\": "
+         "\"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+      << "  \"version\": \"2.1.0\",\n"
+      << "  \"runs\": [\n"
+      << "    {\n"
+      << "      \"tool\": {\n"
+      << "        \"driver\": {\n"
+      << "          \"name\": \"sose_lint\",\n"
+      << "          \"informationUri\": \"docs/static-analysis.md\",\n"
+      << "          \"rules\": [\n";
+  for (size_t i = 0; i < kRules.size(); ++i) {
+    out << "            {\"id\": \"" << RuleName(kRules[i].rule)
+        << "\", \"shortDescription\": {\"text\": \""
+        << JsonEscape(kRules[i].text) << "\"}}"
+        << (i + 1 < kRules.size() ? "," : "") << "\n";
+  }
+  out << "          ]\n"
+      << "        }\n"
+      << "      },\n"
+      << "      \"results\": [\n";
+  for (size_t i = 0; i < results.size(); ++i) {
+    const Finding& f = results[i].finding;
+    out << "        {\n"
+        << "          \"ruleId\": \"" << RuleName(f.rule) << "\",\n"
+        << "          \"ruleIndex\": " << RuleIndex(f.rule) << ",\n"
+        << "          \"level\": \"error\",\n"
+        << "          \"message\": {\"text\": \"" << JsonEscape(f.message)
+        << "\"},\n"
+        << "          \"locations\": [{\"physicalLocation\": "
+           "{\"artifactLocation\": {\"uri\": \""
+        << JsonEscape(f.file) << "\"}, \"region\": {\"startLine\": " << f.line
+        << "}}}],\n"
+        << "          \"partialFingerprints\": {\"soseLintFingerprint/v1\": "
+           "\""
+        << FindingFingerprint(f) << "\"}";
+    if (results[i].baselined) {
+      out << ",\n          \"suppressions\": [{\"kind\": \"external\"}]";
+    }
+    out << "\n        }" << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  out << "      ]\n"
+      << "    }\n"
+      << "  ]\n"
+      << "}\n";
+  return out.str();
+}
+
+}  // namespace sose::lint

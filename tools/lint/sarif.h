@@ -1,0 +1,29 @@
+#ifndef SOSE_TOOLS_LINT_SARIF_H_
+#define SOSE_TOOLS_LINT_SARIF_H_
+
+#include <string>
+#include <vector>
+
+#include "tools/lint/lint.h"
+
+namespace sose::lint {
+
+/// A finding plus whether the checked-in baseline suppresses it. Baselined
+/// findings still appear in the SARIF report (with
+/// `suppressions: [{kind: "external"}]`) so upload surfaces know about
+/// them; they just don't fail the run.
+struct SarifResult {
+  Finding finding;
+  bool baselined = false;
+};
+
+/// Renders a SARIF 2.1.0 log with a single run: the sose_lint driver, one
+/// reportingDescriptor per rule (ruleIndex = enum order), and one result
+/// per finding carrying the line-independent fingerprint under
+/// `partialFingerprints`. Results are emitted in the order given; the
+/// driver passes them FindingLess-sorted so the report is byte-stable.
+std::string SarifReport(const std::vector<SarifResult>& results);
+
+}  // namespace sose::lint
+
+#endif  // SOSE_TOOLS_LINT_SARIF_H_

@@ -1,93 +1,47 @@
 // sose_lint: project-invariant static analysis for the sose tree.
 //
-// Walks src/, bench/, tests/, and tools/, builds the Status/Result function
-// inventory from the src/ headers, and enforces rules R1-R7 (see
+// Walks src/, bench/, tests/, and tools/, builds the per-TU symbol index
+// and whole-program call graph, and enforces rules R1-R10 (see
 // docs/static-analysis.md). Exits 0 when the tree is clean, 1 when findings
 // remain, 2 on usage or I/O errors.
 //
-//   sose_lint [--fix] [--dry-run] [--list-inventory] [repo-root]
+//   sose_lint [flags] [repo-root]
 //
-//   --fix        apply the mechanical fixes (include-guard rename, `(void)`
-//                annotation of discarded Status calls) in place
-//   --dry-run    with --fix: print the would-be edits as a diff, write
-//                nothing (implies --fix)
-//   --list-inventory  print the generated R1 inventory and exit
+//   --fix                apply the mechanical fixes (include-guard rename,
+//                        `(void)` annotation of discarded Status calls)
+//   --dry-run            with --fix: print the would-be edits, write nothing
+//   --list-inventory     print the generated R1 inventory and exit
+//   --sarif=FILE         also write a SARIF 2.1.0 report to FILE
+//   --baseline=FILE      accepted-findings baseline (default:
+//                        tools/lint/lint-baseline.txt when present)
+//   --write-baseline=FILE  regenerate the baseline from this run and exit 0
+//   --cache=FILE         incremental index cache (warm runs skip
+//                        re-tokenizing unchanged files)
+//   --compile-commands=FILE  compile database for the R10 -ffp-contract
+//                        cross-check (default: build/compile_commands.json
+//                        when present)
+//
+// All analysis lives in the sose_lint_lib driver (tools/lint/driver.h);
+// this file only parses flags.
 
-#include <algorithm>
-#include <filesystem>
-#include <fstream>
 #include <iostream>
-#include <map>
-#include <sstream>
 #include <string>
-#include <vector>
 
-#include "tools/lint/lint.h"
-
-namespace fs = std::filesystem;
+#include "tools/lint/driver.h"
 
 namespace {
 
-struct Options {
-  bool fix = false;
-  bool dry_run = false;
-  bool list_inventory = false;
-  std::string root = ".";
-};
-
-bool ReadFile(const fs::path& path, std::string* out) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return false;
-  std::ostringstream ss;
-  ss << in.rdbuf();
-  *out = ss.str();
+bool TakeValue(const std::string& arg, const char* flag, std::string* value) {
+  std::string prefix = std::string(flag) + "=";
+  if (arg.compare(0, prefix.size(), prefix) != 0) return false;
+  *value = arg.substr(prefix.size());
   return true;
-}
-
-bool WriteFile(const fs::path& path, const std::string& content) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) return false;
-  out << content;
-  return static_cast<bool>(out);
-}
-
-// Repo-relative path with forward slashes.
-std::string RelPath(const fs::path& root, const fs::path& path) {
-  return fs::relative(path, root).generic_string();
-}
-
-bool IsSourceFile(const fs::path& path) {
-  return path.extension() == ".h" || path.extension() == ".cc";
-}
-
-void PrintFinding(const sose::lint::Finding& f) {
-  std::cout << f.file << ":" << f.line << ": [" << sose::lint::RuleName(f.rule)
-            << "] " << f.message << "\n";
-}
-
-// Minimal line diff for --dry-run: in-place edits never add or remove lines,
-// so a line-by-line comparison is exact.
-void PrintDiff(const std::string& file, const std::string& before,
-               const std::string& after) {
-  std::istringstream old_stream(before);
-  std::istringstream new_stream(after);
-  std::string old_line;
-  std::string new_line;
-  int line_no = 0;
-  while (std::getline(old_stream, old_line)) {
-    ++line_no;
-    if (!std::getline(new_stream, new_line)) new_line.clear();
-    if (old_line == new_line) continue;
-    std::cout << file << ":" << line_no << ":\n"
-              << "  - " << old_line << "\n"
-              << "  + " << new_line << "\n";
-  }
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  Options options;
+  sose::lint::DriverOptions options;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--fix") {
@@ -97,9 +51,19 @@ int main(int argc, char** argv) {
       options.dry_run = true;
     } else if (arg == "--list-inventory") {
       options.list_inventory = true;
+    } else if (TakeValue(arg, "--sarif", &options.sarif_path) ||
+               TakeValue(arg, "--baseline", &options.baseline_path) ||
+               TakeValue(arg, "--write-baseline",
+                         &options.write_baseline_path) ||
+               TakeValue(arg, "--cache", &options.cache_path) ||
+               TakeValue(arg, "--compile-commands",
+                         &options.compile_commands_path)) {
+      // Value captured.
     } else if (arg == "--help" || arg == "-h") {
-      std::cout << "usage: sose_lint [--fix] [--dry-run] [--list-inventory] "
-                   "[repo-root]\n";
+      std::cout << "usage: sose_lint [--fix] [--dry-run] [--list-inventory]\n"
+                   "                 [--sarif=FILE] [--baseline=FILE]\n"
+                   "                 [--write-baseline=FILE] [--cache=FILE]\n"
+                   "                 [--compile-commands=FILE] [repo-root]\n";
       return 0;
     } else if (!arg.empty() && arg[0] == '-') {
       std::cerr << "sose_lint: unknown flag '" << arg << "'\n";
@@ -108,110 +72,5 @@ int main(int argc, char** argv) {
       options.root = arg;
     }
   }
-
-  const fs::path root = fs::path(options.root);
-  if (!fs::exists(root / "src")) {
-    std::cerr << "sose_lint: '" << root.string()
-              << "' does not look like the repo root (no src/)\n";
-    return 2;
-  }
-
-  // Gather the files to lint, sorted for deterministic output.
-  std::vector<fs::path> files;
-  for (const char* dir : {"src", "bench", "tests", "tools"}) {
-    fs::path base = root / dir;
-    if (!fs::exists(base)) continue;
-    for (const auto& entry : fs::recursive_directory_iterator(base)) {
-      if (entry.is_regular_file() && IsSourceFile(entry.path())) {
-        files.push_back(entry.path());
-      }
-    }
-  }
-  std::sort(files.begin(), files.end());
-
-  // Phase 1: generate the R1 inventory from the src/ headers.
-  sose::lint::LintConfig config;
-  for (const fs::path& path : files) {
-    std::string rel = RelPath(root, path);
-    if (rel.rfind("src/", 0) != 0 || path.extension() != ".h") continue;
-    std::string content;
-    if (!ReadFile(path, &content)) {
-      std::cerr << "sose_lint: cannot read " << rel << "\n";
-      return 2;
-    }
-    for (std::string& name : sose::lint::ExtractStatusFunctions(content)) {
-      config.status_functions.insert(std::move(name));
-    }
-  }
-  if (options.list_inventory) {
-    for (const std::string& name : config.status_functions) {
-      std::cout << name << "\n";
-    }
-    return 0;
-  }
-  if (!ReadFile(root / "docs" / "robustness.md", &config.robustness_doc)) {
-    std::cerr << "sose_lint: warning: docs/robustness.md not found; every "
-                 "fault site will be reported as undocumented\n";
-  }
-
-  // Phase 2: lint (optionally fixing) every file, collecting fault sites
-  // from library code for the cross-file registry check.
-  std::vector<sose::lint::Finding> findings;
-  std::vector<sose::lint::FaultSite> sites;
-  int fixed_files = 0;
-  for (const fs::path& path : files) {
-    std::string rel = RelPath(root, path);
-    std::string content;
-    if (!ReadFile(path, &content)) {
-      std::cerr << "sose_lint: cannot read " << rel << "\n";
-      return 2;
-    }
-    if (options.fix) {
-      auto fixed = sose::lint::ApplyFixes(rel, content, config);
-      if (fixed.has_value()) {
-        if (options.dry_run) {
-          PrintDiff(rel, content, *fixed);
-        } else if (!WriteFile(path, *fixed)) {
-          std::cerr << "sose_lint: cannot write " << rel << "\n";
-          return 2;
-        }
-        ++fixed_files;
-        // Report the remaining findings against the repaired content (for
-        // --dry-run, against the would-be content).
-        content = *fixed;
-      }
-    }
-    for (sose::lint::Finding& f : sose::lint::LintFile(rel, content, config)) {
-      findings.push_back(std::move(f));
-    }
-    if (rel.rfind("src/", 0) == 0) {
-      for (sose::lint::FaultSite& site :
-           sose::lint::ExtractFaultSites(rel, content)) {
-        sites.push_back(std::move(site));
-      }
-    }
-  }
-  for (sose::lint::Finding& f :
-       sose::lint::CheckFaultRegistry(sites, config.robustness_doc)) {
-    findings.push_back(std::move(f));
-  }
-
-  for (const sose::lint::Finding& f : findings) PrintFinding(f);
-  if (options.fix && fixed_files > 0) {
-    std::cout << (options.dry_run ? "would fix " : "fixed ") << fixed_files
-              << " file(s)\n";
-  }
-  // A dry run writes nothing, so pending fixes still count as findings for
-  // the exit code (keeps `--dry-run` honest in CI).
-  bool dirty = !findings.empty() || (options.dry_run && fixed_files > 0);
-  if (!dirty) {
-    std::cout << "sose_lint: " << files.size() << " files clean ("
-              << config.status_functions.size()
-              << " Status/Result functions in inventory)\n";
-    return 0;
-  }
-  if (!findings.empty()) {
-    std::cout << "sose_lint: " << findings.size() << " finding(s)\n";
-  }
-  return 1;
+  return sose::lint::RunSoseLint(options, std::cout, std::cerr, nullptr);
 }

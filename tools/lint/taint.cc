@@ -1,0 +1,184 @@
+#include "tools/lint/taint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+namespace sose::lint {
+namespace {
+
+// Files allowed to materialize RNG engines without taking seed state as a
+// parameter: the RNG module itself and the stopwatch (whose jitter is
+// measurement, not simulation randomness).
+bool SeedPuritySanctioned(const std::string& rel_path) {
+  return StartsWith(rel_path, "src/core/random") ||
+         StartsWith(rel_path, "src/core/stopwatch");
+}
+
+std::string Lowered(const std::string& s) {
+  std::string out = s;
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
+}
+
+// A parameter that can carry seed/stream state into the function: an
+// engine type, a seed/stream/rng-named value, or any project-class-typed
+// object (PascalCase token in the type — `this`-adjacent state we cannot
+// see inside of, so we assume it may hold an engine).
+bool ParamCarriesState(const Param& param) {
+  const std::string lname = Lowered(param.name);
+  if (lname.find("seed") != std::string::npos ||
+      lname.find("stream") != std::string::npos ||
+      lname.find("rng") != std::string::npos) {
+    return true;
+  }
+  std::istringstream type(param.type);
+  std::string tok;
+  while (type >> tok) {
+    if (!tok.empty() && std::isupper(static_cast<unsigned char>(tok[0])) != 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<Finding> CheckSeedPurity(const CallGraph& graph) {
+  std::vector<Finding> findings;
+  for (size_t i = 0; i < graph.nodes.size(); ++i) {
+    const GraphNode& node = graph.nodes[i];
+    if (!node.rng_reaching) continue;
+    const std::string& path = node.file->path;
+    if (RoleForPath(path) != FileRole::kLibrary) continue;
+    if (SeedPuritySanctioned(path)) continue;
+    if (SuppressedName(node.file->suppressions, node.fn->line, "seed-purity")) {
+      continue;
+    }
+
+    // Hidden trial-to-trial state: mutable local statics on an RNG path.
+    for (int line : node.fn->mutable_static_lines) {
+      if (SuppressedName(node.file->suppressions, line, "seed-purity")) {
+        continue;
+      }
+      findings.push_back(
+          {path, line, Rule::kSeedPurity,
+           "mutable local static in RNG-reaching function '" + node.fn->name +
+               "' (" + TaintWitness(graph, i) +
+               "); trial state must flow through parameters",
+           false});
+    }
+
+    // Seed materialized from nothing: a free function on an RNG path whose
+    // parameters cannot possibly carry the seed in.
+    if (node.fn->is_member) continue;  // `this` can carry engine state.
+    bool state_capable = false;
+    for (const Param& param : node.fn->params) {
+      if (ParamCarriesState(param)) {
+        state_capable = true;
+        break;
+      }
+    }
+    if (state_capable) continue;
+    findings.push_back(
+        {path, node.fn->line, Rule::kSeedPurity,
+         "function '" + node.fn->name + "' reaches the RNG (" +
+             TaintWitness(graph, i) +
+             ") but takes no seed/stream/engine parameter; pass seed state "
+             "explicitly so trials are replayable",
+         false});
+  }
+  return findings;
+}
+
+bool FloatReductionSanctioned(const std::string& rel_path) {
+  // The numeric kernel layer: reduction order there is part of the contract
+  // (pinned by the scalar/vector parity and linalg regression tests), so
+  // loops accumulating doubles are exactly what these TUs are for. Everything
+  // above this layer should call into it — or carry a baseline entry.
+  return StartsWith(rel_path, "src/core/simd/") ||
+         StartsWith(rel_path, "src/core/linalg_") ||
+         rel_path == "src/core/matrix.cc" ||
+         rel_path == "src/core/sparse.cc" ||
+         rel_path == "src/core/vector_ops.cc" ||
+         rel_path.find("stats") != std::string::npos;
+}
+
+std::vector<Finding> CheckFloatDeterminism(
+    const std::vector<FileIndex>& files) {
+  std::vector<Finding> findings;
+  for (const FileIndex& file : files) {
+    FileRole role = RoleForPath(file.path);
+    if (role != FileRole::kLibrary && role != FileRole::kApps) continue;
+    if (FloatReductionSanctioned(file.path)) continue;
+    for (const FunctionInfo& fn : file.functions) {
+      for (const FloatReduction& red : fn.float_reductions) {
+        if (SuppressedName(file.suppressions, red.line, "float-determinism")) {
+          continue;
+        }
+        findings.push_back(
+            {file.path, red.line, Rule::kFloatDeterminism,
+             "floating-point reduction into '" + red.target +
+                 "' inside a loop in '" + fn.name +
+                 "'; accumulation order is reassociation-sensitive — use a "
+                 "core/simd or stats kernel, or suppress with justification",
+             false});
+      }
+    }
+  }
+  return findings;
+}
+
+std::vector<Finding> CheckCompileCommands(const std::string& json) {
+  std::vector<Finding> findings;
+  // Loose scan of the compile database: split into top-level objects (brace
+  // depth outside strings), then inspect each entry's "file" value and
+  // whether the entry text carries the flag (covers both the "command"
+  // string and "arguments" array forms).
+  std::vector<std::string> entries;
+  int depth = 0;
+  bool in_string = false;
+  size_t start = 0;
+  for (size_t i = 0; i < json.size(); ++i) {
+    char c = json[i];
+    if (in_string) {
+      if (c == '\\') {
+        ++i;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    if (c == '"') {
+      in_string = true;
+    } else if (c == '{') {
+      if (depth++ == 0) start = i;
+    } else if (c == '}') {
+      if (--depth == 0) entries.push_back(json.substr(start, i - start + 1));
+    }
+  }
+  for (const std::string& entry : entries) {
+    size_t key = entry.find("\"file\"");
+    if (key == std::string::npos) continue;
+    size_t open = entry.find('"', entry.find(':', key) + 1);
+    if (open == std::string::npos) continue;
+    size_t close = open + 1;
+    while (close < entry.size() && entry[close] != '"') {
+      close += entry[close] == '\\' ? 2 : 1;
+    }
+    std::string file = entry.substr(open + 1, close - open - 1);
+    size_t simd = file.find("src/core/simd/");
+    if (simd == std::string::npos || !HasExt(file, ".cc")) continue;
+    if (entry.find("-ffp-contract=off") != std::string::npos) continue;
+    findings.push_back(
+        {file.substr(simd), 1, Rule::kFloatDeterminism,
+         "SIMD TU compiled without -ffp-contract=off; FMA contraction may "
+         "make scalar and vector kernels disagree bit-for-bit",
+         false});
+  }
+  return findings;
+}
+
+}  // namespace sose::lint

@@ -1,0 +1,44 @@
+#ifndef SOSE_TOOLS_LINT_TAINT_H_
+#define SOSE_TOOLS_LINT_TAINT_H_
+
+#include <string>
+#include <vector>
+
+#include "tools/lint/callgraph.h"
+#include "tools/lint/index.h"
+#include "tools/lint/lint.h"
+
+namespace sose::lint {
+
+/// R8 `seed-purity`. Every library function on an RNG-reaching path must
+/// receive its randomness as state: an engine/seed parameter or an object
+/// (`this`, or any project-class-typed parameter) that can carry one.
+/// Fires on:
+///  * a free library function that is RNG-reaching but takes only
+///    primitive/std-typed parameters, none seed-named — i.e. randomness is
+///    materialized from nothing inside it;
+///  * a mutable function-local `static` inside any RNG-reaching library
+///    function (hidden trial-to-trial state).
+/// Sanctioned roots (src/core/random.*, the timing wrappers) and
+/// non-library roles (tests/bench/tools own their seeds) are exempt.
+std::vector<Finding> CheckSeedPurity(const CallGraph& graph);
+
+/// R10 `float-determinism`, part 1: reassociation-sensitive FP reductions
+/// (`+=`/`-=` on a double/float accumulator inside a loop) outside the
+/// sanctioned kernel/stats TUs, over the indexed tree.
+std::vector<Finding> CheckFloatDeterminism(const std::vector<FileIndex>& files);
+
+/// R10, part 2: cross-checks compile_commands.json — every TU under
+/// src/core/simd/ must be compiled with -ffp-contract=off so scalar and
+/// vector paths agree bit-for-bit. `json` is the file's full text;
+/// findings are attributed to the offending TU path.
+std::vector<Finding> CheckCompileCommands(const std::string& json);
+
+/// True if `rel_path` is one of the TUs sanctioned to contain FP
+/// reductions (SIMD kernels and the stats/accumulator modules whose
+/// reduction order is pinned by tests). Exposed for docs/tests.
+bool FloatReductionSanctioned(const std::string& rel_path);
+
+}  // namespace sose::lint
+
+#endif  // SOSE_TOOLS_LINT_TAINT_H_

@@ -1,0 +1,273 @@
+#include "tools/lint/tokenizer.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace sose::lint {
+
+void RecordSuppression(const std::string& comment, int line,
+                       SuppressionMap* suppressions,
+                       std::vector<SuppressionDecl>* decls) {
+  // A suppression is a line comment whose content *starts* with the tag
+  // (`// sose-lint: allow(...)`). Only the first `//` on the line can open
+  // the comment; requiring the tag right after it keeps prose that merely
+  // quotes the syntax later in a sentence from registering as a directive —
+  // which matters now that unknown rule names in a directive are themselves
+  // findings.
+  const std::string tag = "sose-lint:";
+  size_t at = std::string::npos;
+  size_t slash = comment.find("//");
+  if (slash != std::string::npos) {
+    size_t p = slash;
+    while (p < comment.size() && comment[p] == '/') ++p;
+    while (p < comment.size() &&
+           std::isspace(static_cast<unsigned char>(comment[p])) != 0) {
+      ++p;
+    }
+    if (comment.compare(p, tag.size(), tag) == 0) at = p;
+  }
+  if (at == std::string::npos) return;
+  size_t open = comment.find("allow(", at + tag.size());
+  if (open == std::string::npos) return;
+  size_t close = comment.find(')', open);
+  if (close == std::string::npos) return;
+  std::string list = comment.substr(open + 6, close - open - 6);
+  size_t pos = 0;
+  while (pos <= list.size()) {
+    size_t comma = list.find(',', pos);
+    if (comma == std::string::npos) comma = list.size();
+    std::string name = list.substr(pos, comma - pos);
+    // Trim.
+    while (!name.empty() &&
+           std::isspace(static_cast<unsigned char>(name.front())) != 0)
+      name.erase(name.begin());
+    while (!name.empty() &&
+           std::isspace(static_cast<unsigned char>(name.back())) != 0)
+      name.pop_back();
+    if (!name.empty()) {
+      (*suppressions)[line].insert(name);
+      (*suppressions)[line + 1].insert(name);
+      if (decls != nullptr) decls->push_back({line, name});
+    }
+    pos = comma + 1;
+  }
+}
+
+namespace {
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+}  // namespace
+
+Scan Tokenize(const std::string& src) {
+  Scan scan;
+  size_t i = 0;
+  int line = 1;
+  size_t line_start = 0;
+  bool at_line_start = true;  // Only whitespace seen so far on this line.
+  auto col = [&](size_t pos) { return static_cast<int>(pos - line_start); };
+  auto newline = [&](size_t pos) {
+    ++line;
+    line_start = pos + 1;
+    at_line_start = true;
+  };
+
+  while (i < src.size()) {
+    char c = src[i];
+    if (c == '\n') {
+      newline(i);
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      ++i;
+      continue;
+    }
+    // Preprocessor directive: skip the whole logical line (honouring `\`
+    // continuations) so macro definitions never produce rule matches.
+    if (c == '#' && at_line_start) {
+      while (i < src.size()) {
+        if (src[i] == '\\' && i + 1 < src.size() && src[i + 1] == '\n') {
+          newline(i + 1);
+          i += 2;
+          continue;
+        }
+        if (src[i] == '\n') break;
+        ++i;
+      }
+      continue;
+    }
+    at_line_start = false;
+    // Comments.
+    if (c == '/' && i + 1 < src.size() && src[i + 1] == '/') {
+      size_t end = src.find('\n', i);
+      if (end == std::string::npos) end = src.size();
+      RecordSuppression(src.substr(i, end - i), line, &scan.suppressions,
+                        &scan.suppression_decls);
+      i = end;
+      continue;
+    }
+    if (c == '/' && i + 1 < src.size() && src[i + 1] == '*') {
+      i += 2;
+      while (i + 1 < src.size() && !(src[i] == '*' && src[i + 1] == '/')) {
+        if (src[i] == '\n') newline(i);
+        ++i;
+      }
+      i = std::min(i + 2, src.size());
+      continue;
+    }
+    // Raw string literal R"delim( ... )delim".
+    if (c == 'R' && i + 1 < src.size() && src[i + 1] == '"') {
+      size_t start = i;
+      int start_line = line;
+      size_t open = src.find('(', i + 2);
+      if (open == std::string::npos) {
+        ++i;
+        continue;
+      }
+      std::string delim = src.substr(i + 2, open - (i + 2));
+      std::string closer = ")" + delim + "\"";
+      size_t end = src.find(closer, open + 1);
+      if (end == std::string::npos) end = src.size();
+      for (size_t p = start; p < end && p < src.size(); ++p) {
+        if (src[p] == '\n') newline(p);
+      }
+      scan.tokens.push_back({TokenKind::kString,
+                             src.substr(open + 1, end - open - 1), start_line,
+                             col(start)});
+      i = std::min(end + closer.size(), src.size());
+      continue;
+    }
+    // String / char literals.
+    if (c == '"' || c == '\'') {
+      char quote = c;
+      size_t start = ++i;
+      std::string content;
+      while (i < src.size() && src[i] != quote && src[i] != '\n') {
+        if (src[i] == '\\' && i + 1 < src.size()) {
+          content += src[i];
+          content += src[i + 1];
+          i += 2;
+          continue;
+        }
+        content += src[i];
+        ++i;
+      }
+      scan.tokens.push_back(
+          {quote == '"' ? TokenKind::kString : TokenKind::kChar, content, line,
+           col(start - 1)});
+      if (i < src.size() && src[i] == quote) ++i;
+      continue;
+    }
+    // Identifiers / keywords.
+    if (std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_') {
+      size_t start = i;
+      while (i < src.size() && IsIdentChar(src[i])) ++i;
+      scan.tokens.push_back({TokenKind::kIdentifier,
+                             src.substr(start, i - start), line, col(start)});
+      continue;
+    }
+    // Numbers (coarse: digits and the characters that can extend them).
+    if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+      size_t start = i;
+      while (i < src.size() &&
+             (IsIdentChar(src[i]) || src[i] == '.' ||
+              ((src[i] == '+' || src[i] == '-') && i > start &&
+               (src[i - 1] == 'e' || src[i - 1] == 'E' || src[i - 1] == 'p' ||
+                src[i - 1] == 'P')))) {
+        ++i;
+      }
+      scan.tokens.push_back(
+          {TokenKind::kNumber, src.substr(start, i - start), line, col(start)});
+      continue;
+    }
+    // Punctuation: the two-char operators the rules care about (`::`, `->`
+    // for qualification, `+=`/`-=` for the float-determinism reduction
+    // scan), then single characters.
+    if (i + 1 < src.size()) {
+      std::string two = src.substr(i, 2);
+      if (two == "::" || two == "->" || two == "+=" || two == "-=") {
+        scan.tokens.push_back({TokenKind::kPunct, two, line, col(i)});
+        i += 2;
+        continue;
+      }
+    }
+    scan.tokens.push_back({TokenKind::kPunct, std::string(1, c), line, col(i)});
+    ++i;
+  }
+  return scan;
+}
+
+bool SuppressedName(const SuppressionMap& suppressions, int line,
+                    const std::string& rule_name) {
+  auto it = suppressions.find(line);
+  if (it == suppressions.end()) return false;
+  return it->second.count(rule_name) > 0 || it->second.count("all") > 0 ||
+         it->second.count("*") > 0;
+}
+
+bool StartsWith(const std::string& s, const std::string& prefix) {
+  return s.compare(0, prefix.size(), prefix) == 0;
+}
+
+bool HasExt(const std::string& path, const char* ext) {
+  size_t n = std::string(ext).size();
+  return path.size() >= n && path.compare(path.size() - n, n, ext) == 0;
+}
+
+std::vector<std::string> SplitLines(const std::string& content) {
+  std::vector<std::string> lines;
+  size_t pos = 0;
+  while (pos <= content.size()) {
+    size_t nl = content.find('\n', pos);
+    if (nl == std::string::npos) {
+      lines.push_back(content.substr(pos));
+      break;
+    }
+    lines.push_back(content.substr(pos, nl - pos));
+    pos = nl + 1;
+  }
+  return lines;
+}
+
+std::string Trimmed(const std::string& s) {
+  size_t b = s.find_first_not_of(" \t\r");
+  if (b == std::string::npos) return "";
+  size_t e = s.find_last_not_of(" \t\r");
+  return s.substr(b, e - b + 1);
+}
+
+bool StdQualified(const std::vector<Token>& toks, size_t k) {
+  return k >= 2 && toks[k - 1].text == "::" &&
+         toks[k - 2].kind == TokenKind::kIdentifier &&
+         toks[k - 2].text == "std";
+}
+
+bool Qualified(const std::vector<Token>& toks, size_t k) {
+  if (k == 0) return false;
+  const std::string& p = toks[k - 1].text;
+  return p == "::" || p == "." || p == "->";
+}
+
+uint64_t Fnv1a64(const std::string& data) {
+  uint64_t hash = 0xcbf29ce484222325ULL;
+  for (char c : data) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+std::string HashHex(uint64_t hash) {
+  static const char* kDigits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<size_t>(i)] = kDigits[hash & 0xF];
+    hash >>= 4;
+  }
+  return out;
+}
+
+}  // namespace sose::lint

@@ -1,0 +1,89 @@
+#ifndef SOSE_TOOLS_LINT_TOKENIZER_H_
+#define SOSE_TOOLS_LINT_TOKENIZER_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace sose::lint {
+
+// ---------------------------------------------------------------------------
+// Tokenizer
+//
+// A deliberately small C++ lexer: identifiers, numbers, string/char literals
+// (including raw strings), and punctuation, with comments and preprocessor
+// directives stripped. Line/column positions are retained so findings are
+// clickable and fixes can be applied textually. This is the "token/regex
+// level, no libclang" tier the project settled on: strong enough to enforce
+// the project invariants, cheap enough to run on every push. Shared between
+// the token rules (lint.cc) and the index phase (index.cc) so every file is
+// tokenized exactly once per run.
+// ---------------------------------------------------------------------------
+
+enum class TokenKind { kIdentifier, kNumber, kString, kChar, kPunct };
+
+struct Token {
+  TokenKind kind;
+  std::string text;  // For kString/kChar: the literal's content, unquoted.
+  int line = 0;      // 1-based.
+  int col = 0;       // 0-based byte offset within the line.
+};
+
+// Lines suppressed per rule by `// sose-lint: allow(rule1, rule2)`. The
+// suppression covers the comment's own line and the next line, so it works
+// both trailing a statement and on its own line above one.
+using SuppressionMap = std::map<int, std::set<std::string>>;
+
+// One `allow(...)` entry as written: the comment's own line and the literal
+// rule name. Kept separately from the map (which fans each entry out to two
+// lines) so suppression hygiene can validate names without double-reporting.
+struct SuppressionDecl {
+  int line = 0;
+  std::string rule;
+};
+
+struct Scan {
+  std::vector<Token> tokens;
+  SuppressionMap suppressions;
+  std::vector<SuppressionDecl> suppression_decls;
+};
+
+Scan Tokenize(const std::string& src);
+
+/// Parses `// sose-lint: allow(a, b)` out of one comment/line and records it
+/// against `line` (and `line + 1`) in the map; also appends the raw decls.
+void RecordSuppression(const std::string& comment, int line,
+                       SuppressionMap* suppressions,
+                       std::vector<SuppressionDecl>* decls);
+
+/// True when `rule_name` (or the `all` / `*` wildcard) is suppressed on
+/// `line`.
+bool SuppressedName(const SuppressionMap& suppressions, int line,
+                    const std::string& rule_name);
+
+// Small shared string helpers.
+bool StartsWith(const std::string& s, const std::string& prefix);
+bool HasExt(const std::string& path, const char* ext);
+std::vector<std::string> SplitLines(const std::string& content);
+std::string Trimmed(const std::string& s);
+
+/// True if tokens[k] is qualified as `std::tokens[k]` (allowing a leading
+/// `::std::`).
+bool StdQualified(const std::vector<Token>& toks, size_t k);
+
+/// True if tokens[k] is preceded by any member/namespace qualifier, i.e. is
+/// not a plain unqualified name.
+bool Qualified(const std::vector<Token>& toks, size_t k);
+
+/// FNV-1a 64-bit hash; used for the incremental cache keys and the baseline
+/// fingerprints. Stable across platforms and runs by construction.
+uint64_t Fnv1a64(const std::string& data);
+
+/// `Fnv1a64` rendered as 16 lowercase hex digits.
+std::string HashHex(uint64_t hash);
+
+}  // namespace sose::lint
+
+#endif  // SOSE_TOOLS_LINT_TOKENIZER_H_
