@@ -230,6 +230,51 @@ TEST(DriverTest, EditedFileIsReindexedAndCacheStaysCorrect) {
   EXPECT_NE(after.out.find("float-determinism"), std::string::npos);
 }
 
+TEST(DriverTest, HeaderInventoryChangeInvalidatesCachedStatusFlow) {
+  FixtureTree tree("r9cache");
+  tree.Write("src/core/api.h",
+             "#ifndef SOSE_CORE_API_H_\n"
+             "#define SOSE_CORE_API_H_\n"
+             "namespace sose {\n"
+             "Status Inner();\n"
+             "}  // namespace sose\n"
+             "#endif  // SOSE_CORE_API_H_\n");
+  tree.Write("src/sketch/wrapper.cc",
+             "namespace sose {\n"
+             "Status Inner() { return Status(); }\n"
+             "void Outer() {\n"
+             "  Inner();\n"
+             "}\n"
+             "}  // namespace sose\n");
+  DriverOptions options;
+  options.root = tree.Root();
+  options.cache_path = tree.Path("lint.cache").string();
+
+  // While the header declares Inner, the discard belongs to R1.
+  RunResult cold = RunLint(options);
+  EXPECT_EQ(cold.exit_code, 1);
+  EXPECT_NE(cold.out.find("[discarded-status]"), std::string::npos)
+      << cold.out;
+  EXPECT_EQ(cold.out.find("[status-flow]"), std::string::npos) << cold.out;
+
+  // Drop the declaration. wrapper.cc is untouched (cache hit), and the
+  // graph inventory still contains Inner via its definition — but R9's
+  // header-derived exclusion set changed, so the cached empty status-flow
+  // findings must be recomputed, not replayed. Otherwise the discard
+  // vanishes: R1 no longer knows Inner, and stale R9 stays quiet.
+  tree.Write("src/core/api.h",
+             "#ifndef SOSE_CORE_API_H_\n"
+             "#define SOSE_CORE_API_H_\n"
+             "namespace sose {\n"
+             "}  // namespace sose\n"
+             "#endif  // SOSE_CORE_API_H_\n");
+  RunResult warm = RunLint(options);
+  EXPECT_EQ(warm.exit_code, 1) << warm.out;
+  EXPECT_NE(warm.out.find("src/sketch/wrapper.cc:4: [status-flow]"),
+            std::string::npos)
+      << warm.out;
+}
+
 TEST(DriverTest, ListInventoryIsSortedAndStable) {
   FixtureTree tree("inventory");
   tree.Write("src/core/zeta.h",

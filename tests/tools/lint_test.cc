@@ -34,6 +34,34 @@ int CountRule(const std::vector<Finding>& findings, Rule rule) {
 }
 
 // ---------------------------------------------------------------------------
+// Tokenizer
+// ---------------------------------------------------------------------------
+
+TEST(TokenizerTest, DigitSeparatorsStayWithinOneNumberToken) {
+  // A separator apostrophe must not open a char literal: that would garble
+  // every token after it on the line.
+  Scan scan = Tokenize("int64_t n = 1'000'000 + 0xFFFF'FFFF;\n");
+  std::vector<std::string> numbers;
+  for (const Token& t : scan.tokens) {
+    EXPECT_NE(t.kind, TokenKind::kChar) << "char token: " << t.text;
+    if (t.kind == TokenKind::kNumber) numbers.push_back(t.text);
+  }
+  EXPECT_EQ(numbers, (std::vector<std::string>{"1'000'000", "0xFFFF'FFFF"}));
+}
+
+TEST(TokenizerTest, CharLiteralAfterNumberIsStillAChar) {
+  Scan scan = Tokenize("Pick(1, 'a');\n");
+  bool saw_char = false;
+  for (const Token& t : scan.tokens) {
+    if (t.kind == TokenKind::kChar) {
+      saw_char = true;
+      EXPECT_EQ(t.text, "a");
+    }
+  }
+  EXPECT_TRUE(saw_char);
+}
+
+// ---------------------------------------------------------------------------
 // Rule names
 // ---------------------------------------------------------------------------
 

@@ -284,8 +284,11 @@ int RunSoseLint(const DriverOptions& options, std::ostream& out,
     findings.push_back(std::move(f));
   }
   const uint64_t graph_inventory_hash = HashStrings(graph.status_inventory);
+  // R9 depends on the header-derived inventory (its exclusion set) as well
+  // as the graph-derived one, so both hashes gate the cached findings.
   const bool graph_cache_ok =
-      cache_config_ok && old_cache.graph_inventory_hash == graph_inventory_hash;
+      cache_config_ok && old_cache.inventory_hash == inventory_hash &&
+      old_cache.graph_inventory_hash == graph_inventory_hash;
   for (WorkItem& item : files) {
     if (item.cached != nullptr && graph_cache_ok) {
       item.fresh.statusflow_findings = item.cached->statusflow_findings;

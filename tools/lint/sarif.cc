@@ -83,7 +83,6 @@ std::string SarifReport(const std::vector<SarifResult>& results) {
       << "      \"tool\": {\n"
       << "        \"driver\": {\n"
       << "          \"name\": \"sose_lint\",\n"
-      << "          \"informationUri\": \"docs/static-analysis.md\",\n"
       << "          \"rules\": [\n";
   for (size_t i = 0; i < kRules.size(); ++i) {
     out << "            {\"id\": \"" << RuleName(kRules[i].rule)

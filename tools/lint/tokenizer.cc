@@ -169,11 +169,14 @@ Scan Tokenize(const std::string& src) {
                              src.substr(start, i - start), line, col(start)});
       continue;
     }
-    // Numbers (coarse: digits and the characters that can extend them).
+    // Numbers (coarse: digits and the characters that can extend them,
+    // including C++14 digit separators as in 1'000'000).
     if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
       size_t start = i;
       while (i < src.size() &&
              (IsIdentChar(src[i]) || src[i] == '.' ||
+              (src[i] == '\'' && i + 1 < src.size() &&
+               std::isalnum(static_cast<unsigned char>(src[i + 1])) != 0) ||
               ((src[i] == '+' || src[i] == '-') && i > start &&
                (src[i - 1] == 'e' || src[i - 1] == 'E' || src[i - 1] == 'p' ||
                 src[i - 1] == 'P')))) {
