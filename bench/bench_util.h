@@ -132,7 +132,8 @@ inline void ReadResilienceFlags(const FlagParser& flags,
 inline Status WriteBenchJsonResolved(const std::string& experiment,
                                      int requested_threads,
                                      int resolved_threads, double wall_seconds,
-                                     int64_t trials, int workers = 1) {
+                                     int64_t trials, int workers = 1,
+                                     bool quick = false) {
   const std::string path = "BENCH_" + experiment + ".json";
   double baseline = std::nan("");
   if (requested_threads == 1 && workers == 1) {
@@ -159,6 +160,9 @@ inline Status WriteBenchJsonResolved(const std::string& experiment,
       .AddInt("workers", workers)
       .AddDouble("wall_seconds", wall_seconds)
       .AddInt("trials", trials)
+      // Provenance: a --quick run is a smoke-sized workload whose numbers
+      // must never be compared against a full run's.
+      .AddBool("quick", quick)
       .AddDouble("trials_per_sec", have_rate
                                        ? static_cast<double>(trials) /
                                              wall_seconds
@@ -178,10 +182,10 @@ inline Status WriteBenchJsonResolved(const std::string& experiment,
 
 inline Status WriteBenchJson(const std::string& experiment, int threads,
                              double wall_seconds, int64_t trials,
-                             int workers = 1) {
+                             int workers = 1, bool quick = false) {
   return WriteBenchJsonResolved(experiment, threads,
                                 ResolveThreadCount(threads), wall_seconds,
-                                trials, workers);
+                                trials, workers, quick);
 }
 
 /// The shared bench epilogue: BENCH_<experiment>.json (with the embedded
@@ -192,7 +196,8 @@ inline Status FinishBench(const FlagParser& flags,
                           double wall_seconds, int64_t trials,
                           int workers = 1) {
   SOSE_RETURN_IF_ERROR(WriteBenchJson(experiment, requested_threads,
-                                      wall_seconds, trials, workers));
+                                      wall_seconds, trials, workers,
+                                      flags.GetBool("quick", false)));
   const std::string metrics_path = flags.GetString("metrics", "");
   if (!metrics_path.empty()) {
     SOSE_RETURN_IF_ERROR(

@@ -179,6 +179,36 @@ std::string FormatDouble(double value) {
 
 }  // namespace
 
+double EstimateHistogramQuantile(const HistogramSnapshot& histogram,
+                                 double q) {
+  if (histogram.count <= 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const double rank = q * static_cast<double>(histogram.count);
+  int64_t cumulative = 0;
+  for (std::size_t i = 0; i < histogram.bucket_counts.size(); ++i) {
+    const int64_t in_bucket = histogram.bucket_counts[i];
+    const int64_t next = cumulative + in_bucket;
+    if (in_bucket > 0 && static_cast<double>(next) >= rank) {
+      if (i >= histogram.boundaries.size()) {
+        // Overflow bucket: clamp to the top boundary rather than invent an
+        // upper edge.
+        return histogram.boundaries.empty() ? 0.0
+                                            : histogram.boundaries.back();
+      }
+      const double lower = i == 0 ? 0.0 : histogram.boundaries[i - 1];
+      const double upper = histogram.boundaries[i];
+      double fraction = (rank - static_cast<double>(cumulative)) /
+                        static_cast<double>(in_bucket);
+      if (fraction < 0.0) fraction = 0.0;
+      if (fraction > 1.0) fraction = 1.0;
+      return lower + (upper - lower) * fraction;
+    }
+    cumulative = next;
+  }
+  return histogram.boundaries.empty() ? 0.0 : histogram.boundaries.back();
+}
+
 std::string FormatText(const MetricsSnapshot& snapshot) {
   std::ostringstream out;
   for (const auto& [name, value] : snapshot.counters) {
@@ -189,7 +219,11 @@ std::string FormatText(const MetricsSnapshot& snapshot) {
   }
   for (const HistogramSnapshot& h : snapshot.histograms) {
     out << "histogram " << h.name << " count=" << h.count
-        << " sum=" << FormatDouble(h.sum) << " buckets=";
+        << " sum=" << FormatDouble(h.sum)
+        << " p50=" << FormatDouble(EstimateHistogramQuantile(h, 0.5))
+        << " p95=" << FormatDouble(EstimateHistogramQuantile(h, 0.95))
+        << " p99=" << FormatDouble(EstimateHistogramQuantile(h, 0.99))
+        << " buckets=";
     for (std::size_t i = 0; i < h.bucket_counts.size(); ++i) {
       if (i > 0) out << ",";
       if (i < h.boundaries.size()) {
@@ -222,6 +256,9 @@ JsonObjectWriter ToJson(const MetricsSnapshot& snapshot) {
     JsonObjectWriter entry;
     entry.AddInt("count", h.count);
     entry.AddDouble("sum", h.sum);
+    entry.AddDouble("p50", EstimateHistogramQuantile(h, 0.5));
+    entry.AddDouble("p95", EstimateHistogramQuantile(h, 0.95));
+    entry.AddDouble("p99", EstimateHistogramQuantile(h, 0.99));
     for (std::size_t i = 0; i < h.bucket_counts.size(); ++i) {
       std::string key = i < h.boundaries.size()
                             ? "le_" + FormatDouble(h.boundaries[i])

@@ -114,6 +114,17 @@ struct MetricsSnapshot {
   std::vector<HistogramSnapshot> histograms;
 };
 
+/// Quantile estimate from bucketed counts, Prometheus
+/// `histogram_quantile` style: locate the bucket where the cumulative
+/// count crosses `q * count` and interpolate linearly inside it (bucket 0
+/// interpolates from 0; the overflow bucket clamps to the top boundary, so
+/// the estimate never invents a value beyond the instrumented range).
+/// `q` is clamped to [0, 1]; an empty histogram estimates 0. The p50/p95/
+/// p99 readouts in STATS replies, bench JSON `metrics` blocks, and
+/// FormatText dumps all come from this function.
+double EstimateHistogramQuantile(const HistogramSnapshot& histogram,
+                                 double q);
+
 /// The process-wide registry. Series are registered on first use and live
 /// for the life of the process; handles returned by the getters are stable.
 /// Registration takes a mutex; recording through the handles is lock-free.

@@ -1,0 +1,375 @@
+#include "core/net/net.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <utility>
+
+#include "core/stopwatch.h"
+
+namespace sose::net {
+
+namespace {
+
+Status Errno(const std::string& what) {
+  return Status::Internal(what + ": " + std::string(strerror(errno)));
+}
+
+// Every socket this layer creates is non-blocking and close-on-exec: the
+// service multiplexes with PollFds and must never block in read/write, and
+// forked shard workers must not inherit service descriptors.
+Status MakeNonBlocking(int fd) {
+  const int flags = fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return Errno("fcntl(F_GETFL)");
+  if (fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return Errno("fcntl(F_SETFL, O_NONBLOCK)");
+  }
+  if (fcntl(fd, F_SETFD, FD_CLOEXEC) < 0) return Errno("fcntl(FD_CLOEXEC)");
+  return Status::OK();
+}
+
+Result<sockaddr_un> UnixAddress(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.empty() || path.size() >= sizeof(addr.sun_path)) {
+    return Status::InvalidArgument(
+        "unix socket path must be 1.." +
+        std::to_string(sizeof(addr.sun_path) - 1) + " bytes: '" + path + "'");
+  }
+  memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Socket
+// ---------------------------------------------------------------------------
+
+Socket::Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Socket::~Socket() { Close(); }
+
+void Socket::Close() {
+  if (fd_ >= 0) {
+    int rc;
+    do {
+      rc = ::close(fd_);
+    } while (rc < 0 && errno == EINTR);
+    fd_ = -1;
+  }
+}
+
+Result<Socket> Socket::ConnectUnix(const std::string& path) {
+  SOSE_ASSIGN_OR_RETURN(sockaddr_un addr, UnixAddress(path));
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket(AF_UNIX)");
+  Socket socket(fd);
+  int rc;
+  do {
+    rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                   sizeof(addr));
+  } while (rc < 0 && errno == EINTR);
+  if (rc < 0) {
+    if (errno == ENOENT || errno == ECONNREFUSED) {
+      return Status::NotFound("no sosed listener at '" + path +
+                              "': " + std::string(strerror(errno)));
+    }
+    return Errno("connect('" + path + "')");
+  }
+  SOSE_RETURN_IF_ERROR(MakeNonBlocking(fd));
+  return socket;
+}
+
+Result<Socket> Socket::ConnectTcp(const std::string& host, int port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("not a numeric IPv4 host: '" + host + "'");
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket(AF_INET)");
+  Socket socket(fd);
+  int rc;
+  do {
+    rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                   sizeof(addr));
+  } while (rc < 0 && errno == EINTR);
+  if (rc < 0) {
+    if (errno == ECONNREFUSED) {
+      return Status::NotFound("no listener at " + host + ":" +
+                              std::to_string(port));
+    }
+    return Errno("connect(" + host + ":" + std::to_string(port) + ")");
+  }
+  SOSE_RETURN_IF_ERROR(MakeNonBlocking(fd));
+  return socket;
+}
+
+Result<ReadChunk> Socket::ReadAvailable(std::string* buffer) {
+  if (fd_ < 0) return Status::FailedPrecondition("read on a closed socket");
+  ReadChunk chunk;
+  char scratch[16384];
+  for (;;) {
+    const ssize_t n = ::recv(fd_, scratch, sizeof(scratch), 0);
+    if (n > 0) {
+      buffer->append(scratch, static_cast<size_t>(n));
+      chunk.bytes += n;
+      continue;
+    }
+    if (n == 0) {
+      chunk.eof = true;
+      return chunk;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return chunk;
+    // A reset peer is an orderly end of conversation for a server: report
+    // eof so the caller tears the connection down instead of erroring out.
+    if (errno == ECONNRESET) {
+      chunk.eof = true;
+      return chunk;
+    }
+    return Errno("recv");
+  }
+}
+
+Result<int64_t> Socket::WriteSome(const std::string& data, int64_t offset) {
+  if (fd_ < 0) return Status::FailedPrecondition("write on a closed socket");
+  if (offset < 0 || offset > static_cast<int64_t>(data.size())) {
+    return Status::OutOfRange("WriteSome: offset out of range");
+  }
+  int64_t written = 0;
+  while (offset + written < static_cast<int64_t>(data.size())) {
+    const ssize_t n =
+        ::send(fd_, data.data() + offset + written,
+               data.size() - static_cast<size_t>(offset + written),
+               MSG_NOSIGNAL);
+    if (n > 0) {
+      written += n;
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    if (n < 0 && (errno == EPIPE || errno == ECONNRESET)) {
+      return Status::Internal("peer closed the connection mid-write");
+    }
+    return Errno("send");
+  }
+  return written;
+}
+
+Status Socket::WriteAll(const std::string& data, double timeout_seconds) {
+  Stopwatch watch;
+  int64_t sent = 0;
+  while (sent < static_cast<int64_t>(data.size())) {
+    SOSE_ASSIGN_OR_RETURN(const int64_t n, WriteSome(data, sent));
+    sent += n;
+    if (sent == static_cast<int64_t>(data.size())) break;
+    const double remaining = timeout_seconds - watch.ElapsedSeconds();
+    if (remaining <= 0.0) {
+      return Status::Internal("WriteAll: timed out with " +
+                              std::to_string(data.size() - sent) +
+                              " byte(s) unsent");
+    }
+    SOSE_ASSIGN_OR_RETURN(
+        const std::vector<PollReady> ready,
+        PollFds({{fd_, /*want_read=*/false, /*want_write=*/true}},
+                std::min(remaining, 0.1)));
+    if (ready[0].error) return Status::Internal("WriteAll: socket error");
+  }
+  return Status::OK();
+}
+
+Status Socket::ReadUntilNewline(std::string* buffer, double timeout_seconds) {
+  Stopwatch watch;
+  size_t scanned = buffer->size();
+  for (;;) {
+    SOSE_ASSIGN_OR_RETURN(const ReadChunk chunk, ReadAvailable(buffer));
+    if (buffer->find('\n', scanned) != std::string::npos) return Status::OK();
+    scanned = buffer->size();
+    if (chunk.eof) {
+      return Status::Internal("connection closed before a full record");
+    }
+    const double remaining = timeout_seconds - watch.ElapsedSeconds();
+    if (remaining <= 0.0) {
+      return Status::Internal("ReadUntilNewline: timed out");
+    }
+    SOSE_ASSIGN_OR_RETURN(
+        const std::vector<PollReady> ready,
+        PollFds({{fd_, /*want_read=*/true, /*want_write=*/false}},
+                std::min(remaining, 0.1)));
+    (void)ready;  // Loop back to ReadAvailable either way.
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Listener
+// ---------------------------------------------------------------------------
+
+Listener::Listener(Listener&& other) noexcept
+    : fd_(other.fd_),
+      port_(other.port_),
+      unix_path_(std::move(other.unix_path_)) {
+  other.fd_ = -1;
+  other.port_ = 0;
+  other.unix_path_.clear();
+}
+
+Listener& Listener::operator=(Listener&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    port_ = other.port_;
+    unix_path_ = std::move(other.unix_path_);
+    other.fd_ = -1;
+    other.port_ = 0;
+    other.unix_path_.clear();
+  }
+  return *this;
+}
+
+Listener::~Listener() { Close(); }
+
+void Listener::Close() {
+  if (fd_ >= 0) {
+    int rc;
+    do {
+      rc = ::close(fd_);
+    } while (rc < 0 && errno == EINTR);
+    fd_ = -1;
+  }
+  if (!unix_path_.empty()) {
+    ::unlink(unix_path_.c_str());  // Best effort; the path may be gone.
+    unix_path_.clear();
+  }
+}
+
+Result<Listener> Listener::ListenUnix(const std::string& path) {
+  SOSE_ASSIGN_OR_RETURN(sockaddr_un addr, UnixAddress(path));
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket(AF_UNIX)");
+  Listener listener(fd, 0, path);
+  // A stale socket file from a crashed server would fail the bind; a fresh
+  // server owns its path.
+  ::unlink(path.c_str());
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    return Errno("bind('" + path + "')");
+  }
+  if (::listen(fd, 64) < 0) return Errno("listen('" + path + "')");
+  SOSE_RETURN_IF_ERROR(MakeNonBlocking(fd));
+  return listener;
+}
+
+Result<Listener> Listener::ListenTcp(int port) {
+  if (port < 0 || port > 65535) {
+    return Status::InvalidArgument("port out of range: " +
+                                   std::to_string(port));
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket(AF_INET)");
+  Listener listener(fd, port, "");
+  const int one = 1;
+  if (::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one)) < 0) {
+    return Errno("setsockopt(SO_REUSEADDR)");
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    return Errno("bind(127.0.0.1:" + std::to_string(port) + ")");
+  }
+  if (::listen(fd, 64) < 0) return Errno("listen");
+  SOSE_RETURN_IF_ERROR(MakeNonBlocking(fd));
+  // Read back the resolved port so port 0 (ephemeral) callers can publish
+  // the real one.
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) < 0) {
+    return Errno("getsockname");
+  }
+  listener.port_ = ntohs(bound.sin_port);
+  return listener;
+}
+
+Result<std::optional<Socket>> Listener::Accept() {
+  if (fd_ < 0) return Status::FailedPrecondition("accept on a closed listener");
+  for (;;) {
+    const int client = ::accept(fd_, nullptr, nullptr);
+    if (client >= 0) {
+      Socket socket(client);
+      SOSE_RETURN_IF_ERROR(MakeNonBlocking(client));
+      return std::optional<Socket>(std::move(socket));
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return std::optional<Socket>();
+    }
+    // The connection died between the kernel queueing it and us accepting
+    // it — a per-connection event, not a listener failure.
+    if (errno == ECONNABORTED) return std::optional<Socket>();
+    return Errno("accept");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// PollFds
+// ---------------------------------------------------------------------------
+
+Result<std::vector<PollReady>> PollFds(const std::vector<PollEntry>& entries,
+                                       double timeout_seconds) {
+  std::vector<pollfd> fds;
+  fds.reserve(entries.size());
+  for (const PollEntry& entry : entries) {
+    pollfd p{};
+    p.fd = entry.fd;
+    p.events = static_cast<short>((entry.want_read ? POLLIN : 0) |
+                                  (entry.want_write ? POLLOUT : 0));
+    fds.push_back(p);
+  }
+  Stopwatch watch;
+  int ready;
+  for (;;) {
+    const double remaining =
+        std::max(0.0, timeout_seconds - watch.ElapsedSeconds());
+    const int timeout_ms = static_cast<int>(remaining * 1000.0);
+    ready = ::poll(fds.empty() ? nullptr : fds.data(),
+                   static_cast<nfds_t>(fds.size()), timeout_ms);
+    if (ready >= 0) break;
+    if (errno != EINTR) return Errno("poll");
+    if (watch.ElapsedSeconds() >= timeout_seconds) {
+      ready = 0;
+      break;
+    }
+  }
+  std::vector<PollReady> result(entries.size());
+  for (size_t i = 0; i < fds.size(); ++i) {
+    result[i].readable = (fds[i].revents & POLLIN) != 0;
+    result[i].writable = (fds[i].revents & POLLOUT) != 0;
+    result[i].error =
+        (fds[i].revents & (POLLERR | POLLHUP | POLLNVAL)) != 0;
+  }
+  return result;
+}
+
+}  // namespace sose::net

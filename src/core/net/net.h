@@ -1,0 +1,170 @@
+#ifndef SOSE_CORE_NET_NET_H_
+#define SOSE_CORE_NET_NET_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+
+namespace sose::net {
+
+/// Status-returning RAII wrapper around the POSIX socket primitives
+/// (socket, bind, listen, accept, connect, poll, send, recv). This directory
+/// is the *only* sanctioned home for raw socket management in the tree:
+/// sose_lint rule R3 (`concurrency`) confines the underlying syscalls to
+/// src/core/net/ the same way it confines raw process primitives to
+/// src/core/subprocess.cc, so every descriptor the library opens flows
+/// through one audited, error-propagating seam that owns the rules ad-hoc
+/// call sites get wrong (O_NONBLOCK on every fd, MSG_NOSIGNAL so a dead
+/// peer raises a Status instead of SIGPIPE, EINTR retries, close-on-exec).
+///
+/// The model is deliberately narrow — it exists for the `sosed` streaming
+/// sketch service (docs/service.md) and mirrors src/core/subprocess:
+///
+///   * every socket is non-blocking from birth; readiness is discovered
+///     with PollFds, never by blocking in read/write;
+///   * reads drain into a caller-owned buffer (the service's CSV framing
+///     re-assembles records with ExtractCompleteCsvRecords);
+///   * writes report how many bytes the kernel took so callers can keep a
+///     pending buffer and apply explicit backpressure.
+
+/// What one non-blocking drain of a socket produced.
+struct ReadChunk {
+  int64_t bytes = 0;  ///< Bytes appended to the caller's buffer.
+  bool eof = false;   ///< True once the peer closed its write side.
+};
+
+/// A connected stream socket (Unix-domain or TCP), always non-blocking.
+/// Movable, not copyable; the destructor closes the descriptor, so RAII
+/// alone guarantees no leaked fds on any error path.
+class Socket {
+ public:
+  /// Connects to a Unix-domain listener at `path`. The connect itself is
+  /// allowed to block briefly (UDS connects complete or fail immediately);
+  /// the returned socket is non-blocking. Fails with kNotFound when nothing
+  /// listens at `path`.
+  [[nodiscard]] static Result<Socket> ConnectUnix(const std::string& path);
+
+  /// Connects to a TCP listener on `host`:`port` (numeric IPv4 host, e.g.
+  /// "127.0.0.1"). The returned socket is non-blocking.
+  [[nodiscard]] static Result<Socket> ConnectTcp(const std::string& host,
+                                                 int port);
+
+  Socket() = default;
+  Socket(Socket&& other) noexcept;
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+  ~Socket();
+
+  /// The descriptor (for PollFds); -1 once closed or default-constructed.
+  int fd() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+
+  /// Closes the descriptor early (idempotent).
+  void Close();
+
+  /// Appends whatever the socket currently holds to `buffer` without
+  /// blocking. A round with no data ready returns bytes == 0, eof == false.
+  /// eof becomes true once the peer has closed its write side and the
+  /// kernel buffer is fully drained.
+  [[nodiscard]] Result<ReadChunk> ReadAvailable(std::string* buffer);
+
+  /// Writes as much of `data` as the kernel will take without blocking and
+  /// returns that byte count (possibly 0 when the send buffer is full — the
+  /// caller keeps the rest pending and waits for writability). A peer that
+  /// vanished mid-write fails with kInternal, never SIGPIPE.
+  [[nodiscard]] Result<int64_t> WriteSome(const std::string& data,
+                                          int64_t offset = 0);
+
+  /// Blocking convenience for clients and tests: polls for writability and
+  /// loops WriteSome until all of `data` is sent or `timeout_seconds`
+  /// elapses (kInternal on timeout).
+  [[nodiscard]] Status WriteAll(const std::string& data,
+                                double timeout_seconds);
+
+  /// Blocking convenience for clients and tests: polls for readability and
+  /// drains until `buffer` contains at least one full newline-terminated
+  /// record beyond `already_buffered` bytes, EOF, or the timeout.
+  [[nodiscard]] Status ReadUntilNewline(std::string* buffer,
+                                        double timeout_seconds);
+
+ private:
+  friend class Listener;
+  explicit Socket(int fd) : fd_(fd) {}
+
+  int fd_ = -1;
+};
+
+/// A listening socket (Unix-domain or TCP). Movable, not copyable. The
+/// destructor closes the descriptor and unlinks a Unix-domain socket path,
+/// so a crashed-and-restarted server never trips over its own stale socket
+/// (ListenUnix also removes a pre-existing path before binding).
+class Listener {
+ public:
+  /// Listens on a Unix-domain socket at `path` (an existing socket file at
+  /// `path` is replaced).
+  [[nodiscard]] static Result<Listener> ListenUnix(const std::string& path);
+
+  /// Listens on TCP 127.0.0.1:`port`; `port` 0 binds an ephemeral port,
+  /// readable back through port().
+  [[nodiscard]] static Result<Listener> ListenTcp(int port);
+
+  Listener() = default;
+  Listener(Listener&& other) noexcept;
+  Listener& operator=(Listener&& other) noexcept;
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+  ~Listener();
+
+  /// The listening descriptor (for PollFds); -1 once closed.
+  int fd() const { return fd_; }
+  /// The bound TCP port (0 for Unix-domain listeners).
+  int port() const { return port_; }
+  /// The Unix-domain path (empty for TCP listeners).
+  const std::string& unix_path() const { return unix_path_; }
+
+  /// Accepts one pending connection without blocking; std::nullopt when no
+  /// connection is queued. The accepted socket is non-blocking. Transient
+  /// per-connection accept failures (the peer reset before we got to it)
+  /// also return nullopt rather than an error; only listener-level failures
+  /// surface as a Status.
+  [[nodiscard]] Result<std::optional<Socket>> Accept();
+
+  void Close();
+
+ private:
+  Listener(int fd, int port, std::string unix_path)
+      : fd_(fd), port_(port), unix_path_(std::move(unix_path)) {}
+
+  int fd_ = -1;
+  int port_ = 0;
+  std::string unix_path_;
+};
+
+/// One descriptor's readiness interest for PollFds.
+struct PollEntry {
+  int fd = -1;
+  bool want_read = false;
+  bool want_write = false;
+};
+
+/// One descriptor's readiness result.
+struct PollReady {
+  bool readable = false;  ///< Data, a pending accept, or EOF to observe.
+  bool writable = false;
+  bool error = false;  ///< POLLERR/POLLHUP/POLLNVAL; drain then close.
+};
+
+/// Waits up to `timeout_seconds` for readiness on `entries` and returns one
+/// PollReady per entry (all false when the timeout elapsed first). An empty
+/// `entries` vector is a pure bounded sleep. EINTR is retried with the
+/// remaining budget.
+[[nodiscard]] Result<std::vector<PollReady>> PollFds(
+    const std::vector<PollEntry>& entries, double timeout_seconds);
+
+}  // namespace sose::net
+
+#endif  // SOSE_CORE_NET_NET_H_

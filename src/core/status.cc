@@ -32,6 +32,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "unimplemented";
     case StatusCode::kInternal:
       return "internal";
+    case StatusCode::kUnavailable:
+      return "unavailable";
   }
   return "unknown";
 }
@@ -42,7 +44,7 @@ bool StatusCodeFromString(const std::string& name, StatusCode* code) {
       StatusCode::kOutOfRange,   StatusCode::kFailedPrecondition,
       StatusCode::kNotFound,     StatusCode::kAlreadyExists,
       StatusCode::kNumericalError, StatusCode::kUnimplemented,
-      StatusCode::kInternal};
+      StatusCode::kInternal,       StatusCode::kUnavailable};
   for (StatusCode candidate : kAll) {
     if (name == StatusCodeToString(candidate)) {
       *code = candidate;
@@ -92,6 +94,9 @@ Status Status::Unimplemented(std::string message) {
 }
 Status Status::Internal(std::string message) {
   return Status(StatusCode::kInternal, std::move(message));
+}
+Status Status::Unavailable(std::string message) {
+  return Status(StatusCode::kUnavailable, std::move(message));
 }
 
 const std::string& Status::message() const {

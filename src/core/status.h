@@ -22,6 +22,9 @@ enum class StatusCode : int {
                           ///< matrix was singular/not SPD, etc.
   kUnimplemented = 7,     ///< Feature intentionally not provided.
   kInternal = 8,          ///< Invariant violation inside the library.
+  kUnavailable = 9,       ///< Transient resource exhaustion: the caller
+                          ///< should back off and retry (the `sosed`
+                          ///< admission-control BUSY category).
 };
 
 /// Returns the canonical lowercase name of a status code, e.g.
@@ -70,6 +73,7 @@ class [[nodiscard]] Status {
   [[nodiscard]] static Status NumericalError(std::string message);
   [[nodiscard]] static Status Unimplemented(std::string message);
   [[nodiscard]] static Status Internal(std::string message);
+  [[nodiscard]] static Status Unavailable(std::string message);
 
   /// True iff this status represents success.
   [[nodiscard]] bool ok() const { return rep_ == nullptr; }

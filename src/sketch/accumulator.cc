@@ -1,6 +1,7 @@
 #include "sketch/accumulator.h"
 
 #include "core/simd/dispatch.h"
+#include "sketch/composed.h"
 
 namespace sose {
 
@@ -13,20 +14,31 @@ Result<SketchAccumulator> SketchAccumulator::Create(
     return Status::InvalidArgument(
         "SketchAccumulator: num_columns must be positive");
   }
-  Matrix state(sketch->rows(), num_columns);
-  return SketchAccumulator(std::move(sketch), std::move(state));
+  // Peel composition pipelines: stream through the innermost stage, replay
+  // the rest densely at query time. Walking inward prepends each outer
+  // stage so outer_stages ends up in application (innermost-first) order.
+  std::shared_ptr<const SketchingMatrix> innermost = sketch;
+  std::vector<std::shared_ptr<const SketchingMatrix>> outer_stages;
+  while (const auto* composed =
+             dynamic_cast<const ComposedSketch*>(innermost.get())) {
+    outer_stages.insert(outer_stages.begin(), composed->outer());
+    innermost = composed->inner();
+  }
+  Matrix state(innermost->rows(), num_columns);
+  return SketchAccumulator(std::move(sketch), std::move(innermost),
+                           std::move(outer_stages), std::move(state));
 }
 
 Status SketchAccumulator::AddRow(int64_t row,
                                  const std::vector<double>& values) {
-  if (row < 0 || row >= sketch_->cols()) {
+  if (row < 0 || row >= innermost_->cols()) {
     return Status::OutOfRange("SketchAccumulator::AddRow: row out of range");
   }
   if (static_cast<int64_t>(values.size()) != state_.cols()) {
     return Status::InvalidArgument(
         "SketchAccumulator::AddRow: wrong number of values");
   }
-  for (const ColumnEntry& entry : sketch_->Column(row)) {
+  for (const ColumnEntry& entry : innermost_->Column(row)) {
     simd::Axpy(entry.value, values.data(), state_.Row(entry.row),
                state_.cols());
   }
@@ -34,13 +46,13 @@ Status SketchAccumulator::AddRow(int64_t row,
 }
 
 Status SketchAccumulator::AddEntry(int64_t row, int64_t col, double value) {
-  if (row < 0 || row >= sketch_->cols()) {
+  if (row < 0 || row >= innermost_->cols()) {
     return Status::OutOfRange("SketchAccumulator::AddEntry: row out of range");
   }
   if (col < 0 || col >= state_.cols()) {
     return Status::OutOfRange("SketchAccumulator::AddEntry: col out of range");
   }
-  for (const ColumnEntry& entry : sketch_->Column(row)) {
+  for (const ColumnEntry& entry : innermost_->Column(row)) {
     state_.At(entry.row, col) += entry.value * value;
   }
   return Status::OK();
@@ -54,6 +66,14 @@ Status SketchAccumulator::Merge(const SketchAccumulator& other) {
   }
   state_.AddScaled(other.state_, 1.0);
   return Status::OK();
+}
+
+Result<Matrix> SketchAccumulator::Current() const {
+  Matrix current = state_;
+  for (const auto& stage : outer_stages_) {
+    SOSE_ASSIGN_OR_RETURN(current, stage->ApplyDense(current));
+  }
+  return current;
 }
 
 }  // namespace sose

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "core/matrix.h"
 #include "core/status.h"
@@ -11,15 +12,22 @@
 namespace sose {
 
 /// Streaming maintenance of Π A for a row-arrival / turnstile stream: rows
-/// of A ∈ R^{n x k} arrive (or are updated) one at a time and the m x k
-/// sketch state is updated in O(s · k) per row — the classic streaming use
-/// of Count-Sketch-style transforms. Because updates are linear, deletions
+/// of A ∈ R^{n x k} arrive (or are updated) one at a time and the sketch
+/// state is updated in O(s · k) per row — the classic streaming use of
+/// Count-Sketch-style transforms. Because updates are linear, deletions
 /// are just negative updates, and two accumulators over the same sketch
 /// merge by addition.
+///
+/// Composed sketches (ComposedSketch pipelines) are peeled: updates stream
+/// through the *innermost* stage only, and `Current()` replays the outer
+/// stages densely — exactly the evaluation order of
+/// ComposedSketch::ApplySparse, so the streamed result is bitwise
+/// identical to the batch one. For a non-composed sketch `Current()`
+/// simply copies `state()`.
 class SketchAccumulator {
  public:
   /// Creates an accumulator maintaining Π A for A with `num_columns`
-  /// columns. The sketch is borrowed and must outlive the accumulator.
+  /// columns. The sketch is shared and must outlive the accumulator.
   [[nodiscard]] static Result<SketchAccumulator> Create(
       std::shared_ptr<const SketchingMatrix> sketch, int64_t num_columns);
 
@@ -34,17 +42,36 @@ class SketchAccumulator {
   /// shape; the caller is responsible for using the same seed).
   [[nodiscard]] Status Merge(const SketchAccumulator& other);
 
-  /// The current sketch state Π A.
+  /// The streamed state of the *innermost* stage: Π_inner A, which equals
+  /// Π A for non-composed sketches. Prefer Current() unless you know the
+  /// sketch has a single stage.
   const Matrix& state() const { return state_; }
+
+  /// The current full sketch Π A: the innermost streamed state with any
+  /// outer composition stages applied densely, in pipeline order.
+  [[nodiscard]] Result<Matrix> Current() const;
 
   int64_t num_columns() const { return state_.cols(); }
 
+  /// Rows of the full sketch Current() produces (the outermost stage).
+  int64_t sketch_rows() const { return sketch_->rows(); }
+
  private:
-  SketchAccumulator(std::shared_ptr<const SketchingMatrix> sketch,
-                    Matrix state)
-      : sketch_(std::move(sketch)), state_(std::move(state)) {}
+  SketchAccumulator(
+      std::shared_ptr<const SketchingMatrix> sketch,
+      std::shared_ptr<const SketchingMatrix> innermost,
+      std::vector<std::shared_ptr<const SketchingMatrix>> outer_stages,
+      Matrix state)
+      : sketch_(std::move(sketch)),
+        innermost_(std::move(innermost)),
+        outer_stages_(std::move(outer_stages)),
+        state_(std::move(state)) {}
 
   std::shared_ptr<const SketchingMatrix> sketch_;
+  /// The stage updates stream through (== sketch_ when not composed).
+  std::shared_ptr<const SketchingMatrix> innermost_;
+  /// Remaining stages, innermost-first; Current() applies them in order.
+  std::vector<std::shared_ptr<const SketchingMatrix>> outer_stages_;
   Matrix state_;
 };
 

@@ -36,6 +36,17 @@ class ComposedSketch final : public SketchingMatrix {
 
   std::vector<ColumnEntry> Column(int64_t c) const override;
 
+  /// The composition stages. Exposed so streaming consumers (e.g.
+  /// SketchAccumulator) can peel the pipeline: stream through the innermost
+  /// stage and replay the outer stages densely at query time, reproducing
+  /// ApplySparse bit for bit.
+  const std::shared_ptr<const SketchingMatrix>& outer() const {
+    return outer_;
+  }
+  const std::shared_ptr<const SketchingMatrix>& inner() const {
+    return inner_;
+  }
+
   /// Applies the stages in sequence (never materializes the product),
   /// preserving each stage's fast path.
   [[nodiscard]] Result<Matrix> ApplyDense(const Matrix& a) const override;

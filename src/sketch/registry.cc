@@ -1,6 +1,10 @@
 #include "sketch/registry.h"
 
+#include <algorithm>
+
+#include "core/random.h"
 #include "sketch/block_hadamard.h"
+#include "sketch/composed.h"
 #include "sketch/count_sketch.h"
 #include "sketch/gaussian.h"
 #include "sketch/kwise_count_sketch.h"
@@ -57,13 +61,32 @@ Result<std::unique_ptr<SketchingMatrix>> CreateSketch(
     return Wrap(
         BlockHadamard::Create(config.rows, config.cols, config.sparsity));
   }
+  if (family == "countsketch-srht") {
+    // The classic two-stage pipeline: an input-sparsity Count-Sketch stage
+    // into an intermediate power-of-two dimension (SRHT requires one),
+    // then an SRHT stage down to the requested m. Stage seeds are derived
+    // on disjoint streams so the draws are independent of each other and
+    // of any single-stage family using the same master seed.
+    int64_t mid = 1;
+    while (mid < std::max<int64_t>(4 * config.rows, 8)) mid <<= 1;
+    auto inner_result =
+        CountSketch::Create(mid, config.cols, DeriveSeed(config.seed, 0xc5));
+    if (!inner_result.ok()) return inner_result.status();
+    auto outer_result =
+        Srht::Create(config.rows, mid, DeriveSeed(config.seed, 0x51));
+    if (!outer_result.ok()) return outer_result.status();
+    return Wrap(ComposedSketch::Create(
+        std::make_shared<Srht>(std::move(outer_result).value()),
+        std::make_shared<CountSketch>(std::move(inner_result).value())));
+  }
   return Status::NotFound("unknown sketch family: " + family);
 }
 
 std::vector<std::string> KnownSketchFamilies() {
   return {"countsketch",   "osnap",             "osnap-block",
           "gaussian",      "sparsejl",          "srht",
-          "blockhadamard", "countsketch-kwise", "rowsample"};
+          "blockhadamard", "countsketch-kwise", "rowsample",
+          "countsketch-srht"};
 }
 
 }  // namespace sose

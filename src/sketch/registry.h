@@ -24,7 +24,8 @@ struct SketchConfig {
 
 /// Constructs a sketch by family name. Recognized names:
 ///   "countsketch", "osnap", "osnap-block", "gaussian", "sparsejl",
-///   "srht", "blockhadamard", "countsketch-kwise", "rowsample".
+///   "srht", "blockhadamard", "countsketch-kwise", "rowsample",
+///   "countsketch-srht" (a two-stage ComposedSketch pipeline).
 /// Fails with NotFound for unknown names and propagates family-specific
 /// validation errors (e.g. SRHT's power-of-two requirement).
 [[nodiscard]] Result<std::unique_ptr<SketchingMatrix>> CreateSketch(

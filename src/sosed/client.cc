@@ -1,0 +1,223 @@
+#include "sosed/client.h"
+
+#include <utility>
+
+#include <algorithm>
+#include <charconv>
+
+#include "core/csv.h"
+#include "core/stopwatch.h"
+
+namespace sose::sosed {
+
+namespace {
+
+// Strict whole-cell base-10 parse (the library bans exceptions, so no
+// std::stoll).
+Result<int64_t> ParseDimCell(const std::string& cell) {
+  int64_t value = 0;
+  const char* begin = cell.data();
+  const char* end = begin + cell.size();
+  auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc() || ptr != end || cell.empty()) {
+    return Status::Internal("sosed client: malformed dimension cell: '" +
+                            cell + "'");
+  }
+  return value;
+}
+
+}  // namespace
+
+Result<ServiceClient> ServiceClient::ConnectUnix(const std::string& path,
+                                                 double timeout_seconds,
+                                                 Pump pump) {
+  SOSE_ASSIGN_OR_RETURN(net::Socket socket, net::Socket::ConnectUnix(path));
+  return Handshake(std::move(socket), std::move(pump), timeout_seconds);
+}
+
+Result<ServiceClient> ServiceClient::ConnectTcp(const std::string& host,
+                                                int port,
+                                                double timeout_seconds,
+                                                Pump pump) {
+  SOSE_ASSIGN_OR_RETURN(net::Socket socket,
+                        net::Socket::ConnectTcp(host, port));
+  return Handshake(std::move(socket), std::move(pump), timeout_seconds);
+}
+
+Result<ServiceClient> ServiceClient::Handshake(net::Socket socket, Pump pump,
+                                               double timeout_seconds) {
+  ServiceClient client(std::move(socket), std::move(pump));
+  SOSE_ASSIGN_OR_RETURN(const Reply greeting,
+                        client.NextReply(timeout_seconds));
+  if (greeting.kind != Reply::Kind::kFormat) {
+    return Status::InvalidArgument(
+        "sosed greeting missing or malformed; is the peer a " +
+        std::string(kServiceFormat) + " server?");
+  }
+  return client;
+}
+
+Status ServiceClient::PumpAndPoll(bool want_write, double timeout_seconds) {
+  if (pump_ != nullptr) {
+    SOSE_RETURN_IF_ERROR(pump_());
+  }
+  SOSE_ASSIGN_OR_RETURN(
+      const std::vector<net::PollReady> ready,
+      net::PollFds({{socket_.fd(), true, want_write}}, timeout_seconds));
+  (void)ready;  // Readiness is rediscovered by the non-blocking I/O itself.
+  return Status::OK();
+}
+
+Status ServiceClient::SendRaw(const std::string& bytes,
+                              double timeout_seconds) {
+  Stopwatch watch;
+  int64_t offset = 0;
+  const int64_t total = static_cast<int64_t>(bytes.size());
+  while (offset < total) {
+    SOSE_ASSIGN_OR_RETURN(const int64_t wrote,
+                          socket_.WriteSome(bytes, offset));
+    offset += wrote;
+    if (offset >= total) break;
+    const double remaining = timeout_seconds - watch.ElapsedSeconds();
+    if (remaining <= 0) {
+      return Status::Internal("sosed client: send timed out");
+    }
+    // The pump interval is short so an in-process server drains us even
+    // when the kernel buffer is full.
+    SOSE_RETURN_IF_ERROR(
+        PumpAndPoll(/*want_write=*/true, std::min(remaining, 0.05)));
+  }
+  return Status::OK();
+}
+
+Result<Reply> ServiceClient::NextReply(double timeout_seconds) {
+  Stopwatch watch;
+  while (true) {
+    if (!records_.empty()) {
+      const std::string line = std::move(records_.front());
+      records_.pop_front();
+      return ParseReply(line);
+    }
+    SOSE_ASSIGN_OR_RETURN(const net::ReadChunk chunk,
+                          socket_.ReadAvailable(&buffer_));
+    for (std::string& record : ExtractCompleteCsvRecords(&buffer_)) {
+      records_.push_back(std::move(record));
+    }
+    if (!records_.empty()) continue;
+    if (chunk.eof) {
+      return Status::Internal("sosed client: connection closed mid-reply");
+    }
+    const double remaining = timeout_seconds - watch.ElapsedSeconds();
+    if (remaining <= 0) {
+      return Status::Internal("sosed client: reply timed out");
+    }
+    SOSE_RETURN_IF_ERROR(
+        PumpAndPoll(/*want_write=*/false, std::min(remaining, 0.05)));
+  }
+}
+
+Result<Reply> ServiceClient::Call(const std::string& encoded_request,
+                                  double timeout_seconds) {
+  SOSE_RETURN_IF_ERROR(SendRaw(encoded_request, timeout_seconds));
+  return NextReply(timeout_seconds);
+}
+
+Result<Reply> ServiceClient::Open(const std::string& sid,
+                                  const std::string& family, int64_t n,
+                                  int64_t m, int64_t s, int64_t k,
+                                  uint64_t seed, double timeout_seconds) {
+  return Call(EncodeOpenRequest(sid, family, n, m, s, k, seed),
+              timeout_seconds);
+}
+
+Result<Reply> ServiceClient::Attach(const std::string& sid,
+                                    double timeout_seconds) {
+  return Call(EncodeSessionRequest(Verb::kAttach, sid), timeout_seconds);
+}
+
+Result<Reply> ServiceClient::Detach(const std::string& sid,
+                                    double timeout_seconds) {
+  return Call(EncodeSessionRequest(Verb::kDetach, sid), timeout_seconds);
+}
+
+Result<Reply> ServiceClient::CloseSession(const std::string& sid,
+                                          double timeout_seconds) {
+  return Call(EncodeSessionRequest(Verb::kClose, sid), timeout_seconds);
+}
+
+Result<Reply> ServiceClient::Update(const std::string& sid, int64_t row,
+                                    const std::vector<UpdateEntry>& entries,
+                                    double timeout_seconds) {
+  return Call(EncodeUpdateRequest(sid, row, entries), timeout_seconds);
+}
+
+Result<Reply> ServiceClient::Norms(const std::string& sid,
+                                   double timeout_seconds) {
+  return Call(EncodeSessionRequest(Verb::kNorms, sid), timeout_seconds);
+}
+
+Result<Reply> ServiceClient::Distortion(const std::string& sid,
+                                        double timeout_seconds) {
+  return Call(EncodeSessionRequest(Verb::kDistortion, sid), timeout_seconds);
+}
+
+Result<Reply> ServiceClient::Solve(const std::string& sid,
+                                   double timeout_seconds) {
+  return Call(EncodeSessionRequest(Verb::kSolve, sid), timeout_seconds);
+}
+
+Result<Reply> ServiceClient::Ping(double timeout_seconds) {
+  return Call(EncodeBareRequest(Verb::kPing), timeout_seconds);
+}
+
+Result<Reply> ServiceClient::ShutdownServer(double timeout_seconds) {
+  return Call(EncodeBareRequest(Verb::kShutdown), timeout_seconds);
+}
+
+Result<std::string> ServiceClient::Stats(double timeout_seconds) {
+  SOSE_ASSIGN_OR_RETURN(const Reply reply,
+                        Call(EncodeBareRequest(Verb::kStats), timeout_seconds));
+  if (reply.kind != Reply::Kind::kOk || reply.payload.size() != 1) {
+    return Status::Internal("sosed client: malformed stats reply");
+  }
+  return reply.payload[0];
+}
+
+Result<Matrix> ServiceClient::FetchSketch(const std::string& sid,
+                                          double timeout_seconds) {
+  SOSE_ASSIGN_OR_RETURN(
+      const Reply header,
+      Call(EncodeSessionRequest(Verb::kSketch, sid), timeout_seconds));
+  if (header.kind == Reply::Kind::kBusy) {
+    return Status::Unavailable(header.message);
+  }
+  if (header.kind == Reply::Kind::kErr) {
+    return Status(header.code, header.message);
+  }
+  if (header.kind != Reply::Kind::kOk || header.payload.size() != 2) {
+    return Status::Internal("sosed client: malformed sketch header");
+  }
+  SOSE_ASSIGN_OR_RETURN(const int64_t rows, ParseDimCell(header.payload[0]));
+  SOSE_ASSIGN_OR_RETURN(const int64_t cols, ParseDimCell(header.payload[1]));
+  if (rows < 0 || cols <= 0) {
+    return Status::Internal("sosed client: nonsensical sketch dimensions");
+  }
+  Matrix sketch(rows, cols);
+  for (int64_t i = 0; i < rows; ++i) {
+    SOSE_ASSIGN_OR_RETURN(const Reply row, NextReply(timeout_seconds));
+    if (row.kind != Reply::Kind::kRow || row.row != i ||
+        static_cast<int64_t>(row.values.size()) != cols) {
+      return Status::Internal("sosed client: sketch stream out of order");
+    }
+    for (int64_t j = 0; j < cols; ++j) {
+      sketch.At(i, j) = row.values[static_cast<size_t>(j)];
+    }
+  }
+  SOSE_ASSIGN_OR_RETURN(const Reply end, NextReply(timeout_seconds));
+  if (end.kind != Reply::Kind::kEnd) {
+    return Status::Internal("sosed client: sketch stream missing terminator");
+  }
+  return sketch;
+}
+
+}  // namespace sose::sosed

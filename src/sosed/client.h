@@ -1,0 +1,105 @@
+#ifndef SOSE_SOSED_CLIENT_H_
+#define SOSE_SOSED_CLIENT_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/matrix.h"
+#include "core/net/net.h"
+#include "core/status.h"
+#include "sosed/protocol.h"
+
+namespace sose::sosed {
+
+/// Client for the `sosed` streaming sketch service — the programmatic core
+/// of the `sose_cli` binary and the driver the e2e tests use.
+///
+/// The client is synchronous: every method sends one request and blocks
+/// (bounded by `timeout_seconds`) until its reply arrives. While waiting it
+/// invokes the optional *pump* callback between poll rounds, which is how a
+/// single-threaded test hosts server and client in one process: the pump
+/// runs `server->PollOnce(0)` so the peer makes progress without threads.
+class ServiceClient {
+ public:
+  using Pump = std::function<Status()>;
+
+  /// Connects and consumes the `format,sose-service-v1` greeting (failing
+  /// on a version mismatch).
+  [[nodiscard]] static Result<ServiceClient> ConnectUnix(
+      const std::string& path, double timeout_seconds, Pump pump = nullptr);
+  [[nodiscard]] static Result<ServiceClient> ConnectTcp(
+      const std::string& host, int port, double timeout_seconds,
+      Pump pump = nullptr);
+
+  ServiceClient(ServiceClient&&) noexcept = default;
+  ServiceClient& operator=(ServiceClient&&) noexcept = default;
+
+  /// Session verbs. Each returns the decoded reply — which may be kBusy or
+  /// kErr; only transport/protocol failures surface as a Status.
+  [[nodiscard]] Result<Reply> Open(const std::string& sid,
+                                   const std::string& family, int64_t n,
+                                   int64_t m, int64_t s, int64_t k,
+                                   uint64_t seed, double timeout_seconds);
+  [[nodiscard]] Result<Reply> Attach(const std::string& sid,
+                                     double timeout_seconds);
+  [[nodiscard]] Result<Reply> Detach(const std::string& sid,
+                                     double timeout_seconds);
+  [[nodiscard]] Result<Reply> CloseSession(const std::string& sid,
+                                           double timeout_seconds);
+  [[nodiscard]] Result<Reply> Update(const std::string& sid, int64_t row,
+                                     const std::vector<UpdateEntry>& entries,
+                                     double timeout_seconds);
+  [[nodiscard]] Result<Reply> Norms(const std::string& sid,
+                                    double timeout_seconds);
+  [[nodiscard]] Result<Reply> Distortion(const std::string& sid,
+                                         double timeout_seconds);
+  [[nodiscard]] Result<Reply> Solve(const std::string& sid,
+                                    double timeout_seconds);
+  [[nodiscard]] Result<Reply> Ping(double timeout_seconds);
+  [[nodiscard]] Result<Reply> ShutdownServer(double timeout_seconds);
+
+  /// `stats`: returns the JSON document (the single payload cell).
+  [[nodiscard]] Result<std::string> Stats(double timeout_seconds);
+
+  /// `sketch`: consumes the full ok/row.../end stream into a Matrix.
+  /// A busy or err reply surfaces as a Status carrying the server's code.
+  [[nodiscard]] Result<Matrix> FetchSketch(const std::string& sid,
+                                           double timeout_seconds);
+
+  /// Raw request/reply round trip (tests exercise malformed requests).
+  [[nodiscard]] Result<Reply> Call(const std::string& encoded_request,
+                                   double timeout_seconds);
+
+  /// Sends raw bytes without awaiting a reply (pipelining / torn-frame
+  /// tests).
+  [[nodiscard]] Status SendRaw(const std::string& bytes,
+                               double timeout_seconds);
+
+  /// Receives the next reply record, whatever it is.
+  [[nodiscard]] Result<Reply> NextReply(double timeout_seconds);
+
+ private:
+  explicit ServiceClient(net::Socket socket, Pump pump)
+      : socket_(std::move(socket)), pump_(std::move(pump)) {}
+
+  static Result<ServiceClient> Handshake(net::Socket socket, Pump pump,
+                                         double timeout_seconds);
+
+  /// One poll round on the socket (read direction), running the pump first
+  /// so an in-process server can produce the bytes we are about to wait
+  /// for.
+  [[nodiscard]] Status PumpAndPoll(bool want_write, double timeout_seconds);
+
+  net::Socket socket_;
+  Pump pump_;
+  std::string buffer_;                ///< Unframed inbound bytes.
+  std::deque<std::string> records_;   ///< Framed, not yet consumed replies.
+};
+
+}  // namespace sose::sosed
+
+#endif  // SOSE_SOSED_CLIENT_H_

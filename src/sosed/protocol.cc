@@ -1,0 +1,310 @@
+#include "sosed/protocol.h"
+
+#include <array>
+#include <charconv>
+
+#include "core/csv.h"
+#include "core/hexfloat.h"
+
+namespace sose::sosed {
+
+namespace {
+
+struct VerbEntry {
+  Verb verb;
+  const char* name;
+};
+
+constexpr std::array<VerbEntry, 12> kVerbs = {{
+    {Verb::kOpen, "open"},
+    {Verb::kAttach, "attach"},
+    {Verb::kDetach, "detach"},
+    {Verb::kClose, "close"},
+    {Verb::kUpdate, "update"},
+    {Verb::kSketch, "sketch"},
+    {Verb::kNorms, "norms"},
+    {Verb::kDistortion, "distortion"},
+    {Verb::kSolve, "solve"},
+    {Verb::kStats, "stats"},
+    {Verb::kPing, "ping"},
+    {Verb::kShutdown, "shutdown"},
+}};
+
+// Strict locale-independent integer cell parse: the whole cell must be one
+// base-10 integer.
+template <typename Int>
+Result<Int> ParseIntCell(const std::string& cell, const char* what) {
+  Int value{};
+  const char* begin = cell.data();
+  const char* end = begin + cell.size();
+  auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc() || ptr != end || cell.empty()) {
+    return Status::InvalidArgument(std::string(what) + ": not an integer: '" +
+                                   cell + "'");
+  }
+  return value;
+}
+
+// Session ids travel in CSV cells and key server-side maps; keep them
+// short and printable so log lines and error messages stay readable.
+Status ValidateSessionId(const std::string& sid) {
+  if (sid.empty() || sid.size() > 128) {
+    return Status::InvalidArgument("session id must be 1..128 bytes");
+  }
+  for (char c : sid) {
+    if (c < 0x21 || c > 0x7e || c == ',' || c == '"') {
+      return Status::InvalidArgument(
+          "session id must be printable ASCII without ',' or '\"'");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+const char* VerbName(Verb verb) {
+  for (const VerbEntry& entry : kVerbs) {
+    if (verb == entry.verb) return entry.name;
+  }
+  return "invalid";
+}
+
+Verb VerbFromName(const std::string& name) {
+  for (const VerbEntry& entry : kVerbs) {
+    if (name == entry.name) return entry.verb;
+  }
+  return Verb::kInvalid;
+}
+
+std::string HexCell(double value) { return FormatHexDouble(value); }
+
+Result<double> ParseHexCell(const std::string& cell) {
+  double value = 0.0;
+  if (!ParseHexDouble(cell, &value)) {
+    return Status::InvalidArgument("not a hexfloat cell: '" + cell + "'");
+  }
+  return value;
+}
+
+Result<Request> ParseRequest(const std::string& line) {
+  SOSE_ASSIGN_OR_RETURN(const std::vector<std::string> cells,
+                        ParseCsvRecord(line));
+  if (cells.empty()) return Status::InvalidArgument("empty request record");
+  Request request;
+  request.verb = VerbFromName(cells[0]);
+  switch (request.verb) {
+    case Verb::kOpen: {
+      if (cells.size() != 8) {
+        return Status::InvalidArgument(
+            "open takes 7 arguments: "
+            "open,<sid>,<family>,<n>,<m>,<s>,<k>,<seed>");
+      }
+      SOSE_RETURN_IF_ERROR(ValidateSessionId(cells[1]));
+      request.session_id = cells[1];
+      request.family = cells[2];
+      SOSE_ASSIGN_OR_RETURN(request.ambient_n,
+                            ParseIntCell<int64_t>(cells[3], "open n"));
+      SOSE_ASSIGN_OR_RETURN(request.target_m,
+                            ParseIntCell<int64_t>(cells[4], "open m"));
+      SOSE_ASSIGN_OR_RETURN(request.sparsity,
+                            ParseIntCell<int64_t>(cells[5], "open s"));
+      SOSE_ASSIGN_OR_RETURN(request.data_columns,
+                            ParseIntCell<int64_t>(cells[6], "open k"));
+      SOSE_ASSIGN_OR_RETURN(request.seed,
+                            ParseIntCell<uint64_t>(cells[7], "open seed"));
+      return request;
+    }
+    case Verb::kAttach:
+    case Verb::kDetach:
+    case Verb::kClose:
+    case Verb::kSketch:
+    case Verb::kNorms:
+    case Verb::kDistortion:
+    case Verb::kSolve: {
+      if (cells.size() != 2) {
+        return Status::InvalidArgument(std::string(cells[0]) +
+                                       " takes 1 argument: <sid>");
+      }
+      SOSE_RETURN_IF_ERROR(ValidateSessionId(cells[1]));
+      request.session_id = cells[1];
+      return request;
+    }
+    case Verb::kUpdate: {
+      if (cells.size() < 5 || cells.size() % 2 != 1) {
+        return Status::InvalidArgument(
+            "update takes an odd cell count >= 5: "
+            "update,<sid>,<row>,<col>,<hexval>[,<col>,<hexval>...]");
+      }
+      SOSE_RETURN_IF_ERROR(ValidateSessionId(cells[1]));
+      request.session_id = cells[1];
+      SOSE_ASSIGN_OR_RETURN(request.row,
+                            ParseIntCell<int64_t>(cells[2], "update row"));
+      request.entries.reserve((cells.size() - 3) / 2);
+      for (size_t i = 3; i + 1 < cells.size(); i += 2) {
+        UpdateEntry entry;
+        SOSE_ASSIGN_OR_RETURN(entry.col,
+                              ParseIntCell<int64_t>(cells[i], "update col"));
+        SOSE_ASSIGN_OR_RETURN(entry.value, ParseHexCell(cells[i + 1]));
+        request.entries.push_back(entry);
+      }
+      return request;
+    }
+    case Verb::kStats:
+    case Verb::kPing:
+    case Verb::kShutdown: {
+      if (cells.size() != 1) {
+        return Status::InvalidArgument(std::string(cells[0]) +
+                                       " takes no arguments");
+      }
+      return request;
+    }
+    case Verb::kInvalid:
+      break;
+  }
+  return Status::InvalidArgument("unknown request verb: '" + cells[0] + "'");
+}
+
+std::string EncodeOpenRequest(const std::string& sid,
+                              const std::string& family, int64_t n, int64_t m,
+                              int64_t s, int64_t k, uint64_t seed) {
+  return FormatCsvRow({"open", sid, family, std::to_string(n),
+                       std::to_string(m), std::to_string(s),
+                       std::to_string(k), std::to_string(seed)});
+}
+
+std::string EncodeSessionRequest(Verb verb, const std::string& sid) {
+  return FormatCsvRow({VerbName(verb), sid});
+}
+
+std::string EncodeUpdateRequest(const std::string& sid, int64_t row,
+                                const std::vector<UpdateEntry>& entries) {
+  std::vector<std::string> cells;
+  cells.reserve(3 + 2 * entries.size());
+  cells.push_back("update");
+  cells.push_back(sid);
+  cells.push_back(std::to_string(row));
+  for (const UpdateEntry& entry : entries) {
+    cells.push_back(std::to_string(entry.col));
+    cells.push_back(HexCell(entry.value));
+  }
+  return FormatCsvRow(cells);
+}
+
+std::string EncodeBareRequest(Verb verb) {
+  return FormatCsvRow({VerbName(verb)});
+}
+
+std::string EncodeGreeting() {
+  return FormatCsvRow({"format", kServiceFormat});
+}
+
+std::string EncodeOkReply(Verb verb, const std::vector<std::string>& payload) {
+  std::vector<std::string> cells;
+  cells.reserve(2 + payload.size());
+  cells.push_back("ok");
+  cells.push_back(VerbName(verb));
+  cells.insert(cells.end(), payload.begin(), payload.end());
+  return FormatCsvRow(cells);
+}
+
+std::string EncodeBusyReply(Verb verb, double retry_after_seconds,
+                            const std::string& message) {
+  return FormatCsvRow(
+      {"busy", VerbName(verb), HexCell(retry_after_seconds), message});
+}
+
+std::string EncodeErrReply(Verb verb, const Status& status) {
+  return FormatCsvRow({"err", VerbName(verb), StatusCodeToString(status.code()),
+                       status.message()});
+}
+
+std::string EncodeSketchRowReply(int64_t row,
+                                 const std::vector<double>& values) {
+  std::vector<std::string> cells;
+  cells.reserve(2 + values.size());
+  cells.push_back("row");
+  cells.push_back(std::to_string(row));
+  for (double value : values) cells.push_back(HexCell(value));
+  return FormatCsvRow(cells);
+}
+
+std::string EncodeSketchEndReply() {
+  return FormatCsvRow({"end", "sketch"});
+}
+
+Result<Reply> ParseReply(const std::string& line) {
+  SOSE_ASSIGN_OR_RETURN(const std::vector<std::string> cells,
+                        ParseCsvRecord(line));
+  if (cells.empty()) return Status::InvalidArgument("empty reply record");
+  Reply reply;
+  const std::string& tag = cells[0];
+  if (tag == "format") {
+    if (cells.size() != 2 || cells[1] != kServiceFormat) {
+      return Status::InvalidArgument("unrecognized service format record");
+    }
+    reply.kind = Reply::Kind::kFormat;
+    return reply;
+  }
+  if (tag == "ok" || tag == "busy" || tag == "err") {
+    if (cells.size() < 2) {
+      return Status::InvalidArgument("reply is missing its verb cell");
+    }
+    reply.verb = VerbFromName(cells[1]);
+    // "invalid" is the verb cell of an err reply to an unparseable
+    // request; any other unknown name is a malformed reply.
+    if (reply.verb == Verb::kInvalid && cells[1] != "invalid") {
+      return Status::InvalidArgument("reply names unknown verb: '" + cells[1] +
+                                     "'");
+    }
+    reply.payload.assign(cells.begin() + 2, cells.end());
+    if (tag == "ok") {
+      reply.kind = Reply::Kind::kOk;
+      return reply;
+    }
+    if (tag == "busy") {
+      if (cells.size() != 4) {
+        return Status::InvalidArgument(
+            "busy takes 3 cells: busy,<verb>,<retry_after_hex>,<msg>");
+      }
+      reply.kind = Reply::Kind::kBusy;
+      SOSE_ASSIGN_OR_RETURN(reply.retry_after_seconds, ParseHexCell(cells[2]));
+      reply.message = cells[3];
+      return reply;
+    }
+    if (cells.size() != 4) {
+      return Status::InvalidArgument(
+          "err takes 3 cells: err,<verb>,<code>,<msg>");
+    }
+    reply.kind = Reply::Kind::kErr;
+    if (!StatusCodeFromString(cells[2], &reply.code)) {
+      return Status::InvalidArgument("err names unknown status code: '" +
+                                     cells[2] + "'");
+    }
+    reply.message = cells[3];
+    return reply;
+  }
+  if (tag == "row") {
+    if (cells.size() < 2) {
+      return Status::InvalidArgument("row reply is missing its index");
+    }
+    reply.kind = Reply::Kind::kRow;
+    SOSE_ASSIGN_OR_RETURN(reply.row,
+                          ParseIntCell<int64_t>(cells[1], "row index"));
+    reply.values.reserve(cells.size() - 2);
+    for (size_t i = 2; i < cells.size(); ++i) {
+      SOSE_ASSIGN_OR_RETURN(const double value, ParseHexCell(cells[i]));
+      reply.values.push_back(value);
+    }
+    return reply;
+  }
+  if (tag == "end") {
+    if (cells.size() != 2 || cells[1] != "sketch") {
+      return Status::InvalidArgument("malformed end record");
+    }
+    reply.kind = Reply::Kind::kEnd;
+    return reply;
+  }
+  return Status::InvalidArgument("unknown reply tag: '" + tag + "'");
+}
+
+}  // namespace sose::sosed

@@ -1,0 +1,152 @@
+#ifndef SOSE_SOSED_PROTOCOL_H_
+#define SOSE_SOSED_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+
+namespace sose::sosed {
+
+/// The `sose-service-v1` wire protocol of the `sosed` streaming sketch
+/// service (docs/service.md).
+///
+/// Framing reuses the quote-aware CSV conventions of the shard wire
+/// protocol `sose-shard-stream-v1`: every request and reply is one
+/// newline-terminated RFC 4180 record (FormatCsvRow / ParseCsvRecord), a
+/// receiver re-assembles records from its byte stream with
+/// ExtractCompleteCsvRecords (so a torn tail is simply left for the next
+/// read), and every double crosses the wire as locale-independent hexfloat
+/// text — replies are bit-exact by construction.
+///
+/// On connect the server greets with `format,sose-service-v1`. Requests:
+///
+///   open,<sid>,<family>,<n>,<m>,<s>,<k>,<seed>   create a session
+///   attach,<sid>           adopt a detached session on this connection
+///   detach,<sid>           park the session (evictable under pressure)
+///   close,<sid>            free the session
+///   update,<sid>,<row>,<col>,<hexval>[,<col>,<hexval>...]
+///                          turnstile row update: A[row, col] += val
+///   sketch,<sid>           fetch the m x k sketch state
+///   norms,<sid>            column l2 norms of the sketch state
+///   distortion,<sid>       distortion report of the sketched state
+///   solve,<sid>            least squares: columns 0..k-2 vs column k-1
+///   stats                  server + metrics snapshot as JSON
+///   ping                   liveness probe
+///   shutdown               stop the server after flushing replies
+///
+/// Replies are tagged with the request verb:
+///
+///   ok,<verb>[,...]                      success (payload cells per verb)
+///   busy,<verb>,<retry_after_hex>,<msg>  admission control shed the load
+///   err,<verb>,<status-code-name>,<msg>  failure (session survives)
+///
+/// The `sketch` payload streams between a header and a terminator so a
+/// client can process rows incrementally:
+///
+///   ok,sketch,<m>,<k>
+///   row,<i>,<hex_0>,...,<hex_{k-1}>      m records, i ascending
+///   end,sketch
+
+/// Wire schema version; bumped on incompatible changes.
+inline constexpr const char* kServiceFormat = "sose-service-v1";
+
+/// Request verbs. kInvalid marks an unparseable or unknown request.
+enum class Verb {
+  kOpen,
+  kAttach,
+  kDetach,
+  kClose,
+  kUpdate,
+  kSketch,
+  kNorms,
+  kDistortion,
+  kSolve,
+  kStats,
+  kPing,
+  kShutdown,
+  kInvalid,
+};
+
+/// Canonical lowercase verb name (the first CSV cell of a request).
+const char* VerbName(Verb verb);
+
+/// Inverse of VerbName; kInvalid for unknown names.
+Verb VerbFromName(const std::string& name);
+
+/// One turnstile update entry within a row: A[row, col] += value.
+struct UpdateEntry {
+  int64_t col = 0;
+  double value = 0.0;
+};
+
+/// A decoded request record.
+struct Request {
+  Verb verb = Verb::kInvalid;
+  std::string session_id;  ///< Empty for stats/ping/shutdown.
+  // kOpen:
+  std::string family;
+  int64_t ambient_n = 0;
+  int64_t target_m = 0;
+  int64_t sparsity = 1;
+  int64_t data_columns = 0;
+  uint64_t seed = 0;
+  // kUpdate:
+  int64_t row = 0;
+  std::vector<UpdateEntry> entries;
+};
+
+/// Parses one framed request record (no trailing newline). Fails with
+/// kInvalidArgument naming the defect; the server answers with an `err`
+/// reply (verb cell "invalid" when the verb itself was unrecognizable)
+/// and keeps the connection open.
+[[nodiscard]] Result<Request> ParseRequest(const std::string& line);
+
+/// Request encoders (each returns one newline-terminated CSV record);
+/// used by the client and the tests.
+std::string EncodeOpenRequest(const std::string& sid,
+                              const std::string& family, int64_t n, int64_t m,
+                              int64_t s, int64_t k, uint64_t seed);
+std::string EncodeSessionRequest(Verb verb, const std::string& sid);
+std::string EncodeUpdateRequest(const std::string& sid, int64_t row,
+                                const std::vector<UpdateEntry>& entries);
+std::string EncodeBareRequest(Verb verb);
+
+/// Reply encoders.
+std::string EncodeGreeting();
+std::string EncodeOkReply(Verb verb, const std::vector<std::string>& payload);
+std::string EncodeBusyReply(Verb verb, double retry_after_seconds,
+                            const std::string& message);
+std::string EncodeErrReply(Verb verb, const Status& status);
+std::string EncodeSketchRowReply(int64_t row,
+                                 const std::vector<double>& values);
+std::string EncodeSketchEndReply();
+
+/// A decoded reply record (client side).
+struct Reply {
+  enum class Kind { kFormat, kOk, kBusy, kErr, kRow, kEnd };
+  Kind kind = Kind::kErr;
+  Verb verb = Verb::kInvalid;        ///< kOk/kBusy/kErr.
+  std::vector<std::string> payload;  ///< Cells after the tag cells.
+  double retry_after_seconds = 0.0;  ///< kBusy.
+  StatusCode code = StatusCode::kInternal;  ///< kErr.
+  std::string message;                      ///< kBusy/kErr.
+  int64_t row = 0;                   ///< kRow.
+  std::vector<double> values;        ///< kRow.
+};
+
+/// Parses one framed reply record. Fails with kInvalidArgument on anything
+/// the server could not have produced.
+[[nodiscard]] Result<Reply> ParseReply(const std::string& line);
+
+/// Formats doubles the way every payload cell does (FormatHexDouble).
+std::string HexCell(double value);
+
+/// Parses a hexfloat payload cell (ParseHexDouble), kInvalidArgument on
+/// malformed text.
+[[nodiscard]] Result<double> ParseHexCell(const std::string& cell);
+
+}  // namespace sose::sosed
+
+#endif  // SOSE_SOSED_PROTOCOL_H_

@@ -1,0 +1,142 @@
+#include "sosed/selfcheck.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/matrix.h"
+#include "core/random.h"
+#include "core/sparse.h"
+#include "sketch/registry.h"
+
+namespace sose::sosed {
+
+namespace {
+
+struct WorkloadRow {
+  int64_t row = 0;
+  std::vector<UpdateEntry> entries;
+};
+
+/// Deterministic synthetic turnstile workload: ascending distinct ambient
+/// rows, each cell updated at most once (see header for why that pins the
+/// accumulation order).
+std::vector<WorkloadRow> MakeWorkload(const SelfcheckOptions& options,
+                                      uint64_t workload_seed) {
+  Rng rng(workload_seed);
+  std::vector<WorkloadRow> workload;
+  const int64_t rows = std::min(options.stream_rows, options.ambient_n);
+  workload.reserve(static_cast<size_t>(rows));
+  for (int64_t r = 0; r < rows; ++r) {
+    WorkloadRow row;
+    row.row = r;
+    for (int64_t c = 0; c < options.data_columns; ++c) {
+      // ~70% fill keeps rows sparse-ish while exercising multi-entry
+      // updates.
+      if (rng.UniformDouble() < 0.7) {
+        row.entries.push_back({c, rng.UniformDouble(-1.0, 1.0)});
+      }
+    }
+    if (!row.entries.empty()) workload.push_back(std::move(row));
+  }
+  return workload;
+}
+
+}  // namespace
+
+Result<SelfcheckReport> RunSelfcheck(ServiceClient* client,
+                                     const SelfcheckOptions& options,
+                                     double timeout_seconds) {
+  if (client == nullptr) {
+    return Status::InvalidArgument("RunSelfcheck: null client");
+  }
+  SelfcheckReport report;
+
+  // Open, absorbing BUSY with the server's retry-after hint.
+  for (int64_t attempt = 0;; ++attempt) {
+    SOSE_ASSIGN_OR_RETURN(
+        const Reply reply,
+        client->Open(options.session_id, options.family, options.ambient_n,
+                     options.target_m, options.sparsity, options.data_columns,
+                     options.seed, timeout_seconds));
+    if (reply.kind == Reply::Kind::kOk) {
+      if (reply.payload.size() == 2) report.sketch_name = reply.payload[1];
+      break;
+    }
+    if (reply.kind == Reply::Kind::kBusy) {
+      if (attempt >= options.busy_retries) {
+        return Status::Unavailable("selfcheck: open kept answering busy: " +
+                                   reply.message);
+      }
+      ++report.busy_retries;
+      // Honor the hint (bounded); PollFds with no fds is a pure sleep.
+      SOSE_ASSIGN_OR_RETURN(
+          const std::vector<net::PollReady> ignored,
+          net::PollFds({}, std::min(reply.retry_after_seconds, 0.25)));
+      (void)ignored;
+      continue;
+    }
+    return Status(reply.code, "selfcheck: open failed: " + reply.message);
+  }
+
+  // Stream the workload and mirror it into a local COO accumulator.
+  const std::vector<WorkloadRow> workload =
+      MakeWorkload(options, options.data_seed);
+  CooBuilder builder(options.ambient_n, options.data_columns);
+  for (const WorkloadRow& row : workload) {
+    SOSE_ASSIGN_OR_RETURN(
+        const Reply reply,
+        client->Update(options.session_id, row.row, row.entries,
+                       timeout_seconds));
+    if (reply.kind != Reply::Kind::kOk) {
+      return Status(reply.code, "selfcheck: update failed: " + reply.message);
+    }
+    ++report.updates_sent;
+    for (const UpdateEntry& entry : row.entries) {
+      builder.Add(row.row, entry.col, entry.value);
+      ++report.entries_sent;
+    }
+  }
+
+  // Streamed result from the server vs batch ApplySparse locally, same
+  // family/config/seed.
+  SOSE_ASSIGN_OR_RETURN(const Matrix streamed,
+                        client->FetchSketch(options.session_id,
+                                            timeout_seconds));
+  SketchConfig config;
+  config.rows = options.target_m;
+  config.cols = options.ambient_n;
+  config.sparsity = options.sparsity;
+  config.seed = options.seed;
+  SOSE_ASSIGN_OR_RETURN(const std::unique_ptr<SketchingMatrix> sketch,
+                        CreateSketch(options.family, config));
+  SOSE_ASSIGN_OR_RETURN(const Matrix batch,
+                        sketch->ApplySparse(builder.ToCsc()));
+
+  if (streamed.rows() != batch.rows() || streamed.cols() != batch.cols()) {
+    return Status::Internal("selfcheck: sketch shape mismatch");
+  }
+  report.mismatched_cells = 0;
+  for (int64_t i = 0; i < batch.rows(); ++i) {
+    for (int64_t j = 0; j < batch.cols(); ++j) {
+      if (std::bit_cast<uint64_t>(streamed.At(i, j)) !=
+          std::bit_cast<uint64_t>(batch.At(i, j))) {
+        ++report.mismatched_cells;
+      }
+    }
+  }
+  report.bitwise_equal = report.mismatched_cells == 0;
+
+  // Leave the server clean for the next workload.
+  SOSE_ASSIGN_OR_RETURN(
+      const Reply closed,
+      client->CloseSession(options.session_id, timeout_seconds));
+  if (closed.kind != Reply::Kind::kOk) {
+    return Status(closed.code, "selfcheck: close failed: " + closed.message);
+  }
+  return report;
+}
+
+}  // namespace sose::sosed

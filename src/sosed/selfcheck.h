@@ -1,0 +1,56 @@
+#ifndef SOSE_SOSED_SELFCHECK_H_
+#define SOSE_SOSED_SELFCHECK_H_
+
+#include <cstdint>
+#include <string>
+
+#include "core/status.h"
+#include "sosed/client.h"
+
+namespace sose::sosed {
+
+/// The streamed-vs-batch parity check behind `sose_cli --cmd=selfcheck`
+/// and the e2e tests: opens a session, streams a deterministic synthetic
+/// turnstile workload, fetches the streamed sketch, recomputes the same
+/// sketch locally with batch ApplySparse on the accumulated matrix, and
+/// demands *bitwise* equality — the linearity discipline the service
+/// guarantees (docs/service.md).
+///
+/// The workload updates every ambient (row, col) cell at most once and
+/// streams rows in ascending order, which pins the per-cell accumulation
+/// order to exactly the CSC walk of ApplySparse; that is what makes the
+/// comparison exact rather than tolerance-based.
+struct SelfcheckOptions {
+  std::string session_id = "selfcheck";
+  std::string family = "countsketch";
+  int64_t ambient_n = 256;   ///< n
+  int64_t target_m = 64;     ///< m
+  int64_t sparsity = 4;      ///< s (ignored by some families)
+  int64_t data_columns = 6;  ///< k
+  uint64_t seed = 42;        ///< Sketch draw seed (client and server).
+  uint64_t data_seed = 7;    ///< Synthetic workload seed.
+  int64_t stream_rows = 128; ///< Ambient rows receiving updates.
+  /// Retry budget for BUSY open replies (each retry honors the server's
+  /// retry-after hint).
+  int64_t busy_retries = 20;
+};
+
+struct SelfcheckReport {
+  int64_t updates_sent = 0;        ///< UPDATE requests issued.
+  int64_t entries_sent = 0;        ///< Individual (row, col) cells.
+  int64_t busy_retries = 0;        ///< BUSY replies absorbed on open.
+  bool bitwise_equal = false;
+  int64_t mismatched_cells = 0;    ///< 0 when bitwise_equal.
+  std::string sketch_name;         ///< Resolved server-side draw name.
+};
+
+/// Runs the workload through `client`. Transport errors and non-BUSY
+/// server errors surface as a Status; a parity violation is NOT an error —
+/// it is reported (bitwise_equal=false) so callers can print diagnostics.
+[[nodiscard]] Result<SelfcheckReport> RunSelfcheck(
+    ServiceClient* client, const SelfcheckOptions& options,
+    double timeout_seconds);
+
+}  // namespace sose::sosed
+
+#endif  // SOSE_SOSED_SELFCHECK_H_

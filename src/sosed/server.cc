@@ -1,0 +1,489 @@
+#include "sosed/server.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "apps/regression.h"
+#include "core/csv.h"
+#include "core/fault.h"
+#include "core/json_io.h"
+#include "core/matrix.h"
+#include "core/metrics/metrics.h"
+#include "core/vector_ops.h"
+#include "ose/distortion.h"
+
+namespace sose::sosed {
+
+namespace {
+
+/// Best-effort verb extraction from an unparseable request, so the err
+/// reply still names what the client was attempting.
+Verb GuessVerb(const std::string& line) {
+  Result<std::vector<std::string>> cells = ParseCsvRecord(line);
+  if (!cells.ok() || cells.value().empty()) return Verb::kInvalid;
+  return VerbFromName(cells.value()[0]);
+}
+
+/// Deterministic chaos: drops one whole accept round when armed, so tests
+/// can prove a missed accept is retried on the next readiness round.
+Status InjectedAcceptFault() {
+  SOSE_FAULT_POINT("sosed/accept-fail");
+  return Status::OK();
+}
+
+/// Deterministic chaos: caps one flush at a 17-byte trickle when armed.
+/// The cap is a trickle, not a stall, so even `@every` plans make
+/// progress — CI runs full workloads under it and still demands bitwise
+/// correctness.
+Status InjectedSlowClientFault() {
+  SOSE_FAULT_POINT("sosed/slow-client");
+  return Status::OK();
+}
+
+constexpr int64_t kTrickleBytes = 17;
+
+}  // namespace
+
+Result<std::unique_ptr<SosedServer>> SosedServer::Create(Options options) {
+  if (options.unix_path.empty() && options.tcp_port < 0) {
+    return Status::InvalidArgument(
+        "sosed: configure a unix_path and/or a tcp_port listener");
+  }
+  if (options.max_pending_bytes <= 0) {
+    return Status::InvalidArgument(
+        "sosed: max_pending_bytes must be positive");
+  }
+  std::unique_ptr<SosedServer> server(new SosedServer(std::move(options)));
+  if (!server->options_.unix_path.empty()) {
+    SOSE_ASSIGN_OR_RETURN(server->unix_,
+                          net::Listener::ListenUnix(server->options_.unix_path));
+  }
+  if (server->options_.tcp_port >= 0) {
+    SOSE_ASSIGN_OR_RETURN(server->tcp_,
+                          net::Listener::ListenTcp(server->options_.tcp_port));
+  }
+  return server;
+}
+
+Status SosedServer::PollOnce(double timeout_seconds) {
+  std::vector<net::PollEntry> entries;
+  std::vector<int64_t> conn_ids;
+  if (unix_.fd() >= 0) entries.push_back({unix_.fd(), true, false});
+  if (tcp_.fd() >= 0) entries.push_back({tcp_.fd(), true, false});
+  for (auto& [id, conn] : connections_) {
+    entries.push_back({conn.socket.fd(), !conn.paused && !conn.closing,
+                       !conn.out.empty()});
+    conn_ids.push_back(id);
+  }
+  SOSE_ASSIGN_OR_RETURN(const std::vector<net::PollReady> ready,
+                        net::PollFds(entries, timeout_seconds));
+  size_t idx = 0;
+  if (unix_.fd() >= 0) {
+    if (ready[idx].readable) SOSE_RETURN_IF_ERROR(AcceptPending(&unix_));
+    ++idx;
+  }
+  if (tcp_.fd() >= 0) {
+    if (ready[idx].readable) SOSE_RETURN_IF_ERROR(AcceptPending(&tcp_));
+    ++idx;
+  }
+  std::vector<int64_t> dead;
+  for (size_t i = 0; i < conn_ids.size(); ++i, ++idx) {
+    auto it = connections_.find(conn_ids[i]);
+    if (it == connections_.end()) continue;
+    Connection* conn = &it->second;
+    bool alive = !ready[idx].error;
+    if (alive && ready[idx].readable) alive = ServiceReadable(conn);
+    // Opportunistic flush: replies produced this round usually fit the
+    // send buffer, so don't wait a poll round to ship them.
+    if (alive && !conn->out.empty()) alive = FlushWritable(conn);
+    if (alive && conn->closing && conn->out.empty()) alive = false;
+    if (!alive) dead.push_back(conn_ids[i]);
+  }
+  for (int64_t id : dead) DropConnection(id);
+  PublishGauges();
+  return Status::OK();
+}
+
+Status SosedServer::Run() {
+  while (!shutdown_) {
+    SOSE_RETURN_IF_ERROR(PollOnce(0.25));
+  }
+  // Bounded drain so the shutdown reply (and anything queued before it)
+  // reaches clients that are still reading.
+  for (int round = 0; round < 200; ++round) {
+    bool pending = false;
+    for (const auto& [id, conn] : connections_) {
+      if (!conn.out.empty()) pending = true;
+    }
+    if (!pending) break;
+    SOSE_RETURN_IF_ERROR(PollOnce(0.01));
+  }
+  return Status::OK();
+}
+
+Status SosedServer::AcceptPending(net::Listener* listener) {
+  while (true) {
+    const Status chaos = InjectedAcceptFault();
+    if (!chaos.ok()) {
+      // The queued connection stays pending in the kernel; the next
+      // readiness round retries the accept.
+      ++total_accept_faults_;
+      SOSE_COUNTER_INC("sosed.accept.faults");
+      return Status::OK();
+    }
+    SOSE_ASSIGN_OR_RETURN(std::optional<net::Socket> accepted,
+                          listener->Accept());
+    if (!accepted.has_value()) return Status::OK();
+    Connection conn;
+    conn.id = next_conn_id_++;
+    conn.socket = std::move(*accepted);
+    conn.out = EncodeGreeting();
+    ++total_accepts_;
+    SOSE_COUNTER_INC("sosed.accepts");
+    connections_.emplace(conn.id, std::move(conn));
+  }
+}
+
+bool SosedServer::ServiceReadable(Connection* conn) {
+  Result<net::ReadChunk> chunk = conn->socket.ReadAvailable(&conn->in);
+  if (!chunk.ok()) return false;
+  for (const std::string& line : ExtractCompleteCsvRecords(&conn->in)) {
+    HandleRequest(conn, line);
+  }
+  ApplyBackpressure(conn);
+  if (chunk.value().eof) {
+    // Peer finished sending: flush what we owe, then close.
+    conn->closing = true;
+    return !conn->out.empty();
+  }
+  return true;
+}
+
+bool SosedServer::FlushWritable(Connection* conn) {
+  while (!conn->out.empty()) {
+    const Status trickle = InjectedSlowClientFault();
+    Result<int64_t> wrote =
+        trickle.ok()
+            ? conn->socket.WriteSome(conn->out)
+            : conn->socket.WriteSome(conn->out.substr(0, kTrickleBytes));
+    if (!trickle.ok()) SOSE_COUNTER_INC("sosed.chaos.slow_client");
+    if (!wrote.ok()) return false;
+    if (wrote.value() == 0) break;  // Send buffer full; wait for POLLOUT.
+    conn->out.erase(0, static_cast<size_t>(wrote.value()));
+    if (!trickle.ok()) break;  // One capped write per trickle round.
+  }
+  ApplyBackpressure(conn);
+  return true;
+}
+
+void SosedServer::ApplyBackpressure(Connection* conn) {
+  const int64_t pending = static_cast<int64_t>(conn->out.size());
+  if (!conn->paused && pending > options_.max_pending_bytes) {
+    conn->paused = true;
+    ++total_backpressure_pauses_;
+    SOSE_COUNTER_INC("sosed.backpressure.pauses");
+  } else if (conn->paused && pending < options_.max_pending_bytes / 2) {
+    conn->paused = false;
+  }
+}
+
+void SosedServer::DropConnection(int64_t conn_id) {
+  auto it = connections_.find(conn_id);
+  if (it == connections_.end()) return;
+  // Sessions survive their connection: they are parked (and thereby become
+  // eviction candidates), not destroyed, so a reconnecting client can
+  // `attach` and resume the stream.
+  sessions_.DetachAllFromConnection(conn_id);
+  ++total_disconnects_;
+  SOSE_COUNTER_INC("sosed.disconnects");
+  connections_.erase(it);
+}
+
+void SosedServer::PublishGauges() {
+  SOSE_GAUGE_SET("sosed.sessions.active", sessions_.active_count());
+  SOSE_GAUGE_SET("sosed.sessions.detached", sessions_.detached_count());
+  SOSE_GAUGE_SET("sosed.sessions.bytes", sessions_.bytes_used());
+  SOSE_GAUGE_SET("sosed.connections", connection_count());
+}
+
+void SosedServer::HandleRequest(Connection* conn, const std::string& line) {
+  ++total_requests_;
+  SOSE_COUNTER_INC("sosed.requests");
+  Result<Request> parsed = ParseRequest(line);
+  if (!parsed.ok()) {
+    ++total_protocol_errors_;
+    SOSE_COUNTER_INC("sosed.protocol_errors");
+    conn->out += EncodeErrReply(GuessVerb(line), parsed.status());
+    return;
+  }
+  const Request& request = parsed.value();
+  switch (request.verb) {
+    case Verb::kOpen:
+      HandleOpen(conn, request);
+      return;
+    case Verb::kAttach:
+      HandleAttach(conn, request);
+      return;
+    case Verb::kDetach:
+      HandleDetach(conn, request);
+      return;
+    case Verb::kClose:
+      HandleClose(conn, request);
+      return;
+    case Verb::kUpdate:
+      HandleUpdate(conn, request);
+      return;
+    case Verb::kSketch:
+      HandleSketch(conn, request);
+      return;
+    case Verb::kNorms:
+      HandleNorms(conn, request);
+      return;
+    case Verb::kDistortion:
+      HandleDistortion(conn, request);
+      return;
+    case Verb::kSolve:
+      HandleSolve(conn, request);
+      return;
+    case Verb::kStats:
+      HandleStats(conn);
+      return;
+    case Verb::kPing:
+      conn->out += EncodeOkReply(Verb::kPing, {});
+      return;
+    case Verb::kShutdown:
+      shutdown_ = true;
+      conn->out += EncodeOkReply(Verb::kShutdown, {});
+      return;
+    case Verb::kInvalid:
+      break;  // Unreachable: ParseRequest rejected unknown verbs above.
+  }
+}
+
+void SosedServer::ReplyStatus(Connection* conn, Verb verb,
+                              const Status& status) {
+  if (status.code() == StatusCode::kUnavailable) {
+    ++total_busy_;
+    SOSE_COUNTER_INC("sosed.busy");
+    conn->out += EncodeBusyReply(verb, options_.retry_after_seconds,
+                                 status.message());
+    return;
+  }
+  conn->out += EncodeErrReply(verb, status);
+}
+
+void SosedServer::HandleOpen(Connection* conn, const Request& request) {
+  SOSE_SPAN("sosed.request.open");
+  SketchConfig config;
+  config.rows = request.target_m;
+  config.cols = request.ambient_n;
+  config.sparsity = request.sparsity;
+  config.seed = request.seed;
+  Result<Session*> session =
+      sessions_.Open(request.session_id, request.family, config,
+                     request.data_columns, conn->id);
+  if (!session.ok()) {
+    ReplyStatus(conn, Verb::kOpen, session.status());
+    return;
+  }
+  conn->out += EncodeOkReply(
+      Verb::kOpen, {request.session_id, session.value()->sketch->name()});
+}
+
+void SosedServer::HandleAttach(Connection* conn, const Request& request) {
+  SOSE_SPAN("sosed.request.attach");
+  Result<Session*> session = sessions_.Attach(request.session_id, conn->id);
+  if (!session.ok()) {
+    ReplyStatus(conn, Verb::kAttach, session.status());
+    return;
+  }
+  conn->out += EncodeOkReply(Verb::kAttach, {request.session_id});
+}
+
+void SosedServer::HandleDetach(Connection* conn, const Request& request) {
+  SOSE_SPAN("sosed.request.detach");
+  const Status status = sessions_.Detach(request.session_id, conn->id);
+  if (!status.ok()) {
+    ReplyStatus(conn, Verb::kDetach, status);
+    return;
+  }
+  conn->out += EncodeOkReply(Verb::kDetach, {request.session_id});
+}
+
+void SosedServer::HandleClose(Connection* conn, const Request& request) {
+  SOSE_SPAN("sosed.request.close");
+  const Status status = sessions_.CloseSession(request.session_id, conn->id);
+  if (!status.ok()) {
+    ReplyStatus(conn, Verb::kClose, status);
+    return;
+  }
+  conn->out += EncodeOkReply(Verb::kClose, {request.session_id});
+}
+
+void SosedServer::HandleUpdate(Connection* conn, const Request& request) {
+  SOSE_SPAN("sosed.request.update");
+  Result<Session*> found = sessions_.Find(request.session_id, conn->id);
+  if (!found.ok()) {
+    ReplyStatus(conn, Verb::kUpdate, found.status());
+    return;
+  }
+  Session* session = found.value();
+  for (const UpdateEntry& entry : request.entries) {
+    const Status status =
+        session->accumulator->AddEntry(request.row, entry.col, entry.value);
+    if (!status.ok()) {
+      // Turnstile semantics make partial application recoverable: the
+      // client can undo the applied prefix with negative updates.
+      ReplyStatus(conn, Verb::kUpdate, status);
+      return;
+    }
+  }
+  conn->out += EncodeOkReply(
+      Verb::kUpdate, {std::to_string(request.entries.size())});
+}
+
+void SosedServer::HandleSketch(Connection* conn, const Request& request) {
+  SOSE_SPAN("sosed.request.sketch");
+  Result<Session*> found = sessions_.Find(request.session_id, conn->id);
+  if (!found.ok()) {
+    ReplyStatus(conn, Verb::kSketch, found.status());
+    return;
+  }
+  Result<Matrix> current = found.value()->accumulator->Current();
+  if (!current.ok()) {
+    ReplyStatus(conn, Verb::kSketch, current.status());
+    return;
+  }
+  const Matrix& state = current.value();
+  conn->out += EncodeOkReply(Verb::kSketch, {std::to_string(state.rows()),
+                                             std::to_string(state.cols())});
+  std::vector<double> row(static_cast<size_t>(state.cols()));
+  for (int64_t i = 0; i < state.rows(); ++i) {
+    for (int64_t j = 0; j < state.cols(); ++j) {
+      row[static_cast<size_t>(j)] = state.At(i, j);
+    }
+    conn->out += EncodeSketchRowReply(i, row);
+  }
+  conn->out += EncodeSketchEndReply();
+}
+
+void SosedServer::HandleNorms(Connection* conn, const Request& request) {
+  SOSE_SPAN("sosed.request.norms");
+  Result<Session*> found = sessions_.Find(request.session_id, conn->id);
+  if (!found.ok()) {
+    ReplyStatus(conn, Verb::kNorms, found.status());
+    return;
+  }
+  Result<Matrix> current = found.value()->accumulator->Current();
+  if (!current.ok()) {
+    ReplyStatus(conn, Verb::kNorms, current.status());
+    return;
+  }
+  const Matrix& state = current.value();
+  std::vector<std::string> payload;
+  payload.reserve(1 + static_cast<size_t>(state.cols()));
+  payload.push_back(std::to_string(state.cols()));
+  std::vector<double> column(static_cast<size_t>(state.rows()));
+  for (int64_t j = 0; j < state.cols(); ++j) {
+    for (int64_t i = 0; i < state.rows(); ++i) {
+      column[static_cast<size_t>(i)] = state.At(i, j);
+    }
+    payload.push_back(HexCell(Norm2(column)));
+  }
+  conn->out += EncodeOkReply(Verb::kNorms, payload);
+}
+
+void SosedServer::HandleDistortion(Connection* conn, const Request& request) {
+  SOSE_SPAN("sosed.request.distortion");
+  Result<Session*> found = sessions_.Find(request.session_id, conn->id);
+  if (!found.ok()) {
+    ReplyStatus(conn, Verb::kDistortion, found.status());
+    return;
+  }
+  Result<Matrix> current = found.value()->accumulator->Current();
+  if (!current.ok()) {
+    ReplyStatus(conn, Verb::kDistortion, current.status());
+    return;
+  }
+  Result<DistortionReport> report =
+      DistortionOfSketchedIsometry(current.value());
+  if (!report.ok()) {
+    ReplyStatus(conn, Verb::kDistortion, report.status());
+    return;
+  }
+  conn->out += EncodeOkReply(
+      Verb::kDistortion,
+      {HexCell(report.value().min_factor), HexCell(report.value().max_factor),
+       HexCell(report.value().Epsilon())});
+}
+
+void SosedServer::HandleSolve(Connection* conn, const Request& request) {
+  SOSE_SPAN("sosed.request.solve");
+  Result<Session*> found = sessions_.Find(request.session_id, conn->id);
+  if (!found.ok()) {
+    ReplyStatus(conn, Verb::kSolve, found.status());
+    return;
+  }
+  Result<Matrix> current = found.value()->accumulator->Current();
+  if (!current.ok()) {
+    ReplyStatus(conn, Verb::kSolve, current.status());
+    return;
+  }
+  const Matrix& state = current.value();
+  if (state.cols() < 2) {
+    ReplyStatus(conn, Verb::kSolve,
+                Status::FailedPrecondition(
+                    "solve needs >= 2 data columns (design plus target)"));
+    return;
+  }
+  // Sketched least squares on the streamed state: columns 0..k-2 are the
+  // design, column k-1 the target.
+  Matrix design(state.rows(), state.cols() - 1);
+  std::vector<double> target(static_cast<size_t>(state.rows()));
+  for (int64_t i = 0; i < state.rows(); ++i) {
+    for (int64_t j = 0; j + 1 < state.cols(); ++j) {
+      design.At(i, j) = state.At(i, j);
+    }
+    target[static_cast<size_t>(i)] = state.At(i, state.cols() - 1);
+  }
+  Result<LeastSquaresSolution> solution = SolveLeastSquares(design, target);
+  if (!solution.ok()) {
+    ReplyStatus(conn, Verb::kSolve, solution.status());
+    return;
+  }
+  std::vector<std::string> payload;
+  payload.reserve(2 + solution.value().x.size());
+  payload.push_back(HexCell(solution.value().residual_norm));
+  payload.push_back(std::to_string(solution.value().x.size()));
+  for (double x : solution.value().x) payload.push_back(HexCell(x));
+  conn->out += EncodeOkReply(Verb::kSolve, payload);
+}
+
+void SosedServer::HandleStats(Connection* conn) {
+  SOSE_SPAN("sosed.request.stats");
+  JsonObjectWriter server;
+  server.AddString("format", kServiceFormat);
+  server.AddInt("sessions_active", sessions_.active_count());
+  server.AddInt("sessions_detached", sessions_.detached_count());
+  server.AddInt("session_budget", sessions_.options().max_sessions);
+  server.AddInt("bytes_used", sessions_.bytes_used());
+  server.AddInt("bytes_budget", sessions_.options().max_bytes);
+  server.AddInt("evictions", sessions_.evictions());
+  server.AddInt("connections", connection_count());
+  server.AddInt("accepts", total_accepts_);
+  server.AddInt("disconnects", total_disconnects_);
+  server.AddInt("requests", total_requests_);
+  server.AddInt("busy", total_busy_);
+  server.AddInt("protocol_errors", total_protocol_errors_);
+  server.AddInt("backpressure_pauses", total_backpressure_pauses_);
+  server.AddInt("accept_faults", total_accept_faults_);
+  JsonObjectWriter doc;
+  doc.AddObject("server", server);
+  // Latency histograms (sosed.request.*.seconds with p50/p95/p99) and the
+  // counter/gauge mirror; an empty object under SOSE_METRICS=OFF.
+  doc.AddObject("metrics", metrics::ToJson(metrics::Snapshot()));
+  conn->out += EncodeOkReply(Verb::kStats, {doc.ToInlineString()});
+}
+
+}  // namespace sose::sosed

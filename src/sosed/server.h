@@ -1,0 +1,141 @@
+#ifndef SOSE_SOSED_SERVER_H_
+#define SOSE_SOSED_SERVER_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "core/net/net.h"
+#include "core/status.h"
+#include "sosed/protocol.h"
+#include "sosed/session.h"
+
+namespace sose::sosed {
+
+/// The `sosed` streaming sketch service (docs/service.md): a
+/// single-threaded, poll-driven event loop hosting per-session sketch
+/// state behind the `sose-service-v1` protocol.
+///
+/// Concurrency model: there is none, on purpose. One thread owns every
+/// socket and every session, `PollOnce` advances the whole server by one
+/// readiness round, and `Run` is just a PollOnce loop — so tests can pump
+/// a server and its clients deterministically from a single thread, and
+/// every reply is a pure function of the request arrival order.
+///
+/// Backpressure: each connection carries a pending-write buffer. When it
+/// exceeds `max_pending_bytes` the server stops *reading* from that
+/// connection (it can no longer submit work) until the buffer drains below
+/// half the limit. A slow reader therefore throttles itself, never the
+/// other connections. Admission control on sessions is separate: Open
+/// answers `busy` (kUnavailable) when capacity would require evicting an
+/// attached session.
+///
+/// Fault sites (docs/robustness.md): `sosed/accept-fail` drops one accept
+/// round, `sosed/slow-client` trickles flushes 17 bytes at a time, and
+/// `sosed/oom-session` (in SessionManager::Open) forces the BUSY path.
+class SosedServer {
+ public:
+  struct Options {
+    /// Unix-domain listening path; empty to disable.
+    std::string unix_path;
+    /// TCP port on 127.0.0.1; 0 binds an ephemeral port (see tcp_port()),
+    /// negative disables. At least one of the two listeners must be
+    /// enabled.
+    int tcp_port = -1;
+    SessionManager::Options session;
+    /// Per-connection pending-write high-water mark (bytes). Reads from a
+    /// connection pause above it and resume below half of it.
+    int64_t max_pending_bytes = 1 << 20;
+    /// Retry hint carried in `busy` replies.
+    double retry_after_seconds = 0.05;
+  };
+
+  [[nodiscard]] static Result<std::unique_ptr<SosedServer>> Create(
+      Options options);
+
+  SosedServer(const SosedServer&) = delete;
+  SosedServer& operator=(const SosedServer&) = delete;
+
+  /// Advances the server by one readiness round: waits up to
+  /// `timeout_seconds` for activity, accepts pending connections, reads and
+  /// executes complete requests, and flushes pending replies. Only
+  /// server-level failures (poll/listener breakage) surface as a Status;
+  /// per-connection failures close that connection.
+  [[nodiscard]] Status PollOnce(double timeout_seconds);
+
+  /// PollOnce loop until a `shutdown` request has been executed and its
+  /// reply flushed (or every connection with pending output is gone).
+  [[nodiscard]] Status Run();
+
+  /// True once a `shutdown` request has been accepted.
+  bool shutdown_requested() const { return shutdown_; }
+
+  /// The bound TCP port (0 when TCP is disabled).
+  int tcp_port() const { return tcp_.port(); }
+  const std::string& unix_path() const { return options_.unix_path; }
+
+  int64_t connection_count() const {
+    return static_cast<int64_t>(connections_.size());
+  }
+  const SessionManager& sessions() const { return sessions_; }
+
+ private:
+  struct Connection {
+    int64_t id = 0;
+    net::Socket socket;
+    std::string in;    ///< Unframed inbound bytes (torn tail included).
+    std::string out;   ///< Pending reply bytes not yet taken by the kernel.
+    bool paused = false;   ///< Reads paused by backpressure.
+    bool closing = false;  ///< Close once `out` drains.
+  };
+
+  explicit SosedServer(Options options)
+      : options_(std::move(options)), sessions_(options_.session) {}
+
+  Status AcceptPending(net::Listener* listener);
+  /// Reads, frames, and executes requests from one connection. Returns
+  /// false when the connection should be dropped.
+  bool ServiceReadable(Connection* conn);
+  /// Flushes pending output. Returns false when the connection died.
+  bool FlushWritable(Connection* conn);
+  void ApplyBackpressure(Connection* conn);
+  void DropConnection(int64_t conn_id);
+  void PublishGauges();
+
+  void HandleRequest(Connection* conn, const std::string& line);
+  void HandleOpen(Connection* conn, const Request& request);
+  void HandleAttach(Connection* conn, const Request& request);
+  void HandleDetach(Connection* conn, const Request& request);
+  void HandleClose(Connection* conn, const Request& request);
+  void HandleUpdate(Connection* conn, const Request& request);
+  void HandleSketch(Connection* conn, const Request& request);
+  void HandleNorms(Connection* conn, const Request& request);
+  void HandleDistortion(Connection* conn, const Request& request);
+  void HandleSolve(Connection* conn, const Request& request);
+  void HandleStats(Connection* conn);
+  void ReplyStatus(Connection* conn, Verb verb, const Status& status);
+
+  Options options_;
+  net::Listener unix_;
+  net::Listener tcp_;
+  SessionManager sessions_;
+  // std::map: deterministic iteration order for the poll round.
+  std::map<int64_t, Connection> connections_;
+  int64_t next_conn_id_ = 1;
+  bool shutdown_ = false;
+
+  // Authoritative server-block counters for STATS (the metrics registry
+  // mirrors them, but STATS must work under SOSE_METRICS=OFF too).
+  int64_t total_accepts_ = 0;
+  int64_t total_disconnects_ = 0;
+  int64_t total_requests_ = 0;
+  int64_t total_busy_ = 0;
+  int64_t total_protocol_errors_ = 0;
+  int64_t total_backpressure_pauses_ = 0;
+  int64_t total_accept_faults_ = 0;
+};
+
+}  // namespace sose::sosed
+
+#endif  // SOSE_SOSED_SERVER_H_

@@ -1,0 +1,168 @@
+#include "sosed/session.h"
+
+#include <utility>
+
+#include "core/fault.h"
+
+namespace sose::sosed {
+
+namespace {
+
+/// Fixed bookkeeping cost charged per session on top of its state matrix:
+/// map node, strings, accumulator header, sketch object. Deliberately
+/// coarse — the budget is an admission-control knob, not an allocator.
+constexpr int64_t kSessionOverheadBytes = 4096;
+
+Status InjectedOomFault() {
+  SOSE_FAULT_POINT("sosed/oom-session");
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<Session*> SessionManager::Open(const std::string& id,
+                                      const std::string& family,
+                                      const SketchConfig& config,
+                                      int64_t data_columns, int64_t conn_id) {
+  if (sessions_.count(id) != 0) {
+    return Status::AlreadyExists("session id already in use: " + id);
+  }
+  // Build the draw first: validation errors (bad family, bad shape) must
+  // not evict anything.
+  SOSE_ASSIGN_OR_RETURN(std::unique_ptr<SketchingMatrix> owned,
+                        CreateSketch(family, config));
+  std::shared_ptr<const SketchingMatrix> sketch = std::move(owned);
+  SOSE_ASSIGN_OR_RETURN(SketchAccumulator accumulator,
+                        SketchAccumulator::Create(sketch, data_columns));
+  const int64_t cost =
+      accumulator.state().size() * static_cast<int64_t>(sizeof(double)) +
+      kSessionOverheadBytes;
+  const Status injected = InjectedOomFault();
+  if (!injected.ok()) {
+    return Status::Unavailable("session byte budget exhausted (injected): " +
+                               injected.message());
+  }
+  if (cost > options_.max_bytes) {
+    // Never admissible: a clean rejection, not a retry-later condition.
+    return Status::InvalidArgument(
+        "session state larger than the whole byte budget");
+  }
+  if (!MakeRoom(cost)) {
+    return Status::Unavailable(
+        "session capacity exhausted by attached sessions; retry later");
+  }
+  Session session;
+  session.id = id;
+  session.family = family;
+  session.config = config;
+  session.data_columns = data_columns;
+  session.sketch = std::move(sketch);
+  session.accumulator =
+      std::make_unique<SketchAccumulator>(std::move(accumulator));
+  session.bytes = cost;
+  session.owner = conn_id;
+  session.lru_tick = NextTick();
+  bytes_used_ += cost;
+  auto [it, inserted] = sessions_.emplace(id, std::move(session));
+  return &it->second;
+}
+
+Result<Session*> SessionManager::Attach(const std::string& id,
+                                        int64_t conn_id) {
+  auto it = sessions_.find(id);
+  if (it == sessions_.end()) {
+    return Status::NotFound("no such session: " + id);
+  }
+  if (it->second.attached() && it->second.owner != conn_id) {
+    return Status::FailedPrecondition(
+        "session is attached to another connection: " + id);
+  }
+  it->second.owner = conn_id;
+  it->second.lru_tick = NextTick();
+  return &it->second;
+}
+
+Status SessionManager::Detach(const std::string& id, int64_t conn_id) {
+  auto it = sessions_.find(id);
+  if (it == sessions_.end()) {
+    return Status::NotFound("no such session: " + id);
+  }
+  if (it->second.owner != conn_id) {
+    return Status::FailedPrecondition(
+        "session is not attached to this connection: " + id);
+  }
+  it->second.owner = Session::kDetached;
+  it->second.lru_tick = NextTick();
+  return Status::OK();
+}
+
+Status SessionManager::CloseSession(const std::string& id, int64_t conn_id) {
+  auto it = sessions_.find(id);
+  if (it == sessions_.end()) {
+    return Status::NotFound("no such session: " + id);
+  }
+  if (it->second.attached() && it->second.owner != conn_id) {
+    return Status::FailedPrecondition(
+        "session is attached to another connection: " + id);
+  }
+  bytes_used_ -= it->second.bytes;
+  sessions_.erase(it);
+  return Status::OK();
+}
+
+Result<Session*> SessionManager::Find(const std::string& id, int64_t conn_id) {
+  auto it = sessions_.find(id);
+  if (it == sessions_.end()) {
+    return Status::NotFound("no such session: " + id);
+  }
+  if (it->second.owner != conn_id) {
+    return Status::FailedPrecondition(
+        it->second.attached()
+            ? "session is attached to another connection: " + id
+            : "session is detached; attach it first: " + id);
+  }
+  it->second.lru_tick = NextTick();
+  return &it->second;
+}
+
+int64_t SessionManager::DetachAllFromConnection(int64_t conn_id) {
+  int64_t parked = 0;
+  for (auto& [id, session] : sessions_) {
+    if (session.owner == conn_id) {
+      session.owner = Session::kDetached;
+      session.lru_tick = NextTick();
+      ++parked;
+    }
+  }
+  return parked;
+}
+
+int64_t SessionManager::detached_count() const {
+  int64_t detached = 0;
+  for (const auto& [id, session] : sessions_) {
+    if (!session.attached()) ++detached;
+  }
+  return detached;
+}
+
+bool SessionManager::MakeRoom(int64_t need_bytes) {
+  while (session_count() + 1 > options_.max_sessions ||
+         bytes_used_ + need_bytes > options_.max_bytes) {
+    // Coldest detached session; attached ones are not candidates.
+    auto victim = sessions_.end();
+    for (auto it = sessions_.begin(); it != sessions_.end(); ++it) {
+      if (it->second.attached()) continue;
+      if (victim == sessions_.end() ||
+          it->second.lru_tick < victim->second.lru_tick) {
+        victim = it;
+      }
+    }
+    if (victim == sessions_.end()) return false;
+    bytes_used_ -= victim->second.bytes;
+    sessions_.erase(victim);
+    ++evictions_;
+  }
+  return true;
+}
+
+}  // namespace sose::sosed

@@ -1,0 +1,113 @@
+#ifndef SOSE_SOSED_SESSION_H_
+#define SOSE_SOSED_SESSION_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+#include "sketch/accumulator.h"
+#include "sketch/registry.h"
+#include "sketch/sketch.h"
+
+namespace sose::sosed {
+
+/// One client session: a named sketch draw plus its streamed accumulator
+/// state. A session is either *attached* to exactly one connection (only
+/// that connection may address it) or *detached* (parked; any connection
+/// may adopt it with `attach`, and the manager may evict it under memory
+/// pressure — attached sessions are never evicted).
+struct Session {
+  std::string id;
+  std::string family;
+  SketchConfig config;
+  int64_t data_columns = 0;
+  std::shared_ptr<const SketchingMatrix> sketch;
+  std::unique_ptr<SketchAccumulator> accumulator;
+  /// Approximate resident cost charged against the manager's byte budget:
+  /// the streamed state matrix plus a fixed per-session overhead.
+  int64_t bytes = 0;
+  /// Owning connection id, or kDetached.
+  int64_t owner = kDetached;
+  /// Monotonic LRU stamp (bumped on every touch); smallest = coldest.
+  uint64_t lru_tick = 0;
+
+  static constexpr int64_t kDetached = -1;
+
+  bool attached() const { return owner != kDetached; }
+};
+
+/// Capacity-bounded ownership of all live sessions, with LRU eviction of
+/// detached sessions and explicit admission control: when neither the
+/// session-count cap nor the byte budget can be met by evicting *detached*
+/// sessions, Open fails with kUnavailable (the wire-level BUSY) instead of
+/// evicting anything a connection is actively using.
+class SessionManager {
+ public:
+  struct Options {
+    int64_t max_sessions = 64;           ///< Hard cap on live sessions.
+    int64_t max_bytes = 64 * (1 << 20);  ///< Byte budget across sessions.
+  };
+
+  explicit SessionManager(Options options) : options_(options) {}
+
+  SessionManager(const SessionManager&) = delete;
+  SessionManager& operator=(const SessionManager&) = delete;
+
+  /// Creates a session owned by `conn_id`. Fails with kAlreadyExists on an
+  /// id collision, kUnavailable when admission control sheds the load (the
+  /// caller should answer BUSY), and propagates registry/accumulator
+  /// validation errors otherwise. Carries the `sosed/oom-session` fault
+  /// site, which forces the kUnavailable path deterministically.
+  [[nodiscard]] Result<Session*> Open(const std::string& id,
+                                      const std::string& family,
+                                      const SketchConfig& config,
+                                      int64_t data_columns, int64_t conn_id);
+
+  /// Adopts a detached session onto `conn_id`. kNotFound if no such
+  /// session, kFailedPrecondition if it is attached to another connection.
+  [[nodiscard]] Result<Session*> Attach(const std::string& id,
+                                        int64_t conn_id);
+
+  /// Parks a session owned by `conn_id` (making it evictable).
+  [[nodiscard]] Status Detach(const std::string& id, int64_t conn_id);
+
+  /// Frees a session owned by `conn_id`.
+  [[nodiscard]] Status CloseSession(const std::string& id, int64_t conn_id);
+
+  /// Looks up a session for a data-path verb: it must exist and be
+  /// attached to `conn_id`. Touches the LRU stamp.
+  [[nodiscard]] Result<Session*> Find(const std::string& id, int64_t conn_id);
+
+  /// Detaches every session owned by `conn_id` (connection teardown);
+  /// returns how many were parked.
+  int64_t DetachAllFromConnection(int64_t conn_id);
+
+  int64_t session_count() const { return static_cast<int64_t>(sessions_.size()); }
+  int64_t detached_count() const;
+  int64_t active_count() const { return session_count() - detached_count(); }
+  int64_t bytes_used() const { return bytes_used_; }
+  int64_t evictions() const { return evictions_; }
+  const Options& options() const { return options_; }
+
+ private:
+  /// Evicts coldest detached sessions until admitting `need_bytes` plus one
+  /// more session fits both budgets. Returns false if impossible without
+  /// touching an attached session.
+  bool MakeRoom(int64_t need_bytes);
+
+  uint64_t NextTick() { return ++tick_; }
+
+  Options options_;
+  // std::map keeps iteration deterministic (error paths and tests).
+  std::map<std::string, Session> sessions_;
+  int64_t bytes_used_ = 0;
+  int64_t evictions_ = 0;
+  uint64_t tick_ = 0;
+};
+
+}  // namespace sose::sosed
+
+#endif  // SOSE_SOSED_SESSION_H_

@@ -1,0 +1,58 @@
+// sosed: the streaming sketch service daemon (docs/service.md).
+//
+// Usage:
+//   sosed --unix=/tmp/sosed.sock            Unix-domain listener
+//   sosed --port=0                          TCP listener (0 = ephemeral;
+//                                           the bound port is printed)
+//   sosed --chaos=sosed/slow-client@every   arm deterministic fault sites
+//
+// The daemon prints one `ready` line (CSV: ready,<unix_path>,<tcp_port>)
+// once listening, then serves until a `shutdown` request.
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "core/fault.h"
+#include "core/flags.h"
+#include "sosed/server.h"
+
+// Sketch seeds arrive on the wire with each `open` request, so every
+// session's draw is replayable from the client's arguments.
+int main(int argc, char** argv) {  // sose-lint: allow(seed-purity)
+  sose::FlagParser flags(argc, argv);
+  sose::sosed::SosedServer::Options options;
+  options.unix_path = flags.GetString("unix", "");
+  options.tcp_port = static_cast<int>(flags.GetInt("port", -1));
+  options.session.max_sessions = flags.GetInt("max-sessions", 64);
+  options.session.max_bytes = flags.GetInt("max-bytes", 64 * (1 << 20));
+  options.max_pending_bytes = flags.GetInt("max-pending-bytes", 1 << 20);
+  options.retry_after_seconds = flags.GetDouble("retry-after", 0.05);
+
+  // `--chaos=site@N,site@every` arms the sosed/* fault sites for the whole
+  // serve loop (docs/robustness.md). The service must stay protocol-correct
+  // under every armed site — that is what the CI service-smoke job pins.
+  std::unique_ptr<sose::ScopedFaultInjection> chaos;
+  const std::string chaos_spec = flags.GetString("chaos", "");
+  if (!chaos_spec.empty()) {
+    auto plan = sose::ParseFaultPlan(chaos_spec);
+    plan.status().CheckOK();
+    chaos = std::make_unique<sose::ScopedFaultInjection>(
+        std::move(plan).value());
+  }
+
+  auto server = sose::sosed::SosedServer::Create(options);
+  if (!server.ok()) {
+    std::fprintf(stderr, "sosed: %s\n", server.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("ready,%s,%d\n", server.value()->unix_path().c_str(),
+              server.value()->tcp_port());
+  std::fflush(stdout);
+  const sose::Status status = server.value()->Run();
+  if (!status.ok()) {
+    std::fprintf(stderr, "sosed: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}

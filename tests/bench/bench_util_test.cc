@@ -170,5 +170,22 @@ TEST_F(WriteBenchJsonTest, EmbedsKernelsBlockRecordingDispatchDecision) {
   EXPECT_NE(text.find("scalar\""), std::string::npos);
 }
 
+// A `--quick` run is a smoke-sized workload; its JSON must say so, so a
+// dashboard (or a reviewer) never compares its numbers against a full run.
+TEST_F(WriteBenchJsonTest, RecordsQuickFlagAsProvenance) {
+  ASSERT_TRUE(WriteBenchJsonResolved(Experiment(), /*requested_threads=*/1,
+                                     /*resolved_threads=*/1,
+                                     /*wall_seconds=*/2.0, /*trials=*/5,
+                                     /*workers=*/1, /*quick=*/true)
+                  .ok());
+  EXPECT_NE(Contents().find("\"quick\": true"), std::string::npos);
+  // The default (and the explicit full run) records false.
+  ASSERT_TRUE(WriteBenchJsonResolved(Experiment(), /*requested_threads=*/1,
+                                     /*resolved_threads=*/1,
+                                     /*wall_seconds=*/2.0, /*trials=*/5)
+                  .ok());
+  EXPECT_NE(Contents().find("\"quick\": false"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace sose::bench

@@ -148,6 +148,69 @@ TEST(MetricsFormatTest, TextLinesAndJsonNesting) {
   EXPECT_NE(doc.find("\"metrics\": {"), std::string::npos);
 }
 
+TEST(MetricsQuantileTest, InterpolatesInsideTheCrossingBucket) {
+  metrics::HistogramSnapshot h;
+  h.boundaries = {1.0, 2.0, 4.0};
+  h.bucket_counts = {0, 10, 0, 0};  // all mass in (1, 2]
+  h.count = 10;
+  // rank = 5 of 10, all in bucket 1: fraction 0.5 of (1, 2] → 1.5.
+  EXPECT_DOUBLE_EQ(metrics::EstimateHistogramQuantile(h, 0.5), 1.5);
+  // p100 is the bucket's upper edge, p~0 approaches its lower edge.
+  EXPECT_DOUBLE_EQ(metrics::EstimateHistogramQuantile(h, 1.0), 2.0);
+  EXPECT_DOUBLE_EQ(metrics::EstimateHistogramQuantile(h, 0.0), 1.0);
+}
+
+TEST(MetricsQuantileTest, FirstBucketInterpolatesFromZero) {
+  metrics::HistogramSnapshot h;
+  h.boundaries = {8.0, 16.0};
+  h.bucket_counts = {4, 0, 0};
+  h.count = 4;
+  EXPECT_DOUBLE_EQ(metrics::EstimateHistogramQuantile(h, 0.5), 4.0);
+}
+
+TEST(MetricsQuantileTest, OverflowBucketClampsToTopBoundary) {
+  metrics::HistogramSnapshot h;
+  h.boundaries = {1.0, 2.0};
+  h.bucket_counts = {1, 0, 9};  // 90% of mass beyond the last edge
+  h.count = 10;
+  // The estimate never invents a value beyond the instrumented range.
+  EXPECT_DOUBLE_EQ(metrics::EstimateHistogramQuantile(h, 0.99), 2.0);
+}
+
+TEST(MetricsQuantileTest, EmptyHistogramAndClampedQ) {
+  metrics::HistogramSnapshot empty;
+  empty.boundaries = {1.0};
+  empty.bucket_counts = {0, 0};
+  empty.count = 0;
+  EXPECT_DOUBLE_EQ(metrics::EstimateHistogramQuantile(empty, 0.5), 0.0);
+
+  metrics::HistogramSnapshot h;
+  h.boundaries = {1.0};
+  h.bucket_counts = {2, 0};
+  h.count = 2;
+  // Out-of-range q clamps instead of reading past the buckets.
+  EXPECT_DOUBLE_EQ(metrics::EstimateHistogramQuantile(h, -1.0),
+                   metrics::EstimateHistogramQuantile(h, 0.0));
+  EXPECT_DOUBLE_EQ(metrics::EstimateHistogramQuantile(h, 7.0),
+                   metrics::EstimateHistogramQuantile(h, 1.0));
+}
+
+TEST(MetricsQuantileTest, SurfacedInTextAndJsonExports) {
+  metrics::ResetAll();
+  metrics::Histogram* h = metrics::MetricsRegistry::Global().GetHistogram(
+      "test.quantile.latency", {1.0, 2.0});
+  for (int i = 0; i < 10; ++i) h->Observe(1.5);  // all mass in (1, 2]
+  const metrics::MetricsSnapshot snapshot = metrics::Snapshot();
+  const std::string text = metrics::FormatText(snapshot);
+  EXPECT_NE(text.find(" p50="), std::string::npos);
+  EXPECT_NE(text.find(" p95="), std::string::npos);
+  EXPECT_NE(text.find(" p99="), std::string::npos);
+  const std::string json = metrics::ToJson(snapshot).ToInlineString();
+  EXPECT_NE(json.find("\"p50\": 1.5"), std::string::npos);
+  EXPECT_NE(json.find("\"p95\":"), std::string::npos);
+  EXPECT_NE(json.find("\"p99\":"), std::string::npos);
+}
+
 TEST(MetricsFormatTest, WriteTextFileRoundTrips) {
   metrics::ResetAll();
   metrics::MetricsRegistry::Global().GetCounter("test.file.events")->Add(2);

@@ -1,0 +1,190 @@
+// Tests for the RAII socket layer (src/core/net) — the only sanctioned
+// home for raw descriptor networking (sose_lint R3). Everything here runs
+// loopback-only and single-threaded: non-blocking sockets plus PollFds let
+// one thread play both peers deterministically.
+
+#include "core/net/net.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace sose::net {
+namespace {
+
+// Unique per test case: ctest runs gtest cases as concurrent processes, so
+// a shared socket path would let one test unlink another's listener.
+std::string TestSocketPath() {
+  return ::testing::TempDir() + "sose_net_" +
+         ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+         ".sock";
+}
+
+// Polls `socket` until `buffer` grows by at least `min_bytes` or ~1s
+// elapses; returns the observed eof flag.
+bool DrainUntil(Socket* socket, std::string* buffer, size_t min_bytes) {
+  const size_t start = buffer->size();
+  for (int round = 0; round < 200; ++round) {
+    auto chunk = socket->ReadAvailable(buffer);
+    if (!chunk.ok()) return false;
+    if (chunk.value().eof) return true;
+    if (buffer->size() - start >= min_bytes) return false;
+    auto ready = PollFds({{socket->fd(), true, false}}, 0.005);
+    if (!ready.ok()) return false;
+  }
+  return false;
+}
+
+TEST(NetUnixTest, ListenConnectAcceptRoundTrip) {
+  const std::string path = TestSocketPath();
+  auto listener = Listener::ListenUnix(path);
+  ASSERT_TRUE(listener.ok()) << listener.status();
+  EXPECT_EQ(listener.value().unix_path(), path);
+  EXPECT_EQ(listener.value().port(), 0);
+
+  auto client = Socket::ConnectUnix(path);
+  ASSERT_TRUE(client.ok()) << client.status();
+
+  // The connection is queued; Accept picks it up without blocking.
+  Socket served;
+  for (int round = 0; round < 200 && !served.valid(); ++round) {
+    auto accepted = listener.value().Accept();
+    ASSERT_TRUE(accepted.ok()) << accepted.status();
+    if (accepted.value().has_value()) {
+      served = std::move(accepted.value()).value();
+    } else {
+      ASSERT_TRUE(
+          PollFds({{listener.value().fd(), true, false}}, 0.005).ok());
+    }
+  }
+  ASSERT_TRUE(served.valid());
+
+  ASSERT_TRUE(client.value().WriteAll("hello,service\n", 1.0).ok());
+  std::string inbound;
+  DrainUntil(&served, &inbound, 14);
+  EXPECT_EQ(inbound, "hello,service\n");
+
+  ASSERT_TRUE(served.WriteAll("hello,client\n", 1.0).ok());
+  std::string reply;
+  ASSERT_TRUE(client.value().ReadUntilNewline(&reply, 1.0).ok());
+  EXPECT_EQ(reply, "hello,client\n");
+}
+
+TEST(NetUnixTest, ConnectToMissingPathIsNotFound) {
+  auto client = Socket::ConnectUnix(TestSocketPath() + ".absent");
+  ASSERT_FALSE(client.ok());
+  EXPECT_EQ(client.status().code(), StatusCode::kNotFound);
+}
+
+TEST(NetUnixTest, DestructorUnlinksPathSoReconnectFails) {
+  const std::string path = TestSocketPath();
+  {
+    auto listener = Listener::ListenUnix(path);
+    ASSERT_TRUE(listener.ok());
+  }
+  // The listener is gone and so is its socket file.
+  EXPECT_FALSE(Socket::ConnectUnix(path).ok());
+}
+
+TEST(NetTcpTest, EphemeralPortRoundTrip) {
+  auto listener = Listener::ListenTcp(0);
+  ASSERT_TRUE(listener.ok()) << listener.status();
+  EXPECT_GT(listener.value().port(), 0);
+
+  auto client = Socket::ConnectTcp("127.0.0.1", listener.value().port());
+  ASSERT_TRUE(client.ok()) << client.status();
+
+  Socket served;
+  for (int round = 0; round < 200 && !served.valid(); ++round) {
+    auto accepted = listener.value().Accept();
+    ASSERT_TRUE(accepted.ok());
+    if (accepted.value().has_value()) {
+      served = std::move(accepted.value()).value();
+    } else {
+      ASSERT_TRUE(
+          PollFds({{listener.value().fd(), true, false}}, 0.005).ok());
+    }
+  }
+  ASSERT_TRUE(served.valid());
+
+  ASSERT_TRUE(client.value().WriteAll("ping\n", 1.0).ok());
+  std::string inbound;
+  DrainUntil(&served, &inbound, 5);
+  EXPECT_EQ(inbound, "ping\n");
+}
+
+TEST(NetTcpTest, AcceptWithNothingQueuedIsNullopt) {
+  auto listener = Listener::ListenTcp(0);
+  ASSERT_TRUE(listener.ok());
+  auto accepted = listener.value().Accept();
+  ASSERT_TRUE(accepted.ok());
+  EXPECT_FALSE(accepted.value().has_value());
+}
+
+TEST(NetTcpTest, PeerCloseSurfacesAsEof) {
+  auto listener = Listener::ListenTcp(0);
+  ASSERT_TRUE(listener.ok());
+  auto client = Socket::ConnectTcp("127.0.0.1", listener.value().port());
+  ASSERT_TRUE(client.ok());
+  Socket served;
+  for (int round = 0; round < 200 && !served.valid(); ++round) {
+    auto accepted = listener.value().Accept();
+    ASSERT_TRUE(accepted.ok());
+    if (accepted.value().has_value()) {
+      served = std::move(accepted.value()).value();
+    } else {
+      ASSERT_TRUE(
+          PollFds({{listener.value().fd(), true, false}}, 0.005).ok());
+    }
+  }
+  ASSERT_TRUE(served.valid());
+
+  ASSERT_TRUE(client.value().WriteAll("bye\n", 1.0).ok());
+  client.value().Close();
+  EXPECT_FALSE(client.value().valid());
+
+  std::string inbound;
+  EXPECT_TRUE(DrainUntil(&served, &inbound, 1 << 20));  // reads until eof
+  EXPECT_EQ(inbound, "bye\n");
+}
+
+TEST(NetSocketTest, MoveTransfersOwnership) {
+  auto listener = Listener::ListenTcp(0);
+  ASSERT_TRUE(listener.ok());
+  auto client = Socket::ConnectTcp("127.0.0.1", listener.value().port());
+  ASSERT_TRUE(client.ok());
+  Socket moved = std::move(client).value();
+  EXPECT_TRUE(moved.valid());
+  Socket assigned;
+  assigned = std::move(moved);
+  EXPECT_TRUE(assigned.valid());
+  EXPECT_FALSE(moved.valid());  // NOLINT(bugprone-use-after-move)
+}
+
+TEST(NetPollTest, EmptyEntriesIsBoundedSleep) {
+  auto ready = PollFds({}, 0.01);
+  ASSERT_TRUE(ready.ok());
+  EXPECT_TRUE(ready.value().empty());
+}
+
+TEST(NetPollTest, ReportsReadabilityPerEntry) {
+  auto listener = Listener::ListenTcp(0);
+  ASSERT_TRUE(listener.ok());
+  auto client = Socket::ConnectTcp("127.0.0.1", listener.value().port());
+  ASSERT_TRUE(client.ok());
+  // The pending connection makes the listener readable; the idle client
+  // socket is writable but has nothing to read.
+  auto ready = PollFds({{listener.value().fd(), true, false},
+                        {client.value().fd(), true, true}},
+                       0.5);
+  ASSERT_TRUE(ready.ok());
+  ASSERT_EQ(ready.value().size(), 2u);
+  EXPECT_TRUE(ready.value()[0].readable);
+  EXPECT_FALSE(ready.value()[1].readable);
+  EXPECT_TRUE(ready.value()[1].writable);
+}
+
+}  // namespace
+}  // namespace sose::net

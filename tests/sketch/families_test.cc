@@ -238,7 +238,7 @@ TEST(RegistryTest, PropagatesValidationErrors) {
 
 TEST(RegistryTest, ListsAllFamilies) {
   const std::vector<std::string> families = KnownSketchFamilies();
-  EXPECT_EQ(families.size(), 9u);
+  EXPECT_EQ(families.size(), 10u);
   for (const std::string& family : families) {
     SketchConfig config{
         .rows = 32, .cols = 64, .sparsity = 4, .jl_q = 3.0, .seed = 1};

@@ -1,0 +1,216 @@
+// Linearity property sweep: Π(αA + βB) = αΠA + βΠB for every registry
+// family. Linearity is the property the whole streaming story rests on —
+// turnstile updates compose, deletions are negative updates, shards merge
+// by addition (docs/service.md) — so it is pinned here at two strengths:
+// BITWISE equality where IEEE arithmetic makes the two evaluations
+// literally the same sum (column-disjoint splits; row-disjoint streams
+// interleaved in ascending row order), and tight tolerance where only
+// reassociation separates them (general overlap, scalar weights, merges).
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/matrix.h"
+#include "core/random.h"
+#include "core/sparse.h"
+#include "sketch/accumulator.h"
+#include "sketch/registry.h"
+
+namespace sose {
+namespace {
+
+constexpr int64_t kAmbientN = 64;  // power of 2 so srht accepts it
+constexpr int64_t kTargetM = 32;
+constexpr int64_t kDataCols = 8;
+
+SketchConfig MakeConfig(uint64_t seed) {
+  return {.rows = kTargetM,
+          .cols = kAmbientN,
+          .sparsity = 4,
+          .jl_q = 3.0,
+          .seed = seed};
+}
+
+bool BitwiseEqual(const Matrix& a, const Matrix& b) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) return false;
+  for (int64_t i = 0; i < a.rows(); ++i) {
+    for (int64_t j = 0; j < a.cols(); ++j) {
+      if (std::bit_cast<uint64_t>(a.At(i, j)) !=
+          std::bit_cast<uint64_t>(b.At(i, j))) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+/// One deterministic entry draw: ~40% of (row, col) cells filled, each cell
+/// at most once, values bounded away from zero so sums never cancel to
+/// denormals.
+struct Entry {
+  int64_t row;
+  int64_t col;
+  double value;
+};
+
+std::vector<Entry> DrawEntries(uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Entry> entries;
+  for (int64_t r = 0; r < kAmbientN; ++r) {
+    for (int64_t c = 0; c < kDataCols; ++c) {
+      if (rng.UniformDouble(0.0, 1.0) < 0.4) {
+        const double magnitude = rng.UniformDouble(0.5, 2.0);
+        entries.push_back({r, c, rng.UniformDouble(0.0, 1.0) < 0.5 ? magnitude
+                                                             : -magnitude});
+      }
+    }
+  }
+  return entries;
+}
+
+CscMatrix ToCsc(const std::vector<Entry>& entries) {
+  CooBuilder builder(kAmbientN, kDataCols);
+  for (const Entry& e : entries) builder.Add(e.row, e.col, e.value);
+  return builder.ToCsc();
+}
+
+class LinearityTest : public testing::TestWithParam<std::string> {
+ protected:
+  std::shared_ptr<const SketchingMatrix> Make(uint64_t seed = 7) const {
+    auto sketch = CreateSketch(GetParam(), MakeConfig(seed));
+    EXPECT_TRUE(sketch.ok()) << sketch.status();
+    return std::shared_ptr<const SketchingMatrix>(std::move(sketch).value());
+  }
+};
+
+// Column-disjoint split: every data column lives entirely in A or in B, so
+// Π(A+B)'s column j is literally ΠA's (or ΠB's) column j and the other
+// term adds +0.0 — the two sides are the same IEEE sum, hence bitwise
+// equal.
+TEST_P(LinearityTest, ColumnDisjointSplitIsBitwiseAdditive) {
+  auto sketch = Make();
+  const std::vector<Entry> all = DrawEntries(101);
+  std::vector<Entry> a, b;
+  for (const Entry& e : all) (e.col % 2 == 0 ? a : b).push_back(e);
+  const Matrix sa = sketch->ApplySparse(ToCsc(a)).value();
+  const Matrix sb = sketch->ApplySparse(ToCsc(b)).value();
+  const Matrix sum = sketch->ApplySparse(ToCsc(all)).value();
+  Matrix recomposed(sum.rows(), sum.cols());
+  for (int64_t i = 0; i < sum.rows(); ++i) {
+    for (int64_t j = 0; j < sum.cols(); ++j) {
+      recomposed.At(i, j) = sa.At(i, j) + sb.At(i, j);
+    }
+  }
+  EXPECT_TRUE(BitwiseEqual(sum, recomposed)) << GetParam();
+}
+
+// Row-disjoint split streamed through one accumulator: A owns the even
+// ambient rows, B the odd ones, and their union is streamed in ascending
+// row order — exactly the per-column accumulation order of the batch CSC
+// walk, so the streamed sketch is bitwise the batch sketch of A+B.
+TEST_P(LinearityTest, RowDisjointStreamInterleavedMatchesBatchBitwise) {
+  auto sketch = Make();
+  const std::vector<Entry> all = DrawEntries(202);  // ascending row order
+  auto accumulator = SketchAccumulator::Create(sketch, kDataCols);
+  ASSERT_TRUE(accumulator.ok()) << accumulator.status();
+  for (const Entry& e : all) {
+    ASSERT_TRUE(accumulator.value().AddEntry(e.row, e.col, e.value).ok());
+  }
+  const Matrix streamed = accumulator.value().Current().value();
+  const Matrix batch = sketch->ApplySparse(ToCsc(all)).value();
+  EXPECT_TRUE(BitwiseEqual(streamed, batch)) << GetParam();
+}
+
+// General overlap with scalar weights: only reassociation separates the
+// two evaluations, so they agree to tight tolerance (values are O(1) and
+// the sums have at most kAmbientN terms).
+TEST_P(LinearityTest, WeightedCombinationIsLinearToTolerance) {
+  auto sketch = Make();
+  const std::vector<Entry> a = DrawEntries(303);
+  const std::vector<Entry> b = DrawEntries(404);  // overlaps a's cells
+  const double alpha = 0.75;
+  const double beta = -1.25;
+  std::vector<Entry> combined;
+  for (const Entry& e : a) combined.push_back({e.row, e.col, alpha * e.value});
+  for (const Entry& e : b) combined.push_back({e.row, e.col, beta * e.value});
+  CooBuilder builder(kAmbientN, kDataCols);
+  for (const Entry& e : combined) builder.Add(e.row, e.col, e.value);
+  const Matrix lhs = sketch->ApplySparse(builder.ToCsc()).value();
+  const Matrix sa = sketch->ApplySparse(ToCsc(a)).value();
+  const Matrix sb = sketch->ApplySparse(ToCsc(b)).value();
+  Matrix rhs(lhs.rows(), lhs.cols());
+  for (int64_t i = 0; i < lhs.rows(); ++i) {
+    for (int64_t j = 0; j < lhs.cols(); ++j) {
+      rhs.At(i, j) = alpha * sa.At(i, j) + beta * sb.At(i, j);
+    }
+  }
+  EXPECT_TRUE(AlmostEqual(lhs, rhs, 1e-10)) << GetParam();
+}
+
+// Two accumulators over the same draw merge by state addition; the merged
+// sketch equals the batch sketch of the union to tolerance.
+TEST_P(LinearityTest, AccumulatorsMergeAdditively) {
+  auto sketch = Make();
+  const std::vector<Entry> all = DrawEntries(505);
+  std::vector<Entry> a, b;
+  for (const Entry& e : all) (e.row % 2 == 0 ? a : b).push_back(e);
+  auto acc_a = SketchAccumulator::Create(sketch, kDataCols);
+  auto acc_b = SketchAccumulator::Create(sketch, kDataCols);
+  ASSERT_TRUE(acc_a.ok() && acc_b.ok());
+  for (const Entry& e : a) {
+    ASSERT_TRUE(acc_a.value().AddEntry(e.row, e.col, e.value).ok());
+  }
+  for (const Entry& e : b) {
+    ASSERT_TRUE(acc_b.value().AddEntry(e.row, e.col, e.value).ok());
+  }
+  ASSERT_TRUE(acc_a.value().Merge(acc_b.value()).ok());
+  const Matrix merged = acc_a.value().Current().value();
+  const Matrix batch = sketch->ApplySparse(ToCsc(all)).value();
+  EXPECT_TRUE(AlmostEqual(merged, batch, 1e-10)) << GetParam();
+}
+
+// Turnstile deletions: adding a row and then its negation cancels each
+// touched state cell exactly (x + (-x) is +0.0 in IEEE), so the sketch is
+// numerically zero — the property that makes "delete = negative update"
+// safe, not merely approximately safe.
+TEST_P(LinearityTest, RowThenNegatedRowCancelsExactly) {
+  auto sketch = Make();
+  auto accumulator = SketchAccumulator::Create(sketch, kDataCols);
+  ASSERT_TRUE(accumulator.ok());
+  Rng rng(606);
+  std::vector<double> values(kDataCols);
+  for (double& v : values) v = rng.UniformDouble(-2.0, 2.0);
+  std::vector<double> negated(kDataCols);
+  for (int64_t c = 0; c < kDataCols; ++c) {
+    negated[static_cast<size_t>(c)] = -values[static_cast<size_t>(c)];
+  }
+  ASSERT_TRUE(accumulator.value().AddRow(5, values).ok());
+  ASSERT_TRUE(accumulator.value().AddRow(5, negated).ok());
+  const Matrix current = accumulator.value().Current().value();
+  for (int64_t i = 0; i < current.rows(); ++i) {
+    for (int64_t j = 0; j < current.cols(); ++j) {
+      // == 0.0 (not bitwise) deliberately: a composed outer stage maps an
+      // exactly-zero state through products that may yield -0.0.
+      EXPECT_EQ(current.At(i, j), 0.0) << GetParam();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllRegistryFamilies, LinearityTest,
+    testing::ValuesIn(KnownSketchFamilies()),
+    [](const testing::TestParamInfo<std::string>& info) {
+      std::string name = info.param;
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace sose

@@ -1,0 +1,227 @@
+// Codec tests for the `sose-service-v1` wire protocol: every encoder must
+// round-trip through its parser, doubles must cross the wire bit-exactly,
+// and malformed input must fail with kInvalidArgument naming the defect —
+// never crash, never mis-decode.
+
+#include "sosed/protocol.h"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace sose::sosed {
+namespace {
+
+TEST(VerbTest, NamesRoundTripForEveryVerb) {
+  const Verb all[] = {Verb::kOpen,   Verb::kAttach, Verb::kDetach,
+                      Verb::kClose,  Verb::kUpdate, Verb::kSketch,
+                      Verb::kNorms,  Verb::kDistortion, Verb::kSolve,
+                      Verb::kStats,  Verb::kPing,   Verb::kShutdown};
+  for (Verb verb : all) {
+    EXPECT_EQ(VerbFromName(VerbName(verb)), verb) << VerbName(verb);
+  }
+  EXPECT_EQ(VerbFromName("no-such-verb"), Verb::kInvalid);
+}
+
+TEST(RequestCodecTest, OpenRoundTrip) {
+  const std::string line =
+      EncodeOpenRequest("s/1", "countsketch-srht", 256, 32, 4, 6, 99);
+  ASSERT_EQ(line.back(), '\n');
+  auto request = ParseRequest(line.substr(0, line.size() - 1));
+  ASSERT_TRUE(request.ok()) << request.status();
+  EXPECT_EQ(request.value().verb, Verb::kOpen);
+  EXPECT_EQ(request.value().session_id, "s/1");
+  EXPECT_EQ(request.value().family, "countsketch-srht");
+  EXPECT_EQ(request.value().ambient_n, 256);
+  EXPECT_EQ(request.value().target_m, 32);
+  EXPECT_EQ(request.value().sparsity, 4);
+  EXPECT_EQ(request.value().data_columns, 6);
+  EXPECT_EQ(request.value().seed, 99u);
+}
+
+TEST(RequestCodecTest, UpdateRoundTripIsBitExact) {
+  const std::vector<UpdateEntry> entries = {
+      {0, 1.0 / 3.0},
+      {3, -0.0},
+      {5, std::numeric_limits<double>::denorm_min()},
+      {2, -1e300}};
+  const std::string line = EncodeUpdateRequest("sid", 17, entries);
+  auto request = ParseRequest(line.substr(0, line.size() - 1));
+  ASSERT_TRUE(request.ok()) << request.status();
+  EXPECT_EQ(request.value().verb, Verb::kUpdate);
+  EXPECT_EQ(request.value().row, 17);
+  ASSERT_EQ(request.value().entries.size(), entries.size());
+  for (size_t i = 0; i < entries.size(); ++i) {
+    EXPECT_EQ(request.value().entries[i].col, entries[i].col);
+    EXPECT_EQ(std::bit_cast<uint64_t>(request.value().entries[i].value),
+              std::bit_cast<uint64_t>(entries[i].value))
+        << "entry " << i;
+  }
+}
+
+TEST(RequestCodecTest, SessionAndBareRequests) {
+  auto attach = ParseRequest(
+      EncodeSessionRequest(Verb::kAttach, "sid").substr(
+          0, EncodeSessionRequest(Verb::kAttach, "sid").size() - 1));
+  ASSERT_TRUE(attach.ok());
+  EXPECT_EQ(attach.value().verb, Verb::kAttach);
+  EXPECT_EQ(attach.value().session_id, "sid");
+
+  auto ping = ParseRequest(
+      EncodeBareRequest(Verb::kPing).substr(
+          0, EncodeBareRequest(Verb::kPing).size() - 1));
+  ASSERT_TRUE(ping.ok());
+  EXPECT_EQ(ping.value().verb, Verb::kPing);
+}
+
+TEST(RequestCodecTest, QuotedFamilyCellSurvivesCsvFraming) {
+  // RFC 4180 framing: a cell with commas, quotes, and spaces round-trips
+  // unchanged (the registry will reject the family later — the codec's job
+  // is only to not mangle it).
+  const std::string family = "weird \"family\", with, commas";
+  const std::string line =
+      EncodeOpenRequest("sid", family, 16, 8, 1, 2, 3);
+  auto request = ParseRequest(line.substr(0, line.size() - 1));
+  ASSERT_TRUE(request.ok()) << request.status();
+  EXPECT_EQ(request.value().family, family);
+}
+
+TEST(RequestCodecTest, SessionIdPolicyRejectsUnsafeIds) {
+  // Session ids key maps and appear verbatim in logs: printable ASCII
+  // without ',' or '"', 1..128 bytes.
+  EXPECT_FALSE(ParseRequest("attach,\"has spaces\"").ok());
+  EXPECT_FALSE(ParseRequest("attach,\"comma,id\"").ok());
+  EXPECT_FALSE(ParseRequest("attach," + std::string(129, 'x')).ok());
+  EXPECT_TRUE(ParseRequest("attach,ok-id_42/a.b").ok());
+}
+
+TEST(RequestCodecTest, MalformedRequestsAreInvalidArgument) {
+  const char* bad[] = {
+      "",                        // empty record
+      "frobnicate,sid",          // unknown verb
+      "open,sid,countsketch",    // missing shape cells
+      "open,sid,countsketch,abc,32,4,6,99",  // non-numeric n
+      "update,sid",              // no row
+      "update,sid,3,0",          // dangling col without value
+      "update,sid,3,0,zzz",      // non-hexfloat value
+      "attach",                  // missing session id
+  };
+  for (const char* line : bad) {
+    auto request = ParseRequest(line);
+    EXPECT_FALSE(request.ok()) << "'" << line << "' parsed";
+    if (!request.ok()) {
+      EXPECT_EQ(request.status().code(), StatusCode::kInvalidArgument)
+          << line;
+    }
+  }
+}
+
+TEST(ReplyCodecTest, GreetingAnnouncesFormat) {
+  const std::string line = EncodeGreeting();
+  auto reply = ParseReply(line.substr(0, line.size() - 1));
+  ASSERT_TRUE(reply.ok()) << reply.status();
+  EXPECT_EQ(reply.value().kind, Reply::Kind::kFormat);
+  // The parser validates the version cell itself; a wrong version is a
+  // handshake failure, not a payload for the caller to inspect.
+  EXPECT_FALSE(ParseReply("format,sose-service-v0").ok());
+  EXPECT_FALSE(ParseReply("format").ok());
+}
+
+TEST(ReplyCodecTest, OkBusyErrRoundTrip) {
+  auto ok = ParseReply(EncodeOkReply(Verb::kOpen, {"countsketch"}).substr(
+      0, EncodeOkReply(Verb::kOpen, {"countsketch"}).size() - 1));
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value().kind, Reply::Kind::kOk);
+  EXPECT_EQ(ok.value().verb, Verb::kOpen);
+  ASSERT_EQ(ok.value().payload.size(), 1u);
+  EXPECT_EQ(ok.value().payload[0], "countsketch");
+
+  const std::string busy_line =
+      EncodeBusyReply(Verb::kOpen, 0.05, "budget exhausted");
+  auto busy = ParseReply(busy_line.substr(0, busy_line.size() - 1));
+  ASSERT_TRUE(busy.ok());
+  EXPECT_EQ(busy.value().kind, Reply::Kind::kBusy);
+  EXPECT_EQ(busy.value().verb, Verb::kOpen);
+  EXPECT_EQ(std::bit_cast<uint64_t>(busy.value().retry_after_seconds),
+            std::bit_cast<uint64_t>(0.05));
+  EXPECT_EQ(busy.value().message, "budget exhausted");
+
+  const std::string err_line =
+      EncodeErrReply(Verb::kUpdate, Status::NotFound("no such session"));
+  auto err = ParseReply(err_line.substr(0, err_line.size() - 1));
+  ASSERT_TRUE(err.ok());
+  EXPECT_EQ(err.value().kind, Reply::Kind::kErr);
+  EXPECT_EQ(err.value().verb, Verb::kUpdate);
+  EXPECT_EQ(err.value().code, StatusCode::kNotFound);
+  EXPECT_EQ(err.value().message, "no such session");
+}
+
+TEST(ReplyCodecTest, ErrWithInvalidVerbCellParses) {
+  // The server tags an unparseable request's error with verb cell
+  // "invalid"; the client must be able to decode that reply.
+  const std::string line = EncodeErrReply(
+      Verb::kInvalid, Status::InvalidArgument("unparseable request"));
+  auto reply = ParseReply(line.substr(0, line.size() - 1));
+  ASSERT_TRUE(reply.ok()) << reply.status();
+  EXPECT_EQ(reply.value().kind, Reply::Kind::kErr);
+  EXPECT_EQ(reply.value().verb, Verb::kInvalid);
+  EXPECT_EQ(reply.value().code, StatusCode::kInvalidArgument);
+}
+
+TEST(ReplyCodecTest, SketchRowStreamRoundTripIsBitExact) {
+  const std::vector<double> values = {1.0 / 3.0, -0.0, 2.5e-310, -7.25};
+  const std::string row_line = EncodeSketchRowReply(11, values);
+  auto row = ParseReply(row_line.substr(0, row_line.size() - 1));
+  ASSERT_TRUE(row.ok()) << row.status();
+  EXPECT_EQ(row.value().kind, Reply::Kind::kRow);
+  EXPECT_EQ(row.value().row, 11);
+  ASSERT_EQ(row.value().values.size(), values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    EXPECT_EQ(std::bit_cast<uint64_t>(row.value().values[i]),
+              std::bit_cast<uint64_t>(values[i]));
+  }
+
+  const std::string end_line = EncodeSketchEndReply();
+  auto end = ParseReply(end_line.substr(0, end_line.size() - 1));
+  ASSERT_TRUE(end.ok());
+  EXPECT_EQ(end.value().kind, Reply::Kind::kEnd);
+}
+
+TEST(ReplyCodecTest, MalformedRepliesAreRejected) {
+  const char* bad[] = {
+      "",
+      "yo",
+      "ok",                       // tag without verb
+      "busy,open,xyz,msg",        // retry-after must be a hexfloat
+      "err,open,not-a-code,msg",  // unknown status code name
+      "row,notanumber,0x1p+0",
+  };
+  for (const char* line : bad) {
+    EXPECT_FALSE(ParseReply(line).ok()) << "'" << line << "' parsed";
+  }
+}
+
+TEST(HexCellTest, BitExactRoundTripForAwkwardDoubles) {
+  const double values[] = {0.0,
+                           -0.0,
+                           1.0 / 3.0,
+                           std::numeric_limits<double>::denorm_min(),
+                           -std::numeric_limits<double>::max(),
+                           5e-324};
+  for (double v : values) {
+    auto parsed = ParseHexCell(HexCell(v));
+    ASSERT_TRUE(parsed.ok()) << HexCell(v);
+    EXPECT_EQ(std::bit_cast<uint64_t>(parsed.value()),
+              std::bit_cast<uint64_t>(v))
+        << HexCell(v);
+  }
+  EXPECT_FALSE(ParseHexCell("").ok());
+  EXPECT_FALSE(ParseHexCell("not-a-double").ok());
+}
+
+}  // namespace
+}  // namespace sose::sosed

@@ -1,0 +1,454 @@
+// End-to-end tests for the sosed service: a real SosedServer and real
+// ServiceClients talking `sose-service-v1` over loopback sockets, all in
+// one thread — the client's pump callback runs `server->PollOnce(0)`
+// between poll rounds, so both peers make progress deterministically.
+//
+// The load-bearing assertions here are the PR's acceptance criteria: the
+// streamed session sketch is BITWISE-identical to batch ApplySparse (via
+// RunSelfcheck) for countsketch, osnap, and a composed family; byte-budget
+// exhaustion answers an explicit BUSY without evicting any attached
+// session; and STATS serves the full JSON shape.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/fault.h"
+#include "core/matrix.h"
+#include "sosed/client.h"
+#include "sosed/selfcheck.h"
+#include "sosed/server.h"
+
+namespace sose::sosed {
+namespace {
+
+constexpr double kTimeout = 10.0;
+
+// Unique per test case: ctest runs gtest cases as concurrent processes.
+std::string TestSocketPath() {
+  return ::testing::TempDir() + "sosed_e2e_" +
+         ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+         ".sock";
+}
+
+std::unique_ptr<SosedServer> MakeServer(
+    const std::string& path,
+    SessionManager::Options session = SessionManager::Options(),
+    int64_t max_pending_bytes = 1 << 20) {
+  SosedServer::Options options;
+  options.unix_path = path;
+  options.session = session;
+  options.max_pending_bytes = max_pending_bytes;
+  auto server = SosedServer::Create(std::move(options));
+  EXPECT_TRUE(server.ok()) << server.status();
+  return server.ok() ? std::move(server).value() : nullptr;
+}
+
+ServiceClient::Pump PumpOf(SosedServer* server) {
+  return [server] { return server->PollOnce(0.0); };
+}
+
+std::optional<ServiceClient> Connect(SosedServer* server,
+                                     const std::string& path) {
+  auto client = ServiceClient::ConnectUnix(path, kTimeout, PumpOf(server));
+  EXPECT_TRUE(client.ok()) << client.status();
+  if (!client.ok()) return std::nullopt;
+  return std::move(client).value();
+}
+
+// Deterministic tiny workload: row r carries entries in distinct
+// data-matrix columns (col < k), each (row, col) cell touched at most
+// once.
+std::vector<UpdateEntry> RowEntries(int64_t row, int64_t data_columns) {
+  std::vector<UpdateEntry> entries;
+  const int64_t count = std::min<int64_t>(3, data_columns);
+  for (int64_t j = 0; j < count; ++j) {
+    const int64_t col = (row + j) % data_columns;
+    entries.push_back({col, 0.5 + 0.25 * static_cast<double>(row + j)});
+  }
+  return entries;
+}
+
+void ExpectBitwiseEqual(const Matrix& a, const Matrix& b) {
+  ASSERT_EQ(a.rows(), b.rows());
+  ASSERT_EQ(a.cols(), b.cols());
+  for (int64_t i = 0; i < a.rows(); ++i) {
+    for (int64_t j = 0; j < a.cols(); ++j) {
+      EXPECT_EQ(std::bit_cast<uint64_t>(a.At(i, j)),
+                std::bit_cast<uint64_t>(b.At(i, j)))
+          << "cell (" << i << ", " << j << ")";
+    }
+  }
+}
+
+TEST(SosedE2eTest, PingAndStatsJsonShape) {
+  auto server = MakeServer(TestSocketPath());
+  ASSERT_NE(server, nullptr);
+  auto client = Connect(server.get(), server->unix_path());
+  ASSERT_TRUE(client.has_value());
+
+  auto ping = client->Ping(kTimeout);
+  ASSERT_TRUE(ping.ok()) << ping.status();
+  EXPECT_EQ(ping.value().kind, Reply::Kind::kOk);
+  EXPECT_EQ(ping.value().verb, Verb::kPing);
+
+  auto stats = client->Stats(kTimeout);
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  const std::string& json = stats.value();
+  // Server block: gauges and counters (FindJsonNumber is top-level-only,
+  // so shape checks go through string find on the nested keys).
+  for (const char* key :
+       {"\"server\": {", "\"format\": \"sose-service-v1\"",
+        "\"sessions_active\":", "\"sessions_detached\":", "\"bytes_used\":",
+        "\"bytes_budget\":", "\"evictions\":", "\"connections\":",
+        "\"requests\":", "\"busy\":", "\"protocol_errors\":",
+        "\"backpressure_pauses\":", "\"accept_faults\":",
+        "\"metrics\": {"}) {
+    EXPECT_NE(json.find(key), std::string::npos) << "missing " << key;
+  }
+#if !defined(SOSE_METRICS_DISABLED)
+  // The ping above went through SOSE_SPAN, so at least one latency
+  // histogram with its quantile estimates is present.
+  EXPECT_NE(json.find("\"p50\":"), std::string::npos);
+  EXPECT_NE(json.find("\"p95\":"), std::string::npos);
+  EXPECT_NE(json.find("\"p99\":"), std::string::npos);
+#endif
+}
+
+// The acceptance-criteria parity matrix: streamed == batch, bitwise.
+void RunParityCase(const std::string& family) {
+  auto server = MakeServer(TestSocketPath());
+  ASSERT_NE(server, nullptr);
+  auto client = Connect(server.get(), server->unix_path());
+  ASSERT_TRUE(client.has_value());
+
+  SelfcheckOptions options;
+  options.session_id = "parity-" + family;
+  options.family = family;
+  options.ambient_n = 128;
+  options.target_m = 32;
+  options.sparsity = 4;
+  options.data_columns = 5;
+  options.stream_rows = 64;
+  auto report = RunSelfcheck(&client.value(), options, kTimeout);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_TRUE(report.value().bitwise_equal)
+      << family << ": " << report.value().mismatched_cells
+      << " mismatched cells (draw " << report.value().sketch_name << ")";
+  EXPECT_GT(report.value().updates_sent, 0);
+}
+
+TEST(SosedE2eTest, StreamedSketchMatchesBatchBitwiseCountsketch) {
+  RunParityCase("countsketch");
+}
+
+TEST(SosedE2eTest, StreamedSketchMatchesBatchBitwiseOsnap) {
+  RunParityCase("osnap");
+}
+
+TEST(SosedE2eTest, StreamedSketchMatchesBatchBitwiseComposedFamily) {
+  RunParityCase("countsketch-srht");
+}
+
+TEST(SosedE2eTest, ByteBudgetAnswersBusyAndKeepsAttachedSessionUsable) {
+  // Budget fits exactly one session: m=16, k=2 costs 16*2*8 + 4096 = 4352.
+  SessionManager::Options session;
+  session.max_bytes = 4500;
+  auto server = MakeServer(TestSocketPath(), session);
+  ASSERT_NE(server, nullptr);
+  auto client = Connect(server.get(), server->unix_path());
+  ASSERT_TRUE(client.has_value());
+
+  auto opened =
+      client->Open("active", "countsketch", 64, 16, 2, 2, 42, kTimeout);
+  ASSERT_TRUE(opened.ok()) << opened.status();
+  ASSERT_EQ(opened.value().kind, Reply::Kind::kOk);
+
+  // Admission control: explicit BUSY with the server's retry hint, not a
+  // silent eviction of the attached session.
+  auto refused =
+      client->Open("overflow", "countsketch", 64, 16, 2, 2, 43, kTimeout);
+  ASSERT_TRUE(refused.ok()) << refused.status();
+  ASSERT_EQ(refused.value().kind, Reply::Kind::kBusy);
+  EXPECT_EQ(std::bit_cast<uint64_t>(refused.value().retry_after_seconds),
+            std::bit_cast<uint64_t>(0.05));
+  EXPECT_EQ(server->sessions().evictions(), 0);
+
+  // The attached session is fully usable after the BUSY.
+  auto update = client->Update("active", 0, RowEntries(0, 2), kTimeout);
+  ASSERT_TRUE(update.ok()) << update.status();
+  EXPECT_EQ(update.value().kind, Reply::Kind::kOk);
+  auto sketch = client->FetchSketch("active", kTimeout);
+  ASSERT_TRUE(sketch.ok()) << sketch.status();
+  EXPECT_EQ(sketch.value().rows(), 16);
+  EXPECT_EQ(sketch.value().cols(), 2);
+
+  auto stats = client->Stats(kTimeout);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_NE(stats.value().find("\"busy\": 1"), std::string::npos);
+}
+
+TEST(SosedE2eTest, ErrRepliesKeepTheConnectionOpen) {
+  auto server = MakeServer(TestSocketPath());
+  ASSERT_NE(server, nullptr);
+  auto client = Connect(server.get(), server->unix_path());
+  ASSERT_TRUE(client.has_value());
+
+  // Application error: update against a session that was never opened.
+  auto update = client->Update("ghost", 0, RowEntries(0, 2), kTimeout);
+  ASSERT_TRUE(update.ok()) << update.status();
+  EXPECT_EQ(update.value().kind, Reply::Kind::kErr);
+  EXPECT_EQ(update.value().code, StatusCode::kNotFound);
+
+  // Protocol error: an unparseable request earns err with verb "invalid".
+  ASSERT_TRUE(client->SendRaw("frobnicate,sid\n", kTimeout).ok());
+  auto err = client->NextReply(kTimeout);
+  ASSERT_TRUE(err.ok()) << err.status();
+  EXPECT_EQ(err.value().kind, Reply::Kind::kErr);
+  EXPECT_EQ(err.value().verb, Verb::kInvalid);
+
+  // Same connection still serves traffic.
+  auto ping = client->Ping(kTimeout);
+  ASSERT_TRUE(ping.ok()) << ping.status();
+  EXPECT_EQ(ping.value().kind, Reply::Kind::kOk);
+}
+
+TEST(SosedE2eTest, DetachAttachHandoffPreservesStreamedStateBitwise) {
+  auto server = MakeServer(TestSocketPath());
+  ASSERT_NE(server, nullptr);
+  const std::string path = server->unix_path();
+  constexpr int64_t kN = 64, kM = 16, kS = 2, kK = 3;
+  constexpr uint64_t kSeed = 99;
+
+  // Client 1 streams the first half into "handoff", then detaches.
+  auto first = Connect(server.get(), path);
+  ASSERT_TRUE(first.has_value());
+  auto opened =
+      first->Open("handoff", "countsketch", kN, kM, kS, kK, kSeed, kTimeout);
+  ASSERT_TRUE(opened.ok());
+  ASSERT_EQ(opened.value().kind, Reply::Kind::kOk);
+  for (int64_t row = 0; row < 8; ++row) {
+    auto update = first->Update("handoff", row, RowEntries(row, kK), kTimeout);
+    ASSERT_TRUE(update.ok());
+    ASSERT_EQ(update.value().kind, Reply::Kind::kOk);
+  }
+  auto detached = first->Detach("handoff", kTimeout);
+  ASSERT_TRUE(detached.ok());
+  ASSERT_EQ(detached.value().kind, Reply::Kind::kOk);
+
+  // Client 2 adopts it, streams the second half, and also runs a control
+  // session fed the FULL workload in one sitting.
+  auto second = Connect(server.get(), path);
+  ASSERT_TRUE(second.has_value());
+  auto attached = second->Attach("handoff", kTimeout);
+  ASSERT_TRUE(attached.ok());
+  ASSERT_EQ(attached.value().kind, Reply::Kind::kOk);
+  for (int64_t row = 8; row < 16; ++row) {
+    auto update = second->Update("handoff", row, RowEntries(row, kK), kTimeout);
+    ASSERT_TRUE(update.ok());
+    ASSERT_EQ(update.value().kind, Reply::Kind::kOk);
+  }
+  auto control =
+      second->Open("control", "countsketch", kN, kM, kS, kK, kSeed, kTimeout);
+  ASSERT_TRUE(control.ok());
+  ASSERT_EQ(control.value().kind, Reply::Kind::kOk);
+  for (int64_t row = 0; row < 16; ++row) {
+    auto update = second->Update("control", row, RowEntries(row, kK), kTimeout);
+    ASSERT_TRUE(update.ok());
+    ASSERT_EQ(update.value().kind, Reply::Kind::kOk);
+  }
+
+  auto handed = second->FetchSketch("handoff", kTimeout);
+  auto direct = second->FetchSketch("control", kTimeout);
+  ASSERT_TRUE(handed.ok()) << handed.status();
+  ASSERT_TRUE(direct.ok()) << direct.status();
+  ExpectBitwiseEqual(handed.value(), direct.value());
+}
+
+TEST(SosedE2eTest, DisconnectAutoDetachesSessionsForLaterAdoption) {
+  auto server = MakeServer(TestSocketPath());
+  ASSERT_NE(server, nullptr);
+  const std::string path = server->unix_path();
+
+  auto first = Connect(server.get(), path);
+  ASSERT_TRUE(first.has_value());
+  auto opened =
+      first->Open("orphan", "countsketch", 64, 16, 2, 2, 42, kTimeout);
+  ASSERT_TRUE(opened.ok());
+  ASSERT_EQ(opened.value().kind, Reply::Kind::kOk);
+  auto update = first->Update("orphan", 3, RowEntries(3, 2), kTimeout);
+  ASSERT_TRUE(update.ok());
+  ASSERT_EQ(update.value().kind, Reply::Kind::kOk);
+
+  first.reset();  // closes the socket; the server sees EOF next round
+  for (int round = 0;
+       round < 400 && server->sessions().detached_count() != 1; ++round) {
+    ASSERT_TRUE(server->PollOnce(0.005).ok());
+  }
+  EXPECT_EQ(server->sessions().detached_count(), 1);
+  EXPECT_EQ(server->connection_count(), 0);
+
+  auto second = Connect(server.get(), path);
+  ASSERT_TRUE(second.has_value());
+  auto attached = second->Attach("orphan", kTimeout);
+  ASSERT_TRUE(attached.ok()) << attached.status();
+  EXPECT_EQ(attached.value().kind, Reply::Kind::kOk);
+  auto sketch = second->FetchSketch("orphan", kTimeout);
+  ASSERT_TRUE(sketch.ok()) << sketch.status();
+  EXPECT_EQ(sketch.value().rows(), 16);
+}
+
+TEST(SosedE2eTest, SlowClientChaosPreservesBitwiseParity) {
+  // `sosed/slow-client@every` trickles every flush; framing and parity
+  // must hold regardless of how the byte stream is torn.
+  auto plan = ParseFaultPlan("sosed/slow-client@every");
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  ScopedFaultInjection chaos(std::move(plan).value());
+
+  auto server = MakeServer(TestSocketPath());
+  ASSERT_NE(server, nullptr);
+  auto client = Connect(server.get(), server->unix_path());
+  ASSERT_TRUE(client.has_value());
+
+  SelfcheckOptions options;
+  options.session_id = "slow";
+  options.family = "countsketch";
+  options.ambient_n = 96;
+  options.target_m = 24;
+  options.sparsity = 2;
+  options.data_columns = 4;
+  options.stream_rows = 48;
+  auto report = RunSelfcheck(&client.value(), options, kTimeout);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_TRUE(report.value().bitwise_equal);
+  EXPECT_GT(chaos.FiredCount(), 0);
+}
+
+TEST(SosedE2eTest, AcceptFaultDelaysButDoesNotLoseTheConnection) {
+  auto plan = ParseFaultPlan("sosed/accept-fail@1");
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  ScopedFaultInjection chaos(std::move(plan).value());
+
+  auto server = MakeServer(TestSocketPath());
+  ASSERT_NE(server, nullptr);
+  // The first accept round is dropped; the client's pump keeps polling and
+  // the connection lands on a later round instead of being lost.
+  auto client = Connect(server.get(), server->unix_path());
+  ASSERT_TRUE(client.has_value());
+  auto ping = client->Ping(kTimeout);
+  ASSERT_TRUE(ping.ok()) << ping.status();
+  EXPECT_EQ(ping.value().kind, Reply::Kind::kOk);
+  EXPECT_EQ(chaos.FiredCount(), 1);
+
+  auto stats = client->Stats(kTimeout);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_NE(stats.value().find("\"accept_faults\": 1"), std::string::npos);
+}
+
+TEST(SosedE2eTest, OomSessionFaultAnswersBusyThenRecovers) {
+  auto plan = ParseFaultPlan("sosed/oom-session@1");
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  ScopedFaultInjection chaos(std::move(plan).value());
+
+  auto server = MakeServer(TestSocketPath());
+  ASSERT_NE(server, nullptr);
+  auto client = Connect(server.get(), server->unix_path());
+  ASSERT_TRUE(client.has_value());
+
+  auto refused =
+      client->Open("victim", "countsketch", 64, 16, 2, 2, 42, kTimeout);
+  ASSERT_TRUE(refused.ok()) << refused.status();
+  EXPECT_EQ(refused.value().kind, Reply::Kind::kBusy);
+
+  // One-shot fault: the retry the BUSY reply invites now succeeds.
+  auto retried =
+      client->Open("victim", "countsketch", 64, 16, 2, 2, 42, kTimeout);
+  ASSERT_TRUE(retried.ok()) << retried.status();
+  EXPECT_EQ(retried.value().kind, Reply::Kind::kOk);
+}
+
+TEST(SosedE2eTest, QueryVerbsAnswerOkOnALiveSession) {
+  auto server = MakeServer(TestSocketPath());
+  ASSERT_NE(server, nullptr);
+  auto client = Connect(server.get(), server->unix_path());
+  ASSERT_TRUE(client.has_value());
+
+  auto opened =
+      client->Open("query", "countsketch", 64, 16, 2, 3, 42, kTimeout);
+  ASSERT_TRUE(opened.ok());
+  ASSERT_EQ(opened.value().kind, Reply::Kind::kOk);
+  for (int64_t row = 0; row < 8; ++row) {
+    auto update = client->Update("query", row, RowEntries(row, 3), kTimeout);
+    ASSERT_TRUE(update.ok());
+    ASSERT_EQ(update.value().kind, Reply::Kind::kOk);
+  }
+
+  auto norms = client->Norms("query", kTimeout);
+  ASSERT_TRUE(norms.ok()) << norms.status();
+  EXPECT_EQ(norms.value().kind, Reply::Kind::kOk);
+  EXPECT_EQ(norms.value().verb, Verb::kNorms);
+  EXPECT_FALSE(norms.value().payload.empty());
+
+  auto distortion = client->Distortion("query", kTimeout);
+  ASSERT_TRUE(distortion.ok()) << distortion.status();
+  EXPECT_EQ(distortion.value().kind, Reply::Kind::kOk);
+  EXPECT_FALSE(distortion.value().payload.empty());
+
+  auto solve = client->Solve("query", kTimeout);
+  ASSERT_TRUE(solve.ok()) << solve.status();
+  EXPECT_EQ(solve.value().kind, Reply::Kind::kOk);
+  EXPECT_FALSE(solve.value().payload.empty());
+}
+
+TEST(SosedE2eTest, BackpressurePausesSlowConnectionsButCompletes) {
+  // A 64-byte pending-write budget makes every sketch stream overshoot the
+  // high-water mark; the server must pause reads, drain, and finish.
+  auto server = MakeServer(TestSocketPath(), SessionManager::Options(),
+                           /*max_pending_bytes=*/64);
+  ASSERT_NE(server, nullptr);
+  auto client = Connect(server.get(), server->unix_path());
+  ASSERT_TRUE(client.has_value());
+
+  auto opened =
+      client->Open("slow", "countsketch", 64, 32, 2, 6, 42, kTimeout);
+  ASSERT_TRUE(opened.ok());
+  ASSERT_EQ(opened.value().kind, Reply::Kind::kOk);
+  for (int64_t row = 0; row < 16; ++row) {
+    auto update = client->Update("slow", row, RowEntries(row, 6), kTimeout);
+    ASSERT_TRUE(update.ok());
+    ASSERT_EQ(update.value().kind, Reply::Kind::kOk);
+  }
+  auto sketch = client->FetchSketch("slow", kTimeout);
+  ASSERT_TRUE(sketch.ok()) << sketch.status();
+  EXPECT_EQ(sketch.value().rows(), 32);
+  EXPECT_EQ(sketch.value().cols(), 6);
+
+  auto stats = client->Stats(kTimeout);
+  ASSERT_TRUE(stats.ok());
+  // The counter is cumulative; with a 64-byte budget at least one pause
+  // must have happened.
+  EXPECT_EQ(stats.value().find("\"backpressure_pauses\": 0,"),
+            std::string::npos);
+}
+
+TEST(SosedE2eTest, ShutdownVerbStopsTheRunLoop) {
+  auto server = MakeServer(TestSocketPath());
+  ASSERT_NE(server, nullptr);
+  auto client = Connect(server.get(), server->unix_path());
+  ASSERT_TRUE(client.has_value());
+  EXPECT_FALSE(server->shutdown_requested());
+  auto reply = client->ShutdownServer(kTimeout);
+  ASSERT_TRUE(reply.ok()) << reply.status();
+  EXPECT_EQ(reply.value().kind, Reply::Kind::kOk);
+  EXPECT_TRUE(server->shutdown_requested());
+}
+
+}  // namespace
+}  // namespace sose::sosed

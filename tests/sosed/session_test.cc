@@ -1,0 +1,170 @@
+// SessionManager tests: lifecycle, the attached/detached ownership rules,
+// LRU eviction of detached sessions, and the admission-control contract —
+// capacity pressure NEVER silently evicts an attached session; it answers
+// kUnavailable (the wire-level BUSY) and leaves every active session
+// intact.
+
+#include "sosed/session.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/fault.h"
+
+namespace sose::sosed {
+namespace {
+
+// state = rows x data_columns doubles; with rows=8, k=2 the per-session
+// cost is 8*2*8 + 4096 (overhead) = 4224 bytes.
+constexpr int64_t kSessionCost = 8 * 2 * 8 + 4096;
+
+SketchConfig SmallConfig() {
+  return {.rows = 8, .cols = 32, .sparsity = 1, .jl_q = 3.0, .seed = 5};
+}
+
+SessionManager::Options Budget(int64_t max_sessions, int64_t max_bytes) {
+  SessionManager::Options options;
+  options.max_sessions = max_sessions;
+  options.max_bytes = max_bytes;
+  return options;
+}
+
+TEST(SessionManagerTest, OpenAttachDetachCloseLifecycle) {
+  SessionManager manager(Budget(8, 1 << 20));
+  auto opened = manager.Open("s1", "countsketch", SmallConfig(), 2, /*conn*/ 1);
+  ASSERT_TRUE(opened.ok()) << opened.status();
+  EXPECT_EQ(opened.value()->bytes, kSessionCost);
+  EXPECT_TRUE(opened.value()->attached());
+  EXPECT_EQ(manager.session_count(), 1);
+  EXPECT_EQ(manager.active_count(), 1);
+  EXPECT_EQ(manager.bytes_used(), kSessionCost);
+
+  // Data-path lookup succeeds only for the owner.
+  EXPECT_TRUE(manager.Find("s1", 1).ok());
+  auto wrong_conn = manager.Find("s1", 2);
+  ASSERT_FALSE(wrong_conn.ok());
+  EXPECT_EQ(wrong_conn.status().code(), StatusCode::kFailedPrecondition);
+
+  ASSERT_TRUE(manager.Detach("s1", 1).ok());
+  EXPECT_EQ(manager.detached_count(), 1);
+  // Detached sessions are not addressable until re-attached.
+  auto detached = manager.Find("s1", 1);
+  ASSERT_FALSE(detached.ok());
+  EXPECT_EQ(detached.status().code(), StatusCode::kFailedPrecondition);
+
+  // Any connection may adopt a detached session.
+  ASSERT_TRUE(manager.Attach("s1", 7).ok());
+  EXPECT_TRUE(manager.Find("s1", 7).ok());
+
+  ASSERT_TRUE(manager.CloseSession("s1", 7).ok());
+  EXPECT_EQ(manager.session_count(), 0);
+  EXPECT_EQ(manager.bytes_used(), 0);
+}
+
+TEST(SessionManagerTest, DuplicateIdIsAlreadyExists) {
+  SessionManager manager(Budget(8, 1 << 20));
+  ASSERT_TRUE(manager.Open("dup", "countsketch", SmallConfig(), 2, 1).ok());
+  auto second = manager.Open("dup", "countsketch", SmallConfig(), 2, 1);
+  ASSERT_FALSE(second.ok());
+  EXPECT_EQ(second.status().code(), StatusCode::kAlreadyExists);
+}
+
+TEST(SessionManagerTest, ValidationErrorEvictsNothing) {
+  SessionManager manager(Budget(8, 1 << 20));
+  ASSERT_TRUE(manager.Open("keep", "countsketch", SmallConfig(), 2, 1).ok());
+  auto bad = manager.Open("bad", "no-such-family", SmallConfig(), 2, 1);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(manager.session_count(), 1);
+  EXPECT_EQ(manager.evictions(), 0);
+}
+
+TEST(SessionManagerTest, AttachToForeignAttachedSessionFails) {
+  SessionManager manager(Budget(8, 1 << 20));
+  ASSERT_TRUE(manager.Open("s1", "countsketch", SmallConfig(), 2, 1).ok());
+  auto stolen = manager.Attach("s1", 2);
+  ASSERT_FALSE(stolen.ok());
+  EXPECT_EQ(stolen.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_FALSE(manager.Attach("missing", 2).ok());
+  EXPECT_EQ(manager.Attach("missing", 2).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(SessionManagerTest, EvictsColdestDetachedSessionUnderBytePressure) {
+  // Budget fits exactly two sessions.
+  SessionManager manager(Budget(8, 2 * kSessionCost));
+  ASSERT_TRUE(manager.Open("cold", "countsketch", SmallConfig(), 2, 1).ok());
+  ASSERT_TRUE(manager.Open("warm", "countsketch", SmallConfig(), 2, 1).ok());
+  ASSERT_TRUE(manager.Detach("cold", 1).ok());  // older stamp = colder
+  ASSERT_TRUE(manager.Detach("warm", 1).ok());
+
+  ASSERT_TRUE(manager.Open("fresh", "countsketch", SmallConfig(), 2, 1).ok());
+  EXPECT_EQ(manager.evictions(), 1);
+  EXPECT_EQ(manager.session_count(), 2);
+  // The coldest ("cold") is gone; "warm" survived.
+  EXPECT_EQ(manager.Attach("cold", 1).status().code(), StatusCode::kNotFound);
+  EXPECT_TRUE(manager.Attach("warm", 1).ok());
+}
+
+TEST(SessionManagerTest, BusyInsteadOfEvictingAttachedSessions) {
+  // Budget fits one session, and it is attached: admission must answer
+  // kUnavailable and leave the attached session untouched.
+  SessionManager manager(Budget(8, kSessionCost + 100));
+  ASSERT_TRUE(manager.Open("active", "countsketch", SmallConfig(), 2, 1).ok());
+  auto shed = manager.Open("overflow", "countsketch", SmallConfig(), 2, 2);
+  ASSERT_FALSE(shed.ok());
+  EXPECT_EQ(shed.status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(manager.session_count(), 1);
+  EXPECT_EQ(manager.evictions(), 0);
+  EXPECT_TRUE(manager.Find("active", 1).ok());
+}
+
+TEST(SessionManagerTest, SessionLargerThanWholeBudgetIsInvalidArgument) {
+  SessionManager manager(Budget(8, kSessionCost - 1));
+  auto oversize = manager.Open("big", "countsketch", SmallConfig(), 2, 1);
+  ASSERT_FALSE(oversize.ok());
+  // Never admissible — a clean rejection, not a retry-later BUSY.
+  EXPECT_EQ(oversize.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SessionManagerTest, SessionCountCapHonorsAttachment) {
+  SessionManager manager(Budget(2, 1 << 20));
+  ASSERT_TRUE(manager.Open("a", "countsketch", SmallConfig(), 2, 1).ok());
+  ASSERT_TRUE(manager.Open("b", "countsketch", SmallConfig(), 2, 1).ok());
+  auto third = manager.Open("c", "countsketch", SmallConfig(), 2, 1);
+  ASSERT_FALSE(third.ok());
+  EXPECT_EQ(third.status().code(), StatusCode::kUnavailable);
+
+  ASSERT_TRUE(manager.Detach("a", 1).ok());
+  ASSERT_TRUE(manager.Open("c", "countsketch", SmallConfig(), 2, 1).ok());
+  EXPECT_EQ(manager.evictions(), 1);
+  EXPECT_EQ(manager.Attach("a", 1).status().code(), StatusCode::kNotFound);
+}
+
+TEST(SessionManagerTest, DetachAllParksEverySessionOfOneConnection) {
+  SessionManager manager(Budget(8, 1 << 20));
+  ASSERT_TRUE(manager.Open("c1a", "countsketch", SmallConfig(), 2, 1).ok());
+  ASSERT_TRUE(manager.Open("c1b", "countsketch", SmallConfig(), 2, 1).ok());
+  ASSERT_TRUE(manager.Open("c2a", "countsketch", SmallConfig(), 2, 2).ok());
+  EXPECT_EQ(manager.DetachAllFromConnection(1), 2);
+  EXPECT_EQ(manager.detached_count(), 2);
+  EXPECT_TRUE(manager.Find("c2a", 2).ok());  // other connection unaffected
+}
+
+TEST(SessionManagerTest, OomFaultSiteForcesBusyDeterministically) {
+  SessionManager manager(Budget(8, 1 << 20));
+  auto plan = ParseFaultPlan("sosed/oom-session@1");
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  ScopedFaultInjection chaos(std::move(plan).value());
+  auto shed = manager.Open("s1", "countsketch", SmallConfig(), 2, 1);
+  ASSERT_FALSE(shed.ok());
+  EXPECT_EQ(shed.status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(manager.session_count(), 0);
+  // One-shot plan: the next open proceeds normally.
+  EXPECT_TRUE(manager.Open("s1", "countsketch", SmallConfig(), 2, 1).ok());
+  EXPECT_EQ(chaos.FiredCount(), 1);
+}
+
+}  // namespace
+}  // namespace sose::sosed

@@ -421,6 +421,62 @@ TEST(ConcurrencyTest, ProcessPrimitiveSuppressionComment) {
   EXPECT_EQ(CountRule(findings, Rule::kConcurrency), 0);
 }
 
+TEST(ConcurrencyTest, FiresOnRawSocketPrimitivesOutsideCoreNet) {
+  auto findings = FindingsFor("src/ose/foo.cc",
+                              "int fd = socket(AF_UNIX, SOCK_STREAM, 0);\n"
+                              "::bind(fd, addr, len);\n"
+                              "listen(fd, 16);\n"
+                              "int c = accept(fd, nullptr, nullptr);\n"
+                              "poll(fds, 1, 0);\n"
+                              "send(c, buf, n, 0);\n");
+  EXPECT_EQ(CountRule(findings, Rule::kConcurrency), 6);
+}
+
+TEST(ConcurrencyTest, SocketPrimitivesAllowedInCoreNet) {
+  const std::string code =
+      "int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);\n"
+      "::connect(fd, addr, len);\n"
+      "::poll(fds, 1, timeout);\n";
+  EXPECT_EQ(
+      CountRule(FindingsFor("src/core/net/net.cc", code), Rule::kConcurrency),
+      0);
+  // Everywhere else the net wrapper is mandatory — even in other core files.
+  EXPECT_EQ(
+      CountRule(FindingsFor("src/core/csv.cc", code), Rule::kConcurrency), 3);
+}
+
+TEST(ConcurrencyTest, PollAllowedInSubprocessButOtherSocketCallsAreNot) {
+  // subprocess.cc predates core/net and polls its child pipes; that one
+  // primitive stays exempt there, but sockets proper do not.
+  EXPECT_EQ(CountRule(FindingsFor("src/core/subprocess.cc",
+                                  "::poll(fds, 2, timeout_ms);\n"),
+                      Rule::kConcurrency),
+            0);
+  EXPECT_EQ(CountRule(FindingsFor("src/core/subprocess.cc",
+                                  "int fd = ::socket(AF_UNIX, SOCK_STREAM, "
+                                  "0);\n"),
+                      Rule::kConcurrency),
+            1);
+}
+
+TEST(ConcurrencyTest, QuietOnSocketNamedMembersAndWrappers) {
+  auto findings = FindingsFor(
+      "src/ose/foo.cc",
+      "listener.Accept();\n"                   // member call, not a primitive
+      "client.connect(host, port);\n"          // member named like one
+      "int poll = 3;\n"                        // identifier without a call
+      "net::PollFds(entries, timeout);\n"      // namespace-qualified wrapper
+      "server->Shutdown();\n");                // member named like shutdown(2)
+  EXPECT_EQ(CountRule(findings, Rule::kConcurrency), 0);
+}
+
+TEST(ConcurrencyTest, SocketPrimitiveSuppressionComment) {
+  auto findings = FindingsFor(
+      "src/ose/foo.cc",
+      "::poll(fds, 1, 0);  // sose-lint: allow(concurrency)\n");
+  EXPECT_EQ(CountRule(findings, Rule::kConcurrency), 0);
+}
+
 // ---------------------------------------------------------------------------
 // R6: metrics discipline
 // ---------------------------------------------------------------------------

@@ -173,6 +173,27 @@ bool ProcessExempt(const std::string& rel_path) {
   return rel_path == "src/core/subprocess.cc";
 }
 
+// POSIX socket/readiness primitives. Raw descriptor networking is confined
+// to src/core/net/ (the RAII Socket/Listener/PollFds seam that owns
+// O_NONBLOCK-from-birth, MSG_NOSIGNAL, EINTR retries, and close-on-exec);
+// `poll` is additionally allowed in subprocess.cc, which predates net and
+// polls its child pipes. Like the process list, matching is call-shaped:
+// member functions named `accept` or `connect` never trip it.
+const char* const kSocketPrimitives[] = {
+    "socket",      "bind",        "listen",      "accept",     "accept4",
+    "connect",     "poll",        "ppoll",       "epoll_create1",
+    "epoll_ctl",   "epoll_wait",  "recv",        "recvfrom",   "recvmsg",
+    "send",        "sendto",      "sendmsg",     "setsockopt", "getsockopt",
+    "getsockname", "getpeername", "shutdown",
+};
+
+bool SocketExempt(const std::string& rel_path, const std::string& token) {
+  if (StartsWith(rel_path, "src/core/net/")) return true;
+  // subprocess.cc's readiness loop uses poll on pipe fds; sockets proper
+  // stay out of it.
+  return token == "poll" && rel_path == "src/core/subprocess.cc";
+}
+
 // True when tokens[k] is a call to a global-namespace C function: an
 // identifier followed by `(`, either unqualified or reached through a bare
 // leading `::`. Member calls (`child.kill(...)`) and namespace-qualified
@@ -213,6 +234,19 @@ void CheckConcurrency(const std::string& rel_path, const Scan& scan,
            "raw " + t + "() outside src/core/subprocess.cc; process "
            "management goes through sose::Subprocess so fork-safety and "
            "reaping rules hold",
+           false});
+      continue;
+    }
+    if (!SocketExempt(rel_path, t) && GlobalCall(toks, i) &&
+        std::find(std::begin(kSocketPrimitives), std::end(kSocketPrimitives),
+                  t) != std::end(kSocketPrimitives)) {
+      if (Suppressed(scan.suppressions, toks[i].line, Rule::kConcurrency))
+        continue;
+      findings->push_back(
+          {rel_path, toks[i].line, Rule::kConcurrency,
+           "raw " + t + "() outside src/core/net/; socket I/O goes through "
+           "sose::net::{Socket,Listener,PollFds} so non-blocking, SIGPIPE, "
+           "and EINTR rules hold",
            false});
     }
   }
