@@ -20,6 +20,7 @@
 #include "core/table.h"
 #include "hardinstance/mixtures.h"
 #include "ose/threshold_search.h"
+#include "ose/trial_spec.h"
 
 namespace {
 
@@ -63,6 +64,12 @@ sose::Result<sose::ThresholdResult> MeasureThreshold(
     options.trials = trials;
     options.epsilon = point.epsilon;
     options.seed = sose::DeriveSeed(seed, static_cast<uint64_t>(m));
+    // Self-contained description of this probe's trial so a remote
+    // sose_shard_agent (--transport=socket) rebuilds the identical closure;
+    // unused by the fork transport.
+    options.trial_spec = sose::FormatMixtureFailureSpec(
+        "countsketch", m, n, 1, point.d, point.epsilon, point.epsilon,
+        options.condition_on_no_collision, options.max_redraws);
     if (!resilience.checkpoint_prefix.empty()) {
       // One file per probe: the bisection visits distinct m values and the
       // sweeps share the prefix, so every (sweep point, m) needs its own path.

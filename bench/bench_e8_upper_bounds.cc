@@ -15,6 +15,7 @@
 #include "core/table.h"
 #include "hardinstance/mixtures.h"
 #include "ose/threshold_search.h"
+#include "ose/trial_spec.h"
 
 namespace {
 
@@ -44,6 +45,10 @@ sose::Result<sose::ThresholdResult> Threshold(
     options.trials = 200;
     options.epsilon = epsilon;
     options.seed = sose::DeriveSeed(seed, static_cast<uint64_t>(m));
+    // Remote-rebuildable description of this probe for --transport=socket.
+    options.trial_spec = sose::FormatMixtureFailureSpec(
+        spec.family, m, n, std::min(s, m), d, epsilon, epsilon,
+        options.condition_on_no_collision, options.max_redraws);
     if (!checkpoint_prefix.empty()) {
       options.checkpoint_path = checkpoint_prefix + "." + spec.family + ".d" +
                                 std::to_string(d) + ".m" + std::to_string(m);

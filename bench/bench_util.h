@@ -103,7 +103,17 @@ inline void ReadResilienceFlags(const FlagParser& flags,
       "max-shard-retries", options->max_shard_retries, 0, 1 << 20);
   options->backoff_initial_seconds =
       flags.GetDouble("shard-backoff", options->backoff_initial_seconds);
-  const int default_threads = options->workers > 1 ? 1 : 0;
+  // Shard-count override (0 = one shard per worker) and the worker
+  // transport. `--transport=socket` needs `--agents=unix:/path,tcp:host:port`
+  // plus a per-probe trial spec, which the Monte-Carlo benches derive from
+  // their probe parameters (EstimatorOptions::trial_spec).
+  options->shards =
+      static_cast<int>(flags.GetIntInRange("shards", 0, 0, 1 << 20));
+  options->transport = flags.GetString("transport", options->transport);
+  options->agent_endpoints = flags.GetString("agents", "");
+  const bool multiprocess = options->workers > 1 || options->shards > 1 ||
+                            options->transport != "fork";
+  const int default_threads = multiprocess ? 1 : 0;
   options->threads =
       static_cast<int>(flags.GetInt("threads", default_threads));
 }

@@ -36,6 +36,15 @@ class FlagParser {
   int64_t GetIntInRange(const std::string& name, int64_t default_value,
                         int64_t min_value, int64_t max_value) const;
   double GetDouble(const std::string& name, double default_value) const;
+
+  /// GetDouble plus a range check, with the same default-bypass rule as
+  /// GetIntInRange: a supplied value outside [min_value, max_value] (NaN
+  /// included — it compares false both ways and is rejected explicitly)
+  /// exits through the usage path naming the accepted range. Daemon timing
+  /// knobs use this so e.g. `--retry-after=0` is refused at the door instead
+  /// of turning a client's retry loop into a hot spin.
+  double GetDoubleInRange(const std::string& name, double default_value,
+                          double min_value, double max_value) const;
   bool GetBool(const std::string& name, bool default_value) const;
 
   /// True if the flag was supplied.

@@ -28,6 +28,10 @@ TrialRunnerOptions RunnerOptions(const EstimatorOptions& options) {
   runner.max_shard_retries = options.max_shard_retries;
   runner.backoff_initial_seconds = options.backoff_initial_seconds;
   runner.backoff_multiplier = options.backoff_multiplier;
+  runner.shards = options.shards;
+  runner.transport = options.transport;
+  runner.agent_endpoints = options.agent_endpoints;
+  runner.trial_spec = options.trial_spec;
   return runner;
 }
 
@@ -100,11 +104,14 @@ Status ValidateEstimatorOptions(const EstimatorOptions& options) {
   return Status::OK();
 }
 
-Result<FailureEstimate> EstimateFailureProbability(
-    const SketchFactory& sketch_factory, const InstanceSampler& sampler,
-    const EstimatorOptions& options) {
-  SOSE_RETURN_IF_ERROR(ValidateEstimatorOptions(options));
-  auto trial = [&](uint64_t trial_seed) -> Result<TrialOutcome> {
+TrialFn MakeFailureTrialFn(SketchFactory sketch_factory,
+                           InstanceSampler sampler,
+                           const FailureTrialPolicy& policy) {
+  // By-value captures: the closure must stay valid when the caller's
+  // factory/sampler go out of scope (the spec resolver returns it).
+  return [sketch_factory = std::move(sketch_factory),
+          sampler = std::move(sampler),
+          policy](uint64_t trial_seed) -> Result<TrialOutcome> {
     std::unique_ptr<SketchingMatrix> sketch;
     {
       SOSE_SPAN("trial.sketch_draw");
@@ -115,10 +122,10 @@ Result<FailureEstimate> EstimateFailureProbability(
       SOSE_SPAN("trial.instance_draw");
       return sampler(&rng);
     }();
-    if (options.condition_on_no_collision) {
+    if (policy.condition_on_no_collision) {
       SOSE_SPAN("trial.collision_redraws");
       int64_t redraws = 0;
-      while (instance.HasRowCollision() && redraws < options.max_redraws) {
+      while (instance.HasRowCollision() && redraws < policy.max_redraws) {
         instance = sampler(&rng);
         ++redraws;
       }
@@ -143,8 +150,19 @@ Result<FailureEstimate> EstimateFailureProbability(
           "EstimateFailureProbability: non-finite distortion");
     }
     const double epsilon = report.Epsilon();
-    return TrialOutcome{epsilon, !report.WithinEpsilon(options.epsilon)};
+    return TrialOutcome{epsilon, !report.WithinEpsilon(policy.epsilon)};
   };
+}
+
+Result<FailureEstimate> EstimateFailureProbability(
+    const SketchFactory& sketch_factory, const InstanceSampler& sampler,
+    const EstimatorOptions& options) {
+  SOSE_RETURN_IF_ERROR(ValidateEstimatorOptions(options));
+  FailureTrialPolicy policy;
+  policy.epsilon = options.epsilon;
+  policy.condition_on_no_collision = options.condition_on_no_collision;
+  policy.max_redraws = options.max_redraws;
+  const TrialFn trial = MakeFailureTrialFn(sketch_factory, sampler, policy);
   SOSE_ASSIGN_OR_RETURN(TrialRunReport report,
                         RunTrials(trial, RunnerOptions(options)));
   return SummarizeTrialReport(report);

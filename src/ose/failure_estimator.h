@@ -89,7 +89,33 @@ struct EstimatorOptions {
   int64_t max_shard_retries = 2;
   double backoff_initial_seconds = 0.05;
   double backoff_multiplier = 2.0;
+  /// Shard-count override, worker transport, agent endpoints, and the
+  /// self-contained trial spec for remote agents — forwarded verbatim to the
+  /// trial runner (see TrialRunnerOptions for semantics).
+  int shards = 0;
+  std::string transport = "fork";
+  std::string agent_endpoints;
+  std::string trial_spec;
 };
+
+/// The trial policy knobs that are independent of the samplers (subset of
+/// EstimatorOptions, split out so the spec resolver can share it).
+struct FailureTrialPolicy {
+  double epsilon = 0.1;
+  bool condition_on_no_collision = true;
+  int64_t max_redraws = 64;
+};
+
+/// Builds the per-trial closure of EstimateFailureProbability: draw a sketch
+/// from DeriveSeed(trial_seed, 0), sample an instance with
+/// Rng(DeriveSeed(trial_seed, 1)) (redrawing row collisions under the
+/// policy), measure distortion, and test the ε-embedding property. Exposed
+/// because the trial-spec resolver (ose/trial_spec.h) must rebuild the
+/// *identical* closure on a remote agent — one definition is the bitwise
+/// cross-transport parity argument. Captures its arguments by value.
+TrialFn MakeFailureTrialFn(SketchFactory sketch_factory,
+                           InstanceSampler sampler,
+                           const FailureTrialPolicy& policy);
 
 /// Checks an EstimatorOptions for malformed values (non-positive trials or
 /// epsilon, max_redraws <= 0, negative retry/budget/deadline fields, a

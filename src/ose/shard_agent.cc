@@ -1,0 +1,317 @@
+#include "ose/shard_agent.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <utility>
+
+#include "core/csv.h"
+#include "core/fault.h"
+#include "core/metrics/metrics.h"
+#include "ose/trial_fold.h"
+#include "ose/trial_spec.h"
+
+namespace sose {
+
+namespace {
+
+using internal_trial::ParseWireInt;
+using internal_trial::ParseWireUInt;
+
+// Chaos sites, one Status-returning shim per failure mode so
+// SOSE_FAULT_POINT can be used from void handlers. All three are registered
+// in docs/robustness.md.
+Status AgentDropConnSite() {
+  SOSE_FAULT_POINT("shard_agent/drop-conn");
+  return Status::OK();
+}
+
+Status AgentCrashSite() {
+  SOSE_FAULT_POINT("shard_agent/crash");
+  return Status::OK();
+}
+
+Status AgentHangSite() {
+  SOSE_FAULT_POINT("shard_agent/hang");
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string EncodeAgentFormatRecord() {
+  return FormatCsvRow({"format", kShardAgentFormat});
+}
+
+std::string EncodeAgentDispatchRecord(const ShardWorkerConfig& config,
+                                      const std::string& trial_spec) {
+  // The trial spec — itself CSV — travels as one quoted cell; FormatCsvRow's
+  // RFC 4180 escaping round-trips it exactly.
+  return FormatCsvRow(
+      {"dispatch", std::to_string(config.shard_index),
+       std::to_string(config.shard_begin), std::to_string(config.shard_end),
+       std::to_string(config.resume_from), std::to_string(config.generation),
+       std::to_string(config.master_seed),
+       std::to_string(config.max_retries), trial_spec});
+}
+
+Result<AgentDispatchRequest> DecodeAgentDispatchRecord(
+    const std::string& line) {
+  SOSE_ASSIGN_OR_RETURN(std::vector<std::string> cells, ParseCsvRecord(line));
+  auto malformed = [&line](const char* why) {
+    return Status::InvalidArgument(
+        std::string("DecodeAgentDispatchRecord: ") + why + " in record '" +
+        line + "'");
+  };
+  AgentDispatchRequest request;
+  int64_t shard_index = 0;
+  if (cells.size() != 9 || cells[0] != "dispatch" ||
+      !ParseWireInt(cells[1], &shard_index) ||
+      !ParseWireInt(cells[2], &request.config.shard_begin) ||
+      !ParseWireInt(cells[3], &request.config.shard_end) ||
+      !ParseWireInt(cells[4], &request.config.resume_from) ||
+      !ParseWireInt(cells[5], &request.config.generation) ||
+      !ParseWireUInt(cells[6], &request.config.master_seed) ||
+      !ParseWireInt(cells[7], &request.config.max_retries)) {
+    return malformed("dispatch arity or field");
+  }
+  request.config.shard_index = static_cast<int>(shard_index);
+  request.trial_spec = cells[8];
+  return request;
+}
+
+Result<std::unique_ptr<ShardAgent>> ShardAgent::Create(
+    const ShardAgentOptions& options) {
+  if (options.unix_path.empty() && options.tcp_port < 0) {
+    return Status::InvalidArgument(
+        "ShardAgent: at least one of unix_path / tcp_port is required");
+  }
+  std::unique_ptr<ShardAgent> agent(new ShardAgent());
+  if (!options.unix_path.empty()) {
+    SOSE_ASSIGN_OR_RETURN(agent->unix_listener_,
+                          net::Listener::ListenUnix(options.unix_path));
+    agent->unix_path_ = agent->unix_listener_.unix_path();
+  }
+  if (options.tcp_port >= 0) {
+    SOSE_ASSIGN_OR_RETURN(agent->tcp_listener_,
+                          net::Listener::ListenTcp(options.tcp_port));
+    agent->tcp_port_ = agent->tcp_listener_.port();
+  }
+  return agent;
+}
+
+void ShardAgent::Teardown(Connection& conn) {
+  if (conn.worker.has_value()) {
+    // Best effort: Kill tolerates an already-dead child, and the blocking
+    // Wait directly after cannot hang because SIGKILL is not maskable.
+    (void)conn.worker->Kill();
+    if (!conn.worker->reaped()) (void)conn.worker->Wait();
+    conn.worker.reset();
+  }
+  conn.pending.clear();
+  conn.socket.Close();
+}
+
+void ShardAgent::ReadRequest(Connection& conn) {
+  Result<net::ReadChunk> read = conn.socket.ReadAvailable(&conn.request_buffer);
+  if (!read.ok()) {
+    Teardown(conn);
+    return;
+  }
+  if (!conn.dispatched) {
+    for (const std::string& line :
+         ExtractCompleteCsvRecords(&conn.request_buffer)) {
+      if (conn.dispatched) {
+        // The handshake is exactly two records; anything more is a protocol
+        // violation and the peer is cut off.
+        Teardown(conn);
+        return;
+      }
+      if (!conn.saw_format) {
+        Result<std::vector<std::string>> cells = ParseCsvRecord(line);
+        if (!cells.ok() || cells.value().size() != 2 ||
+            cells.value()[0] != "format" ||
+            cells.value()[1] != kShardAgentFormat) {
+          Teardown(conn);
+          return;
+        }
+        conn.saw_format = true;
+        continue;
+      }
+      Result<AgentDispatchRequest> request = DecodeAgentDispatchRecord(line);
+      if (!request.ok()) {
+        std::fprintf(stderr, "sose_shard_agent: %s\n",
+                     request.status().ToString().c_str());
+        Teardown(conn);
+        return;
+      }
+      // Chaos: drop the connection right after parsing the dispatch — the
+      // coordinator sees a clean EOF before any stream bytes and walks the
+      // re-dispatch ladder.
+      if (!AgentDropConnSite().ok()) {
+        SOSE_COUNTER_INC("shard_agent.chaos_drops");
+        Teardown(conn);
+        return;
+      }
+      Result<TrialFn> trial = ResolveTrialSpec(request.value().trial_spec);
+      if (!trial.ok()) {
+        // An unresolvable spec is not the agent's failure to serve: report
+        // it and close, so the coordinator escalates through its ladder and
+        // ultimately surfaces the quarantine reason.
+        std::fprintf(stderr, "sose_shard_agent: %s\n",
+                     trial.status().ToString().c_str());
+        SOSE_COUNTER_INC("shard_agent.spec_rejects");
+        Teardown(conn);
+        return;
+      }
+      // The worker child is forked with the resolved closure, then streams
+      // the exact bytes RunShardWorker always streams; the agent only pumps.
+      const ShardWorkerConfig config = request.value().config;
+      const TrialFn fn = std::move(trial).value();
+      Result<Subprocess> spawned =
+          Subprocess::Spawn([fn, config](int write_fd) {
+            return RunShardWorker(fn, config, write_fd);
+          });
+      if (!spawned.ok()) {
+        std::fprintf(stderr, "sose_shard_agent: %s\n",
+                     spawned.status().ToString().c_str());
+        Teardown(conn);
+        return;
+      }
+      conn.worker.emplace(std::move(spawned).value());
+      conn.dispatched = true;
+      SOSE_COUNTER_INC("shard_agent.dispatches");
+    }
+  }
+  if (read.value().eof) {
+    // The coordinator hung up (re-dispatch, deadline, or death): the worker
+    // has no audience, so it dies with the connection.
+    Teardown(conn);
+  }
+}
+
+void ShardAgent::PumpWorker(Connection& conn) {
+  if (!conn.worker.has_value() || conn.wedged || !conn.socket.valid()) return;
+  if (!conn.worker_eof) {
+    Result<PipeRead> read = conn.worker->ReadAvailable(&conn.pending);
+    if (!read.ok()) {
+      Teardown(conn);
+      return;
+    }
+    if (read.value().bytes > 0) {
+      // Chaos: kill the worker and drop the connection mid-stream — the
+      // coordinator is left a torn prefix, exercising the buffered-tail and
+      // re-dispatch paths end to end over the socket.
+      if (!AgentCrashSite().ok()) {
+        SOSE_COUNTER_INC("shard_agent.chaos_crashes");
+        Teardown(conn);
+        return;
+      }
+      // Chaos: wedge the connection — stop forwarding without closing, so
+      // only the coordinator's heartbeat timeout can end the dispatch.
+      if (!AgentHangSite().ok()) {
+        SOSE_COUNTER_INC("shard_agent.chaos_hangs");
+        conn.wedged = true;
+        return;
+      }
+    }
+    if (read.value().eof) conn.worker_eof = true;
+  }
+  if (!conn.pending.empty()) {
+    Result<int64_t> wrote = conn.socket.WriteSome(conn.pending);
+    if (!wrote.ok()) {
+      Teardown(conn);
+      return;
+    }
+    if (wrote.value() > 0) {
+      conn.pending.erase(0, static_cast<size_t>(wrote.value()));
+    }
+  }
+  if (conn.worker_eof && conn.pending.empty()) {
+    // Worker finished and every byte reached the socket: reap (cannot hang —
+    // eof implies the child closed its pipe end, i.e. exited) and close so
+    // the coordinator sees a clean EOF after the full stream.
+    if (!conn.worker->reaped()) (void)conn.worker->Wait();
+    conn.worker.reset();
+    conn.socket.Close();
+  }
+}
+
+Status ShardAgent::PollOnce(double timeout_seconds) {
+  enum class RefKind { kUnixListener, kTcpListener, kConnSocket };
+  struct Ref {
+    RefKind kind;
+    size_t conn = 0;
+  };
+  std::vector<net::PollEntry> entries;
+  std::vector<Ref> refs;
+  if (unix_listener_.fd() >= 0) {
+    entries.push_back({unix_listener_.fd(), true, false});
+    refs.push_back({RefKind::kUnixListener});
+  }
+  if (tcp_listener_.fd() >= 0) {
+    entries.push_back({tcp_listener_.fd(), true, false});
+    refs.push_back({RefKind::kTcpListener});
+  }
+  for (size_t i = 0; i < connections_.size(); ++i) {
+    Connection& conn = *connections_[i];
+    if (!conn.socket.valid()) continue;
+    // Read interest is unconditional: pre-dispatch it carries the handshake,
+    // post-dispatch it detects the coordinator hanging up. Write interest
+    // only while backpressured bytes are pending.
+    entries.push_back(
+        {conn.socket.fd(), true, !conn.pending.empty() && !conn.wedged});
+    refs.push_back({RefKind::kConnSocket, i});
+    if (conn.worker.has_value() && !conn.worker_eof && !conn.wedged) {
+      entries.push_back({conn.worker->read_fd(), true, false});
+      // Worker pipes need no handler mapping: PumpWorker below runs for
+      // every live connection each round; the entry only shapes the wakeup.
+      refs.push_back({RefKind::kConnSocket, i});
+    }
+  }
+  SOSE_ASSIGN_OR_RETURN(const std::vector<net::PollReady> ready,
+                        net::PollFds(entries, timeout_seconds));
+
+  for (size_t e = 0; e < refs.size(); ++e) {
+    if (refs[e].kind == RefKind::kConnSocket) continue;
+    if (!ready[e].readable && !ready[e].error) continue;
+    net::Listener& listener = refs[e].kind == RefKind::kUnixListener
+                                  ? unix_listener_
+                                  : tcp_listener_;
+    while (true) {
+      SOSE_ASSIGN_OR_RETURN(std::optional<net::Socket> accepted,
+                            listener.Accept());
+      if (!accepted.has_value()) break;
+      auto conn = std::make_unique<Connection>();
+      conn->socket = std::move(accepted).value();
+      connections_.push_back(std::move(conn));
+      SOSE_COUNTER_INC("shard_agent.connections");
+    }
+  }
+
+  // Socket-readable connections first (they may dispatch a worker), then one
+  // pump round for every live connection — reads and writes are all
+  // non-blocking, so pumping without a readiness check is cheap and keeps
+  // the handler logic independent of poll bookkeeping.
+  for (size_t e = 0; e < refs.size(); ++e) {
+    if (refs[e].kind != RefKind::kConnSocket) continue;
+    if (!ready[e].readable && !ready[e].error) continue;
+    Connection& conn = *connections_[refs[e].conn];
+    if (conn.socket.valid() && entries[e].fd == conn.socket.fd()) {
+      ReadRequest(conn);
+    }
+  }
+  for (const std::unique_ptr<Connection>& conn : connections_) {
+    if (conn->socket.valid()) PumpWorker(*conn);
+  }
+  std::erase_if(connections_, [](const std::unique_ptr<Connection>& conn) {
+    return !conn->socket.valid();
+  });
+  return Status::OK();
+}
+
+Status ShardAgent::Serve() {
+  while (true) {
+    SOSE_RETURN_IF_ERROR(PollOnce(0.25));
+  }
+}
+
+}  // namespace sose

@@ -1,0 +1,128 @@
+#ifndef SOSE_OSE_SHARD_AGENT_H_
+#define SOSE_OSE_SHARD_AGENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/net/net.h"
+#include "core/status.h"
+#include "core/subprocess.h"
+#include "ose/shard_worker.h"
+
+/// The server half of the socket shard transport (shard_transport.h): a
+/// long-lived per-host daemon (`sose_shard_agent`) that accepts dispatch
+/// requests from a remote coordinator and streams sose-shard-stream-v1
+/// records back over the same connection.
+///
+/// Handshake (`sose-shard-agent-v1`, CSV records, one per line, client →
+/// agent):
+///
+///   format,sose-shard-agent-v1
+///   dispatch,<index>,<begin>,<end>,<resume_from>,<generation>,<seed>,
+///            <max_retries>,<trial-spec>
+///
+/// The trial spec (trial_spec.h) travels as one quoted CSV cell; the agent
+/// resolves it to the same TrialFn the coordinator's in-process path would
+/// run, forks a shard worker (RunShardWorker — the identical worker loop the
+/// fork transport uses), and pumps the child's pipe bytes verbatim into the
+/// socket. Everything after the handshake is byte-for-byte the fork
+/// transport's stream, which is what keeps the folded report bitwise
+/// identical across transports.
+///
+/// Failure model: the agent never retries or interprets records — that is
+/// the coordinator's job. A connection that drops (either side) kills the
+/// attached worker; an unresolvable spec closes the connection, which the
+/// coordinator sees as a worker failure and escalates through backoff and
+/// quarantine. Chaos sites `shard_agent/{crash,hang,drop-conn}` inject those
+/// faults deterministically (docs/robustness.md).
+
+namespace sose {
+
+/// Agent handshake schema version; bumped on incompatible changes.
+inline constexpr const char* kShardAgentFormat = "sose-shard-agent-v1";
+
+/// Encoders for the handshake (each one newline-terminated CSV record).
+std::string EncodeAgentFormatRecord();
+std::string EncodeAgentDispatchRecord(const ShardWorkerConfig& config,
+                                      const std::string& trial_spec);
+
+/// A decoded dispatch request.
+struct AgentDispatchRequest {
+  ShardWorkerConfig config;
+  std::string trial_spec;
+};
+
+/// Decodes one framed dispatch record (no trailing newline).
+[[nodiscard]] Result<AgentDispatchRequest> DecodeAgentDispatchRecord(
+    const std::string& line);
+
+struct ShardAgentOptions {
+  /// Listen on a Unix-domain socket at this path (empty = no Unix listener).
+  std::string unix_path;
+  /// Listen on TCP 127.0.0.1:port (0 = ephemeral, -1 = no TCP listener).
+  int tcp_port = -1;
+};
+
+/// The agent: a single-threaded poll loop multiplexing the listener, every
+/// coordinator connection, and every attached worker pipe. One worker
+/// subprocess per connection; backpressure is a per-connection pending
+/// buffer (the worker pipe is only drained into memory, never dropped).
+class ShardAgent {
+ public:
+  [[nodiscard]] static Result<std::unique_ptr<ShardAgent>> Create(
+      const ShardAgentOptions& options);
+
+  ShardAgent(const ShardAgent&) = delete;
+  ShardAgent& operator=(const ShardAgent&) = delete;
+
+  /// The bound addresses (for `ready` lines and tests).
+  const std::string& unix_path() const { return unix_path_; }
+  int tcp_port() const { return tcp_port_; }
+
+  /// One bounded supervision round: waits up to `timeout_seconds` for
+  /// readiness, then accepts, reads requests, forks workers, and pumps
+  /// worker bytes to coordinators. Only listener-level failures surface as a
+  /// Status; per-connection failures tear down that connection.
+  [[nodiscard]] Status PollOnce(double timeout_seconds);
+
+  /// Serves until a listener-level error (i.e. normally forever — the
+  /// process is stopped by signal).
+  [[nodiscard]] Status Serve();
+
+ private:
+  /// One coordinator connection and its (eventual) worker.
+  struct Connection {
+    net::Socket socket;
+    std::string request_buffer;  ///< Handshake bytes until dispatched.
+    bool saw_format = false;
+    bool dispatched = false;
+    std::optional<Subprocess> worker;
+    std::string pending;  ///< Worker bytes not yet accepted by the socket.
+    bool worker_eof = false;
+    /// Chaos `shard_agent/hang` fired: stop pumping, keep the connection
+    /// open so the coordinator's heartbeat timeout is what ends it.
+    bool wedged = false;
+  };
+
+  ShardAgent() = default;
+
+  /// Handles readable handshake bytes; may fork the worker.
+  void ReadRequest(Connection& conn);
+  /// Drains the worker pipe into `pending` and flushes it to the socket.
+  void PumpWorker(Connection& conn);
+  /// Kills the worker (if any) and closes the connection.
+  void Teardown(Connection& conn);
+
+  net::Listener unix_listener_;
+  net::Listener tcp_listener_;
+  std::string unix_path_;
+  int tcp_port_ = 0;
+  std::vector<std::unique_ptr<Connection>> connections_;
+};
+
+}  // namespace sose
+
+#endif  // SOSE_OSE_SHARD_AGENT_H_

@@ -1,0 +1,60 @@
+// sose_shard_agent: the per-host worker agent of the socket shard transport
+// (docs/robustness.md, "Transports").
+//
+// Usage:
+//   sose_shard_agent --unix=/tmp/sose_agent.sock     Unix-domain listener
+//   sose_shard_agent --port=0                        TCP listener (0 =
+//                                                    ephemeral; printed)
+//   sose_shard_agent --chaos=shard_agent/crash@4     arm deterministic
+//                                                    fault sites
+//
+// The agent prints one `ready` line (CSV: ready,<unix_path>,<tcp_port>) once
+// listening, then serves dispatch requests until killed. Coordinators reach
+// it with --transport=socket --agents=unix:/path|tcp:host:port.
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "core/fault.h"
+#include "core/flags.h"
+#include "ose/shard_agent.h"
+
+// Every dispatch request carries its own master seed, so each shard's trial
+// stream is replayable from the coordinator's arguments.
+int main(int argc, char** argv) {  // sose-lint: allow(seed-purity)
+  sose::FlagParser flags(argc, argv);
+  sose::ShardAgentOptions options;
+  options.unix_path = flags.GetString("unix", "");
+  options.tcp_port = static_cast<int>(flags.GetInt("port", -1));
+
+  // `--chaos=site@N,site@every` arms the shard_agent/* fault sites for the
+  // whole serve loop. Single-shot rules (site@N) fire once across the
+  // agent's lifetime — one injected fault that the coordinator's re-dispatch
+  // must recover from with byte-identical output, which is what the CI
+  // socket-chaos job pins.
+  std::unique_ptr<sose::ScopedFaultInjection> chaos;
+  const std::string chaos_spec = flags.GetString("chaos", "");
+  if (!chaos_spec.empty()) {
+    auto plan = sose::ParseFaultPlan(chaos_spec);
+    plan.status().CheckOK();
+    chaos = std::make_unique<sose::ScopedFaultInjection>(
+        std::move(plan).value());
+  }
+
+  auto agent = sose::ShardAgent::Create(options);
+  if (!agent.ok()) {
+    std::fprintf(stderr, "sose_shard_agent: %s\n",
+                 agent.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("ready,%s,%d\n", agent.value()->unix_path().c_str(),
+              agent.value()->tcp_port());
+  std::fflush(stdout);
+  const sose::Status status = agent.value()->Serve();
+  if (!status.ok()) {
+    std::fprintf(stderr, "sose_shard_agent: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}

@@ -3,8 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
-#include <optional>
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/csv.h"
@@ -12,8 +13,10 @@
 #include "core/parallel/sharded_range.h"
 #include "core/stopwatch.h"
 #include "core/subprocess.h"
+#include "ose/shard_transport.h"
 #include "ose/shard_worker.h"
 #include "ose/trial_fold.h"
+#include "ose/trial_spec.h"
 
 namespace sose {
 
@@ -26,7 +29,7 @@ using internal_trial::TrialAttemptResult;
 /// by at most one live worker at a time.
 struct ShardState {
   enum class Phase {
-    kIdle,         ///< Waiting for its first dispatch.
+    kIdle,         ///< Waiting for its first dispatch (or for a free worker).
     kRunning,      ///< A worker is (presumed) executing it.
     kBackoff,      ///< Worker failed; re-dispatch after backoff_until.
     kFinished,     ///< Every trial record received.
@@ -40,7 +43,7 @@ struct ShardState {
   /// mark a re-dispatched worker resumes from.
   int64_t next_expected = 0;
   Phase phase = Phase::kIdle;
-  std::optional<Subprocess> worker;
+  std::unique_ptr<ShardStream> stream;
   std::string buffer;       ///< Torn tail of the wire stream.
   int64_t dispatches = 0;   ///< Lifetime dispatch count (1 = initial).
   double backoff_until = 0.0;
@@ -55,24 +58,24 @@ struct ShardState {
 /// functions.
 class Coordinator {
  public:
-  Coordinator(const TrialFn& trial, const TrialRunnerOptions& options)
-      : trial_(trial), options_(options) {}
+  Coordinator(ShardTransport* transport, const TrialRunnerOptions& options)
+      : transport_(transport), options_(options) {}
 
   Result<TrialRunReport> Run();
 
  private:
-  void Dispatch(ShardState& shard, double now);
+  void DispatchShard(ShardState& shard, double now);
   void Drain(ShardState& shard, double now);
   /// Applies one decoded record to `shard`; returns false (after initiating
   /// failure handling) on a protocol violation.
   bool Apply(ShardState& shard, const std::string& line, double now);
-  /// Kills + reaps the worker (if any), then schedules a re-dispatch or
-  /// quarantines the shard.
+  /// Tears the stream down (kill + reap / close), then schedules a
+  /// re-dispatch or quarantines the shard.
   void Fail(ShardState& shard, const std::string& reason, double now);
   void Quarantine(ShardState& shard, const std::string& reason);
   double PollTimeout(double now) const;
 
-  const TrialFn& trial_;
+  ShardTransport* transport_;
   const TrialRunnerOptions& options_;
   std::vector<ShardState> shards_;
   std::vector<TrialAttemptResult> records_;
@@ -81,7 +84,7 @@ class Coordinator {
   int64_t total_ = 0;
 };
 
-void Coordinator::Dispatch(ShardState& shard, double now) {
+void Coordinator::DispatchShard(ShardState& shard, double now) {
   ShardWorkerConfig config;
   config.shard_index = shard.index;
   config.shard_begin = shard.begin;
@@ -95,21 +98,15 @@ void Coordinator::Dispatch(ShardState& shard, double now) {
   shard.saw_format = shard.saw_preamble = shard.saw_done = false;
   SOSE_COUNTER_INC("shard.dispatched");
   if (shard.dispatches > 1) SOSE_COUNTER_INC("shard.redispatched");
-  // The child is forked, not exec'd: `trial_` crosses into the worker as a
-  // live closure. The capture is by value (config) plus the reference to the
-  // TrialFn, both valid for the child's whole life since the child's address
-  // space is a copy.
-  const TrialFn& trial = trial_;
-  auto spawned = Subprocess::Spawn([&trial, config](int write_fd) {
-    return RunShardWorker(trial, config, write_fd);
-  });
-  if (!spawned.ok()) {
-    // Spawn failure consumes a shard retry like any other worker failure, so
-    // a machine that cannot fork quarantines instead of looping forever.
-    Fail(shard, "spawn failed: " + spawned.status().message(), now);
+  Result<std::unique_ptr<ShardStream>> stream = transport_->Dispatch(config);
+  if (!stream.ok()) {
+    // Dispatch failure consumes a shard retry like any other worker failure,
+    // so a machine that cannot fork — or an unreachable agent — quarantines
+    // instead of looping forever.
+    Fail(shard, "dispatch failed: " + stream.status().message(), now);
     return;
   }
-  shard.worker.emplace(std::move(spawned).value());
+  shard.stream = std::move(stream).value();
   shard.phase = ShardState::Phase::kRunning;
   shard.last_activity = now;
 }
@@ -134,6 +131,10 @@ bool Coordinator::Apply(ShardState& shard, const std::string& line,
       if (!shard.saw_format || shard.saw_preamble) {
         return violation("misplaced shard preamble");
       }
+      // The generation check is what discards a stale stream: records from a
+      // worker of a previous dispatch (e.g. buffered in an agent connection
+      // that outlived its re-dispatch) fail to echo the current generation
+      // and never reach the fold.
       if (record.shard_index != shard.index ||
           record.shard_begin != shard.begin ||
           record.shard_end != shard.end ||
@@ -170,9 +171,9 @@ bool Coordinator::Apply(ShardState& shard, const std::string& line,
 }
 
 void Coordinator::Drain(ShardState& shard, double now) {
-  Result<PipeRead> read = shard.worker->ReadAvailable(&shard.buffer);
+  Result<PipeRead> read = shard.stream->ReadAvailable(&shard.buffer);
   if (!read.ok()) {
-    Fail(shard, "pipe read failed: " + read.status().message(), now);
+    Fail(shard, "stream read failed: " + read.status().message(), now);
     return;
   }
   if (read.value().bytes > 0) shard.last_activity = now;
@@ -187,32 +188,26 @@ void Coordinator::Drain(ShardState& shard, double now) {
     // record is corroborating, not load-bearing: a worker killed between its
     // last trial record and `done` still finished its work), or the worker
     // died early.
-    Result<ProcessStatus> reaped = shard.worker->Wait();
     if (shard.next_expected == shard.end) {
-      shard.worker.reset();
+      (void)shard.stream->Finish();
+      shard.stream.reset();
       shard.phase = ShardState::Phase::kFinished;
       return;
     }
-    std::string reason = "worker stream ended before shard completion";
-    if (reaped.ok() && reaped.value().state == ProcessState::kSignaled) {
-      reason += " (killed by signal " +
-                std::to_string(reaped.value().term_signal) + ")";
-    } else if (reaped.ok() && reaped.value().state == ProcessState::kExited) {
-      reason += " (exit code " + std::to_string(reaped.value().exit_code) +
-                ")";
-    }
-    Fail(shard, reason, now);
+    Fail(shard,
+         "worker stream ended before shard completion" +
+             shard.stream->Finish(),
+         now);
   }
 }
 
 void Coordinator::Fail(ShardState& shard, const std::string& reason,
                        double now) {
-  if (shard.worker.has_value()) {
-    // Best effort: Kill tolerates an already-dead child, and the blocking
-    // Wait directly after cannot hang because SIGKILL is not maskable.
-    (void)shard.worker->Kill();
-    if (!shard.worker->reaped()) (void)shard.worker->Wait();
-    shard.worker.reset();
+  if (shard.stream != nullptr) {
+    // Finish is idempotent, so the Drain premature-EOF path (which already
+    // called it for the termination description) tears down cleanly too.
+    (void)shard.stream->Finish();
+    shard.stream.reset();
   }
   shard.buffer.clear();
   SOSE_COUNTER_INC("shard.worker_failures");
@@ -283,12 +278,19 @@ Result<TrialRunReport> Coordinator::Run() {
 
   records_.assign(static_cast<size_t>(total_), TrialAttemptResult{});
   ready_.assign(static_cast<size_t>(total_), 0);
-  const int workers = options_.workers;
+  // The shard count decouples from the worker count: the range is split into
+  // `shards` pieces (default: one per worker) and at most `workers` of them
+  // run concurrently; finer shards bound re-execution loss on a crash and
+  // let an idle worker slot steal the next queued shard. The split itself is
+  // always ShardedRange::ShardBounds, and folding stays in global trial
+  // order, so the report is bit-identical for every combination.
+  const int num_shards =
+      options_.shards > 0 ? options_.shards : options_.workers;
   shards_.clear();
-  shards_.reserve(static_cast<size_t>(workers));
-  for (int s = 0; s < workers; ++s) {
+  shards_.reserve(static_cast<size_t>(num_shards));
+  for (int s = 0; s < num_shards; ++s) {
     const auto [lo, hi] =
-        ShardedRange::ShardBounds(start_, total_, workers, s);
+        ShardedRange::ShardBounds(start_, total_, num_shards, s);
     ShardState shard;
     shard.index = s;
     shard.begin = lo;
@@ -305,29 +307,52 @@ Result<TrialRunReport> Coordinator::Run() {
 
   while (fold_next < total_) {
     double now = watch.ElapsedSeconds();
+    const bool deadline_passed =
+        options_.deadline_seconds > 0.0 && now > options_.deadline_seconds;
     // The deadline is checked between folded trials (like the in-process
     // backends) and never before the first, so every run makes progress.
-    if (options_.deadline_seconds > 0.0 && fold_next > start_ &&
-        now > options_.deadline_seconds) {
+    if (deadline_passed && fold_next > start_) {
       report.partial = true;
       next_trial = fold_next;
       SOSE_COUNTER_INC("trial.deadline_hits");
       break;
     }
-    // Dispatch idle shards and those whose backoff expired.
+    // Dispatch idle shards and those whose backoff expired, keeping at most
+    // `workers` in flight. Past the deadline no failed shard re-dispatches:
+    // waiting out backoff_until could exceed the deadline many times over,
+    // and the partial exit below covers the nothing-running case.
+    int running = 0;
+    for (const ShardState& shard : shards_) {
+      if (shard.phase == ShardState::Phase::kRunning) ++running;
+    }
     for (ShardState& shard : shards_) {
-      if (shard.phase == ShardState::Phase::kIdle ||
+      if (running >= options_.workers) break;
+      const bool dispatchable =
+          shard.phase == ShardState::Phase::kIdle ||
           (shard.phase == ShardState::Phase::kBackoff &&
-           now >= shard.backoff_until)) {
-        Dispatch(shard, now);
+           now >= shard.backoff_until && !deadline_passed);
+      if (dispatchable) {
+        DispatchShard(shard, now);
+        if (shard.phase == ShardState::Phase::kRunning) ++running;
       }
     }
-    // One multiplexed wait over every live worker pipe.
+    // A passed deadline with nothing left running means nothing further can
+    // fold: every unfinished shard is waiting out a backoff it will never be
+    // granted. Return the partial prefix instead of hanging until
+    // backoff_until (possibly with zero completed trials — the honest
+    // outcome when workers died before delivering any).
+    if (deadline_passed && running == 0) {
+      report.partial = true;
+      next_trial = fold_next;
+      SOSE_COUNTER_INC("trial.deadline_hits");
+      break;
+    }
+    // One multiplexed wait over every live worker stream.
     std::vector<int> fds;
     std::vector<size_t> fd_shard;
     for (size_t s = 0; s < shards_.size(); ++s) {
       if (shards_[s].phase == ShardState::Phase::kRunning) {
-        fds.push_back(shards_[s].worker->read_fd());
+        fds.push_back(shards_[s].stream->poll_fd());
         fd_shard.push_back(s);
       }
     }
@@ -363,10 +388,10 @@ Result<TrialRunReport> Coordinator::Run() {
       ++fold_next;
     }
   }
-  // Surviving workers are killed and reaped by ShardState's Subprocess
-  // members as shards_ goes out of scope (deadline exit leaves some alive
-  // on purpose: their unfolded trials are discarded, and a resume re-runs
-  // them from the same derived seeds).
+  // Surviving workers are torn down by ShardState's stream members as
+  // shards_ goes out of scope (deadline exit leaves some alive on purpose:
+  // their unfolded trials are discarded, and a resume re-runs them from the
+  // same derived seeds).
 
   if (report.partial) {
     if (checkpointing) {
@@ -390,10 +415,30 @@ Result<TrialRunReport> Coordinator::Run() {
 
 }  // namespace
 
+Result<TrialRunReport> RunTrialsShardedWith(ShardTransport* transport,
+                                            const TrialRunnerOptions& options) {
+  if (transport == nullptr) {
+    return Status::InvalidArgument("RunTrialsShardedWith: null transport");
+  }
+  Coordinator coordinator(transport, options);
+  return coordinator.Run();
+}
+
 Result<TrialRunReport> RunTrialsSharded(const TrialFn& trial,
                                         const TrialRunnerOptions& options) {
-  Coordinator coordinator(trial, options);
-  return coordinator.Run();
+  SOSE_RETURN_IF_ERROR(internal_trial::ValidateRunnerOptions(options));
+  if (options.transport == "socket") {
+    SOSE_ASSIGN_OR_RETURN(std::vector<AgentEndpoint> endpoints,
+                          ParseAgentEndpoints(options.agent_endpoints));
+    // Resolve the spec locally before dispatching anything: a malformed spec
+    // should fail the run with the resolver's message, not as N quarantined
+    // shards whose agents each rejected it.
+    SOSE_RETURN_IF_ERROR(ResolveTrialSpec(options.trial_spec).status());
+    SocketShardTransport transport(std::move(endpoints), options.trial_spec);
+    return RunTrialsShardedWith(&transport, options);
+  }
+  ForkShardTransport transport(trial);
+  return RunTrialsShardedWith(&transport, options);
 }
 
 }  // namespace sose

@@ -8,15 +8,17 @@ namespace sose {
 
 /// Crash-tolerant multi-process trial execution (docs/robustness.md).
 ///
-/// The coordinator splits [resume, trials) into `options.workers` contiguous
-/// shards with the exact split of ShardedRange::ShardBounds, forks one
-/// sose_worker child per non-empty shard (RunShardWorker in
-/// ose/shard_worker.h), and multiplexes their pipes in one event loop.
-/// Workers only *execute* trials; the coordinator folds the streamed
-/// per-trial records in ascending global trial order with the same
-/// FoldOutcome arithmetic as the serial loop, so the report, taxonomy,
-/// checkpoint bytes, and error-budget failure text are bitwise identical to
-/// `threads = 1` for any worker count.
+/// The coordinator splits [resume, trials) into `options.shards` contiguous
+/// shards (default: one per worker) with the exact split of
+/// ShardedRange::ShardBounds, dispatches up to `options.workers` of them
+/// concurrently through a pluggable ShardTransport (shard_transport.h: fork
+/// a child per dispatch, or hand the shard to a remote sose_shard_agent over
+/// a socket), and multiplexes the record streams in one event loop. Workers
+/// only *execute* trials; the coordinator folds the streamed per-trial
+/// records in ascending global trial order with the same FoldOutcome
+/// arithmetic as the serial loop, so the report, taxonomy, checkpoint bytes,
+/// and error-budget failure text are bitwise identical to `threads = 1` for
+/// any worker/shard count on any transport.
 ///
 /// Robustness ladder, in escalating order:
 ///   * torn streams — a record cut mid-line by a dying worker stays
@@ -29,7 +31,10 @@ namespace sose {
 ///     TrialErrorTaxonomy and error budget like any other faulted trial;
 ///   * global deadline — surviving workers are killed and a partial report
 ///     over the folded prefix is returned, exactly like the in-process
-///     backends.
+///     backends. A shard sitting in backoff when the deadline fires never
+///     delays the exit: re-dispatches stop at the deadline, and once nothing
+///     is running the partial report is returned immediately (possibly with
+///     zero completed trials).
 ///
 /// Checkpoints are written at the same trial boundaries as the serial path,
 /// so killing the coordinator itself and re-running resumes losslessly.

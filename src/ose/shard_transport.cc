@@ -1,0 +1,161 @@
+#include "ose/shard_transport.h"
+
+#include <string>
+#include <utility>
+
+#include "ose/shard_agent.h"
+#include "ose/trial_fold.h"
+
+namespace sose {
+
+namespace {
+
+using internal_trial::ParseWireInt;
+
+/// The dispatch request is two small records; an agent that cannot absorb
+/// them within this budget is as good as down, and the failed dispatch is
+/// charged as a worker failure (backoff, then quarantine).
+constexpr double kHandshakeTimeoutSeconds = 10.0;
+
+class ForkShardStream : public ShardStream {
+ public:
+  explicit ForkShardStream(Subprocess worker) : worker_(std::move(worker)) {}
+
+  int poll_fd() const override { return worker_.read_fd(); }
+
+  Result<PipeRead> ReadAvailable(std::string* buffer) override {
+    return worker_.ReadAvailable(buffer);
+  }
+
+  std::string Finish() override {
+    // Best effort: Kill tolerates an already-dead child, and the blocking
+    // Wait directly after cannot hang because SIGKILL is not maskable.
+    (void)worker_.Kill();
+    if (worker_.reaped()) return "";
+    Result<ProcessStatus> reaped = worker_.Wait();
+    if (reaped.ok() && reaped.value().state == ProcessState::kSignaled) {
+      return " (killed by signal " +
+             std::to_string(reaped.value().term_signal) + ")";
+    }
+    if (reaped.ok() && reaped.value().state == ProcessState::kExited) {
+      return " (exit code " + std::to_string(reaped.value().exit_code) + ")";
+    }
+    return "";
+  }
+
+ private:
+  Subprocess worker_;
+};
+
+class SocketShardStream : public ShardStream {
+ public:
+  explicit SocketShardStream(net::Socket socket)
+      : socket_(std::move(socket)) {}
+
+  int poll_fd() const override { return socket_.fd(); }
+
+  Result<PipeRead> ReadAvailable(std::string* buffer) override {
+    SOSE_ASSIGN_OR_RETURN(net::ReadChunk chunk,
+                          socket_.ReadAvailable(buffer));
+    return PipeRead{chunk.bytes, chunk.eof};
+  }
+
+  std::string Finish() override {
+    // Closing our end is the whole teardown: the agent kills the attached
+    // worker as soon as it observes the connection gone.
+    socket_.Close();
+    return " (agent connection closed)";
+  }
+
+ private:
+  net::Socket socket_;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<ShardStream>> ForkShardTransport::Dispatch(
+    const ShardWorkerConfig& config) {
+  // The child is forked, not exec'd: `trial_` crosses into the worker as a
+  // live closure. The capture is by value (config) plus the reference to the
+  // TrialFn, both valid for the child's whole life since the child's address
+  // space is a copy.
+  const TrialFn& trial = trial_;
+  SOSE_ASSIGN_OR_RETURN(Subprocess worker,
+                        Subprocess::Spawn([&trial, config](int write_fd) {
+                          return RunShardWorker(trial, config, write_fd);
+                        }));
+  return std::unique_ptr<ShardStream>(
+      std::make_unique<ForkShardStream>(std::move(worker)));
+}
+
+Result<std::vector<AgentEndpoint>> ParseAgentEndpoints(
+    const std::string& spec) {
+  auto malformed = [](const std::string& part) {
+    return Status::InvalidArgument(
+        "ParseAgentEndpoints: expected unix:/path or tcp:host:port, got '" +
+        part + "'");
+  };
+  std::vector<AgentEndpoint> endpoints;
+  size_t start = 0;
+  while (start <= spec.size()) {
+    const size_t comma = spec.find(',', start);
+    const std::string part =
+        spec.substr(start, comma == std::string::npos ? std::string::npos
+                                                      : comma - start);
+    start = comma == std::string::npos ? spec.size() + 1 : comma + 1;
+    if (part.empty()) {
+      if (comma == std::string::npos && endpoints.empty() && spec.empty()) {
+        break;
+      }
+      return malformed(part);
+    }
+    AgentEndpoint endpoint;
+    if (part.starts_with("unix:")) {
+      endpoint.kind = AgentEndpoint::Kind::kUnix;
+      endpoint.path = part.substr(5);
+      if (endpoint.path.empty()) return malformed(part);
+    } else if (part.starts_with("tcp:")) {
+      const std::string rest = part.substr(4);
+      const size_t colon = rest.rfind(':');
+      int64_t port = 0;
+      if (colon == std::string::npos || colon == 0 ||
+          !ParseWireInt(rest.substr(colon + 1), &port) || port < 1 ||
+          port > 65535) {
+        return malformed(part);
+      }
+      endpoint.kind = AgentEndpoint::Kind::kTcp;
+      endpoint.host = rest.substr(0, colon);
+      endpoint.port = static_cast<int>(port);
+    } else {
+      return malformed(part);
+    }
+    endpoints.push_back(std::move(endpoint));
+  }
+  if (endpoints.empty()) {
+    return Status::InvalidArgument(
+        "ParseAgentEndpoints: at least one endpoint is required");
+  }
+  return endpoints;
+}
+
+Result<std::unique_ptr<ShardStream>> SocketShardTransport::Dispatch(
+    const ShardWorkerConfig& config) {
+  const AgentEndpoint& endpoint =
+      endpoints_[static_cast<size_t>(config.shard_index) % endpoints_.size()];
+  Result<net::Socket> connected =
+      endpoint.kind == AgentEndpoint::Kind::kUnix
+          ? net::Socket::ConnectUnix(endpoint.path)
+          : net::Socket::ConnectTcp(endpoint.host, endpoint.port);
+  if (!connected.ok()) {
+    return Status(connected.status().code(),
+                  "shard agent dispatch: " + connected.status().message());
+  }
+  net::Socket socket = std::move(connected).value();
+  const std::string request = EncodeAgentFormatRecord() +
+                              EncodeAgentDispatchRecord(config, trial_spec_);
+  SOSE_RETURN_IF_ERROR(socket.WriteAll(request, kHandshakeTimeoutSeconds));
+  return std::unique_ptr<ShardStream>(
+      std::make_unique<SocketShardStream>(std::move(socket)));
+}
+
+}  // namespace sose

@@ -1,0 +1,123 @@
+#ifndef SOSE_OSE_SHARD_TRANSPORT_H_
+#define SOSE_OSE_SHARD_TRANSPORT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/net/net.h"
+#include "core/status.h"
+#include "core/subprocess.h"
+#include "ose/shard_worker.h"
+#include "ose/trial_runner.h"
+
+/// The transport seam of the shard coordinator (docs/robustness.md): how a
+/// dispatched shard reaches a worker and how its sose-shard-stream-v1 bytes
+/// come back. The coordinator supervises *streams* — heartbeat timeouts,
+/// protocol violations, backoff re-dispatch, and quarantine all operate on
+/// the byte stream and are identical across transports; only Dispatch and
+/// the stream's teardown differ.
+///
+/// Two transports ship:
+///   * ForkShardTransport (default): forks the TrialFn closure into a child
+///     per dispatch — the PR-5 behavior, unchanged.
+///   * SocketShardTransport: connects to a long-lived sose_shard_agent
+///     (shard_agent.h) over a Unix-domain or TCP socket per dispatch, sends
+///     a sose-shard-agent-v1 dispatch request, and reads the worker's record
+///     stream back over the same connection. The agent rebuilds the trial
+///     from TrialRunnerOptions::trial_spec (trial_spec.h), so the records —
+///     and therefore the folded report — are bitwise identical to fork and
+///     to serial.
+
+namespace sose {
+
+/// One live dispatched shard's record stream, whatever carries it.
+class ShardStream {
+ public:
+  virtual ~ShardStream() = default;
+
+  /// A pollable descriptor that becomes readable when bytes (or EOF) are
+  /// available; multiplexed by the coordinator with PollReadable.
+  virtual int poll_fd() const = 0;
+
+  /// Appends whatever the stream currently holds to `buffer` without
+  /// blocking; eof becomes true once the worker side is closed for good.
+  [[nodiscard]] virtual Result<PipeRead> ReadAvailable(std::string* buffer) = 0;
+
+  /// Tears the stream down (kills + reaps a forked worker; closes a socket)
+  /// and returns a short human description of how the worker ended, appended
+  /// to failure reasons. Idempotent; the destructor performs the same
+  /// teardown without the description.
+  virtual std::string Finish() = 0;
+};
+
+class ShardTransport {
+ public:
+  virtual ~ShardTransport() = default;
+
+  /// Starts one worker on the configured shard and returns its stream. A
+  /// dispatch failure (fork failed, agent unreachable) is returned as a
+  /// Status and charged as a worker failure by the coordinator, so a dead
+  /// agent backs off and quarantines instead of looping forever.
+  [[nodiscard]] virtual Result<std::unique_ptr<ShardStream>> Dispatch(
+      const ShardWorkerConfig& config) = 0;
+};
+
+/// The fork()+pipe transport: each dispatch forks a child running
+/// RunShardWorker with the live TrialFn closure (the child's address space
+/// is a copy, so the closure crosses fork intact).
+class ForkShardTransport : public ShardTransport {
+ public:
+  /// `trial` must outlive the transport (the coordinator owns both).
+  explicit ForkShardTransport(const TrialFn& trial) : trial_(trial) {}
+
+  [[nodiscard]] Result<std::unique_ptr<ShardStream>> Dispatch(
+      const ShardWorkerConfig& config) override;
+
+ private:
+  const TrialFn& trial_;
+};
+
+/// One parsed sose_shard_agent address.
+struct AgentEndpoint {
+  enum class Kind { kUnix, kTcp };
+  Kind kind = Kind::kUnix;
+  std::string path;  ///< Unix-domain socket path (kUnix).
+  std::string host;  ///< Numeric IPv4 host (kTcp).
+  int port = 0;      ///< (kTcp).
+};
+
+/// Parses a comma-separated endpoint list: `unix:/path/to.sock` or
+/// `tcp:host:port`. Fails with kInvalidArgument on anything else.
+[[nodiscard]] Result<std::vector<AgentEndpoint>> ParseAgentEndpoints(
+    const std::string& spec);
+
+/// The socket transport: each dispatch connects to the endpoint chosen
+/// round-robin by shard index (so a multi-agent fleet splits shards evenly
+/// and a re-dispatched shard returns to the same agent), performs the
+/// sose-shard-agent-v1 handshake, and hands the connection back as the
+/// shard's record stream.
+class SocketShardTransport : public ShardTransport {
+ public:
+  SocketShardTransport(std::vector<AgentEndpoint> endpoints,
+                       std::string trial_spec)
+      : endpoints_(std::move(endpoints)), trial_spec_(std::move(trial_spec)) {}
+
+  [[nodiscard]] Result<std::unique_ptr<ShardStream>> Dispatch(
+      const ShardWorkerConfig& config) override;
+
+ private:
+  std::vector<AgentEndpoint> endpoints_;
+  std::string trial_spec_;
+};
+
+/// Runs the shard coordinator over an explicit transport. This is the
+/// engine behind RunTrialsSharded; exposed so tests can inject scripted
+/// transports (stale-generation replays, permanently-failing dispatches)
+/// without real processes or agents.
+[[nodiscard]] Result<TrialRunReport> RunTrialsShardedWith(
+    ShardTransport* transport, const TrialRunnerOptions& options);
+
+}  // namespace sose
+
+#endif  // SOSE_OSE_SHARD_TRANSPORT_H_

@@ -72,12 +72,33 @@ Status ValidateRunnerOptions(const TrialRunnerOptions& options) {
     return Status::InvalidArgument(
         "RunTrials: workers must be >= 1 (1 = in-process execution)");
   }
-  if (options.workers > 1 && options.threads > 1) {
+  if (options.shards < 0) {
     return Status::InvalidArgument(
-        "RunTrials: workers > 1 is incompatible with threads > 1; pick one "
-        "parallelism axis");
+        "RunTrials: shards must be >= 0 (0 = one shard per worker)");
   }
-  if (options.workers > 1) {
+  if (options.transport != "fork" && options.transport != "socket") {
+    return Status::InvalidArgument(
+        "RunTrials: transport must be 'fork' or 'socket', got '" +
+        options.transport + "'");
+  }
+  if (UsesShardCoordinator(options) && options.threads > 1) {
+    return Status::InvalidArgument(
+        "RunTrials: multi-process execution (workers/shards/transport) is "
+        "incompatible with threads > 1; pick one parallelism axis");
+  }
+  if (options.transport == "socket") {
+    if (options.agent_endpoints.empty()) {
+      return Status::InvalidArgument(
+          "RunTrials: transport 'socket' requires agent_endpoints "
+          "(unix:/path or tcp:host:port, comma-separated)");
+    }
+    if (options.trial_spec.empty()) {
+      return Status::InvalidArgument(
+          "RunTrials: transport 'socket' requires a trial_spec — a remote "
+          "agent cannot receive the TrialFn closure");
+    }
+  }
+  if (UsesShardCoordinator(options)) {
     if (options.heartbeat_timeout_seconds <= 0.0 ||
         !std::isfinite(options.heartbeat_timeout_seconds)) {
       return Status::InvalidArgument(
@@ -99,6 +120,11 @@ Status ValidateRunnerOptions(const TrialRunnerOptions& options) {
     }
   }
   return Status::OK();
+}
+
+bool UsesShardCoordinator(const TrialRunnerOptions& options) {
+  return options.workers > 1 || options.shards > 1 ||
+         options.transport != "fork";
 }
 
 std::string BudgetMessage(const TrialRunReport& report, double budget) {

@@ -49,6 +49,12 @@ std::string BudgetMessage(const TrialRunReport& report, double budget);
 /// RunTrialsSharded).
 [[nodiscard]] Status ValidateRunnerOptions(const TrialRunnerOptions& options);
 
+/// True when the options route through the multi-process shard coordinator:
+/// more than one worker process, an explicit multi-shard split, or a
+/// non-fork transport. Shared by the RunTrials routing decision and the
+/// option validator so they can never disagree.
+bool UsesShardCoordinator(const TrialRunnerOptions& options);
+
 /// If `options.checkpoint_path` names an existing checkpoint, loads it into
 /// `report` (validating master seed and trial count) and returns the first
 /// trial to run; otherwise leaves `report` untouched and returns 0.

@@ -201,9 +201,10 @@ Result<TrialRunReport> RunTrials(const TrialFn& trial,
                                  const TrialRunnerOptions& options) {
   SOSE_RETURN_IF_ERROR(internal_trial::ValidateRunnerOptions(options));
 
-  if (options.workers > 1) {
-    // Multi-process backend: forked shard workers, supervised and folded by
-    // the coordinator. Same parity contract as the threaded path.
+  if (internal_trial::UsesShardCoordinator(options)) {
+    // Multi-process backend: shard workers (forked or behind remote agents),
+    // supervised and folded by the coordinator. Same parity contract as the
+    // threaded path.
     return RunTrialsSharded(trial, options);
   }
 

@@ -100,6 +100,30 @@ struct TrialRunnerOptions {
   /// the wait (used by deterministic chaos tests).
   double backoff_initial_seconds = 0.05;
   double backoff_multiplier = 2.0;
+  /// Number of contiguous shards the trial range is split into. 0 (default)
+  /// means one shard per worker. Decoupling the two (shards > workers) keeps
+  /// at most `workers` shards in flight while bounding re-execution loss on
+  /// a crash to one (finer) shard and letting idle workers steal queued
+  /// shards. The split is always ShardedRange::ShardBounds over the shard
+  /// count, and folding stays in global trial order, so every
+  /// workers/shards/transport combination is bit-identical to serial.
+  int shards = 0;
+  /// How dispatched shards reach their workers: "fork" (default) forks the
+  /// TrialFn closure into a child per dispatch; "socket" connects to one of
+  /// `agent_endpoints` (a running sose_shard_agent) per dispatch and streams
+  /// the same sose-shard-stream-v1 records back over the connection. The
+  /// whole failure ladder (heartbeats, backoff re-dispatch, protocol
+  /// violations, quarantine) is transport-independent.
+  std::string transport = "fork";
+  /// Comma-separated sose_shard_agent endpoints for the socket transport:
+  /// `unix:/path/to.sock` or `tcp:host:port`. Shards are assigned
+  /// round-robin by shard index.
+  std::string agent_endpoints;
+  /// Self-contained trial description for the socket transport (see
+  /// ose/trial_spec.h): a remote agent cannot receive the TrialFn closure,
+  /// so it rebuilds the identical trial from this spec. Required when
+  /// transport == "socket"; ignored otherwise.
+  std::string trial_spec;
   /// Where checkpoints live. If the file exists when the run starts, the
   /// runner resumes from it (the master seed and trial count must match);
   /// the file is removed once the run completes in full.

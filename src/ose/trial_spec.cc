@@ -1,0 +1,107 @@
+#include "ose/trial_spec.h"
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "core/csv.h"
+#include "core/hexfloat.h"
+#include "hardinstance/mixtures.h"
+#include "ose/failure_estimator.h"
+#include "ose/trial_fold.h"
+#include "sketch/registry.h"
+
+namespace sose {
+
+namespace {
+
+using internal_trial::ParseWireInt;
+
+constexpr const char* kMixtureFailureTag = "mixture-failure";
+
+}  // namespace
+
+std::string FormatMixtureFailureSpec(const std::string& family, int64_t m,
+                                     int64_t n, int64_t sparsity, int64_t d,
+                                     double mixture_epsilon,
+                                     double test_epsilon,
+                                     bool condition_on_no_collision,
+                                     int64_t max_redraws) {
+  std::string row = FormatCsvRow(
+      {kMixtureFailureTag, family, std::to_string(m), std::to_string(n),
+       std::to_string(sparsity), std::to_string(d),
+       FormatHexDouble(mixture_epsilon), FormatHexDouble(test_epsilon),
+       condition_on_no_collision ? "1" : "0", std::to_string(max_redraws)});
+  // FormatCsvRow terminates records; a spec is a value, not a wire line.
+  if (!row.empty() && row.back() == '\n') row.pop_back();
+  return row;
+}
+
+// The resolved closure is seed-pure: it draws nothing until the runner
+// hands it a per-trial seed, and the mixture sampler inside derives every
+// draw from that seed. The RNG reachability the linter sees is exactly the
+// deliberate TrialFn contract.
+// sose-lint: allow(seed-purity)
+Result<TrialFn> ResolveTrialSpec(const std::string& spec) {
+  SOSE_ASSIGN_OR_RETURN(std::vector<std::string> cells, ParseCsvRecord(spec));
+  auto malformed = [&spec](const char* why) {
+    return Status::InvalidArgument(std::string("ResolveTrialSpec: ") + why +
+                                   " in spec '" + spec + "'");
+  };
+  if (cells.empty()) return malformed("empty spec");
+  if (cells[0] != kMixtureFailureTag) return malformed("unknown spec kind");
+  int64_t m = 0;
+  int64_t n = 0;
+  int64_t sparsity = 0;
+  int64_t d = 0;
+  double mixture_epsilon = 0.0;
+  double test_epsilon = 0.0;
+  int64_t max_redraws = 0;
+  if (cells.size() != 10 || !ParseWireInt(cells[2], &m) ||
+      !ParseWireInt(cells[3], &n) || !ParseWireInt(cells[4], &sparsity) ||
+      !ParseWireInt(cells[5], &d) ||
+      !ParseHexDouble(cells[6], &mixture_epsilon) ||
+      !ParseHexDouble(cells[7], &test_epsilon) ||
+      (cells[8] != "0" && cells[8] != "1") ||
+      !ParseWireInt(cells[9], &max_redraws)) {
+    return malformed("mixture-failure arity or field");
+  }
+  const std::string family = cells[1];
+
+  // Constructor errors (unknown family, mixture shape constraints) must
+  // surface at resolve time, not on trial 0 of a remote shard, so probe both
+  // constructions once here.
+  SketchConfig probe_config;
+  probe_config.rows = m;
+  probe_config.cols = n;
+  probe_config.sparsity = sparsity;
+  probe_config.seed = 0;
+  SOSE_RETURN_IF_ERROR(CreateSketch(family, probe_config).status());
+  SOSE_ASSIGN_OR_RETURN(SectionThreeMixture mixture,
+                        SectionThreeMixture::Create(n, d, mixture_epsilon));
+
+  // The factory below matches bench::MakeFactory and the sampler matches the
+  // E1/E8 lambdas cell-for-cell; combined with MakeFailureTrialFn this
+  // rebuilds the exact closure the coordinator's in-process path runs, which
+  // is the bitwise cross-transport parity argument (docs/robustness.md).
+  SketchFactory factory =
+      [family, m, n,
+       sparsity](uint64_t seed) -> Result<std::unique_ptr<SketchingMatrix>> {
+    SketchConfig config;
+    config.rows = m;
+    config.cols = n;
+    config.sparsity = sparsity;
+    config.seed = seed;
+    return CreateSketch(family, config);
+  };
+  InstanceSampler sampler = [mixture = std::move(mixture)](Rng* rng) {
+    return mixture.Sample(rng);
+  };
+  FailureTrialPolicy policy;
+  policy.epsilon = test_epsilon;
+  policy.condition_on_no_collision = cells[8] == "1";
+  policy.max_redraws = max_redraws;
+  return MakeFailureTrialFn(std::move(factory), std::move(sampler), policy);
+}
+
+}  // namespace sose

@@ -1,0 +1,51 @@
+#ifndef SOSE_OSE_TRIAL_SPEC_H_
+#define SOSE_OSE_TRIAL_SPEC_H_
+
+#include <cstdint>
+#include <string>
+
+#include "core/status.h"
+#include "ose/trial_runner.h"
+
+/// Self-contained trial descriptions for remote execution.
+///
+/// The fork transport ships the TrialFn closure across fork() for free; a
+/// remote sose_shard_agent cannot receive a closure, so the socket transport
+/// ships a *spec* — one CSV-encoded line naming everything needed to rebuild
+/// the identical trial — and the agent resolves it with ResolveTrialSpec.
+/// Both sides of the wire must produce bit-identical per-trial records, so a
+/// spec's resolver is built on the same MakeFailureTrialFn the in-process
+/// estimator uses: same sketch registry draw, same hard-instance sampler,
+/// same seed-stream derivations, same arithmetic.
+///
+/// One spec kind ships today:
+///
+///   mixture-failure,<family>,<m>,<n>,<sparsity>,<d>,<mixture-eps-hex>,
+///                   <test-eps-hex>,<condition 0|1>,<max_redraws>
+///
+/// — the Section 3 mixture failure-probability trial behind E1/E8: draw a
+/// registry sketch (rows=m, cols=n) from DeriveSeed(trial_seed, 0), sample
+/// U ~ SectionThreeMixture(n, d, mixture-eps) with Rng(DeriveSeed(trial_seed,
+/// 1)), optionally redraw row collisions, and test the ε-embedding property
+/// at test-eps. Epsilons travel as C99 hexfloats so the rebuilt trial tests
+/// against the exact double the coordinator used.
+
+namespace sose {
+
+/// Encodes a mixture-failure spec (no trailing newline; safe to embed as one
+/// CSV cell of a larger record — it is re-escaped by the carrier).
+std::string FormatMixtureFailureSpec(const std::string& family, int64_t m,
+                                     int64_t n, int64_t sparsity, int64_t d,
+                                     double mixture_epsilon,
+                                     double test_epsilon,
+                                     bool condition_on_no_collision,
+                                     int64_t max_redraws);
+
+/// Resolves a spec to the executable trial. Fails with kInvalidArgument on a
+/// malformed or unknown spec, and propagates constructor errors (unknown
+/// sketch family, mixture shape constraints).
+[[nodiscard]] Result<TrialFn> ResolveTrialSpec(const std::string& spec);
+
+}  // namespace sose
+
+#endif  // SOSE_OSE_TRIAL_SPEC_H_

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <cmath>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -46,6 +47,11 @@ std::vector<WorkloadRow> MakeWorkload(const SelfcheckOptions& options,
 
 }  // namespace
 
+double BusyRetryDelay(double retry_after_seconds) {
+  if (!std::isfinite(retry_after_seconds)) return 0.01;
+  return std::clamp(retry_after_seconds, 0.01, 0.25);
+}
+
 Result<SelfcheckReport> RunSelfcheck(ServiceClient* client,
                                      const SelfcheckOptions& options,
                                      double timeout_seconds) {
@@ -71,10 +77,12 @@ Result<SelfcheckReport> RunSelfcheck(ServiceClient* client,
                                    reply.message);
       }
       ++report.busy_retries;
-      // Honor the hint (bounded); PollFds with no fds is a pure sleep.
+      // Honor the hint, clamped both ways — BusyRetryDelay keeps a zero or
+      // negative hint from hot-spinning the open loop. PollFds with no fds
+      // is a pure sleep.
       SOSE_ASSIGN_OR_RETURN(
           const std::vector<net::PollReady> ignored,
-          net::PollFds({}, std::min(reply.retry_after_seconds, 0.25)));
+          net::PollFds({}, BusyRetryDelay(reply.retry_after_seconds)));
       (void)ignored;
       continue;
     }

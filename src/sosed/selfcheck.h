@@ -44,6 +44,14 @@ struct SelfcheckReport {
   std::string sketch_name;         ///< Resolved server-side draw name.
 };
 
+/// Clamps a server retry-after hint to the sleep actually taken between
+/// BUSY open retries: [0.01, 0.25] seconds. The lower bound is the fix for
+/// a hot-spin bug — a server advertising retry_after_seconds = 0 (or a
+/// negative/NaN value from a buggy peer) used to turn the retry loop into
+/// a busy wait that hammered the listener with up to `busy_retries`
+/// back-to-back opens. Non-finite hints get the minimum delay.
+double BusyRetryDelay(double retry_after_seconds);
+
 /// Runs the workload through `client`. Transport errors and non-BUSY
 /// server errors surface as a Status; a parity violation is NOT an error —
 /// it is reported (bitwise_equal=false) so callers can print diagnostics.

@@ -24,10 +24,18 @@ int main(int argc, char** argv) {  // sose-lint: allow(seed-purity)
   sose::sosed::SosedServer::Options options;
   options.unix_path = flags.GetString("unix", "");
   options.tcp_port = static_cast<int>(flags.GetInt("port", -1));
-  options.session.max_sessions = flags.GetInt("max-sessions", 64);
-  options.session.max_bytes = flags.GetInt("max-bytes", 64 * (1 << 20));
-  options.max_pending_bytes = flags.GetInt("max-pending-bytes", 1 << 20);
-  options.retry_after_seconds = flags.GetDouble("retry-after", 0.05);
+  // Range-checked parsing: a bare GetInt/GetDouble would accept 0 or
+  // negative values that the server loop never validates again — a zero
+  // retry-after, for instance, turns every well-behaved client's BUSY
+  // retry loop into a hot spin. Out-of-range input usage-exits here.
+  options.session.max_sessions =
+      flags.GetIntInRange("max-sessions", 64, 1, 1 << 20);
+  options.session.max_bytes =
+      flags.GetIntInRange("max-bytes", 64 * (1 << 20), 1, int64_t{1} << 40);
+  options.max_pending_bytes =
+      flags.GetIntInRange("max-pending-bytes", 1 << 20, 1, int64_t{1} << 40);
+  options.retry_after_seconds =
+      flags.GetDoubleInRange("retry-after", 0.05, 0.001, 60.0);
 
   // `--chaos=site@N,site@every` arms the sosed/* fault sites for the whole
   // serve loop (docs/robustness.md). The service must stay protocol-correct

@@ -80,6 +80,39 @@ TEST(FlagParserStrictTest, RangeCheckStillRejectsMalformedInput) {
               ::testing::ExitedWithCode(2), "expected an integer");
 }
 
+// `--retry-after=0` must fail loudly: a zero or negative retry hint passed
+// through unchecked turns every client's BUSY retry loop into a hot spin.
+TEST(FlagParserStrictTest, OutOfRangeDoubleExitsNamingTheRange) {
+  const char* argv[] = {"prog", "--retry-after=0"};
+  FlagParser flags(2, const_cast<char**>(argv));
+  EXPECT_EXIT(
+      (void)flags.GetDoubleInRange("retry-after", 0.05, 0.001, 60.0),
+      ::testing::ExitedWithCode(2),
+      "invalid value for --retry-after: '0'.*a number in \\[0.001, 60\\]");
+}
+
+TEST(FlagParserStrictTest, NegativeAndNanDoublesAreRejectedByRange) {
+  const char* argv[] = {"prog", "--retry-after=-0.5", "--backoff=nan"};
+  FlagParser flags(3, const_cast<char**>(argv));
+  EXPECT_EXIT((void)flags.GetDoubleInRange("retry-after", 0.05, 0.001, 60.0),
+              ::testing::ExitedWithCode(2), "invalid value for --retry-after");
+  // NaN parses as a double but is inside no range; it must exit too, never
+  // leak into timing arithmetic.
+  EXPECT_EXIT((void)flags.GetDoubleInRange("backoff", 0.05, 0.001, 60.0),
+              ::testing::ExitedWithCode(2), "invalid value for --backoff");
+}
+
+TEST(FlagParserStrictTest, DoubleRangeAcceptsBoundariesAndSkipsDefaults) {
+  const char* argv[] = {"prog", "--retry-after=0.001", "--pause=60"};
+  FlagParser flags(3, const_cast<char**>(argv));
+  EXPECT_DOUBLE_EQ(flags.GetDoubleInRange("retry-after", 0.05, 0.001, 60.0),
+                   0.001);
+  EXPECT_DOUBLE_EQ(flags.GetDoubleInRange("pause", 0.05, 0.001, 60.0), 60.0);
+  // Absent flags return sentinel defaults un-range-checked, like
+  // GetIntInRange.
+  EXPECT_DOUBLE_EQ(flags.GetDoubleInRange("absent", 0.0, 0.001, 60.0), 0.0);
+}
+
 // `--a --b` must parse as two booleans: a token that itself starts with
 // `--` never binds as the preceding flag's value.
 TEST(FlagParserStrictTest, FlagLikeTokenIsNeverSwallowedAsValue) {

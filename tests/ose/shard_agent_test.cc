@@ -1,0 +1,222 @@
+#include "ose/shard_agent.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/fault.h"
+#include "core/net/net.h"
+#include "core/subprocess.h"
+#include "ose/shard_coordinator.h"
+#include "ose/trial_runner.h"
+#include "ose/trial_spec.h"
+
+// End-to-end socket transport: a real sose_shard_agent (forked into a child
+// process, serving a Unix-domain socket) executing shards dispatched by a
+// real coordinator. The acceptance criterion is the tentpole's: the folded
+// report is bitwise identical to serial for every worker/shard combination,
+// including under injected agent faults.
+namespace sose {
+namespace {
+
+constexpr int64_t kN = 1024;
+constexpr int64_t kD = 4;
+constexpr double kEps = 1.0 / 16.0;
+
+std::string SmallSpec() {
+  return FormatMixtureFailureSpec("countsketch", 32, kN, 1, kD, kEps, kEps,
+                                  true, 64);
+}
+
+std::string TestSocketPath(const std::string& tag) {
+  return ::testing::TempDir() + "sose_agent_" + tag + ".sock";
+}
+
+void ExpectReportsBitwiseEqual(const TrialRunReport& a,
+                               const TrialRunReport& b) {
+  EXPECT_EQ(a.requested, b.requested);
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.faulted, b.faulted);
+  EXPECT_EQ(a.retries_used, b.retries_used);
+  EXPECT_EQ(a.failures, b.failures);
+  EXPECT_EQ(a.epsilon_sum, b.epsilon_sum);  // Bitwise, not approximate.
+  EXPECT_EQ(a.epsilon_max, b.epsilon_max);
+  EXPECT_EQ(a.partial, b.partial);
+  ASSERT_EQ(a.taxonomy.by_code.size(), b.taxonomy.by_code.size());
+  for (const auto& [code, entry] : a.taxonomy.by_code) {
+    const auto it = b.taxonomy.by_code.find(code);
+    ASSERT_NE(it, b.taxonomy.by_code.end());
+    EXPECT_EQ(entry.count, it->second.count);
+    EXPECT_EQ(entry.first_message, it->second.first_message);
+  }
+}
+
+// Forks an agent child serving `path`, optionally with chaos sites armed in
+// the child, and blocks until the listener accepts connections. The
+// returned Subprocess kills the agent on destruction.
+Result<Subprocess> SpawnAgent(const std::string& path,
+                              const std::string& chaos_spec = "") {
+  std::remove(path.c_str());
+  SOSE_ASSIGN_OR_RETURN(
+      Subprocess agent, Subprocess::Spawn([path, chaos_spec](int) -> int {
+        std::unique_ptr<ScopedFaultInjection> chaos;
+        if (!chaos_spec.empty()) {
+          auto plan = ParseFaultPlan(chaos_spec);
+          if (!plan.ok()) return 3;
+          chaos =
+              std::make_unique<ScopedFaultInjection>(std::move(plan).value());
+        }
+        ShardAgentOptions options;
+        options.unix_path = path;
+        auto agent = ShardAgent::Create(options);
+        if (!agent.ok()) return 4;
+        return agent.value()->Serve().ok() ? 0 : 5;
+      }));
+  // Readiness: connect attempts fail with kNotFound/refused until the child
+  // is listening. Bounded to keep a broken agent from hanging the test.
+  for (int attempt = 0; attempt < 200; ++attempt) {
+    auto probe = net::Socket::ConnectUnix(path);
+    if (probe.ok()) return agent;  // Probe socket closes via RAII.
+    SOSE_ASSIGN_OR_RETURN(const std::vector<net::PollReady> sleep,
+                          net::PollFds({}, 0.025));
+    (void)sleep;
+  }
+  return Status::Unavailable("agent never started listening");
+}
+
+TrialRunnerOptions SocketOptions(const std::string& path) {
+  TrialRunnerOptions options;
+  options.trials = 24;
+  options.seed = 77;
+  options.threads = 1;
+  options.transport = "socket";
+  options.agent_endpoints = "unix:" + path;
+  options.trial_spec = SmallSpec();
+  options.backoff_initial_seconds = 0.01;
+  return options;
+}
+
+Result<TrialRunReport> SerialReference(const TrialRunnerOptions& options) {
+  SOSE_ASSIGN_OR_RETURN(const TrialFn trial,
+                        ResolveTrialSpec(options.trial_spec));
+  TrialRunnerOptions serial = options;
+  serial.transport = "fork";
+  serial.agent_endpoints.clear();
+  serial.workers = 1;
+  serial.shards = 0;
+  return RunTrials(trial, serial);
+}
+
+TEST(ShardAgentWireTest, DispatchRecordRoundTripsEmbeddedCsvSpec) {
+  ShardWorkerConfig config;
+  config.shard_index = 3;
+  config.shard_begin = 10;
+  config.shard_end = 25;
+  config.resume_from = 12;
+  config.generation = 2;
+  config.master_seed = 0xdeadbeefcafeULL;
+  config.max_retries = 4;
+  // The spec is itself CSV (commas) — it must survive as one quoted cell.
+  const std::string spec = SmallSpec();
+  ASSERT_NE(spec.find(','), std::string::npos);
+  std::string record = EncodeAgentDispatchRecord(config, spec);
+  ASSERT_FALSE(record.empty());
+  ASSERT_EQ(record.back(), '\n');
+  record.pop_back();
+  auto decoded = DecodeAgentDispatchRecord(record);
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(decoded.value().config.shard_index, config.shard_index);
+  EXPECT_EQ(decoded.value().config.shard_begin, config.shard_begin);
+  EXPECT_EQ(decoded.value().config.shard_end, config.shard_end);
+  EXPECT_EQ(decoded.value().config.resume_from, config.resume_from);
+  EXPECT_EQ(decoded.value().config.generation, config.generation);
+  EXPECT_EQ(decoded.value().config.master_seed, config.master_seed);
+  EXPECT_EQ(decoded.value().config.max_retries, config.max_retries);
+  EXPECT_EQ(decoded.value().trial_spec, spec);
+}
+
+TEST(ShardAgentWireTest, MalformedDispatchRecordsAreRejected) {
+  EXPECT_FALSE(DecodeAgentDispatchRecord("dispatch,1,2").ok());
+  EXPECT_FALSE(
+      DecodeAgentDispatchRecord("dispatch,a,0,5,0,0,1,2,spec").ok());
+  EXPECT_FALSE(DecodeAgentDispatchRecord("open,1,0,5,0,0,1,2,spec").ok());
+  EXPECT_FALSE(DecodeAgentDispatchRecord("").ok());
+}
+
+TEST(ShardAgentE2eTest, SocketTransportMatchesSerialAcrossWorkerCounts) {
+  const std::string path = TestSocketPath("parity");
+  auto agent = SpawnAgent(path);
+  ASSERT_TRUE(agent.ok()) << agent.status();
+  TrialRunnerOptions options = SocketOptions(path);
+  auto serial = SerialReference(options);
+  ASSERT_TRUE(serial.ok()) << serial.status();
+  const TrialFn unused = [](uint64_t) -> Result<TrialOutcome> {
+    return Status::Internal("socket transport must not use the local fn");
+  };
+  for (int workers : {1, 2}) {
+    options.workers = workers;
+    options.shards = 5;  // Finer than workers: queued shards are stolen.
+    auto run = RunTrialsSharded(unused, options);
+    ASSERT_TRUE(run.ok()) << "workers=" << workers << ": " << run.status();
+    ExpectReportsBitwiseEqual(serial.value(), run.value());
+  }
+  EXPECT_TRUE(agent.value().Kill().ok());
+}
+
+TEST(ShardAgentE2eTest, ParityHoldsUnderAgentChaos) {
+  // One injected fault per mode, armed in the agent process. Each fault
+  // costs a dispatch; the coordinator's re-dispatch ladder must recover
+  // byte-identical output.
+  const struct {
+    const char* tag;
+    const char* chaos;
+  } cases[] = {
+      {"dropconn", "shard_agent/drop-conn@1"},
+      {"crash", "shard_agent/crash@1"},
+      {"hang", "shard_agent/hang@1"},
+  };
+  for (const auto& c : cases) {
+    const std::string path = TestSocketPath(c.tag);
+    auto agent = SpawnAgent(path, c.chaos);
+    ASSERT_TRUE(agent.ok()) << c.tag << ": " << agent.status();
+    TrialRunnerOptions options = SocketOptions(path);
+    auto serial = SerialReference(options);
+    ASSERT_TRUE(serial.ok()) << serial.status();
+    options.workers = 2;
+    options.shards = 4;
+    options.max_shard_retries = 4;
+    // A wedged connection is only ended by the heartbeat timeout; keep it
+    // short so the hang case converges quickly.
+    options.heartbeat_timeout_seconds = 0.5;
+    const TrialFn unused = [](uint64_t) -> Result<TrialOutcome> {
+      return Status::Internal("socket transport must not use the local fn");
+    };
+    auto run = RunTrialsSharded(unused, options);
+    ASSERT_TRUE(run.ok()) << c.tag << ": " << run.status();
+    ExpectReportsBitwiseEqual(serial.value(), run.value());
+    EXPECT_TRUE(agent.value().Kill().ok());
+  }
+}
+
+TEST(ShardAgentE2eTest, UnreachableAgentQuarantinesWithBoundedRetries) {
+  const std::string path = TestSocketPath("down");
+  std::remove(path.c_str());  // Nothing listens here.
+  TrialRunnerOptions options = SocketOptions(path);
+  options.trials = 4;
+  options.workers = 1;
+  options.max_shard_retries = 1;
+  const TrialFn unused = [](uint64_t) -> Result<TrialOutcome> {
+    return Status::Internal("socket transport must not use the local fn");
+  };
+  auto run = RunTrialsSharded(unused, options);
+  // All trials quarantine; the all-faulted run ends on the error budget
+  // with the dispatch failure inside the quarantine message.
+  EXPECT_EQ(run.status().code(), StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace sose

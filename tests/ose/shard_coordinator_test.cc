@@ -1,16 +1,24 @@
 #include "ose/shard_coordinator.h"
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <fstream>
+#include <functional>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <thread>
+#include <utility>
 
 #include "core/parallel/sharded_range.h"
+#include "core/stopwatch.h"
+#include "ose/shard_transport.h"
+#include "ose/shard_worker.h"
+#include "ose/trial_fold.h"
 #include "ose/trial_runner.h"
 
 // The multi-process analogue of trial_runner_parallel_test: the coordinator
@@ -54,6 +62,83 @@ void ExpectReportsBitwiseEqual(const TrialRunReport& a,
     EXPECT_EQ(entry.count, it->second.count);
     EXPECT_EQ(entry.first_message, it->second.first_message);
   }
+}
+
+// A pipe-backed stream that delivers pre-scripted bytes, then EOF — lets
+// tests hand the coordinator arbitrary wire streams (stale generations,
+// torn prefixes) without real worker processes.
+class ScriptedStream : public ShardStream {
+ public:
+  explicit ScriptedStream(const std::string& bytes) {
+    int fds[2];
+    // No child process exists: the pipe is a self-contained byte buffer
+    // standing in for a worker's stream, so the Subprocess fork/reap rules
+    // have nothing to guard here.
+    // sose-lint: allow(concurrency)
+    EXPECT_EQ(::pipe(fds), 0);
+    read_fd_ = fds[0];
+    // Scripted payloads are far below the default pipe capacity, so the one
+    // write cannot block.
+    EXPECT_EQ(::write(fds[1], bytes.data(), bytes.size()),
+              static_cast<ssize_t>(bytes.size()));
+    ::close(fds[1]);
+  }
+  ~ScriptedStream() override {
+    if (read_fd_ >= 0) ::close(read_fd_);
+  }
+  int poll_fd() const override { return read_fd_; }
+  Result<PipeRead> ReadAvailable(std::string* buffer) override {
+    char chunk[4096];
+    const ssize_t n = ::read(read_fd_, chunk, sizeof(chunk));
+    if (n < 0) return Status::Internal("scripted stream read failed");
+    buffer->append(chunk, static_cast<size_t>(n));
+    return PipeRead{n, n == 0};
+  }
+  std::string Finish() override {
+    if (read_fd_ >= 0) {
+      ::close(read_fd_);
+      read_fd_ = -1;
+    }
+    return " (scripted)";
+  }
+
+ private:
+  int read_fd_ = -1;
+};
+
+// Scripts each Dispatch call: the callback returns the raw bytes the
+// dispatched "worker" will stream (or a Status to fail the dispatch).
+class ScriptedTransport : public ShardTransport {
+ public:
+  using Script = std::function<Result<std::string>(const ShardWorkerConfig&)>;
+  explicit ScriptedTransport(Script script) : script_(std::move(script)) {}
+
+  Result<std::unique_ptr<ShardStream>> Dispatch(
+      const ShardWorkerConfig& config) override {
+    SOSE_ASSIGN_OR_RETURN(const std::string bytes, script_(config));
+    std::unique_ptr<ShardStream> stream =
+        std::make_unique<ScriptedStream>(bytes);
+    return stream;
+  }
+
+ private:
+  Script script_;
+};
+
+// The exact byte stream a healthy worker produces for `config` — built with
+// the worker's own encoders and trial execution, so scripted runs fold to
+// the same report as real forked workers.
+std::string FaithfulStreamBytes(const TrialFn& trial,
+                                const ShardWorkerConfig& config) {
+  std::string out = EncodeFormatRecord() + EncodeShardRecord(config);
+  for (int64_t t = config.resume_from; t < config.shard_end; ++t) {
+    out += EncodeHeartbeatRecord(t);
+    out += EncodeTrialRecord(
+        t, internal_trial::ExecuteTrial(trial, config.master_seed,
+                                        config.max_retries, t));
+  }
+  out += EncodeDoneRecord(config.shard_end);
+  return out;
 }
 
 TEST(ShardBoundsTest, PartitionMatchesShardedRangeSplit) {
@@ -256,6 +341,112 @@ TEST(ShardCoordinatorTest, MoreWorkersThanTrialsStillExact) {
   auto sharded = RunTrialsSharded(trial, options);
   ASSERT_TRUE(sharded.ok()) << sharded.status();
   ExpectReportsBitwiseEqual(serial.value(), sharded.value());
+}
+
+TEST(ShardCoordinatorTest, StaleGenerationStreamIsDiscarded) {
+  // After a re-dispatch, a stream echoing the PREVIOUS generation (e.g. an
+  // agent connection that buffered the old worker's output) must be
+  // discarded wholesale: its trial records carry poisoned epsilons that
+  // would corrupt the fold if even one got through.
+  auto trial = [](uint64_t trial_seed) -> Result<TrialOutcome> {
+    return OutcomeFor(trial_seed);
+  };
+  TrialRunnerOptions options;
+  options.trials = 24;
+  options.seed = 17;
+  options.threads = 1;
+  options.workers = 1;
+  options.max_shard_retries = 3;
+  options.backoff_initial_seconds = 0.001;
+  auto serial = RunTrials(trial, options);
+  ASSERT_TRUE(serial.ok()) << serial.status();
+
+  int dispatches = 0;
+  ScriptedTransport transport([&](const ShardWorkerConfig& config)
+                                  -> Result<std::string> {
+    ++dispatches;
+    if (config.generation == 0) {
+      // Torn stream: dies after the preamble, forcing a re-dispatch.
+      return EncodeFormatRecord() + EncodeShardRecord(config);
+    }
+    if (config.generation == 1) {
+      // Stale stream: echoes generation 0 and then poisoned records. The
+      // coordinator must reject it at the preamble and re-dispatch again.
+      ShardWorkerConfig stale = config;
+      stale.generation = 0;
+      std::string out = EncodeFormatRecord() + EncodeShardRecord(stale);
+      internal_trial::TrialAttemptResult poison;
+      poison.outcome = TrialOutcome{999.0, true};
+      for (int64_t t = config.resume_from; t < config.shard_end; ++t) {
+        out += EncodeTrialRecord(t, poison);
+      }
+      out += EncodeDoneRecord(config.shard_end);
+      return out;
+    }
+    return FaithfulStreamBytes(trial, config);
+  });
+  auto run = RunTrialsShardedWith(&transport, options);
+  ASSERT_TRUE(run.ok()) << run.status();
+  EXPECT_EQ(dispatches, 3);
+  // Bitwise parity with serial proves not one poisoned record folded.
+  ExpectReportsBitwiseEqual(serial.value(), run.value());
+}
+
+TEST(ShardCoordinatorTest, DeadlineDuringBackoffYieldsPartialNotHang) {
+  // Shard 0 delivers its range; shard 1 dies and sits in a 30-second
+  // backoff. When the global deadline fires, the coordinator must return
+  // the partial folded prefix promptly instead of waiting out
+  // backoff_until.
+  auto trial = [](uint64_t trial_seed) -> Result<TrialOutcome> {
+    return OutcomeFor(trial_seed);
+  };
+  TrialRunnerOptions options;
+  options.trials = 20;
+  options.seed = 13;
+  options.threads = 1;
+  options.workers = 2;
+  options.shards = 2;
+  options.max_shard_retries = 5;
+  options.backoff_initial_seconds = 30.0;
+  options.deadline_seconds = 0.4;
+  ScriptedTransport transport([&](const ShardWorkerConfig& config)
+                                  -> Result<std::string> {
+    if (config.shard_index == 0) return FaithfulStreamBytes(trial, config);
+    // Torn immediately: fails, then backs off for 30 s.
+    return EncodeFormatRecord() + EncodeShardRecord(config);
+  });
+  Stopwatch watch;
+  auto run = RunTrialsShardedWith(&transport, options);
+  const double elapsed = watch.ElapsedSeconds();
+  ASSERT_TRUE(run.ok()) << run.status();
+  EXPECT_TRUE(run.value().partial);
+  // Shard 0's half folded; shard 1's trials were never delivered.
+  EXPECT_EQ(run.value().completed, 10);
+  EXPECT_LT(elapsed, 10.0) << "deadline exit must not wait out the backoff";
+}
+
+TEST(ShardCoordinatorTest, DeadlineWithZeroProgressStillReturnsPartial) {
+  // Every dispatch fails and every shard is in backoff when the deadline
+  // fires: nothing is running, nothing can fold, and the only honest exit
+  // is an immediate partial report with zero completed trials.
+  TrialRunnerOptions options;
+  options.trials = 8;
+  options.threads = 1;
+  options.workers = 2;
+  options.max_shard_retries = 5;
+  options.backoff_initial_seconds = 30.0;
+  options.deadline_seconds = 0.3;
+  ScriptedTransport transport(
+      [](const ShardWorkerConfig&) -> Result<std::string> {
+        return Status::Unavailable("worker never came up");
+      });
+  Stopwatch watch;
+  auto run = RunTrialsShardedWith(&transport, options);
+  const double elapsed = watch.ElapsedSeconds();
+  ASSERT_TRUE(run.ok()) << run.status();
+  EXPECT_TRUE(run.value().partial);
+  EXPECT_EQ(run.value().completed, 0);
+  EXPECT_LT(elapsed, 10.0) << "deadline exit must not wait out the backoff";
 }
 
 TEST(ShardCoordinatorTest, InvalidWorkerOptionsAreRejected) {

@@ -1,0 +1,183 @@
+#include "ose/shard_transport.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "ose/shard_coordinator.h"
+#include "ose/trial_runner.h"
+
+// The transport seam: endpoint parsing, the fork transport's parity across
+// worker/shard combinations (shards > workers is the work-stealing case),
+// and the coordinator's treatment of dispatch failures.
+namespace sose {
+namespace {
+
+TrialOutcome OutcomeFor(uint64_t trial_seed) {
+  const double epsilon = static_cast<double>(trial_seed % 1000) / 1000.0;
+  return TrialOutcome{epsilon, trial_seed % 5 == 0};
+}
+
+void ExpectReportsBitwiseEqual(const TrialRunReport& a,
+                               const TrialRunReport& b) {
+  EXPECT_EQ(a.requested, b.requested);
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.faulted, b.faulted);
+  EXPECT_EQ(a.retries_used, b.retries_used);
+  EXPECT_EQ(a.failures, b.failures);
+  EXPECT_EQ(a.epsilon_sum, b.epsilon_sum);  // Bitwise, not approximate.
+  EXPECT_EQ(a.epsilon_max, b.epsilon_max);
+  EXPECT_EQ(a.partial, b.partial);
+  ASSERT_EQ(a.taxonomy.by_code.size(), b.taxonomy.by_code.size());
+  for (const auto& [code, entry] : a.taxonomy.by_code) {
+    const auto it = b.taxonomy.by_code.find(code);
+    ASSERT_NE(it, b.taxonomy.by_code.end());
+    EXPECT_EQ(entry.count, it->second.count);
+    EXPECT_EQ(entry.first_message, it->second.first_message);
+  }
+}
+
+TEST(ParseAgentEndpointsTest, ParsesUnixAndTcpForms) {
+  auto parsed = ParseAgentEndpoints(
+      "unix:/tmp/agent_a.sock,tcp:127.0.0.1:9000,unix:/tmp/agent_b.sock");
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  ASSERT_EQ(parsed.value().size(), 3u);
+  EXPECT_EQ(parsed.value()[0].kind, AgentEndpoint::Kind::kUnix);
+  EXPECT_EQ(parsed.value()[0].path, "/tmp/agent_a.sock");
+  EXPECT_EQ(parsed.value()[1].kind, AgentEndpoint::Kind::kTcp);
+  EXPECT_EQ(parsed.value()[1].host, "127.0.0.1");
+  EXPECT_EQ(parsed.value()[1].port, 9000);
+  EXPECT_EQ(parsed.value()[2].path, "/tmp/agent_b.sock");
+}
+
+TEST(ParseAgentEndpointsTest, RejectsMalformedSpecs) {
+  EXPECT_EQ(ParseAgentEndpoints("").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseAgentEndpoints("ftp:/nope").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseAgentEndpoints("unix:").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseAgentEndpoints("tcp:127.0.0.1").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseAgentEndpoints("tcp:127.0.0.1:notaport").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseAgentEndpoints("tcp:127.0.0.1:0").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseAgentEndpoints("tcp:127.0.0.1:70000").status().code(),
+            StatusCode::kInvalidArgument);
+  // One bad entry poisons the list.
+  EXPECT_EQ(
+      ParseAgentEndpoints("unix:/tmp/ok.sock,bogus").status().code(),
+      StatusCode::kInvalidArgument);
+}
+
+TEST(ShardTransportTest, ForkParityWithMoreShardsThanWorkers) {
+  // Finer shards than workers: idle worker slots steal queued shards, and
+  // the folded report must stay bitwise identical to serial — the split is
+  // always ShardedRange::ShardBounds and folding is global-order.
+  auto trial = [](uint64_t trial_seed) -> Result<TrialOutcome> {
+    return OutcomeFor(trial_seed);
+  };
+  TrialRunnerOptions options;
+  options.trials = 97;  // Not divisible by any tested shard count.
+  options.seed = 23;
+  options.threads = 1;
+  auto serial = RunTrials(trial, options);
+  ASSERT_TRUE(serial.ok()) << serial.status();
+  for (int workers : {1, 2, 4}) {
+    for (int shards : {5, 7, 13}) {
+      options.workers = workers;
+      options.shards = shards;
+      auto sharded = RunTrialsSharded(trial, options);
+      ASSERT_TRUE(sharded.ok())
+          << "workers=" << workers << " shards=" << shards << ": "
+          << sharded.status();
+      ExpectReportsBitwiseEqual(serial.value(), sharded.value());
+    }
+  }
+}
+
+TEST(ShardTransportTest, RunTrialsRoutesShardOverrideToCoordinator) {
+  // --shards alone (workers == 1) must still select the coordinator.
+  auto trial = [](uint64_t trial_seed) -> Result<TrialOutcome> {
+    return OutcomeFor(trial_seed);
+  };
+  TrialRunnerOptions options;
+  options.trials = 31;
+  options.seed = 3;
+  options.threads = 1;
+  auto serial = RunTrials(trial, options);
+  ASSERT_TRUE(serial.ok()) << serial.status();
+  options.shards = 4;
+  auto routed = RunTrials(trial, options);
+  ASSERT_TRUE(routed.ok()) << routed.status();
+  ExpectReportsBitwiseEqual(serial.value(), routed.value());
+}
+
+TEST(ShardTransportTest, InvalidTransportOptionsAreRejected) {
+  auto trial = [](uint64_t) -> Result<TrialOutcome> { return TrialOutcome{}; };
+  TrialRunnerOptions options;
+  options.trials = 4;
+  options.shards = -1;
+  EXPECT_EQ(RunTrials(trial, options).status().code(),
+            StatusCode::kInvalidArgument);
+  options.shards = 0;
+  options.transport = "carrier-pigeon";
+  EXPECT_EQ(RunTrials(trial, options).status().code(),
+            StatusCode::kInvalidArgument);
+  // Socket transport without endpoints or spec.
+  options.transport = "socket";
+  EXPECT_EQ(RunTrials(trial, options).status().code(),
+            StatusCode::kInvalidArgument);
+  options.agent_endpoints = "unix:/tmp/agent.sock";
+  EXPECT_EQ(RunTrials(trial, options).status().code(),
+            StatusCode::kInvalidArgument);
+  // Shard override cannot be combined with in-process threads.
+  options.transport = "fork";
+  options.agent_endpoints.clear();
+  options.shards = 4;
+  options.threads = 4;
+  EXPECT_EQ(RunTrials(trial, options).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+// A transport whose every dispatch fails — the "agent unreachable" story.
+class FailingDispatchTransport : public ShardTransport {
+ public:
+  Result<std::unique_ptr<ShardStream>> Dispatch(
+      const ShardWorkerConfig&) override {
+    ++dispatches;
+    return Status::Unavailable("agent unreachable");
+  }
+  int dispatches = 0;
+};
+
+TEST(ShardTransportTest, DispatchFailuresQuarantineInsteadOfLooping) {
+  // Every dispatch fails: each shard burns its retry budget, quarantines,
+  // and the all-faulted run ends on the error budget — bounded dispatch
+  // attempts, no infinite re-dispatch loop.
+  FailingDispatchTransport transport;
+  TrialRunnerOptions options;
+  options.trials = 6;
+  options.workers = 2;
+  options.threads = 1;
+  options.max_shard_retries = 2;
+  options.backoff_initial_seconds = 0.001;
+  options.error_budget = 1.0;
+  auto run = RunTrialsShardedWith(&transport, options);
+  EXPECT_EQ(run.status().code(), StatusCode::kFailedPrecondition);
+  // Initial dispatch + max_shard_retries re-dispatches, per shard.
+  EXPECT_EQ(transport.dispatches, 2 * (1 + 2));
+}
+
+TEST(ShardTransportTest, NullTransportIsRejected) {
+  TrialRunnerOptions options;
+  options.trials = 1;
+  EXPECT_EQ(RunTrialsShardedWith(nullptr, options).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace sose

@@ -1,0 +1,120 @@
+#include "ose/trial_spec.h"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "hardinstance/mixtures.h"
+#include "ose/failure_estimator.h"
+#include "sketch/registry.h"
+
+// The trial-spec registry is the socket transport's substitute for shipping
+// a closure across fork(): both the coordinator and a remote agent resolve
+// the same one-line spec, and the resolved trial must be *bitwise* identical
+// to the closure the in-process estimator builds — that identity is the
+// whole cross-transport parity argument.
+namespace sose {
+namespace {
+
+constexpr int64_t kN = 1024;
+constexpr int64_t kD = 4;
+constexpr double kEps = 1.0 / 16.0;
+
+std::string SmallSpec() {
+  return FormatMixtureFailureSpec("countsketch", 32, kN, 1, kD, kEps, kEps,
+                                  true, 64);
+}
+
+// The reference closure, built exactly the way EstimateFailureProbability
+// builds its trial: registry factory + mixture sampler + policy.
+TrialFn ReferenceTrial() {
+  SketchFactory factory =
+      [](uint64_t seed) -> Result<std::unique_ptr<SketchingMatrix>> {
+    SketchConfig config;
+    config.rows = 32;
+    config.cols = kN;
+    config.sparsity = 1;
+    config.seed = seed;
+    return CreateSketch("countsketch", config);
+  };
+  auto mixture = SectionThreeMixture::Create(kN, kD, kEps);
+  EXPECT_TRUE(mixture.ok()) << mixture.status();
+  InstanceSampler sampler = [mixture = std::move(mixture).value()](Rng* rng) {
+    return mixture.Sample(rng);
+  };
+  FailureTrialPolicy policy;
+  policy.epsilon = kEps;
+  return MakeFailureTrialFn(std::move(factory), std::move(sampler), policy);
+}
+
+TEST(TrialSpecTest, ResolvedTrialMatchesInProcessClosureBitwise) {
+  auto resolved = ResolveTrialSpec(SmallSpec());
+  ASSERT_TRUE(resolved.ok()) << resolved.status();
+  const TrialFn reference = ReferenceTrial();
+  for (uint64_t seed : {1u, 7u, 1234u, 99999u}) {
+    auto a = reference(seed);
+    auto b = resolved.value()(seed);
+    ASSERT_TRUE(a.ok()) << a.status();
+    ASSERT_TRUE(b.ok()) << b.status();
+    // Bitwise, not approximate: the remote agent must reproduce the exact
+    // double the coordinator would have produced.
+    EXPECT_EQ(std::bit_cast<uint64_t>(a.value().epsilon),
+              std::bit_cast<uint64_t>(b.value().epsilon));
+    EXPECT_EQ(a.value().failure, b.value().failure);
+  }
+}
+
+TEST(TrialSpecTest, HexfloatEpsilonsSurviveTheRoundTrip) {
+  // 0.1 has no short decimal representation; the hexfloat encoding must
+  // still hand the resolver the exact same double.
+  const std::string spec = FormatMixtureFailureSpec("countsketch", 32, kN, 1,
+                                                    kD, 0.1, 0.1, true, 64);
+  EXPECT_NE(spec.find("0x"), std::string::npos);
+  auto resolved = ResolveTrialSpec(spec);
+  ASSERT_TRUE(resolved.ok()) << resolved.status();
+}
+
+TEST(TrialSpecTest, SpecHasNoTrailingNewline) {
+  const std::string spec = SmallSpec();
+  ASSERT_FALSE(spec.empty());
+  EXPECT_NE(spec.back(), '\n');
+}
+
+TEST(TrialSpecTest, MalformedSpecsAreRejected) {
+  // Unknown kind.
+  EXPECT_EQ(ResolveTrialSpec("warp-drive,1,2").status().code(),
+            StatusCode::kInvalidArgument);
+  // Wrong arity.
+  EXPECT_EQ(ResolveTrialSpec("mixture-failure,countsketch,32").status().code(),
+            StatusCode::kInvalidArgument);
+  // Non-numeric field.
+  EXPECT_EQ(
+      ResolveTrialSpec(
+          "mixture-failure,countsketch,abc,1024,1,4,0x1p-4,0x1p-4,1,64")
+          .status()
+          .code(),
+      StatusCode::kInvalidArgument);
+  // Empty spec.
+  EXPECT_FALSE(ResolveTrialSpec("").ok());
+}
+
+TEST(TrialSpecTest, ConstructorErrorsSurfaceAtResolveTime) {
+  // Unknown sketch family: the resolver probes the registry so a bad spec
+  // fails the dispatch up front instead of inside every remote trial.
+  EXPECT_FALSE(
+      ResolveTrialSpec(FormatMixtureFailureSpec("warpsketch", 32, kN, 1, kD,
+                                                kEps, kEps, true, 64))
+          .ok());
+  // Mixture shape violation: epsilon >= 1/8.
+  EXPECT_FALSE(
+      ResolveTrialSpec(FormatMixtureFailureSpec("countsketch", 32, kN, 1, kD,
+                                                0.2, 0.2, true, 64))
+          .ok());
+}
+
+}  // namespace
+}  // namespace sose

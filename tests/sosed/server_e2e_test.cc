@@ -13,6 +13,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <cmath>
 #include <cstdint>
 #include <memory>
 #include <optional>
@@ -22,6 +23,7 @@
 
 #include "core/fault.h"
 #include "core/matrix.h"
+#include "core/stopwatch.h"
 #include "sosed/client.h"
 #include "sosed/selfcheck.h"
 #include "sosed/server.h"
@@ -193,6 +195,56 @@ TEST(SosedE2eTest, ByteBudgetAnswersBusyAndKeepsAttachedSessionUsable) {
   auto stats = client->Stats(kTimeout);
   ASSERT_TRUE(stats.ok());
   EXPECT_NE(stats.value().find("\"busy\": 1"), std::string::npos);
+}
+
+TEST(SelfcheckBusyTest, RetryDelayClampsDegenerateHints) {
+  // The hint is clamped both ways: [0.01, 0.25]. Zero, negative, and
+  // non-finite hints all take the floor — never a hot spin.
+  EXPECT_DOUBLE_EQ(BusyRetryDelay(0.0), 0.01);
+  EXPECT_DOUBLE_EQ(BusyRetryDelay(-5.0), 0.01);
+  EXPECT_DOUBLE_EQ(BusyRetryDelay(std::nan("")), 0.01);
+  EXPECT_DOUBLE_EQ(BusyRetryDelay(0.002), 0.01);
+  EXPECT_DOUBLE_EQ(BusyRetryDelay(0.05), 0.05);
+  EXPECT_DOUBLE_EQ(BusyRetryDelay(0.25), 0.25);
+  EXPECT_DOUBLE_EQ(BusyRetryDelay(3.0), 0.25);
+}
+
+TEST(SelfcheckBusyTest, ZeroRetryAfterHintDoesNotHotSpin) {
+  // Regression: the BUSY retry sleep was min(hint, 0.25) — bounded above
+  // only — so a server advertising retry_after_seconds = 0 turned the open
+  // loop into a hot spin that burned its whole retry budget back-to-back.
+  // A budget that fits exactly one session plus retry_after_seconds = 0
+  // (sosed's own flag parsing now refuses 0; set programmatically here to
+  // simulate a buggy peer) forces that exact reply shape.
+  SessionManager::Options session;
+  session.max_bytes = 4500;
+  SosedServer::Options server_options;
+  server_options.unix_path = TestSocketPath();
+  server_options.session = session;
+  server_options.retry_after_seconds = 0.0;
+  auto server = SosedServer::Create(std::move(server_options));
+  ASSERT_TRUE(server.ok()) << server.status();
+  auto client = Connect(server.value().get(), server.value()->unix_path());
+  ASSERT_TRUE(client.has_value());
+
+  auto opened =
+      client->Open("occupant", "countsketch", 64, 16, 2, 2, 42, kTimeout);
+  ASSERT_TRUE(opened.ok()) << opened.status();
+  ASSERT_EQ(opened.value().kind, Reply::Kind::kOk);
+
+  SelfcheckOptions options;
+  options.session_id = "crowded-out";
+  options.ambient_n = 64;
+  options.target_m = 16;
+  options.data_columns = 2;
+  options.busy_retries = 10;
+  Stopwatch watch;
+  auto report = RunSelfcheck(&client.value(), options, kTimeout);
+  const double elapsed = watch.ElapsedSeconds();
+  EXPECT_EQ(report.status().code(), StatusCode::kUnavailable);
+  // Ten absorbed BUSYs at the 0.01 s floor each: the loop must have slept,
+  // not spun. (Pre-fix this elapsed in well under a millisecond.)
+  EXPECT_GE(elapsed, 0.09);
 }
 
 TEST(SosedE2eTest, ErrRepliesKeepTheConnectionOpen) {
